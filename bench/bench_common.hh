@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: CLI parsing,
+ * aligned table printing, and common run recipes. Each binary
+ * regenerates the rows/series of one figure or table of the paper
+ * (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+ * paper-vs-measured values).
+ */
+
+#ifndef VSPEC_BENCH_BENCH_COMMON_HH
+#define VSPEC_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "stats/stats.hh"
+
+namespace vspec
+{
+namespace bench
+{
+
+struct BenchArgs
+{
+    u32 iterations = 30;
+    u32 repeats = 3;
+    bool bothIsas = true;
+    bool quick = false;
+    std::string only;  //!< restrict to one workload (name or tag)
+
+    static BenchArgs
+    parse(int argc, char **argv, u32 default_iters = 30,
+          u32 default_repeats = 3)
+    {
+        BenchArgs a;
+        a.iterations = default_iters;
+        a.repeats = default_repeats;
+        for (int i = 1; i < argc; i++) {
+            if (std::strncmp(argv[i], "--iters=", 8) == 0)
+                a.iterations = static_cast<u32>(std::atoi(argv[i] + 8));
+            else if (std::strncmp(argv[i], "--repeats=", 10) == 0)
+                a.repeats = static_cast<u32>(std::atoi(argv[i] + 10));
+            else if (std::strcmp(argv[i], "--arm64-only") == 0)
+                a.bothIsas = false;
+            else if (std::strcmp(argv[i], "--quick") == 0)
+                a.quick = true;
+            else if (std::strncmp(argv[i], "--only=", 7) == 0)
+                a.only = argv[i] + 7;
+        }
+        if (a.quick) {
+            a.iterations = std::max<u32>(10, a.iterations / 3);
+            a.repeats = 1;
+        }
+        return a;
+    }
+
+    bool
+    selected(const Workload &w) const
+    {
+        return only.empty() || w.name == only || w.tag == only;
+    }
+};
+
+inline void
+hr(char c = '-', int width = 100)
+{
+    for (int i = 0; i < width; i++)
+        putchar(c);
+    putchar('\n');
+}
+
+inline const char *
+isaName(IsaFlavour f)
+{
+    return isaFlavourName(f);
+}
+
+/** Steady-state per-iteration cycles of one configured run. */
+inline double
+steadyCycles(const Workload &w, RunConfig rc)
+{
+    RunOutcome out = runWorkload(w, rc, nullptr);
+    return out.steadyStateCycles();
+}
+
+} // namespace bench
+} // namespace vspec
+
+#endif // VSPEC_BENCH_BENCH_COMMON_HH

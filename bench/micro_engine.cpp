@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for vspec's own primitives: the
+ * simulated-heap access path, tagged-value operations, the regex-lite
+ * matcher, the statistics kernels, and end-to-end engine throughput.
+ * These measure the host cost of the reproduction infrastructure
+ * itself (not the modeled cycles).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.hh"
+#include "runtime/regex_lite.hh"
+#include "stats/stats.hh"
+
+using namespace vspec;
+
+static void
+BM_HeapReadWrite(benchmark::State &state)
+{
+    Heap heap(8u << 20);
+    Addr a = heap.allocate(4096, 1, 0);
+    u32 x = 0;
+    for (auto _ : state) {
+        heap.writeU32(a + (x % 512) * 8, x);
+        benchmark::DoNotOptimize(heap.readU32(a + (x % 512) * 8));
+        x++;
+    }
+}
+BENCHMARK(BM_HeapReadWrite);
+
+static void
+BM_ValueTagUntag(benchmark::State &state)
+{
+    i32 v = 12345;
+    for (auto _ : state) {
+        Value t = Value::smi(v);
+        benchmark::DoNotOptimize(t.asSmi());
+    }
+}
+BENCHMARK(BM_ValueTagUntag);
+
+static void
+BM_RegexLite(benchmark::State &state)
+{
+    RegexLite re("a[bc]+d|xy*z");
+    std::string subject = "zzabcbcbcd__xyyyz__acbd";
+    for (auto _ : state) {
+        u64 steps = 0;
+        benchmark::DoNotOptimize(re.countMatches(subject, steps));
+    }
+}
+BENCHMARK(BM_RegexLite);
+
+static void
+BM_StatsPearson(benchmark::State &state)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 200; i++) {
+        x.push_back(i * 0.5);
+        y.push_back(i * 0.7 + (i % 7));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::pearson(x, y));
+}
+BENCHMARK(BM_StatsPearson);
+
+static void
+BM_EngineDotProduct(benchmark::State &state)
+{
+    const Workload *w = findWorkload("DP");
+    Engine engine{EngineConfig{}};
+    engine.loadProgram(instantiate(*w, 256));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.call("bench"));
+    state.counters["modeled_cycles"] =
+        static_cast<double>(engine.totalCycles());
+}
+BENCHMARK(BM_EngineDotProduct)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

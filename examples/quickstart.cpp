@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: load a MiniJS program, run a hot function until it tiers
+ * up to optimized code, and print engine statistics — compilations,
+ * deoptimizations, check counts in the generated code, and the
+ * modeled cycle split between the interpreter and the simulated CPU.
+ */
+
+#include <cstdio>
+
+#include "runtime/engine.hh"
+
+using namespace vspec;
+
+static const char *kProgram = R"JS(
+function sumTo(n) {
+    var s = 0;
+    for (var i = 0; i < n; i++) {
+        s = s + i;
+    }
+    return s;
+}
+
+function bench() {
+    return sumTo(10000);
+}
+)JS";
+
+int
+main()
+{
+    EngineConfig cfg;
+    cfg.isa = IsaFlavour::Arm64Like;
+    cfg.samplerEnabled = true;
+    Engine engine(cfg);
+
+    engine.loadProgram(kProgram);
+
+    printf("iter  result     cycles(delta)\n");
+    for (int i = 0; i < 10; i++) {
+        Cycles before = engine.totalCycles();
+        Value r = engine.call("bench");
+        Cycles after = engine.totalCycles();
+        printf("%4d  %-9s  %llu\n", i, engine.vm.display(r).c_str(),
+               static_cast<unsigned long long>(after - before));
+    }
+
+    printf("\ncompilations: %llu\n",
+           static_cast<unsigned long long>(engine.compilations));
+    printf("deopts: eager=%llu soft=%llu lazy=%llu\n",
+           static_cast<unsigned long long>(engine.eagerDeopts),
+           static_cast<unsigned long long>(engine.softDeopts),
+           static_cast<unsigned long long>(engine.lazyDeopts));
+    printf("interpreter cycles: %llu\n",
+           static_cast<unsigned long long>(engine.interpreterCycles));
+    printf("simulated JIT cycles: %llu\n",
+           static_cast<unsigned long long>(engine.timing->cycles()));
+
+    FunctionId fid = engine.functions.idOf("sumTo");
+    const FunctionInfo &fn = engine.functions.at(fid);
+    if (fn.hasCode()) {
+        const CodeObject &code = *engine.codeObjects[fn.codeId];
+        printf("\noptimized code for sumTo: %zu instructions, "
+               "%zu checks, %u check-instructions (%.1f per 100)\n",
+               code.code.size(), code.checks.size(),
+               code.totalCheckInstructions(),
+               100.0 * code.totalCheckInstructions() / code.code.size());
+        printf("%s\n", code.disassemble().c_str());
+    } else {
+        printf("\nsumTo was not optimized\n");
+    }
+    return 0;
+}

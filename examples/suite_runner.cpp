@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Suite runner / validator: executes every workload in the suite on
+ * both ISA flavours and reports per-workload timing, compilation and
+ * deopt statistics, plus interp-vs-JIT checksum agreement. Useful both
+ * as a smoke test of the whole system and as a usage example of the
+ * harness API.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "harness/experiment.hh"
+
+using namespace vspec;
+
+int
+main(int argc, char **argv)
+{
+    u32 iters = 60;
+    const char *only = nullptr;
+    for (int i = 1; i < argc; i++) {
+        if (std::strncmp(argv[i], "--iters=", 8) == 0)
+            iters = static_cast<u32>(std::atoi(argv[i] + 8));
+        else
+            only = argv[i];
+    }
+
+    printf("%-16s %-8s %9s %9s %7s %6s %6s %6s  %s\n", "workload", "cat",
+           "interp/it", "jit/it", "speedup", "comps", "deopts", "chk%",
+           "status");
+
+    int failures = 0;
+    for (const Workload &w : suite()) {
+        if (only != nullptr && w.name != only && w.tag != only)
+            continue;
+
+        // Interpreter-only reference at the same iteration count
+        // (several workloads carry state across iterations).
+        RunConfig interp_rc;
+        interp_rc.iterations = iters;
+        interp_rc.samplerEnabled = false;
+        interp_rc.enableOptimization = false;
+        RunOutcome ref = runWorkload(w, interp_rc, nullptr);
+
+        RunConfig rc;
+        rc.iterations = iters;
+        RunOutcome out = runWorkload(w, rc, &ref.checksum);
+
+        double interp_it = ref.steadyStateCycles();
+        double jit_it = out.steadyStateCycles();
+        bool ok = out.valid;
+        if (!ok)
+            failures++;
+        printf("%-16s %-8s %9.0f %9.0f %6.1fx %6llu %6llu %5.1f%%  %s%s\n",
+               w.name.c_str(), categoryName(w.category), interp_it, jit_it,
+               jit_it > 0 ? interp_it / jit_it : 0.0,
+               static_cast<unsigned long long>(out.compilations),
+               static_cast<unsigned long long>(out.totalDeopts),
+               out.staticCheckFreqPer100,
+               ok ? "ok" : "MISMATCH ",
+               ok ? "" : out.error.c_str());
+    }
+    if (failures > 0) {
+        printf("\n%d workload(s) failed\n", failures);
+        return 1;
+    }
+    printf("\nall workloads validated\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+#include "backend/code_object.hh"
+
+#include <cstdio>
+
+namespace vspec
+{
+
+std::vector<u32>
+CodeObject::checkInstructionsPerGroup() const
+{
+    std::vector<u32> out(static_cast<size_t>(CheckGroup::NumGroups), 0);
+    for (const auto &ins : code) {
+        if (ins.checkId == kNoCheck)
+            continue;
+        const CheckInfo &ci = checks.at(ins.checkId);
+        out[static_cast<size_t>(ci.group)]++;
+    }
+    return out;
+}
+
+u32
+CodeObject::totalCheckInstructions() const
+{
+    u32 n = 0;
+    for (const auto &ins : code)
+        if (ins.checkId != kNoCheck)
+            n++;
+    return n;
+}
+
+std::string
+CodeObject::disassemble() const
+{
+    std::string out;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "code #%u fn=%u flavour=%s insts=%zu checks=%zu exits=%zu\n",
+                  id, function, isaFlavourName(flavour), code.size(),
+                  checks.size(), deoptExits.size());
+    out += buf;
+    for (size_t i = 0; i < code.size(); i++) {
+        const MInst &m = code[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%4zu: %-12s rd=%-3u rn=%-3u rm=%-3u imm=%-8lld",
+                      i, mopName(m.op), m.rd, m.rn, m.rm,
+                      static_cast<long long>(m.imm));
+        out += buf;
+        if (m.op == MOp::Bcond) {
+            std::snprintf(buf, sizeof(buf), " %s ->%u", condName(m.cond),
+                          m.target);
+            out += buf;
+        } else if (m.op == MOp::B) {
+            std::snprintf(buf, sizeof(buf), " ->%u", m.target);
+            out += buf;
+        } else if (m.op == MOp::CallRt) {
+            out += std::string(" ")
+                   + runtimeFnName(static_cast<RuntimeFn>(m.target));
+        }
+        if (m.checkId != kNoCheck) {
+            const CheckInfo &ci = checks.at(m.checkId);
+            std::snprintf(buf, sizeof(buf), "   ; check#%u %s/%s (%s)",
+                          m.checkId, checkGroupName(ci.group),
+                          deoptReasonName(ci.reason),
+                          m.checkRole == CheckRole::Branch ? "branch"
+                          : m.checkRole == CheckRole::Fused ? "fused"
+                                                            : "cond");
+            out += buf;
+        }
+        if (m.isDeoptBranch)
+            out += " [deopt]";
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace vspec

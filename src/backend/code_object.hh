@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Optimized code objects: the machine code produced by the backend plus
+ * everything the runtime needs around it — per-instruction check
+ * annotations (ground truth for the profiler), deoptimization exits
+ * with full frame-reconstruction metadata, and dependency lists for
+ * lazy invalidation.
+ */
+
+#ifndef VSPEC_BACKEND_CODE_OBJECT_HH
+#define VSPEC_BACKEND_CODE_OBJECT_HH
+
+#include <string>
+#include <vector>
+
+#include "bytecode/bytecode.hh"
+#include "ir/deopt_reasons.hh"
+#include "ir/graph.hh"
+#include "isa/isa.hh"
+
+namespace vspec
+{
+
+/** Where a deopt-relevant value lives when a check fails. */
+struct DeoptLocation
+{
+    enum class Where : u8
+    {
+        Reg,          //!< GPR holding a tagged/int/bool value
+        FReg,
+        Spill,        //!< frame slot index
+        ConstTagged,  //!< rematerialized constant
+        ConstI32,
+        ConstF64,
+        None,         //!< value is undefined at this point
+    };
+
+    Where where = Where::None;
+    Rep rep = Rep::Tagged;
+    u8 reg = 0;
+    i32 slot = 0;
+    i64 imm = 0;
+    double fval = 0.0;
+};
+
+/** One deoptimization exit: reason + interpreter frame layout. */
+struct DeoptExitInfo
+{
+    u16 checkId = kNoCheck;
+    DeoptReason reason = DeoptReason::Unknown;
+    u32 bytecodeOffset = 0;
+    std::vector<DeoptLocation> regs;  //!< one per interpreter register
+    DeoptLocation accumulator;
+    u64 hitCount = 0;
+};
+
+/** Static metadata for one deoptimization check in the code. */
+struct CheckInfo
+{
+    u16 id = kNoCheck;
+    DeoptReason reason = DeoptReason::Unknown;
+    CheckGroup group = CheckGroup::Other;
+};
+
+class CodeObject
+{
+  public:
+    u32 id = 0;
+    FunctionId function = kInvalidFunction;
+    IsaFlavour flavour = IsaFlavour::Arm64Like;
+    bool usedSmiExtension = false;
+    bool branchesRemoved = false;
+
+    std::vector<MInst> code;
+    std::vector<DeoptExitInfo> deoptExits;
+    std::vector<CheckInfo> checks;
+    u32 spillSlots = 0;
+
+    /** Global cells whose value this code embedded as a constant. */
+    std::vector<u32> dependsOnGlobalCells;
+
+    /** Set to false by lazy invalidation; the runtime then discards the
+     *  code at the next entry (deopt-lazy). */
+    bool valid = true;
+
+    // ---- runtime statistics -----------------------------------------
+    u64 entries = 0;
+    u64 eagerDeopts = 0;
+
+    /** Count instructions that belong to checks, per group (Fig. 1/4
+     *  static frequency; ground truth, not the sampling heuristic). */
+    std::vector<u32> checkInstructionsPerGroup() const;
+    u32 totalCheckInstructions() const;
+
+    std::string disassemble() const;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_BACKEND_CODE_OBJECT_HH

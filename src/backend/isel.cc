@@ -1,0 +1,1536 @@
+#include "backend/isel.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "backend/regalloc.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+/** Sentinel value MSR'd into REG_BA by the extension prologue. */
+constexpr i64 kBailoutHandlerAddr = 0x0badba11;
+
+/** Condition inversion for fall-through optimization. */
+Cond
+invert(Cond c)
+{
+    switch (c) {
+      case Cond::Eq: return Cond::Ne;
+      case Cond::Ne: return Cond::Eq;
+      case Cond::Lt: return Cond::Ge;
+      case Cond::Le: return Cond::Gt;
+      case Cond::Gt: return Cond::Le;
+      case Cond::Ge: return Cond::Lt;
+      case Cond::Lo: return Cond::Hs;
+      case Cond::Ls: return Cond::Hi;
+      case Cond::Hi: return Cond::Ls;
+      case Cond::Hs: return Cond::Lo;
+      case Cond::Vs: return Cond::Vc;
+      case Cond::Vc: return Cond::Vs;
+      case Cond::Mi: return Cond::Pl;
+      case Cond::Pl: return Cond::Mi;
+      case Cond::Al: return Cond::Al;
+    }
+    return Cond::Al;
+}
+
+// ---------------------------------------------------------------------
+// Graph preparation
+// ---------------------------------------------------------------------
+
+/** Split critical edges so phi moves have a dedicated block. */
+void
+splitCriticalEdges(Graph &g)
+{
+    u32 nblocks = static_cast<u32>(g.blocks.size());
+    for (BlockId b = 0; b < nblocks; b++) {
+        if (g.block(b).succFalse == kNoBlock)
+            continue;  // single successor: never critical
+        for (int which = 0; which < 2; which++) {
+            BlockId s = which == 0 ? g.block(b).succTrue
+                                   : g.block(b).succFalse;
+            if (s == kNoBlock || g.block(s).preds.size() < 2)
+                continue;
+            // Does the successor have live phis? If not, no moves are
+            // needed on this edge and it can stay critical.
+            bool has_phi = false;
+            for (ValueId id : g.block(s).nodes) {
+                const IrNode &n = g.node(id);
+                if (n.op != IrOp::Phi)
+                    break;  // phis lead the block
+                if (!n.dead) {
+                    has_phi = true;
+                    break;
+                }
+            }
+            if (!has_phi)
+                continue;
+            BlockId t = g.newBlock();
+            IrNode go;
+            go.op = IrOp::Goto;
+            g.append(t, std::move(go));
+            g.block(t).succTrue = s;
+            g.block(t).preds = {b};
+            if (which == 0)
+                g.block(b).succTrue = t;
+            else
+                g.block(b).succFalse = t;
+            for (auto &p : g.block(s).preds) {
+                if (p == b) {
+                    p = t;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/** Rewrite uses of pass-through check results to their inputs, so the
+ *  allocator never assigns a register to a check node. The checks stay
+ *  in their blocks and still emit flag+branch code; only their *value*
+ *  identity collapses onto the checked value. */
+void
+rewriteCheckUses(Graph &g)
+{
+    auto resolveCheck = [&](ValueId v) {
+        while (v != kNoValue && g.node(v).isCheck())
+            v = g.node(v).inputs[0];
+        return v;
+    };
+    for (auto &n : g.nodes) {
+        if (n.dead)
+            continue;
+        for (auto &in : n.inputs)
+            in = resolveCheck(in);
+    }
+    for (auto &fs : g.frameStates) {
+        for (auto &r : fs.regs)
+            r = resolveCheck(r);
+        fs.accumulator = resolveCheck(fs.accumulator);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generator
+// ---------------------------------------------------------------------
+
+class CodeGenerator
+{
+  public:
+    CodeGenerator(CompilerEnv &env, Graph &g, const CodegenConfig &cfg)
+        : env(env), g(g), cfg(cfg)
+    {}
+
+    std::unique_ptr<CodeObject>
+    run()
+    {
+        code = std::make_unique<CodeObject>();
+        code->function = g.function;
+        code->flavour = cfg.flavour;
+        code->usedSmiExtension = cfg.smiExtension;
+        code->branchesRemoved = cfg.removeDeoptBranches;
+        code->dependsOnGlobalCells = g.embeddedGlobalCells;
+
+        splitCriticalEdges(g);
+        rewriteCheckUses(g);
+
+        // Emission order: blocks as created (entry, then bytecode
+        // order, then split blocks), skipping unreachable empty ones.
+        for (BlockId b = 0; b < g.blocks.size(); b++) {
+            if (!g.block(b).nodes.empty())
+                blockOrder.push_back(b);
+        }
+
+        ra = allocateRegisters(g, blockOrder);
+        code->spillSlots = ra.spillSlots;
+        computeUseCounts();
+
+        emitPrologue();
+        for (size_t i = 0; i < blockOrder.size(); i++) {
+            curBlockIndex = i;
+            emitBlock(blockOrder[i]);
+        }
+        emitDeoptExitRegion();
+        patchBranches();
+        return std::move(code);
+    }
+
+  private:
+    // ---- small helpers --------------------------------------------------
+
+    u32
+    emit(MInst m)
+    {
+        code->code.push_back(m);
+        return static_cast<u32>(code->code.size()) - 1;
+    }
+
+    MInst
+    make(MOp op, u8 rd = 0, u8 rn = 0, u8 rm = 0, i64 imm = 0)
+    {
+        MInst m;
+        m.op = op;
+        m.rd = rd;
+        m.rn = rn;
+        m.rm = rm;
+        m.imm = imm;
+        m.checkId = curCheckId;
+        m.checkRole = curCheckId == kNoCheck ? CheckRole::None
+                                             : CheckRole::Condition;
+        return m;
+    }
+
+    /** RAII-less check scope: instructions emitted while set belong to
+     *  the check as Condition role. */
+    void beginCheck(DeoptReason reason)
+    {
+        CheckInfo ci;
+        ci.id = static_cast<u16>(code->checks.size());
+        ci.reason = reason;
+        ci.group = checkGroupOf(reason);
+        code->checks.push_back(ci);
+        curCheckId = ci.id;
+    }
+    void endCheck() { curCheckId = kNoCheck; }
+
+    void
+    computeUseCounts()
+    {
+        useCount.assign(g.nodes.size(), 0);
+        for (const auto &n : g.nodes) {
+            if (n.dead)
+                continue;
+            for (ValueId in : n.inputs)
+                useCount[in]++;
+        }
+    }
+
+    const Allocation &allocOf(ValueId v) const { return ra.alloc[v]; }
+
+    bool
+    isConst(ValueId v) const
+    {
+        IrOp op = g.node(v).op;
+        return op == IrOp::ConstI32 || op == IrOp::ConstTagged
+               || op == IrOp::ConstF64;
+    }
+
+    /** Register currently holding @p v, reloading/rematerializing into
+     *  a scratch register when needed. @p which selects the scratch. */
+    u8
+    gpr(ValueId v, int which = 0)
+    {
+        u8 scratch = which == 0 ? kSpillScratch0
+                     : which == 1 ? kSpillScratch1 : kScratch0;
+        const IrNode &n = g.node(v);
+        if (n.op == IrOp::ConstI32 || n.op == IrOp::ConstTagged) {
+            emit(make(MOp::MovI, scratch, 0, 0, n.imm));
+            return scratch;
+        }
+        const Allocation &a = allocOf(v);
+        switch (a.where) {
+          case Allocation::Where::Reg:
+            return a.reg;
+          case Allocation::Where::Spill:
+            emit(make(MOp::LdrX, scratch, kSpReg, 0, 8 * a.slot));
+            return scratch;
+          default:
+            vpanic("gpr: value has no GPR location");
+        }
+    }
+
+    u8
+    fpr(ValueId v, int which = 0)
+    {
+        u8 scratch = which == 0 ? kFpScratch0 : kFpScratch1;
+        const IrNode &n = g.node(v);
+        if (n.op == IrOp::ConstF64) {
+            MInst m = make(MOp::FMovI, scratch);
+            m.fimm = n.fval;
+            emit(m);
+            return scratch;
+        }
+        const Allocation &a = allocOf(v);
+        switch (a.where) {
+          case Allocation::Where::FReg:
+            return a.reg;
+          case Allocation::Where::Spill:
+            emit(make(MOp::LdrD, scratch, kSpReg, 0, 8 * a.slot));
+            return scratch;
+          default:
+            vpanic("fpr: value has no FPR location");
+        }
+    }
+
+    /** Destination register for @p v (scratch when spilled); call
+     *  finishDef(v, reg) after computing into it. */
+    u8
+    defGpr(ValueId v)
+    {
+        const Allocation &a = allocOf(v);
+        if (a.where == Allocation::Where::Reg)
+            return a.reg;
+        // Spilled defs land in kScratch1, never in the operand reload
+        // scratches, so multi-instruction expansions that re-read their
+        // inputs after the def (e.g. the -0 check of I32Mul) stay valid.
+        if (a.where == Allocation::Where::Spill)
+            return kScratch1;
+        vpanic("defGpr on unallocated value");
+    }
+
+    u8
+    defFpr(ValueId v)
+    {
+        const Allocation &a = allocOf(v);
+        if (a.where == Allocation::Where::FReg)
+            return a.reg;
+        if (a.where == Allocation::Where::Spill)
+            return kFpScratch0;
+        vpanic("defFpr on unallocated value");
+    }
+
+    void
+    finishDef(ValueId v, u8 reg)
+    {
+        const Allocation &a = allocOf(v);
+        if (a.where == Allocation::Where::Spill) {
+            bool is_f = g.node(v).rep == Rep::Float64;
+            emit(make(is_f ? MOp::StrD : MOp::StrX, reg, kSpReg, 0,
+                      8 * a.slot));
+        }
+    }
+
+    // ---- deoptimization ---------------------------------------------------
+
+    DeoptLocation
+    locationOf(ValueId v)
+    {
+        DeoptLocation loc;
+        if (v == kNoValue) {
+            loc.where = DeoptLocation::Where::None;
+            return loc;
+        }
+        const IrNode &n = g.node(v);
+        loc.rep = n.rep;
+        switch (n.op) {
+          case IrOp::ConstI32:
+            loc.where = n.rep == Rep::Bool || n.rep == Rep::Int32
+                        ? DeoptLocation::Where::ConstI32
+                        : DeoptLocation::Where::ConstTagged;
+            loc.imm = n.imm;
+            return loc;
+          case IrOp::ConstTagged:
+            loc.where = DeoptLocation::Where::ConstTagged;
+            loc.imm = n.imm;
+            return loc;
+          case IrOp::ConstF64:
+            loc.where = DeoptLocation::Where::ConstF64;
+            loc.fval = n.fval;
+            return loc;
+          default:
+            break;
+        }
+        const Allocation &a = allocOf(v);
+        switch (a.where) {
+          case Allocation::Where::Reg:
+            loc.where = DeoptLocation::Where::Reg;
+            loc.reg = a.reg;
+            break;
+          case Allocation::Where::FReg:
+            loc.where = DeoptLocation::Where::FReg;
+            loc.reg = a.reg;
+            break;
+          case Allocation::Where::Spill:
+            loc.where = DeoptLocation::Where::Spill;
+            loc.slot = a.slot;
+            break;
+          default:
+            loc.where = DeoptLocation::Where::None;
+            break;
+        }
+        return loc;
+    }
+
+    u16
+    makeDeoptExit(DeoptReason reason, u32 frame_state, u16 check_id)
+    {
+        DeoptExitInfo exit;
+        exit.checkId = check_id;
+        exit.reason = reason;
+        vassert(frame_state != kNoFrameState, "deopt without frame state");
+        const FrameState &fs = g.frameStates[frame_state];
+        exit.bytecodeOffset = fs.bytecodeOffset;
+        for (ValueId r : fs.regs)
+            exit.regs.push_back(locationOf(r));
+        exit.accumulator = locationOf(fs.accumulator);
+        code->deoptExits.push_back(std::move(exit));
+        return static_cast<u16>(code->deoptExits.size()) - 1;
+    }
+
+    /** Emit the conditional deoptimization branch for the current
+     *  check (suppressed in branch-only-removal mode). */
+    void
+    emitDeoptBranch(Cond cond, DeoptReason reason, u32 frame_state)
+    {
+        u16 exit_idx = makeDeoptExit(reason, frame_state, curCheckId);
+        if (cfg.removeDeoptBranches)
+            return;
+        MInst b = make(MOp::Bcond);
+        b.cond = cond;
+        b.isDeoptBranch = true;
+        b.deoptIndex = exit_idx;
+        b.checkRole = CheckRole::Branch;
+        u32 at = emit(b);
+        deoptBranchFixups.push_back({at, exit_idx});
+    }
+
+    // ---- branches / labels ------------------------------------------------
+
+    struct BlockFixup { u32 inst; BlockId target; };
+    struct DeoptFixup { u32 inst; u16 exit; };
+
+    u32
+    emitLocalBranch(MOp op, Cond cond)
+    {
+        MInst m = make(op);
+        m.cond = cond;
+        return emit(m);
+    }
+
+    void bindLocal(u32 inst)
+    {
+        code->code[inst].target = static_cast<u32>(code->code.size());
+    }
+
+    void
+    emitBranchTo(BlockId target, Cond cond = Cond::Al)
+    {
+        MInst m = make(cond == Cond::Al ? MOp::B : MOp::Bcond);
+        m.cond = cond;
+        u32 at = emit(m);
+        blockFixups.push_back({at, target});
+    }
+
+    void
+    patchBranches()
+    {
+        for (const auto &f : blockFixups)
+            code->code[f.inst].target = blockStart.at(f.target);
+        for (const auto &f : deoptBranchFixups)
+            code->code[f.inst].target = deoptExitInstr.at(f.exit);
+    }
+
+    // ---- parallel moves ----------------------------------------------------
+
+    struct MoveLoc
+    {
+        enum class Kind : u8 { Gpr, Fpr, Spill, ImmI, ImmF } kind;
+        u8 reg = 0;
+        i32 slot = 0;
+        i64 imm = 0;
+        double fimm = 0.0;
+
+        bool
+        sameAs(const MoveLoc &o) const
+        {
+            if (kind != o.kind)
+                return false;
+            switch (kind) {
+              case Kind::Gpr: case Kind::Fpr: return reg == o.reg;
+              case Kind::Spill: return slot == o.slot;
+              case Kind::ImmI: return imm == o.imm;
+              case Kind::ImmF: return fimm == o.fimm;
+            }
+            return false;
+        }
+        bool
+        clobberedBy(const MoveLoc &dst) const
+        {
+            return (kind == Kind::Gpr || kind == Kind::Fpr
+                    || kind == Kind::Spill)
+                   && sameAs(dst);
+        }
+    };
+
+    MoveLoc
+    moveLocOf(ValueId v)
+    {
+        MoveLoc l;
+        const IrNode &n = g.node(v);
+        if (n.op == IrOp::ConstI32 || n.op == IrOp::ConstTagged) {
+            l.kind = MoveLoc::Kind::ImmI;
+            l.imm = n.imm;
+            return l;
+        }
+        if (n.op == IrOp::ConstF64) {
+            l.kind = MoveLoc::Kind::ImmF;
+            l.fimm = n.fval;
+            return l;
+        }
+        const Allocation &a = allocOf(v);
+        switch (a.where) {
+          case Allocation::Where::Reg:
+            l.kind = MoveLoc::Kind::Gpr;
+            l.reg = a.reg;
+            break;
+          case Allocation::Where::FReg:
+            l.kind = MoveLoc::Kind::Fpr;
+            l.reg = a.reg;
+            break;
+          case Allocation::Where::Spill:
+            l.kind = MoveLoc::Kind::Spill;
+            l.slot = a.slot;
+            break;
+          default:
+            vpanic("moveLocOf: unallocated value");
+        }
+        return l;
+    }
+
+    void
+    emitMove(const MoveLoc &src, const MoveLoc &dst)
+    {
+        using K = MoveLoc::Kind;
+        if (src.sameAs(dst))
+            return;
+        switch (dst.kind) {
+          case K::Gpr:
+            switch (src.kind) {
+              case K::Gpr: emit(make(MOp::MovR, dst.reg, src.reg)); break;
+              case K::ImmI:
+                emit(make(MOp::MovI, dst.reg, 0, 0, src.imm));
+                break;
+              case K::Spill:
+                emit(make(MOp::LdrX, dst.reg, kSpReg, 0, 8 * src.slot));
+                break;
+              default: vpanic("bad gpr move source");
+            }
+            break;
+          case K::Fpr:
+            switch (src.kind) {
+              case K::Fpr: emit(make(MOp::FMovRR, dst.reg, src.reg)); break;
+              case K::ImmF: {
+                MInst m = make(MOp::FMovI, dst.reg);
+                m.fimm = src.fimm;
+                emit(m);
+                break;
+              }
+              case K::Spill:
+                emit(make(MOp::LdrD, dst.reg, kSpReg, 0, 8 * src.slot));
+                break;
+              default: vpanic("bad fpr move source");
+            }
+            break;
+          case K::Spill:
+            switch (src.kind) {
+              case K::Gpr:
+                emit(make(MOp::StrX, src.reg, kSpReg, 0, 8 * dst.slot));
+                break;
+              case K::Fpr:
+                emit(make(MOp::StrD, src.reg, kSpReg, 0, 8 * dst.slot));
+                break;
+              case K::ImmI:
+                emit(make(MOp::MovI, kScratch0, 0, 0, src.imm));
+                emit(make(MOp::StrX, kScratch0, kSpReg, 0, 8 * dst.slot));
+                break;
+              case K::ImmF: {
+                MInst m = make(MOp::FMovI, kFpScratch1);
+                m.fimm = src.fimm;
+                emit(m);
+                emit(make(MOp::StrD, kFpScratch1, kSpReg, 0, 8 * dst.slot));
+                break;
+              }
+              case K::Spill:
+                emit(make(MOp::LdrX, kScratch0, kSpReg, 0, 8 * src.slot));
+                emit(make(MOp::StrX, kScratch0, kSpReg, 0, 8 * dst.slot));
+                break;
+            }
+            break;
+          default:
+            vpanic("bad move destination");
+        }
+    }
+
+    /** Resolve a set of parallel moves using scratch registers to break
+     *  cycles (classic Briggs algorithm). */
+    void
+    resolveParallelMoves(std::vector<std::pair<MoveLoc, MoveLoc>> moves)
+    {
+        std::erase_if(moves, [](auto &m) { return m.first.sameAs(m.second); });
+        while (!moves.empty()) {
+            bool progressed = false;
+            for (size_t i = 0; i < moves.size(); i++) {
+                const MoveLoc &dst = moves[i].second;
+                bool blocked = false;
+                for (size_t j = 0; j < moves.size(); j++) {
+                    if (j != i && moves[j].first.clobberedBy(dst)) {
+                        blocked = true;
+                        break;
+                    }
+                }
+                if (!blocked) {
+                    emitMove(moves[i].first, moves[i].second);
+                    moves.erase(moves.begin() + static_cast<long>(i));
+                    progressed = true;
+                    break;
+                }
+            }
+            if (progressed)
+                continue;
+            // Cycle: stash the first source in a scratch register.
+            MoveLoc scratch;
+            if (moves[0].first.kind == MoveLoc::Kind::Fpr) {
+                scratch.kind = MoveLoc::Kind::Fpr;
+                scratch.reg = kFpScratch1;
+            } else {
+                scratch.kind = MoveLoc::Kind::Gpr;
+                scratch.reg = kScratch1;
+            }
+            emitMove(moves[0].first, scratch);
+            MoveLoc old_src = moves[0].first;
+            moves[0].first = scratch;
+            for (size_t j = 1; j < moves.size(); j++) {
+                if (moves[j].first.sameAs(old_src))
+                    moves[j].first = scratch;
+            }
+        }
+    }
+
+    // ---- prologue / epilogue ----------------------------------------------
+
+    void
+    emitPrologue()
+    {
+        if (code->spillSlots > 0)
+            emit(make(MOp::SubI, kSpReg, kSpReg, 0, 8 * code->spillSlots));
+
+        // Fig. 11 prologue: load the bailout handler address into
+        // REG_BA when the extension's fused loads are present.
+        if (cfg.smiExtension) {
+            bool any_fused = false;
+            for (const auto &n : g.nodes) {
+                if (!n.dead && (n.op == IrOp::LoadFieldSmiUntag
+                                || n.op == IrOp::LoadElemSmiUntag))
+                    any_fused = true;
+            }
+            if (any_fused) {
+                emit(make(MOp::MovI, kScratch0, 0, 0, kBailoutHandlerAddr));
+                MInst m = make(MOp::Msr, 0, kScratch0);
+                m.imm = static_cast<i64>(SpecialReg::REG_BA);
+                emit(m);
+            }
+        }
+
+        // Move incoming machine arguments into their allocations.
+        std::vector<std::pair<MoveLoc, MoveLoc>> moves;
+        for (BlockId b : blockOrder) {
+            for (ValueId id : g.block(b).nodes) {
+                const IrNode &n = g.node(id);
+                if (n.dead || n.op != IrOp::Param)
+                    continue;
+                if (allocOf(id).where == Allocation::Where::None)
+                    continue;
+                MoveLoc src;
+                src.kind = MoveLoc::Kind::Gpr;
+                src.reg = static_cast<u8>(n.imm);
+                moves.push_back({src, moveLocOf(id)});
+            }
+        }
+        resolveParallelMoves(std::move(moves));
+    }
+
+    void
+    emitEpilogue()
+    {
+        if (code->spillSlots > 0)
+            emit(make(MOp::AddI, kSpReg, kSpReg, 0, 8 * code->spillSlots));
+        emit(make(MOp::Ret));
+    }
+
+    // ---- deopt exit region ------------------------------------------------
+
+    void
+    emitDeoptExitRegion()
+    {
+        // "Deoptimization paths always jump to a specific region at the
+        // end of a compiled function" (§III-A).
+        for (u16 i = 0; i < code->deoptExits.size(); i++) {
+            deoptExitInstr[i] = static_cast<u32>(code->code.size());
+            MInst m = make(MOp::DeoptExit);
+            m.imm = i;
+            m.deoptIndex = i;
+            emit(m);
+        }
+    }
+
+    // ---- per-block emission -------------------------------------------------
+
+    void
+    emitBlock(BlockId b)
+    {
+        blockStart[b] = static_cast<u32>(code->code.size());
+        const BasicBlock &blk = g.block(b);
+
+        // Detect compare-into-branch fusion for the terminator.
+        fusedCompare = kNoValue;
+        ValueId term = kNoValue;
+        ValueId last_live_before_term = kNoValue;
+        for (ValueId id : blk.nodes) {
+            const IrNode &n = g.node(id);
+            if (n.dead)
+                continue;
+            if (n.isTerminator()) {
+                term = id;
+                break;
+            }
+            last_live_before_term = id;
+        }
+        if (term != kNoValue && g.node(term).op == IrOp::Branch) {
+            ValueId c = g.node(term).inputs[0];
+            const IrNode &cn = g.node(c);
+            if ((cn.op == IrOp::I32Compare || cn.op == IrOp::F64Compare
+                 || cn.op == IrOp::TaggedEqual)
+                && c == last_live_before_term && cn.block == b
+                && useCount[c] == 1) {
+                fusedCompare = c;
+            }
+        }
+
+        for (ValueId id : blk.nodes) {
+            const IrNode &n = g.node(id);
+            if (n.dead)
+                continue;
+            emitNode(b, id, n);
+        }
+    }
+
+    /** Emit phi moves for the (single successor) edge b -> succ. */
+    void
+    emitPhiMoves(BlockId b, BlockId succ)
+    {
+        const BasicBlock &sb = g.block(succ);
+        int pred_index = -1;
+        for (size_t i = 0; i < sb.preds.size(); i++) {
+            if (sb.preds[i] == b)
+                pred_index = static_cast<int>(i);
+        }
+        if (pred_index < 0)
+            return;
+        std::vector<std::pair<MoveLoc, MoveLoc>> moves;
+        for (ValueId id : sb.nodes) {
+            const IrNode &n = g.node(id);
+            if (n.op != IrOp::Phi)
+                break;
+            if (n.dead)
+                continue;
+            if (static_cast<size_t>(pred_index) >= n.inputs.size())
+                continue;
+            if (allocOf(id).where == Allocation::Where::None)
+                continue;
+            ValueId in = n.inputs[pred_index];
+            moves.push_back({moveLocOf(in), moveLocOf(id)});
+        }
+        resolveParallelMoves(std::move(moves));
+    }
+
+    Cond
+    mapF64Cond(Cond c)
+    {
+        switch (c) {
+          case Cond::Lt: return Cond::Mi;
+          case Cond::Le: return Cond::Ls;
+          default: return c;  // Gt/Ge/Eq/Ne are NaN-correct as-is
+        }
+    }
+
+    /** Emit the flag-setting compare for a comparison node. */
+    Cond
+    emitCompareFlags(const IrNode &n)
+    {
+        if (n.op == IrOp::F64Compare) {
+            u8 a = fpr(n.inputs[0], 0);
+            u8 b2 = fpr(n.inputs[1], 1);
+            emit(make(MOp::FCmp, 0, a, b2));
+            return mapF64Cond(n.cond);
+        }
+        u8 a = gpr(n.inputs[0], 0);
+        const IrNode &rhs = g.node(n.inputs[1]);
+        if (rhs.op == IrOp::ConstI32 || rhs.op == IrOp::ConstTagged) {
+            emit(make(MOp::CmpI, 0, a, 0, rhs.imm));
+        } else {
+            u8 b2 = gpr(n.inputs[1], 1);
+            emit(make(MOp::Cmp, 0, a, b2));
+        }
+        return n.cond;
+    }
+
+    void emitNode(BlockId b, ValueId id, const IrNode &n);
+    void emitBinaryArith(ValueId id, const IrNode &n);
+    void emitCheckNode(ValueId id, const IrNode &n);
+    void emitMemoryNode(ValueId id, const IrNode &n);
+    void emitCallNode(ValueId id, const IrNode &n);
+    void emitToFloat64(ValueId id, const IrNode &n);
+
+    CompilerEnv &env;
+    Graph &g;
+    CodegenConfig cfg;
+    std::unique_ptr<CodeObject> code;
+    AllocationResult ra;
+    std::vector<BlockId> blockOrder;
+    size_t curBlockIndex = 0;
+    std::vector<u32> useCount;
+    std::map<BlockId, u32> blockStart;
+    std::map<u16, u32> deoptExitInstr;
+    std::vector<BlockFixup> blockFixups;
+    std::vector<DeoptFixup> deoptBranchFixups;
+    u16 curCheckId = kNoCheck;
+    ValueId fusedCompare = kNoValue;
+    std::set<ValueId> skippedLenLoads;
+};
+
+void
+CodeGenerator::emitBinaryArith(ValueId id, const IrNode &n)
+{
+    bool checked = n.checked;
+    switch (n.op) {
+      case IrOp::I32Add:
+      case IrOp::I32Sub: {
+        u8 a = gpr(n.inputs[0], 0);
+        u8 d = defGpr(id);
+        const IrNode &rhs = g.node(n.inputs[1]);
+        MOp op = n.op == IrOp::I32Add ? MOp::Add : MOp::Sub;
+        MOp opi = n.op == IrOp::I32Add ? MOp::AddI : MOp::SubI;
+        // The add/sub itself is main-line code; only the SMI-range
+        // verification that follows belongs to the check.
+        if (rhs.op == IrOp::ConstI32) {
+            emit(make(opi, d, a, 0, rhs.imm));
+        } else {
+            u8 b2 = gpr(n.inputs[1], 1);
+            emit(make(op, d, a, b2));
+        }
+        if (checked) {
+            beginCheck(n.reason);
+            // 31-bit SMI range check: doubling overflows iff the value
+            // does not fit 31 bits (this is also the tagging shift).
+            emit(make(MOp::Adds, kScratch0, d, d));
+            emitDeoptBranch(Cond::Vs, n.reason, n.frameState);
+            endCheck();
+        }
+        finishDef(id, d);
+        break;
+      }
+      case IrOp::I32Mul: {
+        u8 a = gpr(n.inputs[0], 0);
+        u8 b2 = gpr(n.inputs[1], 1);
+        u8 d = defGpr(id);
+        if (!checked) {
+            emit(make(MOp::Mul, d, a, b2));
+            finishDef(id, d);
+            break;
+        }
+        emit(make(MOp::Smull, d, a, b2));
+        beginCheck(DeoptReason::Overflow);
+        emit(make(MOp::CmpSxtw, 0, d, d));
+        emitDeoptBranch(Cond::Ne, DeoptReason::Overflow, n.frameState);
+        emit(make(MOp::Adds, kScratch0, d, d));
+        emitDeoptBranch(Cond::Vs, DeoptReason::Overflow, n.frameState);
+        endCheck();
+        if (!n.elideMinusZero) {
+            beginCheck(DeoptReason::MinusZero);
+            emit(make(MOp::CmpI, 0, d, 0, 0));
+            u32 skip = emitLocalBranch(MOp::Bcond, Cond::Ne);
+            emit(make(MOp::Orr, kScratch0, a, b2));
+            emit(make(MOp::TstI, 0, kScratch0, 0,
+                      static_cast<i64>(0x80000000u)));
+            emitDeoptBranch(Cond::Ne, DeoptReason::MinusZero,
+                            n.frameState);
+            bindLocal(skip);
+            endCheck();
+        }
+        finishDef(id, d);
+        break;
+      }
+      case IrOp::I32Div: {
+        u8 a = gpr(n.inputs[0], 0);
+        u8 b2 = gpr(n.inputs[1], 1);
+        u8 d = defGpr(id);
+        const IrNode &rhs = g.node(n.inputs[1]);
+        bool const_nonzero = rhs.op == IrOp::ConstI32 && rhs.imm != 0;
+        bool const_positive = const_nonzero && rhs.imm > 0;
+        if (checked && !const_nonzero) {
+            beginCheck(DeoptReason::DivisionByZero);
+            emit(make(MOp::CmpI, 0, b2, 0, 0));
+            emitDeoptBranch(Cond::Eq, DeoptReason::DivisionByZero,
+                            n.frameState);
+            endCheck();
+        }
+        emit(make(MOp::SDiv, d, a, b2));
+        if (checked) {
+            if (!n.elideMinusZero && !const_positive) {
+                beginCheck(DeoptReason::MinusZero);
+                emit(make(MOp::CmpI, 0, a, 0, 0));
+                u32 skip = emitLocalBranch(MOp::Bcond, Cond::Ne);
+                emit(make(MOp::CmpI, 0, b2, 0, 0));
+                emitDeoptBranch(Cond::Lt, DeoptReason::MinusZero,
+                                n.frameState);
+                bindLocal(skip);
+                endCheck();
+            }
+            beginCheck(DeoptReason::LostPrecision);
+            emit(make(MOp::Mul, kScratch0, d, b2));
+            emit(make(MOp::Cmp, 0, kScratch0, a));
+            emitDeoptBranch(Cond::Ne, DeoptReason::LostPrecision,
+                            n.frameState);
+            endCheck();
+        }
+        finishDef(id, d);
+        break;
+      }
+      case IrOp::I32Mod: {
+        u8 a = gpr(n.inputs[0], 0);
+        u8 b2 = gpr(n.inputs[1], 1);
+        u8 d = defGpr(id);
+        const IrNode &rhs = g.node(n.inputs[1]);
+        bool const_nonzero = rhs.op == IrOp::ConstI32 && rhs.imm != 0;
+        if (checked && !const_nonzero) {
+            beginCheck(DeoptReason::NaN);
+            emit(make(MOp::CmpI, 0, b2, 0, 0));
+            emitDeoptBranch(Cond::Eq, DeoptReason::NaN, n.frameState);
+            endCheck();
+        }
+        emit(make(MOp::SDiv, kScratch0, a, b2));
+        emit(make(MOp::Mul, kScratch0, kScratch0, b2));
+        emit(make(MOp::Sub, d, a, kScratch0));
+        if (checked && !n.elideMinusZero) {
+            beginCheck(DeoptReason::MinusZero);
+            emit(make(MOp::CmpI, 0, d, 0, 0));
+            u32 skip = emitLocalBranch(MOp::Bcond, Cond::Ne);
+            emit(make(MOp::CmpI, 0, a, 0, 0));
+            emitDeoptBranch(Cond::Lt, DeoptReason::MinusZero, n.frameState);
+            bindLocal(skip);
+            endCheck();
+        }
+        finishDef(id, d);
+        break;
+      }
+      case IrOp::I32Neg: {
+        u8 a = gpr(n.inputs[0], 0);
+        u8 d = defGpr(id);
+        if (checked && !n.elideMinusZero) {
+            beginCheck(DeoptReason::MinusZero);
+            emit(make(MOp::CmpI, 0, a, 0, 0));
+            emitDeoptBranch(Cond::Eq, DeoptReason::MinusZero, n.frameState);
+            endCheck();
+        }
+        emit(make(MOp::MovI, kScratch0, 0, 0, 0));
+        emit(make(MOp::Sub, d, kScratch0, a));
+        if (checked) {
+            beginCheck(DeoptReason::Overflow);
+            emit(make(MOp::Adds, kScratch0, d, d));
+            emitDeoptBranch(Cond::Vs, DeoptReason::Overflow, n.frameState);
+            endCheck();
+        }
+        finishDef(id, d);
+        break;
+      }
+      case IrOp::I32And: case IrOp::I32Or: case IrOp::I32Xor:
+      case IrOp::I32Shl: case IrOp::I32Sar: case IrOp::I32Shr: {
+        u8 a = gpr(n.inputs[0], 0);
+        u8 d = defGpr(id);
+        MOp op, opi;
+        switch (n.op) {
+          case IrOp::I32And: op = MOp::And; opi = MOp::AndI; break;
+          case IrOp::I32Or: op = MOp::Orr; opi = MOp::OrrI; break;
+          case IrOp::I32Xor: op = MOp::Eor; opi = MOp::EorI; break;
+          case IrOp::I32Shl: op = MOp::Lsl; opi = MOp::LslI; break;
+          case IrOp::I32Sar: op = MOp::Asr; opi = MOp::AsrI; break;
+          default: op = MOp::Lsr; opi = MOp::LsrI; break;
+        }
+        const IrNode &rhs = g.node(n.inputs[1]);
+        if (rhs.op == IrOp::ConstI32) {
+            emit(make(opi, d, a, 0, rhs.imm));
+        } else {
+            u8 b2 = gpr(n.inputs[1], 1);
+            emit(make(op, d, a, b2));
+        }
+        if (n.op == IrOp::I32Shr && checked) {
+            beginCheck(DeoptReason::LostPrecision);
+            emit(make(MOp::Adds, kScratch0, d, d));
+            emitDeoptBranch(Cond::Vs, DeoptReason::LostPrecision,
+                            n.frameState);
+            endCheck();
+        }
+        finishDef(id, d);
+        break;
+      }
+      case IrOp::F64Add: case IrOp::F64Sub: case IrOp::F64Mul:
+      case IrOp::F64Div: {
+        u8 a = fpr(n.inputs[0], 0);
+        u8 b2 = fpr(n.inputs[1], 1);
+        u8 d = defFpr(id);
+        MOp op = n.op == IrOp::F64Add ? MOp::FAdd
+                 : n.op == IrOp::F64Sub ? MOp::FSub
+                 : n.op == IrOp::F64Mul ? MOp::FMul : MOp::FDiv;
+        emit(make(op, d, a, b2));
+        finishDef(id, d);
+        break;
+      }
+      case IrOp::F64Neg: case IrOp::F64Abs: case IrOp::F64Sqrt: {
+        u8 a = fpr(n.inputs[0], 0);
+        u8 d = defFpr(id);
+        MOp op = n.op == IrOp::F64Neg ? MOp::FNeg
+                 : n.op == IrOp::F64Abs ? MOp::FAbs : MOp::FSqrt;
+        emit(make(op, d, a));
+        finishDef(id, d);
+        break;
+      }
+      default:
+        vpanic("emitBinaryArith: unexpected op");
+    }
+}
+
+void
+CodeGenerator::emitCheckNode(ValueId id, const IrNode &n)
+{
+    (void)id;
+    beginCheck(n.reason);
+    switch (n.op) {
+      case IrOp::CheckSmi: {
+        u8 r = gpr(n.inputs[0], 0);
+        emit(make(MOp::TstI, 0, r, 0, 1));
+        emitDeoptBranch(Cond::Ne, n.reason, n.frameState);
+        break;
+      }
+      case IrOp::CheckHeapObject: {
+        u8 r = gpr(n.inputs[0], 0);
+        emit(make(MOp::TstI, 0, r, 0, 1));
+        emitDeoptBranch(Cond::Eq, n.reason, n.frameState);
+        break;
+      }
+      case IrOp::CheckMap: {
+        u8 r = gpr(n.inputs[0], 0);
+        u32 map_word = env.vm.maps.mapWord(static_cast<MapId>(n.imm));
+        if (cfg.mapCheckExtension) {
+            // §VII future-work ablation: one fused load+compare.
+            MInst m = make(MOp::JsChkMap, 0, r);
+            m.imm = map_word;
+            emit(m);
+        } else if (cfg.flavour == IsaFlavour::X64Like) {
+            MInst m = make(MOp::CmpMemI, 0, r, 0, -1);
+            m.target = map_word;
+            emit(m);
+        } else {
+            emit(make(MOp::LdrW, kScratch0, r, 0, -1));
+            emit(make(MOp::CmpI, 0, kScratch0, 0, map_word));
+        }
+        emitDeoptBranch(Cond::Ne, n.reason, n.frameState);
+        break;
+      }
+      case IrOp::CheckValue: {
+        u8 r = gpr(n.inputs[0], 0);
+        emit(make(MOp::CmpI, 0, r, 0, n.imm));
+        emitDeoptBranch(Cond::Ne, n.reason, n.frameState);
+        break;
+      }
+      case IrOp::CheckBounds: {
+        u8 idx = gpr(n.inputs[0], 0);
+        const IrNode &len = g.node(n.inputs[1]);
+        bool fused_len = false;
+        if (skippedLenLoads.count(n.inputs[1])) {
+            // cmp idx, [array + length] in one instruction.
+            u8 base = gpr(len.inputs[0], 1);
+            emit(make(MOp::CmpMem, idx, base, 0, len.imm));
+            fused_len = true;
+        }
+        if (!fused_len) {
+            u8 lr = gpr(n.inputs[1], 1);
+            emit(make(MOp::Cmp, 0, idx, lr));
+        }
+        emitDeoptBranch(Cond::Hs, n.reason, n.frameState);
+        break;
+      }
+      default:
+        vpanic("emitCheckNode: not a check");
+    }
+    endCheck();
+}
+
+void
+CodeGenerator::emitMemoryNode(ValueId id, const IrNode &n)
+{
+    switch (n.op) {
+      case IrOp::LoadField:
+      case IrOp::LoadFieldRaw: {
+        // x64 bounds fusion: if the immediately following live node is
+        // a CheckBounds consuming this load as its length, skip the
+        // load — the check emits a single cmp-with-memory-operand.
+        if (cfg.flavour == IsaFlavour::X64Like && n.op == IrOp::LoadFieldRaw
+            && useCount[id] == 1) {
+            for (ValueId uid = id + 1; uid < g.nodes.size(); uid++) {
+                const IrNode &u = g.node(uid);
+                if (u.dead)
+                    continue;
+                if (u.op == IrOp::CheckBounds && u.inputs.size() > 1
+                    && u.inputs[1] == id && u.block == n.block) {
+                    skippedLenLoads.insert(id);
+                    return;  // fused into CmpMem
+                }
+                break;
+            }
+        }
+        u8 base = gpr(n.inputs[0], 0);
+        u8 d = defGpr(id);
+        emit(make(MOp::LdrW, d, base, 0, n.imm));
+        finishDef(id, d);
+        break;
+      }
+      case IrOp::StoreField:
+      case IrOp::StoreFieldRaw: {
+        u8 base = gpr(n.inputs[0], 0);
+        u8 v = gpr(n.inputs[1], 1);
+        emit(make(MOp::StrW, v, base, 0, n.imm));
+        break;
+      }
+      case IrOp::LoadElem32:
+      case IrOp::LoadElemF64: {
+        bool dbl = n.op == IrOp::LoadElemF64;
+        u8 base = gpr(n.inputs[0], 0);
+        u8 idx = gpr(n.inputs[1], 1);
+        u8 scale = dbl ? 3 : 2;
+        u8 d = dbl ? defFpr(id) : defGpr(id);
+        if (cfg.flavour == IsaFlavour::X64Like) {
+            MInst m = make(dbl ? MOp::LdrDr : MOp::LdrWr, d, base, idx,
+                           n.imm);
+            m.scale = scale;
+            emit(m);
+        } else {
+            emit(make(MOp::AddI, kScratch0, base, 0, n.imm));
+            MInst m = make(dbl ? MOp::LdrDr : MOp::LdrWr, d, kScratch0, idx);
+            m.scale = scale;
+            emit(m);
+        }
+        finishDef(id, d);
+        break;
+      }
+      case IrOp::StoreElem32:
+      case IrOp::StoreElemF64: {
+        bool dbl = n.op == IrOp::StoreElemF64;
+        u8 base = gpr(n.inputs[0], 0);
+        u8 idx = gpr(n.inputs[1], 1);
+        // Third GPR operand gets the third scratch (kScratch0).
+        u8 v = dbl ? fpr(n.inputs[2], 0) : gpr(n.inputs[2], 2);
+        u8 scale = dbl ? 3 : 2;
+        if (cfg.flavour == IsaFlavour::X64Like) {
+            MInst m = make(dbl ? MOp::StrDr : MOp::StrWr, v, base, idx,
+                           n.imm);
+            m.scale = scale;
+            emit(m);
+        } else {
+            emit(make(MOp::AddI, kScratch1, base, 0, n.imm));
+            MInst m = make(dbl ? MOp::StrDr : MOp::StrWr, v, kScratch1, idx);
+            m.scale = scale;
+            emit(m);
+        }
+        break;
+      }
+      case IrOp::LoadGlobal: {
+        u8 d = defGpr(id);
+        if (cfg.flavour == IsaFlavour::X64Like) {
+            emit(make(MOp::LdrW, d, kAbsBase, 0, n.imm));
+        } else {
+            emit(make(MOp::MovI, kScratch0, 0, 0, n.imm));
+            emit(make(MOp::LdrW, d, kScratch0, 0, 0));
+        }
+        finishDef(id, d);
+        break;
+      }
+      case IrOp::StoreGlobal: {
+        u8 v = gpr(n.inputs[0], 0);
+        if (cfg.flavour == IsaFlavour::X64Like) {
+            emit(make(MOp::StrW, v, kAbsBase, 0, n.imm));
+        } else {
+            emit(make(MOp::MovI, kScratch0, 0, 0, n.imm));
+            emit(make(MOp::StrW, v, kScratch0, 0, 0));
+        }
+        break;
+      }
+      case IrOp::LoadFieldSmiUntag: {
+        beginCheck(n.reason);
+        u8 base = gpr(n.inputs[0], 0);
+        u8 d = defGpr(id);
+        u16 exit_idx = makeDeoptExit(n.reason, n.frameState, curCheckId);
+        MInst m = make(MOp::JsLdurSmiI, d, base, 0, n.imm);
+        m.checkRole = CheckRole::Fused;
+        m.deoptIndex = exit_idx;
+        emit(m);
+        endCheck();
+        finishDef(id, d);
+        break;
+      }
+      case IrOp::LoadElemSmiUntag: {
+        beginCheck(n.reason);
+        u8 base = gpr(n.inputs[0], 0);
+        u8 idx = gpr(n.inputs[1], 1);
+        u16 exit_idx = makeDeoptExit(n.reason, n.frameState, curCheckId);
+        u8 d = defGpr(id);
+        emit(make(MOp::AddI, kScratch0, base, 0, n.imm));
+        MInst m = make(MOp::JsLdrSmiRS, d, kScratch0, idx);
+        m.scale = 2;
+        m.checkRole = CheckRole::Fused;
+        m.deoptIndex = exit_idx;
+        emit(m);
+        endCheck();
+        finishDef(id, d);
+        break;
+      }
+      default:
+        vpanic("emitMemoryNode: unexpected op");
+    }
+}
+
+void
+CodeGenerator::emitToFloat64(ValueId id, const IrNode &n)
+{
+    u8 r = gpr(n.inputs[0], 0);
+    u8 d = defFpr(id);
+    emit(make(MOp::TstI, 0, r, 0, 1));
+    u32 to_heap = emitLocalBranch(MOp::Bcond, Cond::Ne);
+    emit(make(MOp::AsrI, kScratch0, r, 0, 1));
+    emit(make(MOp::Scvtf, d, kScratch0));
+    u32 to_end = emitLocalBranch(MOp::B, Cond::Al);
+    bindLocal(to_heap);
+    if (n.checked || n.reason == DeoptReason::NotANumber) {
+        // The removable part: verify the heap object is a HeapNumber.
+        bool removed = !n.checked && n.reason == DeoptReason::NotANumber;
+        if (!removed) {
+            beginCheck(DeoptReason::NotANumber);
+            u32 map_word = env.vm.maps.mapWord(env.vm.maps.heapNumberMap());
+            if (cfg.flavour == IsaFlavour::X64Like) {
+                MInst m = make(MOp::CmpMemI, 0, r, 0, -1);
+                m.target = map_word;
+                emit(m);
+            } else {
+                emit(make(MOp::LdrW, kScratch0, r, 0, -1));
+                emit(make(MOp::CmpI, 0, kScratch0, 0, map_word));
+            }
+            emitDeoptBranch(Cond::Ne, DeoptReason::NotANumber, n.frameState);
+            endCheck();
+        }
+    }
+    emit(make(MOp::LdrD, d, r, 0,
+              static_cast<i64>(HeapLayout::kNumberValueOffset) - 1));
+    bindLocal(to_end);
+    finishDef(id, d);
+}
+
+void
+CodeGenerator::emitCallNode(ValueId id, const IrNode &n)
+{
+    RuntimeFn fn;
+    std::vector<std::pair<MoveLoc, MoveLoc>> moves;
+    auto gprArg = [&](int arg_index, ValueId v) {
+        MoveLoc dst;
+        dst.kind = MoveLoc::Kind::Gpr;
+        dst.reg = static_cast<u8>(arg_index);
+        moves.push_back({moveLocOf(v), dst});
+    };
+    auto fprArg = [&](int arg_index, ValueId v) {
+        MoveLoc dst;
+        dst.kind = MoveLoc::Kind::Fpr;
+        dst.reg = static_cast<u8>(arg_index);
+        moves.push_back({moveLocOf(v), dst});
+    };
+
+    if (n.op == IrOp::CallFunction) {
+        fn = RuntimeFn::CallFunction;
+        const FunctionInfo &target = env.functions.at(
+            static_cast<FunctionId>(n.imm));
+        MoveLoc cell;
+        cell.kind = MoveLoc::Kind::ImmI;
+        cell.imm = target.cellAddr | 1u;
+        MoveLoc x0;
+        x0.kind = MoveLoc::Kind::Gpr;
+        x0.reg = 0;
+        moves.push_back({cell, x0});
+        for (size_t i = 0; i < n.inputs.size(); i++)
+            gprArg(static_cast<int>(i) + 1, n.inputs[i]);
+    } else if (n.op == IrOp::F64Mod) {
+        fn = RuntimeFn::Float64Mod;
+        fprArg(0, n.inputs[0]);
+        fprArg(1, n.inputs[1]);
+    } else {
+        fn = static_cast<RuntimeFn>(n.imm);
+        if (fn == RuntimeFn::BoxFloat64) {
+            fprArg(0, n.inputs[0]);
+        } else {
+            for (size_t i = 0; i < n.inputs.size(); i++)
+                gprArg(static_cast<int>(i), n.inputs[i]);
+        }
+    }
+    resolveParallelMoves(std::move(moves));
+    MInst call = make(MOp::CallRt);
+    call.target = static_cast<u32>(fn);
+    // Argument count for the CallFunction calling convention
+    // (x0 = callee cell, x1 = this, x2.. = args).
+    if (n.op == IrOp::CallFunction) {
+        call.imm = static_cast<i64>(n.inputs.size()) - 1;
+    } else if (fn == RuntimeFn::CallFunction) {
+        call.imm = static_cast<i64>(n.inputs.size()) - 2;
+    }
+    emit(call);
+
+    if (n.rep == Rep::Float64) {
+        u8 d = defFpr(id);
+        if (d != 0)
+            emit(make(MOp::FMovRR, d, 0));
+        finishDef(id, d);
+    } else if (n.rep != Rep::None
+               && allocOf(id).where != Allocation::Where::None) {
+        u8 d = defGpr(id);
+        if (d != 0)
+            emit(make(MOp::MovR, d, 0));
+        finishDef(id, d);
+    }
+}
+
+void
+CodeGenerator::emitNode(BlockId b, ValueId id, const IrNode &n)
+{
+    switch (n.op) {
+      case IrOp::Param:
+      case IrOp::Phi:
+      case IrOp::ConstI32:
+      case IrOp::ConstTagged:
+      case IrOp::ConstF64:
+        return;  // no code here (prologue moves / rematerialization)
+
+      case IrOp::I32Add: case IrOp::I32Sub: case IrOp::I32Mul:
+      case IrOp::I32Div: case IrOp::I32Mod: case IrOp::I32Neg:
+      case IrOp::I32And: case IrOp::I32Or: case IrOp::I32Xor:
+      case IrOp::I32Shl: case IrOp::I32Sar: case IrOp::I32Shr:
+      case IrOp::F64Add: case IrOp::F64Sub: case IrOp::F64Mul:
+      case IrOp::F64Div: case IrOp::F64Neg: case IrOp::F64Abs:
+      case IrOp::F64Sqrt:
+        emitBinaryArith(id, n);
+        return;
+
+      case IrOp::F64Mod:
+      case IrOp::CallRuntime:
+      case IrOp::CallFunction:
+        emitCallNode(id, n);
+        return;
+
+      case IrOp::I32Compare:
+      case IrOp::F64Compare:
+      case IrOp::TaggedEqual: {
+        if (id == fusedCompare)
+            return;  // emitted by the branch
+        Cond c = emitCompareFlags(n);
+        u8 d = defGpr(id);
+        MInst m = make(MOp::Cset, d);
+        m.cond = c;
+        emit(m);
+        finishDef(id, d);
+        return;
+      }
+
+      case IrOp::TagSmi: {
+        u8 a = gpr(n.inputs[0], 0);
+        u8 d = defGpr(id);
+        if (n.checked) {
+            beginCheck(n.reason);
+            emit(make(MOp::Adds, d, a, a));
+            emitDeoptBranch(Cond::Vs, n.reason, n.frameState);
+            endCheck();
+        } else {
+            emit(make(MOp::LslI, d, a, 0, 1));
+        }
+        finishDef(id, d);
+        return;
+      }
+      case IrOp::UntagSmi: {
+        u8 a = gpr(n.inputs[0], 0);
+        u8 d = defGpr(id);
+        emit(make(MOp::AsrI, d, a, 0, 1));
+        finishDef(id, d);
+        return;
+      }
+      case IrOp::I32ToF64: {
+        u8 a = gpr(n.inputs[0], 0);
+        u8 d = defFpr(id);
+        emit(make(MOp::Scvtf, d, a));
+        finishDef(id, d);
+        return;
+      }
+      case IrOp::F64ToI32: {
+        u8 a = fpr(n.inputs[0], 0);
+        u8 d = defGpr(id);
+        if (n.checked) {
+            // Deopt unless the conversion round-trips exactly.
+            emit(make(MOp::Fcvtzs, d, a));
+            beginCheck(n.reason);
+            emit(make(MOp::Scvtf, kFpScratch1, d));
+            emit(make(MOp::FCmp, 0, kFpScratch1, a));
+            emitDeoptBranch(Cond::Ne, n.reason, n.frameState);
+            endCheck();
+        } else {
+            // Truncating ToInt32 (bit-op operands): no deopt, wraps.
+            emit(make(MOp::Fjcvtzs, d, a));
+        }
+        finishDef(id, d);
+        return;
+      }
+      case IrOp::ToFloat64:
+        emitToFloat64(id, n);
+        return;
+      case IrOp::ToBooleanOp:
+        vpanic("ToBooleanOp should have been lowered to a runtime call");
+      case IrOp::F64ToBool: {
+        u8 a = fpr(n.inputs[0], 0);
+        u8 d = defGpr(id);
+        MInst z = make(MOp::FMovI, kFpScratch1);
+        z.fimm = 0.0;
+        emit(z);
+        emit(make(MOp::FCmp, 0, a, kFpScratch1));
+        MInst c1 = make(MOp::Cset, kScratch0);
+        c1.cond = Cond::Gt;
+        emit(c1);
+        MInst c2 = make(MOp::Cset, kScratch1);
+        c2.cond = Cond::Mi;
+        emit(c2);
+        emit(make(MOp::Orr, d, kScratch0, kScratch1));
+        finishDef(id, d);
+        return;
+      }
+      case IrOp::I32ToBool: {
+        u8 a = gpr(n.inputs[0], 0);
+        u8 d = defGpr(id);
+        emit(make(MOp::CmpI, 0, a, 0, 0));
+        MInst m = make(MOp::Cset, d);
+        m.cond = Cond::Ne;
+        emit(m);
+        finishDef(id, d);
+        return;
+      }
+      case IrOp::BoolNot: {
+        u8 a = gpr(n.inputs[0], 0);
+        u8 d = defGpr(id);
+        emit(make(MOp::EorI, d, a, 0, 1));
+        finishDef(id, d);
+        return;
+      }
+      case IrOp::BoolToTagged: {
+        u8 a = gpr(n.inputs[0], 0);
+        u8 d = defGpr(id);
+        emit(make(MOp::CmpI, 0, a, 0, 0));
+        emit(make(MOp::MovI, kScratch0, 0, 0, env.vm.trueValue.bits()));
+        emit(make(MOp::MovI, kScratch1, 0, 0, env.vm.falseValue.bits()));
+        MInst m = make(MOp::Csel, d, kScratch0, kScratch1);
+        m.cond = Cond::Ne;
+        emit(m);
+        finishDef(id, d);
+        return;
+      }
+
+      case IrOp::CheckSmi: case IrOp::CheckHeapObject: case IrOp::CheckMap:
+      case IrOp::CheckBounds: case IrOp::CheckValue:
+        emitCheckNode(id, n);
+        return;
+
+      case IrOp::LoadField: case IrOp::LoadFieldRaw: case IrOp::StoreField:
+      case IrOp::StoreFieldRaw: case IrOp::LoadElem32:
+      case IrOp::LoadElemF64: case IrOp::StoreElem32:
+      case IrOp::StoreElemF64: case IrOp::LoadGlobal: case IrOp::StoreGlobal:
+      case IrOp::LoadFieldSmiUntag: case IrOp::LoadElemSmiUntag:
+        emitMemoryNode(id, n);
+        return;
+
+      case IrOp::Goto: {
+        BlockId succ = g.block(b).succTrue;
+        // Loop back edges poll the interrupt cell, like V8's per-loop
+        // stack check: main-line (non-check) instructions that dilute
+        // the share of deoptimization checks in hot loops.
+        if (cfg.emitInterruptChecks && succ <= b) {
+            if (cfg.flavour == IsaFlavour::X64Like) {
+                MInst m = make(MOp::CmpMemI, 0, kAbsBase, 0,
+                               env.vm.interruptCell);
+                m.target = 0;
+                emit(m);
+            } else {
+                emit(make(MOp::MovI, kScratch0, 0, 0,
+                          env.vm.interruptCell));
+                emit(make(MOp::LdrW, kScratch0, kScratch0, 0, 0));
+                emit(make(MOp::CmpI, 0, kScratch0, 0, 0));
+            }
+            u32 skip = emitLocalBranch(MOp::Bcond, Cond::Ne);
+            // Interrupt requested: in V8 this calls the runtime; the
+            // vspec cell is always zero, so this is never reached.
+            bindLocal(skip);
+        }
+        emitPhiMoves(b, succ);
+        bool fallthrough = curBlockIndex + 1 < blockOrder.size()
+                           && blockOrder[curBlockIndex + 1] == succ;
+        if (!fallthrough)
+            emitBranchTo(succ);
+        return;
+      }
+      case IrOp::Branch: {
+        Cond c;
+        ValueId cv = n.inputs[0];
+        if (cv == fusedCompare) {
+            c = emitCompareFlags(g.node(cv));
+        } else {
+            u8 r = gpr(cv, 0);
+            emit(make(MOp::CmpI, 0, r, 0, 0));
+            c = Cond::Ne;
+        }
+        BlockId t = g.block(b).succTrue;
+        BlockId f = g.block(b).succFalse;
+        bool fall_false = curBlockIndex + 1 < blockOrder.size()
+                          && blockOrder[curBlockIndex + 1] == f;
+        bool fall_true = curBlockIndex + 1 < blockOrder.size()
+                         && blockOrder[curBlockIndex + 1] == t;
+        if (fall_false) {
+            emitBranchTo(t, c);
+        } else if (fall_true) {
+            emitBranchTo(f, invert(c));
+        } else {
+            emitBranchTo(t, c);
+            emitBranchTo(f);
+        }
+        return;
+      }
+      case IrOp::Return: {
+        u8 r = gpr(n.inputs[0], 0);
+        if (r != 0)
+            emit(make(MOp::MovR, 0, r));
+        emitEpilogue();
+        return;
+      }
+      case IrOp::Deopt: {
+        u16 exit_idx = makeDeoptExit(n.reason, n.frameState, kNoCheck);
+        MInst m = make(MOp::B);
+        m.isDeoptBranch = true;
+        m.deoptIndex = exit_idx;
+        u32 at = emit(m);
+        deoptBranchFixups.push_back({at, exit_idx});
+        return;
+      }
+    }
+}
+
+} // namespace
+
+std::unique_ptr<CodeObject>
+generateCode(CompilerEnv &env, Graph &graph, const CodegenConfig &config)
+{
+    CodeGenerator gen(env, graph, config);
+    return gen.run();
+}
+
+} // namespace vspec

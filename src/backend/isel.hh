@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Instruction selection / code generation: lowers the optimized graph
+ * to the virtual ISA for one of the two backend flavours. The
+ * arm64-like flavour emits pure RISC sequences; the x64-like flavour
+ * uses memory-operand compares (map checks and bounds checks become a
+ * single flag-setting instruction plus the branch), reproducing the
+ * paper's per-ISA check-footprint difference and its window-heuristic
+ * sizes (1 instruction before the deopt branch on x64, 2 on ARM64).
+ *
+ * Branch-only removal (§IV-B) is implemented here: with
+ * `removeDeoptBranches`, condition code is emitted but the conditional
+ * deoptimization branches are suppressed — a late code-generation
+ * change, exactly as in the paper.
+ */
+
+#ifndef VSPEC_BACKEND_ISEL_HH
+#define VSPEC_BACKEND_ISEL_HH
+
+#include <memory>
+
+#include "backend/code_object.hh"
+#include "ir/builder.hh"
+
+namespace vspec
+{
+
+struct CodegenConfig
+{
+    IsaFlavour flavour = IsaFlavour::Arm64Like;
+    bool removeDeoptBranches = false;
+    bool smiExtension = false;  //!< §V fused loads were enabled upstream
+    bool mapCheckExtension = false;  //!< §VII ablation: fused map checks
+    /** Poll the interrupt cell on loop back edges (V8's stack check). */
+    bool emitInterruptChecks = true;
+};
+
+/**
+ * Generate code for @p graph. The graph is modified in place (critical
+ * edges are split, check result uses are rewritten to their
+ * pass-through inputs).
+ */
+std::unique_ptr<CodeObject> generateCode(CompilerEnv &env, Graph &graph,
+                                         const CodegenConfig &config);
+
+} // namespace vspec
+
+#endif // VSPEC_BACKEND_ISEL_HH

@@ -1,0 +1,283 @@
+#include "backend/regalloc.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "isa/isa.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+/** Allocatable register pools. Caller-saved first (cheaper), then
+ *  callee-saved for call-crossing intervals. x16/x17 are expansion
+ *  scratch, x26/x27 spill scratch, x28 the stack pointer; d14/d15 are
+ *  FP scratch. */
+const u8 kGprCallerSaved[] = {0, 1, 2, 3, 4, 5, 6, 7,
+                              8, 9, 10, 11, 12, 13, 14, 15};
+const u8 kGprCalleeSaved[] = {19, 20, 21, 22, 23, 24, 25, 18};
+const u8 kFprCallerSaved[] = {0, 1, 2, 3, 4, 5, 6, 7};
+const u8 kFprCalleeSaved[] = {8, 9, 10, 11, 12, 13};
+
+struct Interval
+{
+    ValueId value = kNoValue;
+    u32 start = 0;
+    u32 end = 0;
+    bool isFloat = false;
+    bool crossesCall = false;
+};
+
+bool
+producesValue(const IrNode &n)
+{
+    if (n.rep == Rep::None)
+        return false;
+    switch (n.op) {
+      case IrOp::ConstI32:
+      case IrOp::ConstTagged:
+      case IrOp::ConstF64:
+        return false;  // rematerialized at use sites
+      case IrOp::Goto:
+      case IrOp::Branch:
+      case IrOp::Return:
+      case IrOp::Deopt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+AllocationResult
+allocateRegisters(const Graph &g, const std::vector<BlockId> &blockOrder)
+{
+    // ---- linear positions ------------------------------------------------
+    std::vector<u32> posOf(g.nodes.size(), 0);
+    std::vector<ValueId> order;
+    u32 pos = 0;
+    std::vector<u32> blockEndPos(g.blocks.size(), 0);
+    for (BlockId b : blockOrder) {
+        for (ValueId id : g.block(b).nodes) {
+            if (g.node(id).dead)
+                continue;
+            posOf[id] = pos++;
+        }
+        blockEndPos[b] = pos == 0 ? 0 : pos - 1;
+    }
+
+    // ---- live intervals ----------------------------------------------------
+    std::map<ValueId, Interval> intervals;
+    auto touch = [&](ValueId v, u32 p) {
+        if (v == kNoValue)
+            return;
+        const IrNode &n = g.node(v);
+        if (n.dead || !producesValue(n))
+            return;
+        auto it = intervals.find(v);
+        if (it == intervals.end()) {
+            Interval iv;
+            iv.value = v;
+            iv.start = posOf[v];
+            iv.end = std::max(posOf[v], p);
+            iv.isFloat = n.rep == Rep::Float64;
+            intervals.emplace(v, iv);
+        } else {
+            it->second.end = std::max(it->second.end, p);
+            it->second.start = std::min(it->second.start, posOf[v]);
+        }
+    };
+
+    std::vector<u32> callPositions;
+    for (BlockId b : blockOrder) {
+        const BasicBlock &blk = g.block(b);
+        for (ValueId id : blk.nodes) {
+            const IrNode &n = g.node(id);
+            if (n.dead)
+                continue;
+            u32 p = posOf[id];
+            touch(id, p);  // definition
+            for (ValueId in : n.inputs)
+                touch(in, p);
+            if (n.canDeopt() && n.frameState != kNoFrameState) {
+                const FrameState &fs = g.frameStates[n.frameState];
+                for (ValueId r : fs.regs)
+                    touch(r, p);
+                touch(fs.accumulator, p);
+            }
+            if (n.op == IrOp::CallRuntime || n.op == IrOp::CallFunction
+                || n.op == IrOp::F64Mod) {
+                callPositions.push_back(p);
+            }
+            // Phi inputs are used by the move at the end of each pred.
+            if (n.op == IrOp::Phi) {
+                const auto &preds = blk.preds;
+                for (size_t i = 0;
+                     i < n.inputs.size() && i < preds.size(); i++) {
+                    touch(n.inputs[i], blockEndPos[preds[i]]);
+                    // The phi itself must be live at every pred end so
+                    // the move target register is reserved there.
+                    touch(id, blockEndPos[preds[i]]);
+                }
+            }
+        }
+    }
+
+    // ---- loop extension ---------------------------------------------------
+    // A value defined before a loop and used inside it is live for the
+    // whole loop: its last textual use position understates its live
+    // range, because execution revisits that use on every iteration.
+    struct LoopRange { u32 start; u32 end; };
+    std::vector<LoopRange> loops;
+    {
+        std::vector<u32> blockStartPos(g.blocks.size(), 0);
+        u32 p = 0;
+        for (BlockId b : blockOrder) {
+            blockStartPos[b] = p;
+            for (ValueId id : g.block(b).nodes)
+                if (!g.node(id).dead)
+                    p++;
+        }
+        for (BlockId b : blockOrder) {
+            BlockId t = g.block(b).succTrue;
+            if (t != kNoBlock && t <= b)
+                loops.push_back({blockStartPos[t], blockEndPos[b]});
+        }
+    }
+    bool extended = true;
+    while (extended) {
+        extended = false;
+        for (auto &[v, iv] : intervals) {
+            for (const LoopRange &lr : loops) {
+                if (iv.start < lr.start && iv.end >= lr.start
+                    && iv.end < lr.end) {
+                    iv.end = lr.end;
+                    extended = true;
+                }
+            }
+        }
+    }
+
+    std::sort(callPositions.begin(), callPositions.end());
+    auto crossesCall = [&](const Interval &iv) {
+        auto it = std::lower_bound(callPositions.begin(),
+                                   callPositions.end(), iv.start);
+        // A call at exactly the interval's end does not clobber the
+        // value after its last use... but the call's own result is
+        // defined at that position, so be conservative: strict inside.
+        return it != callPositions.end() && *it < iv.end;
+    };
+    for (auto &[v, iv] : intervals)
+        iv.crossesCall = crossesCall(iv);
+
+    // ---- linear scan --------------------------------------------------------
+    std::vector<Interval> sorted;
+    sorted.reserve(intervals.size());
+    for (auto &[v, iv] : intervals)
+        sorted.push_back(iv);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start
+                         || (a.start == b.start && a.value < b.value);
+              });
+
+    AllocationResult result;
+    result.alloc.resize(g.nodes.size());
+
+    struct Active
+    {
+        Interval iv;
+        u8 reg;
+    };
+    std::vector<Active> activeGpr, activeFpr;
+    u32 spillSlots = 0;
+
+    auto regFree = [&](std::vector<Active> &active, u8 r, u32 at) {
+        for (auto &a : active) {
+            if (a.reg == r && a.iv.end >= at)
+                return false;
+        }
+        return true;
+    };
+
+    for (const Interval &iv : sorted) {
+        bool isF = iv.isFloat;
+        auto &active = isF ? activeFpr : activeGpr;
+        // Expire old intervals.
+        std::erase_if(active,
+                      [&](const Active &a) { return a.iv.end < iv.start; });
+
+        // Candidate register order: callee-saved only when crossing a
+        // call; otherwise caller-saved first.
+        std::vector<u8> candidates;
+        if (iv.crossesCall) {
+            const u8 *pool = isF ? kFprCalleeSaved : kGprCalleeSaved;
+            size_t n = isF ? std::size(kFprCalleeSaved)
+                           : std::size(kGprCalleeSaved);
+            candidates.assign(pool, pool + n);
+        } else {
+            const u8 *p1 = isF ? kFprCallerSaved : kGprCallerSaved;
+            size_t n1 = isF ? std::size(kFprCallerSaved)
+                            : std::size(kGprCallerSaved);
+            candidates.assign(p1, p1 + n1);
+            const u8 *p2 = isF ? kFprCalleeSaved : kGprCalleeSaved;
+            size_t n2 = isF ? std::size(kFprCalleeSaved)
+                            : std::size(kGprCalleeSaved);
+            candidates.insert(candidates.end(), p2, p2 + n2);
+        }
+
+        u8 chosen = 0xff;
+        for (u8 r : candidates) {
+            if (regFree(active, r, iv.start)) {
+                chosen = r;
+                break;
+            }
+        }
+
+        Allocation &a = result.alloc[iv.value];
+        if (chosen != 0xff) {
+            a.where = isF ? Allocation::Where::FReg : Allocation::Where::Reg;
+            a.reg = chosen;
+            active.push_back({iv, chosen});
+        } else {
+            // Spill the active interval with the furthest end if that
+            // frees a register usable by this interval; otherwise spill
+            // the new interval itself.
+            auto victim = active.end();
+            for (auto it = active.begin(); it != active.end(); ++it) {
+                bool usable = !iv.crossesCall
+                              || std::find(candidates.begin(),
+                                           candidates.end(), it->reg)
+                                 != candidates.end();
+                if (!usable)
+                    continue;
+                if (victim == active.end()
+                    || it->iv.end > victim->iv.end)
+                    victim = it;
+            }
+            if (victim != active.end() && victim->iv.end > iv.end) {
+                Allocation &va = result.alloc[victim->iv.value];
+                va.where = Allocation::Where::Spill;
+                va.slot = static_cast<i32>(spillSlots++);
+                a.where = isF ? Allocation::Where::FReg
+                              : Allocation::Where::Reg;
+                a.reg = victim->reg;
+                Interval saved = iv;
+                u8 reg = victim->reg;
+                active.erase(victim);
+                active.push_back({saved, reg});
+            } else {
+                a.where = Allocation::Where::Spill;
+                a.slot = static_cast<i32>(spillSlots++);
+            }
+        }
+    }
+
+    result.spillSlots = spillSlots;
+    return result;
+}
+
+} // namespace vspec

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Linear-scan register allocation over the IR (no interval splitting:
+ * an interval is either in one register for its whole life or spilled
+ * to a frame slot). Values live across calls are restricted to
+ * callee-saved registers. Constants are rematerialized, never
+ * allocated.
+ */
+
+#ifndef VSPEC_BACKEND_REGALLOC_HH
+#define VSPEC_BACKEND_REGALLOC_HH
+
+#include <vector>
+
+#include "ir/graph.hh"
+
+namespace vspec
+{
+
+struct Allocation
+{
+    enum class Where : u8
+    {
+        None,     //!< dead / no result / rematerialized constant
+        Reg,
+        FReg,
+        Spill,
+    };
+
+    Where where = Where::None;
+    u8 reg = 0;
+    i32 slot = -1;
+};
+
+struct AllocationResult
+{
+    std::vector<Allocation> alloc;   //!< indexed by ValueId
+    u32 spillSlots = 0;
+};
+
+/**
+ * Allocate registers for all live, value-producing nodes of @p graph.
+ * @p blockOrder is the emission order of blocks (indices into
+ * graph.blocks); positions are assigned in that order.
+ *
+ * Check nodes must already have had their result uses rewritten to
+ * their pass-through input (the backend's prepareForCodegen step).
+ */
+AllocationResult allocateRegisters(const Graph &graph,
+                                   const std::vector<BlockId> &blockOrder);
+
+} // namespace vspec
+
+#endif // VSPEC_BACKEND_REGALLOC_HH

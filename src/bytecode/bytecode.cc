@@ -1,0 +1,129 @@
+#include "bytecode/bytecode.hh"
+
+#include <cstdio>
+
+namespace vspec
+{
+
+const char *
+bcName(Bc op)
+{
+    switch (op) {
+      case Bc::LdaSmi: return "LdaSmi";
+      case Bc::LdaConst: return "LdaConst";
+      case Bc::LdaUndefined: return "LdaUndefined";
+      case Bc::LdaNull: return "LdaNull";
+      case Bc::LdaTrue: return "LdaTrue";
+      case Bc::LdaFalse: return "LdaFalse";
+      case Bc::LdaGlobal: return "LdaGlobal";
+      case Bc::StaGlobal: return "StaGlobal";
+      case Bc::Ldar: return "Ldar";
+      case Bc::Star: return "Star";
+      case Bc::Mov: return "Mov";
+      case Bc::Add: return "Add";
+      case Bc::Sub: return "Sub";
+      case Bc::Mul: return "Mul";
+      case Bc::Div: return "Div";
+      case Bc::Mod: return "Mod";
+      case Bc::BitAnd: return "BitAnd";
+      case Bc::BitOr: return "BitOr";
+      case Bc::BitXor: return "BitXor";
+      case Bc::Shl: return "Shl";
+      case Bc::Sar: return "Sar";
+      case Bc::Shr: return "Shr";
+      case Bc::Inc: return "Inc";
+      case Bc::Dec: return "Dec";
+      case Bc::Negate: return "Negate";
+      case Bc::BitNot: return "BitNot";
+      case Bc::LogicalNot: return "LogicalNot";
+      case Bc::TypeOf: return "TypeOf";
+      case Bc::ToNumber: return "ToNumber";
+      case Bc::TestLess: return "TestLess";
+      case Bc::TestLessEq: return "TestLessEq";
+      case Bc::TestGreater: return "TestGreater";
+      case Bc::TestGreaterEq: return "TestGreaterEq";
+      case Bc::TestEq: return "TestEq";
+      case Bc::TestNotEq: return "TestNotEq";
+      case Bc::TestStrictEq: return "TestStrictEq";
+      case Bc::TestStrictNotEq: return "TestStrictNotEq";
+      case Bc::Jump: return "Jump";
+      case Bc::JumpIfFalse: return "JumpIfFalse";
+      case Bc::JumpIfTrue: return "JumpIfTrue";
+      case Bc::JumpLoop: return "JumpLoop";
+      case Bc::GetNamedProperty: return "GetNamedProperty";
+      case Bc::SetNamedProperty: return "SetNamedProperty";
+      case Bc::GetElement: return "GetElement";
+      case Bc::SetElement: return "SetElement";
+      case Bc::CreateArray: return "CreateArray";
+      case Bc::CreateObject: return "CreateObject";
+      case Bc::StaArrayLiteral: return "StaArrayLiteral";
+      case Bc::StaNamedOwn: return "StaNamedOwn";
+      case Bc::Call: return "Call";
+      case Bc::CallMethod: return "CallMethod";
+      case Bc::Return: return "Return";
+    }
+    return "?";
+}
+
+const char *
+builtinName(BuiltinId id)
+{
+    switch (id) {
+      case BuiltinId::None: return "none";
+      case BuiltinId::Print: return "print";
+      case BuiltinId::MathFloor: return "Math.floor";
+      case BuiltinId::MathCeil: return "Math.ceil";
+      case BuiltinId::MathAbs: return "Math.abs";
+      case BuiltinId::MathSqrt: return "Math.sqrt";
+      case BuiltinId::MathMin: return "Math.min";
+      case BuiltinId::MathMax: return "Math.max";
+      case BuiltinId::MathPow: return "Math.pow";
+      case BuiltinId::MathSin: return "Math.sin";
+      case BuiltinId::MathCos: return "Math.cos";
+      case BuiltinId::MathExp: return "Math.exp";
+      case BuiltinId::MathLog: return "Math.log";
+      case BuiltinId::MathAtan2: return "Math.atan2";
+      case BuiltinId::MathRandom: return "Math.random";
+      case BuiltinId::MathRound: return "Math.round";
+      case BuiltinId::StringCharCodeAt: return "String.charCodeAt";
+      case BuiltinId::StringCharAt: return "String.charAt";
+      case BuiltinId::StringSubstring: return "String.substring";
+      case BuiltinId::StringIndexOf: return "String.indexOf";
+      case BuiltinId::StringSplit: return "String.split";
+      case BuiltinId::StringFromCharCode: return "String.fromCharCode";
+      case BuiltinId::ArrayPush: return "Array.push";
+      case BuiltinId::ArrayPop: return "Array.pop";
+      case BuiltinId::ArrayJoin: return "Array.join";
+      case BuiltinId::ArrayIndexOf: return "Array.indexOf";
+      case BuiltinId::ParseInt: return "parseInt";
+      case BuiltinId::ParseFloat: return "parseFloat";
+      case BuiltinId::ReTest: return "reTest";
+      case BuiltinId::ReCount: return "reCount";
+      case BuiltinId::ReReplace: return "reReplace";
+    }
+    return "?";
+}
+
+std::string
+FunctionInfo::disassemble(const VMContext &ctx) const
+{
+    std::string out;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "function %s (params=%u regs=%u)\n",
+                  name.c_str(), paramCount, registerCount);
+    out += buf;
+    for (size_t i = 0; i < bytecode.size(); i++) {
+        const BcInstr &ins = bytecode[i];
+        std::snprintf(buf, sizeof(buf), "%4zu: %-18s a=%-5d b=%-5d c=%-5d",
+                      i, bcName(ins.op), ins.a, ins.b, ins.c);
+        out += buf;
+        if (ins.op == Bc::LdaConst && static_cast<size_t>(ins.a)
+            < constants.size()) {
+            out += "   ; " + ctx.display(constants[ins.a]);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace vspec

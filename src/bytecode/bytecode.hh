@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Register-machine bytecode in the style of V8's Ignition: an implicit
+ * accumulator plus a frame of registers. Binary operators take the
+ * left-hand side from a register and the right-hand side from the
+ * accumulator. Every speculation-relevant operation carries a feedback
+ * slot index that the interpreter populates and the optimizing compiler
+ * consumes.
+ */
+
+#ifndef VSPEC_BYTECODE_BYTECODE_HH
+#define VSPEC_BYTECODE_BYTECODE_HH
+
+#include <string>
+#include <vector>
+
+#include "bytecode/feedback.hh"
+#include "vm/objects.hh"
+
+namespace vspec
+{
+
+enum class Bc : u8
+{
+    // Loads into the accumulator.
+    LdaSmi,        //!< a = immediate payload
+    LdaConst,      //!< a = constant pool index
+    LdaUndefined,
+    LdaNull,
+    LdaTrue,
+    LdaFalse,
+    LdaGlobal,     //!< a = global cell index, b = feedback slot
+    StaGlobal,     //!< a = global cell index
+
+    // Register moves.
+    Ldar,          //!< a = register
+    Star,          //!< a = register
+    Mov,           //!< a = dst, b = src
+
+    // Binary ops: acc = r[a] OP acc, b = feedback slot.
+    Add, Sub, Mul, Div, Mod,
+    BitAnd, BitOr, BitXor, Shl, Sar, Shr,
+
+    // Unary ops on the accumulator; a = feedback slot where present.
+    Inc, Dec, Negate, BitNot,
+    LogicalNot,
+    TypeOf,
+    ToNumber,      //!< numeric coercion for ++/-- on unusual inputs
+
+    // Comparisons: acc = bool(r[a] OP acc), b = feedback slot.
+    TestLess, TestLessEq, TestGreater, TestGreaterEq,
+    TestEq, TestNotEq, TestStrictEq, TestStrictNotEq,
+
+    // Control flow; a = target bytecode index.
+    Jump,
+    JumpIfFalse,
+    JumpIfTrue,
+    JumpLoop,      //!< back edge; drives on-stack hotness
+
+    // Property access; a = object register, b = name id, c = feedback.
+    GetNamedProperty,   //!< acc = r[a].name
+    SetNamedProperty,   //!< r[a].name = acc
+    // Element access.
+    GetElement,         //!< acc = r[a][acc], b = feedback slot
+    SetElement,         //!< r[a][r[b]] = acc, c = feedback slot
+
+    // Literals.
+    CreateArray,        //!< acc = new array, a = initial capacity
+    CreateObject,       //!< acc = new empty object
+    StaArrayLiteral,    //!< r[a][b] = acc, raw literal init (no feedback)
+    StaNamedOwn,        //!< r[a].name(b) = acc, literal init (no feedback)
+
+    // Calls: a = callee register, b = first arg register, c packs
+    // (argc << 16) | feedback slot. `this` is r[b-1] for CallMethod.
+    Call,
+    CallMethod,
+
+    Return,             //!< return acc
+};
+
+const char *bcName(Bc op);
+
+/** One fixed-width bytecode instruction. */
+struct BcInstr
+{
+    Bc op;
+    i32 a = 0;
+    i32 b = 0;
+    i32 c = 0;
+};
+
+/** Extract argc / feedback slot from a packed Call `c` operand. */
+constexpr int callArgc(i32 c) { return c >> 16; }
+constexpr int callSlot(i32 c) { return c & 0xffff; }
+constexpr i32 packCall(int argc, int slot)
+{
+    return (argc << 16) | (slot & 0xffff);
+}
+
+using FunctionId = u32;
+constexpr FunctionId kInvalidFunction = 0xffffffffu;
+
+/** Identifies a builtin implementation for builtin functions. */
+enum class BuiltinId : u16
+{
+    None = 0,
+    Print,
+    MathFloor, MathCeil, MathAbs, MathSqrt, MathMin, MathMax, MathPow,
+    MathSin, MathCos, MathExp, MathLog, MathAtan2, MathRandom, MathRound,
+    StringCharCodeAt, StringCharAt, StringSubstring, StringIndexOf,
+    StringSplit, StringFromCharCode,
+    ArrayPush, ArrayPop, ArrayJoin, ArrayIndexOf,
+    ParseInt, ParseFloat,
+    ReTest, ReCount, ReReplace,  //!< irregexp-lite entry points
+};
+
+const char *builtinName(BuiltinId id);
+
+/**
+ * Everything the engine knows about one function: source identity,
+ * bytecode, constants, feedback, and tiering state. Optimized code is
+ * attached by the runtime (see runtime/engine.hh) via `codeId`.
+ */
+struct FunctionInfo
+{
+    FunctionId id = kInvalidFunction;
+    std::string name;
+    u32 paramCount = 0;      //!< declared parameters (excluding `this`)
+    u32 registerCount = 0;   //!< total frame registers incl. this+params
+    std::vector<BcInstr> bytecode;
+    std::vector<Value> constants;
+    FeedbackVector feedback;
+
+    BuiltinId builtin = BuiltinId::None;
+
+    /** Simulated address of this function's (immortal) function cell. */
+    Addr cellAddr = 0;
+
+    // ---- tiering state (owned by runtime/tiering.cc) ----
+    u32 invocationCount = 0;
+    u32 backEdgeCount = 0;
+    u32 deoptCount = 0;
+    u32 codeId = 0xffffffffu;   //!< optimized CodeObject, if any
+    bool optimizationDisabled = false;
+
+    /** Frame layout: r0 = this, r1..rP = params, then locals/temps. */
+    static constexpr u32 kThisReg = 0;
+    static constexpr u32 kFirstParamReg = 1;
+
+    bool hasCode() const { return codeId != 0xffffffffu; }
+
+    /** Pretty disassembly of the bytecode (tests, debugging). */
+    std::string disassemble(const VMContext &ctx) const;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_BYTECODE_BYTECODE_HH

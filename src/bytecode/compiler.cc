@@ -1,0 +1,764 @@
+#include "bytecode/compiler.hh"
+
+#include <cmath>
+#include <set>
+
+namespace vspec
+{
+
+// ---- GlobalRegistry ------------------------------------------------------
+
+GlobalRegistry::GlobalRegistry(VMContext &c, u32 cap)
+    : ctx(c), capacity(cap)
+{
+    block = ctx.heap.allocateImmortal(HeapLayout::kElementsDataOffset
+                                      + 4 * capacity,
+                                      ctx.maps.mapWord(ctx.maps.fixedArrayMap()),
+                                      capacity);
+    for (u32 i = 0; i < capacity; i++)
+        ctx.heap.writeValue(block + HeapLayout::kElementsDataOffset + 4 * i,
+                            ctx.undefinedValue);
+}
+
+u32
+GlobalRegistry::indexOf(const std::string &name)
+{
+    auto it = index_.find(name);
+    if (it != index_.end())
+        return it->second;
+    u32 idx = static_cast<u32>(names_.size());
+    vassert(idx < capacity, "global registry exhausted");
+    names_.push_back(name);
+    index_.emplace(name, idx);
+    writes_.push_back(0);
+    deps_.emplace_back();
+    return idx;
+}
+
+bool
+GlobalRegistry::exists(const std::string &name) const
+{
+    return index_.count(name) != 0;
+}
+
+Addr
+GlobalRegistry::cellAddr(u32 idx) const
+{
+    vassert(idx < names_.size(), "global index out of range");
+    return block + HeapLayout::kElementsDataOffset + 4 * idx;
+}
+
+Value
+GlobalRegistry::load(u32 idx) const
+{
+    return ctx.heap.readValue(cellAddr(idx));
+}
+
+void
+GlobalRegistry::store(u32 idx, Value v)
+{
+    ctx.heap.writeValue(cellAddr(idx), v);
+    writes_.at(idx)++;
+}
+
+void
+GlobalRegistry::addConstantDependency(u32 idx, u32 code_id)
+{
+    deps_.at(idx).push_back(code_id);
+}
+
+std::vector<u32>
+GlobalRegistry::takeDependencies(u32 idx)
+{
+    std::vector<u32> out = std::move(deps_.at(idx));
+    deps_.at(idx).clear();
+    return out;
+}
+
+void
+GlobalRegistry::forEachValue(const std::function<void(Value)> &visit) const
+{
+    for (u32 i = 0; i < names_.size(); i++)
+        visit(load(i));
+}
+
+// ---- FunctionTable ----------------------------------------------------------
+
+FunctionInfo &
+FunctionTable::create(const std::string &name)
+{
+    auto fn = std::make_unique<FunctionInfo>();
+    fn->id = static_cast<FunctionId>(funcs.size());
+    fn->name = name;
+    funcs.push_back(std::move(fn));
+    byName[name] = funcs.back()->id;
+    return *funcs.back();
+}
+
+FunctionInfo &
+FunctionTable::createBuiltin(const std::string &name, BuiltinId id,
+                             u32 param_count)
+{
+    FunctionInfo &fn = create(name);
+    fn.builtin = id;
+    fn.paramCount = param_count;
+    return fn;
+}
+
+FunctionId
+FunctionTable::idOf(const std::string &name) const
+{
+    auto it = byName.find(name);
+    return it == byName.end() ? kInvalidFunction : it->second;
+}
+
+// ---- FunctionCompiler ----------------------------------------------------------
+
+namespace
+{
+
+/** Collect every var name declared anywhere in a statement subtree. */
+void
+collectVars(const Node *n, std::set<std::string> &out)
+{
+    if (n == nullptr)
+        return;
+    if (n->kind == NodeKind::VarDecl)
+        out.insert(n->strVal);
+    for (const auto &c : n->children)
+        collectVars(c.get(), out);
+}
+
+} // namespace
+
+/** Compiles one function body to bytecode. */
+class FunctionCompiler
+{
+  public:
+    FunctionCompiler(BytecodeCompiler &parent, FunctionInfo &fn, bool is_main)
+        : ctx(parent.ctx), globals(parent.globals), fn(fn), isMain(is_main)
+    {}
+
+    void
+    compileBody(const std::vector<std::string> &params,
+                const std::vector<const Node *> &stmts)
+    {
+        fn.paramCount = static_cast<u32>(params.size());
+        nextReg = FunctionInfo::kFirstParamReg;
+        for (const auto &p : params)
+            locals[p] = nextReg++;
+
+        // Hoist var declarations (function scope). Top-level vars in
+        // __main__ become globals instead of frame locals.
+        if (!isMain) {
+            std::set<std::string> vars;
+            for (const Node *s : stmts)
+                collectVars(s, vars);
+            for (const auto &v : vars) {
+                if (!locals.count(v))
+                    locals[v] = nextReg++;
+            }
+        }
+        firstTemp = nextReg;
+        maxReg = nextReg;
+
+        for (const Node *s : stmts)
+            compileStmt(s);
+        // Implicit `return undefined` at the end.
+        emit(Bc::LdaUndefined);
+        emit(Bc::Return);
+
+        fn.registerCount = static_cast<u32>(maxReg);
+        vassert(loopStack.empty(), "unbalanced loop stack");
+    }
+
+  private:
+    // ---- emission helpers ------------------------------------------------
+
+    size_t
+    emit(Bc op, i32 a = 0, i32 b = 0, i32 c = 0)
+    {
+        fn.bytecode.push_back({op, a, b, c});
+        return fn.bytecode.size() - 1;
+    }
+
+    void patchJump(size_t at) { fn.bytecode[at].a = here(); }
+    i32 here() const { return static_cast<i32>(fn.bytecode.size()); }
+
+    int newSlot(SlotKind kind) { return fn.feedback.addSlot(kind); }
+
+    int
+    addConstant(Value v)
+    {
+        for (size_t i = 0; i < fn.constants.size(); i++) {
+            if (fn.constants[i] == v)
+                return static_cast<int>(i);
+        }
+        fn.constants.push_back(v);
+        return static_cast<int>(fn.constants.size()) - 1;
+    }
+
+    int
+    allocTemp()
+    {
+        int r = nextReg++;
+        if (nextReg > maxReg)
+            maxReg = nextReg;
+        return r;
+    }
+
+    void
+    freeTemp(int n = 1)
+    {
+        nextReg -= n;
+        vassert(nextReg >= firstTemp, "temp register underflow");
+    }
+
+    NameId internName(const std::string &s) { return ctx.names.intern(s); }
+
+    [[noreturn]] void
+    error(const Node *n, const std::string &msg)
+    {
+        throw CompileError(msg, n->line);
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    void
+    compileStmt(const Node *n)
+    {
+        switch (n->kind) {
+          case NodeKind::Block:
+            for (const auto &c : n->children)
+                compileStmt(c.get());
+            break;
+          case NodeKind::VarDecl:
+            if (n->arity() > 0) {
+                compileExpr(n->child(0));
+            } else {
+                emit(Bc::LdaUndefined);
+            }
+            storeVariable(n, n->strVal);
+            break;
+          case NodeKind::ExprStmt:
+            compileExpr(n->child(0));
+            break;
+          case NodeKind::If: {
+            compileExpr(n->child(0));
+            size_t jf = emit(Bc::JumpIfFalse, -1);
+            compileStmt(n->child(1));
+            if (n->arity() > 2) {
+                size_t jend = emit(Bc::Jump, -1);
+                patchJump(jf);
+                compileStmt(n->child(2));
+                patchJump(jend);
+            } else {
+                patchJump(jf);
+            }
+            break;
+          }
+          case NodeKind::While: {
+            i32 top = here();
+            compileExpr(n->child(0));
+            size_t jf = emit(Bc::JumpIfFalse, -1);
+            loopStack.push_back({});
+            compileStmt(n->child(1));
+            for (size_t at : loopStack.back().continues) {
+                // Backward continues are loop back edges: use JumpLoop
+                // so they feed the hotness counter too.
+                fn.bytecode[at].op = Bc::JumpLoop;
+                fn.bytecode[at].a = top;
+            }
+            emit(Bc::JumpLoop, top);
+            patchJump(jf);
+            for (size_t at : loopStack.back().breaks)
+                patchJump(at);
+            loopStack.pop_back();
+            break;
+          }
+          case NodeKind::For: {
+            const Node *init = n->child(0);
+            const Node *cond = n->child(1);
+            const Node *update = n->child(2);
+            const Node *body = n->child(3);
+            if (init != nullptr)
+                compileStmt(init);
+            i32 top = here();
+            size_t jf = SIZE_MAX;
+            if (cond != nullptr) {
+                compileExpr(cond);
+                jf = emit(Bc::JumpIfFalse, -1);
+            }
+            loopStack.push_back({});
+            compileStmt(body);
+            i32 update_at = here();
+            for (size_t at : loopStack.back().continues)
+                fn.bytecode[at].a = update_at;
+            if (update != nullptr)
+                compileExpr(update);
+            emit(Bc::JumpLoop, top);
+            if (jf != SIZE_MAX)
+                patchJump(jf);
+            for (size_t at : loopStack.back().breaks)
+                patchJump(at);
+            loopStack.pop_back();
+            break;
+          }
+          case NodeKind::Return:
+            if (n->arity() > 0) {
+                compileExpr(n->child(0));
+            } else {
+                emit(Bc::LdaUndefined);
+            }
+            emit(Bc::Return);
+            break;
+          case NodeKind::Break:
+            if (loopStack.empty())
+                error(n, "break outside loop");
+            loopStack.back().breaks.push_back(emit(Bc::Jump, -1));
+            break;
+          case NodeKind::Continue:
+            if (loopStack.empty())
+                error(n, "continue outside loop");
+            loopStack.back().continues.push_back(emit(Bc::Jump, -1));
+            break;
+          default:
+            error(n, "unexpected statement node");
+        }
+    }
+
+    /** Store the accumulator into variable @p name (local or global). */
+    void
+    storeVariable(const Node *n, const std::string &name)
+    {
+        auto it = locals.find(name);
+        if (it != locals.end()) {
+            emit(Bc::Star, it->second);
+        } else {
+            (void)n;
+            emit(Bc::StaGlobal, static_cast<i32>(globals.indexOf(name)));
+        }
+    }
+
+    void
+    loadVariable(const std::string &name)
+    {
+        auto it = locals.find(name);
+        if (it != locals.end()) {
+            emit(Bc::Ldar, it->second);
+        } else {
+            emit(Bc::LdaGlobal, static_cast<i32>(globals.indexOf(name)),
+                 newSlot(SlotKind::Global));
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------------
+
+    void
+    compileExpr(const Node *n)
+    {
+        switch (n->kind) {
+          case NodeKind::NumberLit: {
+            double d = n->numVal;
+            if (d == static_cast<i32>(d) && smiFits(static_cast<i64>(d))
+                && !(d == 0.0 && std::signbit(d))) {
+                emit(Bc::LdaSmi, static_cast<i32>(d));
+            } else {
+                Value c = Value::heap(ctx.newImmortalHeapNumber(d));
+                emit(Bc::LdaConst, addConstant(c));
+            }
+            break;
+          }
+          case NodeKind::StringLit: {
+            Value c = Value::heap(ctx.internString(n->strVal));
+            emit(Bc::LdaConst, addConstant(c));
+            break;
+          }
+          case NodeKind::BoolLit:
+            emit(n->intVal ? Bc::LdaTrue : Bc::LdaFalse);
+            break;
+          case NodeKind::NullLit:
+            emit(Bc::LdaNull);
+            break;
+          case NodeKind::UndefinedLit:
+            emit(Bc::LdaUndefined);
+            break;
+          case NodeKind::Ident:
+            loadVariable(n->strVal);
+            break;
+          case NodeKind::This:
+            emit(Bc::Ldar, FunctionInfo::kThisReg);
+            break;
+          case NodeKind::ArrayLit: {
+            emit(Bc::CreateArray, static_cast<i32>(n->arity()));
+            int t = allocTemp();
+            emit(Bc::Star, t);
+            for (size_t i = 0; i < n->arity(); i++) {
+                compileExpr(n->child(i));
+                emit(Bc::StaArrayLiteral, t, static_cast<i32>(i));
+            }
+            emit(Bc::Ldar, t);
+            freeTemp();
+            break;
+          }
+          case NodeKind::ObjectLit: {
+            emit(Bc::CreateObject);
+            int t = allocTemp();
+            emit(Bc::Star, t);
+            for (size_t i = 0; i + 1 < n->arity(); i += 2) {
+                NameId name = internName(n->child(i)->strVal);
+                compileExpr(n->child(i + 1));
+                emit(Bc::StaNamedOwn, t, static_cast<i32>(name));
+            }
+            emit(Bc::Ldar, t);
+            freeTemp();
+            break;
+          }
+          case NodeKind::Binary:
+            compileBinary(n);
+            break;
+          case NodeKind::Logical: {
+            compileExpr(n->child(0));
+            size_t skip = emit(n->op == "&&" ? Bc::JumpIfFalse
+                                             : Bc::JumpIfTrue, -1);
+            compileExpr(n->child(1));
+            patchJump(skip);
+            break;
+          }
+          case NodeKind::Unary:
+            compileUnary(n);
+            break;
+          case NodeKind::Update:
+            compileUpdate(n);
+            break;
+          case NodeKind::Assign:
+            compileAssign(n);
+            break;
+          case NodeKind::Ternary: {
+            compileExpr(n->child(0));
+            size_t jf = emit(Bc::JumpIfFalse, -1);
+            compileExpr(n->child(1));
+            size_t jend = emit(Bc::Jump, -1);
+            patchJump(jf);
+            compileExpr(n->child(2));
+            patchJump(jend);
+            break;
+          }
+          case NodeKind::Call:
+            compileCall(n);
+            break;
+          case NodeKind::Member: {
+            compileExpr(n->child(0));
+            int t = allocTemp();
+            emit(Bc::Star, t);
+            emit(Bc::GetNamedProperty, t,
+                 static_cast<i32>(internName(n->strVal)),
+                 newSlot(SlotKind::Property));
+            freeTemp();
+            break;
+          }
+          case NodeKind::Index: {
+            compileExpr(n->child(0));
+            int t = allocTemp();
+            emit(Bc::Star, t);
+            compileExpr(n->child(1));
+            emit(Bc::GetElement, t, newSlot(SlotKind::Element));
+            freeTemp();
+            break;
+          }
+          default:
+            error(n, "unexpected expression node");
+        }
+    }
+
+    Bc
+    binaryOpcode(const std::string &op, bool &is_compare)
+    {
+        is_compare = false;
+        if (op == "+") return Bc::Add;
+        if (op == "-") return Bc::Sub;
+        if (op == "*") return Bc::Mul;
+        if (op == "/") return Bc::Div;
+        if (op == "%") return Bc::Mod;
+        if (op == "&") return Bc::BitAnd;
+        if (op == "|") return Bc::BitOr;
+        if (op == "^") return Bc::BitXor;
+        if (op == "<<") return Bc::Shl;
+        if (op == ">>") return Bc::Sar;
+        if (op == ">>>") return Bc::Shr;
+        is_compare = true;
+        if (op == "<") return Bc::TestLess;
+        if (op == "<=") return Bc::TestLessEq;
+        if (op == ">") return Bc::TestGreater;
+        if (op == ">=") return Bc::TestGreaterEq;
+        if (op == "==") return Bc::TestEq;
+        if (op == "!=") return Bc::TestNotEq;
+        if (op == "===") return Bc::TestStrictEq;
+        if (op == "!==") return Bc::TestStrictNotEq;
+        vpanic("unknown binary operator " + op);
+    }
+
+    void
+    compileBinary(const Node *n)
+    {
+        bool is_compare = false;
+        Bc op = binaryOpcode(n->op, is_compare);
+        compileExpr(n->child(0));
+        int t = allocTemp();
+        emit(Bc::Star, t);
+        compileExpr(n->child(1));
+        emit(op, t, newSlot(is_compare ? SlotKind::CompareOp
+                                       : SlotKind::BinaryOp));
+        freeTemp();
+    }
+
+    void
+    compileUnary(const Node *n)
+    {
+        compileExpr(n->child(0));
+        if (n->op == "-") {
+            emit(Bc::Negate, newSlot(SlotKind::UnaryOp));
+        } else if (n->op == "+") {
+            emit(Bc::ToNumber, newSlot(SlotKind::UnaryOp));
+        } else if (n->op == "!") {
+            emit(Bc::LogicalNot);
+        } else if (n->op == "~") {
+            emit(Bc::BitNot, newSlot(SlotKind::UnaryOp));
+        } else if (n->op == "typeof") {
+            emit(Bc::TypeOf);
+        } else {
+            error(n, "unknown unary operator " + n->op);
+        }
+    }
+
+    void
+    compileUpdate(const Node *n)
+    {
+        const Node *target = n->child(0);
+        Bc delta = n->op == "++" ? Bc::Inc : Bc::Dec;
+        bool prefix = n->intVal != 0;
+
+        if (target->kind == NodeKind::Ident) {
+            loadVariable(target->strVal);
+            if (prefix) {
+                emit(delta, newSlot(SlotKind::UnaryOp));
+                storeVariable(n, target->strVal);
+            } else {
+                int t_old = allocTemp();
+                emit(Bc::Star, t_old);
+                emit(delta, newSlot(SlotKind::UnaryOp));
+                storeVariable(n, target->strVal);
+                emit(Bc::Ldar, t_old);
+                freeTemp();
+            }
+        } else if (target->kind == NodeKind::Member) {
+            compileExpr(target->child(0));
+            int t_obj = allocTemp();
+            emit(Bc::Star, t_obj);
+            NameId name = internName(target->strVal);
+            int load_slot = newSlot(SlotKind::Property);
+            int store_slot = newSlot(SlotKind::Property);
+            emit(Bc::GetNamedProperty, t_obj, static_cast<i32>(name),
+                 load_slot);
+            int t_old = allocTemp();
+            emit(Bc::Star, t_old);
+            emit(delta, newSlot(SlotKind::UnaryOp));
+            emit(Bc::SetNamedProperty, t_obj, static_cast<i32>(name),
+                 store_slot);
+            if (!prefix)
+                emit(Bc::Ldar, t_old);
+            freeTemp(2);
+        } else if (target->kind == NodeKind::Index) {
+            compileExpr(target->child(0));
+            int t_obj = allocTemp();
+            emit(Bc::Star, t_obj);
+            compileExpr(target->child(1));
+            int t_idx = allocTemp();
+            emit(Bc::Star, t_idx);
+            emit(Bc::Ldar, t_idx);
+            emit(Bc::GetElement, t_obj, newSlot(SlotKind::Element));
+            int t_old = allocTemp();
+            emit(Bc::Star, t_old);
+            emit(delta, newSlot(SlotKind::UnaryOp));
+            emit(Bc::SetElement, t_obj, t_idx, newSlot(SlotKind::Element));
+            if (!prefix)
+                emit(Bc::Ldar, t_old);
+            freeTemp(3);
+        } else {
+            error(n, "invalid update target");
+        }
+    }
+
+    void
+    compileAssign(const Node *n)
+    {
+        const Node *target = n->child(0);
+        const Node *value = n->child(1);
+        const std::string &op = n->op;
+
+        auto compound_op = [&](int lhs_reg) {
+            // acc currently holds the RHS; lhs is in lhs_reg.
+            bool is_compare = false;
+            Bc bop = binaryOpcode(op.substr(0, op.size() - 1), is_compare);
+            vassert(!is_compare, "compound assignment with comparison");
+            emit(bop, lhs_reg, newSlot(SlotKind::BinaryOp));
+        };
+
+        if (target->kind == NodeKind::Ident) {
+            if (op == "=") {
+                compileExpr(value);
+            } else {
+                loadVariable(target->strVal);
+                int t = allocTemp();
+                emit(Bc::Star, t);
+                compileExpr(value);
+                compound_op(t);
+                freeTemp();
+            }
+            storeVariable(n, target->strVal);
+        } else if (target->kind == NodeKind::Member) {
+            compileExpr(target->child(0));
+            int t_obj = allocTemp();
+            emit(Bc::Star, t_obj);
+            NameId name = internName(target->strVal);
+            if (op == "=") {
+                compileExpr(value);
+            } else {
+                emit(Bc::GetNamedProperty, t_obj, static_cast<i32>(name),
+                     newSlot(SlotKind::Property));
+                int t_cur = allocTemp();
+                emit(Bc::Star, t_cur);
+                compileExpr(value);
+                compound_op(t_cur);
+                freeTemp();
+            }
+            emit(Bc::SetNamedProperty, t_obj, static_cast<i32>(name),
+                 newSlot(SlotKind::Property));
+            freeTemp();
+        } else if (target->kind == NodeKind::Index) {
+            compileExpr(target->child(0));
+            int t_obj = allocTemp();
+            emit(Bc::Star, t_obj);
+            compileExpr(target->child(1));
+            int t_idx = allocTemp();
+            emit(Bc::Star, t_idx);
+            if (op == "=") {
+                compileExpr(value);
+            } else {
+                emit(Bc::Ldar, t_idx);
+                emit(Bc::GetElement, t_obj, newSlot(SlotKind::Element));
+                int t_cur = allocTemp();
+                emit(Bc::Star, t_cur);
+                compileExpr(value);
+                compound_op(t_cur);
+                freeTemp();
+            }
+            emit(Bc::SetElement, t_obj, t_idx, newSlot(SlotKind::Element));
+            freeTemp(2);
+        } else {
+            error(n, "invalid assignment target");
+        }
+    }
+
+    void
+    compileCall(const Node *n)
+    {
+        const Node *callee = n->child(0);
+        int argc = static_cast<int>(n->arity()) - 1;
+
+        if (callee->kind == NodeKind::Member) {
+            // Method call: o.m(args) with `this` = o.
+            int t_fn = allocTemp();
+            int t_this = allocTemp();
+            compileExpr(callee->child(0));
+            emit(Bc::Star, t_this);
+            emit(Bc::GetNamedProperty, t_this,
+                 static_cast<i32>(internName(callee->strVal)),
+                 newSlot(SlotKind::Property));
+            emit(Bc::Star, t_fn);
+            for (int i = 0; i < argc; i++) {
+                int t_arg = allocTemp();
+                compileExpr(n->child(static_cast<size_t>(i) + 1));
+                emit(Bc::Star, t_arg);
+            }
+            emit(Bc::CallMethod, t_fn, t_this,
+                 packCall(argc, newSlot(SlotKind::CallSite)));
+            freeTemp(argc + 2);
+        } else {
+            int t_fn = allocTemp();
+            compileExpr(callee);
+            emit(Bc::Star, t_fn);
+            int first_arg = nextReg;
+            for (int i = 0; i < argc; i++) {
+                int t_arg = allocTemp();
+                compileExpr(n->child(static_cast<size_t>(i) + 1));
+                emit(Bc::Star, t_arg);
+            }
+            emit(Bc::Call, t_fn, first_arg,
+                 packCall(argc, newSlot(SlotKind::CallSite)));
+            freeTemp(argc + 1);
+        }
+    }
+
+    struct LoopCtx
+    {
+        std::vector<size_t> breaks;
+        std::vector<size_t> continues;
+    };
+
+    VMContext &ctx;
+    GlobalRegistry &globals;
+    FunctionInfo &fn;
+    bool isMain;
+
+    std::unordered_map<std::string, int> locals;
+    int nextReg = 1;
+    int firstTemp = 1;
+    int maxReg = 1;
+    std::vector<LoopCtx> loopStack;
+};
+
+// ---- BytecodeCompiler ----------------------------------------------------------
+
+BytecodeCompiler::BytecodeCompiler(VMContext &c, GlobalRegistry &g,
+                                   FunctionTable &f)
+    : ctx(c), globals(g), functions(f)
+{
+}
+
+FunctionId
+BytecodeCompiler::compileProgram(const ProgramSource &prog)
+{
+    // Pass 1: register all functions and hoist them into global cells so
+    // call sites (and `__main__`) can reference them in any order.
+    std::vector<FunctionId> ids;
+    for (const auto &src : prog.functions) {
+        FunctionInfo &fn = functions.create(src.name);
+        ids.push_back(fn.id);
+        fn.cellAddr = ctx.newFunctionCell(fn.id);
+        u32 cell = globals.indexOf(src.name);
+        globals.store(cell, Value::heap(fn.cellAddr));
+    }
+
+    // Pass 2: compile bodies.
+    for (size_t i = 0; i < prog.functions.size(); i++) {
+        const auto &src = prog.functions[i];
+        FunctionInfo &fn = functions.at(ids[i]);
+        std::vector<const Node *> stmts;
+        for (const auto &s : src.body->children)
+            stmts.push_back(s.get());
+        FunctionCompiler fc(*this, fn, false);
+        fc.compileBody(src.params, stmts);
+    }
+
+    // Pass 3: __main__ from top-level statements.
+    FunctionInfo &main_fn = functions.create("__main__");
+    std::vector<const Node *> stmts;
+    for (const auto &s : prog.topLevel)
+        stmts.push_back(s.get());
+    FunctionCompiler fc(*this, main_fn, true);
+    fc.compileBody({}, stmts);
+    return main_fn.id;
+}
+
+} // namespace vspec

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * AST -> bytecode compiler plus the two program-level registries it
+ * populates: the FunctionTable (all compiled and builtin functions) and
+ * the GlobalRegistry (named global cells living in simulated memory so
+ * optimized code can load them directly).
+ */
+
+#ifndef VSPEC_BYTECODE_COMPILER_HH
+#define VSPEC_BYTECODE_COMPILER_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "bytecode/bytecode.hh"
+#include "frontend/ast.hh"
+
+namespace vspec
+{
+
+/**
+ * Named global variables. Each global owns a 4-byte tagged cell inside
+ * an immortal FixedArray, so both tiers read/write the same simulated
+ * memory. Tracks writes for constant-cell speculation: optimized code
+ * may embed a global's value as a constant, registering a dependency
+ * that write-backs invalidate (the paper's lazy-deopt path).
+ */
+class GlobalRegistry
+{
+  public:
+    explicit GlobalRegistry(VMContext &ctx, u32 capacity = 4096);
+
+    /** Index of global @p name, creating the cell on first use. */
+    u32 indexOf(const std::string &name);
+    bool exists(const std::string &name) const;
+
+    u32 count() const { return static_cast<u32>(names_.size()); }
+    const std::string &nameOf(u32 idx) const { return names_.at(idx); }
+
+    /** Simulated address of cell @p idx (for JIT loads/stores). */
+    Addr cellAddr(u32 idx) const;
+
+    Value load(u32 idx) const;
+    void store(u32 idx, Value v);
+
+    /** Writes seen per cell (0 or 1 write = constant so far). */
+    u32 writeCount(u32 idx) const { return writes_.at(idx); }
+
+    /** Code objects that embedded this cell's value as a constant. */
+    void addConstantDependency(u32 idx, u32 code_id);
+    /** Consume the dependency list (when the cell is overwritten). */
+    std::vector<u32> takeDependencies(u32 idx);
+
+    /** GC support: iterate all global values. */
+    void forEachValue(const std::function<void(Value)> &visit) const;
+
+  private:
+    VMContext &ctx;
+    Addr block;      //!< immortal FixedArray backing the cells
+    u32 capacity;
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, u32> index_;
+    std::vector<u32> writes_;
+    std::vector<std::vector<u32>> deps_;
+};
+
+/** All functions, user-defined and builtin. */
+class FunctionTable
+{
+  public:
+    /** Create a new user function; returns mutable info. */
+    FunctionInfo &create(const std::string &name);
+    /** Create a builtin function entry. */
+    FunctionInfo &createBuiltin(const std::string &name, BuiltinId id,
+                                u32 param_count);
+
+    FunctionInfo &at(FunctionId id) { return *funcs.at(id); }
+    const FunctionInfo &at(FunctionId id) const { return *funcs.at(id); }
+    FunctionId idOf(const std::string &name) const;
+    u32 count() const { return static_cast<u32>(funcs.size()); }
+
+  private:
+    std::vector<std::unique_ptr<FunctionInfo>> funcs;
+    std::unordered_map<std::string, FunctionId> byName;
+};
+
+/**
+ * Compile a parsed program: every declared function plus an implicit
+ * `__main__` holding the top-level statements. Function declarations
+ * are bound to global cells (as function-cell values) before `__main__`
+ * runs, i.e. hoisted.
+ */
+class BytecodeCompiler
+{
+  public:
+    BytecodeCompiler(VMContext &ctx, GlobalRegistry &globals,
+                     FunctionTable &functions);
+
+    /** @return the FunctionId of the program's `__main__`. */
+    FunctionId compileProgram(const ProgramSource &prog);
+
+  private:
+    friend class FunctionCompiler;
+    VMContext &ctx;
+    GlobalRegistry &globals;
+    FunctionTable &functions;
+};
+
+class CompileError : public std::runtime_error
+{
+  public:
+    CompileError(const std::string &msg, int line)
+        : std::runtime_error("compile error at line " + std::to_string(line)
+                             + ": " + msg)
+    {}
+};
+
+} // namespace vspec
+
+#endif // VSPEC_BYTECODE_COMPILER_HH

@@ -1,0 +1,131 @@
+#include "bytecode/feedback.hh"
+
+namespace vspec
+{
+
+OperandFeedback
+joinOperand(OperandFeedback a, OperandFeedback b)
+{
+    if (a == b)
+        return a;
+    if (a == OperandFeedback::None)
+        return b;
+    if (b == OperandFeedback::None)
+        return a;
+    // Smi and Number join to Number; anything else joins to Any.
+    auto numeric = [](OperandFeedback f) {
+        return f == OperandFeedback::Smi || f == OperandFeedback::Number;
+    };
+    if (numeric(a) && numeric(b))
+        return OperandFeedback::Number;
+    return OperandFeedback::Any;
+}
+
+const char *
+operandFeedbackName(OperandFeedback f)
+{
+    switch (f) {
+      case OperandFeedback::None: return "none";
+      case OperandFeedback::Smi: return "smi";
+      case OperandFeedback::Number: return "number";
+      case OperandFeedback::String: return "string";
+      case OperandFeedback::Any: return "any";
+    }
+    return "?";
+}
+
+void
+PropertyFeedback::recordMapSlot(MapId map, int slot_index, MapId transition)
+{
+    for (auto &e : entries) {
+        if (e.map == map && e.transition == transition) {
+            e.slotIndex = slot_index;
+            return;
+        }
+    }
+    if (entries.size() >= kMaxPolymorphic) {
+        state = State::Megamorphic;
+        entries.clear();
+        return;
+    }
+    entries.push_back({map, slot_index, transition});
+    state = entries.size() == 1 ? State::Monomorphic : State::Polymorphic;
+}
+
+void
+ElementFeedback::recordAccess(MapId map, ElementKind k)
+{
+    if (state == State::None) {
+        state = State::Typed;
+        arrayMap = map;
+        kind = k;
+        return;
+    }
+    if (state == State::Typed && arrayMap != map)
+        state = State::Megamorphic;
+}
+
+void
+CallFeedback::recordTarget(u32 function_id)
+{
+    if (state == State::None) {
+        state = State::Monomorphic;
+        target = function_id;
+    } else if (state == State::Monomorphic && target != function_id) {
+        state = State::Megamorphic;
+    }
+}
+
+int
+FeedbackVector::addSlot(SlotKind kind)
+{
+    FeedbackSlot slot;
+    slot.kind = kind;
+    slots.push_back(std::move(slot));
+    return static_cast<int>(slots.size()) - 1;
+}
+
+bool
+FeedbackVector::hasAnyFeedback() const
+{
+    for (const auto &s : slots) {
+        switch (s.kind) {
+          case SlotKind::BinaryOp:
+          case SlotKind::CompareOp:
+          case SlotKind::UnaryOp:
+            if (s.operands != OperandFeedback::None)
+                return true;
+            break;
+          case SlotKind::Property:
+            if (s.property.state != PropertyFeedback::State::None
+                || s.property.sawArrayLength || s.property.sawStringLength)
+                return true;
+            break;
+          case SlotKind::Element:
+            if (s.element.state != ElementFeedback::State::None)
+                return true;
+            break;
+          case SlotKind::CallSite:
+            if (s.call.state != CallFeedback::State::None)
+                return true;
+            break;
+          case SlotKind::Global:
+            if (s.global.loaded)
+                return true;
+            break;
+        }
+    }
+    return false;
+}
+
+void
+FeedbackVector::reset()
+{
+    for (auto &s : slots) {
+        SlotKind k = s.kind;
+        s = FeedbackSlot();
+        s.kind = k;
+    }
+}
+
+} // namespace vspec

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Type-feedback vectors. The Ignition-style interpreter records what it
+ * observes at each speculation-relevant site; the optimizing compiler
+ * turns that feedback into speculative machine code guarded by
+ * deoptimization checks. Feedback only ever widens (lattice join), so a
+ * deopt-and-reoptimize cycle converges.
+ */
+
+#ifndef VSPEC_BYTECODE_FEEDBACK_HH
+#define VSPEC_BYTECODE_FEEDBACK_HH
+
+#include <string>
+#include <vector>
+
+#include "support/common.hh"
+#include "vm/map.hh"
+
+namespace vspec
+{
+
+/** Observed operand types of a binary/compare/unary numeric operation. */
+enum class OperandFeedback : u8
+{
+    None,     //!< never executed
+    Smi,      //!< all operands were SMIs
+    Number,   //!< SMIs and/or heap numbers
+    String,   //!< string (concatenation / comparison)
+    Any,      //!< mixed or non-numeric
+};
+
+OperandFeedback joinOperand(OperandFeedback a, OperandFeedback b);
+const char *operandFeedbackName(OperandFeedback f);
+
+/** Property-access feedback (named loads/stores). */
+struct PropertyFeedback
+{
+    enum class State : u8 { None, Monomorphic, Polymorphic, Megamorphic };
+
+    State state = State::None;
+
+    /** Monomorphic / polymorphic entries: map seen -> slot index. For
+     *  stores that add a property, `transition` is the target map. */
+    struct Entry
+    {
+        MapId map = kInvalidMap;
+        int slotIndex = -1;
+        MapId transition = kInvalidMap;
+    };
+    static constexpr size_t kMaxPolymorphic = 4;
+    std::vector<Entry> entries;
+
+    /** Special named loads that bypass maps entirely. */
+    bool sawStringLength = false;
+    bool sawArrayLength = false;
+    MapId lengthMap = kInvalidMap;   //!< array map seen for .length
+    bool lengthPolymorphic = false;
+
+    /** Builtin method loaded off a String/Array receiver (e.g.
+     *  charCodeAt), letting the JIT embed the builtin as a constant
+     *  behind a map check. */
+    u16 builtinMethod = 0;           //!< BuiltinId, 0 = none
+    MapId builtinReceiverMap = kInvalidMap;
+
+    /** Access needed the fully generic runtime path. */
+    bool sawGeneric = false;
+
+    void recordMapSlot(MapId map, int slot_index,
+                       MapId transition = kInvalidMap);
+    bool isMonomorphic() const { return state == State::Monomorphic; }
+};
+
+/** Element-access feedback (indexed loads/stores on arrays). */
+struct ElementFeedback
+{
+    enum class State : u8 { None, Typed, Megamorphic };
+
+    State state = State::None;
+    MapId arrayMap = kInvalidMap;   //!< canonical map incl. element kind
+    ElementKind kind = ElementKind::Smi;
+    bool sawOutOfBounds = false;    //!< a load/store ever went OOB
+    bool sawGrowth = false;         //!< a store ever appended
+    bool sawString = false;         //!< receiver was a string (s[i])
+
+    void recordAccess(MapId map, ElementKind kind);
+};
+
+/** Call-site feedback. */
+struct CallFeedback
+{
+    enum class State : u8 { None, Monomorphic, Megamorphic };
+    State state = State::None;
+    u32 target = 0xffffffffu;  //!< FunctionId when monomorphic
+
+    void recordTarget(u32 function_id);
+};
+
+/** Global-variable load feedback: constant-cell speculation. */
+struct GlobalFeedback
+{
+    bool loaded = false;
+};
+
+enum class SlotKind : u8
+{
+    BinaryOp,
+    CompareOp,
+    UnaryOp,
+    Property,
+    Element,
+    CallSite,
+    Global,
+};
+
+/** One feedback slot; `kind` selects the active member. */
+struct FeedbackSlot
+{
+    SlotKind kind = SlotKind::BinaryOp;
+    OperandFeedback operands = OperandFeedback::None;  //!< binary/cmp/unary
+    PropertyFeedback property;
+    ElementFeedback element;
+    CallFeedback call;
+    GlobalFeedback global;
+};
+
+class FeedbackVector
+{
+  public:
+    /** Reserve a new slot of the given kind; returns its index. */
+    int addSlot(SlotKind kind);
+
+    FeedbackSlot &at(int i) { return slots.at(static_cast<size_t>(i)); }
+    const FeedbackSlot &at(int i) const
+    {
+        return slots.at(static_cast<size_t>(i));
+    }
+    size_t size() const { return slots.size(); }
+
+    /** True if any slot has recorded anything (function "warm"). */
+    bool hasAnyFeedback() const;
+
+    /** Forget everything (used when speculation is being re-tested). */
+    void reset();
+
+  private:
+    std::vector<FeedbackSlot> slots;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_BYTECODE_FEEDBACK_HH

@@ -1,0 +1,74 @@
+#include "frontend/ast.hh"
+
+#include <cstdio>
+
+namespace vspec
+{
+
+namespace
+{
+
+const char *
+kindName(NodeKind k)
+{
+    switch (k) {
+      case NodeKind::Program: return "program";
+      case NodeKind::FuncDecl: return "func";
+      case NodeKind::Block: return "block";
+      case NodeKind::VarDecl: return "var";
+      case NodeKind::ExprStmt: return "expr";
+      case NodeKind::If: return "if";
+      case NodeKind::While: return "while";
+      case NodeKind::For: return "for";
+      case NodeKind::Return: return "return";
+      case NodeKind::Break: return "break";
+      case NodeKind::Continue: return "continue";
+      case NodeKind::NumberLit: return "num";
+      case NodeKind::StringLit: return "str";
+      case NodeKind::BoolLit: return "bool";
+      case NodeKind::NullLit: return "null";
+      case NodeKind::UndefinedLit: return "undefined";
+      case NodeKind::Ident: return "ident";
+      case NodeKind::This: return "this";
+      case NodeKind::ArrayLit: return "array";
+      case NodeKind::ObjectLit: return "object";
+      case NodeKind::Binary: return "binary";
+      case NodeKind::Logical: return "logical";
+      case NodeKind::Unary: return "unary";
+      case NodeKind::Update: return "update";
+      case NodeKind::Assign: return "assign";
+      case NodeKind::Ternary: return "ternary";
+      case NodeKind::Call: return "call";
+      case NodeKind::Member: return "member";
+      case NodeKind::Index: return "index";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+Node::dump() const
+{
+    std::string out = "(";
+    out += kindName(kind);
+    if (!op.empty())
+        out += " " + op;
+    if (kind == NodeKind::NumberLit) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " %g", numVal);
+        out += buf;
+    }
+    if (!strVal.empty())
+        out += " " + strVal;
+    if (kind == NodeKind::BoolLit || kind == NodeKind::Update)
+        out += intVal ? " true" : " false";
+    for (const auto &c : children) {
+        out += " ";
+        out += c ? c->dump() : "()";
+    }
+    out += ")";
+    return out;
+}
+
+} // namespace vspec

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Abstract syntax tree for MiniJS, the JavaScript subset the vspec
+ * engine executes. The subset covers what the extended-JetStream2-style
+ * workloads need: numbers/strings/booleans/null/undefined, dense arrays,
+ * object literals with methods, top-level functions, `this`, full
+ * expression grammar including bitwise and update operators, and
+ * structured control flow. Deliberately excluded (documented in
+ * README): closures, prototypes, `new`, exceptions, getters/setters.
+ */
+
+#ifndef VSPEC_FRONTEND_AST_HH
+#define VSPEC_FRONTEND_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+enum class NodeKind : u8
+{
+    Program,
+    FuncDecl,
+    Block,
+    VarDecl,      //!< one declarator; name in strVal, optional init child
+    ExprStmt,
+    If,           //!< children: cond, then, [else]
+    While,        //!< children: cond, body
+    For,          //!< children: [init], [cond], [update], body
+    Return,       //!< children: [value]
+    Break,
+    Continue,
+
+    NumberLit,    //!< numVal
+    StringLit,    //!< strVal
+    BoolLit,      //!< intVal 0/1
+    NullLit,
+    UndefinedLit,
+    Ident,        //!< strVal
+    This,
+    ArrayLit,     //!< children: elements
+    ObjectLit,    //!< children: alternating key(StringLit)/value pairs
+    Binary,       //!< op, children: lhs, rhs
+    Logical,      //!< op ("&&"/"||"), children: lhs, rhs
+    Unary,        //!< op ("-","+","!","~","typeof"), child: operand
+    Update,       //!< op ("++","--"), intVal 1 if prefix, child: target
+    Assign,       //!< op ("=","+=",...), children: target, value
+    Ternary,      //!< children: cond, then, else
+    Call,         //!< children: callee, args...
+    Member,       //!< strVal = property name, child: object
+    Index,        //!< children: object, index
+};
+
+struct Node
+{
+    using Ptr = std::unique_ptr<Node>;
+
+    NodeKind kind;
+    int line = 0;
+
+    double numVal = 0.0;
+    i64 intVal = 0;
+    std::string strVal;
+    std::string op;
+    std::vector<Ptr> children;
+
+    explicit Node(NodeKind k, int line = 0) : kind(k), line(line) {}
+
+    Node *child(size_t i) const { return children.at(i).get(); }
+    size_t arity() const { return children.size(); }
+
+    /** S-expression dump used by parser tests. */
+    std::string dump() const;
+};
+
+/** One parsed top-level function. */
+struct FunctionSource
+{
+    std::string name;
+    std::vector<std::string> params;
+    Node::Ptr body;  //!< Block node
+};
+
+/** A fully parsed program: functions plus top-level statements. */
+struct ProgramSource
+{
+    std::vector<FunctionSource> functions;
+    std::vector<Node::Ptr> topLevel;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_FRONTEND_AST_HH

@@ -1,0 +1,195 @@
+#include "frontend/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace vspec
+{
+
+bool
+isKeyword(const std::string &word)
+{
+    static const std::unordered_set<std::string> kws = {
+        "var", "let", "const", "function", "if", "else", "while", "for",
+        "return", "break", "continue", "true", "false", "null", "undefined",
+        "typeof", "this",
+    };
+    return kws.count(word) != 0;
+}
+
+namespace
+{
+
+/** Multi-character punctuators, longest-match-first. */
+const char *kPuncts[] = {
+    ">>>=", "===", "!==", ">>>", "<<=", ">>=", "&&", "||", "==", "!=",
+    "<=", ">=", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "<<", ">>", "+", "-", "*", "/", "%", "=", "<", ">", "!", "~",
+    "&", "|", "^", "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &src)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1;
+    const size_t n = src.size();
+
+    auto peek = [&](size_t k = 0) -> char {
+        return i + k < n ? src[i + k] : '\0';
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            line++;
+            i++;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            i++;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && peek(1) == '/') {
+            while (i < n && src[i] != '\n')
+                i++;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n')
+                    line++;
+                i++;
+            }
+            if (i + 1 >= n)
+                throw LexError("unterminated block comment", line);
+            i += 2;
+            continue;
+        }
+        // Numbers.
+        if (std::isdigit(static_cast<unsigned char>(c))
+            || (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            size_t start = i;
+            if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+                i += 2;
+                while (std::isxdigit(static_cast<unsigned char>(peek())))
+                    i++;
+                Token t;
+                t.kind = TokKind::Number;
+                t.line = line;
+                t.number = static_cast<double>(
+                    std::strtoull(src.substr(start + 2, i - start - 2).c_str(),
+                                  nullptr, 16));
+                out.push_back(std::move(t));
+                continue;
+            }
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                i++;
+            if (peek() == '.') {
+                i++;
+                while (std::isdigit(static_cast<unsigned char>(peek())))
+                    i++;
+            }
+            if (peek() == 'e' || peek() == 'E') {
+                i++;
+                if (peek() == '+' || peek() == '-')
+                    i++;
+                while (std::isdigit(static_cast<unsigned char>(peek())))
+                    i++;
+            }
+            Token t;
+            t.kind = TokKind::Number;
+            t.line = line;
+            t.number = std::strtod(src.substr(start, i - start).c_str(),
+                                   nullptr);
+            out.push_back(std::move(t));
+            continue;
+        }
+        // Strings.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            i++;
+            std::string payload;
+            while (i < n && src[i] != quote) {
+                char ch = src[i];
+                if (ch == '\n')
+                    throw LexError("newline in string literal", line);
+                if (ch == '\\') {
+                    i++;
+                    if (i >= n)
+                        throw LexError("unterminated escape", line);
+                    switch (src[i]) {
+                      case 'n': payload += '\n'; break;
+                      case 't': payload += '\t'; break;
+                      case 'r': payload += '\r'; break;
+                      case '0': payload += '\0'; break;
+                      case '\\': payload += '\\'; break;
+                      case '\'': payload += '\''; break;
+                      case '"': payload += '"'; break;
+                      default:
+                        throw LexError("unknown escape sequence", line);
+                    }
+                    i++;
+                } else {
+                    payload += ch;
+                    i++;
+                }
+            }
+            if (i >= n)
+                throw LexError("unterminated string literal", line);
+            i++;  // closing quote
+            Token t;
+            t.kind = TokKind::String;
+            t.line = line;
+            t.str = std::move(payload);
+            out.push_back(std::move(t));
+            continue;
+        }
+        // Identifiers and keywords.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_'
+            || c == '$') {
+            size_t start = i;
+            while (std::isalnum(static_cast<unsigned char>(peek()))
+                   || peek() == '_' || peek() == '$')
+                i++;
+            Token t;
+            t.line = line;
+            t.text = src.substr(start, i - start);
+            t.kind = isKeyword(t.text) ? TokKind::Keyword : TokKind::Ident;
+            out.push_back(std::move(t));
+            continue;
+        }
+        // Punctuators, longest match first.
+        bool matched = false;
+        for (const char *p : kPuncts) {
+            size_t len = std::char_traits<char>::length(p);
+            if (src.compare(i, len, p) == 0) {
+                Token t;
+                t.kind = TokKind::Punct;
+                t.line = line;
+                t.text = p;
+                out.push_back(std::move(t));
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            throw LexError(std::string("unexpected character '") + c + "'",
+                           line);
+    }
+
+    Token eof;
+    eof.kind = TokKind::Eof;
+    eof.line = line;
+    out.push_back(std::move(eof));
+    return out;
+}
+
+} // namespace vspec

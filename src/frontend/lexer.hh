@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Hand-written lexer for MiniJS. Produces a flat token stream with line
+ * numbers for error reporting. String literals support the usual escape
+ * sequences; numbers are decimal or hex (0x...) doubles.
+ */
+
+#ifndef VSPEC_FRONTEND_LEXER_HH
+#define VSPEC_FRONTEND_LEXER_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+enum class TokKind : u8
+{
+    Eof,
+    Number,
+    String,
+    Ident,
+    Keyword,
+    Punct,
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Eof;
+    std::string text;     //!< identifier / keyword / punctuation spelling
+    double number = 0.0;  //!< Number tokens
+    std::string str;      //!< String tokens (unescaped payload)
+    int line = 1;
+};
+
+/**
+ * Tokenize @p source. Throws LexError (a std::runtime_error) on invalid
+ * input — MiniJS sources are authored in-tree, so a throwing API keeps
+ * the workload registry honest.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+/** @return true if @p word is a MiniJS keyword. */
+bool isKeyword(const std::string &word);
+
+class LexError : public std::runtime_error
+{
+  public:
+    LexError(const std::string &msg, int line)
+        : std::runtime_error("lex error at line " + std::to_string(line)
+                             + ": " + msg),
+          line(line)
+    {}
+    int line;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_FRONTEND_LEXER_HH

@@ -1,0 +1,530 @@
+#include "frontend/parser.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : toks(std::move(toks)) {}
+
+    ProgramSource
+    parseProgram()
+    {
+        ProgramSource prog;
+        while (!atEof()) {
+            if (isKw("function")) {
+                prog.functions.push_back(parseFunction());
+            } else {
+                prog.topLevel.push_back(parseStatement());
+            }
+        }
+        return prog;
+    }
+
+    Node::Ptr
+    parseSingleExpression()
+    {
+        auto e = parseExpr();
+        expectEof();
+        return e;
+    }
+
+  private:
+    // ---- token helpers -------------------------------------------------
+
+    const Token &cur() const { return toks[pos]; }
+    const Token &ahead(size_t k = 1) const
+    {
+        return toks[std::min(pos + k, toks.size() - 1)];
+    }
+    bool atEof() const { return cur().kind == TokKind::Eof; }
+    void advance() { if (!atEof()) pos++; }
+
+    bool
+    isPunct(const char *p) const
+    {
+        return cur().kind == TokKind::Punct && cur().text == p;
+    }
+    bool
+    isKw(const char *k) const
+    {
+        return cur().kind == TokKind::Keyword && cur().text == k;
+    }
+    bool
+    eatPunct(const char *p)
+    {
+        if (!isPunct(p))
+            return false;
+        advance();
+        return true;
+    }
+    bool
+    eatKw(const char *k)
+    {
+        if (!isKw(k))
+            return false;
+        advance();
+        return true;
+    }
+    void
+    expectPunct(const char *p)
+    {
+        if (!eatPunct(p))
+            throw ParseError(std::string("expected '") + p + "', got '"
+                             + describe(cur()) + "'", cur().line);
+    }
+    std::string
+    expectIdent()
+    {
+        if (cur().kind != TokKind::Ident)
+            throw ParseError("expected identifier, got '" + describe(cur())
+                             + "'", cur().line);
+        std::string name = cur().text;
+        advance();
+        return name;
+    }
+    void
+    expectEof()
+    {
+        if (!atEof())
+            throw ParseError("trailing input", cur().line);
+    }
+    static std::string
+    describe(const Token &t)
+    {
+        switch (t.kind) {
+          case TokKind::Eof: return "<eof>";
+          case TokKind::Number: return formatNum(t.number);
+          case TokKind::String: return "\"" + t.str + "\"";
+          default: return t.text;
+        }
+    }
+    static std::string
+    formatNum(double d)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", d);
+        return buf;
+    }
+
+    Node::Ptr
+    make(NodeKind k)
+    {
+        return std::make_unique<Node>(k, cur().line);
+    }
+
+    // ---- declarations -----------------------------------------------------
+
+    FunctionSource
+    parseFunction()
+    {
+        eatKw("function");
+        FunctionSource fn;
+        fn.name = expectIdent();
+        expectPunct("(");
+        if (!isPunct(")")) {
+            do {
+                fn.params.push_back(expectIdent());
+            } while (eatPunct(","));
+        }
+        expectPunct(")");
+        fn.body = parseBlock();
+        return fn;
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    Node::Ptr
+    parseBlock()
+    {
+        auto blk = make(NodeKind::Block);
+        expectPunct("{");
+        while (!isPunct("}")) {
+            if (atEof())
+                throw ParseError("unterminated block", cur().line);
+            blk->children.push_back(parseStatement());
+        }
+        expectPunct("}");
+        return blk;
+    }
+
+    Node::Ptr
+    parseStatement()
+    {
+        if (isPunct("{"))
+            return parseBlock();
+        if (isKw("var") || isKw("let") || isKw("const"))
+            return parseVarStatement();
+        if (eatKw("if")) {
+            auto n = make(NodeKind::If);
+            expectPunct("(");
+            n->children.push_back(parseExpr());
+            expectPunct(")");
+            n->children.push_back(parseStatement());
+            if (eatKw("else"))
+                n->children.push_back(parseStatement());
+            return n;
+        }
+        if (eatKw("while")) {
+            auto n = make(NodeKind::While);
+            expectPunct("(");
+            n->children.push_back(parseExpr());
+            expectPunct(")");
+            n->children.push_back(parseStatement());
+            return n;
+        }
+        if (eatKw("for"))
+            return parseFor();
+        if (eatKw("return")) {
+            auto n = make(NodeKind::Return);
+            if (!isPunct(";"))
+                n->children.push_back(parseExpr());
+            expectPunct(";");
+            return n;
+        }
+        if (eatKw("break")) {
+            expectPunct(";");
+            return make(NodeKind::Break);
+        }
+        if (eatKw("continue")) {
+            expectPunct(";");
+            return make(NodeKind::Continue);
+        }
+        auto n = make(NodeKind::ExprStmt);
+        n->children.push_back(parseExpr());
+        expectPunct(";");
+        return n;
+    }
+
+    /** One or more declarators, wrapped in a Block when more than one. */
+    Node::Ptr
+    parseVarStatement()
+    {
+        advance();  // var/let/const
+        std::vector<Node::Ptr> decls;
+        do {
+            auto d = make(NodeKind::VarDecl);
+            d->strVal = expectIdent();
+            if (eatPunct("="))
+                d->children.push_back(parseAssignment());
+            decls.push_back(std::move(d));
+        } while (eatPunct(","));
+        expectPunct(";");
+        if (decls.size() == 1)
+            return std::move(decls[0]);
+        auto blk = make(NodeKind::Block);
+        blk->children = std::move(decls);
+        return blk;
+    }
+
+    Node::Ptr
+    parseFor()
+    {
+        auto n = make(NodeKind::For);
+        expectPunct("(");
+        // init (may be a declaration, an expression, or empty)
+        if (isPunct(";")) {
+            advance();
+            n->children.push_back(nullptr);
+        } else if (isKw("var") || isKw("let") || isKw("const")) {
+            n->children.push_back(parseVarStatement());  // consumes ';'
+        } else {
+            auto init = make(NodeKind::ExprStmt);
+            init->children.push_back(parseExpr());
+            expectPunct(";");
+            n->children.push_back(std::move(init));
+        }
+        // condition
+        if (isPunct(";")) {
+            n->children.push_back(nullptr);
+        } else {
+            n->children.push_back(parseExpr());
+        }
+        expectPunct(";");
+        // update
+        if (isPunct(")")) {
+            n->children.push_back(nullptr);
+        } else {
+            n->children.push_back(parseExpr());
+        }
+        expectPunct(")");
+        n->children.push_back(parseStatement());
+        return n;
+    }
+
+    // ---- expressions -----------------------------------------------------------
+
+    Node::Ptr parseExpr() { return parseAssignment(); }
+
+    Node::Ptr
+    parseAssignment()
+    {
+        auto lhs = parseTernary();
+        static const char *assign_ops[] = {
+            "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+            "<<=", ">>=", ">>>=",
+        };
+        for (const char *op : assign_ops) {
+            if (isPunct(op)) {
+                if (lhs->kind != NodeKind::Ident
+                    && lhs->kind != NodeKind::Member
+                    && lhs->kind != NodeKind::Index)
+                    throw ParseError("invalid assignment target", cur().line);
+                auto n = make(NodeKind::Assign);
+                n->op = op;
+                advance();
+                n->children.push_back(std::move(lhs));
+                n->children.push_back(parseAssignment());
+                return n;
+            }
+        }
+        return lhs;
+    }
+
+    Node::Ptr
+    parseTernary()
+    {
+        auto cond = parseBinary(0);
+        if (eatPunct("?")) {
+            auto n = make(NodeKind::Ternary);
+            n->children.push_back(std::move(cond));
+            n->children.push_back(parseAssignment());
+            expectPunct(":");
+            n->children.push_back(parseAssignment());
+            return n;
+        }
+        return cond;
+    }
+
+    struct OpLevel
+    {
+        std::vector<const char *> ops;
+        bool logical;
+    };
+
+    const std::vector<OpLevel> &
+    levels() const
+    {
+        static const std::vector<OpLevel> lv = {
+            {{"||"}, true},
+            {{"&&"}, true},
+            {{"|"}, false},
+            {{"^"}, false},
+            {{"&"}, false},
+            {{"==", "!=", "===", "!=="}, false},
+            {{"<", ">", "<=", ">="}, false},
+            {{"<<", ">>", ">>>"}, false},
+            {{"+", "-"}, false},
+            {{"*", "/", "%"}, false},
+        };
+        return lv;
+    }
+
+    Node::Ptr
+    parseBinary(size_t level)
+    {
+        if (level >= levels().size())
+            return parseUnary();
+        auto lhs = parseBinary(level + 1);
+        for (;;) {
+            const char *matched = nullptr;
+            for (const char *op : levels()[level].ops) {
+                if (isPunct(op)) {
+                    matched = op;
+                    break;
+                }
+            }
+            if (!matched)
+                return lhs;
+            auto n = make(levels()[level].logical ? NodeKind::Logical
+                                                  : NodeKind::Binary);
+            n->op = matched;
+            advance();
+            n->children.push_back(std::move(lhs));
+            n->children.push_back(parseBinary(level + 1));
+            lhs = std::move(n);
+        }
+    }
+
+    Node::Ptr
+    parseUnary()
+    {
+        static const char *unary_ops[] = {"!", "-", "+", "~"};
+        for (const char *op : unary_ops) {
+            if (isPunct(op)) {
+                auto n = make(NodeKind::Unary);
+                n->op = op;
+                advance();
+                n->children.push_back(parseUnary());
+                return n;
+            }
+        }
+        if (isKw("typeof")) {
+            auto n = make(NodeKind::Unary);
+            n->op = "typeof";
+            advance();
+            n->children.push_back(parseUnary());
+            return n;
+        }
+        if (isPunct("++") || isPunct("--")) {
+            auto n = make(NodeKind::Update);
+            n->op = cur().text;
+            n->intVal = 1;  // prefix
+            advance();
+            n->children.push_back(parseUnary());
+            return n;
+        }
+        return parsePostfix();
+    }
+
+    Node::Ptr
+    parsePostfix()
+    {
+        auto e = parseCallChain();
+        if (isPunct("++") || isPunct("--")) {
+            auto n = make(NodeKind::Update);
+            n->op = cur().text;
+            n->intVal = 0;  // postfix
+            advance();
+            n->children.push_back(std::move(e));
+            return n;
+        }
+        return e;
+    }
+
+    Node::Ptr
+    parseCallChain()
+    {
+        auto e = parsePrimary();
+        for (;;) {
+            if (eatPunct("(")) {
+                auto call = make(NodeKind::Call);
+                call->children.push_back(std::move(e));
+                if (!isPunct(")")) {
+                    do {
+                        call->children.push_back(parseAssignment());
+                    } while (eatPunct(","));
+                }
+                expectPunct(")");
+                e = std::move(call);
+            } else if (eatPunct(".")) {
+                auto mem = make(NodeKind::Member);
+                if (cur().kind != TokKind::Ident
+                    && cur().kind != TokKind::Keyword)
+                    throw ParseError("expected property name", cur().line);
+                mem->strVal = cur().text;
+                advance();
+                mem->children.push_back(std::move(e));
+                e = std::move(mem);
+            } else if (eatPunct("[")) {
+                auto idx = make(NodeKind::Index);
+                idx->children.push_back(std::move(e));
+                idx->children.push_back(parseExpr());
+                expectPunct("]");
+                e = std::move(idx);
+            } else {
+                return e;
+            }
+        }
+    }
+
+    Node::Ptr
+    parsePrimary()
+    {
+        if (cur().kind == TokKind::Number) {
+            auto n = make(NodeKind::NumberLit);
+            n->numVal = cur().number;
+            advance();
+            return n;
+        }
+        if (cur().kind == TokKind::String) {
+            auto n = make(NodeKind::StringLit);
+            n->strVal = cur().str;
+            advance();
+            return n;
+        }
+        if (cur().kind == TokKind::Ident) {
+            auto n = make(NodeKind::Ident);
+            n->strVal = cur().text;
+            advance();
+            return n;
+        }
+        if (isKw("true") || isKw("false")) {
+            auto n = make(NodeKind::BoolLit);
+            n->intVal = isKw("true") ? 1 : 0;
+            advance();
+            return n;
+        }
+        if (eatKw("null"))
+            return make(NodeKind::NullLit);
+        if (eatKw("undefined"))
+            return make(NodeKind::UndefinedLit);
+        if (eatKw("this"))
+            return make(NodeKind::This);
+        if (eatPunct("(")) {
+            auto e = parseExpr();
+            expectPunct(")");
+            return e;
+        }
+        if (eatPunct("[")) {
+            auto arr = make(NodeKind::ArrayLit);
+            if (!isPunct("]")) {
+                do {
+                    arr->children.push_back(parseAssignment());
+                } while (eatPunct(","));
+            }
+            expectPunct("]");
+            return arr;
+        }
+        if (eatPunct("{")) {
+            auto obj = make(NodeKind::ObjectLit);
+            if (!isPunct("}")) {
+                do {
+                    auto key = make(NodeKind::StringLit);
+                    if (cur().kind == TokKind::Ident
+                        || cur().kind == TokKind::Keyword) {
+                        key->strVal = cur().text;
+                        advance();
+                    } else if (cur().kind == TokKind::String) {
+                        key->strVal = cur().str;
+                        advance();
+                    } else {
+                        throw ParseError("expected property key", cur().line);
+                    }
+                    expectPunct(":");
+                    obj->children.push_back(std::move(key));
+                    obj->children.push_back(parseAssignment());
+                } while (eatPunct(","));
+            }
+            expectPunct("}");
+            return obj;
+        }
+        throw ParseError("unexpected token '" + describe(cur()) + "'",
+                         cur().line);
+    }
+
+    std::vector<Token> toks;
+    size_t pos = 0;
+};
+
+} // namespace
+
+ProgramSource
+parseProgram(const std::string &source)
+{
+    Parser p(tokenize(source));
+    return p.parseProgram();
+}
+
+Node::Ptr
+parseExpression(const std::string &source)
+{
+    Parser p(tokenize(source));
+    return p.parseSingleExpression();
+}
+
+} // namespace vspec

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniJS. Produces a ProgramSource: the
+ * list of top-level functions plus top-level statements. Grammar and
+ * precedence follow ECMAScript for the supported subset.
+ */
+
+#ifndef VSPEC_FRONTEND_PARSER_HH
+#define VSPEC_FRONTEND_PARSER_HH
+
+#include "frontend/ast.hh"
+#include "frontend/lexer.hh"
+
+namespace vspec
+{
+
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(const std::string &msg, int line)
+        : std::runtime_error("parse error at line " + std::to_string(line)
+                             + ": " + msg),
+          line(line)
+    {}
+    int line;
+};
+
+/** Parse @p source into a ProgramSource. Throws ParseError / LexError. */
+ProgramSource parseProgram(const std::string &source);
+
+/** Parse a single expression (used by tests). */
+Node::Ptr parseExpression(const std::string &source);
+
+} // namespace vspec
+
+#endif // VSPEC_FRONTEND_PARSER_HH

@@ -1,0 +1,239 @@
+#include "harness/experiment.hh"
+
+#include <map>
+
+namespace vspec
+{
+
+double
+RunOutcome::steadyStateCycles() const
+{
+    if (iterationCycles.empty())
+        return 0.0;
+    size_t start = iterationCycles.size() * 2 / 3;
+    double sum = 0.0;
+    size_t n = 0;
+    for (size_t i = start; i < iterationCycles.size(); i++) {
+        sum += static_cast<double>(iterationCycles[i]);
+        n++;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double
+RunOutcome::meanCycles() const
+{
+    if (iterationCycles.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (Cycles c : iterationCycles)
+        sum += static_cast<double>(c);
+    return sum / static_cast<double>(iterationCycles.size());
+}
+
+EngineConfig
+engineConfigFor(const RunConfig &rc)
+{
+    EngineConfig cfg;
+    cfg.isa = rc.isa;
+    cfg.cpu = rc.cpu.has_value()
+        ? *rc.cpu
+        : (rc.isa == IsaFlavour::X64Like ? CpuConfig::x64Server()
+                                         : CpuConfig::arm64Server());
+    cfg.passes.removeGroup = rc.removeChecks;
+    cfg.removeDeoptBranches = rc.removeBranchesOnly;
+    cfg.smiLoadExtension = rc.smiExtension;
+    cfg.mapCheckExtension = rc.mapCheckExtension;
+    cfg.enableOptimization = rc.enableOptimization;
+    cfg.samplerEnabled = rc.samplerEnabled;
+    cfg.samplerPeriodCycles = rc.samplerPeriod;
+    cfg.randomSeed = rc.seed;
+    if (rc.jitter != 0) {
+        cfg.samplerPeriodCycles += 2 * rc.jitter + 1;
+        cfg.optimizeAfterInvocations = 2 + rc.jitter % 2;
+        cfg.randomSeed += rc.jitter * 7919;
+        cfg.layoutJitterBytes = rc.jitter * 712 + (rc.jitter % 7) * 64;
+    }
+    return cfg;
+}
+
+RunOutcome
+runWorkload(const Workload &w, const RunConfig &rc,
+            const std::string *reference)
+{
+    RunOutcome out;
+    u32 size = rc.size != 0 ? rc.size : w.defaultSize;
+
+    try {
+        Engine engine(engineConfigFor(rc));
+        engine.loadProgram(instantiate(w, size));
+
+        size_t deopts_seen = 0;
+        for (u32 i = 0; i < rc.iterations; i++) {
+            Cycles before = engine.totalCycles();
+            engine.call("bench");
+            Cycles after = engine.totalCycles();
+            out.iterationCycles.push_back(after - before);
+            out.deoptEventsPerIteration.push_back(
+                static_cast<u32>(engine.deoptLog.size() - deopts_seen));
+            deopts_seen = engine.deoptLog.size();
+        }
+        out.totalDeopts = engine.deoptLog.size();
+
+        Value checksum = engine.call("verify");
+        out.checksum = engine.vm.display(checksum);
+        out.completed = true;
+
+        out.sim = engine.timing->stats;
+        out.sim.branches = engine.timing->predictor.branches;
+        out.sim.mispredicts = engine.timing->predictor.mispredicts;
+        out.interpreterCycles = engine.interpreterCycles;
+        out.totalCycles = engine.totalCycles();
+        out.compilations = engine.compilations;
+
+        // Aggregate sampler attributions and static code metrics over
+        // every compiled code object.
+        int window = defaultWindowFor(rc.isa);
+        for (const auto &code : engine.codeObjects) {
+            out.staticInstructions += code->code.size();
+            auto per_group = code->checkInstructionsPerGroup();
+            // Static per-group counts use *checks*, not instructions.
+            for (const auto &chk : code->checks)
+                out.staticChecksPerGroup[static_cast<size_t>(chk.group)]++;
+            out.staticChecks += code->checks.size();
+            (void)per_group;
+            const auto *hist = engine.sampler.histogramFor(code->id);
+            if (hist != nullptr) {
+                out.window += attributeWindowHeuristic(*code, *hist,
+                                                       window);
+                out.truth += attributeGroundTruth(*code, *hist);
+            }
+        }
+        // perf samples the whole process, but the PC sampler only sees
+        // simulated (optimized) code. Account the cycles spent in the
+        // interpreter, builtins and runtime helpers as non-check
+        // samples so overheads are fractions of *total* time — this is
+        // why the paper's regex/string benchmarks show ~0 overhead:
+        // their time is builtin time.
+        if (rc.samplerEnabled && rc.samplerPeriod > 0) {
+            u64 expected = out.totalCycles / rc.samplerPeriod;
+            if (expected > out.window.totalSamples) {
+                u64 extra = expected - out.window.totalSamples;
+                out.window.totalSamples += extra;
+                out.truth.totalSamples += extra;
+            }
+        }
+        // Fig. 1 metric: check *instructions* per 100 instructions,
+        // weighted by dynamic execution (committed instructions).
+        if (out.sim.instructions > 0) {
+            out.staticCheckFreqPer100 =
+                100.0 * static_cast<double>(out.sim.checkInstructions)
+                / static_cast<double>(out.sim.instructions);
+        }
+    } catch (const std::exception &ex) {
+        out.completed = false;
+        out.error = ex.what();
+    }
+
+    if (reference != nullptr)
+        out.valid = out.completed && out.checksum == *reference;
+    else
+        out.valid = out.completed;
+    return out;
+}
+
+const std::string &
+referenceChecksum(const Workload &w, u32 size, u32 iterations)
+{
+    static std::map<std::string, std::string> cache;
+    std::string key = w.name + "#" + std::to_string(size) + "#"
+                      + std::to_string(iterations);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    RunConfig rc;
+    rc.iterations = iterations;
+    rc.size = size;
+    rc.samplerEnabled = false;
+    RunOutcome ref = runWorkload(w, rc, nullptr);
+    if (!ref.completed)
+        vpanic("reference run failed for " + w.name + ": " + ref.error);
+    return cache.emplace(key, ref.checksum).first->second;
+}
+
+std::array<bool, kNumGroups>
+findSafeRemovalSet(const Workload &w, RunConfig base, u32 probe_iterations)
+{
+    base.iterations = probe_iterations;
+    base.samplerEnabled = false;
+    u32 size = base.size != 0 ? base.size : w.defaultSize;
+
+    // The search costs up to 8 full runs; benches call it for several
+    // experiments, so memoize per (workload, size, isa, probes).
+    static std::map<std::string, std::array<bool, kNumGroups>> cache;
+    std::string key = w.name + "#" + std::to_string(size) + "#"
+                      + isaFlavourName(base.isa) + "#"
+                      + std::to_string(probe_iterations);
+    auto hit = cache.find(key);
+    if (hit != cache.end())
+        return hit->second;
+
+    const std::string &ref = referenceChecksum(w, size, probe_iterations);
+
+    std::array<bool, kNumGroups> removed{};
+    removed.fill(true);
+
+    RunConfig all = base;
+    all.removeChecks = removed;
+    if (runWorkload(w, all, &ref).valid) {
+        cache.emplace(key, removed);
+        return removed;
+    }
+
+    // Drop one group at a time: keep a group's checks when removing
+    // them (individually) breaks the run, then verify the combination
+    // and keep shrinking until it passes.
+    for (size_t g = 0; g < kNumGroups; g++) {
+        std::array<bool, kNumGroups> only{};
+        only[g] = true;
+        RunConfig probe = base;
+        probe.removeChecks = only;
+        if (!runWorkload(w, probe, &ref).valid)
+            removed[g] = false;
+    }
+    RunConfig combo = base;
+    combo.removeChecks = removed;
+    while (combo.anyRemoval() && !runWorkload(w, combo, &ref).valid) {
+        // Interactions between groups: drop the largest remaining one.
+        for (size_t g = 0; g < kNumGroups; g++) {
+            if (combo.removeChecks[g]) {
+                combo.removeChecks[g] = false;
+                break;
+            }
+        }
+    }
+    cache.emplace(key, combo.removeChecks);
+    return combo.removeChecks;
+}
+
+double
+leftoverCheckFraction(const Workload &w, const RunConfig &base,
+                      const std::array<bool, kNumGroups> &removed)
+{
+    RunConfig none = base;
+    none.removeChecks.fill(false);
+    none.samplerEnabled = false;
+    RunConfig with = base;
+    with.removeChecks = removed;
+    with.samplerEnabled = false;
+
+    RunOutcome a = runWorkload(w, none, nullptr);
+    RunOutcome b = runWorkload(w, with, nullptr);
+    if (!a.completed || !b.completed || a.sim.checkInstructions == 0)
+        return 1.0;
+    return static_cast<double>(b.sim.checkInstructions)
+           / static_cast<double>(a.sim.checkInstructions);
+}
+
+} // namespace vspec

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Experiment harness shared by every bench binary: runs a workload for
+ * N iterations under a RunConfig (ISA flavour, CPU model, check
+ * removal set, branch-only removal, SMI extension, sampler), collects
+ * per-iteration cycle counts and deoptimization events, aggregates
+ * sampler attributions, validates the final checksum against a
+ * reference run, and implements the paper's §III-B.2 safe-removal
+ * search (leave in the check types a benchmark needs for correctness).
+ */
+
+#ifndef VSPEC_HARNESS_EXPERIMENT_HH
+#define VSPEC_HARNESS_EXPERIMENT_HH
+
+#include <array>
+#include <optional>
+
+#include "profiler/attribution.hh"
+#include "runtime/engine.hh"
+#include "workloads/suite.hh"
+
+namespace vspec
+{
+
+struct RunConfig
+{
+    IsaFlavour isa = IsaFlavour::Arm64Like;
+    std::optional<CpuConfig> cpu;  //!< default: matches the ISA flavour
+    u32 iterations = 120;
+    u32 size = 0;                  //!< 0 = workload default
+
+    std::array<bool, kNumGroups> removeChecks{};
+    bool removeBranchesOnly = false;
+    bool smiExtension = false;
+    bool mapCheckExtension = false;  //!< §VII ablation
+    bool samplerEnabled = true;
+    bool enableOptimization = true;
+    u64 samplerPeriod = 211;       //!< fine-grained: small workloads
+    u64 seed = 42;
+
+    /**
+     * Repeat index for multi-run experiments. Non-zero values perturb
+     * measurement conditions (sampler phase, tier-up threshold, seed)
+     * to model the run-to-run noise the paper attributes to JIT/GC
+     * non-determinism — vspec itself is deterministic.
+     */
+    u32 jitter = 0;
+
+    bool anyRemoval() const
+    {
+        for (bool b : removeChecks)
+            if (b)
+                return true;
+        return false;
+    }
+
+    static RunConfig
+    withAllChecksRemoved(RunConfig base)
+    {
+        base.removeChecks.fill(true);
+        return base;
+    }
+};
+
+struct RunOutcome
+{
+    bool completed = false;        //!< no crash/panic during execution
+    bool valid = false;            //!< checksum matches the reference
+    std::string checksum;
+    std::string error;
+
+    std::vector<Cycles> iterationCycles;
+    std::vector<u32> deoptEventsPerIteration;
+    u64 totalDeopts = 0;
+
+    SimStats sim;                  //!< simulated-code statistics
+    Cycles interpreterCycles = 0;
+    Cycles totalCycles = 0;
+
+    AttributionResult window;      //!< PC sampling, paper's heuristic
+    AttributionResult truth;       //!< annotation ground truth
+
+    /** Static code metrics over compiled code objects. */
+    double staticCheckFreqPer100 = 0.0;   //!< Fig. 1
+    std::array<u64, kNumGroups> staticChecksPerGroup{};
+    u64 staticChecks = 0;
+    u64 staticInstructions = 0;
+    u64 compilations = 0;
+
+    /** Mean cycles of the last third of iterations (steady state). */
+    double steadyStateCycles() const;
+    /** Mean cycles across all iterations ("total duration" metric). */
+    double meanCycles() const;
+};
+
+/** Translate a RunConfig into the engine configuration it implies
+ *  (exposed for benches that drive an Engine directly). */
+EngineConfig engineConfigFor(const RunConfig &config);
+
+/** Run @p w under @p config. The checksum is compared against
+ *  @p reference when non-null (otherwise valid == completed). */
+RunOutcome runWorkload(const Workload &w, const RunConfig &config,
+                       const std::string *reference_checksum = nullptr);
+
+/**
+ * Reference checksum for a run of @p iterations: an all-checks-in-place
+ * run of the same length (several workloads carry state across
+ * iterations, so the reference must match the iteration count).
+ * Cached per (workload, size, iterations).
+ */
+const std::string &referenceChecksum(const Workload &w, u32 size,
+                                     u32 iterations);
+
+/**
+ * §III-B.2: the set of check groups that can be removed without
+ * breaking the benchmark. Starts from all groups and drops the ones
+ * whose removal corrupts the checksum.
+ */
+std::array<bool, kNumGroups> findSafeRemovalSet(const Workload &w,
+                                                RunConfig base,
+                                                u32 probe_iterations = 40);
+
+/** Convenience: fraction of static check instructions left in place
+ *  by a removal set, relative to the unmodified build. */
+double leftoverCheckFraction(const Workload &w, const RunConfig &base,
+                             const std::array<bool, kNumGroups> &removed);
+
+} // namespace vspec
+
+#endif // VSPEC_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,687 @@
+#include "interp/interpreter.hh"
+
+#include <cmath>
+
+#include "runtime/engine.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+/** ECMAScript ToNumber for the MiniJS subset. */
+double
+toNumber(Engine &e, Value v)
+{
+    if (e.vm.isNumber(v))
+        return e.vm.numberOf(v);
+    if (v == e.vm.trueValue)
+        return 1.0;
+    if (v == e.vm.falseValue || v == e.vm.nullValue)
+        return 0.0;
+    if (e.vm.isString(v)) {
+        std::string s = e.vm.stringOf(v.asAddr());
+        if (s.empty())
+            return 0.0;
+        char *end = nullptr;
+        double d = std::strtod(s.c_str(), &end);
+        while (end != nullptr && *end == ' ')
+            end++;
+        if (end == nullptr || *end != '\0')
+            return std::nan("");
+        return d;
+    }
+    return std::nan("");  // undefined, objects, functions
+}
+
+/** ECMAScript ToInt32. */
+i32
+toInt32(double d)
+{
+    if (!std::isfinite(d))
+        return 0;
+    double t = std::trunc(d);
+    double m = std::fmod(t, 4294967296.0);
+    if (m < 0)
+        m += 4294967296.0;
+    return static_cast<i32>(static_cast<u32>(m));
+}
+
+OperandFeedback
+numericFeedback(Engine &e, Value l, Value r, bool result_is_smi)
+{
+    if (l.isSmi() && r.isSmi() && result_is_smi)
+        return OperandFeedback::Smi;
+    if (e.vm.isNumber(l) && e.vm.isNumber(r))
+        return OperandFeedback::Number;
+    return OperandFeedback::Any;
+}
+
+void
+record(FeedbackSlot *slot, OperandFeedback fb)
+{
+    if (slot != nullptr)
+        slot->operands = joinOperand(slot->operands, fb);
+}
+
+/** String/array method tables for named loads off primitive receivers. */
+BuiltinId
+stringMethod(const std::string &name)
+{
+    if (name == "charCodeAt") return BuiltinId::StringCharCodeAt;
+    if (name == "charAt") return BuiltinId::StringCharAt;
+    if (name == "substring") return BuiltinId::StringSubstring;
+    if (name == "indexOf") return BuiltinId::StringIndexOf;
+    if (name == "split") return BuiltinId::StringSplit;
+    return BuiltinId::None;
+}
+
+BuiltinId
+arrayMethod(const std::string &name)
+{
+    if (name == "push") return BuiltinId::ArrayPush;
+    if (name == "pop") return BuiltinId::ArrayPop;
+    if (name == "join") return BuiltinId::ArrayJoin;
+    if (name == "indexOf") return BuiltinId::ArrayIndexOf;
+    return BuiltinId::None;
+}
+
+Value
+builtinCell(Engine &e, BuiltinId id)
+{
+    FunctionId fid = e.functions.idOf(builtinName(id));
+    vassert(fid != kInvalidFunction, "builtin not installed");
+    return Value::heap(e.functions.at(fid).cellAddr);
+}
+
+} // namespace
+
+double
+toNumberValue(Engine &engine, Value v)
+{
+    return toNumber(engine, v);
+}
+
+// ---------------------------------------------------------------------
+// Generic operations (shared with JIT runtime calls)
+// ---------------------------------------------------------------------
+
+Value
+genericBinaryOp(Engine &e, Bc op, Value l, Value r, FeedbackSlot *slot)
+{
+    VMContext &vm = e.vm;
+
+    if (op == Bc::Add) {
+        bool string_add = vm.isString(l) || vm.isString(r)
+                          || vm.isArray(l) || vm.isArray(r)
+                          || vm.isObject(l) || vm.isObject(r);
+        if (string_add) {
+            std::string s = vm.coerceToString(l) + vm.coerceToString(r);
+            record(slot, vm.isString(l) && vm.isString(r)
+                             ? OperandFeedback::String
+                             : OperandFeedback::Any);
+            e.chargeCycles(8 + s.size() / 4);
+            return Value::heap(vm.newString(s));
+        }
+        if (l.isSmi() && r.isSmi()) {
+            i64 sum = static_cast<i64>(l.asSmi()) + r.asSmi();
+            record(slot, smiFits(sum) ? OperandFeedback::Smi
+                                      : OperandFeedback::Number);
+            return vm.newInt(sum);
+        }
+        double a = toNumber(e, l), b = toNumber(e, r);
+        record(slot, numericFeedback(e, l, r, false));
+        return vm.newNumber(a + b);
+    }
+
+    switch (op) {
+      case Bc::Sub: {
+        if (l.isSmi() && r.isSmi()) {
+            i64 d = static_cast<i64>(l.asSmi()) - r.asSmi();
+            record(slot, smiFits(d) ? OperandFeedback::Smi
+                                    : OperandFeedback::Number);
+            return vm.newInt(d);
+        }
+        record(slot, numericFeedback(e, l, r, false));
+        return vm.newNumber(toNumber(e, l) - toNumber(e, r));
+      }
+      case Bc::Mul: {
+        if (l.isSmi() && r.isSmi()) {
+            i64 p = static_cast<i64>(l.asSmi()) * r.asSmi();
+            bool smi_ok = smiFits(p)
+                          && !(p == 0 && (l.asSmi() < 0 || r.asSmi() < 0));
+            record(slot, smi_ok ? OperandFeedback::Smi
+                                : OperandFeedback::Number);
+            if (p == 0 && (l.asSmi() < 0 || r.asSmi() < 0))
+                return vm.newNumber(-0.0);
+            return vm.newInt(p);
+        }
+        record(slot, numericFeedback(e, l, r, false));
+        return vm.newNumber(toNumber(e, l) * toNumber(e, r));
+      }
+      case Bc::Div: {
+        if (l.isSmi() && r.isSmi() && r.asSmi() != 0
+            && l.asSmi() % r.asSmi() == 0
+            && !(l.asSmi() == 0 && r.asSmi() < 0)) {
+            i64 q = static_cast<i64>(l.asSmi()) / r.asSmi();
+            record(slot, smiFits(q) ? OperandFeedback::Smi
+                                    : OperandFeedback::Number);
+            return vm.newInt(q);
+        }
+        record(slot, numericFeedback(e, l, r, false));
+        return vm.newNumber(toNumber(e, l) / toNumber(e, r));
+      }
+      case Bc::Mod: {
+        if (l.isSmi() && r.isSmi() && r.asSmi() != 0) {
+            i32 rem = l.asSmi() % r.asSmi();
+            bool smi_ok = !(rem == 0 && l.asSmi() < 0);
+            record(slot, smi_ok ? OperandFeedback::Smi
+                                : OperandFeedback::Number);
+            if (!smi_ok)
+                return vm.newNumber(-0.0);
+            return Value::smi(rem);
+        }
+        record(slot, numericFeedback(e, l, r, false));
+        return vm.newNumber(std::fmod(toNumber(e, l), toNumber(e, r)));
+      }
+      case Bc::BitAnd: case Bc::BitOr: case Bc::BitXor:
+      case Bc::Shl: case Bc::Sar: case Bc::Shr: {
+        i32 a = toInt32(toNumber(e, l));
+        i32 b = toInt32(toNumber(e, r));
+        record(slot, l.isSmi() && r.isSmi() ? OperandFeedback::Smi
+               : vm.isNumber(l) && vm.isNumber(r) ? OperandFeedback::Number
+                                                  : OperandFeedback::Any);
+        switch (op) {
+          case Bc::BitAnd: return vm.newInt(a & b);
+          case Bc::BitOr: return vm.newInt(a | b);
+          case Bc::BitXor: return vm.newInt(a ^ b);
+          case Bc::Shl:
+            return vm.newInt(static_cast<i32>(
+                static_cast<u32>(a) << (static_cast<u32>(b) & 31)));
+          case Bc::Sar: return vm.newInt(a >> (static_cast<u32>(b) & 31));
+          default:
+            return vm.newInt(static_cast<i64>(
+                static_cast<u32>(a) >> (static_cast<u32>(b) & 31)));
+        }
+      }
+      default:
+        vpanic("genericBinaryOp: not a binary op");
+    }
+}
+
+Value
+genericCompareOp(Engine &e, Bc op, Value l, Value r, FeedbackSlot *slot)
+{
+    VMContext &vm = e.vm;
+    bool result;
+
+    if (op == Bc::TestStrictEq || op == Bc::TestStrictNotEq) {
+        record(slot, l.isSmi() && r.isSmi() ? OperandFeedback::Smi
+               : vm.isNumber(l) && vm.isNumber(r) ? OperandFeedback::Number
+               : vm.isString(l) && vm.isString(r) ? OperandFeedback::String
+                                                  : OperandFeedback::Any);
+        result = vm.strictEquals(l, r);
+        if (op == Bc::TestStrictNotEq)
+            result = !result;
+        return vm.boolean(result);
+    }
+    if (op == Bc::TestEq || op == Bc::TestNotEq) {
+        record(slot, l.isSmi() && r.isSmi() ? OperandFeedback::Smi
+               : vm.isNumber(l) && vm.isNumber(r) ? OperandFeedback::Number
+               : vm.isString(l) && vm.isString(r) ? OperandFeedback::String
+                                                  : OperandFeedback::Any);
+        result = vm.looseEquals(l, r);
+        if (op == Bc::TestNotEq)
+            result = !result;
+        return vm.boolean(result);
+    }
+
+    // Relational.
+    if (vm.isString(l) && vm.isString(r)) {
+        record(slot, OperandFeedback::String);
+        std::string a = vm.stringOf(l.asAddr());
+        std::string b = vm.stringOf(r.asAddr());
+        e.chargeCycles(4 + std::min(a.size(), b.size()) / 4);
+        int c = a.compare(b);
+        switch (op) {
+          case Bc::TestLess: result = c < 0; break;
+          case Bc::TestLessEq: result = c <= 0; break;
+          case Bc::TestGreater: result = c > 0; break;
+          default: result = c >= 0; break;
+        }
+        return vm.boolean(result);
+    }
+    double a = toNumber(e, l), b = toNumber(e, r);
+    record(slot, numericFeedback(e, l, r, l.isSmi() && r.isSmi()));
+    switch (op) {
+      case Bc::TestLess: result = a < b; break;
+      case Bc::TestLessEq: result = a <= b; break;
+      case Bc::TestGreater: result = a > b; break;
+      default: result = a >= b; break;
+    }
+    return vm.boolean(result);
+}
+
+Value
+genericGetNamed(Engine &e, Value receiver, NameId name, FeedbackSlot *slot)
+{
+    VMContext &vm = e.vm;
+    PropertyFeedback *pf = slot != nullptr ? &slot->property : nullptr;
+    const std::string &prop = vm.names.nameOf(name);
+
+    if (vm.isString(receiver)) {
+        if (prop == "length") {
+            if (pf != nullptr)
+                pf->sawStringLength = true;
+            return Value::smi(static_cast<i32>(
+                vm.stringLength(receiver.asAddr())));
+        }
+        BuiltinId m = stringMethod(prop);
+        if (m != BuiltinId::None) {
+            if (pf != nullptr) {
+                pf->builtinMethod = static_cast<u16>(m);
+                pf->builtinReceiverMap = vm.maps.stringMap();
+            }
+            return builtinCell(e, m);
+        }
+        if (pf != nullptr)
+            pf->sawGeneric = true;
+        return vm.undefinedValue;
+    }
+    if (vm.isArray(receiver)) {
+        if (prop == "length") {
+            if (pf != nullptr) {
+                MapId m = vm.mapOf(receiver.asAddr());
+                if (pf->sawArrayLength && pf->lengthMap != m)
+                    pf->lengthPolymorphic = true;
+                pf->sawArrayLength = true;
+                pf->lengthMap = m;
+            }
+            return vm.newInt(vm.arrayLength(receiver.asAddr()));
+        }
+        BuiltinId m = arrayMethod(prop);
+        if (m != BuiltinId::None) {
+            if (pf != nullptr) {
+                MapId cur = vm.mapOf(receiver.asAddr());
+                if (pf->builtinMethod != 0
+                    && pf->builtinReceiverMap != cur) {
+                    // Receivers with different element kinds flow
+                    // through this site: map speculation would deopt
+                    // on every fresh array, so go generic.
+                    pf->sawGeneric = true;
+                    pf->builtinReceiverMap = kInvalidMap;
+                } else if (!pf->sawGeneric) {
+                    pf->builtinMethod = static_cast<u16>(m);
+                    pf->builtinReceiverMap = cur;
+                }
+            }
+            return builtinCell(e, m);
+        }
+        if (pf != nullptr)
+            pf->sawGeneric = true;
+        return vm.undefinedValue;
+    }
+    if (vm.isObject(receiver)) {
+        Addr obj = receiver.asAddr();
+        MapId map = vm.mapOf(obj);
+        int idx = vm.maps.propertyIndex(map, name);
+        if (idx >= 0) {
+            if (pf != nullptr)
+                pf->recordMapSlot(map, idx);
+            return vm.heap.readValue(obj + HeapLayout::kObjectSlotsOffset
+                                     + 4 * static_cast<u32>(idx));
+        }
+        if (pf != nullptr)
+            pf->sawGeneric = true;
+        return vm.undefinedValue;
+    }
+    if (pf != nullptr)
+        pf->sawGeneric = true;
+    return vm.undefinedValue;
+}
+
+void
+genericSetNamed(Engine &e, Value receiver, NameId name, Value value,
+                FeedbackSlot *slot)
+{
+    VMContext &vm = e.vm;
+    if (!vm.isObject(receiver))
+        vpanic("cannot set property on non-object");
+    Addr obj = receiver.asAddr();
+    MapId map = vm.mapOf(obj);
+    int idx = vm.maps.propertyIndex(map, name);
+    if (idx >= 0) {
+        if (slot != nullptr)
+            slot->property.recordMapSlot(map, idx);
+        vm.heap.writeValue(obj + HeapLayout::kObjectSlotsOffset
+                           + 4 * static_cast<u32>(idx), value);
+        return;
+    }
+    vm.setProperty(obj, name, value);
+    if (slot != nullptr) {
+        MapId new_map = vm.mapOf(obj);
+        int new_idx = vm.maps.propertyIndex(new_map, name);
+        slot->property.recordMapSlot(map, new_idx, new_map);
+    }
+}
+
+Value
+genericGetElement(Engine &e, Value receiver, Value key, FeedbackSlot *slot)
+{
+    VMContext &vm = e.vm;
+    ElementFeedback *ef = slot != nullptr ? &slot->element : nullptr;
+    if (vm.isString(receiver)) {
+        if (ef != nullptr) {
+            ef->sawString = true;
+            ef->state = ElementFeedback::State::Megamorphic;
+        }
+        if (!vm.isNumber(key))
+            return vm.undefinedValue;
+        i64 i = static_cast<i64>(vm.numberOf(key));
+        Addr s = receiver.asAddr();
+        if (i < 0 || i >= static_cast<i64>(vm.stringLength(s)))
+            return vm.undefinedValue;
+        char c = static_cast<char>(
+            vm.heap.readU8(s + HeapLayout::kStringDataOffset
+                           + static_cast<u32>(i)));
+        return Value::heap(vm.newString(std::string(1, c)));
+    }
+    if (!vm.isArray(receiver))
+        vpanic("indexed load on non-array: " + vm.display(receiver) + " key=" + vm.display(key));
+    if (!vm.isNumber(key))
+        return vm.undefinedValue;
+    double kd = vm.numberOf(key);
+    i64 i = static_cast<i64>(kd);
+    Addr arr = receiver.asAddr();
+    if (static_cast<double>(i) != kd)
+        return vm.undefinedValue;
+    if (i < 0 || static_cast<u32>(i) >= vm.arrayLength(arr)) {
+        if (ef != nullptr) {
+            ef->sawOutOfBounds = true;
+            ef->recordAccess(vm.mapOf(arr), vm.arrayKind(arr));
+        }
+        return vm.undefinedValue;
+    }
+    if (ef != nullptr)
+        ef->recordAccess(vm.mapOf(arr), vm.arrayKind(arr));
+    return vm.arrayGet(arr, i);
+}
+
+void
+genericSetElement(Engine &e, Value receiver, Value key, Value value,
+                  FeedbackSlot *slot)
+{
+    VMContext &vm = e.vm;
+    if (!vm.isArray(receiver))
+        vpanic("indexed store on non-array");
+    vassert(vm.isNumber(key), "non-numeric array index");
+    i64 i = static_cast<i64>(vm.numberOf(key));
+    Addr arr = receiver.asAddr();
+    u32 len = vm.arrayLength(arr);
+    bool grows = static_cast<u32>(i) >= len;
+    vm.arraySet(arr, i, value);
+    if (slot != nullptr) {
+        ElementFeedback *ef = &slot->element;
+        if (grows)
+            ef->sawGrowth = true;
+        // Record the post-store map so kind transitions during warmup
+        // converge to the stable wide map.
+        ef->recordAccess(vm.mapOf(arr), vm.arrayKind(arr));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------
+
+Value
+Interpreter::callFunction(FunctionInfo &fn, Value this_value,
+                          const std::vector<Value> &args)
+{
+    Frame frame;
+    frame.fn = &fn;
+    frame.regs.assign(fn.registerCount, engine.vm.undefinedValue);
+    frame.regs[FunctionInfo::kThisReg] = this_value;
+    for (u32 i = 0; i < fn.paramCount && i < args.size(); i++)
+        frame.regs[FunctionInfo::kFirstParamReg + i] = args[i];
+    frame.acc = engine.vm.undefinedValue;
+    return execute(frame, 0);
+}
+
+Value
+Interpreter::resumeFrame(FunctionInfo &fn, u32 pc, std::vector<Value> regs,
+                         Value accumulator)
+{
+    Frame frame;
+    frame.fn = &fn;
+    frame.regs = std::move(regs);
+    frame.regs.resize(fn.registerCount, engine.vm.undefinedValue);
+    frame.acc = accumulator;
+    return execute(frame, pc);
+}
+
+void
+Interpreter::forEachRoot(const std::function<void(Value)> &visit)
+{
+    for (Frame *f : activeFrames) {
+        for (Value v : f->regs)
+            visit(v);
+        visit(f->acc);
+    }
+}
+
+Value
+Interpreter::execute(Frame &frame, u32 pc)
+{
+    activeFrames.push_back(&frame);
+    FunctionInfo &fn = *frame.fn;
+    VMContext &vm = engine.vm;
+    auto &regs = frame.regs;
+    Value &acc = frame.acc;
+    u64 cost = 0;
+
+    auto slot = [&](int i) -> FeedbackSlot & { return fn.feedback.at(i); };
+
+    while (true) {
+        vassert(pc < fn.bytecode.size(), "interpreter pc out of bounds");
+        const BcInstr &ins = fn.bytecode[pc];
+        bytecodesExecuted++;
+        cost += kInterpDispatchCost;
+        u32 next = pc + 1;
+
+        switch (ins.op) {
+          case Bc::LdaSmi:
+            acc = Value::smi(ins.a);
+            cost += 1;
+            break;
+          case Bc::LdaConst:
+            acc = fn.constants.at(ins.a);
+            cost += 1;
+            break;
+          case Bc::LdaUndefined: acc = vm.undefinedValue; cost += 1; break;
+          case Bc::LdaNull: acc = vm.nullValue; cost += 1; break;
+          case Bc::LdaTrue: acc = vm.trueValue; cost += 1; break;
+          case Bc::LdaFalse: acc = vm.falseValue; cost += 1; break;
+          case Bc::LdaGlobal:
+            acc = engine.globals.load(static_cast<u32>(ins.a));
+            slot(ins.b).global.loaded = true;
+            cost += 3;
+            break;
+          case Bc::StaGlobal:
+            engine.storeGlobal(static_cast<u32>(ins.a), acc);
+            cost += 3;
+            break;
+          case Bc::Ldar: acc = regs[ins.a]; cost += 1; break;
+          case Bc::Star: regs[ins.a] = acc; cost += 1; break;
+          case Bc::Mov: regs[ins.a] = regs[ins.b]; cost += 1; break;
+
+          case Bc::Add: case Bc::Sub: case Bc::Mul: case Bc::Div:
+          case Bc::Mod: case Bc::BitAnd: case Bc::BitOr: case Bc::BitXor:
+          case Bc::Shl: case Bc::Sar: case Bc::Shr:
+            acc = genericBinaryOp(engine, ins.op, regs[ins.a], acc,
+                                  &slot(ins.b));
+            cost += 6;
+            break;
+
+          case Bc::TestLess: case Bc::TestLessEq: case Bc::TestGreater:
+          case Bc::TestGreaterEq: case Bc::TestEq: case Bc::TestNotEq:
+          case Bc::TestStrictEq: case Bc::TestStrictNotEq:
+            acc = genericCompareOp(engine, ins.op, regs[ins.a], acc,
+                                   &slot(ins.b));
+            cost += 6;
+            break;
+
+          case Bc::Inc:
+            acc = genericBinaryOp(engine, Bc::Add, acc, Value::smi(1),
+                                  &slot(ins.a));
+            cost += 4;
+            break;
+          case Bc::Dec:
+            acc = genericBinaryOp(engine, Bc::Sub, acc, Value::smi(1),
+                                  &slot(ins.a));
+            cost += 4;
+            break;
+          case Bc::Negate: {
+            FeedbackSlot &s = slot(ins.a);
+            if (acc.isSmi() && acc.asSmi() != 0
+                && acc.asSmi() != kSmiMin) {
+                record(&s, OperandFeedback::Smi);
+                acc = Value::smi(-acc.asSmi());
+            } else {
+                record(&s, vm.isNumber(acc) ? OperandFeedback::Number
+                                            : OperandFeedback::Any);
+                acc = vm.newNumber(-toNumber(engine, acc));
+            }
+            cost += 4;
+            break;
+          }
+          case Bc::BitNot: {
+            FeedbackSlot &s = slot(ins.a);
+            record(&s, acc.isSmi() ? OperandFeedback::Smi
+                   : vm.isNumber(acc) ? OperandFeedback::Number
+                                      : OperandFeedback::Any);
+            acc = vm.newInt(~toInt32(toNumber(engine, acc)));
+            cost += 4;
+            break;
+          }
+          case Bc::ToNumber: {
+            FeedbackSlot &s = slot(ins.a);
+            record(&s, acc.isSmi() ? OperandFeedback::Smi
+                   : vm.isNumber(acc) ? OperandFeedback::Number
+                                      : OperandFeedback::Any);
+            if (!vm.isNumber(acc))
+                acc = vm.newNumber(toNumber(engine, acc));
+            cost += 4;
+            break;
+          }
+          case Bc::LogicalNot:
+            acc = vm.boolean(!vm.truthy(acc));
+            cost += 2;
+            break;
+          case Bc::TypeOf:
+            acc = Value::heap(vm.internString(vm.typeofString(acc)));
+            cost += 5;
+            break;
+
+          case Bc::Jump:
+            next = static_cast<u32>(ins.a);
+            cost += 2;
+            break;
+          case Bc::JumpLoop:
+            next = static_cast<u32>(ins.a);
+            fn.backEdgeCount++;
+            cost += 2;
+            break;
+          case Bc::JumpIfFalse:
+            if (!vm.truthy(acc))
+                next = static_cast<u32>(ins.a);
+            cost += 3;
+            break;
+          case Bc::JumpIfTrue:
+            if (vm.truthy(acc))
+                next = static_cast<u32>(ins.a);
+            cost += 3;
+            break;
+
+          case Bc::GetNamedProperty:
+            acc = genericGetNamed(engine, regs[ins.a],
+                                  static_cast<NameId>(ins.b),
+                                  &slot(ins.c));
+            cost += 10;
+            break;
+          case Bc::SetNamedProperty:
+            genericSetNamed(engine, regs[ins.a],
+                            static_cast<NameId>(ins.b), acc,
+                            &slot(ins.c));
+            cost += 10;
+            break;
+          case Bc::GetElement:
+            acc = genericGetElement(engine, regs[ins.a], acc,
+                                    &slot(ins.b));
+            cost += 8;
+            break;
+          case Bc::SetElement:
+            genericSetElement(engine, regs[ins.a], regs[ins.b], acc,
+                              &slot(ins.c));
+            cost += 8;
+            break;
+
+          case Bc::CreateArray:
+            acc = Value::heap(vm.newArray(ElementKind::Smi, 0,
+                                          std::max(4, ins.a)));
+            cost += 20;
+            break;
+          case Bc::CreateObject:
+            acc = Value::heap(vm.newObject());
+            cost += 20;
+            break;
+          case Bc::StaArrayLiteral:
+            vm.arraySet(regs[ins.a].asAddr(), ins.b, acc);
+            cost += 6;
+            break;
+          case Bc::StaNamedOwn:
+            vm.setProperty(regs[ins.a].asAddr(),
+                           static_cast<NameId>(ins.b), acc);
+            cost += 8;
+            break;
+
+          case Bc::Call:
+          case Bc::CallMethod: {
+            Value callee = regs[ins.a];
+            if (!vm.isFunction(callee))
+                vpanic("call target is not a function: "
+                       + vm.display(callee));
+            FunctionId fid = vm.functionIdOf(callee.asAddr());
+            slot(callSlot(ins.c)).call.recordTarget(fid);
+            int argc = callArgc(ins.c);
+            Value this_v = ins.op == Bc::CallMethod ? regs[ins.b]
+                                                    : vm.undefinedValue;
+            int first = ins.op == Bc::CallMethod ? ins.b + 1 : ins.b;
+            std::vector<Value> args;
+            args.reserve(static_cast<size_t>(argc));
+            for (int i = 0; i < argc; i++)
+                args.push_back(regs[first + i]);
+            cost += 12;
+            engine.interpreterCycles += cost;
+            cost = 0;
+            acc = engine.invoke(fid, this_v, args);
+            break;
+          }
+
+          case Bc::Return:
+            engine.interpreterCycles += cost + 2;
+            activeFrames.pop_back();
+            return acc;
+        }
+        pc = next;
+        // Flush cost periodically so nested timing stays roughly
+        // ordered with simulated cycles.
+        if (cost > 4096) {
+            engine.interpreterCycles += cost;
+            cost = 0;
+        }
+    }
+}
+
+} // namespace vspec

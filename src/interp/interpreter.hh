@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The Ignition-style bytecode interpreter: executes bytecode against
+ * the simulated heap, records type feedback at every speculation site,
+ * charges a per-bytecode cycle cost model, and supports resuming a
+ * frame mid-function — the deoptimization landing pad.
+ */
+
+#ifndef VSPEC_INTERP_INTERPRETER_HH
+#define VSPEC_INTERP_INTERPRETER_HH
+
+#include <vector>
+
+#include "bytecode/compiler.hh"
+#include "vm/gc.hh"
+
+namespace vspec
+{
+
+class Engine;
+
+/** Per-bytecode base cost (dispatch + operand decode), in cycles. */
+constexpr u64 kInterpDispatchCost = 4;
+
+class Interpreter : public RootProvider
+{
+  public:
+    explicit Interpreter(Engine &engine) : engine(engine) {}
+
+    /** Standard call: fresh frame, execute from the top. */
+    Value callFunction(FunctionInfo &fn, Value this_value,
+                       const std::vector<Value> &args);
+
+    /** Deoptimization re-entry: resume at @p pc with a materialized
+     *  frame. Re-executes the bytecode op the checkpoint covered. */
+    Value resumeFrame(FunctionInfo &fn, u32 pc, std::vector<Value> regs,
+                      Value accumulator);
+
+    /** GC roots: every live frame's registers and accumulator. */
+    void forEachRoot(const std::function<void(Value)> &visit) override;
+
+    u64 bytecodesExecuted = 0;
+
+  private:
+    struct Frame
+    {
+        FunctionInfo *fn;
+        std::vector<Value> regs;
+        Value acc;
+    };
+
+    Value execute(Frame &frame, u32 pc);
+
+    Engine &engine;
+    std::vector<Frame *> activeFrames;
+};
+
+/**
+ * Full JavaScript semantics of a binary/compare operator, shared by the
+ * interpreter and the JIT's generic runtime calls. Records feedback
+ * into @p slot when non-null.
+ */
+Value genericBinaryOp(Engine &engine, Bc op, Value lhs, Value rhs,
+                      FeedbackSlot *slot);
+Value genericCompareOp(Engine &engine, Bc op, Value lhs, Value rhs,
+                       FeedbackSlot *slot);
+
+/** ECMAScript ToNumber for the MiniJS subset. */
+double toNumberValue(Engine &engine, Value v);
+
+/** Generic property access, shared with the JIT runtime paths. */
+Value genericGetNamed(Engine &engine, Value receiver, NameId name,
+                      FeedbackSlot *slot);
+void genericSetNamed(Engine &engine, Value receiver, NameId name,
+                     Value value, FeedbackSlot *slot);
+Value genericGetElement(Engine &engine, Value receiver, Value key,
+                        FeedbackSlot *slot);
+void genericSetElement(Engine &engine, Value receiver, Value key,
+                       Value value, FeedbackSlot *slot);
+
+} // namespace vspec
+
+#endif // VSPEC_INTERP_INTERPRETER_HH

@@ -1,0 +1,1519 @@
+#include "ir/builder.hh"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "ir/liveness.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+/** Incoming-argument register budget (x0 = this, x1..x7 = args). */
+constexpr u32 kMaxMachineParams = 8;
+
+/** Abstract interpreter state: one IR value per frame register + acc. */
+struct Env
+{
+    std::vector<ValueId> regs;
+    ValueId acc = kNoValue;
+
+    bool operator==(const Env &o) const
+    {
+        return regs == o.regs && acc == o.acc;
+    }
+};
+
+/** Rep join used when unifying phi inputs across build attempts. */
+Rep
+joinRep(Rep a, Rep b)
+{
+    if (a == b)
+        return a;
+    auto num = [](Rep r) { return r == Rep::Int32 || r == Rep::Float64; };
+    if ((a == Rep::Bool && b == Rep::Int32)
+        || (a == Rep::Int32 && b == Rep::Bool))
+        return Rep::Int32;
+    if (num(a) && num(b))
+        return Rep::Float64;
+    return Rep::Tagged;
+}
+
+class GraphBuilder
+{
+  public:
+    GraphBuilder(CompilerEnv &env, const FunctionInfo &fn)
+        : env(env), fn(fn)
+    {}
+
+    std::optional<Graph>
+    build()
+    {
+        if (fn.paramCount + 1 > kMaxMachineParams)
+            return std::nullopt;
+        liveness.emplace(fn);
+
+        // Representation conflicts at phis restart the build with the
+        // conflicting slots forced to the joined representation.
+        for (int attempt = 0; attempt < 6; attempt++) {
+            repConflict = false;
+            buildOnce();
+            if (!repConflict) {
+                inferKnown31();
+                return std::move(graph);
+            }
+        }
+        return std::nullopt;
+    }
+
+  private:
+    // =====================================================================
+    // Block discovery and driver
+    // =====================================================================
+
+    void
+    buildOnce()
+    {
+        graph = Graph();
+        graph.function = fn.id;
+        pendingEnvs.clear();
+        blockOfBc.clear();
+        phiBase.clear();
+        frameStateCache.clear();
+        headerPhiSlots.clear();
+
+        // Entry block first so emission order is entry, then bytecode
+        // blocks in offset order, then split blocks.
+        BlockId entry = graph.newBlock();
+        findBlockStarts();
+        Env env0;
+        env0.regs.resize(fn.registerCount, kNoValue);
+        for (u32 i = 0; i < fn.registerCount; i++) {
+            if (i <= fn.paramCount) {
+                IrNode p;
+                p.op = IrOp::Param;
+                p.rep = Rep::Tagged;
+                p.imm = i;
+                env0.regs[i] = graph.append(entry, std::move(p));
+            } else {
+                env0.regs[i] = constTagged(entry,
+                                           this->env.vm.undefinedValue.bits());
+            }
+        }
+        env0.acc = constTagged(entry, this->env.vm.undefinedValue.bits());
+
+        // Jump from entry to the first bytecode block.
+        BlockId first = blockOfBc.at(0);
+        addPending(first, entry, env0);
+        endWithGoto(entry, first);
+
+        // Process blocks in bytecode order.
+        std::vector<u32> starts;
+        for (auto &[bc, blk] : blockOfBc)
+            starts.push_back(bc);
+        for (size_t s = 0; s < starts.size() && !repConflict; s++) {
+            u32 bc_start = starts[s];
+            u32 bc_end = (s + 1 < starts.size())
+                ? starts[s + 1] : static_cast<u32>(fn.bytecode.size());
+            processBlock(bc_start, bc_end);
+        }
+    }
+
+    void
+    findBlockStarts()
+    {
+        std::set<u32> startSet;
+        startSet.insert(0);
+        for (size_t i = 0; i < fn.bytecode.size(); i++) {
+            const BcInstr &ins = fn.bytecode[i];
+            switch (ins.op) {
+              case Bc::Jump:
+              case Bc::JumpIfFalse:
+              case Bc::JumpIfTrue:
+                startSet.insert(static_cast<u32>(ins.a));
+                startSet.insert(static_cast<u32>(i) + 1);
+                // Backward plain jumps (continue in while) are back edges.
+                if (static_cast<size_t>(ins.a) <= i)
+                    loopHeaders.insert(static_cast<u32>(ins.a));
+                break;
+              case Bc::JumpLoop:
+                startSet.insert(static_cast<u32>(ins.a));
+                startSet.insert(static_cast<u32>(i) + 1);
+                loopHeaders.insert(static_cast<u32>(ins.a));
+                break;
+              case Bc::Return:
+                startSet.insert(static_cast<u32>(i) + 1);
+                break;
+              default:
+                break;
+            }
+        }
+        for (u32 bc : startSet) {
+            if (bc < fn.bytecode.size())
+                blockOfBc[bc] = graph.newBlock();
+        }
+        for (u32 h : loopHeaders) {
+            if (blockOfBc.count(h))
+                graph.block(blockOfBc[h]).isLoopHeader = true;
+        }
+    }
+
+    // =====================================================================
+    // Env merging / phis
+    // =====================================================================
+
+    struct Pending
+    {
+        BlockId pred;
+        Env env;
+    };
+
+    void
+    addPending(BlockId target, BlockId pred, const Env &e)
+    {
+        pendingEnvs[target].push_back({pred, e});
+        graph.block(target).preds.push_back(pred);
+    }
+
+    /** Insert a rep-conversion for @p v at the end of closed pred block
+     *  @p pred (before its terminator). Used when a phi needs an input
+     *  in a different representation. */
+    ValueId
+    convertInPred(BlockId pred, const Env &pred_env, u32 header_bc,
+                  ValueId v, Rep want)
+    {
+        IrNode &n = graph.node(v);
+        if (n.rep == want)
+            return v;
+        // Build the conversion node.
+        IrNode c;
+        c.rep = want;
+        c.inputs.push_back(v);
+        Rep have = n.rep;
+        if (want == Rep::Tagged) {
+            if (have == Rep::Int32) {
+                c.op = IrOp::TagSmi;
+                c.checked = !n.known31;
+                c.reason = DeoptReason::Overflow;
+            } else if (have == Rep::Bool) {
+                c.op = IrOp::BoolToTagged;
+            } else {  // Float64
+                c.op = IrOp::CallRuntime;
+                c.imm = static_cast<i64>(RuntimeFn::BoxFloat64);
+            }
+        } else if (want == Rep::Float64) {
+            if (have == Rep::Int32 || have == Rep::Bool) {
+                c.op = IrOp::I32ToF64;
+            } else {  // Tagged
+                c.op = IrOp::ToFloat64;
+                c.reason = DeoptReason::NotANumber;
+            }
+        } else if (want == Rep::Int32) {
+            if (have == Rep::Bool) {
+                c.op = IrOp::I32ToBool;  // identity-width move
+            } else if (have == Rep::Tagged) {
+                // CheckSmi + Untag pair.
+                IrNode chk;
+                chk.op = IrOp::CheckSmi;
+                chk.rep = Rep::Tagged;
+                chk.reason = DeoptReason::NotASmi;
+                chk.inputs.push_back(v);
+                chk.frameState = frameStateForEnv(pred_env, header_bc);
+                ValueId cv = insertBeforeTerminator(pred, std::move(chk));
+                c.op = IrOp::UntagSmi;
+                c.inputs[0] = cv;
+                c.known31 = true;
+            } else {  // Float64
+                c.op = IrOp::F64ToI32;
+                c.checked = true;
+                c.reason = DeoptReason::LostPrecision;
+            }
+        } else {
+            repConflict = true;  // Bool wanted from wider: rebuild
+            return v;
+        }
+        if (c.op == IrOp::ToFloat64
+            || (c.op == IrOp::TagSmi && c.checked)
+            || (c.op == IrOp::F64ToI32 && c.checked)) {
+            c.frameState = frameStateForEnv(pred_env, header_bc);
+        }
+        return insertBeforeTerminator(pred, std::move(c));
+    }
+
+    ValueId
+    insertBeforeTerminator(BlockId b, IrNode n)
+    {
+        n.block = b;
+        graph.nodes.push_back(std::move(n));
+        ValueId id = static_cast<ValueId>(graph.nodes.size()) - 1;
+        auto &list = graph.block(b).nodes;
+        // The block is closed, so its last node is the terminator.
+        vassert(!list.empty(), "pred block has no terminator");
+        list.insert(list.end() - 1, id);
+        return id;
+    }
+
+    /**
+     * Merge pending envs at the start of @p blk. For loop headers, phis
+     * are created for every slot so the (not yet known) back edge can be
+     * wired up later. For plain joins, phis are created only where
+     * values differ.
+     */
+    Env
+    mergeAtBlockStart(u32 bc_start, BlockId blk)
+    {
+        auto &pend = pendingEnvs[blk];
+        vassert(!pend.empty(), "processBlock with no incoming env");
+        bool is_loop = loopHeaders.count(bc_start) != 0;
+        size_t nslots = pend[0].env.regs.size() + 1;
+
+        auto slotOf = [&](const Env &e, size_t i) -> ValueId {
+            return i < e.regs.size() ? e.regs[i] : e.acc;
+        };
+        auto setSlot = [&](Env &e, size_t i, ValueId v) {
+            if (i < e.regs.size())
+                e.regs[i] = v;
+            else
+                e.acc = v;
+        };
+
+        Env merged = pend[0].env;
+        for (size_t i = 0; i < nslots; i++) {
+            ValueId first = slotOf(pend[0].env, i);
+            bool differs = false;
+            for (size_t p = 1; p < pend.size(); p++) {
+                if (slotOf(pend[p].env, i) != first)
+                    differs = true;
+            }
+            // Dead slots (expression temporaries between uses) never
+            // get phis: any incoming value will do, and a phi would
+            // force spurious representation conversions with spurious
+            // deopt checks on the back edge.
+            bool live = i < pend[0].env.regs.size()
+                ? liveness->regLiveIn(bc_start, static_cast<u32>(i))
+                : liveness->accLiveIn(bc_start);
+            if ((!is_loop && !differs) || !live) {
+                setSlot(merged, i, first);
+                continue;
+            }
+            // Need a phi. Determine its representation.
+            Rep want = graph.node(first).rep;
+            for (size_t p = 1; p < pend.size(); p++)
+                want = joinRep(want, graph.node(slotOf(pend[p].env, i)).rep);
+            auto fit = forcedReps.find({bc_start, i});
+            if (fit != forcedReps.end())
+                want = joinRep(want, fit->second);
+
+            IrNode phi;
+            phi.op = IrOp::Phi;
+            phi.rep = want;
+            for (size_t p = 0; p < pend.size(); p++) {
+                ValueId in = slotOf(pend[p].env, i);
+                if (graph.node(in).rep != want) {
+                    in = convertInPred(pend[p].pred, pend[p].env, bc_start,
+                                       in, want);
+                }
+                phi.inputs.push_back(in);
+            }
+            if (is_loop)
+                headerPhiSlots[blk].push_back(i);
+            setSlot(merged, i, graph.append(blk, std::move(phi)));
+        }
+        return merged;
+    }
+
+    /** Wire a back edge into the loop header phis. */
+    void
+    addBackEdge(u32 header_bc, BlockId header, BlockId pred, const Env &e)
+    {
+        graph.block(header).preds.push_back(pred);
+        auto slotOf = [&](const Env &env_, size_t i) -> ValueId {
+            return i < env_.regs.size() ? env_.regs[i] : env_.acc;
+        };
+        auto &hdr = graph.block(header);
+        const auto &slots = headerPhiSlots[header];
+        // Phis are the leading nodes of the header, one per *live* slot.
+        size_t phi_at = 0;
+        for (size_t i : slots) {
+            vassert(phi_at < hdr.nodes.size(), "missing loop phi");
+            ValueId phi = hdr.nodes[phi_at++];
+            vassert(graph.node(phi).op == IrOp::Phi, "expected loop phi");
+            ValueId in = slotOf(e, i);
+            Rep want = graph.node(phi).rep;
+            Rep have = graph.node(in).rep;
+            if (have != want) {
+                Rep joined = joinRep(want, have);
+                if (joined != want) {
+                    // Phi itself must widen: force and rebuild.
+                    forcedReps[{header_bc, i}] = joined;
+                    repConflict = true;
+                    return;
+                }
+                in = convertInPred(pred, e, header_bc, in, want);
+            }
+            graph.node(phi).inputs.push_back(in);
+        }
+    }
+
+    // =====================================================================
+    // Frame states
+    // =====================================================================
+
+    u32
+    frameStateForEnv(const Env &e, u32 bc)
+    {
+        FrameState fs;
+        fs.bytecodeOffset = bc;
+        fs.regs = e.regs;
+        // Prune registers that are dead at the resume point: the
+        // interpreter will never read them, and keeping them alive
+        // would extend register pressure for nothing (V8's frame
+        // states are liveness-pruned the same way).
+        for (size_t i = 0; i < fs.regs.size(); i++) {
+            if (!liveness->regLiveIn(bc, static_cast<u32>(i)))
+                fs.regs[i] = kNoValue;
+        }
+        fs.accumulator = liveness->accLiveIn(bc) ? e.acc : kNoValue;
+        return graph.addFrameState(std::move(fs));
+    }
+
+    /** Frame state at the current bytecode (cached per op). */
+    u32
+    currentFrameState()
+    {
+        auto it = frameStateCache.find(curBc);
+        if (it != frameStateCache.end())
+            return it->second;
+        u32 fs = frameStateForEnv(curEnv, curBc);
+        frameStateCache[curBc] = fs;
+        return fs;
+    }
+
+    // =====================================================================
+    // Node helpers
+    // =====================================================================
+
+    ValueId
+    constTagged(BlockId b, u32 bits)
+    {
+        IrNode n;
+        n.op = IrOp::ConstTagged;
+        n.rep = Rep::Tagged;
+        n.imm = bits;
+        return graph.append(b, std::move(n));
+    }
+
+    ValueId
+    emit(IrNode n)
+    {
+        return graph.append(curBlock, std::move(n));
+    }
+
+    ValueId
+    emitConstI32(i32 v)
+    {
+        IrNode n;
+        n.op = IrOp::ConstI32;
+        n.rep = Rep::Int32;
+        n.imm = v;
+        n.known31 = smiFits(v);
+        return emit(std::move(n));
+    }
+
+    ValueId
+    emitConstTagged(u32 bits)
+    {
+        return constTagged(curBlock, bits);
+    }
+
+    ValueId
+    emitConstF64(double d)
+    {
+        IrNode n;
+        n.op = IrOp::ConstF64;
+        n.rep = Rep::Float64;
+        n.fval = d;
+        return emit(std::move(n));
+    }
+
+    ValueId
+    emitCheck(IrOp op, ValueId v, DeoptReason reason, i64 imm = 0,
+              ValueId second = kNoValue)
+    {
+        IrNode n;
+        n.op = op;
+        n.rep = op == IrOp::CheckBounds ? Rep::Int32 : Rep::Tagged;
+        n.reason = reason;
+        n.imm = imm;
+        n.inputs.push_back(v);
+        if (second != kNoValue)
+            n.inputs.push_back(second);
+        n.frameState = currentFrameState();
+        if (op == IrOp::CheckBounds)
+            n.known31 = graph.node(v).known31;
+        return emit(std::move(n));
+    }
+
+    ValueId
+    emitBin(IrOp op, Rep rep, ValueId a, ValueId b, bool checked = false,
+            DeoptReason reason = DeoptReason::Unknown)
+    {
+        IrNode n;
+        n.op = op;
+        n.rep = rep;
+        n.checked = checked;
+        n.reason = reason;
+        n.inputs = {a, b};
+        if (checked)
+            n.frameState = currentFrameState();
+        if (checked && rep == Rep::Int32)
+            n.known31 = true;  // deopts when leaving SMI range
+        return emit(std::move(n));
+    }
+
+    ValueId
+    emitRuntime(RuntimeFn rt, std::vector<ValueId> args,
+                Rep result = Rep::Tagged)
+    {
+        IrNode n;
+        n.op = IrOp::CallRuntime;
+        n.rep = result;
+        n.imm = static_cast<i64>(rt);
+        n.inputs = std::move(args);
+        n.frameState = currentFrameState();
+        return emit(std::move(n));
+    }
+
+    // ---- representation coercions (speculation happens here) --------------
+
+    /** Use @p v as an untagged machine integer (SMI speculation). */
+    ValueId
+    useI32(ValueId v)
+    {
+        const IrNode &n = graph.node(v);
+        switch (n.rep) {
+          case Rep::Int32:
+          case Rep::Bool:
+            return v;
+          case Rep::Tagged: {
+            if (n.op == IrOp::ConstTagged && (n.imm & 1) == 0) {
+                return emitConstI32(static_cast<i32>(n.imm) >> 1);
+            }
+            ValueId chk = emitCheck(IrOp::CheckSmi, v, DeoptReason::NotASmi);
+            IrNode u;
+            u.op = IrOp::UntagSmi;
+            u.rep = Rep::Int32;
+            u.known31 = true;
+            u.inputs.push_back(chk);
+            return emit(std::move(u));
+          }
+          case Rep::Float64: {
+            IrNode c;
+            c.op = IrOp::F64ToI32;
+            c.rep = Rep::Int32;
+            c.checked = true;
+            c.reason = DeoptReason::LostPrecision;
+            c.frameState = currentFrameState();
+            c.inputs.push_back(v);
+            return emit(std::move(c));
+          }
+          default:
+            vpanic("useI32 on valueless node");
+        }
+    }
+
+    /** Like useI32, but with ECMAScript ToInt32 truncation semantics
+     *  for Float64 inputs (bit-op operands never deopt on precision). */
+    ValueId
+    useI32Truncating(ValueId v)
+    {
+        if (graph.node(v).rep != Rep::Float64)
+            return useI32(v);
+        IrNode c;
+        c.op = IrOp::F64ToI32;
+        c.rep = Rep::Int32;
+        c.checked = false;
+        c.inputs.push_back(v);
+        return emit(std::move(c));
+    }
+
+    ValueId
+    useF64(ValueId v)
+    {
+        const IrNode &n = graph.node(v);
+        switch (n.rep) {
+          case Rep::Float64:
+            return v;
+          case Rep::Int32:
+          case Rep::Bool: {
+            IrNode c;
+            c.op = IrOp::I32ToF64;
+            c.rep = Rep::Float64;
+            c.inputs.push_back(v);
+            return emit(std::move(c));
+          }
+          case Rep::Tagged: {
+            if (n.op == IrOp::ConstTagged && (n.imm & 1) == 0)
+                return emitConstF64(static_cast<i32>(n.imm) >> 1);
+            IrNode c;
+            c.op = IrOp::ToFloat64;
+            c.rep = Rep::Float64;
+            c.reason = DeoptReason::NotANumber;
+            c.frameState = currentFrameState();
+            c.inputs.push_back(v);
+            return emit(std::move(c));
+          }
+          default:
+            vpanic("useF64 on valueless node");
+        }
+    }
+
+    ValueId
+    useTagged(ValueId v)
+    {
+        const IrNode &n = graph.node(v);
+        switch (n.rep) {
+          case Rep::Tagged:
+            return v;
+          case Rep::Int32: {
+            IrNode c;
+            c.op = IrOp::TagSmi;
+            c.rep = Rep::Tagged;
+            c.inputs.push_back(v);
+            if (!n.known31) {
+                c.checked = true;
+                c.reason = DeoptReason::Overflow;
+                c.frameState = currentFrameState();
+            }
+            return emit(std::move(c));
+          }
+          case Rep::Bool: {
+            IrNode c;
+            c.op = IrOp::BoolToTagged;
+            c.rep = Rep::Tagged;
+            c.inputs.push_back(v);
+            return emit(std::move(c));
+          }
+          case Rep::Float64:
+            return emitRuntime(RuntimeFn::BoxFloat64, {v});
+          default:
+            vpanic("useTagged on valueless node");
+        }
+    }
+
+    ValueId
+    useBool(ValueId v)
+    {
+        const IrNode &n = graph.node(v);
+        switch (n.rep) {
+          case Rep::Bool:
+            return v;
+          case Rep::Int32: {
+            IrNode c;
+            c.op = IrOp::I32ToBool;
+            c.rep = Rep::Bool;
+            c.inputs.push_back(v);
+            return emit(std::move(c));
+          }
+          case Rep::Float64: {
+            IrNode c;
+            c.op = IrOp::F64ToBool;
+            c.rep = Rep::Bool;
+            c.inputs.push_back(v);
+            return emit(std::move(c));
+          }
+          case Rep::Tagged: {
+            if (n.op == IrOp::ConstTagged) {
+                if (n.imm == env.vm.trueValue.bits())
+                    return emitConstBool(true);
+                if (n.imm == env.vm.falseValue.bits())
+                    return emitConstBool(false);
+            }
+            return emitRuntime(RuntimeFn::ToBoolean, {v}, Rep::Bool);
+          }
+          default:
+            vpanic("useBool on valueless node");
+        }
+    }
+
+    ValueId
+    emitConstBool(bool b)
+    {
+        IrNode n;
+        n.op = IrOp::ConstI32;
+        n.rep = Rep::Bool;
+        n.imm = b ? 1 : 0;
+        return emit(std::move(n));
+    }
+
+    // =====================================================================
+    // Block processing
+    // =====================================================================
+
+    void
+    endWithGoto(BlockId from, BlockId to)
+    {
+        IrNode g;
+        g.op = IrOp::Goto;
+        graph.append(from, std::move(g));
+        graph.block(from).succTrue = to;
+    }
+
+    void
+    processBlock(u32 bc_start, u32 bc_end)
+    {
+        BlockId blk = blockOfBc.at(bc_start);
+        if (!pendingEnvs.count(blk) || pendingEnvs[blk].empty())
+            return;  // unreachable
+
+        curBlock = blk;
+        curEnv = mergeAtBlockStart(bc_start, blk);
+        if (repConflict)
+            return;
+        if (graph.block(blk).isLoopHeader) {
+            // Record the header-entry frame state: checks hoisted out
+            // of this loop deoptimize to the loop's first iteration.
+            graph.headerFrameStates[blk] = frameStateForEnv(curEnv,
+                                                            bc_start);
+        }
+        bool closed = false;
+
+        for (u32 bc = bc_start; bc < bc_end && !closed && !repConflict;
+             bc++) {
+            curBc = bc;
+            frameStateCache.erase(bc);  // env may have changed
+            closed = processInstr(bc, fn.bytecode[bc], bc_end);
+        }
+        if (!closed && !repConflict) {
+            // Fall through into the next block.
+            vassert(blockOfBc.count(bc_end), "fallthrough off the end");
+            BlockId next = blockOfBc.at(bc_end);
+            if (loopHeaders.count(bc_end) && graph.block(next).nodes.size()) {
+                endWithGoto(curBlock, next);
+                addBackEdge(bc_end, next, curBlock, curEnv);
+            } else {
+                addPending(next, curBlock, curEnv);
+                endWithGoto(curBlock, next);
+            }
+        }
+    }
+
+    /** @return true if the instruction terminated the block. */
+    bool processInstr(u32 bc, const BcInstr &ins, u32 bc_end);
+
+    // ---- per-op helpers used by processInstr -------------------------------
+
+    void buildBinaryOp(const BcInstr &ins, Bc op);
+    void buildCompareOp(const BcInstr &ins, Bc op);
+    void buildUnaryNumeric(const BcInstr &ins, Bc op);
+    void buildGetNamed(const BcInstr &ins);
+    void buildSetNamed(const BcInstr &ins);
+    void buildGetElement(const BcInstr &ins);
+    void buildSetElement(const BcInstr &ins);
+    void buildCall(const BcInstr &ins, bool method);
+    bool buildSoftDeopt(DeoptReason reason);
+    void verifyTarget(ValueId callee, u32 cell_bits);
+    void inferKnown31();
+
+    /** CheckHeapObject + CheckMap for the receiver speculation. */
+    ValueId
+    checkReceiverMap(ValueId obj, MapId map, DeoptReason map_reason)
+    {
+        ValueId h = emitCheck(IrOp::CheckHeapObject, obj, DeoptReason::Smi);
+        return emitCheck(IrOp::CheckMap, h, map_reason,
+                         static_cast<i64>(map));
+    }
+
+    /** LoadField producing a Tagged slot value. */
+    ValueId
+    emitLoadField(ValueId base, u32 offset, bool raw = false)
+    {
+        IrNode n;
+        n.op = raw ? IrOp::LoadFieldRaw : IrOp::LoadField;
+        n.rep = raw ? Rep::Int32 : Rep::Tagged;
+        // Tagged base pointers carry +1; fold -1 into the offset.
+        n.imm = static_cast<i64>(offset) - 1;
+        n.inputs.push_back(base);
+        if (raw)
+            n.known31 = true;  // lengths/capacities are < 2^31
+        return emit(std::move(n));
+    }
+
+    CompilerEnv &env;
+    const FunctionInfo &fn;
+    Graph graph;
+
+    std::map<u32, BlockId> blockOfBc;
+    std::set<u32> loopHeaders;
+    std::map<BlockId, std::vector<Pending>> pendingEnvs;
+    std::map<BlockId, size_t> phiBase;
+    std::map<BlockId, std::vector<size_t>> headerPhiSlots;
+    std::optional<BytecodeLiveness> liveness;
+    std::map<u32, u32> frameStateCache;
+    std::map<std::pair<u32, size_t>, Rep> forcedReps;
+    bool repConflict = false;
+
+    BlockId curBlock = kNoBlock;
+    Env curEnv;
+    u32 curBc = 0;
+    bool blockEndedInDeopt = false;
+};
+
+bool
+GraphBuilder::buildSoftDeopt(DeoptReason reason)
+{
+    IrNode d;
+    d.op = IrOp::Deopt;
+    d.reason = reason;
+    d.frameState = currentFrameState();
+    emit(std::move(d));
+    return true;  // block terminated
+}
+
+void
+GraphBuilder::buildBinaryOp(const BcInstr &ins, Bc op)
+{
+    const FeedbackSlot &slot = fn.feedback.at(ins.b);
+    OperandFeedback fb = slot.operands;
+    ValueId lhs = curEnv.regs[ins.a];
+    ValueId rhs = curEnv.acc;
+
+    // Representation reality can be wider than stale feedback; widen.
+    auto repFb = [&](ValueId v) {
+        switch (graph.node(v).rep) {
+          case Rep::Float64: return OperandFeedback::Number;
+          case Rep::Int32: case Rep::Bool: return OperandFeedback::Smi;
+          default: return OperandFeedback::Smi;  // tagged: trust feedback
+        }
+    };
+    fb = joinOperand(fb, joinOperand(repFb(lhs), repFb(rhs)));
+
+    bool is_bitop = op == Bc::BitAnd || op == Bc::BitOr || op == Bc::BitXor
+                    || op == Bc::Shl || op == Bc::Sar || op == Bc::Shr;
+
+    if (fb == OperandFeedback::Smi
+        || (is_bitop && fb == OperandFeedback::Number)) {
+        ValueId a = is_bitop ? useI32Truncating(lhs) : useI32(lhs);
+        ValueId b = is_bitop ? useI32Truncating(rhs) : useI32(rhs);
+        IrOp iop;
+        bool checked = true;
+        DeoptReason reason = DeoptReason::Overflow;
+        switch (op) {
+          case Bc::Add: iop = IrOp::I32Add; break;
+          case Bc::Sub: iop = IrOp::I32Sub; break;
+          case Bc::Mul: iop = IrOp::I32Mul; break;
+          case Bc::Div:
+            iop = IrOp::I32Div;
+            reason = DeoptReason::LostPrecision;
+            break;
+          case Bc::Mod:
+            iop = IrOp::I32Mod;
+            reason = DeoptReason::MinusZero;
+            break;
+          case Bc::BitAnd: iop = IrOp::I32And; checked = false; break;
+          case Bc::BitOr: iop = IrOp::I32Or; checked = false; break;
+          case Bc::BitXor: iop = IrOp::I32Xor; checked = false; break;
+          case Bc::Shl: iop = IrOp::I32Shl; checked = false; break;
+          case Bc::Sar: iop = IrOp::I32Sar; checked = false; break;
+          case Bc::Shr:
+            iop = IrOp::I32Shr;
+            checked = true;
+            reason = DeoptReason::LostPrecision;
+            break;
+          default: vpanic("bad smi binary op");
+        }
+        curEnv.acc = emitBin(iop, Rep::Int32, a, b, checked, reason);
+        return;
+    }
+    if (fb == OperandFeedback::Number) {
+        ValueId a = useF64(lhs);
+        ValueId b = useF64(rhs);
+        IrOp iop;
+        switch (op) {
+          case Bc::Add: iop = IrOp::F64Add; break;
+          case Bc::Sub: iop = IrOp::F64Sub; break;
+          case Bc::Mul: iop = IrOp::F64Mul; break;
+          case Bc::Div: iop = IrOp::F64Div; break;
+          case Bc::Mod: iop = IrOp::F64Mod; break;
+          default: vpanic("bad number binary op");
+        }
+        curEnv.acc = emitBin(iop, Rep::Float64, a, b);
+        return;
+    }
+    if (fb == OperandFeedback::String && op == Bc::Add) {
+        curEnv.acc = emitRuntime(RuntimeFn::StringConcat,
+                                 {useTagged(lhs), useTagged(rhs)});
+        return;
+    }
+    // Generic path.
+    curEnv.acc = emitRuntime(RuntimeFn::GenericAdd,
+                             {useTagged(lhs), useTagged(rhs),
+                              emitConstI32(static_cast<i32>(op))});
+}
+
+void
+GraphBuilder::buildCompareOp(const BcInstr &ins, Bc op)
+{
+    const FeedbackSlot &slot = fn.feedback.at(ins.b);
+    OperandFeedback fb = slot.operands;
+    ValueId lhs = curEnv.regs[ins.a];
+    ValueId rhs = curEnv.acc;
+
+    auto repIsNum = [&](ValueId v) {
+        Rep r = graph.node(v).rep;
+        return r == Rep::Float64 || r == Rep::Int32 || r == Rep::Bool;
+    };
+    if (graph.node(lhs).rep == Rep::Float64
+        || graph.node(rhs).rep == Rep::Float64)
+        fb = joinOperand(fb, OperandFeedback::Number);
+    else if (repIsNum(lhs) && repIsNum(rhs))
+        fb = joinOperand(fb, OperandFeedback::Smi);
+
+    Cond cond;
+    switch (op) {
+      case Bc::TestLess: cond = Cond::Lt; break;
+      case Bc::TestLessEq: cond = Cond::Le; break;
+      case Bc::TestGreater: cond = Cond::Gt; break;
+      case Bc::TestGreaterEq: cond = Cond::Ge; break;
+      case Bc::TestEq: case Bc::TestStrictEq: cond = Cond::Eq; break;
+      default: cond = Cond::Ne; break;
+    }
+
+    if (fb == OperandFeedback::Smi) {
+        IrNode n;
+        n.op = IrOp::I32Compare;
+        n.rep = Rep::Bool;
+        n.cond = cond;
+        n.inputs = {useI32(lhs), useI32(rhs)};
+        curEnv.acc = emit(std::move(n));
+        return;
+    }
+    if (fb == OperandFeedback::Number) {
+        IrNode n;
+        n.op = IrOp::F64Compare;
+        n.rep = Rep::Bool;
+        n.cond = cond;
+        n.inputs = {useF64(lhs), useF64(rhs)};
+        curEnv.acc = emit(std::move(n));
+        return;
+    }
+    if (fb == OperandFeedback::String
+        && (op == Bc::TestEq || op == Bc::TestStrictEq
+            || op == Bc::TestNotEq || op == Bc::TestStrictNotEq)) {
+        ValueId eq = emitRuntime(RuntimeFn::StringEqual,
+                                 {useTagged(lhs), useTagged(rhs)}, Rep::Bool);
+        if (op == Bc::TestNotEq || op == Bc::TestStrictNotEq) {
+            IrNode nn;
+            nn.op = IrOp::BoolNot;
+            nn.rep = Rep::Bool;
+            nn.inputs.push_back(eq);
+            eq = emit(std::move(nn));
+        }
+        curEnv.acc = eq;
+        return;
+    }
+    curEnv.acc = emitRuntime(RuntimeFn::GenericCompare,
+                             {useTagged(lhs), useTagged(rhs),
+                              emitConstI32(static_cast<i32>(op))},
+                             Rep::Bool);
+}
+
+void
+GraphBuilder::buildUnaryNumeric(const BcInstr &ins, Bc op)
+{
+    const FeedbackSlot &slot = fn.feedback.at(ins.a);
+    OperandFeedback fb = slot.operands;
+    ValueId v = curEnv.acc;
+    if (graph.node(v).rep == Rep::Float64)
+        fb = joinOperand(fb, OperandFeedback::Number);
+    else if (graph.node(v).rep == Rep::Int32)
+        fb = joinOperand(fb, OperandFeedback::Smi);
+
+    switch (op) {
+      case Bc::Inc:
+      case Bc::Dec: {
+        if (fb == OperandFeedback::Smi) {
+            ValueId a = useI32(v);
+            ValueId one = emitConstI32(1);
+            curEnv.acc = emitBin(op == Bc::Inc ? IrOp::I32Add : IrOp::I32Sub,
+                                 Rep::Int32, a, one, true,
+                                 DeoptReason::Overflow);
+        } else {
+            ValueId a = useF64(v);
+            ValueId one = emitConstF64(1.0);
+            curEnv.acc = emitBin(op == Bc::Inc ? IrOp::F64Add : IrOp::F64Sub,
+                                 Rep::Float64, a, one);
+        }
+        break;
+      }
+      case Bc::Negate: {
+        if (fb == OperandFeedback::Smi) {
+            ValueId a = useI32(v);
+            IrNode n;
+            n.op = IrOp::I32Neg;
+            n.rep = Rep::Int32;
+            n.checked = true;
+            n.reason = DeoptReason::MinusZero;  // also kSmiMin overflow
+            n.frameState = currentFrameState();
+            n.known31 = true;
+            n.inputs.push_back(a);
+            curEnv.acc = emit(std::move(n));
+        } else {
+            IrNode n;
+            n.op = IrOp::F64Neg;
+            n.rep = Rep::Float64;
+            n.inputs.push_back(useF64(v));
+            curEnv.acc = emit(std::move(n));
+        }
+        break;
+      }
+      case Bc::BitNot: {
+        ValueId a = useI32Truncating(v);
+        ValueId minus1 = emitConstI32(-1);
+        curEnv.acc = emitBin(IrOp::I32Xor, Rep::Int32, a, minus1);
+        break;
+      }
+      case Bc::ToNumber: {
+        Rep r = graph.node(v).rep;
+        if (r == Rep::Int32 || r == Rep::Float64)
+            break;  // already numeric
+        curEnv.acc = emitRuntime(RuntimeFn::ToNumberRt, {useTagged(v)});
+        break;
+      }
+      default:
+        vpanic("bad unary numeric op");
+    }
+}
+
+void
+GraphBuilder::buildGetNamed(const BcInstr &ins)
+{
+    const FeedbackSlot &slot = fn.feedback.at(ins.c);
+    const PropertyFeedback &pf = slot.property;
+    ValueId obj = curEnv.regs[ins.a];
+
+    if (pf.sawArrayLength && !pf.lengthPolymorphic
+        && pf.lengthMap != kInvalidMap) {
+        ValueId chk = checkReceiverMap(obj, pf.lengthMap,
+                                       DeoptReason::NotAJSArray);
+        curEnv.acc = emitLoadField(chk, HeapLayout::kArrayLengthOffset, true);
+        return;
+    }
+    if (pf.sawStringLength) {
+        ValueId chk = checkReceiverMap(obj, env.vm.maps.stringMap(),
+                                       DeoptReason::NotAString);
+        curEnv.acc = emitLoadField(chk, HeapLayout::kAuxOffset, true);
+        return;
+    }
+    if (pf.builtinMethod != 0 && pf.builtinReceiverMap != kInvalidMap
+        && !pf.sawGeneric) {
+        // A builtin method off a string/array receiver: map-check the
+        // receiver, then the method is a known constant cell.
+        checkReceiverMap(obj, pf.builtinReceiverMap,
+                         DeoptReason::WrongInstanceType);
+        FunctionId fid = env.functions.idOf(
+            builtinName(static_cast<BuiltinId>(pf.builtinMethod)));
+        vassert(fid != kInvalidFunction, "builtin method not registered");
+        Addr cell = env.functions.at(fid).cellAddr;
+        curEnv.acc = emitConstTagged(cell | 1u);
+        return;
+    }
+    if (pf.isMonomorphic() && !pf.sawGeneric) {
+        const auto &e = pf.entries[0];
+        ValueId chk = checkReceiverMap(obj, e.map, DeoptReason::WrongMap);
+        curEnv.acc = emitLoadField(
+            chk, HeapLayout::kObjectSlotsOffset
+                 + 4 * static_cast<u32>(e.slotIndex));
+        return;
+    }
+    if (pf.state == PropertyFeedback::State::None && !pf.sawGeneric) {
+        buildSoftDeopt(
+            DeoptReason::InsufficientTypeFeedbackForGenericNamedAccess);
+        blockEndedInDeopt = true;
+        return;
+    }
+    curEnv.acc = emitRuntime(RuntimeFn::GenericGetNamed,
+                             {useTagged(obj), emitConstI32(ins.b)});
+}
+
+void
+GraphBuilder::buildSetNamed(const BcInstr &ins)
+{
+    const FeedbackSlot &slot = fn.feedback.at(ins.c);
+    const PropertyFeedback &pf = slot.property;
+    ValueId obj = curEnv.regs[ins.a];
+    ValueId val = curEnv.acc;
+
+    if (pf.isMonomorphic() && !pf.sawGeneric) {
+        const auto &e = pf.entries[0];
+        ValueId chk = checkReceiverMap(obj, e.map, DeoptReason::WrongMap);
+        ValueId tv = useTagged(val);
+        IrNode st;
+        st.op = IrOp::StoreField;
+        st.imm = static_cast<i64>(HeapLayout::kObjectSlotsOffset
+                                  + 4 * static_cast<u32>(e.slotIndex)) - 1;
+        st.inputs = {chk, tv};
+        emit(std::move(st));
+        if (e.transition != kInvalidMap) {
+            // Transitioning store: also write the new map word.
+            IrNode sm;
+            sm.op = IrOp::StoreFieldRaw;
+            sm.imm = static_cast<i64>(HeapLayout::kMapOffset) - 1;
+            sm.inputs = {chk,
+                         emitConstI32(static_cast<i32>(
+                             env.vm.maps.mapWord(e.transition)))};
+            emit(std::move(sm));
+        }
+        return;
+    }
+    if (pf.state == PropertyFeedback::State::None && !pf.sawGeneric) {
+        buildSoftDeopt(
+            DeoptReason::InsufficientTypeFeedbackForGenericNamedAccess);
+        blockEndedInDeopt = true;
+        return;
+    }
+    emitRuntime(RuntimeFn::GenericSetNamed,
+                {useTagged(obj), emitConstI32(ins.b), useTagged(val)},
+                Rep::None);
+}
+
+void
+GraphBuilder::buildGetElement(const BcInstr &ins)
+{
+    const FeedbackSlot &slot = fn.feedback.at(ins.b);
+    const ElementFeedback &ef = slot.element;
+    ValueId obj = curEnv.regs[ins.a];
+    ValueId key = curEnv.acc;
+
+    if (ef.state == ElementFeedback::State::Typed && !ef.sawString
+        && !ef.sawOutOfBounds) {
+        ValueId arr = checkReceiverMap(obj, ef.arrayMap,
+                                       DeoptReason::WrongMap);
+        ValueId idx = useI32(key);
+        ValueId len = emitLoadField(arr, HeapLayout::kArrayLengthOffset,
+                                    true);
+        ValueId bidx = emitCheck(IrOp::CheckBounds, idx,
+                                 DeoptReason::OutOfBounds, 0, len);
+        ValueId elems = emitLoadField(arr, HeapLayout::kArrayElementsOffset);
+        IrNode ld;
+        if (ef.kind == ElementKind::Double) {
+            ld.op = IrOp::LoadElemF64;
+            ld.rep = Rep::Float64;
+        } else {
+            ld.op = IrOp::LoadElem32;
+            ld.rep = Rep::Tagged;
+        }
+        ld.imm = static_cast<i64>(HeapLayout::kElementsDataOffset) - 1;
+        ld.inputs = {elems, bidx};
+        curEnv.acc = emit(std::move(ld));
+        return;
+    }
+    if (ef.state == ElementFeedback::State::None && !ef.sawString) {
+        buildSoftDeopt(
+            DeoptReason::InsufficientTypeFeedbackForGenericKeyedAccess);
+        blockEndedInDeopt = true;
+        return;
+    }
+    curEnv.acc = emitRuntime(RuntimeFn::GenericGetElement,
+                             {useTagged(obj), useTagged(key)});
+}
+
+void
+GraphBuilder::buildSetElement(const BcInstr &ins)
+{
+    const FeedbackSlot &slot = fn.feedback.at(ins.c);
+    const ElementFeedback &ef = slot.element;
+    ValueId obj = curEnv.regs[ins.a];
+    ValueId key = curEnv.regs[ins.b];
+    ValueId val = curEnv.acc;
+
+    if (ef.state == ElementFeedback::State::Typed && !ef.sawString) {
+        ValueId arr = checkReceiverMap(obj, ef.arrayMap,
+                                       DeoptReason::WrongMap);
+        if (ef.sawGrowth || ef.sawOutOfBounds) {
+            // Appending stores go through the runtime grow-store helper.
+            emitRuntime(RuntimeFn::GrowArrayStore,
+                        {arr, useI32(key), useTagged(val)}, Rep::None);
+            return;
+        }
+        ValueId idx = useI32(key);
+        ValueId len = emitLoadField(arr, HeapLayout::kArrayLengthOffset,
+                                    true);
+        ValueId bidx = emitCheck(IrOp::CheckBounds, idx,
+                                 DeoptReason::OutOfBounds, 0, len);
+        ValueId elems = emitLoadField(arr, HeapLayout::kArrayElementsOffset);
+        IrNode st;
+        st.imm = static_cast<i64>(HeapLayout::kElementsDataOffset) - 1;
+        if (ef.kind == ElementKind::Double) {
+            st.op = IrOp::StoreElemF64;
+            st.inputs = {elems, bidx, useF64(val)};
+        } else if (ef.kind == ElementKind::Smi) {
+            // Storing into a PACKED_SMI array: the value must be an SMI.
+            ValueId tv = useTagged(useI32(val));
+            st.op = IrOp::StoreElem32;
+            st.inputs = {elems, bidx, tv};
+        } else {
+            st.op = IrOp::StoreElem32;
+            st.inputs = {elems, bidx, useTagged(val)};
+        }
+        emit(std::move(st));
+        return;
+    }
+    if (ef.state == ElementFeedback::State::None && !ef.sawString) {
+        buildSoftDeopt(
+            DeoptReason::InsufficientTypeFeedbackForGenericKeyedAccess);
+        blockEndedInDeopt = true;
+        return;
+    }
+    emitRuntime(RuntimeFn::GenericSetElement,
+                {useTagged(obj), useTagged(key), useTagged(val)}, Rep::None);
+}
+
+void
+GraphBuilder::buildCall(const BcInstr &ins, bool method)
+{
+    const FeedbackSlot &slot = fn.feedback.at(callSlot(ins.c));
+    const CallFeedback &cf = slot.call;
+    int argc = callArgc(ins.c);
+    ValueId callee = curEnv.regs[ins.a];
+    ValueId this_v = method ? curEnv.regs[ins.b]
+                            : emitConstTagged(env.vm.undefinedValue.bits());
+    int first_arg = method ? ins.b + 1 : ins.b;
+
+    std::vector<ValueId> args;
+    for (int i = 0; i < argc; i++)
+        args.push_back(curEnv.regs[first_arg + i]);
+
+    if (cf.state == CallFeedback::State::None) {
+        buildSoftDeopt(DeoptReason::InsufficientTypeFeedbackForCall);
+        blockEndedInDeopt = true;
+        return;
+    }
+
+    if (cf.state == CallFeedback::State::Monomorphic) {
+        const FunctionInfo &target = env.functions.at(cf.target);
+        u32 cell_bits = target.cellAddr | 1u;
+
+        // Inline a few pure math builtins directly.
+        if (target.builtin == BuiltinId::MathSqrt && argc == 1) {
+            verifyTarget(callee, cell_bits);
+            IrNode n;
+            n.op = IrOp::F64Sqrt;
+            n.rep = Rep::Float64;
+            n.inputs.push_back(useF64(args[0]));
+            curEnv.acc = emit(std::move(n));
+            return;
+        }
+        if (target.builtin == BuiltinId::MathAbs && argc == 1
+            && graph.node(args[0]).rep == Rep::Float64) {
+            verifyTarget(callee, cell_bits);
+            IrNode n;
+            n.op = IrOp::F64Abs;
+            n.rep = Rep::Float64;
+            n.inputs.push_back(args[0]);
+            curEnv.acc = emit(std::move(n));
+            return;
+        }
+
+        verifyTarget(callee, cell_bits);
+        IrNode call;
+        call.op = IrOp::CallFunction;
+        call.rep = Rep::Tagged;
+        call.imm = cf.target;
+        call.inputs.push_back(useTagged(this_v));
+        for (ValueId a : args)
+            call.inputs.push_back(useTagged(a));
+        call.frameState = currentFrameState();
+        curEnv.acc = emit(std::move(call));
+        return;
+    }
+
+    // Megamorphic: fully dynamic dispatch through the runtime.
+    std::vector<ValueId> rt_args;
+    rt_args.push_back(useTagged(callee));
+    rt_args.push_back(useTagged(this_v));
+    for (ValueId a : args)
+        rt_args.push_back(useTagged(a));
+    curEnv.acc = emitRuntime(RuntimeFn::CallFunction, std::move(rt_args));
+}
+
+/** Emit a WrongCallTarget check unless the callee is already the
+ *  expected constant. */
+void
+GraphBuilder::verifyTarget(ValueId callee, u32 cell_bits)
+{
+    const IrNode &n = graph.node(callee);
+    if (n.op == IrOp::ConstTagged && n.imm == cell_bits)
+        return;
+    emitCheck(IrOp::CheckValue, callee, DeoptReason::WrongCallTarget,
+              cell_bits);
+}
+
+bool
+GraphBuilder::processInstr(u32 bc, const BcInstr &ins, u32 bc_end)
+{
+    blockEndedInDeopt = false;
+    switch (ins.op) {
+      case Bc::LdaSmi:
+        curEnv.acc = emitConstI32(ins.a);
+        break;
+      case Bc::LdaConst: {
+        Value c = fn.constants.at(ins.a);
+        if (c.isHeap()
+            && env.vm.typeOf(c.asAddr()) == InstanceType::HeapNumber) {
+            curEnv.acc = emitConstF64(env.vm.numberOf(c));
+        } else {
+            curEnv.acc = emitConstTagged(c.bits());
+        }
+        break;
+      }
+      case Bc::LdaUndefined:
+        curEnv.acc = emitConstTagged(env.vm.undefinedValue.bits());
+        break;
+      case Bc::LdaNull:
+        curEnv.acc = emitConstTagged(env.vm.nullValue.bits());
+        break;
+      case Bc::LdaTrue:
+        curEnv.acc = emitConstTagged(env.vm.trueValue.bits());
+        break;
+      case Bc::LdaFalse:
+        curEnv.acc = emitConstTagged(env.vm.falseValue.bits());
+        break;
+      case Bc::LdaGlobal: {
+        u32 cell = static_cast<u32>(ins.a);
+        // Constant-cell speculation: a global written at most once can
+        // be embedded; a later write triggers lazy deoptimization.
+        if (env.globals.writeCount(cell) <= 1) {
+            curEnv.acc = emitConstTagged(env.globals.load(cell).bits());
+            graph.embeddedGlobalCells.push_back(cell);
+        } else {
+            IrNode n;
+            n.op = IrOp::LoadGlobal;
+            n.rep = Rep::Tagged;
+            n.imm = env.globals.cellAddr(cell);
+            curEnv.acc = emit(std::move(n));
+        }
+        break;
+      }
+      case Bc::StaGlobal: {
+        IrNode n;
+        n.op = IrOp::StoreGlobal;
+        n.imm = env.globals.cellAddr(static_cast<u32>(ins.a));
+        n.inputs.push_back(useTagged(curEnv.acc));
+        emit(std::move(n));
+        break;
+      }
+      case Bc::Ldar:
+        curEnv.acc = curEnv.regs[ins.a];
+        break;
+      case Bc::Star:
+        curEnv.regs[ins.a] = curEnv.acc;
+        break;
+      case Bc::Mov:
+        curEnv.regs[ins.a] = curEnv.regs[ins.b];
+        break;
+
+      case Bc::Add: case Bc::Sub: case Bc::Mul: case Bc::Div: case Bc::Mod:
+      case Bc::BitAnd: case Bc::BitOr: case Bc::BitXor:
+      case Bc::Shl: case Bc::Sar: case Bc::Shr:
+        if (fn.feedback.at(ins.b).operands == OperandFeedback::None
+            && graph.node(curEnv.regs[ins.a]).rep == Rep::Tagged
+            && graph.node(curEnv.acc).rep == Rep::Tagged) {
+            return buildSoftDeopt(
+                DeoptReason::InsufficientTypeFeedbackForBinaryOperation);
+        }
+        buildBinaryOp(ins, ins.op);
+        break;
+
+      case Bc::TestLess: case Bc::TestLessEq: case Bc::TestGreater:
+      case Bc::TestGreaterEq: case Bc::TestEq: case Bc::TestNotEq:
+      case Bc::TestStrictEq: case Bc::TestStrictNotEq:
+        if (fn.feedback.at(ins.b).operands == OperandFeedback::None
+            && graph.node(curEnv.regs[ins.a]).rep == Rep::Tagged
+            && graph.node(curEnv.acc).rep == Rep::Tagged) {
+            return buildSoftDeopt(
+                DeoptReason::InsufficientTypeFeedbackForCompareOperation);
+        }
+        buildCompareOp(ins, ins.op);
+        break;
+
+      case Bc::Inc: case Bc::Dec: case Bc::Negate: case Bc::BitNot:
+      case Bc::ToNumber:
+        buildUnaryNumeric(ins, ins.op);
+        break;
+
+      case Bc::LogicalNot:
+        curEnv.acc = [&] {
+            IrNode n;
+            n.op = IrOp::BoolNot;
+            n.rep = Rep::Bool;
+            n.inputs.push_back(useBool(curEnv.acc));
+            return emit(std::move(n));
+        }();
+        break;
+
+      case Bc::TypeOf:
+        curEnv.acc = emitRuntime(RuntimeFn::TypeOfRt,
+                                 {useTagged(curEnv.acc)});
+        break;
+
+      case Bc::Jump: {
+        u32 target_bc = static_cast<u32>(ins.a);
+        BlockId target = blockOfBc.at(target_bc);
+        if (target_bc <= bc) {
+            // Backward jump: back edge into an already-built header.
+            // Emit the terminator *first* so that representation
+            // conversions for phi inputs are inserted before it (and
+            // after the values they consume).
+            IrNode g;
+            g.op = IrOp::Goto;
+            graph.append(curBlock, std::move(g));
+            graph.block(curBlock).succTrue = target;
+            addBackEdge(target_bc, target, curBlock, curEnv);
+            return true;
+        }
+        addPending(target, curBlock, curEnv);
+        endWithGoto(curBlock, target);
+        return true;
+      }
+      case Bc::JumpLoop: {
+        u32 header_bc = static_cast<u32>(ins.a);
+        BlockId header = blockOfBc.at(header_bc);
+        // Terminator first: conversions for back-edge phi inputs must
+        // be inserted after the values they consume (see Bc::Jump).
+        IrNode g;
+        g.op = IrOp::Goto;
+        graph.append(curBlock, std::move(g));
+        graph.block(curBlock).succTrue = header;
+        addBackEdge(header_bc, header, curBlock, curEnv);
+        return true;
+      }
+      case Bc::JumpIfFalse:
+      case Bc::JumpIfTrue: {
+        ValueId cond = useBool(curEnv.acc);
+        BlockId target = blockOfBc.at(static_cast<u32>(ins.a));
+        BlockId fall = blockOfBc.at(bc + 1);
+        IrNode br;
+        br.op = IrOp::Branch;
+        br.inputs.push_back(cond);
+        graph.append(curBlock, std::move(br));
+        BlockId on_true = ins.op == Bc::JumpIfTrue ? target : fall;
+        BlockId on_false = ins.op == Bc::JumpIfTrue ? fall : target;
+        graph.block(curBlock).succTrue = on_true;
+        graph.block(curBlock).succFalse = on_false;
+        addPending(on_true, curBlock, curEnv);
+        addPending(on_false, curBlock, curEnv);
+        (void)bc_end;
+        return true;
+      }
+
+      case Bc::GetNamedProperty:
+        buildGetNamed(ins);
+        return blockEndedInDeopt;
+      case Bc::SetNamedProperty:
+        buildSetNamed(ins);
+        return blockEndedInDeopt;
+      case Bc::GetElement:
+        buildGetElement(ins);
+        return blockEndedInDeopt;
+      case Bc::SetElement:
+        buildSetElement(ins);
+        return blockEndedInDeopt;
+
+      case Bc::CreateArray:
+        curEnv.acc = emitRuntime(RuntimeFn::CreateArrayRt,
+                                 {emitConstI32(ins.a)});
+        break;
+      case Bc::CreateObject:
+        curEnv.acc = emitRuntime(RuntimeFn::CreateObjectRt, {});
+        break;
+      case Bc::StaArrayLiteral: {
+        ValueId arr = curEnv.regs[ins.a];
+        emitRuntime(RuntimeFn::GrowArrayStore,
+                    {useTagged(arr), emitConstI32(ins.b),
+                     useTagged(curEnv.acc)},
+                    Rep::None);
+        break;
+      }
+      case Bc::StaNamedOwn:
+        emitRuntime(RuntimeFn::GenericSetNamed,
+                    {useTagged(curEnv.regs[ins.a]), emitConstI32(ins.b),
+                     useTagged(curEnv.acc)},
+                    Rep::None);
+        break;
+
+      case Bc::Call:
+        buildCall(ins, false);
+        return blockEndedInDeopt;
+      case Bc::CallMethod:
+        buildCall(ins, true);
+        return blockEndedInDeopt;
+
+      case Bc::Return: {
+        IrNode r;
+        r.op = IrOp::Return;
+        r.inputs.push_back(useTagged(curEnv.acc));
+        emit(std::move(r));
+        return true;
+      }
+    }
+    return false;
+}
+
+// =====================================================================
+// known31 inference (optimistic fixpoint over phis)
+// =====================================================================
+
+void
+GraphBuilder::inferKnown31()
+{
+    // Optimistically assume every Int32 phi is 31-bit, then iterate.
+    for (auto &n : graph.nodes) {
+        if (n.op == IrOp::Phi && n.rep == Rep::Int32)
+            n.known31 = true;
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &n : graph.nodes) {
+            if (n.op != IrOp::Phi || n.rep != Rep::Int32 || !n.known31)
+                continue;
+            for (ValueId in : n.inputs) {
+                if (!graph.node(in).known31) {
+                    n.known31 = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    // Unchecked TagSmi nodes whose input lost known31 must become
+    // checked (they were created while the phi was optimistic only in
+    // convertInPred; the main path queried known31 eagerly, so patch).
+    for (auto &n : graph.nodes) {
+        if (n.op == IrOp::TagSmi && !n.checked
+            && !graph.node(n.inputs[0]).known31) {
+            // Conservative: a phi input turned out not provably 31-bit.
+            // These loop-carried values originate from checked arith or
+            // untags, so this only fires for bit-op results.
+            n.checked = true;
+            n.reason = DeoptReason::Overflow;
+            if (n.frameState == kNoFrameState && !graph.frameStates.empty())
+                n.frameState = 0;
+        }
+    }
+}
+
+} // namespace
+
+std::optional<Graph>
+buildGraph(CompilerEnv &env, const FunctionInfo &fn)
+{
+    GraphBuilder b(env, fn);
+    return b.build();
+}
+
+} // namespace vspec

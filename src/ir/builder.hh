@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Graph builder: turns bytecode plus recorded type feedback into the
+ * speculative IR, inserting deoptimization checks exactly where V8's
+ * TurboFan would: SMI checks and untagging shifts around tagged loads,
+ * map checks before shape-dependent accesses, bounds checks before
+ * element accesses, overflow checks on SMI arithmetic, and deopt-soft
+ * exits on paths without feedback.
+ */
+
+#ifndef VSPEC_IR_BUILDER_HH
+#define VSPEC_IR_BUILDER_HH
+
+#include <optional>
+
+#include "bytecode/compiler.hh"
+#include "ir/graph.hh"
+
+namespace vspec
+{
+
+/** Shared context the optimizing compiler needs. */
+struct CompilerEnv
+{
+    VMContext &vm;
+    GlobalRegistry &globals;
+    FunctionTable &functions;
+};
+
+/**
+ * Build the speculative graph for @p fn.
+ *
+ * @return std::nullopt when the function cannot be optimized (too many
+ * parameters for the register convention, or irreconcilable loop-variable
+ * representations); the caller then keeps the function interpreted.
+ */
+std::optional<Graph> buildGraph(CompilerEnv &env, const FunctionInfo &fn);
+
+} // namespace vspec
+
+#endif // VSPEC_IR_BUILDER_HH

@@ -1,0 +1,180 @@
+#include "ir/deopt_reasons.hh"
+
+namespace vspec
+{
+
+const char *
+deoptReasonName(DeoptReason r)
+{
+    switch (r) {
+      case DeoptReason::Smi: return "Smi";
+      case DeoptReason::NotASmi: return "NotASmi";
+      case DeoptReason::NotAnInteger: return "NotAnInteger";
+      case DeoptReason::WrongMap: return "WrongMap";
+      case DeoptReason::WrongInstanceType: return "WrongInstanceType";
+      case DeoptReason::WrongName: return "WrongName";
+      case DeoptReason::NotAHeapNumber: return "NotAHeapNumber";
+      case DeoptReason::NotANumber: return "NotANumber";
+      case DeoptReason::NotAString: return "NotAString";
+      case DeoptReason::NotASymbol: return "NotASymbol";
+      case DeoptReason::NotABigInt: return "NotABigInt";
+      case DeoptReason::NotAFunction: return "NotAFunction";
+      case DeoptReason::NotAJSArray: return "NotAJSArray";
+      case DeoptReason::NotABoolean: return "NotABoolean";
+      case DeoptReason::WrongEnumIndices: return "WrongEnumIndices";
+      case DeoptReason::WrongValue: return "WrongValue";
+      case DeoptReason::InstanceMigrationFailed:
+        return "InstanceMigrationFailed";
+      case DeoptReason::WrongCallTarget: return "WrongCallTarget";
+      case DeoptReason::OutOfBounds: return "OutOfBounds";
+      case DeoptReason::NegativeIndex: return "NegativeIndex";
+      case DeoptReason::StringTooLong: return "StringTooLong";
+      case DeoptReason::Overflow: return "Overflow";
+      case DeoptReason::LostPrecision: return "LostPrecision";
+      case DeoptReason::LostPrecisionOrNaN: return "LostPrecisionOrNaN";
+      case DeoptReason::DivisionByZero: return "DivisionByZero";
+      case DeoptReason::MinusZero: return "MinusZero";
+      case DeoptReason::NaN: return "NaN";
+      case DeoptReason::RemainderZero: return "RemainderZero";
+      case DeoptReason::ValueOutOfRange: return "ValueOutOfRange";
+      case DeoptReason::Hole: return "Hole";
+      case DeoptReason::TheHole: return "TheHole";
+      case DeoptReason::HoleyArray: return "HoleyArray";
+      case DeoptReason::NotDetectable: return "NotDetectable";
+      case DeoptReason::OutsideOfRange: return "OutsideOfRange";
+      case DeoptReason::Unknown: return "Unknown";
+      case DeoptReason::DeoptimizeNow: return "DeoptimizeNow";
+      case DeoptReason::NoCache: return "NoCache";
+      case DeoptReason::NotAnArrayIndex: return "NotAnArrayIndex";
+      case DeoptReason::ArrayBufferWasDetached:
+        return "ArrayBufferWasDetached";
+      case DeoptReason::BigIntTooBig: return "BigIntTooBig";
+      case DeoptReason::CowArrayElementsChanged:
+        return "CowArrayElementsChanged";
+      case DeoptReason::CouldNotGrowElements: return "CouldNotGrowElements";
+      case DeoptReason::UnexpectedContextExtension:
+        return "UnexpectedContextExtension";
+      case DeoptReason::InsufficientTypeFeedbackForCall:
+        return "InsufficientTypeFeedbackForCall";
+      case DeoptReason::InsufficientTypeFeedbackForBinaryOperation:
+        return "InsufficientTypeFeedbackForBinaryOperation";
+      case DeoptReason::InsufficientTypeFeedbackForCompareOperation:
+        return "InsufficientTypeFeedbackForCompareOperation";
+      case DeoptReason::InsufficientTypeFeedbackForGenericNamedAccess:
+        return "InsufficientTypeFeedbackForGenericNamedAccess";
+      case DeoptReason::InsufficientTypeFeedbackForGenericKeyedAccess:
+        return "InsufficientTypeFeedbackForGenericKeyedAccess";
+      case DeoptReason::InsufficientTypeFeedbackForUnaryOperation:
+        return "InsufficientTypeFeedbackForUnaryOperation";
+      case DeoptReason::InsufficientTypeFeedbackForConstruct:
+        return "InsufficientTypeFeedbackForConstruct";
+      case DeoptReason::CodeDependencyChange: return "CodeDependencyChange";
+      case DeoptReason::SharedCodeDeoptimized:
+        return "SharedCodeDeoptimized";
+      case DeoptReason::NumReasons: break;
+    }
+    return "?";
+}
+
+DeoptCategory
+deoptCategoryOf(DeoptReason r)
+{
+    switch (r) {
+      case DeoptReason::InsufficientTypeFeedbackForCall:
+      case DeoptReason::InsufficientTypeFeedbackForBinaryOperation:
+      case DeoptReason::InsufficientTypeFeedbackForCompareOperation:
+      case DeoptReason::InsufficientTypeFeedbackForGenericNamedAccess:
+      case DeoptReason::InsufficientTypeFeedbackForGenericKeyedAccess:
+      case DeoptReason::InsufficientTypeFeedbackForUnaryOperation:
+      case DeoptReason::InsufficientTypeFeedbackForConstruct:
+        return DeoptCategory::Soft;
+      case DeoptReason::CodeDependencyChange:
+      case DeoptReason::SharedCodeDeoptimized:
+        return DeoptCategory::Lazy;
+      default:
+        return DeoptCategory::Eager;
+    }
+}
+
+CheckGroup
+checkGroupOf(DeoptReason r)
+{
+    switch (r) {
+      case DeoptReason::Smi:
+        return CheckGroup::Smi;
+      case DeoptReason::NotASmi:
+      case DeoptReason::NotAnInteger:
+        return CheckGroup::NotASmi;
+      case DeoptReason::WrongMap:
+      case DeoptReason::WrongInstanceType:
+      case DeoptReason::WrongName:
+      case DeoptReason::NotAHeapNumber:
+      case DeoptReason::NotANumber:
+      case DeoptReason::NotAString:
+      case DeoptReason::NotASymbol:
+      case DeoptReason::NotABigInt:
+      case DeoptReason::NotAFunction:
+      case DeoptReason::NotAJSArray:
+      case DeoptReason::NotABoolean:
+      case DeoptReason::WrongEnumIndices:
+      case DeoptReason::WrongValue:
+      case DeoptReason::InstanceMigrationFailed:
+      case DeoptReason::WrongCallTarget:
+        return CheckGroup::Type;
+      case DeoptReason::OutOfBounds:
+      case DeoptReason::NegativeIndex:
+      case DeoptReason::StringTooLong:
+        return CheckGroup::Boundary;
+      case DeoptReason::Overflow:
+      case DeoptReason::LostPrecision:
+      case DeoptReason::LostPrecisionOrNaN:
+      case DeoptReason::DivisionByZero:
+      case DeoptReason::MinusZero:
+      case DeoptReason::NaN:
+      case DeoptReason::RemainderZero:
+      case DeoptReason::ValueOutOfRange:
+        return CheckGroup::Arithmetic;
+      default:
+        return CheckGroup::Other;
+    }
+}
+
+const char *
+deoptCategoryName(DeoptCategory c)
+{
+    switch (c) {
+      case DeoptCategory::Eager: return "deopt-eager";
+      case DeoptCategory::Lazy: return "deopt-lazy";
+      case DeoptCategory::Soft: return "deopt-soft";
+    }
+    return "?";
+}
+
+const char *
+checkGroupName(CheckGroup g)
+{
+    switch (g) {
+      case CheckGroup::Type: return "Type";
+      case CheckGroup::Smi: return "SMI";
+      case CheckGroup::NotASmi: return "Not-a-SMI";
+      case CheckGroup::Boundary: return "Boundary";
+      case CheckGroup::Arithmetic: return "Arithmetic";
+      case CheckGroup::Other: return "Other";
+      case CheckGroup::NumGroups: break;
+    }
+    return "?";
+}
+
+std::vector<DeoptReason>
+reasonsInCategory(DeoptCategory c)
+{
+    std::vector<DeoptReason> out;
+    for (int i = 0; i < kNumDeoptReasons; i++) {
+        auto r = static_cast<DeoptReason>(i);
+        if (deoptCategoryOf(r) == c)
+            out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace vspec

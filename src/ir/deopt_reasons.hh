@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deoptimization taxonomy, following §II-B of the paper: 52 deopt
+ * reasons, each uniquely assigned to one of three categories
+ * (deopt-eager / deopt-lazy / deopt-soft), with the eager reasons
+ * grouped into the six analysis groups of Fig. 4 (Type, SMI, Not-a-SMI,
+ * Boundary, Arithmetic, Other — the paper extends the taxonomy of
+ * Southern et al. with Arithmetic-errors and Other).
+ */
+
+#ifndef VSPEC_IR_DEOPT_REASONS_HH
+#define VSPEC_IR_DEOPT_REASONS_HH
+
+#include <string>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+enum class DeoptCategory : u8
+{
+    Eager,  //!< failed speculation inside optimized code
+    Lazy,   //!< code invalidated from outside; deopt at next entry
+    Soft,   //!< compiled without feedback; deopt to gather it
+};
+
+/** Check groups used throughout the characterization (Fig. 4). */
+enum class CheckGroup : u8
+{
+    Type,        //!< wrong map / wrong instance type
+    Smi,         //!< expected heap object, got SMI
+    NotASmi,     //!< expected SMI, got heap object
+    Boundary,    //!< out-of-bounds array access
+    Arithmetic,  //!< overflow, lost precision, div by zero, -0, NaN
+    Other,       //!< everything else (holes, insufficient feedback, ...)
+    NumGroups,
+};
+
+/**
+ * Deoptimization reasons. Mirrors V8's DeoptimizeReason list (52
+ * entries) so the taxonomy table in the paper can be regenerated
+ * exactly; vspec's compiler emits a subset of them but all are
+ * registered with category and group.
+ */
+enum class DeoptReason : u8
+{
+    // ---- eager: SMI / Not-a-SMI ----
+    Smi,                       //!< value unexpectedly a Smi
+    NotASmi,                   //!< value expected to be a Smi
+    NotAnInteger,
+    // ---- eager: type / map ----
+    WrongMap,
+    WrongInstanceType,
+    WrongName,
+    NotAHeapNumber,
+    NotANumber,
+    NotAString,
+    NotASymbol,
+    NotABigInt,
+    NotAFunction,
+    NotAJSArray,
+    NotABoolean,
+    WrongEnumIndices,
+    WrongValue,
+    InstanceMigrationFailed,
+    WrongCallTarget,
+    // ---- eager: boundary ----
+    OutOfBounds,
+    NegativeIndex,
+    StringTooLong,
+    // ---- eager: arithmetic ----
+    Overflow,
+    LostPrecision,
+    LostPrecisionOrNaN,
+    DivisionByZero,
+    MinusZero,
+    NaN,
+    RemainderZero,
+    ValueOutOfRange,
+    // ---- eager: other ----
+    Hole,
+    TheHole,
+    HoleyArray,
+    NotDetectable,
+    OutsideOfRange,
+    Unknown,
+    DeoptimizeNow,
+    NoCache,
+    NotAnArrayIndex,
+    ArrayBufferWasDetached,
+    BigIntTooBig,
+    CowArrayElementsChanged,
+    CouldNotGrowElements,
+    UnexpectedContextExtension,
+    // ---- soft ----
+    InsufficientTypeFeedbackForCall,
+    InsufficientTypeFeedbackForBinaryOperation,
+    InsufficientTypeFeedbackForCompareOperation,
+    InsufficientTypeFeedbackForGenericNamedAccess,
+    InsufficientTypeFeedbackForGenericKeyedAccess,
+    InsufficientTypeFeedbackForUnaryOperation,
+    InsufficientTypeFeedbackForConstruct,
+    // ---- lazy ----
+    CodeDependencyChange,
+    SharedCodeDeoptimized,
+
+    NumReasons,
+};
+
+constexpr int kNumDeoptReasons = static_cast<int>(DeoptReason::NumReasons);
+static_assert(kNumDeoptReasons == 52,
+              "paper: V8 has 52 deoptimization reason types");
+
+const char *deoptReasonName(DeoptReason r);
+DeoptCategory deoptCategoryOf(DeoptReason r);
+CheckGroup checkGroupOf(DeoptReason r);
+const char *deoptCategoryName(DeoptCategory c);
+const char *checkGroupName(CheckGroup g);
+
+/** All reasons with a given category (taxonomy table / Fig. 1 bench). */
+std::vector<DeoptReason> reasonsInCategory(DeoptCategory c);
+
+} // namespace vspec
+
+#endif // VSPEC_IR_DEOPT_REASONS_HH

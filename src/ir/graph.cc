@@ -1,0 +1,155 @@
+#include "ir/graph.hh"
+
+#include <cstdio>
+
+namespace vspec
+{
+
+const char *
+repName(Rep r)
+{
+    switch (r) {
+      case Rep::Tagged: return "tagged";
+      case Rep::Int32: return "int32";
+      case Rep::Float64: return "float64";
+      case Rep::Bool: return "bool";
+      case Rep::None: return "none";
+    }
+    return "?";
+}
+
+const char *
+irOpName(IrOp op)
+{
+    switch (op) {
+      case IrOp::Param: return "Param";
+      case IrOp::ConstI32: return "ConstI32";
+      case IrOp::ConstTagged: return "ConstTagged";
+      case IrOp::ConstF64: return "ConstF64";
+      case IrOp::Phi: return "Phi";
+      case IrOp::I32Add: return "I32Add";
+      case IrOp::I32Sub: return "I32Sub";
+      case IrOp::I32Mul: return "I32Mul";
+      case IrOp::I32Div: return "I32Div";
+      case IrOp::I32Mod: return "I32Mod";
+      case IrOp::I32Neg: return "I32Neg";
+      case IrOp::I32And: return "I32And";
+      case IrOp::I32Or: return "I32Or";
+      case IrOp::I32Xor: return "I32Xor";
+      case IrOp::I32Shl: return "I32Shl";
+      case IrOp::I32Sar: return "I32Sar";
+      case IrOp::I32Shr: return "I32Shr";
+      case IrOp::F64Add: return "F64Add";
+      case IrOp::F64Sub: return "F64Sub";
+      case IrOp::F64Mul: return "F64Mul";
+      case IrOp::F64Div: return "F64Div";
+      case IrOp::F64Mod: return "F64Mod";
+      case IrOp::F64Neg: return "F64Neg";
+      case IrOp::F64Abs: return "F64Abs";
+      case IrOp::F64Sqrt: return "F64Sqrt";
+      case IrOp::I32Compare: return "I32Compare";
+      case IrOp::F64Compare: return "F64Compare";
+      case IrOp::TaggedEqual: return "TaggedEqual";
+      case IrOp::TagSmi: return "TagSmi";
+      case IrOp::UntagSmi: return "UntagSmi";
+      case IrOp::I32ToF64: return "I32ToF64";
+      case IrOp::F64ToI32: return "F64ToI32";
+      case IrOp::ToFloat64: return "ToFloat64";
+      case IrOp::ToBooleanOp: return "ToBoolean";
+      case IrOp::F64ToBool: return "F64ToBool";
+      case IrOp::I32ToBool: return "I32ToBool";
+      case IrOp::BoolNot: return "BoolNot";
+      case IrOp::BoolToTagged: return "BoolToTagged";
+      case IrOp::CheckSmi: return "CheckSmi";
+      case IrOp::CheckHeapObject: return "CheckHeapObject";
+      case IrOp::CheckMap: return "CheckMap";
+      case IrOp::CheckBounds: return "CheckBounds";
+      case IrOp::CheckValue: return "CheckValue";
+      case IrOp::LoadField: return "LoadField";
+      case IrOp::LoadFieldRaw: return "LoadFieldRaw";
+      case IrOp::StoreField: return "StoreField";
+      case IrOp::StoreFieldRaw: return "StoreFieldRaw";
+      case IrOp::LoadElem32: return "LoadElem32";
+      case IrOp::LoadElemF64: return "LoadElemF64";
+      case IrOp::StoreElem32: return "StoreElem32";
+      case IrOp::StoreElemF64: return "StoreElemF64";
+      case IrOp::LoadGlobal: return "LoadGlobal";
+      case IrOp::StoreGlobal: return "StoreGlobal";
+      case IrOp::LoadFieldSmiUntag: return "LoadFieldSmiUntag";
+      case IrOp::LoadElemSmiUntag: return "LoadElemSmiUntag";
+      case IrOp::CallRuntime: return "CallRuntime";
+      case IrOp::CallFunction: return "CallFunction";
+      case IrOp::Branch: return "Branch";
+      case IrOp::Goto: return "Goto";
+      case IrOp::Return: return "Return";
+      case IrOp::Deopt: return "Deopt";
+    }
+    return "?";
+}
+
+std::vector<u32>
+Graph::liveChecksPerGroup() const
+{
+    std::vector<u32> out(static_cast<size_t>(CheckGroup::NumGroups), 0);
+    for (const auto &n : nodes) {
+        if (n.dead)
+            continue;
+        if (n.isCheck() || (n.checked && n.op != IrOp::Deopt)
+            || n.op == IrOp::ToFloat64) {
+            out[static_cast<size_t>(checkGroupOf(n.reason))]++;
+        }
+    }
+    return out;
+}
+
+std::string
+Graph::dump() const
+{
+    std::string out;
+    char buf[192];
+    for (BlockId b = 0; b < blocks.size(); b++) {
+        const BasicBlock &blk = blocks[b];
+        std::snprintf(buf, sizeof(buf), "block b%u%s (preds:", b,
+                      blk.isLoopHeader ? " [loop]" : "");
+        out += buf;
+        for (BlockId p : blk.preds) {
+            std::snprintf(buf, sizeof(buf), " b%u", p);
+            out += buf;
+        }
+        out += ")\n";
+        for (ValueId id : blk.nodes) {
+            const IrNode &n = nodes[id];
+            std::snprintf(buf, sizeof(buf), "  %sv%u: %s %s",
+                          n.dead ? "(dead) " : "", id, irOpName(n.op),
+                          repName(n.rep));
+            out += buf;
+            for (ValueId in : n.inputs) {
+                std::snprintf(buf, sizeof(buf), " v%u", in);
+                out += buf;
+            }
+            if (n.op == IrOp::ConstI32 || n.op == IrOp::ConstTagged
+                || n.op == IrOp::LoadField || n.op == IrOp::LoadFieldRaw
+                || n.op == IrOp::StoreField || n.op == IrOp::CheckMap) {
+                std::snprintf(buf, sizeof(buf), " imm=%lld",
+                              static_cast<long long>(n.imm));
+                out += buf;
+            }
+            if (n.canDeopt() && n.op != IrOp::Deopt) {
+                out += std::string(" [") + deoptReasonName(n.reason) + "]";
+            }
+            out += "\n";
+        }
+        if (blk.succTrue != kNoBlock) {
+            std::snprintf(buf, sizeof(buf), "  -> b%u", blk.succTrue);
+            out += buf;
+            if (blk.succFalse != kNoBlock) {
+                std::snprintf(buf, sizeof(buf), ", b%u", blk.succFalse);
+                out += buf;
+            }
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace vspec

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * The optimizing compiler's intermediate representation: a CFG of basic
+ * blocks over a flat node arena, SSA-style (every node defines one
+ * value; phis at join points). Deoptimization checks are first-class
+ * nodes carrying a DeoptReason and a FrameState, which is what makes
+ * the paper's check-removal methodology implementable exactly as
+ * described (Fig. 5): short-circuiting a check marks the node dead, and
+ * dead-code elimination then removes every ancestor computation that
+ * only the check used.
+ */
+
+#ifndef VSPEC_IR_GRAPH_HH
+#define VSPEC_IR_GRAPH_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bytecode/bytecode.hh"
+#include "ir/deopt_reasons.hh"
+#include "isa/isa.hh"
+
+namespace vspec
+{
+
+using ValueId = u32;
+using BlockId = u32;
+constexpr u32 kNoValue = 0xffffffffu;
+constexpr u32 kNoBlock = 0xffffffffu;
+constexpr u32 kNoFrameState = 0xffffffffu;
+
+/** Machine representation of an IR value. */
+enum class Rep : u8
+{
+    Tagged,   //!< 32-bit tagged heap slot value
+    Int32,    //!< untagged machine integer
+    Float64,
+    Bool,     //!< machine 0/1
+    None,     //!< no value (stores, control)
+};
+
+const char *repName(Rep r);
+
+enum class IrOp : u8
+{
+    // Values.
+    Param,        //!< imm = incoming machine arg index (0 = this)
+    ConstI32,     //!< imm = payload; rep Int32
+    ConstTagged,  //!< imm = raw tagged bits
+    ConstF64,     //!< fval
+    Phi,
+
+    // Int32 arithmetic. `checked` ops deopt when the result leaves SMI
+    // range (Overflow) or on Div/Mod corner cases.
+    I32Add, I32Sub, I32Mul, I32Div, I32Mod, I32Neg,
+    I32And, I32Or, I32Xor, I32Shl, I32Sar, I32Shr,
+
+    // Float64 arithmetic.
+    F64Add, F64Sub, F64Mul, F64Div, F64Mod, F64Neg, F64Abs, F64Sqrt,
+
+    // Comparisons -> Bool. `cond` holds the condition.
+    I32Compare, F64Compare, TaggedEqual,
+
+    // Conversions.
+    TagSmi,       //!< Int32 -> Tagged; checked (Overflow) unless known31
+    UntagSmi,     //!< Tagged known-SMI -> Int32 (asr #1)
+    I32ToF64,
+    F64ToI32,     //!< truncating (bit ops)
+    ToFloat64,    //!< Tagged number -> F64; checked (NotANumber)
+    ToBooleanOp,  //!< Tagged -> Bool (runtime helper)
+    F64ToBool,    //!< f != 0 && !NaN
+    I32ToBool,    //!< i != 0
+    BoolNot,
+    BoolToTagged, //!< select true/false sentinel
+
+    // Deoptimization checks (value passthrough on the first input).
+    CheckSmi,        //!< deopt NotASmi if LSB set
+    CheckHeapObject, //!< deopt Smi if LSB clear
+    CheckMap,        //!< imm = expected MapId; deopt WrongMap
+    CheckBounds,     //!< inputs (index, length); deopt OutOfBounds
+    CheckValue,      //!< imm = expected tagged bits; deopt WrongValue
+
+    // Memory. Tagged base pointers carry the +1 tag; the -1 is folded
+    // into the immediate offset, as V8 does.
+    LoadField,     //!< imm = offset; -> Tagged
+    LoadFieldRaw,  //!< imm = offset; -> Int32 (lengths, capacities)
+    StoreField,    //!< (base, value); imm = offset
+    StoreFieldRaw,
+    LoadElem32,    //!< (elements, index); tagged 4-byte element
+    LoadElemF64,
+    StoreElem32,
+    StoreElemF64,
+    LoadGlobal,    //!< imm = cell address
+    StoreGlobal,
+
+    // §V fused SMI loads (created by the SmiLoadFusion pass).
+    LoadFieldSmiUntag,  //!< LoadField + CheckSmi + UntagSmi
+    LoadElemSmiUntag,   //!< LoadElem32 + CheckSmi + UntagSmi
+
+    // Calls.
+    CallRuntime,    //!< imm = RuntimeFn; inputs per fn
+    CallFunction,   //!< imm = FunctionId; inputs: this, args...
+
+    // Control (block terminators).
+    Branch,   //!< input Bool; successors = (true, false)
+    Goto,
+    Return,   //!< input Tagged
+    Deopt,    //!< unconditional (soft) deoptimization
+};
+
+const char *irOpName(IrOp op);
+
+/** Interpreter-frame snapshot for deoptimization. */
+struct FrameState
+{
+    u32 bytecodeOffset = 0;           //!< resume point (re-executes op)
+    std::vector<ValueId> regs;        //!< interp register i -> IR value
+    ValueId accumulator = kNoValue;
+};
+
+struct IrNode
+{
+    IrOp op = IrOp::ConstI32;
+    Rep rep = Rep::None;
+    Cond cond = Cond::Al;
+    DeoptReason reason = DeoptReason::Unknown;
+    bool checked = false;   //!< arithmetic with deopt-on-overflow etc.
+    bool elideMinusZero = false;  //!< all uses truncate: skip -0 check
+    bool known31 = false;   //!< Int32 value provably fits a 31-bit SMI
+    bool dead = false;
+    i64 imm = 0;
+    double fval = 0.0;
+    BlockId block = kNoBlock;
+    u32 frameState = kNoFrameState;
+    std::vector<ValueId> inputs;
+
+    bool
+    isCheck() const
+    {
+        switch (op) {
+          case IrOp::CheckSmi: case IrOp::CheckHeapObject:
+          case IrOp::CheckMap: case IrOp::CheckBounds:
+          case IrOp::CheckValue:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** True if the node can trigger an eager deopt (checks, checked
+     *  arithmetic, checked conversions, fused SMI loads). */
+    bool
+    canDeopt() const
+    {
+        if (isCheck() || op == IrOp::Deopt)
+            return true;
+        if (checked)
+            return true;
+        switch (op) {
+          case IrOp::ToFloat64:
+          case IrOp::LoadFieldSmiUntag:
+          case IrOp::LoadElemSmiUntag:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    bool
+    isTerminator() const
+    {
+        switch (op) {
+          case IrOp::Branch: case IrOp::Goto: case IrOp::Return:
+          case IrOp::Deopt:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** Pure nodes can be removed when unused. */
+    bool
+    hasSideEffects() const
+    {
+        switch (op) {
+          case IrOp::StoreField: case IrOp::StoreFieldRaw:
+          case IrOp::StoreElem32: case IrOp::StoreElemF64:
+          case IrOp::StoreGlobal: case IrOp::CallRuntime:
+          case IrOp::CallFunction:
+            return true;
+          default:
+            return isTerminator() || canDeopt();
+        }
+    }
+};
+
+struct BasicBlock
+{
+    std::vector<ValueId> nodes;
+    BlockId succTrue = kNoBlock;   //!< Goto/fall target, or Branch-true
+    BlockId succFalse = kNoBlock;  //!< Branch-false
+    std::vector<BlockId> preds;
+    bool isLoopHeader = false;
+};
+
+class Graph
+{
+  public:
+    FunctionId function = kInvalidFunction;
+
+    std::vector<IrNode> nodes;
+    std::vector<BasicBlock> blocks;
+    std::vector<FrameState> frameStates;
+
+    /** Global cells whose value was embedded as a constant (for
+     *  code-dependency registration -> lazy deopt). */
+    std::vector<u32> embeddedGlobalCells;
+
+    /** Frame state at each loop header's entry (resume point for
+     *  checks hoisted out of the loop). */
+    std::map<BlockId, u32> headerFrameStates;
+
+    IrNode &node(ValueId id) { return nodes.at(id); }
+    const IrNode &node(ValueId id) const { return nodes.at(id); }
+    BasicBlock &block(BlockId id) { return blocks.at(id); }
+    const BasicBlock &block(BlockId id) const { return blocks.at(id); }
+
+    BlockId
+    newBlock()
+    {
+        blocks.emplace_back();
+        return static_cast<BlockId>(blocks.size()) - 1;
+    }
+
+    /** Append a node to @p b. Returns its ValueId. */
+    ValueId
+    append(BlockId b, IrNode n)
+    {
+        n.block = b;
+        nodes.push_back(std::move(n));
+        ValueId id = static_cast<ValueId>(nodes.size()) - 1;
+        blocks.at(b).nodes.push_back(id);
+        return id;
+    }
+
+    u32
+    addFrameState(FrameState fs)
+    {
+        frameStates.push_back(std::move(fs));
+        return static_cast<u32>(frameStates.size()) - 1;
+    }
+
+    /** Count of live (non-dead) check nodes, per group (tests/benches). */
+    std::vector<u32> liveChecksPerGroup() const;
+
+    /** Graphviz-free textual dump for tests and debugging. */
+    std::string dump() const;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_IR_GRAPH_HH

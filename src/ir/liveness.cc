@@ -1,0 +1,178 @@
+#include "ir/liveness.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+struct UseDef
+{
+    std::vector<u32> regUses;
+    std::vector<u32> regDefs;
+    bool usesAcc = false;
+    bool defsAcc = false;
+};
+
+UseDef
+useDefOf(const BcInstr &ins)
+{
+    UseDef ud;
+    auto useR = [&](i32 r) { ud.regUses.push_back(static_cast<u32>(r)); };
+    auto defR = [&](i32 r) { ud.regDefs.push_back(static_cast<u32>(r)); };
+    switch (ins.op) {
+      case Bc::LdaSmi: case Bc::LdaConst: case Bc::LdaUndefined:
+      case Bc::LdaNull: case Bc::LdaTrue: case Bc::LdaFalse:
+      case Bc::LdaGlobal:
+      case Bc::CreateArray: case Bc::CreateObject:
+        ud.defsAcc = true;
+        break;
+      case Bc::StaGlobal:
+        ud.usesAcc = true;
+        break;
+      case Bc::Ldar:
+        useR(ins.a);
+        ud.defsAcc = true;
+        break;
+      case Bc::Star:
+        ud.usesAcc = true;
+        defR(ins.a);
+        break;
+      case Bc::Mov:
+        useR(ins.b);
+        defR(ins.a);
+        break;
+      case Bc::Add: case Bc::Sub: case Bc::Mul: case Bc::Div:
+      case Bc::Mod: case Bc::BitAnd: case Bc::BitOr: case Bc::BitXor:
+      case Bc::Shl: case Bc::Sar: case Bc::Shr:
+      case Bc::TestLess: case Bc::TestLessEq: case Bc::TestGreater:
+      case Bc::TestGreaterEq: case Bc::TestEq: case Bc::TestNotEq:
+      case Bc::TestStrictEq: case Bc::TestStrictNotEq:
+        useR(ins.a);
+        ud.usesAcc = true;
+        ud.defsAcc = true;
+        break;
+      case Bc::Inc: case Bc::Dec: case Bc::Negate: case Bc::BitNot:
+      case Bc::LogicalNot: case Bc::TypeOf: case Bc::ToNumber:
+        ud.usesAcc = true;
+        ud.defsAcc = true;
+        break;
+      case Bc::Jump: case Bc::JumpLoop:
+        break;
+      case Bc::JumpIfFalse: case Bc::JumpIfTrue:
+        ud.usesAcc = true;
+        break;
+      case Bc::GetNamedProperty:
+        useR(ins.a);
+        ud.defsAcc = true;
+        break;
+      case Bc::SetNamedProperty:
+      case Bc::StaNamedOwn:
+        useR(ins.a);
+        ud.usesAcc = true;
+        break;
+      case Bc::GetElement:
+        useR(ins.a);
+        ud.usesAcc = true;
+        ud.defsAcc = true;
+        break;
+      case Bc::SetElement:
+        useR(ins.a);
+        useR(ins.b);
+        ud.usesAcc = true;
+        break;
+      case Bc::StaArrayLiteral:
+        useR(ins.a);
+        ud.usesAcc = true;
+        break;
+      case Bc::Call: {
+        useR(ins.a);
+        for (int i = 0; i < callArgc(ins.c); i++)
+            useR(ins.b + i);
+        ud.defsAcc = true;
+        break;
+      }
+      case Bc::CallMethod: {
+        useR(ins.a);
+        useR(ins.b);
+        for (int i = 0; i < callArgc(ins.c); i++)
+            useR(ins.b + 1 + i);
+        ud.defsAcc = true;
+        break;
+      }
+      case Bc::Return:
+        ud.usesAcc = true;
+        break;
+    }
+    return ud;
+}
+
+} // namespace
+
+BytecodeLiveness::BytecodeLiveness(const FunctionInfo &fn)
+{
+    size_t n = fn.bytecode.size();
+    u32 nregs = fn.registerCount;
+    liveIn.assign(n, std::vector<bool>(nregs, false));
+    accIn.assign(n, false);
+
+    // Precompute use/def and successors.
+    std::vector<UseDef> ud;
+    ud.reserve(n);
+    std::vector<std::vector<u32>> succs(n);
+    for (size_t i = 0; i < n; i++) {
+        const BcInstr &ins = fn.bytecode[i];
+        ud.push_back(useDefOf(ins));
+        switch (ins.op) {
+          case Bc::Jump:
+          case Bc::JumpLoop:
+            succs[i].push_back(static_cast<u32>(ins.a));
+            break;
+          case Bc::JumpIfFalse:
+          case Bc::JumpIfTrue:
+            succs[i].push_back(static_cast<u32>(ins.a));
+            succs[i].push_back(static_cast<u32>(i) + 1);
+            break;
+          case Bc::Return:
+            break;
+          default:
+            if (i + 1 < n)
+                succs[i].push_back(static_cast<u32>(i) + 1);
+            break;
+        }
+    }
+
+    // Backward fixpoint.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t ii = n; ii-- > 0;) {
+            // live-out = union of successors' live-in.
+            std::vector<bool> out(nregs, false);
+            bool acc_out = false;
+            for (u32 s : succs[ii]) {
+                for (u32 r = 0; r < nregs; r++)
+                    out[r] = out[r] || liveIn[s][r];
+                acc_out = acc_out || accIn[s];
+            }
+            // live-in = (live-out - defs) + uses.
+            const UseDef &d = ud[ii];
+            for (u32 r : d.regDefs)
+                out[r] = false;
+            bool acc = acc_out;
+            if (d.defsAcc)
+                acc = false;
+            for (u32 r : d.regUses)
+                out[r] = true;
+            if (d.usesAcc)
+                acc = true;
+            if (out != liveIn[ii] || acc != accIn[ii]) {
+                liveIn[ii] = std::move(out);
+                accIn[ii] = acc;
+                changed = true;
+            }
+        }
+    }
+}
+
+} // namespace vspec

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Bytecode register liveness: a backward dataflow over the bytecode,
+ * computing which frame registers (and the accumulator) are live-in at
+ * every bytecode offset. The graph builder uses it to avoid creating
+ * loop phis for dead expression temporaries (which would otherwise
+ * force spurious representation conversions — and spurious deopt
+ * checks), and to prune dead values from deoptimization frame states,
+ * exactly as V8's bytecode liveness analysis does.
+ */
+
+#ifndef VSPEC_IR_LIVENESS_HH
+#define VSPEC_IR_LIVENESS_HH
+
+#include <vector>
+
+#include "bytecode/bytecode.hh"
+
+namespace vspec
+{
+
+class BytecodeLiveness
+{
+  public:
+    explicit BytecodeLiveness(const FunctionInfo &fn);
+
+    bool regLiveIn(u32 bc, u32 reg) const
+    {
+        return liveIn.at(bc).at(reg);
+    }
+    bool accLiveIn(u32 bc) const { return accIn.at(bc); }
+
+  private:
+    std::vector<std::vector<bool>> liveIn;  //!< [offset][register]
+    std::vector<bool> accIn;                //!< accumulator live-in
+};
+
+} // namespace vspec
+
+#endif // VSPEC_IR_LIVENESS_HH

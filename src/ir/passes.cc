@@ -1,0 +1,573 @@
+#include "ir/passes.hh"
+
+#include <bit>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+namespace vspec
+{
+
+namespace
+{
+
+/** Resolve @p v through dead value-passthrough nodes. */
+ValueId
+resolve(const Graph &g, ValueId v)
+{
+    while (v != kNoValue && g.node(v).dead && !g.node(v).inputs.empty())
+        v = g.node(v).inputs[0];
+    return v;
+}
+
+/** Rewrite every input and frame-state reference through resolve(). */
+void
+remapUses(Graph &g)
+{
+    for (auto &n : g.nodes) {
+        if (n.dead)
+            continue;
+        for (auto &in : n.inputs)
+            in = resolve(g, in);
+    }
+    for (auto &fs : g.frameStates) {
+        for (auto &r : fs.regs)
+            r = resolve(g, r);
+        fs.accumulator = resolve(g, fs.accumulator);
+    }
+}
+
+/** Count how many live nodes use each value (frame states excluded). */
+std::vector<u32>
+countUses(const Graph &g)
+{
+    std::vector<u32> uses(g.nodes.size(), 0);
+    for (const auto &n : g.nodes) {
+        if (n.dead)
+            continue;
+        for (ValueId in : n.inputs)
+            uses[in]++;
+    }
+    return uses;
+}
+
+} // namespace
+
+u32
+dedupeConstants(Graph &g)
+{
+    // Value-number constants so later passes (redundancy elimination,
+    // loop hoisting) see one node per distinct constant. Constants are
+    // rematerialized by the backend, so block placement is irrelevant.
+    u32 count = 0;
+    std::map<std::tuple<u8, i64, i64>, ValueId> seen;
+    for (ValueId id = 0; id < g.nodes.size(); id++) {
+        IrNode &n = g.nodes[id];
+        if (n.dead)
+            continue;
+        if (n.op != IrOp::ConstI32 && n.op != IrOp::ConstTagged
+            && n.op != IrOp::ConstF64)
+            continue;
+        i64 bits = n.op == IrOp::ConstF64
+            ? static_cast<i64>(std::bit_cast<u64>(n.fval)) : n.imm;
+        std::tuple<u8, i64, i64> key{static_cast<u8>(n.op), bits,
+                                     static_cast<i64>(n.rep)};
+        auto it = seen.find(key);
+        if (it == seen.end()) {
+            seen.emplace(key, id);
+        } else {
+            n.dead = true;
+            n.inputs = {it->second};
+            count++;
+        }
+    }
+    remapUses(g);
+    return count;
+}
+
+u32
+foldConstantChecks(Graph &g)
+{
+    // Tag checks on compile-time constants are statically decided:
+    // CheckHeapObject on a constant heap reference (e.g. a global
+    // array embedded via constant-cell speculation) can never fail.
+    // Map checks stay: the map word is mutable memory.
+    u32 count = 0;
+    for (auto &n : g.nodes) {
+        if (n.dead)
+            continue;
+        if (n.op != IrOp::CheckSmi && n.op != IrOp::CheckHeapObject
+            && n.op != IrOp::CheckValue)
+            continue;
+        const IrNode &in = g.node(n.inputs[0]);
+        if (in.op != IrOp::ConstTagged)
+            continue;
+        bool passes = false;
+        if (n.op == IrOp::CheckSmi)
+            passes = (in.imm & 1) == 0;
+        else if (n.op == IrOp::CheckHeapObject)
+            passes = (in.imm & 1) == 1;
+        else
+            passes = in.imm == n.imm;
+        if (passes) {
+            n.dead = true;
+            count++;
+        }
+        // A statically failing check would deopt unconditionally; keep
+        // it so the deopt still happens (never occurs in practice).
+    }
+    remapUses(g);
+    return count;
+}
+
+u32
+elideMinusZeroChecks(Graph &g)
+{
+    // V8 elides -0 checks when every use of the result truncates
+    // (machine-int contexts cannot observe -0). Propagate "all uses
+    // truncate" through phis with a pessimistic fixpoint.
+    auto truncatingUse = [](const IrNode &user, bool phi_trunc) {
+        switch (user.op) {
+          case IrOp::I32Add: case IrOp::I32Sub: case IrOp::I32Mul:
+          case IrOp::I32Div: case IrOp::I32Mod:
+          case IrOp::I32And: case IrOp::I32Or: case IrOp::I32Xor:
+          case IrOp::I32Shl: case IrOp::I32Sar: case IrOp::I32Shr:
+          case IrOp::I32Compare: case IrOp::CheckBounds:
+          case IrOp::LoadElem32: case IrOp::LoadElemF64:
+          case IrOp::StoreElem32: case IrOp::StoreElemF64:
+          case IrOp::I32ToBool:
+            return true;
+          case IrOp::Phi:
+            return phi_trunc;
+          default:
+            return false;
+        }
+    };
+
+    // allTrunc[id]: every transitive use of id truncates.
+    std::vector<bool> allTrunc(g.nodes.size(), true);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::vector<bool> next(g.nodes.size(), true);
+        for (ValueId uid = 0; uid < g.nodes.size(); uid++) {
+            const IrNode &user = g.nodes[uid];
+            if (user.dead)
+                continue;
+            for (size_t k = 0; k < user.inputs.size(); k++) {
+                ValueId in = user.inputs[k];
+                bool ok = truncatingUse(user, allTrunc[uid]);
+                // Stores truncate their *index* input only; the stored
+                // value (third input) is observable.
+                if ((user.op == IrOp::StoreElem32
+                     || user.op == IrOp::StoreElemF64) && k == 2)
+                    ok = false;
+                if (!ok)
+                    next[in] = false;
+            }
+            // Frame-state uses are deliberately lenient: on a deopt the
+            // value rematerializes as +0, which truncating consumers in
+            // the re-executed bytecode cannot distinguish from -0 (V8's
+            // kIdentifyZeros treatment of frame-state inputs).
+        }
+        if (next != allTrunc) {
+            allTrunc = std::move(next);
+            changed = true;
+        }
+    }
+
+    u32 count = 0;
+    for (ValueId id = 0; id < g.nodes.size(); id++) {
+        IrNode &n = g.nodes[id];
+        if (n.dead || !n.checked)
+            continue;
+        if ((n.op == IrOp::I32Mul || n.op == IrOp::I32Mod
+             || n.op == IrOp::I32Div || n.op == IrOp::I32Neg)
+            && allTrunc[id]) {
+            n.elideMinusZero = true;
+            count++;
+        }
+    }
+    return count;
+}
+
+u32
+shortCircuitChecks(Graph &g, const PassConfig &cfg)
+{
+    auto removed = [&](DeoptReason r) {
+        return cfg.removeGroup[static_cast<size_t>(checkGroupOf(r))];
+    };
+
+    u32 count = 0;
+    for (auto &n : g.nodes) {
+        if (n.dead)
+            continue;
+        if (n.isCheck() && removed(n.reason)) {
+            // Fig. 5: the check condition is short-circuited to false;
+            // the node and its exclusive ancestors become dead code.
+            n.dead = true;
+            count++;
+            continue;
+        }
+        if (n.checked && removed(n.reason)) {
+            // Checked arithmetic / conversions: the operation remains,
+            // its deopt condition is dropped.
+            n.checked = false;
+            n.frameState = kNoFrameState;
+            count++;
+        }
+        if (n.op == IrOp::ToFloat64 && removed(n.reason)) {
+            // Keep the structural SMI/heap dispatch; drop the
+            // HeapNumber map verification.
+            n.checked = false;
+            count++;
+        }
+    }
+    remapUses(g);
+    return count;
+}
+
+u32
+simplifyPhis(Graph &g)
+{
+    u32 count = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ValueId id = 0; id < g.nodes.size(); id++) {
+            IrNode &n = g.nodes[id];
+            if (n.dead || n.op != IrOp::Phi)
+                continue;
+            ValueId unique = kNoValue;
+            bool trivial = true;
+            for (ValueId in : n.inputs) {
+                if (in == id)
+                    continue;  // self-reference through the back edge
+                if (unique == kNoValue) {
+                    unique = in;
+                } else if (in != unique) {
+                    trivial = false;
+                    break;
+                }
+            }
+            if (trivial && unique != kNoValue) {
+                n.dead = true;
+                n.inputs = {unique};
+                count++;
+                changed = true;
+            }
+        }
+        if (changed)
+            remapUses(g);
+    }
+    return count;
+}
+
+u32
+eliminateRedundantChecks(Graph &g)
+{
+    // Per-block value numbering of checks and pure loads, with stores
+    // and calls acting as barriers for the loads. Checks survive
+    // barriers (a check verifies a value in a register, not memory) —
+    // except bounds checks and map checks whose underlying object may
+    // be resized/transitioned by a call.
+    u32 count = 0;
+    using Key = std::tuple<u8, ValueId, ValueId, i64>;
+    for (auto &blk : g.blocks) {
+        std::map<Key, ValueId> seen_checks;
+        std::map<Key, ValueId> seen_loads;
+        for (ValueId id : blk.nodes) {
+            IrNode &n = g.nodes[id];
+            if (n.dead)
+                continue;
+            bool is_call = n.op == IrOp::CallRuntime
+                           || n.op == IrOp::CallFunction;
+            if (n.hasSideEffects() && !n.isCheck()) {
+                if (is_call || n.op == IrOp::StoreField
+                    || n.op == IrOp::StoreFieldRaw
+                    || n.op == IrOp::StoreElem32
+                    || n.op == IrOp::StoreElemF64
+                    || n.op == IrOp::StoreGlobal) {
+                    seen_loads.clear();
+                    if (is_call) {
+                        // Calls can transition maps and grow arrays.
+                        seen_checks.clear();
+                    }
+                }
+            }
+            ValueId in0 = n.inputs.empty() ? kNoValue : n.inputs[0];
+            ValueId in1 = n.inputs.size() > 1 ? n.inputs[1] : kNoValue;
+            if (n.isCheck()) {
+                Key k{static_cast<u8>(n.op), in0, in1, n.imm};
+                auto it = seen_checks.find(k);
+                if (it != seen_checks.end()) {
+                    n.dead = true;
+                    count++;
+                } else {
+                    seen_checks.emplace(k, id);
+                }
+                continue;
+            }
+            switch (n.op) {
+              case IrOp::LoadField:
+              case IrOp::LoadFieldRaw:
+              case IrOp::LoadGlobal:
+              case IrOp::UntagSmi:
+              case IrOp::TagSmi:
+              case IrOp::I32ToF64: {
+                if (n.op == IrOp::TagSmi && n.checked)
+                    break;
+                Key k{static_cast<u8>(n.op), in0, in1, n.imm};
+                auto it = seen_loads.find(k);
+                if (it != seen_loads.end()) {
+                    n.dead = true;
+                    n.inputs = {it->second};
+                    count++;
+                } else {
+                    seen_loads.emplace(k, id);
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+    remapUses(g);
+    return count;
+}
+
+u32
+fuseSmiLoads(Graph &g)
+{
+    u32 count = 0;
+    auto uses = countUses(g);
+
+    for (ValueId id = 0; id < g.nodes.size(); id++) {
+        IrNode &untag = g.nodes[id];
+        if (untag.dead || untag.op != IrOp::UntagSmi)
+            continue;
+        ValueId chk_id = untag.inputs[0];
+        IrNode &chk = g.nodes[chk_id];
+        if (chk.dead || chk.op != IrOp::CheckSmi)
+            continue;
+        ValueId load_id = chk.inputs[0];
+        IrNode &load = g.nodes[load_id];
+        if (load.dead)
+            continue;
+        if (load.op != IrOp::LoadField && load.op != IrOp::LoadElem32)
+            continue;
+        // The tagged value must have no consumers other than the check,
+        // and the check none other than the untag — otherwise a tagged
+        // copy is still required and fusion does not pay.
+        if (uses[load_id] != 1 || uses[chk_id] != 1)
+            continue;
+        if (load.block != chk.block || chk.block != untag.block)
+            continue;
+
+        load.op = load.op == IrOp::LoadField ? IrOp::LoadFieldSmiUntag
+                                             : IrOp::LoadElemSmiUntag;
+        load.rep = Rep::Int32;
+        load.known31 = true;
+        load.reason = DeoptReason::NotASmi;
+        load.frameState = chk.frameState;
+        chk.dead = true;
+        untag.dead = true;
+        untag.inputs = {load_id};
+        chk.inputs = {load_id};
+        count++;
+    }
+    remapUses(g);
+    return count;
+}
+
+u32
+deadCodeElimination(Graph &g)
+{
+    std::vector<bool> live(g.nodes.size(), false);
+    std::vector<ValueId> work;
+
+    auto markRoot = [&](ValueId id) {
+        if (id != kNoValue && !live[id]) {
+            live[id] = true;
+            work.push_back(id);
+        }
+    };
+
+    for (ValueId id = 0; id < g.nodes.size(); id++) {
+        const IrNode &n = g.nodes[id];
+        if (n.dead)
+            continue;
+        if (n.hasSideEffects() || n.isTerminator())
+            markRoot(id);
+    }
+    while (!work.empty()) {
+        ValueId id = work.back();
+        work.pop_back();
+        const IrNode &n = g.nodes[id];
+        for (ValueId in : n.inputs)
+            markRoot(in);
+        if (n.frameState != kNoFrameState && n.canDeopt()) {
+            const FrameState &fs = g.frameStates[n.frameState];
+            for (ValueId r : fs.regs)
+                markRoot(r);
+            markRoot(fs.accumulator);
+        }
+    }
+
+    u32 count = 0;
+    for (ValueId id = 0; id < g.nodes.size(); id++) {
+        IrNode &n = g.nodes[id];
+        if (!n.dead && !live[id]) {
+            n.dead = true;
+            count++;
+        }
+    }
+    return count;
+}
+
+u32
+hoistLoopInvariantChecks(Graph &g)
+{
+    // Loops are contiguous block ranges [header, latch] (the builder
+    // lays blocks out in bytecode order and all back edges target loop
+    // headers). A CheckSmi / CheckHeapObject / CheckMap / CheckValue on
+    // a value defined before the header is loop-invariant: V8's
+    // redundancy elimination achieves the same effect, and without
+    // this, e.g. the Not-a-SMI check on a hot function's parameter
+    // would be re-executed on every loop iteration.
+    u32 count = 0;
+
+    // Find loops: for every back edge pred -> header.
+    struct Loop { BlockId header; BlockId latch; };
+    std::vector<Loop> loops;
+    for (BlockId b = 0; b < g.blocks.size(); b++) {
+        BlockId t = g.block(b).succTrue;
+        if (t != kNoBlock && t <= b && !g.block(b).nodes.empty())
+            loops.push_back({t, b});
+    }
+
+    for (const Loop &loop : loops) {
+        // Pre-header: the unique forward predecessor of the header.
+        BlockId preheader = kNoBlock;
+        int fwd_preds = 0;
+        for (BlockId p : g.block(loop.header).preds) {
+            if (p < loop.header) {
+                preheader = p;
+                fwd_preds++;
+            }
+        }
+        if (fwd_preds != 1 || preheader == kNoBlock)
+            continue;
+
+        // Map words are mutable memory: hoisting a CheckMap over a call
+        // or a map-word store would be unsound (V8 uses map-stability
+        // dependencies instead; we just keep those checks in place).
+        bool loop_has_effects = false;
+        for (BlockId b = loop.header; b <= loop.latch; b++) {
+            for (ValueId id : g.block(b).nodes) {
+                const IrNode &n = g.nodes[id];
+                if (n.dead)
+                    continue;
+                if (n.op == IrOp::CallRuntime || n.op == IrOp::CallFunction
+                    || n.op == IrOp::StoreFieldRaw)
+                    loop_has_effects = true;
+            }
+        }
+
+        // First node id belonging to the loop: the minimum id in the
+        // header block (ids grow in creation order).
+        ValueId loop_first = kNoValue;
+        for (ValueId id : g.block(loop.header).nodes) {
+            loop_first = id;
+            break;
+        }
+        if (loop_first == kNoValue)
+            continue;
+
+        for (BlockId b = loop.header; b <= loop.latch; b++) {
+            auto &nodes = g.block(b).nodes;
+            for (size_t i = 0; i < nodes.size(); i++) {
+                IrNode &n = g.nodes[nodes[i]];
+                if (n.dead)
+                    continue;
+                if (n.op != IrOp::CheckSmi && n.op != IrOp::CheckHeapObject
+                    && n.op != IrOp::CheckMap && n.op != IrOp::CheckValue)
+                    continue;
+                if (n.op == IrOp::CheckMap && loop_has_effects)
+                    continue;
+                bool invariant = true;
+                for (ValueId in : n.inputs) {
+                    const IrNode &inn = g.nodes[in];
+                    bool is_const = inn.op == IrOp::ConstI32
+                                    || inn.op == IrOp::ConstTagged
+                                    || inn.op == IrOp::ConstF64;
+                    if (in >= loop_first && !is_const) {
+                        invariant = false;
+                        break;
+                    }
+                }
+                if (!invariant)
+                    continue;
+                // A hoisted check deoptimizes *before* the loop runs,
+                // so it must resume at the loop header with the
+                // header-entry environment; loop phis demote to their
+                // initial (forward-edge) inputs, which is exactly
+                // their value on the first iteration.
+                auto hfs = g.headerFrameStates.find(loop.header);
+                if (hfs == g.headerFrameStates.end())
+                    continue;
+                if (n.frameState != kNoFrameState) {
+                    FrameState fs = g.frameStates[hfs->second];
+                    auto demote = [&](ValueId v) -> ValueId {
+                        if (v == kNoValue)
+                            return v;
+                        const IrNode &vn = g.node(v);
+                        if (vn.op == IrOp::Phi && v >= loop_first
+                            && !vn.inputs.empty())
+                            return vn.inputs[0];
+                        if (vn.op == IrOp::ConstI32
+                            || vn.op == IrOp::ConstTagged
+                            || vn.op == IrOp::ConstF64)
+                            return v;  // rematerializable anywhere
+                        return v >= loop_first ? kNoValue : v;
+                    };
+                    for (auto &r : fs.regs)
+                        r = demote(r);
+                    fs.accumulator = demote(fs.accumulator);
+                    n.frameState = g.addFrameState(std::move(fs));
+                }
+                // Move the node to the end of the pre-header (before
+                // its terminator).
+                ValueId id = nodes[i];
+                nodes.erase(nodes.begin() + static_cast<long>(i));
+                i--;
+                auto &pre = g.block(preheader).nodes;
+                vassert(!pre.empty(), "empty pre-header");
+                pre.insert(pre.end() - 1, id);
+                n.block = preheader;
+                count++;
+            }
+        }
+    }
+    return count;
+}
+
+PassStats
+runPasses(Graph &g, const PassConfig &cfg)
+{
+    PassStats stats;
+    dedupeConstants(g);
+    stats.checksFolded = foldConstantChecks(g);
+    stats.checksShortCircuited = shortCircuitChecks(g, cfg);
+    stats.phisSimplified = simplifyPhis(g);
+    stats.checksHoisted = hoistLoopInvariantChecks(g);
+    stats.checksDeduped = eliminateRedundantChecks(g);
+    stats.minusZeroElided = elideMinusZeroChecks(g);
+    if (cfg.smiLoadFusion)
+        stats.smiLoadsFused = fuseSmiLoads(g);
+    stats.nodesKilledByDce = deadCodeElimination(g);
+    return stats;
+}
+
+} // namespace vspec

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Optimization passes over the speculative graph, including the paper's
+ * two instrumentation modes:
+ *
+ *  - Check short-circuiting (§III-B, Fig. 5): checks whose group is in
+ *    the removal set are deleted from the graph *before* dead-code
+ *    elimination, so every ancestor computation used only by the check
+ *    (length loads, tag tests, ...) disappears too.
+ *  - SMI-load fusion (§V): LoadX -> CheckSmi -> UntagSmi chains are
+ *    fused into single jsldr(u)smi-backed nodes when the ISA extension
+ *    is enabled.
+ *
+ * Branch-only removal (§IV-B) is *not* an IR pass: per the paper it is
+ * a late code-generation change, implemented in the backend, which
+ * keeps the condition computation alive.
+ */
+
+#ifndef VSPEC_IR_PASSES_HH
+#define VSPEC_IR_PASSES_HH
+
+#include <array>
+
+#include "ir/graph.hh"
+
+namespace vspec
+{
+
+struct PassConfig
+{
+    /** Short-circuit all checks in these groups (Fig. 5 methodology). */
+    std::array<bool, static_cast<size_t>(CheckGroup::NumGroups)>
+        removeGroup{};
+
+    /** Fuse SMI load/check/untag chains for the §V ISA extension. */
+    bool smiLoadFusion = false;
+
+    bool removeAll() const
+    {
+        for (bool b : removeGroup)
+            if (!b)
+                return false;
+        return true;
+    }
+
+    static PassConfig
+    none()
+    {
+        return PassConfig{};
+    }
+
+    static PassConfig
+    removeAllChecks()
+    {
+        PassConfig c;
+        c.removeGroup.fill(true);
+        return c;
+    }
+};
+
+/** Statistics a pass run reports (tests + benches). */
+struct PassStats
+{
+    u32 checksShortCircuited = 0;
+    u32 checksDeduped = 0;
+    u32 checksHoisted = 0;
+    u32 checksFolded = 0;
+    u32 minusZeroElided = 0;
+    u32 nodesKilledByDce = 0;
+    u32 smiLoadsFused = 0;
+    u32 phisSimplified = 0;
+};
+
+/** Run the full pipeline in order: short-circuit, phi simplification,
+ *  redundancy elimination, SMI-load fusion, DCE. */
+PassStats runPasses(Graph &graph, const PassConfig &config);
+
+// Individual passes, exposed for unit testing.
+u32 dedupeConstants(Graph &graph);
+u32 foldConstantChecks(Graph &graph);
+u32 shortCircuitChecks(Graph &graph, const PassConfig &config);
+u32 simplifyPhis(Graph &graph);
+u32 eliminateRedundantChecks(Graph &graph);
+u32 hoistLoopInvariantChecks(Graph &graph);
+u32 elideMinusZeroChecks(Graph &graph);
+u32 fuseSmiLoads(Graph &graph);
+u32 deadCodeElimination(Graph &graph);
+
+} // namespace vspec
+
+#endif // VSPEC_IR_PASSES_HH

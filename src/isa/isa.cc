@@ -1,0 +1,147 @@
+#include "isa/isa.hh"
+
+namespace vspec
+{
+
+const char *
+isaFlavourName(IsaFlavour f)
+{
+    return f == IsaFlavour::X64Like ? "x64" : "arm64";
+}
+
+const char *
+mopName(MOp op)
+{
+    switch (op) {
+      case MOp::Nop: return "nop";
+      case MOp::Add: return "add";
+      case MOp::Sub: return "sub";
+      case MOp::Mul: return "mul";
+      case MOp::SDiv: return "sdiv";
+      case MOp::And: return "and";
+      case MOp::Orr: return "orr";
+      case MOp::Eor: return "eor";
+      case MOp::Lsl: return "lsl";
+      case MOp::Lsr: return "lsr";
+      case MOp::Asr: return "asr";
+      case MOp::Adds: return "adds";
+      case MOp::Subs: return "subs";
+      case MOp::Smull: return "smull";
+      case MOp::AddI: return "add";
+      case MOp::SubI: return "sub";
+      case MOp::AndI: return "and";
+      case MOp::OrrI: return "orr";
+      case MOp::EorI: return "eor";
+      case MOp::LslI: return "lsl";
+      case MOp::LsrI: return "lsr";
+      case MOp::AsrI: return "asr";
+      case MOp::AddsI: return "adds";
+      case MOp::SubsI: return "subs";
+      case MOp::MovI: return "mov";
+      case MOp::MovR: return "mov";
+      case MOp::Cmp: return "cmp";
+      case MOp::CmpI: return "cmp";
+      case MOp::Tst: return "tst";
+      case MOp::TstI: return "tst";
+      case MOp::CmpSxtw: return "cmp.sxtw";
+      case MOp::Cset: return "cset";
+      case MOp::Csel: return "csel";
+      case MOp::LdrB: return "ldrb";
+      case MOp::LdrW: return "ldr.w";
+      case MOp::LdrX: return "ldr.x";
+      case MOp::LdrD: return "ldr.d";
+      case MOp::LdrBr: return "ldrb.r";
+      case MOp::LdrWr: return "ldr.wr";
+      case MOp::LdrXr: return "ldr.xr";
+      case MOp::LdrDr: return "ldr.dr";
+      case MOp::StrB: return "strb";
+      case MOp::StrW: return "str.w";
+      case MOp::StrX: return "str.x";
+      case MOp::StrD: return "str.d";
+      case MOp::StrBr: return "strb.r";
+      case MOp::StrWr: return "str.wr";
+      case MOp::StrXr: return "str.xr";
+      case MOp::StrDr: return "str.dr";
+      case MOp::CmpMem: return "cmp.mem";
+      case MOp::CmpMemI: return "cmp.memi";
+      case MOp::TstMemI: return "tst.memi";
+      case MOp::FAdd: return "fadd";
+      case MOp::FSub: return "fsub";
+      case MOp::FMul: return "fmul";
+      case MOp::FDiv: return "fdiv";
+      case MOp::FNeg: return "fneg";
+      case MOp::FAbs: return "fabs";
+      case MOp::FSqrt: return "fsqrt";
+      case MOp::FCmp: return "fcmp";
+      case MOp::FMovI: return "fmov";
+      case MOp::FMovRR: return "fmov";
+      case MOp::Scvtf: return "scvtf";
+      case MOp::Fcvtzs: return "fcvtzs";
+      case MOp::Fjcvtzs: return "fjcvtzs";
+      case MOp::B: return "b";
+      case MOp::Bcond: return "b.cond";
+      case MOp::Ret: return "ret";
+      case MOp::CallRt: return "bl";
+      case MOp::Msr: return "msr";
+      case MOp::Mrs: return "mrs";
+      case MOp::DeoptExit: return "deopt.exit";
+      case MOp::JsLdrSmiI: return "jsldrsmi";
+      case MOp::JsLdurSmiI: return "jsldursmi";
+      case MOp::JsLdrSmiR: return "jsldrsmi.r";
+      case MOp::JsLdrSmiRS: return "jsldrsmi.rs";
+      case MOp::JsLdurSmiR: return "jsldursmi.r";
+      case MOp::JsLdrSmiX: return "jsldrsmi.x";
+      case MOp::JsChkMap: return "jschkmap";
+    }
+    return "?";
+}
+
+const char *
+condName(Cond c)
+{
+    switch (c) {
+      case Cond::Eq: return "eq";
+      case Cond::Ne: return "ne";
+      case Cond::Lt: return "lt";
+      case Cond::Le: return "le";
+      case Cond::Gt: return "gt";
+      case Cond::Ge: return "ge";
+      case Cond::Lo: return "lo";
+      case Cond::Ls: return "ls";
+      case Cond::Hi: return "hi";
+      case Cond::Hs: return "hs";
+      case Cond::Vs: return "vs";
+      case Cond::Vc: return "vc";
+      case Cond::Mi: return "mi";
+      case Cond::Pl: return "pl";
+      case Cond::Al: return "al";
+    }
+    return "?";
+}
+
+const char *
+runtimeFnName(RuntimeFn fn)
+{
+    switch (fn) {
+      case RuntimeFn::CallFunction: return "rt.call";
+      case RuntimeFn::GenericGetNamed: return "rt.getnamed";
+      case RuntimeFn::GenericSetNamed: return "rt.setnamed";
+      case RuntimeFn::GenericGetElement: return "rt.getelem";
+      case RuntimeFn::GenericSetElement: return "rt.setelem";
+      case RuntimeFn::GenericAdd: return "rt.add";
+      case RuntimeFn::GenericCompare: return "rt.cmp";
+      case RuntimeFn::StringConcat: return "rt.strcat";
+      case RuntimeFn::StringEqual: return "rt.streq";
+      case RuntimeFn::BoxFloat64: return "rt.boxf64";
+      case RuntimeFn::Float64Mod: return "rt.fmod";
+      case RuntimeFn::CreateArrayRt: return "rt.newarray";
+      case RuntimeFn::CreateObjectRt: return "rt.newobject";
+      case RuntimeFn::GrowArrayStore: return "rt.growstore";
+      case RuntimeFn::TypeOfRt: return "rt.typeof";
+      case RuntimeFn::ToBoolean: return "rt.tobool";
+      case RuntimeFn::ToNumberRt: return "rt.tonumber";
+    }
+    return "?";
+}
+
+} // namespace vspec

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The vspec virtual machine ISA. One executable instruction set serves
+ * both backend flavours: the "arm64-like" backend emits pure RISC
+ * sequences (separate loads, register-register compares), while the
+ * "x64-like" backend may additionally use the CISC-ish memory-operand
+ * compare/test forms. This mirrors the paper's observation that the
+ * same checks take more instructions on ARM64 than on X64.
+ *
+ * The jsldr(u)smi family implements the paper's §V ISA extension: a
+ * load that performs the Not-a-SMI check and the untagging shift in the
+ * load unit, signalling a failed check branchlessly through the special
+ * registers REG_PC / REG_RE and a commit-phase bailout exception whose
+ * handler address is REG_BA.
+ */
+
+#ifndef VSPEC_ISA_ISA_HH
+#define VSPEC_ISA_ISA_HH
+
+#include <string>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+/** Which backend produced the code (affects emission patterns only). */
+enum class IsaFlavour : u8
+{
+    X64Like,
+    Arm64Like,
+};
+
+const char *isaFlavourName(IsaFlavour f);
+
+/** General-purpose registers. x28 doubles as the stack pointer. */
+constexpr int kNumGprs = 29;
+constexpr u8 kSpReg = 28;
+/** Floating-point registers d0..d15. */
+constexpr int kNumFprs = 16;
+
+/** Pseudo base register: absolute addressing (x64-flavour loads). */
+constexpr u8 kAbsBase = 0xfe;
+
+/** Scratch registers reserved by the code generator. */
+constexpr u8 kScratch0 = 16;
+constexpr u8 kScratch1 = 17;
+constexpr u8 kSpillScratch0 = 26;
+constexpr u8 kSpillScratch1 = 27;
+constexpr u8 kFpScratch0 = 14;
+constexpr u8 kFpScratch1 = 15;
+
+/** Special registers of the SMI-load extension. */
+enum class SpecialReg : u8
+{
+    REG_BA = 0,  //!< bailout handler address
+    REG_PC = 1,  //!< pc of the failed SMI load
+    REG_RE = 2,  //!< deoptimization reason code (0 = none pending)
+};
+
+enum class MOp : u8
+{
+    Nop,
+
+    // Register-register data processing (32-bit views unless noted).
+    Add, Sub, Mul, SDiv, And, Orr, Eor, Lsl, Lsr, Asr,
+    // Flag-setting variants (NZCV, V = signed overflow).
+    Adds, Subs,
+    // 64-bit full multiply of 32-bit sources (overflow detection).
+    Smull,
+
+    // Register-immediate forms.
+    AddI, SubI, AndI, OrrI, EorI, LslI, LsrI, AsrI,
+    AddsI, SubsI,
+    MovI,   //!< rd = imm64
+    MovR,   //!< rd = rm
+
+    // Flag-setting comparisons.
+    Cmp,     //!< flags(rn - rm)
+    CmpI,    //!< flags(rn - imm)
+    Tst,     //!< flags(rn & rm)
+    TstI,    //!< flags(rn & imm)
+    CmpSxtw, //!< flags(rn64 - sext32(rm)); ARM64 mul-overflow idiom
+
+    // Conditional select: rd = cond ? 1 : 0 (cset).
+    Cset,
+    // Conditional select: rd = cond ? rn : rm.
+    Csel,
+
+    // Loads/stores. Address = rn + imm, or rn + (rm << scale).
+    LdrB, LdrW, LdrX, LdrD,
+    LdrBr, LdrWr, LdrXr, LdrDr,
+    StrB, StrW, StrX, StrD,
+    StrBr, StrWr, StrXr, StrDr,
+
+    // x64-only memory-operand flag setters.
+    CmpMem,   //!< flags(rd - mem32[rn + imm])
+    CmpMemI,  //!< flags(mem32[rn + imm] - imm2) ; imm2 packed in `target`
+    TstMemI,  //!< flags(mem32[rn + imm] & imm2)
+
+    // Floating point (f64).
+    FAdd, FSub, FMul, FDiv, FNeg, FAbs, FSqrt,
+    FCmp,
+    FMovI,    //!< fd = fimm
+    FMovRR,   //!< fd = fm
+    Scvtf,    //!< fd = (double)rn
+    Fcvtzs,   //!< rd = trunc(fm) (saturating)
+    Fjcvtzs,  //!< rd = ECMAScript ToInt32(fm) — the ARMv8.3-A JS
+              //!< conversion the paper's related work discusses
+
+    // Control flow. `target` = instruction index.
+    B,
+    Bcond,    //!< conditional; may be a deoptimization branch
+    Ret,
+
+    // Runtime call: `target` = RuntimeFn id; args/results in x0..x7/d0.
+    CallRt,
+
+    // Special register access (SMI extension prologue).
+    Msr,      //!< special(imm) = rn
+    Mrs,      //!< rd = special(imm)
+
+    // Deopt exit marker: the "deoptimization region" at the end of a
+    // compiled function. Executing it initiates bailout `imm`.
+    DeoptExit,
+
+    // ---- §V SMI-load extension -------------------------------------
+    // rd = mem32[addr] >> 1 after an implicit Not-a-SMI check on the
+    // loaded value; on failure REG_PC/REG_RE are written instead and a
+    // bailout exception is raised at commit.
+    JsLdrSmiI,    //!< addr = rn + (imm << 2)   (scaled immediate)
+    JsLdurSmiI,   //!< addr = rn + imm          (unscaled immediate)
+    JsLdrSmiR,    //!< addr = rn + rm           (register)
+    JsLdrSmiRS,   //!< addr = rn + (rm << 2)    (register scaled)
+    JsLdurSmiR,   //!< addr = rn + rm, no write-back, unscaled variant
+    JsLdrSmiX,    //!< addr = rn + (rm << scale), generic scale
+
+    // ---- §VII future-work extension: fused map check ----------------
+    // flags = (mem32[rn - 1] == imm) ? EQ : NE, in one instruction —
+    // the map-word load and compare of a WrongMap check fused the same
+    // way jsldrsmi fuses the SMI check (the paper suggests "similar
+    // optimizations are possible for map and boundary checks").
+    JsChkMap,
+};
+
+const char *mopName(MOp op);
+
+/** Condition codes (ARM64 naming). */
+enum class Cond : u8
+{
+    Eq, Ne,
+    Lt, Le, Gt, Ge,          //!< signed
+    Lo, Ls, Hi, Hs,          //!< unsigned
+    Vs, Vc,                  //!< overflow set / clear
+    Mi, Pl,
+    Al,
+};
+
+const char *condName(Cond c);
+
+/** Roles an instruction can play inside a deoptimization check. */
+enum class CheckRole : u8
+{
+    None,       //!< regular main-line instruction
+    Condition,  //!< computes (part of) the check condition
+    Branch,     //!< the conditional deopt branch itself
+    Fused,      //!< jsldrsmi: load+check+untag in one instruction
+};
+
+constexpr u16 kNoCheck = 0xffff;
+
+/**
+ * One machine instruction. Fixed-width record; fields are interpreted
+ * per-opcode (see the simulator). Check metadata ties instructions back
+ * to the deoptimization check they implement — the ground truth that
+ * the paper's PC-sampling window heuristic tries to approximate.
+ */
+struct MInst
+{
+    MOp op = MOp::Nop;
+    Cond cond = Cond::Al;
+    u8 rd = 0;
+    u8 rn = 0;
+    u8 rm = 0;
+    u8 scale = 0;
+    i64 imm = 0;
+    double fimm = 0.0;
+    u32 target = 0;          //!< branch target / runtime fn / imm2
+
+    u16 checkId = kNoCheck;  //!< which check this instruction belongs to
+    CheckRole checkRole = CheckRole::None;
+    bool isDeoptBranch = false;
+    u16 deoptIndex = 0;      //!< DeoptExit index for deopt branches/loads
+
+    bool isBranch() const
+    {
+        return op == MOp::B || op == MOp::Bcond || op == MOp::Ret
+               || op == MOp::CallRt;
+    }
+    bool isCondBranch() const { return op == MOp::Bcond; }
+
+    bool
+    isLoad() const
+    {
+        switch (op) {
+          case MOp::LdrB: case MOp::LdrW: case MOp::LdrX: case MOp::LdrD:
+          case MOp::LdrBr: case MOp::LdrWr: case MOp::LdrXr: case MOp::LdrDr:
+          case MOp::CmpMem: case MOp::CmpMemI: case MOp::TstMemI:
+          case MOp::JsLdrSmiI: case MOp::JsLdurSmiI: case MOp::JsLdrSmiR:
+          case MOp::JsLdrSmiRS: case MOp::JsLdurSmiR: case MOp::JsLdrSmiX:
+          case MOp::JsChkMap:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    bool
+    isStore() const
+    {
+        switch (op) {
+          case MOp::StrB: case MOp::StrW: case MOp::StrX: case MOp::StrD:
+          case MOp::StrBr: case MOp::StrWr: case MOp::StrXr: case MOp::StrDr:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    bool
+    isSmiExtensionLoad() const
+    {
+        switch (op) {
+          case MOp::JsLdrSmiI: case MOp::JsLdurSmiI: case MOp::JsLdrSmiR:
+          case MOp::JsLdrSmiRS: case MOp::JsLdurSmiR: case MOp::JsLdrSmiX:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    bool
+    isFloat() const
+    {
+        switch (op) {
+          case MOp::FAdd: case MOp::FSub: case MOp::FMul: case MOp::FDiv:
+          case MOp::FNeg: case MOp::FAbs: case MOp::FSqrt: case MOp::FCmp:
+          case MOp::FMovI: case MOp::FMovRR: case MOp::Scvtf:
+          case MOp::LdrD: case MOp::LdrDr: case MOp::StrD: case MOp::StrDr:
+            return true;
+          default:
+            return false;
+        }
+    }
+};
+
+/** Runtime functions callable from optimized code via CallRt. */
+enum class RuntimeFn : u32
+{
+    CallFunction,       //!< x0=callee fn cell bits, x1=this, x2=argStart(regs), x3=argc
+    GenericGetNamed,    //!< x0=receiver, x1=name id -> x0
+    GenericSetNamed,    //!< x0=receiver, x1=name id, x2=value
+    GenericGetElement,  //!< x0=receiver, x1=key -> x0
+    GenericSetElement,  //!< x0=receiver, x1=key, x2=value
+    GenericAdd,         //!< x0, x1 -> x0 (full JS '+' semantics)
+    GenericCompare,     //!< x0, x1, x2=op code -> x0 (boolean)
+    StringConcat,       //!< x0, x1 strings -> x0
+    StringEqual,        //!< x0, x1 -> x0 boolean
+    BoxFloat64,         //!< d0 -> x0 (new HeapNumber)
+    Float64Mod,         //!< d0, d1 -> d0 (fmod)
+    CreateArrayRt,      //!< x1=capacity -> x0
+    CreateObjectRt,     //!< -> x0
+    GrowArrayStore,     //!< x0=array, x1=index(machine int), x2=value
+    TypeOfRt,           //!< x0 -> x0 (interned string)
+    ToBoolean,          //!< x0 -> x0 (0/1 machine int)
+    ToNumberRt,         //!< x0 -> x0 (tagged number)
+};
+
+const char *runtimeFnName(RuntimeFn fn);
+
+} // namespace vspec
+
+#endif // VSPEC_ISA_ISA_HH

@@ -1,0 +1,93 @@
+#include "profiler/attribution.hh"
+
+namespace vspec
+{
+
+AttributionResult &
+AttributionResult::operator+=(const AttributionResult &o)
+{
+    for (size_t i = 0; i < kNumGroups; i++)
+        samplesPerGroup[i] += o.samplesPerGroup[i];
+    checkSamples += o.checkSamples;
+    totalSamples += o.totalSamples;
+    return *this;
+}
+
+int
+defaultWindowFor(IsaFlavour flavour)
+{
+    // §III-A: one instruction before the deopt branch on the CISC X64
+    // ISA, two on ARM64.
+    return flavour == IsaFlavour::X64Like ? 1 : 2;
+}
+
+AttributionResult
+attributeWindowHeuristic(const CodeObject &code,
+                         const std::vector<u64> &hist, int window)
+{
+    AttributionResult r;
+    size_t n = std::min(hist.size(), code.code.size());
+    std::vector<u8> owner(n, 0xff);  // group id owning each pc, else 0xff
+
+    for (size_t i = 0; i < n; i++) {
+        const MInst &m = code.code[i];
+        bool is_deopt_anchor =
+            (m.isDeoptBranch && m.op == MOp::Bcond)
+            || m.isSmiExtensionLoad();
+        if (!is_deopt_anchor)
+            continue;
+        u8 group = 0xff;
+        if (m.checkId != kNoCheck)
+            group = static_cast<u8>(code.checks[m.checkId].group);
+        else
+            group = static_cast<u8>(CheckGroup::Other);
+        owner[i] = group;
+        // The preceding `window` instructions are assumed to compute
+        // the condition.
+        for (int wdx = 1; wdx <= window && static_cast<int>(i) - wdx >= 0;
+             wdx++) {
+            size_t j = i - static_cast<size_t>(wdx);
+            const MInst &p = code.code[j];
+            if (p.isBranch())
+                break;  // don't cross control flow
+            owner[j] = group;
+        }
+    }
+
+    for (size_t i = 0; i < n; i++) {
+        r.totalSamples += hist[i];
+        if (owner[i] != 0xff) {
+            r.checkSamples += hist[i];
+            r.samplesPerGroup[owner[i]] += hist[i];
+        }
+    }
+    return r;
+}
+
+AttributionResult
+attributeGroundTruth(const CodeObject &code, const std::vector<u64> &hist)
+{
+    AttributionResult r;
+    size_t n = std::min(hist.size(), code.code.size());
+    for (size_t i = 0; i < n; i++) {
+        r.totalSamples += hist[i];
+        const MInst &m = code.code[i];
+        if (m.checkId != kNoCheck) {
+            r.checkSamples += hist[i];
+            r.samplesPerGroup[static_cast<size_t>(
+                code.checks[m.checkId].group)] += hist[i];
+        }
+    }
+    return r;
+}
+
+double
+checkFrequencyPer100(const CodeObject &code)
+{
+    if (code.code.empty())
+        return 0.0;
+    return 100.0 * code.totalCheckInstructions()
+           / static_cast<double>(code.code.size());
+}
+
+} // namespace vspec

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Sample attribution: converting per-PC sample histograms into check
+ * overheads. Two attributions are provided:
+ *
+ *  - windowHeuristic: the paper's §III-A method. A sample belongs to a
+ *    check if it falls on a deoptimization branch or within `window`
+ *    instructions before it (1 on x64, 2 on ARM64, per the paper).
+ *  - groundTruth: uses the backend's per-instruction check
+ *    annotations, which a real profiler does not have. Comparing the
+ *    two quantifies the heuristic's accuracy (an ablation the paper
+ *    could not run).
+ */
+
+#ifndef VSPEC_PROFILER_ATTRIBUTION_HH
+#define VSPEC_PROFILER_ATTRIBUTION_HH
+
+#include <array>
+
+#include "backend/code_object.hh"
+
+namespace vspec
+{
+
+constexpr size_t kNumGroups = static_cast<size_t>(CheckGroup::NumGroups);
+
+struct AttributionResult
+{
+    std::array<u64, kNumGroups> samplesPerGroup{};
+    u64 checkSamples = 0;
+    u64 totalSamples = 0;
+
+    double
+    overheadFraction() const
+    {
+        return totalSamples == 0
+            ? 0.0 : static_cast<double>(checkSamples) / totalSamples;
+    }
+
+    AttributionResult &operator+=(const AttributionResult &o);
+};
+
+/** Default window sizes from the paper. */
+int defaultWindowFor(IsaFlavour flavour);
+
+AttributionResult attributeWindowHeuristic(const CodeObject &code,
+                                           const std::vector<u64> &hist,
+                                           int window);
+
+AttributionResult attributeGroundTruth(const CodeObject &code,
+                                       const std::vector<u64> &hist);
+
+/** Static check-instruction frequency (per 100 instructions), Fig. 1. */
+double checkFrequencyPer100(const CodeObject &code);
+
+} // namespace vspec
+
+#endif // VSPEC_PROFILER_ATTRIBUTION_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cycle-driven PC sampler, the vspec analogue of `perf` sampling in
+ * §III-A: every `period` simulated cycles, the PC of the committing
+ * instruction in optimized code is recorded into a per-code-object
+ * histogram. Attribution of samples to checks lives in
+ * profiler/attribution.hh.
+ */
+
+#ifndef VSPEC_PROFILER_SAMPLER_HH
+#define VSPEC_PROFILER_SAMPLER_HH
+
+#include <map>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace vspec
+{
+
+class PcSampler : public SampleSink
+{
+  public:
+    u64 period = 997;  //!< prime, to avoid phase-locking with loops
+
+    void
+    tick(Cycles now, const CodeObject &code, u32 pc) override
+    {
+        while (now >= nextAt) {
+            auto &h = histograms[code.id];
+            if (h.size() < code.code.size())
+                h.resize(code.code.size(), 0);
+            h[pc]++;
+            totalSamples++;
+            nextAt += period;
+        }
+    }
+
+    void
+    skipTo(Cycles now) override
+    {
+        // Periods that elapsed outside simulated code are not samples
+        // of any JIT pc; runWorkload() accounts them as non-check
+        // process time (like perf samples landing in the runtime).
+        while (now >= nextAt)
+            nextAt += period;
+    }
+
+    void
+    reset()
+    {
+        histograms.clear();
+        totalSamples = 0;
+        nextAt = period;
+    }
+
+    const std::vector<u64> *
+    histogramFor(u32 code_id) const
+    {
+        auto it = histograms.find(code_id);
+        return it == histograms.end() ? nullptr : &it->second;
+    }
+
+    std::map<u32, std::vector<u64>> histograms;  //!< codeId -> counts
+    u64 totalSamples = 0;
+    u64 nextAt = 997;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_PROFILER_SAMPLER_HH

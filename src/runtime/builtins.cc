@@ -1,0 +1,366 @@
+#include "runtime/builtins.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+#include "runtime/engine.hh"
+#include "runtime/regex_lite.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+double
+argNum(Engine &e, const std::vector<Value> &args, size_t i,
+       double fallback = 0.0)
+{
+    if (i >= args.size() || !e.vm.isNumber(args[i]))
+        return fallback;
+    return e.vm.numberOf(args[i]);
+}
+
+std::string
+argStr(Engine &e, const std::vector<Value> &args, size_t i)
+{
+    if (i >= args.size())
+        return "";
+    return e.vm.coerceToString(args[i]);
+}
+
+/** Compiled-pattern cache: regex compilation is expensive and V8
+ *  caches RegExp objects; key by pattern text. */
+RegexLite &
+cachedRegex(const std::string &pattern)
+{
+    static std::map<std::string, RegexLite> cache;
+    auto it = cache.find(pattern);
+    if (it == cache.end())
+        it = cache.emplace(pattern, RegexLite(pattern)).first;
+    return it->second;
+}
+
+} // namespace
+
+Value
+dispatchBuiltin(Engine &e, BuiltinId id, Value this_value,
+                const std::vector<Value> &args)
+{
+    VMContext &vm = e.vm;
+    e.chargeCycles(10);  // call + dispatch overhead
+
+    switch (id) {
+      case BuiltinId::None:
+        vpanic("dispatch of non-builtin");
+
+      case BuiltinId::Print: {
+        std::string line;
+        for (size_t i = 0; i < args.size(); i++) {
+            if (i)
+                line += " ";
+            line += vm.coerceToString(args[i]);
+        }
+        e.consoleOut += line + "\n";
+        e.chargeCycles(20 + line.size());
+        return vm.undefinedValue;
+      }
+
+      // ---- Math ------------------------------------------------------
+      case BuiltinId::MathFloor:
+        e.chargeCycles(4);
+        return vm.newNumber(std::floor(argNum(e, args, 0)));
+      case BuiltinId::MathCeil:
+        e.chargeCycles(4);
+        return vm.newNumber(std::ceil(argNum(e, args, 0)));
+      case BuiltinId::MathRound:
+        e.chargeCycles(4);
+        return vm.newNumber(std::floor(argNum(e, args, 0) + 0.5));
+      case BuiltinId::MathAbs:
+        e.chargeCycles(2);
+        return vm.newNumber(std::abs(argNum(e, args, 0)));
+      case BuiltinId::MathSqrt:
+        e.chargeCycles(15);
+        return vm.newNumber(std::sqrt(argNum(e, args, 0)));
+      case BuiltinId::MathMin: {
+        e.chargeCycles(3 + 2 * args.size());
+        double m = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < args.size(); i++)
+            m = std::min(m, argNum(e, args, i));
+        return vm.newNumber(m);
+      }
+      case BuiltinId::MathMax: {
+        e.chargeCycles(3 + 2 * args.size());
+        double m = -std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < args.size(); i++)
+            m = std::max(m, argNum(e, args, i));
+        return vm.newNumber(m);
+      }
+      case BuiltinId::MathPow:
+        e.chargeCycles(40);
+        return vm.newNumber(std::pow(argNum(e, args, 0),
+                                     argNum(e, args, 1)));
+      case BuiltinId::MathSin:
+        e.chargeCycles(30);
+        return vm.newNumber(std::sin(argNum(e, args, 0)));
+      case BuiltinId::MathCos:
+        e.chargeCycles(30);
+        return vm.newNumber(std::cos(argNum(e, args, 0)));
+      case BuiltinId::MathExp:
+        e.chargeCycles(35);
+        return vm.newNumber(std::exp(argNum(e, args, 0)));
+      case BuiltinId::MathLog:
+        e.chargeCycles(35);
+        return vm.newNumber(std::log(argNum(e, args, 0)));
+      case BuiltinId::MathAtan2:
+        e.chargeCycles(40);
+        return vm.newNumber(std::atan2(argNum(e, args, 0),
+                                       argNum(e, args, 1)));
+      case BuiltinId::MathRandom:
+        e.chargeCycles(8);
+        return vm.newNumber(e.random());
+
+      // ---- String ------------------------------------------------------
+      case BuiltinId::StringCharCodeAt: {
+        e.chargeCycles(4);
+        if (!vm.isString(this_value))
+            return vm.newNumber(std::nan(""));
+        Addr s = this_value.asAddr();
+        i64 i = static_cast<i64>(argNum(e, args, 0));
+        if (i < 0 || i >= static_cast<i64>(vm.stringLength(s)))
+            return vm.newNumber(std::nan(""));
+        return Value::smi(vm.heap.readU8(
+            s + HeapLayout::kStringDataOffset + static_cast<u32>(i)));
+      }
+      case BuiltinId::StringCharAt: {
+        e.chargeCycles(12);
+        if (!vm.isString(this_value))
+            return Value::heap(vm.newString(""));
+        Addr s = this_value.asAddr();
+        i64 i = static_cast<i64>(argNum(e, args, 0));
+        if (i < 0 || i >= static_cast<i64>(vm.stringLength(s)))
+            return Value::heap(vm.newString(""));
+        char c = static_cast<char>(vm.heap.readU8(
+            s + HeapLayout::kStringDataOffset + static_cast<u32>(i)));
+        return Value::heap(vm.newString(std::string(1, c)));
+      }
+      case BuiltinId::StringSubstring: {
+        std::string s = vm.coerceToString(this_value);
+        i64 a = static_cast<i64>(argNum(e, args, 0));
+        i64 b = static_cast<i64>(argNum(e, args, 1,
+                                        static_cast<double>(s.size())));
+        a = std::clamp<i64>(a, 0, static_cast<i64>(s.size()));
+        b = std::clamp<i64>(b, 0, static_cast<i64>(s.size()));
+        if (a > b)
+            std::swap(a, b);
+        e.chargeCycles(10 + static_cast<u64>(b - a) / 2);
+        return Value::heap(vm.newString(s.substr(static_cast<size_t>(a),
+                                                 static_cast<size_t>(b - a))));
+      }
+      case BuiltinId::StringIndexOf: {
+        std::string s = vm.coerceToString(this_value);
+        std::string needle = argStr(e, args, 0);
+        e.chargeCycles(6 + s.size() / 2);
+        size_t at = s.find(needle);
+        return Value::smi(at == std::string::npos
+                          ? -1 : static_cast<i32>(at));
+      }
+      case BuiltinId::StringSplit: {
+        std::string s = vm.coerceToString(this_value);
+        std::string sep = argStr(e, args, 0);
+        e.chargeCycles(12 + s.size());
+        Addr arr = vm.newArray(ElementKind::Tagged, 0, 8);
+        TempRootScope scope(vm.heap.gc);
+        scope.pin(Value::heap(arr));
+        size_t start = 0;
+        u32 count = 0;
+        if (sep.empty()) {
+            for (char c : s) {
+                vm.arraySet(arr, count++,
+                            Value::heap(vm.newString(std::string(1, c))));
+            }
+        } else {
+            for (;;) {
+                size_t at = s.find(sep, start);
+                std::string piece = at == std::string::npos
+                    ? s.substr(start) : s.substr(start, at - start);
+                vm.arraySet(arr, count++, Value::heap(vm.newString(piece)));
+                if (at == std::string::npos)
+                    break;
+                start = at + sep.size();
+            }
+        }
+        return Value::heap(arr);
+      }
+      case BuiltinId::StringFromCharCode: {
+        e.chargeCycles(8 + 2 * args.size());
+        std::string s;
+        for (size_t i = 0; i < args.size(); i++)
+            s += static_cast<char>(
+                static_cast<int>(argNum(e, args, i)) & 0xff);
+        return Value::heap(vm.newString(s));
+      }
+
+      // ---- Array -------------------------------------------------------
+      case BuiltinId::ArrayPush: {
+        e.chargeCycles(6);
+        vassert(vm.isArray(this_value), "push on non-array");
+        Addr arr = this_value.asAddr();
+        for (Value v : args)
+            vm.arraySet(arr, vm.arrayLength(arr), v);
+        return vm.newInt(vm.arrayLength(arr));
+      }
+      case BuiltinId::ArrayPop: {
+        e.chargeCycles(6);
+        vassert(vm.isArray(this_value), "pop on non-array");
+        Addr arr = this_value.asAddr();
+        u32 len = vm.arrayLength(arr);
+        if (len == 0)
+            return vm.undefinedValue;
+        Value v = vm.arrayGet(arr, len - 1);
+        vm.heap.writeU32(arr + HeapLayout::kArrayLengthOffset, len - 1);
+        return v;
+      }
+      case BuiltinId::ArrayJoin: {
+        vassert(vm.isArray(this_value), "join on non-array");
+        std::string sep = args.empty() ? "," : argStr(e, args, 0);
+        Addr arr = this_value.asAddr();
+        std::string out;
+        u32 len = vm.arrayLength(arr);
+        for (u32 i = 0; i < len; i++) {
+            if (i)
+                out += sep;
+            out += vm.coerceToString(vm.arrayGet(arr, i));
+        }
+        e.chargeCycles(10 + out.size());
+        return Value::heap(vm.newString(out));
+      }
+      case BuiltinId::ArrayIndexOf: {
+        vassert(vm.isArray(this_value), "indexOf on non-array");
+        Addr arr = this_value.asAddr();
+        u32 len = vm.arrayLength(arr);
+        e.chargeCycles(6 + len / 2);
+        Value needle = args.empty() ? vm.undefinedValue : args[0];
+        for (u32 i = 0; i < len; i++) {
+            if (vm.strictEquals(vm.arrayGet(arr, i), needle))
+                return Value::smi(static_cast<i32>(i));
+        }
+        return Value::smi(-1);
+      }
+
+      // ---- global helpers -------------------------------------------------
+      case BuiltinId::ParseInt: {
+        std::string s = argStr(e, args, 0);
+        e.chargeCycles(8 + s.size());
+        int base = static_cast<int>(argNum(e, args, 1, 10.0));
+        char *end = nullptr;
+        long long v = std::strtoll(s.c_str(), &end, base);
+        if (end == s.c_str())
+            return vm.newNumber(std::nan(""));
+        return vm.newInt(v);
+      }
+      case BuiltinId::ParseFloat: {
+        std::string s = argStr(e, args, 0);
+        e.chargeCycles(8 + s.size());
+        char *end = nullptr;
+        double v = std::strtod(s.c_str(), &end);
+        if (end == s.c_str())
+            return vm.newNumber(std::nan(""));
+        return vm.newNumber(v);
+      }
+
+      // ---- irregexp-lite ----------------------------------------------------
+      case BuiltinId::ReTest: {
+        std::string pat = argStr(e, args, 0);
+        std::string subject = argStr(e, args, 1);
+        u64 steps = 0;
+        bool ok = cachedRegex(pat).test(subject, steps);
+        e.chargeCycles(30 + steps * 2);
+        return vm.boolean(ok);
+      }
+      case BuiltinId::ReCount: {
+        std::string pat = argStr(e, args, 0);
+        std::string subject = argStr(e, args, 1);
+        u64 steps = 0;
+        u32 n = cachedRegex(pat).countMatches(subject, steps);
+        e.chargeCycles(30 + steps * 2);
+        return vm.newInt(n);
+      }
+      case BuiltinId::ReReplace: {
+        std::string pat = argStr(e, args, 0);
+        std::string subject = argStr(e, args, 1);
+        std::string repl = argStr(e, args, 2);
+        u64 steps = 0;
+        std::string out = cachedRegex(pat).replaceAll(subject, repl, steps);
+        e.chargeCycles(30 + steps * 2 + out.size());
+        return Value::heap(vm.newString(out));
+      }
+    }
+    vpanic("unhandled builtin");
+}
+
+void
+installBuiltinGlobals(Engine &e)
+{
+    VMContext &vm = e.vm;
+
+    auto makeBuiltin = [&](BuiltinId id, u32 argc) -> Value {
+        FunctionInfo &fn = e.functions.createBuiltin(builtinName(id), id,
+                                                     argc);
+        fn.cellAddr = vm.newFunctionCell(fn.id);
+        return Value::heap(fn.cellAddr);
+    };
+    auto bindGlobal = [&](const std::string &name, Value v) {
+        e.globals.store(e.globals.indexOf(name), v);
+    };
+
+    // Global functions.
+    bindGlobal("print", makeBuiltin(BuiltinId::Print, 1));
+    bindGlobal("parseInt", makeBuiltin(BuiltinId::ParseInt, 2));
+    bindGlobal("parseFloat", makeBuiltin(BuiltinId::ParseFloat, 1));
+    bindGlobal("reTest", makeBuiltin(BuiltinId::ReTest, 2));
+    bindGlobal("reCount", makeBuiltin(BuiltinId::ReCount, 2));
+    bindGlobal("reReplace", makeBuiltin(BuiltinId::ReReplace, 3));
+
+    // Math namespace object.
+    Addr math = vm.newObject();
+    auto method = [&](Addr obj, const char *name, BuiltinId id, u32 argc) {
+        vm.setProperty(obj, vm.names.intern(name), makeBuiltin(id, argc));
+    };
+    method(math, "floor", BuiltinId::MathFloor, 1);
+    method(math, "ceil", BuiltinId::MathCeil, 1);
+    method(math, "round", BuiltinId::MathRound, 1);
+    method(math, "abs", BuiltinId::MathAbs, 1);
+    method(math, "sqrt", BuiltinId::MathSqrt, 1);
+    method(math, "min", BuiltinId::MathMin, 2);
+    method(math, "max", BuiltinId::MathMax, 2);
+    method(math, "pow", BuiltinId::MathPow, 2);
+    method(math, "sin", BuiltinId::MathSin, 1);
+    method(math, "cos", BuiltinId::MathCos, 1);
+    method(math, "exp", BuiltinId::MathExp, 1);
+    method(math, "log", BuiltinId::MathLog, 1);
+    method(math, "atan2", BuiltinId::MathAtan2, 2);
+    method(math, "random", BuiltinId::MathRandom, 0);
+    bindGlobal("Math", Value::heap(math));
+
+    // String namespace (fromCharCode) + the method builtins themselves
+    // (reachable through named loads off string/array receivers).
+    Addr string_ns = vm.newObject();
+    method(string_ns, "fromCharCode", BuiltinId::StringFromCharCode, 1);
+    bindGlobal("String", Value::heap(string_ns));
+
+    makeBuiltin(BuiltinId::StringCharCodeAt, 1);
+    makeBuiltin(BuiltinId::StringCharAt, 1);
+    makeBuiltin(BuiltinId::StringSubstring, 2);
+    makeBuiltin(BuiltinId::StringIndexOf, 1);
+    makeBuiltin(BuiltinId::StringSplit, 1);
+    makeBuiltin(BuiltinId::ArrayPush, 1);
+    makeBuiltin(BuiltinId::ArrayPop, 0);
+    makeBuiltin(BuiltinId::ArrayJoin, 1);
+    makeBuiltin(BuiltinId::ArrayIndexOf, 1);
+}
+
+} // namespace vspec

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Builtin functions — the vspec analogue of V8's Torque-built builtin
+ * blob. Builtins run host-side with a work-proportional cycle cost
+ * model, charged to whichever tier invoked them. This reproduces the
+ * paper's observation that string/regex benchmarks show low check
+ * overhead because their time is spent in builtins, not JIT code.
+ */
+
+#ifndef VSPEC_RUNTIME_BUILTINS_HH
+#define VSPEC_RUNTIME_BUILTINS_HH
+
+#include "bytecode/bytecode.hh"
+
+namespace vspec
+{
+
+class Engine;
+
+/** Execute builtin @p id. Charges its modeled cost to the engine. */
+Value dispatchBuiltin(Engine &engine, BuiltinId id, Value this_value,
+                      const std::vector<Value> &args);
+
+/**
+ * Register all builtin FunctionInfos (with function cells) and install
+ * the global bindings: `print`, `parseInt`, `parseFloat`, the regex
+ * entry points, and the `Math` / `String` namespace objects.
+ */
+void installBuiltinGlobals(Engine &engine);
+
+} // namespace vspec
+
+#endif // VSPEC_RUNTIME_BUILTINS_HH

@@ -1,0 +1,440 @@
+#include "runtime/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "frontend/parser.hh"
+#include "interp/interpreter.hh"
+#include "runtime/builtins.hh"
+#include "runtime/tiering.hh"
+
+namespace vspec
+{
+
+Engine::Engine(EngineConfig cfg)
+    : config(cfg),
+      vm(cfg.heapSize),
+      gc(vm),
+      globals(vm),
+      functions(),
+      rng(cfg.randomSeed)
+{
+    vm.heap.gc = &gc;
+    if (cfg.layoutJitterBytes > 0) {
+        // Layout perturbation: every subsequent allocation lands at a
+        // shifted address, changing cache-set mappings. Shift both
+        // regions (immortal: maps/globals/interned strings; mortal:
+        // workload data).
+        u32 n = (cfg.layoutJitterBytes + 7u) & ~7u;
+        vm.heap.allocateImmortal(n, vm.maps.mapWord(vm.maps.fixedArrayMap()),
+                                 0);
+        vm.heap.allocate(n, vm.maps.mapWord(vm.maps.fixedArrayMap()), 0);
+    }
+    interpreter = std::make_unique<Interpreter>(*this);
+    timing = makeTimingModel(cfg.cpu);
+    core = std::make_unique<FunctionalCore>(
+        vm.heap,
+        [this](RuntimeFn fn, MachineState &st, const MInst &m) {
+            lastCallArgc = static_cast<int>(m.imm);
+            handleRuntimeCall(fn, st);
+        });
+    sampler.period = cfg.samplerPeriodCycles;
+    sampler.nextAt = cfg.samplerPeriodCycles;
+    gc.addRootProvider(this);
+    gc.addRootProvider(interpreter.get());
+    installBuiltins();
+}
+
+Engine::~Engine()
+{
+    gc.removeRootProvider(this);
+    gc.removeRootProvider(interpreter.get());
+}
+
+void
+Engine::installBuiltins()
+{
+    installBuiltinGlobals(*this);
+}
+
+void
+Engine::loadProgram(const std::string &source)
+{
+    ProgramSource prog = parseProgram(source);
+    BytecodeCompiler compiler(vm, globals, functions);
+    FunctionId main_id = compiler.compileProgram(prog);
+    invoke(main_id, vm.undefinedValue, {});
+}
+
+Value
+Engine::call(const std::string &name, const std::vector<Value> &args)
+{
+    FunctionId id = functions.idOf(name);
+    if (id == kInvalidFunction)
+        vfatal("no such function: " + name);
+    return invoke(id, vm.undefinedValue, args);
+}
+
+void
+Engine::chargeCycles(u64 c)
+{
+    if (jitDepth > 0)
+        timing->advanceExternal(c);
+    else
+        interpreterCycles += c;
+}
+
+Value
+Engine::callBuiltin(BuiltinId id, Value this_value,
+                    const std::vector<Value> &args)
+{
+    return dispatchBuiltin(*this, id, this_value, args);
+}
+
+void
+Engine::storeGlobal(u32 cell, Value v)
+{
+    globals.store(cell, v);
+    // Constant-cell dependency invalidation: any optimized code that
+    // embedded the old value is now wrong — deopt-lazy.
+    std::vector<u32> deps = globals.takeDependencies(cell);
+    for (u32 code_id : deps) {
+        CodeObject &code = *codeObjects.at(code_id);
+        if (code.valid) {
+            code.valid = false;
+            lazyDeopts++;
+            deoptLog.push_back({code.function,
+                                DeoptReason::CodeDependencyChange,
+                                DeoptCategory::Lazy, totalCycles()});
+        }
+    }
+}
+
+void
+Engine::discardCode(FunctionInfo &fn)
+{
+    if (fn.hasCode()) {
+        codeObjects.at(fn.codeId)->valid = false;
+        fn.codeId = 0xffffffffu;
+    }
+}
+
+void
+Engine::maybeOptimize(FunctionInfo &fn)
+{
+    TieringPolicy policy;
+    policy.optimizeAfterInvocations = config.optimizeAfterInvocations;
+    policy.optimizeAfterBackedges = config.optimizeAfterBackedges;
+    policy.maxDeoptsBeforeDisable = config.maxDeoptsBeforeDisable;
+    if (policy.shouldOptimize(fn))
+        compileFunction(fn);
+}
+
+bool
+Engine::compileFunction(FunctionInfo &fn)
+{
+    CompilerEnv env{vm, globals, functions};
+    auto graph = buildGraph(env, fn);
+    if (!graph.has_value()) {
+        fn.optimizationDisabled = true;
+        return false;
+    }
+    PassConfig passes = config.passes;
+    passes.smiLoadFusion = config.smiLoadExtension;
+    runPasses(*graph, passes);
+
+    CodegenConfig cg;
+    cg.flavour = config.isa;
+    cg.removeDeoptBranches = config.removeDeoptBranches;
+    cg.smiExtension = config.smiLoadExtension;
+    cg.mapCheckExtension = config.mapCheckExtension;
+    auto code = generateCode(env, *graph, cg);
+    code->id = static_cast<u32>(codeObjects.size());
+    fn.codeId = code->id;
+    for (u32 cell : code->dependsOnGlobalCells)
+        globals.addConstantDependency(cell, code->id);
+    codeObjects.push_back(std::move(code));
+    compilations++;
+    return true;
+}
+
+Value
+Engine::invoke(FunctionId id, Value this_value,
+               const std::vector<Value> &args)
+{
+    FunctionInfo &fn = functions.at(id);
+    if (fn.builtin != BuiltinId::None)
+        return callBuiltin(fn.builtin, this_value, args);
+
+    fn.invocationCount++;
+
+    if (config.enableOptimization) {
+        if (fn.hasCode() && !codeObjects.at(fn.codeId)->valid) {
+            // deopt-lazy: the code was invalidated from outside; it is
+            // discarded at this (re-)entry, as in V8's lazy unlinking.
+            deoptLog.push_back({id, DeoptReason::SharedCodeDeoptimized,
+                                DeoptCategory::Lazy, totalCycles()});
+            fn.codeId = 0xffffffffu;
+            fn.invocationCount = 0;
+        }
+        if (!fn.hasCode())
+            maybeOptimize(fn);
+        if (fn.hasCode())
+            return runOptimized(fn, this_value, args);
+    }
+    return interpreter->callFunction(fn, this_value, args);
+}
+
+Value
+Engine::materialize(const DeoptLocation &loc, const MachineState &st)
+{
+    auto fromBits = [&](u64 raw) -> Value {
+        switch (loc.rep) {
+          case Rep::Tagged:
+            return Value::fromBits(static_cast<u32>(raw));
+          case Rep::Int32:
+            return vm.newInt(static_cast<i32>(static_cast<u32>(raw)));
+          case Rep::Bool:
+            return vm.boolean((raw & 0xffffffffu) != 0);
+          default:
+            return vm.undefinedValue;
+        }
+    };
+    switch (loc.where) {
+      case DeoptLocation::Where::Reg:
+        return fromBits(st.x[loc.reg]);
+      case DeoptLocation::Where::FReg:
+        return vm.newNumber(st.d[loc.reg]);
+      case DeoptLocation::Where::Spill: {
+        Addr a = static_cast<Addr>(st.x[kSpReg]) + 8 * loc.slot;
+        if (loc.rep == Rep::Float64)
+            return vm.newNumber(vm.heap.readF64(a));
+        return fromBits(vm.heap.readU64(a));
+      }
+      case DeoptLocation::Where::ConstTagged:
+        return Value::fromBits(static_cast<u32>(loc.imm));
+      case DeoptLocation::Where::ConstI32:
+        return vm.newInt(static_cast<i32>(loc.imm));
+      case DeoptLocation::Where::ConstF64:
+        return vm.newNumber(loc.fval);
+      case DeoptLocation::Where::None:
+        return vm.undefinedValue;
+    }
+    return vm.undefinedValue;
+}
+
+Value
+Engine::runOptimized(FunctionInfo &fn, Value this_value,
+                     const std::vector<Value> &args)
+{
+    CodeObject &code = *codeObjects.at(fn.codeId);
+    code.entries++;
+
+    MachineState st;
+    st.sp() = vm.heap.stackTop();
+    st.x[0] = this_value.bits();
+    for (u32 i = 0; i < fn.paramCount && i + 1 < 8; i++) {
+        st.x[i + 1] = i < args.size() ? args[i].bits()
+                                      : vm.undefinedValue.bits();
+    }
+
+    jitDepth++;
+    activeMachines.push_back(&st);
+    RunResult r = core->run(code, st, timing.get(),
+                            config.samplerEnabled ? &sampler : nullptr);
+    activeMachines.pop_back();
+    jitDepth--;
+
+    if (!r.deopted)
+        return Value::fromBits(static_cast<u32>(st.x[0]));
+
+    // ---- deoptimization -------------------------------------------------
+    DeoptExitInfo &exit = code.deoptExits.at(r.deoptExit);
+    exit.hitCount++;
+    code.eagerDeopts++;
+    DeoptCategory cat = deoptCategoryOf(exit.reason);
+    if (cat == DeoptCategory::Soft)
+        softDeopts++;
+    else
+        eagerDeopts++;
+    deoptLog.push_back({fn.id, exit.reason, cat, totalCycles()});
+
+    // Reconstruct the interpreter frame from the checkpoint.
+    std::vector<Value> regs;
+    regs.reserve(exit.regs.size());
+    for (const DeoptLocation &loc : exit.regs)
+        regs.push_back(materialize(loc, st));
+    Value acc = materialize(exit.accumulator, st);
+
+    // Discard the code and re-warm (V8 discards on eager deopt too).
+    discardCode(fn);
+    TieringPolicy policy;
+    policy.maxDeoptsBeforeDisable = config.maxDeoptsBeforeDisable;
+    policy.onDeopt(fn);
+
+    // The bailout handler's work — frame conversion, code unlinking —
+    // happens on the slow path; charge a fixed cost.
+    chargeCycles(600);
+
+    return interpreter->resumeFrame(fn, exit.bytecodeOffset,
+                                    std::move(regs), acc);
+}
+
+void
+Engine::handleRuntimeCall(RuntimeFn fn, MachineState &st)
+{
+    auto val = [&](int reg) {
+        return Value::fromBits(static_cast<u32>(st.x[reg]));
+    };
+    bool returned_value = false;
+    auto ret = [&](Value v) {
+        st.x[0] = v.bits();
+        returned_value = true;
+    };
+    auto retBool = [&](bool b) { st.x[0] = b ? 1 : 0; };
+
+    // Fixed call overhead (register save/restore, far call).
+    timing->advanceExternal(8);
+
+    switch (fn) {
+      case RuntimeFn::CallFunction: {
+        Addr cell = static_cast<u32>(st.x[0]) & ~1u;
+        Value callee = Value::fromBits(static_cast<u32>(st.x[0]));
+        if (!vm.isFunction(callee))
+            vpanic("CallFunction target is not a function");
+        FunctionId fid = vm.functionIdOf(cell);
+        Value this_v = val(1);
+        std::vector<Value> args;
+        int argc = lastCallArgc;
+        for (int i = 0; i < argc && i + 2 < 8; i++)
+            args.push_back(val(i + 2));
+        ret(invoke(fid, this_v, args));
+        break;
+      }
+      case RuntimeFn::GenericGetNamed:
+        chargeCycles(18);
+        ret(genericGetNamed(*this, val(0),
+                            static_cast<NameId>(st.x[1]), nullptr));
+        break;
+      case RuntimeFn::GenericSetNamed:
+        chargeCycles(18);
+        genericSetNamed(*this, val(0), static_cast<NameId>(st.x[1]),
+                        val(2), nullptr);
+        break;
+      case RuntimeFn::GenericGetElement:
+        chargeCycles(14);
+        ret(genericGetElement(*this, val(0), val(1), nullptr));
+        break;
+      case RuntimeFn::GenericSetElement:
+        chargeCycles(14);
+        genericSetElement(*this, val(0), val(1), val(2), nullptr);
+        break;
+      case RuntimeFn::GenericAdd:
+        chargeCycles(12);
+        ret(genericBinaryOp(*this, static_cast<Bc>(st.x[2]), val(0),
+                            val(1), nullptr));
+        break;
+      case RuntimeFn::GenericCompare: {
+        chargeCycles(12);
+        Value b = genericCompareOp(*this, static_cast<Bc>(st.x[2]),
+                                   val(0), val(1), nullptr);
+        retBool(b == vm.trueValue);
+        break;
+      }
+      case RuntimeFn::StringConcat: {
+        chargeCycles(10);
+        ret(genericBinaryOp(*this, Bc::Add, val(0), val(1), nullptr));
+        break;
+      }
+      case RuntimeFn::StringEqual: {
+        Value a = val(0), b = val(1);
+        if (vm.isString(a) && vm.isString(b)) {
+            chargeCycles(6 + std::min(vm.stringLength(a.asAddr()),
+                                      vm.stringLength(b.asAddr())) / 4);
+            retBool(vm.stringEquals(a.asAddr(), b.asAddr()));
+        } else {
+            chargeCycles(6);
+            retBool(vm.strictEquals(a, b));
+        }
+        break;
+      }
+      case RuntimeFn::BoxFloat64:
+        chargeCycles(12);
+        ret(vm.newNumber(st.d[0]));
+        break;
+      case RuntimeFn::Float64Mod:
+        chargeCycles(18);
+        st.d[0] = std::fmod(st.d[0], st.d[1]);
+        break;
+      case RuntimeFn::CreateArrayRt:
+        chargeCycles(30);
+        ret(Value::heap(vm.newArray(ElementKind::Smi, 0,
+                                    std::max<u32>(4,
+                                        static_cast<u32>(st.x[0])))));
+        break;
+      case RuntimeFn::CreateObjectRt:
+        chargeCycles(30);
+        ret(Value::heap(vm.newObject()));
+        break;
+      case RuntimeFn::GrowArrayStore: {
+        chargeCycles(12);
+        Value arr = val(0);
+        if (!vm.isArray(arr))
+            vpanic("GrowArrayStore on non-array");
+        vm.arraySet(arr.asAddr(),
+                    static_cast<i32>(static_cast<u32>(st.x[1])), val(2));
+        break;
+      }
+      case RuntimeFn::TypeOfRt:
+        chargeCycles(10);
+        ret(Value::heap(vm.internString(vm.typeofString(val(0)))));
+        break;
+      case RuntimeFn::ToBoolean:
+        chargeCycles(6);
+        retBool(vm.truthy(val(0)));
+        break;
+      case RuntimeFn::ToNumberRt:
+        chargeCycles(10);
+        ret(vm.newNumber(toNumberValue(*this, val(0))));
+        break;
+    }
+
+    // Runtime helpers build their results with host-side stores the
+    // cache model never sees. On real hardware a freshly written
+    // object is cache-hot, so warm its header and first payload lines
+    // before optimized code reads them.
+    if (returned_value) {
+        u32 bits = static_cast<u32>(st.x[0]);
+        if ((bits & 1u) != 0 && vm.heap.contains(bits & ~1u, 8)) {
+            Addr a = bits & ~1u;
+            timing->caches.access(a);
+            timing->caches.access(a + 64);
+        }
+    }
+}
+
+void
+Engine::forEachRoot(const std::function<void(Value)> &visit)
+{
+    globals.forEachValue(visit);
+    for (u32 i = 0; i < functions.count(); i++) {
+        for (Value c : functions.at(i).constants)
+            visit(c);
+    }
+    // Conservative scan of live simulated machine state: registers and
+    // the active stack region may hold tagged pointers.
+    auto maybeVisit = [&](u32 bits) {
+        if ((bits & 1u) != 0 && vm.heap.contains(bits & ~1u, 8))
+            visit(Value::fromBits(bits));
+    };
+    for (MachineState *st : activeMachines) {
+        for (int i = 0; i < 28; i++)
+            maybeVisit(static_cast<u32>(st->x[i]));
+        Addr sp = static_cast<Addr>(st->sp());
+        Addr top = vm.heap.stackTop();
+        for (Addr a = sp & ~7u; a + 8 <= top; a += 8)
+            maybeVisit(static_cast<u32>(vm.heap.readU64(a)));
+    }
+}
+
+} // namespace vspec

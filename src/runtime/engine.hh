@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The vspec engine: ties together the VM substrate, the two execution
+ * tiers (interpreter and optimizing JIT running on the CPU simulator),
+ * tiering decisions, the deoptimization machinery (eager, lazy, soft),
+ * builtins, garbage collection, and cycle accounting.
+ *
+ * Execution model, mirroring the paper's methodology: interpreted
+ * execution is charged through a per-bytecode cost model; optimized
+ * code executes instruction-by-instruction on the simulated CPU with a
+ * timing model attached ("real hardware" fast model for the
+ * characterization figures, detailed in-order/O3 models for the §V ISA
+ * extension experiments).
+ */
+
+#ifndef VSPEC_RUNTIME_ENGINE_HH
+#define VSPEC_RUNTIME_ENGINE_HH
+
+#include <memory>
+
+#include "backend/isel.hh"
+#include "interp/interpreter.hh"
+#include "ir/passes.hh"
+#include "profiler/sampler.hh"
+#include "sim/machine.hh"
+#include "support/random.hh"
+
+namespace vspec
+{
+
+struct EngineConfig
+{
+    u32 heapSize = 64u << 20;
+    IsaFlavour isa = IsaFlavour::Arm64Like;
+    CpuConfig cpu = CpuConfig::arm64Server();
+
+    bool enableOptimization = true;
+    u32 optimizeAfterInvocations = 2;
+    u32 optimizeAfterBackedges = 200;
+    u32 maxDeoptsBeforeDisable = 10;
+
+    /** Check removal (Fig. 5 / §III-B) and §V fusion. */
+    PassConfig passes;
+    /** Branch-only removal (§IV-B). */
+    bool removeDeoptBranches = false;
+    /** Enable the jsldr(u)smi ISA extension (§V). */
+    bool smiLoadExtension = false;
+    /** §VII ablation: also fuse map checks into one instruction. */
+    bool mapCheckExtension = false;
+
+    bool samplerEnabled = false;
+    u64 samplerPeriodCycles = 997;
+
+    u64 randomSeed = 42;
+
+    /** Shift the heap layout by this many bytes at startup (an
+     *  ASLR/allocation-noise analog): different cache-set mappings
+     *  give run-to-run timing variation without changing semantics. */
+    u32 layoutJitterBytes = 0;
+};
+
+struct DeoptRecord
+{
+    FunctionId function;
+    DeoptReason reason;
+    DeoptCategory category;
+    Cycles atCycle;
+};
+
+class Engine : public RootProvider
+{
+  public:
+    explicit Engine(EngineConfig config = {});
+    ~Engine() override;
+
+    // ---- program lifecycle --------------------------------------------
+
+    /** Parse + compile @p source, then run its top-level code. */
+    void loadProgram(const std::string &source);
+
+    /** Call a named global function. */
+    Value call(const std::string &name, const std::vector<Value> &args = {});
+
+    /** Tier-dispatching invocation (interpreter <-> optimized code). */
+    Value invoke(FunctionId fn, Value this_value,
+                 const std::vector<Value> &args);
+
+    // ---- components (public: benches and tests inspect them) ----------
+
+    EngineConfig config;
+    VMContext vm;
+    GarbageCollector gc;
+    GlobalRegistry globals;
+    FunctionTable functions;
+    std::unique_ptr<Interpreter> interpreter;
+    std::vector<std::unique_ptr<CodeObject>> codeObjects;
+    std::unique_ptr<TimingModel> timing;
+    std::unique_ptr<FunctionalCore> core;
+    PcSampler sampler;
+    Rng rng;
+    std::string consoleOut;
+
+    // ---- statistics ------------------------------------------------------
+
+    u64 interpreterCycles = 0;
+    u64 compilations = 0;
+    u64 eagerDeopts = 0;
+    u64 softDeopts = 0;
+    u64 lazyDeopts = 0;
+    std::vector<DeoptRecord> deoptLog;
+
+    /** Total modeled time: interpreter cost model + simulated cycles
+     *  of optimized code (incl. runtime/builtin work it calls). */
+    Cycles totalCycles() const
+    {
+        return interpreterCycles + timing->cycles();
+    }
+
+    // ---- services used by the tiers ------------------------------------
+
+    /** Charge @p c cycles of runtime/builtin work to the active tier. */
+    void chargeCycles(u64 c);
+
+    /** Dispatch a builtin. Charges its modeled cost. */
+    Value callBuiltin(BuiltinId id, Value this_value,
+                      const std::vector<Value> &args);
+
+    /** Global store with constant-cell dependency invalidation
+     *  (deopt-lazy path). */
+    void storeGlobal(u32 cell, Value v);
+
+    /** Functions' feedback-driven optimization entry point. */
+    void maybeOptimize(FunctionInfo &fn);
+
+    /** Compile now (used by tests); @return success. */
+    bool compileFunction(FunctionInfo &fn);
+
+    /** Seeded Math.random. */
+    double random() { return rng.nextDouble(); }
+
+    void forEachRoot(const std::function<void(Value)> &visit) override;
+
+    /** Interned-name helper. */
+    NameId nameId(const std::string &s) { return vm.names.intern(s); }
+
+  private:
+    Value runOptimized(FunctionInfo &fn, Value this_value,
+                       const std::vector<Value> &args);
+    Value materialize(const DeoptLocation &loc, const MachineState &st);
+    void handleRuntimeCall(RuntimeFn fn, MachineState &st);
+    void installBuiltins();
+    void discardCode(FunctionInfo &fn);
+
+    int jitDepth = 0;
+    int lastCallArgc = 0;
+    std::vector<MachineState *> activeMachines;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_RUNTIME_ENGINE_HH

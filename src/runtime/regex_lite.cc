@@ -1,0 +1,356 @@
+#include "runtime/regex_lite.hh"
+
+#include <functional>
+#include <stdexcept>
+
+namespace vspec
+{
+
+/**
+ * Regex AST. Alternation of sequences of quantified atoms; an atom is
+ * a literal, dot, class, or group.
+ */
+struct RegexLite::Node
+{
+    enum class Kind : u8
+    {
+        Alternation,  //!< children are alternatives
+        Sequence,     //!< children in order
+        Literal,      //!< ch
+        Dot,
+        Class,        //!< ranges, negated
+        Star,         //!< child[0], greedy
+        Plus,
+        Optional,
+    };
+
+    Kind kind;
+    char ch = 0;
+    bool negated = false;
+    std::vector<std::pair<char, char>> ranges;
+    std::vector<std::shared_ptr<Node>> children;
+};
+
+namespace
+{
+
+using Node = RegexLite::Node;
+using NodePtr = std::shared_ptr<Node>;
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &p) : pat(p) {}
+
+    NodePtr
+    parse()
+    {
+        NodePtr n = parseAlternation();
+        if (pos != pat.size())
+            throw std::runtime_error("regex: trailing characters");
+        return n;
+    }
+
+  private:
+    char peek() const { return pos < pat.size() ? pat[pos] : '\0'; }
+    bool eof() const { return pos >= pat.size(); }
+
+    NodePtr
+    parseAlternation()
+    {
+        auto alt = std::make_shared<Node>();
+        alt->kind = Node::Kind::Alternation;
+        alt->children.push_back(parseSequence());
+        while (peek() == '|') {
+            pos++;
+            alt->children.push_back(parseSequence());
+        }
+        if (alt->children.size() == 1)
+            return alt->children[0];
+        return alt;
+    }
+
+    NodePtr
+    parseSequence()
+    {
+        auto seq = std::make_shared<Node>();
+        seq->kind = Node::Kind::Sequence;
+        while (!eof() && peek() != '|' && peek() != ')')
+            seq->children.push_back(parseQuantified());
+        return seq;
+    }
+
+    NodePtr
+    parseQuantified()
+    {
+        NodePtr atom = parseAtom();
+        for (;;) {
+            char c = peek();
+            if (c != '*' && c != '+' && c != '?')
+                return atom;
+            pos++;
+            auto q = std::make_shared<Node>();
+            q->kind = c == '*' ? Node::Kind::Star
+                      : c == '+' ? Node::Kind::Plus : Node::Kind::Optional;
+            q->children.push_back(atom);
+            atom = q;
+        }
+    }
+
+    NodePtr
+    parseAtom()
+    {
+        if (eof())
+            throw std::runtime_error("regex: unexpected end of pattern");
+        char c = pat[pos];
+        if (c == '(') {
+            pos++;
+            NodePtr inner = parseAlternation();
+            if (peek() != ')')
+                throw std::runtime_error("regex: missing ')'");
+            pos++;
+            return inner;
+        }
+        if (c == '[')
+            return parseClass();
+        if (c == '.') {
+            pos++;
+            auto n = std::make_shared<Node>();
+            n->kind = Node::Kind::Dot;
+            return n;
+        }
+        if (c == '\\') {
+            pos++;
+            return parseEscape();
+        }
+        if (c == '*' || c == '+' || c == '?' || c == ')')
+            throw std::runtime_error("regex: misplaced quantifier");
+        pos++;
+        auto n = std::make_shared<Node>();
+        n->kind = Node::Kind::Literal;
+        n->ch = c;
+        return n;
+    }
+
+    NodePtr
+    parseEscape()
+    {
+        if (eof())
+            throw std::runtime_error("regex: dangling backslash");
+        char c = pat[pos++];
+        auto n = std::make_shared<Node>();
+        switch (c) {
+          case 'd':
+            n->kind = Node::Kind::Class;
+            n->ranges = {{'0', '9'}};
+            return n;
+          case 'w':
+            n->kind = Node::Kind::Class;
+            n->ranges = {{'a', 'z'}, {'A', 'Z'}, {'0', '9'}, {'_', '_'}};
+            return n;
+          case 's':
+            n->kind = Node::Kind::Class;
+            n->ranges = {{' ', ' '}, {'\t', '\t'}, {'\n', '\n'},
+                         {'\r', '\r'}};
+            return n;
+          case 'n':
+            n->kind = Node::Kind::Literal;
+            n->ch = '\n';
+            return n;
+          case 't':
+            n->kind = Node::Kind::Literal;
+            n->ch = '\t';
+            return n;
+          default:
+            n->kind = Node::Kind::Literal;
+            n->ch = c;
+            return n;
+        }
+    }
+
+    NodePtr
+    parseClass()
+    {
+        pos++;  // '['
+        auto n = std::make_shared<Node>();
+        n->kind = Node::Kind::Class;
+        if (peek() == '^') {
+            n->negated = true;
+            pos++;
+        }
+        while (!eof() && peek() != ']') {
+            char lo = pat[pos++];
+            if (lo == '\\' && !eof())
+                lo = pat[pos++];
+            char hi = lo;
+            if (peek() == '-' && pos + 1 < pat.size()
+                && pat[pos + 1] != ']') {
+                pos++;
+                hi = pat[pos++];
+            }
+            n->ranges.push_back({lo, hi});
+        }
+        if (eof())
+            throw std::runtime_error("regex: missing ']'");
+        pos++;  // ']'
+        return n;
+    }
+
+    const std::string &pat;
+    size_t pos = 0;
+};
+
+bool
+classMatches(const Node &n, char c)
+{
+    bool in = false;
+    for (auto &[lo, hi] : n.ranges) {
+        if (c >= lo && c <= hi) {
+            in = true;
+            break;
+        }
+    }
+    return n.negated ? !in : in;
+}
+
+/**
+ * Backtracking matcher: match node @p n at position @p pos; on
+ * success, call @p k (continuation) with the end position. Returns the
+ * end position of the overall match, or -1.
+ */
+int
+matchNode(const Node &n, const std::string &s, size_t pos, u64 &steps,
+          const std::function<int(size_t)> &k)
+{
+    steps++;
+    if (steps > 50'000'000)
+        throw std::runtime_error("regex: step budget exceeded");
+    switch (n.kind) {
+      case Node::Kind::Literal:
+        if (pos < s.size() && s[pos] == n.ch)
+            return k(pos + 1);
+        return -1;
+      case Node::Kind::Dot:
+        if (pos < s.size() && s[pos] != '\n')
+            return k(pos + 1);
+        return -1;
+      case Node::Kind::Class:
+        if (pos < s.size() && classMatches(n, s[pos]))
+            return k(pos + 1);
+        return -1;
+      case Node::Kind::Sequence: {
+        std::function<int(size_t, size_t)> step =
+            [&](size_t idx, size_t p) -> int {
+            if (idx == n.children.size())
+                return k(p);
+            return matchNode(*n.children[idx], s, p, steps,
+                             [&, idx](size_t np) {
+                                 return step(idx + 1, np);
+                             });
+        };
+        return step(0, pos);
+      }
+      case Node::Kind::Alternation:
+        for (auto &alt : n.children) {
+            int r = matchNode(*alt, s, pos, steps, k);
+            if (r >= 0)
+                return r;
+        }
+        return -1;
+      case Node::Kind::Star:
+      case Node::Kind::Plus: {
+        // Greedy: consume as many as possible, backtrack via recursion.
+        std::function<int(size_t, u32)> more = [&](size_t p,
+                                                   u32 count) -> int {
+            int r = matchNode(*n.children[0], s, p, steps,
+                              [&, count](size_t np) -> int {
+                                  if (np == p)
+                                      return k(np);  // zero-width guard
+                                  return more(np, count + 1);
+                              });
+            if (r >= 0)
+                return r;
+            if (n.kind == Node::Kind::Plus && count == 0)
+                return -1;
+            return k(p);
+        };
+        return more(pos, 0);
+      }
+      case Node::Kind::Optional: {
+        int r = matchNode(*n.children[0], s, pos, steps, k);
+        if (r >= 0)
+            return r;
+        return k(pos);
+      }
+    }
+    return -1;
+}
+
+} // namespace
+
+RegexLite::RegexLite(const std::string &pattern)
+{
+    Parser p(pattern);
+    root = p.parse();
+}
+
+int
+RegexLite::matchAt(const std::string &subject, size_t pos, u64 &steps) const
+{
+    int end = matchNode(*root, subject, pos, steps,
+                        [](size_t p) { return static_cast<int>(p); });
+    if (end < 0)
+        return -1;
+    return end - static_cast<int>(pos);
+}
+
+bool
+RegexLite::test(const std::string &subject, u64 &steps) const
+{
+    for (size_t i = 0; i <= subject.size(); i++) {
+        if (matchAt(subject, i, steps) >= 0)
+            return true;
+    }
+    return false;
+}
+
+u32
+RegexLite::countMatches(const std::string &subject, u64 &steps) const
+{
+    u32 count = 0;
+    size_t i = 0;
+    while (i <= subject.size()) {
+        int len = matchAt(subject, i, steps);
+        if (len < 0) {
+            i++;
+        } else {
+            count++;
+            i += len > 0 ? static_cast<size_t>(len) : 1;
+        }
+    }
+    return count;
+}
+
+std::string
+RegexLite::replaceAll(const std::string &subject,
+                      const std::string &replacement, u64 &steps) const
+{
+    std::string out;
+    size_t i = 0;
+    while (i <= subject.size()) {
+        int len = matchAt(subject, i, steps);
+        if (len < 0) {
+            if (i < subject.size())
+                out += subject[i];
+            i++;
+        } else {
+            out += replacement;
+            if (len == 0 && i < subject.size())
+                out += subject[i];
+            i += len > 0 ? static_cast<size_t>(len) : 1;
+        }
+    }
+    return out;
+}
+
+} // namespace vspec

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * IrregexpLite: a small backtracking regular-expression engine backing
+ * the reTest/reCount/reReplace builtins. Supports literals, '.',
+ * character classes with ranges and negation, \d \w \s escapes,
+ * quantifiers * + ?, alternation and groups. Reports the number of
+ * matcher steps so the builtin cost model can charge proportionally —
+ * regex time is builtin time, as in V8's Irregexp.
+ */
+
+#ifndef VSPEC_RUNTIME_REGEX_LITE_HH
+#define VSPEC_RUNTIME_REGEX_LITE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+class RegexLite
+{
+  public:
+    /** Compile @p pattern; throws std::runtime_error on syntax error. */
+    explicit RegexLite(const std::string &pattern);
+
+    /** True if the pattern matches anywhere in @p subject. */
+    bool test(const std::string &subject, u64 &steps) const;
+
+    /** Number of non-overlapping matches. */
+    u32 countMatches(const std::string &subject, u64 &steps) const;
+
+    /** Replace every match with @p replacement. */
+    std::string replaceAll(const std::string &subject,
+                           const std::string &replacement,
+                           u64 &steps) const;
+
+    /** Length of the match starting at @p pos, or -1. */
+    int matchAt(const std::string &subject, size_t pos, u64 &steps) const;
+
+    /** AST node (public so the matcher implementation can see it). */
+    struct Node;
+
+  private:
+    std::shared_ptr<Node> root;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_RUNTIME_REGEX_LITE_HH

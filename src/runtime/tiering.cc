@@ -1,0 +1,32 @@
+#include "runtime/tiering.hh"
+
+namespace vspec
+{
+
+bool
+TieringPolicy::shouldOptimize(const FunctionInfo &fn) const
+{
+    if (fn.builtin != BuiltinId::None || fn.optimizationDisabled)
+        return false;
+    if (!fn.feedback.hasAnyFeedback())
+        return false;  // nothing to speculate on yet
+    return fn.invocationCount >= optimizeAfterInvocations
+           || fn.backEdgeCount >= optimizeAfterBackedges;
+}
+
+bool
+TieringPolicy::onDeopt(FunctionInfo &fn) const
+{
+    fn.deoptCount++;
+    // Re-warm: require fresh invocations before re-optimizing, so the
+    // interpreter can widen the feedback that just proved stale.
+    fn.invocationCount = 0;
+    fn.backEdgeCount = 0;
+    if (fn.deoptCount >= maxDeoptsBeforeDisable) {
+        fn.optimizationDisabled = true;
+        return true;
+    }
+    return false;
+}
+
+} // namespace vspec

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Tier-up policy: when does a function graduate from the interpreter
+ * to optimized code? Mirrors V8's behaviour at the granularity this
+ * study needs: optimize hot functions that have collected feedback;
+ * re-warm after a deoptimization; give up after repeated deopts
+ * (feedback is hopelessly polymorphic).
+ */
+
+#ifndef VSPEC_RUNTIME_TIERING_HH
+#define VSPEC_RUNTIME_TIERING_HH
+
+#include "bytecode/bytecode.hh"
+
+namespace vspec
+{
+
+struct TieringPolicy
+{
+    u32 optimizeAfterInvocations = 2;
+    u32 optimizeAfterBackedges = 200;
+    u32 maxDeoptsBeforeDisable = 10;
+
+    /** Should @p fn be optimized now (it has no valid code)? */
+    bool shouldOptimize(const FunctionInfo &fn) const;
+
+    /** Called when @p fn deoptimized; @return true if optimization
+     *  should be disabled for good. */
+    bool onDeopt(FunctionInfo &fn) const;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_RUNTIME_TIERING_HH

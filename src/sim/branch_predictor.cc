@@ -1,0 +1,44 @@
+#include "sim/branch_predictor.hh"
+
+namespace vspec
+{
+
+BranchPredictor::BranchPredictor(u32 table_bits)
+    : tableBits(table_bits),
+      counters(1u << table_bits, 1)  // weakly not-taken
+{
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(counters.begin(), counters.end(), static_cast<u8>(1));
+    history = 0;
+    branches = mispredicts = deoptBranches = deoptMispredicts = 0;
+}
+
+bool
+BranchPredictor::predictAndUpdate(u64 pc, bool taken, bool is_deopt)
+{
+    u32 mask = (1u << tableBits) - 1;
+    u32 idx = (static_cast<u32>(pc) ^ history) & mask;
+    bool prediction = counters[idx] >= 2;
+    if (taken && counters[idx] < 3)
+        counters[idx]++;
+    else if (!taken && counters[idx] > 0)
+        counters[idx]--;
+    history = ((history << 1) | (taken ? 1 : 0)) & mask;
+
+    bool correct = prediction == taken;
+    branches++;
+    if (!correct)
+        mispredicts++;
+    if (is_deopt) {
+        deoptBranches++;
+        if (!correct)
+            deoptMispredicts++;
+    }
+    return correct;
+}
+
+} // namespace vspec

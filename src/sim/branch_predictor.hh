@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Gshare branch direction predictor. Keeps separate statistics for
+ * deoptimization branches so the paper's §IV-B observation — deopt
+ * branches are almost always predicted correctly because they are
+ * almost never taken — can be measured directly.
+ */
+
+#ifndef VSPEC_SIM_BRANCH_PREDICTOR_HH
+#define VSPEC_SIM_BRANCH_PREDICTOR_HH
+
+#include <vector>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(u32 table_bits = 12);
+
+    /**
+     * Predict and update for a branch at @p pc that resolves @p taken.
+     * @return true if the prediction was correct.
+     */
+    bool predictAndUpdate(u64 pc, bool taken, bool is_deopt_branch);
+
+    u64 branches = 0;
+    u64 mispredicts = 0;
+    u64 deoptBranches = 0;
+    u64 deoptMispredicts = 0;
+
+    void reset();
+
+  private:
+    u32 tableBits;
+    std::vector<u8> counters;  //!< 2-bit saturating
+    u32 history = 0;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_SIM_BRANCH_PREDICTOR_HH

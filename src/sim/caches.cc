@@ -1,0 +1,75 @@
+#include "sim/caches.hh"
+
+namespace vspec
+{
+
+CacheLevel::CacheLevel(const CacheConfig &cfg) : config(cfg)
+{
+    numSets = config.sizeBytes / (config.lineBytes * config.associativity);
+    vassert(numSets > 0 && (numSets & (numSets - 1)) == 0,
+            "cache sets must be a power of two");
+    tags.assign(static_cast<size_t>(numSets) * config.associativity,
+                ~0ULL);
+    lru.assign(tags.size(), 0);
+}
+
+void
+CacheLevel::reset()
+{
+    std::fill(tags.begin(), tags.end(), ~0ULL);
+    std::fill(lru.begin(), lru.end(), 0u);
+    hits = misses = 0;
+    tick = 0;
+}
+
+bool
+CacheLevel::access(Addr addr)
+{
+    u64 line = addr / config.lineBytes;
+    u32 set = static_cast<u32>(line) & (numSets - 1);
+    u64 tag = line / numSets;
+    size_t base = static_cast<size_t>(set) * config.associativity;
+    tick++;
+    for (u32 w = 0; w < config.associativity; w++) {
+        if (tags[base + w] == tag) {
+            lru[base + w] = tick;
+            hits++;
+            return true;
+        }
+    }
+    misses++;
+    // Replace LRU way.
+    u32 victim = 0;
+    for (u32 w = 1; w < config.associativity; w++) {
+        if (lru[base + w] < lru[base + victim])
+            victim = w;
+    }
+    tags[base + victim] = tag;
+    lru[base + victim] = tick;
+    return false;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig &l1c, const CacheConfig &l2c,
+                               u32 mem_lat)
+    : l1(l1c), l2(l2c), memoryLatency(mem_lat)
+{
+}
+
+u32
+CacheHierarchy::access(Addr addr)
+{
+    if (l1.access(addr))
+        return l1.hitLatency();
+    if (l2.access(addr))
+        return l2.hitLatency();
+    return memoryLatency;
+}
+
+void
+CacheHierarchy::reset()
+{
+    l1.reset();
+    l2.reset();
+}
+
+} // namespace vspec

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Two-level set-associative data-cache model with LRU replacement.
+ * Returns total access latency so timing models can charge loads and
+ * stores; tracks per-level miss statistics.
+ */
+
+#ifndef VSPEC_SIM_CACHES_HH
+#define VSPEC_SIM_CACHES_HH
+
+#include <vector>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+struct CacheConfig
+{
+    u32 sizeBytes = 32 * 1024;
+    u32 associativity = 8;
+    u32 lineBytes = 64;
+    u32 hitLatency = 4;
+};
+
+class CacheLevel
+{
+  public:
+    explicit CacheLevel(const CacheConfig &config);
+
+    /** @return true on hit; updates LRU state and allocates on miss. */
+    bool access(Addr addr);
+
+    u64 hits = 0;
+    u64 misses = 0;
+    u32 hitLatency() const { return config.hitLatency; }
+
+    void reset();
+
+  private:
+    CacheConfig config;
+    u32 numSets;
+    std::vector<u64> tags;   //!< numSets x associativity
+    std::vector<u32> lru;    //!< age counters
+    u32 tick = 0;
+};
+
+/** L1D + L2 + memory. */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const CacheConfig &l1, const CacheConfig &l2,
+                   u32 memory_latency);
+
+    /** Total load-to-use latency for an access to @p addr. */
+    u32 access(Addr addr);
+
+    u64 l1Misses() const { return l1.misses; }
+    u64 l2Misses() const { return l2.misses; }
+    u64 accesses() const { return l1.hits + l1.misses; }
+
+    void reset();
+
+  private:
+    CacheLevel l1;
+    CacheLevel l2;
+    u32 memoryLatency;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_SIM_CACHES_HH

@@ -1,0 +1,107 @@
+#include "sim/cpu_config.hh"
+
+namespace vspec
+{
+
+CpuConfig
+CpuConfig::x64Server()
+{
+    CpuConfig c;
+    c.name = "x64-server";
+    c.kind = CpuModelKind::FastTiming;
+    c.fetchWidth = 4;
+    c.issueWidth = 4;
+    c.mispredictPenalty = 14;
+    c.l1 = {32 * 1024, 8, 64, 4};
+    c.l2 = {256 * 1024, 8, 64, 12};
+    c.memoryLatency = 100;
+    return c;
+}
+
+CpuConfig
+CpuConfig::arm64Server()
+{
+    CpuConfig c;
+    c.name = "arm64-server";
+    c.kind = CpuModelKind::FastTiming;
+    c.fetchWidth = 4;
+    c.issueWidth = 4;
+    c.mispredictPenalty = 12;
+    c.l1 = {64 * 1024, 4, 64, 4};
+    c.l2 = {512 * 1024, 8, 64, 13};
+    c.memoryLatency = 95;
+    return c;
+}
+
+CpuConfig
+CpuConfig::hpd()
+{
+    CpuConfig c;
+    c.name = "HPD";
+    c.kind = CpuModelKind::O3Lite;
+    c.fetchWidth = 6;
+    c.issueWidth = 6;
+    c.robSize = 224;
+    c.mispredictPenalty = 16;
+    c.l1 = {48 * 1024, 12, 64, 4};
+    c.l2 = {1024 * 1024, 16, 64, 14};
+    c.memoryLatency = 110;
+    return c;
+}
+
+CpuConfig
+CpuConfig::exynosBig()
+{
+    CpuConfig c;
+    c.name = "Exynos-big";
+    c.kind = CpuModelKind::O3Lite;
+    c.fetchWidth = 4;
+    c.issueWidth = 4;
+    c.robSize = 128;
+    c.mispredictPenalty = 14;
+    c.l1 = {64 * 1024, 4, 64, 4};
+    c.l2 = {512 * 1024, 8, 64, 13};
+    c.memoryLatency = 100;
+    return c;
+}
+
+CpuConfig
+CpuConfig::o3Kpg()
+{
+    CpuConfig c;
+    c.name = "O3-KPG";
+    c.kind = CpuModelKind::O3Lite;
+    c.fetchWidth = 4;
+    c.issueWidth = 4;
+    c.robSize = 160;
+    c.mispredictPenalty = 12;
+    c.l1 = {64 * 1024, 4, 64, 4};
+    c.l2 = {512 * 1024, 8, 64, 12};
+    c.memoryLatency = 90;
+    return c;
+}
+
+CpuConfig
+CpuConfig::inOrderA55()
+{
+    CpuConfig c;
+    c.name = "InO-A55";
+    c.kind = CpuModelKind::InOrder;
+    c.fetchWidth = 2;
+    c.issueWidth = 2;
+    c.mispredictPenalty = 8;
+    c.l1 = {32 * 1024, 4, 64, 3};
+    c.l2 = {256 * 1024, 8, 64, 10};
+    c.memoryLatency = 80;
+    c.divLatency = 16;
+    c.fdivLatency = 20;
+    return c;
+}
+
+std::vector<CpuConfig>
+CpuConfig::gem5Cores()
+{
+    return {inOrderA55(), exynosBig(), o3Kpg(), hpd()};
+}
+
+} // namespace vspec

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CPU model configurations. The characterization experiments (Figs.
+ * 1-10) run on the fast timing model, standing in for the paper's real
+ * Xeon / Kunpeng hardware; the ISA-extension experiments (Figs. 13-14)
+ * run on the detailed in-order and O3-lite models, standing in for the
+ * paper's gem5 cores (in-order little core, Exynos-big-like, O3
+ * Kunpeng-like, and a high-performance desktop core "HPD").
+ */
+
+#ifndef VSPEC_SIM_CPU_CONFIG_HH
+#define VSPEC_SIM_CPU_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/caches.hh"
+
+namespace vspec
+{
+
+enum class CpuModelKind : u8
+{
+    FastTiming,  //!< width-parameterized one-pass model ("real HW" proxy)
+    InOrder,     //!< scalar 5-stage pipeline
+    O3Lite,      //!< out-of-order ready-time model
+};
+
+struct CpuConfig
+{
+    std::string name = "default";
+    CpuModelKind kind = CpuModelKind::FastTiming;
+
+    u32 fetchWidth = 4;
+    u32 issueWidth = 4;
+    u32 robSize = 128;
+    u32 mispredictPenalty = 12;
+    u32 takenBranchBubble = 1;   //!< fetch bubble after taken branches
+    u32 branchPredictorBits = 12;
+
+    CacheConfig l1 = {32 * 1024, 8, 64, 4};
+    CacheConfig l2 = {1024 * 1024, 8, 64, 14};
+    u32 memoryLatency = 90;
+
+    // Operation latencies (cycles).
+    u32 aluLatency = 1;
+    u32 mulLatency = 3;
+    u32 divLatency = 12;
+    u32 fpLatency = 3;
+    u32 fdivLatency = 15;
+    u32 fsqrtLatency = 18;
+
+    // ---- presets ------------------------------------------------------
+
+    /** X64 server (Xeon-class) proxy for the characterization runs. */
+    static CpuConfig x64Server();
+    /** ARM64 server (Kunpeng-920-class) proxy. */
+    static CpuConfig arm64Server();
+
+    /** gem5-style detailed cores for §V. */
+    static CpuConfig hpd();         //!< high-performance desktop, O3
+    static CpuConfig exynosBig();   //!< mobile big core, O3
+    static CpuConfig o3Kpg();       //!< Kunpeng-like server core, O3
+    static CpuConfig inOrderA55();  //!< little in-order core
+
+    static std::vector<CpuConfig> gem5Cores();
+};
+
+} // namespace vspec
+
+#endif // VSPEC_SIM_CPU_CONFIG_HH

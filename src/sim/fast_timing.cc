@@ -1,0 +1,45 @@
+#include "sim/fast_timing.hh"
+
+namespace vspec
+{
+
+FastTimingModel::FastTimingModel(const CpuConfig &config)
+    : TimingModel(config), width(config.issueWidth)
+{
+}
+
+void
+FastTimingModel::onCommit(const CommitInfo &ci)
+{
+    CommonResult cr = commitCommon(ci);
+
+    // Issue: one slot (1/width cycle).
+    u64 t = subCycles + 1;
+
+    // Expose producer latency only when a consumer needs the value
+    // earlier than it is ready (OoO hides the rest).
+    for (u8 s : ci.srcs) {
+        if (s != kNoRegId && s < 64 && ready[s] > t)
+            t = ready[s];
+    }
+
+    u64 lat_sub = static_cast<u64>(classLatency(ci.cls)) * width;
+    if (ci.isMem && ci.isLoad) {
+        // Loads beyond the L1 hit latency expose (part of) the miss.
+        u32 hit = cfg.l1.hitLatency;
+        lat_sub = static_cast<u64>(cr.memLatency > hit
+                                   ? hit + (cr.memLatency - hit) / 2
+                                   : hit)
+                  * width;
+    }
+    if (ci.dst != kNoRegId && ci.dst < 64)
+        ready[ci.dst] = t + lat_sub;
+
+    if (cr.mispredicted)
+        t += static_cast<u64>(cfg.mispredictPenalty) * width;
+
+    subCycles = t;
+    stats.cycles = baseCycles0 + subCycles / width;
+}
+
+} // namespace vspec

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fast one-pass timing model: a width-W superscalar approximation that
+ * charges 1/W cycle per instruction plus cache-miss and branch
+ * mispredict penalties, with a small dependency-chain correction for
+ * long-latency producers. It stands in for the paper's *real hardware*
+ * runs (Xeon / Kunpeng) in the characterization experiments, where
+ * only relative overheads matter.
+ */
+
+#ifndef VSPEC_SIM_FAST_TIMING_HH
+#define VSPEC_SIM_FAST_TIMING_HH
+
+#include "sim/machine.hh"
+
+namespace vspec
+{
+
+class FastTimingModel : public TimingModel
+{
+  public:
+    explicit FastTimingModel(const CpuConfig &config);
+
+    void onCommit(const CommitInfo &ci) override;
+
+    void
+    advanceExternal(Cycles c) override
+    {
+        baseCycles0 += c;
+        stats.runtimeCallCycles += c;
+        stats.cycles = baseCycles0 + subCycles / width;
+    }
+
+  private:
+    // Fixed-point half-cycle accounting so a width-2+ machine can
+    // retire multiple cheap instructions per cycle.
+    u64 subCycles = 0;  //!< in 1/width units
+    u64 width;
+    u64 baseCycles0 = 0;
+    /** Ready time (in sub-cycles) per register, for latency exposure. */
+    u64 ready[64] = {};
+};
+
+} // namespace vspec
+
+#endif // VSPEC_SIM_FAST_TIMING_HH

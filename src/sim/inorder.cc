@@ -1,0 +1,55 @@
+#include "sim/inorder.hh"
+
+namespace vspec
+{
+
+InOrderModel::InOrderModel(const CpuConfig &config) : TimingModel(config)
+{
+}
+
+void
+InOrderModel::onCommit(const CommitInfo &ci)
+{
+    CommonResult cr = commitCommon(ci);
+
+    Cycles issue = now + 1;
+    for (u8 s : ci.srcs) {
+        if (s != kNoRegId && s < 64 && ready[s] > issue) {
+            stats.backendStallCycles += ready[s] - issue;
+            issue = ready[s];
+        }
+    }
+    if (ci.readsFlags && flagsReady > issue) {
+        stats.backendStallCycles += flagsReady - issue;
+        issue = flagsReady;
+    }
+
+    Cycles lat = classLatency(ci.cls);
+    if (ci.isMem && ci.isLoad)
+        lat = cr.memLatency;
+    if (ci.isMem && !ci.isLoad)
+        lat = 1;  // store buffer absorbs store latency
+
+    if (ci.dst != kNoRegId && ci.dst < 64)
+        ready[ci.dst] = issue + lat;
+    if (ci.setsFlags)
+        flagsReady = issue + 1;
+
+    // In-order: division blocks the pipeline.
+    if (ci.cls == InstClass::Div || ci.cls == InstClass::FpDiv
+        || ci.cls == InstClass::FpSqrt)
+        issue += lat - 1;
+
+    if (cr.mispredicted) {
+        issue += cfg.mispredictPenalty;
+        stats.frontendStallCycles += cfg.mispredictPenalty;
+    } else if (ci.taken) {
+        issue += cfg.takenBranchBubble;
+        stats.frontendStallCycles += cfg.takenBranchBubble;
+    }
+
+    now = issue;
+    stats.cycles = now;
+}
+
+} // namespace vspec

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Scalar in-order pipeline model (little-core proxy for the §V gem5
+ * experiments): one instruction per cycle, stalls on not-yet-ready
+ * source registers (load-use and long-latency dependencies), full
+ * mispredict penalty, blocking division.
+ */
+
+#ifndef VSPEC_SIM_INORDER_HH
+#define VSPEC_SIM_INORDER_HH
+
+#include "sim/machine.hh"
+
+namespace vspec
+{
+
+class InOrderModel : public TimingModel
+{
+  public:
+    explicit InOrderModel(const CpuConfig &config);
+
+    void onCommit(const CommitInfo &ci) override;
+
+    void
+    advanceExternal(Cycles c) override
+    {
+        now += c;
+        stats.cycles = now;
+        stats.runtimeCallCycles += c;
+    }
+
+  private:
+    Cycles now = 0;
+    Cycles ready[64] = {};
+    Cycles flagsReady = 0;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_SIM_INORDER_HH

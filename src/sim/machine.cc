@@ -1,0 +1,869 @@
+#include "sim/machine.hh"
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/fast_timing.hh"
+#include "sim/inorder.hh"
+#include "sim/o3lite.hh"
+
+namespace vspec
+{
+
+SimStats &
+SimStats::operator+=(const SimStats &o)
+{
+    cycles += o.cycles;
+    instructions += o.instructions;
+    loads += o.loads;
+    stores += o.stores;
+    branches += o.branches;
+    takenBranches += o.takenBranches;
+    mispredicts += o.mispredicts;
+    deoptBranches += o.deoptBranches;
+    deoptBranchesTaken += o.deoptBranchesTaken;
+    deoptMispredicts += o.deoptMispredicts;
+    l1Misses += o.l1Misses;
+    l2Misses += o.l2Misses;
+    frontendStallCycles += o.frontendStallCycles;
+    backendStallCycles += o.backendStallCycles;
+    runtimeCallCycles += o.runtimeCallCycles;
+    checkInstructions += o.checkInstructions;
+    checksExecuted += o.checksExecuted;
+    fusedSmiLoads += o.fusedSmiLoads;
+    memoryFaults += o.memoryFaults;
+    return *this;
+}
+
+TimingModel::TimingModel(const CpuConfig &config)
+    : predictor(config.branchPredictorBits),
+      caches(config.l1, config.l2, config.memoryLatency),
+      cfg(config)
+{
+}
+
+u32
+TimingModel::classLatency(InstClass cls) const
+{
+    switch (cls) {
+      case InstClass::Mul: return cfg.mulLatency;
+      case InstClass::Div: return cfg.divLatency;
+      case InstClass::Fp: return cfg.fpLatency;
+      case InstClass::FpDiv: return cfg.fdivLatency;
+      case InstClass::FpSqrt: return cfg.fsqrtLatency;
+      default: return cfg.aluLatency;
+    }
+}
+
+TimingModel::CommonResult
+TimingModel::commitCommon(const CommitInfo &ci)
+{
+    CommonResult r;
+    stats.instructions++;
+    if (ci.inst->checkId != kNoCheck)
+        stats.checkInstructions++;
+    if (ci.inst->checkRole == CheckRole::Branch
+        || ci.inst->checkRole == CheckRole::Fused)
+        stats.checksExecuted++;
+    if (ci.inst->isSmiExtensionLoad())
+        stats.fusedSmiLoads++;
+    if (ci.isMem) {
+        u64 l1_before = caches.l1Misses();
+        u64 l2_before = caches.l2Misses();
+        r.memLatency = caches.access(ci.memAddr);
+        stats.l1Misses += caches.l1Misses() - l1_before;
+        stats.l2Misses += caches.l2Misses() - l2_before;
+        if (ci.isLoad)
+            stats.loads++;
+        else
+            stats.stores++;
+    }
+    if (ci.cls == InstClass::CondBranch) {
+        bool correct = predictor.predictAndUpdate(ci.pc, ci.taken,
+                                                  ci.isDeoptBranch);
+        stats.branches++;
+        if (ci.taken)
+            stats.takenBranches++;
+        if (!correct) {
+            stats.mispredicts++;
+            r.mispredicted = true;
+        }
+        if (ci.isDeoptBranch) {
+            stats.deoptBranches++;
+            if (ci.taken)
+                stats.deoptBranchesTaken++;
+            if (!correct)
+                stats.deoptMispredicts++;
+        }
+    } else if (ci.cls == InstClass::Branch || ci.cls == InstClass::Call
+               || ci.cls == InstClass::Ret) {
+        stats.branches++;
+        stats.takenBranches++;
+    }
+    return r;
+}
+
+std::unique_ptr<TimingModel>
+makeTimingModel(const CpuConfig &config)
+{
+    switch (config.kind) {
+      case CpuModelKind::FastTiming:
+        return std::make_unique<FastTimingModel>(config);
+      case CpuModelKind::InOrder:
+        return std::make_unique<InOrderModel>(config);
+      case CpuModelKind::O3Lite:
+        return std::make_unique<O3LiteModel>(config);
+    }
+    vpanic("unknown CPU model kind");
+}
+
+namespace
+{
+
+/** Sign-extended 32-bit view. */
+inline i32 w(u64 v) { return static_cast<i32>(static_cast<u32>(v)); }
+
+void
+setAddFlags(MachineState &st, i64 a, i64 b)
+{
+    i64 res64 = a + b;
+    u32 res = static_cast<u32>(res64);
+    st.flagN = static_cast<i32>(res) < 0;
+    st.flagZ = res == 0;
+    st.flagC = (static_cast<u64>(static_cast<u32>(a))
+                + static_cast<u64>(static_cast<u32>(b))) > 0xffffffffULL;
+    st.flagV = res64 != static_cast<i32>(res);
+}
+
+void
+setSubFlags(MachineState &st, i64 a, i64 b)
+{
+    i64 res64 = a - b;
+    u32 res = static_cast<u32>(res64);
+    st.flagN = static_cast<i32>(res) < 0;
+    st.flagZ = res == 0;
+    st.flagC = static_cast<u32>(a) >= static_cast<u32>(b);
+    st.flagV = res64 != static_cast<i32>(res);
+}
+
+void
+setSub64Flags(MachineState &st, i64 a, i64 b)
+{
+    // 64-bit comparison used by CmpSxtw; only N/Z matter for Ne/Eq but
+    // compute all four for completeness.
+    i64 res = a - b;  // note: may wrap; fine for the conditions we use
+    st.flagN = res < 0;
+    st.flagZ = res == 0;
+    st.flagC = static_cast<u64>(a) >= static_cast<u64>(b);
+    st.flagV = ((a < 0) != (b < 0)) && ((res < 0) != (a < 0));
+}
+
+void
+setLogicFlags(MachineState &st, u32 res)
+{
+    st.flagN = static_cast<i32>(res) < 0;
+    st.flagZ = res == 0;
+    st.flagC = false;
+    st.flagV = false;
+}
+
+void
+setFcmpFlags(MachineState &st, double a, double b)
+{
+    if (a != a || b != b) {  // unordered
+        st.flagN = false;
+        st.flagZ = false;
+        st.flagC = true;
+        st.flagV = true;
+    } else if (a < b) {
+        st.flagN = true;
+        st.flagZ = false;
+        st.flagC = false;
+        st.flagV = false;
+    } else if (a == b) {
+        st.flagN = false;
+        st.flagZ = true;
+        st.flagC = true;
+        st.flagV = false;
+    } else {
+        st.flagN = false;
+        st.flagZ = false;
+        st.flagC = true;
+        st.flagV = false;
+    }
+}
+
+bool
+condHolds(const MachineState &st, Cond c)
+{
+    switch (c) {
+      case Cond::Eq: return st.flagZ;
+      case Cond::Ne: return !st.flagZ;
+      case Cond::Lt: return st.flagN != st.flagV;
+      case Cond::Le: return st.flagZ || st.flagN != st.flagV;
+      case Cond::Gt: return !st.flagZ && st.flagN == st.flagV;
+      case Cond::Ge: return st.flagN == st.flagV;
+      case Cond::Lo: return !st.flagC;
+      case Cond::Ls: return !st.flagC || st.flagZ;
+      case Cond::Hi: return st.flagC && !st.flagZ;
+      case Cond::Hs: return st.flagC;
+      case Cond::Vs: return st.flagV;
+      case Cond::Vc: return !st.flagV;
+      case Cond::Mi: return st.flagN;
+      case Cond::Pl: return !st.flagN;
+      case Cond::Al: return true;
+    }
+    return true;
+}
+
+u8 gid(u8 r) { return r; }
+u8 fid(u8 r) { return static_cast<u8>(kFprBase + r); }
+
+} // namespace
+
+u32
+FunctionalCore::loadU32Safe(Addr a, SimStats *stats)
+{
+    if (!heap.contains(a, 4)) {
+        if (stats != nullptr)
+            stats->memoryFaults++;
+        return 0xdeadbeefu;
+    }
+    return heap.readU32(a);
+}
+
+void
+FunctionalCore::storeU32Safe(Addr a, u32 v, SimStats *stats)
+{
+    if (!heap.contains(a, 4)) {
+        if (stats != nullptr)
+            stats->memoryFaults++;
+        return;
+    }
+    heap.writeU32(a, v);
+}
+
+RunResult
+FunctionalCore::run(const CodeObject &code, MachineState &st,
+                    TimingModel *timing, SampleSink *sampler)
+{
+    RunResult result;
+    st.pc = 0;
+    SimStats *tstats = timing != nullptr ? &timing->stats : nullptr;
+
+    while (true) {
+        if (result.instructions++ > maxInstructions)
+            vpanic("simulated code exceeded instruction budget");
+        vassert(st.pc < code.code.size(), "pc out of code bounds");
+        const MInst &m = code.code[st.pc];
+        u32 cur = st.pc;
+        st.pc = cur + 1;
+
+        CommitInfo ci;
+        ci.inst = &m;
+        ci.pc = cur;
+        ci.cls = InstClass::Alu;
+        ci.isDeoptBranch = m.isDeoptBranch;
+
+        auto addr_imm = [&](u8 rn, i64 imm) -> Addr {
+            if (rn == kAbsBase)
+                return static_cast<Addr>(imm);
+            return static_cast<Addr>(st.x[rn] + static_cast<u64>(imm));
+        };
+        auto addr_reg = [&](u8 rn, u8 rm, u8 scale) -> Addr {
+            return static_cast<Addr>(st.x[rn] + (st.x[rm] << scale));
+        };
+        auto wreg = [&](u8 r) -> i32 { return w(st.x[r]); };
+        auto setw = [&](u8 r, i32 v) {
+            st.x[r] = static_cast<u32>(v);
+        };
+        auto src2 = [&](u8 a, u8 b) {
+            ci.srcs[0] = a;
+            ci.srcs[1] = b;
+        };
+
+        switch (m.op) {
+          case MOp::Nop:
+            ci.cls = InstClass::Nop;
+            break;
+
+          // ---- ALU register forms -----------------------------------
+          case MOp::Add:
+            setw(m.rd, wreg(m.rn) + wreg(m.rm));
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::Sub:
+            setw(m.rd, wreg(m.rn) - wreg(m.rm));
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::Mul:
+            setw(m.rd, static_cast<i32>(
+                static_cast<i64>(wreg(m.rn)) * wreg(m.rm)));
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            ci.cls = InstClass::Mul;
+            break;
+          case MOp::SDiv: {
+            i32 a = wreg(m.rn), b = wreg(m.rm);
+            i32 q = b == 0 ? 0
+                  : (a == INT32_MIN && b == -1) ? INT32_MIN : a / b;
+            setw(m.rd, q);
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            ci.cls = InstClass::Div;
+            break;
+          }
+          case MOp::And:
+            setw(m.rd, wreg(m.rn) & wreg(m.rm));
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::Orr:
+            setw(m.rd, wreg(m.rn) | wreg(m.rm));
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::Eor:
+            setw(m.rd, wreg(m.rn) ^ wreg(m.rm));
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::Lsl:
+            setw(m.rd, static_cast<i32>(static_cast<u32>(wreg(m.rn))
+                                        << (st.x[m.rm] & 31)));
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::Lsr:
+            setw(m.rd, static_cast<i32>(static_cast<u32>(wreg(m.rn))
+                                        >> (st.x[m.rm] & 31)));
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::Asr:
+            setw(m.rd, wreg(m.rn) >> (st.x[m.rm] & 31));
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::Adds: {
+            i32 a = wreg(m.rn), b = wreg(m.rm);
+            setAddFlags(st, a, b);
+            setw(m.rd, a + b);
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            ci.setsFlags = true;
+            break;
+          }
+          case MOp::Subs: {
+            i32 a = wreg(m.rn), b = wreg(m.rm);
+            setSubFlags(st, a, b);
+            setw(m.rd, a - b);
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            ci.setsFlags = true;
+            break;
+          }
+          case MOp::Smull:
+            st.x[m.rd] = static_cast<u64>(
+                static_cast<i64>(wreg(m.rn)) * wreg(m.rm));
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            ci.cls = InstClass::Mul;
+            break;
+
+          // ---- ALU immediate forms ------------------------------------
+          case MOp::AddI:
+            setw(m.rd, wreg(m.rn) + static_cast<i32>(m.imm));
+            ci.srcs[0] = gid(m.rn);
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::SubI:
+            setw(m.rd, wreg(m.rn) - static_cast<i32>(m.imm));
+            ci.srcs[0] = gid(m.rn);
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::AndI:
+            setw(m.rd, wreg(m.rn) & static_cast<i32>(m.imm));
+            ci.srcs[0] = gid(m.rn);
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::OrrI:
+            setw(m.rd, wreg(m.rn) | static_cast<i32>(m.imm));
+            ci.srcs[0] = gid(m.rn);
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::EorI:
+            setw(m.rd, wreg(m.rn) ^ static_cast<i32>(m.imm));
+            ci.srcs[0] = gid(m.rn);
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::LslI:
+            setw(m.rd, static_cast<i32>(static_cast<u32>(wreg(m.rn))
+                                        << (m.imm & 31)));
+            ci.srcs[0] = gid(m.rn);
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::LsrI:
+            setw(m.rd, static_cast<i32>(static_cast<u32>(wreg(m.rn))
+                                        >> (m.imm & 31)));
+            ci.srcs[0] = gid(m.rn);
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::AsrI:
+            setw(m.rd, wreg(m.rn) >> (m.imm & 31));
+            ci.srcs[0] = gid(m.rn);
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::AddsI: {
+            i32 a = wreg(m.rn);
+            setAddFlags(st, a, static_cast<i32>(m.imm));
+            setw(m.rd, a + static_cast<i32>(m.imm));
+            ci.srcs[0] = gid(m.rn);
+            ci.dst = gid(m.rd);
+            ci.setsFlags = true;
+            break;
+          }
+          case MOp::SubsI: {
+            i32 a = wreg(m.rn);
+            setSubFlags(st, a, static_cast<i32>(m.imm));
+            setw(m.rd, a - static_cast<i32>(m.imm));
+            ci.srcs[0] = gid(m.rn);
+            ci.dst = gid(m.rd);
+            ci.setsFlags = true;
+            break;
+          }
+          case MOp::MovI:
+            st.x[m.rd] = static_cast<u64>(m.imm);
+            ci.dst = gid(m.rd);
+            break;
+          case MOp::MovR:
+            st.x[m.rd] = st.x[m.rn];
+            ci.srcs[0] = gid(m.rn);
+            ci.dst = gid(m.rd);
+            break;
+
+          // ---- compares ------------------------------------------------
+          case MOp::Cmp:
+            setSubFlags(st, wreg(m.rn), wreg(m.rm));
+            src2(gid(m.rn), gid(m.rm));
+            ci.setsFlags = true;
+            break;
+          case MOp::CmpI:
+            setSubFlags(st, wreg(m.rn), static_cast<i32>(m.imm));
+            ci.srcs[0] = gid(m.rn);
+            ci.setsFlags = true;
+            break;
+          case MOp::Tst:
+            setLogicFlags(st, static_cast<u32>(wreg(m.rn) & wreg(m.rm)));
+            src2(gid(m.rn), gid(m.rm));
+            ci.setsFlags = true;
+            break;
+          case MOp::TstI:
+            setLogicFlags(st, static_cast<u32>(wreg(m.rn))
+                              & static_cast<u32>(m.imm));
+            ci.srcs[0] = gid(m.rn);
+            ci.setsFlags = true;
+            break;
+          case MOp::CmpSxtw:
+            setSub64Flags(st, static_cast<i64>(st.x[m.rn]),
+                          static_cast<i64>(wreg(m.rm)));
+            src2(gid(m.rn), gid(m.rm));
+            ci.setsFlags = true;
+            break;
+          case MOp::Cset:
+            st.x[m.rd] = condHolds(st, m.cond) ? 1 : 0;
+            ci.dst = gid(m.rd);
+            ci.readsFlags = true;
+            break;
+          case MOp::Csel:
+            st.x[m.rd] = condHolds(st, m.cond) ? st.x[m.rn] : st.x[m.rm];
+            src2(gid(m.rn), gid(m.rm));
+            ci.dst = gid(m.rd);
+            ci.readsFlags = true;
+            break;
+
+          // ---- memory ---------------------------------------------------
+          case MOp::LdrB: case MOp::LdrW: case MOp::LdrX: case MOp::LdrD:
+          case MOp::LdrBr: case MOp::LdrWr: case MOp::LdrXr:
+          case MOp::LdrDr: {
+            bool reg_form = m.op == MOp::LdrBr || m.op == MOp::LdrWr
+                            || m.op == MOp::LdrXr || m.op == MOp::LdrDr;
+            Addr a = reg_form
+                ? static_cast<Addr>(st.x[m.rn] + (st.x[m.rm] << m.scale)
+                                    + static_cast<u64>(m.imm))
+                : addr_imm(m.rn, m.imm);
+            ci.isMem = true;
+            ci.isLoad = true;
+            ci.memAddr = a;
+            ci.cls = InstClass::Load;
+            if (m.rn != kAbsBase)
+                ci.srcs[0] = gid(m.rn);
+            if (reg_form)
+                ci.srcs[1] = gid(m.rm);
+            switch (m.op) {
+              case MOp::LdrB: case MOp::LdrBr:
+                st.x[m.rd] = heap.contains(a, 1) ? heap.readU8(a) : 0;
+                ci.dst = gid(m.rd);
+                break;
+              case MOp::LdrW: case MOp::LdrWr:
+                st.x[m.rd] = loadU32Safe(a, tstats);
+                ci.dst = gid(m.rd);
+                break;
+              case MOp::LdrX: case MOp::LdrXr:
+                st.x[m.rd] = heap.contains(a, 8) ? heap.readU64(a)
+                                                 : 0xdeadbeefdeadbeefULL;
+                ci.dst = gid(m.rd);
+                break;
+              default:  // LdrD / LdrDr
+                st.d[m.rd] = heap.contains(a, 8) ? heap.readF64(a) : 0.0;
+                ci.dst = fid(m.rd);
+                break;
+            }
+            break;
+          }
+          case MOp::StrB: case MOp::StrW: case MOp::StrX: case MOp::StrD:
+          case MOp::StrBr: case MOp::StrWr: case MOp::StrXr:
+          case MOp::StrDr: {
+            bool reg_form = m.op == MOp::StrBr || m.op == MOp::StrWr
+                            || m.op == MOp::StrXr || m.op == MOp::StrDr;
+            Addr a = reg_form
+                ? static_cast<Addr>(st.x[m.rn] + (st.x[m.rm] << m.scale)
+                                    + static_cast<u64>(m.imm))
+                : addr_imm(m.rn, m.imm);
+            ci.isMem = true;
+            ci.isLoad = false;
+            ci.memAddr = a;
+            ci.cls = InstClass::Store;
+            if (m.rn != kAbsBase)
+                ci.srcs[0] = gid(m.rn);
+            if (reg_form)
+                ci.srcs[1] = gid(m.rm);
+            switch (m.op) {
+              case MOp::StrB: case MOp::StrBr:
+                if (heap.contains(a, 1))
+                    heap.writeU8(a, static_cast<u8>(st.x[m.rd]));
+                ci.srcs[2] = gid(m.rd);
+                break;
+              case MOp::StrW: case MOp::StrWr:
+                storeU32Safe(a, static_cast<u32>(st.x[m.rd]), tstats);
+                ci.srcs[2] = gid(m.rd);
+                break;
+              case MOp::StrX: case MOp::StrXr:
+                if (heap.contains(a, 8))
+                    heap.writeU64(a, st.x[m.rd]);
+                else if (tstats != nullptr)
+                    tstats->memoryFaults++;
+                ci.srcs[2] = gid(m.rd);
+                break;
+              default:  // StrD / StrDr
+                if (heap.contains(a, 8))
+                    heap.writeF64(a, st.d[m.rd]);
+                else if (tstats != nullptr)
+                    tstats->memoryFaults++;
+                ci.srcs[2] = fid(m.rd);
+                break;
+            }
+            break;
+          }
+          case MOp::CmpMem: {
+            Addr a = addr_imm(m.rn, m.imm);
+            u32 mem = loadU32Safe(a, tstats);
+            setSubFlags(st, wreg(m.rd), static_cast<i32>(mem));
+            ci.isMem = true;
+            ci.isLoad = true;
+            ci.memAddr = a;
+            ci.cls = InstClass::Load;
+            src2(gid(m.rd), gid(m.rn));
+            ci.setsFlags = true;
+            break;
+          }
+          case MOp::CmpMemI: {
+            Addr a = addr_imm(m.rn, m.imm);
+            u32 mem = loadU32Safe(a, tstats);
+            setSubFlags(st, static_cast<i32>(mem),
+                        static_cast<i32>(m.target));
+            ci.isMem = true;
+            ci.isLoad = true;
+            ci.memAddr = a;
+            ci.cls = InstClass::Load;
+            ci.srcs[0] = gid(m.rn);
+            ci.setsFlags = true;
+            break;
+          }
+          case MOp::TstMemI: {
+            Addr a = addr_imm(m.rn, m.imm);
+            u32 mem = loadU32Safe(a, tstats);
+            setLogicFlags(st, mem & static_cast<u32>(m.target));
+            ci.isMem = true;
+            ci.isLoad = true;
+            ci.memAddr = a;
+            ci.cls = InstClass::Load;
+            ci.srcs[0] = gid(m.rn);
+            ci.setsFlags = true;
+            break;
+          }
+
+          // ---- floating point -------------------------------------------
+          case MOp::FAdd:
+            st.d[m.rd] = st.d[m.rn] + st.d[m.rm];
+            src2(fid(m.rn), fid(m.rm));
+            ci.dst = fid(m.rd);
+            ci.cls = InstClass::Fp;
+            break;
+          case MOp::FSub:
+            st.d[m.rd] = st.d[m.rn] - st.d[m.rm];
+            src2(fid(m.rn), fid(m.rm));
+            ci.dst = fid(m.rd);
+            ci.cls = InstClass::Fp;
+            break;
+          case MOp::FMul:
+            st.d[m.rd] = st.d[m.rn] * st.d[m.rm];
+            src2(fid(m.rn), fid(m.rm));
+            ci.dst = fid(m.rd);
+            ci.cls = InstClass::Fp;
+            break;
+          case MOp::FDiv:
+            st.d[m.rd] = st.d[m.rn] / st.d[m.rm];
+            src2(fid(m.rn), fid(m.rm));
+            ci.dst = fid(m.rd);
+            ci.cls = InstClass::FpDiv;
+            break;
+          case MOp::FNeg:
+            st.d[m.rd] = -st.d[m.rn];
+            ci.srcs[0] = fid(m.rn);
+            ci.dst = fid(m.rd);
+            ci.cls = InstClass::Fp;
+            break;
+          case MOp::FAbs:
+            st.d[m.rd] = st.d[m.rn] < 0 ? -st.d[m.rn] : st.d[m.rn];
+            ci.srcs[0] = fid(m.rn);
+            ci.dst = fid(m.rd);
+            ci.cls = InstClass::Fp;
+            break;
+          case MOp::FSqrt:
+            st.d[m.rd] = std::sqrt(st.d[m.rn]);
+            ci.srcs[0] = fid(m.rn);
+            ci.dst = fid(m.rd);
+            ci.cls = InstClass::FpSqrt;
+            break;
+          case MOp::FCmp:
+            setFcmpFlags(st, st.d[m.rn], st.d[m.rm]);
+            src2(fid(m.rn), fid(m.rm));
+            ci.setsFlags = true;
+            ci.cls = InstClass::Fp;
+            break;
+          case MOp::FMovI:
+            st.d[m.rd] = m.fimm;
+            ci.dst = fid(m.rd);
+            ci.cls = InstClass::Fp;
+            break;
+          case MOp::FMovRR:
+            st.d[m.rd] = st.d[m.rn];
+            ci.srcs[0] = fid(m.rn);
+            ci.dst = fid(m.rd);
+            ci.cls = InstClass::Fp;
+            break;
+          case MOp::Scvtf:
+            st.d[m.rd] = static_cast<double>(wreg(m.rn));
+            ci.srcs[0] = gid(m.rn);
+            ci.dst = fid(m.rd);
+            ci.cls = InstClass::Fp;
+            break;
+          case MOp::Fcvtzs: {
+            double v = st.d[m.rn];
+            i32 r;
+            if (v != v)
+                r = 0;
+            else if (v >= 2147483647.0)
+                r = INT32_MAX;
+            else if (v <= -2147483648.0)
+                r = INT32_MIN;
+            else
+                r = static_cast<i32>(v);
+            setw(m.rd, r);
+            ci.srcs[0] = fid(m.rn);
+            ci.dst = gid(m.rd);
+            ci.cls = InstClass::Fp;
+            break;
+          }
+          case MOp::Fjcvtzs: {
+            // ECMAScript ToInt32: truncate, then wrap modulo 2^32.
+            double v = st.d[m.rn];
+            i32 r = 0;
+            if (std::isfinite(v)) {
+                double t = std::trunc(v);
+                double mm = std::fmod(t, 4294967296.0);
+                if (mm < 0)
+                    mm += 4294967296.0;
+                r = static_cast<i32>(static_cast<u32>(mm));
+            }
+            setw(m.rd, r);
+            ci.srcs[0] = fid(m.rn);
+            ci.dst = gid(m.rd);
+            ci.cls = InstClass::Fp;
+            break;
+          }
+
+          // ---- control flow ------------------------------------------------
+          case MOp::B:
+            st.pc = m.target;
+            ci.cls = InstClass::Branch;
+            ci.taken = true;
+            ci.isBranch = true;
+            break;
+          case MOp::Bcond: {
+            bool taken = condHolds(st, m.cond);
+            if (taken)
+                st.pc = m.target;
+            ci.cls = InstClass::CondBranch;
+            ci.taken = taken;
+            ci.isBranch = true;
+            ci.readsFlags = true;
+            break;
+          }
+          case MOp::Ret:
+            ci.cls = InstClass::Ret;
+            ci.isBranch = true;
+            if (timing != nullptr)
+                timing->onCommit(ci);
+            if (sampler != nullptr && timing != nullptr)
+                sampler->tick(timing->cycles(), code, cur);
+            return result;
+
+          case MOp::CallRt: {
+            ci.cls = InstClass::Call;
+            ci.isBranch = true;
+            // Commit the call itself before transferring control.
+            if (timing != nullptr)
+                timing->onCommit(ci);
+            if (sampler != nullptr && timing != nullptr)
+                sampler->tick(timing->cycles(), code, cur);
+            runtimeCall(static_cast<RuntimeFn>(m.target), st, m);
+            if (sampler != nullptr && timing != nullptr)
+                sampler->skipTo(timing->cycles());
+            // Caller-saved registers are dead after a call; poison them
+            // to catch allocation bugs (results in x0 / d0 survive).
+            for (int r = 1; r <= 15; r++)
+                st.x[r] = 0xdeadbeefdeadbeefULL;
+            for (int r = 1; r <= 7; r++)
+                st.d[r] = -6.66e66;
+            st.flagN = st.flagZ = st.flagC = st.flagV = false;
+            continue;  // commit already done
+          }
+
+          case MOp::Msr:
+            st.special[m.imm] = st.x[m.rn];
+            ci.srcs[0] = gid(m.rn);
+            ci.cls = InstClass::Special;
+            break;
+          case MOp::Mrs:
+            st.x[m.rd] = st.special[m.imm];
+            ci.dst = gid(m.rd);
+            ci.cls = InstClass::Special;
+            break;
+
+          case MOp::DeoptExit:
+            result.deopted = true;
+            result.deoptExit = static_cast<u16>(m.imm);
+            if (timing != nullptr)
+                timing->onCommit(ci);
+            return result;
+
+          case MOp::JsChkMap: {
+            // §VII-style fused map check: load the map word and set
+            // flags in one instruction.
+            Addr a = static_cast<Addr>(st.x[m.rn] - 1);
+            u32 word = loadU32Safe(a, tstats);
+            setSubFlags(st, static_cast<i32>(word),
+                        static_cast<i32>(static_cast<u32>(m.imm)));
+            ci.isMem = true;
+            ci.isLoad = true;
+            ci.memAddr = a;
+            ci.cls = InstClass::Load;
+            ci.srcs[0] = gid(m.rn);
+            ci.setsFlags = true;
+            break;
+          }
+
+          // ---- §V SMI-load extension ------------------------------------
+          case MOp::JsLdrSmiI: case MOp::JsLdurSmiI: case MOp::JsLdrSmiR:
+          case MOp::JsLdrSmiRS: case MOp::JsLdurSmiR: case MOp::JsLdrSmiX: {
+            Addr a;
+            switch (m.op) {
+              case MOp::JsLdrSmiI:
+                a = static_cast<Addr>(st.x[m.rn]
+                                      + (static_cast<u64>(m.imm) << 2));
+                ci.srcs[0] = gid(m.rn);
+                break;
+              case MOp::JsLdurSmiI:
+                a = addr_imm(m.rn, m.imm);
+                ci.srcs[0] = gid(m.rn);
+                break;
+              case MOp::JsLdrSmiR:
+              case MOp::JsLdurSmiR:
+                a = addr_reg(m.rn, m.rm, 0);
+                src2(gid(m.rn), gid(m.rm));
+                break;
+              case MOp::JsLdrSmiRS:
+                a = addr_reg(m.rn, m.rm, 2);
+                src2(gid(m.rn), gid(m.rm));
+                break;
+              default:  // JsLdrSmiX
+                a = static_cast<Addr>(st.x[m.rn] + (st.x[m.rm] << m.scale)
+                                      + static_cast<u64>(m.imm));
+                src2(gid(m.rn), gid(m.rm));
+                break;
+            }
+            ci.isMem = true;
+            ci.isLoad = true;
+            ci.memAddr = a;
+            ci.cls = InstClass::Load;
+            ci.dst = gid(m.rd);
+            u32 v = loadU32Safe(a, tstats);
+            if ((v & 1u) == 0) {
+                // The untagging shift happens in the load unit, in
+                // parallel with the Not-a-SMI check (Fig. 12).
+                setw(m.rd, static_cast<i32>(v) >> 1);
+            } else {
+                // Failed check: write REG_PC / REG_RE instead of rd;
+                // the commit-phase exception below starts the bailout.
+                st.special[static_cast<int>(SpecialReg::REG_PC)] = cur;
+                st.special[static_cast<int>(SpecialReg::REG_RE)] =
+                    static_cast<u64>(DeoptReason::NotASmi) + 1;
+            }
+            break;
+          }
+        }
+
+        if (trace && result.instructions < traceLimit) {
+            std::fprintf(stderr,
+                         "[trace] %4u: %-10s rd=x%u(%lld) rn=x%u rm=x%u "
+                         "imm=%lld N%dZ%dC%dV%d cyc=%llu\n",
+                         cur, mopName(m.op), m.rd,
+                         static_cast<long long>(
+                             static_cast<i32>(st.x[m.rd])),
+                         m.rn, m.rm, static_cast<long long>(m.imm),
+                         st.flagN, st.flagZ, st.flagC, st.flagV,
+                         timing != nullptr
+                             ? static_cast<unsigned long long>(
+                                   timing->cycles()) : 0ULL);
+        }
+
+        if (timing != nullptr)
+            timing->onCommit(ci);
+        if (sampler != nullptr && timing != nullptr)
+            sampler->tick(timing->cycles(), code, cur);
+
+        // Commit-phase bailout exception (REG_RE != 0).
+        if (st.special[static_cast<int>(SpecialReg::REG_RE)] != 0) {
+            st.special[static_cast<int>(SpecialReg::REG_RE)] = 0;
+            result.deopted = true;
+            result.deoptExit = m.deoptIndex;
+            return result;
+        }
+    }
+}
+
+} // namespace vspec

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Functional execution core for the virtual ISA, plus the timing-model
+ * interface it drives. The functional core executes optimized code
+ * against the simulated heap, invoking the engine's runtime-call
+ * handler for CallRt, raising deoptimizations for deopt branches and
+ * failed jsldrsmi loads (commit-phase exception via REG_RE, §V), and
+ * streaming one CommitInfo per retired instruction into the attached
+ * timing model and PC sampler.
+ */
+
+#ifndef VSPEC_SIM_MACHINE_HH
+#define VSPEC_SIM_MACHINE_HH
+
+#include <functional>
+#include <memory>
+
+#include "backend/code_object.hh"
+#include "sim/branch_predictor.hh"
+#include "sim/caches.hh"
+#include "sim/cpu_config.hh"
+#include "vm/heap.hh"
+
+namespace vspec
+{
+
+/** Architectural state of one simulated invocation. */
+struct MachineState
+{
+    u64 x[32] = {};
+    double d[16] = {};
+    bool flagN = false, flagZ = false, flagC = false, flagV = false;
+    u32 pc = 0;
+    u64 special[3] = {};  //!< REG_BA, REG_PC, REG_RE
+
+    u64 &sp() { return x[kSpReg]; }
+};
+
+enum class InstClass : u8
+{
+    Alu, Mul, Div, Fp, FpDiv, FpSqrt, Load, Store,
+    Branch, CondBranch, Call, Ret, Special, Nop,
+};
+
+/** Everything a timing model needs to know about one retired
+ *  instruction. */
+struct CommitInfo
+{
+    const MInst *inst = nullptr;
+    u32 pc = 0;
+    InstClass cls = InstClass::Alu;
+    bool isMem = false;
+    bool isLoad = false;
+    Addr memAddr = 0;
+    bool isBranch = false;
+    bool taken = false;
+    bool isDeoptBranch = false;
+
+    // Register dependencies (detailed models). FPRs are offset by 32;
+    // 60 denotes the flags register.
+    u8 srcs[4] = {0xff, 0xff, 0xff, 0xff};
+    u8 dst = 0xff;
+    bool setsFlags = false;
+    bool readsFlags = false;
+};
+
+constexpr u8 kFprBase = 32;
+constexpr u8 kFlagsRegId = 60;
+constexpr u8 kNoRegId = 0xff;
+
+/** Aggregate counters shared by all timing models. */
+struct SimStats
+{
+    u64 cycles = 0;
+    u64 instructions = 0;
+    u64 loads = 0;
+    u64 stores = 0;
+    u64 branches = 0;
+    u64 takenBranches = 0;
+    u64 mispredicts = 0;
+    u64 deoptBranches = 0;
+    u64 deoptBranchesTaken = 0;
+    u64 deoptMispredicts = 0;
+    u64 l1Misses = 0;
+    u64 l2Misses = 0;
+    u64 frontendStallCycles = 0;
+    u64 backendStallCycles = 0;
+    u64 runtimeCallCycles = 0;
+    u64 checkInstructions = 0;   //!< committed insts belonging to checks
+    u64 checksExecuted = 0;      //!< committed deopt branches / fused loads
+    u64 fusedSmiLoads = 0;
+    u64 memoryFaults = 0;
+
+    SimStats &operator+=(const SimStats &o);
+};
+
+/**
+ * Timing model base: owns the branch predictor and cache hierarchy,
+ * accumulates SimStats. Subclasses convert the commit stream into
+ * cycles.
+ */
+class TimingModel
+{
+  public:
+    explicit TimingModel(const CpuConfig &config);
+    virtual ~TimingModel() = default;
+
+    virtual void onCommit(const CommitInfo &ci) = 0;
+
+    /** Charge cycles spent outside simulated code (runtime helpers,
+     *  builtins called from optimized code). */
+    virtual void
+    advanceExternal(Cycles c)
+    {
+        stats.cycles += c;
+        stats.runtimeCallCycles += c;
+    }
+
+    Cycles cycles() const { return stats.cycles; }
+
+    const CpuConfig &config() const { return cfg; }
+
+    SimStats stats;
+    BranchPredictor predictor;
+    CacheHierarchy caches;
+
+  protected:
+    /** Shared bookkeeping every model wants per commit: instruction,
+     *  branch and check counters; returns the memory latency (0 for
+     *  non-memory ops) and whether a branch mispredicted. */
+    struct CommonResult
+    {
+        u32 memLatency = 0;
+        bool mispredicted = false;
+    };
+    CommonResult commitCommon(const CommitInfo &ci);
+
+    /** Execution latency of the instruction class (no memory). */
+    u32 classLatency(InstClass cls) const;
+
+    CpuConfig cfg;
+};
+
+std::unique_ptr<TimingModel> makeTimingModel(const CpuConfig &config);
+
+/** Raised deoptimization info from a simulated run. */
+struct RunResult
+{
+    bool deopted = false;
+    u16 deoptExit = 0;
+    u64 instructions = 0;
+};
+
+/** PC-sample sink interface (implemented by profiler::PcSampler). */
+class SampleSink
+{
+  public:
+    virtual ~SampleSink() = default;
+    virtual void tick(Cycles now, const CodeObject &code, u32 pc) = 0;
+    /** Cycles advanced outside simulated code (runtime calls): move
+     *  past them without attributing samples to any pc. */
+    virtual void skipTo(Cycles now) = 0;
+};
+
+class FunctionalCore
+{
+  public:
+    using RuntimeCallHandler =
+        std::function<void(RuntimeFn, MachineState &, const MInst &)>;
+
+    FunctionalCore(Heap &heap, RuntimeCallHandler handler)
+        : heap(heap), runtimeCall(std::move(handler))
+    {}
+
+    /** Execute @p code until Ret or deoptimization. The result value is
+     *  left in x0. @p timing and @p sampler may be null. */
+    RunResult run(const CodeObject &code, MachineState &state,
+                  TimingModel *timing, SampleSink *sampler);
+
+    /** Upper bound on instructions per invocation (runaway guard). */
+    u64 maxInstructions = 2'000'000'000;
+
+    /** Debug: print every committed instruction with register values. */
+    bool trace = false;
+    u64 traceLimit = 2000;
+
+  private:
+    u32 loadU32Safe(Addr a, SimStats *stats);
+    void storeU32Safe(Addr a, u32 v, SimStats *stats);
+
+    Heap &heap;
+    RuntimeCallHandler runtimeCall;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_SIM_MACHINE_HH

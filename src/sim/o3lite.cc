@@ -1,0 +1,84 @@
+#include "sim/o3lite.hh"
+
+#include <algorithm>
+
+namespace vspec
+{
+
+O3LiteModel::O3LiteModel(const CpuConfig &config)
+    : TimingModel(config),
+      rob(config.robSize, 0),
+      fetchSlotsLeft(config.fetchWidth)
+{
+}
+
+void
+O3LiteModel::onCommit(const CommitInfo &ci)
+{
+    CommonResult cr = commitCommon(ci);
+
+    // ---- dispatch: frontend bandwidth + ROB space --------------------
+    if (fetchSlotsLeft == 0) {
+        fetchReady += 1;
+        fetchSlotsLeft = cfg.fetchWidth;
+    }
+    fetchSlotsLeft--;
+
+    Cycles dispatch = fetchReady;
+    // ROB full: wait for the oldest in-flight instruction to retire.
+    Cycles rob_free = rob[robHead];
+    if (rob_free > dispatch) {
+        stats.backendStallCycles += rob_free - dispatch;
+        dispatch = rob_free;
+    }
+
+    // ---- issue: operand readiness -----------------------------------
+    Cycles operands = dispatch;
+    for (u8 s : ci.srcs) {
+        if (s != kNoRegId && s < 64)
+            operands = std::max(operands, ready[s]);
+    }
+    if (ci.readsFlags)
+        operands = std::max(operands, flagsReady);
+    if (operands > dispatch)
+        stats.backendStallCycles += operands - dispatch;
+
+    Cycles issue = operands;
+    Cycles lat = classLatency(ci.cls);
+    if (ci.isMem && ci.isLoad)
+        lat = cr.memLatency;
+    if (ci.isMem && !ci.isLoad)
+        lat = 1;
+    Cycles complete = issue + lat;
+
+    if (ci.dst != kNoRegId && ci.dst < 64)
+        ready[ci.dst] = complete;
+    if (ci.setsFlags)
+        flagsReady = complete;
+
+    // ---- retire (in order) -------------------------------------------
+    Cycles retire = std::max(complete, lastRetire);
+    rob[robHead] = retire;
+    robHead = (robHead + 1) % rob.size();
+    lastRetire = retire;
+
+    // ---- control flow steering ----------------------------------------
+    if (cr.mispredicted) {
+        // Redirect fetch after the branch resolves.
+        Cycles redirect = complete + cfg.mispredictPenalty;
+        if (redirect > fetchReady) {
+            stats.frontendStallCycles += redirect - fetchReady;
+            fetchReady = redirect;
+        }
+        fetchSlotsLeft = cfg.fetchWidth;
+    } else if (ci.taken) {
+        Cycles bubble = fetchReady + cfg.takenBranchBubble;
+        stats.frontendStallCycles += cfg.takenBranchBubble;
+        fetchReady = bubble;
+        fetchSlotsLeft = cfg.fetchWidth;
+    }
+
+    stats.cycles = lastRetire;
+}
+
+} // namespace vspec

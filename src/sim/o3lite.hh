@@ -1,0 +1,52 @@
+/**
+ * @file
+ * O3-lite: a one-pass out-of-order core model in the spirit of
+ * interval analysis. Instructions dispatch in program order limited by
+ * fetch width, ROB occupancy and taken-branch fetch bubbles; they
+ * issue when their operands are ready (dataflow), and the model
+ * attributes stall cycles to the frontend (fetch-limited) or backend
+ * (dependency/ROB-limited), which is what Fig. 10 reports.
+ */
+
+#ifndef VSPEC_SIM_O3LITE_HH
+#define VSPEC_SIM_O3LITE_HH
+
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace vspec
+{
+
+class O3LiteModel : public TimingModel
+{
+  public:
+    explicit O3LiteModel(const CpuConfig &config);
+
+    void onCommit(const CommitInfo &ci) override;
+
+    void
+    advanceExternal(Cycles c) override
+    {
+        fetchReady += c;
+        lastRetire += c;
+        stats.cycles = lastRetire;
+        stats.runtimeCallCycles += c;
+    }
+
+  private:
+    /** Completion times of the in-flight window (ROB), circular. */
+    std::vector<Cycles> rob;
+    size_t robHead = 0;
+    u64 dispatched = 0;
+
+    Cycles fetchReady = 0;    //!< next cycle the frontend can deliver
+    u32 fetchSlotsLeft;
+    Cycles ready[64] = {};
+    Cycles flagsReady = 0;
+    Cycles lastRetire = 0;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_SIM_O3LITE_HH

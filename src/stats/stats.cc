@@ -1,0 +1,217 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vspec
+{
+namespace stats
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return s / static_cast<double>(xs.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+median(std::vector<double> xs)
+{
+    return percentile(std::move(xs), 50.0);
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Regression
+linearRegression(const std::vector<double> &x, const std::vector<double> &y)
+{
+    Regression r;
+    size_t n = std::min(x.size(), y.size());
+    if (n < 2)
+        return r;
+    double mx = mean(x), my = mean(y);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < n; i++) {
+        sxy += (x[i] - mx) * (y[i] - my);
+        sxx += (x[i] - mx) * (x[i] - mx);
+        syy += (y[i] - my) * (y[i] - my);
+    }
+    if (sxx == 0.0)
+        return r;
+    r.slope = sxy / sxx;
+    r.intercept = my - r.slope * mx;
+    r.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return r;
+}
+
+double
+incompleteBeta(double a, double b, double x)
+{
+    // Continued-fraction evaluation (Lentz), per Numerical Recipes.
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    auto beta_cf = [](double aa, double bb, double xx) {
+        constexpr int kMaxIter = 300;
+        constexpr double kEps = 3e-12;
+        constexpr double kFpMin = 1e-300;
+        double qab = aa + bb, qap = aa + 1.0, qam = aa - 1.0;
+        double c = 1.0;
+        double d = 1.0 - qab * xx / qap;
+        if (std::abs(d) < kFpMin)
+            d = kFpMin;
+        d = 1.0 / d;
+        double h = d;
+        for (int m = 1; m <= kMaxIter; m++) {
+            int m2 = 2 * m;
+            double num = m * (bb - m) * xx / ((qam + m2) * (aa + m2));
+            d = 1.0 + num * d;
+            if (std::abs(d) < kFpMin)
+                d = kFpMin;
+            c = 1.0 + num / c;
+            if (std::abs(c) < kFpMin)
+                c = kFpMin;
+            d = 1.0 / d;
+            h *= d * c;
+            num = -(aa + m) * (qab + m) * xx / ((aa + m2) * (qap + m2));
+            d = 1.0 + num * d;
+            if (std::abs(d) < kFpMin)
+                d = kFpMin;
+            c = 1.0 + num / c;
+            if (std::abs(c) < kFpMin)
+                c = kFpMin;
+            d = 1.0 / d;
+            double del = d * c;
+            h *= del;
+            if (std::abs(del - 1.0) < kEps)
+                break;
+        }
+        return h;
+    };
+    double ln_beta = std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+    double front = std::exp(a * std::log(x) + b * std::log(1.0 - x)
+                            - ln_beta);
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * beta_cf(a, b, x) / a;
+    return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double
+studentTCdf(double t, double df)
+{
+    if (df <= 0.0)
+        return 0.5;
+    double x = df / (df + t * t);
+    double p = 0.5 * incompleteBeta(df / 2.0, 0.5, x);
+    return t > 0 ? 1.0 - p : p;
+}
+
+Correlation
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    Correlation c;
+    size_t n = std::min(x.size(), y.size());
+    c.n = n;
+    if (n < 3)
+        return c;
+    double mx = mean(x), my = mean(y);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < n; i++) {
+        sxy += (x[i] - mx) * (y[i] - my);
+        sxx += (x[i] - mx) * (x[i] - mx);
+        syy += (y[i] - my) * (y[i] - my);
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return c;
+    c.r = sxy / std::sqrt(sxx * syy);
+    double df = static_cast<double>(n - 2);
+    double denom = 1.0 - c.r * c.r;
+    if (denom <= 0.0) {
+        c.pValue = 0.0;
+        return c;
+    }
+    double t = c.r * std::sqrt(df / denom);
+    c.pValue = 2.0 * (1.0 - studentTCdf(std::abs(t), df));
+    return c;
+}
+
+TTest
+welchTTest(const std::vector<double> &a, const std::vector<double> &b)
+{
+    TTest r;
+    if (a.size() < 2 || b.size() < 2)
+        return r;
+    double va = variance(a) / static_cast<double>(a.size());
+    double vb = variance(b) / static_cast<double>(b.size());
+    if (va + vb == 0.0) {
+        r.pValue = mean(a) == mean(b) ? 1.0 : 0.0;
+        return r;
+    }
+    r.t = (mean(a) - mean(b)) / std::sqrt(va + vb);
+    double na = static_cast<double>(a.size());
+    double nb = static_cast<double>(b.size());
+    r.df = (va + vb) * (va + vb)
+           / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    r.pValue = 2.0 * (1.0 - studentTCdf(std::abs(r.t), r.df));
+    return r;
+}
+
+Interval
+bootstrapMeanCi(const std::vector<double> &xs, double confidence,
+                u32 resamples, u64 seed)
+{
+    Interval ci;
+    if (xs.empty())
+        return ci;
+    Rng rng(seed);
+    std::vector<double> means;
+    means.reserve(resamples);
+    for (u32 r = 0; r < resamples; r++) {
+        double s = 0.0;
+        for (size_t i = 0; i < xs.size(); i++)
+            s += xs[rng.nextBelow(xs.size())];
+        means.push_back(s / static_cast<double>(xs.size()));
+    }
+    double alpha = (1.0 - confidence) / 2.0 * 100.0;
+    ci.lo = percentile(means, alpha);
+    ci.hi = percentile(means, 100.0 - alpha);
+    return ci;
+}
+
+} // namespace stats
+} // namespace vspec

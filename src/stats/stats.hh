@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Statistics toolkit for the paper's §IV analysis: descriptive stats,
+ * ordinary least squares with R², Pearson correlation with a t-test
+ * p-value, Welch's t-test for two samples, Bonferroni correction, and
+ * bootstrap percentile confidence intervals.
+ */
+
+#ifndef VSPEC_STATS_STATS_HH
+#define VSPEC_STATS_STATS_HH
+
+#include <vector>
+
+#include "support/common.hh"
+#include "support/random.hh"
+
+namespace vspec
+{
+namespace stats
+{
+
+double mean(const std::vector<double> &xs);
+double variance(const std::vector<double> &xs);  //!< sample (n-1)
+double stddev(const std::vector<double> &xs);
+double median(std::vector<double> xs);
+/** Linear-interpolated percentile, p in [0, 100]. */
+double percentile(std::vector<double> xs, double p);
+
+/** Ordinary least squares y = a + b*x. */
+struct Regression
+{
+    double intercept = 0.0;
+    double slope = 0.0;
+    double r2 = 0.0;
+};
+Regression linearRegression(const std::vector<double> &x,
+                            const std::vector<double> &y);
+
+/** Pearson correlation with two-sided p-value (t distribution). */
+struct Correlation
+{
+    double r = 0.0;
+    double pValue = 1.0;
+    size_t n = 0;
+};
+Correlation pearson(const std::vector<double> &x,
+                    const std::vector<double> &y);
+
+/** Welch's unequal-variance t-test (two-sided). */
+struct TTest
+{
+    double t = 0.0;
+    double df = 0.0;
+    double pValue = 1.0;
+};
+TTest welchTTest(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Bonferroni-adjusted significance threshold. */
+inline double
+bonferroni(double alpha, size_t num_tests)
+{
+    return num_tests == 0 ? alpha : alpha / static_cast<double>(num_tests);
+}
+
+/** Bootstrap percentile CI of the mean. */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+};
+Interval bootstrapMeanCi(const std::vector<double> &xs,
+                         double confidence = 0.95, u32 resamples = 1000,
+                         u64 seed = 1234);
+
+/** Student's t CDF (used by pearson / welch); exposed for tests. */
+double studentTCdf(double t, double df);
+
+/** Regularized incomplete beta function (numerics backend). */
+double incompleteBeta(double a, double b, double x);
+
+} // namespace stats
+} // namespace vspec
+
+#endif // VSPEC_STATS_STATS_HH

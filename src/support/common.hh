@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Common fixed-width type aliases and error-handling helpers used across
+ * the vspec code base. Follows the gem5 convention of panic() for
+ * internal invariant violations and fatal() for user-caused errors.
+ */
+
+#ifndef VSPEC_SUPPORT_COMMON_HH
+#define VSPEC_SUPPORT_COMMON_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace vspec
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulated-heap address (byte offset into the flat heap). */
+using Addr = u32;
+
+/** Cycle count on a simulated CPU. */
+using Cycles = u64;
+
+/**
+ * Report an internal invariant violation and abort. Used for conditions
+ * that indicate a bug in vspec itself, never for user errors.
+ */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/**
+ * Report an unrecoverable user-caused error (bad script, bad config) and
+ * exit with a non-zero status.
+ */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+} // namespace vspec
+
+#define vpanic(msg) ::vspec::panicImpl(__FILE__, __LINE__, (msg))
+#define vfatal(msg) ::vspec::fatalImpl(__FILE__, __LINE__, (msg))
+
+#define vassert(cond, msg)                                                  \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::vspec::panicImpl(__FILE__, __LINE__,                          \
+                               std::string("assertion failed: ") + #cond +  \
+                               " — " + (msg));                              \
+    } while (0)
+
+#endif // VSPEC_SUPPORT_COMMON_HH

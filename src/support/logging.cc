@@ -1,0 +1,30 @@
+#include "support/common.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace vspec
+{
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    // Unlike gem5's abort()ing panic, vspec panics throw: the paper's
+    // check-removal methodology *intentionally* produces corrupted
+    // executions in some benchmarks ("16 out of 51 do not complete
+    // correctly"), and the experiment harness must survive them to
+    // report the failure, exactly as the authors did.
+    throw std::runtime_error(std::string("panic: ") + file + ":"
+                             + std::to_string(line) + ": " + msg);
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    // Throwing keeps embedders (and the experiment harness) in control;
+    // a library that exit()s is hostile to its host process.
+    throw std::runtime_error(std::string("fatal: ") + file + ":"
+                             + std::to_string(line) + ": " + msg);
+}
+
+} // namespace vspec

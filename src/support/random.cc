@@ -1,0 +1,48 @@
+#include "support/random.hh"
+
+namespace vspec
+{
+
+u64
+Rng::next()
+{
+    u64 x = state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state = x;
+    return x * 0x2545f4914f6cdd1dULL;
+}
+
+u64
+Rng::nextBelow(u64 bound)
+{
+    vassert(bound > 0, "nextBelow bound must be positive");
+    return next() % bound;
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+i64
+Rng::nextRange(i64 lo, i64 hi)
+{
+    vassert(lo <= hi, "nextRange: lo must not exceed hi");
+    return lo + static_cast<i64>(nextBelow(static_cast<u64>(hi - lo + 1)));
+}
+
+double
+Rng::nextGaussian()
+{
+    // Irwin-Hall approximation: sum of 12 uniforms minus 6 has mean 0 and
+    // variance 1; good enough for simulated measurement noise.
+    double s = 0.0;
+    for (int i = 0; i < 12; i++)
+        s += nextDouble();
+    return s - 6.0;
+}
+
+} // namespace vspec

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All randomized behaviour
+ * in vspec (workload inputs, sampler jitter, simulated noise) draws from
+ * explicitly seeded Xorshift64Star instances so experiments are
+ * reproducible run to run.
+ */
+
+#ifndef VSPEC_SUPPORT_RANDOM_HH
+#define VSPEC_SUPPORT_RANDOM_HH
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+/** Xorshift64* generator: small, fast, deterministic across platforms. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) : state(seed ? seed : 1) {}
+
+    /** Next raw 64-bit value. */
+    u64 next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    u64 nextBelow(u64 bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64 nextRange(i64 lo, i64 hi);
+
+    /** Approximate standard normal via sum of uniforms. */
+    double nextGaussian();
+
+  private:
+    u64 state;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_SUPPORT_RANDOM_HH

@@ -1,0 +1,107 @@
+#include "vm/gc.hh"
+
+namespace vspec
+{
+
+GarbageCollector::GarbageCollector(VMContext &c) : ctx(c)
+{
+}
+
+void
+GarbageCollector::trackAllocation(Addr addr, u32 size)
+{
+    if (addr >= Heap::kImmortalReserve)
+        liveObjects[addr] = (size + 7u) & ~7u;
+}
+
+void
+GarbageCollector::removeRootProvider(RootProvider *p)
+{
+    std::erase(providers, p);
+}
+
+void
+GarbageCollector::markValue(Value v)
+{
+    if (!v.isHeap())
+        return;
+    markObject(v.asAddr());
+}
+
+void
+GarbageCollector::markObject(Addr obj)
+{
+    if (obj < Heap::kImmortalReserve)
+        return;  // immortal objects are always live
+    if (!liveObjects.count(obj))
+        return;  // conservative root that is not an object start: ignore
+    if (!marked.insert(obj).second)
+        return;
+    workList.push_back(obj);
+}
+
+u64
+GarbageCollector::collect()
+{
+    marked.clear();
+    workList.clear();
+
+    for (auto *p : providers)
+        p->forEachRoot([this](Value v) { markValue(v); });
+    for (Value v : tempRoots)
+        markValue(v);
+
+    Heap &heap = ctx.heap;
+    while (!workList.empty()) {
+        Addr obj = workList.back();
+        workList.pop_back();
+        MapId mid = ctx.maps.byMapWord(heap.mapWordOf(obj));
+        if (mid == kInvalidMap)
+            continue;
+        const MapInfo &mi = ctx.maps.info(mid);
+        switch (mi.type) {
+          case InstanceType::Object:
+            for (u32 i = 0; i < kObjectSlotCapacity; i++)
+                markValue(heap.readValue(obj + HeapLayout::kObjectSlotsOffset
+                                         + 4 * i));
+            break;
+          case InstanceType::Array:
+            markObject(ctx.arrayElements(obj));
+            break;
+          case InstanceType::FixedArray: {
+            u32 cap = heap.auxOf(obj);
+            for (u32 i = 0; i < cap; i++)
+                markValue(heap.readValue(obj + HeapLayout::kElementsDataOffset
+                                         + 4 * i));
+            break;
+          }
+          default:
+            break;  // leaves: strings, numbers, oddballs, cells, f64 stores
+        }
+    }
+
+    // Sweep: every tracked, unmarked object becomes a free block.
+    u64 freed = 0;
+    std::vector<Heap::FreeBlock> new_free;
+    for (auto it = liveObjects.begin(); it != liveObjects.end();) {
+        if (!marked.count(it->first)) {
+            new_free.push_back({it->first, it->second});
+            freed += it->second;
+            it = liveObjects.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // Merge with whatever remains of the previous free list.
+    for (auto &blk : heap.freeList) {
+        if (blk.size >= HeapLayout::kHeaderSize)
+            new_free.push_back(blk);
+    }
+    heap.freeList = std::move(new_free);
+    heap.heapStats.gcCount++;
+    heap.heapStats.bytesFreed += freed;
+    collections_++;
+    return freed;
+}
+
+} // namespace vspec

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Non-moving mark-sweep garbage collector for the simulated heap.
+ * Non-moving matters: optimized machine code holds raw heap addresses in
+ * simulated registers and as immediates (map cells), so objects must not
+ * move. Immortal-region objects (maps, sentinels, interned strings) are
+ * never collected.
+ */
+
+#ifndef VSPEC_VM_GC_HH
+#define VSPEC_VM_GC_HH
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "vm/objects.hh"
+
+namespace vspec
+{
+
+/** Anything that can contribute GC roots (engine globals, interpreter
+ *  frames, simulated machine registers). */
+class RootProvider
+{
+  public:
+    virtual ~RootProvider() = default;
+    /** Invoke @p visit for every root value. */
+    virtual void forEachRoot(const std::function<void(Value)> &visit) = 0;
+};
+
+class GarbageCollector
+{
+  public:
+    explicit GarbageCollector(VMContext &ctx);
+
+    /** Register an object allocation (called by the engine allocation
+     *  wrappers; the raw Heap knows nothing about liveness). */
+    void trackAllocation(Addr addr, u32 size);
+
+    void addRootProvider(RootProvider *p) { providers.push_back(p); }
+    void removeRootProvider(RootProvider *p);
+
+    /** Run a full mark-sweep cycle. @return bytes reclaimed. */
+    u64 collect();
+
+    /**
+     * Temporary roots: values held only in host C++ locals across a
+     * potential allocation must be pinned here (analogous to V8
+     * handles). Use TempRootScope for RAII management.
+     */
+    void pushTempRoot(Value v) { tempRoots.push_back(v); }
+    void popTempRoots(size_t n)
+    {
+        vassert(n <= tempRoots.size(), "temp root underflow");
+        tempRoots.resize(tempRoots.size() - n);
+    }
+
+    u64 collections() const { return collections_; }
+    u64 trackedObjects() const { return liveObjects.size(); }
+
+  private:
+    void markValue(Value v);
+    void markObject(Addr obj);
+
+    VMContext &ctx;
+    std::vector<RootProvider *> providers;
+    std::unordered_map<Addr, u32> liveObjects;  //!< mortal objects only
+    std::unordered_set<Addr> marked;
+    std::vector<Addr> workList;
+    std::vector<Value> tempRoots;
+    u64 collections_ = 0;
+};
+
+/** RAII scope that pins host-local values against collection. */
+class TempRootScope
+{
+  public:
+    explicit TempRootScope(GarbageCollector *gc) : gc(gc), count(0) {}
+    ~TempRootScope()
+    {
+        if (gc != nullptr)
+            gc->popTempRoots(count);
+    }
+    void
+    pin(Value v)
+    {
+        if (gc != nullptr) {
+            gc->pushTempRoot(v);
+            count++;
+        }
+    }
+
+  private:
+    GarbageCollector *gc;
+    size_t count;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_VM_GC_HH

@@ -1,0 +1,72 @@
+#include "vm/heap.hh"
+
+#include "vm/gc.hh"
+
+namespace vspec
+{
+
+Heap::Heap(u32 size_bytes)
+    : mem_(size_bytes, 0),
+      top_(kImmortalReserve),
+      immortalTop(8),  // keep address 0..7 unused so 0 is never valid
+      immortalEnd(kImmortalReserve)
+{
+    vassert(size_bytes > 2 * kImmortalReserve, "heap too small");
+}
+
+Addr
+Heap::bumpAllocate(u32 size)
+{
+    // First-fit from the free list built by the last sweep.
+    for (auto &blk : freeList) {
+        if (blk.size >= size) {
+            Addr a = blk.addr;
+            blk.addr += size;
+            blk.size -= size;
+            return a;
+        }
+    }
+    if (static_cast<u64>(top_) + size > mem_.size() - kStackReserve)
+        return 0;
+    Addr a = top_;
+    top_ += size;
+    return a;
+}
+
+Addr
+Heap::allocate(u32 size, u32 map_word, u32 aux)
+{
+    size = (size + 7u) & ~7u;
+    Addr a = bumpAllocate(size);
+    if (a == 0 && gc != nullptr) {
+        gc->collect();
+        a = bumpAllocate(size);
+    }
+    if (a == 0)
+        vpanic("simulated heap exhausted");
+    std::memset(&mem_[a], 0, size);
+    writeU32(a + HeapLayout::kMapOffset, map_word);
+    writeU32(a + HeapLayout::kAuxOffset, aux);
+    heapStats.bytesAllocated += size;
+    heapStats.objectsAllocated++;
+    if (gc != nullptr)
+        gc->trackAllocation(a, size);
+    return a;
+}
+
+Addr
+Heap::allocateImmortal(u32 size, u32 map_word, u32 aux)
+{
+    size = (size + 7u) & ~7u;
+    vassert(immortalTop + size <= immortalEnd, "immortal region exhausted");
+    Addr a = immortalTop;
+    immortalTop += size;
+    std::memset(&mem_[a], 0, size);
+    writeU32(a + HeapLayout::kMapOffset, map_word);
+    writeU32(a + HeapLayout::kAuxOffset, aux);
+    heapStats.bytesAllocated += size;
+    heapStats.objectsAllocated++;
+    return a;
+}
+
+} // namespace vspec

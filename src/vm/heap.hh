@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Flat byte-addressable simulated heap. Both the host-side interpreter
+ * and JIT-compiled code running on the CPU simulator operate on this
+ * memory, so tagged values, map words and element buffers have one true
+ * layout. This is what makes check removal *really* dangerous here, as
+ * in the paper: removing a needed map or bounds check makes compiled
+ * code load garbage bytes, which validation then catches.
+ *
+ * Object layout (all objects 8-byte aligned, header is 8 bytes):
+ *   +0  u32  map word  — tagged pointer to the object's map cell
+ *   +4  u32  aux       — type-specific (length, capacity, id, ...)
+ *   +8  ...  body
+ *
+ * Address 0 is never a valid object; the first kImmortalReserve bytes
+ * form the immortal region (maps, sentinels, interned strings) that the
+ * GC never frees, so JIT code can embed raw addresses as immediates.
+ */
+
+#ifndef VSPEC_VM_HEAP_HH
+#define VSPEC_VM_HEAP_HH
+
+#include <cstring>
+#include <vector>
+
+#include "support/common.hh"
+#include "vm/value.hh"
+
+namespace vspec
+{
+
+/** Byte offsets shared by every heap object. */
+struct HeapLayout
+{
+    static constexpr u32 kMapOffset = 0;
+    static constexpr u32 kAuxOffset = 4;
+    static constexpr u32 kHeaderSize = 8;
+
+    // JSArray body.
+    static constexpr u32 kArrayLengthOffset = 8;
+    static constexpr u32 kArrayElementsOffset = 12;
+    static constexpr u32 kArraySize = 16;
+
+    // HeapNumber body.
+    static constexpr u32 kNumberValueOffset = 8;
+    static constexpr u32 kNumberSize = 16;
+
+    // JSObject body: tagged property slots.
+    static constexpr u32 kObjectSlotsOffset = 8;
+
+    // FixedArray / FixedDoubleArray body.
+    static constexpr u32 kElementsDataOffset = 8;
+
+    // String body: raw bytes.
+    static constexpr u32 kStringDataOffset = 8;
+};
+
+/** Statistics the heap keeps for reporting and tests. */
+struct HeapStats
+{
+    u64 bytesAllocated = 0;
+    u64 objectsAllocated = 0;
+    u64 gcCount = 0;
+    u64 bytesFreed = 0;
+};
+
+class GarbageCollector;
+
+class Heap
+{
+  public:
+    /** @param size_bytes total heap size (default 64 MiB). */
+    explicit Heap(u32 size_bytes = 64u << 20);
+
+    /**
+     * Allocate @p size bytes (rounded up to 8) and write the header.
+     * Returns the object's base address. Runs a GC cycle when the bump
+     * pointer and free lists are exhausted; panics if memory is still
+     * insufficient afterwards.
+     */
+    Addr allocate(u32 size, u32 map_word, u32 aux);
+
+    /** Allocate in the immortal region (never collected). */
+    Addr allocateImmortal(u32 size, u32 map_word, u32 aux);
+
+    // Raw accessors. Bounds-checked in debug; the simulated machine uses
+    // these as its memory port.
+    u8 readU8(Addr a) const { check(a, 1); return mem_[a]; }
+    u32
+    readU32(Addr a) const
+    {
+        check(a, 4);
+        u32 v;
+        std::memcpy(&v, &mem_[a], 4);
+        return v;
+    }
+    u64
+    readU64(Addr a) const
+    {
+        check(a, 8);
+        u64 v;
+        std::memcpy(&v, &mem_[a], 8);
+        return v;
+    }
+    double
+    readF64(Addr a) const
+    {
+        check(a, 8);
+        double v;
+        std::memcpy(&v, &mem_[a], 8);
+        return v;
+    }
+
+    void writeU8(Addr a, u8 v) { check(a, 1); mem_[a] = v; }
+    void
+    writeU32(Addr a, u32 v)
+    {
+        check(a, 4);
+        std::memcpy(&mem_[a], &v, 4);
+    }
+    void
+    writeU64(Addr a, u64 v)
+    {
+        check(a, 8);
+        std::memcpy(&mem_[a], &v, 8);
+    }
+    void
+    writeF64(Addr a, double v)
+    {
+        check(a, 8);
+        std::memcpy(&mem_[a], &v, 8);
+    }
+
+    Value readValue(Addr a) const { return Value::fromBits(readU32(a)); }
+    void writeValue(Addr a, Value v) { writeU32(a, v.bits()); }
+
+    /** Map word of the object at @p obj. */
+    u32 mapWordOf(Addr obj) const { return readU32(obj + HeapLayout::kMapOffset); }
+    u32 auxOf(Addr obj) const { return readU32(obj + HeapLayout::kAuxOffset); }
+    void setAux(Addr obj, u32 aux) { writeU32(obj + HeapLayout::kAuxOffset, aux); }
+
+    u32 sizeBytes() const { return static_cast<u32>(mem_.size()); }
+    u32 bytesInUse() const { return top_; }
+    const HeapStats &stats() const { return heapStats; }
+
+    /** True if @p a lies inside the heap (for simulator fault checks). */
+    bool contains(Addr a, u32 bytes) const
+    {
+        return a != 0 && static_cast<u64>(a) + bytes <= mem_.size();
+    }
+
+    /** The GC hooks below are used by GarbageCollector. */
+    friend class GarbageCollector;
+
+  private:
+    void check(Addr a, u32 bytes) const
+    {
+        vassert(contains(a, bytes), "heap access out of bounds");
+    }
+
+    Addr bumpAllocate(u32 size);
+
+    std::vector<u8> mem_;
+    Addr top_;            //!< bump pointer for the mortal region
+    Addr immortalTop;     //!< bump pointer for the immortal region
+    Addr immortalEnd;     //!< first mortal byte
+    HeapStats heapStats;
+
+    /** Free-list entry: [addr, size] produced by the sweeper. */
+    struct FreeBlock { Addr addr; u32 size; };
+    std::vector<FreeBlock> freeList;
+
+  public:
+    /** Space reserved for immortal objects at the bottom of the heap. */
+    static constexpr u32 kImmortalReserve = 1u << 20;
+
+    /** Space reserved at the top for the simulated machine stack. */
+    static constexpr u32 kStackReserve = 1u << 20;
+
+    /** Initial stack pointer for simulated machine code. */
+    Addr stackTop() const { return sizeBytes() - 16; }
+
+    /** Set by Engine so allocate() can trigger collection. */
+    GarbageCollector *gc = nullptr;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_VM_HEAP_HH

@@ -1,0 +1,134 @@
+#include "vm/map.hh"
+
+namespace vspec
+{
+
+const char *
+instanceTypeName(InstanceType t)
+{
+    switch (t) {
+      case InstanceType::MapCell: return "MapCell";
+      case InstanceType::Oddball: return "Oddball";
+      case InstanceType::HeapNumber: return "HeapNumber";
+      case InstanceType::String: return "String";
+      case InstanceType::FunctionCell: return "FunctionCell";
+      case InstanceType::FixedArray: return "FixedArray";
+      case InstanceType::FixedDoubleArray: return "FixedDoubleArray";
+      case InstanceType::Array: return "Array";
+      case InstanceType::Object: return "Object";
+    }
+    return "?";
+}
+
+const char *
+elementKindName(ElementKind k)
+{
+    switch (k) {
+      case ElementKind::Smi: return "Smi";
+      case ElementKind::Double: return "Double";
+      case ElementKind::Tagged: return "Tagged";
+    }
+    return "?";
+}
+
+NameId
+NameTable::intern(const std::string &name)
+{
+    auto it = index.find(name);
+    if (it != index.end())
+        return it->second;
+    NameId id = static_cast<NameId>(names.size());
+    names.push_back(name);
+    index.emplace(name, id);
+    return id;
+}
+
+const std::string &
+NameTable::nameOf(NameId id) const
+{
+    vassert(id < names.size(), "NameId out of range");
+    return names[id];
+}
+
+MapTable::MapTable(Heap &h) : heap(h)
+{
+    // The meta-map describes map cells themselves. Bootstrap: create it
+    // first with a placeholder word, then patch its own map word.
+    metaMapId = createMap(InstanceType::MapCell);
+    heap.writeU32(maps[metaMapId].cell + HeapLayout::kMapOffset,
+                  mapWord(metaMapId));
+
+    oddballMapId = createMap(InstanceType::Oddball);
+    heapNumberMapId = createMap(InstanceType::HeapNumber);
+    stringMapId = createMap(InstanceType::String);
+    functionMapId = createMap(InstanceType::FunctionCell);
+    fixedArrayMapId = createMap(InstanceType::FixedArray);
+    fixedDoubleArrayMapId = createMap(InstanceType::FixedDoubleArray);
+    emptyObjectMapId = createMap(InstanceType::Object);
+
+    arrayMaps[0] = createMap(InstanceType::Array, ElementKind::Smi);
+    arrayMaps[1] = createMap(InstanceType::Array, ElementKind::Double);
+    arrayMaps[2] = createMap(InstanceType::Array, ElementKind::Tagged);
+    maps[arrayMaps[0]].kindTransition = arrayMaps[1];
+    maps[arrayMaps[1]].kindTransition = arrayMaps[2];
+}
+
+MapId
+MapTable::createMap(InstanceType type, ElementKind kind)
+{
+    MapId id = static_cast<MapId>(maps.size());
+    MapInfo mi;
+    mi.type = type;
+    mi.kind = kind;
+    // Map cells live in the immortal region so compiled code can embed
+    // their addresses as immediates.
+    u32 meta_word = maps.empty() ? 0 : mapWord(metaMapId);
+    mi.cell = heap.allocateImmortal(HeapLayout::kHeaderSize, meta_word, id);
+    maps.push_back(std::move(mi));
+    cellIndex.emplace(maps.back().cell | 1u, id);
+    return id;
+}
+
+MapId
+MapTable::byMapWord(u32 word) const
+{
+    auto it = cellIndex.find(word);
+    return it == cellIndex.end() ? kInvalidMap : it->second;
+}
+
+MapId
+MapTable::transitionAddProperty(MapId from, NameId name)
+{
+    MapInfo &fi = maps.at(from);
+    auto it = fi.transitions.find(name);
+    if (it != fi.transitions.end())
+        return it->second;
+
+    MapId next = createMap(InstanceType::Object);
+    // Note: createMap may reallocate `maps`; re-fetch the source.
+    MapInfo &src = maps.at(from);
+    maps.at(next).properties = src.properties;
+    maps.at(next).properties.push_back(name);
+    src.transitions.emplace(name, next);
+    transitions_++;
+    return next;
+}
+
+int
+MapTable::propertyIndex(MapId map, NameId name) const
+{
+    const auto &props = maps.at(map).properties;
+    for (size_t i = 0; i < props.size(); i++) {
+        if (props[i] == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+MapId
+MapTable::arrayMap(ElementKind kind) const
+{
+    return arrayMaps[static_cast<int>(kind)];
+}
+
+} // namespace vspec

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Hidden classes ("maps" in V8 terminology). Every heap object's first
+ * word is a tagged pointer to a map cell in the immortal heap region;
+ * JIT-compiled code verifies speculations about object shape with a
+ * WrongMap deoptimization check that compares this word against the map
+ * the compiler expected.
+ *
+ * Map *metadata* (property descriptors, transitions, element kinds)
+ * lives host-side in MapTable; only the 8-byte map cell lives in
+ * simulated memory, because the compare-against-constant is all that
+ * compiled code ever does with a map.
+ */
+
+#ifndef VSPEC_VM_MAP_HH
+#define VSPEC_VM_MAP_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/common.hh"
+#include "vm/heap.hh"
+
+namespace vspec
+{
+
+using MapId = u32;
+using NameId = u32;
+
+constexpr MapId kInvalidMap = 0xffffffffu;
+
+/** What kind of heap object a map describes. */
+enum class InstanceType : u8
+{
+    MapCell,
+    Oddball,       //!< undefined, null, true, false
+    HeapNumber,
+    String,
+    FunctionCell,
+    FixedArray,        //!< backing store with tagged/SMI slots
+    FixedDoubleArray,  //!< backing store with raw f64 slots
+    Array,
+    Object,
+};
+
+/** Element representation of a JSArray, with V8's transition order. */
+enum class ElementKind : u8
+{
+    Smi,      //!< every element is a tagged SMI
+    Double,   //!< raw float64 elements
+    Tagged,   //!< arbitrary tagged values
+};
+
+const char *instanceTypeName(InstanceType t);
+const char *elementKindName(ElementKind k);
+
+/** Interns property names and identifier strings into small ids. */
+class NameTable
+{
+  public:
+    NameId intern(const std::string &name);
+    const std::string &nameOf(NameId id) const;
+    u32 size() const { return static_cast<u32>(names.size()); }
+
+  private:
+    std::vector<std::string> names;
+    std::unordered_map<std::string, NameId> index;
+};
+
+/** Host-side metadata for one map. */
+struct MapInfo
+{
+    InstanceType type = InstanceType::Object;
+    ElementKind kind = ElementKind::Smi;   //!< arrays only
+    Addr cell = 0;                         //!< simulated map cell address
+
+    /** In-object property slots, in insertion order. */
+    std::vector<NameId> properties;
+
+    /** Shape transitions: add-property edges keyed by name. */
+    std::unordered_map<NameId, MapId> transitions;
+
+    /** Array element-kind transition edge (Smi->Double->Tagged). */
+    MapId kindTransition = kInvalidMap;
+
+    /** Optimized code objects that speculated on this map (for lazy
+     *  invalidation bookkeeping). */
+    std::vector<u32> dependentCode;
+};
+
+/**
+ * Registry of all maps. Creates the canonical maps for primitive object
+ * types at construction; object-literal shapes grow a transition tree
+ * rooted at the empty object map, exactly like V8's hidden classes.
+ */
+class MapTable
+{
+  public:
+    explicit MapTable(Heap &heap);
+
+    /** Create a fresh map of the given type. */
+    MapId createMap(InstanceType type, ElementKind kind = ElementKind::Smi);
+
+    const MapInfo &info(MapId id) const { return maps.at(id); }
+    MapInfo &info(MapId id) { return maps.at(id); }
+    u32 count() const { return static_cast<u32>(maps.size()); }
+
+    /** The tagged map word objects of this map carry. */
+    u32 mapWord(MapId id) const { return maps.at(id).cell | 1u; }
+
+    /** Resolve a map word read from an object header back to its id. */
+    MapId byMapWord(u32 word) const;
+
+    /**
+     * Follow (or create) the transition from @p from for adding property
+     * @p name. The resulting map has the property appended to its slots.
+     */
+    MapId transitionAddProperty(MapId from, NameId name);
+
+    /** Slot index of @p name in @p map, or -1 if absent. */
+    int propertyIndex(MapId map, NameId name) const;
+
+    /**
+     * The canonical array map for @p kind, and the transition target when
+     * an array of @p from kind must widen to @p to.
+     */
+    MapId arrayMap(ElementKind kind) const;
+
+    // Canonical maps.
+    MapId metaMap() const { return metaMapId; }
+    MapId oddballMap() const { return oddballMapId; }
+    MapId heapNumberMap() const { return heapNumberMapId; }
+    MapId stringMap() const { return stringMapId; }
+    MapId functionMap() const { return functionMapId; }
+    MapId fixedArrayMap() const { return fixedArrayMapId; }
+    MapId fixedDoubleArrayMap() const { return fixedDoubleArrayMapId; }
+    MapId emptyObjectMap() const { return emptyObjectMapId; }
+
+    /** Total transitions taken since startup (deopt-relevant metric). */
+    u64 transitionCount() const { return transitions_; }
+
+  private:
+    Heap &heap;
+    std::vector<MapInfo> maps;
+    std::unordered_map<u32, MapId> cellIndex;
+    u64 transitions_ = 0;
+
+    MapId metaMapId;
+    MapId oddballMapId;
+    MapId heapNumberMapId;
+    MapId stringMapId;
+    MapId functionMapId;
+    MapId fixedArrayMapId;
+    MapId fixedDoubleArrayMapId;
+    MapId emptyObjectMapId;
+    MapId arrayMaps[3];
+};
+
+} // namespace vspec
+
+#endif // VSPEC_VM_MAP_HH

@@ -1,0 +1,550 @@
+#include "vm/objects.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "vm/gc.hh"
+
+namespace vspec
+{
+
+std::string
+formatNumber(double d)
+{
+    if (std::isnan(d))
+        return "NaN";
+    if (std::isinf(d))
+        return d > 0 ? "Infinity" : "-Infinity";
+    if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", d);
+    return buf;
+}
+
+VMContext::VMContext(u32 heap_size)
+    : heap(heap_size), maps(heap)
+{
+    undefinedValue = Value::heap(makeOddball());
+    nullValue = Value::heap(makeOddball());
+    trueValue = Value::heap(makeOddball());
+    falseValue = Value::heap(makeOddball());
+
+    Addr cell_holder = heap.allocateImmortal(
+        HeapLayout::kElementsDataOffset + 4,
+        maps.mapWord(maps.fixedArrayMap()), 1);
+    interruptCell = cell_holder + HeapLayout::kElementsDataOffset;
+    heap.writeU32(interruptCell, 0);
+}
+
+Addr
+VMContext::makeOddball()
+{
+    return heap.allocateImmortal(HeapLayout::kHeaderSize,
+                                 maps.mapWord(maps.oddballMap()), 0);
+}
+
+// ---- type queries -------------------------------------------------------
+
+bool
+VMContext::isHeapNumber(Value v) const
+{
+    return v.isHeap() && typeOf(v.asAddr()) == InstanceType::HeapNumber;
+}
+
+bool
+VMContext::isNumber(Value v) const
+{
+    return v.isSmi() || isHeapNumber(v);
+}
+
+bool
+VMContext::isString(Value v) const
+{
+    return v.isHeap() && typeOf(v.asAddr()) == InstanceType::String;
+}
+
+bool
+VMContext::isArray(Value v) const
+{
+    return v.isHeap() && typeOf(v.asAddr()) == InstanceType::Array;
+}
+
+bool
+VMContext::isObject(Value v) const
+{
+    return v.isHeap() && typeOf(v.asAddr()) == InstanceType::Object;
+}
+
+bool
+VMContext::isFunction(Value v) const
+{
+    return v.isHeap() && typeOf(v.asAddr()) == InstanceType::FunctionCell;
+}
+
+bool
+VMContext::isOddball(Value v) const
+{
+    return v.isHeap() && typeOf(v.asAddr()) == InstanceType::Oddball;
+}
+
+// ---- numbers --------------------------------------------------------------
+
+Value
+VMContext::newNumber(double d)
+{
+    // Integral doubles in SMI range canonicalize to SMIs, like V8.
+    // -0.0 must stay a HeapNumber to preserve its identity.
+    if (d == std::floor(d) && !std::isinf(d) && smiFits(static_cast<i64>(d)) &&
+        !(d == 0.0 && std::signbit(d))) {
+        return Value::smi(static_cast<i32>(d));
+    }
+    return Value::heap(newHeapNumber(d));
+}
+
+Value
+VMContext::newInt(i64 v)
+{
+    if (smiFits(v))
+        return Value::smi(static_cast<i32>(v));
+    return Value::heap(newHeapNumber(static_cast<double>(v)));
+}
+
+double
+VMContext::numberOf(Value v) const
+{
+    if (v.isSmi())
+        return v.asSmi();
+    vassert(isHeapNumber(v), "numberOf on non-number");
+    return heap.readF64(v.asAddr() + HeapLayout::kNumberValueOffset);
+}
+
+Addr
+VMContext::newHeapNumber(double d)
+{
+    Addr a = heap.allocate(HeapLayout::kNumberSize,
+                           maps.mapWord(maps.heapNumberMap()), 0);
+    heap.writeF64(a + HeapLayout::kNumberValueOffset, d);
+    return a;
+}
+
+Addr
+VMContext::newImmortalHeapNumber(double d)
+{
+    Addr a = heap.allocateImmortal(HeapLayout::kNumberSize,
+                                   maps.mapWord(maps.heapNumberMap()), 0);
+    heap.writeF64(a + HeapLayout::kNumberValueOffset, d);
+    return a;
+}
+
+// ---- objects --------------------------------------------------------------
+
+Addr
+VMContext::newObject()
+{
+    u32 size = HeapLayout::kObjectSlotsOffset + 4 * kObjectSlotCapacity;
+    Addr a = heap.allocate(size, maps.mapWord(maps.emptyObjectMap()), 0);
+    // Initialize slots to undefined so GC sees valid tagged values.
+    for (u32 i = 0; i < kObjectSlotCapacity; i++) {
+        heap.writeValue(a + HeapLayout::kObjectSlotsOffset + 4 * i,
+                        undefinedValue);
+    }
+    return a;
+}
+
+Value
+VMContext::getProperty(Addr obj, NameId name) const
+{
+    int idx = maps.propertyIndex(mapOf(obj), name);
+    if (idx < 0)
+        return undefinedValue;
+    return heap.readValue(obj + HeapLayout::kObjectSlotsOffset + 4 * idx);
+}
+
+bool
+VMContext::hasProperty(Addr obj, NameId name) const
+{
+    return maps.propertyIndex(mapOf(obj), name) >= 0;
+}
+
+void
+VMContext::setProperty(Addr obj, NameId name, Value v)
+{
+    MapId m = mapOf(obj);
+    int idx = maps.propertyIndex(m, name);
+    if (idx < 0) {
+        MapId next = maps.transitionAddProperty(m, name);
+        idx = maps.propertyIndex(next, name);
+        vassert(static_cast<u32>(idx) < kObjectSlotCapacity,
+                "object exceeds in-object slot capacity");
+        heap.writeU32(obj + HeapLayout::kMapOffset, maps.mapWord(next));
+    }
+    heap.writeValue(obj + HeapLayout::kObjectSlotsOffset + 4 * idx, v);
+}
+
+// ---- arrays ---------------------------------------------------------------
+
+Addr
+VMContext::newArray(ElementKind kind, u32 length, u32 capacity)
+{
+    if (capacity < length)
+        capacity = length;
+    if (capacity < 4)
+        capacity = 4;
+    bool dbl = kind == ElementKind::Double;
+    u32 elem_size = dbl ? 8 : 4;
+    MapId store_map = dbl ? maps.fixedDoubleArrayMap() : maps.fixedArrayMap();
+
+    Addr backing = heap.allocate(HeapLayout::kElementsDataOffset
+                                 + elem_size * capacity,
+                                 maps.mapWord(store_map), capacity);
+    if (dbl) {
+        for (u32 i = 0; i < capacity; i++)
+            heap.writeF64(backing + HeapLayout::kElementsDataOffset + 8 * i,
+                          0.0);
+    } else {
+        for (u32 i = 0; i < capacity; i++)
+            heap.writeValue(backing + HeapLayout::kElementsDataOffset + 4 * i,
+                            Value::smi(0));
+    }
+
+    Addr arr = heap.allocate(HeapLayout::kArraySize,
+                             maps.mapWord(maps.arrayMap(kind)), 0);
+    heap.writeU32(arr + HeapLayout::kArrayLengthOffset, length);
+    heap.writeU32(arr + HeapLayout::kArrayElementsOffset, backing | 1u);
+    return arr;
+}
+
+u32
+VMContext::arrayLength(Addr arr) const
+{
+    return heap.readU32(arr + HeapLayout::kArrayLengthOffset);
+}
+
+ElementKind
+VMContext::arrayKind(Addr arr) const
+{
+    return maps.info(mapOf(arr)).kind;
+}
+
+Addr
+VMContext::arrayElements(Addr arr) const
+{
+    return heap.readU32(arr + HeapLayout::kArrayElementsOffset) & ~1u;
+}
+
+Value
+VMContext::arrayGet(Addr arr, i64 idx) const
+{
+    if (idx < 0 || idx >= arrayLength(arr))
+        return undefinedValue;
+    Addr data = arrayElements(arr) + HeapLayout::kElementsDataOffset;
+    switch (arrayKind(arr)) {
+      case ElementKind::Smi:
+      case ElementKind::Tagged:
+        return heap.readValue(data + 4 * static_cast<u32>(idx));
+      case ElementKind::Double:
+        // Note: const_cast-free boxing is impossible here; double loads
+        // from a Double array must be boxed. The interpreter avoids this
+        // allocation on hot paths by using numberOf directly.
+        return const_cast<VMContext *>(this)->newNumber(
+            heap.readF64(data + 8 * static_cast<u32>(idx)));
+    }
+    return undefinedValue;
+}
+
+void
+VMContext::transitionArrayKind(Addr arr, ElementKind to)
+{
+    ElementKind from = arrayKind(arr);
+    vassert(static_cast<int>(to) > static_cast<int>(from),
+            "array element kinds only widen");
+    u32 len = arrayLength(arr);
+    Addr old_data = arrayElements(arr) + HeapLayout::kElementsDataOffset;
+    u32 capacity = heap.auxOf(arrayElements(arr));
+
+    if (to == ElementKind::Double) {
+        // Smi -> Double: retag every element as raw float64.
+        Addr backing = heap.allocate(HeapLayout::kElementsDataOffset
+                                     + 8 * capacity,
+                                     maps.mapWord(maps.fixedDoubleArrayMap()),
+                                     capacity);
+        // Re-read old data address: allocate may have GC'd (non-moving,
+        // so the address is stable, but re-read for clarity).
+        for (u32 i = 0; i < len; i++) {
+            Value v = heap.readValue(old_data + 4 * i);
+            heap.writeF64(backing + HeapLayout::kElementsDataOffset + 8 * i,
+                          numberOf(v));
+        }
+        for (u32 i = len; i < capacity; i++)
+            heap.writeF64(backing + HeapLayout::kElementsDataOffset + 8 * i,
+                          0.0);
+        heap.writeU32(arr + HeapLayout::kArrayElementsOffset, backing | 1u);
+    } else {
+        // -> Tagged: box doubles, keep tagged values.
+        Addr backing = heap.allocate(HeapLayout::kElementsDataOffset
+                                     + 4 * capacity,
+                                     maps.mapWord(maps.fixedArrayMap()),
+                                     capacity);
+        bool from_double = from == ElementKind::Double;
+        for (u32 i = 0; i < len; i++) {
+            Value v;
+            if (from_double) {
+                v = newNumber(heap.readF64(old_data + 8 * i));
+            } else {
+                v = heap.readValue(old_data + 4 * i);
+            }
+            heap.writeValue(backing + HeapLayout::kElementsDataOffset + 4 * i,
+                            v);
+        }
+        for (u32 i = len; i < capacity; i++)
+            heap.writeValue(backing + HeapLayout::kElementsDataOffset + 4 * i,
+                            Value::smi(0));
+        heap.writeU32(arr + HeapLayout::kArrayElementsOffset, backing | 1u);
+    }
+    heap.writeU32(arr + HeapLayout::kMapOffset,
+                  maps.mapWord(maps.arrayMap(to)));
+}
+
+void
+VMContext::growArrayBacking(Addr arr, u32 min_capacity)
+{
+    Addr old_backing = arrayElements(arr);
+    u32 old_cap = heap.auxOf(old_backing);
+    u32 new_cap = old_cap * 2;
+    if (new_cap < min_capacity)
+        new_cap = min_capacity;
+    bool dbl = arrayKind(arr) == ElementKind::Double;
+    u32 elem_size = dbl ? 8 : 4;
+    MapId store_map = dbl ? maps.fixedDoubleArrayMap() : maps.fixedArrayMap();
+    Addr backing = heap.allocate(HeapLayout::kElementsDataOffset
+                                 + elem_size * new_cap,
+                                 maps.mapWord(store_map), new_cap);
+    Addr old_data = old_backing + HeapLayout::kElementsDataOffset;
+    Addr new_data = backing + HeapLayout::kElementsDataOffset;
+    u32 len = arrayLength(arr);
+    for (u32 i = 0; i < len; i++) {
+        if (dbl)
+            heap.writeF64(new_data + 8 * i, heap.readF64(old_data + 8 * i));
+        else
+            heap.writeU32(new_data + 4 * i, heap.readU32(old_data + 4 * i));
+    }
+    for (u32 i = len; i < new_cap; i++) {
+        if (dbl)
+            heap.writeF64(new_data + 8 * i, 0.0);
+        else
+            heap.writeValue(new_data + 4 * i, Value::smi(0));
+    }
+    heap.writeU32(arr + HeapLayout::kArrayElementsOffset, backing | 1u);
+}
+
+void
+VMContext::arraySet(Addr arr, i64 idx, Value v)
+{
+    vassert(idx >= 0, "negative array index");
+    // Pin v: transitions/growth below may allocate and trigger GC, and v
+    // may be held only by this host-side local.
+    TempRootScope scope(heap.gc);
+    scope.pin(v);
+    scope.pin(Value::heap(arr));
+    u32 len = arrayLength(arr);
+    vassert(idx <= len, "MiniJS arrays are dense: no holes allowed");
+
+    // Element-kind transitions.
+    ElementKind kind = arrayKind(arr);
+    if (kind == ElementKind::Smi) {
+        if (isHeapNumber(v)) {
+            transitionArrayKind(arr, ElementKind::Double);
+            kind = ElementKind::Double;
+        } else if (!v.isSmi()) {
+            transitionArrayKind(arr, ElementKind::Tagged);
+            kind = ElementKind::Tagged;
+        }
+    } else if (kind == ElementKind::Double && !isNumber(v)) {
+        transitionArrayKind(arr, ElementKind::Tagged);
+        kind = ElementKind::Tagged;
+    }
+
+    u32 capacity = heap.auxOf(arrayElements(arr));
+    if (static_cast<u32>(idx) >= capacity)
+        growArrayBacking(arr, static_cast<u32>(idx) + 1);
+    if (static_cast<u32>(idx) == len)
+        heap.writeU32(arr + HeapLayout::kArrayLengthOffset, len + 1);
+
+    Addr data = arrayElements(arr) + HeapLayout::kElementsDataOffset;
+    if (kind == ElementKind::Double)
+        heap.writeF64(data + 8 * static_cast<u32>(idx), numberOf(v));
+    else
+        heap.writeValue(data + 4 * static_cast<u32>(idx), v);
+}
+
+// ---- strings ----------------------------------------------------------------
+
+Addr
+VMContext::newString(std::string_view s)
+{
+    u32 len = static_cast<u32>(s.size());
+    Addr a = heap.allocate(HeapLayout::kStringDataOffset + len,
+                           maps.mapWord(maps.stringMap()), len);
+    for (u32 i = 0; i < len; i++)
+        heap.writeU8(a + HeapLayout::kStringDataOffset + i,
+                     static_cast<u8>(s[i]));
+    return a;
+}
+
+Addr
+VMContext::internString(std::string_view s)
+{
+    std::string key(s);
+    auto it = internTable.find(key);
+    if (it != internTable.end())
+        return it->second;
+    u32 len = static_cast<u32>(s.size());
+    Addr a = heap.allocateImmortal(HeapLayout::kStringDataOffset + len,
+                                   maps.mapWord(maps.stringMap()), len);
+    for (u32 i = 0; i < len; i++)
+        heap.writeU8(a + HeapLayout::kStringDataOffset + i,
+                     static_cast<u8>(s[i]));
+    internTable.emplace(std::move(key), a);
+    return a;
+}
+
+std::string
+VMContext::stringOf(Addr s) const
+{
+    u32 len = stringLength(s);
+    std::string out(len, '\0');
+    for (u32 i = 0; i < len; i++)
+        out[i] = static_cast<char>(
+            heap.readU8(s + HeapLayout::kStringDataOffset + i));
+    return out;
+}
+
+bool
+VMContext::stringEquals(Addr a, Addr b) const
+{
+    if (a == b)
+        return true;
+    u32 la = stringLength(a), lb = stringLength(b);
+    if (la != lb)
+        return false;
+    for (u32 i = 0; i < la; i++) {
+        if (heap.readU8(a + HeapLayout::kStringDataOffset + i)
+            != heap.readU8(b + HeapLayout::kStringDataOffset + i))
+            return false;
+    }
+    return true;
+}
+
+// ---- function cells ---------------------------------------------------------
+
+Addr
+VMContext::newFunctionCell(u32 function_id)
+{
+    return heap.allocateImmortal(HeapLayout::kHeaderSize,
+                                 maps.mapWord(maps.functionMap()),
+                                 function_id);
+}
+
+// ---- generic helpers ----------------------------------------------------------
+
+bool
+VMContext::truthy(Value v) const
+{
+    if (v.isSmi())
+        return v.asSmi() != 0;
+    if (v == undefinedValue || v == nullValue || v == falseValue)
+        return false;
+    if (v == trueValue)
+        return true;
+    if (isHeapNumber(v)) {
+        double d = numberOf(v);
+        return d != 0.0 && !std::isnan(d);
+    }
+    if (isString(v))
+        return stringLength(v.asAddr()) != 0;
+    return true;
+}
+
+bool
+VMContext::strictEquals(Value a, Value b) const
+{
+    if (a == b)
+        return !(isHeapNumber(a) && std::isnan(numberOf(a)));
+    if (isNumber(a) && isNumber(b))
+        return numberOf(a) == numberOf(b);
+    if (isString(a) && isString(b))
+        return stringEquals(a.asAddr(), b.asAddr());
+    return false;
+}
+
+bool
+VMContext::looseEquals(Value a, Value b) const
+{
+    // MiniJS restricts loose equality to same-type comparisons plus
+    // null == undefined; cross-type numeric coercion of strings is not
+    // part of the subset.
+    if ((a == nullValue && b == undefinedValue)
+        || (a == undefinedValue && b == nullValue))
+        return true;
+    return strictEquals(a, b);
+}
+
+std::string
+VMContext::typeofString(Value v) const
+{
+    if (v.isSmi() || isHeapNumber(v))
+        return "number";
+    if (v == undefinedValue)
+        return "undefined";
+    if (v == trueValue || v == falseValue)
+        return "boolean";
+    if (isString(v))
+        return "string";
+    if (isFunction(v))
+        return "function";
+    return "object";
+}
+
+std::string
+VMContext::coerceToString(Value v) const
+{
+    if (isString(v))
+        return stringOf(v.asAddr());
+    if (v.isSmi() || isHeapNumber(v))
+        return formatNumber(numberOf(v));
+    if (v == undefinedValue)
+        return "undefined";
+    if (v == nullValue)
+        return "null";
+    if (v == trueValue)
+        return "true";
+    if (v == falseValue)
+        return "false";
+    if (isArray(v)) {
+        // ECMAScript Array::toString = elements joined by ','.
+        std::string out;
+        Addr arr = v.asAddr();
+        u32 len = arrayLength(arr);
+        for (u32 i = 0; i < len; i++) {
+            if (i)
+                out += ',';
+            out += coerceToString(arrayGet(arr, i));
+        }
+        return out;
+    }
+    return "[object Object]";
+}
+
+std::string
+VMContext::display(Value v) const
+{
+    if (isString(v))
+        return "\"" + stringOf(v.asAddr()) + "\"";
+    return coerceToString(v);
+}
+
+} // namespace vspec

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * VMContext: the bundle of simulated heap, map table, name table and
+ * canonical sentinel objects, plus typed constructors and accessors for
+ * every heap object kind (objects, arrays, strings, heap numbers,
+ * function cells). These accessors define the *semantics* the
+ * interpreter implements directly and the JIT implements by emitting
+ * loads/stores against the same layouts.
+ */
+
+#ifndef VSPEC_VM_OBJECTS_HH
+#define VSPEC_VM_OBJECTS_HH
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "vm/heap.hh"
+#include "vm/map.hh"
+
+namespace vspec
+{
+
+/** Fixed number of in-object property slots. MiniJS object literals are
+ *  closed-world (benchmarks we author), so a fixed capacity keeps the
+ *  layout simple without sacrificing any check behaviour. */
+constexpr u32 kObjectSlotCapacity = 16;
+
+class VMContext
+{
+  public:
+    explicit VMContext(u32 heap_size = 64u << 20);
+
+    Heap heap;
+    MapTable maps;
+    NameTable names;
+
+    // Canonical sentinels (immortal oddball objects).
+    Value undefinedValue;
+    Value nullValue;
+    Value trueValue;
+    Value falseValue;
+
+    /** Interrupt-request cell polled by JIT loop back edges (V8's
+     *  stack/interrupt check); always zero in vspec. */
+    Addr interruptCell = 0;
+
+    Value boolean(bool b) const { return b ? trueValue : falseValue; }
+
+    // ---- type queries -------------------------------------------------
+
+    MapId mapOf(Addr obj) const { return maps.byMapWord(heap.mapWordOf(obj)); }
+    InstanceType typeOf(Addr obj) const { return maps.info(mapOf(obj)).type; }
+
+    bool isNumber(Value v) const;
+    bool isString(Value v) const;
+    bool isArray(Value v) const;
+    bool isObject(Value v) const;
+    bool isFunction(Value v) const;
+    bool isOddball(Value v) const;
+    bool isHeapNumber(Value v) const;
+
+    // ---- numbers ------------------------------------------------------
+
+    /** Box @p d: SMI when integral and in range, else a HeapNumber. */
+    Value newNumber(double d);
+
+    /** Box an i64 the same way (covers SMI-overflow results). */
+    Value newInt(i64 v);
+
+    /** Numeric value of @p v. @pre isNumber(v). */
+    double numberOf(Value v) const;
+
+    Addr newHeapNumber(double d);
+
+    /** Immortal HeapNumber for constant pools (JIT-embeddable). */
+    Addr newImmortalHeapNumber(double d);
+
+    // ---- objects ------------------------------------------------------
+
+    Addr newObject();
+    Value getProperty(Addr obj, NameId name) const;
+    /** Store a property, transitioning the object's map if it is new. */
+    void setProperty(Addr obj, NameId name, Value v);
+    bool hasProperty(Addr obj, NameId name) const;
+
+    // ---- arrays -------------------------------------------------------
+
+    Addr newArray(ElementKind kind, u32 length, u32 capacity = 0);
+    u32 arrayLength(Addr arr) const;
+    ElementKind arrayKind(Addr arr) const;
+    Addr arrayElements(Addr arr) const;
+
+    /** Generic element load with JS semantics (undefined when OOB). */
+    Value arrayGet(Addr arr, i64 idx) const;
+
+    /**
+     * Generic element store: transitions element kind when a wider value
+     * is stored (Smi -> Double -> Tagged) and grows the backing store on
+     * append. Stores more than one past the end (holes) are rejected —
+     * MiniJS workloads only append densely.
+     */
+    void arraySet(Addr arr, i64 idx, Value v);
+
+    // ---- strings ------------------------------------------------------
+
+    /** Allocate a (mortal) string. */
+    Addr newString(std::string_view s);
+    /** Intern an immortal string (literals, property keys). */
+    Addr internString(std::string_view s);
+    u32 stringLength(Addr s) const { return heap.auxOf(s); }
+    std::string stringOf(Addr s) const;
+    bool stringEquals(Addr a, Addr b) const;
+
+    // ---- function cells -------------------------------------------------
+
+    Addr newFunctionCell(u32 function_id);
+    u32 functionIdOf(Addr cell) const { return heap.auxOf(cell); }
+
+    // ---- generic helpers ------------------------------------------------
+
+    bool truthy(Value v) const;
+    /** Abstract (loose) equality for the MiniJS subset. */
+    bool looseEquals(Value a, Value b) const;
+    bool strictEquals(Value a, Value b) const;
+    /** Human-readable rendering used by print() and result validation. */
+    std::string display(Value v) const;
+    /** ToString coercion for string concatenation. */
+    std::string coerceToString(Value v) const;
+
+    /** typeof operator result. */
+    std::string typeofString(Value v) const;
+
+  private:
+    Addr makeOddball();
+    void transitionArrayKind(Addr arr, ElementKind to);
+    void growArrayBacking(Addr arr, u32 min_capacity);
+
+    std::unordered_map<std::string, Addr> internTable;
+};
+
+/** Format a double the way MiniJS prints numbers (integers without
+ *  a fractional part, otherwise shortest %.12g). */
+std::string formatNumber(double d);
+
+} // namespace vspec
+
+#endif // VSPEC_VM_OBJECTS_HH

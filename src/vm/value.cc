@@ -1,0 +1,19 @@
+#include "vm/value.hh"
+
+#include <cstdio>
+
+namespace vspec
+{
+
+std::string
+Value::toString() const
+{
+    char buf[32];
+    if (isSmi())
+        std::snprintf(buf, sizeof(buf), "smi:%d", asSmi());
+    else
+        std::snprintf(buf, sizeof(buf), "obj:0x%x", asAddr());
+    return buf;
+}
+
+} // namespace vspec

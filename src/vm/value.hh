@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tagged 32-bit value representation, mirroring V8's pointer-compressed
+ * heap slots. The least-significant bit is the tag: if it is clear, the
+ * remaining 31 bits are a signed Small Integer (SMI); if it is set, the
+ * remaining bits are a (4-byte aligned) pointer into the simulated heap.
+ *
+ * This is exactly the representation whose checks the paper studies: a
+ * Not-a-SMI deoptimization check inspects the LSB, and using an SMI as a
+ * machine integer requires an untagging arithmetic right shift by one.
+ */
+
+#ifndef VSPEC_VM_VALUE_HH
+#define VSPEC_VM_VALUE_HH
+
+#include <string>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+/** Number of payload bits in an SMI (pointer-compression build of V8). */
+constexpr int kSmiBits = 31;
+
+/** Smallest and largest representable SMI payloads. */
+constexpr i32 kSmiMin = -(1 << (kSmiBits - 1));
+constexpr i32 kSmiMax = (1 << (kSmiBits - 1)) - 1;
+
+/** @return true iff @p v fits in an SMI payload. */
+constexpr bool
+smiFits(i64 v)
+{
+    return v >= kSmiMin && v <= kSmiMax;
+}
+
+/**
+ * A tagged heap slot. Wraps the raw 32-bit bit pattern; all predicates
+ * and conversions are branch-free bit operations so the host-side VM and
+ * the simulated machine code agree on the representation.
+ */
+class Value
+{
+  public:
+    Value() : bits_(0) {}
+
+    /** Wrap a raw tagged bit pattern (e.g. read from the heap). */
+    static Value fromBits(u32 bits) { Value v; v.bits_ = bits; return v; }
+
+    /** Tag an integer as an SMI. @pre smiFits(v). */
+    static Value
+    smi(i32 v)
+    {
+        vassert(smiFits(v), "SMI payload out of range");
+        Value r;
+        r.bits_ = static_cast<u32>(v) << 1;
+        return r;
+    }
+
+    /** Tag a heap address. @pre addr is 4-byte aligned and non-zero. */
+    static Value
+    heap(Addr addr)
+    {
+        vassert(addr != 0 && (addr & 3) == 0, "heap address must be aligned");
+        Value r;
+        r.bits_ = addr | 1u;
+        return r;
+    }
+
+    /** The canonical "hole"/unset slot (SMI 0 is a valid value; the VM
+     *  uses dedicated heap sentinels for undefined/null, see Heap). */
+    static Value zero() { return smi(0); }
+
+    bool isSmi() const { return (bits_ & 1u) == 0; }
+    bool isHeap() const { return (bits_ & 1u) != 0; }
+
+    /** Untag an SMI payload. @pre isSmi(). */
+    i32
+    asSmi() const
+    {
+        vassert(isSmi(), "asSmi on non-SMI value");
+        return static_cast<i32>(bits_) >> 1;
+    }
+
+    /** Untag a heap address. @pre isHeap(). */
+    Addr
+    asAddr() const
+    {
+        vassert(isHeap(), "asAddr on SMI value");
+        return bits_ & ~1u;
+    }
+
+    u32 bits() const { return bits_; }
+
+    bool operator==(const Value &o) const { return bits_ == o.bits_; }
+    bool operator!=(const Value &o) const { return bits_ != o.bits_; }
+
+    /** Debug rendering, e.g. "smi:42" or "obj:0x1234". */
+    std::string toString() const;
+
+  private:
+    u32 bits_;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_VM_VALUE_HH

@@ -1,0 +1,1384 @@
+#include "workloads/sources.hh"
+
+namespace vspec
+{
+namespace sources
+{
+
+// =====================================================================
+// Sparse linear algebra kernels (§II-C custom benchmarks)
+// =====================================================================
+
+const char *kSpmvCsrFloat = R"JS(
+var N = %SIZE%;
+var rowPtr = [];
+var cols = [];
+var vals = [];
+var xv = [];
+var yv = [];
+
+function setup() {
+    var nnz = 0;
+    for (var i = 0; i < N; i++) {
+        rowPtr.push(nnz);
+        for (var j = 0; j < 8; j++) {
+            cols.push((i * 7 + j * 37) % N);
+            vals.push(((i + j * 3) % 50) * 0.25 + 0.5);
+            nnz = nnz + 1;
+        }
+    }
+    rowPtr.push(nnz);
+    for (var k = 0; k < N; k++) {
+        xv.push((k % 40) * 0.125 + 1.0);
+        yv.push(0.0);
+    }
+}
+setup();
+
+function bench() {
+    var sum = 0.0;
+    for (var i = 0; i < N; i++) {
+        var acc = 0.0;
+        var lo = rowPtr[i];
+        var hi = rowPtr[i + 1];
+        for (var j = lo; j < hi; j++) {
+            acc = acc + vals[j] * xv[cols[j]];
+        }
+        yv[i] = acc;
+        sum = sum + acc;
+    }
+    return sum;
+}
+
+function verify() {
+    var s = 0.0;
+    for (var i = 0; i < N; i++) { s = s + yv[i]; }
+    return Math.floor(s * 100);
+}
+)JS";
+
+const char *kSpmvCsrInt = R"JS(
+var N = %SIZE%;
+var rowPtr = [];
+var cols = [];
+var vals = [];
+var xv = [];
+var yv = [];
+
+function setup() {
+    // "Large integers": values outside SMI range, stored as float64.
+    var big = 1099511627776;  // 2^40
+    var nnz = 0;
+    for (var i = 0; i < N; i++) {
+        rowPtr.push(nnz);
+        for (var j = 0; j < 8; j++) {
+            cols.push((i * 11 + j * 29) % N);
+            vals.push(big + (i + j) % 100);
+            nnz = nnz + 1;
+        }
+    }
+    rowPtr.push(nnz);
+    for (var k = 0; k < N; k++) {
+        xv.push(big + k % 64);
+        yv.push(0);
+    }
+}
+setup();
+
+function bench() {
+    var sum = 0.0;
+    for (var i = 0; i < N; i++) {
+        var acc = 0.0;
+        var lo = rowPtr[i];
+        var hi = rowPtr[i + 1];
+        for (var j = lo; j < hi; j++) {
+            acc = acc + vals[j] * xv[cols[j]];
+        }
+        yv[i] = acc;
+        sum = sum + acc % 1048576;
+    }
+    return sum;
+}
+
+function verify() {
+    var s = 0.0;
+    for (var i = 0; i < N; i++) { s = s + yv[i] % 65536; }
+    return Math.floor(s);
+}
+)JS";
+
+const char *kSpmvCsrSmi = R"JS(
+var N = %SIZE%;
+var rowPtr = [];
+var cols = [];
+var vals = [];
+var xv = [];
+var yv = [];
+
+function setup() {
+    var nnz = 0;
+    for (var i = 0; i < N; i++) {
+        rowPtr.push(nnz);
+        for (var j = 0; j < 8; j++) {
+            cols.push((i * 7 + j * 37) % N);
+            vals.push(((i + j * 3) % 50) + 1);
+            nnz = nnz + 1;
+        }
+    }
+    rowPtr.push(nnz);
+    for (var k = 0; k < N; k++) {
+        xv.push((k % 40) + 1);
+        yv.push(0);
+    }
+}
+setup();
+
+function bench() {
+    var sum = 0;
+    for (var i = 0; i < N; i++) {
+        var acc = 0;
+        var lo = rowPtr[i];
+        var hi = rowPtr[i + 1];
+        for (var j = lo; j < hi; j++) {
+            acc = acc + vals[j] * xv[cols[j]];
+        }
+        yv[i] = acc;
+        sum = (sum + acc) % 1048576;
+    }
+    return sum;
+}
+
+function verify() {
+    var s = 0;
+    for (var i = 0; i < N; i++) { s = (s + yv[i]) % 1048576; }
+    return s;
+}
+)JS";
+
+const char *kSpmm = R"JS(
+var N = %SIZE%;
+var M = 8;
+var rowPtr = [];
+var cols = [];
+var vals = [];
+var bmat = [];
+var cmat = [];
+
+function setup() {
+    var nnz = 0;
+    for (var i = 0; i < N; i++) {
+        rowPtr.push(nnz);
+        for (var j = 0; j < 6; j++) {
+            cols.push((i * 13 + j * 41) % N);
+            vals.push(((i + j) % 9) + 1);
+            nnz = nnz + 1;
+        }
+    }
+    rowPtr.push(nnz);
+    for (var p = 0; p < N * M; p++) {
+        bmat.push((p % 11) + 1);
+        cmat.push(0);
+    }
+}
+setup();
+
+function bench() {
+    for (var i = 0; i < N; i++) {
+        var lo = rowPtr[i];
+        var hi = rowPtr[i + 1];
+        for (var j = 0; j < M; j++) {
+            var acc = 0;
+            for (var k = lo; k < hi; k++) {
+                acc = acc + vals[k] * bmat[cols[k] * M + j];
+            }
+            cmat[i * M + j] = acc % 8192;
+        }
+    }
+    return cmat[(N - 1) * M + M - 1];
+}
+
+function verify() {
+    var s = 0;
+    for (var i = 0; i < N * M; i++) { s = (s + cmat[i]) % 1048576; }
+    return s;
+}
+)JS";
+
+const char *kMmul = R"JS(
+var N = %SIZE%;
+var am = [];
+var bm = [];
+var cm = [];
+
+function setup() {
+    for (var i = 0; i < N * N; i++) {
+        am.push((i % 13) + 1);
+        bm.push((i % 7) + 1);
+        cm.push(0);
+    }
+}
+setup();
+
+function bench() {
+    for (var i = 0; i < N; i++) {
+        for (var j = 0; j < N; j++) {
+            var acc = 0;
+            for (var k = 0; k < N; k++) {
+                acc = acc + am[i * N + k] * bm[k * N + j];
+            }
+            cm[i * N + j] = acc % 16384;
+        }
+    }
+    return cm[N * N - 1];
+}
+
+function verify() {
+    var s = 0;
+    for (var i = 0; i < N * N; i++) { s = (s + cm[i]) % 1048576; }
+    return s;
+}
+)JS";
+
+const char *kIm2col = R"JS(
+var W = %SIZE%;
+var H = %SIZE%;
+var K = 3;
+var img = [];
+var colsOut = [];
+
+function setup() {
+    for (var i = 0; i < W * H; i++) { img.push((i * 17) % 251); }
+    var outW = W - K + 1;
+    var outH = H - K + 1;
+    for (var i = 0; i < outW * outH * K * K; i++) { colsOut.push(0); }
+}
+setup();
+
+function bench() {
+    var outW = W - K + 1;
+    var outH = H - K + 1;
+    var idx = 0;
+    for (var y = 0; y < outH; y++) {
+        for (var x = 0; x < outW; x++) {
+            for (var ky = 0; ky < K; ky++) {
+                for (var kx = 0; kx < K; kx++) {
+                    colsOut[idx] = img[(y + ky) * W + (x + kx)];
+                    idx = idx + 1;
+                }
+            }
+        }
+    }
+    return idx;
+}
+
+function verify() {
+    var s = 0;
+    var n = colsOut.length;
+    for (var i = 0; i < n; i++) { s = (s + colsOut[i]) % 1048576; }
+    return s;
+}
+)JS";
+
+const char *kDotProduct = R"JS(
+var N = %SIZE%;
+var av = [];
+var bv = [];
+
+function setup() {
+    for (var i = 0; i < N; i++) {
+        av.push((i % 30) + 1);
+        bv.push((i % 25) + 1);
+    }
+}
+setup();
+
+function bench() {
+    var s = 0;
+    for (var i = 0; i < N; i++) {
+        s = (s + av[i] * bv[i]) % 65536;
+    }
+    return s;
+}
+
+function verify() { return bench(); }
+)JS";
+
+const char *kBlur = R"JS(
+var W = %SIZE%;
+var H = %SIZE%;
+var img = [];
+var out = [];
+
+function setup() {
+    for (var i = 0; i < W * H; i++) {
+        img.push((i * 31 + 7) % 256);
+        out.push(0);
+    }
+}
+setup();
+
+function bench() {
+    // 3x3 binomial blur on the interior; integer arithmetic with a
+    // final shift, all SMI.
+    for (var y = 1; y < H - 1; y++) {
+        for (var x = 1; x < W - 1; x++) {
+            var p = y * W + x;
+            var acc = img[p - W - 1] + 2 * img[p - W] + img[p - W + 1]
+                    + 2 * img[p - 1] + 4 * img[p] + 2 * img[p + 1]
+                    + img[p + W - 1] + 2 * img[p + W] + img[p + W + 1];
+            out[p] = acc >> 4;
+        }
+    }
+    return out[W + 1];
+}
+
+function verify() {
+    var s = 0;
+    for (var i = 0; i < W * H; i++) { s = (s + out[i]) % 1048576; }
+    return s;
+}
+)JS";
+
+// =====================================================================
+// Mathematical
+// =====================================================================
+
+const char *kNavierStokesLite = R"JS(
+var N = %SIZE%;
+var u0 = [];
+var u1 = [];
+
+function setup() {
+    for (var i = 0; i < N * N; i++) {
+        u0.push(((i * 13) % 97) * 0.01);
+        u1.push(0.0);
+    }
+}
+setup();
+
+function diffuse(src, dst) {
+    var a = 0.1;
+    for (var y = 1; y < N - 1; y++) {
+        for (var x = 1; x < N - 1; x++) {
+            var p = y * N + x;
+            dst[p] = (src[p] + a * (src[p - 1] + src[p + 1]
+                     + src[p - N] + src[p + N])) / (1.0 + 4.0 * a);
+        }
+    }
+}
+
+function bench() {
+    diffuse(u0, u1);
+    diffuse(u1, u0);
+    return u0[N + 1];
+}
+
+function verify() {
+    var s = 0.0;
+    for (var i = 0; i < N * N; i++) { s = s + u0[i]; }
+    return Math.floor(s * 1000);
+}
+)JS";
+
+const char *kNbody = R"JS(
+var COUNT = 5;
+var px = []; var py = []; var pz = [];
+var vx = []; var vy = []; var vz = [];
+var mass = [];
+
+function setup() {
+    var i = 0;
+    while (i < COUNT) {
+        px.push(i * 1.5 - 3.0); py.push(i * 0.7 - 1.2); pz.push(i * 0.3);
+        vx.push(0.01 * i); vy.push(0.02 * (COUNT - i)); vz.push(0.0);
+        mass.push(1.0 + 0.1 * i);
+        i = i + 1;
+    }
+}
+setup();
+
+function advance(dt) {
+    for (var i = 0; i < COUNT; i++) {
+        for (var j = i + 1; j < COUNT; j++) {
+            var dx = px[i] - px[j];
+            var dy = py[i] - py[j];
+            var dz = pz[i] - pz[j];
+            var d2 = dx * dx + dy * dy + dz * dz + 0.1;
+            var mag = dt / (d2 * Math.sqrt(d2));
+            vx[i] = vx[i] - dx * mass[j] * mag;
+            vy[i] = vy[i] - dy * mass[j] * mag;
+            vz[i] = vz[i] - dz * mass[j] * mag;
+            vx[j] = vx[j] + dx * mass[i] * mag;
+            vy[j] = vy[j] + dy * mass[i] * mag;
+            vz[j] = vz[j] + dz * mass[i] * mag;
+        }
+    }
+    for (var k = 0; k < COUNT; k++) {
+        px[k] = px[k] + dt * vx[k];
+        py[k] = py[k] + dt * vy[k];
+        pz[k] = pz[k] + dt * vz[k];
+    }
+}
+
+function bench() {
+    var steps = %SIZE%;
+    for (var s = 0; s < steps; s++) { advance(0.01); }
+    return px[0];
+}
+
+function energy() {
+    var e = 0.0;
+    for (var i = 0; i < COUNT; i++) {
+        e = e + 0.5 * mass[i]
+            * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+    }
+    return e;
+}
+
+function verify() { return Math.floor(energy() * 10000); }
+)JS";
+
+const char *kFftLite = R"JS(
+var N = %SIZE%;
+var re = [];
+var im = [];
+
+function setup() {
+    for (var i = 0; i < N; i++) {
+        re.push(Math.sin(i * 0.37) + 0.5 * Math.sin(i * 0.11));
+        im.push(0.0);
+    }
+}
+setup();
+
+function fft() {
+    // Iterative radix-2 Cooley-Tukey with bit-reversal permutation.
+    var n = N;
+    var j = 0;
+    for (var i = 1; i < n; i++) {
+        var bit = n >> 1;
+        while ((j & bit) != 0) {
+            j = j ^ bit;
+            bit = bit >> 1;
+        }
+        j = j | bit;
+        if (i < j) {
+            var tr = re[i]; re[i] = re[j]; re[j] = tr;
+            var ti = im[i]; im[i] = im[j]; im[j] = ti;
+        }
+    }
+    for (var len = 2; len <= n; len = len << 1) {
+        var ang = 6.283185307179586 / len;
+        var half = len >> 1;
+        for (var base = 0; base < n; base = base + len) {
+            for (var k = 0; k < half; k++) {
+                var wr = Math.cos(ang * k);
+                var wi = Math.sin(ang * k);
+                var p = base + k;
+                var q = p + half;
+                var xr = re[q] * wr - im[q] * wi;
+                var xi = re[q] * wi + im[q] * wr;
+                re[q] = re[p] - xr; im[q] = im[p] - xi;
+                re[p] = re[p] + xr; im[p] = im[p] + xi;
+            }
+        }
+    }
+}
+
+function bench() {
+    fft();
+    return re[1];
+}
+
+function verify() {
+    var s = 0.0;
+    for (var i = 0; i < N; i++) {
+        s = s + re[i] * re[i] + im[i] * im[i];
+    }
+    return Math.floor(s) % 1048576;
+}
+)JS";
+
+const char *kPrimeSieve = R"JS(
+var N = %SIZE%;
+var flags = [];
+
+function setup() {
+    for (var i = 0; i <= N; i++) { flags.push(1); }
+}
+setup();
+
+function bench() {
+    for (var i = 0; i <= N; i++) { flags[i] = 1; }
+    var count = 0;
+    for (var p = 2; p * p <= N; p++) {
+        if (flags[p] == 1) {
+            for (var q = p * p; q <= N; q = q + p) { flags[q] = 0; }
+        }
+    }
+    for (var k = 2; k <= N; k++) { count = count + flags[k]; }
+    return count;
+}
+
+function verify() { return bench(); }
+)JS";
+
+const char *kSpectralNorm = R"JS(
+var N = %SIZE%;
+var uvec = [];
+var vvec = [];
+var tmp = [];
+
+function setup() {
+    for (var i = 0; i < N; i++) { uvec.push(1.0); vvec.push(0.0); tmp.push(0.0); }
+}
+setup();
+
+function aElem(i, j) {
+    return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1);
+}
+
+function multiplyAv(src, dst) {
+    for (var i = 0; i < N; i++) {
+        var s = 0.0;
+        for (var j = 0; j < N; j++) { s = s + aElem(i, j) * src[j]; }
+        dst[i] = s;
+    }
+}
+
+function multiplyAtv(src, dst) {
+    for (var i = 0; i < N; i++) {
+        var s = 0.0;
+        for (var j = 0; j < N; j++) { s = s + aElem(j, i) * src[j]; }
+        dst[i] = s;
+    }
+}
+
+function bench() {
+    multiplyAv(uvec, tmp);
+    multiplyAtv(tmp, vvec);
+    var vbv = 0.0;
+    var vv = 0.0;
+    for (var i = 0; i < N; i++) {
+        vbv = vbv + uvec[i] * vvec[i];
+        vv = vv + vvec[i] * vvec[i];
+    }
+    return Math.sqrt(vbv / vv);
+}
+
+function verify() { return Math.floor(bench() * 1000000); }
+)JS";
+
+const char *kGrowingSum = R"JS(
+// Accumulates across iterations and crosses the SMI boundary mid-run:
+// the overflow check in optimized code *will* fire (deopt-eager), and
+// removing Arithmetic checks corrupts the result — one of the paper's
+// "cannot remove all checks" benchmarks.
+var total = 0;
+var STEP = %SIZE%;
+
+function bench() {
+    for (var i = 0; i < 1000; i++) {
+        total = total + STEP;
+    }
+    return total;
+}
+
+function verify() { return total % 9973; }
+)JS";
+
+// =====================================================================
+// Crypto
+// =====================================================================
+
+const char *kCrypModexp = R"JS(
+// Bignum-lite modular exponentiation with 15-bit limbs (products stay
+// far below the SMI boundary, like real JS bignum code).
+var LIMBS = %SIZE%;
+var base = [];
+var modulus = [];
+var result = [];
+var scratch = [];
+
+function setup() {
+    for (var i = 0; i < LIMBS; i++) {
+        base.push((i * 2311 + 17) % 32768);
+        modulus.push((i * 1999 + 259) % 32768);
+        result.push(0);
+        scratch.push(0);
+    }
+    modulus[LIMBS - 1] = 32767;
+}
+setup();
+
+function mulmod(a, b, out) {
+    // Schoolbook product of the low halves, reduced limb-wise: not real
+    // bignum math, but the same instruction mix (SMI mul + add + mod).
+    for (var i = 0; i < LIMBS; i++) { scratch[i] = 0; }
+    for (var i = 0; i < LIMBS; i++) {
+        var ai = a[i];
+        var carry = 0;
+        for (var j = 0; j < LIMBS - i; j++) {
+            var t = scratch[i + j] + ai * b[j] % 32768 + carry;
+            scratch[i + j] = t % 32768;
+            carry = (t - t % 32768) / 32768;
+        }
+    }
+    for (var k = 0; k < LIMBS; k++) {
+        out[k] = scratch[k] % (modulus[k] + 1);
+    }
+}
+
+function bench() {
+    for (var i = 0; i < LIMBS; i++) { result[i] = (i * 773 + 5) % 32768; }
+    for (var e = 0; e < 6; e++) {
+        mulmod(result, base, result);
+    }
+    var s = 0;
+    for (var i = 0; i < LIMBS; i++) { s = (s + result[i]) % 1048576; }
+    return s;
+}
+
+function verify() { return bench(); }
+)JS";
+
+const char *kAes2 = R"JS(
+// AES-like round function on SMI byte arrays: S-box lookups (indirect
+// SMI loads), shifts and XORs. Not real AES, same memory/check mix.
+var BLOCKS = %SIZE%;
+var sbox = [];
+var state = [];
+var keys = [];
+
+function setup() {
+    for (var i = 0; i < 256; i++) {
+        sbox.push((i * 7 + 99) % 256);
+    }
+    for (var b = 0; b < BLOCKS * 16; b++) {
+        state.push((b * 31) % 256);
+        keys.push((b * 57 + 3) % 256);
+    }
+}
+setup();
+
+function round(off) {
+    // SubBytes + ShiftRows-ish mix + AddRoundKey for one block.
+    for (var i = 0; i < 16; i++) {
+        state[off + i] = sbox[state[off + i]];
+    }
+    for (var c = 0; c < 4; c++) {
+        var a0 = state[off + c];
+        var a1 = state[off + 4 + (c + 1) % 4];
+        var a2 = state[off + 8 + (c + 2) % 4];
+        var a3 = state[off + 12 + (c + 3) % 4];
+        var m = a0 ^ a1 ^ a2 ^ a3;
+        state[off + c] = (a0 ^ m ^ keys[off + c]) & 255;
+        state[off + 4 + c] = (a1 ^ m ^ keys[off + 4 + c]) & 255;
+        state[off + 8 + c] = (a2 ^ m ^ keys[off + 8 + c]) & 255;
+        state[off + 12 + c] = (a3 ^ m ^ keys[off + 12 + c]) & 255;
+    }
+}
+
+function bench() {
+    for (var b = 0; b < BLOCKS; b++) {
+        for (var r = 0; r < 10; r++) {
+            round(b * 16);
+        }
+    }
+    return state[0];
+}
+
+function verify() {
+    var s = 0;
+    var n = state.length;
+    for (var i = 0; i < n; i++) { s = (s + state[i] * (i % 7 + 1)) % 1048576; }
+    return s;
+}
+)JS";
+
+const char *kHashFnv = R"JS(
+// FNV-style rolling hash masked to stay within SMI range.
+var N = %SIZE%;
+var data = [];
+var hashes = [];
+
+function setup() {
+    for (var i = 0; i < N; i++) { data.push((i * 131 + 7) % 256); }
+    for (var j = 0; j < 64; j++) { hashes.push(0); }
+}
+setup();
+
+function bench() {
+    for (var h = 0; h < 64; h++) {
+        var acc = 2166136 + h;
+        for (var i = 0; i < N; i++) {
+            acc = ((acc ^ data[i]) * 167) & 268435455;
+        }
+        hashes[h] = acc;
+    }
+    return hashes[63];
+}
+
+function verify() {
+    var s = 0;
+    for (var i = 0; i < 64; i++) { s = (s + hashes[i]) % 1048576; }
+    return s;
+}
+)JS";
+
+const char *kCrc32 = R"JS(
+// Table-driven CRC-32 over full 32-bit words: values leave SMI range,
+// so steady-state code runs on the Number path with precision checks.
+var N = %SIZE%;
+var table = [];
+var data = [];
+var crcOut = 0;
+
+function setup() {
+    for (var n = 0; n < 256; n++) {
+        var c = n;
+        for (var k = 0; k < 8; k++) {
+            if ((c & 1) == 1) {
+                c = 3988292384 ^ (c >>> 1);
+            } else {
+                c = c >>> 1;
+            }
+        }
+        table.push(c);
+    }
+    for (var i = 0; i < N; i++) { data.push((i * 89 + 21) % 256); }
+}
+setup();
+
+function bench() {
+    var c = -1;
+    for (var i = 0; i < N; i++) {
+        c = table[(c ^ data[i]) & 255] ^ (c >>> 8);
+    }
+    crcOut = (c ^ -1) & 1048575;
+    return crcOut;
+}
+
+function verify() { return bench(); }
+)JS";
+
+// =====================================================================
+// String manipulation
+// =====================================================================
+
+const char *kStrBuild = R"JS(
+var N = %SIZE%;
+var words = [];
+var built = "";
+
+function setup() {
+    for (var i = 0; i < 16; i++) {
+        words.push("w" + i + "x");
+    }
+}
+setup();
+
+function bench() {
+    var s = "";
+    for (var i = 0; i < N; i++) {
+        s = s + words[i % 16];
+        if (s.length > 512) { s = s.substring(0, 32); }
+    }
+    built = s;
+    return s.length;
+}
+
+function verify() {
+    var s = 0;
+    var n = built.length;
+    for (var i = 0; i < n; i++) { s = (s + built.charCodeAt(i) * (i + 1)) % 1048576; }
+    return s;
+}
+)JS";
+
+const char *kStrEq = R"JS(
+var N = %SIZE%;
+var keys = [];
+var probes = [];
+var hits = 0;
+
+function setup() {
+    for (var i = 0; i < N; i++) {
+        keys.push("key_" + (i % 64) + "_suffix");
+        probes.push("key_" + ((i * 3) % 96) + "_suffix");
+    }
+}
+setup();
+
+function bench() {
+    var count = 0;
+    for (var i = 0; i < N; i++) {
+        for (var j = 0; j < 8; j++) {
+            if (probes[i] == keys[(i + j * 17) % N]) {
+                count = count + 1;
+            }
+        }
+    }
+    hits = count;
+    return count;
+}
+
+function verify() { return bench(); }
+)JS";
+
+const char *kBase64 = R"JS(
+var N = %SIZE%;
+var alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+var input = "";
+var encoded = "";
+
+function setup() {
+    var s = "";
+    for (var i = 0; i < N; i++) {
+        s = s + String.fromCharCode(33 + (i * 7) % 90);
+    }
+    input = s;
+}
+setup();
+
+function bench() {
+    var out = "";
+    var n = input.length - input.length % 3;
+    for (var i = 0; i < n; i = i + 3) {
+        var b0 = input.charCodeAt(i);
+        var b1 = input.charCodeAt(i + 1);
+        var b2 = input.charCodeAt(i + 2);
+        var triple = b0 * 65536 + b1 * 256 + b2;
+        out = out + alphabet.charAt((triple >> 18) & 63)
+                  + alphabet.charAt((triple >> 12) & 63)
+                  + alphabet.charAt((triple >> 6) & 63)
+                  + alphabet.charAt(triple & 63);
+    }
+    encoded = out;
+    return out.length;
+}
+
+function verify() {
+    var s = 0;
+    var n = encoded.length;
+    for (var i = 0; i < n; i++) { s = (s + encoded.charCodeAt(i)) % 1048576; }
+    return s;
+}
+)JS";
+
+const char *kTagCase = R"JS(
+var N = %SIZE%;
+var lines = [];
+var outCount = 0;
+
+function setup() {
+    for (var i = 0; i < N; i++) {
+        lines.push("alpha,beta_" + i + ",gamma,delta_" + (i % 13) + ",eps");
+    }
+}
+setup();
+
+function bench() {
+    var total = 0;
+    for (var i = 0; i < N; i++) {
+        var parts = lines[i].split(",");
+        var m = parts.length;
+        for (var j = 0; j < m; j++) {
+            var p = parts[j];
+            if (p.indexOf("_") >= 0) {
+                total = total + p.length;
+            }
+        }
+    }
+    outCount = total;
+    return total;
+}
+
+function verify() { return bench(); }
+)JS";
+
+// =====================================================================
+// Regular expressions (executed by the irregexp-lite builtin)
+// =====================================================================
+
+const char *kRegexDna = R"JS(
+var N = %SIZE%;
+var dna = "";
+
+function setup() {
+    var bases = "acgt";
+    var s = "";
+    for (var i = 0; i < N; i++) {
+        s = s + bases.charAt((i * 7 + i * i % 5) % 4);
+    }
+    dna = s;
+}
+setup();
+
+function bench() {
+    var c = 0;
+    c = c + reCount("agggtaaa|tttaccct", dna);
+    c = c + reCount("[cgt]gggtaaa|tttaccc[acg]", dna);
+    c = c + reCount("aggg[acg]aaa|ttt[cgt]ccct", dna);
+    c = c + reCount("gg(ta)+a", dna);
+    c = c + reCount("c[at]g", dna);
+    return c;
+}
+
+function verify() { return bench(); }
+)JS";
+
+const char *kRegexLog = R"JS(
+var N = %SIZE%;
+var logLines = [];
+
+function setup() {
+    for (var i = 0; i < N; i++) {
+        var sev = i % 3 == 0 ? "ERROR" : (i % 3 == 1 ? "WARN" : "INFO");
+        logLines.push("2021-07-" + (i % 28 + 1) + " " + sev
+                      + " svc" + (i % 9) + ": request id=" + (i * 37 % 10000)
+                      + " latency=" + (i % 450) + "ms");
+    }
+}
+setup();
+
+function bench() {
+    var errors = 0;
+    var slow = 0;
+    for (var i = 0; i < N; i++) {
+        if (reTest("ERROR", logLines[i])) { errors = errors + 1; }
+        if (reTest("latency=[34]\\d\\dms", logLines[i])) { slow = slow + 1; }
+    }
+    return errors * 1000 + slow;
+}
+
+function verify() { return bench(); }
+)JS";
+
+const char *kRegexRedact = R"JS(
+var N = %SIZE%;
+var doc = "";
+var redacted = "";
+
+function setup() {
+    var s = "";
+    for (var i = 0; i < N; i++) {
+        s = s + "user" + i + " mail a" + i + "@x.com card 4" + (1000 + i % 9000) + " ok. ";
+    }
+    doc = s;
+}
+setup();
+
+function bench() {
+    var r = reReplace("\\w+@\\w+\\.\\w+", doc, "<mail>");
+    r = reReplace("4\\d\\d\\d\\d", r, "<card>");
+    redacted = r;
+    return r.length;
+}
+
+function verify() {
+    var s = 0;
+    var n = redacted.length;
+    var i = 0;
+    while (i < n) { s = (s + redacted.charCodeAt(i)) % 1048576; i = i + 17; }
+    return s;
+}
+)JS";
+
+// =====================================================================
+// Language parsing
+// =====================================================================
+
+const char *kJsonParse = R"JS(
+var N = %SIZE%;
+var text = "";
+var pos = 0;
+var total = 0;
+
+function setup() {
+    var s = "[";
+    for (var i = 0; i < N; i++) {
+        if (i > 0) { s = s + ","; }
+        s = s + "{\"id\":" + i + ",\"val\":" + (i * 31 % 997)
+              + ",\"tag\":\"t" + (i % 7) + "\"}";
+    }
+    text = s + "]";
+}
+setup();
+
+function skipWs() {
+    while (pos < text.length) {
+        var c = text.charCodeAt(pos);
+        if (c != 32 && c != 9 && c != 10) { break; }
+        pos = pos + 1;
+    }
+}
+
+function parseValue() {
+    skipWs();
+    var c = text.charCodeAt(pos);
+    if (c == 91) { return parseArray(); }
+    if (c == 123) { return parseObject(); }
+    if (c == 34) { return parseString(); }
+    return parseNumber();
+}
+
+function parseArray() {
+    pos = pos + 1;
+    var arr = [];
+    skipWs();
+    if (text.charCodeAt(pos) == 93) { pos = pos + 1; return arr; }
+    while (true) {
+        arr.push(parseValue());
+        skipWs();
+        var c = text.charCodeAt(pos);
+        pos = pos + 1;
+        if (c == 93) { break; }
+    }
+    return arr;
+}
+
+function parseObject() {
+    pos = pos + 1;
+    var obj = { id: 0, val: 0, tag: "" };
+    skipWs();
+    if (text.charCodeAt(pos) == 125) { pos = pos + 1; return obj; }
+    while (true) {
+        skipWs();
+        var key = parseString();
+        skipWs();
+        pos = pos + 1;  // ':'
+        var v = parseValue();
+        if (key == "id") { obj.id = v; }
+        if (key == "val") { obj.val = v; }
+        if (key == "tag") { obj.tag = v; }
+        skipWs();
+        var c = text.charCodeAt(pos);
+        pos = pos + 1;
+        if (c == 125) { break; }
+    }
+    return obj;
+}
+
+function parseString() {
+    pos = pos + 1;  // opening quote
+    var start = pos;
+    while (text.charCodeAt(pos) != 34) { pos = pos + 1; }
+    var s = text.substring(start, pos);
+    pos = pos + 1;
+    return s;
+}
+
+function parseNumber() {
+    var start = pos;
+    while (pos < text.length) {
+        var c = text.charCodeAt(pos);
+        if (c < 48 || c > 57) { break; }
+        pos = pos + 1;
+    }
+    return parseInt(text.substring(start, pos));
+}
+
+function bench() {
+    pos = 0;
+    var arr = parseValue();
+    var s = 0;
+    var n = arr.length;
+    for (var i = 0; i < n; i++) {
+        s = (s + arr[i].val) % 1048576;
+    }
+    total = s;
+    return s;
+}
+
+function verify() { return total; }
+)JS";
+
+const char *kCodeLoad = R"JS(
+// Multi-Inspector-Code-Load-like: repeatedly lex a large synthetic
+// "program" string (cache-hostile sequential character processing).
+var N = %SIZE%;
+var program = "";
+
+function setup() {
+    var s = "";
+    for (var i = 0; i < N; i++) {
+        s = s + "function f" + i + "(a, b) { return a * " + (i % 97)
+              + " + b - " + (i % 13) + "; } ";
+    }
+    program = s;
+}
+setup();
+
+function bench() {
+    var idents = 0;
+    var numbers = 0;
+    var puncts = 0;
+    var i = 0;
+    var n = program.length;
+    while (i < n) {
+        var c = program.charCodeAt(i);
+        if ((c >= 97 && c <= 122) || (c >= 65 && c <= 90)) {
+            idents = idents + 1;
+            while (i < n) {
+                c = program.charCodeAt(i);
+                if (!((c >= 97 && c <= 122) || (c >= 65 && c <= 90)
+                      || (c >= 48 && c <= 57))) { break; }
+                i = i + 1;
+            }
+        } else if (c >= 48 && c <= 57) {
+            numbers = numbers + 1;
+            while (i < n) {
+                c = program.charCodeAt(i);
+                if (c < 48 || c > 57) { break; }
+                i = i + 1;
+            }
+        } else if (c == 32) {
+            i = i + 1;
+        } else {
+            puncts = puncts + 1;
+            i = i + 1;
+        }
+    }
+    return idents * 10000 + numbers * 100 + puncts % 100;
+}
+
+function verify() { return bench(); }
+)JS";
+
+const char *kCsvParse = R"JS(
+var N = %SIZE%;
+var csv = [];
+var sum = 0;
+
+function setup() {
+    for (var i = 0; i < N; i++) {
+        csv.push(i + "," + (i * 7 % 1000) + "," + (i * 13 % 500) + ","
+                 + (i % 2 == 0 ? "yes" : "no"));
+    }
+}
+setup();
+
+function bench() {
+    var s = 0;
+    for (var i = 0; i < N; i++) {
+        var f = csv[i].split(",");
+        var a = parseInt(f[0]);
+        var b = parseInt(f[1]);
+        var c = parseInt(f[2]);
+        if (f[3] == "yes") {
+            s = (s + a + b * 2 + c * 3) % 1048576;
+        }
+    }
+    sum = s;
+    return s;
+}
+
+function verify() { return sum; }
+)JS";
+
+// =====================================================================
+// Object-heavy
+// =====================================================================
+
+const char *kRichardsLite = R"JS(
+// Richards-like task scheduler: queues of task objects with state
+// flags, exercising monomorphic property loads/stores and method-style
+// calls through function-valued properties.
+var N = %SIZE%;
+var tasks = [];
+var queueHead = 0;
+var workDone = 0;
+
+function makeTask(id, priority) {
+    return { id: id, priority: priority, state: 0, work: 0, next: -1 };
+}
+
+function setup() {
+    for (var i = 0; i < 16; i++) {
+        tasks.push(makeTask(i, i % 4));
+    }
+}
+setup();
+
+function runTask(t) {
+    t.work = (t.work + t.priority * 3 + 1) % 4096;
+    t.state = (t.state + 1) % 3;
+    return t.work;
+}
+
+function bench() {
+    var done = 0;
+    for (var round = 0; round < N; round++) {
+        for (var i = 0; i < 16; i++) {
+            var t = tasks[i];
+            if (t.state == 0 || t.state == 1) {
+                done = (done + runTask(t)) % 1048576;
+            } else {
+                t.state = 0;
+            }
+        }
+    }
+    workDone = done;
+    return done;
+}
+
+function verify() {
+    var s = workDone;
+    for (var i = 0; i < 16; i++) {
+        s = (s + tasks[i].work * (i + 1) + tasks[i].state) % 1048576;
+    }
+    return s;
+}
+)JS";
+
+const char *kSplayLite = R"JS(
+// Splay-tree-like binary search tree with root-insertion (simple
+// splaying): allocates node objects, walks pointer chains — GC churn
+// plus map checks, like the original Splay benchmark.
+var N = %SIZE%;
+var root = null;
+var seedState = 7;
+
+function rnd() {
+    seedState = (seedState * 16807) % 2147483647;
+    return seedState % 65536;
+}
+
+function makeNode(k) {
+    return { key: k, left: null, right: null };
+}
+
+function insert(node, k) {
+    if (node == null) { return makeNode(k); }
+    var cur = node;
+    while (true) {
+        if (k < cur.key) {
+            if (cur.left == null) { cur.left = makeNode(k); break; }
+            cur = cur.left;
+        } else if (k > cur.key) {
+            if (cur.right == null) { cur.right = makeNode(k); break; }
+            cur = cur.right;
+        } else {
+            break;
+        }
+    }
+    return node;
+}
+
+function find(node, k) {
+    var cur = node;
+    var depth = 0;
+    while (cur != null) {
+        depth = depth + 1;
+        if (k < cur.key) { cur = cur.left; }
+        else if (k > cur.key) { cur = cur.right; }
+        else { return depth; }
+    }
+    return -depth;
+}
+
+function bench() {
+    root = null;
+    seedState = 7;
+    for (var i = 0; i < N; i++) {
+        root = insert(root, rnd());
+    }
+    var acc = 0;
+    seedState = 7;
+    for (var j = 0; j < N; j++) {
+        acc = (acc + find(root, rnd()) + 128) % 1048576;
+    }
+    return acc;
+}
+
+function verify() { return bench(); }
+)JS";
+
+const char *kPolyShapes = R"JS(
+// Polymorphic shapes: a new object shape is introduced after the site
+// has been optimized as monomorphic, forcing WrongMap deopts in normal
+// execution flow — removing Type checks corrupts this benchmark.
+var N = %SIZE%;
+var items = [];
+var phase = 0;
+
+function makeA(v) { return { kind: 1, value: v }; }
+function makeB(v) { return { tag: 0, kind: 2, value: v }; }
+function makeC(v) { return { pad1: 0, pad2: 0, kind: 3, value: v }; }
+
+function setup() {
+    for (var i = 0; i < 64; i++) {
+        items.push(makeA(i % 100));
+    }
+}
+setup();
+
+function bench() {
+    phase = phase + 1;
+    // After a while, start mixing in new shapes at the same load site.
+    if (phase == 30) {
+        for (var i = 0; i < 64; i = i + 3) { items[i] = makeB(i % 90); }
+    }
+    if (phase == 60) {
+        for (var i = 1; i < 64; i = i + 3) { items[i] = makeC(i % 80); }
+    }
+    var s = 0;
+    for (var r = 0; r < N; r++) {
+        for (var i = 0; i < 64; i++) {
+            var it = items[i];
+            s = (s + it.value * it.kind) % 1048576;
+        }
+    }
+    return s;
+}
+
+function verify() {
+    var s = 0;
+    for (var i = 0; i < 64; i++) {
+        s = (s + items[i].value * items[i].kind * (i + 1)) % 1048576;
+    }
+    return s;
+}
+)JS";
+
+const char *kKindShift = R"JS(
+// Element-kind transition in normal flow: an SMI array receives a
+// double mid-run. The optimized store speculates on the SMI-kind map
+// and must deopt; with Type/SMI checks removed the store corrupts the
+// array.
+var N = %SIZE%;
+var data = [];
+var phase = 0;
+
+function setup() {
+    for (var i = 0; i < 256; i++) { data.push(i % 50); }
+}
+setup();
+
+function bench() {
+    phase = phase + 1;
+    var scale = 1;
+    if (phase == 40) {
+        data[7] = 2.5;  // SMI -> Double transition, mid-run
+    }
+    var s = 0;
+    for (var r = 0; r < N; r++) {
+        for (var i = 0; i < 256; i++) {
+            data[i] = data[i] + 1 - 1;
+            s = s + data[i] * scale;
+        }
+        s = s % 1048576;
+    }
+    return Math.floor(s);
+}
+
+function verify() {
+    var s = 0.0;
+    for (var i = 0; i < 256; i++) { s = s + data[i] * (i + 1); }
+    return Math.floor(s) % 1048576;
+}
+)JS";
+
+} // namespace sources
+} // namespace vspec

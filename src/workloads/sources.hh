@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Raw MiniJS sources for every workload in the suite. Kept separate
+ * from the registry (suite.cc) so the texts are easy to review. Each
+ * source defines top-level setup, `bench()` and `verify()`; `%SIZE%`
+ * is replaced with the workload's size parameter.
+ */
+
+#ifndef VSPEC_WORKLOADS_SOURCES_HH
+#define VSPEC_WORKLOADS_SOURCES_HH
+
+namespace vspec
+{
+namespace sources
+{
+
+// Sparse linear algebra (the paper's custom kernels, §II-C).
+extern const char *kSpmvCsrFloat;
+extern const char *kSpmvCsrInt;
+extern const char *kSpmvCsrSmi;
+extern const char *kSpmm;
+extern const char *kMmul;
+extern const char *kIm2col;
+extern const char *kDotProduct;
+extern const char *kBlur;
+
+// Mathematical.
+extern const char *kNavierStokesLite;
+extern const char *kNbody;
+extern const char *kFftLite;
+extern const char *kPrimeSieve;
+extern const char *kSpectralNorm;
+extern const char *kGrowingSum;
+
+// Crypto.
+extern const char *kCrypModexp;
+extern const char *kAes2;
+extern const char *kHashFnv;
+extern const char *kCrc32;
+
+// String manipulation.
+extern const char *kStrBuild;
+extern const char *kStrEq;
+extern const char *kBase64;
+extern const char *kTagCase;
+
+// Regular expressions.
+extern const char *kRegexDna;
+extern const char *kRegexLog;
+extern const char *kRegexRedact;
+
+// Language parsing.
+extern const char *kJsonParse;
+extern const char *kCodeLoad;
+extern const char *kCsvParse;
+
+// Object-heavy.
+extern const char *kRichardsLite;
+extern const char *kSplayLite;
+extern const char *kPolyShapes;
+extern const char *kKindShift;
+
+} // namespace sources
+} // namespace vspec
+
+#endif // VSPEC_WORKLOADS_SOURCES_HH

@@ -1,0 +1,158 @@
+#include "workloads/suite.hh"
+
+#include "workloads/sources.hh"
+
+namespace vspec
+{
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::Sparse: return "sparse";
+      case Category::Math: return "math";
+      case Category::Crypto: return "crypto";
+      case Category::String: return "string";
+      case Category::Regex: return "regex";
+      case Category::Parsing: return "parsing";
+      case Category::Objects: return "objects";
+    }
+    return "?";
+}
+
+namespace
+{
+
+Workload
+make(const char *name, const char *tag, Category cat, const char *src,
+     u32 default_size, u32 gem5_size = 0)
+{
+    Workload w;
+    w.name = name;
+    w.tag = tag;
+    w.category = cat;
+    w.source = src;
+    w.defaultSize = default_size;
+    w.gem5Size = gem5_size != 0 ? gem5_size : default_size / 4;
+    w.inGem5Subset = gem5_size != 0;
+    return w;
+}
+
+std::vector<Workload>
+buildSuite()
+{
+    using namespace sources;
+    std::vector<Workload> s;
+
+    // Sparse linear algebra (§II-C custom kernels). gem5 sizes are
+    // small enough for the detailed models (§V).
+    s.push_back(make("SPMV-CSR-FLOAT", "SPF", Category::Sparse,
+                     kSpmvCsrFloat, 192));
+    s.push_back(make("SPMV-CSR-INT", "SPI", Category::Sparse,
+                     kSpmvCsrInt, 192));
+    s.push_back(make("SPMV-CSR-SMI", "SPS", Category::Sparse,
+                     kSpmvCsrSmi, 192, 96));
+    s.push_back(make("SPMM", "SPM", Category::Sparse, kSpmm, 96, 48));
+    s.push_back(make("MMUL", "MML", Category::Sparse, kMmul, 24, 16));
+    s.push_back(make("IM2COL", "I2C", Category::Sparse, kIm2col, 28, 18));
+    s.push_back(make("DP", "DP", Category::Sparse, kDotProduct,
+                     2048, 1024));
+    s.push_back(make("BLUR", "BLR", Category::Sparse, kBlur, 40, 24));
+
+    // Mathematical.
+    s.push_back(make("NAVIER-STOKES", "NS", Category::Math,
+                     kNavierStokesLite, 36));
+    s.push_back(make("NBODY", "NBD", Category::Math, kNbody, 24));
+    s.push_back(make("FFT", "FFT", Category::Math, kFftLite, 256));
+    s.push_back(make("PRIME-SIEVE", "PRM", Category::Math, kPrimeSieve,
+                     2000));
+    s.push_back(make("SPECTRAL-NORM", "SNR", Category::Math,
+                     kSpectralNorm, 24));
+    s.push_back(make("GROWING-SUM", "GRW", Category::Math, kGrowingSum,
+                     70000));
+
+    // Crypto.
+    s.push_back(make("CRYP-MODEXP", "CRY", Category::Crypto, kCrypModexp,
+                     20));
+    s.push_back(make("AES2", "AE2", Category::Crypto, kAes2, 16, 8));
+    s.push_back(make("HASH-FNV", "HSH", Category::Crypto, kHashFnv,
+                     128, 64));
+    s.push_back(make("CRC32", "CRC", Category::Crypto, kCrc32, 1024));
+
+    // String manipulation.
+    s.push_back(make("STR-BUILD", "STB", Category::String, kStrBuild,
+                     400));
+    s.push_back(make("STR-EQ", "STQ", Category::String, kStrEq, 96));
+    s.push_back(make("BASE64", "B64", Category::String, kBase64, 600));
+    s.push_back(make("TAGCASE", "TAG", Category::String, kTagCase, 96));
+
+    // Regular expressions.
+    s.push_back(make("REGEX-DNA", "RXD", Category::Regex, kRegexDna,
+                     600));
+    s.push_back(make("REGEX-LOG", "RXL", Category::Regex, kRegexLog, 64));
+    s.push_back(make("REGEX-REDACT", "RXR", Category::Regex,
+                     kRegexRedact, 48));
+
+    // Language parsing.
+    s.push_back(make("JSON-PARSE", "JSN", Category::Parsing, kJsonParse,
+                     80));
+    s.push_back(make("CODE-LOAD", "MICL", Category::Parsing, kCodeLoad,
+                     64));
+    s.push_back(make("CSV-PARSE", "CSV", Category::Parsing, kCsvParse,
+                     96));
+
+    // Object-heavy.
+    s.push_back(make("RICHARDS", "RICH", Category::Objects,
+                     kRichardsLite, 48));
+    s.push_back(make("SPLAY", "SPL", Category::Objects, kSplayLite, 256));
+    s.push_back(make("POLY-SHAPES", "PLY", Category::Objects,
+                     kPolyShapes, 12));
+    s.push_back(make("KIND-SHIFT", "KND", Category::Objects, kKindShift,
+                     10));
+
+    return s;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+suite()
+{
+    static const std::vector<Workload> s = buildSuite();
+    return s;
+}
+
+std::vector<const Workload *>
+gem5Subset()
+{
+    std::vector<const Workload *> out;
+    for (const Workload &w : suite()) {
+        if (w.inGem5Subset)
+            out.push_back(&w);
+    }
+    return out;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : suite()) {
+        if (w.name == name || w.tag == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+std::string
+instantiate(const Workload &w, u32 size)
+{
+    std::string out = w.source;
+    const std::string token = "%SIZE%";
+    size_t at;
+    std::string repl = std::to_string(size != 0 ? size : w.defaultSize);
+    while ((at = out.find(token)) != std::string::npos)
+        out.replace(at, token.size(), repl);
+    return out;
+}
+
+} // namespace vspec

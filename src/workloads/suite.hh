@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The extended benchmark suite: MiniJS workloads across the same
+ * categories as the paper's extended JetStream2 (mathematical, crypto,
+ * string manipulation, regular expressions, language parsing,
+ * object-heavy) plus the custom sparse linear-algebra kernels (§II-C)
+ * and the SMI-intensive gem5 subset of §V.
+ *
+ * Protocol: each workload's top-level code performs setup; `bench()`
+ * is called once per iteration; `verify()` returns a deterministic
+ * checksum used to detect corrupted executions when checks are
+ * removed.
+ */
+
+#ifndef VSPEC_WORKLOADS_SUITE_HH
+#define VSPEC_WORKLOADS_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+enum class Category : u8
+{
+    Sparse,
+    Math,
+    Crypto,
+    String,
+    Regex,
+    Parsing,
+    Objects,
+};
+
+const char *categoryName(Category c);
+
+struct Workload
+{
+    std::string name;       //!< long name, e.g. "SPMV-CSR-SMI"
+    std::string tag;        //!< short tag used in tables, e.g. "SPS"
+    Category category = Category::Math;
+    std::string source;     //!< MiniJS, with %SIZE% placeholder
+
+    u32 defaultSize = 0;    //!< substituted for %SIZE% by default
+    u32 gem5Size = 0;       //!< smaller size for detailed-model runs
+    bool inGem5Subset = false;  //!< §V SMI-intensive selection
+};
+
+/** The full suite, in canonical order. */
+const std::vector<Workload> &suite();
+
+/** Workloads of the §V gem5 subset. */
+std::vector<const Workload *> gem5Subset();
+
+/** Find by name; nullptr when absent. */
+const Workload *findWorkload(const std::string &name);
+
+/** Source text with %SIZE% substituted. */
+std::string instantiate(const Workload &w, u32 size);
+
+} // namespace vspec
+
+#endif // VSPEC_WORKLOADS_SUITE_HH

@@ -1,0 +1,107 @@
+/** @file Builtin function semantics (through the engine). */
+
+#include <gtest/gtest.h>
+
+#include "runtime/engine.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+std::string
+evalExpr(const std::string &expr)
+{
+    Engine engine{EngineConfig{}};
+    engine.loadProgram("function bench() { return " + expr + "; }");
+    return engine.vm.display(engine.call("bench"));
+}
+
+} // namespace
+
+TEST(Builtins, MathFunctions)
+{
+    EXPECT_EQ(evalExpr("Math.floor(2.7)"), "2");
+    EXPECT_EQ(evalExpr("Math.floor(-2.1)"), "-3");
+    EXPECT_EQ(evalExpr("Math.ceil(2.1)"), "3");
+    EXPECT_EQ(evalExpr("Math.round(2.5)"), "3");
+    EXPECT_EQ(evalExpr("Math.abs(-7)"), "7");
+    EXPECT_EQ(evalExpr("Math.sqrt(144)"), "12");
+    EXPECT_EQ(evalExpr("Math.min(3, 1, 2)"), "1");
+    EXPECT_EQ(evalExpr("Math.max(3, 9, 2)"), "9");
+    EXPECT_EQ(evalExpr("Math.pow(2, 10)"), "1024");
+    EXPECT_EQ(evalExpr("Math.floor(Math.sin(0) * 100)"), "0");
+    EXPECT_EQ(evalExpr("Math.floor(Math.cos(0) * 100)"), "100");
+    EXPECT_EQ(evalExpr("Math.floor(Math.log(Math.exp(2)) * 10)"), "20");
+}
+
+TEST(Builtins, StringMethods)
+{
+    EXPECT_EQ(evalExpr("\"hello\".length"), "5");
+    EXPECT_EQ(evalExpr("\"abc\".charCodeAt(1)"), "98");
+    EXPECT_EQ(evalExpr("\"abc\".charAt(2)"), "\"c\"");
+    EXPECT_EQ(evalExpr("\"hello\".substring(1, 3)"), "\"el\"");
+    EXPECT_EQ(evalExpr("\"hello\".indexOf(\"ll\")"), "2");
+    EXPECT_EQ(evalExpr("\"hello\".indexOf(\"z\")"), "-1");
+    EXPECT_EQ(evalExpr("String.fromCharCode(72, 105)"), "\"Hi\"");
+    EXPECT_EQ(evalExpr("\"a,b,,c\".split(\",\").length"), "4");
+    EXPECT_EQ(evalExpr("\"a,b\".split(\",\")[1]"), "\"b\"");
+    EXPECT_EQ(evalExpr("\"abc\".charCodeAt(99) + \"\""), "\"NaN\"");
+}
+
+TEST(Builtins, ArrayMethods)
+{
+    EXPECT_EQ(evalExpr("[1, 2, 3].join(\"-\")"), "\"1-2-3\"");
+    EXPECT_EQ(evalExpr("[5, 6].indexOf(6)"), "1");
+    EXPECT_EQ(evalExpr("[5, 6].indexOf(7)"), "-1");
+    Engine engine{EngineConfig{}};
+    engine.loadProgram(R"JS(
+function bench() {
+    var a = [1];
+    a.push(2);
+    a.push(3);
+    var popped = a.pop();
+    return a.length * 100 + popped;
+}
+)JS");
+    EXPECT_EQ(engine.vm.display(engine.call("bench")), "203");
+}
+
+TEST(Builtins, ParseIntFloat)
+{
+    EXPECT_EQ(evalExpr("parseInt(\"42\")"), "42");
+    EXPECT_EQ(evalExpr("parseInt(\"ff\", 16)"), "255");
+    EXPECT_EQ(evalExpr("parseInt(\"12abc\")"), "12");
+    EXPECT_EQ(evalExpr("parseFloat(\"2.5x\")"), "2.5");
+    EXPECT_EQ(evalExpr("parseInt(\"zz\") + \"\""), "\"NaN\"");
+}
+
+TEST(Builtins, RegexEntryPoints)
+{
+    EXPECT_EQ(evalExpr("reTest(\"a+b\", \"xxaab\")"), "true");
+    EXPECT_EQ(evalExpr("reTest(\"q\", \"xxaab\")"), "false");
+    EXPECT_EQ(evalExpr("reCount(\"\\\\d+\", \"a1 b22 c333\")"), "3");
+    EXPECT_EQ(evalExpr("reReplace(\"\\\\d\", \"a1b2\", \"_\")"),
+              "\"a_b_\"");
+}
+
+TEST(Builtins, BuiltinCostsAreCharged)
+{
+    Engine engine{EngineConfig{}};
+    engine.loadProgram(
+        "function bench() { return reCount(\"a\", "
+        "\"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\"); }");
+    Cycles before = engine.totalCycles();
+    engine.call("bench");
+    EXPECT_GT(engine.totalCycles() - before, 100u);
+}
+
+TEST(Builtins, PrintFormatsLikeConsole)
+{
+    Engine engine{EngineConfig{}};
+    engine.loadProgram(R"JS(
+print("x", 1, 2.5, true, null, undefined);
+print([1, 2]);
+)JS");
+    EXPECT_EQ(engine.consoleOut, "x 1 2.5 true null undefined\n1,2\n");
+}

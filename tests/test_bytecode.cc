@@ -1,0 +1,153 @@
+/** @file Unit tests for the AST -> bytecode compiler. */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/compiler.hh"
+#include "frontend/parser.hh"
+
+using namespace vspec;
+
+class BytecodeTest : public ::testing::Test
+{
+  protected:
+    BytecodeTest() : ctx(8u << 20), globals(ctx) {}
+
+    FunctionId
+    compile(const std::string &src)
+    {
+        BytecodeCompiler compiler(ctx, globals, functions);
+        return compiler.compileProgram(parseProgram(src));
+    }
+
+    const FunctionInfo &
+    fn(const std::string &name)
+    {
+        return functions.at(functions.idOf(name));
+    }
+
+    VMContext ctx;
+    GlobalRegistry globals;
+    FunctionTable functions;
+};
+
+TEST_F(BytecodeTest, FunctionsRegisteredAndBound)
+{
+    compile("function f(a) { return a; } function g() { return 1; }");
+    EXPECT_NE(functions.idOf("f"), kInvalidFunction);
+    EXPECT_NE(functions.idOf("g"), kInvalidFunction);
+    EXPECT_NE(functions.idOf("__main__"), kInvalidFunction);
+    // Hoisted into globals as function cells.
+    EXPECT_TRUE(globals.exists("f"));
+    Value fv = globals.load(globals.indexOf("f"));
+    EXPECT_TRUE(ctx.isFunction(fv));
+    EXPECT_EQ(ctx.functionIdOf(fv.asAddr()), functions.idOf("f"));
+}
+
+TEST_F(BytecodeTest, ParamAndRegisterLayout)
+{
+    compile("function f(a, b) { var x = a; var y = b; return x; }");
+    const FunctionInfo &f = fn("f");
+    EXPECT_EQ(f.paramCount, 2u);
+    // this + 2 params + 2 locals, plus expression temps.
+    EXPECT_GE(f.registerCount, 5u);
+}
+
+TEST_F(BytecodeTest, ReturnAlwaysPresent)
+{
+    compile("function f() { var x = 1; }");
+    const FunctionInfo &f = fn("f");
+    ASSERT_FALSE(f.bytecode.empty());
+    EXPECT_EQ(f.bytecode.back().op, Bc::Return);
+}
+
+TEST_F(BytecodeTest, LoopUsesJumpLoop)
+{
+    compile("function f(n) { var s = 0; "
+            "for (var i = 0; i < n; i++) { s += i; } return s; }");
+    const FunctionInfo &f = fn("f");
+    bool has_jump_loop = false;
+    for (const auto &ins : f.bytecode) {
+        if (ins.op == Bc::JumpLoop) {
+            has_jump_loop = true;
+            EXPECT_LT(ins.a, static_cast<i32>(f.bytecode.size()));
+        }
+    }
+    EXPECT_TRUE(has_jump_loop);
+}
+
+TEST_F(BytecodeTest, WhileContinueIsBackwardJumpLoop)
+{
+    compile("function f(n) { var i = 0; while (i < n) { i++; "
+            "if (i == 3) { continue; } } return i; }");
+    const FunctionInfo &f = fn("f");
+    int backward_loops = 0;
+    for (size_t i = 0; i < f.bytecode.size(); i++) {
+        const auto &ins = f.bytecode[i];
+        if (ins.op == Bc::JumpLoop) {
+            EXPECT_LE(static_cast<size_t>(ins.a), i);
+            backward_loops++;
+        }
+    }
+    EXPECT_GE(backward_loops, 2);  // continue + normal back edge
+}
+
+TEST_F(BytecodeTest, FeedbackSlotsAllocated)
+{
+    compile("function f(a, b) { return a + b * a; }");
+    const FunctionInfo &f = fn("f");
+    EXPECT_GE(f.feedback.size(), 2u);  // one slot per binary op
+}
+
+TEST_F(BytecodeTest, CallOperandPacking)
+{
+    EXPECT_EQ(callArgc(packCall(3, 7)), 3);
+    EXPECT_EQ(callSlot(packCall(3, 7)), 7);
+    EXPECT_EQ(callArgc(packCall(0, 0)), 0);
+}
+
+TEST_F(BytecodeTest, NumberLiteralsSmiVsConstant)
+{
+    compile("function f() { return 5 + 2.5; }");
+    const FunctionInfo &f = fn("f");
+    bool has_lda_smi = false, has_lda_const = false;
+    for (const auto &ins : f.bytecode) {
+        if (ins.op == Bc::LdaSmi)
+            has_lda_smi = true;
+        if (ins.op == Bc::LdaConst)
+            has_lda_const = true;
+    }
+    EXPECT_TRUE(has_lda_smi);
+    EXPECT_TRUE(has_lda_const);
+    ASSERT_FALSE(f.constants.empty());
+    EXPECT_DOUBLE_EQ(ctx.numberOf(f.constants[0]), 2.5);
+}
+
+TEST_F(BytecodeTest, TopLevelVarsBecomeGlobals)
+{
+    compile("var counter = 7;");
+    EXPECT_TRUE(globals.exists("counter"));
+}
+
+TEST_F(BytecodeTest, GlobalRegistryCellsLiveInSimulatedMemory)
+{
+    u32 idx = globals.indexOf("g1");
+    globals.store(idx, Value::smi(11));
+    EXPECT_EQ(ctx.heap.readValue(globals.cellAddr(idx)).asSmi(), 11);
+    EXPECT_EQ(globals.writeCount(idx), 1u);
+    globals.store(idx, Value::smi(12));
+    EXPECT_EQ(globals.writeCount(idx), 2u);
+}
+
+TEST_F(BytecodeTest, BreakOutsideLoopFails)
+{
+    EXPECT_THROW(compile("function f() { break; }"), CompileError);
+    EXPECT_THROW(compile("function f() { continue; }"), CompileError);
+}
+
+TEST_F(BytecodeTest, DisassemblyMentionsOpcodes)
+{
+    compile("function f(a) { return a * 3; }");
+    std::string dis = fn("f").disassemble(ctx);
+    EXPECT_NE(dis.find("Mul"), std::string::npos);
+    EXPECT_NE(dis.find("Return"), std::string::npos);
+}

@@ -1,0 +1,88 @@
+/** @file Tests for the §II-B deoptimization taxonomy. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/deopt_reasons.hh"
+
+using namespace vspec;
+
+TEST(DeoptReasons, ExactlyFiftyTwoReasons)
+{
+    // §II-B: "The V8 JavaScript engine has 52 types of deoptimization
+    // checks, divided across three deoptimization categories."
+    EXPECT_EQ(kNumDeoptReasons, 52);
+}
+
+TEST(DeoptReasons, EveryReasonHasUniqueCategoryAndName)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < kNumDeoptReasons; i++) {
+        auto r = static_cast<DeoptReason>(i);
+        EXPECT_TRUE(names.insert(deoptReasonName(r)).second)
+            << "duplicate name " << deoptReasonName(r);
+        EXPECT_STRNE(deoptReasonName(r), "?");
+    }
+}
+
+TEST(DeoptReasons, CategoriesPartitionTheReasons)
+{
+    size_t total = reasonsInCategory(DeoptCategory::Eager).size()
+                   + reasonsInCategory(DeoptCategory::Lazy).size()
+                   + reasonsInCategory(DeoptCategory::Soft).size();
+    EXPECT_EQ(total, static_cast<size_t>(kNumDeoptReasons));
+    // Eager is by far the most common category (the paper's focus).
+    EXPECT_GT(reasonsInCategory(DeoptCategory::Eager).size(),
+              reasonsInCategory(DeoptCategory::Soft).size());
+    EXPECT_GT(reasonsInCategory(DeoptCategory::Eager).size(),
+              reasonsInCategory(DeoptCategory::Lazy).size());
+}
+
+TEST(DeoptReasons, GroupAssignmentsMatchThePaper)
+{
+    EXPECT_EQ(checkGroupOf(DeoptReason::Smi), CheckGroup::Smi);
+    EXPECT_EQ(checkGroupOf(DeoptReason::NotASmi), CheckGroup::NotASmi);
+    EXPECT_EQ(checkGroupOf(DeoptReason::WrongMap), CheckGroup::Type);
+    EXPECT_EQ(checkGroupOf(DeoptReason::OutOfBounds),
+              CheckGroup::Boundary);
+    EXPECT_EQ(checkGroupOf(DeoptReason::Overflow),
+              CheckGroup::Arithmetic);
+    EXPECT_EQ(checkGroupOf(DeoptReason::DivisionByZero),
+              CheckGroup::Arithmetic);
+    EXPECT_EQ(checkGroupOf(DeoptReason::LostPrecision),
+              CheckGroup::Arithmetic);
+    EXPECT_EQ(checkGroupOf(DeoptReason::Hole), CheckGroup::Other);
+}
+
+TEST(DeoptReasons, SoftReasonsAreInsufficientFeedback)
+{
+    for (DeoptReason r : reasonsInCategory(DeoptCategory::Soft)) {
+        std::string name = deoptReasonName(r);
+        EXPECT_NE(name.find("InsufficientTypeFeedback"),
+                  std::string::npos);
+    }
+}
+
+TEST(DeoptReasons, LazyReasonsAreCodeInvalidation)
+{
+    auto lazy = reasonsInCategory(DeoptCategory::Lazy);
+    EXPECT_EQ(lazy.size(), 2u);
+}
+
+class AllReasons : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllReasons, GroupIsValidForEveryReason)
+{
+    auto r = static_cast<DeoptReason>(GetParam());
+    CheckGroup g = checkGroupOf(r);
+    EXPECT_LT(static_cast<int>(g),
+              static_cast<int>(CheckGroup::NumGroups));
+    EXPECT_STRNE(checkGroupName(g), "?");
+    EXPECT_STRNE(deoptCategoryName(deoptCategoryOf(r)), "?");
+}
+
+INSTANTIATE_TEST_SUITE_P(Taxonomy, AllReasons,
+                         ::testing::Range(0, kNumDeoptReasons));

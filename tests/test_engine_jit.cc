@@ -1,0 +1,213 @@
+/** @file End-to-end engine tests: tiering and interp-vs-JIT agreement. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/engine.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+/** Run `bench()` N times in a JIT engine and an interp-only engine and
+ *  require identical results on every iteration. */
+void
+differential(const std::string &src, int iterations = 8)
+{
+    EngineConfig jit_cfg;
+    Engine jit(jit_cfg);
+    jit.loadProgram(src);
+    EngineConfig int_cfg;
+    int_cfg.enableOptimization = false;
+    Engine interp(int_cfg);
+    interp.loadProgram(src);
+    for (int i = 0; i < iterations; i++) {
+        std::string a = jit.vm.display(jit.call("bench"));
+        std::string b = interp.vm.display(interp.call("bench"));
+        ASSERT_EQ(a, b) << "diverged at iteration " << i;
+    }
+    // The hot function must actually have been optimized.
+    EXPECT_GE(jit.compilations, 1u);
+}
+
+} // namespace
+
+TEST(EngineJit, TierUpHappensAfterWarmup)
+{
+    Engine engine{EngineConfig{}};
+    engine.loadProgram(
+        "function bench() { var s = 0; "
+        "for (var i = 0; i < 100; i++) { s = s + i; } return s; }");
+    engine.call("bench");
+    EXPECT_EQ(engine.compilations, 0u);  // first call interprets
+    engine.call("bench");
+    EXPECT_GE(engine.compilations, 1u);  // second call tiers up
+    FunctionId fid = engine.functions.idOf("bench");
+    EXPECT_TRUE(engine.functions.at(fid).hasCode());
+}
+
+TEST(EngineJit, OptimizedCodeIsFaster)
+{
+    Engine engine{EngineConfig{}};
+    engine.loadProgram(
+        "function bench() { var s = 0; "
+        "for (var i = 0; i < 1000; i++) { s = (s + i) % 8192; } return s; }");
+    Cycles t0 = engine.totalCycles();
+    engine.call("bench");
+    Cycles first = engine.totalCycles() - t0;
+    for (int i = 0; i < 3; i++)
+        engine.call("bench");
+    Cycles t1 = engine.totalCycles();
+    engine.call("bench");
+    Cycles steady = engine.totalCycles() - t1;
+    EXPECT_LT(steady, first / 2);  // paper: steady-state >= 2.5x faster
+}
+
+TEST(EngineJit, DifferentialSmiLoops)
+{
+    differential(R"JS(
+var a = [];
+function setup() { for (var i = 0; i < 50; i++) { a.push(i % 13); } }
+setup();
+function bench() {
+    var s = 0;
+    for (var i = 0; i < 50; i++) { s = (s + a[i] * (i % 5 + 1)) % 100000; }
+    return s;
+})JS");
+}
+
+TEST(EngineJit, DifferentialFloatStencil)
+{
+    differential(R"JS(
+var u = [];
+function setup() { for (var i = 0; i < 64; i++) { u.push(i * 0.25); } }
+setup();
+function bench() {
+    for (var i = 1; i < 63; i++) {
+        u[i] = (u[i - 1] + u[i] * 2.0 + u[i + 1]) * 0.25;
+    }
+    return Math.floor(u[32] * 1000);
+})JS");
+}
+
+TEST(EngineJit, DifferentialObjectsAndCalls)
+{
+    differential(R"JS(
+function step(p) { p.x = (p.x + p.v) % 4096; return p.x; }
+var ps = [];
+function setup() {
+    for (var i = 0; i < 8; i++) { ps.push({ x: i, v: i + 1 }); }
+}
+setup();
+function bench() {
+    var s = 0;
+    for (var r = 0; r < 20; r++) {
+        for (var i = 0; i < 8; i++) { s = (s + step(ps[i])) % 100000; }
+    }
+    return s;
+})JS");
+}
+
+TEST(EngineJit, DifferentialStrings)
+{
+    differential(R"JS(
+function bench() {
+    var s = "";
+    for (var i = 0; i < 20; i++) { s = s + "ab"; }
+    var n = 0;
+    for (var j = 0; j < s.length; j++) { n = n + s.charCodeAt(j); }
+    return n;
+})JS");
+}
+
+TEST(EngineJit, DifferentialBitOps)
+{
+    differential(R"JS(
+function bench() {
+    var h = 17;
+    for (var i = 0; i < 200; i++) {
+        h = ((h ^ (i & 255)) * 31) & 1048575;
+        h = (h << 1) | (h >>> 19) & 1;
+    }
+    return h;
+})JS");
+}
+
+TEST(EngineJit, DifferentialGrowingAccumulator)
+{
+    // Crosses the SMI boundary mid-run: overflow deopt then float path.
+    differential(R"JS(
+var total = 0;
+function bench() {
+    for (var i = 0; i < 100; i++) { total = total + 3000000; }
+    return total % 9973;
+})JS", 10);
+}
+
+TEST(EngineJit, ConstantGlobalChangeTriggersLazyDeopt)
+{
+    Engine engine{EngineConfig{}};
+    engine.loadProgram(R"JS(
+var K = 10;
+function bench() { var s = 0;
+for (var i = 0; i < 10; i++) { s = s + K; } return s; }
+function flip() { K = 20; }
+)JS");
+    EXPECT_EQ(engine.vm.display(engine.call("bench")), "100");
+    engine.call("bench");  // tiers up with K embedded as a constant
+    EXPECT_EQ(engine.vm.display(engine.call("bench")), "100");
+    engine.call("flip");   // writes K -> invalidates dependent code
+    EXPECT_GE(engine.lazyDeopts, 1u);
+    EXPECT_EQ(engine.vm.display(engine.call("bench")), "200");
+}
+
+TEST(EngineJit, MathRandomIsSeededAndDeterministic)
+{
+    auto run_once = [] {
+        Engine engine{EngineConfig{}};
+        engine.loadProgram(
+            "function bench() { return Math.floor(Math.random() * "
+            "1000000); }");
+        return engine.vm.display(engine.call("bench"));
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EngineJit, ConsoleOutput)
+{
+    Engine engine{EngineConfig{}};
+    engine.loadProgram("print(\"hello\", 42);");
+    EXPECT_EQ(engine.consoleOut, "hello 42\n");
+}
+
+TEST(EngineJit, UnknownFunctionIsFatal)
+{
+    Engine engine{EngineConfig{}};
+    engine.loadProgram("function bench() { return 1; }");
+    EXPECT_THROW(engine.call("nope"), std::exception);
+}
+
+TEST(EngineJit, X64FlavourProducesFewerInstructions)
+{
+    // CISC memory-operand forms make x64 code denser (paper §III-A).
+    auto instrs_for = [](IsaFlavour isa) {
+        EngineConfig cfg;
+        cfg.isa = isa;
+        Engine engine(cfg);
+        engine.loadProgram(R"JS(
+var a = [];
+function setup() { for (var i = 0; i < 32; i++) { a.push(i); } }
+setup();
+function bench() { var s = 0;
+for (var i = 0; i < 32; i++) { s = (s + a[i]) % 65536; } return s; }
+)JS");
+        for (int i = 0; i < 3; i++)
+            engine.call("bench");
+        FunctionId fid = engine.functions.idOf("bench");
+        const FunctionInfo &fn = engine.functions.at(fid);
+        EXPECT_TRUE(fn.hasCode());
+        return engine.codeObjects[fn.codeId]->code.size();
+    };
+    EXPECT_LT(instrs_for(IsaFlavour::X64Like),
+              instrs_for(IsaFlavour::Arm64Like));
+}

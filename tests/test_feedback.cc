@@ -1,0 +1,113 @@
+/** @file Unit tests for type-feedback vectors and their lattice. */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/feedback.hh"
+
+using namespace vspec;
+
+TEST(Feedback, OperandJoinLattice)
+{
+    using F = OperandFeedback;
+    EXPECT_EQ(joinOperand(F::None, F::Smi), F::Smi);
+    EXPECT_EQ(joinOperand(F::Smi, F::None), F::Smi);
+    EXPECT_EQ(joinOperand(F::Smi, F::Smi), F::Smi);
+    EXPECT_EQ(joinOperand(F::Smi, F::Number), F::Number);
+    EXPECT_EQ(joinOperand(F::Number, F::Smi), F::Number);
+    EXPECT_EQ(joinOperand(F::String, F::String), F::String);
+    EXPECT_EQ(joinOperand(F::Smi, F::String), F::Any);
+    EXPECT_EQ(joinOperand(F::Number, F::String), F::Any);
+    EXPECT_EQ(joinOperand(F::Any, F::Smi), F::Any);
+}
+
+TEST(Feedback, JoinIsMonotone)
+{
+    // Property: joining never narrows (a requirement for deopt ->
+    // re-optimize convergence).
+    using F = OperandFeedback;
+    auto rank = [](F f) {
+        switch (f) {
+          case F::None: return 0;
+          case F::Smi: return 1;
+          case F::Number: case F::String: return 2;
+          case F::Any: return 3;
+        }
+        return 3;
+    };
+    F all[] = {F::None, F::Smi, F::Number, F::String, F::Any};
+    for (F a : all) {
+        for (F b : all) {
+            F j = joinOperand(a, b);
+            EXPECT_GE(rank(j), rank(a)) << "join narrowed lhs";
+            EXPECT_GE(rank(j), rank(b)) << "join narrowed rhs";
+            EXPECT_EQ(joinOperand(a, b), joinOperand(b, a))
+                << "join not commutative";
+        }
+    }
+}
+
+TEST(Feedback, PropertyMonoToPolyToMegamorphic)
+{
+    PropertyFeedback pf;
+    EXPECT_EQ(pf.state, PropertyFeedback::State::None);
+    pf.recordMapSlot(1, 0);
+    EXPECT_TRUE(pf.isMonomorphic());
+    pf.recordMapSlot(1, 0);  // same map: stays monomorphic
+    EXPECT_TRUE(pf.isMonomorphic());
+    pf.recordMapSlot(2, 1);
+    EXPECT_EQ(pf.state, PropertyFeedback::State::Polymorphic);
+    pf.recordMapSlot(3, 0);
+    pf.recordMapSlot(4, 0);
+    EXPECT_EQ(pf.state, PropertyFeedback::State::Polymorphic);
+    pf.recordMapSlot(5, 0);  // 5th map: megamorphic
+    EXPECT_EQ(pf.state, PropertyFeedback::State::Megamorphic);
+    EXPECT_TRUE(pf.entries.empty());
+}
+
+TEST(Feedback, PropertyTransitionRecorded)
+{
+    PropertyFeedback pf;
+    pf.recordMapSlot(1, 2, 9);
+    ASSERT_EQ(pf.entries.size(), 1u);
+    EXPECT_EQ(pf.entries[0].transition, 9u);
+    EXPECT_EQ(pf.entries[0].slotIndex, 2);
+}
+
+TEST(Feedback, ElementTypedThenMegamorphic)
+{
+    ElementFeedback ef;
+    ef.recordAccess(7, ElementKind::Smi);
+    EXPECT_EQ(ef.state, ElementFeedback::State::Typed);
+    EXPECT_EQ(ef.arrayMap, 7u);
+    ef.recordAccess(7, ElementKind::Smi);
+    EXPECT_EQ(ef.state, ElementFeedback::State::Typed);
+    ef.recordAccess(8, ElementKind::Double);
+    EXPECT_EQ(ef.state, ElementFeedback::State::Megamorphic);
+}
+
+TEST(Feedback, CallMonoThenMegamorphic)
+{
+    CallFeedback cf;
+    cf.recordTarget(3);
+    EXPECT_EQ(cf.state, CallFeedback::State::Monomorphic);
+    EXPECT_EQ(cf.target, 3u);
+    cf.recordTarget(3);
+    EXPECT_EQ(cf.state, CallFeedback::State::Monomorphic);
+    cf.recordTarget(4);
+    EXPECT_EQ(cf.state, CallFeedback::State::Megamorphic);
+}
+
+TEST(Feedback, VectorWarmDetectionAndReset)
+{
+    FeedbackVector v;
+    int s0 = v.addSlot(SlotKind::BinaryOp);
+    int s1 = v.addSlot(SlotKind::Property);
+    EXPECT_FALSE(v.hasAnyFeedback());
+    v.at(s0).operands = OperandFeedback::Smi;
+    EXPECT_TRUE(v.hasAnyFeedback());
+    v.reset();
+    EXPECT_FALSE(v.hasAnyFeedback());
+    v.at(s1).property.recordMapSlot(1, 0);
+    EXPECT_TRUE(v.hasAnyFeedback());
+    EXPECT_EQ(v.at(s1).kind, SlotKind::Property);
+}

@@ -1,0 +1,131 @@
+/** @file Unit tests for the mark-sweep garbage collector. */
+
+#include <gtest/gtest.h>
+
+#include "vm/gc.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+class VectorRoots : public RootProvider
+{
+  public:
+    std::vector<Value> roots;
+    void
+    forEachRoot(const std::function<void(Value)> &visit) override
+    {
+        for (Value v : roots)
+            visit(v);
+    }
+};
+
+} // namespace
+
+class GcTest : public ::testing::Test
+{
+  protected:
+    GcTest() : ctx(8u << 20), gc(ctx)
+    {
+        ctx.heap.gc = &gc;
+        gc.addRootProvider(&roots);
+    }
+
+    VMContext ctx;
+    GarbageCollector gc;
+    VectorRoots roots;
+};
+
+TEST_F(GcTest, UnreachableObjectsAreReclaimed)
+{
+    Addr dead = ctx.newHeapNumber(1.0);
+    (void)dead;
+    Addr live = ctx.newHeapNumber(2.0);
+    roots.roots.push_back(Value::heap(live));
+    u64 freed = gc.collect();
+    EXPECT_GT(freed, 0u);
+    // The live number survives with its payload intact.
+    EXPECT_DOUBLE_EQ(ctx.numberOf(Value::heap(live)), 2.0);
+}
+
+TEST_F(GcTest, ReachableThroughObjectProperties)
+{
+    Addr obj = ctx.newObject();
+    roots.roots.push_back(Value::heap(obj));
+    Addr s = ctx.newString("payload");
+    ctx.setProperty(obj, ctx.names.intern("p"), Value::heap(s));
+    gc.collect();
+    EXPECT_EQ(ctx.stringOf(
+                  ctx.getProperty(obj, ctx.names.intern("p")).asAddr()),
+              "payload");
+}
+
+TEST_F(GcTest, ReachableThroughArrayElements)
+{
+    Addr arr = ctx.newArray(ElementKind::Tagged, 0);
+    roots.roots.push_back(Value::heap(arr));
+    for (int i = 0; i < 20; i++)
+        ctx.arraySet(arr, i, Value::heap(ctx.newString("s" +
+                                                       std::to_string(i))));
+    gc.collect();
+    for (int i = 0; i < 20; i++)
+        EXPECT_EQ(ctx.stringOf(ctx.arrayGet(arr, i).asAddr()),
+                  "s" + std::to_string(i));
+}
+
+TEST_F(GcTest, ImmortalObjectsAreNeverCollected)
+{
+    Addr s = ctx.internString("immortal");
+    gc.collect();  // no roots reference it
+    EXPECT_EQ(ctx.stringOf(s), "immortal");
+    EXPECT_EQ(ctx.undefinedValue, ctx.undefinedValue);
+}
+
+TEST_F(GcTest, FreedMemoryIsReused)
+{
+    u32 used_before = ctx.heap.bytesInUse();
+    for (int round = 0; round < 50; round++) {
+        for (int i = 0; i < 100; i++)
+            ctx.newHeapNumber(i);
+        gc.collect();
+    }
+    // Bump pointer growth is bounded: free-listed blocks get reused.
+    EXPECT_LT(ctx.heap.bytesInUse(), used_before + 200 * 16 + 4096);
+}
+
+TEST_F(GcTest, AllocationTriggersCollection)
+{
+    // Fill the mortal region with garbage; allocation must survive by
+    // collecting instead of panicking.
+    VMContext small(4u << 20);
+    GarbageCollector small_gc(small);
+    small.heap.gc = &small_gc;
+    VectorRoots no_roots;
+    small_gc.addRootProvider(&no_roots);
+    for (int i = 0; i < 400000; i++)
+        small.newHeapNumber(static_cast<double>(i));
+    EXPECT_GE(small.heap.stats().gcCount, 1u);
+}
+
+TEST_F(GcTest, TempRootScopePinsValues)
+{
+    Value v = Value::heap(ctx.newString("pinned"));
+    {
+        TempRootScope scope(&gc);
+        scope.pin(v);
+        gc.collect();
+        EXPECT_EQ(ctx.stringOf(v.asAddr()), "pinned");
+    }
+    // After the scope ends it may be reclaimed on the next cycle; we
+    // only check that the scope unwound without error.
+    SUCCEED();
+}
+
+TEST_F(GcTest, CollectionCountsTracked)
+{
+    u64 before = gc.collections();
+    gc.collect();
+    gc.collect();
+    EXPECT_EQ(gc.collections(), before + 2);
+}

@@ -1,0 +1,154 @@
+/** @file Experiment-harness tests (removal search, outcomes, jitter). */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+using namespace vspec;
+
+TEST(Harness, RunOutcomeFieldsArePopulated)
+{
+    const Workload *w = findWorkload("DP");
+    RunConfig rc;
+    rc.iterations = 10;
+    rc.size = 128;
+    RunOutcome out = runWorkload(*w, rc, nullptr);
+    ASSERT_TRUE(out.completed) << out.error;
+    EXPECT_TRUE(out.valid);
+    EXPECT_EQ(out.iterationCycles.size(), 10u);
+    EXPECT_GT(out.totalCycles, 0u);
+    EXPECT_GT(out.sim.instructions, 0u);
+    EXPECT_GE(out.compilations, 1u);
+    EXPECT_GT(out.staticCheckFreqPer100, 0.0);
+    EXPECT_GT(out.window.totalSamples, 0u);
+    EXPECT_FALSE(out.checksum.empty());
+}
+
+TEST(Harness, ChecksumMismatchDetected)
+{
+    const Workload *w = findWorkload("DP");
+    RunConfig rc;
+    rc.iterations = 5;
+    rc.size = 64;
+    std::string wrong = "not-the-checksum";
+    RunOutcome out = runWorkload(*w, rc, &wrong);
+    EXPECT_TRUE(out.completed);
+    EXPECT_FALSE(out.valid);
+}
+
+TEST(Harness, RemovalSpeedsUpCheckHeavyWorkload)
+{
+    const Workload *w = findWorkload("DP");
+    RunConfig rc;
+    rc.iterations = 12;
+    rc.size = 256;
+    rc.samplerEnabled = false;
+    RunOutcome with = runWorkload(*w, rc, nullptr);
+    RunConfig without = RunConfig::withAllChecksRemoved(rc);
+    const std::string &ref = referenceChecksum(*w, 256, 12);
+    RunOutcome removed = runWorkload(*w, without, &ref);
+    ASSERT_TRUE(removed.valid);
+    EXPECT_LT(removed.steadyStateCycles(), with.steadyStateCycles());
+    EXPECT_LT(removed.sim.checkInstructions, with.sim.checkInstructions);
+}
+
+TEST(Harness, SafeRemovalSetKeepsNeededChecks)
+{
+    // GROWING-SUM deopts on Overflow in normal flow: removing the
+    // Arithmetic group must be detected as unsafe.
+    const Workload *w = findWorkload("GROWING-SUM");
+    RunConfig rc;
+    rc.iterations = 40;
+    auto safe = findSafeRemovalSet(*w, rc, 40);
+    EXPECT_FALSE(safe[static_cast<size_t>(CheckGroup::Arithmetic)]);
+    // And the resulting configuration validates.
+    RunConfig with_safe = rc;
+    with_safe.removeChecks = safe;
+    const std::string &ref = referenceChecksum(*w, w->defaultSize, 40);
+    EXPECT_TRUE(runWorkload(*w, with_safe, &ref).valid);
+}
+
+TEST(Harness, SafeRemovalIsAllForPureKernels)
+{
+    const Workload *w = findWorkload("DP");
+    RunConfig rc;
+    rc.iterations = 20;
+    rc.size = 128;
+    auto safe = findSafeRemovalSet(*w, rc, 20);
+    for (size_t g = 0; g < kNumGroups; g++)
+        EXPECT_TRUE(safe[g]) << checkGroupName(static_cast<CheckGroup>(g));
+}
+
+TEST(Harness, LeftoverFractionBounded)
+{
+    const Workload *w = findWorkload("KIND-SHIFT");
+    RunConfig rc;
+    rc.iterations = 50;
+    auto safe = findSafeRemovalSet(*w, rc, 50);
+    bool all = true;
+    for (bool b : safe)
+        all = all && b;
+    if (!all) {
+        double frac = leftoverCheckFraction(*w, rc, safe);
+        EXPECT_GT(frac, 0.0);
+        EXPECT_LT(frac, 1.0);
+    }
+}
+
+TEST(Harness, JitterPerturbsTimings)
+{
+    const Workload *w = findWorkload("DP");
+    RunConfig a;
+    a.iterations = 8;
+    a.size = 128;
+    RunConfig b = a;
+    b.jitter = 1;
+    RunOutcome ra = runWorkload(*w, a, nullptr);
+    RunOutcome rb = runWorkload(*w, b, nullptr);
+    EXPECT_EQ(ra.checksum, rb.checksum);       // results identical
+    EXPECT_NE(ra.totalCycles, rb.totalCycles); // timing perturbed
+}
+
+TEST(Harness, DeterministicWithoutJitter)
+{
+    const Workload *w = findWorkload("HASH-FNV");
+    RunConfig rc;
+    rc.iterations = 6;
+    rc.size = 32;
+    RunOutcome a = runWorkload(*w, rc, nullptr);
+    RunOutcome b = runWorkload(*w, rc, nullptr);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.sim.instructions, b.sim.instructions);
+    EXPECT_EQ(a.checksum, b.checksum);
+}
+
+TEST(Harness, BranchOnlyRemovalReducesBranchesNotCorrectness)
+{
+    const Workload *w = findWorkload("MMUL");
+    RunConfig rc;
+    rc.iterations = 8;
+    rc.size = 12;
+    rc.samplerEnabled = false;
+    RunOutcome def = runWorkload(*w, rc, nullptr);
+    RunConfig nb = rc;
+    nb.removeBranchesOnly = true;
+    const std::string &ref = referenceChecksum(*w, 12, 8);
+    RunOutcome out = runWorkload(*w, nb, &ref);
+    EXPECT_TRUE(out.valid);
+    EXPECT_LT(out.sim.branches, def.sim.branches);
+    // §IV-B: only a minor cycle improvement.
+    EXPECT_LT(out.meanCycles(), def.meanCycles() * 1.02);
+}
+
+TEST(Harness, SmiExtensionConfigPropagates)
+{
+    const Workload *w = findWorkload("DP");
+    RunConfig rc;
+    rc.iterations = 8;
+    rc.size = 128;
+    rc.smiExtension = true;
+    rc.samplerEnabled = false;
+    RunOutcome out = runWorkload(*w, rc, nullptr);
+    ASSERT_TRUE(out.completed);
+    EXPECT_GT(out.sim.fusedSmiLoads, 0u);
+}

@@ -1,0 +1,107 @@
+/** @file Unit tests for the simulated heap. */
+
+#include <gtest/gtest.h>
+
+#include "vm/heap.hh"
+
+using namespace vspec;
+
+TEST(Heap, AllocateWritesHeader)
+{
+    Heap heap(8u << 20);
+    Addr a = heap.allocate(16, 0x1235, 7);
+    EXPECT_NE(a, 0u);
+    EXPECT_EQ(heap.mapWordOf(a), 0x1235u);
+    EXPECT_EQ(heap.auxOf(a), 7u);
+}
+
+TEST(Heap, AllocationsAreAlignedAndDisjoint)
+{
+    Heap heap(8u << 20);
+    Addr a = heap.allocate(12, 1, 0);  // rounds to 16
+    Addr b = heap.allocate(8, 1, 0);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_EQ(b % 8, 0u);
+    EXPECT_GE(b, a + 16);
+}
+
+TEST(Heap, ReadWriteRoundTrip)
+{
+    Heap heap(8u << 20);
+    Addr a = heap.allocate(32, 1, 0);
+    heap.writeU32(a + 8, 0xdeadbeef);
+    EXPECT_EQ(heap.readU32(a + 8), 0xdeadbeefu);
+    heap.writeU64(a + 16, 0x0123456789abcdefULL);
+    EXPECT_EQ(heap.readU64(a + 16), 0x0123456789abcdefULL);
+    heap.writeF64(a + 24, 3.25);
+    EXPECT_DOUBLE_EQ(heap.readF64(a + 24), 3.25);
+    heap.writeU8(a + 9, 0x42);
+    EXPECT_EQ(heap.readU8(a + 9), 0x42u);
+}
+
+TEST(Heap, ValueRoundTrip)
+{
+    Heap heap(8u << 20);
+    Addr a = heap.allocate(16, 1, 0);
+    heap.writeValue(a + 8, Value::smi(-77));
+    EXPECT_EQ(heap.readValue(a + 8).asSmi(), -77);
+}
+
+TEST(Heap, ImmortalRegionIsBelowMortal)
+{
+    Heap heap(8u << 20);
+    Addr imm = heap.allocateImmortal(16, 1, 0);
+    Addr mort = heap.allocate(16, 1, 0);
+    EXPECT_LT(imm, Heap::kImmortalReserve);
+    EXPECT_GE(mort, Heap::kImmortalReserve);
+}
+
+TEST(Heap, OutOfBoundsAccessPanics)
+{
+    Heap heap(8u << 20);
+    EXPECT_THROW(heap.readU32(heap.sizeBytes()), std::runtime_error);
+    EXPECT_THROW(heap.readU32(heap.sizeBytes() - 2), std::runtime_error);
+}
+
+TEST(Heap, ContainsChecksRange)
+{
+    Heap heap(8u << 20);
+    EXPECT_FALSE(heap.contains(0, 4));
+    EXPECT_TRUE(heap.contains(8, 4));
+    EXPECT_FALSE(heap.contains(heap.sizeBytes() - 2, 4));
+}
+
+TEST(Heap, StackRegionIsReserved)
+{
+    Heap heap(4u << 20);
+    // Exhaust the mortal region; allocation must fail (panic) before
+    // reaching the stack reserve.
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 1 << 20; i++)
+                heap.allocate(4096, 1, 0);
+        },
+        std::runtime_error);
+    EXPECT_GT(heap.stackTop(), heap.sizeBytes() - Heap::kStackReserve);
+}
+
+TEST(Heap, ExhaustionWithoutGcPanics)
+{
+    Heap heap(4u << 20);
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 10000; i++)
+                heap.allocate(1u << 20, 1, 0);
+        },
+        std::runtime_error);
+}
+
+TEST(Heap, StatsTrackAllocations)
+{
+    Heap heap(8u << 20);
+    u64 before = heap.stats().objectsAllocated;
+    heap.allocate(16, 1, 0);
+    heap.allocate(16, 1, 0);
+    EXPECT_EQ(heap.stats().objectsAllocated, before + 2);
+    EXPECT_GE(heap.stats().bytesAllocated, 32u);
+}

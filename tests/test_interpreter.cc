@@ -1,0 +1,189 @@
+/** @file Interpreter semantics tests (run with optimization disabled). */
+
+#include <gtest/gtest.h>
+
+#include "runtime/engine.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+/** Evaluate `bench()` in an interpreter-only engine. */
+std::string
+evalProgram(const std::string &body)
+{
+    EngineConfig cfg;
+    cfg.enableOptimization = false;
+    Engine engine(cfg);
+    engine.loadProgram(body);
+    return engine.vm.display(engine.call("bench"));
+}
+
+std::string
+evalExpr(const std::string &expr)
+{
+    return evalProgram("function bench() { return " + expr + "; }");
+}
+
+} // namespace
+
+TEST(Interpreter, Arithmetic)
+{
+    EXPECT_EQ(evalExpr("1 + 2 * 3"), "7");
+    EXPECT_EQ(evalExpr("10 / 4"), "2.5");
+    EXPECT_EQ(evalExpr("7 % 3"), "1");
+    EXPECT_EQ(evalExpr("-7 % 3"), "-1");
+    EXPECT_EQ(evalExpr("2.5 + 2.5"), "5");
+    EXPECT_EQ(evalExpr("1 / 0"), "Infinity");
+    EXPECT_EQ(evalExpr("-1 / 0"), "-Infinity");
+    EXPECT_EQ(evalExpr("0 / 0"), "NaN");
+}
+
+TEST(Interpreter, SmiOverflowPromotesToDouble)
+{
+    EXPECT_EQ(evalExpr("1073741823 + 1"), "1073741824");
+    EXPECT_EQ(evalExpr("1073741823 * 1000"), "1073741823000");
+}
+
+TEST(Interpreter, BitwiseFollowsToInt32)
+{
+    EXPECT_EQ(evalExpr("5 & 3"), "1");
+    EXPECT_EQ(evalExpr("5 | 3"), "7");
+    EXPECT_EQ(evalExpr("5 ^ 3"), "6");
+    EXPECT_EQ(evalExpr("1 << 31"), "-2147483648");
+    EXPECT_EQ(evalExpr("-1 >>> 0"), "4294967295");
+    EXPECT_EQ(evalExpr("-8 >> 1"), "-4");
+    EXPECT_EQ(evalExpr("~5"), "-6");
+    EXPECT_EQ(evalExpr("4294967296 | 0"), "0");       // 2^32 wraps
+    EXPECT_EQ(evalExpr("4294967297 | 0"), "1");
+    EXPECT_EQ(evalExpr("2.7 | 0"), "2");              // truncation
+}
+
+TEST(Interpreter, StringConcatAndCoercion)
+{
+    EXPECT_EQ(evalExpr("\"a\" + \"b\""), "\"ab\"");
+    EXPECT_EQ(evalExpr("\"n=\" + 5"), "\"n=5\"");
+    EXPECT_EQ(evalExpr("1 + \"2\""), "\"12\"");
+    EXPECT_EQ(evalExpr("\"\" + true"), "\"true\"");
+    EXPECT_EQ(evalExpr("\"\" + undefined"), "\"undefined\"");
+}
+
+TEST(Interpreter, Comparisons)
+{
+    EXPECT_EQ(evalExpr("1 < 2"), "true");
+    EXPECT_EQ(evalExpr("2 <= 2"), "true");
+    EXPECT_EQ(evalExpr("\"abc\" < \"abd\""), "true");
+    EXPECT_EQ(evalExpr("\"a\" == \"a\""), "true");
+    EXPECT_EQ(evalExpr("1 == 1.0"), "true");
+    EXPECT_EQ(evalExpr("null == undefined"), "true");
+    EXPECT_EQ(evalExpr("null === undefined"), "false");
+    EXPECT_EQ(evalExpr("(0 / 0) == (0 / 0)"), "false");  // NaN
+}
+
+TEST(Interpreter, LogicalOperatorsReturnValues)
+{
+    EXPECT_EQ(evalExpr("0 || 5"), "5");
+    EXPECT_EQ(evalExpr("3 || 5"), "3");
+    EXPECT_EQ(evalExpr("0 && 5"), "0");
+    EXPECT_EQ(evalExpr("1 && 5"), "5");
+    EXPECT_EQ(evalExpr("!0"), "true");
+    EXPECT_EQ(evalExpr("!\"\""), "true");
+}
+
+TEST(Interpreter, TypeofOperator)
+{
+    EXPECT_EQ(evalExpr("typeof 1"), "\"number\"");
+    EXPECT_EQ(evalExpr("typeof \"s\""), "\"string\"");
+    EXPECT_EQ(evalExpr("typeof undefined"), "\"undefined\"");
+    EXPECT_EQ(evalExpr("typeof {}"), "\"object\"");
+}
+
+TEST(Interpreter, ControlFlow)
+{
+    EXPECT_EQ(evalProgram(R"JS(
+function bench() {
+    var s = 0;
+    for (var i = 0; i < 10; i++) {
+        if (i % 2 == 0) { continue; }
+        if (i == 9) { break; }
+        s = s + i;
+    }
+    return s;
+})JS"), "16");  // 1+3+5+7
+
+    EXPECT_EQ(evalProgram(R"JS(
+function bench() {
+    var i = 0;
+    var n = 0;
+    while (i < 5) { i++; n = n * 2 + 1; }
+    return n;
+})JS"), "31");
+}
+
+TEST(Interpreter, TernaryAndUpdate)
+{
+    EXPECT_EQ(evalExpr("1 ? 10 : 20"), "10");
+    EXPECT_EQ(evalProgram(
+        "function bench() { var i = 5; var a = i++; return a * 100 + i; }"),
+        "506");
+    EXPECT_EQ(evalProgram(
+        "function bench() { var i = 5; var a = ++i; return a * 100 + i; }"),
+        "606");
+}
+
+TEST(Interpreter, FunctionsAndRecursion)
+{
+    EXPECT_EQ(evalProgram(R"JS(
+function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+function bench() { return fib(12); }
+)JS"), "144");
+}
+
+TEST(Interpreter, ObjectsAndMethods)
+{
+    EXPECT_EQ(evalProgram(R"JS(
+function area(r) { return r.w * r.h; }
+function scale(r) { r.w = r.w * this.f; return r; }
+function bench() {
+    var rect = { w: 3, h: 4 };
+    var scaler = { f: 10, run: scale };
+    return area(scaler.run(rect));
+})JS"), "120");
+}
+
+TEST(Interpreter, ArraysEndToEnd)
+{
+    EXPECT_EQ(evalProgram(R"JS(
+function bench() {
+    var a = [];
+    for (var i = 0; i < 5; i++) { a.push(i * i); }
+    a[0] = 100;
+    return a.join(",") + "|" + a.length + "|" + a.indexOf(9);
+})JS"), "\"100,1,4,9,16|5|3\"");
+}
+
+TEST(Interpreter, OutOfBoundsReadsUndefined)
+{
+    EXPECT_EQ(evalProgram(R"JS(
+function bench() {
+    var a = [1, 2];
+    return "" + a[5];
+})JS"), "\"undefined\"");
+}
+
+TEST(Interpreter, GlobalsAcrossFunctions)
+{
+    EXPECT_EQ(evalProgram(R"JS(
+var total = 0;
+function addIt(x) { total = total + x; }
+function bench() { addIt(3); addIt(4); return total; }
+)JS"), "7");
+}
+
+TEST(Interpreter, MinusZeroSemantics)
+{
+    EXPECT_EQ(evalExpr("1 / (-1 * 0)"), "-Infinity");
+    EXPECT_EQ(evalExpr("1 / (0 * -5)"), "-Infinity");
+    EXPECT_EQ(evalExpr("1 / (-5 % 5)"), "-Infinity");
+}

@@ -1,0 +1,216 @@
+/** @file Tests for the speculative graph builder. */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "runtime/engine.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+/** Warm a program in the interpreter, then build bench()'s graph. */
+struct Built
+{
+    std::unique_ptr<Engine> engine;
+    std::optional<Graph> graph;
+};
+
+Built
+buildFor(const std::string &src, const char *fn_name = "bench",
+         int warmup = 3)
+{
+    Built b;
+    EngineConfig cfg;
+    cfg.enableOptimization = false;  // warm feedback, no codegen
+    b.engine = std::make_unique<Engine>(cfg);
+    b.engine->loadProgram(src);
+    for (int i = 0; i < warmup; i++)
+        b.engine->call(fn_name);
+    CompilerEnv env{b.engine->vm, b.engine->globals, b.engine->functions};
+    FunctionInfo &fn =
+        b.engine->functions.at(b.engine->functions.idOf(fn_name));
+    b.graph = buildGraph(env, fn);
+    return b;
+}
+
+u32
+countOp(const Graph &g, IrOp op)
+{
+    u32 n = 0;
+    for (const auto &node : g.nodes)
+        if (!node.dead && node.op == op)
+            n++;
+    return n;
+}
+
+} // namespace
+
+TEST(IrBuilder, SmiFeedbackProducesCheckedInt32Arithmetic)
+{
+    auto b = buildFor(R"JS(
+function bench() { var s = 0; for (var i = 0; i < 10; i++) { s = s + i; }
+return s; }
+)JS");
+    ASSERT_TRUE(b.graph.has_value());
+    u32 adds = countOp(*b.graph, IrOp::I32Add);
+    EXPECT_GE(adds, 2u);  // s + i, i + 1
+    bool any_checked = false;
+    for (const auto &n : b.graph->nodes)
+        if (!n.dead && n.op == IrOp::I32Add && n.checked)
+            any_checked = true;
+    EXPECT_TRUE(any_checked);
+}
+
+TEST(IrBuilder, NumberFeedbackProducesFloat64Arithmetic)
+{
+    auto b = buildFor(R"JS(
+function bench() { var s = 0.5; for (var i = 0; i < 9; i++) { s = s * 1.5; }
+return s; }
+)JS");
+    ASSERT_TRUE(b.graph.has_value());
+    EXPECT_GE(countOp(*b.graph, IrOp::F64Mul), 1u);
+    EXPECT_EQ(countOp(*b.graph, IrOp::I32Mul), 0u);
+}
+
+TEST(IrBuilder, ElementLoadEmitsMapBoundsAndSmiChecks)
+{
+    auto b = buildFor(R"JS(
+var a = [];
+function setup() { for (var i = 0; i < 8; i++) { a.push(i); } }
+setup();
+function bench() { var s = 0; for (var i = 0; i < 8; i++) { s = s + a[i]; }
+return s; }
+)JS");
+    ASSERT_TRUE(b.graph.has_value());
+    EXPECT_GE(countOp(*b.graph, IrOp::CheckMap), 1u);
+    EXPECT_GE(countOp(*b.graph, IrOp::CheckBounds), 1u);
+    // Element loads from SMI arrays produce tagged values that are
+    // Not-a-SMI-checked before untagging (the paper's Fig. 3 pattern).
+    EXPECT_GE(countOp(*b.graph, IrOp::CheckSmi), 1u);
+    EXPECT_GE(countOp(*b.graph, IrOp::UntagSmi), 1u);
+    EXPECT_GE(countOp(*b.graph, IrOp::LoadElem32), 1u);
+}
+
+TEST(IrBuilder, DoubleArrayLoadsAreUnchecked)
+{
+    auto b = buildFor(R"JS(
+var a = [];
+function setup() { for (var i = 0; i < 8; i++) { a.push(i + 0.5); } }
+setup();
+function bench() { var s = 0.0; for (var i = 0; i < 8; i++) { s = s + a[i]; }
+return s; }
+)JS");
+    ASSERT_TRUE(b.graph.has_value());
+    EXPECT_GE(countOp(*b.graph, IrOp::LoadElemF64), 1u);
+}
+
+TEST(IrBuilder, MonomorphicPropertyLoad)
+{
+    auto b = buildFor(R"JS(
+var o = { x: 5, y: 6 };
+function bench() { return o.x + o.y; }
+)JS");
+    ASSERT_TRUE(b.graph.has_value());
+    EXPECT_GE(countOp(*b.graph, IrOp::LoadField), 2u);
+    EXPECT_GE(countOp(*b.graph, IrOp::CheckMap), 1u);
+}
+
+TEST(IrBuilder, ColdPathGetsSoftDeopt)
+{
+    auto b = buildFor(R"JS(
+var flag = 0;
+function bench(x) {
+    if (flag == 1) { return x.never + 1; }
+    return 2;
+}
+)JS");
+    ASSERT_TRUE(b.graph.has_value());
+    // The never-executed property load has no feedback -> deopt-soft.
+    EXPECT_GE(countOp(*b.graph, IrOp::Deopt), 1u);
+}
+
+TEST(IrBuilder, KnownCallTargetIsDirect)
+{
+    auto b = buildFor(R"JS(
+function helper(x) { return x + 1; }
+function bench() { var s = 0; for (var i = 0; i < 5; i++) { s = helper(s); }
+return s; }
+)JS");
+    ASSERT_TRUE(b.graph.has_value());
+    EXPECT_GE(countOp(*b.graph, IrOp::CallFunction), 1u);
+}
+
+TEST(IrBuilder, ConstantGlobalEmbedsAndRecordsDependency)
+{
+    auto b = buildFor(R"JS(
+var K = 41;
+function bench() { return K + 1; }
+)JS");
+    ASSERT_TRUE(b.graph.has_value());
+    EXPECT_FALSE(b.graph->embeddedGlobalCells.empty());
+    EXPECT_EQ(countOp(*b.graph, IrOp::LoadGlobal), 0u);
+}
+
+TEST(IrBuilder, MutatedGlobalLoadsFromCell)
+{
+    auto b = buildFor(R"JS(
+var K = 1;
+function bench() { K = K + 1; return K; }
+)JS");
+    ASSERT_TRUE(b.graph.has_value());
+    EXPECT_GE(countOp(*b.graph, IrOp::LoadGlobal), 1u);
+    EXPECT_GE(countOp(*b.graph, IrOp::StoreGlobal), 1u);
+}
+
+TEST(IrBuilder, LoopPhisForLiveVariablesOnly)
+{
+    auto b = buildFor(R"JS(
+function bench() {
+    var s = 0;
+    for (var i = 0; i < 10; i++) {
+        var t = i * 2;
+        s = s + t;
+    }
+    return s;
+}
+)JS");
+    ASSERT_TRUE(b.graph.has_value());
+    // s and i need phis; dead expression temps must not.
+    u32 phis = 0;
+    for (const auto &n : b.graph->nodes)
+        if (!n.dead && n.op == IrOp::Phi)
+            phis++;
+    EXPECT_GE(phis, 2u);
+    EXPECT_LE(phis, 5u);
+}
+
+TEST(IrBuilder, TooManyParamsBailsOut)
+{
+    auto b = buildFor(R"JS(
+function bench(a, b, c, d, e, f, g, h, i) { return a; }
+)JS", "bench", 1);
+    EXPECT_FALSE(b.graph.has_value());
+}
+
+TEST(IrBuilder, FrameStatesPrunedByLiveness)
+{
+    auto b = buildFor(R"JS(
+function bench(n) {
+    var unused = n * 3;
+    var s = 0;
+    for (var i = 0; i < n; i++) { s = s + 1; }
+    return s;
+}
+)JS");
+    ASSERT_TRUE(b.graph.has_value());
+    // At least one frame state prunes a dead register to kNoValue.
+    bool any_pruned = false;
+    for (const auto &fs : b.graph->frameStates) {
+        for (ValueId r : fs.regs)
+            if (r == kNoValue)
+                any_pruned = true;
+    }
+    EXPECT_TRUE(any_pruned);
+}

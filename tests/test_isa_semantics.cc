@@ -1,0 +1,88 @@
+/** @file Property-style sweeps over ISA helper semantics. */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+
+using namespace vspec;
+
+TEST(IsaSemantics, EveryOpcodeHasAName)
+{
+    for (int op = 0; op <= static_cast<int>(MOp::JsChkMap); op++)
+        EXPECT_STRNE(mopName(static_cast<MOp>(op)), "?");
+    for (int c = 0; c <= static_cast<int>(Cond::Al); c++)
+        EXPECT_STRNE(condName(static_cast<Cond>(c)), "?");
+}
+
+TEST(IsaSemantics, ClassPredicatesAreDisjointForLoadsStores)
+{
+    for (int op = 0; op <= static_cast<int>(MOp::JsChkMap); op++) {
+        MInst m;
+        m.op = static_cast<MOp>(op);
+        EXPECT_FALSE(m.isLoad() && m.isStore())
+            << mopName(m.op) << " is both load and store";
+    }
+}
+
+TEST(IsaSemantics, SmiExtensionLoadsAreLoads)
+{
+    for (MOp op : {MOp::JsLdrSmiI, MOp::JsLdurSmiI, MOp::JsLdrSmiR,
+                   MOp::JsLdrSmiRS, MOp::JsLdurSmiR, MOp::JsLdrSmiX}) {
+        MInst m;
+        m.op = op;
+        EXPECT_TRUE(m.isSmiExtensionLoad());
+        EXPECT_TRUE(m.isLoad());
+        EXPECT_FALSE(m.isFloat());
+    }
+    MInst plain;
+    plain.op = MOp::LdrW;
+    EXPECT_FALSE(plain.isSmiExtensionLoad());
+}
+
+TEST(IsaSemantics, PaperExtensionHasSixLoadVariants)
+{
+    // §V-A: "We add six new SMI load instructions, all belonging to
+    // the ld(u)r family" — immediate, register, scaled, unscaled.
+    int variants = 0;
+    for (int op = 0; op <= static_cast<int>(MOp::JsChkMap); op++) {
+        MInst m;
+        m.op = static_cast<MOp>(op);
+        if (m.isSmiExtensionLoad())
+            variants++;
+    }
+    EXPECT_EQ(variants, 6);
+}
+
+TEST(IsaSemantics, BranchPredicates)
+{
+    MInst b;
+    b.op = MOp::Bcond;
+    EXPECT_TRUE(b.isBranch());
+    EXPECT_TRUE(b.isCondBranch());
+    b.op = MOp::B;
+    EXPECT_TRUE(b.isBranch());
+    EXPECT_FALSE(b.isCondBranch());
+    b.op = MOp::Add;
+    EXPECT_FALSE(b.isBranch());
+}
+
+TEST(IsaSemantics, SpecialRegistersMatchThePaper)
+{
+    // Fig. 11/12: REG_BA (bailout handler), REG_PC, REG_RE.
+    EXPECT_EQ(static_cast<int>(SpecialReg::REG_BA), 0);
+    EXPECT_EQ(static_cast<int>(SpecialReg::REG_PC), 1);
+    EXPECT_EQ(static_cast<int>(SpecialReg::REG_RE), 2);
+}
+
+TEST(IsaSemantics, FloatPredicateCoversFpOps)
+{
+    for (MOp op : {MOp::FAdd, MOp::FSub, MOp::FMul, MOp::FDiv, MOp::FCmp,
+                   MOp::LdrD, MOp::StrD}) {
+        MInst m;
+        m.op = op;
+        EXPECT_TRUE(m.isFloat()) << mopName(op);
+    }
+    MInst i;
+    i.op = MOp::Add;
+    EXPECT_FALSE(i.isFloat());
+}

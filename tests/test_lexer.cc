@@ -1,0 +1,81 @@
+/** @file Unit tests for the MiniJS lexer. */
+
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hh"
+
+using namespace vspec;
+
+TEST(Lexer, NumbersDecimalHexAndFloat)
+{
+    auto toks = tokenize("42 3.5 0x1f 1e3 2.5e-2");
+    ASSERT_EQ(toks.size(), 6u);  // + eof
+    EXPECT_DOUBLE_EQ(toks[0].number, 42.0);
+    EXPECT_DOUBLE_EQ(toks[1].number, 3.5);
+    EXPECT_DOUBLE_EQ(toks[2].number, 31.0);
+    EXPECT_DOUBLE_EQ(toks[3].number, 1000.0);
+    EXPECT_DOUBLE_EQ(toks[4].number, 0.025);
+}
+
+TEST(Lexer, StringsWithEscapes)
+{
+    auto toks = tokenize(R"("a\nb" 'c\'d')");
+    EXPECT_EQ(toks[0].str, "a\nb");
+    EXPECT_EQ(toks[1].str, "c'd");
+}
+
+TEST(Lexer, KeywordsVsIdentifiers)
+{
+    auto toks = tokenize("var varx function fn typeof typeofx");
+    EXPECT_EQ(toks[0].kind, TokKind::Keyword);
+    EXPECT_EQ(toks[1].kind, TokKind::Ident);
+    EXPECT_EQ(toks[2].kind, TokKind::Keyword);
+    EXPECT_EQ(toks[3].kind, TokKind::Ident);
+    EXPECT_EQ(toks[4].kind, TokKind::Keyword);
+    EXPECT_EQ(toks[5].kind, TokKind::Ident);
+}
+
+TEST(Lexer, LongestMatchPunctuation)
+{
+    auto toks = tokenize(">>> >> > >= >>>= === == =");
+    EXPECT_EQ(toks[0].text, ">>>");
+    EXPECT_EQ(toks[1].text, ">>");
+    EXPECT_EQ(toks[2].text, ">");
+    EXPECT_EQ(toks[3].text, ">=");
+    EXPECT_EQ(toks[4].text, ">>>=");
+    EXPECT_EQ(toks[5].text, "===");
+    EXPECT_EQ(toks[6].text, "==");
+    EXPECT_EQ(toks[7].text, "=");
+}
+
+TEST(Lexer, CommentsAreSkipped)
+{
+    auto toks = tokenize("a // line comment\n b /* block\ncomment */ c");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, LineNumbersTracked)
+{
+    auto toks = tokenize("a\nb\n\nc");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, ErrorsThrow)
+{
+    EXPECT_THROW(tokenize("\"unterminated"), LexError);
+    EXPECT_THROW(tokenize("/* unterminated"), LexError);
+    EXPECT_THROW(tokenize("@"), LexError);
+    EXPECT_THROW(tokenize("\"bad\\qescape\""), LexError);
+}
+
+TEST(Lexer, EofAlwaysLast)
+{
+    auto toks = tokenize("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, TokKind::Eof);
+}

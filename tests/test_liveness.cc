@@ -1,0 +1,143 @@
+/** @file Bytecode liveness analysis tests. */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/compiler.hh"
+#include "frontend/parser.hh"
+#include "ir/liveness.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+class LivenessTest : public ::testing::Test
+{
+  protected:
+    LivenessTest() : ctx(8u << 20), globals(ctx) {}
+
+    const FunctionInfo &
+    compile(const std::string &src)
+    {
+        BytecodeCompiler compiler(ctx, globals, functions);
+        compiler.compileProgram(parseProgram(src));
+        return functions.at(functions.idOf("f"));
+    }
+
+    /** Find the bytecode offset of the first instruction of kind op. */
+    u32
+    offsetOf(const FunctionInfo &fn, Bc op)
+    {
+        for (size_t i = 0; i < fn.bytecode.size(); i++)
+            if (fn.bytecode[i].op == op)
+                return static_cast<u32>(i);
+        return 0xffffffffu;
+    }
+
+    VMContext ctx;
+    GlobalRegistry globals;
+    FunctionTable functions;
+};
+
+} // namespace
+
+TEST_F(LivenessTest, ParamLiveUntilLastUse)
+{
+    const FunctionInfo &fn = compile(
+        "function f(a) { var x = a + 1; return x; }");
+    BytecodeLiveness live(fn);
+    // r1 = a is live at entry...
+    EXPECT_TRUE(live.regLiveIn(0, FunctionInfo::kFirstParamReg));
+    // ...but dead by the final Return (x is returned, not a).
+    u32 ret = offsetOf(fn, Bc::Return);
+    EXPECT_FALSE(live.regLiveIn(ret, FunctionInfo::kFirstParamReg));
+}
+
+TEST_F(LivenessTest, UnusedParamIsDeadAtEntry)
+{
+    const FunctionInfo &fn = compile("function f(a, b) { return a; }");
+    BytecodeLiveness live(fn);
+    EXPECT_TRUE(live.regLiveIn(0, 1));   // a used
+    EXPECT_FALSE(live.regLiveIn(0, 2));  // b never used
+}
+
+TEST_F(LivenessTest, LoopCarriedVariableLiveAtHeader)
+{
+    const FunctionInfo &fn = compile(R"JS(
+function f(n) {
+    var s = 0;
+    for (var i = 0; i < n; i++) { s = s + i; }
+    return s;
+}
+)JS");
+    BytecodeLiveness live(fn);
+    // Find the loop header (the JumpLoop target).
+    u32 header = 0xffffffffu;
+    for (const auto &ins : fn.bytecode)
+        if (ins.op == Bc::JumpLoop)
+            header = static_cast<u32>(ins.a);
+    ASSERT_NE(header, 0xffffffffu);
+    // s, i and n are all live-in at the header.
+    int live_regs = 0;
+    for (u32 r = 0; r < fn.registerCount; r++)
+        if (live.regLiveIn(header, r))
+            live_regs++;
+    EXPECT_GE(live_regs, 3);
+}
+
+TEST_F(LivenessTest, TempDeadAcrossLoopBackEdge)
+{
+    // The expression temp used for `s + i` holds a stale value at the
+    // loop header; liveness must call it dead there (this is what
+    // prevents spurious loop phis, see the CRC32 thrash regression).
+    const FunctionInfo &fn = compile(R"JS(
+function f(n) {
+    var s = 0;
+    for (var i = 0; i < n; i++) { s = s + i * 2; }
+    return s;
+}
+)JS");
+    BytecodeLiveness live(fn);
+    u32 header = 0xffffffffu;
+    for (const auto &ins : fn.bytecode)
+        if (ins.op == Bc::JumpLoop)
+            header = static_cast<u32>(ins.a);
+    ASSERT_NE(header, 0xffffffffu);
+    // The highest-numbered registers are expression temps; at least
+    // one must be dead at the header.
+    bool some_dead_temp = false;
+    for (u32 r = fn.registerCount - 3; r < fn.registerCount; r++)
+        if (!live.regLiveIn(header, r))
+            some_dead_temp = true;
+    EXPECT_TRUE(some_dead_temp);
+}
+
+TEST_F(LivenessTest, AccumulatorLivenessAroundBranches)
+{
+    const FunctionInfo &fn = compile(
+        "function f(a) { if (a) { return 1; } return 2; }");
+    BytecodeLiveness live(fn);
+    // At the JumpIfFalse itself the accumulator (condition) is live-in.
+    u32 jf = offsetOf(fn, Bc::JumpIfFalse);
+    ASSERT_NE(jf, 0xffffffffu);
+    EXPECT_TRUE(live.accLiveIn(jf));
+    // Immediately after the branch the condition value is dead (both
+    // arms overwrite the accumulator before Return).
+    EXPECT_FALSE(live.accLiveIn(jf + 1));
+}
+
+TEST_F(LivenessTest, CallArgumentsAreUses)
+{
+    const FunctionInfo &fn = compile(R"JS(
+function g(x, y) { return x + y; }
+function f(a, b) { return g(a, b); }
+)JS");
+    BytecodeLiveness live(fn);
+    u32 call = offsetOf(fn, Bc::Call);
+    ASSERT_NE(call, 0xffffffffu);
+    // The registers holding the marshalled arguments are live at the
+    // call instruction.
+    const BcInstr &ins = fn.bytecode[call];
+    for (int i = 0; i < callArgc(ins.c); i++)
+        EXPECT_TRUE(live.regLiveIn(call, static_cast<u32>(ins.b + i)));
+}

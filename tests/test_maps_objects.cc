@@ -1,0 +1,218 @@
+/** @file Unit tests for maps (hidden classes) and object accessors. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vm/objects.hh"
+
+using namespace vspec;
+
+class MapsObjectsTest : public ::testing::Test
+{
+  protected:
+    VMContext ctx{8u << 20};
+};
+
+TEST_F(MapsObjectsTest, EmptyObjectHasEmptyMap)
+{
+    Addr obj = ctx.newObject();
+    EXPECT_EQ(ctx.mapOf(obj), ctx.maps.emptyObjectMap());
+    EXPECT_EQ(ctx.typeOf(obj), InstanceType::Object);
+}
+
+TEST_F(MapsObjectsTest, PropertyAddTransitionsMap)
+{
+    Addr obj = ctx.newObject();
+    NameId x = ctx.names.intern("x");
+    MapId before = ctx.mapOf(obj);
+    ctx.setProperty(obj, x, Value::smi(7));
+    MapId after = ctx.mapOf(obj);
+    EXPECT_NE(before, after);
+    EXPECT_EQ(ctx.getProperty(obj, x).asSmi(), 7);
+}
+
+TEST_F(MapsObjectsTest, SameShapeSharesMap)
+{
+    // The core hidden-class property: same insertion order -> same map.
+    NameId a = ctx.names.intern("a");
+    NameId b = ctx.names.intern("b");
+    Addr o1 = ctx.newObject();
+    Addr o2 = ctx.newObject();
+    ctx.setProperty(o1, a, Value::smi(1));
+    ctx.setProperty(o1, b, Value::smi(2));
+    ctx.setProperty(o2, a, Value::smi(3));
+    ctx.setProperty(o2, b, Value::smi(4));
+    EXPECT_EQ(ctx.mapOf(o1), ctx.mapOf(o2));
+}
+
+TEST_F(MapsObjectsTest, DifferentInsertionOrderDifferentMap)
+{
+    NameId a = ctx.names.intern("a");
+    NameId b = ctx.names.intern("b");
+    Addr o1 = ctx.newObject();
+    Addr o2 = ctx.newObject();
+    ctx.setProperty(o1, a, Value::smi(1));
+    ctx.setProperty(o1, b, Value::smi(2));
+    ctx.setProperty(o2, b, Value::smi(2));
+    ctx.setProperty(o2, a, Value::smi(1));
+    EXPECT_NE(ctx.mapOf(o1), ctx.mapOf(o2));
+    EXPECT_EQ(ctx.getProperty(o2, a).asSmi(), 1);
+}
+
+TEST_F(MapsObjectsTest, PropertyOverwriteKeepsMap)
+{
+    NameId a = ctx.names.intern("a");
+    Addr obj = ctx.newObject();
+    ctx.setProperty(obj, a, Value::smi(1));
+    MapId m = ctx.mapOf(obj);
+    ctx.setProperty(obj, a, Value::smi(99));
+    EXPECT_EQ(ctx.mapOf(obj), m);
+    EXPECT_EQ(ctx.getProperty(obj, a).asSmi(), 99);
+}
+
+TEST_F(MapsObjectsTest, MissingPropertyIsUndefined)
+{
+    Addr obj = ctx.newObject();
+    EXPECT_EQ(ctx.getProperty(obj, ctx.names.intern("nope")),
+              ctx.undefinedValue);
+}
+
+TEST_F(MapsObjectsTest, MapWordRoundTripsThroughHeap)
+{
+    Addr obj = ctx.newObject();
+    u32 word = ctx.heap.mapWordOf(obj);
+    EXPECT_EQ(ctx.maps.byMapWord(word), ctx.maps.emptyObjectMap());
+}
+
+// ---- arrays -----------------------------------------------------------
+
+TEST_F(MapsObjectsTest, SmiArrayBasics)
+{
+    Addr arr = ctx.newArray(ElementKind::Smi, 3);
+    EXPECT_EQ(ctx.arrayLength(arr), 3u);
+    EXPECT_EQ(ctx.arrayKind(arr), ElementKind::Smi);
+    ctx.arraySet(arr, 0, Value::smi(10));
+    ctx.arraySet(arr, 2, Value::smi(-5));
+    EXPECT_EQ(ctx.arrayGet(arr, 0).asSmi(), 10);
+    EXPECT_EQ(ctx.arrayGet(arr, 2).asSmi(), -5);
+}
+
+TEST_F(MapsObjectsTest, OutOfBoundsLoadIsUndefined)
+{
+    Addr arr = ctx.newArray(ElementKind::Smi, 2);
+    EXPECT_EQ(ctx.arrayGet(arr, 5), ctx.undefinedValue);
+    EXPECT_EQ(ctx.arrayGet(arr, -1), ctx.undefinedValue);
+}
+
+TEST_F(MapsObjectsTest, AppendGrowsArray)
+{
+    Addr arr = ctx.newArray(ElementKind::Smi, 0, 2);
+    for (int i = 0; i < 100; i++)
+        ctx.arraySet(arr, i, Value::smi(i));
+    EXPECT_EQ(ctx.arrayLength(arr), 100u);
+    for (int i = 0; i < 100; i += 7)
+        EXPECT_EQ(ctx.arrayGet(arr, i).asSmi(), i);
+}
+
+TEST_F(MapsObjectsTest, SmiToDoubleTransition)
+{
+    // §II-B element kinds: storing a double widens Smi -> Double.
+    Addr arr = ctx.newArray(ElementKind::Smi, 2);
+    ctx.arraySet(arr, 0, Value::smi(42));
+    MapId before = ctx.mapOf(arr);
+    ctx.arraySet(arr, 1, ctx.newNumber(2.5));
+    EXPECT_EQ(ctx.arrayKind(arr), ElementKind::Double);
+    EXPECT_NE(ctx.mapOf(arr), before);
+    EXPECT_DOUBLE_EQ(ctx.numberOf(ctx.arrayGet(arr, 0)), 42.0);
+    EXPECT_DOUBLE_EQ(ctx.numberOf(ctx.arrayGet(arr, 1)), 2.5);
+}
+
+TEST_F(MapsObjectsTest, DoubleToTaggedTransition)
+{
+    Addr arr = ctx.newArray(ElementKind::Double, 1);
+    ctx.arraySet(arr, 0, ctx.newNumber(1.5));
+    Addr s = ctx.newString("hi");
+    ctx.arraySet(arr, 0, Value::heap(s));
+    EXPECT_EQ(ctx.arrayKind(arr), ElementKind::Tagged);
+    EXPECT_TRUE(ctx.isString(ctx.arrayGet(arr, 0)));
+}
+
+TEST_F(MapsObjectsTest, KindNeverNarrows)
+{
+    Addr arr = ctx.newArray(ElementKind::Tagged, 1);
+    ctx.arraySet(arr, 0, Value::smi(1));
+    EXPECT_EQ(ctx.arrayKind(arr), ElementKind::Tagged);
+}
+
+// ---- numbers / strings --------------------------------------------------
+
+TEST_F(MapsObjectsTest, NumberCanonicalization)
+{
+    EXPECT_TRUE(ctx.newNumber(5.0).isSmi());
+    EXPECT_FALSE(ctx.newNumber(5.5).isSmi());
+    EXPECT_FALSE(ctx.newNumber(-0.0).isSmi());  // -0 stays boxed
+    EXPECT_FALSE(ctx.newNumber(2e30).isSmi());
+    EXPECT_TRUE(ctx.newInt(static_cast<i64>(kSmiMax)).isSmi());
+    EXPECT_FALSE(ctx.newInt(static_cast<i64>(kSmiMax) + 1).isSmi());
+}
+
+TEST_F(MapsObjectsTest, StringsInternAndCompare)
+{
+    Addr a = ctx.internString("hello");
+    Addr b = ctx.internString("hello");
+    EXPECT_EQ(a, b);  // interned: same address
+    Addr c = ctx.newString("hello");
+    EXPECT_NE(a, c);
+    EXPECT_TRUE(ctx.stringEquals(a, c));
+    EXPECT_FALSE(ctx.stringEquals(a, ctx.newString("hellp")));
+    EXPECT_EQ(ctx.stringOf(c), "hello");
+}
+
+TEST_F(MapsObjectsTest, TruthyFollowsEcmaScript)
+{
+    EXPECT_FALSE(ctx.truthy(Value::smi(0)));
+    EXPECT_TRUE(ctx.truthy(Value::smi(1)));
+    EXPECT_FALSE(ctx.truthy(ctx.undefinedValue));
+    EXPECT_FALSE(ctx.truthy(ctx.nullValue));
+    EXPECT_FALSE(ctx.truthy(ctx.falseValue));
+    EXPECT_TRUE(ctx.truthy(ctx.trueValue));
+    EXPECT_FALSE(ctx.truthy(Value::heap(ctx.newString(""))));
+    EXPECT_TRUE(ctx.truthy(Value::heap(ctx.newString("x"))));
+    EXPECT_FALSE(ctx.truthy(ctx.newNumber(std::nan(""))));
+}
+
+TEST_F(MapsObjectsTest, CoerceToStringMatchesJs)
+{
+    EXPECT_EQ(ctx.coerceToString(Value::smi(42)), "42");
+    EXPECT_EQ(ctx.coerceToString(ctx.newNumber(2.5)), "2.5");
+    EXPECT_EQ(ctx.coerceToString(ctx.undefinedValue), "undefined");
+    EXPECT_EQ(ctx.coerceToString(ctx.nullValue), "null");
+    // The paper's intro example: [1,2,3] + 7 -> "1,2,37".
+    Addr arr = ctx.newArray(ElementKind::Smi, 0);
+    ctx.arraySet(arr, 0, Value::smi(1));
+    ctx.arraySet(arr, 1, Value::smi(2));
+    ctx.arraySet(arr, 2, Value::smi(3));
+    EXPECT_EQ(ctx.coerceToString(Value::heap(arr)) + "7", "1,2,37");
+}
+
+TEST_F(MapsObjectsTest, StrictEqualsSemantics)
+{
+    EXPECT_TRUE(ctx.strictEquals(Value::smi(3), ctx.newNumber(3.0)));
+    EXPECT_FALSE(ctx.strictEquals(Value::smi(3), Value::smi(4)));
+    Value nan = ctx.newNumber(std::nan(""));
+    EXPECT_FALSE(ctx.strictEquals(nan, nan));  // NaN != NaN
+    Addr s1 = ctx.newString("ab");
+    Addr s2 = ctx.newString("ab");
+    EXPECT_TRUE(ctx.strictEquals(Value::heap(s1), Value::heap(s2)));
+}
+
+TEST_F(MapsObjectsTest, TypeofStrings)
+{
+    EXPECT_EQ(ctx.typeofString(Value::smi(1)), "number");
+    EXPECT_EQ(ctx.typeofString(ctx.newNumber(1.5)), "number");
+    EXPECT_EQ(ctx.typeofString(ctx.undefinedValue), "undefined");
+    EXPECT_EQ(ctx.typeofString(ctx.trueValue), "boolean");
+    EXPECT_EQ(ctx.typeofString(Value::heap(ctx.newString("s"))), "string");
+    EXPECT_EQ(ctx.typeofString(Value::heap(ctx.newObject())), "object");
+}

@@ -1,0 +1,134 @@
+/** @file Unit tests for the MiniJS parser (AST shapes, precedence). */
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hh"
+
+using namespace vspec;
+
+TEST(Parser, PrecedenceMulOverAdd)
+{
+    auto e = parseExpression("1 + 2 * 3");
+    EXPECT_EQ(e->dump(), "(binary + (num 1) (binary * (num 2) (num 3)))");
+}
+
+TEST(Parser, PrecedenceComparisonOverLogical)
+{
+    auto e = parseExpression("a < b && c > d");
+    EXPECT_EQ(e->dump(),
+              "(logical && (binary < (ident a) (ident b)) "
+              "(binary > (ident c) (ident d)))");
+}
+
+TEST(Parser, ShiftAndBitwise)
+{
+    auto e = parseExpression("a | b ^ c & d << 2");
+    EXPECT_EQ(e->dump(),
+              "(binary | (ident a) (binary ^ (ident b) "
+              "(binary & (ident c) (binary << (ident d) (num 2)))))");
+}
+
+TEST(Parser, AssignmentIsRightAssociative)
+{
+    auto e = parseExpression("a = b = 1");
+    EXPECT_EQ(e->dump(),
+              "(assign = (ident a) (assign = (ident b) (num 1)))");
+}
+
+TEST(Parser, CompoundAssignment)
+{
+    auto e = parseExpression("a += b * 2");
+    EXPECT_EQ(e->dump(),
+              "(assign += (ident a) (binary * (ident b) (num 2)))");
+}
+
+TEST(Parser, MemberIndexCallChains)
+{
+    auto e = parseExpression("obj.field[i](x, y)");
+    EXPECT_EQ(e->dump(),
+              "(call (index (member field (ident obj)) (ident i)) "
+              "(ident x) (ident y))");
+}
+
+TEST(Parser, TernaryExpression)
+{
+    auto e = parseExpression("a ? b : c");
+    EXPECT_EQ(e->dump(), "(ternary (ident a) (ident b) (ident c))");
+}
+
+TEST(Parser, UpdatePrefixVsPostfix)
+{
+    EXPECT_EQ(parseExpression("++i")->dump(), "(update ++ true (ident i))");
+    EXPECT_EQ(parseExpression("i++")->dump(), "(update ++ false (ident i))");
+}
+
+TEST(Parser, ArrayAndObjectLiterals)
+{
+    auto e = parseExpression("[1, x, \"s\"]");
+    EXPECT_EQ(e->dump(), "(array (num 1) (ident x) (str s))");
+    auto o = parseExpression("{a: 1, b: f}");
+    EXPECT_EQ(o->dump(), "(object (str a) (num 1) (str b) (ident f))");
+}
+
+TEST(Parser, FunctionDeclarations)
+{
+    auto prog = parseProgram("function f(a, b) { return a + b; }");
+    ASSERT_EQ(prog.functions.size(), 1u);
+    EXPECT_EQ(prog.functions[0].name, "f");
+    ASSERT_EQ(prog.functions[0].params.size(), 2u);
+    EXPECT_EQ(prog.functions[0].params[1], "b");
+}
+
+TEST(Parser, ForLoopStructure)
+{
+    auto prog = parseProgram("for (var i = 0; i < 10; i++) { x = i; }");
+    ASSERT_EQ(prog.topLevel.size(), 1u);
+    const Node *f = prog.topLevel[0].get();
+    ASSERT_EQ(f->kind, NodeKind::For);
+    ASSERT_EQ(f->arity(), 4u);
+    EXPECT_NE(f->child(0), nullptr);  // init
+    EXPECT_NE(f->child(1), nullptr);  // cond
+    EXPECT_NE(f->child(2), nullptr);  // update
+}
+
+TEST(Parser, ForLoopWithEmptySections)
+{
+    auto prog = parseProgram("for (;;) { break; }");
+    const Node *f = prog.topLevel[0].get();
+    EXPECT_EQ(f->child(0), nullptr);
+    EXPECT_EQ(f->child(1), nullptr);
+    EXPECT_EQ(f->child(2), nullptr);
+}
+
+TEST(Parser, IfElseChain)
+{
+    auto prog = parseProgram("if (a) { x = 1; } else if (b) { x = 2; } "
+                             "else { x = 3; }");
+    const Node *n = prog.topLevel[0].get();
+    ASSERT_EQ(n->kind, NodeKind::If);
+    ASSERT_EQ(n->arity(), 3u);
+    EXPECT_EQ(n->child(2)->kind, NodeKind::If);  // else-if nests
+}
+
+TEST(Parser, MultiDeclaratorVar)
+{
+    auto prog = parseProgram("var a = 1, b, c = 2;");
+    const Node *blk = prog.topLevel[0].get();
+    ASSERT_EQ(blk->kind, NodeKind::Block);
+    EXPECT_EQ(blk->arity(), 3u);
+}
+
+TEST(Parser, ErrorsThrow)
+{
+    EXPECT_THROW(parseProgram("function f( { }"), ParseError);
+    EXPECT_THROW(parseProgram("var ;"), ParseError);
+    EXPECT_THROW(parseProgram("a +;"), ParseError);
+    EXPECT_THROW(parseProgram("1 = 2;"), ParseError);
+    EXPECT_THROW(parseExpression("a b"), ParseError);
+}
+
+TEST(Parser, KeywordAsPropertyNameAllowed)
+{
+    auto e = parseExpression("o.length");
+    EXPECT_EQ(e->dump(), "(member length (ident o))");
+}

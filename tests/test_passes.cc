@@ -1,0 +1,197 @@
+/** @file Tests for the IR optimization / instrumentation passes. */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/passes.hh"
+#include "runtime/engine.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+struct Built
+{
+    std::unique_ptr<Engine> engine;
+    std::optional<Graph> graph;
+};
+
+Built
+buildFor(const std::string &src)
+{
+    Built b;
+    EngineConfig cfg;
+    cfg.enableOptimization = false;
+    b.engine = std::make_unique<Engine>(cfg);
+    b.engine->loadProgram(src);
+    for (int i = 0; i < 3; i++)
+        b.engine->call("bench");
+    CompilerEnv env{b.engine->vm, b.engine->globals, b.engine->functions};
+    FunctionInfo &fn =
+        b.engine->functions.at(b.engine->functions.idOf("bench"));
+    b.graph = buildGraph(env, fn);
+    return b;
+}
+
+u32
+liveCount(const Graph &g, IrOp op)
+{
+    u32 n = 0;
+    for (const auto &node : g.nodes)
+        if (!node.dead && node.op == op)
+            n++;
+    return n;
+}
+
+const char *kArraySum = R"JS(
+var a = [];
+function setup() { for (var i = 0; i < 16; i++) { a.push(i % 7); } }
+setup();
+function bench() {
+    var s = 0;
+    for (var i = 0; i < 16; i++) { s = (s + a[i]) % 1024; }
+    return s;
+}
+)JS";
+
+} // namespace
+
+TEST(Passes, ShortCircuitRemovesSelectedGroups)
+{
+    auto b = buildFor(kArraySum);
+    ASSERT_TRUE(b.graph.has_value());
+    u32 bounds_before = liveCount(*b.graph, IrOp::CheckBounds);
+    ASSERT_GE(bounds_before, 1u);
+
+    PassConfig cfg;
+    cfg.removeGroup[static_cast<size_t>(CheckGroup::Boundary)] = true;
+    PassStats stats = runPasses(*b.graph, cfg);
+    EXPECT_GE(stats.checksShortCircuited, bounds_before);
+    EXPECT_EQ(liveCount(*b.graph, IrOp::CheckBounds), 0u);
+    // Other groups survive.
+    EXPECT_GE(liveCount(*b.graph, IrOp::CheckMap), 1u);
+}
+
+TEST(Passes, RemovalKillsAncestorsViaDce)
+{
+    // Fig. 5's point: removing the bounds check also removes the array
+    // length load that only the check used.
+    auto b1 = buildFor(kArraySum);
+    PassConfig keep;
+    runPasses(*b1.graph, keep);
+    u32 raw_loads_with = liveCount(*b1.graph, IrOp::LoadFieldRaw);
+
+    auto b2 = buildFor(kArraySum);
+    PassConfig rm;
+    rm.removeGroup[static_cast<size_t>(CheckGroup::Boundary)] = true;
+    runPasses(*b2.graph, rm);
+    u32 raw_loads_without = liveCount(*b2.graph, IrOp::LoadFieldRaw);
+
+    EXPECT_LT(raw_loads_without, raw_loads_with);
+}
+
+TEST(Passes, RemoveAllLeavesNoChecks)
+{
+    auto b = buildFor(kArraySum);
+    runPasses(*b.graph, PassConfig::removeAllChecks());
+    EXPECT_EQ(liveCount(*b.graph, IrOp::CheckBounds), 0u);
+    EXPECT_EQ(liveCount(*b.graph, IrOp::CheckMap), 0u);
+    EXPECT_EQ(liveCount(*b.graph, IrOp::CheckSmi), 0u);
+    EXPECT_EQ(liveCount(*b.graph, IrOp::CheckHeapObject), 0u);
+    for (const auto &n : b.graph->nodes) {
+        if (!n.dead)
+            EXPECT_FALSE(n.checked && n.op != IrOp::Deopt)
+                << irOpName(n.op) << " still checked";
+    }
+}
+
+TEST(Passes, HoistingMovesInvariantChecksOutOfLoops)
+{
+    auto b = buildFor(kArraySum);
+    PassStats stats = runPasses(*b.graph, PassConfig::none());
+    EXPECT_GE(stats.checksHoisted, 1u);
+}
+
+TEST(Passes, ConstantChecksFolded)
+{
+    // The global array is embedded as a constant; its tag check is
+    // statically true and must be folded away.
+    auto b = buildFor(kArraySum);
+    PassStats stats = runPasses(*b.graph, PassConfig::none());
+    EXPECT_GE(stats.checksFolded, 1u);
+    for (const auto &n : b.graph->nodes) {
+        if (n.dead || n.op != IrOp::CheckHeapObject)
+            continue;
+        EXPECT_NE(b.graph->node(n.inputs[0]).op, IrOp::ConstTagged);
+    }
+}
+
+TEST(Passes, MinusZeroElidedWhenTruncated)
+{
+    // The product feeds a modulo, which truncates: -0 unobservable.
+    auto b = buildFor(R"JS(
+var a = [];
+function setup() { for (var i = 0; i < 8; i++) { a.push(i + 1); } }
+setup();
+function bench() {
+    var s = 0;
+    for (var i = 0; i < 8; i++) { s = (s + a[i] * 3) % 256; }
+    return s;
+}
+)JS");
+    PassStats stats = runPasses(*b.graph, PassConfig::none());
+    EXPECT_GE(stats.minusZeroElided, 1u);
+}
+
+TEST(Passes, MinusZeroKeptWhenObservable)
+{
+    // The product is returned (tagged): -0 is observable.
+    auto b = buildFor(R"JS(
+function bench(x) { return x * 1; }
+)JS");
+    // Warm with a call that passes an SMI.
+    // (buildFor's bench() call passes no args; feedback may be thin --
+    // accept either checked multiply with -0 retained or soft deopt.)
+    PassStats stats = runPasses(*b.graph, PassConfig::none());
+    for (ValueId id = 0; id < b.graph->nodes.size(); id++) {
+        const IrNode &n = b.graph->nodes[id];
+        if (!n.dead && n.op == IrOp::I32Mul && n.checked)
+            EXPECT_FALSE(n.elideMinusZero);
+    }
+    (void)stats;
+}
+
+TEST(Passes, SmiLoadFusionCreatesFusedLoads)
+{
+    auto b = buildFor(kArraySum);
+    PassConfig cfg;
+    cfg.smiLoadFusion = true;
+    PassStats stats = runPasses(*b.graph, cfg);
+    EXPECT_GE(stats.smiLoadsFused, 1u);
+    EXPECT_GE(liveCount(*b.graph, IrOp::LoadElemSmiUntag), 1u);
+    // The fused chain's CheckSmi and UntagSmi are gone.
+    for (const auto &n : b.graph->nodes) {
+        if (n.dead || n.op != IrOp::CheckSmi)
+            continue;
+        EXPECT_NE(b.graph->node(n.inputs[0]).op, IrOp::LoadElem32);
+    }
+}
+
+TEST(Passes, DedupeConstantsReducesNodes)
+{
+    auto b = buildFor(kArraySum);
+    u32 before = liveCount(*b.graph, IrOp::ConstTagged);
+    dedupeConstants(*b.graph);
+    u32 after = liveCount(*b.graph, IrOp::ConstTagged);
+    EXPECT_LT(after, before);
+}
+
+TEST(Passes, PassStatsAreConsistent)
+{
+    auto b = buildFor(kArraySum);
+    PassStats stats = runPasses(*b.graph, PassConfig::none());
+    EXPECT_EQ(stats.checksShortCircuited, 0u);
+    EXPECT_GT(stats.nodesKilledByDce + stats.phisSimplified
+              + stats.checksDeduped + stats.checksFolded, 0u);
+}

@@ -1,0 +1,169 @@
+/** @file PC sampler and check-attribution tests (§III-A methodology). */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "profiler/attribution.hh"
+#include "profiler/sampler.hh"
+#include "runtime/engine.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+CodeObject
+makeToyCode()
+{
+    // [0] alu, [1] cond (check 0), [2] deopt branch (check 0),
+    // [3] alu, [4] deopt exit
+    CodeObject code;
+    code.checks.push_back({0, DeoptReason::NotASmi, CheckGroup::NotASmi});
+    MInst alu;
+    alu.op = MOp::Add;
+    MInst cond;
+    cond.op = MOp::TstI;
+    cond.checkId = 0;
+    cond.checkRole = CheckRole::Condition;
+    MInst br;
+    br.op = MOp::Bcond;
+    br.checkId = 0;
+    br.checkRole = CheckRole::Branch;
+    br.isDeoptBranch = true;
+    br.target = 4;
+    MInst exit;
+    exit.op = MOp::DeoptExit;
+    code.code = {alu, cond, br, alu, exit};
+    return code;
+}
+
+} // namespace
+
+TEST(Profiler, SamplerHonorsPeriod)
+{
+    PcSampler sampler;
+    sampler.period = 100;
+    sampler.nextAt = 100;
+    CodeObject code = makeToyCode();
+    code.id = 1;
+    // Tick at increasing cycles; one sample per period boundary.
+    for (Cycles c = 0; c <= 1000; c += 50)
+        sampler.tick(c, code, static_cast<u32>(c / 50 % 5));
+    EXPECT_EQ(sampler.totalSamples, 10u);
+    EXPECT_NE(sampler.histogramFor(1), nullptr);
+}
+
+TEST(Profiler, WindowHeuristicAttributesBranchAndWindow)
+{
+    CodeObject code = makeToyCode();
+    // Samples: 10 on the alu, 20 on the condition, 5 on the branch.
+    std::vector<u64> hist = {10, 20, 5, 7, 0};
+    auto r = attributeWindowHeuristic(code, hist, 1);
+    EXPECT_EQ(r.totalSamples, 42u);
+    // window=1 captures the condition (pc 1) and the branch (pc 2).
+    EXPECT_EQ(r.checkSamples, 25u);
+    EXPECT_EQ(r.samplesPerGroup[static_cast<size_t>(CheckGroup::NotASmi)],
+              25u);
+}
+
+TEST(Profiler, WiderWindowOverattributes)
+{
+    CodeObject code = makeToyCode();
+    std::vector<u64> hist = {10, 20, 5, 7, 0};
+    auto w2 = attributeWindowHeuristic(code, hist, 2);
+    // window=2 also swallows the unrelated alu at pc 0.
+    EXPECT_EQ(w2.checkSamples, 35u);
+}
+
+TEST(Profiler, GroundTruthUsesAnnotations)
+{
+    CodeObject code = makeToyCode();
+    std::vector<u64> hist = {10, 20, 5, 7, 0};
+    auto gt = attributeGroundTruth(code, hist);
+    EXPECT_EQ(gt.checkSamples, 25u);  // cond + branch only
+    EXPECT_DOUBLE_EQ(gt.overheadFraction(), 25.0 / 42.0);
+}
+
+TEST(Profiler, DefaultWindowsMatchThePaper)
+{
+    EXPECT_EQ(defaultWindowFor(IsaFlavour::X64Like), 1);
+    EXPECT_EQ(defaultWindowFor(IsaFlavour::Arm64Like), 2);
+}
+
+TEST(Profiler, WindowDoesNotCrossControlFlow)
+{
+    // A branch immediately before a check's branch stops the window.
+    CodeObject code = makeToyCode();
+    code.code[1].op = MOp::B;          // unrelated jump
+    code.code[1].checkId = kNoCheck;
+    code.code[1].checkRole = CheckRole::None;
+    std::vector<u64> hist = {10, 20, 5, 0, 0};
+    auto r = attributeWindowHeuristic(code, hist, 2);
+    EXPECT_EQ(r.checkSamples, 5u);  // only the deopt branch itself
+}
+
+TEST(Profiler, EndToEndSamplingFindsChecks)
+{
+    EngineConfig cfg;
+    cfg.samplerEnabled = true;
+    cfg.samplerPeriodCycles = 53;
+    Engine engine(cfg);
+    engine.loadProgram(R"JS(
+var a = [];
+function setup() { for (var i = 0; i < 64; i++) { a.push(i % 9); } }
+setup();
+function bench() {
+    var s = 0;
+    for (var i = 0; i < 64; i++) { s = (s + a[i]) % 4096; }
+    return s;
+}
+)JS");
+    for (int i = 0; i < 50; i++)
+        engine.call("bench");
+    ASSERT_GT(engine.sampler.totalSamples, 100u);
+
+    AttributionResult window, truth;
+    for (const auto &code : engine.codeObjects) {
+        const auto *hist = engine.sampler.histogramFor(code->id);
+        if (hist == nullptr)
+            continue;
+        window += attributeWindowHeuristic(*code, *hist, 2);
+        truth += attributeGroundTruth(*code, *hist);
+    }
+    // Both attributions see a real, nonzero check overhead, and they
+    // agree within a factor of two (§IV's correlation claim).
+    EXPECT_GT(truth.overheadFraction(), 0.02);
+    EXPECT_GT(window.overheadFraction(), 0.02);
+    double ratio = window.overheadFraction() / truth.overheadFraction();
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Profiler, SkipToConsumesPeriodsWithoutSamples)
+{
+    PcSampler sampler;
+    sampler.period = 100;
+    sampler.nextAt = 100;
+    CodeObject code = makeToyCode();
+    code.id = 9;
+    sampler.tick(150, code, 0);   // 1 sample (at 100)
+    sampler.skipTo(1000);         // periods 200..1000 consumed silently
+    sampler.tick(1050, code, 1);  // next sample not before 1100
+    EXPECT_EQ(sampler.totalSamples, 1u);
+    sampler.tick(1100, code, 1);
+    EXPECT_EQ(sampler.totalSamples, 2u);
+}
+
+TEST(Profiler, BuiltinTimeIsNotAttributedToChecks)
+{
+    // A regex workload spends nearly all time in the irregexp-lite
+    // builtin; with whole-process accounting its check overhead must
+    // be tiny (the paper's observation for regex benchmarks).
+    const Workload *w = findWorkload("REGEX-LOG");
+    ASSERT_NE(w, nullptr);
+    RunConfig rc;
+    rc.iterations = 12;
+    RunOutcome out = runWorkload(*w, rc, nullptr);
+    ASSERT_TRUE(out.completed);
+    EXPECT_LT(out.window.overheadFraction(), 0.10);
+}

@@ -1,0 +1,210 @@
+/** @file Backend tests: register allocation and code generation. */
+
+#include <gtest/gtest.h>
+
+#include "backend/isel.hh"
+#include "ir/passes.hh"
+#include "runtime/engine.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+/** Compile bench() of @p src down to a CodeObject for @p isa. */
+std::unique_ptr<CodeObject>
+compileBench(Engine &engine, const std::string &src, IsaFlavour isa,
+             bool branches_removed = false)
+{
+    engine.loadProgram(src);
+    for (int i = 0; i < 3; i++)
+        engine.call("bench");
+    CompilerEnv env{engine.vm, engine.globals, engine.functions};
+    FunctionInfo &fn = engine.functions.at(engine.functions.idOf("bench"));
+    auto graph = buildGraph(env, fn);
+    EXPECT_TRUE(graph.has_value());
+    runPasses(*graph, PassConfig::none());
+    CodegenConfig cfg;
+    cfg.flavour = isa;
+    cfg.removeDeoptBranches = branches_removed;
+    return generateCode(env, *graph, cfg);
+}
+
+const char *kKernel = R"JS(
+var a = [];
+function setup() { for (var i = 0; i < 16; i++) { a.push(i % 9); } }
+setup();
+function bench() {
+    var s = 0;
+    for (var i = 0; i < 16; i++) { s = (s + a[i] * 3) % 4096; }
+    return s;
+}
+)JS";
+
+} // namespace
+
+TEST(Backend, EveryDeoptBranchTargetsTheExitRegion)
+{
+    EngineConfig cfg;
+    cfg.enableOptimization = false;
+    Engine engine(cfg);
+    auto code = compileBench(engine, kKernel, IsaFlavour::Arm64Like);
+    // Find where the deopt-exit region begins.
+    size_t first_exit = code->code.size();
+    for (size_t i = 0; i < code->code.size(); i++) {
+        if (code->code[i].op == MOp::DeoptExit) {
+            first_exit = i;
+            break;
+        }
+    }
+    ASSERT_LT(first_exit, code->code.size());
+    for (const auto &m : code->code) {
+        if (m.isDeoptBranch && m.op == MOp::Bcond) {
+            // §III-A: "deoptimization paths always jump to a specific
+            // region at the end of a compiled function."
+            EXPECT_GE(m.target, first_exit);
+            EXPECT_EQ(code->code[m.target].op, MOp::DeoptExit);
+        }
+    }
+}
+
+TEST(Backend, ChecksCarryAnnotations)
+{
+    EngineConfig cfg;
+    cfg.enableOptimization = false;
+    Engine engine(cfg);
+    auto code = compileBench(engine, kKernel, IsaFlavour::Arm64Like);
+    EXPECT_FALSE(code->checks.empty());
+    u32 with_check = code->totalCheckInstructions();
+    EXPECT_GT(with_check, 0u);
+    auto per_group = code->checkInstructionsPerGroup();
+    u32 sum = 0;
+    for (u32 v : per_group)
+        sum += v;
+    EXPECT_EQ(sum, with_check);
+    // Every annotated id refers to a registered check.
+    for (const auto &m : code->code) {
+        if (m.checkId != kNoCheck)
+            ASSERT_LT(m.checkId, code->checks.size());
+    }
+}
+
+TEST(Backend, Arm64MapCheckLoadsMapWordExplicitly)
+{
+    EngineConfig cfg;
+    cfg.enableOptimization = false;
+    Engine engine(cfg);
+    auto arm = compileBench(engine, kKernel, IsaFlavour::Arm64Like);
+    bool arm_has_cmp_mem = false;
+    for (const auto &m : arm->code)
+        if (m.op == MOp::CmpMemI || m.op == MOp::CmpMem)
+            arm_has_cmp_mem = true;
+    EXPECT_FALSE(arm_has_cmp_mem) << "RISC flavour must not use "
+                                     "memory-operand compares";
+}
+
+TEST(Backend, X64MapCheckUsesMemoryOperand)
+{
+    EngineConfig cfg;
+    cfg.enableOptimization = false;
+    Engine engine(cfg);
+    auto x64 = compileBench(engine, kKernel, IsaFlavour::X64Like);
+    bool has_cmp_mem = false;
+    for (const auto &m : x64->code)
+        if (m.op == MOp::CmpMemI || m.op == MOp::CmpMem)
+            has_cmp_mem = true;
+    EXPECT_TRUE(has_cmp_mem) << "x64 flavour folds map/bounds loads "
+                                "into cmp";
+}
+
+TEST(Backend, BranchRemovalKeepsConditionsDropsBranches)
+{
+    EngineConfig cfg;
+    cfg.enableOptimization = false;
+    Engine engine(cfg);
+    auto def = compileBench(engine, kKernel, IsaFlavour::Arm64Like, false);
+    EngineConfig cfg2;
+    cfg2.enableOptimization = false;
+    Engine engine2(cfg2);
+    auto nobr = compileBench(engine2, kKernel, IsaFlavour::Arm64Like, true);
+
+    auto count = [](const CodeObject &c, auto pred) {
+        u32 n = 0;
+        for (const auto &m : c.code)
+            if (pred(m))
+                n++;
+        return n;
+    };
+    u32 def_branches = count(*def, [](const MInst &m) {
+        return m.isDeoptBranch && m.op == MOp::Bcond;
+    });
+    u32 nobr_branches = count(*nobr, [](const MInst &m) {
+        return m.isDeoptBranch && m.op == MOp::Bcond;
+    });
+    EXPECT_GT(def_branches, 0u);
+    EXPECT_EQ(nobr_branches, 0u);
+    // Condition computation survives (§IV-B: "without altering the
+    // computation of Boolean conditions").
+    u32 def_conds = count(*def, [](const MInst &m) {
+        return m.checkRole == CheckRole::Condition;
+    });
+    u32 nobr_conds = count(*nobr, [](const MInst &m) {
+        return m.checkRole == CheckRole::Condition;
+    });
+    EXPECT_GT(nobr_conds, 0u);
+    EXPECT_GE(nobr_conds + 4, def_conds);
+}
+
+TEST(Backend, SpillingWorksUnderRegisterPressure)
+{
+    // Many simultaneously-live non-constant values force spills
+    // (constants alone would be rematerialized, not allocated).
+    std::string src = R"JS(
+var seed = 3;
+function bench() {
+    var a1 = seed + 1; var a2 = a1 + 1; var a3 = a2 + 1;
+    var a4 = a3 + 1; var a5 = a4 + 1; var a6 = a5 + 1;
+    var a7 = a6 + 1; var a8 = a7 + 1; var a9 = a8 + 1;
+    var a10 = a9 + 1; var a11 = a10 + 1; var a12 = a11 + 1;
+    var a13 = a12 + 1; var a14 = a13 + 1; var a15 = a14 + 1;
+    var a16 = a15 + 1; var a17 = a16 + 1; var a18 = a17 + 1;
+    var a19 = a18 + 1; var a20 = a19 + 1; var a21 = a20 + 1;
+    var a22 = a21 + 1; var a23 = a22 + 1; var a24 = a23 + 1;
+    var a25 = a24 + 1; var a26 = a25 + 1;
+    var s = 0;
+    for (var i = 0; i < 10; i++) {
+        s = s + a1 + a2 + a3 + a4 + a5 + a6 + a7 + a8 + a9 + a10
+              + a11 + a12 + a13 + a14 + a15 + a16 + a17 + a18 + a19
+              + a20 + a21 + a22 + a23 + a24 + a25 + a26;
+        a1 = a1 + 1; a13 = a13 + 1; a26 = a26 + 1;
+    }
+    return s;
+}
+)JS";
+    Engine jit{EngineConfig{}};
+    jit.loadProgram(src);
+    EngineConfig plain;
+    plain.enableOptimization = false;
+    Engine interp(plain);
+    interp.loadProgram(src);
+    for (int i = 0; i < 5; i++) {
+        ASSERT_EQ(jit.vm.display(jit.call("bench")),
+                  interp.vm.display(interp.call("bench")));
+    }
+    FunctionId fid = jit.functions.idOf("bench");
+    const FunctionInfo &fn = jit.functions.at(fid);
+    ASSERT_TRUE(fn.hasCode());
+    EXPECT_GT(jit.codeObjects[fn.codeId]->spillSlots, 0u);
+}
+
+TEST(Backend, DisassemblyIsWellFormed)
+{
+    EngineConfig cfg;
+    cfg.enableOptimization = false;
+    Engine engine(cfg);
+    auto code = compileBench(engine, kKernel, IsaFlavour::Arm64Like);
+    std::string dis = code->disassemble();
+    EXPECT_NE(dis.find("deopt"), std::string::npos);
+    EXPECT_NE(dis.find("ldr"), std::string::npos);
+    EXPECT_NE(dis.find("check#"), std::string::npos);
+}

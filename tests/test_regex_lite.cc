@@ -1,0 +1,142 @@
+/** @file Tests for the irregexp-lite backtracking engine. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/regex_lite.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+bool
+matches(const std::string &pat, const std::string &s)
+{
+    u64 steps = 0;
+    return RegexLite(pat).test(s, steps);
+}
+
+u32
+count(const std::string &pat, const std::string &s)
+{
+    u64 steps = 0;
+    return RegexLite(pat).countMatches(s, steps);
+}
+
+std::string
+replace(const std::string &pat, const std::string &s, const std::string &r)
+{
+    u64 steps = 0;
+    return RegexLite(pat).replaceAll(s, r, steps);
+}
+
+} // namespace
+
+TEST(RegexLite, Literals)
+{
+    EXPECT_TRUE(matches("abc", "xxabcxx"));
+    EXPECT_FALSE(matches("abc", "abxc"));
+    EXPECT_TRUE(matches("", "anything"));
+}
+
+TEST(RegexLite, DotAndClasses)
+{
+    EXPECT_TRUE(matches("a.c", "abc"));
+    EXPECT_FALSE(matches("a.c", "a\nc"));
+    EXPECT_TRUE(matches("[abc]x", "cx"));
+    EXPECT_FALSE(matches("[abc]x", "dx"));
+    EXPECT_TRUE(matches("[a-f0-9]+", "beef42"));
+    EXPECT_TRUE(matches("[^aeiou]", "z"));
+    EXPECT_FALSE(matches("[^z]", "z"));
+}
+
+TEST(RegexLite, Escapes)
+{
+    EXPECT_TRUE(matches("\\d\\d\\d", "abc123"));
+    EXPECT_FALSE(matches("\\d", "abc"));
+    EXPECT_TRUE(matches("\\w+", "a_1"));
+    EXPECT_TRUE(matches("a\\.b", "a.b"));
+    EXPECT_FALSE(matches("a\\.b", "axb"));
+    EXPECT_TRUE(matches("\\s", "a b"));
+}
+
+TEST(RegexLite, Quantifiers)
+{
+    EXPECT_TRUE(matches("ab*c", "ac"));
+    EXPECT_TRUE(matches("ab*c", "abbbc"));
+    EXPECT_TRUE(matches("ab+c", "abc"));
+    EXPECT_FALSE(matches("ab+c", "ac"));
+    EXPECT_TRUE(matches("ab?c", "ac"));
+    EXPECT_TRUE(matches("ab?c", "abc"));
+    EXPECT_FALSE(matches("ab?c", "abbc"));
+}
+
+TEST(RegexLite, AlternationAndGroups)
+{
+    EXPECT_TRUE(matches("cat|dog", "hotdog"));
+    EXPECT_FALSE(matches("cat|dog", "bird"));
+    EXPECT_TRUE(matches("a(bc)+d", "abcbcd"));
+    EXPECT_FALSE(matches("a(bc)+d", "ad"));
+    EXPECT_TRUE(matches("(a|b)(c|d)", "bd"));
+}
+
+TEST(RegexLite, Backtracking)
+{
+    // Greedy star must backtrack to let the suffix match.
+    EXPECT_TRUE(matches("a.*c", "abcbc"));
+    EXPECT_TRUE(matches("a*a", "aaa"));
+    EXPECT_TRUE(matches("(ab|a)b", "ab"));
+}
+
+TEST(RegexLite, CountMatches)
+{
+    EXPECT_EQ(count("ab", "ababab"), 3u);
+    EXPECT_EQ(count("a+", "aaa b aa"), 2u);  // greedy, non-overlapping
+    EXPECT_EQ(count("x", "abc"), 0u);
+    EXPECT_EQ(count("c[at]g", "catg ccg ctg"), 1u);  // only "ctg"
+}
+
+TEST(RegexLite, ReplaceAll)
+{
+    EXPECT_EQ(replace("\\d+", "a1b22c333", "#"), "a#b#c#");
+    EXPECT_EQ(replace("x", "abc", "!"), "abc");
+    EXPECT_EQ(replace("a", "aaa", ""), "");
+}
+
+TEST(RegexLite, MatchAtReportsLength)
+{
+    RegexLite re("ab+");
+    u64 steps = 0;
+    EXPECT_EQ(re.matchAt("xabbby", 1, steps), 4);
+    EXPECT_EQ(re.matchAt("xabbby", 0, steps), -1);
+}
+
+TEST(RegexLite, SyntaxErrorsThrow)
+{
+    EXPECT_THROW(RegexLite("a("), std::runtime_error);
+    EXPECT_THROW(RegexLite("["), std::runtime_error);
+    EXPECT_THROW(RegexLite("*a"), std::runtime_error);
+    EXPECT_THROW(RegexLite("a\\"), std::runtime_error);
+}
+
+TEST(RegexLite, StepCountingGrowsWithWork)
+{
+    RegexLite re("a+b");
+    std::string small(10, 'a');
+    std::string large(100, 'a');
+    u64 s1 = 0, s2 = 0;
+    re.test(small, s1);
+    re.test(large, s2);
+    EXPECT_GT(s2, s1);
+}
+
+TEST(RegexLite, PaperDnaPatterns)
+{
+    // The patterns used by the REGEX-DNA workload must all compile.
+    for (const char *p : {"agggtaaa|tttaccct", "[cgt]gggtaaa|tttaccc[acg]",
+                          "aggg[acg]aaa|ttt[cgt]ccct", "gg(ta)+a",
+                          "c[at]g"}) {
+        u64 steps = 0;
+        EXPECT_NO_THROW(RegexLite(p).test("acgtacgt", steps));
+    }
+}

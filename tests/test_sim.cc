@@ -1,0 +1,304 @@
+/** @file Functional-core ISA semantics tests (hand-assembled code). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/machine.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+class SimTest : public ::testing::Test
+{
+  protected:
+    SimTest()
+        : heap(8u << 20),
+          core(heap, [this](RuntimeFn fn, MachineState &st, const MInst &) {
+              lastRt = fn;
+              st.x[0] = 4242;
+          })
+    {
+    }
+
+    MInst
+    ins(MOp op, u8 rd = 0, u8 rn = 0, u8 rm = 0, i64 imm = 0)
+    {
+        MInst m;
+        m.op = op;
+        m.rd = rd;
+        m.rn = rn;
+        m.rm = rm;
+        m.imm = imm;
+        return m;
+    }
+
+    /** Run the instructions followed by Ret; returns x0. */
+    u64
+    run(std::vector<MInst> code, MachineState &st)
+    {
+        code.push_back(ins(MOp::Ret));
+        CodeObject obj;
+        obj.code = std::move(code);
+        RunResult r = core.run(obj, st, nullptr, nullptr);
+        EXPECT_FALSE(r.deopted);
+        return st.x[0];
+    }
+
+    Heap heap;
+    FunctionalCore core;
+    RuntimeFn lastRt = RuntimeFn::CallFunction;
+};
+
+} // namespace
+
+TEST_F(SimTest, AluBasics)
+{
+    MachineState st;
+    st.x[1] = 20;
+    st.x[2] = 22;
+    EXPECT_EQ(run({ins(MOp::Add, 0, 1, 2)}, st), 42u);
+    EXPECT_EQ(run({ins(MOp::Sub, 0, 1, 2)}, st),
+              static_cast<u64>(static_cast<u32>(-2)));
+    EXPECT_EQ(run({ins(MOp::Mul, 0, 1, 2)}, st), 440u);
+    EXPECT_EQ(run({ins(MOp::AddI, 0, 1, 0, 100)}, st), 120u);
+}
+
+TEST_F(SimTest, ThirtyTwoBitSemantics)
+{
+    MachineState st;
+    st.x[1] = 0x7fffffff;
+    st.x[2] = 1;
+    // 32-bit add wraps and zero-extends into the 64-bit register.
+    EXPECT_EQ(run({ins(MOp::Add, 0, 1, 2)}, st), 0x80000000u);
+}
+
+TEST_F(SimTest, AddsSetsOverflowAt32Bits)
+{
+    MachineState st;
+    st.x[1] = 0x40000000;  // 2^30
+    std::vector<MInst> code = {ins(MOp::Adds, 0, 1, 1)};
+    code.push_back(ins(MOp::Ret));
+    CodeObject obj;
+    obj.code = code;
+    core.run(obj, st, nullptr, nullptr);
+    EXPECT_TRUE(st.flagV);  // 2^30 + 2^30 overflows signed 32-bit
+    EXPECT_TRUE(st.flagN);
+}
+
+TEST_F(SimTest, SmullAndCmpSxtwDetectMulOverflow)
+{
+    MachineState st;
+    st.x[1] = 100000;
+    st.x[2] = 100000;
+    std::vector<MInst> code = {
+        ins(MOp::Smull, 3, 1, 2),      // 10^10: doesn't fit in 32 bits
+        ins(MOp::CmpSxtw, 0, 3, 3),
+        ins(MOp::Ret),
+    };
+    CodeObject obj;
+    obj.code = code;
+    core.run(obj, st, nullptr, nullptr);
+    EXPECT_FALSE(st.flagZ);  // 64-bit value != sign-extended low half
+}
+
+TEST_F(SimTest, DivisionCornerCases)
+{
+    MachineState st;
+    st.x[1] = 7;
+    st.x[2] = 0;
+    EXPECT_EQ(run({ins(MOp::SDiv, 0, 1, 2)}, st), 0u);  // div-by-0 -> 0
+    st.x[1] = static_cast<u32>(INT32_MIN);
+    st.x[2] = static_cast<u32>(-1);
+    EXPECT_EQ(run({ins(MOp::SDiv, 0, 1, 2)}, st),
+              static_cast<u64>(static_cast<u32>(INT32_MIN)));
+}
+
+TEST_F(SimTest, ShiftsAndLogic)
+{
+    MachineState st;
+    st.x[1] = static_cast<u32>(-8);
+    EXPECT_EQ(run({ins(MOp::AsrI, 0, 1, 0, 1)}, st),
+              static_cast<u64>(static_cast<u32>(-4)));
+    EXPECT_EQ(run({ins(MOp::LsrI, 0, 1, 0, 28)}, st), 15u);
+    st.x[1] = 0b1100;
+    st.x[2] = 0b1010;
+    EXPECT_EQ(run({ins(MOp::And, 0, 1, 2)}, st), 0b1000u);
+    EXPECT_EQ(run({ins(MOp::Eor, 0, 1, 2)}, st), 0b0110u);
+}
+
+TEST_F(SimTest, LoadsAndStores)
+{
+    Addr a = heap.allocate(64, 1, 0);
+    MachineState st;
+    st.x[1] = a;
+    st.x[2] = 0xdeadbeef;
+    run({ins(MOp::StrW, 2, 1, 0, 16), ins(MOp::LdrW, 0, 1, 0, 16)}, st);
+    EXPECT_EQ(st.x[0], 0xdeadbeefu);
+
+    // Register-offset addressing with scale.
+    st.x[3] = 2;
+    MInst ld = ins(MOp::LdrWr, 0, 1, 3, 8);
+    ld.scale = 2;  // addr = a + (2 << 2) + 8 = a + 16
+    run({ld}, st);
+    EXPECT_EQ(st.x[0], 0xdeadbeefu);
+}
+
+TEST_F(SimTest, WildLoadsFaultSafely)
+{
+    MachineState st;
+    st.x[1] = heap.sizeBytes() + 1024;
+    EXPECT_EQ(run({ins(MOp::LdrW, 0, 1, 0, 0)}, st), 0xdeadbeefu);
+}
+
+TEST_F(SimTest, FloatingPoint)
+{
+    MachineState st;
+    st.d[1] = 1.5;
+    st.d[2] = 2.25;
+    std::vector<MInst> code = {ins(MOp::FAdd, 0, 1, 2), ins(MOp::Ret)};
+    CodeObject obj;
+    obj.code = code;
+    core.run(obj, st, nullptr, nullptr);
+    EXPECT_DOUBLE_EQ(st.d[0], 3.75);
+
+    st.x[1] = static_cast<u32>(-7);
+    code = {ins(MOp::Scvtf, 3, 1), ins(MOp::Ret)};
+    obj.code = code;
+    core.run(obj, st, nullptr, nullptr);
+    EXPECT_DOUBLE_EQ(st.d[3], -7.0);
+}
+
+TEST_F(SimTest, FcmpFlagsAreNanCorrect)
+{
+    MachineState st;
+    st.d[0] = 1.0;
+    st.d[1] = 2.0;
+    std::vector<MInst> code = {ins(MOp::FCmp, 0, 0, 1), ins(MOp::Ret)};
+    CodeObject obj;
+    obj.code = code;
+    core.run(obj, st, nullptr, nullptr);
+    EXPECT_TRUE(st.flagN);   // less: Mi holds
+
+    st.d[1] = std::nan("");
+    core.run(obj, st, nullptr, nullptr);
+    EXPECT_TRUE(st.flagC);
+    EXPECT_TRUE(st.flagV);   // unordered
+    EXPECT_FALSE(st.flagN);  // Mi (JS <) false on NaN
+}
+
+TEST_F(SimTest, FjcvtzsWrapsLikeToInt32)
+{
+    MachineState st;
+    std::vector<MInst> code = {ins(MOp::Fjcvtzs, 0, 1), ins(MOp::Ret)};
+    CodeObject obj;
+    obj.code = code;
+    st.d[1] = 4294967297.0;  // 2^32 + 1
+    core.run(obj, st, nullptr, nullptr);
+    EXPECT_EQ(static_cast<u32>(st.x[0]), 1u);
+    st.d[1] = -1.5;
+    core.run(obj, st, nullptr, nullptr);
+    EXPECT_EQ(static_cast<i32>(st.x[0]), -1);
+    st.d[1] = std::nan("");
+    core.run(obj, st, nullptr, nullptr);
+    EXPECT_EQ(st.x[0], 0u);
+}
+
+TEST_F(SimTest, BranchesAndConditions)
+{
+    MachineState st;
+    st.x[1] = 5;
+    // if (x1 == 5) x0 = 1; else x0 = 2;
+    std::vector<MInst> code;
+    code.push_back(ins(MOp::CmpI, 0, 1, 0, 5));
+    MInst b = ins(MOp::Bcond);
+    b.cond = Cond::Ne;
+    b.target = 4;
+    code.push_back(b);
+    code.push_back(ins(MOp::MovI, 0, 0, 0, 1));
+    code.push_back(ins(MOp::Ret));
+    code.push_back(ins(MOp::MovI, 0, 0, 0, 2));
+    code.push_back(ins(MOp::Ret));
+    CodeObject obj;
+    obj.code = code;
+    core.run(obj, st, nullptr, nullptr);
+    EXPECT_EQ(st.x[0], 1u);
+    st.x[1] = 6;
+    core.run(obj, st, nullptr, nullptr);
+    EXPECT_EQ(st.x[0], 2u);
+}
+
+TEST_F(SimTest, DeoptExitReturnsExitIndex)
+{
+    MachineState st;
+    std::vector<MInst> code;
+    MInst d = ins(MOp::DeoptExit);
+    d.imm = 3;
+    code.push_back(d);
+    CodeObject obj;
+    obj.code = code;
+    RunResult r = core.run(obj, st, nullptr, nullptr);
+    EXPECT_TRUE(r.deopted);
+    EXPECT_EQ(r.deoptExit, 3);
+}
+
+TEST_F(SimTest, RuntimeCallDispatchesAndPoisons)
+{
+    MachineState st;
+    st.x[5] = 77;
+    std::vector<MInst> code;
+    MInst call = ins(MOp::CallRt);
+    call.target = static_cast<u32>(RuntimeFn::CreateObjectRt);
+    code.push_back(call);
+    code.push_back(ins(MOp::MovR, 1, 0));
+    run(code, st);
+    EXPECT_EQ(lastRt, RuntimeFn::CreateObjectRt);
+    EXPECT_EQ(st.x[1], 4242u);           // result moved from x0
+    EXPECT_EQ(st.x[5], 0xdeadbeefdeadbeefULL);  // caller-saved poisoned
+}
+
+TEST_F(SimTest, JsLdrSmiLoadsAndUntags)
+{
+    // §V: the extension load untags in the load unit.
+    Addr a = heap.allocate(32, 1, 0);
+    heap.writeU32(a + 8, Value::smi(-21).bits());
+    MachineState st;
+    st.x[1] = a;
+    run({ins(MOp::JsLdurSmiI, 0, 1, 0, 8)}, st);
+    EXPECT_EQ(static_cast<i32>(st.x[0]), -21);
+    EXPECT_EQ(st.special[static_cast<int>(SpecialReg::REG_RE)], 0u);
+}
+
+TEST_F(SimTest, JsLdrSmiFailureRaisesCommitException)
+{
+    Addr a = heap.allocate(32, 1, 0);
+    heap.writeU32(a + 8, Value::heap(a).bits());  // not an SMI
+    MachineState st;
+    st.x[1] = a;
+    std::vector<MInst> code;
+    MInst ld = ins(MOp::JsLdurSmiI, 0, 1, 0, 8);
+    ld.deoptIndex = 5;
+    code.push_back(ld);
+    code.push_back(ins(MOp::Ret));
+    CodeObject obj;
+    obj.code = code;
+    RunResult r = core.run(obj, st, nullptr, nullptr);
+    EXPECT_TRUE(r.deopted);
+    EXPECT_EQ(r.deoptExit, 5);
+    // REG_PC recorded the failing load's pc.
+    EXPECT_EQ(st.special[static_cast<int>(SpecialReg::REG_PC)], 0u);
+}
+
+TEST_F(SimTest, ScaledRegisterSmiLoad)
+{
+    Addr a = heap.allocate(64, 1, 0);
+    heap.writeU32(a + 8 + 4 * 3, Value::smi(123).bits());
+    MachineState st;
+    st.x[1] = a + 8;
+    st.x[2] = 3;
+    run({ins(MOp::JsLdrSmiRS, 0, 1, 2)}, st);
+    EXPECT_EQ(static_cast<i32>(st.x[0]), 123);
+}

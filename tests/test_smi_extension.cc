@@ -1,0 +1,186 @@
+/** @file §V ISA extension: fusion correctness + performance effect. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/engine.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+const char *kSmiKernel = R"JS(
+var a = [];
+var b = [];
+function setup() {
+    for (var i = 0; i < 64; i++) { a.push(i % 23 + 1); b.push(i % 17 + 1); }
+}
+setup();
+function bench() {
+    var s = 0;
+    for (var i = 0; i < 64; i++) { s = (s + a[i] * b[i]) % 65536; }
+    return s;
+}
+)JS";
+
+} // namespace
+
+TEST(SmiExtension, SameResultsWithAndWithoutExtension)
+{
+    EngineConfig def;
+    Engine e1(def);
+    e1.loadProgram(kSmiKernel);
+    EngineConfig ext;
+    ext.smiLoadExtension = true;
+    Engine e2(ext);
+    e2.loadProgram(kSmiKernel);
+    for (int i = 0; i < 8; i++) {
+        EXPECT_EQ(e1.vm.display(e1.call("bench")),
+                  e2.vm.display(e2.call("bench")));
+    }
+}
+
+TEST(SmiExtension, FusedLoadsAppearInCode)
+{
+    EngineConfig cfg;
+    cfg.smiLoadExtension = true;
+    Engine engine(cfg);
+    engine.loadProgram(kSmiKernel);
+    for (int i = 0; i < 3; i++)
+        engine.call("bench");
+    FunctionId fid = engine.functions.idOf("bench");
+    const FunctionInfo &fn = engine.functions.at(fid);
+    ASSERT_TRUE(fn.hasCode());
+    const CodeObject &code = *engine.codeObjects[fn.codeId];
+    EXPECT_TRUE(code.usedSmiExtension);
+    int fused = 0, msr = 0;
+    for (const auto &m : code.code) {
+        if (m.isSmiExtensionLoad())
+            fused++;
+        if (m.op == MOp::Msr)
+            msr++;
+    }
+    EXPECT_GE(fused, 2);  // a[i] and b[i]
+    EXPECT_GE(msr, 1);    // Fig. 11 prologue: REG_BA setup
+}
+
+TEST(SmiExtension, FewerInstructionsThanDefault)
+{
+    auto code_size = [](bool extension) {
+        EngineConfig cfg;
+        cfg.smiLoadExtension = extension;
+        Engine engine(cfg);
+        engine.loadProgram(kSmiKernel);
+        for (int i = 0; i < 3; i++)
+            engine.call("bench");
+        FunctionId fid = engine.functions.idOf("bench");
+        const FunctionInfo &fn = engine.functions.at(fid);
+        return engine.codeObjects[fn.codeId]->code.size();
+    };
+    // Each fused load replaces ldr + tst + b.ne + asr (saving 3), at
+    // the cost of the 2-instruction MSR REG_BA prologue (Fig. 11).
+    EXPECT_LT(code_size(true), code_size(false));
+}
+
+TEST(SmiExtension, FailedFusedLoadDeoptimizesCorrectly)
+{
+    // A double sneaks into the array after optimization: the fused
+    // load's implicit Not-a-SMI check must trigger the bailout with a
+    // correctly rebuilt frame (commit-phase exception path).
+    EngineConfig cfg;
+    cfg.smiLoadExtension = true;
+    Engine engine(cfg);
+    engine.loadProgram(R"JS(
+var a = [];
+function setup() { for (var i = 0; i < 16; i++) { a.push(i + 1); } }
+setup();
+function bench() {
+    var s = 0;
+    for (var i = 0; i < 16; i++) { s = s + a[i]; }
+    return s;
+}
+function poison() { a[7] = 2.5; }
+)JS");
+    for (int i = 0; i < 3; i++)
+        EXPECT_EQ(engine.vm.display(engine.call("bench")), "136");
+    u64 before = engine.eagerDeopts;
+    engine.call("poison");
+    EXPECT_EQ(engine.vm.display(engine.call("bench")), "130.5");
+    EXPECT_GE(engine.eagerDeopts + engine.lazyDeopts, before);
+}
+
+TEST(SmiExtension, SpeedsUpSmiKernelOnDetailedModels)
+{
+    auto steady = [](bool extension, const CpuConfig &core) {
+        EngineConfig cfg;
+        cfg.smiLoadExtension = extension;
+        cfg.cpu = core;
+        Engine engine(cfg);
+        engine.loadProgram(kSmiKernel);
+        for (int i = 0; i < 6; i++)
+            engine.call("bench");
+        Cycles t0 = engine.totalCycles();
+        engine.call("bench");
+        return engine.totalCycles() - t0;
+    };
+    // The in-order core must benefit (paper Fig. 13: avg ~3 %).
+    Cycles def = steady(false, CpuConfig::inOrderA55());
+    Cycles ext = steady(true, CpuConfig::inOrderA55());
+    EXPECT_LT(ext, def);
+}
+
+TEST(SmiExtension, NoFusionWithoutConfigFlag)
+{
+    Engine engine{EngineConfig{}};
+    engine.loadProgram(kSmiKernel);
+    for (int i = 0; i < 3; i++)
+        engine.call("bench");
+    FunctionId fid = engine.functions.idOf("bench");
+    const FunctionInfo &fn = engine.functions.at(fid);
+    const CodeObject &code = *engine.codeObjects[fn.codeId];
+    for (const auto &m : code.code)
+        EXPECT_FALSE(m.isSmiExtensionLoad());
+}
+
+TEST(MapCheckExtension, FusedMapChecksAppearAndValidate)
+{
+    // §VII ablation: jschkmap replaces the ldr+cmp pair of a WrongMap
+    // check with one fused instruction.
+    EngineConfig cfg;
+    cfg.smiLoadExtension = true;
+    cfg.mapCheckExtension = true;
+    Engine engine(cfg);
+    engine.loadProgram(kSmiKernel);
+    EngineConfig plain;
+    Engine ref(plain);
+    ref.loadProgram(kSmiKernel);
+    for (int i = 0; i < 6; i++) {
+        EXPECT_EQ(engine.vm.display(engine.call("bench")),
+                  ref.vm.display(ref.call("bench")));
+    }
+    FunctionId fid = engine.functions.idOf("bench");
+    const FunctionInfo &fn = engine.functions.at(fid);
+    ASSERT_TRUE(fn.hasCode());
+    int fused_map = 0;
+    for (const auto &m : engine.codeObjects[fn.codeId]->code)
+        if (m.op == MOp::JsChkMap)
+            fused_map++;
+    EXPECT_GE(fused_map, 1);
+}
+
+TEST(MapCheckExtension, FailingFusedMapCheckStillDeopts)
+{
+    EngineConfig cfg;
+    cfg.mapCheckExtension = true;
+    Engine engine(cfg);
+    engine.loadProgram(R"JS(
+var o = { v: 5 };
+function bench() { var s = 0;
+for (var i = 0; i < 20; i++) { s = (s + o.v) % 1000; } return s; }
+function reshape() { o = { pad: 1, v: 9 }; }
+)JS");
+    for (int i = 0; i < 3; i++)
+        EXPECT_EQ(engine.vm.display(engine.call("bench")), "100");
+    engine.call("reshape");
+    EXPECT_EQ(engine.vm.display(engine.call("bench")), "180");
+}

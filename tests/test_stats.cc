@@ -1,0 +1,145 @@
+/** @file Tests for the statistics toolkit (§IV analyses). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/stats.hh"
+
+using namespace vspec;
+using namespace vspec::stats;
+
+TEST(Stats, Descriptive)
+{
+    std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(stddev(xs), 2.138, 0.001);  // sample stddev
+    EXPECT_DOUBLE_EQ(median(xs), 4.5);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 9.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 50), 2.5);
+}
+
+TEST(Stats, EmptyAndSingletonInputs)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(variance({5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(Stats, LinearRegressionExactFit)
+{
+    std::vector<double> x = {1, 2, 3, 4, 5};
+    std::vector<double> y = {3, 5, 7, 9, 11};  // y = 1 + 2x
+    auto r = linearRegression(x, y);
+    EXPECT_NEAR(r.intercept, 1.0, 1e-9);
+    EXPECT_NEAR(r.slope, 2.0, 1e-9);
+    EXPECT_NEAR(r.r2, 1.0, 1e-9);
+}
+
+TEST(Stats, LinearRegressionNoisyFit)
+{
+    std::vector<double> x, y;
+    Rng rng(7);
+    for (int i = 0; i < 200; i++) {
+        double xi = i * 0.1;
+        x.push_back(xi);
+        y.push_back(2.0 + 0.5 * xi + rng.nextGaussian() * 0.5);
+    }
+    auto r = linearRegression(x, y);
+    EXPECT_NEAR(r.slope, 0.5, 0.1);
+    EXPECT_GT(r.r2, 0.8);
+    EXPECT_LT(r.r2, 1.0);
+}
+
+TEST(Stats, PearsonPerfectAndNone)
+{
+    std::vector<double> x = {1, 2, 3, 4, 5, 6};
+    std::vector<double> y = {2, 4, 6, 8, 10, 12};
+    auto c = pearson(x, y);
+    EXPECT_NEAR(c.r, 1.0, 1e-9);
+    EXPECT_LT(c.pValue, 1e-6);
+
+    std::vector<double> anti = {12, 10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, anti).r, -1.0, 1e-9);
+
+    // Uncorrelated data: |r| small, p large.
+    Rng rng(99);
+    std::vector<double> a, b;
+    for (int i = 0; i < 100; i++) {
+        a.push_back(rng.nextGaussian());
+        b.push_back(rng.nextGaussian());
+    }
+    auto c2 = pearson(a, b);
+    EXPECT_LT(std::abs(c2.r), 0.3);
+    EXPECT_GT(c2.pValue, 0.01);
+}
+
+TEST(Stats, StudentTCdfKnownValues)
+{
+    // Reference values (scipy.stats.t.cdf).
+    EXPECT_NEAR(studentTCdf(0.0, 10), 0.5, 1e-6);
+    EXPECT_NEAR(studentTCdf(1.812, 10), 0.95, 0.002);
+    EXPECT_NEAR(studentTCdf(-1.812, 10), 0.05, 0.002);
+    EXPECT_NEAR(studentTCdf(2.0, 60), 0.975, 0.003);
+}
+
+TEST(Stats, WelchTTestSeparatesDifferentMeans)
+{
+    Rng rng(5);
+    std::vector<double> a, b, c;
+    for (int i = 0; i < 60; i++) {
+        a.push_back(100 + rng.nextGaussian() * 5);
+        b.push_back(110 + rng.nextGaussian() * 5);
+        c.push_back(100 + rng.nextGaussian() * 5);
+    }
+    EXPECT_LT(welchTTest(a, b).pValue, 0.001);   // clearly different
+    EXPECT_GT(welchTTest(a, c).pValue, 0.05);    // same distribution
+}
+
+TEST(Stats, BonferroniScalesAlpha)
+{
+    EXPECT_DOUBLE_EQ(bonferroni(0.05, 51), 0.05 / 51);
+    EXPECT_DOUBLE_EQ(bonferroni(0.05, 0), 0.05);
+}
+
+TEST(Stats, BootstrapCiCoversTheMean)
+{
+    Rng rng(11);
+    std::vector<double> xs;
+    for (int i = 0; i < 100; i++)
+        xs.push_back(50 + rng.nextGaussian() * 10);
+    auto ci = bootstrapMeanCi(xs, 0.95, 500);
+    double m = mean(xs);
+    EXPECT_LT(ci.lo, m);
+    EXPECT_GT(ci.hi, m);
+    EXPECT_LT(ci.hi - ci.lo, 10.0);  // reasonably tight at n=100
+}
+
+TEST(Stats, IncompleteBetaSanity)
+{
+    EXPECT_DOUBLE_EQ(incompleteBeta(2, 3, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(incompleteBeta(2, 3, 1.0), 1.0);
+    // I_x(1,1) = x (uniform).
+    EXPECT_NEAR(incompleteBeta(1, 1, 0.37), 0.37, 1e-9);
+    // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+    EXPECT_NEAR(incompleteBeta(2.5, 4.0, 0.3),
+                1.0 - incompleteBeta(4.0, 2.5, 0.7), 1e-9);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PercentileSweep, MonotoneInP)
+{
+    std::vector<double> xs = {5, 1, 9, 3, 7, 2, 8, 4, 6};
+    double p = GetParam();
+    EXPECT_LE(percentile(xs, p), percentile(xs, std::min(100.0, p + 10)));
+    EXPECT_GE(percentile(xs, p), 1.0);
+    EXPECT_LE(percentile(xs, p), 9.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, PercentileSweep,
+                         ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0,
+                                           90.0, 100.0));

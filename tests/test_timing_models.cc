@@ -1,0 +1,202 @@
+/** @file Tests for caches, branch predictor and the timing models. */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+
+using namespace vspec;
+
+TEST(Caches, HitsAfterFirstAccess)
+{
+    CacheLevel l1({32 * 1024, 8, 64, 4});
+    EXPECT_FALSE(l1.access(0x1000));
+    EXPECT_TRUE(l1.access(0x1000));
+    EXPECT_TRUE(l1.access(0x1020));  // same line
+    EXPECT_FALSE(l1.access(0x1040)); // next line
+    EXPECT_EQ(l1.misses, 2u);
+    EXPECT_EQ(l1.hits, 2u);
+}
+
+TEST(Caches, LruEviction)
+{
+    // 2-way, 2-set tiny cache: lines mapping to set 0 are 0, 256, 512...
+    CacheLevel c({4 * 64, 2, 64, 1});
+    EXPECT_FALSE(c.access(0));
+    EXPECT_FALSE(c.access(128));
+    EXPECT_TRUE(c.access(0));
+    EXPECT_FALSE(c.access(256));  // evicts 128 (LRU)
+    EXPECT_TRUE(c.access(0));
+    EXPECT_FALSE(c.access(128));
+}
+
+TEST(Caches, HierarchyLatencies)
+{
+    CacheHierarchy h({32 * 1024, 8, 64, 4}, {256 * 1024, 8, 64, 12}, 90);
+    EXPECT_EQ(h.access(0x4000), 90u);  // cold: memory
+    EXPECT_EQ(h.access(0x4000), 4u);   // L1 hit
+    // Evict from L1 by touching many lines mapping widely; L2 keeps it.
+    // Conflict in the 64-set L1 (stride 4 KiB) but not in the 512-set
+    // L2, so the line is evicted from L1 yet still hits in L2.
+    for (u32 i = 1; i <= 10; i++)
+        h.access(0x4000 + i * 4096);
+    u32 lat = h.access(0x4000);
+    EXPECT_TRUE(lat == 12 || lat == 4);
+}
+
+TEST(BranchPredictor, LearnsStableDirection)
+{
+    BranchPredictor bp(10);
+    int wrong = 0;
+    for (int i = 0; i < 100; i++) {
+        if (!bp.predictAndUpdate(0x40, true, false))
+            wrong++;
+    }
+    // Gshare trains one table entry per history pattern, so the
+    // warm-up costs up to ~history-length mispredictions.
+    EXPECT_LE(wrong, 15);
+    EXPECT_GE(bp.branches, 100u);
+}
+
+TEST(BranchPredictor, NeverTakenDeoptBranchesPredictPerfectly)
+{
+    // §IV-B: deopt branches are almost always predicted correctly
+    // because they are almost never taken.
+    BranchPredictor bp(12);
+    for (int i = 0; i < 1000; i++)
+        bp.predictAndUpdate(0x80, false, true);
+    EXPECT_EQ(bp.deoptBranches, 1000u);
+    EXPECT_LE(bp.deoptMispredicts, 2u);
+}
+
+namespace
+{
+
+CommitInfo
+alu(u8 dst, u8 src)
+{
+    static MInst m;
+    m.op = MOp::Add;
+    CommitInfo ci;
+    ci.inst = &m;
+    ci.cls = InstClass::Alu;
+    ci.dst = dst;
+    ci.srcs[0] = src;
+    return ci;
+}
+
+CommitInfo
+load(u8 dst, Addr addr)
+{
+    static MInst m;
+    m.op = MOp::LdrW;
+    CommitInfo ci;
+    ci.inst = &m;
+    ci.cls = InstClass::Load;
+    ci.isMem = true;
+    ci.isLoad = true;
+    ci.memAddr = addr;
+    ci.dst = dst;
+    return ci;
+}
+
+} // namespace
+
+TEST(TimingModels, FastModelRetiresMultiplePerCycle)
+{
+    auto model = makeTimingModel(CpuConfig::arm64Server());
+    for (int i = 0; i < 400; i++)
+        model->onCommit(alu(static_cast<u8>(i % 8),
+                            static_cast<u8>((i + 4) % 8)));
+    // Width-4 machine with dependency distance 4: > 1 IPC.
+    EXPECT_LT(model->stats.cycles, 400u);
+    EXPECT_GT(model->stats.cycles, 50u);
+}
+
+TEST(TimingModels, InOrderIsScalar)
+{
+    auto model = makeTimingModel(CpuConfig::inOrderA55());
+    for (int i = 0; i < 100; i++)
+        model->onCommit(alu(1, 2));
+    EXPECT_GE(model->stats.cycles, 100u);
+}
+
+TEST(TimingModels, LoadUseStallsInOrder)
+{
+    auto independent = makeTimingModel(CpuConfig::inOrderA55());
+    auto dependent = makeTimingModel(CpuConfig::inOrderA55());
+    for (int i = 0; i < 50; i++) {
+        independent->onCommit(load(1, 0x1000));
+        independent->onCommit(alu(2, 3));  // independent of the load
+        dependent->onCommit(load(1, 0x1000));
+        dependent->onCommit(alu(2, 1));    // consumes the load
+    }
+    EXPECT_GT(dependent->stats.cycles, independent->stats.cycles);
+}
+
+TEST(TimingModels, O3OverlapsDependentChains)
+{
+    // Each load feeds a consumer; chains are independent of each
+    // other. The in-order core stalls on every load-use pair; the O3
+    // window overlaps the misses across chains.
+    auto o3 = makeTimingModel(CpuConfig::hpd());
+    auto ino = makeTimingModel(CpuConfig::inOrderA55());
+    for (int i = 0; i < 64; i++) {
+        CommitInfo ld = load(static_cast<u8>(i % 8),
+                             0x10000u + static_cast<u32>(i) * 4096);
+        CommitInfo use = alu(20, static_cast<u8>(i % 8));
+        o3->onCommit(ld);
+        o3->onCommit(use);
+        ino->onCommit(ld);
+        ino->onCommit(use);
+    }
+    EXPECT_LT(o3->stats.cycles, ino->stats.cycles);
+}
+
+TEST(TimingModels, MispredictsCostCycles)
+{
+    CpuConfig cfg = CpuConfig::arm64Server();
+    auto stable = makeTimingModel(cfg);
+    auto flaky = makeTimingModel(cfg);
+    static MInst bm;
+    bm.op = MOp::Bcond;
+    u32 lcg = 12345;
+    for (int i = 0; i < 500; i++) {
+        CommitInfo b;
+        b.inst = &bm;
+        b.cls = InstClass::CondBranch;
+        b.pc = 7;
+        b.taken = true;
+        stable->onCommit(b);
+        lcg = lcg * 1103515245u + 12345u;
+        b.taken = (lcg >> 16) & 1;  // pseudo-random
+        flaky->onCommit(b);
+    }
+    EXPECT_GT(flaky->stats.mispredicts, stable->stats.mispredicts);
+    EXPECT_GT(flaky->stats.cycles, stable->stats.cycles);
+}
+
+TEST(TimingModels, ExternalAdvanceAccumulates)
+{
+    auto model = makeTimingModel(CpuConfig::arm64Server());
+    model->onCommit(alu(1, 2));
+    Cycles before = model->cycles();
+    model->advanceExternal(500);
+    EXPECT_EQ(model->cycles(), before + 500);
+    for (int i = 0; i < 16; i++)
+        model->onCommit(alu(1, 2));
+    EXPECT_GT(model->cycles(), before + 500);
+}
+
+TEST(TimingModels, StatsAggregation)
+{
+    SimStats a, b;
+    a.cycles = 10;
+    a.instructions = 20;
+    b.cycles = 5;
+    b.instructions = 7;
+    b.checkInstructions = 3;
+    a += b;
+    EXPECT_EQ(a.cycles, 15u);
+    EXPECT_EQ(a.instructions, 27u);
+    EXPECT_EQ(a.checkInstructions, 3u);
+}

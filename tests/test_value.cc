@@ -1,0 +1,98 @@
+/** @file Unit tests for the tagged Value representation. */
+
+#include <gtest/gtest.h>
+
+#include "vm/value.hh"
+
+using namespace vspec;
+
+TEST(Value, SmiTaggingRoundTrips)
+{
+    for (i32 v : {0, 1, -1, 42, -42, kSmiMax, kSmiMin, 123456, -987654}) {
+        Value tagged = Value::smi(v);
+        EXPECT_TRUE(tagged.isSmi());
+        EXPECT_FALSE(tagged.isHeap());
+        EXPECT_EQ(tagged.asSmi(), v);
+    }
+}
+
+TEST(Value, SmiTagIsLsbClear)
+{
+    // §II-B: "The Least-significant Bit (LSB) is the tag. If this tag
+    // bit is cleared, the remaining bits are a signed 31-bit integer."
+    EXPECT_EQ(Value::smi(7).bits() & 1u, 0u);
+    EXPECT_EQ(Value::smi(7).bits(), 14u);
+    EXPECT_EQ(Value::smi(-3).bits(), static_cast<u32>(-6));
+}
+
+TEST(Value, HeapTagIsLsbSet)
+{
+    Value p = Value::heap(0x1000);
+    EXPECT_TRUE(p.isHeap());
+    EXPECT_FALSE(p.isSmi());
+    EXPECT_EQ(p.bits(), 0x1001u);
+    EXPECT_EQ(p.asAddr(), 0x1000u);
+}
+
+TEST(Value, SmiRangeIs31Bit)
+{
+    EXPECT_EQ(kSmiBits, 31);
+    EXPECT_EQ(kSmiMax, (1 << 30) - 1);
+    EXPECT_EQ(kSmiMin, -(1 << 30));
+    EXPECT_TRUE(smiFits(kSmiMax));
+    EXPECT_TRUE(smiFits(kSmiMin));
+    EXPECT_FALSE(smiFits(static_cast<i64>(kSmiMax) + 1));
+    EXPECT_FALSE(smiFits(static_cast<i64>(kSmiMin) - 1));
+}
+
+TEST(Value, OutOfRangeSmiPanics)
+{
+    EXPECT_THROW(Value::smi(kSmiMax + 1), std::runtime_error);
+    EXPECT_THROW(Value::smi(kSmiMin - 1), std::runtime_error);
+}
+
+TEST(Value, MisalignedHeapAddressPanics)
+{
+    EXPECT_THROW(Value::heap(0x1001), std::runtime_error);
+    EXPECT_THROW(Value::heap(0), std::runtime_error);
+}
+
+TEST(Value, UntaggingIsArithmeticShift)
+{
+    // The untagging right-shift of the paper: bits >> 1, sign-extended.
+    Value v = Value::smi(-100);
+    EXPECT_EQ(static_cast<i32>(v.bits()) >> 1, -100);
+}
+
+TEST(Value, EqualityIsBitEquality)
+{
+    EXPECT_EQ(Value::smi(5), Value::smi(5));
+    EXPECT_NE(Value::smi(5), Value::smi(6));
+    EXPECT_NE(Value::smi(5), Value::heap(8));
+}
+
+TEST(Value, BitsRoundTrip)
+{
+    Value v = Value::fromBits(Value::smi(1234).bits());
+    EXPECT_TRUE(v.isSmi());
+    EXPECT_EQ(v.asSmi(), 1234);
+}
+
+class SmiSweep : public ::testing::TestWithParam<i32>
+{
+};
+
+TEST_P(SmiSweep, TagUntagIdentity)
+{
+    i32 v = GetParam();
+    EXPECT_EQ(Value::smi(v).asSmi(), v);
+    // Tagging then untagging through raw bit ops matches the class.
+    u32 tagged = static_cast<u32>(v) << 1;
+    EXPECT_EQ(static_cast<i32>(tagged) >> 1, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, SmiSweep,
+                         ::testing::Values(0, 1, -1, 2, -2, 255, -255,
+                                           65535, -65536, kSmiMax,
+                                           kSmiMax - 1, kSmiMin,
+                                           kSmiMin + 1));

@@ -1,0 +1,113 @@
+/** @file Workload-suite integrity and differential validation. */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+using namespace vspec;
+
+TEST(Workloads, SuiteShape)
+{
+    const auto &s = suite();
+    EXPECT_GE(s.size(), 30u);
+    // Every category of the paper is represented.
+    std::set<Category> cats;
+    for (const auto &w : s)
+        cats.insert(w.category);
+    EXPECT_EQ(cats.size(), 7u);
+    // Names and tags are unique.
+    std::set<std::string> names, tags;
+    for (const auto &w : s) {
+        EXPECT_TRUE(names.insert(w.name).second) << w.name;
+        EXPECT_TRUE(tags.insert(w.tag).second) << w.tag;
+        EXPECT_GT(w.defaultSize, 0u);
+        EXPECT_NE(w.source.find("function bench()"), std::string::npos)
+            << w.name;
+        EXPECT_NE(w.source.find("function verify()"), std::string::npos)
+            << w.name;
+    }
+}
+
+TEST(Workloads, Gem5SubsetMatchesPaper)
+{
+    auto subset = gem5Subset();
+    EXPECT_GE(subset.size(), 7u);
+    std::set<std::string> names;
+    for (const auto *w : subset)
+        names.insert(w->name);
+    // §V: SPMV, MMUL, IM2COL, SPMM, BLUR, AES2, HASH (+ DP).
+    for (const char *n : {"SPMV-CSR-SMI", "MMUL", "IM2COL", "SPMM",
+                          "BLUR", "AES2", "HASH-FNV", "DP"})
+        EXPECT_TRUE(names.count(n)) << n;
+}
+
+TEST(Workloads, InstantiateSubstitutesSize)
+{
+    const Workload *w = findWorkload("DP");
+    ASSERT_NE(w, nullptr);
+    std::string src = instantiate(*w, 77);
+    EXPECT_EQ(src.find("%SIZE%"), std::string::npos);
+    EXPECT_NE(src.find("77"), std::string::npos);
+}
+
+TEST(Workloads, FindByNameAndTag)
+{
+    EXPECT_NE(findWorkload("SPMV-CSR-SMI"), nullptr);
+    EXPECT_NE(findWorkload("SPS"), nullptr);
+    EXPECT_EQ(findWorkload("NOPE"), nullptr);
+}
+
+/** Differential: every workload agrees between interpreter and JIT at
+ *  a reduced size (a full-suite sweep lives in the suite_runner). */
+class WorkloadDifferential
+    : public ::testing::TestWithParam<const Workload *>
+{
+};
+
+TEST_P(WorkloadDifferential, InterpAndJitAgree)
+{
+    const Workload &w = *GetParam();
+    u32 size = std::max(4u, w.defaultSize / 8);
+    constexpr u32 kIters = 8;
+
+    RunConfig jit;
+    jit.iterations = kIters;
+    jit.size = size;
+    jit.samplerEnabled = false;
+    RunOutcome a = runWorkload(w, jit, nullptr);
+
+    RunConfig interp;
+    interp.iterations = kIters;
+    interp.size = size;
+    interp.samplerEnabled = false;
+    interp.enableOptimization = false;
+    RunOutcome b = runWorkload(w, interp, nullptr);
+
+    ASSERT_TRUE(a.completed) << a.error;
+    ASSERT_TRUE(b.completed) << b.error;
+    EXPECT_EQ(a.checksum, b.checksum);
+}
+
+namespace
+{
+
+std::vector<const Workload *>
+allWorkloads()
+{
+    std::vector<const Workload *> out;
+    for (const auto &w : suite())
+        out.push_back(&w);
+    return out;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadDifferential, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<const Workload *> &info) {
+        std::string n = info.param->name;
+        for (char &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
