@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_future_checks.dir/abl_future_checks.cpp.o"
+  "CMakeFiles/abl_future_checks.dir/abl_future_checks.cpp.o.d"
+  "abl_future_checks"
+  "abl_future_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_future_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

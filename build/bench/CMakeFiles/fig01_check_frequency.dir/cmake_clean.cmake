@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_check_frequency.dir/fig01_check_frequency.cpp.o"
+  "CMakeFiles/fig01_check_frequency.dir/fig01_check_frequency.cpp.o.d"
+  "fig01_check_frequency"
+  "fig01_check_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_check_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

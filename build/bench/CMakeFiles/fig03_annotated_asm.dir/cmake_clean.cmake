@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_annotated_asm.dir/fig03_annotated_asm.cpp.o"
+  "CMakeFiles/fig03_annotated_asm.dir/fig03_annotated_asm.cpp.o.d"
+  "fig03_annotated_asm"
+  "fig03_annotated_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_annotated_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_check_breakdown.dir/fig04_check_breakdown.cpp.o"
+  "CMakeFiles/fig04_check_breakdown.dir/fig04_check_breakdown.cpp.o.d"
+  "fig04_check_breakdown"
+  "fig04_check_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_check_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

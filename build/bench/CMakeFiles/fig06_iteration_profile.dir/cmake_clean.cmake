@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_iteration_profile.dir/fig06_iteration_profile.cpp.o"
+  "CMakeFiles/fig06_iteration_profile.dir/fig06_iteration_profile.cpp.o.d"
+  "fig06_iteration_profile"
+  "fig06_iteration_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_iteration_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_speedup_per_benchmark.dir/fig07_speedup_per_benchmark.cpp.o"
+  "CMakeFiles/fig07_speedup_per_benchmark.dir/fig07_speedup_per_benchmark.cpp.o.d"
+  "fig07_speedup_per_benchmark"
+  "fig07_speedup_per_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_speedup_per_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_speedup_by_category.dir/fig08_speedup_by_category.cpp.o"
+  "CMakeFiles/fig08_speedup_by_category.dir/fig08_speedup_by_category.cpp.o.d"
+  "fig08_speedup_by_category"
+  "fig08_speedup_by_category.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_speedup_by_category.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

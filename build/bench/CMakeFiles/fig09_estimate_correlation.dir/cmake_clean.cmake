@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_estimate_correlation.dir/fig09_estimate_correlation.cpp.o"
+  "CMakeFiles/fig09_estimate_correlation.dir/fig09_estimate_correlation.cpp.o.d"
+  "fig09_estimate_correlation"
+  "fig09_estimate_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_estimate_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

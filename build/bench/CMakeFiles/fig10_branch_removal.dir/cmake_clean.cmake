@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_branch_removal.dir/fig10_branch_removal.cpp.o"
+  "CMakeFiles/fig10_branch_removal.dir/fig10_branch_removal.cpp.o.d"
+  "fig10_branch_removal"
+  "fig10_branch_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_branch_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

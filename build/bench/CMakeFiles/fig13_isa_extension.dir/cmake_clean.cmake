@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_isa_extension.dir/fig13_isa_extension.cpp.o"
+  "CMakeFiles/fig13_isa_extension.dir/fig13_isa_extension.cpp.o.d"
+  "fig13_isa_extension"
+  "fig13_isa_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_isa_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_time_distributions.dir/fig14_time_distributions.cpp.o"
+  "CMakeFiles/fig14_time_distributions.dir/fig14_time_distributions.cpp.o.d"
+  "fig14_time_distributions"
+  "fig14_time_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_time_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

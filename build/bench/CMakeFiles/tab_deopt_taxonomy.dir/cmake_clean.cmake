@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_deopt_taxonomy.dir/tab_deopt_taxonomy.cpp.o"
+  "CMakeFiles/tab_deopt_taxonomy.dir/tab_deopt_taxonomy.cpp.o.d"
+  "tab_deopt_taxonomy"
+  "tab_deopt_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_deopt_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deopt_explorer.dir/deopt_explorer.cpp.o"
+  "CMakeFiles/deopt_explorer.dir/deopt_explorer.cpp.o.d"
+  "deopt_explorer"
+  "deopt_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deopt_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_check_overhead.dir/spmv_check_overhead.cpp.o"
+  "CMakeFiles/spmv_check_overhead.dir/spmv_check_overhead.cpp.o.d"
+  "spmv_check_overhead"
+  "spmv_check_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_check_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

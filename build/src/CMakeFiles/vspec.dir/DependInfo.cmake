@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/code_object.cc" "src/CMakeFiles/vspec.dir/backend/code_object.cc.o" "gcc" "src/CMakeFiles/vspec.dir/backend/code_object.cc.o.d"
+  "/root/repo/src/backend/isel.cc" "src/CMakeFiles/vspec.dir/backend/isel.cc.o" "gcc" "src/CMakeFiles/vspec.dir/backend/isel.cc.o.d"
+  "/root/repo/src/backend/regalloc.cc" "src/CMakeFiles/vspec.dir/backend/regalloc.cc.o" "gcc" "src/CMakeFiles/vspec.dir/backend/regalloc.cc.o.d"
+  "/root/repo/src/bytecode/bytecode.cc" "src/CMakeFiles/vspec.dir/bytecode/bytecode.cc.o" "gcc" "src/CMakeFiles/vspec.dir/bytecode/bytecode.cc.o.d"
+  "/root/repo/src/bytecode/compiler.cc" "src/CMakeFiles/vspec.dir/bytecode/compiler.cc.o" "gcc" "src/CMakeFiles/vspec.dir/bytecode/compiler.cc.o.d"
+  "/root/repo/src/bytecode/feedback.cc" "src/CMakeFiles/vspec.dir/bytecode/feedback.cc.o" "gcc" "src/CMakeFiles/vspec.dir/bytecode/feedback.cc.o.d"
+  "/root/repo/src/frontend/ast.cc" "src/CMakeFiles/vspec.dir/frontend/ast.cc.o" "gcc" "src/CMakeFiles/vspec.dir/frontend/ast.cc.o.d"
+  "/root/repo/src/frontend/lexer.cc" "src/CMakeFiles/vspec.dir/frontend/lexer.cc.o" "gcc" "src/CMakeFiles/vspec.dir/frontend/lexer.cc.o.d"
+  "/root/repo/src/frontend/parser.cc" "src/CMakeFiles/vspec.dir/frontend/parser.cc.o" "gcc" "src/CMakeFiles/vspec.dir/frontend/parser.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/vspec.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/vspec.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/interp/interpreter.cc" "src/CMakeFiles/vspec.dir/interp/interpreter.cc.o" "gcc" "src/CMakeFiles/vspec.dir/interp/interpreter.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/CMakeFiles/vspec.dir/ir/builder.cc.o" "gcc" "src/CMakeFiles/vspec.dir/ir/builder.cc.o.d"
+  "/root/repo/src/ir/deopt_reasons.cc" "src/CMakeFiles/vspec.dir/ir/deopt_reasons.cc.o" "gcc" "src/CMakeFiles/vspec.dir/ir/deopt_reasons.cc.o.d"
+  "/root/repo/src/ir/graph.cc" "src/CMakeFiles/vspec.dir/ir/graph.cc.o" "gcc" "src/CMakeFiles/vspec.dir/ir/graph.cc.o.d"
+  "/root/repo/src/ir/liveness.cc" "src/CMakeFiles/vspec.dir/ir/liveness.cc.o" "gcc" "src/CMakeFiles/vspec.dir/ir/liveness.cc.o.d"
+  "/root/repo/src/ir/passes.cc" "src/CMakeFiles/vspec.dir/ir/passes.cc.o" "gcc" "src/CMakeFiles/vspec.dir/ir/passes.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/vspec.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/vspec.dir/isa/isa.cc.o.d"
+  "/root/repo/src/profiler/attribution.cc" "src/CMakeFiles/vspec.dir/profiler/attribution.cc.o" "gcc" "src/CMakeFiles/vspec.dir/profiler/attribution.cc.o.d"
+  "/root/repo/src/runtime/builtins.cc" "src/CMakeFiles/vspec.dir/runtime/builtins.cc.o" "gcc" "src/CMakeFiles/vspec.dir/runtime/builtins.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "src/CMakeFiles/vspec.dir/runtime/engine.cc.o" "gcc" "src/CMakeFiles/vspec.dir/runtime/engine.cc.o.d"
+  "/root/repo/src/runtime/regex_lite.cc" "src/CMakeFiles/vspec.dir/runtime/regex_lite.cc.o" "gcc" "src/CMakeFiles/vspec.dir/runtime/regex_lite.cc.o.d"
+  "/root/repo/src/runtime/tiering.cc" "src/CMakeFiles/vspec.dir/runtime/tiering.cc.o" "gcc" "src/CMakeFiles/vspec.dir/runtime/tiering.cc.o.d"
+  "/root/repo/src/sim/branch_predictor.cc" "src/CMakeFiles/vspec.dir/sim/branch_predictor.cc.o" "gcc" "src/CMakeFiles/vspec.dir/sim/branch_predictor.cc.o.d"
+  "/root/repo/src/sim/caches.cc" "src/CMakeFiles/vspec.dir/sim/caches.cc.o" "gcc" "src/CMakeFiles/vspec.dir/sim/caches.cc.o.d"
+  "/root/repo/src/sim/cpu_config.cc" "src/CMakeFiles/vspec.dir/sim/cpu_config.cc.o" "gcc" "src/CMakeFiles/vspec.dir/sim/cpu_config.cc.o.d"
+  "/root/repo/src/sim/fast_timing.cc" "src/CMakeFiles/vspec.dir/sim/fast_timing.cc.o" "gcc" "src/CMakeFiles/vspec.dir/sim/fast_timing.cc.o.d"
+  "/root/repo/src/sim/inorder.cc" "src/CMakeFiles/vspec.dir/sim/inorder.cc.o" "gcc" "src/CMakeFiles/vspec.dir/sim/inorder.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/vspec.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/vspec.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/o3lite.cc" "src/CMakeFiles/vspec.dir/sim/o3lite.cc.o" "gcc" "src/CMakeFiles/vspec.dir/sim/o3lite.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/vspec.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/vspec.dir/stats/stats.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/vspec.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/vspec.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/random.cc" "src/CMakeFiles/vspec.dir/support/random.cc.o" "gcc" "src/CMakeFiles/vspec.dir/support/random.cc.o.d"
+  "/root/repo/src/vm/gc.cc" "src/CMakeFiles/vspec.dir/vm/gc.cc.o" "gcc" "src/CMakeFiles/vspec.dir/vm/gc.cc.o.d"
+  "/root/repo/src/vm/heap.cc" "src/CMakeFiles/vspec.dir/vm/heap.cc.o" "gcc" "src/CMakeFiles/vspec.dir/vm/heap.cc.o.d"
+  "/root/repo/src/vm/map.cc" "src/CMakeFiles/vspec.dir/vm/map.cc.o" "gcc" "src/CMakeFiles/vspec.dir/vm/map.cc.o.d"
+  "/root/repo/src/vm/objects.cc" "src/CMakeFiles/vspec.dir/vm/objects.cc.o" "gcc" "src/CMakeFiles/vspec.dir/vm/objects.cc.o.d"
+  "/root/repo/src/vm/value.cc" "src/CMakeFiles/vspec.dir/vm/value.cc.o" "gcc" "src/CMakeFiles/vspec.dir/vm/value.cc.o.d"
+  "/root/repo/src/workloads/sources.cc" "src/CMakeFiles/vspec.dir/workloads/sources.cc.o" "gcc" "src/CMakeFiles/vspec.dir/workloads/sources.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/CMakeFiles/vspec.dir/workloads/suite.cc.o" "gcc" "src/CMakeFiles/vspec.dir/workloads/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

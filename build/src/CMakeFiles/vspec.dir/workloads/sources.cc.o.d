@@ -1,0 +1,3 @@
+src/CMakeFiles/vspec.dir/workloads/sources.cc.o: \
+ /root/repo/src/workloads/sources.cc /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/sources.hh

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_builtins.cc" "tests/CMakeFiles/vspec_tests.dir/test_builtins.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_builtins.cc.o.d"
+  "/root/repo/tests/test_bytecode.cc" "tests/CMakeFiles/vspec_tests.dir/test_bytecode.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_bytecode.cc.o.d"
+  "/root/repo/tests/test_deopt.cc" "tests/CMakeFiles/vspec_tests.dir/test_deopt.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_deopt.cc.o.d"
+  "/root/repo/tests/test_deopt_reasons.cc" "tests/CMakeFiles/vspec_tests.dir/test_deopt_reasons.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_deopt_reasons.cc.o.d"
+  "/root/repo/tests/test_engine_jit.cc" "tests/CMakeFiles/vspec_tests.dir/test_engine_jit.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_engine_jit.cc.o.d"
+  "/root/repo/tests/test_feedback.cc" "tests/CMakeFiles/vspec_tests.dir/test_feedback.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_feedback.cc.o.d"
+  "/root/repo/tests/test_gc.cc" "tests/CMakeFiles/vspec_tests.dir/test_gc.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_gc.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/vspec_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_heap.cc" "tests/CMakeFiles/vspec_tests.dir/test_heap.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_heap.cc.o.d"
+  "/root/repo/tests/test_interpreter.cc" "tests/CMakeFiles/vspec_tests.dir/test_interpreter.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_interpreter.cc.o.d"
+  "/root/repo/tests/test_ir_builder.cc" "tests/CMakeFiles/vspec_tests.dir/test_ir_builder.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_ir_builder.cc.o.d"
+  "/root/repo/tests/test_isa_semantics.cc" "tests/CMakeFiles/vspec_tests.dir/test_isa_semantics.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_isa_semantics.cc.o.d"
+  "/root/repo/tests/test_lexer.cc" "tests/CMakeFiles/vspec_tests.dir/test_lexer.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_lexer.cc.o.d"
+  "/root/repo/tests/test_liveness.cc" "tests/CMakeFiles/vspec_tests.dir/test_liveness.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_liveness.cc.o.d"
+  "/root/repo/tests/test_maps_objects.cc" "tests/CMakeFiles/vspec_tests.dir/test_maps_objects.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_maps_objects.cc.o.d"
+  "/root/repo/tests/test_parser.cc" "tests/CMakeFiles/vspec_tests.dir/test_parser.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_parser.cc.o.d"
+  "/root/repo/tests/test_passes.cc" "tests/CMakeFiles/vspec_tests.dir/test_passes.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_passes.cc.o.d"
+  "/root/repo/tests/test_profiler.cc" "tests/CMakeFiles/vspec_tests.dir/test_profiler.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_profiler.cc.o.d"
+  "/root/repo/tests/test_regalloc_isel.cc" "tests/CMakeFiles/vspec_tests.dir/test_regalloc_isel.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_regalloc_isel.cc.o.d"
+  "/root/repo/tests/test_regex_lite.cc" "tests/CMakeFiles/vspec_tests.dir/test_regex_lite.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_regex_lite.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/vspec_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_smi_extension.cc" "tests/CMakeFiles/vspec_tests.dir/test_smi_extension.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_smi_extension.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/vspec_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_timing_models.cc" "tests/CMakeFiles/vspec_tests.dir/test_timing_models.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_timing_models.cc.o.d"
+  "/root/repo/tests/test_value.cc" "tests/CMakeFiles/vspec_tests.dir/test_value.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_value.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/vspec_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/vspec_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vspec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
