@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 check: normal build + ctest, then an ASan/UBSan Debug build
+# with the vverify pipeline verifier forced on. Run from the repo root:
+#
+#   scripts/check.sh            # both passes
+#   scripts/check.sh --fast     # normal pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+echo "== pass 1: default build (RelWithDebInfo) + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--fast" ]]; then
+    echo "== skipped sanitizer pass (--fast) =="
+    exit 0
+fi
+
+echo "== pass 2: ASan+UBSan Debug build, verifier on every pass =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DVSPEC_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$JOBS"
+VSPEC_VERIFY=2 ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== all checks passed =="

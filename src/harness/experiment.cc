@@ -41,6 +41,7 @@ engineConfigFor(const RunConfig &rc)
         : (rc.isa == IsaFlavour::X64Like ? CpuConfig::x64Server()
                                          : CpuConfig::arm64Server());
     cfg.passes.removeGroup = rc.removeChecks;
+    cfg.passes.verifyLevel = rc.verifyLevel;
     cfg.removeDeoptBranches = rc.removeBranchesOnly;
     cfg.smiLoadExtension = rc.smiExtension;
     cfg.mapCheckExtension = rc.mapCheckExtension;

@@ -38,6 +38,9 @@ struct RunConfig
     u64 samplerPeriod = 211;       //!< fine-grained: small workloads
     u64 seed = 42;
 
+    /** vverify level for the engine's compilation pipeline. */
+    VerifyLevel verifyLevel = defaultVerifyLevel();
+
     /**
      * Repeat index for multi-run experiments. Non-zero values perturb
      * measurement conditions (sampler phase, tier-up threshold, seed)

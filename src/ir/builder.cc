@@ -739,6 +739,14 @@ class GraphBuilder
         n.inputs.push_back(base);
         if (raw)
             n.known31 = true;  // lengths/capacities are < 2^31
+        else
+            // Fusable tagged load: if SMI-load fusion later folds a
+            // check into this node, the deopt must resume at *this*
+            // bytecode (re-executing the side-effect-free load), not
+            // at the consumer the CheckSmi was emitted for — the
+            // consumer's frame state can name values computed after
+            // this load.
+            n.frameState = currentFrameState();
         return emit(std::move(n));
     }
 
@@ -1105,6 +1113,8 @@ GraphBuilder::buildGetElement(const BcInstr &ins)
         } else {
             ld.op = IrOp::LoadElem32;
             ld.rep = Rep::Tagged;
+            // Fusable (see emitLoadField): deopt resumes here.
+            ld.frameState = currentFrameState();
         }
         ld.imm = static_cast<i64>(HeapLayout::kElementsDataOffset) - 1;
         ld.inputs = {elems, bidx};

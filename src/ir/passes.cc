@@ -5,6 +5,8 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "support/logging.hh"
+
 namespace vspec
 {
 
@@ -370,7 +372,13 @@ fuseSmiLoads(Graph &g)
         load.rep = Rep::Int32;
         load.known31 = true;
         load.reason = DeoptReason::NotASmi;
-        load.frameState = chk.frameState;
+        // Resume at the load's own bytecode, recorded by the builder:
+        // the check's frame state belongs to the consuming bytecode
+        // and may name values computed between load and check (e.g.
+        // the second operand of `a[i] * b[i]`), which do not exist yet
+        // when the fused load's implicit check fails.
+        if (load.frameState == kNoFrameState)
+            load.frameState = chk.frameState;
         chk.dead = true;
         untag.dead = true;
         untag.inputs = {load_id};
@@ -556,17 +564,41 @@ hoistLoopInvariantChecks(Graph &g)
 PassStats
 runPasses(Graph &g, const PassConfig &cfg)
 {
+    // With verifyLevel == Passes, re-verify the graph after every
+    // pass so the diagnostic names the pass that broke the invariant
+    // instead of whichever later stage tripped over the damage.
+    auto verifyAfter = [&](const char *pass) {
+        if (cfg.verifyLevel == VerifyLevel::Passes) {
+            VerifyResult r = verifyGraph(g, std::string("after ") + pass);
+            if (!r.ok())
+                vlog(LogLevel::Debug, "vverify", g.dump());
+            enforce(r, "IR graph");
+        }
+    };
+
+    verifyAfter("buildGraph");
     PassStats stats;
     dedupeConstants(g);
+    verifyAfter("dedupeConstants");
     stats.checksFolded = foldConstantChecks(g);
+    verifyAfter("foldConstantChecks");
     stats.checksShortCircuited = shortCircuitChecks(g, cfg);
+    verifyAfter("shortCircuitChecks");
     stats.phisSimplified = simplifyPhis(g);
+    verifyAfter("simplifyPhis");
     stats.checksHoisted = hoistLoopInvariantChecks(g);
+    verifyAfter("hoistLoopInvariantChecks");
     stats.checksDeduped = eliminateRedundantChecks(g);
+    verifyAfter("eliminateRedundantChecks");
     stats.minusZeroElided = elideMinusZeroChecks(g);
-    if (cfg.smiLoadFusion)
+    verifyAfter("elideMinusZeroChecks");
+    if (cfg.smiLoadFusion) {
         stats.smiLoadsFused = fuseSmiLoads(g);
+        verifyAfter("fuseSmiLoads");
+    }
     stats.nodesKilledByDce = deadCodeElimination(g);
+    if (cfg.verifyLevel != VerifyLevel::Off)
+        enforce(verifyGraph(g, "after deadCodeElimination"), "IR graph");
     return stats;
 }
 

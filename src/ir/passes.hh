@@ -22,6 +22,7 @@
 #include <array>
 
 #include "ir/graph.hh"
+#include "verify/verify.hh"
 
 namespace vspec
 {
@@ -34,6 +35,11 @@ struct PassConfig
 
     /** Fuse SMI load/check/untag chains for the §V ISA extension. */
     bool smiLoadFusion = false;
+
+    /** How much of the vverify suite the pipeline runs (see
+     *  verify/verify.hh); defaults to every-pass in debug builds and
+     *  honours the VSPEC_VERIFY environment variable. */
+    VerifyLevel verifyLevel = defaultVerifyLevel();
 
     bool removeAll() const
     {

@@ -7,6 +7,7 @@
 #include "interp/interpreter.hh"
 #include "runtime/builtins.hh"
 #include "runtime/tiering.hh"
+#include "verify/verify.hh"
 
 namespace vspec
 {
@@ -133,6 +134,9 @@ Engine::maybeOptimize(FunctionInfo &fn)
 bool
 Engine::compileFunction(FunctionInfo &fn)
 {
+    if (config.passes.verifyLevel != VerifyLevel::Off)
+        enforce(verifyBytecode(fn, globals.count()), "bytecode");
+
     CompilerEnv env{vm, globals, functions};
     auto graph = buildGraph(env, fn);
     if (!graph.has_value()) {
@@ -149,6 +153,8 @@ Engine::compileFunction(FunctionInfo &fn)
     cg.smiExtension = config.smiLoadExtension;
     cg.mapCheckExtension = config.mapCheckExtension;
     auto code = generateCode(env, *graph, cg);
+    if (config.passes.verifyLevel != VerifyLevel::Off)
+        enforce(verifyCodeObject(*code), "code object");
     code->id = static_cast<u32>(codeObjects.size());
     fn.codeId = code->id;
     for (u32 cell : code->dependsOnGlobalCells)

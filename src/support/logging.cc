@@ -1,10 +1,86 @@
-#include "support/common.hh"
+#include "support/logging.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+
+#include "support/common.hh"
 
 namespace vspec
 {
+
+namespace
+{
+
+LogSink &
+currentSink()
+{
+    static LogSink sink;
+    return sink;
+}
+
+LogLevel &
+currentThreshold()
+{
+    // VSPEC_LOG=debug|info|warn|error adjusts the initial threshold so
+    // diagnostic dumps can be enabled without a rebuild.
+    static LogLevel threshold = [] {
+        if (const char *env = std::getenv("VSPEC_LOG")) {
+            switch (env[0]) {
+              case 'd': return LogLevel::Debug;
+              case 'i': return LogLevel::Info;
+              case 'w': return LogLevel::Warn;
+              case 'e': return LogLevel::Error;
+              default: break;
+            }
+        }
+        return LogLevel::Warn;
+    }();
+    return threshold;
+}
+
+} // namespace
+
+const char *
+logLevelName(LogLevel l)
+{
+    switch (l) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+void
+vlog(LogLevel level, const std::string &component,
+     const std::string &message)
+{
+    if (level < currentThreshold())
+        return;
+    const LogSink &sink = currentSink();
+    if (sink) {
+        sink(level, component, message);
+        return;
+    }
+    std::fprintf(stderr, "[vspec:%s] %s: %s\n", logLevelName(level),
+                 component.c_str(), message.c_str());
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink prev = std::move(currentSink());
+    currentSink() = std::move(sink);
+    return prev;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    currentThreshold() = level;
+}
 
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal structured logging. Components report through vlog() with a
+ * severity and a component tag; the default sink writes to stderr.
+ * Tests (and embedders that want to capture diagnostics) can install
+ * their own sink. Deliberately tiny: vspec is a library, and the only
+ * in-tree producer of warnings/errors is the verifier subsystem, whose
+ * diagnostics must reach the operator even when the subsequent panic is
+ * swallowed by the experiment harness.
+ */
+
+#ifndef VSPEC_SUPPORT_LOGGING_HH
+#define VSPEC_SUPPORT_LOGGING_HH
+
+#include <functional>
+#include <string>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+enum class LogLevel : u8
+{
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+const char *logLevelName(LogLevel l);
+
+/** Emit one log record through the current sink. */
+void vlog(LogLevel level, const std::string &component,
+          const std::string &message);
+
+using LogSink = std::function<void(LogLevel, const std::string &,
+                                   const std::string &)>;
+
+/** Replace the log sink; an empty function restores the stderr default.
+ *  @return the previous sink. */
+LogSink setLogSink(LogSink sink);
+
+/** Drop all records below @p level (default: Warn, so routine Info
+ *  records from verification runs stay silent in test output). */
+void setLogThreshold(LogLevel level);
+
+} // namespace vspec
+
+#endif // VSPEC_SUPPORT_LOGGING_HH

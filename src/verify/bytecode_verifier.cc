@@ -1,0 +1,245 @@
+/**
+ * @file
+ * BytecodeVerifier: operand validation for Ignition-style bytecode.
+ * The interpreter and the graph builder both index frame registers,
+ * the constant pool, the feedback vector, and global cells straight
+ * from instruction operands; a bad operand there is an out-of-bounds
+ * access, not an exception. Verifying once, before the first dispatch
+ * or compile, turns a malformed function into a located diagnostic.
+ */
+
+#include "bytecode/bytecode.hh"
+#include "verify/verify.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+class BytecodeVerifier
+{
+  public:
+    BytecodeVerifier(const FunctionInfo &fn, u32 numGlobalCells)
+        : fn(fn), numGlobalCells(numGlobalCells)
+    {}
+
+    VerifyResult
+    run()
+    {
+        u32 n = static_cast<u32>(fn.bytecode.size());
+        if (n == 0) {
+            report("function-empty", 0, "function has no bytecode");
+            return result;
+        }
+        for (u32 pc = 0; pc < n; pc++)
+            checkInstr(pc, fn.bytecode[pc]);
+
+        // Execution must not run off the end of the array: the last
+        // instruction has to leave the function or jump away.
+        const BcInstr &last = fn.bytecode[n - 1];
+        if (last.op != Bc::Return && last.op != Bc::Jump
+            && last.op != Bc::JumpLoop) {
+            report("fall-off-end", n - 1,
+                   std::string(bcName(last.op))
+                   + " at the end of the function falls off the end");
+        }
+        return result;
+    }
+
+  private:
+    void
+    report(const std::string &invariant, u32 pc, const std::string &msg)
+    {
+        Diagnostic d;
+        d.verifier = "bytecode";
+        d.where = fn.name.empty() ? "fn#" + std::to_string(fn.id)
+                                  : fn.name;
+        d.invariant = invariant;
+        d.node = pc;
+        d.message = msg;
+        result.diagnostics.push_back(std::move(d));
+    }
+
+    void
+    reg(u32 pc, const BcInstr &ins, i32 r, const char *what)
+    {
+        if (r < 0 || static_cast<u32>(r) >= fn.registerCount) {
+            report("register-bounds", pc,
+                   std::string(bcName(ins.op)) + " " + what + " r"
+                   + std::to_string(r) + " outside frame of "
+                   + std::to_string(fn.registerCount) + " registers");
+        }
+    }
+
+    void
+    slot(u32 pc, const BcInstr &ins, i32 s)
+    {
+        if (s < 0 || static_cast<size_t>(s) >= fn.feedback.size()) {
+            report("feedback-slot-bounds", pc,
+                   std::string(bcName(ins.op)) + " feedback slot "
+                   + std::to_string(s) + " outside vector of "
+                   + std::to_string(fn.feedback.size()) + " slots");
+        }
+    }
+
+    void
+    constant(u32 pc, const BcInstr &ins, i32 idx)
+    {
+        if (idx < 0 || static_cast<size_t>(idx) >= fn.constants.size()) {
+            report("constant-pool-bounds", pc,
+                   std::string(bcName(ins.op)) + " constant index "
+                   + std::to_string(idx) + " outside pool of "
+                   + std::to_string(fn.constants.size()) + " entries");
+        }
+    }
+
+    void
+    globalCell(u32 pc, const BcInstr &ins, i32 cell)
+    {
+        if (cell < 0
+            || (numGlobalCells != 0xffffffffu
+                && static_cast<u32>(cell) >= numGlobalCells)) {
+            report("global-cell-bounds", pc,
+                   std::string(bcName(ins.op)) + " global cell "
+                   + std::to_string(cell) + " outside registry of "
+                   + std::to_string(numGlobalCells) + " cells");
+        }
+    }
+
+    void
+    jumpTarget(u32 pc, const BcInstr &ins, i32 target)
+    {
+        if (target < 0
+            || static_cast<size_t>(target) >= fn.bytecode.size()) {
+            report("jump-target", pc,
+                   std::string(bcName(ins.op)) + " target "
+                   + std::to_string(target) + " outside bytecode of "
+                   + std::to_string(fn.bytecode.size())
+                   + " instructions");
+        }
+    }
+
+    void
+    checkInstr(u32 pc, const BcInstr &ins)
+    {
+        switch (ins.op) {
+          case Bc::LdaSmi:
+          case Bc::LdaUndefined:
+          case Bc::LdaNull:
+          case Bc::LdaTrue:
+          case Bc::LdaFalse:
+          case Bc::LogicalNot:
+          case Bc::TypeOf:
+          case Bc::CreateObject:
+          case Bc::Return:
+            break;
+
+          case Bc::LdaConst:
+            constant(pc, ins, ins.a);
+            break;
+          case Bc::LdaGlobal:
+            globalCell(pc, ins, ins.a);
+            slot(pc, ins, ins.b);
+            break;
+          case Bc::StaGlobal:
+            globalCell(pc, ins, ins.a);
+            break;
+
+          case Bc::Ldar:
+          case Bc::Star:
+            reg(pc, ins, ins.a, "register");
+            break;
+          case Bc::Mov:
+            reg(pc, ins, ins.a, "dst");
+            reg(pc, ins, ins.b, "src");
+            break;
+
+          case Bc::Add: case Bc::Sub: case Bc::Mul: case Bc::Div:
+          case Bc::Mod: case Bc::BitAnd: case Bc::BitOr:
+          case Bc::BitXor: case Bc::Shl: case Bc::Sar: case Bc::Shr:
+          case Bc::TestLess: case Bc::TestLessEq: case Bc::TestGreater:
+          case Bc::TestGreaterEq: case Bc::TestEq: case Bc::TestNotEq:
+          case Bc::TestStrictEq: case Bc::TestStrictNotEq:
+            reg(pc, ins, ins.a, "lhs");
+            slot(pc, ins, ins.b);
+            break;
+
+          case Bc::Inc: case Bc::Dec: case Bc::Negate:
+          case Bc::BitNot: case Bc::ToNumber:
+            slot(pc, ins, ins.a);
+            break;
+
+          case Bc::Jump:
+          case Bc::JumpIfFalse:
+          case Bc::JumpIfTrue:
+          case Bc::JumpLoop:
+            jumpTarget(pc, ins, ins.a);
+            break;
+
+          case Bc::GetNamedProperty:
+          case Bc::SetNamedProperty:
+            reg(pc, ins, ins.a, "object");
+            slot(pc, ins, ins.c);
+            break;
+          case Bc::GetElement:
+            reg(pc, ins, ins.a, "object");
+            slot(pc, ins, ins.b);
+            break;
+          case Bc::SetElement:
+            reg(pc, ins, ins.a, "object");
+            reg(pc, ins, ins.b, "index");
+            slot(pc, ins, ins.c);
+            break;
+
+          case Bc::CreateArray:
+            if (ins.a < 0)
+                report("operand-negative", pc,
+                       "CreateArray capacity is negative");
+            break;
+          case Bc::StaArrayLiteral:
+            reg(pc, ins, ins.a, "array");
+            if (ins.b < 0)
+                report("operand-negative", pc,
+                       "StaArrayLiteral index is negative");
+            break;
+          case Bc::StaNamedOwn:
+            reg(pc, ins, ins.a, "object");
+            break;
+
+          case Bc::Call:
+          case Bc::CallMethod: {
+            reg(pc, ins, ins.a, "callee");
+            int argc = callArgc(ins.c);
+            slot(pc, ins, callSlot(ins.c));
+            if (argc < 0) {
+                report("operand-negative", pc,
+                       std::string(bcName(ins.op)) + " argc is negative");
+                break;
+            }
+            // Call reads r[b .. b+argc-1]; CallMethod reads `this`
+            // from r[b] and arguments from r[b+1 .. b+argc].
+            int count = ins.op == Bc::CallMethod ? argc + 1 : argc;
+            if (count > 0) {
+                reg(pc, ins, ins.b, "first arg");
+                reg(pc, ins, ins.b + count - 1, "last arg");
+            }
+            break;
+          }
+        }
+    }
+
+    const FunctionInfo &fn;
+    u32 numGlobalCells;
+    VerifyResult result;
+};
+
+} // namespace
+
+VerifyResult
+verifyBytecode(const FunctionInfo &fn, u32 numGlobalCells)
+{
+    return BytecodeVerifier(fn, numGlobalCells).run();
+}
+
+} // namespace vspec

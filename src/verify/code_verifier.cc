@@ -1,0 +1,262 @@
+/**
+ * @file
+ * CodeObjectVerifier: consistency of the check / deopt metadata the
+ * backend attaches to generated code. The paper's measurements lean on
+ * this metadata being exact — check-instruction counts (Fig. 1/4) read
+ * the per-instruction annotations, and the branch-only-removal mode
+ * (§IV-B) is only a fair model of "free checks" if the condition
+ * computations stay in the instruction stream after the branches go.
+ */
+
+#include <vector>
+
+#include "backend/code_object.hh"
+#include "verify/verify.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+class CodeObjectVerifier
+{
+  public:
+    explicit CodeObjectVerifier(const CodeObject &co) : co(co) {}
+
+    VerifyResult
+    run()
+    {
+        checkTable();
+        checkInstructions();
+        checkExits();
+        return result;
+    }
+
+  private:
+    void
+    report(const std::string &invariant, u32 at, const std::string &msg)
+    {
+        Diagnostic d;
+        d.verifier = "code";
+        d.where = "code#" + std::to_string(co.id) + " fn#"
+                  + std::to_string(co.function);
+        d.invariant = invariant;
+        d.node = at;
+        d.message = msg;
+        result.diagnostics.push_back(std::move(d));
+    }
+
+    void
+    checkTable()
+    {
+        for (size_t i = 0; i < co.checks.size(); i++) {
+            if (co.checks[i].id != i) {
+                report("check-table-id", static_cast<u32>(i),
+                       "checks[" + std::to_string(i) + "] has id "
+                       + std::to_string(co.checks[i].id));
+            }
+        }
+    }
+
+    void
+    checkInstructions()
+    {
+        size_t nchecks = co.checks.size();
+        size_t nexits = co.deoptExits.size();
+        std::vector<u32> conditionInstrs(nchecks, 0);
+
+        for (u32 at = 0; at < co.code.size(); at++) {
+            const MInst &m = co.code[at];
+
+            // Annotation sanity: a checkId and a non-None role go
+            // together (the profiler attributes cost by annotation, so
+            // a half-annotated instruction skews the measurement).
+            if (m.checkId != kNoCheck) {
+                if (m.checkId >= nchecks) {
+                    report("check-annotation", at,
+                           std::string(mopName(m.op))
+                           + " annotated with check "
+                           + std::to_string(m.checkId)
+                           + " but the table has "
+                           + std::to_string(nchecks) + " checks");
+                    continue;
+                }
+                if (m.checkRole == CheckRole::None) {
+                    report("check-annotation", at,
+                           std::string(mopName(m.op))
+                           + " has a checkId but role None");
+                }
+            } else if (m.checkRole != CheckRole::None && !m.isDeoptBranch) {
+                report("check-annotation", at,
+                       std::string(mopName(m.op))
+                       + " has a check role but no checkId");
+            }
+            if (m.checkId != kNoCheck
+                && (m.checkRole == CheckRole::Condition
+                    || m.checkRole == CheckRole::Fused)) {
+                conditionInstrs[m.checkId]++;
+            }
+
+            // Deopt branches: right opcode, live exit, and a target
+            // that lands on that exit's marker in the deopt region.
+            if (m.isDeoptBranch) {
+                if (m.op != MOp::Bcond && m.op != MOp::B) {
+                    report("deopt-branch-shape", at,
+                           std::string(mopName(m.op))
+                           + " is flagged as a deopt branch");
+                    continue;
+                }
+                if (co.branchesRemoved && m.op == MOp::Bcond) {
+                    report("branch-removal-leak", at,
+                           "conditional deopt branch survived "
+                           "branch-only removal");
+                }
+                if (m.deoptIndex >= nexits) {
+                    report("dangling-deopt-index", at,
+                           "deopt branch references exit "
+                           + std::to_string(m.deoptIndex) + " of "
+                           + std::to_string(nexits));
+                    continue;
+                }
+                if (m.target >= co.code.size()
+                    || co.code[m.target].op != MOp::DeoptExit
+                    || co.code[m.target].deoptIndex != m.deoptIndex) {
+                    report("deopt-branch-target", at,
+                           "deopt branch for exit "
+                           + std::to_string(m.deoptIndex)
+                           + " does not target that exit's marker");
+                }
+            } else if (m.checkRole == CheckRole::Fused
+                       && m.deoptIndex >= nexits) {
+                report("dangling-deopt-index", at,
+                       "fused check references exit "
+                       + std::to_string(m.deoptIndex) + " of "
+                       + std::to_string(nexits));
+            }
+
+            // Ordinary control flow stays inside the code array.
+            if ((m.op == MOp::B || m.op == MOp::Bcond)
+                && m.target >= co.code.size()) {
+                report("branch-target-range", at,
+                       std::string(mopName(m.op)) + " target "
+                       + std::to_string(m.target) + " outside "
+                       + std::to_string(co.code.size())
+                       + " instructions");
+            }
+        }
+
+        // §IV-B invariant: every check keeps at least one live
+        // condition (or fused) instruction — in branch-only-removal
+        // mode this is exactly "the work of the check is still paid
+        // for"; with branches present it catches checks that lost
+        // their condition to a bad pass.
+        for (size_t i = 0; i < nchecks; i++) {
+            if (conditionInstrs[i] == 0) {
+                report("check-condition-alive", static_cast<u32>(i),
+                       "check " + std::to_string(i) + " ("
+                       + deoptReasonName(co.checks[i].reason)
+                       + ") has no condition instruction in the code");
+            }
+        }
+    }
+
+    void
+    checkExits()
+    {
+        size_t nexits = co.deoptExits.size();
+
+        // The deopt region must hold exactly one marker per exit.
+        std::vector<u32> markers(nexits, 0);
+        std::vector<bool> referenced(nexits, false);
+        for (u32 at = 0; at < co.code.size(); at++) {
+            const MInst &m = co.code[at];
+            if (m.op == MOp::DeoptExit) {
+                if (m.deoptIndex >= nexits) {
+                    report("deopt-exit-marker", at,
+                           "marker for nonexistent exit "
+                           + std::to_string(m.deoptIndex));
+                } else {
+                    markers[m.deoptIndex]++;
+                }
+            }
+            if ((m.isDeoptBranch || m.checkRole == CheckRole::Fused)
+                && m.deoptIndex < nexits) {
+                referenced[m.deoptIndex] = true;
+            }
+        }
+        for (size_t i = 0; i < nexits; i++) {
+            if (markers[i] != 1) {
+                report("deopt-exit-marker", static_cast<u32>(i),
+                       "exit " + std::to_string(i) + " has "
+                       + std::to_string(markers[i])
+                       + " markers in the deopt region");
+            }
+            // Orphan exits are the expected shape of branch-only
+            // removal (the exit is made, the branch is not); with
+            // branches present an unreferenced exit is table rot.
+            if (!co.branchesRemoved && !referenced[i]) {
+                report("orphaned-deopt-exit", static_cast<u32>(i),
+                       "exit " + std::to_string(i) + " ("
+                       + deoptReasonName(co.deoptExits[i].reason)
+                       + ") is referenced by no instruction");
+            }
+        }
+
+        for (size_t i = 0; i < nexits; i++) {
+            const DeoptExitInfo &e = co.deoptExits[i];
+            if (e.checkId != kNoCheck && e.checkId >= co.checks.size()) {
+                report("deopt-exit-check", static_cast<u32>(i),
+                       "exit references check "
+                       + std::to_string(e.checkId) + " of "
+                       + std::to_string(co.checks.size()));
+            }
+            checkLocation(static_cast<u32>(i), e.accumulator, "acc");
+            for (size_t r = 0; r < e.regs.size(); r++)
+                checkLocation(static_cast<u32>(i), e.regs[r],
+                              ("r" + std::to_string(r)).c_str());
+        }
+    }
+
+    void
+    checkLocation(u32 exit, const DeoptLocation &loc, const char *what)
+    {
+        switch (loc.where) {
+          case DeoptLocation::Where::Reg:
+            if (loc.reg >= kNumGprs)
+                report("deopt-location", exit,
+                       std::string(what) + " in nonexistent GPR "
+                       + std::to_string(loc.reg));
+            break;
+          case DeoptLocation::Where::FReg:
+            if (loc.reg >= kNumFprs)
+                report("deopt-location", exit,
+                       std::string(what) + " in nonexistent FPR "
+                       + std::to_string(loc.reg));
+            break;
+          case DeoptLocation::Where::Spill:
+            if (loc.slot < 0
+                || static_cast<u32>(loc.slot) >= co.spillSlots)
+                report("deopt-location", exit,
+                       std::string(what) + " in spill slot "
+                       + std::to_string(loc.slot) + " of "
+                       + std::to_string(co.spillSlots));
+            break;
+          default:
+            break;
+        }
+    }
+
+    const CodeObject &co;
+    VerifyResult result;
+};
+
+} // namespace
+
+VerifyResult
+verifyCodeObject(const CodeObject &code)
+{
+    return CodeObjectVerifier(code).run();
+}
+
+} // namespace vspec

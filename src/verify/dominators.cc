@@ -1,0 +1,97 @@
+#include "verify/dominators.hh"
+
+namespace vspec
+{
+
+DominatorTree::DominatorTree(const Graph &g, BlockId entry)
+    : entry_(entry)
+{
+    size_t nblocks = g.blocks.size();
+    rpoIndex_.assign(nblocks, kUnvisited);
+    idom_.assign(nblocks, kNoBlock);
+    if (entry >= nblocks)
+        return;
+
+    // Iterative DFS postorder, then reverse. Successors are visited
+    // true-edge first; any consistent order works for dominance.
+    std::vector<BlockId> postorder;
+    std::vector<std::pair<BlockId, int>> stack;  // (block, next succ)
+    std::vector<bool> onStackOrDone(nblocks, false);
+    stack.push_back({entry, 0});
+    onStackOrDone[entry] = true;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        const BasicBlock &blk = g.block(b);
+        BlockId succ = kNoBlock;
+        if (next == 0)
+            succ = blk.succTrue;
+        else if (next == 1)
+            succ = blk.succFalse;
+        if (next >= 2) {
+            postorder.push_back(b);
+            stack.pop_back();
+            continue;
+        }
+        next++;
+        if (succ != kNoBlock && succ < nblocks && !onStackOrDone[succ]) {
+            onStackOrDone[succ] = true;
+            stack.push_back({succ, 0});
+        }
+    }
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    for (u32 i = 0; i < rpo_.size(); i++)
+        rpoIndex_[rpo_[i]] = i;
+
+    // Cooper/Harvey/Kennedy fixpoint.
+    idom_[entry] = entry;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : rpo_) {
+            if (b == entry)
+                continue;
+            BlockId newIdom = kNoBlock;
+            for (BlockId p : g.block(b).preds) {
+                if (!reachable(p) || idom_[p] == kNoBlock)
+                    continue;  // back edge from not-yet-processed pred
+                newIdom = newIdom == kNoBlock ? p : intersect(p, newIdom);
+            }
+            if (newIdom != kNoBlock && idom_[b] != newIdom) {
+                idom_[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+}
+
+BlockId
+DominatorTree::intersect(BlockId a, BlockId b) const
+{
+    while (a != b) {
+        while (rpoIndex_[a] > rpoIndex_[b])
+            a = idom_[a];
+        while (rpoIndex_[b] > rpoIndex_[a])
+            b = idom_[b];
+    }
+    return a;
+}
+
+bool
+DominatorTree::dominates(BlockId a, BlockId b) const
+{
+    if (!reachable(a) || !reachable(b))
+        return false;
+    // Walk b's dominator chain up to the entry; chains are short.
+    while (true) {
+        if (b == a)
+            return true;
+        if (b == entry_)
+            return false;
+        BlockId up = idom_[b];
+        if (up == kNoBlock || up == b)
+            return false;
+        b = up;
+    }
+}
+
+} // namespace vspec

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Dominator tree over the IR CFG, for the graph verifier's
+ * defs-dominate-uses and deopt-safety checks. Cooper/Harvey/Kennedy
+ * iterative algorithm ("A Simple, Fast Dominance Algorithm") on a
+ * reverse-postorder numbering — the graphs here are small (tens of
+ * blocks), so the near-linear simple algorithm beats Lengauer-Tarjan
+ * in both code size and constant factor.
+ */
+
+#ifndef VSPEC_VERIFY_DOMINATORS_HH
+#define VSPEC_VERIFY_DOMINATORS_HH
+
+#include <vector>
+
+#include "ir/graph.hh"
+
+namespace vspec
+{
+
+class DominatorTree
+{
+  public:
+    /** Build for @p graph; block @p entry is the CFG root. */
+    explicit DominatorTree(const Graph &graph, BlockId entry = 0);
+
+    /** Blocks reachable from the entry. Unreachable blocks have no
+     *  dominator relation (dominates() returns false for them). */
+    bool reachable(BlockId b) const
+    {
+        return b < rpoIndex_.size() && rpoIndex_[b] != kUnvisited;
+    }
+
+    /** Immediate dominator; the entry's idom is itself. kNoBlock for
+     *  unreachable blocks. */
+    BlockId idom(BlockId b) const
+    {
+        return b < idom_.size() ? idom_[b] : kNoBlock;
+    }
+
+    /** Does @p a dominate @p b (reflexive)? */
+    bool dominates(BlockId a, BlockId b) const;
+
+    /** Reverse-postorder over reachable blocks (entry first). */
+    const std::vector<BlockId> &rpo() const { return rpo_; }
+
+  private:
+    static constexpr u32 kUnvisited = 0xffffffffu;
+
+    BlockId intersect(BlockId a, BlockId b) const;
+
+    BlockId entry_;
+    std::vector<BlockId> rpo_;
+    std::vector<u32> rpoIndex_;   //!< BlockId -> position in rpo_
+    std::vector<BlockId> idom_;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_VERIFY_DOMINATORS_HH

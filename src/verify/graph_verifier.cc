@@ -1,0 +1,679 @@
+/**
+ * @file
+ * GraphVerifier: SSA / CFG well-formedness, representation typing, and
+ * deopt safety of the speculative IR. Runs between passes, so it only
+ * asserts invariants every pipeline stage preserves:
+ *
+ *  - arena hygiene: ids in range, live nodes use live nodes, every
+ *    live node sits in exactly one block's list at its recorded block
+ *  - CFG: terminators close reachable blocks, successor fields match
+ *    the terminator kind, pred lists mirror successor edges
+ *  - SSA: phis lead their block with one input per predecessor; every
+ *    def dominates each of its uses (phi uses are edge uses; frame
+ *    state slots of deopt points are uses at the deopt node)
+ *  - representation typing: each edge's value representation matches
+ *    the consumer's expected input class (Int32 and Bool are one
+ *    machine-int class, as the builder freely mixes them)
+ *  - deopt safety: every node that can trigger an eager deopt carries
+ *    a frame state whose slots hold live, dominating values; and no
+ *    deopt point placed after a side effect may resume before it
+ *    (re-executing a store corrupts the heap — the invariant behind
+ *    Flückiger et al.'s correctness argument for speculation).
+ */
+
+#include <vector>
+
+#include "ir/graph.hh"
+#include "verify/dominators.hh"
+#include "verify/verify.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+enum class RepClass : u8
+{
+    Tagged,
+    MachInt,  //!< Int32 or Bool: interchangeable machine words
+    Float,
+    None,
+    Any,
+};
+
+RepClass
+classOf(Rep r)
+{
+    switch (r) {
+      case Rep::Tagged: return RepClass::Tagged;
+      case Rep::Int32:
+      case Rep::Bool: return RepClass::MachInt;
+      case Rep::Float64: return RepClass::Float;
+      case Rep::None: return RepClass::None;
+    }
+    return RepClass::Any;
+}
+
+const char *
+repClassName(RepClass c)
+{
+    switch (c) {
+      case RepClass::Tagged: return "tagged";
+      case RepClass::MachInt: return "machine-int";
+      case RepClass::Float: return "float64";
+      case RepClass::None: return "none";
+      case RepClass::Any: return "any";
+    }
+    return "?";
+}
+
+/** Expected input classes per op; empty + variadic=true skips arity
+ *  and per-input checks (calls). */
+struct OpSignature
+{
+    RepClass out = RepClass::Any;
+    std::vector<RepClass> in;
+    bool variadic = false;
+};
+
+OpSignature
+signatureOf(IrOp op)
+{
+    using RC = RepClass;
+    switch (op) {
+      case IrOp::Param: return {RC::Tagged, {}};
+      case IrOp::ConstI32: return {RC::MachInt, {}};
+      case IrOp::ConstTagged: return {RC::Tagged, {}};
+      case IrOp::ConstF64: return {RC::Float, {}};
+      // Phi inputs are checked against the phi's own class, not a
+      // fixed signature.
+      case IrOp::Phi: return {RC::Any, {}, true};
+
+      case IrOp::I32Add: case IrOp::I32Sub: case IrOp::I32Mul:
+      case IrOp::I32Div: case IrOp::I32Mod:
+      case IrOp::I32And: case IrOp::I32Or: case IrOp::I32Xor:
+      case IrOp::I32Shl: case IrOp::I32Sar: case IrOp::I32Shr:
+        return {RC::MachInt, {RC::MachInt, RC::MachInt}};
+      case IrOp::I32Neg: return {RC::MachInt, {RC::MachInt}};
+
+      case IrOp::F64Add: case IrOp::F64Sub: case IrOp::F64Mul:
+      case IrOp::F64Div: case IrOp::F64Mod:
+        return {RC::Float, {RC::Float, RC::Float}};
+      case IrOp::F64Neg: case IrOp::F64Abs: case IrOp::F64Sqrt:
+        return {RC::Float, {RC::Float}};
+
+      case IrOp::I32Compare:
+        return {RC::MachInt, {RC::MachInt, RC::MachInt}};
+      case IrOp::F64Compare: return {RC::MachInt, {RC::Float, RC::Float}};
+      case IrOp::TaggedEqual:
+        return {RC::MachInt, {RC::Tagged, RC::Tagged}};
+
+      case IrOp::TagSmi: return {RC::Tagged, {RC::MachInt}};
+      case IrOp::UntagSmi: return {RC::MachInt, {RC::Tagged}};
+      case IrOp::I32ToF64: return {RC::Float, {RC::MachInt}};
+      case IrOp::F64ToI32: return {RC::MachInt, {RC::Float}};
+      case IrOp::ToFloat64: return {RC::Float, {RC::Tagged}};
+      case IrOp::ToBooleanOp: return {RC::MachInt, {RC::Tagged}};
+      case IrOp::F64ToBool: return {RC::MachInt, {RC::Float}};
+      case IrOp::I32ToBool: return {RC::MachInt, {RC::MachInt}};
+      case IrOp::BoolNot: return {RC::MachInt, {RC::MachInt}};
+      case IrOp::BoolToTagged: return {RC::Tagged, {RC::MachInt}};
+
+      case IrOp::CheckSmi: case IrOp::CheckHeapObject:
+      case IrOp::CheckMap: case IrOp::CheckValue:
+        return {RC::Tagged, {RC::Tagged}};
+      case IrOp::CheckBounds:
+        return {RC::MachInt, {RC::MachInt, RC::MachInt}};
+
+      case IrOp::LoadField: return {RC::Tagged, {RC::Tagged}};
+      case IrOp::LoadFieldRaw: return {RC::MachInt, {RC::Tagged}};
+      case IrOp::StoreField:
+        return {RC::None, {RC::Tagged, RC::Tagged}};
+      case IrOp::StoreFieldRaw:
+        return {RC::None, {RC::Tagged, RC::MachInt}};
+      case IrOp::LoadElem32:
+        return {RC::Tagged, {RC::Tagged, RC::MachInt}};
+      case IrOp::LoadElemF64:
+        return {RC::Float, {RC::Tagged, RC::MachInt}};
+      case IrOp::StoreElem32:
+        return {RC::None, {RC::Tagged, RC::MachInt, RC::Tagged}};
+      case IrOp::StoreElemF64:
+        return {RC::None, {RC::Tagged, RC::MachInt, RC::Float}};
+      case IrOp::LoadGlobal: return {RC::Tagged, {}};
+      case IrOp::StoreGlobal: return {RC::None, {RC::Tagged}};
+      case IrOp::LoadFieldSmiUntag:
+        return {RC::MachInt, {RC::Tagged}};
+      case IrOp::LoadElemSmiUntag:
+        return {RC::MachInt, {RC::Tagged, RC::MachInt}};
+
+      // Call argument representations depend on the callee; the
+      // builder coerces as needed. Only the variadic shape is fixed.
+      case IrOp::CallRuntime: return {RC::Any, {}, true};
+      case IrOp::CallFunction: return {RC::Tagged, {}, true};
+
+      case IrOp::Branch: return {RC::None, {RC::MachInt}};
+      case IrOp::Goto: return {RC::None, {}};
+      case IrOp::Return: return {RC::None, {RC::Tagged}};
+      case IrOp::Deopt: return {RC::None, {}, true};
+    }
+    return {RC::Any, {}, true};
+}
+
+class GraphVerifier
+{
+  public:
+    GraphVerifier(const Graph &g, const std::string &where)
+        : g(g), where(where), dom(g)
+    {}
+
+    VerifyResult
+    run()
+    {
+        checkArena();
+        if (!result.ok())
+            return result;  // index errors make everything else UB
+        checkBlocks();
+        checkSsa();
+        checkReps();
+        checkDeoptSafety();
+        return result;
+    }
+
+  private:
+    void
+    report(const std::string &invariant, BlockId b, ValueId v,
+           const std::string &msg)
+    {
+        Diagnostic d;
+        d.verifier = "graph";
+        d.where = where;
+        d.invariant = invariant;
+        d.block = b;
+        d.node = v;
+        d.message = msg;
+        result.diagnostics.push_back(std::move(d));
+    }
+
+    bool live(ValueId v) const { return !g.node(v).dead; }
+
+    // ---- arena hygiene --------------------------------------------------
+
+    void
+    checkArena()
+    {
+        u32 nnodes = static_cast<u32>(g.nodes.size());
+        u32 nblocks = static_cast<u32>(g.blocks.size());
+        u32 nframes = static_cast<u32>(g.frameStates.size());
+
+        for (ValueId id = 0; id < nnodes; id++) {
+            const IrNode &n = g.nodes[id];
+            if (n.dead)
+                continue;
+            if (n.block == kNoBlock || n.block >= nblocks) {
+                report("node-block-range", n.block, id,
+                       std::string(irOpName(n.op))
+                       + " has out-of-range block");
+                continue;
+            }
+            for (ValueId in : n.inputs) {
+                if (in == kNoValue || in >= nnodes) {
+                    report("input-range", n.block, id,
+                           std::string(irOpName(n.op))
+                           + " has out-of-range input "
+                           + std::to_string(in));
+                } else if (!live(in)) {
+                    report("use-of-dead", n.block, id,
+                           std::string(irOpName(n.op)) + " uses dead v"
+                           + std::to_string(in) + " ("
+                           + irOpName(g.node(in).op) + ")");
+                }
+            }
+            if (n.frameState != kNoFrameState && n.frameState >= nframes) {
+                report("frame-state-range", n.block, id,
+                       "frame state index " + std::to_string(n.frameState)
+                       + " out of range");
+            }
+        }
+
+        // Every live node sits in exactly one block list, at its
+        // recorded block.
+        std::vector<u32> seen(nnodes, 0);
+        for (BlockId b = 0; b < nblocks; b++) {
+            for (ValueId id : g.blocks[b].nodes) {
+                if (id >= nnodes) {
+                    report("block-list-range", b, id,
+                           "block lists out-of-range node");
+                    continue;
+                }
+                seen[id]++;
+                if (g.nodes[id].block != b) {
+                    report("block-membership", b, id,
+                           std::string(irOpName(g.nodes[id].op))
+                           + " listed in b" + std::to_string(b)
+                           + " but records b"
+                           + std::to_string(g.nodes[id].block));
+                }
+            }
+        }
+        for (ValueId id = 0; id < nnodes; id++) {
+            if (!live(id) && seen[id] <= 1)
+                continue;  // dead nodes may be unlisted
+            if (seen[id] != 1) {
+                report("block-membership", g.nodes[id].block, id,
+                       std::string(irOpName(g.nodes[id].op))
+                       + " appears in " + std::to_string(seen[id])
+                       + " block lists");
+            }
+        }
+    }
+
+    // ---- CFG ------------------------------------------------------------
+
+    void
+    checkBlocks()
+    {
+        u32 nblocks = static_cast<u32>(g.blocks.size());
+        for (BlockId b = 0; b < nblocks; b++) {
+            const BasicBlock &blk = g.blocks[b];
+            if (blk.succTrue != kNoBlock && blk.succTrue >= nblocks)
+                report("succ-range", b, kNoValue,
+                       "succTrue out of range");
+            if (blk.succFalse != kNoBlock && blk.succFalse >= nblocks)
+                report("succ-range", b, kNoValue,
+                       "succFalse out of range");
+            if (!dom.reachable(b))
+                continue;
+
+            // Last live node must be the block's only live terminator.
+            ValueId term = kNoValue;
+            for (ValueId id : blk.nodes) {
+                if (!live(id))
+                    continue;
+                if (term != kNoValue) {
+                    report("terminator-last", b, term,
+                           std::string(irOpName(g.node(term).op))
+                           + " followed by live "
+                           + irOpName(g.node(id).op));
+                    term = kNoValue;
+                }
+                if (g.node(id).isTerminator())
+                    term = id;
+            }
+            bool hasTerm = false;
+            for (auto it = blk.nodes.rbegin(); it != blk.nodes.rend();
+                 ++it) {
+                if (!live(*it))
+                    continue;
+                hasTerm = g.node(*it).isTerminator();
+                break;
+            }
+            if (!hasTerm) {
+                report("terminator-missing", b, kNoValue,
+                       "reachable block does not end in a terminator");
+                continue;
+            }
+
+            // Successor fields must match the terminator kind.
+            const IrNode &t = g.node(lastLive(blk));
+            switch (t.op) {
+              case IrOp::Branch:
+                if (blk.succTrue == kNoBlock || blk.succFalse == kNoBlock)
+                    report("succ-shape", b, lastLive(blk),
+                           "Branch needs both successors");
+                break;
+              case IrOp::Goto:
+                if (blk.succTrue == kNoBlock || blk.succFalse != kNoBlock)
+                    report("succ-shape", b, lastLive(blk),
+                           "Goto needs exactly one successor");
+                break;
+              case IrOp::Return:
+              case IrOp::Deopt:
+                if (blk.succTrue != kNoBlock || blk.succFalse != kNoBlock)
+                    report("succ-shape", b, lastLive(blk),
+                           std::string(irOpName(t.op))
+                           + " must not have successors");
+                break;
+              default:
+                break;
+            }
+        }
+
+        // Pred lists mirror successor edges (multiset equality, over
+        // reachable blocks on both ends).
+        for (BlockId b = 0; b < nblocks; b++) {
+            if (!dom.reachable(b))
+                continue;
+            const BasicBlock &blk = g.blocks[b];
+            for (BlockId s : {blk.succTrue, blk.succFalse}) {
+                if (s == kNoBlock || s >= nblocks)
+                    continue;
+                u32 edges = edgeCount(b, s);
+                u32 preds = 0;
+                for (BlockId p : g.block(s).preds)
+                    if (p == b)
+                        preds++;
+                if (edges != preds) {
+                    report("pred-succ-mismatch", b, kNoValue,
+                           "edge b" + std::to_string(b) + " -> b"
+                           + std::to_string(s) + " appears "
+                           + std::to_string(edges)
+                           + "x as successor but "
+                           + std::to_string(preds) + "x in preds");
+                }
+            }
+        }
+    }
+
+    u32
+    edgeCount(BlockId from, BlockId to) const
+    {
+        const BasicBlock &blk = g.block(from);
+        u32 c = 0;
+        if (blk.succTrue == to)
+            c++;
+        if (blk.succFalse == to)
+            c++;
+        return c;
+    }
+
+    ValueId
+    lastLive(const BasicBlock &blk) const
+    {
+        for (auto it = blk.nodes.rbegin(); it != blk.nodes.rend(); ++it)
+            if (live(*it))
+                return *it;
+        return kNoValue;
+    }
+
+    // ---- SSA ------------------------------------------------------------
+
+    /** Position of each live node within its block (for same-block
+     *  dominance; ids alone are wrong once hoisting moves nodes). */
+    std::vector<u32>
+    positions() const
+    {
+        std::vector<u32> pos(g.nodes.size(), 0);
+        for (const BasicBlock &blk : g.blocks) {
+            u32 p = 0;
+            for (ValueId id : blk.nodes)
+                pos[id] = p++;
+        }
+        return pos;
+    }
+
+    /** Pure constants are rematerializable anywhere: passes hoist
+     *  their consumers without moving them (see
+     *  hoistLoopInvariantChecks) and the backend materializes them at
+     *  each use, so their recorded position carries no dominance
+     *  meaning. */
+    bool
+    rematerializable(ValueId v) const
+    {
+        IrOp op = g.node(v).op;
+        return op == IrOp::ConstI32 || op == IrOp::ConstTagged
+               || op == IrOp::ConstF64;
+    }
+
+    /** Does def @p d reach a use at node @p u (non-phi)? */
+    bool
+    defReachesUse(ValueId d, ValueId u, const std::vector<u32> &pos) const
+    {
+        if (rematerializable(d))
+            return true;
+        BlockId db = g.node(d).block;
+        BlockId ub = g.node(u).block;
+        if (db == ub)
+            return pos[d] < pos[u];
+        return dom.dominates(db, ub);
+    }
+
+    void
+    checkSsa()
+    {
+        std::vector<u32> pos = positions();
+
+        for (BlockId b = 0; b < g.blocks.size(); b++) {
+            if (!dom.reachable(b))
+                continue;
+            const BasicBlock &blk = g.blocks[b];
+
+            // Live phis lead the block (the backend stops scanning for
+            // phi moves at the first non-phi).
+            bool sawNonPhi = false;
+            for (ValueId id : blk.nodes) {
+                if (!live(id))
+                    continue;
+                const IrNode &n = g.node(id);
+                if (n.op != IrOp::Phi) {
+                    sawNonPhi = true;
+                    continue;
+                }
+                if (sawNonPhi) {
+                    report("phi-placement", b, id,
+                           "live phi after a non-phi node");
+                }
+                if (n.inputs.size() != blk.preds.size()) {
+                    report("phi-arity", b, id,
+                           "phi has " + std::to_string(n.inputs.size())
+                           + " inputs for "
+                           + std::to_string(blk.preds.size())
+                           + " predecessors");
+                    continue;
+                }
+                for (size_t i = 0; i < n.inputs.size(); i++) {
+                    BlockId p = blk.preds[i];
+                    if (!dom.reachable(p) || rematerializable(n.inputs[i]))
+                        continue;
+                    BlockId db = g.node(n.inputs[i]).block;
+                    if (!dom.dominates(db, p)) {
+                        report("def-dominates-use", b, id,
+                               "phi input v"
+                               + std::to_string(n.inputs[i])
+                               + " (b" + std::to_string(db)
+                               + ") does not dominate edge pred b"
+                               + std::to_string(p));
+                    }
+                }
+            }
+
+            // Ordinary uses.
+            for (ValueId id : blk.nodes) {
+                if (!live(id))
+                    continue;
+                const IrNode &n = g.node(id);
+                if (n.op == IrOp::Phi)
+                    continue;
+                for (ValueId in : n.inputs) {
+                    if (!defReachesUse(in, id, pos)) {
+                        report("def-dominates-use", b, id,
+                               std::string(irOpName(n.op)) + " input v"
+                               + std::to_string(in) + " ("
+                               + irOpName(g.node(in).op) + " in b"
+                               + std::to_string(g.node(in).block)
+                               + ") does not dominate the use");
+                    }
+                }
+                // Frame state slots are uses at the deopt point: the
+                // deopt handler materializes them here.
+                if (n.canDeopt() && n.frameState != kNoFrameState) {
+                    const FrameState &fs = g.frameStates[n.frameState];
+                    auto checkSlot = [&](ValueId v, const char *what) {
+                        if (v == kNoValue)
+                            return;
+                        if (v >= g.nodes.size()) {
+                            report("frame-state-slot", b, id,
+                                   std::string(what)
+                                   + " slot out of range");
+                            return;
+                        }
+                        if (!live(v)) {
+                            report("frame-state-slot", b, id,
+                                   std::string(what) + " references dead v"
+                                   + std::to_string(v));
+                            return;
+                        }
+                        // SMI-load fusion folds the checked load into
+                        // the deopt node itself; its frame state then
+                        // names the fused node for the slot the
+                        // re-executed bytecode will refill. A deopt
+                        // point may therefore reference its own value.
+                        if (v == id)
+                            return;
+                        if (!defReachesUse(v, id, pos)) {
+                            report("frame-state-slot", b, id,
+                                   std::string(what) + " value v"
+                                   + std::to_string(v)
+                                   + " does not dominate the deopt point");
+                        }
+                    };
+                    for (ValueId r : fs.regs)
+                        checkSlot(r, "frame-state reg");
+                    checkSlot(fs.accumulator, "frame-state acc");
+                }
+            }
+        }
+    }
+
+    // ---- representation typing ------------------------------------------
+
+    void
+    checkReps()
+    {
+        for (ValueId id = 0; id < g.nodes.size(); id++) {
+            const IrNode &n = g.nodes[id];
+            if (n.dead || !dom.reachable(n.block))
+                continue;
+            OpSignature sig = signatureOf(n.op);
+
+            if (sig.out != RepClass::Any && sig.out != RepClass::None
+                && classOf(n.rep) != sig.out) {
+                report("rep-output", n.block, id,
+                       std::string(irOpName(n.op)) + " produces "
+                       + repName(n.rep) + ", expected "
+                       + repClassName(sig.out));
+            }
+
+            if (n.op == IrOp::Phi) {
+                RepClass want = classOf(n.rep);
+                for (ValueId in : n.inputs) {
+                    if (classOf(g.node(in).rep) != want) {
+                        report("rep-input", n.block, id,
+                               "phi(" + std::string(repName(n.rep))
+                               + ") input v" + std::to_string(in)
+                               + " is " + repName(g.node(in).rep));
+                    }
+                }
+                continue;
+            }
+            if (sig.variadic)
+                continue;
+            if (n.inputs.size() != sig.in.size()) {
+                report("input-arity", n.block, id,
+                       std::string(irOpName(n.op)) + " has "
+                       + std::to_string(n.inputs.size())
+                       + " inputs, expected "
+                       + std::to_string(sig.in.size()));
+                continue;
+            }
+            for (size_t i = 0; i < sig.in.size(); i++) {
+                Rep have = g.node(n.inputs[i]).rep;
+                if (sig.in[i] != RepClass::Any
+                    && classOf(have) != sig.in[i]) {
+                    report("rep-input", n.block, id,
+                           std::string(irOpName(n.op)) + " input "
+                           + std::to_string(i) + " (v"
+                           + std::to_string(n.inputs[i]) + ") is "
+                           + repName(have) + ", expected "
+                           + repClassName(sig.in[i]));
+                }
+            }
+        }
+    }
+
+    // ---- deopt safety ---------------------------------------------------
+
+    void
+    checkDeoptSafety()
+    {
+        // (1) Every node that can trigger an eager deopt must carry a
+        // frame state — without one the runtime cannot rebuild the
+        // interpreter frame and the deopt is a crash, not a bailout.
+        for (ValueId id = 0; id < g.nodes.size(); id++) {
+            const IrNode &n = g.nodes[id];
+            if (n.dead || !dom.reachable(n.block))
+                continue;
+            if (!n.canDeopt())
+                continue;
+            if (n.frameState == kNoFrameState
+                || n.frameState >= g.frameStates.size()) {
+                report("deopt-frame-state", n.block, id,
+                       std::string(irOpName(n.op)) + " ["
+                       + deoptReasonName(n.reason)
+                       + "] can deopt but has no frame state");
+            }
+        }
+
+        // (2) A deopt point after a side effect must not resume at or
+        // before the bytecode whose effects already ran: deopting would
+        // re-execute the store/call. Within a block, the resume offsets
+        // of deopt points seen before a side effect are a lower bound
+        // for the bytecode that effect belongs to; later deopt points
+        // must resume at or beyond that bound (checks of one bytecode
+        // share its offset, so equality is legal).
+        for (BlockId b = 0; b < g.blocks.size(); b++) {
+            if (!dom.reachable(b))
+                continue;
+            u32 barrier = 0;
+            u32 maxResume = 0;
+            bool barrierActive = false;
+            for (ValueId id : g.block(b).nodes) {
+                const IrNode &n = g.node(id);
+                if (!live(id))
+                    continue;
+                bool isEffect = n.op == IrOp::StoreField
+                                || n.op == IrOp::StoreFieldRaw
+                                || n.op == IrOp::StoreElem32
+                                || n.op == IrOp::StoreElemF64
+                                || n.op == IrOp::StoreGlobal
+                                || n.op == IrOp::CallRuntime
+                                || n.op == IrOp::CallFunction;
+                if (n.canDeopt() && n.frameState != kNoFrameState
+                    && n.frameState < g.frameStates.size()) {
+                    u32 resume =
+                        g.frameStates[n.frameState].bytecodeOffset;
+                    if (barrierActive && resume < barrier) {
+                        report("check-after-effect", b, id,
+                               std::string(irOpName(n.op)) + " ["
+                               + deoptReasonName(n.reason)
+                               + "] resumes at bytecode "
+                               + std::to_string(resume)
+                               + " but a side effect of bytecode >= "
+                               + std::to_string(barrier)
+                               + " already executed");
+                    }
+                    maxResume = std::max(maxResume, resume);
+                }
+                if (isEffect) {
+                    barrier = std::max(barrier, maxResume);
+                    barrierActive = true;
+                }
+            }
+        }
+    }
+
+    const Graph &g;
+    const std::string &where;
+    DominatorTree dom;
+    VerifyResult result;
+};
+
+} // namespace
+
+VerifyResult
+verifyGraph(const Graph &graph, const std::string &where)
+{
+    return GraphVerifier(graph, where).run();
+}
+
+} // namespace vspec

@@ -1,0 +1,77 @@
+#include "verify/verify.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace vspec
+{
+
+VerifyLevel
+defaultVerifyLevel()
+{
+    static VerifyLevel level = [] {
+        if (const char *env = std::getenv("VSPEC_VERIFY")) {
+            switch (env[0]) {
+              case '0': return VerifyLevel::Off;
+              case '1': return VerifyLevel::Final;
+              case '2': return VerifyLevel::Passes;
+              default: break;
+            }
+        }
+#ifdef NDEBUG
+        return VerifyLevel::Off;
+#else
+        return VerifyLevel::Passes;
+#endif
+    }();
+    return level;
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::string out = verifier + " verifier [" + where + "] " + invariant;
+    if (block != 0xffffffffu)
+        out += " b" + std::to_string(block);
+    if (node != 0xffffffffu)
+        out += " @" + std::to_string(node);
+    out += ": " + message;
+    return out;
+}
+
+std::string
+VerifyResult::str() const
+{
+    std::string out;
+    for (const Diagnostic &d : diagnostics) {
+        if (!out.empty())
+            out += "\n";
+        out += d.str();
+    }
+    return out;
+}
+
+bool
+VerifyResult::has(const std::string &invariant) const
+{
+    for (const Diagnostic &d : diagnostics)
+        if (d.invariant == invariant)
+            return true;
+    return false;
+}
+
+void
+enforce(const VerifyResult &result, const std::string &what)
+{
+    if (result.ok())
+        return;
+    for (const Diagnostic &d : result.diagnostics)
+        vlog(LogLevel::Error, "vverify", d.str());
+    vpanic("vverify: " + what + ": "
+           + std::to_string(result.diagnostics.size())
+           + " invariant violation(s); first: "
+           + result.diagnostics.front().str());
+}
+
+} // namespace vspec

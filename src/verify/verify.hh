@@ -1,0 +1,107 @@
+/**
+ * @file
+ * vverify: static verification of the three compiler artifact layers.
+ *
+ *  - GraphVerifier: SSA well-formedness, CFG consistency, representation
+ *    typing, and deopt safety of the speculative IR (Flückiger et al.:
+ *    every deopt point must carry a complete, consistent frame state
+ *    whose values are available where the deopt can fire).
+ *  - BytecodeVerifier: register bounds, constant-pool / feedback-slot /
+ *    global-cell indices, and jump-target validity of Ignition-style
+ *    bytecode.
+ *  - CodeObjectVerifier: post-regalloc/isel metadata consistency —
+ *    check annotations point at real check instructions, every deopt
+ *    stub is reachable, frame locations are in range, and branch-only
+ *    removal (§IV-B) left condition computations alive.
+ *
+ * Verifiers return structured diagnostics rather than asserting, so a
+ * seeded-broken artifact produces a located report (and tests can
+ * assert on the specific invariant that fired). enforce() is the
+ * pipeline's enforcement point: it logs every diagnostic through
+ * support/logging and panics, converting a silent miscompile into an
+ * immediate, located failure that the experiment harness survives.
+ */
+
+#ifndef VSPEC_VERIFY_VERIFY_HH
+#define VSPEC_VERIFY_VERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+class Graph;
+class CodeObject;
+struct FunctionInfo;
+
+/** How much verification the compilation pipeline runs. */
+enum class VerifyLevel : u8
+{
+    Off,    //!< no verification
+    Final,  //!< bytecode before compile, IR after the pass pipeline,
+            //!< code object after codegen
+    Passes, //!< Final + the IR graph between every individual pass
+};
+
+/**
+ * Default level for newly constructed configs: every-pass verification
+ * in debug (assertion-enabled) builds, off in release builds. The
+ * VSPEC_VERIFY environment variable (0/1/2) overrides either way, so
+ * any bench or example binary can be re-run under full verification
+ * without a rebuild.
+ */
+VerifyLevel defaultVerifyLevel();
+
+/** One invariant violation, located as precisely as the layer allows. */
+struct Diagnostic
+{
+    std::string verifier;   //!< "graph" | "bytecode" | "code"
+    std::string where;      //!< pipeline position, e.g. "after dce"
+    std::string invariant;  //!< e.g. "def-dominates-use"
+    u32 block = 0xffffffffu;  //!< BlockId / bytecode index / kNoBlock
+    u32 node = 0xffffffffu;   //!< ValueId / instruction index / kNoValue
+    std::string message;
+
+    std::string str() const;
+};
+
+struct VerifyResult
+{
+    std::vector<Diagnostic> diagnostics;
+
+    bool ok() const { return diagnostics.empty(); }
+    std::string str() const;
+
+    /** True if any diagnostic fired for @p invariant (test helper). */
+    bool has(const std::string &invariant) const;
+};
+
+/** Verify the IR graph; @p where names the pipeline position for the
+ *  diagnostics (e.g. "after shortCircuitChecks"). */
+VerifyResult verifyGraph(const Graph &graph, const std::string &where);
+
+/**
+ * Verify one function's bytecode. @p numGlobalCells bounds global-cell
+ * operands (pass the registry's count()); 0xffffffff skips that check
+ * for callers without a registry at hand.
+ */
+VerifyResult verifyBytecode(const FunctionInfo &fn,
+                            u32 numGlobalCells = 0xffffffffu);
+
+/** Verify a generated code object's check/deopt metadata. */
+VerifyResult verifyCodeObject(const CodeObject &code);
+
+/**
+ * Enforcement point: when @p result holds diagnostics, log each one
+ * (support/logging, Error level) and panic with a "vverify:" message
+ * naming @p what. Panics throw, so harness-driven runs report the
+ * failure instead of dying.
+ */
+void enforce(const VerifyResult &result, const std::string &what);
+
+} // namespace vspec
+
+#endif // VSPEC_VERIFY_VERIFY_HH

@@ -1,0 +1,591 @@
+/** @file Tests for the vverify static verifiers: seeded-violation
+ *  graphs/artifacts must produce located diagnostics (not crashes or
+ *  silent passes), and the real compilation pipeline must stay
+ *  verifier-clean in every experiment configuration. */
+
+#include <gtest/gtest.h>
+
+#include "backend/code_object.hh"
+#include "harness/experiment.hh"
+#include "ir/passes.hh"
+#include "verify/dominators.hh"
+#include "verify/verify.hh"
+#include "workloads/suite.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+/** Minimal well-formed graph: b0 { v0=c0, v1=c1, Branch v_cmp } with
+ *  b1/b2 diamond joining in b3 { phi, Return }. Tests then break one
+ *  invariant at a time. */
+struct Diamond
+{
+    Graph g;
+    BlockId b0, b1, b2, b3;
+    ValueId c0, c1, cmp, phi, tag, ret;
+
+    Diamond()
+    {
+        b0 = g.newBlock();
+        b1 = g.newBlock();
+        b2 = g.newBlock();
+        b3 = g.newBlock();
+
+        IrNode n;
+        n.op = IrOp::ConstI32;
+        n.rep = Rep::Int32;
+        c0 = g.append(b0, n);
+        n.imm = 1;
+        c1 = g.append(b0, n);
+
+        IrNode cmpn;
+        cmpn.op = IrOp::I32Compare;
+        cmpn.rep = Rep::Bool;
+        cmpn.cond = Cond::Lt;
+        cmpn.inputs = {c0, c1};
+        cmp = g.append(b0, cmpn);
+
+        IrNode br;
+        br.op = IrOp::Branch;
+        br.rep = Rep::None;
+        br.inputs = {cmp};
+        g.append(b0, br);
+        g.block(b0).succTrue = b1;
+        g.block(b0).succFalse = b2;
+        g.block(b1).preds = {b0};
+        g.block(b2).preds = {b0};
+
+        IrNode go;
+        go.op = IrOp::Goto;
+        go.rep = Rep::None;
+        g.append(b1, go);
+        g.block(b1).succTrue = b3;
+        g.append(b2, go);
+        g.block(b2).succTrue = b3;
+        g.block(b3).preds = {b1, b2};
+
+        IrNode p;
+        p.op = IrOp::Phi;
+        p.rep = Rep::Int32;
+        p.inputs = {c0, c1};
+        phi = g.append(b3, p);
+
+        IrNode t;
+        t.op = IrOp::TagSmi;
+        t.rep = Rep::Tagged;
+        t.known31 = true;
+        t.inputs = {phi};
+        tag = g.append(b3, t);
+
+        IrNode r;
+        r.op = IrOp::Return;
+        r.rep = Rep::None;
+        r.inputs = {tag};
+        ret = g.append(b3, r);
+    }
+};
+
+/** Minimal consistent CodeObject: one check (Cmp + deopt Bcond), its
+ *  exit, and the deopt-exit region. */
+CodeObject
+smallCode()
+{
+    CodeObject co;
+    co.spillSlots = 2;
+
+    CheckInfo ci;
+    ci.id = 0;
+    ci.reason = DeoptReason::NotASmi;
+    ci.group = CheckGroup::NotASmi;
+    co.checks.push_back(ci);
+
+    DeoptExitInfo exit;
+    exit.checkId = 0;
+    exit.reason = DeoptReason::NotASmi;
+    DeoptLocation loc;
+    loc.where = DeoptLocation::Where::Reg;
+    loc.reg = 3;
+    exit.regs.push_back(loc);
+    exit.accumulator.where = DeoptLocation::Where::Spill;
+    exit.accumulator.slot = 1;
+    co.deoptExits.push_back(exit);
+
+    MInst cmp;
+    cmp.op = MOp::TstI;
+    cmp.rn = 1;
+    cmp.imm = 1;
+    cmp.checkId = 0;
+    cmp.checkRole = CheckRole::Condition;
+    co.code.push_back(cmp);
+
+    MInst br;
+    br.op = MOp::Bcond;
+    br.cond = Cond::Ne;
+    br.isDeoptBranch = true;
+    br.deoptIndex = 0;
+    br.checkId = 0;
+    br.checkRole = CheckRole::Branch;
+    br.target = 3;
+    co.code.push_back(br);
+
+    MInst r;
+    r.op = MOp::Ret;
+    co.code.push_back(r);
+
+    MInst dx;
+    dx.op = MOp::DeoptExit;
+    dx.imm = 0;
+    dx.deoptIndex = 0;
+    co.code.push_back(dx);
+    return co;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// GraphVerifier: baseline + seeded violations
+// ---------------------------------------------------------------------------
+
+TEST(GraphVerifier, AcceptsWellFormedDiamond)
+{
+    Diamond d;
+    VerifyResult r = verifyGraph(d.g, "test");
+    EXPECT_TRUE(r.ok()) << r.str();
+}
+
+TEST(GraphVerifier, DetectsUseBeforeDef)
+{
+    // An add consumed by a second add that sits *before* it in the
+    // block: a same-block use-before-def that id ordering alone
+    // cannot see (constants are exempt — they float anywhere).
+    Diamond d;
+    IrNode add;
+    add.op = IrOp::I32Add;
+    add.rep = Rep::Int32;
+    add.inputs = {d.c0, d.c1};
+    ValueId a = d.g.append(d.b0, add);
+    IrNode user;
+    user.op = IrOp::I32Add;
+    user.rep = Rep::Int32;
+    user.inputs = {a, d.c0};
+    d.g.append(d.b0, user);
+    auto &nodes = d.g.block(d.b0).nodes;
+    // [c0 c1 cmp br a user] -> [c0 c1 cmp user a br]: `user` now
+    // reads `a` before it is defined.
+    std::swap(nodes[3], nodes[5]);
+    VerifyResult r = verifyGraph(d.g, "test");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("def-dominates-use")) << r.str();
+}
+
+TEST(GraphVerifier, DetectsCrossBlockDominanceViolation)
+{
+    // An add in b2 (else-arm) consuming a value defined in b1: neither
+    // block dominates the other.
+    Diamond d;
+    IrNode stray;
+    stray.op = IrOp::I32Add;
+    stray.rep = Rep::Int32;
+    stray.inputs = {d.c0, d.c1};
+    ValueId v = d.g.append(d.b1, stray);
+    d.g.block(d.b1).nodes.pop_back();  // keep terminator last
+    d.g.block(d.b1).nodes.insert(d.g.block(d.b1).nodes.begin(), v);
+
+    IrNode user;
+    user.op = IrOp::I32Add;
+    user.rep = Rep::Int32;
+    user.inputs = {v, d.c0};
+    ValueId u = d.g.append(d.b2, user);
+    auto &b2n = d.g.block(d.b2).nodes;
+    std::swap(b2n[0], b2n[1]);  // user before terminator
+    (void)u;
+
+    VerifyResult r = verifyGraph(d.g, "test");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("def-dominates-use")) << r.str();
+}
+
+TEST(GraphVerifier, DetectsRepMismatch)
+{
+    // TagSmi expects a machine-int input; feed it a Tagged value.
+    Diamond d;
+    IrNode ct;
+    ct.op = IrOp::ConstTagged;
+    ct.rep = Rep::Tagged;
+    ValueId t = d.g.append(d.b0, ct);
+    auto &b0n = d.g.block(d.b0).nodes;
+    b0n.pop_back();
+    b0n.insert(b0n.begin(), t);
+    d.g.node(d.tag).inputs = {t};
+
+    VerifyResult r = verifyGraph(d.g, "test");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("rep-input")) << r.str();
+}
+
+TEST(GraphVerifier, DetectsPhiArityMismatch)
+{
+    Diamond d;
+    d.g.node(d.phi).inputs.push_back(d.c0);  // 3 inputs, 2 preds
+    VerifyResult r = verifyGraph(d.g, "test");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("phi-arity")) << r.str();
+}
+
+TEST(GraphVerifier, DetectsMissingFrameStateOnDeoptNode)
+{
+    // A CheckBounds with no frame state cannot bail out: the runtime
+    // has nothing to rebuild the interpreter frame from.
+    Diamond d;
+    IrNode chk;
+    chk.op = IrOp::CheckBounds;
+    chk.rep = Rep::Int32;
+    chk.reason = DeoptReason::OutOfBounds;
+    chk.inputs = {d.c0, d.c1};
+    ValueId c = d.g.append(d.b1, chk);
+    auto &b1n = d.g.block(d.b1).nodes;
+    std::swap(b1n[0], b1n[1]);
+    (void)c;
+
+    VerifyResult r = verifyGraph(d.g, "test");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("deopt-frame-state")) << r.str();
+}
+
+TEST(GraphVerifier, DetectsStaleFrameStateSlot)
+{
+    // Frame state slot referencing a value that does not dominate the
+    // deopt point (defined in the sibling arm of the diamond).
+    Diamond d;
+    IrNode stray;
+    stray.op = IrOp::I32Add;  // non-constant: constants float anywhere
+    stray.rep = Rep::Int32;
+    stray.inputs = {d.c0, d.c1};
+    ValueId v = d.g.append(d.b2, stray);
+    auto &b2n = d.g.block(d.b2).nodes;
+    std::swap(b2n[0], b2n[1]);
+
+    FrameState fs;
+    fs.bytecodeOffset = 4;
+    fs.regs = {v};
+    fs.accumulator = d.c0;
+    u32 fsid = d.g.addFrameState(std::move(fs));
+
+    IrNode chk;
+    chk.op = IrOp::CheckBounds;
+    chk.rep = Rep::Int32;
+    chk.reason = DeoptReason::OutOfBounds;
+    chk.frameState = fsid;
+    chk.inputs = {d.c0, d.c1};
+    ValueId c = d.g.append(d.b1, chk);
+    auto &b1n = d.g.block(d.b1).nodes;
+    std::swap(b1n[0], b1n[1]);
+    (void)c;
+
+    VerifyResult r = verifyGraph(d.g, "test");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("frame-state-slot")) << r.str();
+}
+
+TEST(GraphVerifier, DetectsCheckReorderedPastSideEffect)
+{
+    // A deopt point after a store must not resume before the store's
+    // bytecode: deopting would re-execute the store.
+    Diamond d;
+    FrameState early;
+    early.bytecodeOffset = 2;
+    u32 fs_early = d.g.addFrameState(std::move(early));
+    FrameState late;
+    late.bytecodeOffset = 10;
+    u32 fs_late = d.g.addFrameState(std::move(late));
+
+    IrNode tagged;
+    tagged.op = IrOp::ConstTagged;
+    tagged.rep = Rep::Tagged;
+    ValueId obj = d.g.append(d.b0, tagged);
+    auto &b0n = d.g.block(d.b0).nodes;
+    b0n.pop_back();
+    b0n.insert(b0n.begin(), obj);
+
+    // In b1: check@10, store (a side effect of bytecode 10), then a
+    // check resuming at 2 — re-ordered past the store.
+    auto prepend = [&](IrNode n) {
+        ValueId v = d.g.append(d.b1, std::move(n));
+        auto &b1n = d.g.block(d.b1).nodes;
+        b1n.pop_back();
+        b1n.insert(b1n.end() - 1, v);
+        return v;
+    };
+    IrNode chk1;
+    chk1.op = IrOp::CheckSmi;
+    chk1.rep = Rep::Tagged;
+    chk1.reason = DeoptReason::NotASmi;
+    chk1.frameState = fs_late;
+    chk1.inputs = {obj};
+    prepend(chk1);
+
+    IrNode st;
+    st.op = IrOp::StoreGlobal;
+    st.rep = Rep::None;
+    st.inputs = {obj};
+    prepend(st);
+
+    IrNode chk2 = chk1;
+    chk2.frameState = fs_early;
+    prepend(chk2);
+
+    VerifyResult r = verifyGraph(d.g, "test");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("check-after-effect")) << r.str();
+}
+
+TEST(GraphVerifier, DetectsUseOfDeadValue)
+{
+    Diamond d;
+    d.g.node(d.c1).dead = true;  // cmp and phi still use it
+    VerifyResult r = verifyGraph(d.g, "test");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("use-of-dead")) << r.str();
+}
+
+TEST(GraphVerifier, DetectsMissingTerminator)
+{
+    Diamond d;
+    d.g.node(d.ret).dead = true;  // b3 no longer ends in a terminator
+    VerifyResult r = verifyGraph(d.g, "test");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("terminator-missing")) << r.str();
+}
+
+TEST(Dominators, DiamondDominance)
+{
+    Diamond d;
+    DominatorTree dom(d.g);
+    EXPECT_TRUE(dom.dominates(d.b0, d.b3));
+    EXPECT_TRUE(dom.dominates(d.b0, d.b1));
+    EXPECT_FALSE(dom.dominates(d.b1, d.b3));
+    EXPECT_FALSE(dom.dominates(d.b1, d.b2));
+    EXPECT_EQ(dom.idom(d.b3), d.b0);
+}
+
+// ---------------------------------------------------------------------------
+// BytecodeVerifier
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+FunctionInfo
+smallFunction()
+{
+    FunctionInfo fn;
+    fn.id = 0;
+    fn.name = "t";
+    fn.registerCount = 4;
+    fn.constants.push_back(Value::smi(7));
+    fn.feedback.addSlot(SlotKind::BinaryOp);
+    fn.feedback.addSlot(SlotKind::BinaryOp);
+    fn.bytecode.push_back({Bc::LdaConst, 0, 0, 0});
+    fn.bytecode.push_back({Bc::Star, 2, 0, 0});
+    fn.bytecode.push_back({Bc::Add, 2, 1, 0});
+    fn.bytecode.push_back({Bc::Return, 0, 0, 0});
+    return fn;
+}
+
+} // namespace
+
+TEST(BytecodeVerifier, AcceptsWellFormedFunction)
+{
+    FunctionInfo fn = smallFunction();
+    VerifyResult r = verifyBytecode(fn);
+    EXPECT_TRUE(r.ok()) << r.str();
+}
+
+TEST(BytecodeVerifier, DetectsRegisterOutOfBounds)
+{
+    FunctionInfo fn = smallFunction();
+    fn.bytecode[1].a = 9;  // frame has 4 registers
+    VerifyResult r = verifyBytecode(fn);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("register-bounds")) << r.str();
+}
+
+TEST(BytecodeVerifier, DetectsConstantPoolOverflow)
+{
+    FunctionInfo fn = smallFunction();
+    fn.bytecode[0].a = 3;  // pool has 1 entry
+    VerifyResult r = verifyBytecode(fn);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("constant-pool-bounds")) << r.str();
+}
+
+TEST(BytecodeVerifier, DetectsFeedbackSlotOverflow)
+{
+    FunctionInfo fn = smallFunction();
+    fn.bytecode[2].b = 5;  // vector has 2 slots
+    VerifyResult r = verifyBytecode(fn);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("feedback-slot-bounds")) << r.str();
+}
+
+TEST(BytecodeVerifier, DetectsBadJumpTarget)
+{
+    FunctionInfo fn = smallFunction();
+    fn.bytecode[1] = {Bc::Jump, 99, 0, 0};
+    VerifyResult r = verifyBytecode(fn);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("jump-target")) << r.str();
+}
+
+TEST(BytecodeVerifier, DetectsFallOffEnd)
+{
+    FunctionInfo fn = smallFunction();
+    fn.bytecode.pop_back();  // Add is now last
+    VerifyResult r = verifyBytecode(fn);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("fall-off-end")) << r.str();
+}
+
+TEST(BytecodeVerifier, DetectsCallArgWindowOverflow)
+{
+    FunctionInfo fn = smallFunction();
+    // callee r2, args r3..r5 — past the 4-register frame.
+    fn.bytecode[2] = {Bc::Call, 2, 3, packCall(3, 0)};
+    VerifyResult r = verifyBytecode(fn);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("register-bounds")) << r.str();
+}
+
+// ---------------------------------------------------------------------------
+// CodeObjectVerifier
+// ---------------------------------------------------------------------------
+
+TEST(CodeVerifier, AcceptsWellFormedCode)
+{
+    CodeObject co = smallCode();
+    VerifyResult r = verifyCodeObject(co);
+    EXPECT_TRUE(r.ok()) << r.str();
+}
+
+TEST(CodeVerifier, DetectsDanglingCheckAnnotation)
+{
+    CodeObject co = smallCode();
+    co.code[0].checkId = 5;  // table has 1 check
+    VerifyResult r = verifyCodeObject(co);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("check-annotation")) << r.str();
+}
+
+TEST(CodeVerifier, DetectsOrphanedDeoptExit)
+{
+    CodeObject co = smallCode();
+    // Second exit with a marker but no referencing branch.
+    DeoptExitInfo orphan;
+    orphan.checkId = 0;
+    orphan.reason = DeoptReason::NotASmi;
+    co.deoptExits.push_back(orphan);
+    MInst dx;
+    dx.op = MOp::DeoptExit;
+    dx.imm = 1;
+    dx.deoptIndex = 1;
+    co.code.push_back(dx);
+
+    VerifyResult r = verifyCodeObject(co);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("orphaned-deopt-exit")) << r.str();
+}
+
+TEST(CodeVerifier, OrphanedExitsExpectedUnderBranchRemoval)
+{
+    CodeObject co = smallCode();
+    // Branch-only removal: drop the Bcond, keep condition + exit.
+    co.branchesRemoved = true;
+    co.code.erase(co.code.begin() + 1);
+    co.code[2].deoptIndex = 0;  // markers kept
+    VerifyResult r = verifyCodeObject(co);
+    EXPECT_TRUE(r.ok()) << r.str();
+}
+
+TEST(CodeVerifier, DetectsSurvivingDeoptBranchUnderBranchRemoval)
+{
+    CodeObject co = smallCode();
+    co.branchesRemoved = true;  // but the Bcond is still there
+    VerifyResult r = verifyCodeObject(co);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("branch-removal-leak")) << r.str();
+}
+
+TEST(CodeVerifier, DetectsCheckWithoutConditionInstructions)
+{
+    // §IV-B invariant: the check's condition computation must stay in
+    // the instruction stream.
+    CodeObject co = smallCode();
+    co.code[0].checkId = kNoCheck;
+    co.code[0].checkRole = CheckRole::None;
+    VerifyResult r = verifyCodeObject(co);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("check-condition-alive")) << r.str();
+}
+
+TEST(CodeVerifier, DetectsBadDeoptBranchTarget)
+{
+    CodeObject co = smallCode();
+    co.code[1].target = 2;  // Ret, not the DeoptExit marker
+    VerifyResult r = verifyCodeObject(co);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("deopt-branch-target")) << r.str();
+}
+
+TEST(CodeVerifier, DetectsOutOfRangeDeoptLocation)
+{
+    CodeObject co = smallCode();
+    co.deoptExits[0].accumulator.slot = 7;  // 2 spill slots
+    VerifyResult r = verifyCodeObject(co);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("deopt-location")) << r.str();
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline cleanliness: every pass, every workload, every experiment
+// configuration keeps all three verifiers green.
+// ---------------------------------------------------------------------------
+
+TEST(VerifyPipeline, AllConfigsStayVerifierClean)
+{
+    struct Config
+    {
+        const char *name;
+        bool removeAllChecks;
+        bool branchesOnly;
+        bool smi;
+    };
+    const Config configs[] = {
+        {"checks-on", false, false, false},
+        {"checks-removed", true, false, false},
+        {"branch-only", false, true, false},
+        {"smi-fusion", false, false, true},
+    };
+
+    for (const Config &c : configs) {
+        for (const Workload &w : suite()) {
+            RunConfig rc;
+            rc.iterations = 6;
+            rc.verifyLevel = VerifyLevel::Passes;
+            rc.samplerEnabled = false;
+            if (c.removeAllChecks)
+                rc.removeChecks.fill(true);
+            rc.removeBranchesOnly = c.branchesOnly;
+            rc.smiExtension = c.smi;
+
+            RunOutcome out = runWorkload(w, rc);
+            // Check removal intentionally corrupts some benchmarks
+            // (the paper's 16-of-51); what must never happen is a
+            // *verifier* failure — the artifacts stay well-formed
+            // even when the speculation they encode is wrong.
+            EXPECT_EQ(out.error.find("vverify"), std::string::npos)
+                << c.name << " / " << w.name << ": " << out.error;
+        }
+    }
+}
