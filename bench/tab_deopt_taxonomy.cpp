@@ -29,6 +29,7 @@ main(int argc, char **argv)
         rc.samplerEnabled = false;
         try {
             Engine engine(EngineConfig{});
+            engine.traceLabel = w.name;
             engine.loadProgram(instantiate(w, w.defaultSize));
             for (u32 i = 0; i < rc.iterations; i++)
                 engine.call("bench");

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "backend/regalloc.hh"
+#include "trace/trace.hh"
 
 namespace vspec
 {
@@ -1529,8 +1530,22 @@ CodeGenerator::emitNode(BlockId b, ValueId id, const IrNode &n)
 std::unique_ptr<CodeObject>
 generateCode(CompilerEnv &env, Graph &graph, const CodegenConfig &config)
 {
+    bool traced = config.trace != nullptr
+                  && config.trace->on(TraceCategory::Compile);
+    if (traced)
+        config.trace->emit(TraceCategory::Compile, TraceEventKind::Begin,
+                           "codegen", config.traceTimestamp,
+                           config.traceFunction,
+                           static_cast<u32>(graph.nodes.size()));
     CodeGenerator gen(env, graph, config);
-    return gen.run();
+    std::unique_ptr<CodeObject> code = gen.run();
+    if (traced)
+        config.trace->emit(TraceCategory::Compile, TraceEventKind::End,
+                           "codegen", config.traceTimestamp,
+                           config.traceFunction,
+                           static_cast<u32>(code->code.size()),
+                           code->checks.size());
+    return code;
 }
 
 } // namespace vspec

@@ -25,6 +25,8 @@
 namespace vspec
 {
 
+class Tracer;
+
 struct CodegenConfig
 {
     IsaFlavour flavour = IsaFlavour::Arm64Like;
@@ -33,6 +35,12 @@ struct CodegenConfig
     bool mapCheckExtension = false;  //!< §VII ablation: fused map checks
     /** Poll the interrupt cell on loop back edges (V8's stack check). */
     bool emitInterruptChecks = true;
+
+    /** vtrace hookup (set by the engine per compile): codegen begin/end
+     *  `compile` events, stamped with @ref traceTimestamp. */
+    Tracer *trace = nullptr;
+    u64 traceTimestamp = 0;
+    u32 traceFunction = 0;
 };
 
 /**

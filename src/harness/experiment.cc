@@ -48,10 +48,11 @@ engineConfigFor(const RunConfig &rc)
     cfg.enableOptimization = rc.enableOptimization;
     cfg.samplerEnabled = rc.samplerEnabled;
     cfg.samplerPeriodCycles = rc.samplerPeriod;
+    cfg.trace = rc.trace;
     cfg.randomSeed = rc.seed;
     if (rc.jitter != 0) {
         cfg.samplerPeriodCycles += 2 * rc.jitter + 1;
-        cfg.optimizeAfterInvocations = 2 + rc.jitter % 2;
+        cfg.tiering.optimizeAfterInvocations = 2 + rc.jitter % 2;
         cfg.randomSeed += rc.jitter * 7919;
         cfg.layoutJitterBytes = rc.jitter * 712 + (rc.jitter % 7) * 64;
     }
@@ -67,6 +68,7 @@ runWorkload(const Workload &w, const RunConfig &rc,
 
     try {
         Engine engine(engineConfigFor(rc));
+        engine.traceLabel = w.name;
         engine.loadProgram(instantiate(w, size));
 
         size_t deopts_seen = 0;
@@ -91,6 +93,14 @@ runWorkload(const Workload &w, const RunConfig &rc,
         out.interpreterCycles = engine.interpreterCycles;
         out.totalCycles = engine.totalCycles();
         out.compilations = engine.compilations;
+
+        out.traceTotalDeopts = engine.trace.counters.totalDeopts();
+        out.traceCompilations =
+            engine.trace.counters.get(TraceCounter::Compilations);
+        out.traceIcMegamorphic =
+            engine.trace.counters.get(TraceCounter::IcToMegamorphic);
+        out.traceGcCycles =
+            engine.trace.counters.get(TraceCounter::GcCycles);
 
         // Aggregate sampler attributions and static code metrics over
         // every compiled code object.

@@ -41,6 +41,11 @@ struct RunConfig
     /** vverify level for the engine's compilation pipeline. */
     VerifyLevel verifyLevel = defaultVerifyLevel();
 
+    /** vtrace config for the run's engine; defaults honour VSPEC_TRACE
+     *  / VSPEC_TRACE_OUT. Dump files are suffixed with the workload
+     *  name, so a whole-suite bench yields one pair per workload. */
+    TraceConfig trace = TraceConfig::fromEnv();
+
     /**
      * Repeat index for multi-run experiments. Non-zero values perturb
      * measurement conditions (sampler phase, tier-up threshold, seed)
@@ -89,6 +94,13 @@ struct RunOutcome
     u64 staticChecks = 0;
     u64 staticInstructions = 0;
     u64 compilations = 0;
+
+    /** vtrace counter snapshot at the end of the run (always filled;
+     *  counters are active even with event categories disabled). */
+    u64 traceTotalDeopts = 0;
+    u64 traceCompilations = 0;
+    u64 traceIcMegamorphic = 0;
+    u64 traceGcCycles = 0;
 
     /** Mean cycles of the last third of iterations (steady state). */
     double steadyStateCycles() const;

@@ -65,6 +65,64 @@ record(FeedbackSlot *slot, OperandFeedback fb)
         slot->operands = joinOperand(slot->operands, fb);
 }
 
+/**
+ * vtrace: IC-state transitions. Feedback only widens, so a state change
+ * after a record call is one mono -> poly -> megamorphic step; the
+ * widened-to state picks the counter (Element's Typed and CallSite's
+ * Monomorphic both sit at ordinal 1, Property adds Polymorphic at 2).
+ */
+void
+icTransition(Engine &e, SlotKind kind, const char *site, u32 old_state,
+             u32 new_state)
+{
+    TraceCounter c;
+    if (kind == SlotKind::Property)
+        c = new_state == 1 ? TraceCounter::IcToMonomorphic
+          : new_state == 2 ? TraceCounter::IcToPolymorphic
+                           : TraceCounter::IcToMegamorphic;
+    else
+        c = new_state == 1 ? TraceCounter::IcToMonomorphic
+                           : TraceCounter::IcToMegamorphic;
+    e.trace.counters.add(c);
+    if (e.trace.on(TraceCategory::Ic))
+        e.trace.emit(TraceCategory::Ic, TraceEventKind::Instant, site,
+                     e.totalCycles(), static_cast<u32>(kind), old_state,
+                     new_state);
+}
+
+void
+recordPropertyIc(Engine &e, PropertyFeedback &pf, MapId map,
+                 int slot_index, MapId transition = kInvalidMap)
+{
+    auto before = pf.state;
+    pf.recordMapSlot(map, slot_index, transition);
+    if (pf.state != before)
+        icTransition(e, SlotKind::Property, "property",
+                     static_cast<u32>(before),
+                     static_cast<u32>(pf.state));
+}
+
+void
+recordElementIc(Engine &e, ElementFeedback &ef, MapId map,
+                ElementKind kind)
+{
+    auto before = ef.state;
+    ef.recordAccess(map, kind);
+    if (ef.state != before)
+        icTransition(e, SlotKind::Element, "element",
+                     static_cast<u32>(before), static_cast<u32>(ef.state));
+}
+
+void
+recordCallIc(Engine &e, CallFeedback &cf, u32 function_id)
+{
+    auto before = cf.state;
+    cf.recordTarget(function_id);
+    if (cf.state != before)
+        icTransition(e, SlotKind::CallSite, "call",
+                     static_cast<u32>(before), static_cast<u32>(cf.state));
+}
+
 /** String/array method tables for named loads off primitive receivers. */
 BuiltinId
 stringMethod(const std::string &name)
@@ -328,7 +386,7 @@ genericGetNamed(Engine &e, Value receiver, NameId name, FeedbackSlot *slot)
         int idx = vm.maps.propertyIndex(map, name);
         if (idx >= 0) {
             if (pf != nullptr)
-                pf->recordMapSlot(map, idx);
+                recordPropertyIc(e, *pf, map, idx);
             return vm.heap.readValue(obj + HeapLayout::kObjectSlotsOffset
                                      + 4 * static_cast<u32>(idx));
         }
@@ -353,7 +411,7 @@ genericSetNamed(Engine &e, Value receiver, NameId name, Value value,
     int idx = vm.maps.propertyIndex(map, name);
     if (idx >= 0) {
         if (slot != nullptr)
-            slot->property.recordMapSlot(map, idx);
+            recordPropertyIc(e, slot->property, map, idx);
         vm.heap.writeValue(obj + HeapLayout::kObjectSlotsOffset
                            + 4 * static_cast<u32>(idx), value);
         return;
@@ -362,7 +420,7 @@ genericSetNamed(Engine &e, Value receiver, NameId name, Value value,
     if (slot != nullptr) {
         MapId new_map = vm.mapOf(obj);
         int new_idx = vm.maps.propertyIndex(new_map, name);
-        slot->property.recordMapSlot(map, new_idx, new_map);
+        recordPropertyIc(e, slot->property, map, new_idx, new_map);
     }
 }
 
@@ -374,7 +432,12 @@ genericGetElement(Engine &e, Value receiver, Value key, FeedbackSlot *slot)
     if (vm.isString(receiver)) {
         if (ef != nullptr) {
             ef->sawString = true;
+            auto before = ef->state;
             ef->state = ElementFeedback::State::Megamorphic;
+            if (ef->state != before)
+                icTransition(e, SlotKind::Element, "element",
+                             static_cast<u32>(before),
+                             static_cast<u32>(ef->state));
         }
         if (!vm.isNumber(key))
             return vm.undefinedValue;
@@ -399,12 +462,12 @@ genericGetElement(Engine &e, Value receiver, Value key, FeedbackSlot *slot)
     if (i < 0 || static_cast<u32>(i) >= vm.arrayLength(arr)) {
         if (ef != nullptr) {
             ef->sawOutOfBounds = true;
-            ef->recordAccess(vm.mapOf(arr), vm.arrayKind(arr));
+            recordElementIc(e, *ef, vm.mapOf(arr), vm.arrayKind(arr));
         }
         return vm.undefinedValue;
     }
     if (ef != nullptr)
-        ef->recordAccess(vm.mapOf(arr), vm.arrayKind(arr));
+        recordElementIc(e, *ef, vm.mapOf(arr), vm.arrayKind(arr));
     return vm.arrayGet(arr, i);
 }
 
@@ -427,7 +490,7 @@ genericSetElement(Engine &e, Value receiver, Value key, Value value,
             ef->sawGrowth = true;
         // Record the post-store map so kind transitions during warmup
         // converge to the stable wide map.
-        ef->recordAccess(vm.mapOf(arr), vm.arrayKind(arr));
+        recordElementIc(e, *ef, vm.mapOf(arr), vm.arrayKind(arr));
     }
 }
 
@@ -653,7 +716,7 @@ Interpreter::execute(Frame &frame, u32 pc)
                 vpanic("call target is not a function: "
                        + vm.display(callee));
             FunctionId fid = vm.functionIdOf(callee.asAddr());
-            slot(callSlot(ins.c)).call.recordTarget(fid);
+            recordCallIc(engine, slot(callSlot(ins.c)).call, fid);
             int argc = callArgc(ins.c);
             Value this_v = ins.op == Bc::CallMethod ? regs[ins.b]
                                                     : vm.undefinedValue;

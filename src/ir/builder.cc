@@ -1,5 +1,6 @@
 #include "ir/builder.hh"
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <set>
@@ -55,6 +56,14 @@ class GraphBuilder
         if (fn.paramCount + 1 > kMaxMachineParams)
             return std::nullopt;
         liveness.emplace(fn);
+
+        // A cell this function itself stores to can never be embedded
+        // as a constant: the activation would keep reading the stale
+        // embedded value after its own store (invalidation is lazy and
+        // only takes effect at the next entry).
+        for (const BcInstr &ins : fn.bytecode)
+            if (ins.op == Bc::StaGlobal)
+                selfStoredCells.push_back(static_cast<u32>(ins.a));
 
         // Representation conflicts at phis restart the build with the
         // conflicting slots forced to the joined representation.
@@ -762,6 +771,7 @@ class GraphBuilder
     std::optional<BytecodeLiveness> liveness;
     std::map<u32, u32> frameStateCache;
     std::map<std::pair<u32, size_t>, Rep> forcedReps;
+    std::vector<u32> selfStoredCells;
     bool repConflict = false;
 
     BlockId curBlock = kNoBlock;
@@ -1295,8 +1305,12 @@ GraphBuilder::processInstr(u32 bc, const BcInstr &ins, u32 bc_end)
       case Bc::LdaGlobal: {
         u32 cell = static_cast<u32>(ins.a);
         // Constant-cell speculation: a global written at most once can
-        // be embedded; a later write triggers lazy deoptimization.
-        if (env.globals.writeCount(cell) <= 1) {
+        // be embedded; a later write triggers lazy deoptimization. A
+        // cell this very function stores to is excluded (see build()).
+        bool self_stored =
+            std::find(selfStoredCells.begin(), selfStoredCells.end(),
+                      cell) != selfStoredCells.end();
+        if (!self_stored && env.globals.writeCount(cell) <= 1) {
             curEnv.acc = emitConstTagged(env.globals.load(cell).bits());
             graph.embeddedGlobalCells.push_back(cell);
         } else {
@@ -1309,11 +1323,23 @@ GraphBuilder::processInstr(u32 bc, const BcInstr &ins, u32 bc_end)
         break;
       }
       case Bc::StaGlobal: {
-        IrNode n;
-        n.op = IrOp::StoreGlobal;
-        n.imm = env.globals.cellAddr(static_cast<u32>(ins.a));
-        n.inputs.push_back(useTagged(curEnv.acc));
-        emit(std::move(n));
+        u32 cell = static_cast<u32>(ins.a);
+        // A cell still believed constant may be embedded in optimized
+        // code (possibly this very graph), so the store has to go
+        // through the runtime to bump the write count and invalidate
+        // dependents. Once the cell is known mutable, write counting no
+        // longer matters and a raw store is safe — and fast.
+        if (env.globals.writeCount(cell) <= 1) {
+            emitRuntime(RuntimeFn::StoreGlobalRt,
+                        {useTagged(curEnv.acc),
+                         emitConstI32(static_cast<i32>(cell))});
+        } else {
+            IrNode n;
+            n.op = IrOp::StoreGlobal;
+            n.imm = env.globals.cellAddr(cell);
+            n.inputs.push_back(useTagged(curEnv.acc));
+            emit(std::move(n));
+        }
         break;
       }
       case Bc::Ldar:

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "support/logging.hh"
+#include "trace/trace.hh"
 
 namespace vspec
 {
@@ -576,29 +577,61 @@ runPasses(Graph &g, const PassConfig &cfg)
         }
     };
 
+    // `compile`-category tracing: begin/end per pass, with the live
+    // node count as the payload so a trace shows each pass's shrink.
+    bool traced = cfg.trace != nullptr
+                  && cfg.trace->on(TraceCategory::Compile);
+    auto liveNodes = [&]() {
+        u32 n = 0;
+        for (const auto &node : g.nodes)
+            if (!node.dead)
+                n++;
+        return n;
+    };
+    auto runPass = [&](const char *name, auto &&pass) -> u32 {
+        if (traced)
+            cfg.trace->emit(TraceCategory::Compile, TraceEventKind::Begin,
+                            name, cfg.traceTimestamp, cfg.traceFunction,
+                            liveNodes());
+        u32 result = pass();
+        verifyAfter(name);
+        if (traced)
+            cfg.trace->emit(TraceCategory::Compile, TraceEventKind::End,
+                            name, cfg.traceTimestamp, cfg.traceFunction,
+                            liveNodes(), result);
+        return result;
+    };
+
     verifyAfter("buildGraph");
     PassStats stats;
-    dedupeConstants(g);
-    verifyAfter("dedupeConstants");
-    stats.checksFolded = foldConstantChecks(g);
-    verifyAfter("foldConstantChecks");
-    stats.checksShortCircuited = shortCircuitChecks(g, cfg);
-    verifyAfter("shortCircuitChecks");
-    stats.phisSimplified = simplifyPhis(g);
-    verifyAfter("simplifyPhis");
-    stats.checksHoisted = hoistLoopInvariantChecks(g);
-    verifyAfter("hoistLoopInvariantChecks");
-    stats.checksDeduped = eliminateRedundantChecks(g);
-    verifyAfter("eliminateRedundantChecks");
-    stats.minusZeroElided = elideMinusZeroChecks(g);
-    verifyAfter("elideMinusZeroChecks");
-    if (cfg.smiLoadFusion) {
-        stats.smiLoadsFused = fuseSmiLoads(g);
-        verifyAfter("fuseSmiLoads");
-    }
+    runPass("dedupeConstants", [&] { return dedupeConstants(g); });
+    stats.checksFolded =
+        runPass("foldConstantChecks", [&] { return foldConstantChecks(g); });
+    stats.checksShortCircuited = runPass(
+        "shortCircuitChecks", [&] { return shortCircuitChecks(g, cfg); });
+    stats.phisSimplified =
+        runPass("simplifyPhis", [&] { return simplifyPhis(g); });
+    stats.checksHoisted = runPass("hoistLoopInvariantChecks",
+                                  [&] { return hoistLoopInvariantChecks(g); });
+    stats.checksDeduped = runPass(
+        "eliminateRedundantChecks", [&] { return eliminateRedundantChecks(g); });
+    stats.minusZeroElided = runPass("elideMinusZeroChecks",
+                                    [&] { return elideMinusZeroChecks(g); });
+    if (cfg.smiLoadFusion)
+        stats.smiLoadsFused =
+            runPass("fuseSmiLoads", [&] { return fuseSmiLoads(g); });
+    if (traced)
+        cfg.trace->emit(TraceCategory::Compile, TraceEventKind::Begin,
+                        "deadCodeElimination", cfg.traceTimestamp,
+                        cfg.traceFunction, liveNodes());
     stats.nodesKilledByDce = deadCodeElimination(g);
     if (cfg.verifyLevel != VerifyLevel::Off)
         enforce(verifyGraph(g, "after deadCodeElimination"), "IR graph");
+    if (traced)
+        cfg.trace->emit(TraceCategory::Compile, TraceEventKind::End,
+                        "deadCodeElimination", cfg.traceTimestamp,
+                        cfg.traceFunction, liveNodes(),
+                        stats.nodesKilledByDce);
     return stats;
 }
 

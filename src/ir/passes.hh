@@ -27,6 +27,8 @@
 namespace vspec
 {
 
+class Tracer;
+
 struct PassConfig
 {
     /** Short-circuit all checks in these groups (Fig. 5 methodology). */
@@ -40,6 +42,13 @@ struct PassConfig
      *  verify/verify.hh); defaults to every-pass in debug builds and
      *  honours the VSPEC_VERIFY environment variable. */
     VerifyLevel verifyLevel = defaultVerifyLevel();
+
+    /** vtrace hookup (set by the engine per compile): `compile`-category
+     *  per-pass begin/end events with live node counts, stamped with
+     *  @ref traceTimestamp for @ref traceFunction. */
+    Tracer *trace = nullptr;
+    u64 traceTimestamp = 0;
+    u32 traceFunction = 0;
 
     bool removeAll() const
     {

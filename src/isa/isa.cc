@@ -140,6 +140,7 @@ runtimeFnName(RuntimeFn fn)
       case RuntimeFn::TypeOfRt: return "rt.typeof";
       case RuntimeFn::ToBoolean: return "rt.tobool";
       case RuntimeFn::ToNumberRt: return "rt.tonumber";
+      case RuntimeFn::StoreGlobalRt: return "rt.staglobal";
     }
     return "?";
 }

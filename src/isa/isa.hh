@@ -274,6 +274,7 @@ enum class RuntimeFn : u32
     TypeOfRt,           //!< x0 -> x0 (interned string)
     ToBoolean,          //!< x0 -> x0 (0/1 machine int)
     ToNumberRt,         //!< x0 -> x0 (tagged number)
+    StoreGlobalRt,      //!< x0=value, x1=cell index (machine int)
 };
 
 const char *runtimeFnName(RuntimeFn fn);

@@ -18,9 +18,17 @@ Engine::Engine(EngineConfig cfg)
       gc(vm),
       globals(vm),
       functions(),
-      rng(cfg.randomSeed)
+      rng(cfg.randomSeed),
+      trace(cfg.trace)
 {
     vm.heap.gc = &gc;
+    if (trace.anyEnabled()) {
+        gc.setTrace(&trace, [this] { return totalCycles(); });
+        trace.setFunctionNamer([this](u32 id) {
+            return id < functions.count() ? functions.at(id).name
+                                          : "fn#" + std::to_string(id);
+        });
+    }
     if (cfg.layoutJitterBytes > 0) {
         // Layout perturbation: every subsequent allocation lands at a
         // shifted address, changing cache-set mappings. Shift both
@@ -50,6 +58,13 @@ Engine::~Engine()
 {
     gc.removeRootProvider(this);
     gc.removeRootProvider(interpreter.get());
+    if (trace.anyEnabled()) {
+        try {
+            trace.writeFiles(traceLabel);
+        } catch (...) {
+            // Trace output must never turn engine teardown fatal.
+        }
+    }
 }
 
 void
@@ -107,6 +122,13 @@ Engine::storeGlobal(u32 cell, Value v)
             deoptLog.push_back({code.function,
                                 DeoptReason::CodeDependencyChange,
                                 DeoptCategory::Lazy, totalCycles()});
+            trace.counters.add(TraceCounter::DeoptsLazy);
+            trace.counters.addDeopt(DeoptReason::CodeDependencyChange);
+            if (trace.on(TraceCategory::Deopt))
+                trace.emit(TraceCategory::Deopt, TraceEventKind::Instant,
+                           deoptReasonName(
+                               DeoptReason::CodeDependencyChange),
+                           totalCycles(), code.function, 0, cell);
         }
     }
 }
@@ -123,17 +145,25 @@ Engine::discardCode(FunctionInfo &fn)
 void
 Engine::maybeOptimize(FunctionInfo &fn)
 {
-    TieringPolicy policy;
-    policy.optimizeAfterInvocations = config.optimizeAfterInvocations;
-    policy.optimizeAfterBackedges = config.optimizeAfterBackedges;
-    policy.maxDeoptsBeforeDisable = config.maxDeoptsBeforeDisable;
-    if (policy.shouldOptimize(fn))
+    if (config.tiering.shouldOptimize(fn)) {
+        trace.counters.add(TraceCounter::TierUps);
+        if (trace.on(TraceCategory::Tiering))
+            trace.emit(TraceCategory::Tiering, TraceEventKind::Instant,
+                       "tier-up", totalCycles(), fn.id,
+                       fn.invocationCount, fn.backEdgeCount);
         compileFunction(fn);
+    }
 }
 
 bool
 Engine::compileFunction(FunctionInfo &fn)
 {
+    bool traced = trace.on(TraceCategory::Compile);
+    if (traced)
+        trace.emit(TraceCategory::Compile, TraceEventKind::Begin,
+                   "compile", totalCycles(), fn.id,
+                   static_cast<u32>(fn.bytecode.size()));
+
     if (config.passes.verifyLevel != VerifyLevel::Off)
         enforce(verifyBytecode(fn, globals.count()), "bytecode");
 
@@ -141,10 +171,17 @@ Engine::compileFunction(FunctionInfo &fn)
     auto graph = buildGraph(env, fn);
     if (!graph.has_value()) {
         fn.optimizationDisabled = true;
+        trace.counters.add(TraceCounter::CompileBailouts);
+        if (traced)
+            trace.emit(TraceCategory::Compile, TraceEventKind::End,
+                       "compile", totalCycles(), fn.id, 0, 1);
         return false;
     }
     PassConfig passes = config.passes;
     passes.smiLoadFusion = config.smiLoadExtension;
+    passes.trace = &trace;
+    passes.traceTimestamp = totalCycles();
+    passes.traceFunction = fn.id;
     runPasses(*graph, passes);
 
     CodegenConfig cg;
@@ -152,6 +189,9 @@ Engine::compileFunction(FunctionInfo &fn)
     cg.removeDeoptBranches = config.removeDeoptBranches;
     cg.smiExtension = config.smiLoadExtension;
     cg.mapCheckExtension = config.mapCheckExtension;
+    cg.trace = &trace;
+    cg.traceTimestamp = totalCycles();
+    cg.traceFunction = fn.id;
     auto code = generateCode(env, *graph, cg);
     if (config.passes.verifyLevel != VerifyLevel::Off)
         enforce(verifyCodeObject(*code), "code object");
@@ -159,8 +199,13 @@ Engine::compileFunction(FunctionInfo &fn)
     fn.codeId = code->id;
     for (u32 cell : code->dependsOnGlobalCells)
         globals.addConstantDependency(cell, code->id);
+    u32 instructions = static_cast<u32>(code->code.size());
     codeObjects.push_back(std::move(code));
     compilations++;
+    trace.counters.add(TraceCounter::Compilations);
+    if (traced)
+        trace.emit(TraceCategory::Compile, TraceEventKind::End, "compile",
+                   totalCycles(), fn.id, instructions);
     return true;
 }
 
@@ -173,6 +218,7 @@ Engine::invoke(FunctionId id, Value this_value,
         return callBuiltin(fn.builtin, this_value, args);
 
     fn.invocationCount++;
+    trace.counters.add(TraceCounter::Invocations);
 
     if (config.enableOptimization) {
         if (fn.hasCode() && !codeObjects.at(fn.codeId)->valid) {
@@ -180,15 +226,35 @@ Engine::invoke(FunctionId id, Value this_value,
             // discarded at this (re-)entry, as in V8's lazy unlinking.
             deoptLog.push_back({id, DeoptReason::SharedCodeDeoptimized,
                                 DeoptCategory::Lazy, totalCycles()});
+            trace.counters.add(TraceCounter::DeoptsLazy);
+            trace.counters.addDeopt(DeoptReason::SharedCodeDeoptimized);
+            if (trace.on(TraceCategory::Deopt))
+                trace.emit(TraceCategory::Deopt, TraceEventKind::Instant,
+                           deoptReasonName(
+                               DeoptReason::SharedCodeDeoptimized),
+                           totalCycles(), id);
             fn.codeId = 0xffffffffu;
             fn.invocationCount = 0;
         }
         if (!fn.hasCode())
             maybeOptimize(fn);
-        if (fn.hasCode())
-            return runOptimized(fn, this_value, args);
     }
-    return interpreter->callFunction(fn, this_value, args);
+
+    bool optimized = config.enableOptimization && fn.hasCode();
+    trace.counters.add(optimized ? TraceCounter::OptimizedCalls
+                                 : TraceCounter::InterpCalls);
+    bool traced = trace.on(TraceCategory::Exec);
+    const char *tier = optimized ? "optimized" : "interp";
+    if (traced)
+        trace.emit(TraceCategory::Exec, TraceEventKind::Begin, tier,
+                   totalCycles(), id, optimized ? 1 : 0);
+    Value result = optimized
+        ? runOptimized(fn, this_value, args)
+        : interpreter->callFunction(fn, this_value, args);
+    if (traced)
+        trace.emit(TraceCategory::Exec, TraceEventKind::End, tier,
+                   totalCycles(), id, optimized ? 1 : 0);
+    return result;
 }
 
 Value
@@ -264,6 +330,16 @@ Engine::runOptimized(FunctionInfo &fn, Value this_value,
     else
         eagerDeopts++;
     deoptLog.push_back({fn.id, exit.reason, cat, totalCycles()});
+    trace.counters.add(cat == DeoptCategory::Soft
+                           ? TraceCounter::DeoptsSoft
+                           : TraceCounter::DeoptsEager);
+    trace.counters.addDeopt(exit.reason);
+    if (exit.checkId != kNoCheck)
+        trace.counters.addCheckSiteHit(code.id, exit.checkId);
+    if (trace.on(TraceCategory::Deopt))
+        trace.emit(TraceCategory::Deopt, TraceEventKind::Instant,
+                   deoptReasonName(exit.reason), totalCycles(), fn.id,
+                   exit.bytecodeOffset, exit.checkId);
 
     // Reconstruct the interpreter frame from the checkpoint.
     std::vector<Value> regs;
@@ -274,9 +350,7 @@ Engine::runOptimized(FunctionInfo &fn, Value this_value,
 
     // Discard the code and re-warm (V8 discards on eager deopt too).
     discardCode(fn);
-    TieringPolicy policy;
-    policy.maxDeoptsBeforeDisable = config.maxDeoptsBeforeDisable;
-    policy.onDeopt(fn);
+    config.tiering.onDeopt(fn, &trace, totalCycles());
 
     // The bailout handler's work — frame conversion, code unlinking —
     // happens on the slow path; charge a fixed cost.
@@ -402,6 +476,12 @@ Engine::handleRuntimeCall(RuntimeFn fn, MachineState &st)
       case RuntimeFn::ToNumberRt:
         chargeCycles(10);
         ret(vm.newNumber(toNumberValue(*this, val(0))));
+        break;
+      case RuntimeFn::StoreGlobalRt:
+        // Cell-state write: bumps the write count and lazily
+        // invalidates any code that embedded the old constant.
+        chargeCycles(6);
+        storeGlobal(static_cast<u32>(st.x[1]), val(0));
         break;
     }
 

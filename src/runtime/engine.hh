@@ -22,8 +22,10 @@
 #include "interp/interpreter.hh"
 #include "ir/passes.hh"
 #include "profiler/sampler.hh"
+#include "runtime/tiering.hh"
 #include "sim/machine.hh"
 #include "support/random.hh"
+#include "trace/trace.hh"
 
 namespace vspec
 {
@@ -35,9 +37,8 @@ struct EngineConfig
     CpuConfig cpu = CpuConfig::arm64Server();
 
     bool enableOptimization = true;
-    u32 optimizeAfterInvocations = 2;
-    u32 optimizeAfterBackedges = 200;
-    u32 maxDeoptsBeforeDisable = 10;
+    /** Tier-up thresholds — the one place they live (runtime/tiering). */
+    TieringPolicy tiering;
 
     /** Check removal (Fig. 5 / §III-B) and §V fusion. */
     PassConfig passes;
@@ -50,6 +51,10 @@ struct EngineConfig
 
     bool samplerEnabled = false;
     u64 samplerPeriodCycles = 997;
+
+    /** vtrace: structured tracing + metrics (see trace/trace.hh).
+     *  Defaults honour VSPEC_TRACE / VSPEC_TRACE_OUT. */
+    TraceConfig trace = TraceConfig::fromEnv();
 
     u64 randomSeed = 42;
 
@@ -99,6 +104,13 @@ class Engine : public RootProvider
     PcSampler sampler;
     Rng rng;
     std::string consoleOut;
+
+    /** vtrace: engine-wide event ring + metrics counters. Dumped to
+     *  config.trace.outPath at destruction when tracing is enabled;
+     *  `traceLabel` (e.g. the workload name, set by the harness)
+     *  distinguishes per-experiment output files. */
+    Tracer trace;
+    std::string traceLabel;
 
     // ---- statistics ------------------------------------------------------
 

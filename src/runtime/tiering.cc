@@ -1,5 +1,7 @@
 #include "runtime/tiering.hh"
 
+#include "trace/trace.hh"
+
 namespace vspec
 {
 
@@ -15,18 +17,25 @@ TieringPolicy::shouldOptimize(const FunctionInfo &fn) const
 }
 
 bool
-TieringPolicy::onDeopt(FunctionInfo &fn) const
+TieringPolicy::onDeopt(FunctionInfo &fn, Tracer *trace, u64 now) const
 {
     fn.deoptCount++;
     // Re-warm: require fresh invocations before re-optimizing, so the
     // interpreter can widen the feedback that just proved stale.
     fn.invocationCount = 0;
     fn.backEdgeCount = 0;
-    if (fn.deoptCount >= maxDeoptsBeforeDisable) {
+    bool disable = fn.deoptCount >= maxDeoptsBeforeDisable;
+    if (disable)
         fn.optimizationDisabled = true;
-        return true;
+    if (trace != nullptr) {
+        if (disable)
+            trace->counters.add(TraceCounter::OptimizationDisables);
+        if (trace->on(TraceCategory::Tiering))
+            trace->emit(TraceCategory::Tiering, TraceEventKind::Instant,
+                        disable ? "optimization-disabled" : "re-warm",
+                        now, fn.id, fn.deoptCount);
     }
-    return false;
+    return disable;
 }
 
 } // namespace vspec

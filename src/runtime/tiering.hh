@@ -15,6 +15,13 @@
 namespace vspec
 {
 
+class Tracer;
+
+/**
+ * The single source of truth for tier-up thresholds: embedded in
+ * EngineConfig (EngineConfig::tiering) and consulted directly by the
+ * engine — do not copy these fields elsewhere.
+ */
 struct TieringPolicy
 {
     u32 optimizeAfterInvocations = 2;
@@ -24,9 +31,14 @@ struct TieringPolicy
     /** Should @p fn be optimized now (it has no valid code)? */
     bool shouldOptimize(const FunctionInfo &fn) const;
 
-    /** Called when @p fn deoptimized; @return true if optimization
-     *  should be disabled for good. */
-    bool onDeopt(FunctionInfo &fn) const;
+    /**
+     * Called when @p fn deoptimized; @return true if optimization
+     * should be disabled for good. When @p trace is non-null, the
+     * re-warm / disable decision is reported as a `tiering` event
+     * stamped @p now cycles.
+     */
+    bool onDeopt(FunctionInfo &fn, Tracer *trace = nullptr,
+                 u64 now = 0) const;
 };
 
 } // namespace vspec

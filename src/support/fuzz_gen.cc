@@ -1,0 +1,348 @@
+#include "support/fuzz_gen.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "support/random.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+/** Object shapes: same property set in different insertion orders (and
+ *  different widths) so rotating between them exercises map-transition
+ *  chains, polymorphic ICs and WrongMap deopts. */
+const char *const kShapes[] = {
+    "{ x: 1, y: 2 }",
+    "{ y: 3, x: 4 }",
+    "{ x: 5, y: 6, z: 7 }",
+    "{ w: 8, x: 9 }",
+    "{ x: 10 }",
+};
+constexpr size_t kNumShapes = sizeof(kShapes) / sizeof(kShapes[0]);
+
+const char *const kPropNames[] = { "x", "y", "z", "w" };
+constexpr size_t kNumProps = sizeof(kPropNames) / sizeof(kPropNames[0]);
+
+class FuzzGen
+{
+  public:
+    FuzzGen(u64 seed, const FuzzOptions &opts) : rng(seed), o(opts) {}
+
+    std::string generate();
+
+  private:
+    Rng rng;
+    FuzzOptions o;
+    std::ostringstream out;
+    u32 tempCounter = 0;
+
+    std::string iv(u32 i) { return "i" + std::to_string(i); }
+    std::string fv(u32 i) { return "f" + std::to_string(i); }
+    std::string sv(u32 i) { return "s" + std::to_string(i); }
+    std::string av(u32 i) { return "a" + std::to_string(i); }
+    std::string ov(u32 i) { return "o" + std::to_string(i); }
+    std::string fn(u32 i) { return "fz" + std::to_string(i); }
+
+    std::string pickInt() { return iv(static_cast<u32>(rng.nextBelow(o.intVars))); }
+    std::string pickFloat() { return fv(static_cast<u32>(rng.nextBelow(o.floatVars))); }
+    std::string pickString() { return sv(static_cast<u32>(rng.nextBelow(o.stringVars))); }
+    std::string pickArray() { return av(static_cast<u32>(rng.nextBelow(o.arrayVars))); }
+    std::string pickObject() { return ov(static_cast<u32>(rng.nextBelow(o.objectVars))); }
+    const char *pickProp() { return kPropNames[rng.nextBelow(kNumProps)]; }
+
+    std::string intExpr(u32 depth, const std::vector<std::string> &names);
+    std::string floatExpr(u32 depth);
+    /** Non-negative index expression; in-bounds iff @p inBounds. */
+    std::string indexExpr(const std::string &arr, bool in_bounds);
+    void statement(u32 depth, const std::vector<std::string> &loop_vars);
+    void setup();
+    void helpers();
+    void bench();
+    void verifyFn();
+};
+
+std::string
+FuzzGen::intExpr(u32 depth, const std::vector<std::string> &names)
+{
+    // Leaf choices when out of depth budget.
+    if (depth == 0) {
+        switch (rng.nextBelow(3)) {
+          case 0: return std::to_string(rng.nextRange(-999, 999));
+          case 1: return pickInt();
+          default:
+            return names.empty() ? pickInt()
+                                 : names[rng.nextBelow(names.size())];
+        }
+    }
+    switch (rng.nextBelow(10)) {
+      case 0:
+        return std::to_string(rng.nextRange(-999, 999));
+      case 1:
+        // Near the 31-bit SMI boundary: sums overflow to heap numbers,
+        // the JIT's SmallInteger speculation deopts.
+        return std::to_string(536870000 + rng.nextRange(0, 999));
+      case 2:
+        return pickInt();
+      case 3: {
+        static const char *const ops[] = { "+", "-", "*", "&", "|", "^" };
+        return "(" + intExpr(depth - 1, names) + " "
+               + ops[rng.nextBelow(6)] + " " + intExpr(depth - 1, names)
+               + ")";
+      }
+      case 4: {
+        std::string a = pickArray();
+        // One in three indexed loads may go out of bounds (yielding
+        // undefined -> 0 under |0); these are the Boundary-check sites.
+        bool oob = rng.nextBelow(3) == 0;
+        return "(" + a + "[" + indexExpr(a, !oob) + "] | 0)";
+      }
+      case 5:
+        return "(" + pickObject() + "." + pickProp() + " | 0)";
+      case 6: {
+        std::string s = pickString();
+        return "(" + s + ".charCodeAt((" + pickInt() + " & 255) % "
+               + s + ".length) | 0)";
+      }
+      case 7:
+        if (o.helperFunctions > 0)
+            return fn(static_cast<u32>(rng.nextBelow(o.helperFunctions)))
+                   + "(" + intExpr(depth - 1, names) + ", "
+                   + intExpr(depth - 1, names) + ")";
+        return pickInt();
+      case 8:
+        return "(" + intExpr(depth - 1, names) + " >> "
+               + std::to_string(rng.nextBelow(5)) + ")";
+      default:
+        return "(" + floatExpr(depth - 1) + " | 0)";
+    }
+}
+
+std::string
+FuzzGen::floatExpr(u32 depth)
+{
+    if (depth == 0) {
+        if (rng.nextBelow(2) == 0)
+            return pickFloat();
+        return std::to_string(rng.nextRange(0, 99)) + "."
+               + std::to_string(rng.nextBelow(100));
+    }
+    switch (rng.nextBelow(6)) {
+      case 0:
+        return pickFloat();
+      case 1:
+        return std::to_string(rng.nextRange(0, 99)) + "."
+               + std::to_string(rng.nextBelow(100));
+      case 2: {
+        static const char *const ops[] = { "+", "-", "*" };
+        return "(" + floatExpr(depth - 1) + " " + ops[rng.nextBelow(3)]
+               + " " + floatExpr(depth - 1) + ")";
+      }
+      case 3:
+        return "Math.sqrt(Math.abs(" + floatExpr(depth - 1) + "))";
+      case 4:
+        return "Math.floor(" + floatExpr(depth - 1) + ")";
+      default:
+        return "(" + pickInt() + " * 0.5)";
+    }
+}
+
+std::string
+FuzzGen::indexExpr(const std::string &arr, bool in_bounds)
+{
+    std::string raw = "(" + pickInt() + " & 255)";
+    if (in_bounds)
+        return raw + " % " + arr + ".length";
+    return raw;  // may exceed length: OOB *load* only
+}
+
+void
+FuzzGen::statement(u32 depth, const std::vector<std::string> &loop_vars)
+{
+    switch (rng.nextBelow(12)) {
+      case 0:
+      case 1:
+        out << "  " << pickInt() << " = (" << intExpr(depth, loop_vars)
+            << ") | 0;\n";
+        break;
+      case 2:
+        // No |0: the result may escape the SMI range or go NaN, keeping
+        // later uses of this variable polymorphic in representation.
+        out << "  " << pickInt() << " = " << intExpr(depth, loop_vars)
+            << ";\n";
+        break;
+      case 3:
+        out << "  " << fv(static_cast<u32>(rng.nextBelow(o.floatVars)))
+            << " = " << floatExpr(depth) << ";\n";
+        break;
+      case 4: {
+        std::string a = pickArray();
+        out << "  " << a << "[" << indexExpr(a, true) << "] = "
+            << intExpr(depth > 0 ? depth - 1 : 0, loop_vars) << ";\n";
+        break;
+      }
+      case 5:
+        out << "  " << pickArray() << ".push("
+            << intExpr(1, loop_vars) << ");\n";
+        break;
+      case 6:
+        out << "  " << pickObject() << "." << pickProp() << " = "
+            << intExpr(1, loop_vars) << ";\n";
+        break;
+      case 7:
+        // Shape rotation: the store sites seeing this object go
+        // polymorphic, compiled map checks start to miss (WrongMap).
+        out << "  if ((" << pickInt() << " & 1) == 0) { "
+            << ov(static_cast<u32>(rng.nextBelow(o.objectVars))) << " = "
+            << kShapes[rng.nextBelow(kNumShapes)] << "; }\n";
+        break;
+      case 8: {
+        std::string t = "t" + std::to_string(tempCounter++);
+        u32 n = static_cast<u32>(rng.nextRange(3, 9));
+        out << "  for (var " << t << " = 0; " << t << " < " << n << "; "
+            << t << " = " << t << " + 1) {\n";
+        std::vector<std::string> inner = loop_vars;
+        inner.push_back(t);
+        out << "  ";
+        statement(depth > 0 ? depth - 1 : 0, inner);
+        out << "  }\n";
+        break;
+      }
+      case 9:
+        out << "  if (" << pickInt() << " < " << intExpr(1, loop_vars)
+            << ") {\n  ";
+        statement(depth > 0 ? depth - 1 : 0, loop_vars);
+        out << "  } else {\n  ";
+        statement(depth > 0 ? depth - 1 : 0, loop_vars);
+        out << "  }\n";
+        break;
+      case 10:
+        out << "  " << pickString() << " = " << pickString() << " + \""
+            << static_cast<char>('a' + rng.nextBelow(26)) << "\";\n";
+        break;
+      default:
+        if (o.helperFunctions > 0) {
+            out << "  " << pickInt() << " = "
+                << fn(static_cast<u32>(rng.nextBelow(o.helperFunctions)))
+                << "(" << intExpr(1, loop_vars) << ", "
+                << intExpr(1, loop_vars) << ") | 0;\n";
+        } else {
+            out << "  " << pickInt() << " = (" << pickInt() << " + 1) | 0;\n";
+        }
+        break;
+    }
+}
+
+void
+FuzzGen::setup()
+{
+    for (u32 i = 0; i < o.intVars; i++)
+        out << "var " << iv(i) << " = "
+            << rng.nextRange(-999, 999) << ";\n";
+    for (u32 i = 0; i < o.floatVars; i++)
+        out << "var " << fv(i) << " = " << rng.nextRange(0, 99) << "."
+            << rng.nextBelow(100) << ";\n";
+    for (u32 i = 0; i < o.stringVars; i++) {
+        out << "var " << sv(i) << " = \"";
+        u32 len = static_cast<u32>(rng.nextRange(4, 10));
+        for (u32 j = 0; j < len; j++)
+            out << static_cast<char>('a' + rng.nextBelow(26));
+        out << "\";\n";
+    }
+    for (u32 i = 0; i < o.arrayVars; i++) {
+        bool floats = rng.nextBelow(3) == 0;
+        u32 len = static_cast<u32>(rng.nextRange(4, 8));
+        out << "var " << av(i) << " = [";
+        for (u32 j = 0; j < len; j++) {
+            if (j != 0)
+                out << ", ";
+            if (floats)
+                out << rng.nextRange(0, 99) << "." << rng.nextBelow(100);
+            else
+                out << rng.nextRange(-99, 99);
+        }
+        out << "];\n";
+    }
+    for (u32 i = 0; i < o.objectVars; i++)
+        out << "var " << ov(i) << " = "
+            << kShapes[rng.nextBelow(kNumShapes)] << ";\n";
+    out << "var CHK = 0;\n";
+}
+
+void
+FuzzGen::helpers()
+{
+    for (u32 i = 0; i < o.helperFunctions; i++) {
+        out << "function " << fn(i) << "(p0, p1) {\n";
+        // Leaf body: parameters and literals only, so helpers never
+        // recurse and always terminate.
+        static const char *const ops[] = { "+", "-", "*", "&", "^" };
+        out << "  return ((p0 " << ops[rng.nextBelow(5)] << " p1) "
+            << ops[rng.nextBelow(5)] << " "
+            << rng.nextRange(-99, 99) << ") | 0;\n";
+        out << "}\n";
+    }
+}
+
+void
+FuzzGen::bench()
+{
+    out << "function bench() {\n";
+    for (u32 i = 0; i < o.statements; i++)
+        statement(o.maxExprDepth, {});
+    out << "  CHK = (CHK * 31";
+    for (u32 i = 0; i < o.intVars; i++)
+        out << " + (" << iv(i) << " | 0)";
+    for (u32 i = 0; i < o.floatVars; i++)
+        out << " + (" << fv(i) << " * 64 | 0)";
+    out << ") | 0;\n";
+    out << "}\n";
+}
+
+void
+FuzzGen::verifyFn()
+{
+    out << "function verify() {\n";
+    out << "  var h = CHK | 0;\n";
+    for (u32 i = 0; i < o.intVars; i++)
+        out << "  h = (h * 31 + (" << iv(i) << " | 0)) | 0;\n";
+    for (u32 i = 0; i < o.floatVars; i++)
+        out << "  h = (h * 31 + (" << fv(i) << " * 1024 | 0)) | 0;\n";
+    for (u32 i = 0; i < o.stringVars; i++)
+        out << "  h = (h * 31 + " << sv(i) << ".length) | 0;\n";
+    for (u32 i = 0; i < o.arrayVars; i++) {
+        out << "  for (var v" << i << " = 0; v" << i << " < " << av(i)
+            << ".length; v" << i << " = v" << i << " + 1) {\n"
+            << "    h = (h * 31 + (" << av(i) << "[v" << i
+            << "] * 16 | 0)) | 0;\n  }\n";
+    }
+    for (u32 i = 0; i < o.objectVars; i++)
+        for (size_t p = 0; p < kNumProps; p++)
+            out << "  h = (h * 31 + (" << ov(i) << "." << kPropNames[p]
+                << " | 0)) | 0;\n";
+    out << "  return h;\n}\n";
+}
+
+std::string
+FuzzGen::generate()
+{
+    setup();
+    helpers();
+    bench();
+    verifyFn();
+    return out.str();
+}
+
+} // namespace
+
+std::string
+generateFuzzProgram(u64 seed, const FuzzOptions &opts)
+{
+    // Seed 0 would degenerate in Xorshift; fold it away deterministically.
+    FuzzGen gen(seed * 0x9e3779b97f4a7c15ULL + 1, opts);
+    return gen.generate();
+}
+
+} // namespace vspec

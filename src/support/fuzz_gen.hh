@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Seeded random MiniJS program generator for differential testing.
+ *
+ * Programs follow the workload protocol (top-level setup, `bench()`,
+ * `verify()` returning a checksum) and are constructed to be
+ * panic-free by typing every variable: indexed accesses only touch
+ * array variables with in-bounds non-negative store indices, property
+ * stores only touch object variables, and calls only name generated
+ * helper functions. Within those constraints the generator
+ * deliberately leans on the engine's speculation surface — SMI
+ * arithmetic that overflows past 2^30, object shapes that rotate
+ * between map layouts (WrongMap / polymorphic ICs), and array loads
+ * that stray out of bounds (Boundary checks; OOB loads are defined to
+ * yield `undefined`).
+ *
+ * Generation draws only from a seeded support/random Rng, so a seed
+ * identifies a program forever — a failing seed is a repro case.
+ */
+
+#ifndef VSPEC_SUPPORT_FUZZ_GEN_HH
+#define VSPEC_SUPPORT_FUZZ_GEN_HH
+
+#include <string>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+struct FuzzOptions
+{
+    u32 statements = 12;      //!< statement budget for bench()
+    u32 helperFunctions = 2;  //!< callable leaf functions
+    u32 intVars = 4;
+    u32 floatVars = 2;
+    u32 stringVars = 2;
+    u32 arrayVars = 2;
+    u32 objectVars = 2;
+    u32 maxExprDepth = 3;
+};
+
+/** Generate one complete MiniJS program from @p seed. */
+std::string generateFuzzProgram(u64 seed, const FuzzOptions &opts = {});
+
+} // namespace vspec
+
+#endif // VSPEC_SUPPORT_FUZZ_GEN_HH

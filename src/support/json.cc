@@ -1,0 +1,354 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace vspec
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        unsigned char c = static_cast<unsigned char>(ch);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+const JsonValue *
+JsonValue::at(std::initializer_list<const char *> path) const
+{
+    const JsonValue *v = this;
+    for (const char *key : path) {
+        v = v->get(key);
+        if (v == nullptr)
+            return nullptr;
+    }
+    return v;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error)
+        : text(text), error(error)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos != text.size())
+            return fail("trailing characters after top-level value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        size_t line = 1, col = 1;
+        for (size_t i = 0; i < pos && i < text.size(); i++) {
+            if (text[i] == '\n') {
+                line++;
+                col = 1;
+            } else {
+                col++;
+            }
+        }
+        error = "json: " + msg + " at line " + std::to_string(line)
+                + ", column " + std::to_string(col);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size()
+               && (text[pos] == ' ' || text[pos] == '\t'
+                   || text[pos] == '\n' || text[pos] == '\r'))
+            pos++;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::strlen(word);
+        if (text.compare(pos, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        switch (c) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        pos++;  // '{'
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+            pos++;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos >= text.size() || text[pos] != '"')
+                return fail("expected object key string");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos >= text.size() || text[pos] != ':')
+                return fail("expected ':' after object key");
+            pos++;
+            skipWs();
+            JsonValue member;
+            if (!parseValue(member))
+                return false;
+            out.object[key] = std::move(member);
+            skipWs();
+            if (pos >= text.size())
+                return fail("unterminated object");
+            if (text[pos] == ',') {
+                pos++;
+                continue;
+            }
+            if (text[pos] == '}') {
+                pos++;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        pos++;  // '['
+        skipWs();
+        if (pos < text.size() && text[pos] == ']') {
+            pos++;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue elem;
+            if (!parseValue(elem))
+                return false;
+            out.array.push_back(std::move(elem));
+            skipWs();
+            if (pos >= text.size())
+                return fail("unterminated array");
+            if (text[pos] == ',') {
+                pos++;
+                continue;
+            }
+            if (text[pos] == ']') {
+                pos++;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        pos++;  // '"'
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c == '"') {
+                pos++;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c == '\\') {
+                pos++;
+                if (pos >= text.size())
+                    return fail("unterminated escape");
+                char e = text[pos];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 >= text.size())
+                        return fail("truncated \\u escape");
+                    u32 cp = 0;
+                    for (int i = 0; i < 4; i++) {
+                        char h = text[pos + 1 + i];
+                        if (!std::isxdigit(static_cast<unsigned char>(h)))
+                            return fail("bad \\u escape digit");
+                        cp = cp * 16
+                             + static_cast<u32>(
+                                 h <= '9'   ? h - '0'
+                                 : h <= 'F' ? h - 'A' + 10
+                                            : h - 'a' + 10);
+                    }
+                    pos += 4;
+                    // Encode as UTF-8 (surrogate pairs not recombined;
+                    // vtrace never emits them).
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xc0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (cp >> 12));
+                        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape character");
+                }
+                pos++;
+                continue;
+            }
+            out += c;
+            pos++;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            pos++;
+        if (pos >= text.size()
+            || !std::isdigit(static_cast<unsigned char>(text[pos])))
+            return fail("invalid number");
+        // Leading zero must not be followed by another digit.
+        if (text[pos] == '0' && pos + 1 < text.size()
+            && std::isdigit(static_cast<unsigned char>(text[pos + 1])))
+            return fail("leading zero in number");
+        while (pos < text.size()
+               && std::isdigit(static_cast<unsigned char>(text[pos])))
+            pos++;
+        if (pos < text.size() && text[pos] == '.') {
+            pos++;
+            if (pos >= text.size()
+                || !std::isdigit(static_cast<unsigned char>(text[pos])))
+                return fail("digit required after decimal point");
+            while (pos < text.size()
+                   && std::isdigit(static_cast<unsigned char>(text[pos])))
+                pos++;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            pos++;
+            if (pos < text.size()
+                && (text[pos] == '+' || text[pos] == '-'))
+                pos++;
+            if (pos >= text.size()
+                || !std::isdigit(static_cast<unsigned char>(text[pos])))
+                return fail("digit required in exponent");
+            while (pos < text.size()
+                   && std::isdigit(static_cast<unsigned char>(text[pos])))
+                pos++;
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(text.c_str() + start, nullptr);
+        return true;
+    }
+
+    const std::string &text;
+    std::string &error;
+    size_t pos = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    return Parser(text, error).parse(out);
+}
+
+bool
+jsonIsValid(const std::string &text, std::string *error)
+{
+    JsonValue v;
+    std::string err;
+    bool ok = parseJson(text, v, err);
+    if (!ok && error != nullptr)
+        *error = err;
+    return ok;
+}
+
+} // namespace vspec

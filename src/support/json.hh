@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal JSON support: string escaping for the writers (vtrace's two
+ * output backends) and a small recursive-descent parser used by the
+ * harness and the tests to consume and validate emitted documents.
+ * Deliberately tiny — strict RFC 8259 subset, no comments, UTF-8 passed
+ * through verbatim.
+ */
+
+#ifndef VSPEC_SUPPORT_JSON_HH
+#define VSPEC_SUPPORT_JSON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/** Parsed JSON value. Object keys keep insertion order out of scope;
+ *  lookup is by exact key. */
+class JsonValue
+{
+  public:
+    enum class Kind : u8 { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member access; nullptr when absent or not an object. */
+    const JsonValue *get(const std::string &key) const;
+
+    /** get() chained through a path of object keys. */
+    const JsonValue *at(std::initializer_list<const char *> path) const;
+
+    u64 asU64() const { return static_cast<u64>(number); }
+};
+
+/**
+ * Parse @p text. On failure returns false and sets @p error to a
+ * located message; @p out is unspecified. Trailing garbage after the
+ * top-level value is an error, so a true result certifies that the
+ * whole document is valid JSON.
+ */
+bool parseJson(const std::string &text, JsonValue &out, std::string &error);
+
+/** Validation-only convenience wrapper. */
+bool jsonIsValid(const std::string &text, std::string *error = nullptr);
+
+} // namespace vspec
+
+#endif // VSPEC_SUPPORT_JSON_HH

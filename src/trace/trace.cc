@@ -1,0 +1,362 @@
+#include "trace/trace.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace vspec
+{
+
+// ---------------------------------------------------------------------
+// Categories
+// ---------------------------------------------------------------------
+
+const char *
+traceCategoryName(TraceCategory c)
+{
+    switch (c) {
+      case TraceCategory::Tiering: return "tiering";
+      case TraceCategory::Compile: return "compile";
+      case TraceCategory::Deopt: return "deopt";
+      case TraceCategory::Ic: return "ic";
+      case TraceCategory::Gc: return "gc";
+      case TraceCategory::Exec: return "exec";
+      case TraceCategory::NumCategories: break;
+    }
+    return "?";
+}
+
+u32
+parseTraceCategories(const std::string &spec)
+{
+    u32 mask = 0;
+    size_t start = 0;
+    while (start <= spec.size()) {
+        size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string tok = spec.substr(start, comma - start);
+        // Trim surrounding spaces.
+        while (!tok.empty() && tok.front() == ' ')
+            tok.erase(tok.begin());
+        while (!tok.empty() && tok.back() == ' ')
+            tok.pop_back();
+        if (!tok.empty()) {
+            if (tok == "all" || tok == "1") {
+                mask |= kAllTraceCategories;
+            } else {
+                bool known = false;
+                for (u32 i = 0; i < kNumTraceCategories; i++) {
+                    auto c = static_cast<TraceCategory>(i);
+                    if (tok == traceCategoryName(c)) {
+                        mask |= traceCategoryBit(c);
+                        known = true;
+                        break;
+                    }
+                }
+                if (!known)
+                    vlog(LogLevel::Warn, "vtrace",
+                         "unknown trace category '" + tok + "' ignored");
+            }
+        }
+        start = comma + 1;
+    }
+    return mask;
+}
+
+TraceConfig
+TraceConfig::fromEnv()
+{
+    TraceConfig cfg;
+    if (const char *env = std::getenv("VSPEC_TRACE")) {
+        cfg.categories = parseTraceCategories(env);
+        if (cfg.categories != 0)
+            cfg.outPath = "vspec-trace";
+    }
+    if (const char *env = std::getenv("VSPEC_TRACE_OUT")) {
+        if (env[0] != '\0')
+            cfg.outPath = env;
+    }
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// TraceRing
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+u32
+roundUpPow2(u32 v)
+{
+    u32 p = 1;
+    while (p < v && p < (1u << 24))
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+TraceRing::TraceRing(u32 capacity)
+    : storage(roundUpPow2(capacity == 0 ? 1 : capacity)),
+      mask(static_cast<u32>(storage.size()) - 1)
+{
+}
+
+void
+TraceRing::push(const TraceEvent &e)
+{
+    u64 slot = next.fetch_add(1, std::memory_order_relaxed);
+    storage[static_cast<u32>(slot) & mask] = e;
+}
+
+u64
+TraceRing::size() const
+{
+    u64 w = written();
+    return w < storage.size() ? w : storage.size();
+}
+
+u64
+TraceRing::dropped() const
+{
+    u64 w = written();
+    return w > storage.size() ? w - storage.size() : 0;
+}
+
+void
+TraceRing::forEach(
+    const std::function<void(const TraceEvent &)> &fn) const
+{
+    u64 w = written();
+    u64 first = w > storage.size() ? w - storage.size() : 0;
+    for (u64 i = first; i < w; i++)
+        fn(storage[static_cast<u32>(i) & mask]);
+}
+
+void
+TraceRing::clear()
+{
+    next.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------
+
+const char *
+traceCounterName(TraceCounter c)
+{
+    switch (c) {
+      case TraceCounter::Invocations: return "invocations";
+      case TraceCounter::InterpCalls: return "interp_calls";
+      case TraceCounter::OptimizedCalls: return "optimized_calls";
+      case TraceCounter::Compilations: return "compilations";
+      case TraceCounter::CompileBailouts: return "compile_bailouts";
+      case TraceCounter::TierUps: return "tier_ups";
+      case TraceCounter::DeoptsEager: return "deopts_eager";
+      case TraceCounter::DeoptsSoft: return "deopts_soft";
+      case TraceCounter::DeoptsLazy: return "deopts_lazy";
+      case TraceCounter::OptimizationDisables:
+        return "optimization_disables";
+      case TraceCounter::CheckSiteDeoptHits:
+        return "check_site_deopt_hits";
+      case TraceCounter::IcToMonomorphic: return "ic_to_monomorphic";
+      case TraceCounter::IcToPolymorphic: return "ic_to_polymorphic";
+      case TraceCounter::IcToMegamorphic: return "ic_to_megamorphic";
+      case TraceCounter::GcCycles: return "gc_cycles";
+      case TraceCounter::GcBytesFreed: return "gc_bytes_freed";
+      case TraceCounter::NumCounters: break;
+    }
+    return "?";
+}
+
+u64
+CounterRegistry::totalDeopts() const
+{
+    return get(TraceCounter::DeoptsEager) + get(TraceCounter::DeoptsSoft)
+           + get(TraceCounter::DeoptsLazy);
+}
+
+void
+CounterRegistry::reset()
+{
+    for (u64 &v : fixed)
+        v = 0;
+    for (u64 &v : byReason)
+        v = 0;
+    checkSiteHits.clear();
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------
+
+Tracer::Tracer(TraceConfig config)
+    : ring(config.enabled() ? config.ringCapacity : 1),
+      config_(std::move(config)),
+      mask(config_.categories)
+{
+}
+
+void
+Tracer::emit(TraceCategory cat, TraceEventKind kind, const char *name,
+             u64 timestamp, u32 a, u32 b, u64 c)
+{
+    if (!on(cat))
+        return;
+    emitted[static_cast<u32>(cat)]++;
+    TraceEvent e;
+    e.timestamp = timestamp;
+    e.name = name;
+    e.category = cat;
+    e.kind = kind;
+    e.a = a;
+    e.b = b;
+    e.c = c;
+    ring.push(e);
+}
+
+namespace
+{
+
+const char *
+chromePhase(TraceEventKind k)
+{
+    switch (k) {
+      case TraceEventKind::Begin: return "B";
+      case TraceEventKind::End: return "E";
+      case TraceEventKind::Instant: break;
+    }
+    return "i";
+}
+
+} // namespace
+
+std::string
+Tracer::chromeTraceJson() const
+{
+    // One simulated cycle maps to one microsecond of trace time, so
+    // chrome://tracing renders cycle distances directly.
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    ring.forEach([&](const TraceEvent &e) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\":\"" << jsonEscape(e.name)
+           << "\",\"cat\":\"" << traceCategoryName(e.category)
+           << "\",\"ph\":\"" << chromePhase(e.kind)
+           << "\",\"ts\":" << e.timestamp << ",\"pid\":1,\"tid\":"
+           << (static_cast<u32>(e.category) + 1);
+        if (e.kind == TraceEventKind::Instant)
+            os << ",\"s\":\"t\"";
+        os << ",\"args\":{\"a\":" << e.a << ",\"b\":" << e.b
+           << ",\"c\":" << e.c;
+        if (functionNamer
+            && (e.category == TraceCategory::Exec
+                || e.category == TraceCategory::Compile
+                || e.category == TraceCategory::Tiering
+                || e.category == TraceCategory::Deopt))
+            os << ",\"function\":\"" << jsonEscape(functionNamer(e.a))
+               << "\"";
+        os << "}}";
+    });
+    os << "],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{"
+       << "\"producer\":\"vspec vtrace\",\"dropped_events\":"
+       << ring.dropped() << "}}\n";
+    return os.str();
+}
+
+std::string
+Tracer::metricsJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"counters\": {";
+    for (u32 i = 0; i < kNumTraceCounters; i++) {
+        if (i != 0)
+            os << ",";
+        os << "\n    \"" << traceCounterName(static_cast<TraceCounter>(i))
+           << "\": " << counters.fixed[i];
+    }
+    os << "\n  },\n  \"deopts_by_reason\": {";
+    bool first = true;
+    for (int i = 0; i < kNumDeoptReasons; i++) {
+        if (counters.byReason[i] == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    \""
+           << jsonEscape(deoptReasonName(static_cast<DeoptReason>(i)))
+           << "\": " << counters.byReason[i];
+    }
+    os << "\n  },\n  \"check_site_hits\": [";
+    first = true;
+    for (const auto &[key, hits] : counters.checkSiteHits) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    {\"code\": " << (key >> 16)
+           << ", \"check\": " << (key & 0xffff) << ", \"hits\": " << hits
+           << "}";
+    }
+    os << "\n  ],\n  \"events\": {\n    \"recorded\": " << ring.written()
+       << ",\n    \"retained\": " << ring.size()
+       << ",\n    \"dropped\": " << ring.dropped()
+       << ",\n    \"per_category\": {";
+    for (u32 i = 0; i < kNumTraceCategories; i++) {
+        if (i != 0)
+            os << ",";
+        os << "\n      \""
+           << traceCategoryName(static_cast<TraceCategory>(i))
+           << "\": " << emitted[i];
+    }
+    os << "\n    }\n  }\n}\n";
+    return os.str();
+}
+
+bool
+Tracer::writeFiles(const std::string &label) const
+{
+    if (config_.outPath.empty())
+        return false;
+    std::string base = config_.outPath;
+    if (!label.empty()) {
+        base += '-';
+        for (char c : label) {
+            bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                      || (c >= '0' && c <= '9') || c == '-' || c == '_'
+                      || c == '.';
+            base += ok ? c : '_';
+        }
+    }
+    {
+        std::ofstream out(base + ".trace.json");
+        if (!out) {
+            vlog(LogLevel::Warn, "vtrace",
+                 "cannot write " + base + ".trace.json");
+            return false;
+        }
+        out << chromeTraceJson();
+    }
+    {
+        std::ofstream out(base + ".metrics.json");
+        if (!out) {
+            vlog(LogLevel::Warn, "vtrace",
+                 "cannot write " + base + ".metrics.json");
+            return false;
+        }
+        out << metricsJson();
+    }
+    vlog(LogLevel::Info, "vtrace",
+         "wrote " + base + ".trace.json / .metrics.json");
+    return true;
+}
+
+} // namespace vspec

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * vtrace: engine-wide structured tracing and metrics.
+ *
+ * The paper's contribution is *measurement*; vtrace makes every number
+ * the engine produces auditable at runtime. Two parallel mechanisms:
+ *
+ *  - A lock-free bounded ring buffer of typed TraceEvents with cycle
+ *    timestamps, in six categories: `tiering` (tier-up decisions,
+ *    re-warms, optimization disables), `compile` (per-pass begin/end
+ *    with live node counts, codegen), `deopt` (reason, bytecode offset,
+ *    check id), `ic` (feedback transitions mono -> poly -> megamorphic),
+ *    `gc` (collection begin/end, bytes freed) and `exec` (function
+ *    invocations per tier). When the ring wraps, the oldest events are
+ *    overwritten and counted as dropped; per-category emit counters are
+ *    exact regardless.
+ *
+ *  - A registry of named monotonic counters (compilations, bailouts,
+ *    deopts by reason, IC transitions, GC work, per-check-site deopt
+ *    hits) that aggregates with plain array increments on the hot path.
+ *
+ * Control: EngineConfig::trace, overridable without a rebuild through
+ * `VSPEC_TRACE=<cat>[,<cat>...]` (or `all`) and `VSPEC_TRACE_OUT=<path
+ * prefix>`. Category checks are a single branch on a cached bitmask
+ * (`tracer.on(cat)`), so the disabled path costs one predictable
+ * untaken branch and never touches simulated cycle accounting — traces
+ * observe the figures, they do not appear in them.
+ *
+ * Output backends: Chrome trace-event JSON (load at chrome://tracing
+ * or https://ui.perfetto.dev) and a flat metrics JSON consumed by the
+ * experiment harness and the differential tests.
+ */
+
+#ifndef VSPEC_TRACE_TRACE_HH
+#define VSPEC_TRACE_TRACE_HH
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/deopt_reasons.hh"
+#include "support/common.hh"
+
+namespace vspec
+{
+
+// ---------------------------------------------------------------------
+// Categories
+// ---------------------------------------------------------------------
+
+enum class TraceCategory : u8
+{
+    Tiering,  //!< tier-up decisions, re-warm, optimization disables
+    Compile,  //!< per-pass begin/end, codegen, bailouts
+    Deopt,    //!< eager/soft/lazy deoptimization events
+    Ic,       //!< feedback-vector state transitions
+    Gc,       //!< collection cycles
+    Exec,     //!< function invocations (both tiers) — high volume
+    NumCategories,
+};
+
+constexpr u32 kNumTraceCategories =
+    static_cast<u32>(TraceCategory::NumCategories);
+
+constexpr u32
+traceCategoryBit(TraceCategory c)
+{
+    return 1u << static_cast<u32>(c);
+}
+
+/** All categories enabled. */
+constexpr u32 kAllTraceCategories = (1u << kNumTraceCategories) - 1;
+
+const char *traceCategoryName(TraceCategory c);
+
+/**
+ * Parse a category list ("deopt,tiering", "all", "") into a bitmask.
+ * Unknown names are ignored with a warning through support/logging so a
+ * typo in VSPEC_TRACE degrades loudly instead of silently.
+ */
+u32 parseTraceCategories(const std::string &spec);
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+struct TraceConfig
+{
+    /** Bitmask of enabled categories; 0 = tracing disabled. */
+    u32 categories = 0;
+
+    /**
+     * Output path prefix: on dump, `<outPath>[-<label>].trace.json`
+     * (Chrome trace events) and `...metrics.json` (flat counters) are
+     * written. Empty = no automatic dump at engine destruction.
+     */
+    std::string outPath;
+
+    /** Ring capacity in events (rounded up to a power of two). */
+    u32 ringCapacity = 1u << 16;
+
+    bool enabled() const { return categories != 0; }
+
+    /**
+     * Environment-driven config: VSPEC_TRACE selects categories and
+     * VSPEC_TRACE_OUT the output prefix (default "vspec-trace" when
+     * VSPEC_TRACE is set but VSPEC_TRACE_OUT is not). With VSPEC_TRACE
+     * unset this returns a disabled config, so constructing engines
+     * stays allocation-cheap by default.
+     */
+    static TraceConfig fromEnv();
+};
+
+// ---------------------------------------------------------------------
+// Events and the ring
+// ---------------------------------------------------------------------
+
+enum class TraceEventKind : u8
+{
+    Instant,  //!< point event ("i" in Chrome trace format)
+    Begin,    //!< duration begin ("B")
+    End,      //!< duration end ("E")
+};
+
+/**
+ * One fixed-size typed event. `name` must point at storage that
+ * outlives the tracer — in practice string literals or interned enum
+ * name tables (deoptReasonName etc.). Payload meaning by category:
+ *
+ *   tiering: a = function id, b = invocation count, c = back edges
+ *   compile: a = function id, b = live node / instruction count
+ *   deopt:   a = function id, b = bytecode offset, c = check id
+ *   ic:      a = feedback kind (SlotKind), b = old state, c = new state
+ *   gc:      a = collection ordinal, b = tracked objects, c = bytes freed
+ *   exec:    a = function id, b = tier (0 interp, 1 optimized)
+ */
+struct TraceEvent
+{
+    u64 timestamp = 0;            //!< simulated cycles at emit
+    const char *name = "";
+    TraceCategory category = TraceCategory::Exec;
+    TraceEventKind kind = TraceEventKind::Instant;
+    u32 a = 0;
+    u32 b = 0;
+    u64 c = 0;
+};
+
+/**
+ * Bounded lock-free ring of TraceEvents. Writers reserve a slot with a
+ * relaxed fetch_add and overwrite the oldest event once full — the
+ * bounded-memory, drop-oldest policy of production tracers. Reads
+ * (dump paths) are expected to run while the engine is quiescent.
+ */
+class TraceRing
+{
+  public:
+    explicit TraceRing(u32 capacity);
+
+    void push(const TraceEvent &e);
+
+    /** Events currently held (min(written, capacity)). */
+    u64 size() const;
+    /** Total events ever pushed. */
+    u64 written() const { return next.load(std::memory_order_relaxed); }
+    /** Events overwritten by wrap-around. */
+    u64 dropped() const;
+    u32 capacity() const { return static_cast<u32>(storage.size()); }
+
+    /** Visit retained events oldest to newest. */
+    void forEach(const std::function<void(const TraceEvent &)> &fn) const;
+
+    void clear();
+
+  private:
+    std::vector<TraceEvent> storage;
+    u32 mask;
+    std::atomic<u64> next{0};
+};
+
+// ---------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------
+
+/** Fixed hot-path counters; extend freely (names in trace.cc). */
+enum class TraceCounter : u16
+{
+    Invocations,        //!< Engine::invoke calls (excl. builtins)
+    InterpCalls,        //!< calls executed by the interpreter tier
+    OptimizedCalls,     //!< calls entering optimized code
+    Compilations,       //!< successful compiles
+    CompileBailouts,    //!< buildGraph refusals (unsupported bytecode)
+    TierUps,            //!< tiering decisions that triggered a compile
+    DeoptsEager,
+    DeoptsSoft,
+    DeoptsLazy,
+    OptimizationDisables,
+    CheckSiteDeoptHits, //!< deopt-exit hits summed over all check sites
+    IcToMonomorphic,
+    IcToPolymorphic,
+    IcToMegamorphic,
+    GcCycles,
+    GcBytesFreed,
+    NumCounters,
+};
+
+constexpr u32 kNumTraceCounters =
+    static_cast<u32>(TraceCounter::NumCounters);
+
+const char *traceCounterName(TraceCounter c);
+
+/**
+ * Monotonic counter registry: fixed slots for the engine's hot paths
+ * (plain u64 array increments), a per-reason deopt histogram, and a
+ * sparse per-check-site hit map keyed by (code id, check id) — deopts
+ * are rare, so a map insert there is off the hot path.
+ */
+class CounterRegistry
+{
+  public:
+    void add(TraceCounter c, u64 n = 1)
+    {
+        fixed[static_cast<u32>(c)] += n;
+    }
+    u64 get(TraceCounter c) const { return fixed[static_cast<u32>(c)]; }
+
+    void
+    addDeopt(DeoptReason r)
+    {
+        byReason[static_cast<u32>(r)]++;
+    }
+    u64 deoptsForReason(DeoptReason r) const
+    {
+        return byReason[static_cast<u32>(r)];
+    }
+
+    void
+    addCheckSiteHit(u32 code_id, u16 check_id)
+    {
+        add(TraceCounter::CheckSiteDeoptHits);
+        checkSiteHits[(static_cast<u64>(code_id) << 16) | check_id]++;
+    }
+
+    /** Total dynamic deopt events counted (eager + soft + lazy). */
+    u64 totalDeopts() const;
+
+    void reset();
+
+    u64 fixed[kNumTraceCounters] = {};
+    u64 byReason[kNumDeoptReasons] = {};
+    std::map<u64, u64> checkSiteHits;  //!< (codeId<<16|checkId) -> hits
+};
+
+// ---------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------
+
+class Tracer
+{
+  public:
+    explicit Tracer(TraceConfig config = {});
+
+    /** Single-branch category check — the only cost when disabled. */
+    bool on(TraceCategory c) const
+    {
+        return (mask & traceCategoryBit(c)) != 0;
+    }
+    bool anyEnabled() const { return mask != 0; }
+
+    /**
+     * Record one event. Call sites guard with on(cat); emit() re-checks
+     * so an unguarded call is safe, just slower.
+     */
+    void emit(TraceCategory cat, TraceEventKind kind, const char *name,
+              u64 timestamp, u32 a = 0, u32 b = 0, u64 c = 0);
+
+    /** Exact per-category emit counts (immune to ring wrap-around). */
+    u64 eventCount(TraceCategory c) const
+    {
+        return emitted[static_cast<u32>(c)];
+    }
+
+    /** Chrome trace-event JSON (chrome://tracing, Perfetto). */
+    std::string chromeTraceJson() const;
+
+    /** Flat metrics JSON: counters, per-reason deopts, check-site hits,
+     *  ring statistics. Consumed by the harness and the tests. */
+    std::string metricsJson() const;
+
+    /**
+     * Write `<outPath>[-<label>].trace.json` and `.metrics.json`.
+     * No-op when outPath is empty. @return true if files were written.
+     */
+    bool writeFiles(const std::string &label = "") const;
+
+    /** Names functions in dumped traces (set by the owning engine). */
+    void
+    setFunctionNamer(std::function<std::string(u32)> namer)
+    {
+        functionNamer = std::move(namer);
+    }
+
+    const TraceConfig &configuration() const { return config_; }
+
+    CounterRegistry counters;
+    TraceRing ring;
+
+  private:
+    TraceConfig config_;
+    u32 mask;
+    u64 emitted[kNumTraceCategories] = {};
+    std::function<std::string(u32)> functionNamer;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_TRACE_TRACE_HH

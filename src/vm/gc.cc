@@ -1,5 +1,7 @@
 #include "vm/gc.hh"
 
+#include "trace/trace.hh"
+
 namespace vspec
 {
 
@@ -43,6 +45,14 @@ GarbageCollector::markObject(Addr obj)
 u64
 GarbageCollector::collect()
 {
+    u64 now = 0;
+    if (trace != nullptr && trace->on(TraceCategory::Gc)) {
+        now = traceClock ? traceClock() : 0;
+        trace->emit(TraceCategory::Gc, TraceEventKind::Begin, "collect",
+                    now, static_cast<u32>(collections_),
+                    static_cast<u32>(liveObjects.size()));
+    }
+
     marked.clear();
     workList.clear();
 
@@ -101,6 +111,14 @@ GarbageCollector::collect()
     heap.heapStats.gcCount++;
     heap.heapStats.bytesFreed += freed;
     collections_++;
+    if (trace != nullptr) {
+        trace->counters.add(TraceCounter::GcCycles);
+        trace->counters.add(TraceCounter::GcBytesFreed, freed);
+        if (trace->on(TraceCategory::Gc))
+            trace->emit(TraceCategory::Gc, TraceEventKind::End, "collect",
+                        now, static_cast<u32>(collections_),
+                        static_cast<u32>(liveObjects.size()), freed);
+    }
     return freed;
 }
 

@@ -20,6 +20,8 @@
 namespace vspec
 {
 
+class Tracer;
+
 /** Anything that can contribute GC roots (engine globals, interpreter
  *  frames, simulated machine registers). */
 class RootProvider
@@ -60,6 +62,15 @@ class GarbageCollector
     u64 collections() const { return collections_; }
     u64 trackedObjects() const { return liveObjects.size(); }
 
+    /** vtrace hookup (set by the engine): `gc` events and counters are
+     *  reported through @p trace, stamped with @p clock() cycles. */
+    void
+    setTrace(Tracer *tracer, std::function<u64()> clock)
+    {
+        trace = tracer;
+        traceClock = std::move(clock);
+    }
+
   private:
     void markValue(Value v);
     void markObject(Addr obj);
@@ -71,6 +82,8 @@ class GarbageCollector
     std::vector<Addr> workList;
     std::vector<Value> tempRoots;
     u64 collections_ = 0;
+    Tracer *trace = nullptr;
+    std::function<u64()> traceClock;
 };
 
 /** RAII scope that pins host-local values against collection. */

@@ -1,0 +1,145 @@
+/** @file Golden-snapshot tests for the bytecode compiler: disassembly
+ *  of representative functions is compared against checked-in
+ *  expectations in tests/golden/, so codegen drift shows up as a
+ *  reviewable diff instead of a silent perf/semantics change.
+ *
+ *  To refresh after an intentional compiler change:
+ *      VSPEC_UPDATE_GOLDEN=1 ./vspec_tests --gtest_filter='BytecodeGolden*'
+ *  and commit the updated .golden files. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "runtime/engine.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+/** Fixture program: one function per speculation-relevant shape. */
+const char *kFixtureSource = R"JS(
+function sumLoop(n) {
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1)
+        s = (s + i) | 0;
+    return s;
+}
+function getPoint(p) {
+    return p.x + p.y;
+}
+function dotProduct(a, b, n) {
+    var s = 0.0;
+    for (var i = 0; i < n; i = i + 1)
+        s = s + a[i] * b[i];
+    return s;
+}
+function countChar(s, code) {
+    var n = 0;
+    for (var i = 0; i < s.length; i = i + 1)
+        if (s.charCodeAt(i) == code)
+            n = n + 1;
+    return n;
+}
+function clamp(v, lo, hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+function makeRect(w, h) {
+    var r = { w: w, h: h, area: 0 };
+    r.area = w * h;
+    return r;
+}
+function bench() { return 0; }
+function verify() { return 0; }
+)JS";
+
+const char *const kGoldenFunctions[] = {
+    "sumLoop", "getPoint", "dotProduct", "countChar", "clamp", "makeRect",
+};
+
+std::string
+goldenDir()
+{
+    return std::string(VSPEC_TEST_SRC_DIR) + "/golden";
+}
+
+std::string
+goldenPath(const std::string &fn)
+{
+    return goldenDir() + "/" + fn + ".golden";
+}
+
+bool
+updateMode()
+{
+    const char *env = std::getenv("VSPEC_UPDATE_GOLDEN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+class BytecodeGolden : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BytecodeGolden, DisassemblyMatchesGolden)
+{
+    const std::string fn = GetParam();
+
+    Engine engine;
+    engine.loadProgram(kFixtureSource);
+    FunctionId id = engine.functions.idOf(fn);
+    ASSERT_NE(id, kInvalidFunction) << fn;
+    std::string actual = engine.functions.at(id).disassemble(engine.vm);
+
+    std::string path = goldenPath(fn);
+    if (updateMode()) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        GTEST_SKIP() << "updated " << path;
+    }
+
+    std::string expected = readFile(path);
+    ASSERT_FALSE(expected.empty())
+        << "missing golden file " << path
+        << " — regenerate with VSPEC_UPDATE_GOLDEN=1";
+    EXPECT_EQ(actual, expected)
+        << "bytecode for " << fn << " drifted from " << path
+        << "; if intentional, regenerate with VSPEC_UPDATE_GOLDEN=1";
+}
+
+INSTANTIATE_TEST_SUITE_P(Fixture, BytecodeGolden,
+                         ::testing::ValuesIn(kGoldenFunctions),
+                         [](const ::testing::TestParamInfo<const char *> &i) {
+                             return std::string(i.param);
+                         });
+
+/** The disassembly itself is deterministic across engines, so golden
+ *  comparisons cannot flake. */
+TEST(BytecodeGoldenMeta, DisassemblyIsDeterministic)
+{
+    Engine a;
+    a.loadProgram(kFixtureSource);
+    Engine b;
+    b.loadProgram(kFixtureSource);
+    for (const char *fn : kGoldenFunctions) {
+        FunctionId ia = a.functions.idOf(fn);
+        FunctionId ib = b.functions.idOf(fn);
+        ASSERT_NE(ia, kInvalidFunction);
+        EXPECT_EQ(a.functions.at(ia).disassemble(a.vm),
+                  b.functions.at(ib).disassemble(b.vm));
+    }
+}

@@ -139,7 +139,7 @@ function extend() { limit = 12; }
 TEST(Deopt, RepeatedDeoptsDisableOptimization)
 {
     EngineConfig cfg;
-    cfg.maxDeoptsBeforeDisable = 3;
+    cfg.tiering.maxDeoptsBeforeDisable = 3;
     Engine engine(cfg);
     // Alternating shapes defeat monomorphic speculation until the site
     // goes polymorphic; if it kept deopting, tiering must give up.

@@ -1,0 +1,150 @@
+/** @file Differential validation across the paper's experiment configs:
+ *  every workload must produce the same result under the interpreter,
+ *  the JIT, the §III-B safe check-removal set, branch-only removal
+ *  (§IV-B, where semantics-preserving) and the §V SMI extension; and
+ *  the vtrace deopt stream must agree with the engine's deopt log. */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "support/json.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+constexpr u32 kIters = 6;
+
+u32
+testSize(const Workload &w)
+{
+    return std::max(4u, w.defaultSize / 8);
+}
+
+RunConfig
+baseConfig(const Workload &w)
+{
+    RunConfig rc;
+    rc.iterations = kIters;
+    rc.size = testSize(w);
+    rc.samplerEnabled = false;
+    return rc;
+}
+
+std::vector<const Workload *>
+allWorkloads()
+{
+    std::vector<const Workload *> out;
+    for (const auto &w : suite())
+        out.push_back(&w);
+    return out;
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<const Workload *> &info)
+{
+    std::string n = info.param->name;
+    for (char &c : n)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+} // namespace
+
+class ConfigDifferential : public ::testing::TestWithParam<const Workload *>
+{
+};
+
+TEST_P(ConfigDifferential, ExperimentConfigsAgreeWithInterpreter)
+{
+    const Workload &w = *GetParam();
+    RunConfig base = baseConfig(w);
+
+    RunConfig io = base;
+    io.enableOptimization = false;
+    RunOutcome interp = runWorkload(w, io, nullptr);
+    ASSERT_TRUE(interp.completed) << interp.error;
+
+    // (1) baseline JIT
+    RunOutcome jit = runWorkload(w, base, nullptr);
+    ASSERT_TRUE(jit.completed) << jit.error;
+    EXPECT_EQ(jit.checksum, interp.checksum) << "baseline JIT";
+
+    // (2) check removal — the §III-B.2 safe set (removing a check a
+    // workload needs corrupts it by design; the paper's experiment and
+    // this oracle both use the safe set).
+    RunConfig cr = base;
+    cr.removeChecks = findSafeRemovalSet(w, base, kIters);
+    RunOutcome removed = runWorkload(w, cr, nullptr);
+    ASSERT_TRUE(removed.completed) << removed.error;
+    EXPECT_EQ(removed.checksum, interp.checksum) << "check removal";
+
+    // (3) branch-only removal keeps semantics only while no deopt
+    // would have fired (fig10 excludes deopting benchmarks the same
+    // way); it must never crash either way.
+    RunConfig nb = base;
+    nb.removeBranchesOnly = true;
+    RunOutcome branchless = runWorkload(w, nb, nullptr);
+    ASSERT_TRUE(branchless.completed) << branchless.error;
+    if (jit.totalDeopts == 0)
+        EXPECT_EQ(branchless.checksum, interp.checksum)
+            << "branch-only removal";
+
+    // (4) SMI load extension — a pure codegen change, always
+    // semantics-preserving.
+    RunConfig smi = base;
+    smi.smiExtension = true;
+    RunOutcome fused = runWorkload(w, smi, nullptr);
+    ASSERT_TRUE(fused.completed) << fused.error;
+    EXPECT_EQ(fused.checksum, interp.checksum) << "SMI extension";
+}
+
+TEST_P(ConfigDifferential, TraceDeoptStreamMatchesEngineLog)
+{
+    const Workload &w = *GetParam();
+
+    EngineConfig cfg;
+    cfg.samplerEnabled = false;
+    cfg.trace.categories = traceCategoryBit(TraceCategory::Deopt)
+                           | traceCategoryBit(TraceCategory::Tiering);
+    Engine engine(cfg);
+    engine.loadProgram(instantiate(w, testSize(w)));
+    for (u32 i = 0; i < kIters; i++)
+        engine.call("bench");
+
+    // Every deopt the engine logs must appear exactly once in the
+    // trace stream and in the counter registry, reason by reason.
+    EXPECT_EQ(engine.trace.eventCount(TraceCategory::Deopt),
+              engine.deoptLog.size());
+    EXPECT_EQ(engine.trace.counters.totalDeopts(),
+              engine.deoptLog.size());
+    u64 by_reason[kNumDeoptReasons] = {};
+    for (const auto &d : engine.deoptLog)
+        by_reason[static_cast<u32>(d.reason)]++;
+    for (u32 r = 0; r < kNumDeoptReasons; r++)
+        EXPECT_EQ(engine.trace.counters.byReason[r], by_reason[r])
+            << deoptReasonName(static_cast<DeoptReason>(r));
+
+    // Engine-level aggregates agree with the counters too. Lazy deopts
+    // log twice in the engine's taxonomy (invalidation, then the
+    // discard at re-entry as SharedCodeDeoptimized); Engine::lazyDeopts
+    // only counts the former.
+    EXPECT_EQ(engine.trace.counters.get(TraceCounter::DeoptsEager),
+              engine.eagerDeopts);
+    EXPECT_EQ(engine.trace.counters.get(TraceCounter::DeoptsSoft),
+              engine.softDeopts);
+    u64 shared =
+        by_reason[static_cast<u32>(DeoptReason::SharedCodeDeoptimized)];
+    EXPECT_EQ(engine.trace.counters.get(TraceCounter::DeoptsLazy),
+              engine.lazyDeopts + shared);
+
+    // Both backends must stay valid JSON whatever the workload did.
+    std::string err;
+    EXPECT_TRUE(jsonIsValid(engine.trace.chromeTraceJson(), &err)) << err;
+    EXPECT_TRUE(jsonIsValid(engine.trace.metricsJson(), &err)) << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, ConfigDifferential,
+                         ::testing::ValuesIn(allWorkloads()), paramName);

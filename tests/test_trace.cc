@@ -1,0 +1,251 @@
+/** @file vtrace unit + engine-integration tests: categories, the ring,
+ *  counters, JSON backends, and the "tracing never touches simulated
+ *  cycles" guarantee the figures depend on. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/engine.hh"
+#include "support/json.hh"
+#include "trace/trace.hh"
+
+using namespace vspec;
+
+TEST(TraceCategories, ParseSpec)
+{
+    EXPECT_EQ(parseTraceCategories(""), 0u);
+    EXPECT_EQ(parseTraceCategories("all"), kAllTraceCategories);
+    EXPECT_EQ(parseTraceCategories("1"), kAllTraceCategories);
+    EXPECT_EQ(parseTraceCategories("deopt"),
+              traceCategoryBit(TraceCategory::Deopt));
+    EXPECT_EQ(parseTraceCategories("deopt,tiering"),
+              traceCategoryBit(TraceCategory::Deopt)
+                  | traceCategoryBit(TraceCategory::Tiering));
+    EXPECT_EQ(parseTraceCategories(" compile , gc "),
+              traceCategoryBit(TraceCategory::Compile)
+                  | traceCategoryBit(TraceCategory::Gc));
+    // Unknown names degrade to "nothing extra", not a crash.
+    EXPECT_EQ(parseTraceCategories("bogus"), 0u);
+    EXPECT_EQ(parseTraceCategories("bogus,exec"),
+              traceCategoryBit(TraceCategory::Exec));
+}
+
+TEST(TraceRing, WrapKeepsNewestAndCountsDrops)
+{
+    TraceRing ring(4);  // rounds to 4
+    EXPECT_EQ(ring.capacity(), 4u);
+    for (u32 i = 0; i < 10; i++) {
+        TraceEvent e;
+        e.a = i;
+        ring.push(e);
+    }
+    EXPECT_EQ(ring.written(), 10u);
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.dropped(), 6u);
+    std::vector<u32> seen;
+    ring.forEach([&](const TraceEvent &e) { seen.push_back(e.a); });
+    EXPECT_EQ(seen, (std::vector<u32>{6, 7, 8, 9}));
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo)
+{
+    TraceRing ring(5);
+    EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(TraceCounters, FixedReasonAndSiteCounters)
+{
+    CounterRegistry c;
+    c.add(TraceCounter::Compilations);
+    c.add(TraceCounter::Compilations, 2);
+    EXPECT_EQ(c.get(TraceCounter::Compilations), 3u);
+
+    c.add(TraceCounter::DeoptsEager);
+    c.add(TraceCounter::DeoptsLazy, 2);
+    c.addDeopt(DeoptReason::NotASmi);
+    c.addDeopt(DeoptReason::NotASmi);
+    c.addDeopt(DeoptReason::WrongMap);
+    EXPECT_EQ(c.deoptsForReason(DeoptReason::NotASmi), 2u);
+    EXPECT_EQ(c.totalDeopts(), 3u);
+
+    c.addCheckSiteHit(7, 3);
+    c.addCheckSiteHit(7, 3);
+    c.addCheckSiteHit(8, 0);
+    EXPECT_EQ(c.get(TraceCounter::CheckSiteDeoptHits), 3u);
+    EXPECT_EQ(c.checkSiteHits.at((7ull << 16) | 3), 2u);
+
+    c.reset();
+    EXPECT_EQ(c.get(TraceCounter::Compilations), 0u);
+    EXPECT_EQ(c.totalDeopts(), 0u);
+    EXPECT_TRUE(c.checkSiteHits.empty());
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing)
+{
+    Tracer t;
+    EXPECT_FALSE(t.anyEnabled());
+    EXPECT_FALSE(t.on(TraceCategory::Deopt));
+    // Unguarded emit is a safe no-op.
+    t.emit(TraceCategory::Deopt, TraceEventKind::Instant, "x", 1);
+    EXPECT_EQ(t.eventCount(TraceCategory::Deopt), 0u);
+    EXPECT_EQ(t.ring.written(), 0u);
+}
+
+TEST(Tracer, JsonBackendsValidate)
+{
+    TraceConfig cfg;
+    cfg.categories = kAllTraceCategories;
+    Tracer t(cfg);
+    t.emit(TraceCategory::Compile, TraceEventKind::Begin, "inline", 10, 1,
+           42);
+    t.emit(TraceCategory::Compile, TraceEventKind::End, "inline", 25, 1,
+           40);
+    t.emit(TraceCategory::Deopt, TraceEventKind::Instant, "wrong-map", 30,
+           1, 7, 2);
+    t.counters.add(TraceCounter::Compilations);
+    t.counters.addDeopt(DeoptReason::WrongMap);
+
+    std::string err;
+    JsonValue trace_doc;
+    ASSERT_TRUE(parseJson(t.chromeTraceJson(), trace_doc, err)) << err;
+    const JsonValue *events = trace_doc.get("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->array.size(), 3u);
+    EXPECT_EQ(events->array[2].get("ph")->string, "i");
+    EXPECT_EQ(events->array[2].get("name")->string, "wrong-map");
+    EXPECT_EQ(events->array[2].get("cat")->string, "deopt");
+
+    JsonValue metrics;
+    ASSERT_TRUE(parseJson(t.metricsJson(), metrics, err)) << err;
+    EXPECT_EQ(metrics.at({"counters", "compilations"})->asU64(), 1u);
+    EXPECT_EQ(metrics.at({"events", "recorded"})->asU64(), 3u);
+}
+
+TEST(Tracer, EngineEmitsAcrossCategories)
+{
+    EngineConfig cfg;
+    cfg.trace.categories = kAllTraceCategories;
+    Engine engine(cfg);
+    engine.loadProgram(R"JS(
+var acc = 0;
+function work(n) {
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1)
+        s = (s + i * 3) | 0;
+    return s;
+}
+function bench() { acc = (acc + work(200)) | 0; return acc; }
+)JS");
+    for (int i = 0; i < 6; i++)
+        engine.call("bench");
+
+    EXPECT_GT(engine.trace.eventCount(TraceCategory::Exec), 0u);
+    EXPECT_GT(engine.trace.eventCount(TraceCategory::Compile), 0u);
+    EXPECT_GT(engine.trace.eventCount(TraceCategory::Tiering), 0u);
+    EXPECT_GT(engine.trace.counters.get(TraceCounter::Compilations), 0u);
+    EXPECT_GT(engine.trace.counters.get(TraceCounter::Invocations), 0u);
+    EXPECT_EQ(engine.trace.counters.get(TraceCounter::Compilations),
+              engine.compilations);
+
+    std::string err;
+    ASSERT_TRUE(jsonIsValid(engine.trace.chromeTraceJson(), &err)) << err;
+    ASSERT_TRUE(jsonIsValid(engine.trace.metricsJson(), &err)) << err;
+}
+
+TEST(Tracer, DeoptEventsMatchEngineLog)
+{
+    EngineConfig cfg;
+    cfg.trace.categories = traceCategoryBit(TraceCategory::Deopt);
+    Engine engine(cfg);
+    // Rotating object shapes through a hot monomorphic load site forces
+    // WrongMap deopts once the JIT has speculated.
+    engine.loadProgram(R"JS(
+var items = [];
+function makeA(v) { return { a: v }; }
+function makeB(v) { return { b: 0, a: v }; }
+function get(o) { return o.a; }
+function fill(kind) {
+    items = [];
+    for (var i = 0; i < 16; i = i + 1) {
+        if (kind == 0) { items.push(makeA(i)); }
+        else { items.push(makeB(i)); }
+    }
+}
+function bench() {
+    var s = 0;
+    for (var i = 0; i < items.length; i = i + 1)
+        s = (s + get(items[i])) | 0;
+    return s;
+}
+)JS");
+    engine.call("fill", {Value::smi(0)});
+    for (int i = 0; i < 4; i++)
+        engine.call("bench");
+    engine.call("fill", {Value::smi(1)});
+    for (int i = 0; i < 4; i++)
+        engine.call("bench");
+
+    EXPECT_GE(engine.deoptLog.size(), 1u);
+    EXPECT_EQ(engine.trace.eventCount(TraceCategory::Deopt),
+              engine.deoptLog.size());
+    EXPECT_EQ(engine.trace.counters.totalDeopts(),
+              engine.deoptLog.size());
+    // The per-reason histogram must agree with the engine's own log.
+    u64 by_reason[kNumDeoptReasons] = {};
+    for (const auto &d : engine.deoptLog)
+        by_reason[static_cast<u32>(d.reason)]++;
+    for (u32 r = 0; r < kNumDeoptReasons; r++)
+        EXPECT_EQ(engine.trace.counters.byReason[r], by_reason[r])
+            << deoptReasonName(static_cast<DeoptReason>(r));
+}
+
+TEST(Tracer, DisabledTracingLeavesCyclesBitIdentical)
+{
+    auto run = [](u32 categories) {
+        EngineConfig cfg;
+        cfg.trace.categories = categories;
+        Engine engine(cfg);
+        engine.loadProgram(R"JS(
+var acc = 0;
+function bench() {
+    var s = 0;
+    for (var i = 0; i < 300; i = i + 1)
+        s = (s + i * 7) | 0;
+    acc = (acc + s) | 0;
+    return acc;
+}
+)JS");
+        for (int i = 0; i < 8; i++)
+            engine.call("bench");
+        return engine.totalCycles();
+    };
+    // Tracing is host-side observation: enabling every category must
+    // not move a single simulated cycle.
+    EXPECT_EQ(run(0), run(kAllTraceCategories));
+}
+
+TEST(Tracer, WriteFilesProducesValidJson)
+{
+    TraceConfig cfg;
+    cfg.categories = kAllTraceCategories;
+    cfg.outPath = ::testing::TempDir() + "vtrace-test";
+    Tracer t(cfg);
+    t.emit(TraceCategory::Gc, TraceEventKind::Instant, "gc", 5);
+    ASSERT_TRUE(t.writeFiles("unit/label"));
+
+    auto slurp = [](const std::string &path) {
+        FILE *f = fopen(path.c_str(), "rb");
+        EXPECT_NE(f, nullptr) << path;
+        std::string s;
+        char buf[4096];
+        size_t n;
+        while (f != nullptr && (n = fread(buf, 1, sizeof(buf), f)) > 0)
+            s.append(buf, n);
+        if (f != nullptr)
+            fclose(f);
+        return s;
+    };
+    std::string base = cfg.outPath + "-unit_label";
+    std::string err;
+    EXPECT_TRUE(jsonIsValid(slurp(base + ".trace.json"), &err)) << err;
+    EXPECT_TRUE(jsonIsValid(slurp(base + ".metrics.json"), &err)) << err;
+}
