@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 check: normal build + ctest, then an ASan/UBSan Debug build
-# with the vverify pipeline verifier forced on. Run from the repo root:
+# Tier-1 check: normal build + ctest, a vguard fault-injection matrix
+# over the workload suite, then an ASan/UBSan Debug build with the
+# vverify pipeline verifier forced on. Run from the repo root:
 #
-#   scripts/check.sh            # both passes
-#   scripts/check.sh --fast     # normal pass only
+#   scripts/check.sh            # all passes
+#   scripts/check.sh --fast     # normal pass + fault matrix only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,6 +14,16 @@ echo "== pass 1: default build (RelWithDebInfo) + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== pass 1b: vguard fault-injection matrix =="
+# Each leg reruns the suite with one deterministic fault schedule; the
+# invariant is bit-identical results or a structured EngineError.
+for fault in "gc-every=64" "alloc-fail-at=5000" "compile-fail-at=1" \
+             "spurious-deopt-at=2"; do
+    echo "-- VSPEC_FAULT=$fault"
+    VSPEC_FAULT="$fault" ./build/tests/vspec_tests \
+        --gtest_filter='FaultMatrixEnv.*' --gtest_brief=1
+done
 
 if [[ "${1:-}" == "--fast" ]]; then
     echo "== skipped sanitizer pass (--fast) =="

@@ -49,6 +49,8 @@ engineConfigFor(const RunConfig &rc)
     cfg.samplerEnabled = rc.samplerEnabled;
     cfg.samplerPeriodCycles = rc.samplerPeriod;
     cfg.trace = rc.trace;
+    cfg.faults = rc.faults;
+    cfg.maxFuelCycles = rc.maxFuelCycles;
     cfg.randomSeed = rc.seed;
     if (rc.jitter != 0) {
         cfg.samplerPeriodCycles += 2 * rc.jitter + 1;
@@ -141,6 +143,12 @@ runWorkload(const Workload &w, const RunConfig &rc,
                 100.0 * static_cast<double>(out.sim.checkInstructions)
                 / static_cast<double>(out.sim.instructions);
         }
+    } catch (const EngineError &ee) {
+        // Structured degradation: the run failed but the fault is
+        // classified — experiments can assert on the kind.
+        out.completed = false;
+        out.error = ee.what();
+        out.errorKind = engineErrorKindName(ee.kind);
     } catch (const std::exception &ex) {
         out.completed = false;
         out.error = ex.what();
@@ -167,6 +175,9 @@ referenceChecksum(const Workload &w, u32 size, u32 iterations)
     rc.iterations = iterations;
     rc.size = size;
     rc.samplerEnabled = false;
+    // The reference is the unperturbed ground truth: never inject
+    // faults into it, even when VSPEC_FAULT is set for the experiment.
+    rc.faults = FaultConfig{};
     RunOutcome ref = runWorkload(w, rc, nullptr);
     if (!ref.completed)
         vpanic("reference run failed for " + w.name + ": " + ref.error);

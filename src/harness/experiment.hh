@@ -54,6 +54,13 @@ struct RunConfig
      */
     u32 jitter = 0;
 
+    /** vguard fault injection for the run's engine; defaults honour
+     *  VSPEC_FAULT. Reference-checksum runs always clear this. */
+    FaultConfig faults = FaultConfig::fromEnv();
+
+    /** vguard fuel budget in modeled cycles (0 = unlimited). */
+    u64 maxFuelCycles = 0;
+
     bool anyRemoval() const
     {
         for (bool b : removeChecks)
@@ -76,6 +83,7 @@ struct RunOutcome
     bool valid = false;            //!< checksum matches the reference
     std::string checksum;
     std::string error;
+    std::string errorKind;         //!< EngineError kind name, if one hit
 
     std::vector<Cycles> iterationCycles;
     std::vector<u32> deoptEventsPerIteration;

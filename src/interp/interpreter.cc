@@ -3,12 +3,22 @@
 #include <cmath>
 
 #include "runtime/engine.hh"
+#include "runtime/guard.hh"
 
 namespace vspec
 {
 
 namespace
 {
+
+/** Raise a user-triggerable type error as a structured, catchable
+ *  vguard error (engine-invariant violations stay vpanic). */
+[[noreturn]] void
+typeError(Engine &e, const std::string &msg)
+{
+    e.trace.counters.add(TraceCounter::EngineErrors);
+    throw EngineError(EngineErrorKind::TypeError, msg);
+}
 
 /** ECMAScript ToNumber for the MiniJS subset. */
 double
@@ -405,7 +415,7 @@ genericSetNamed(Engine &e, Value receiver, NameId name, Value value,
 {
     VMContext &vm = e.vm;
     if (!vm.isObject(receiver))
-        vpanic("cannot set property on non-object");
+        typeError(e, "cannot set property on non-object");
     Addr obj = receiver.asAddr();
     MapId map = vm.mapOf(obj);
     int idx = vm.maps.propertyIndex(map, name);
@@ -451,7 +461,8 @@ genericGetElement(Engine &e, Value receiver, Value key, FeedbackSlot *slot)
         return Value::heap(vm.newString(std::string(1, c)));
     }
     if (!vm.isArray(receiver))
-        vpanic("indexed load on non-array: " + vm.display(receiver) + " key=" + vm.display(key));
+        typeError(e, "indexed load on non-array: " + vm.display(receiver)
+                         + " key=" + vm.display(key));
     if (!vm.isNumber(key))
         return vm.undefinedValue;
     double kd = vm.numberOf(key);
@@ -477,8 +488,9 @@ genericSetElement(Engine &e, Value receiver, Value key, Value value,
 {
     VMContext &vm = e.vm;
     if (!vm.isArray(receiver))
-        vpanic("indexed store on non-array");
-    vassert(vm.isNumber(key), "non-numeric array index");
+        typeError(e, "indexed store on non-array");
+    if (!vm.isNumber(key))
+        typeError(e, "non-numeric array index");
     i64 i = static_cast<i64>(vm.numberOf(key));
     Addr arr = receiver.asAddr();
     u32 len = vm.arrayLength(arr);
@@ -538,11 +550,34 @@ Value
 Interpreter::execute(Frame &frame, u32 pc)
 {
     activeFrames.push_back(&frame);
+    // Exception-safe: an EngineError thrown by a callee (or raised by a
+    // generic op below) must unlink this frame from the GC root set as
+    // the stack unwinds, so the engine stays reusable after a catch.
+    struct FrameScope
+    {
+        std::vector<Frame *> &frames;
+        ~FrameScope() { frames.pop_back(); }
+    } frame_scope{activeFrames};
+
+    u64 cost = 0;
+    try {
+        return dispatchLoop(frame, pc, cost);
+    } catch (EngineError &err) {
+        // Cycles accrued before the fault still count; stamp the fault
+        // site on the way out (the innermost frame wins).
+        engine.interpreterCycles += cost;
+        cost = 0;
+        throw err.withContext(frame.fn->id, pc, engine.totalCycles());
+    }
+}
+
+Value
+Interpreter::dispatchLoop(Frame &frame, u32 &pc, u64 &cost)
+{
     FunctionInfo &fn = *frame.fn;
     VMContext &vm = engine.vm;
     auto &regs = frame.regs;
     Value &acc = frame.acc;
-    u64 cost = 0;
 
     auto slot = [&](int i) -> FeedbackSlot & { return fn.feedback.at(i); };
 
@@ -713,8 +748,8 @@ Interpreter::execute(Frame &frame, u32 pc)
           case Bc::CallMethod: {
             Value callee = regs[ins.a];
             if (!vm.isFunction(callee))
-                vpanic("call target is not a function: "
-                       + vm.display(callee));
+                typeError(engine, "call target is not a function: "
+                                      + vm.display(callee));
             FunctionId fid = vm.functionIdOf(callee.asAddr());
             recordCallIc(engine, slot(callSlot(ins.c)).call, fid);
             int argc = callArgc(ins.c);
@@ -734,7 +769,7 @@ Interpreter::execute(Frame &frame, u32 pc)
 
           case Bc::Return:
             engine.interpreterCycles += cost + 2;
-            activeFrames.pop_back();
+            cost = 0;
             return acc;
         }
         pc = next;
@@ -743,6 +778,8 @@ Interpreter::execute(Frame &frame, u32 pc)
         if (cost > 4096) {
             engine.interpreterCycles += cost;
             cost = 0;
+            if (engine.config.maxFuelCycles != 0)
+                engine.checkFuel();
         }
     }
 }

@@ -50,6 +50,7 @@ class Interpreter : public RootProvider
     };
 
     Value execute(Frame &frame, u32 pc);
+    Value dispatchLoop(Frame &frame, u32 &pc, u64 &cost);
 
     Engine &engine;
     std::vector<Frame *> activeFrames;

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "runtime/engine.hh"
+#include "runtime/guard.hh"
 #include "runtime/regex_lite.hh"
 
 namespace vspec
@@ -14,6 +15,15 @@ namespace vspec
 
 namespace
 {
+
+/** Program-level receiver mismatch: a catchable TypeError, not an
+ *  engine-invariant panic. */
+[[noreturn]] void
+typeError(Engine &e, const std::string &msg)
+{
+    e.trace.counters.add(TraceCounter::EngineErrors);
+    throw EngineError(EngineErrorKind::TypeError, msg);
+}
 
 double
 argNum(Engine &e, const std::vector<Value> &args, size_t i,
@@ -207,7 +217,8 @@ dispatchBuiltin(Engine &e, BuiltinId id, Value this_value,
       // ---- Array -------------------------------------------------------
       case BuiltinId::ArrayPush: {
         e.chargeCycles(6);
-        vassert(vm.isArray(this_value), "push on non-array");
+        if (!vm.isArray(this_value))
+            typeError(e, "push on non-array");
         Addr arr = this_value.asAddr();
         for (Value v : args)
             vm.arraySet(arr, vm.arrayLength(arr), v);
@@ -215,7 +226,8 @@ dispatchBuiltin(Engine &e, BuiltinId id, Value this_value,
       }
       case BuiltinId::ArrayPop: {
         e.chargeCycles(6);
-        vassert(vm.isArray(this_value), "pop on non-array");
+        if (!vm.isArray(this_value))
+            typeError(e, "pop on non-array");
         Addr arr = this_value.asAddr();
         u32 len = vm.arrayLength(arr);
         if (len == 0)
@@ -225,7 +237,8 @@ dispatchBuiltin(Engine &e, BuiltinId id, Value this_value,
         return v;
       }
       case BuiltinId::ArrayJoin: {
-        vassert(vm.isArray(this_value), "join on non-array");
+        if (!vm.isArray(this_value))
+            typeError(e, "join on non-array");
         std::string sep = args.empty() ? "," : argStr(e, args, 0);
         Addr arr = this_value.asAddr();
         std::string out;
@@ -239,7 +252,8 @@ dispatchBuiltin(Engine &e, BuiltinId id, Value this_value,
         return Value::heap(vm.newString(out));
       }
       case BuiltinId::ArrayIndexOf: {
-        vassert(vm.isArray(this_value), "indexOf on non-array");
+        if (!vm.isArray(this_value))
+            typeError(e, "indexOf on non-array");
         Addr arr = this_value.asAddr();
         u32 len = vm.arrayLength(arr);
         e.chargeCycles(6 + len / 2);

@@ -19,9 +19,17 @@ Engine::Engine(EngineConfig cfg)
       globals(vm),
       functions(),
       rng(cfg.randomSeed),
-      trace(cfg.trace)
+      trace(cfg.trace),
+      faults(cfg.faults)
 {
     vm.heap.gc = &gc;
+    if (faults.enabled()) {
+        // Hooked after VMContext bootstrap: allocation ordinals start
+        // counting at engine construction, deterministically. Counters
+        // record injections even with event tracing off.
+        vm.heap.faults = &faults;
+        faults.setTrace(&trace, [this] { return totalCycles(); });
+    }
     if (trace.anyEnabled()) {
         gc.setTrace(&trace, [this] { return totalCycles(); });
         trace.setFunctionNamer([this](u32 id) {
@@ -47,6 +55,8 @@ Engine::Engine(EngineConfig cfg)
             lastCallArgc = static_cast<int>(m.imm);
             handleRuntimeCall(fn, st);
         });
+    if (cfg.maxFuelCycles != 0)
+        core->fuelCheck = [this] { checkFuel(); };
     sampler.period = cfg.samplerPeriodCycles;
     sampler.nextAt = cfg.samplerPeriodCycles;
     gc.addRootProvider(this);
@@ -86,9 +96,23 @@ Value
 Engine::call(const std::string &name, const std::vector<Value> &args)
 {
     FunctionId id = functions.idOf(name);
-    if (id == kInvalidFunction)
-        vfatal("no such function: " + name);
+    if (id == kInvalidFunction) {
+        trace.counters.add(TraceCounter::EngineErrors);
+        throw EngineError(EngineErrorKind::TypeError,
+                          "no such function: " + name);
+    }
     return invoke(id, vm.undefinedValue, args);
+}
+
+void
+Engine::checkFuel() const
+{
+    if (config.maxFuelCycles != 0 && totalCycles() > config.maxFuelCycles) {
+        throw EngineError(EngineErrorKind::FuelExhausted,
+                          "fuel budget of "
+                              + std::to_string(config.maxFuelCycles)
+                              + " cycles exhausted");
+    }
 }
 
 void
@@ -164,6 +188,17 @@ Engine::compileFunction(FunctionInfo &fn)
                    "compile", totalCycles(), fn.id,
                    static_cast<u32>(fn.bytecode.size()));
 
+    if (faults.enabled() && faults.onCompile()) {
+        // Injected compiler failure: fall back to the interpreter for
+        // this attempt, but — unlike a real bailout — leave the
+        // function optimizable so a later tier-up retry can succeed.
+        trace.counters.add(TraceCounter::CompileBailouts);
+        if (traced)
+            trace.emit(TraceCategory::Compile, TraceEventKind::End,
+                       "compile", totalCycles(), fn.id, 0, 1);
+        return false;
+    }
+
     if (config.passes.verifyLevel != VerifyLevel::Off)
         enforce(verifyBytecode(fn, globals.count()), "bytecode");
 
@@ -209,10 +244,39 @@ Engine::compileFunction(FunctionInfo &fn)
     return true;
 }
 
+namespace
+{
+
+/** Exception-safe decrement for the re-entry depth counter (and the
+ *  structurally identical jitDepth counter in runOptimized): an
+ *  EngineError thrown anywhere below must leave the engine reusable. */
+struct DepthGuard
+{
+    explicit DepthGuard(int &d) : depth(d) { depth++; }
+    ~DepthGuard() { depth--; }
+    int &depth;
+};
+
+} // namespace
+
 Value
 Engine::invoke(FunctionId id, Value this_value,
                const std::vector<Value> &args)
 {
+    // Host recursion guard: interpreter, JIT, and builtins re-enter
+    // invoke() for nested calls, so unbounded MiniJS recursion would
+    // otherwise exhaust the host stack. Raise a catchable error first.
+    if (invokeDepth >= static_cast<int>(config.maxInvokeDepth)) {
+        trace.counters.add(TraceCounter::EngineErrors);
+        throw EngineError(EngineErrorKind::StackOverflow,
+                          "call depth exceeded maxInvokeDepth="
+                              + std::to_string(config.maxInvokeDepth))
+            .withContext(id, 0, totalCycles());
+    }
+    DepthGuard depth_guard(invokeDepth);
+    if (config.maxFuelCycles != 0)
+        checkFuel();
+
     FunctionInfo &fn = functions.at(id);
     if (fn.builtin != BuiltinId::None)
         return callBuiltin(fn.builtin, this_value, args);
@@ -302,51 +366,110 @@ Engine::runOptimized(FunctionInfo &fn, Value this_value,
     CodeObject &code = *codeObjects.at(fn.codeId);
     code.entries++;
 
+    if (faults.enabled() && faults.onOptimizedEntry()) {
+        // Injected spurious deopt: account for it exactly like a real
+        // eager deopt (log, counters, discard, re-warm), then run the
+        // whole call in the interpreter from bytecode offset 0, so
+        // results stay bit-identical to an uninjected run.
+        code.eagerDeopts++;
+        eagerDeopts++;
+        deoptLog.push_back({fn.id, DeoptReason::DeoptimizeNow,
+                            DeoptCategory::Eager, totalCycles()});
+        trace.counters.add(TraceCounter::DeoptsEager);
+        trace.counters.addDeopt(DeoptReason::DeoptimizeNow);
+        if (trace.on(TraceCategory::Deopt))
+            trace.emit(TraceCategory::Deopt, TraceEventKind::Instant,
+                       deoptReasonName(DeoptReason::DeoptimizeNow),
+                       totalCycles(), fn.id);
+        discardCode(fn);
+        config.tiering.onDeopt(fn, &trace, totalCycles());
+        chargeCycles(600);
+        return interpreter->callFunction(fn, this_value, args);
+    }
+
     MachineState st;
-    st.sp() = vm.heap.stackTop();
+    // Nested JIT frames chain below the parent frame's SP rather than
+    // restarting at stackTop(), which would overlap the parent's spill
+    // slots.
+    u64 sp_base = vm.heap.stackTop();
+    if (!activeMachines.empty())
+        sp_base = activeMachines.back()->sp() & ~15ULL;
+    if (sp_base < vm.heap.sizeBytes() - Heap::kStackReserve) {
+        trace.counters.add(TraceCounter::EngineErrors);
+        throw EngineError(EngineErrorKind::StackOverflow,
+                          "simulated stack exhausted entering optimized "
+                          "code")
+            .withContext(fn.id, 0, totalCycles());
+    }
+    st.sp() = sp_base;
     st.x[0] = this_value.bits();
     for (u32 i = 0; i < fn.paramCount && i + 1 < 8; i++) {
         st.x[i + 1] = i < args.size() ? args[i].bits()
                                       : vm.undefinedValue.bits();
     }
 
-    jitDepth++;
-    activeMachines.push_back(&st);
-    RunResult r = core->run(code, st, timing.get(),
-                            config.samplerEnabled ? &sampler : nullptr);
-    activeMachines.pop_back();
-    jitDepth--;
+    // Exception-safe frame registration: an EngineError raised inside
+    // simulated code (or a runtime call it makes) must pop this frame
+    // so GC root scanning and tier accounting stay consistent.
+    struct FrameScope
+    {
+        FrameScope(std::vector<MachineState *> &f, MachineState &st)
+            : frames(f)
+        {
+            frames.push_back(&st);
+        }
+        ~FrameScope() { frames.pop_back(); }
+        std::vector<MachineState *> &frames;
+    };
 
-    if (!r.deopted)
-        return Value::fromBits(static_cast<u32>(st.x[0]));
-
-    // ---- deoptimization -------------------------------------------------
-    DeoptExitInfo &exit = code.deoptExits.at(r.deoptExit);
-    exit.hitCount++;
-    code.eagerDeopts++;
-    DeoptCategory cat = deoptCategoryOf(exit.reason);
-    if (cat == DeoptCategory::Soft)
-        softDeopts++;
-    else
-        eagerDeopts++;
-    deoptLog.push_back({fn.id, exit.reason, cat, totalCycles()});
-    trace.counters.add(cat == DeoptCategory::Soft
-                           ? TraceCounter::DeoptsSoft
-                           : TraceCounter::DeoptsEager);
-    trace.counters.addDeopt(exit.reason);
-    if (exit.checkId != kNoCheck)
-        trace.counters.addCheckSiteHit(code.id, exit.checkId);
-    if (trace.on(TraceCategory::Deopt))
-        trace.emit(TraceCategory::Deopt, TraceEventKind::Instant,
-                   deoptReasonName(exit.reason), totalCycles(), fn.id,
-                   exit.bytecodeOffset, exit.checkId);
-
-    // Reconstruct the interpreter frame from the checkpoint.
     std::vector<Value> regs;
-    regs.reserve(exit.regs.size());
-    for (const DeoptLocation &loc : exit.regs)
-        regs.push_back(materialize(loc, st));
-    Value acc = materialize(exit.accumulator, st);
+    Value acc = vm.undefinedValue;
+    u32 resume_offset = 0;
+    {
+        DepthGuard jit_guard(jitDepth);
+        FrameScope frame_scope(activeMachines, st);
+        RunResult r = core->run(code, st, timing.get(),
+                                config.samplerEnabled ? &sampler : nullptr);
+
+        if (!r.deopted)
+            return Value::fromBits(static_cast<u32>(st.x[0]));
+
+        // ---- deoptimization ---------------------------------------------
+        DeoptExitInfo &exit = code.deoptExits.at(r.deoptExit);
+        exit.hitCount++;
+        code.eagerDeopts++;
+        DeoptCategory cat = deoptCategoryOf(exit.reason);
+        if (cat == DeoptCategory::Soft)
+            softDeopts++;
+        else
+            eagerDeopts++;
+        deoptLog.push_back({fn.id, exit.reason, cat, totalCycles()});
+        trace.counters.add(cat == DeoptCategory::Soft
+                               ? TraceCounter::DeoptsSoft
+                               : TraceCounter::DeoptsEager);
+        trace.counters.addDeopt(exit.reason);
+        if (exit.checkId != kNoCheck)
+            trace.counters.addCheckSiteHit(code.id, exit.checkId);
+        if (trace.on(TraceCategory::Deopt))
+            trace.emit(TraceCategory::Deopt, TraceEventKind::Instant,
+                       deoptReasonName(exit.reason), totalCycles(), fn.id,
+                       exit.bytecodeOffset, exit.checkId);
+
+        // Reconstruct the interpreter frame from the checkpoint. This
+        // runs with `st` still registered: values reachable only from
+        // machine registers or spill slots must survive any GC that
+        // boxing a number below may trigger. The freshly materialized
+        // values are in turn only reachable from this host-side vector,
+        // so pin each one until the interpreter frame takes over.
+        TempRootScope pins(&gc);
+        regs.reserve(exit.regs.size());
+        for (const DeoptLocation &loc : exit.regs) {
+            regs.push_back(materialize(loc, st));
+            pins.pin(regs.back());
+        }
+        acc = materialize(exit.accumulator, st);
+        resume_offset = exit.bytecodeOffset;
+    }
 
     // Discard the code and re-warm (V8 discards on eager deopt too).
     discardCode(fn);
@@ -356,8 +479,8 @@ Engine::runOptimized(FunctionInfo &fn, Value this_value,
     // happens on the slow path; charge a fixed cost.
     chargeCycles(600);
 
-    return interpreter->resumeFrame(fn, exit.bytecodeOffset,
-                                    std::move(regs), acc);
+    return interpreter->resumeFrame(fn, resume_offset, std::move(regs),
+                                    acc);
 }
 
 void
@@ -380,8 +503,12 @@ Engine::handleRuntimeCall(RuntimeFn fn, MachineState &st)
       case RuntimeFn::CallFunction: {
         Addr cell = static_cast<u32>(st.x[0]) & ~1u;
         Value callee = Value::fromBits(static_cast<u32>(st.x[0]));
-        if (!vm.isFunction(callee))
-            vpanic("CallFunction target is not a function");
+        if (!vm.isFunction(callee)) {
+            trace.counters.add(TraceCounter::EngineErrors);
+            throw EngineError(EngineErrorKind::TypeError,
+                              "call target is not a function: "
+                                  + vm.display(callee));
+        }
         FunctionId fid = vm.functionIdOf(cell);
         Value this_v = val(1);
         std::vector<Value> args;
@@ -459,8 +586,11 @@ Engine::handleRuntimeCall(RuntimeFn fn, MachineState &st)
       case RuntimeFn::GrowArrayStore: {
         chargeCycles(12);
         Value arr = val(0);
-        if (!vm.isArray(arr))
-            vpanic("GrowArrayStore on non-array");
+        if (!vm.isArray(arr)) {
+            trace.counters.add(TraceCounter::EngineErrors);
+            throw EngineError(EngineErrorKind::TypeError,
+                              "indexed store on non-array");
+        }
         vm.arraySet(arr.asAddr(),
                     static_cast<i32>(static_cast<u32>(st.x[1])), val(2));
         break;

@@ -22,6 +22,7 @@
 #include "interp/interpreter.hh"
 #include "ir/passes.hh"
 #include "profiler/sampler.hh"
+#include "runtime/guard.hh"
 #include "runtime/tiering.hh"
 #include "sim/machine.hh"
 #include "support/random.hh"
@@ -62,6 +63,23 @@ struct EngineConfig
      *  ASLR/allocation-noise analog): different cache-set mappings
      *  give run-to-run timing variation without changing semantics. */
     u32 layoutJitterBytes = 0;
+
+    /** vguard: deterministic fault injection (see runtime/guard.hh).
+     *  Defaults honour VSPEC_FAULT; empty config means no injection
+     *  and zero per-allocation overhead. */
+    FaultConfig faults = FaultConfig::fromEnv();
+
+    /** vguard: execution-fuel budget in modeled cycles. 0 disables the
+     *  guard; otherwise once totalCycles() exceeds the budget the
+     *  engine raises EngineError{FuelExhausted} at the next check
+     *  point (interpreter cost flush, engine invoke, or the simulated
+     *  core's periodic fuel poll). */
+    u64 maxFuelCycles = 0;
+
+    /** vguard: maximum interpreter<->JIT<->builtin re-entry depth.
+     *  Exceeding it raises EngineError{StackOverflow} instead of
+     *  exhausting the host stack. */
+    u32 maxInvokeDepth = 512;
 };
 
 struct DeoptRecord
@@ -112,6 +130,14 @@ class Engine : public RootProvider
     Tracer trace;
     std::string traceLabel;
 
+    /** vguard: deterministic fault injector driven by config.faults.
+     *  Also reachable from Heap::faults for allocation-site hooks. */
+    FaultInjector faults;
+
+    /** Current interpreter<->JIT<->builtin re-entry depth (guarded by
+     *  config.maxInvokeDepth). */
+    int invokeDepth = 0;
+
     // ---- statistics ------------------------------------------------------
 
     u64 interpreterCycles = 0;
@@ -149,6 +175,11 @@ class Engine : public RootProvider
 
     /** Seeded Math.random. */
     double random() { return rng.nextDouble(); }
+
+    /** vguard: raise EngineError{FuelExhausted} once the configured
+     *  fuel budget (config.maxFuelCycles) is spent. Cheap no-op when
+     *  the budget is 0. */
+    void checkFuel() const;
 
     void forEachRoot(const std::function<void(Value)> &visit) override;
 

@@ -1,0 +1,188 @@
+#include "runtime/guard.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+#include "trace/trace.hh"
+
+namespace vspec
+{
+
+// ---------------------------------------------------------------------
+// EngineError
+// ---------------------------------------------------------------------
+
+const char *
+engineErrorKindName(EngineErrorKind k)
+{
+    switch (k) {
+      case EngineErrorKind::OutOfMemory: return "OutOfMemory";
+      case EngineErrorKind::StackOverflow: return "StackOverflow";
+      case EngineErrorKind::FuelExhausted: return "FuelExhausted";
+      case EngineErrorKind::CompileFailed: return "CompileFailed";
+      case EngineErrorKind::TypeError: return "TypeError";
+      case EngineErrorKind::RegexBudget: return "RegexBudget";
+      case EngineErrorKind::NumKinds: break;
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::string
+formatWhat(EngineErrorKind kind, const std::string &message, u32 function,
+           u32 bytecode_offset, u64 cycle)
+{
+    std::string s = "EngineError(";
+    s += engineErrorKindName(kind);
+    s += "): ";
+    s += message;
+    if (function != EngineError::kNoContext) {
+        s += " [fn=" + std::to_string(function);
+        if (bytecode_offset != EngineError::kNoContext)
+            s += " bc=" + std::to_string(bytecode_offset);
+        s += " cycle=" + std::to_string(cycle) + "]";
+    }
+    return s;
+}
+
+} // namespace
+
+EngineError::EngineError(EngineErrorKind kind, const std::string &message)
+    : std::runtime_error(formatWhat(kind, message, kNoContext, kNoContext,
+                                    0)),
+      kind(kind),
+      message(message)
+{
+}
+
+EngineError
+EngineError::withContext(u32 fn, u32 bytecode_offset, u64 at_cycle) const
+{
+    if (hasContext())
+        return *this;
+    EngineError e(kind, message);
+    e.function = fn;
+    e.bytecodeOffset = bytecode_offset;
+    e.cycle = at_cycle;
+    // Rebuild the what() string with the context appended.
+    static_cast<std::runtime_error &>(e) = std::runtime_error(
+        formatWhat(kind, message, fn, bytecode_offset, at_cycle));
+    return e;
+}
+
+// ---------------------------------------------------------------------
+// FaultConfig
+// ---------------------------------------------------------------------
+
+FaultConfig
+FaultConfig::fromEnv()
+{
+    if (const char *env = std::getenv("VSPEC_FAULT"))
+        return parse(env);
+    return {};
+}
+
+FaultConfig
+FaultConfig::parse(const std::string &spec)
+{
+    FaultConfig cfg;
+    size_t start = 0;
+    while (start <= spec.size()) {
+        size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string tok = spec.substr(start, comma - start);
+        while (!tok.empty() && tok.front() == ' ')
+            tok.erase(tok.begin());
+        while (!tok.empty() && tok.back() == ' ')
+            tok.pop_back();
+        if (!tok.empty()) {
+            size_t eq = tok.find('=');
+            std::string key = tok.substr(0, eq);
+            u64 n = 0;
+            bool numeric = eq != std::string::npos && eq + 1 < tok.size();
+            if (numeric) {
+                char *end = nullptr;
+                n = std::strtoull(tok.c_str() + eq + 1, &end, 10);
+                numeric = end != nullptr && *end == '\0';
+            }
+            if (!numeric) {
+                vlog(LogLevel::Warn, "vguard",
+                     "malformed fault spec '" + tok + "' ignored");
+            } else if (key == "alloc-fail-at") {
+                cfg.allocFailAt = n;
+            } else if (key == "gc-every") {
+                cfg.gcEveryNAllocs = n;
+            } else if (key == "compile-fail-at") {
+                cfg.compileFailAt = n;
+            } else if (key == "spurious-deopt-at") {
+                cfg.spuriousDeoptAt = n;
+            } else {
+                vlog(LogLevel::Warn, "vguard",
+                     "unknown fault site '" + key + "' ignored");
+            }
+        }
+        start = comma + 1;
+    }
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------
+
+void
+FaultInjector::report(const char *site, u64 ordinal)
+{
+    injected++;
+    if (trace == nullptr)
+        return;
+    trace->counters.add(TraceCounter::FaultsInjected);
+    if (trace->on(TraceCategory::Fault))
+        trace->emit(TraceCategory::Fault, TraceEventKind::Instant, site,
+                    traceClock ? traceClock() : 0,
+                    static_cast<u32>(ordinal));
+}
+
+AllocFault
+FaultInjector::onAllocation()
+{
+    allocations++;
+    if (config.allocFailAt != 0 && allocations == config.allocFailAt) {
+        report("alloc-fail", allocations);
+        return AllocFault::Fail;
+    }
+    if (config.gcEveryNAllocs != 0
+        && allocations % config.gcEveryNAllocs == 0) {
+        report("gc-stress", allocations);
+        return AllocFault::ForceGc;
+    }
+    return AllocFault::None;
+}
+
+bool
+FaultInjector::onCompile()
+{
+    compiles++;
+    if (config.compileFailAt != 0 && compiles == config.compileFailAt) {
+        report("compile-fail", compiles);
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::onOptimizedEntry()
+{
+    optimizedEntries++;
+    if (config.spuriousDeoptAt != 0
+        && optimizedEntries == config.spuriousDeoptAt) {
+        report("spurious-deopt", optimizedEntries);
+        return true;
+    }
+    return false;
+}
+
+} // namespace vspec

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * vguard: structured engine errors, resource guards, and deterministic
+ * fault injection.
+ *
+ * Error model. Failures the *program under test* (or its resource
+ * budget) can cause — heap exhaustion, runaway recursion, fuel
+ * exhaustion, builtin type errors, pathological regexes — are raised as
+ * EngineError, a catchable exception carrying a machine-readable kind
+ * plus function/bytecode/cycle context. The engine unwinds safely
+ * (active frames and machine states popped, jitDepth restored) and
+ * remains usable after a catch, in the spirit of treating bailout as a
+ * first-class always-available exit (Flückiger et al.). vpanic/vassert
+ * stay reserved for genuine engine-invariant violations.
+ *
+ * Fault injection. FaultConfig describes a deterministic schedule of
+ * induced failures keyed on per-site event ordinals, so a faulting run
+ * is exactly reproducible: the same config and program always fault at
+ * the same allocation/compile/code-entry. Environment syntax
+ * (VSPEC_FAULT):
+ *
+ *   alloc-fail-at=N     mortal allocation N raises OutOfMemory
+ *   gc-every=N          force a full GC before every Nth allocation
+ *   compile-fail-at=N   optimizing compile attempt N bails out
+ *   spurious-deopt-at=N optimized-code entry N deopts immediately
+ *
+ * e.g. VSPEC_FAULT=gc-every=64,compile-fail-at=1. GC stress, compile
+ * failure and spurious deopt must preserve results bit-identically;
+ * alloc-fail surfaces a structured OutOfMemory. Injected faults emit
+ * `fault` vtrace events and bump the FaultsInjected counter.
+ */
+
+#ifndef VSPEC_RUNTIME_GUARD_HH
+#define VSPEC_RUNTIME_GUARD_HH
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+
+class Tracer;
+
+// ---------------------------------------------------------------------
+// EngineError
+// ---------------------------------------------------------------------
+
+enum class EngineErrorKind : u8
+{
+    OutOfMemory,    //!< simulated heap exhausted (post-GC) or injected
+    StackOverflow,  //!< invoke-depth guard or simulated SP into the heap
+    FuelExhausted,  //!< EngineConfig::maxFuelCycles or instruction budget
+    CompileFailed,  //!< optimizing compile failed where success was required
+    TypeError,      //!< program-level type error (non-callable, non-array…)
+    RegexBudget,    //!< regex_lite backtracking step budget exceeded
+    NumKinds,
+};
+
+constexpr u32 kNumEngineErrorKinds =
+    static_cast<u32>(EngineErrorKind::NumKinds);
+
+const char *engineErrorKindName(EngineErrorKind k);
+
+/**
+ * Catchable structured engine error. Derives from std::runtime_error so
+ * existing catch sites (the experiment harness, EXPECT_THROW tests)
+ * keep working; what() includes the kind and any frame context.
+ */
+class EngineError : public std::runtime_error
+{
+  public:
+    static constexpr u32 kNoContext = 0xffffffffu;
+
+    EngineError(EngineErrorKind kind, const std::string &message);
+
+    /**
+     * Copy of this error with interpreter-frame context stamped in.
+     * The innermost frame wins: an error that already carries context
+     * is returned unchanged, so outer frames rethrow transparently.
+     */
+    EngineError withContext(u32 function, u32 bytecode_offset,
+                            u64 cycle) const;
+
+    bool hasContext() const { return function != kNoContext; }
+
+    EngineErrorKind kind;
+    std::string message;          //!< bare message, no kind/context
+    u32 function = kNoContext;    //!< FunctionId of the faulting frame
+    u32 bytecodeOffset = kNoContext;
+    u64 cycle = 0;                //!< engine cycles when raised
+};
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+struct FaultConfig
+{
+    /** Raise OutOfMemory on the Nth mortal allocation (1-based; 0 off). */
+    u64 allocFailAt = 0;
+    /** Force a full GC before every Nth mortal allocation (GC stress). */
+    u64 gcEveryNAllocs = 0;
+    /** Fail the Nth optimizing compile attempt (interpreter fallback). */
+    u64 compileFailAt = 0;
+    /** Deoptimize at the Nth optimized-code entry (re-enter interpreter). */
+    u64 spuriousDeoptAt = 0;
+
+    bool any() const
+    {
+        return (allocFailAt | gcEveryNAllocs | compileFailAt
+                | spuriousDeoptAt) != 0;
+    }
+
+    /** Parse the VSPEC_FAULT environment variable (empty when unset). */
+    static FaultConfig fromEnv();
+
+    /**
+     * Parse "key=N,key=N,..." using the keys documented in the file
+     * comment. Unknown keys warn through support/logging and are
+     * ignored, like VSPEC_TRACE typos.
+     */
+    static FaultConfig parse(const std::string &spec);
+};
+
+/** What Heap::allocate must do at this allocation. */
+enum class AllocFault : u8
+{
+    None,
+    ForceGc,  //!< run a full collection first (GC stress)
+    Fail,     //!< raise OutOfMemory without attempting the allocation
+};
+
+/**
+ * Per-engine deterministic fault-injection state: one ordinal counter
+ * per site, advanced on every query regardless of configuration so a
+ * late-enabled schedule still sees stable numbering. All methods are
+ * O(1) increments; with an empty config every site answers "no fault"
+ * after one branch.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &config = {})
+        : config(config)
+    {}
+
+    bool enabled() const { return config.any(); }
+
+    /** Called by Heap::allocate for every mortal allocation. */
+    AllocFault onAllocation();
+
+    /** @return true when this compile attempt must fail. */
+    bool onCompile();
+
+    /** @return true when this optimized-code entry must deopt. */
+    bool onOptimizedEntry();
+
+    /** vtrace hookup (set by the engine, same shape as GC's). */
+    void
+    setTrace(Tracer *tracer, std::function<u64()> clock)
+    {
+        trace = tracer;
+        traceClock = std::move(clock);
+    }
+
+    FaultConfig config;
+    u64 allocations = 0;
+    u64 compiles = 0;
+    u64 optimizedEntries = 0;
+    u64 injected = 0;  //!< total faults actually delivered
+
+  private:
+    void report(const char *site, u64 ordinal);
+
+    Tracer *trace = nullptr;
+    std::function<u64()> traceClock;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_RUNTIME_GUARD_HH

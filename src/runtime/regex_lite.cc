@@ -3,6 +3,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "runtime/guard.hh"
+
 namespace vspec
 {
 
@@ -223,8 +225,12 @@ matchNode(const Node &n, const std::string &s, size_t pos, u64 &steps,
           const std::function<int(size_t)> &k)
 {
     steps++;
-    if (steps > 50'000'000)
-        throw std::runtime_error("regex: step budget exceeded");
+    if (steps > 50'000'000) {
+        // A pathological pattern degrades the one call, not the run:
+        // catchable vguard error rather than an unstructured abort.
+        throw EngineError(EngineErrorKind::RegexBudget,
+                          "regex step budget exceeded");
+    }
     switch (n.kind) {
       case Node::Kind::Literal:
         if (pos < s.size() && s[pos] == n.ch)

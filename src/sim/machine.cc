@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "runtime/guard.hh"
 #include "sim/fast_timing.hh"
 #include "sim/inorder.hh"
 #include "sim/o3lite.hh"
@@ -250,10 +251,21 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
     RunResult result;
     st.pc = 0;
     SimStats *tstats = timing != nullptr ? &timing->stats : nullptr;
+    // Frames grow down from stackTop(); once SP crosses into the mortal
+    // region the next spill would overwrite live heap objects. Armed
+    // only when the caller set SP into the stack region (direct-run
+    // tests execute stackless snippets with SP = 0).
+    const u64 stack_limit = heap.sizeBytes() - Heap::kStackReserve;
+    const bool sp_guard = st.sp() >= stack_limit;
 
     while (true) {
         if (result.instructions++ > maxInstructions)
-            vpanic("simulated code exceeded instruction budget");
+            throw EngineError(EngineErrorKind::FuelExhausted,
+                              "simulated code exceeded the "
+                              + std::to_string(maxInstructions)
+                              + "-instruction budget");
+        if ((result.instructions & 0xfffu) == 0 && fuelCheck)
+            fuelCheck();
         vassert(st.pc < code.code.size(), "pc out of code bounds");
         const MInst &m = code.code[st.pc];
         u32 cur = st.pc;
@@ -836,6 +848,17 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
             break;
           }
         }
+
+        // Simulated-machine stack overflow: fault as soon as SP leaves
+        // the reserved stack region instead of silently corrupting live
+        // heap objects with the next spill.
+        if (sp_guard && st.sp() < stack_limit)
+            throw EngineError(
+                EngineErrorKind::StackOverflow,
+                "simulated stack overflow: sp="
+                + std::to_string(st.sp()) + " below the "
+                + std::to_string(Heap::kStackReserve)
+                + "-byte stack reserve");
 
         if (trace && result.instructions < traceLimit) {
             std::fprintf(stderr,

@@ -177,8 +177,14 @@ class FunctionalCore
     RunResult run(const CodeObject &code, MachineState &state,
                   TimingModel *timing, SampleSink *sampler);
 
-    /** Upper bound on instructions per invocation (runaway guard). */
+    /** Upper bound on instructions per invocation (runaway guard);
+     *  exceeding it raises EngineError{FuelExhausted}. */
     u64 maxInstructions = 2'000'000'000;
+
+    /** Optional fuel hook, polled every few thousand committed
+     *  instructions (set by the engine when a fuel budget is active;
+     *  throws EngineError{FuelExhausted} to stop the run). */
+    std::function<void()> fuelCheck;
 
     /** Debug: print every committed instruction with register values. */
     bool trace = false;

@@ -60,6 +60,7 @@ class FuzzGen
     void statement(u32 depth, const std::vector<std::string> &loop_vars);
     void setup();
     void helpers();
+    void recursiveHelpers();
     void bench();
     void verifyFn();
 };
@@ -223,7 +224,12 @@ FuzzGen::statement(u32 depth, const std::vector<std::string> &loop_vars)
             << static_cast<char>('a' + rng.nextBelow(26)) << "\";\n";
         break;
       default:
-        if (o.helperFunctions > 0) {
+        if (o.recursiveHelpers > 0 && rng.nextBelow(2) == 0) {
+            out << "  " << pickInt() << " = fr"
+                << rng.nextBelow(o.recursiveHelpers) << "("
+                << intExpr(1, loop_vars) << ", "
+                << rng.nextRange(2, 12) << ") | 0;\n";
+        } else if (o.helperFunctions > 0) {
             out << "  " << pickInt() << " = "
                 << fn(static_cast<u32>(rng.nextBelow(o.helperFunctions)))
                 << "(" << intExpr(1, loop_vars) << ", "
@@ -287,6 +293,24 @@ FuzzGen::helpers()
 }
 
 void
+FuzzGen::recursiveHelpers()
+{
+    // Bounded self-recursion: the depth argument strictly decreases
+    // and bottoms out at 0, so termination is structural. Exercises
+    // call-feedback on recursive targets and deep interpreter<->JIT
+    // re-entry without approaching the invoke-depth guard.
+    for (u32 i = 0; i < o.recursiveHelpers; i++) {
+        static const char *const ops[] = { "+", "-", "^" };
+        out << "function fr" << i << "(p0, d) {\n"
+            << "  if (d <= 0) { return p0 | 0; }\n"
+            << "  return (fr" << i << "((p0 " << ops[rng.nextBelow(3)]
+            << " " << rng.nextRange(1, 9) << ") | 0, d - 1) "
+            << ops[rng.nextBelow(3)] << " d) | 0;\n"
+            << "}\n";
+    }
+}
+
+void
 FuzzGen::bench()
 {
     out << "function bench() {\n";
@@ -330,6 +354,7 @@ FuzzGen::generate()
 {
     setup();
     helpers();
+    recursiveHelpers();
     bench();
     verifyFn();
     return out.str();

@@ -32,6 +32,12 @@ struct FuzzOptions
 {
     u32 statements = 12;      //!< statement budget for bench()
     u32 helperFunctions = 2;  //!< callable leaf functions
+    /** Bounded self-recursive helpers (0 = none, keeping the default
+     *  program stream unchanged). Each recursion strictly decreases a
+     *  depth parameter, so termination is structural; call depth stays
+     *  far below the engine's invoke-depth guard. Exercises the
+     *  interpreter<->JIT re-entry and unwinding paths. */
+    u32 recursiveHelpers = 0;
     u32 intVars = 4;
     u32 floatVars = 2;
     u32 stringVars = 2;

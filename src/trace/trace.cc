@@ -24,6 +24,7 @@ traceCategoryName(TraceCategory c)
       case TraceCategory::Ic: return "ic";
       case TraceCategory::Gc: return "gc";
       case TraceCategory::Exec: return "exec";
+      case TraceCategory::Fault: return "fault";
       case TraceCategory::NumCategories: break;
     }
     return "?";
@@ -170,6 +171,8 @@ traceCounterName(TraceCounter c)
       case TraceCounter::IcToMegamorphic: return "ic_to_megamorphic";
       case TraceCounter::GcCycles: return "gc_cycles";
       case TraceCounter::GcBytesFreed: return "gc_bytes_freed";
+      case TraceCounter::FaultsInjected: return "faults_injected";
+      case TraceCounter::EngineErrors: return "engine_errors";
       case TraceCounter::NumCounters: break;
     }
     return "?";

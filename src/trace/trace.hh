@@ -58,6 +58,7 @@ enum class TraceCategory : u8
     Ic,       //!< feedback-vector state transitions
     Gc,       //!< collection cycles
     Exec,     //!< function invocations (both tiers) — high volume
+    Fault,    //!< vguard injected faults and raised engine errors
     NumCategories,
 };
 
@@ -202,6 +203,8 @@ enum class TraceCounter : u16
     IcToMegamorphic,
     GcCycles,
     GcBytesFreed,
+    FaultsInjected,     //!< vguard faults actually delivered
+    EngineErrors,       //!< structured EngineErrors raised
     NumCounters,
 };
 

@@ -1,5 +1,6 @@
 #include "vm/heap.hh"
 
+#include "runtime/guard.hh"
 #include "vm/gc.hh"
 
 namespace vspec
@@ -37,13 +38,31 @@ Addr
 Heap::allocate(u32 size, u32 map_word, u32 aux)
 {
     size = (size + 7u) & ~7u;
+    if (faults != nullptr && faults->enabled()) {
+        switch (faults->onAllocation()) {
+          case AllocFault::Fail:
+            throw EngineError(EngineErrorKind::OutOfMemory,
+                              "injected allocation failure");
+          case AllocFault::ForceGc:
+            if (gc != nullptr)
+                gc->collect();
+            break;
+          case AllocFault::None:
+            break;
+        }
+    }
     Addr a = bumpAllocate(size);
     if (a == 0 && gc != nullptr) {
         gc->collect();
         a = bumpAllocate(size);
     }
     if (a == 0)
-        vpanic("simulated heap exhausted");
+        throw EngineError(EngineErrorKind::OutOfMemory,
+                          "simulated heap exhausted: "
+                          + std::to_string(size) + "-byte request, "
+                          + std::to_string(bytesInUse()) + "/"
+                          + std::to_string(sizeBytes())
+                          + " bytes in use after GC");
     std::memset(&mem_[a], 0, size);
     writeU32(a + HeapLayout::kMapOffset, map_word);
     writeU32(a + HeapLayout::kAuxOffset, aux);

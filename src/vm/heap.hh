@@ -65,6 +65,7 @@ struct HeapStats
 };
 
 class GarbageCollector;
+class FaultInjector;
 
 class Heap
 {
@@ -75,8 +76,10 @@ class Heap
     /**
      * Allocate @p size bytes (rounded up to 8) and write the header.
      * Returns the object's base address. Runs a GC cycle when the bump
-     * pointer and free lists are exhausted; panics if memory is still
-     * insufficient afterwards.
+     * pointer and free lists are exhausted; raises a catchable
+     * EngineError{OutOfMemory} (runtime/guard) if memory is still
+     * insufficient afterwards — the heap is left untouched, so the
+     * engine stays usable after the error is caught.
      */
     Addr allocate(u32 size, u32 map_word, u32 aux);
 
@@ -182,6 +185,10 @@ class Heap
 
     /** Set by Engine so allocate() can trigger collection. */
     GarbageCollector *gc = nullptr;
+
+    /** Set by Engine when fault injection is configured: allocate()
+     *  consults it for scheduled allocation failures and GC stress. */
+    FaultInjector *faults = nullptr;
 };
 
 } // namespace vspec

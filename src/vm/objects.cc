@@ -211,6 +211,11 @@ VMContext::newArray(ElementKind kind, u32 length, u32 capacity)
                             Value::smi(0));
     }
 
+    // The backing store is only reachable from this host local until
+    // the array header below links it; pin it against a GC triggered by
+    // that second allocation.
+    TempRootScope scope(heap.gc);
+    scope.pin(Value::heap(backing));
     Addr arr = heap.allocate(HeapLayout::kArraySize,
                              maps.mapWord(maps.arrayMap(kind)), 0);
     heap.writeU32(arr + HeapLayout::kArrayLengthOffset, length);
@@ -289,6 +294,10 @@ VMContext::transitionArrayKind(Addr arr, ElementKind to)
                                      + 4 * capacity,
                                      maps.mapWord(maps.fixedArrayMap()),
                                      capacity);
+        // Boxing doubles below allocates: pin the not-yet-linked backing
+        // so it (and the boxed numbers written into it) survive a GC.
+        TempRootScope scope(heap.gc);
+        scope.pin(Value::heap(backing));
         bool from_double = from == ElementKind::Double;
         for (u32 i = 0; i < len; i++) {
             Value v;

@@ -101,6 +101,30 @@ TEST_P(ConfigDifferential, ExperimentConfigsAgreeWithInterpreter)
     EXPECT_EQ(fused.checksum, interp.checksum) << "SMI extension";
 }
 
+TEST_P(ConfigDifferential, InjectedFaultsPreserveResults)
+{
+    // vguard degradation invariant: GC stress, a failed compile (with
+    // interpreter fallback + later retry) and a spurious deopt must
+    // all be invisible in the final checksum.
+    const Workload &w = *GetParam();
+    RunConfig base = baseConfig(w);
+    base.faults = FaultConfig{};
+    RunOutcome clean = runWorkload(w, base, nullptr);
+    ASSERT_TRUE(clean.completed) << clean.error;
+
+    for (const char *spec :
+         {"gc-every=32", "compile-fail-at=1", "spurious-deopt-at=2"}) {
+        RunConfig rc = base;
+        rc.faults = FaultConfig::parse(spec);
+        RunOutcome out = runWorkload(w, rc, &clean.checksum);
+        ASSERT_TRUE(out.completed)
+            << w.name << " under " << spec << ": " << out.error;
+        EXPECT_TRUE(out.valid)
+            << w.name << " under " << spec << ": checksum "
+            << out.checksum << " != " << clean.checksum;
+    }
+}
+
 TEST_P(ConfigDifferential, TraceDeoptStreamMatchesEngineLog)
 {
     const Workload &w = *GetParam();

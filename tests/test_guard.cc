@@ -1,0 +1,581 @@
+/** @file vguard tests: structured EngineError propagation and safe
+ *  unwinding (the engine stays usable after every catch), resource
+ *  guards (OOM-with-GC-retry, invoke depth, fuel, simulated stack),
+ *  and the deterministic fault-injection layer (GC stress, alloc-fail,
+ *  compile-fail, spurious deopt). The degradation invariant under
+ *  test: every injected fault either preserves results bit-identically
+ *  or surfaces a structured EngineError — never a crash or a silent
+ *  wrong answer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+#include "runtime/builtins.hh"
+#include "runtime/engine.hh"
+#include "runtime/guard.hh"
+#include "runtime/regex_lite.hh"
+#include "sim/machine.hh"
+#include "support/fuzz_gen.hh"
+#include "workloads/suite.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+EngineConfig
+quietConfig()
+{
+    EngineConfig cfg;
+    cfg.samplerEnabled = false;
+    cfg.faults = FaultConfig{};  // isolate tests from VSPEC_FAULT
+    return cfg;
+}
+
+/** Final checksum of @p source after @p iterations bench() calls. */
+std::string
+runChecksum(const std::string &source, EngineConfig cfg, u32 iterations)
+{
+    Engine engine(cfg);
+    engine.loadProgram(source);
+    for (u32 i = 0; i < iterations; i++)
+        engine.call("bench");
+    return engine.vm.display(engine.call("verify"));
+}
+
+const char *const kLoopProgram = R"(
+var total = 0;
+function work(n) {
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) { s = (s + i * 3) | 0; }
+  return s;
+}
+function bench() { total = (total + work(500)) | 0; }
+function verify() { return total; }
+)";
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// EngineError basics
+// ---------------------------------------------------------------------
+
+TEST(EngineErrorTest, KindNamesAreStable)
+{
+    EXPECT_STREQ(engineErrorKindName(EngineErrorKind::OutOfMemory),
+                 "OutOfMemory");
+    EXPECT_STREQ(engineErrorKindName(EngineErrorKind::StackOverflow),
+                 "StackOverflow");
+    EXPECT_STREQ(engineErrorKindName(EngineErrorKind::FuelExhausted),
+                 "FuelExhausted");
+    EXPECT_STREQ(engineErrorKindName(EngineErrorKind::CompileFailed),
+                 "CompileFailed");
+    EXPECT_STREQ(engineErrorKindName(EngineErrorKind::TypeError),
+                 "TypeError");
+    EXPECT_STREQ(engineErrorKindName(EngineErrorKind::RegexBudget),
+                 "RegexBudget");
+}
+
+TEST(EngineErrorTest, WhatIncludesKindAndContext)
+{
+    EngineError plain(EngineErrorKind::TypeError, "boom");
+    EXPECT_FALSE(plain.hasContext());
+    EXPECT_NE(std::string(plain.what()).find("TypeError"),
+              std::string::npos);
+    EXPECT_NE(std::string(plain.what()).find("boom"), std::string::npos);
+
+    EngineError stamped = plain.withContext(7, 42, 1234);
+    EXPECT_TRUE(stamped.hasContext());
+    EXPECT_EQ(stamped.function, 7u);
+    EXPECT_EQ(stamped.bytecodeOffset, 42u);
+    EXPECT_EQ(stamped.cycle, 1234u);
+    EXPECT_NE(std::string(stamped.what()).find("fn=7"), std::string::npos);
+
+    // The innermost frame wins: re-stamping is a no-op.
+    EngineError again = stamped.withContext(9, 99, 9999);
+    EXPECT_EQ(again.function, 7u);
+}
+
+TEST(EngineErrorTest, IsACatchableRuntimeError)
+{
+    // Existing catch sites use std::runtime_error / std::exception;
+    // EngineError must flow through them.
+    try {
+        throw EngineError(EngineErrorKind::OutOfMemory, "x");
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("OutOfMemory"),
+                  std::string::npos);
+        return;
+    }
+    FAIL() << "EngineError did not match std::runtime_error";
+}
+
+// ---------------------------------------------------------------------
+// FaultConfig parsing
+// ---------------------------------------------------------------------
+
+TEST(FaultConfigTest, ParsesAllSites)
+{
+    FaultConfig c = FaultConfig::parse(
+        "alloc-fail-at=5, gc-every=3 ,compile-fail-at=2,"
+        "spurious-deopt-at=7");
+    EXPECT_EQ(c.allocFailAt, 5u);
+    EXPECT_EQ(c.gcEveryNAllocs, 3u);
+    EXPECT_EQ(c.compileFailAt, 2u);
+    EXPECT_EQ(c.spuriousDeoptAt, 7u);
+    EXPECT_TRUE(c.any());
+}
+
+TEST(FaultConfigTest, IgnoresMalformedAndUnknownTokens)
+{
+    FaultConfig c = FaultConfig::parse(
+        "bogus-site=1,alloc-fail-at,gc-every=nope,,compile-fail-at=4");
+    EXPECT_EQ(c.allocFailAt, 0u);
+    EXPECT_EQ(c.gcEveryNAllocs, 0u);
+    EXPECT_EQ(c.compileFailAt, 4u);
+    EXPECT_EQ(FaultConfig::parse("").any(), false);
+}
+
+// ---------------------------------------------------------------------
+// TypeError propagation and engine reuse
+// ---------------------------------------------------------------------
+
+TEST(GuardTypeError, UnknownFunctionRaisesTypeError)
+{
+    Engine engine(quietConfig());
+    engine.loadProgram("function f() { return 1; }");
+    try {
+        engine.call("nope");
+        FAIL() << "expected EngineError";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.kind, EngineErrorKind::TypeError);
+    }
+    // The engine is untouched: calls still work after the catch.
+    EXPECT_EQ(engine.call("f").asSmi(), 1);
+    EXPECT_GE(engine.trace.counters.get(TraceCounter::EngineErrors), 1u);
+}
+
+TEST(GuardTypeError, CallingANonFunctionUnwindsSafely)
+{
+    Engine engine(quietConfig());
+    engine.loadProgram(R"(
+var x = 5;
+function bad() { return x(3); }
+function good() { return 7; }
+)");
+    try {
+        engine.call("bad");
+        FAIL() << "expected EngineError";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.kind, EngineErrorKind::TypeError);
+        // Context stamped by the interpreter frame that faulted.
+        EXPECT_TRUE(e.hasContext());
+    }
+    EXPECT_EQ(engine.call("good").asSmi(), 7);
+}
+
+TEST(GuardTypeError, BuiltinOnWrongReceiverRaisesTypeError)
+{
+    Engine engine(quietConfig());
+    engine.loadProgram("function f() { return 0; }");
+    try {
+        engine.callBuiltin(BuiltinId::ArrayPush, Value::smi(3),
+                           {Value::smi(1)});
+        FAIL() << "expected EngineError";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.kind, EngineErrorKind::TypeError);
+    }
+    EXPECT_EQ(engine.call("f").asSmi(), 0);
+}
+
+TEST(GuardTypeError, NonObjectPropertyStoreRaisesTypeError)
+{
+    Engine engine(quietConfig());
+    engine.loadProgram(R"(
+var n = 3;
+function bad() { n.x = 1; return 0; }
+function good() { return 11; }
+)");
+    EXPECT_THROW(engine.call("bad"), EngineError);
+    EXPECT_EQ(engine.call("good").asSmi(), 11);
+}
+
+// ---------------------------------------------------------------------
+// Resource guards
+// ---------------------------------------------------------------------
+
+TEST(GuardOom, HeapExhaustionIsCatchableAndEngineSurvives)
+{
+    EngineConfig cfg = quietConfig();
+    cfg.heapSize = 3u << 20;  // ~1 MiB mortal after reserves
+    Engine engine(cfg);
+    engine.loadProgram(R"(
+var a = [];
+function blowup() {
+  for (var i = 0; i < 2000000; i = i + 1) { a.push(i * 1.5 + 0.25); }
+  return a.length;
+}
+function reset() { a = []; return 0; }
+function small() { return 1 + 2; }
+)");
+    try {
+        engine.call("blowup");
+        FAIL() << "expected OutOfMemory";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.kind, EngineErrorKind::OutOfMemory);
+    }
+    // After dropping the hoard, GC reclaims the space and the same
+    // engine keeps executing — including fresh allocation.
+    EXPECT_EQ(engine.call("reset").asSmi(), 0);
+    EXPECT_EQ(engine.call("small").asSmi(), 3);
+}
+
+TEST(GuardOom, GcRetryAvoidsSpuriousFailure)
+{
+    // Fill then release repeatedly: without the GC-then-retry in
+    // Heap::allocate, garbage from earlier rounds would exhaust the
+    // mortal region even though live data always fits.
+    EngineConfig cfg = quietConfig();
+    cfg.heapSize = 3u << 20;
+    Engine engine(cfg);
+    engine.loadProgram(R"(
+var keep = 0;
+function round() {
+  var a = [];
+  for (var i = 0; i < 3000; i = i + 1) { a.push(i * 0.5); }
+  return a.length;
+}
+function bench() { keep = (keep + round()) | 0; }
+function verify() { return keep; }
+)");
+    for (u32 i = 0; i < 40; i++)
+        engine.call("bench");
+    EXPECT_EQ(engine.call("verify").asSmi(), 40 * 3000);
+}
+
+TEST(GuardDepth, RunawayRecursionRaisesStackOverflow)
+{
+    EngineConfig cfg = quietConfig();
+    cfg.maxInvokeDepth = 128;
+    Engine engine(cfg);
+    engine.loadProgram(R"(
+function rec(n) { if (n <= 0) { return 0; } return (rec(n - 1) + 1) | 0; }
+)");
+    try {
+        engine.call("rec", {Value::smi(100000)});
+        FAIL() << "expected StackOverflow";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.kind, EngineErrorKind::StackOverflow);
+    }
+    // Unwound cleanly: bounded recursion still works afterwards.
+    EXPECT_EQ(engine.call("rec", {Value::smi(50)}).asSmi(), 50);
+}
+
+TEST(GuardFuel, BudgetExhaustionRaisesFuelExhausted)
+{
+    EngineConfig cfg = quietConfig();
+    cfg.maxFuelCycles = 200'000;
+    Engine engine(cfg);
+    engine.loadProgram(kLoopProgram);
+    bool exhausted = false;
+    try {
+        for (u32 i = 0; i < 100000; i++)
+            engine.call("bench");
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.kind, EngineErrorKind::FuelExhausted);
+        exhausted = true;
+    }
+    EXPECT_TRUE(exhausted);
+    EXPECT_GT(engine.totalCycles(), cfg.maxFuelCycles);
+}
+
+TEST(GuardFuel, SimulatedCoreInstructionBudget)
+{
+    Heap heap(8u << 20);
+    FunctionalCore core(heap, [](RuntimeFn, MachineState &, const MInst &) {});
+    core.maxInstructions = 10;
+
+    std::vector<MInst> code;
+    for (int i = 0; i < 32; i++) {
+        MInst m;
+        m.op = MOp::AddI;
+        m.rd = 1;
+        m.rn = 1;
+        m.imm = 1;
+        code.push_back(m);
+    }
+    MInst ret;
+    ret.op = MOp::Ret;
+    code.push_back(ret);
+    CodeObject obj;
+    obj.code = std::move(code);
+
+    MachineState st;
+    try {
+        core.run(obj, st, nullptr, nullptr);
+        FAIL() << "expected FuelExhausted";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.kind, EngineErrorKind::FuelExhausted);
+    }
+}
+
+TEST(GuardStack, SimulatedSpBelowReserveFaults)
+{
+    Heap heap(8u << 20);
+    FunctionalCore core(heap, [](RuntimeFn, MachineState &, const MInst &) {});
+
+    MInst sub;
+    sub.op = MOp::SubI;
+    sub.rd = kSpReg;
+    sub.rn = kSpReg;
+    sub.imm = 64;
+    MInst ret;
+    ret.op = MOp::Ret;
+    CodeObject obj;
+    obj.code = {sub, ret};
+
+    // Armed: the frame starts inside the stack region, then drops
+    // below the reserve — a spill there would overwrite live heap.
+    MachineState st;
+    st.sp() = heap.sizeBytes() - Heap::kStackReserve + 16;
+    try {
+        core.run(obj, st, nullptr, nullptr);
+        FAIL() << "expected StackOverflow";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.kind, EngineErrorKind::StackOverflow);
+    }
+
+    // Unarmed: direct-run tests execute stackless snippets with SP
+    // outside the stack region; the guard must not fire for them.
+    MachineState bare;
+    EXPECT_NO_THROW(core.run(obj, bare, nullptr, nullptr));
+}
+
+TEST(GuardRegex, PathologicalPatternRaisesRegexBudget)
+{
+    RegexLite re("(a+)+(a+)+b");
+    std::string subject(40, 'a');
+    u64 steps = 0;
+    try {
+        re.test(subject, steps);
+        FAIL() << "expected RegexBudget";
+    } catch (const EngineError &e) {
+        EXPECT_EQ(e.kind, EngineErrorKind::RegexBudget);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: degradation invariants
+// ---------------------------------------------------------------------
+
+// GC stress needs a workload that actually allocates.
+const char *const kAllocProgram = R"(
+var total = 0;
+function work(n) {
+  var a = [];
+  for (var i = 0; i < n; i = i + 1) { a.push((i * 3 + 1) | 0); }
+  var s = 0;
+  for (var j = 0; j < n; j = j + 1) { s = (s + a[j]) | 0; }
+  return s;
+}
+function bench() { total = (total + work(120)) | 0; }
+function verify() { return total; }
+)";
+
+TEST(FaultInjection, GcStressPreservesResults)
+{
+    std::string clean = runChecksum(kAllocProgram, quietConfig(), 20);
+
+    EngineConfig cfg = quietConfig();
+    cfg.faults = FaultConfig::parse("gc-every=16");
+    Engine engine(cfg);
+    engine.loadProgram(kAllocProgram);
+    for (u32 i = 0; i < 20; i++)
+        engine.call("bench");
+    EXPECT_EQ(engine.vm.display(engine.call("verify")), clean);
+    EXPECT_GT(engine.faults.injected, 0u);
+    EXPECT_EQ(engine.trace.counters.get(TraceCounter::FaultsInjected),
+              engine.faults.injected);
+}
+
+TEST(FaultInjection, CompileFailFallsBackAndPreservesResults)
+{
+    std::string clean = runChecksum(kLoopProgram, quietConfig(), 20);
+
+    EngineConfig cfg = quietConfig();
+    cfg.faults = FaultConfig::parse("compile-fail-at=1");
+    Engine engine(cfg);
+    engine.loadProgram(kLoopProgram);
+    for (u32 i = 0; i < 20; i++)
+        engine.call("bench");
+    EXPECT_EQ(engine.vm.display(engine.call("verify")), clean);
+    EXPECT_EQ(engine.faults.injected, 1u);
+    // The failed attempt must not poison the function: with the
+    // one-shot fault spent, a later tier-up retry succeeded.
+    EXPECT_GT(engine.compilations, 0u);
+}
+
+TEST(FaultInjection, SpuriousDeoptReentersInterpreterIdentically)
+{
+    std::string clean = runChecksum(kLoopProgram, quietConfig(), 20);
+
+    EngineConfig cfg = quietConfig();
+    cfg.faults = FaultConfig::parse("spurious-deopt-at=1");
+    Engine engine(cfg);
+    engine.loadProgram(kLoopProgram);
+    for (u32 i = 0; i < 20; i++)
+        engine.call("bench");
+    EXPECT_EQ(engine.vm.display(engine.call("verify")), clean);
+    EXPECT_EQ(engine.faults.injected, 1u);
+
+    // Injected deopts are logged through the normal taxonomy.
+    bool saw = false;
+    for (const DeoptRecord &d : engine.deoptLog)
+        saw = saw || d.reason == DeoptReason::DeoptimizeNow;
+    EXPECT_TRUE(saw);
+}
+
+TEST(FaultInjection, AllocFailIsDeterministic)
+{
+    auto runOnce = [](std::string &what) {
+        EngineConfig cfg;
+        cfg.samplerEnabled = false;
+        cfg.faults = FaultConfig::parse("alloc-fail-at=4000");
+        Engine engine(cfg);
+        engine.loadProgram(kLoopProgram);
+        try {
+            for (u32 i = 0; i < 5000; i++)
+                engine.call("bench");
+        } catch (const EngineError &e) {
+            what = e.what();
+            EXPECT_EQ(e.kind, EngineErrorKind::OutOfMemory);
+            return engine.faults.allocations;
+        }
+        return u64{0};
+    };
+    std::string what_a, what_b;
+    u64 a = runOnce(what_a);
+    u64 b = runOnce(what_b);
+    EXPECT_EQ(a, 4000u);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(what_a, what_b);
+}
+
+TEST(FaultInjection, NoFaultsMeansNoCycleDrift)
+{
+    // With an empty FaultConfig the guards must be invisible: two
+    // engines, one built as the seed would build it and one with the
+    // vguard-era defaults, agree on every cycle count.
+    EngineConfig cfg = quietConfig();
+    Engine a(cfg);
+    a.loadProgram(kLoopProgram);
+    for (u32 i = 0; i < 10; i++)
+        a.call("bench");
+
+    Engine b(cfg);
+    b.loadProgram(kLoopProgram);
+    for (u32 i = 0; i < 10; i++)
+        b.call("bench");
+
+    EXPECT_EQ(a.totalCycles(), b.totalCycles());
+    EXPECT_EQ(a.interpreterCycles, b.interpreterCycles);
+    EXPECT_EQ(a.faults.injected, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection under fuzz: never crash, never silently wrong
+// ---------------------------------------------------------------------
+
+TEST(FaultFuzz, TwoHundredProgramsUnderRotatingFaults)
+{
+    const char *const specs[] = {
+        "gc-every=7",
+        "alloc-fail-at=900",
+        "compile-fail-at=1",
+        "spurious-deopt-at=1",
+        "gc-every=13,compile-fail-at=2",
+    };
+    constexpr u64 kPrograms = 200;
+    u64 injected_total = 0;
+    u64 structured_errors = 0;
+
+    FuzzOptions opts;
+    opts.recursiveHelpers = 1;  // exercise re-entry + unwinding paths
+
+    for (u64 seed = 1; seed <= kPrograms; seed++) {
+        std::string source = generateFuzzProgram(seed, opts);
+
+        EngineConfig clean_cfg;
+        clean_cfg.samplerEnabled = false;
+        clean_cfg.heapSize = 8u << 20;
+        clean_cfg.faults = FaultConfig{};
+        std::string clean;
+        ASSERT_NO_THROW(clean = runChecksum(source, clean_cfg, 4))
+            << "seed " << seed << "\n" << source;
+
+        EngineConfig cfg = clean_cfg;
+        cfg.faults = FaultConfig::parse(specs[seed % 5]);
+        Engine engine(cfg);
+        try {
+            engine.loadProgram(source);
+            for (u32 i = 0; i < 4; i++)
+                engine.call("bench");
+            std::string got = engine.vm.display(engine.call("verify"));
+            // Completed runs must agree bit-identically with the
+            // uninjected run.
+            ASSERT_EQ(got, clean)
+                << "seed " << seed << " spec " << specs[seed % 5] << "\n"
+                << source;
+        } catch (const EngineError &e) {
+            // Structured degradation is the only acceptable failure.
+            structured_errors++;
+            EXPECT_EQ(e.kind, EngineErrorKind::OutOfMemory)
+                << "seed " << seed << " spec " << specs[seed % 5]
+                << " kind " << engineErrorKindName(e.kind);
+        }
+        injected_total += engine.faults.injected;
+    }
+    // The schedule must actually fire, and GC stress must dominate.
+    EXPECT_GT(injected_total, kPrograms);
+}
+
+// ---------------------------------------------------------------------
+// Environment-driven fault matrix (CI hook)
+// ---------------------------------------------------------------------
+
+TEST(FaultMatrixEnv, SuiteSurvivesInjectedFaults)
+{
+    FaultConfig env = FaultConfig::fromEnv();
+    if (!env.any())
+        GTEST_SKIP() << "set VSPEC_FAULT to run the fault matrix";
+
+    u32 checked = 0;
+    for (const Workload &w : suite()) {
+        if (checked == 6)
+            break;
+        checked++;
+
+        RunConfig base;
+        base.iterations = 25;
+        base.samplerEnabled = false;
+        base.faults = FaultConfig{};
+        RunOutcome ref = runWorkload(w, base, nullptr);
+        ASSERT_TRUE(ref.completed) << w.name << ": " << ref.error;
+
+        RunConfig rc = base;
+        rc.faults = env;
+        RunOutcome out = runWorkload(w, rc, &ref.checksum);
+        if (out.completed) {
+            EXPECT_TRUE(out.valid)
+                << w.name << ": checksum " << out.checksum << " != "
+                << ref.checksum;
+        } else {
+            // A structured error is an acceptable outcome (alloc-fail);
+            // an unclassified one is not.
+            EXPECT_FALSE(out.errorKind.empty())
+                << w.name << ": unstructured failure: " << out.error;
+        }
+    }
+}
