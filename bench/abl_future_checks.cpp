@@ -16,6 +16,19 @@
 using namespace vspec;
 using namespace vspec::bench;
 
+namespace
+{
+
+struct Cell
+{
+    bool ok = false;
+    double smi = 0.0;
+    double map = 0.0;
+    std::string text;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -26,24 +39,26 @@ main(int argc, char **argv)
     hr('=', 96);
 
     auto cores = CpuConfig::gem5Cores();
-    double sum_smi = 0.0, sum_map = 0.0;
-    int n = 0;
-
     printf("%-14s", "workload");
     for (const auto &c : cores)
         printf(" | %-10.10s smi    +map", c.name.c_str());
     printf("\n");
     hr('-', 110);
 
-    for (const Workload *w : gem5Subset()) {
-        if (!args.selected(*w))
-            continue;
-        printf("%-14s", w->name.c_str());
-        for (const auto &core : cores) {
+    // One cell per (workload, core) pair; row-major, so rendering a
+    // workload's line concatenates a contiguous slice of cells.
+    auto workloads = args.selectedGem5();
+    size_t n_cells = workloads.size() * cores.size();
+    auto cells = par::mapCells<Cell>(
+        args.jobs, n_cells, [&](size_t idx) {
+            const Workload &w = *workloads[idx / cores.size()];
+            const CpuConfig &core = cores[idx % cores.size()];
+            Cell cell;
+
             RunConfig base;
             base.isa = IsaFlavour::Arm64Like;
             base.cpu = core;
-            base.size = w->gem5Size;
+            base.size = w.gem5Size;
             base.iterations = args.iterations;
             base.samplerEnabled = false;
 
@@ -57,9 +72,9 @@ main(int argc, char **argv)
             for (u32 r = 0; r < args.repeats; r++) {
                 RunConfig b2 = base, s2 = smi, m2 = both;
                 b2.jitter = s2.jitter = m2.jitter = r;
-                RunOutcome ob = runWorkload(*w, b2, nullptr);
-                RunOutcome os = runWorkload(*w, s2, nullptr);
-                RunOutcome om = runWorkload(*w, m2, nullptr);
+                RunOutcome ob = runWorkload(w, b2, nullptr);
+                RunOutcome os = runWorkload(w, s2, nullptr);
+                RunOutcome om = runWorkload(w, m2, nullptr);
                 if (!ob.completed || !os.completed || !om.completed)
                     continue;
                 c_base += ob.steadyStateCycles();
@@ -68,15 +83,29 @@ main(int argc, char **argv)
                 reps++;
             }
             if (reps == 0 || c_base <= 0) {
-                printf(" |        n/a        ");
-                continue;
+                cell.text = " |        n/a        ";
+                return cell;
             }
-            double spd_smi = 100.0 * (1.0 - c_smi / c_base);
-            double spd_map = 100.0 * (1.0 - c_both / c_base);
-            printf(" |   %6.2f%% %6.2f%%", spd_smi, spd_map);
-            sum_smi += spd_smi;
-            sum_map += spd_map;
-            n++;
+            cell.ok = true;
+            cell.smi = 100.0 * (1.0 - c_smi / c_base);
+            cell.map = 100.0 * (1.0 - c_both / c_base);
+            cell.text = par::strprintf(" |   %6.2f%% %6.2f%%", cell.smi,
+                                       cell.map);
+            return cell;
+        });
+
+    double sum_smi = 0.0, sum_map = 0.0;
+    int n = 0;
+    for (size_t wi = 0; wi < workloads.size(); wi++) {
+        printf("%-14s", workloads[wi]->name.c_str());
+        for (size_t ci = 0; ci < cores.size(); ci++) {
+            const Cell &cell = cells[wi * cores.size() + ci];
+            fputs(cell.text.c_str(), stdout);
+            if (cell.ok) {
+                sum_smi += cell.smi;
+                sum_map += cell.map;
+                n++;
+            }
         }
         printf("\n");
     }

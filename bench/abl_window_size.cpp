@@ -18,6 +18,17 @@
 using namespace vspec;
 using namespace vspec::bench;
 
+namespace
+{
+
+struct Cell
+{
+    bool ok = false;
+    double err[5] = {};
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -32,48 +43,56 @@ main(int argc, char **argv)
     for (IsaFlavour isa : {IsaFlavour::X64Like, IsaFlavour::Arm64Like}) {
         if (isa == IsaFlavour::Arm64Like && !args.bothIsas)
             break;
+
+        auto cells = par::mapWorkloads<Cell>(
+            args.jobs, args.selectedSuite(), [&](const Workload &w) {
+                Cell cell;
+                RunConfig rc;
+                rc.isa = isa;
+                rc.iterations = args.iterations;
+                rc.samplerPeriod = 101;
+
+                // One engine run; attribute its histograms five ways.
+                try {
+                    Engine engine(engineConfigFor(rc));
+                    engine.loadProgram(instantiate(w, w.defaultSize));
+                    for (u32 i = 0; i < rc.iterations; i++)
+                        engine.call("bench");
+                    AttributionResult truth;
+                    AttributionResult windows[5];
+                    for (const auto &code : engine.codeObjects) {
+                        const auto *hist =
+                            engine.sampler.histogramFor(code->id);
+                        if (hist == nullptr)
+                            continue;
+                        truth += attributeGroundTruth(*code, *hist);
+                        for (int wdx = 0; wdx <= 4; wdx++)
+                            windows[wdx] += attributeWindowHeuristic(
+                                *code, *hist, wdx);
+                    }
+                    if (truth.totalSamples == 0)
+                        return cell;
+                    double t = truth.overheadFraction();
+                    for (int wdx = 0; wdx <= 4; wdx++)
+                        cell.err[wdx] =
+                            windows[wdx].overheadFraction() - t;
+                    cell.ok = true;
+                } catch (const std::exception &) {
+                }
+                return cell;
+            });
+
         double abs_err[5] = {};
         double bias[5] = {};
         int n = 0;
-
-        for (const Workload &w : suite()) {
-            if (!args.selected(w))
+        for (const Cell &cell : cells) {
+            if (!cell.ok)
                 continue;
-            RunConfig rc;
-            rc.isa = isa;
-            rc.iterations = args.iterations;
-            rc.samplerPeriod = 101;
-
-            // One engine run; attribute its histograms five ways.
-            try {
-                Engine engine(engineConfigFor(rc));
-                engine.loadProgram(instantiate(w, w.defaultSize));
-                for (u32 i = 0; i < rc.iterations; i++)
-                    engine.call("bench");
-                AttributionResult truth;
-                AttributionResult windows[5];
-                for (const auto &code : engine.codeObjects) {
-                    const auto *hist =
-                        engine.sampler.histogramFor(code->id);
-                    if (hist == nullptr)
-                        continue;
-                    truth += attributeGroundTruth(*code, *hist);
-                    for (int wdx = 0; wdx <= 4; wdx++)
-                        windows[wdx] += attributeWindowHeuristic(
-                            *code, *hist, wdx);
-                }
-                if (truth.totalSamples == 0)
-                    continue;
-                double t = truth.overheadFraction();
-                for (int wdx = 0; wdx <= 4; wdx++) {
-                    double e =
-                        windows[wdx].overheadFraction() - t;
-                    abs_err[wdx] += std::abs(e) * 100.0;
-                    bias[wdx] += e * 100.0;
-                }
-                n++;
-            } catch (const std::exception &) {
+            for (int wdx = 0; wdx <= 4; wdx++) {
+                abs_err[wdx] += std::abs(cell.err[wdx]) * 100.0;
+                bias[wdx] += cell.err[wdx] * 100.0;
             }
+            n++;
         }
 
         printf("=== %s === (n=%d)\n", isaName(isa), n);

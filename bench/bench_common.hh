@@ -5,16 +5,24 @@
  * regenerates the rows/series of one figure or table of the paper
  * (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
  * paper-vs-measured values).
+ *
+ * Every binary runs its experiment cells through the vpar runner
+ * (harness/parallel.hh): `--jobs=N` (default VSPEC_JOBS, else hardware
+ * concurrency) shards cells across a worker pool; output is rendered
+ * sequentially from cell-indexed results, so it is byte-identical to a
+ * `--jobs=1` run.
  */
 
 #ifndef VSPEC_BENCH_BENCH_COMMON_HH
 #define VSPEC_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
-#include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "stats/stats.hh"
 
 namespace vspec
@@ -26,9 +34,52 @@ struct BenchArgs
 {
     u32 iterations = 30;
     u32 repeats = 3;
+    u32 jobs = sched::defaultJobs();
+    bool cache = true;     //!< persistent reference/safe-set cache
     bool bothIsas = true;
     bool quick = false;
-    std::string only;  //!< restrict to one workload (name or tag)
+    std::string only;      //!< restrict to one workload (name or tag)
+
+    [[noreturn]] static void
+    usage(const char *argv0, const char *bad_flag)
+    {
+        if (bad_flag != nullptr)
+            std::fprintf(stderr, "%s: invalid argument '%s'\n", argv0,
+                         bad_flag);
+        std::fprintf(stderr,
+                     "usage: %s [--iters=N] [--repeats=N] [--jobs=N]\n"
+                     "          [--no-cache] [--arm64-only] [--quick]\n"
+                     "          [--only=WORKLOAD|TAG]\n"
+                     "  --iters=N    iterations per run (positive)\n"
+                     "  --repeats=N  repeated runs per cell (positive)\n"
+                     "  --jobs=N     worker threads (default: VSPEC_JOBS"
+                     " or hardware concurrency)\n"
+                     "  --no-cache   ignore the persistent reference/"
+                     "safe-set cache\n"
+                     "  --arm64-only skip the x64-like ISA flavour\n"
+                     "  --quick      fewer iterations, one repeat\n"
+                     "  --only=NAME  restrict to one workload name or "
+                     "tag\n",
+                     argv0);
+        std::exit(2);
+    }
+
+    /** Parse a positive decimal count; exits with usage() on garbage
+     *  (atoi's silent 0 previously turned typos into empty runs). */
+    static u32
+    parseCount(const char *argv0, const char *flag, const char *text)
+    {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(text, &end, 10);
+        if (text[0] == '\0' || end == nullptr || *end != '\0' || v == 0
+            || v > 1000000000ul) {
+            std::fprintf(stderr, "%s: %s expects a positive integer, "
+                                 "got '%s'\n",
+                         argv0, flag, text);
+            std::exit(2);
+        }
+        return static_cast<u32>(v);
+    }
 
     static BenchArgs
     parse(int argc, char **argv, u32 default_iters = 30,
@@ -38,21 +89,33 @@ struct BenchArgs
         a.iterations = default_iters;
         a.repeats = default_repeats;
         for (int i = 1; i < argc; i++) {
-            if (std::strncmp(argv[i], "--iters=", 8) == 0)
-                a.iterations = static_cast<u32>(std::atoi(argv[i] + 8));
-            else if (std::strncmp(argv[i], "--repeats=", 10) == 0)
-                a.repeats = static_cast<u32>(std::atoi(argv[i] + 10));
-            else if (std::strcmp(argv[i], "--arm64-only") == 0)
+            const char *arg = argv[i];
+            if (std::strncmp(arg, "--iters=", 8) == 0)
+                a.iterations = parseCount(argv[0], "--iters", arg + 8);
+            else if (std::strncmp(arg, "--repeats=", 10) == 0)
+                a.repeats = parseCount(argv[0], "--repeats", arg + 10);
+            else if (std::strncmp(arg, "--jobs=", 7) == 0)
+                a.jobs = parseCount(argv[0], "--jobs", arg + 7);
+            else if (std::strcmp(arg, "--no-cache") == 0)
+                a.cache = false;
+            else if (std::strcmp(arg, "--arm64-only") == 0)
                 a.bothIsas = false;
-            else if (std::strcmp(argv[i], "--quick") == 0)
+            else if (std::strcmp(arg, "--quick") == 0)
                 a.quick = true;
-            else if (std::strncmp(argv[i], "--only=", 7) == 0)
-                a.only = argv[i] + 7;
+            else if (std::strncmp(arg, "--only=", 7) == 0)
+                a.only = arg + 7;
+            else if (std::strcmp(arg, "--help") == 0
+                     || std::strcmp(arg, "-h") == 0)
+                usage(argv[0], nullptr);
+            else
+                usage(argv[0], arg);
         }
         if (a.quick) {
             a.iterations = std::max<u32>(10, a.iterations / 3);
             a.repeats = 1;
         }
+        if (!a.cache)
+            par::PersistentCache::instance().setDiskEnabled(false);
         return a;
     }
 
@@ -60,6 +123,28 @@ struct BenchArgs
     selected(const Workload &w) const
     {
         return only.empty() || w.name == only || w.tag == only;
+    }
+
+    /** Suite workloads passing the --only filter, in canonical order. */
+    std::vector<const Workload *>
+    selectedSuite() const
+    {
+        std::vector<const Workload *> ws;
+        for (const Workload &w : suite())
+            if (selected(w))
+                ws.push_back(&w);
+        return ws;
+    }
+
+    /** gem5 subset (§V) passing the --only filter. */
+    std::vector<const Workload *>
+    selectedGem5() const
+    {
+        std::vector<const Workload *> ws;
+        for (const Workload *w : gem5Subset())
+            if (selected(*w))
+                ws.push_back(w);
+        return ws;
     }
 };
 
@@ -69,6 +154,13 @@ hr(char c = '-', int width = 100)
     for (int i = 0; i < width; i++)
         putchar(c);
     putchar('\n');
+}
+
+/** hr() into a per-cell output buffer. */
+inline std::string
+hrs(char c = '-', int width = 100)
+{
+    return std::string(static_cast<size_t>(width), c) + "\n";
 }
 
 inline const char *

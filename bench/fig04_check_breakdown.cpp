@@ -21,6 +21,15 @@ using namespace vspec::bench;
 namespace
 {
 
+struct Row
+{
+    bool completed = false;
+    std::array<double, kNumGroups> freq{};
+    std::array<double, kNumGroups> ovh{};
+    double totalOvh = 0.0;
+    std::string text;
+};
+
 void
 runFlavour(const BenchArgs &args, IsaFlavour isa)
 {
@@ -37,49 +46,61 @@ runFlavour(const BenchArgs &args, IsaFlavour isa)
     printf("|\n");
     hr('-', 120);
 
+    auto rows = par::mapWorkloads<Row>(
+        args.jobs, args.selectedSuite(), [&](const Workload &w) {
+            Row row;
+            RunConfig rc;
+            rc.isa = isa;
+            rc.iterations = args.iterations;
+            RunOutcome out = runWorkload(w, rc, nullptr);
+            if (!out.completed)
+                return row;
+            row.completed = true;
+
+            row.text = par::strprintf("%-16s | ", w.name.c_str());
+            // Frequency: static checks per group, scaled by dynamic
+            // execution (approximate per-group dynamic split by static
+            // shares of the hot code).
+            double per100 = out.sim.instructions == 0 ? 0.0
+                : 100.0 * static_cast<double>(out.sim.checksExecuted)
+                  / static_cast<double>(out.sim.instructions);
+            u64 static_total = out.staticChecks ? out.staticChecks : 1;
+            for (size_t gi = 0; gi < kNumGroups; gi++) {
+                double share =
+                    static_cast<double>(out.staticChecksPerGroup[gi])
+                    / static_cast<double>(static_total);
+                row.freq[gi] = per100 * share;
+                row.text += par::strprintf("%-7.2f", row.freq[gi]);
+            }
+            row.text += "| ";
+            // Overhead per group from the window heuristic.
+            u64 tot = out.window.totalSamples ? out.window.totalSamples
+                                              : 1;
+            for (size_t gi = 0; gi < kNumGroups; gi++) {
+                row.ovh[gi] =
+                    100.0
+                    * static_cast<double>(out.window.samplesPerGroup[gi])
+                    / static_cast<double>(tot);
+                row.text += par::strprintf("%-7.2f", row.ovh[gi]);
+            }
+            row.totalOvh = 100.0 * out.window.overheadFraction();
+            row.text += par::strprintf("| %6.2f\n", row.totalOvh);
+            return row;
+        });
+
     std::array<double, kNumGroups> mean_freq{};
     std::array<double, kNumGroups> mean_ovh{};
     double mean_total_ovh = 0.0;
     int count = 0;
-
-    for (const Workload &w : suite()) {
-        if (!args.selected(w))
+    for (const Row &row : rows) {
+        if (!row.completed)
             continue;
-        RunConfig rc;
-        rc.isa = isa;
-        rc.iterations = args.iterations;
-        RunOutcome out = runWorkload(w, rc, nullptr);
-        if (!out.completed)
-            continue;
-
-        printf("%-16s | ", w.name.c_str());
-        // Frequency: static checks per group, scaled by dynamic
-        // execution (approximate per-group dynamic split by static
-        // shares of the hot code).
-        double per100 = out.sim.instructions == 0 ? 0.0
-            : 100.0 * static_cast<double>(out.sim.checksExecuted)
-              / static_cast<double>(out.sim.instructions);
-        u64 static_total = out.staticChecks ? out.staticChecks : 1;
         for (size_t gi = 0; gi < kNumGroups; gi++) {
-            double share = static_cast<double>(out.staticChecksPerGroup[gi])
-                           / static_cast<double>(static_total);
-            double v = per100 * share;
-            mean_freq[gi] += v;
-            printf("%-7.2f", v);
+            mean_freq[gi] += row.freq[gi];
+            mean_ovh[gi] += row.ovh[gi];
         }
-        printf("| ");
-        // Overhead per group from the window heuristic.
-        u64 tot = out.window.totalSamples ? out.window.totalSamples : 1;
-        for (size_t gi = 0; gi < kNumGroups; gi++) {
-            double v = 100.0
-                       * static_cast<double>(out.window.samplesPerGroup[gi])
-                       / static_cast<double>(tot);
-            mean_ovh[gi] += v;
-            printf("%-7.2f", v);
-        }
-        double total_ovh = 100.0 * out.window.overheadFraction();
-        mean_total_ovh += total_ovh;
-        printf("| %6.2f\n", total_ovh);
+        mean_total_ovh += row.totalOvh;
+        fputs(row.text.c_str(), stdout);
         count++;
     }
     hr('-', 120);

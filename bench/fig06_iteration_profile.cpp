@@ -42,6 +42,17 @@ sparkline(const std::vector<Cycles> &cycles, size_t buckets)
     return out;
 }
 
+struct Row
+{
+    bool completed = false;
+    bool allRemoved = false;
+    double diff = 0.0;
+    double interpRatio = 0.0;
+    u64 earlyDeopts = 0;
+    u64 lateDeopts = 0;
+    std::string text;
+};
+
 } // namespace
 
 int
@@ -55,73 +66,92 @@ main(int argc, char **argv)
     printf("(relative-to-first-iteration, averaged over %u iterations in "
            "8 buckets)\n\n", args.iterations);
 
+    auto rows = par::mapWorkloads<Row>(
+        args.jobs, args.selectedSuite(), [&](const Workload &w) {
+            Row row;
+
+            RunConfig base;
+            base.iterations = args.iterations;
+            base.samplerEnabled = false;
+
+            // §III-B.2: find the check groups removable safely.
+            auto safe = findSafeRemovalSet(
+                w, base, std::max(20u, args.iterations / 2));
+            bool all_removed = true;
+            for (bool b : safe)
+                all_removed = all_removed && b;
+
+            RunConfig with = base;
+            RunOutcome out_with = runWorkload(w, with, nullptr);
+            RunConfig without = base;
+            without.removeChecks = safe;
+            RunOutcome out_without = runWorkload(w, without, nullptr);
+
+            // Interpreter-only run for the "2.5x" comparison.
+            RunConfig interp = base;
+            interp.enableOptimization = false;
+            interp.iterations = std::max(5u, args.iterations / 6);
+            RunOutcome out_interp = runWorkload(w, interp, nullptr);
+
+            if (!out_with.completed || !out_without.completed)
+                return row;
+            row.completed = true;
+            row.allRemoved = all_removed;
+
+            row.diff = out_with.meanCycles() > 0
+                ? 100.0
+                  * (out_with.meanCycles() - out_without.meanCycles())
+                  / out_with.meanCycles()
+                : 0.0;
+            row.interpRatio = out_with.steadyStateCycles() > 0
+                ? out_interp.steadyStateCycles()
+                  / out_with.steadyStateCycles()
+                : 0.0;
+            double leftover = all_removed
+                ? 0.0 : leftoverCheckFraction(w, base, safe);
+
+            // Deopt timing: early = first 10 iterations.
+            for (size_t i = 0;
+                 i < out_with.deoptEventsPerIteration.size(); i++) {
+                if (i < 10)
+                    row.earlyDeopts +=
+                        out_with.deoptEventsPerIteration[i];
+                else
+                    row.lateDeopts +=
+                        out_with.deoptEventsPerIteration[i];
+            }
+
+            row.text = par::strprintf("%-16s%s\n", w.name.c_str(),
+                                      all_removed ? "" : " (*)");
+            row.text += par::strprintf(
+                "  with checks:    %s  deopts=%llu\n",
+                sparkline(out_with.iterationCycles, 8).c_str(),
+                static_cast<unsigned long long>(out_with.totalDeopts));
+            row.text += par::strprintf(
+                "  checks removed: %s  time diff = %.1f%%",
+                sparkline(out_without.iterationCycles, 8).c_str(),
+                row.diff);
+            if (!all_removed)
+                row.text += par::strprintf("  (leftover checks: %.0f%%)",
+                                           100.0 * leftover);
+            row.text += par::strprintf("  interp/steady = %.1fx\n",
+                                       row.interpRatio);
+            return row;
+        });
+
     double total_diff = 0.0;
     double total_interp_ratio = 0.0;
     int count = 0, leftover_count = 0;
     u64 early_deopts = 0, late_deopts = 0;
-
-    for (const Workload &w : suite()) {
-        if (!args.selected(w))
+    for (const Row &row : rows) {
+        if (!row.completed)
             continue;
-
-        RunConfig base;
-        base.iterations = args.iterations;
-        base.samplerEnabled = false;
-
-        // §III-B.2: find the check groups that can be removed safely.
-        auto safe = findSafeRemovalSet(w, base,
-                                       std::max(20u, args.iterations / 2));
-        bool all_removed = true;
-        for (bool b : safe)
-            all_removed = all_removed && b;
-
-        RunConfig with = base;
-        RunOutcome out_with = runWorkload(w, with, nullptr);
-        RunConfig without = base;
-        without.removeChecks = safe;
-        RunOutcome out_without = runWorkload(w, without, nullptr);
-
-        // Interpreter-only run for the "2.5x" comparison.
-        RunConfig interp = base;
-        interp.enableOptimization = false;
-        interp.iterations = std::max(5u, args.iterations / 6);
-        RunOutcome out_interp = runWorkload(w, interp, nullptr);
-
-        if (!out_with.completed || !out_without.completed)
-            continue;
-
-        double diff = out_with.meanCycles() > 0
-            ? 100.0 * (out_with.meanCycles() - out_without.meanCycles())
-              / out_with.meanCycles()
-            : 0.0;
-        double interp_ratio = out_with.steadyStateCycles() > 0
-            ? out_interp.steadyStateCycles() / out_with.steadyStateCycles()
-            : 0.0;
-        double leftover = all_removed
-            ? 0.0 : leftoverCheckFraction(w, base, safe);
-
-        // Deopt timing: early = first 10 iterations.
-        for (size_t i = 0; i < out_with.deoptEventsPerIteration.size();
-             i++) {
-            if (i < 10)
-                early_deopts += out_with.deoptEventsPerIteration[i];
-            else
-                late_deopts += out_with.deoptEventsPerIteration[i];
-        }
-
-        printf("%-16s%s\n", w.name.c_str(), all_removed ? "" : " (*)");
-        printf("  with checks:    %s  deopts=%llu\n",
-               sparkline(out_with.iterationCycles, 8).c_str(),
-               static_cast<unsigned long long>(out_with.totalDeopts));
-        printf("  checks removed: %s  time diff = %.1f%%",
-               sparkline(out_without.iterationCycles, 8).c_str(), diff);
-        if (!all_removed)
-            printf("  (leftover checks: %.0f%%)", 100.0 * leftover);
-        printf("  interp/steady = %.1fx\n", interp_ratio);
-
-        total_diff += diff;
-        total_interp_ratio += interp_ratio;
-        if (!all_removed)
+        fputs(row.text.c_str(), stdout);
+        total_diff += row.diff;
+        total_interp_ratio += row.interpRatio;
+        early_deopts += row.earlyDeopts;
+        late_deopts += row.lateDeopts;
+        if (!row.allRemoved)
             leftover_count++;
         count++;
     }

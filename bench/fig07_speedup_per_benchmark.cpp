@@ -19,6 +19,13 @@ using namespace vspec::bench;
 namespace
 {
 
+struct Row
+{
+    bool completed = false;
+    bool sig = false;
+    std::string text;
+};
+
 void
 runFlavour(const BenchArgs &args, IsaFlavour isa)
 {
@@ -27,69 +34,78 @@ runFlavour(const BenchArgs &args, IsaFlavour isa)
            "sampling-est", "removal-est", "95%% CI", "p-value", "sig");
     hr('-', 96);
 
+    auto workloads = args.selectedSuite();
+    double alpha = stats::bonferroni(0.05, workloads.size());
+
+    auto rows = par::mapWorkloads<Row>(
+        args.jobs, workloads, [&](const Workload &w) {
+            Row row;
+            RunConfig base;
+            base.isa = isa;
+            base.iterations = args.iterations;
+            auto safe = findSafeRemovalSet(
+                w, base, std::max(20u, args.iterations / 2));
+
+            std::vector<double> with_means, without_means, sampling_est;
+            std::vector<double> with_iters, without_iters;
+            for (u32 r = 0; r < args.repeats; r++) {
+                RunConfig with = base;
+                with.jitter = r;
+                RunOutcome ow = runWorkload(w, with, nullptr);
+                RunConfig without = base;
+                without.jitter = r;
+                without.removeChecks = safe;
+                without.samplerEnabled = false;
+                RunOutcome owo = runWorkload(w, without, nullptr);
+                if (!ow.completed || !owo.completed)
+                    continue;
+                with_means.push_back(ow.meanCycles());
+                without_means.push_back(owo.meanCycles());
+                sampling_est.push_back(
+                    1.0 / (1.0 - ow.window.overheadFraction()));
+                // Steady-state per-iteration populations, t-test.
+                size_t start = ow.iterationCycles.size() / 3;
+                for (size_t i = start; i < ow.iterationCycles.size();
+                     i++)
+                    with_iters.push_back(
+                        static_cast<double>(ow.iterationCycles[i]));
+                for (size_t i = start; i < owo.iterationCycles.size();
+                     i++)
+                    without_iters.push_back(
+                        static_cast<double>(owo.iterationCycles[i]));
+            }
+            if (with_means.empty())
+                return row;
+            row.completed = true;
+
+            std::vector<double> removal_est;
+            for (size_t i = 0; i < with_means.size(); i++) {
+                if (without_means[i] > 0)
+                    removal_est.push_back(with_means[i]
+                                          / without_means[i]);
+            }
+            double rm = stats::mean(removal_est);
+            auto ci = stats::bootstrapMeanCi(removal_est);
+            stats::TTest tt = stats::welchTTest(with_iters,
+                                                without_iters);
+            row.sig = tt.pValue < alpha && rm > 1.02;
+
+            row.text = par::strprintf(
+                "%-16s %-8s %11.3fx %13.3fx  [%5.3f,%5.3f] %10.2g %6s\n",
+                w.name.c_str(), categoryName(w.category),
+                stats::mean(sampling_est), rm, ci.lo, ci.hi, tt.pValue,
+                row.sig ? "yes" : "no");
+            return row;
+        });
+
     int significant = 0, total = 0;
-    size_t num_tests = 0;
-    for (const Workload &w : suite())
-        if (args.selected(w))
-            num_tests++;
-    double alpha = stats::bonferroni(0.05, num_tests);
-
-    for (const Workload &w : suite()) {
-        if (!args.selected(w))
+    for (const Row &row : rows) {
+        if (!row.completed)
             continue;
-
-        RunConfig base;
-        base.isa = isa;
-        base.iterations = args.iterations;
-        auto safe = findSafeRemovalSet(w, base,
-                                       std::max(20u, args.iterations / 2));
-
-        std::vector<double> with_means, without_means, sampling_est;
-        std::vector<double> with_iters, without_iters;
-        for (u32 r = 0; r < args.repeats; r++) {
-            RunConfig with = base;
-            with.jitter = r;
-            RunOutcome ow = runWorkload(w, with, nullptr);
-            RunConfig without = base;
-            without.jitter = r;
-            without.removeChecks = safe;
-            without.samplerEnabled = false;
-            RunOutcome owo = runWorkload(w, without, nullptr);
-            if (!ow.completed || !owo.completed)
-                continue;
-            with_means.push_back(ow.meanCycles());
-            without_means.push_back(owo.meanCycles());
-            sampling_est.push_back(
-                1.0 / (1.0 - ow.window.overheadFraction()));
-            // Steady-state per-iteration populations for the t-test.
-            size_t start = ow.iterationCycles.size() / 3;
-            for (size_t i = start; i < ow.iterationCycles.size(); i++)
-                with_iters.push_back(
-                    static_cast<double>(ow.iterationCycles[i]));
-            for (size_t i = start; i < owo.iterationCycles.size(); i++)
-                without_iters.push_back(
-                    static_cast<double>(owo.iterationCycles[i]));
-        }
-        if (with_means.empty())
-            continue;
-
-        std::vector<double> removal_est;
-        for (size_t i = 0; i < with_means.size(); i++) {
-            if (without_means[i] > 0)
-                removal_est.push_back(with_means[i] / without_means[i]);
-        }
-        double rm = stats::mean(removal_est);
-        auto ci = stats::bootstrapMeanCi(removal_est);
-        stats::TTest tt = stats::welchTTest(with_iters, without_iters);
-        bool sig = tt.pValue < alpha && rm > 1.02;
-        if (sig)
+        fputs(row.text.c_str(), stdout);
+        if (row.sig)
             significant++;
         total++;
-
-        printf("%-16s %-8s %11.3fx %13.3fx  [%5.3f,%5.3f] %10.2g %6s\n",
-               w.name.c_str(), categoryName(w.category),
-               stats::mean(sampling_est), rm, ci.lo, ci.hi, tt.pValue,
-               sig ? "yes" : "no");
     }
     hr('-', 96);
     printf("practically significant (p < %.2g Bonferroni, speedup > 2%%): "

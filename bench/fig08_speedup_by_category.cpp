@@ -16,6 +16,20 @@
 using namespace vspec;
 using namespace vspec::bench;
 
+namespace
+{
+
+struct Cell
+{
+    bool completed = false;
+    Category category = Category::Math;
+    double sampling = 0.0;
+    bool hasRemoval = false;
+    double removal = 0.0;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -28,29 +42,42 @@ main(int argc, char **argv)
     for (IsaFlavour isa : {IsaFlavour::X64Like, IsaFlavour::Arm64Like}) {
         if (isa == IsaFlavour::Arm64Like && !args.bothIsas)
             break;
+
+        auto cells = par::mapWorkloads<Cell>(
+            args.jobs, args.selectedSuite(), [&](const Workload &w) {
+                Cell cell;
+                cell.category = w.category;
+                RunConfig base;
+                base.isa = isa;
+                base.iterations = args.iterations;
+                auto safe = findSafeRemovalSet(
+                    w, base, std::max(20u, args.iterations / 2));
+
+                RunOutcome with = runWorkload(w, base, nullptr);
+                RunConfig rm = base;
+                rm.removeChecks = safe;
+                rm.samplerEnabled = false;
+                RunOutcome without = runWorkload(w, rm, nullptr);
+                if (!with.completed || !without.completed)
+                    return cell;
+                cell.completed = true;
+                cell.sampling =
+                    1.0 / (1.0 - with.window.overheadFraction());
+                if (without.meanCycles() > 0) {
+                    cell.hasRemoval = true;
+                    cell.removal = with.meanCycles()
+                                   / without.meanCycles();
+                }
+                return cell;
+            });
+
         std::map<Category, std::vector<double>> sampling, removal;
-
-        for (const Workload &w : suite()) {
-            if (!args.selected(w))
+        for (const Cell &cell : cells) {
+            if (!cell.completed)
                 continue;
-            RunConfig base;
-            base.isa = isa;
-            base.iterations = args.iterations;
-            auto safe = findSafeRemovalSet(
-                w, base, std::max(20u, args.iterations / 2));
-
-            RunOutcome with = runWorkload(w, base, nullptr);
-            RunConfig rm = base;
-            rm.removeChecks = safe;
-            rm.samplerEnabled = false;
-            RunOutcome without = runWorkload(w, rm, nullptr);
-            if (!with.completed || !without.completed)
-                continue;
-            sampling[w.category].push_back(
-                1.0 / (1.0 - with.window.overheadFraction()));
-            if (without.meanCycles() > 0)
-                removal[w.category].push_back(with.meanCycles()
-                                              / without.meanCycles());
+            sampling[cell.category].push_back(cell.sampling);
+            if (cell.hasRemoval)
+                removal[cell.category].push_back(cell.removal);
         }
 
         printf("\n=== %s ===\n", isaName(isa));

@@ -16,6 +16,19 @@
 using namespace vspec;
 using namespace vspec::bench;
 
+namespace
+{
+
+struct Cell
+{
+    bool completed = false;
+    double sampling = 0.0;
+    double removal = 0.0;
+    std::string text;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -28,34 +41,44 @@ main(int argc, char **argv)
     for (IsaFlavour isa : {IsaFlavour::X64Like, IsaFlavour::Arm64Like}) {
         if (isa == IsaFlavour::Arm64Like && !args.bothIsas)
             break;
-        std::vector<double> xs, ys;
         printf("\n=== %s ===\n", isaName(isa));
         printf("%-16s %14s %14s\n", "workload", "sampling est.",
                "removal est.");
         hr('-', 50);
 
-        for (const Workload &w : suite()) {
-            if (!args.selected(w))
+        auto cells = par::mapWorkloads<Cell>(
+            args.jobs, args.selectedSuite(), [&](const Workload &w) {
+                Cell cell;
+                RunConfig base;
+                base.isa = isa;
+                base.iterations = args.iterations;
+                auto safe = findSafeRemovalSet(
+                    w, base, std::max(20u, args.iterations / 2));
+                RunOutcome with = runWorkload(w, base, nullptr);
+                RunConfig rm = base;
+                rm.removeChecks = safe;
+                rm.samplerEnabled = false;
+                RunOutcome without = runWorkload(w, rm, nullptr);
+                if (!with.completed || !without.completed
+                    || without.meanCycles() <= 0)
+                    return cell;
+                cell.completed = true;
+                cell.sampling =
+                    1.0 / (1.0 - with.window.overheadFraction());
+                cell.removal = with.meanCycles() / without.meanCycles();
+                cell.text = par::strprintf("%-16s %13.3fx %13.3fx\n",
+                                           w.name.c_str(), cell.sampling,
+                                           cell.removal);
+                return cell;
+            });
+
+        std::vector<double> xs, ys;
+        for (const Cell &cell : cells) {
+            if (!cell.completed)
                 continue;
-            RunConfig base;
-            base.isa = isa;
-            base.iterations = args.iterations;
-            auto safe = findSafeRemovalSet(
-                w, base, std::max(20u, args.iterations / 2));
-            RunOutcome with = runWorkload(w, base, nullptr);
-            RunConfig rm = base;
-            rm.removeChecks = safe;
-            rm.samplerEnabled = false;
-            RunOutcome without = runWorkload(w, rm, nullptr);
-            if (!with.completed || !without.completed
-                || without.meanCycles() <= 0)
-                continue;
-            double sampling = 1.0 / (1.0 - with.window.overheadFraction());
-            double removal = with.meanCycles() / without.meanCycles();
-            xs.push_back(sampling);
-            ys.push_back(removal);
-            printf("%-16s %13.3fx %13.3fx\n", w.name.c_str(), sampling,
-                   removal);
+            xs.push_back(cell.sampling);
+            ys.push_back(cell.removal);
+            fputs(cell.text.c_str(), stdout);
         }
 
         auto reg = stats::linearRegression(xs, ys);

@@ -39,6 +39,16 @@ rel(u64 after, u64 before)
            / static_cast<double>(before);
 }
 
+struct Cell
+{
+    enum class State : u8 { Incomplete, Excluded, Ok };
+    State state = State::Incomplete;
+    Category category = Category::Math;
+    double insns = 0, branches = 0, mispredicts = 0, cycles = 0,
+           frontend = 0;
+    u64 deoptBranches = 0, deoptTaken = 0, deoptMispredicts = 0;
+};
+
 } // namespace
 
 int
@@ -53,45 +63,65 @@ main(int argc, char **argv)
     for (IsaFlavour isa : {IsaFlavour::X64Like, IsaFlavour::Arm64Like}) {
         if (isa == IsaFlavour::Arm64Like && !args.bothIsas)
             break;
+
+        auto cells = par::mapWorkloads<Cell>(
+            args.jobs, args.selectedSuite(), [&](const Workload &w) {
+                Cell cell;
+                cell.category = w.category;
+                RunConfig base;
+                base.isa = isa;
+                base.iterations = args.iterations;
+                base.samplerEnabled = false;
+                RunOutcome def = runWorkload(w, base, nullptr);
+                RunConfig nb = base;
+                nb.removeBranchesOnly = true;
+                // Benchmarks whose deopts fire in normal flow corrupt
+                // when the deopt branches are gone; exclude them (the
+                // paper's measurement implicitly requires checks never
+                // to fire).
+                RunOutcome out = runWorkload(w, nb, &def.checksum);
+                if (!def.completed || !out.completed)
+                    return cell;
+                if (!out.valid) {
+                    cell.state = Cell::State::Excluded;
+                    return cell;
+                }
+                cell.state = Cell::State::Ok;
+                cell.insns = rel(out.sim.instructions,
+                                 def.sim.instructions);
+                cell.branches = rel(out.sim.branches, def.sim.branches);
+                cell.mispredicts = rel(out.sim.mispredicts,
+                                       def.sim.mispredicts);
+                cell.cycles = rel(static_cast<u64>(out.meanCycles()),
+                                  static_cast<u64>(def.meanCycles()));
+                cell.frontend = rel(out.sim.frontendStallCycles,
+                                    def.sim.frontendStallCycles);
+                cell.deoptBranches = def.sim.deoptBranches;
+                cell.deoptTaken = def.sim.deoptBranchesTaken;
+                cell.deoptMispredicts = def.sim.deoptMispredicts;
+                return cell;
+            });
+
         std::map<Category, Delta> deltas;
         u64 deopt_branches = 0, deopt_taken = 0, deopt_mispredicts = 0;
         int excluded = 0;
-
-        for (const Workload &w : suite()) {
-            if (!args.selected(w))
+        for (const Cell &cell : cells) {
+            if (cell.state == Cell::State::Incomplete)
                 continue;
-            RunConfig base;
-            base.isa = isa;
-            base.iterations = args.iterations;
-            base.samplerEnabled = false;
-            RunOutcome def = runWorkload(w, base, nullptr);
-            RunConfig nb = base;
-            nb.removeBranchesOnly = true;
-            // Benchmarks whose deopts fire in normal flow corrupt when
-            // the deopt branches are gone; exclude them (the paper's
-            // measurement implicitly requires checks never to fire).
-            RunOutcome out = runWorkload(w, nb, &def.checksum);
-            if (!def.completed || !out.completed)
-                continue;
-            if (!out.valid) {
+            if (cell.state == Cell::State::Excluded) {
                 excluded++;
                 continue;
             }
-
-            Delta &d = deltas[w.category];
-            d.insns += rel(out.sim.instructions, def.sim.instructions);
-            d.branches += rel(out.sim.branches, def.sim.branches);
-            d.mispredicts += rel(out.sim.mispredicts,
-                                 def.sim.mispredicts);
-            d.cycles += rel(static_cast<u64>(out.meanCycles()),
-                            static_cast<u64>(def.meanCycles()));
-            d.frontend += rel(out.sim.frontendStallCycles,
-                              def.sim.frontendStallCycles);
+            Delta &d = deltas[cell.category];
+            d.insns += cell.insns;
+            d.branches += cell.branches;
+            d.mispredicts += cell.mispredicts;
+            d.cycles += cell.cycles;
+            d.frontend += cell.frontend;
             d.n++;
-
-            deopt_branches += def.sim.deoptBranches;
-            deopt_taken += def.sim.deoptBranchesTaken;
-            deopt_mispredicts += def.sim.deoptMispredicts;
+            deopt_branches += cell.deoptBranches;
+            deopt_taken += cell.deoptTaken;
+            deopt_mispredicts += cell.deoptMispredicts;
         }
 
         printf("\n=== %s === (%% change after branch-only removal)\n",

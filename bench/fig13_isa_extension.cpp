@@ -15,6 +15,19 @@
 using namespace vspec;
 using namespace vspec::bench;
 
+namespace
+{
+
+struct Cell
+{
+    double speedup = 1.0;
+    double insnDelta = 0.0;
+    bool inOrder = false;
+    std::string text;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -31,19 +44,21 @@ main(int argc, char **argv)
     printf("\n");
     hr('-', 110);
 
-    std::vector<double> all_speedups, inorder_speedups, o3_speedups;
-    double insn_reduction = 0.0;
-    int insn_n = 0;
+    // One cell per (workload, core) pair; row-major, so rendering a
+    // workload's line concatenates a contiguous slice of cells.
+    auto workloads = args.selectedGem5();
+    size_t n_cells = workloads.size() * cores.size();
+    auto cells = par::mapCells<Cell>(
+        args.jobs, n_cells, [&](size_t idx) {
+            const Workload &w = *workloads[idx / cores.size()];
+            const CpuConfig &core = cores[idx % cores.size()];
+            Cell cell;
+            cell.inOrder = core.kind == CpuModelKind::InOrder;
 
-    for (const Workload *w : gem5Subset()) {
-        if (!args.selected(*w))
-            continue;
-        printf("%-12s", w->name.c_str());
-        for (const auto &core : cores) {
             RunConfig def;
             def.isa = IsaFlavour::Arm64Like;
             def.cpu = core;
-            def.size = w->gem5Size;
+            def.size = w.gem5Size;
             def.iterations = args.iterations;
             def.samplerEnabled = false;
             RunConfig ext = def;
@@ -55,8 +70,8 @@ main(int argc, char **argv)
                 RunConfig d2 = def, e2 = ext;
                 d2.jitter = r;
                 e2.jitter = r;
-                RunOutcome od = runWorkload(*w, d2, nullptr);
-                RunOutcome oe = runWorkload(*w, e2, nullptr);
+                RunOutcome od = runWorkload(w, d2, nullptr);
+                RunOutcome oe = runWorkload(w, e2, nullptr);
                 if (!od.completed || !oe.completed
                     || oe.steadyStateCycles() <= 0)
                     continue;
@@ -69,15 +84,28 @@ main(int argc, char **argv)
                         / static_cast<double>(od.sim.instructions);
                 }
             }
-            double spd = stats::mean(speedups);
-            printf(" | %6.2f%%  %5.1f%%",
-                   100.0 * (spd - 1.0), insn_delta);
-            all_speedups.push_back(spd);
-            if (core.kind == CpuModelKind::InOrder)
-                inorder_speedups.push_back(spd);
+            cell.speedup = stats::mean(speedups);
+            cell.insnDelta = insn_delta;
+            cell.text = par::strprintf(" | %6.2f%%  %5.1f%%",
+                                       100.0 * (cell.speedup - 1.0),
+                                       insn_delta);
+            return cell;
+        });
+
+    std::vector<double> all_speedups, inorder_speedups, o3_speedups;
+    double insn_reduction = 0.0;
+    int insn_n = 0;
+    for (size_t wi = 0; wi < workloads.size(); wi++) {
+        printf("%-12s", workloads[wi]->name.c_str());
+        for (size_t ci = 0; ci < cores.size(); ci++) {
+            const Cell &cell = cells[wi * cores.size() + ci];
+            fputs(cell.text.c_str(), stdout);
+            all_speedups.push_back(cell.speedup);
+            if (cell.inOrder)
+                inorder_speedups.push_back(cell.speedup);
             else
-                o3_speedups.push_back(spd);
-            insn_reduction += insn_delta;
+                o3_speedups.push_back(cell.speedup);
+            insn_reduction += cell.insnDelta;
             insn_n++;
         }
         printf("\n");

@@ -47,43 +47,52 @@ main(int argc, char **argv)
     printf("(quartiles of per-iteration cycles, normalized to the "
            "default-ISA median)\n\n");
 
+    // One cell per (core, workload) pair, row-major by core so each
+    // core's section renders from a contiguous slice.
     auto cores = CpuConfig::gem5Cores();
-    for (const auto &core : cores) {
-        printf("=== %s ===\n", core.name.c_str());
-        printf("%-12s | %28s | %28s | %8s %8s\n", "workload",
-               "default  p25 / p50 / p75", "extended p25 / p50 / p75",
-               "med diff", "iqr diff");
-        hr('-', 100);
-        for (const Workload *w : gem5Subset()) {
-            if (!args.selected(*w))
-                continue;
+    auto workloads = args.selectedGem5();
+    size_t n_cells = cores.size() * workloads.size();
+    auto cells = par::mapCells<std::string>(
+        args.jobs, n_cells, [&](size_t idx) {
+            const CpuConfig &core = cores[idx / workloads.size()];
+            const Workload &w = *workloads[idx % workloads.size()];
             RunConfig def;
             def.isa = IsaFlavour::Arm64Like;
             def.cpu = core;
-            def.size = w->gem5Size;
+            def.size = w.gem5Size;
             def.iterations = args.iterations;
             def.samplerEnabled = false;
             RunConfig ext = def;
             ext.smiExtension = true;
 
-            auto d = steadyDistribution(*w, def, args.repeats);
-            auto e = steadyDistribution(*w, ext, args.repeats);
+            auto d = steadyDistribution(w, def, args.repeats);
+            auto e = steadyDistribution(w, ext, args.repeats);
             if (d.empty() || e.empty())
-                continue;
+                return std::string();
             double dm = stats::median(d);
             if (dm <= 0)
-                continue;
+                return std::string();
             auto q = [&](std::vector<double> &xs, double p) {
                 return stats::percentile(xs, p) / dm;
             };
             double d25 = q(d, 25), d50 = q(d, 50), d75 = q(d, 75);
             double e25 = q(e, 25), e50 = q(e, 50), e75 = q(e, 75);
-            printf("%-12s |  %7.3f / %7.3f / %7.3f |  %7.3f / %7.3f / "
-                   "%7.3f | %+7.1f%% %+7.1f%%\n",
-                   w->name.c_str(), d25, d50, d75, e25, e50, e75,
-                   100.0 * (e50 - d50),
-                   100.0 * ((e75 - e25) - (d75 - d25)));
-        }
+            return par::strprintf(
+                "%-12s |  %7.3f / %7.3f / %7.3f |  %7.3f / %7.3f / "
+                "%7.3f | %+7.1f%% %+7.1f%%\n",
+                w.name.c_str(), d25, d50, d75, e25, e50, e75,
+                100.0 * (e50 - d50),
+                100.0 * ((e75 - e25) - (d75 - d25)));
+        });
+
+    for (size_t ci = 0; ci < cores.size(); ci++) {
+        printf("=== %s ===\n", cores[ci].name.c_str());
+        printf("%-12s | %28s | %28s | %8s %8s\n", "workload",
+               "default  p25 / p50 / p75", "extended p25 / p50 / p75",
+               "med diff", "iqr diff");
+        hr('-', 100);
+        for (size_t wi = 0; wi < workloads.size(); wi++)
+            fputs(cells[ci * workloads.size() + wi].c_str(), stdout);
         printf("\n");
     }
     printf("paper: the extended ISA often lowers the median and "

@@ -10,8 +10,10 @@
 #include <benchmark/benchmark.h>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "runtime/regex_lite.hh"
 #include "stats/stats.hh"
+#include "support/sched.hh"
 
 using namespace vspec;
 
@@ -69,13 +71,44 @@ static void
 BM_EngineDotProduct(benchmark::State &state)
 {
     const Workload *w = findWorkload("DP");
-    Engine engine{EngineConfig{}};
+    EngineConfig cfg;
+    cfg.predecode = state.range(0) != 0;
+    Engine engine{cfg};
     engine.loadProgram(instantiate(*w, 256));
     for (auto _ : state)
         benchmark::DoNotOptimize(engine.call("bench"));
     state.counters["modeled_cycles"] =
         static_cast<double>(engine.totalCycles());
+    state.SetLabel(cfg.predecode ? "predecode" : "per-fetch decode");
 }
-BENCHMARK(BM_EngineDotProduct)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EngineDotProduct)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+// Host cost of the parallel runner's dispatch machinery itself
+// (empty cells — measures scheduling overhead, not work).
+static void
+BM_MapCellsDispatch(benchmark::State &state)
+{
+    const u32 jobs = static_cast<u32>(state.range(0));
+    for (auto _ : state) {
+        auto xs = par::mapCells<size_t>(jobs, 256,
+                                        [](size_t i) { return i; });
+        benchmark::DoNotOptimize(xs.data());
+    }
+    state.SetLabel(jobs == 1 ? "inline" : "pooled");
+}
+BENCHMARK(BM_MapCellsDispatch)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+// Cache key derivation: instantiated-source hash + config fingerprint.
+static void
+BM_CacheKeyFingerprint(benchmark::State &state)
+{
+    const Workload *w = findWorkload("DP");
+    RunConfig rc;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(par::safeSetCacheKey(*w, rc, 40));
+}
+BENCHMARK(BM_CacheKeyFingerprint);
 
 BENCHMARK_MAIN();

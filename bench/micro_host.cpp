@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Host-side performance meter for the vpar runner itself: measures
+ * suite wall-clock, cells/sec and cache hit rate in-process, and — when
+ * pointed at the fig07 binary — the cold-vs-warm wall-clock of
+ * `fig07_speedup_per_benchmark --quick` through the persistent cache.
+ * Emits everything as BENCH_host.json for CI trend tracking.
+ *
+ * Usage:
+ *   micro_host [--out=BENCH_host.json] [--fig07=path/to/fig07_binary]
+ *              [--jobs=N] [--iters=N]
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_common.hh"
+
+using namespace vspec;
+using namespace vspec::bench;
+
+namespace
+{
+
+double
+now()
+{
+    using clk = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clk::now().time_since_epoch())
+        .count();
+}
+
+/** Shell out to the fig07 binary with a controlled cache dir / job
+ *  count; returns wall seconds, or a negative value on failure. */
+double
+timeFig07(const std::string &binary, const std::string &cache_dir,
+          u32 jobs)
+{
+    std::string cmd = "VSPEC_CACHE_DIR='" + cache_dir + "' VSPEC_JOBS="
+                      + std::to_string(jobs) + " '" + binary
+                      + "' --quick >/dev/null 2>&1";
+    double t0 = now();
+    int rc = std::system(cmd.c_str());
+    double dt = now() - t0;
+    return rc == 0 ? dt : -1.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_host.json";
+    std::string fig07;
+    u32 jobs = sched::defaultJobs();
+    u32 iterations = 20;
+    for (int i = 1; i < argc; i++) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--out=", 6) == 0) {
+            out_path = a + 6;
+        } else if (std::strncmp(a, "--fig07=", 8) == 0) {
+            fig07 = a + 8;
+        } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+            jobs = static_cast<u32>(std::atoi(a + 7));
+            if (jobs == 0)
+                jobs = 1;
+        } else if (std::strncmp(a, "--iters=", 8) == 0) {
+            iterations = static_cast<u32>(std::atoi(a + 8));
+            if (iterations == 0)
+                iterations = 20;
+        } else {
+            fprintf(stderr,
+                    "usage: %s [--out=FILE] [--fig07=BINARY] [--jobs=N] "
+                    "[--iters=N]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    printf("micro_host — host-side runner/cache performance "
+           "(jobs=%u)\n", jobs);
+    hr('=', 70);
+
+    // ------------------------------------------------------------------
+    // Suite throughput: one full-suite pass of plain cells.
+    // ------------------------------------------------------------------
+    par::resetHarnessCounters();
+    std::vector<const Workload *> ws;
+    for (const Workload &w : suite())
+        ws.push_back(&w);
+    double t0 = now();
+    auto cells = par::mapWorkloads<u8>(jobs, ws, [&](const Workload &w) {
+        RunConfig rc;
+        rc.iterations = iterations;
+        rc.samplerEnabled = false;
+        RunOutcome o = runWorkload(w, rc, nullptr);
+        return static_cast<u8>(o.completed ? 1 : 0);
+    });
+    double suite_secs = now() - t0;
+    size_t completed = 0;
+    for (u8 c : cells)
+        completed += c;
+    double cells_per_sec =
+        suite_secs > 0 ? static_cast<double>(cells.size()) / suite_secs
+                       : 0.0;
+    printf("suite pass: %zu/%zu cells in %.2fs (%.2f cells/sec)\n",
+           completed, cells.size(), suite_secs, cells_per_sec);
+
+    // ------------------------------------------------------------------
+    // Cache hit rate: reference checksum + safe-set search for every
+    // workload, twice — the second pass must be all hits.
+    // ------------------------------------------------------------------
+    par::resetHarnessCounters();
+    for (int pass = 0; pass < 2; pass++) {
+        par::mapWorkloads<u8>(jobs, ws, [&](const Workload &w) {
+            RunConfig rc;
+            rc.iterations = iterations;
+            referenceChecksum(w, w.defaultSize, iterations);
+            findSafeRemovalSet(w, rc, std::max(10u, iterations / 2));
+            return static_cast<u8>(1);
+        });
+    }
+    u64 hits = par::harnessCounter(par::HarnessCounter::RefCacheHits)
+               + par::harnessCounter(par::HarnessCounter::SafeSetCacheHits);
+    u64 misses =
+        par::harnessCounter(par::HarnessCounter::RefCacheMisses)
+        + par::harnessCounter(par::HarnessCounter::SafeSetCacheMisses);
+    double hit_rate =
+        hits + misses > 0
+            ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+            : 0.0;
+    printf("cache: %llu hits / %llu misses (%.0f%% hit rate on the "
+           "second pass workload)\n",
+           static_cast<unsigned long long>(hits),
+           static_cast<unsigned long long>(misses), 100.0 * hit_rate);
+
+    // ------------------------------------------------------------------
+    // fig07 --quick, cold cache vs warm cache (the §III-B.2 safe-set
+    // search is the dominant cost; warm runs skip it entirely).
+    // ------------------------------------------------------------------
+    double cold = -1.0, warm = -1.0;
+    if (!fig07.empty()) {
+        char tmpl[] = "/tmp/vspec-cache-XXXXXX";
+        char *dir = mkdtemp(tmpl);
+        if (dir != nullptr) {
+            cold = timeFig07(fig07, dir, 1);
+            warm = timeFig07(fig07, dir, jobs);
+            std::string rm = std::string("rm -rf '") + dir + "'";
+            std::system(rm.c_str());
+        }
+        if (cold > 0 && warm > 0) {
+            printf("fig07 --quick: cold(jobs=1) %.2fs, warm(jobs=%u) "
+                   "%.2fs — %.2fx\n", cold, jobs, warm, cold / warm);
+        } else {
+            printf("fig07 --quick: measurement failed (binary: %s)\n",
+                   fig07.c_str());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Emit BENCH_host.json.
+    // ------------------------------------------------------------------
+    FILE *f = fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    fprintf(f, "{\n");
+    fprintf(f, "  \"jobs\": %u,\n", jobs);
+    fprintf(f, "  \"suite_wall_seconds\": %.3f,\n", suite_secs);
+    fprintf(f, "  \"suite_cells\": %zu,\n", cells.size());
+    fprintf(f, "  \"cells_per_sec\": %.3f,\n", cells_per_sec);
+    fprintf(f, "  \"cache_hit_rate\": %.4f,\n", hit_rate);
+    fprintf(f, "  \"counters\": %s,\n",
+            par::harnessCountersJson().c_str());
+    if (cold > 0 && warm > 0) {
+        fprintf(f, "  \"fig07_quick_cold_seconds\": %.3f,\n", cold);
+        fprintf(f, "  \"fig07_quick_warm_seconds\": %.3f,\n", warm);
+        fprintf(f, "  \"fig07_quick_speedup\": %.3f\n", cold / warm);
+    } else {
+        fprintf(f, "  \"fig07_quick_speedup\": null\n");
+    }
+    fprintf(f, "}\n");
+    fclose(f);
+    printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

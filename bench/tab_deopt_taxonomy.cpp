@@ -13,32 +13,52 @@
 using namespace vspec;
 using namespace vspec::bench;
 
+namespace
+{
+
+struct Cell
+{
+    std::map<DeoptReason, u64> observed;
+    u64 byCategory[3] = {0, 0, 0};
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     BenchArgs args = BenchArgs::parse(argc, argv, 24, 1);
 
-    // Collect dynamic deopt counts across the suite.
+    // Collect dynamic deopt counts across the suite, one engine per
+    // workload, then merge the per-workload maps in order.
+    auto cells = par::mapWorkloads<Cell>(
+        args.jobs, args.selectedSuite(), [&](const Workload &w) {
+            Cell cell;
+            RunConfig rc;
+            rc.iterations = args.iterations;
+            rc.samplerEnabled = false;
+            try {
+                Engine engine(EngineConfig{});
+                engine.traceLabel = w.name;
+                engine.loadProgram(instantiate(w, w.defaultSize));
+                for (u32 i = 0; i < rc.iterations; i++)
+                    engine.call("bench");
+                for (const DeoptRecord &d : engine.deoptLog) {
+                    cell.observed[d.reason]++;
+                    cell.byCategory[static_cast<int>(d.category)]++;
+                }
+            } catch (const std::exception &) {
+            }
+            return cell;
+        });
+
     std::map<DeoptReason, u64> observed;
     u64 by_category[3] = {0, 0, 0};
-    for (const Workload &w : suite()) {
-        if (!args.selected(w))
-            continue;
-        RunConfig rc;
-        rc.iterations = args.iterations;
-        rc.samplerEnabled = false;
-        try {
-            Engine engine(EngineConfig{});
-            engine.traceLabel = w.name;
-            engine.loadProgram(instantiate(w, w.defaultSize));
-            for (u32 i = 0; i < rc.iterations; i++)
-                engine.call("bench");
-            for (const DeoptRecord &d : engine.deoptLog) {
-                observed[d.reason]++;
-                by_category[static_cast<int>(d.category)]++;
-            }
-        } catch (const std::exception &) {
-        }
+    for (const Cell &cell : cells) {
+        for (const auto &[r, n] : cell.observed)
+            observed[r] += n;
+        for (int c = 0; c < 3; c++)
+            by_category[c] += cell.byCategory[c];
     }
 
     printf("§II-B — deoptimization taxonomy: %d reasons in 3 "

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 check: normal build + ctest, a vguard fault-injection matrix
-# over the workload suite, then an ASan/UBSan Debug build with the
-# vverify pipeline verifier forced on. Run from the repo root:
+# over the workload suite, the vpar determinism spot-check (--jobs=1 vs
+# --jobs=4 byte-identical bench output + VSPEC_JOBS test legs), then an
+# ASan/UBSan Debug build with the vverify pipeline verifier forced on
+# and a TSan build of the runner tests. Run from the repo root:
 #
 #   scripts/check.sh            # all passes
-#   scripts/check.sh --fast     # normal pass + fault matrix only
+#   scripts/check.sh --fast     # normal pass + fault matrix + vpar only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,8 +27,36 @@ for fault in "gc-every=64" "alloc-fail-at=5000" "compile-fail-at=1" \
         --gtest_filter='FaultMatrixEnv.*' --gtest_brief=1
 done
 
+echo "== pass 1c: vpar determinism — --jobs=1 vs --jobs=4 byte-identical =="
+# Two full bench binaries; the persistent cache is pointed at a scratch
+# directory so the check neither reads nor pollutes the user's cache.
+VPAR_CACHE=$(mktemp -d)
+trap 'rm -rf "$VPAR_CACHE"' EXIT
+for bin in fig01_check_frequency fig10_branch_removal; do
+    echo "-- $bin"
+    VSPEC_CACHE_DIR="$VPAR_CACHE" ./build/bench/"$bin" --quick --jobs=1 \
+        > "$VPAR_CACHE/$bin.j1"
+    VSPEC_CACHE_DIR="$VPAR_CACHE" ./build/bench/"$bin" --quick --jobs=4 \
+        > "$VPAR_CACHE/$bin.j4"
+    diff "$VPAR_CACHE/$bin.j1" "$VPAR_CACHE/$bin.j4"
+done
+
+echo "== pass 1d: VSPEC_JOBS matrix over the runner tests =="
+for j in 1 4; do
+    echo "-- VSPEC_JOBS=$j"
+    VSPEC_JOBS=$j ./build/tests/vspec_tests \
+        --gtest_filter='Sched.*:Parallel.*:PersistentCache.*:Predecode.*' \
+        --gtest_brief=1
+done
+
+echo "== pass 1e: host runner/cache meter (build/BENCH_host.json) =="
+VSPEC_CACHE_DIR="$VPAR_CACHE" ./build/bench/micro_host --iters=8 \
+    --fig07=./build/bench/fig07_speedup_per_benchmark \
+    --out=build/BENCH_host.json
+cat build/BENCH_host.json
+
 if [[ "${1:-}" == "--fast" ]]; then
-    echo "== skipped sanitizer pass (--fast) =="
+    echo "== skipped sanitizer passes (--fast) =="
     exit 0
 fi
 
@@ -36,5 +66,12 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
 cmake --build build-asan -j "$JOBS"
 VSPEC_VERIFY=2 ASAN_OPTIONS=detect_leaks=0 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== pass 3: TSan build, runner stress tests =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DVSPEC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+VSPEC_JOBS=4 ./build-tsan/tests/vspec_tests \
+    --gtest_filter='Sched.*:Parallel.*:PersistentCache.*' --gtest_brief=1
 
 echo "== all checks passed =="

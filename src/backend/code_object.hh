@@ -10,6 +10,7 @@
 #ifndef VSPEC_BACKEND_CODE_OBJECT_HH
 #define VSPEC_BACKEND_CODE_OBJECT_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,8 @@
 
 namespace vspec
 {
+
+struct PredecodedCode;
 
 /** Where a deopt-relevant value lives when a check fails. */
 struct DeoptLocation
@@ -82,6 +85,11 @@ class CodeObject
     /** Set to false by lazy invalidation; the runtime then discards the
      *  code at the next entry (deopt-lazy). */
     bool valid = true;
+
+    /** vpar predecode cache, built lazily by the functional core on
+     *  first execution (engines are single-threaded, so no locking).
+     *  Derived data only — never serialized or compared. */
+    mutable std::shared_ptr<const PredecodedCode> predecoded;
 
     // ---- runtime statistics -----------------------------------------
     u64 entries = 0;

@@ -1,6 +1,9 @@
 #include "harness/experiment.hh"
 
 #include <map>
+#include <mutex>
+
+#include "harness/parallel.hh"
 
 namespace vspec
 {
@@ -51,6 +54,7 @@ engineConfigFor(const RunConfig &rc)
     cfg.trace = rc.trace;
     cfg.faults = rc.faults;
     cfg.maxFuelCycles = rc.maxFuelCycles;
+    cfg.predecode = rc.predecode;
     cfg.randomSeed = rc.seed;
     if (rc.jitter != 0) {
         cfg.samplerPeriodCycles += 2 * rc.jitter + 1;
@@ -161,27 +165,83 @@ runWorkload(const Workload &w, const RunConfig &rc,
     return out;
 }
 
+namespace
+{
+
+// Process-wide memos, shared by every vpar worker thread. Entries are
+// never erased or overwritten, so references into the maps stay valid
+// after the lock is dropped.
+std::mutex g_ref_mu;
+std::map<std::string, std::string> g_ref_cache;
+
+std::mutex g_safe_mu;
+std::map<std::string, std::array<bool, kNumGroups>> g_safe_cache;
+
+std::string
+serializeRemovalSet(const std::array<bool, kNumGroups> &set)
+{
+    std::string s;
+    for (bool b : set)
+        s += b ? '1' : '0';
+    return s;
+}
+
+bool
+deserializeRemovalSet(const std::string &s,
+                      std::array<bool, kNumGroups> &set)
+{
+    if (s.size() != kNumGroups)
+        return false;
+    for (size_t g = 0; g < kNumGroups; g++) {
+        if (s[g] != '0' && s[g] != '1')
+            return false;
+        set[g] = s[g] == '1';
+    }
+    return true;
+}
+
+} // namespace
+
 const std::string &
 referenceChecksum(const Workload &w, u32 size, u32 iterations)
 {
-    static std::map<std::string, std::string> cache;
     std::string key = w.name + "#" + std::to_string(size) + "#"
                       + std::to_string(iterations);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::unique_lock<std::mutex> lock(g_ref_mu);
+        auto it = g_ref_cache.find(key);
+        if (it != g_ref_cache.end()) {
+            par::bumpHarnessCounter(par::HarnessCounter::RefCacheHits);
+            return it->second;
+        }
+    }
 
-    RunConfig rc;
-    rc.iterations = iterations;
-    rc.size = size;
-    rc.samplerEnabled = false;
-    // The reference is the unperturbed ground truth: never inject
-    // faults into it, even when VSPEC_FAULT is set for the experiment.
-    rc.faults = FaultConfig{};
-    RunOutcome ref = runWorkload(w, rc, nullptr);
-    if (!ref.completed)
-        vpanic("reference run failed for " + w.name + ": " + ref.error);
-    return cache.emplace(key, ref.checksum).first->second;
+    // L2: the persistent cross-process cache. Reference runs always
+    // clear fault injection, so entries are safe to reuse even when
+    // the surrounding experiment runs under VSPEC_FAULT.
+    u64 disk_key = par::referenceCacheKey(w, size, iterations);
+    std::string checksum;
+    if (par::PersistentCache::instance().get("ref", disk_key, checksum)) {
+        par::bumpHarnessCounter(par::HarnessCounter::RefCacheHits);
+    } else {
+        par::bumpHarnessCounter(par::HarnessCounter::RefCacheMisses);
+        RunConfig rc;
+        rc.iterations = iterations;
+        rc.size = size;
+        rc.samplerEnabled = false;
+        // The reference is the unperturbed ground truth: never inject
+        // faults into it, even when VSPEC_FAULT is set for the
+        // experiment.
+        rc.faults = FaultConfig{};
+        RunOutcome ref = runWorkload(w, rc, nullptr);
+        if (!ref.completed)
+            vpanic("reference run failed for " + w.name + ": "
+                   + ref.error);
+        checksum = ref.checksum;
+        par::PersistentCache::instance().put("ref", disk_key, checksum);
+    }
+    std::unique_lock<std::mutex> lock(g_ref_mu);
+    return g_ref_cache.emplace(key, std::move(checksum)).first->second;
 }
 
 std::array<bool, kNumGroups>
@@ -193,25 +253,56 @@ findSafeRemovalSet(const Workload &w, RunConfig base, u32 probe_iterations)
 
     // The search costs up to 8 full runs; benches call it for several
     // experiments, so memoize per (workload, size, isa, probes).
-    static std::map<std::string, std::array<bool, kNumGroups>> cache;
     std::string key = w.name + "#" + std::to_string(size) + "#"
                       + isaFlavourName(base.isa) + "#"
                       + std::to_string(probe_iterations);
-    auto hit = cache.find(key);
-    if (hit != cache.end())
-        return hit->second;
+    {
+        std::unique_lock<std::mutex> lock(g_safe_mu);
+        auto hit = g_safe_cache.find(key);
+        if (hit != g_safe_cache.end()) {
+            par::bumpHarnessCounter(
+                par::HarnessCounter::SafeSetCacheHits);
+            return hit->second;
+        }
+    }
+
+    // L2: persistent cache, keyed by the instantiated source + the
+    // full result-affecting RunConfig fingerprint. Fault injection
+    // perturbs probe outcomes, so those searches are never persisted.
+    const bool persistable = !base.faults.any();
+    u64 disk_key = par::safeSetCacheKey(w, base, probe_iterations);
+    if (persistable) {
+        std::string stored;
+        std::array<bool, kNumGroups> set{};
+        if (par::PersistentCache::instance().get("safeset", disk_key,
+                                                 stored)
+            && deserializeRemovalSet(stored, set)) {
+            par::bumpHarnessCounter(
+                par::HarnessCounter::SafeSetCacheHits);
+            std::unique_lock<std::mutex> lock(g_safe_mu);
+            return g_safe_cache.emplace(key, set).first->second;
+        }
+    }
+    par::bumpHarnessCounter(par::HarnessCounter::SafeSetCacheMisses);
 
     const std::string &ref = referenceChecksum(w, size, probe_iterations);
 
     std::array<bool, kNumGroups> removed{};
     removed.fill(true);
 
+    auto memoize = [&](const std::array<bool, kNumGroups> &set) {
+        if (persistable)
+            par::PersistentCache::instance().put(
+                "safeset", disk_key, serializeRemovalSet(set));
+        std::unique_lock<std::mutex> lock(g_safe_mu);
+        g_safe_cache.emplace(key, set);
+        return set;
+    };
+
     RunConfig all = base;
     all.removeChecks = removed;
-    if (runWorkload(w, all, &ref).valid) {
-        cache.emplace(key, removed);
-        return removed;
-    }
+    if (runWorkload(w, all, &ref).valid)
+        return memoize(removed);
 
     // Drop one group at a time: keep a group's checks when removing
     // them (individually) breaks the run, then verify the combination
@@ -235,8 +326,7 @@ findSafeRemovalSet(const Workload &w, RunConfig base, u32 probe_iterations)
             }
         }
     }
-    cache.emplace(key, combo.removeChecks);
-    return combo.removeChecks;
+    return memoize(combo.removeChecks);
 }
 
 double

@@ -61,6 +61,10 @@ struct RunConfig
     /** vguard fuel budget in modeled cycles (0 = unlimited). */
     u64 maxFuelCycles = 0;
 
+    /** vpar: simulator predecode fast path (bit-identical cycles; off
+     *  only for A/B comparisons — honours VSPEC_PREDECODE=0). */
+    bool predecode = defaultPredecodeEnabled();
+
     bool anyRemoval() const
     {
         for (bool b : removeChecks)

@@ -1,0 +1,346 @@
+#include "harness/parallel.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+namespace vspec
+{
+namespace par
+{
+
+// ---------------------------------------------------------------------
+// Hashing / cache keys
+// ---------------------------------------------------------------------
+
+u64
+fnv1a(const void *data, size_t len, u64 seed)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    u64 h = seed;
+    for (size_t i = 0; i < len; i++) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+u64
+fnv1aStr(const std::string &s, u64 seed)
+{
+    return fnv1a(s.data(), s.size(), seed);
+}
+
+u64
+fnv1aU64(u64 v, u64 seed)
+{
+    return fnv1a(&v, sizeof(v), seed);
+}
+
+u64
+runConfigFingerprint(const RunConfig &rc)
+{
+    u64 h = fnv1aU64(kCacheSchemaVersion, 0xcbf29ce484222325ULL);
+    h = fnv1aU64(static_cast<u64>(rc.isa), h);
+    h = fnv1aU64(rc.size, h);
+    h = fnv1aU64(rc.iterations, h);
+    u64 flags = 0;
+    flags |= rc.removeBranchesOnly ? 1u : 0u;
+    flags |= rc.smiExtension ? 2u : 0u;
+    flags |= rc.mapCheckExtension ? 4u : 0u;
+    flags |= rc.enableOptimization ? 8u : 0u;
+    h = fnv1aU64(flags, h);
+    for (bool b : rc.removeChecks)
+        h = fnv1aU64(b ? 1 : 0, h);
+    h = fnv1aU64(rc.seed, h);
+    h = fnv1aU64(rc.jitter, h);
+    h = fnv1aU64(rc.maxFuelCycles, h);
+    return h;
+}
+
+u64
+referenceCacheKey(const Workload &w, u32 size, u32 iterations)
+{
+    // Content-keyed: the *instantiated* source, so editing a workload
+    // or changing its size invalidates the entry automatically.
+    u64 h = fnv1aStr(instantiate(w, size),
+                     fnv1aU64(kCacheSchemaVersion,
+                              0xcbf29ce484222325ULL));
+    h = fnv1aU64(size, h);
+    h = fnv1aU64(iterations, h);
+    return h;
+}
+
+u64
+safeSetCacheKey(const Workload &w, const RunConfig &base,
+                u32 probe_iterations)
+{
+    u32 size = base.size != 0 ? base.size : w.defaultSize;
+    u64 h = fnv1aStr(instantiate(w, size), runConfigFingerprint(base));
+    h = fnv1aU64(size, h);
+    h = fnv1aU64(probe_iterations, h);
+    return h;
+}
+
+// ---------------------------------------------------------------------
+// PersistentCache
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+resolveCacheDir()
+{
+    if (const char *env = std::getenv("VSPEC_CACHE")) {
+        if (env[0] == '0' && env[1] == '\0')
+            return "";
+    }
+    std::string dir;
+    if (const char *env = std::getenv("VSPEC_CACHE_DIR")) {
+        if (env[0] != '\0')
+            dir = env;
+    }
+    if (dir.empty()) {
+        if (const char *xdg = std::getenv("XDG_CACHE_HOME")) {
+            if (xdg[0] != '\0')
+                dir = std::string(xdg) + "/vspec";
+        }
+    }
+    if (dir.empty()) {
+        if (const char *home = std::getenv("HOME")) {
+            if (home[0] != '\0')
+                dir = std::string(home) + "/.cache/vspec";
+        }
+    }
+    return dir;
+}
+
+} // namespace
+
+PersistentCache::PersistentCache(const std::string &directory)
+    : root(directory)
+{
+    if (root.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(root, ec);
+    if (ec) {
+        vlog(LogLevel::Warn, "vpar",
+             "cannot create cache dir '" + root + "' (" + ec.message()
+                 + "); persistent caching disabled");
+        root.clear();
+    }
+}
+
+PersistentCache &
+PersistentCache::instance()
+{
+    static PersistentCache cache(resolveCacheDir());
+    return cache;
+}
+
+bool
+PersistentCache::enabled() const
+{
+    return !root.empty() && diskEnabled.load(std::memory_order_relaxed);
+}
+
+void
+PersistentCache::setDiskEnabled(bool enabled)
+{
+    diskEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+const std::string &
+PersistentCache::dir() const
+{
+    return root;
+}
+
+std::string
+PersistentCache::entryPath(const std::string &kind, u64 key) const
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return root + "/" + kind + "-" + hex + ".txt";
+}
+
+bool
+PersistentCache::get(const std::string &kind, u64 key, std::string &value)
+{
+    std::string mem_key = kind + "#" + std::to_string(key);
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        auto it = memory.find(mem_key);
+        if (it != memory.end()) {
+            value = it->second;
+            return true;
+        }
+    }
+    if (!enabled())
+        return false;
+    std::ifstream in(entryPath(kind, key), std::ios::binary);
+    if (!in)
+        return false;
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return false;
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        memory.emplace(mem_key, data);
+    }
+    value = std::move(data);
+    return true;
+}
+
+void
+PersistentCache::put(const std::string &kind, u64 key,
+                     const std::string &value)
+{
+    std::string mem_key = kind + "#" + std::to_string(key);
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        memory[mem_key] = value;
+    }
+    if (!enabled())
+        return;
+    // Atomic publish: a unique temp file renamed into place, so a
+    // concurrent reader (or a second bench process) never sees a torn
+    // entry. Failures only cost future cache misses — log and move on.
+    static std::atomic<u64> temp_seq{0};
+    std::string path = entryPath(kind, key);
+    std::string tmp = path + ".tmp" + std::to_string(::getpid()) + "."
+                      + std::to_string(
+                            temp_seq.fetch_add(1,
+                                               std::memory_order_relaxed));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            vlog(LogLevel::Warn, "vpar",
+                 "cannot write cache entry " + tmp);
+            return;
+        }
+        out << value;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        vlog(LogLevel::Warn, "vpar",
+             "cannot publish cache entry " + path + ": " + ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+void
+PersistentCache::clear()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    memory.clear();
+    if (root.empty())
+        return;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(root, ec)) {
+        if (entry.path().extension() == ".txt")
+            std::filesystem::remove(entry.path(), ec);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Harness counters
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::atomic<u64> g_harness_counters[kNumHarnessCounters];
+
+} // namespace
+
+const char *
+harnessCounterName(HarnessCounter c)
+{
+    switch (c) {
+      case HarnessCounter::CellsRun: return "cells_run";
+      case HarnessCounter::RefCacheHits: return "ref_cache_hits";
+      case HarnessCounter::RefCacheMisses: return "ref_cache_misses";
+      case HarnessCounter::SafeSetCacheHits: return "safe_set_cache_hits";
+      case HarnessCounter::SafeSetCacheMisses:
+        return "safe_set_cache_misses";
+      case HarnessCounter::NumCounters: break;
+    }
+    return "?";
+}
+
+void
+bumpHarnessCounter(HarnessCounter c, u64 n)
+{
+    g_harness_counters[static_cast<u32>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+}
+
+u64
+harnessCounter(HarnessCounter c)
+{
+    return g_harness_counters[static_cast<u32>(c)].load(
+        std::memory_order_relaxed);
+}
+
+void
+resetHarnessCounters()
+{
+    for (auto &c : g_harness_counters)
+        c.store(0, std::memory_order_relaxed);
+}
+
+std::string
+harnessCountersJson()
+{
+    std::string out = "{";
+    for (u32 i = 0; i < kNumHarnessCounters; i++) {
+        if (i != 0)
+            out += ",";
+        out += "\"";
+        out += harnessCounterName(static_cast<HarnessCounter>(i));
+        out += "\":"
+               + std::to_string(
+                     harnessCounter(static_cast<HarnessCounter>(i)));
+    }
+    out += "}";
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// strprintf
+// ---------------------------------------------------------------------
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<size_t>(n) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args);
+        out.resize(static_cast<size_t>(n));
+    }
+    va_end(args);
+    return out;
+}
+
+} // namespace par
+} // namespace vspec

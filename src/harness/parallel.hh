@@ -1,0 +1,174 @@
+/**
+ * @file
+ * vpar: cell-sharded parallel experiment runner + persistent result
+ * cache.
+ *
+ * Every figure bench decomposes into independent cells (workload x
+ * RunConfig x repeat); each cell owns its Engine, so cells execute
+ * concurrently on a bounded worker pool (support/sched) without
+ * sharing any mutable engine state. Determinism contract: cells are
+ * enumerated up front, results land in a slot indexed by cell, and all
+ * output is rendered sequentially from those slots — tables, JSON
+ * dumps and trace files are byte-identical to a `--jobs=1` run no
+ * matter how the pool schedules the work.
+ *
+ * The persistent cache keeps the two expensive all-checks-in-place
+ * artifacts — reference checksums and §III-B.2 safe-removal sets —
+ * across process invocations, keyed by workload source hash +
+ * RunConfig fingerprint + a schema version (bump kCacheSchemaVersion
+ * whenever modeled semantics change). Location: $VSPEC_CACHE_DIR, else
+ * $XDG_CACHE_HOME/vspec, else $HOME/.cache/vspec; VSPEC_CACHE=0
+ * disables. Hits/misses are tracked in the process-wide harness
+ * counter registry (vtrace counters for code that runs outside any
+ * engine).
+ */
+
+#ifndef VSPEC_HARNESS_PARALLEL_HH
+#define VSPEC_HARNESS_PARALLEL_HH
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "support/sched.hh"
+
+namespace vspec
+{
+namespace par
+{
+
+/** Bump when engine semantics change in a way that invalidates cached
+ *  reference checksums / safe-removal sets. */
+constexpr u32 kCacheSchemaVersion = 1;
+
+/** FNV-1a 64-bit over arbitrary bytes — the cache's content hash. */
+u64 fnv1a(const void *data, size_t len, u64 seed = 0xcbf29ce484222325ULL);
+u64 fnv1aStr(const std::string &s, u64 seed = 0xcbf29ce484222325ULL);
+
+/** Fold an integer into a running FNV state. */
+u64 fnv1aU64(u64 v, u64 seed);
+
+/**
+ * Fingerprint of every RunConfig field that can influence a run's
+ * *results* (checksums, deopt behaviour) as opposed to its timing:
+ * isa, extensions, optimization, branch removal, seed, jitter, size,
+ * iterations. Used to key safe-removal-set cache entries.
+ */
+u64 runConfigFingerprint(const RunConfig &rc);
+
+/** Cache key for a reference checksum of (workload, size, iters). */
+u64 referenceCacheKey(const Workload &w, u32 size, u32 iterations);
+
+/** Cache key for a safe-removal set search. */
+u64 safeSetCacheKey(const Workload &w, const RunConfig &base,
+                    u32 probe_iterations);
+
+/**
+ * Thread-safe persistent key/value cache: one small file per entry
+ * under the cache directory, written atomically (temp file + rename)
+ * so concurrent bench processes cannot observe torn entries. An
+ * in-memory map serves repeated lookups without touching the
+ * filesystem again.
+ */
+class PersistentCache
+{
+  public:
+    /** The process-wide cache, configured from the environment once. */
+    static PersistentCache &instance();
+
+    /** True when a usable cache directory exists and VSPEC_CACHE != 0.
+     */
+    bool enabled() const;
+    const std::string &dir() const;
+
+    /** Lookup `<kind>-<key>`; fills @p value on hit. */
+    bool get(const std::string &kind, u64 key, std::string &value);
+    /** Store `<kind>-<key>` (memory + disk). */
+    void put(const std::string &kind, u64 key, const std::string &value);
+
+    /** Drop every entry (memory + disk) — `clear the cache`. */
+    void clear();
+
+    /** Bench `--no-cache`: stop reading/writing the disk layer (the
+     *  in-process memo stays; it is deterministic either way). */
+    void setDiskEnabled(bool enabled);
+
+    /** Test hook: build a cache rooted at an explicit directory
+     *  (empty = disabled). */
+    explicit PersistentCache(const std::string &directory);
+
+  private:
+    std::string entryPath(const std::string &kind, u64 key) const;
+
+    std::string root;  //!< empty = disabled
+    std::atomic<bool> diskEnabled{true};
+    std::mutex mu;
+    std::map<std::string, std::string> memory;
+};
+
+// ---------------------------------------------------------------------
+// Harness counters: vtrace-style counters for code that runs outside
+// any engine (the runner and the caches). Thread-safe.
+// ---------------------------------------------------------------------
+
+enum class HarnessCounter : u8
+{
+    CellsRun,           //!< cells executed by the parallel runner
+    RefCacheHits,       //!< reference checksums served from the cache
+    RefCacheMisses,
+    SafeSetCacheHits,   //!< §III-B.2 sets served from the cache
+    SafeSetCacheMisses,
+    NumCounters,
+};
+
+constexpr u32 kNumHarnessCounters =
+    static_cast<u32>(HarnessCounter::NumCounters);
+
+const char *harnessCounterName(HarnessCounter c);
+
+void bumpHarnessCounter(HarnessCounter c, u64 n = 1);
+u64 harnessCounter(HarnessCounter c);
+void resetHarnessCounters();
+
+/** Flat JSON of the harness counters (micro_host's BENCH_host.json). */
+std::string harnessCountersJson();
+
+// ---------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------
+
+/**
+ * Execute fn(0..n-1) on the pool and return results indexed by cell.
+ * This is *the* vpar primitive: a bench enumerates its cells, maps
+ * them, then renders output sequentially from the ordered results.
+ */
+template <typename R, typename Fn>
+std::vector<R>
+mapCells(u32 jobs, size_t n, Fn fn)
+{
+    std::vector<R> results(n);
+    sched::parallelFor(jobs, n, [&](size_t i) { results[i] = fn(i); });
+    bumpHarnessCounter(HarnessCounter::CellsRun, n);
+    return results;
+}
+
+/** Convenience: one cell per workload. */
+template <typename R, typename Fn>
+std::vector<R>
+mapWorkloads(u32 jobs, const std::vector<const Workload *> &ws, Fn fn)
+{
+    return mapCells<R>(jobs, ws.size(),
+                       [&](size_t i) { return fn(*ws[i]); });
+}
+
+/** printf into a std::string (ordered per-cell output buffers). */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace par
+} // namespace vspec
+
+#endif // VSPEC_HARNESS_PARALLEL_HH

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <limits>
 #include <map>
+#include <mutex>
 
 #include "runtime/engine.hh"
 #include "runtime/guard.hh"
@@ -43,11 +44,16 @@ argStr(Engine &e, const std::vector<Value> &args, size_t i)
 }
 
 /** Compiled-pattern cache: regex compilation is expensive and V8
- *  caches RegExp objects; key by pattern text. */
+ *  caches RegExp objects; key by pattern text. Shared across engines,
+ *  so vpar worker threads lock around the map; the returned reference
+ *  stays valid (map entries are never erased) and matching itself is
+ *  const, so it runs outside the lock. */
 RegexLite &
 cachedRegex(const std::string &pattern)
 {
+    static std::mutex mu;
     static std::map<std::string, RegexLite> cache;
+    std::unique_lock<std::mutex> lock(mu);
     auto it = cache.find(pattern);
     if (it == cache.end())
         it = cache.emplace(pattern, RegexLite(pattern)).first;

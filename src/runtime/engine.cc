@@ -55,6 +55,8 @@ Engine::Engine(EngineConfig cfg)
             lastCallArgc = static_cast<int>(m.imm);
             handleRuntimeCall(fn, st);
         });
+    core->predecode = cfg.predecode;
+    core->verifyPredecode = cfg.passes.verifyLevel != VerifyLevel::Off;
     if (cfg.maxFuelCycles != 0)
         core->fuelCheck = [this] { checkFuel(); };
     sampler.period = cfg.samplerPeriodCycles;

@@ -25,6 +25,7 @@
 #include "runtime/guard.hh"
 #include "runtime/tiering.hh"
 #include "sim/machine.hh"
+#include "sim/predecode.hh"
 #include "support/random.hh"
 #include "trace/trace.hh"
 
@@ -80,6 +81,12 @@ struct EngineConfig
      *  Exceeding it raises EngineError{StackOverflow} instead of
      *  exhausting the host stack. */
     u32 maxInvokeDepth = 512;
+
+    /** vpar: decode each code object's instruction stream once into a
+     *  dense micro-op array instead of re-deriving CommitInfo on every
+     *  fetch. Bit-identical cycles either way; honours
+     *  VSPEC_PREDECODE=0 for A/B comparisons. */
+    bool predecode = defaultPredecodeEnabled();
 };
 
 struct DeoptRecord

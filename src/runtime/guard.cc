@@ -79,9 +79,14 @@ EngineError::withContext(u32 fn, u32 bytecode_offset, u64 at_cycle) const
 FaultConfig
 FaultConfig::fromEnv()
 {
-    if (const char *env = std::getenv("VSPEC_FAULT"))
-        return parse(env);
-    return {};
+    // Parsed once per process: RunConfig default-constructs through
+    // here from vpar worker threads, and a spec typo should warn once.
+    static const FaultConfig cached = [] {
+        if (const char *env = std::getenv("VSPEC_FAULT"))
+            return parse(env);
+        return FaultConfig{};
+    }();
+    return cached;
 }
 
 FaultConfig

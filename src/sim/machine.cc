@@ -7,6 +7,7 @@
 #include "sim/fast_timing.hh"
 #include "sim/inorder.hh"
 #include "sim/o3lite.hh"
+#include "sim/predecode.hh"
 
 namespace vspec
 {
@@ -217,9 +218,6 @@ condHolds(const MachineState &st, Cond c)
     return true;
 }
 
-u8 gid(u8 r) { return r; }
-u8 fid(u8 r) { return static_cast<u8>(kFprBase + r); }
-
 } // namespace
 
 u32
@@ -258,6 +256,25 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
     const u64 stack_limit = heap.sizeBytes() - Heap::kStackReserve;
     const bool sp_guard = st.sp() >= stack_limit;
 
+    // vpar predecode fast path: the static CommitInfo fields are a
+    // pure function of the instruction, so fetch them from the
+    // per-code-object micro-op array instead of re-deriving them every
+    // fetch. Built lazily on first entry; cross-checked against a
+    // fresh decode when the engine runs with the verifier on. Cycle
+    // accounting is bit-identical either way — both paths read the
+    // same predecodeInst() output.
+    const CommitInfo *protos = nullptr;
+    if (predecode) {
+        if (code.predecoded == nullptr) {
+            auto pd = std::make_shared<PredecodedCode>(
+                buildPredecoded(code));
+            if (verifyPredecode)
+                verifyPredecoded(code, *pd);
+            code.predecoded = std::move(pd);
+        }
+        protos = code.predecoded->ops.data();
+    }
+
     while (true) {
         if (result.instructions++ > maxInstructions)
             throw EngineError(EngineErrorKind::FuelExhausted,
@@ -271,11 +288,8 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
         u32 cur = st.pc;
         st.pc = cur + 1;
 
-        CommitInfo ci;
-        ci.inst = &m;
-        ci.pc = cur;
-        ci.cls = InstClass::Alu;
-        ci.isDeoptBranch = m.isDeoptBranch;
+        CommitInfo ci = protos != nullptr ? protos[cur]
+                                          : predecodeInst(m, cur);
 
         auto addr_imm = [&](u8 rn, i64 imm) -> Addr {
             if (rn == kAbsBase)
@@ -289,211 +303,135 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
         auto setw = [&](u8 r, i32 v) {
             st.x[r] = static_cast<u32>(v);
         };
-        auto src2 = [&](u8 a, u8 b) {
-            ci.srcs[0] = a;
-            ci.srcs[1] = b;
-        };
 
         switch (m.op) {
           case MOp::Nop:
-            ci.cls = InstClass::Nop;
             break;
 
           // ---- ALU register forms -----------------------------------
           case MOp::Add:
             setw(m.rd, wreg(m.rn) + wreg(m.rm));
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
             break;
           case MOp::Sub:
             setw(m.rd, wreg(m.rn) - wreg(m.rm));
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
             break;
           case MOp::Mul:
             setw(m.rd, static_cast<i32>(
                 static_cast<i64>(wreg(m.rn)) * wreg(m.rm)));
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
-            ci.cls = InstClass::Mul;
             break;
           case MOp::SDiv: {
             i32 a = wreg(m.rn), b = wreg(m.rm);
             i32 q = b == 0 ? 0
                   : (a == INT32_MIN && b == -1) ? INT32_MIN : a / b;
             setw(m.rd, q);
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
-            ci.cls = InstClass::Div;
             break;
           }
           case MOp::And:
             setw(m.rd, wreg(m.rn) & wreg(m.rm));
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
             break;
           case MOp::Orr:
             setw(m.rd, wreg(m.rn) | wreg(m.rm));
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
             break;
           case MOp::Eor:
             setw(m.rd, wreg(m.rn) ^ wreg(m.rm));
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
             break;
           case MOp::Lsl:
             setw(m.rd, static_cast<i32>(static_cast<u32>(wreg(m.rn))
                                         << (st.x[m.rm] & 31)));
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
             break;
           case MOp::Lsr:
             setw(m.rd, static_cast<i32>(static_cast<u32>(wreg(m.rn))
                                         >> (st.x[m.rm] & 31)));
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
             break;
           case MOp::Asr:
             setw(m.rd, wreg(m.rn) >> (st.x[m.rm] & 31));
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
             break;
           case MOp::Adds: {
             i32 a = wreg(m.rn), b = wreg(m.rm);
             setAddFlags(st, a, b);
             setw(m.rd, a + b);
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
-            ci.setsFlags = true;
             break;
           }
           case MOp::Subs: {
             i32 a = wreg(m.rn), b = wreg(m.rm);
             setSubFlags(st, a, b);
             setw(m.rd, a - b);
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
-            ci.setsFlags = true;
             break;
           }
           case MOp::Smull:
             st.x[m.rd] = static_cast<u64>(
                 static_cast<i64>(wreg(m.rn)) * wreg(m.rm));
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
-            ci.cls = InstClass::Mul;
             break;
 
           // ---- ALU immediate forms ------------------------------------
           case MOp::AddI:
             setw(m.rd, wreg(m.rn) + static_cast<i32>(m.imm));
-            ci.srcs[0] = gid(m.rn);
-            ci.dst = gid(m.rd);
             break;
           case MOp::SubI:
             setw(m.rd, wreg(m.rn) - static_cast<i32>(m.imm));
-            ci.srcs[0] = gid(m.rn);
-            ci.dst = gid(m.rd);
             break;
           case MOp::AndI:
             setw(m.rd, wreg(m.rn) & static_cast<i32>(m.imm));
-            ci.srcs[0] = gid(m.rn);
-            ci.dst = gid(m.rd);
             break;
           case MOp::OrrI:
             setw(m.rd, wreg(m.rn) | static_cast<i32>(m.imm));
-            ci.srcs[0] = gid(m.rn);
-            ci.dst = gid(m.rd);
             break;
           case MOp::EorI:
             setw(m.rd, wreg(m.rn) ^ static_cast<i32>(m.imm));
-            ci.srcs[0] = gid(m.rn);
-            ci.dst = gid(m.rd);
             break;
           case MOp::LslI:
             setw(m.rd, static_cast<i32>(static_cast<u32>(wreg(m.rn))
                                         << (m.imm & 31)));
-            ci.srcs[0] = gid(m.rn);
-            ci.dst = gid(m.rd);
             break;
           case MOp::LsrI:
             setw(m.rd, static_cast<i32>(static_cast<u32>(wreg(m.rn))
                                         >> (m.imm & 31)));
-            ci.srcs[0] = gid(m.rn);
-            ci.dst = gid(m.rd);
             break;
           case MOp::AsrI:
             setw(m.rd, wreg(m.rn) >> (m.imm & 31));
-            ci.srcs[0] = gid(m.rn);
-            ci.dst = gid(m.rd);
             break;
           case MOp::AddsI: {
             i32 a = wreg(m.rn);
             setAddFlags(st, a, static_cast<i32>(m.imm));
             setw(m.rd, a + static_cast<i32>(m.imm));
-            ci.srcs[0] = gid(m.rn);
-            ci.dst = gid(m.rd);
-            ci.setsFlags = true;
             break;
           }
           case MOp::SubsI: {
             i32 a = wreg(m.rn);
             setSubFlags(st, a, static_cast<i32>(m.imm));
             setw(m.rd, a - static_cast<i32>(m.imm));
-            ci.srcs[0] = gid(m.rn);
-            ci.dst = gid(m.rd);
-            ci.setsFlags = true;
             break;
           }
           case MOp::MovI:
             st.x[m.rd] = static_cast<u64>(m.imm);
-            ci.dst = gid(m.rd);
             break;
           case MOp::MovR:
             st.x[m.rd] = st.x[m.rn];
-            ci.srcs[0] = gid(m.rn);
-            ci.dst = gid(m.rd);
             break;
 
           // ---- compares ------------------------------------------------
           case MOp::Cmp:
             setSubFlags(st, wreg(m.rn), wreg(m.rm));
-            src2(gid(m.rn), gid(m.rm));
-            ci.setsFlags = true;
             break;
           case MOp::CmpI:
             setSubFlags(st, wreg(m.rn), static_cast<i32>(m.imm));
-            ci.srcs[0] = gid(m.rn);
-            ci.setsFlags = true;
             break;
           case MOp::Tst:
             setLogicFlags(st, static_cast<u32>(wreg(m.rn) & wreg(m.rm)));
-            src2(gid(m.rn), gid(m.rm));
-            ci.setsFlags = true;
             break;
           case MOp::TstI:
             setLogicFlags(st, static_cast<u32>(wreg(m.rn))
                               & static_cast<u32>(m.imm));
-            ci.srcs[0] = gid(m.rn);
-            ci.setsFlags = true;
             break;
           case MOp::CmpSxtw:
             setSub64Flags(st, static_cast<i64>(st.x[m.rn]),
                           static_cast<i64>(wreg(m.rm)));
-            src2(gid(m.rn), gid(m.rm));
-            ci.setsFlags = true;
             break;
           case MOp::Cset:
             st.x[m.rd] = condHolds(st, m.cond) ? 1 : 0;
-            ci.dst = gid(m.rd);
-            ci.readsFlags = true;
             break;
           case MOp::Csel:
             st.x[m.rd] = condHolds(st, m.cond) ? st.x[m.rn] : st.x[m.rm];
-            src2(gid(m.rn), gid(m.rm));
-            ci.dst = gid(m.rd);
-            ci.readsFlags = true;
             break;
 
           // ---- memory ---------------------------------------------------
@@ -506,31 +444,20 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
                 ? static_cast<Addr>(st.x[m.rn] + (st.x[m.rm] << m.scale)
                                     + static_cast<u64>(m.imm))
                 : addr_imm(m.rn, m.imm);
-            ci.isMem = true;
-            ci.isLoad = true;
             ci.memAddr = a;
-            ci.cls = InstClass::Load;
-            if (m.rn != kAbsBase)
-                ci.srcs[0] = gid(m.rn);
-            if (reg_form)
-                ci.srcs[1] = gid(m.rm);
             switch (m.op) {
               case MOp::LdrB: case MOp::LdrBr:
                 st.x[m.rd] = heap.contains(a, 1) ? heap.readU8(a) : 0;
-                ci.dst = gid(m.rd);
                 break;
               case MOp::LdrW: case MOp::LdrWr:
                 st.x[m.rd] = loadU32Safe(a, tstats);
-                ci.dst = gid(m.rd);
                 break;
               case MOp::LdrX: case MOp::LdrXr:
                 st.x[m.rd] = heap.contains(a, 8) ? heap.readU64(a)
                                                  : 0xdeadbeefdeadbeefULL;
-                ci.dst = gid(m.rd);
                 break;
               default:  // LdrD / LdrDr
                 st.d[m.rd] = heap.contains(a, 8) ? heap.readF64(a) : 0.0;
-                ci.dst = fid(m.rd);
                 break;
             }
             break;
@@ -544,37 +471,26 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
                 ? static_cast<Addr>(st.x[m.rn] + (st.x[m.rm] << m.scale)
                                     + static_cast<u64>(m.imm))
                 : addr_imm(m.rn, m.imm);
-            ci.isMem = true;
-            ci.isLoad = false;
             ci.memAddr = a;
-            ci.cls = InstClass::Store;
-            if (m.rn != kAbsBase)
-                ci.srcs[0] = gid(m.rn);
-            if (reg_form)
-                ci.srcs[1] = gid(m.rm);
             switch (m.op) {
               case MOp::StrB: case MOp::StrBr:
                 if (heap.contains(a, 1))
                     heap.writeU8(a, static_cast<u8>(st.x[m.rd]));
-                ci.srcs[2] = gid(m.rd);
                 break;
               case MOp::StrW: case MOp::StrWr:
                 storeU32Safe(a, static_cast<u32>(st.x[m.rd]), tstats);
-                ci.srcs[2] = gid(m.rd);
                 break;
               case MOp::StrX: case MOp::StrXr:
                 if (heap.contains(a, 8))
                     heap.writeU64(a, st.x[m.rd]);
                 else if (tstats != nullptr)
                     tstats->memoryFaults++;
-                ci.srcs[2] = gid(m.rd);
                 break;
               default:  // StrD / StrDr
                 if (heap.contains(a, 8))
                     heap.writeF64(a, st.d[m.rd]);
                 else if (tstats != nullptr)
                     tstats->memoryFaults++;
-                ci.srcs[2] = fid(m.rd);
                 break;
             }
             break;
@@ -583,12 +499,7 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
             Addr a = addr_imm(m.rn, m.imm);
             u32 mem = loadU32Safe(a, tstats);
             setSubFlags(st, wreg(m.rd), static_cast<i32>(mem));
-            ci.isMem = true;
-            ci.isLoad = true;
             ci.memAddr = a;
-            ci.cls = InstClass::Load;
-            src2(gid(m.rd), gid(m.rn));
-            ci.setsFlags = true;
             break;
           }
           case MOp::CmpMemI: {
@@ -596,92 +507,50 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
             u32 mem = loadU32Safe(a, tstats);
             setSubFlags(st, static_cast<i32>(mem),
                         static_cast<i32>(m.target));
-            ci.isMem = true;
-            ci.isLoad = true;
             ci.memAddr = a;
-            ci.cls = InstClass::Load;
-            ci.srcs[0] = gid(m.rn);
-            ci.setsFlags = true;
             break;
           }
           case MOp::TstMemI: {
             Addr a = addr_imm(m.rn, m.imm);
             u32 mem = loadU32Safe(a, tstats);
             setLogicFlags(st, mem & static_cast<u32>(m.target));
-            ci.isMem = true;
-            ci.isLoad = true;
             ci.memAddr = a;
-            ci.cls = InstClass::Load;
-            ci.srcs[0] = gid(m.rn);
-            ci.setsFlags = true;
             break;
           }
 
           // ---- floating point -------------------------------------------
           case MOp::FAdd:
             st.d[m.rd] = st.d[m.rn] + st.d[m.rm];
-            src2(fid(m.rn), fid(m.rm));
-            ci.dst = fid(m.rd);
-            ci.cls = InstClass::Fp;
             break;
           case MOp::FSub:
             st.d[m.rd] = st.d[m.rn] - st.d[m.rm];
-            src2(fid(m.rn), fid(m.rm));
-            ci.dst = fid(m.rd);
-            ci.cls = InstClass::Fp;
             break;
           case MOp::FMul:
             st.d[m.rd] = st.d[m.rn] * st.d[m.rm];
-            src2(fid(m.rn), fid(m.rm));
-            ci.dst = fid(m.rd);
-            ci.cls = InstClass::Fp;
             break;
           case MOp::FDiv:
             st.d[m.rd] = st.d[m.rn] / st.d[m.rm];
-            src2(fid(m.rn), fid(m.rm));
-            ci.dst = fid(m.rd);
-            ci.cls = InstClass::FpDiv;
             break;
           case MOp::FNeg:
             st.d[m.rd] = -st.d[m.rn];
-            ci.srcs[0] = fid(m.rn);
-            ci.dst = fid(m.rd);
-            ci.cls = InstClass::Fp;
             break;
           case MOp::FAbs:
             st.d[m.rd] = st.d[m.rn] < 0 ? -st.d[m.rn] : st.d[m.rn];
-            ci.srcs[0] = fid(m.rn);
-            ci.dst = fid(m.rd);
-            ci.cls = InstClass::Fp;
             break;
           case MOp::FSqrt:
             st.d[m.rd] = std::sqrt(st.d[m.rn]);
-            ci.srcs[0] = fid(m.rn);
-            ci.dst = fid(m.rd);
-            ci.cls = InstClass::FpSqrt;
             break;
           case MOp::FCmp:
             setFcmpFlags(st, st.d[m.rn], st.d[m.rm]);
-            src2(fid(m.rn), fid(m.rm));
-            ci.setsFlags = true;
-            ci.cls = InstClass::Fp;
             break;
           case MOp::FMovI:
             st.d[m.rd] = m.fimm;
-            ci.dst = fid(m.rd);
-            ci.cls = InstClass::Fp;
             break;
           case MOp::FMovRR:
             st.d[m.rd] = st.d[m.rn];
-            ci.srcs[0] = fid(m.rn);
-            ci.dst = fid(m.rd);
-            ci.cls = InstClass::Fp;
             break;
           case MOp::Scvtf:
             st.d[m.rd] = static_cast<double>(wreg(m.rn));
-            ci.srcs[0] = gid(m.rn);
-            ci.dst = fid(m.rd);
-            ci.cls = InstClass::Fp;
             break;
           case MOp::Fcvtzs: {
             double v = st.d[m.rn];
@@ -695,9 +564,6 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
             else
                 r = static_cast<i32>(v);
             setw(m.rd, r);
-            ci.srcs[0] = fid(m.rn);
-            ci.dst = gid(m.rd);
-            ci.cls = InstClass::Fp;
             break;
           }
           case MOp::Fjcvtzs: {
@@ -712,32 +578,21 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
                 r = static_cast<i32>(static_cast<u32>(mm));
             }
             setw(m.rd, r);
-            ci.srcs[0] = fid(m.rn);
-            ci.dst = gid(m.rd);
-            ci.cls = InstClass::Fp;
             break;
           }
 
           // ---- control flow ------------------------------------------------
           case MOp::B:
             st.pc = m.target;
-            ci.cls = InstClass::Branch;
-            ci.taken = true;
-            ci.isBranch = true;
             break;
           case MOp::Bcond: {
             bool taken = condHolds(st, m.cond);
             if (taken)
                 st.pc = m.target;
-            ci.cls = InstClass::CondBranch;
             ci.taken = taken;
-            ci.isBranch = true;
-            ci.readsFlags = true;
             break;
           }
           case MOp::Ret:
-            ci.cls = InstClass::Ret;
-            ci.isBranch = true;
             if (timing != nullptr)
                 timing->onCommit(ci);
             if (sampler != nullptr && timing != nullptr)
@@ -745,8 +600,6 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
             return result;
 
           case MOp::CallRt: {
-            ci.cls = InstClass::Call;
-            ci.isBranch = true;
             // Commit the call itself before transferring control.
             if (timing != nullptr)
                 timing->onCommit(ci);
@@ -767,13 +620,9 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
 
           case MOp::Msr:
             st.special[m.imm] = st.x[m.rn];
-            ci.srcs[0] = gid(m.rn);
-            ci.cls = InstClass::Special;
             break;
           case MOp::Mrs:
             st.x[m.rd] = st.special[m.imm];
-            ci.dst = gid(m.rd);
-            ci.cls = InstClass::Special;
             break;
 
           case MOp::DeoptExit:
@@ -790,12 +639,7 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
             u32 word = loadU32Safe(a, tstats);
             setSubFlags(st, static_cast<i32>(word),
                         static_cast<i32>(static_cast<u32>(m.imm)));
-            ci.isMem = true;
-            ci.isLoad = true;
             ci.memAddr = a;
-            ci.cls = InstClass::Load;
-            ci.srcs[0] = gid(m.rn);
-            ci.setsFlags = true;
             break;
           }
 
@@ -807,32 +651,23 @@ FunctionalCore::run(const CodeObject &code, MachineState &st,
               case MOp::JsLdrSmiI:
                 a = static_cast<Addr>(st.x[m.rn]
                                       + (static_cast<u64>(m.imm) << 2));
-                ci.srcs[0] = gid(m.rn);
                 break;
               case MOp::JsLdurSmiI:
                 a = addr_imm(m.rn, m.imm);
-                ci.srcs[0] = gid(m.rn);
                 break;
               case MOp::JsLdrSmiR:
               case MOp::JsLdurSmiR:
                 a = addr_reg(m.rn, m.rm, 0);
-                src2(gid(m.rn), gid(m.rm));
                 break;
               case MOp::JsLdrSmiRS:
                 a = addr_reg(m.rn, m.rm, 2);
-                src2(gid(m.rn), gid(m.rm));
                 break;
               default:  // JsLdrSmiX
                 a = static_cast<Addr>(st.x[m.rn] + (st.x[m.rm] << m.scale)
                                       + static_cast<u64>(m.imm));
-                src2(gid(m.rn), gid(m.rm));
                 break;
             }
-            ci.isMem = true;
-            ci.isLoad = true;
             ci.memAddr = a;
-            ci.cls = InstClass::Load;
-            ci.dst = gid(m.rd);
             u32 v = loadU32Safe(a, tstats);
             if ((v & 1u) == 0) {
                 // The untagging shift happens in the load unit, in

@@ -190,6 +190,16 @@ class FunctionalCore
     bool trace = false;
     u64 traceLimit = 2000;
 
+    /** vpar predecode fast path: when set, fetch the static CommitInfo
+     *  proto from the code object's cached micro-op array instead of
+     *  re-deriving it every fetch. Cycle counts are bit-identical
+     *  either way (both paths read the same predecodeInst output). */
+    bool predecode = true;
+
+    /** Re-validate a freshly built predecode array against a second
+     *  decode before first use (wired to the engine's verify level). */
+    bool verifyPredecode = false;
+
   private:
     u32 loadU32Safe(Addr a, SimStats *stats);
     void storeU32Safe(Addr a, u32 v, SimStats *stats);

@@ -1,0 +1,300 @@
+#include "sim/predecode.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+u8 gid(u8 r) { return r; }
+u8 fid(u8 r) { return static_cast<u8>(kFprBase + r); }
+
+} // namespace
+
+CommitInfo
+predecodeInst(const MInst &m, u32 pc)
+{
+    CommitInfo ci;
+    ci.inst = &m;
+    ci.pc = pc;
+    ci.cls = InstClass::Alu;
+    ci.isDeoptBranch = m.isDeoptBranch;
+
+    auto src2 = [&](u8 a, u8 b) {
+        ci.srcs[0] = a;
+        ci.srcs[1] = b;
+    };
+
+    switch (m.op) {
+      case MOp::Nop:
+        ci.cls = InstClass::Nop;
+        break;
+
+      // ---- ALU register forms -----------------------------------
+      case MOp::Add: case MOp::Sub: case MOp::And: case MOp::Orr:
+      case MOp::Eor: case MOp::Lsl: case MOp::Lsr: case MOp::Asr:
+        src2(gid(m.rn), gid(m.rm));
+        ci.dst = gid(m.rd);
+        break;
+      case MOp::Mul: case MOp::Smull:
+        src2(gid(m.rn), gid(m.rm));
+        ci.dst = gid(m.rd);
+        ci.cls = InstClass::Mul;
+        break;
+      case MOp::SDiv:
+        src2(gid(m.rn), gid(m.rm));
+        ci.dst = gid(m.rd);
+        ci.cls = InstClass::Div;
+        break;
+      case MOp::Adds: case MOp::Subs:
+        src2(gid(m.rn), gid(m.rm));
+        ci.dst = gid(m.rd);
+        ci.setsFlags = true;
+        break;
+
+      // ---- ALU immediate forms ----------------------------------
+      case MOp::AddI: case MOp::SubI: case MOp::AndI: case MOp::OrrI:
+      case MOp::EorI: case MOp::LslI: case MOp::LsrI: case MOp::AsrI:
+        ci.srcs[0] = gid(m.rn);
+        ci.dst = gid(m.rd);
+        break;
+      case MOp::AddsI: case MOp::SubsI:
+        ci.srcs[0] = gid(m.rn);
+        ci.dst = gid(m.rd);
+        ci.setsFlags = true;
+        break;
+      case MOp::MovI:
+        ci.dst = gid(m.rd);
+        break;
+      case MOp::MovR:
+        ci.srcs[0] = gid(m.rn);
+        ci.dst = gid(m.rd);
+        break;
+
+      // ---- compares ---------------------------------------------
+      case MOp::Cmp: case MOp::Tst: case MOp::CmpSxtw:
+        src2(gid(m.rn), gid(m.rm));
+        ci.setsFlags = true;
+        break;
+      case MOp::CmpI: case MOp::TstI:
+        ci.srcs[0] = gid(m.rn);
+        ci.setsFlags = true;
+        break;
+      case MOp::Cset:
+        ci.dst = gid(m.rd);
+        ci.readsFlags = true;
+        break;
+      case MOp::Csel:
+        src2(gid(m.rn), gid(m.rm));
+        ci.dst = gid(m.rd);
+        ci.readsFlags = true;
+        break;
+
+      // ---- memory -----------------------------------------------
+      case MOp::LdrB: case MOp::LdrW: case MOp::LdrX: case MOp::LdrD:
+      case MOp::LdrBr: case MOp::LdrWr: case MOp::LdrXr:
+      case MOp::LdrDr: {
+        bool reg_form = m.op == MOp::LdrBr || m.op == MOp::LdrWr
+                        || m.op == MOp::LdrXr || m.op == MOp::LdrDr;
+        ci.isMem = true;
+        ci.isLoad = true;
+        ci.cls = InstClass::Load;
+        if (m.rn != kAbsBase)
+            ci.srcs[0] = gid(m.rn);
+        if (reg_form)
+            ci.srcs[1] = gid(m.rm);
+        ci.dst = (m.op == MOp::LdrD || m.op == MOp::LdrDr)
+            ? fid(m.rd) : gid(m.rd);
+        break;
+      }
+      case MOp::StrB: case MOp::StrW: case MOp::StrX: case MOp::StrD:
+      case MOp::StrBr: case MOp::StrWr: case MOp::StrXr:
+      case MOp::StrDr: {
+        bool reg_form = m.op == MOp::StrBr || m.op == MOp::StrWr
+                        || m.op == MOp::StrXr || m.op == MOp::StrDr;
+        ci.isMem = true;
+        ci.isLoad = false;
+        ci.cls = InstClass::Store;
+        if (m.rn != kAbsBase)
+            ci.srcs[0] = gid(m.rn);
+        if (reg_form)
+            ci.srcs[1] = gid(m.rm);
+        ci.srcs[2] = (m.op == MOp::StrD || m.op == MOp::StrDr)
+            ? fid(m.rd) : gid(m.rd);
+        break;
+      }
+      case MOp::CmpMem:
+        ci.isMem = true;
+        ci.isLoad = true;
+        ci.cls = InstClass::Load;
+        src2(gid(m.rd), gid(m.rn));
+        ci.setsFlags = true;
+        break;
+      case MOp::CmpMemI: case MOp::TstMemI:
+        ci.isMem = true;
+        ci.isLoad = true;
+        ci.cls = InstClass::Load;
+        ci.srcs[0] = gid(m.rn);
+        ci.setsFlags = true;
+        break;
+
+      // ---- floating point ---------------------------------------
+      case MOp::FAdd: case MOp::FSub: case MOp::FMul:
+        src2(fid(m.rn), fid(m.rm));
+        ci.dst = fid(m.rd);
+        ci.cls = InstClass::Fp;
+        break;
+      case MOp::FDiv:
+        src2(fid(m.rn), fid(m.rm));
+        ci.dst = fid(m.rd);
+        ci.cls = InstClass::FpDiv;
+        break;
+      case MOp::FNeg: case MOp::FAbs:
+        ci.srcs[0] = fid(m.rn);
+        ci.dst = fid(m.rd);
+        ci.cls = InstClass::Fp;
+        break;
+      case MOp::FSqrt:
+        ci.srcs[0] = fid(m.rn);
+        ci.dst = fid(m.rd);
+        ci.cls = InstClass::FpSqrt;
+        break;
+      case MOp::FCmp:
+        src2(fid(m.rn), fid(m.rm));
+        ci.setsFlags = true;
+        ci.cls = InstClass::Fp;
+        break;
+      case MOp::FMovI:
+        ci.dst = fid(m.rd);
+        ci.cls = InstClass::Fp;
+        break;
+      case MOp::FMovRR:
+        ci.srcs[0] = fid(m.rn);
+        ci.dst = fid(m.rd);
+        ci.cls = InstClass::Fp;
+        break;
+      case MOp::Scvtf:
+        ci.srcs[0] = gid(m.rn);
+        ci.dst = fid(m.rd);
+        ci.cls = InstClass::Fp;
+        break;
+      case MOp::Fcvtzs: case MOp::Fjcvtzs:
+        ci.srcs[0] = fid(m.rn);
+        ci.dst = gid(m.rd);
+        ci.cls = InstClass::Fp;
+        break;
+
+      // ---- control flow -----------------------------------------
+      case MOp::B:
+        ci.cls = InstClass::Branch;
+        ci.taken = true;
+        ci.isBranch = true;
+        break;
+      case MOp::Bcond:
+        ci.cls = InstClass::CondBranch;
+        ci.isBranch = true;
+        ci.readsFlags = true;
+        break;
+      case MOp::Ret:
+        ci.cls = InstClass::Ret;
+        ci.isBranch = true;
+        break;
+      case MOp::CallRt:
+        ci.cls = InstClass::Call;
+        ci.isBranch = true;
+        break;
+
+      case MOp::Msr:
+        ci.srcs[0] = gid(m.rn);
+        ci.cls = InstClass::Special;
+        break;
+      case MOp::Mrs:
+        ci.dst = gid(m.rd);
+        ci.cls = InstClass::Special;
+        break;
+
+      case MOp::DeoptExit:
+        break;  // committed as a plain Alu op, like the fetch path
+
+      case MOp::JsChkMap:
+        ci.isMem = true;
+        ci.isLoad = true;
+        ci.cls = InstClass::Load;
+        ci.srcs[0] = gid(m.rn);
+        ci.setsFlags = true;
+        break;
+
+      // ---- §V SMI-load extension --------------------------------
+      case MOp::JsLdrSmiI: case MOp::JsLdurSmiI:
+        ci.srcs[0] = gid(m.rn);
+        ci.isMem = true;
+        ci.isLoad = true;
+        ci.cls = InstClass::Load;
+        ci.dst = gid(m.rd);
+        break;
+      case MOp::JsLdrSmiR: case MOp::JsLdurSmiR: case MOp::JsLdrSmiRS:
+      case MOp::JsLdrSmiX:
+        src2(gid(m.rn), gid(m.rm));
+        ci.isMem = true;
+        ci.isLoad = true;
+        ci.cls = InstClass::Load;
+        ci.dst = gid(m.rd);
+        break;
+    }
+    return ci;
+}
+
+PredecodedCode
+buildPredecoded(const CodeObject &code)
+{
+    PredecodedCode pd;
+    pd.ops.reserve(code.code.size());
+    for (u32 i = 0; i < code.code.size(); i++)
+        pd.ops.push_back(predecodeInst(code.code[i], i));
+    return pd;
+}
+
+bool
+commitInfoEquals(const CommitInfo &a, const CommitInfo &b)
+{
+    return a.inst == b.inst && a.pc == b.pc && a.cls == b.cls
+           && a.isMem == b.isMem && a.isLoad == b.isLoad
+           && a.memAddr == b.memAddr && a.isBranch == b.isBranch
+           && a.taken == b.taken && a.isDeoptBranch == b.isDeoptBranch
+           && std::memcmp(a.srcs, b.srcs, sizeof(a.srcs)) == 0
+           && a.dst == b.dst && a.setsFlags == b.setsFlags
+           && a.readsFlags == b.readsFlags;
+}
+
+void
+verifyPredecoded(const CodeObject &code, const PredecodedCode &pd)
+{
+    vassert(pd.ops.size() == code.code.size(),
+            "predecode cache length mismatch for code object "
+                + std::to_string(code.id));
+    for (u32 i = 0; i < code.code.size(); i++) {
+        CommitInfo fresh = predecodeInst(code.code[i], i);
+        if (!commitInfoEquals(pd.ops[i], fresh))
+            vpanic("predecode cache mismatch: code " + std::to_string(code.id)
+                   + " pc " + std::to_string(i) + " (" + mopName(code.code[i].op)
+                   + ")");
+    }
+}
+
+bool
+defaultPredecodeEnabled()
+{
+    static bool enabled = [] {
+        if (const char *env = std::getenv("VSPEC_PREDECODE"))
+            return !(env[0] == '0' && env[1] == '\0');
+        return true;
+    }();
+    return enabled;
+}
+
+} // namespace vspec

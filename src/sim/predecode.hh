@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Simulator predecode fast path (vpar): every CommitInfo field except
+ * the dynamic ones (memAddr, taken) is a pure function of the MInst,
+ * so the functional core decodes each code object's instruction stream
+ * exactly once into a dense micro-op array instead of re-deriving the
+ * instruction class, register dependencies and flag behaviour on every
+ * fetch. The decoded proto is cached on the CodeObject (engines are
+ * single-threaded; each cell owns its engine, so no locking).
+ *
+ * Cycle counts are bit-identical with the cache on or off by
+ * construction: both paths obtain the proto from the same
+ * predecodeInst(), the only difference being whether it was computed
+ * at compile-install time or per fetch. Under VSPEC_VERIFY the cached
+ * array is re-validated against a fresh decode before first use.
+ */
+
+#ifndef VSPEC_SIM_PREDECODE_HH
+#define VSPEC_SIM_PREDECODE_HH
+
+#include "sim/machine.hh"
+
+namespace vspec
+{
+
+/** Dense micro-op array for one code object: a ready-to-commit
+ *  CommitInfo per instruction, with memAddr/taken left for run time. */
+struct PredecodedCode
+{
+    std::vector<CommitInfo> ops;
+};
+
+/** Decode the static CommitInfo fields of one instruction. */
+CommitInfo predecodeInst(const MInst &m, u32 pc);
+
+/** Build the micro-op array for @p code. */
+PredecodedCode buildPredecoded(const CodeObject &code);
+
+/** True when both protos agree field-for-field (verification). */
+bool commitInfoEquals(const CommitInfo &a, const CommitInfo &b);
+
+/**
+ * vverify hook: re-decode @p code and compare against the cached
+ * array; vpanics on the first mismatch (a stale or corrupted cache
+ * would silently skew every figure).
+ */
+void verifyPredecoded(const CodeObject &code, const PredecodedCode &pd);
+
+/**
+ * Process default for EngineConfig::predecode: VSPEC_PREDECODE=0
+ * disables the cache (for A/B timing comparisons), anything else —
+ * including unset — enables it. Read once; cells never race on
+ * getenv.
+ */
+bool defaultPredecodeEnabled();
+
+} // namespace vspec
+
+#endif // VSPEC_SIM_PREDECODE_HH

@@ -1,0 +1,187 @@
+#include "support/sched.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace vspec
+{
+namespace sched
+{
+
+u32
+hardwareJobs()
+{
+    u32 n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+u32
+parseJobs(const std::string &text)
+{
+    if (text.empty())
+        return 0;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v == 0 || v > 1024)
+        return 0;
+    return static_cast<u32>(v);
+}
+
+u32
+defaultJobs()
+{
+    // Read the environment exactly once: worker threads construct
+    // RunConfigs and must never race on getenv.
+    static u32 jobs = [] {
+        if (const char *env = std::getenv("VSPEC_JOBS")) {
+            u32 parsed = parseJobs(env);
+            if (parsed != 0)
+                return parsed;
+            vlog(LogLevel::Warn, "vpar",
+                 std::string("malformed VSPEC_JOBS='") + env
+                     + "' ignored; using hardware concurrency");
+        }
+        return hardwareJobs();
+    }();
+    return jobs;
+}
+
+TaskPool::TaskPool(u32 jobs)
+    : jobCount(jobs == 0 ? 1 : jobs)
+{
+    if (jobCount > 1) {
+        workers.reserve(jobCount);
+        for (u32 i = 0; i < jobCount; i++)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cvWork.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+TaskPool::runTask(Entry &entry)
+{
+    try {
+        entry.fn();
+    } catch (...) {
+        std::unique_lock<std::mutex> lock(mu);
+        if (firstError == nullptr || entry.seq < firstErrorSeq) {
+            firstError = std::current_exception();
+            firstErrorSeq = entry.seq;
+        }
+    }
+}
+
+void
+TaskPool::submit(std::function<void()> task)
+{
+    Entry entry{std::move(task), nextSeq++};
+    if (jobCount == 1) {
+        runTask(entry);
+        return;
+    }
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        queue.push_back(std::move(entry));
+    }
+    cvWork.notify_one();
+}
+
+void
+TaskPool::wait()
+{
+    if (jobCount > 1) {
+        std::unique_lock<std::mutex> lock(mu);
+        cvIdle.wait(lock, [this] {
+            return queue.empty() && active == 0;
+        });
+    }
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        err = firstError;
+        firstError = nullptr;
+    }
+    if (err != nullptr)
+        std::rethrow_exception(err);
+}
+
+void
+TaskPool::workerLoop()
+{
+    while (true) {
+        Entry entry;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cvWork.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty())
+                return;  // stopping
+            entry = std::move(queue.front());
+            queue.pop_front();
+            active++;
+        }
+        runTask(entry);
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            active--;
+            if (queue.empty() && active == 0)
+                cvIdle.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(u32 jobs, size_t n, const std::function<void(size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (jobs <= 1 || n == 1) {
+        for (size_t i = 0; i < n; i++)
+            body(i);
+        return;
+    }
+    // One task per worker pulling indices from a shared dispenser:
+    // cheaper than one queue entry per cell when cells are small.
+    std::atomic<size_t> next{0};
+    std::mutex err_mu;
+    std::exception_ptr first_err;
+    size_t first_err_index = 0;
+    TaskPool pool(std::min<size_t>(jobs, n));
+    for (u32 t = 0; t < pool.jobs(); t++) {
+        pool.submit([&] {
+            while (true) {
+                size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                try {
+                    body(i);
+                } catch (...) {
+                    std::unique_lock<std::mutex> lock(err_mu);
+                    if (first_err == nullptr || i < first_err_index) {
+                        first_err = std::current_exception();
+                        first_err_index = i;
+                    }
+                }
+            }
+        });
+    }
+    pool.wait();
+    if (first_err != nullptr)
+        std::rethrow_exception(first_err);
+}
+
+} // namespace sched
+} // namespace vspec

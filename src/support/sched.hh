@@ -1,0 +1,108 @@
+/**
+ * @file
+ * vpar scheduling substrate: a bounded worker pool plus an ordered
+ * parallel-for used by the experiment harness to execute independent
+ * experiment cells concurrently. Job count resolution lives here too
+ * (`--jobs=N` / VSPEC_JOBS / hardware concurrency) so every binary
+ * agrees on the default.
+ *
+ * Determinism contract: the pool schedules work in any order, so
+ * callers must keep each task independent (vspec cells each own their
+ * Engine) and index results by cell. `parallelFor(1, ...)` runs every
+ * body inline on the calling thread, in index order, without spawning
+ * any thread at all — the `--jobs=1` byte-identical baseline.
+ */
+
+#ifndef VSPEC_SUPPORT_SCHED_HH
+#define VSPEC_SUPPORT_SCHED_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace vspec
+{
+namespace sched
+{
+
+/** std::thread::hardware_concurrency clamped to >= 1. */
+u32 hardwareJobs();
+
+/**
+ * The process-wide default worker count: VSPEC_JOBS when set to a
+ * positive integer (read once, cached — cells must never race on
+ * getenv), otherwise hardwareJobs(). Malformed values degrade loudly
+ * to the hardware default.
+ */
+u32 defaultJobs();
+
+/** Parse a job count ("4"); returns 0 on malformed/non-positive. */
+u32 parseJobs(const std::string &text);
+
+/**
+ * Bounded worker pool. Tasks are queued and executed by `jobs` worker
+ * threads; wait() blocks until the queue is drained and every worker
+ * is idle. With jobs == 1 no thread is spawned and submit() runs the
+ * task inline, making the single-job configuration trivially
+ * deterministic and sanitizer-quiet.
+ *
+ * Exceptions thrown by tasks are captured; wait() rethrows the first
+ * one (by submission order) after the queue drains.
+ */
+class TaskPool
+{
+  public:
+    explicit TaskPool(u32 jobs);
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    void submit(std::function<void()> task);
+
+    /** Drain the queue; rethrows the first captured task exception. */
+    void wait();
+
+    u32 jobs() const { return jobCount; }
+
+  private:
+    struct Entry
+    {
+        std::function<void()> fn;
+        u64 seq = 0;
+    };
+
+    void workerLoop();
+    void runTask(Entry &entry);
+
+    u32 jobCount;
+    u64 nextSeq = 0;
+    std::vector<std::thread> workers;
+    std::deque<Entry> queue;
+    std::mutex mu;
+    std::condition_variable cvWork;   //!< workers: queue non-empty/stop
+    std::condition_variable cvIdle;   //!< wait(): drained and idle
+    u32 active = 0;
+    bool stopping = false;
+    std::exception_ptr firstError;
+    u64 firstErrorSeq = 0;
+};
+
+/**
+ * Run body(0..n-1) on up to `jobs` workers and block until every index
+ * completes. Index execution order is unspecified for jobs > 1;
+ * callers own result ordering (write into slot i). Rethrows the
+ * lowest-index exception after all other indices finish.
+ */
+void parallelFor(u32 jobs, size_t n,
+                 const std::function<void(size_t)> &body);
+
+} // namespace sched
+} // namespace vspec
+
+#endif // VSPEC_SUPPORT_SCHED_HH

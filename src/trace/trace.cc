@@ -71,17 +71,25 @@ parseTraceCategories(const std::string &spec)
 TraceConfig
 TraceConfig::fromEnv()
 {
-    TraceConfig cfg;
-    if (const char *env = std::getenv("VSPEC_TRACE")) {
-        cfg.categories = parseTraceCategories(env);
-        if (cfg.categories != 0)
-            cfg.outPath = "vspec-trace";
-    }
-    if (const char *env = std::getenv("VSPEC_TRACE_OUT")) {
-        if (env[0] != '\0')
-            cfg.outPath = env;
-    }
-    return cfg;
+    // Read the environment exactly once: every RunConfig/EngineConfig
+    // default-constructs through here, which under the vpar runner
+    // happens concurrently on worker threads (getenv is not guaranteed
+    // reentrant against itself on all libcs), and a parse warning for
+    // a typo'd category should print once, not once per cell.
+    static const TraceConfig cached = [] {
+        TraceConfig cfg;
+        if (const char *env = std::getenv("VSPEC_TRACE")) {
+            cfg.categories = parseTraceCategories(env);
+            if (cfg.categories != 0)
+                cfg.outPath = "vspec-trace";
+        }
+        if (const char *env = std::getenv("VSPEC_TRACE_OUT")) {
+            if (env[0] != '\0')
+                cfg.outPath = env;
+        }
+        return cfg;
+    }();
+    return cached;
 }
 
 // ---------------------------------------------------------------------

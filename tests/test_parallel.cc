@@ -1,0 +1,335 @@
+/**
+ * @file
+ * vpar tests: the scheduling substrate (TaskPool / parallelFor), the
+ * persistent reference/safe-set cache, the predecode fast path, and the
+ * end-to-end determinism contract — a parallel bench slice must be
+ * byte-identical to its sequential run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+
+#include "harness/parallel.hh"
+#include "support/sched.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+/** A throwaway cache directory, removed on scope exit. */
+struct TempCacheDir
+{
+    std::string path;
+
+    TempCacheDir()
+    {
+        char tmpl[] = "/tmp/vspec-test-cache-XXXXXX";
+        char *d = mkdtemp(tmpl);
+        EXPECT_NE(d, nullptr);
+        path = d != nullptr ? d : "";
+    }
+
+    ~TempCacheDir()
+    {
+        if (!path.empty()) {
+            std::error_code ec;
+            std::filesystem::remove_all(path, ec);
+        }
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Scheduling substrate
+// ---------------------------------------------------------------------
+
+TEST(Sched, ParseJobsValidation)
+{
+    EXPECT_EQ(sched::parseJobs("4"), 4u);
+    EXPECT_EQ(sched::parseJobs("1"), 1u);
+    EXPECT_EQ(sched::parseJobs("0"), 0u);
+    EXPECT_EQ(sched::parseJobs(""), 0u);
+    EXPECT_EQ(sched::parseJobs("abc"), 0u);
+    EXPECT_EQ(sched::parseJobs("4x"), 0u);
+    EXPECT_EQ(sched::parseJobs("-2"), 0u);
+    EXPECT_EQ(sched::parseJobs("99999"), 0u);
+    EXPECT_GE(sched::hardwareJobs(), 1u);
+    EXPECT_GE(sched::defaultJobs(), 1u);
+}
+
+TEST(Sched, ParallelForCoversEveryIndexOnce)
+{
+    for (u32 jobs : {1u, 2u, 4u, 8u}) {
+        std::vector<std::atomic<int>> hits(257);
+        sched::parallelFor(jobs, hits.size(),
+                           [&](size_t i) { hits[i]++; });
+        for (size_t i = 0; i < hits.size(); i++)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs "
+                                         << jobs;
+    }
+}
+
+TEST(Sched, ParallelForInlineWhenSingleJob)
+{
+    // jobs == 1 must execute in index order on the calling thread.
+    std::vector<size_t> order;
+    auto tid = std::this_thread::get_id();
+    bool same_thread = true;
+    sched::parallelFor(1, 16, [&](size_t i) {
+        order.push_back(i);
+        same_thread &= std::this_thread::get_id() == tid;
+    });
+    ASSERT_EQ(order.size(), 16u);
+    for (size_t i = 0; i < order.size(); i++)
+        EXPECT_EQ(order[i], i);
+    EXPECT_TRUE(same_thread);
+}
+
+TEST(Sched, ParallelForRethrowsLowestIndexError)
+{
+    for (u32 jobs : {1u, 4u}) {
+        try {
+            sched::parallelFor(jobs, 64, [&](size_t i) {
+                if (i == 7 || i == 23)
+                    throw std::runtime_error("boom " + std::to_string(i));
+            });
+            FAIL() << "expected an exception (jobs=" << jobs << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom 7");
+        }
+    }
+}
+
+TEST(Sched, TaskPoolStress)
+{
+    // Many small racing tasks; the pool must run all of them exactly
+    // once and drain cleanly. (The TSan CI leg gives this teeth.)
+    sched::TaskPool pool(4);
+    std::atomic<u64> sum{0};
+    constexpr u64 kTasks = 2000;
+    for (u64 i = 0; i < kTasks; i++)
+        pool.submit([&sum, i] { sum += i; });
+    pool.wait();
+    EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+    // Pool is reusable after a wait().
+    pool.submit([&sum] { sum += 1; });
+    pool.wait();
+    EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2 + 1);
+}
+
+// ---------------------------------------------------------------------
+// Persistent cache
+// ---------------------------------------------------------------------
+
+TEST(PersistentCache, RoundTripAndReopen)
+{
+    TempCacheDir tmp;
+    ASSERT_FALSE(tmp.path.empty());
+    {
+        par::PersistentCache cache(tmp.path);
+        ASSERT_TRUE(cache.enabled());
+        std::string v;
+        EXPECT_FALSE(cache.get("ref", 0x1234, v));
+        cache.put("ref", 0x1234, "checksum-value");
+        ASSERT_TRUE(cache.get("ref", 0x1234, v));
+        EXPECT_EQ(v, "checksum-value");
+    }
+    // A fresh cache over the same directory serves the entry from disk.
+    par::PersistentCache reopened(tmp.path);
+    std::string v;
+    ASSERT_TRUE(reopened.get("ref", 0x1234, v));
+    EXPECT_EQ(v, "checksum-value");
+    // Distinct kinds and keys do not collide.
+    EXPECT_FALSE(reopened.get("safeset", 0x1234, v));
+    EXPECT_FALSE(reopened.get("ref", 0x1235, v));
+    // clear() drops disk and memory.
+    reopened.clear();
+    EXPECT_FALSE(reopened.get("ref", 0x1234, v));
+}
+
+TEST(PersistentCache, DisabledModes)
+{
+    par::PersistentCache off("");
+    EXPECT_FALSE(off.enabled());
+    std::string v;
+    EXPECT_FALSE(off.get("ref", 1, v));
+    // The in-process memo still works without a directory.
+    off.put("ref", 1, "x");
+    EXPECT_TRUE(off.get("ref", 1, v));
+
+    // --no-cache stops the disk layer but keeps the in-process memo
+    // (deterministic either way).
+    TempCacheDir tmp;
+    par::PersistentCache cache(tmp.path);
+    cache.setDiskEnabled(false);
+    EXPECT_FALSE(cache.enabled());
+    cache.put("ref", 1, "x");
+    EXPECT_TRUE(cache.get("ref", 1, v));
+    par::PersistentCache fresh(tmp.path);
+    EXPECT_FALSE(fresh.get("ref", 1, v)) << "disabled put reached disk";
+}
+
+TEST(PersistentCache, ValuesSurviveConcurrentWriters)
+{
+    TempCacheDir tmp;
+    par::PersistentCache cache(tmp.path);
+    sched::parallelFor(4, 64, [&](size_t i) {
+        // All writers store the same value per key — like N bench
+        // processes caching the same deterministic result.
+        cache.put("ref", i % 8, "v" + std::to_string(i % 8));
+    });
+    for (u64 k = 0; k < 8; k++) {
+        std::string v;
+        ASSERT_TRUE(cache.get("ref", k, v));
+        EXPECT_EQ(v, "v" + std::to_string(k));
+    }
+}
+
+TEST(PersistentCache, FingerprintSensitivity)
+{
+    const Workload *w = findWorkload("DP");
+    RunConfig a;
+    RunConfig b = a;
+    EXPECT_EQ(par::runConfigFingerprint(a), par::runConfigFingerprint(b));
+    b.isa = IsaFlavour::X64Like;
+    EXPECT_NE(par::runConfigFingerprint(a), par::runConfigFingerprint(b));
+    RunConfig c = a;
+    c.seed += 1;
+    EXPECT_NE(par::runConfigFingerprint(a), par::runConfigFingerprint(c));
+    // Key includes the probe iteration count and the workload.
+    EXPECT_NE(par::safeSetCacheKey(*w, a, 20),
+              par::safeSetCacheKey(*w, a, 40));
+    const Workload *w2 = findWorkload("HASH-FNV");
+    ASSERT_NE(w2, nullptr);
+    EXPECT_NE(par::safeSetCacheKey(*w, a, 20),
+              par::safeSetCacheKey(*w2, a, 20));
+    EXPECT_NE(par::referenceCacheKey(*w, 128, 10),
+              par::referenceCacheKey(*w, 256, 10));
+}
+
+TEST(PersistentCache, WarmSafeSetSearchIsDeterministic)
+{
+    // Cold vs warm must produce the same bytes: the memoized set equals
+    // a fresh search, and the reference checksum string is stable.
+    const Workload *w = findWorkload("GROWING-SUM");
+    RunConfig rc;
+    rc.iterations = 30;
+    auto cold = findSafeRemovalSet(*w, rc, 30);
+    auto warm = findSafeRemovalSet(*w, rc, 30);
+    EXPECT_EQ(cold, warm);
+    const std::string &r1 = referenceChecksum(*w, w->defaultSize, 12);
+    const std::string &r2 = referenceChecksum(*w, w->defaultSize, 12);
+    EXPECT_EQ(r1, r2);
+    EXPECT_FALSE(r1.empty());
+}
+
+// ---------------------------------------------------------------------
+// Predecode fast path
+// ---------------------------------------------------------------------
+
+TEST(Predecode, CyclesBitIdenticalWithAndWithout)
+{
+    for (const char *name : {"DP", "GROWING-SUM", "STR-BUILD"}) {
+        const Workload *w = findWorkload(name);
+        ASSERT_NE(w, nullptr) << name;
+        RunConfig on;
+        on.iterations = 12;
+        on.size = 128;
+        on.predecode = true;
+        RunConfig off = on;
+        off.predecode = false;
+        RunOutcome a = runWorkload(*w, on, nullptr);
+        RunOutcome b = runWorkload(*w, off, nullptr);
+        ASSERT_TRUE(a.completed) << a.error;
+        ASSERT_TRUE(b.completed) << b.error;
+        EXPECT_EQ(a.checksum, b.checksum) << name;
+        EXPECT_EQ(a.iterationCycles, b.iterationCycles) << name;
+        EXPECT_EQ(a.totalCycles, b.totalCycles) << name;
+        EXPECT_EQ(a.sim.instructions, b.sim.instructions) << name;
+        EXPECT_EQ(a.sim.mispredicts, b.sim.mispredicts) << name;
+    }
+}
+
+TEST(Predecode, VerifiedUnderVerifyLevel)
+{
+    // With verification enabled the engine cross-checks every
+    // predecoded CommitInfo against a freshly decoded one; a run
+    // completing under it means the tables agree.
+    const Workload *w = findWorkload("DP");
+    RunConfig rc;
+    rc.iterations = 6;
+    rc.size = 64;
+    EngineConfig cfg = engineConfigFor(rc);
+    cfg.passes.verifyLevel = VerifyLevel::Passes;
+    Engine engine(cfg);
+    engine.loadProgram(instantiate(*w, 64));
+    for (u32 i = 0; i < rc.iterations; i++)
+        engine.call("bench");
+    EXPECT_GT(engine.totalCycles(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end determinism: parallel == sequential, byte for byte
+// ---------------------------------------------------------------------
+
+TEST(Parallel, BenchSliceByteIdenticalAcrossJobCounts)
+{
+    // A miniature fig01-style slice: render each workload's row into a
+    // string cell, then concatenate in cell order. The bytes must not
+    // depend on the job count.
+    std::vector<const Workload *> ws;
+    for (const Workload &w : suite()) {
+        ws.push_back(&w);
+        if (ws.size() == 6)
+            break;
+    }
+    auto render = [&](u32 jobs) {
+        auto cells = par::mapWorkloads<std::string>(
+            jobs, ws, [&](const Workload &w) {
+                RunConfig rc;
+                rc.iterations = 8;
+                rc.samplerEnabled = false;
+                RunOutcome o = runWorkload(w, rc, nullptr);
+                if (!o.completed)
+                    return par::strprintf("%-14s failed\n",
+                                          w.name.c_str());
+                return par::strprintf(
+                    "%-14s %12.1f %10llu %s\n", w.name.c_str(),
+                    o.meanCycles(),
+                    static_cast<unsigned long long>(o.sim.instructions),
+                    o.checksum.c_str());
+            });
+        std::string out;
+        for (const std::string &c : cells)
+            out += c;
+        return out;
+    };
+    std::string seq = render(1);
+    std::string par2 = render(2);
+    std::string par8 = render(8);
+    EXPECT_FALSE(seq.empty());
+    EXPECT_EQ(seq, par2);
+    EXPECT_EQ(seq, par8);
+}
+
+TEST(Parallel, CellCounterTracksRuns)
+{
+    par::resetHarnessCounters();
+    par::mapCells<int>(2, 10, [](size_t i) { return static_cast<int>(i); });
+    EXPECT_EQ(par::harnessCounter(par::HarnessCounter::CellsRun), 10u);
+    std::string json = par::harnessCountersJson();
+    EXPECT_NE(json.find("cells_run"), std::string::npos);
+}
+
+TEST(Parallel, StrprintfFormats)
+{
+    EXPECT_EQ(par::strprintf("%s-%04d", "x", 7), "x-0007");
+    // Longer than any static buffer guess.
+    std::string big(500, 'a');
+    EXPECT_EQ(par::strprintf("%s", big.c_str()), big);
+}
