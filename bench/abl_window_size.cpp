@@ -11,6 +11,8 @@
  */
 
 #include <cmath>
+#include <cstring>
+#include <fstream>
 
 #include "bench_common.hh"
 #include "runtime/engine.hh"
@@ -24,6 +26,8 @@ namespace
 struct Cell
 {
     bool ok = false;
+    double truth = 0.0;   //!< ground-truth overhead fraction
+    double win[5] = {};   //!< window-heuristic overhead per W
     double err[5] = {};
 };
 
@@ -32,7 +36,21 @@ struct Cell
 int
 main(int argc, char **argv)
 {
-    BenchArgs args = BenchArgs::parse(argc, argv, 20, 1);
+    // --json=FILE: machine-readable accuracy table (stripped before
+    // BenchArgs sees the argument list).
+    std::string json_out;
+    std::vector<char *> passthrough;
+    for (int i = 0; i < argc; i++) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_out = argv[i] + 7;
+        else
+            passthrough.push_back(argv[i]);
+    }
+    BenchArgs args = BenchArgs::parse(static_cast<int>(passthrough.size()),
+                                      passthrough.data(), 20, 1);
+    std::string json = "{\"schema\":\"vspec-window-ablation-v1\","
+                       "\"isas\":{";
+    bool first_isa = true;
 
     printf("Ablation — sampling window size vs ground-truth "
            "attribution\n");
@@ -73,9 +91,11 @@ main(int argc, char **argv)
                     if (truth.totalSamples == 0)
                         return cell;
                     double t = truth.overheadFraction();
-                    for (int wdx = 0; wdx <= 4; wdx++)
-                        cell.err[wdx] =
-                            windows[wdx].overheadFraction() - t;
+                    cell.truth = t;
+                    for (int wdx = 0; wdx <= 4; wdx++) {
+                        cell.win[wdx] = windows[wdx].overheadFraction();
+                        cell.err[wdx] = cell.win[wdx] - t;
+                    }
                     cell.ok = true;
                 } catch (const std::exception &) {
                 }
@@ -109,6 +129,52 @@ main(int argc, char **argv)
                    wdx == best ? "  <- best" : "");
         }
         printf("\n");
+
+        // JSON accuracy table for this ISA flavour.
+        if (!json_out.empty()) {
+            auto fr = [](double v) {
+                char buf[32];
+                snprintf(buf, sizeof buf, "%.6f", v);
+                return std::string(buf);
+            };
+            if (!first_isa)
+                json += ",";
+            first_isa = false;
+            json += std::string("\"") + isaName(isa) + "\":{";
+            json += "\"n\":" + std::to_string(n);
+            json += ",\"best_window\":" + std::to_string(best);
+            json += ",\"mean_abs_err\":[";
+            for (int wdx = 0; wdx <= 4; wdx++)
+                json += (wdx ? "," : "")
+                        + fr(n ? abs_err[wdx] / n / 100.0 : 0.0);
+            json += "],\"mean_bias\":[";
+            for (int wdx = 0; wdx <= 4; wdx++)
+                json += (wdx ? "," : "")
+                        + fr(n ? bias[wdx] / n / 100.0 : 0.0);
+            json += "],\"workloads\":{";
+            auto ws = args.selectedSuite();
+            bool first_w = true;
+            for (size_t i = 0; i < cells.size(); i++) {
+                if (!cells[i].ok)
+                    continue;
+                if (!first_w)
+                    json += ",";
+                first_w = false;
+                json += "\"" + ws[i]->name + "\":{\"truth\":"
+                        + fr(cells[i].truth) + ",\"window\":[";
+                for (int wdx = 0; wdx <= 4; wdx++)
+                    json += (wdx ? "," : "") + fr(cells[i].win[wdx]);
+                json += "]}";
+            }
+            json += "}}";
+        }
+    }
+    if (!json_out.empty()) {
+        json += "}}";
+        std::ofstream out(json_out,
+                          std::ios::binary | std::ios::trunc);
+        out << json;
+        printf("wrote %s\n", json_out.c_str());
     }
     printf("paper: W=1 on the CISC X64 ISA and W=2 on ARM64 align best "
            "with the exact (removal) measurements,\n"

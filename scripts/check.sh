@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 check: normal build + ctest, a vguard fault-injection matrix
 # over the workload suite, the vpar determinism spot-check (--jobs=1 vs
-# --jobs=4 byte-identical bench output + VSPEC_JOBS test legs), then an
-# ASan/UBSan Debug build with the vverify pipeline verifier forced on
-# and a TSan build of the runner tests. Run from the repo root:
+# --jobs=4 byte-identical bench output + VSPEC_JOBS test legs), the
+# vprof profiling smoke + bench regression gate, then an ASan/UBSan
+# Debug build with the vverify pipeline verifier forced on and a TSan
+# build of the runner tests. Run from the repo root:
 #
 #   scripts/check.sh            # all passes
 #   scripts/check.sh --fast     # normal pass + fault matrix + vpar only
@@ -54,6 +55,24 @@ VSPEC_CACHE_DIR="$VPAR_CACHE" ./build/bench/micro_host --iters=8 \
     --fig07=./build/bench/fig07_speedup_per_benchmark \
     --out=build/BENCH_host.json
 cat build/BENCH_host.json
+
+echo "== pass 1f: vprof smoke + bench regression gate =="
+# Two profiled workloads end to end; every emitted document must
+# validate against the vspec-profile-v1 schema.
+for w in RICHARDS SPLAY; do
+    echo "-- vspec-prof --profile $w"
+    ./build/tools/vspec-prof --workload="$w" --iters=12 --profile \
+        --profile-out="$VPAR_CACHE/prof-$w.json" \
+        --folded="$VPAR_CACHE/prof-$w.folded"
+    ./build/tools/vspec-prof --validate "$VPAR_CACHE/prof-$w.json"
+    test -s "$VPAR_CACHE/prof-$w.folded"
+done
+# The gate against the committed baselines, plus its own selftest
+# (identical copy passes; an injected 25% slowdown must fail).
+./build/tools/bench_gate emit --out="$VPAR_CACHE/gate-current" --iters=10
+./build/tools/bench_gate compare --baselines=bench/baselines \
+    --current="$VPAR_CACHE/gate-current"
+./build/tools/bench_gate selftest --baselines=bench/baselines
 
 if [[ "${1:-}" == "--fast" ]]; then
     echo "== skipped sanitizer passes (--fast) =="

@@ -79,6 +79,22 @@ class CodeObject
     std::vector<CheckInfo> checks;
     u32 spillSlots = 0;
 
+    /** Source snapshot taken at codegen (vprof): the function's name
+     *  and its per-bytecode source positions. Self-contained so
+     *  profiles never depend on the live FunctionInfo surviving. */
+    std::string functionName;
+    std::vector<SrcPos> bcPositions;
+
+    /** Source position of machine instruction @p pc ({0,0} unknown). */
+    SrcPos
+    posForPc(u32 pc) const
+    {
+        if (pc >= code.size())
+            return {};
+        u32 bc = code[pc].bcOff;
+        return bc < bcPositions.size() ? bcPositions[bc] : SrcPos{};
+    }
+
     /** Global cells whose value this code embedded as a constant. */
     std::vector<u32> dependsOnGlobalCells;
 

@@ -136,6 +136,12 @@ class CodeGenerator
         code->usedSmiExtension = cfg.smiExtension;
         code->branchesRemoved = cfg.removeDeoptBranches;
         code->dependsOnGlobalCells = g.embeddedGlobalCells;
+        if (g.function != kInvalidFunction
+            && g.function < env.functions.count()) {
+            const FunctionInfo &fn = env.functions.at(g.function);
+            code->functionName = fn.name;
+            code->bcPositions = fn.bcPositions;
+        }
 
         splitCriticalEdges(g);
         rewriteCheckUses(g);
@@ -183,6 +189,7 @@ class CodeGenerator
         m.checkId = curCheckId;
         m.checkRole = curCheckId == kNoCheck ? CheckRole::None
                                              : CheckRole::Condition;
+        m.bcOff = curBcOff;
         return m;
     }
 
@@ -662,6 +669,7 @@ class CodeGenerator
         // end of a compiled function" (§III-A).
         for (u16 i = 0; i < code->deoptExits.size(); i++) {
             deoptExitInstr[i] = static_cast<u32>(code->code.size());
+            curBcOff = code->deoptExits[i].bytecodeOffset;
             MInst m = make(MOp::DeoptExit);
             m.imm = i;
             m.deoptIndex = i;
@@ -790,6 +798,9 @@ class CodeGenerator
     std::vector<BlockFixup> blockFixups;
     std::vector<DeoptFixup> deoptBranchFixups;
     u16 curCheckId = kNoCheck;
+    /** Bytecode offset of the IR node being emitted; stamped onto every
+     *  MInst by make() so each machine pc maps back to source (vprof). */
+    u32 curBcOff = 0;
     ValueId fusedCompare = kNoValue;
     std::set<ValueId> skippedLenLoads;
 };
@@ -1302,6 +1313,7 @@ CodeGenerator::emitCallNode(ValueId id, const IrNode &n)
 void
 CodeGenerator::emitNode(BlockId b, ValueId id, const IrNode &n)
 {
+    curBcOff = n.bcOff;
     switch (n.op) {
       case IrOp::Param:
       case IrOp::Phi:

@@ -89,6 +89,15 @@ struct BcInstr
     i32 c = 0;
 };
 
+/** MiniJS source position (1-based; 0 = unknown). Carried alongside
+ *  the bytecode and snapshotted into CodeObjects so the profiler can
+ *  attribute machine instructions back to source lines (vprof). */
+struct SrcPos
+{
+    i32 line = 0;
+    i32 col = 0;
+};
+
 /** Extract argc / feedback slot from a packed Call `c` operand. */
 constexpr int callArgc(i32 c) { return c >> 16; }
 constexpr int callSlot(i32 c) { return c & 0xffff; }
@@ -128,6 +137,8 @@ struct FunctionInfo
     u32 paramCount = 0;      //!< declared parameters (excluding `this`)
     u32 registerCount = 0;   //!< total frame registers incl. this+params
     std::vector<BcInstr> bytecode;
+    /** Source position of each bytecode (parallel to `bytecode`). */
+    std::vector<SrcPos> bcPositions;
     std::vector<Value> constants;
     FeedbackVector feedback;
 

@@ -179,6 +179,7 @@ class FunctionCompiler
     emit(Bc op, i32 a = 0, i32 b = 0, i32 c = 0)
     {
         fn.bytecode.push_back({op, a, b, c});
+        fn.bcPositions.push_back(curPos);
         return fn.bytecode.size() - 1;
     }
 
@@ -227,6 +228,8 @@ class FunctionCompiler
     void
     compileStmt(const Node *n)
     {
+        if (n->line > 0)
+            curPos = {n->line, n->col};
         switch (n->kind) {
           case NodeKind::Block:
             for (const auto &c : n->children)
@@ -357,6 +360,8 @@ class FunctionCompiler
     void
     compileExpr(const Node *n)
     {
+        if (n->line > 0)
+            curPos = {n->line, n->col};
         switch (n->kind) {
           case NodeKind::NumberLit: {
             double d = n->numVal;
@@ -716,6 +721,9 @@ class FunctionCompiler
     int firstTemp = 1;
     int maxReg = 1;
     std::vector<LoopCtx> loopStack;
+    /** Source position of the AST node being compiled; every emitted
+     *  bytecode is stamped with it (fn.bcPositions). */
+    SrcPos curPos;
 };
 
 // ---- BytecodeCompiler ----------------------------------------------------------

@@ -61,6 +61,7 @@ struct Node
 
     NodeKind kind;
     int line = 0;
+    int col = 0;
 
     double numVal = 0.0;
     i64 intVal = 0;

@@ -37,7 +37,12 @@ tokenize(const std::string &src)
     std::vector<Token> out;
     size_t i = 0;
     int line = 1;
+    size_t line_start = 0;  // index of the current line's first char
     const size_t n = src.size();
+
+    auto colAt = [&](size_t pos) {
+        return static_cast<int>(pos - line_start) + 1;
+    };
 
     auto peek = [&](size_t k = 0) -> char {
         return i + k < n ? src[i + k] : '\0';
@@ -48,6 +53,7 @@ tokenize(const std::string &src)
         if (c == '\n') {
             line++;
             i++;
+            line_start = i;
             continue;
         }
         if (std::isspace(static_cast<unsigned char>(c))) {
@@ -63,8 +69,10 @@ tokenize(const std::string &src)
         if (c == '/' && peek(1) == '*') {
             i += 2;
             while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-                if (src[i] == '\n')
+                if (src[i] == '\n') {
                     line++;
+                    line_start = i + 1;
+                }
                 i++;
             }
             if (i + 1 >= n)
@@ -83,6 +91,7 @@ tokenize(const std::string &src)
                 Token t;
                 t.kind = TokKind::Number;
                 t.line = line;
+                t.col = colAt(start);
                 t.number = static_cast<double>(
                     std::strtoull(src.substr(start + 2, i - start - 2).c_str(),
                                   nullptr, 16));
@@ -106,6 +115,7 @@ tokenize(const std::string &src)
             Token t;
             t.kind = TokKind::Number;
             t.line = line;
+            t.col = colAt(start);
             t.number = std::strtod(src.substr(start, i - start).c_str(),
                                    nullptr);
             out.push_back(std::move(t));
@@ -114,6 +124,7 @@ tokenize(const std::string &src)
         // Strings.
         if (c == '"' || c == '\'') {
             char quote = c;
+            size_t start = i;
             i++;
             std::string payload;
             while (i < n && src[i] != quote) {
@@ -147,6 +158,7 @@ tokenize(const std::string &src)
             Token t;
             t.kind = TokKind::String;
             t.line = line;
+            t.col = colAt(start);
             t.str = std::move(payload);
             out.push_back(std::move(t));
             continue;
@@ -160,6 +172,7 @@ tokenize(const std::string &src)
                 i++;
             Token t;
             t.line = line;
+            t.col = colAt(start);
             t.text = src.substr(start, i - start);
             t.kind = isKeyword(t.text) ? TokKind::Keyword : TokKind::Ident;
             out.push_back(std::move(t));
@@ -173,6 +186,7 @@ tokenize(const std::string &src)
                 Token t;
                 t.kind = TokKind::Punct;
                 t.line = line;
+                t.col = colAt(i);
                 t.text = p;
                 out.push_back(std::move(t));
                 i += len;
@@ -188,6 +202,7 @@ tokenize(const std::string &src)
     Token eof;
     eof.kind = TokKind::Eof;
     eof.line = line;
+    eof.col = colAt(n);
     out.push_back(std::move(eof));
     return out;
 }

@@ -34,6 +34,7 @@ struct Token
     double number = 0.0;  //!< Number tokens
     std::string str;      //!< String tokens (unescaped payload)
     int line = 1;
+    int col = 1;          //!< 1-based column of the token's first char
 };
 
 /**

@@ -114,7 +114,9 @@ class Parser
     Node::Ptr
     make(NodeKind k)
     {
-        return std::make_unique<Node>(k, cur().line);
+        auto n = std::make_unique<Node>(k, cur().line);
+        n->col = cur().col;
+        return n;
     }
 
     // ---- declarations -----------------------------------------------------

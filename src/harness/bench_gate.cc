@@ -1,0 +1,288 @@
+#include "harness/bench_gate.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace vspec
+{
+
+namespace
+{
+
+/** Tolerance below zero marks a key as informational. */
+constexpr double kInformational = -1.0;
+
+std::string
+readFileOr(const std::string &path, bool &ok)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ok = false;
+        return "";
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    ok = true;
+    return ss.str();
+}
+
+const JsonValue *
+lookupPath(const JsonValue &doc, const std::string &path)
+{
+    const JsonValue *v = &doc;
+    size_t start = 0;
+    while (start < path.size()) {
+        size_t dot = path.find('.', start);
+        if (dot == std::string::npos)
+            dot = path.size();
+        std::string key = path.substr(start, dot - start);
+        v = v->get(key);
+        if (!v)
+            return nullptr;
+        start = dot + 1;
+    }
+    return v;
+}
+
+double
+toleranceFor(const GateEntry &entry, const std::string &key)
+{
+    auto it = entry.tolerances.find(key);
+    if (it != entry.tolerances.end())
+        return it->second;
+    return entry.defaultTolerance;
+}
+
+void
+compareNode(const GateEntry &entry, const std::string &key,
+            const JsonValue &base, const JsonValue *cur,
+            GateOutcome &outcome, double scale)
+{
+    if (!cur) {
+        // Missing keys are only violations when listed as required;
+        // baselines may legitimately carry more detail than a given
+        // emitter version produces.
+        outcome.notes.push_back(entry.file + ": key '" + key
+                                + "' missing from current output");
+        return;
+    }
+    switch (base.kind) {
+      case JsonValue::Kind::Object:
+        for (const auto &[k, child] : base.object) {
+            std::string sub = key.empty() ? k : key + "." + k;
+            compareNode(entry, sub, child, cur->get(k), outcome, scale);
+        }
+        return;
+      case JsonValue::Kind::Array:
+        for (size_t i = 0; i < base.array.size(); i++) {
+            std::string sub = key + "[" + std::to_string(i) + "]";
+            const JsonValue *c = cur->isArray() && i < cur->array.size()
+                ? &cur->array[i] : nullptr;
+            compareNode(entry, sub, base.array[i], c, outcome, scale);
+        }
+        return;
+      case JsonValue::Kind::Number:
+        break;
+      default:
+        return;  // strings/bools/nulls are not gated
+    }
+
+    if (!cur->isNumber()) {
+        outcome.passed = false;
+        outcome.violations.push_back(
+            {entry.file, key, base.number, 0.0, 0.0,
+             "baseline is numeric but current output is not"});
+        return;
+    }
+
+    outcome.keysCompared++;
+    double b = base.number, c = cur->number;
+    double denom = std::max(std::fabs(b), 1e-12);
+    double rel = std::fabs(c - b) / denom;
+    double tol = toleranceFor(entry, key);
+    bool informational = entry.informational || tol < 0.0;
+    double eff = informational ? 0.0 : tol * scale;
+
+    if (!informational && rel > eff) {
+        outcome.passed = false;
+        outcome.violations.push_back({entry.file, key, b, c, eff, ""});
+    } else if (rel > (informational ? 0.0 : eff)) {
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "%s: %s deviates %.2f%% (%.6g -> %.6g, "
+                      "informational)",
+                      entry.file.c_str(), key.c_str(), 100.0 * rel, b,
+                      c);
+        outcome.notes.push_back(buf);
+    }
+}
+
+} // namespace
+
+bool
+parseGateManifest(const JsonValue &doc, std::vector<GateEntry> &out,
+                  std::string &error)
+{
+    const JsonValue *schema = doc.get("schema");
+    if (!schema || schema->string != "vspec-bench-gate-v1") {
+        error = "gate.json: missing or unknown schema";
+        return false;
+    }
+    const JsonValue *entries = doc.get("entries");
+    if (!entries || !entries->isArray()) {
+        error = "gate.json: missing entries array";
+        return false;
+    }
+    for (const JsonValue &e : entries->array) {
+        GateEntry ge;
+        const JsonValue *file = e.get("file");
+        if (!file || !file->isString()) {
+            error = "gate.json: entry without file";
+            return false;
+        }
+        ge.file = file->string;
+        if (const JsonValue *inf = e.get("informational"))
+            ge.informational = inf->boolean;
+        if (const JsonValue *tol = e.get("default_tolerance")) {
+            ge.defaultTolerance = tol->kind == JsonValue::Kind::Null
+                ? kInformational : tol->number;
+        }
+        if (const JsonValue *tols = e.get("tolerances")) {
+            for (const auto &[k, v] : tols->object)
+                ge.tolerances[k] = v.kind == JsonValue::Kind::Null
+                    ? kInformational : v.number;
+        }
+        if (const JsonValue *req = e.get("required_keys")) {
+            for (const JsonValue &k : req->array)
+                ge.requiredKeys.push_back(k.string);
+        }
+        out.push_back(std::move(ge));
+    }
+    return true;
+}
+
+void
+compareGateEntry(const GateEntry &entry, const JsonValue &baseline,
+                 const JsonValue &current, GateOutcome &outcome,
+                 double scale)
+{
+    for (const std::string &key : entry.requiredKeys) {
+        if (!lookupPath(current, key)) {
+            outcome.passed = false;
+            outcome.violations.push_back(
+                {entry.file, key, 0.0, 0.0, 0.0,
+                 "required key missing from current output"});
+        }
+    }
+    compareNode(entry, "", baseline, &current, outcome, scale);
+}
+
+GateOutcome
+runBenchGate(const std::string &baselinesDir,
+             const std::string &currentDir, double scale)
+{
+    GateOutcome outcome;
+    bool ok = false;
+    std::string manifest_text =
+        readFileOr(baselinesDir + "/gate.json", ok);
+    if (!ok) {
+        outcome.passed = false;
+        outcome.violations.push_back(
+            {"gate.json", "", 0.0, 0.0, 0.0,
+             "cannot read " + baselinesDir + "/gate.json"});
+        return outcome;
+    }
+    JsonValue manifest;
+    std::string error;
+    if (!parseJson(manifest_text, manifest, error)) {
+        outcome.passed = false;
+        outcome.violations.push_back(
+            {"gate.json", "", 0.0, 0.0, 0.0, "invalid JSON: " + error});
+        return outcome;
+    }
+    std::vector<GateEntry> entries;
+    if (!parseGateManifest(manifest, entries, error)) {
+        outcome.passed = false;
+        outcome.violations.push_back(
+            {"gate.json", "", 0.0, 0.0, 0.0, error});
+        return outcome;
+    }
+
+    for (const GateEntry &entry : entries) {
+        std::string base_text =
+            readFileOr(baselinesDir + "/" + entry.file, ok);
+        if (!ok) {
+            outcome.passed = false;
+            outcome.violations.push_back(
+                {entry.file, "", 0.0, 0.0, 0.0,
+                 "cannot read baseline " + baselinesDir + "/"
+                     + entry.file});
+            continue;
+        }
+        std::string cur_text =
+            readFileOr(currentDir + "/" + entry.file, ok);
+        if (!ok) {
+            if (entry.informational) {
+                outcome.notes.push_back(entry.file
+                                        + ": no current output "
+                                          "(informational, skipped)");
+            } else {
+                outcome.passed = false;
+                outcome.violations.push_back(
+                    {entry.file, "", 0.0, 0.0, 0.0,
+                     "cannot read current " + currentDir + "/"
+                         + entry.file});
+            }
+            continue;
+        }
+        JsonValue base, cur;
+        if (!parseJson(base_text, base, error)) {
+            outcome.passed = false;
+            outcome.violations.push_back(
+                {entry.file, "", 0.0, 0.0, 0.0,
+                 "baseline invalid JSON: " + error});
+            continue;
+        }
+        if (!parseJson(cur_text, cur, error)) {
+            outcome.passed = false;
+            outcome.violations.push_back(
+                {entry.file, "", 0.0, 0.0, 0.0,
+                 "current invalid JSON: " + error});
+            continue;
+        }
+        compareGateEntry(entry, base, cur, outcome, scale);
+    }
+    return outcome;
+}
+
+std::string
+gateReport(const GateOutcome &outcome)
+{
+    std::ostringstream os;
+    os << "bench gate: " << (outcome.passed ? "PASS" : "FAIL") << " ("
+       << outcome.keysCompared << " keys compared, "
+       << outcome.violations.size() << " violations)\n";
+    for (const GateViolation &v : outcome.violations) {
+        if (!v.message.empty()) {
+            os << "  FAIL " << v.file
+               << (v.key.empty() ? "" : " " + v.key) << ": "
+               << v.message << "\n";
+            continue;
+        }
+        double denom = std::max(std::fabs(v.baseline), 1e-12);
+        double rel = 100.0 * std::fabs(v.current - v.baseline) / denom;
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "  FAIL %s %s: %.6g -> %.6g (%.2f%% > %.2f%%)\n",
+                      v.file.c_str(), v.key.c_str(), v.baseline,
+                      v.current, rel, 100.0 * v.tolerance);
+        os << buf;
+    }
+    for (const std::string &n : outcome.notes)
+        os << "  note " << n << "\n";
+    return os.str();
+}
+
+} // namespace vspec

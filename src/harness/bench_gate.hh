@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Bench regression gate (vprof): compares freshly emitted bench JSON
+ * against checked-in baselines with per-key relative tolerances. The
+ * gate is data-driven by a `gate.json` manifest in the baselines
+ * directory:
+ *
+ *   {
+ *     "schema": "vspec-bench-gate-v1",
+ *     "entries": [
+ *       { "file": "bench_cycles.json",
+ *         "default_tolerance": 0.05,
+ *         "tolerances": { "workloads.deltablue.cycles": 0.10 },
+ *         "required_keys": ["schema"],
+ *         "informational": false }
+ *     ]
+ *   }
+ *
+ * Every numeric leaf of the baseline document is compared against the
+ * same key path in the current document; a relative deviation above
+ * the key's tolerance is a violation, as is a missing required key.
+ * Entries (or individual keys, via a negative tolerance) can be marked
+ * informational: deviations are reported but never fail the gate —
+ * used for host-dependent metrics like wall-clock throughput.
+ */
+
+#ifndef VSPEC_HARNESS_BENCH_GATE_HH
+#define VSPEC_HARNESS_BENCH_GATE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace vspec
+{
+
+/** One gate manifest entry (one file to compare). */
+struct GateEntry
+{
+    std::string file;
+    bool informational = false;
+    double defaultTolerance = 0.05;
+    std::map<std::string, double> tolerances;  //!< key path -> rel tol
+    std::vector<std::string> requiredKeys;
+};
+
+struct GateViolation
+{
+    std::string file;
+    std::string key;
+    double baseline = 0.0;
+    double current = 0.0;
+    double tolerance = 0.0;
+    std::string message;  //!< set for structural problems
+};
+
+struct GateOutcome
+{
+    bool passed = true;
+    u64 keysCompared = 0;
+    std::vector<GateViolation> violations;
+    std::vector<std::string> notes;  //!< informational deviations etc.
+};
+
+/** Parse a gate.json manifest. Returns false + @p error on failure. */
+bool parseGateManifest(const JsonValue &doc, std::vector<GateEntry> &out,
+                       std::string &error);
+
+/**
+ * Compare one baseline/current document pair under @p entry's
+ * tolerances (scaled by @p scale) and append to @p outcome.
+ */
+void compareGateEntry(const GateEntry &entry, const JsonValue &baseline,
+                      const JsonValue &current, GateOutcome &outcome,
+                      double scale = 1.0);
+
+/**
+ * Run the whole gate: read `<baselinesDir>/gate.json`, compare every
+ * entry's baseline file against `<currentDir>/<file>`. @p scale
+ * multiplies all tolerances (CI hosts with known jitter).
+ */
+GateOutcome runBenchGate(const std::string &baselinesDir,
+                         const std::string &currentDir,
+                         double scale = 1.0);
+
+/** Human-readable gate report (one line per deviation). */
+std::string gateReport(const GateOutcome &outcome);
+
+} // namespace vspec
+
+#endif // VSPEC_HARNESS_BENCH_GATE_HH

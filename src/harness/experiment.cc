@@ -51,6 +51,7 @@ engineConfigFor(const RunConfig &rc)
     cfg.enableOptimization = rc.enableOptimization;
     cfg.samplerEnabled = rc.samplerEnabled;
     cfg.samplerPeriodCycles = rc.samplerPeriod;
+    cfg.profiling = rc.profiling;
     cfg.trace = rc.trace;
     cfg.faults = rc.faults;
     cfg.maxFuelCycles = rc.maxFuelCycles;
@@ -108,23 +109,35 @@ runWorkload(const Workload &w, const RunConfig &rc,
         out.traceGcCycles =
             engine.trace.counters.get(TraceCounter::GcCycles);
 
-        // Aggregate sampler attributions and static code metrics over
-        // every compiled code object.
+        // Static code metrics over every compiled code object.
         int window = defaultWindowFor(rc.isa);
         for (const auto &code : engine.codeObjects) {
             out.staticInstructions += code->code.size();
-            auto per_group = code->checkInstructionsPerGroup();
             // Static per-group counts use *checks*, not instructions.
             for (const auto &chk : code->checks)
                 out.staticChecksPerGroup[static_cast<size_t>(chk.group)]++;
             out.staticChecks += code->checks.size();
-            (void)per_group;
-            const auto *hist = engine.sampler.histogramFor(code->id);
-            if (hist != nullptr) {
-                out.window += attributeWindowHeuristic(*code, *hist,
-                                                       window);
-                out.truth += attributeGroundTruth(*code, *hist);
-            }
+        }
+        // Aggregate sampler attributions from the metadata snapshots
+        // the sampler pinned at first sample — never from live code
+        // objects, so samples of since-discarded code still attribute
+        // correctly (vprof satellite).
+        for (const auto &[code_id, hist] : engine.sampler.histograms) {
+            const CodeObjectMeta *meta = engine.sampler.metaFor(code_id);
+            if (meta == nullptr)
+                continue;
+            out.window += attributeWindowHeuristic(*meta, hist, window);
+            out.truth += attributeGroundTruth(*meta, hist);
+        }
+        if (rc.profiling) {
+            FunctionNamer namer = [&engine](FunctionId id) {
+                return id < engine.functions.count()
+                    ? engine.functions.at(id).name
+                    : "fn#" + std::to_string(id);
+            };
+            out.profile = std::make_shared<Profile>(buildProfile(
+                engine.sampler, namer, w.name,
+                isaFlavourName(rc.isa), window));
         }
         // perf samples the whole process, but the PC sampler only sees
         // simulated (optimized) code. Account the cycles spent in the

@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "profiler/attribution.hh"
+#include "profiler/profile.hh"
 #include "runtime/engine.hh"
 #include "workloads/suite.hh"
 
@@ -37,6 +38,11 @@ struct RunConfig
     bool enableOptimization = true;
     u64 samplerPeriod = 211;       //!< fine-grained: small workloads
     u64 seed = 42;
+
+    /** vprof: calling-context profiling (implies the sampler). The
+     *  outcome then carries a built Profile. Simulated cycles are
+     *  bit-identical with this on or off. */
+    bool profiling = false;
 
     /** vverify level for the engine's compilation pipeline. */
     VerifyLevel verifyLevel = defaultVerifyLevel();
@@ -99,6 +105,9 @@ struct RunOutcome
 
     AttributionResult window;      //!< PC sampling, paper's heuristic
     AttributionResult truth;       //!< annotation ground truth
+
+    /** vprof: built when RunConfig::profiling was set. */
+    std::shared_ptr<Profile> profile;
 
     /** Static code metrics over compiled code objects. */
     double staticCheckFreqPer100 = 0.0;   //!< Fig. 1

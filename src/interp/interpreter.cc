@@ -565,7 +565,7 @@ Interpreter::execute(Frame &frame, u32 pc)
     } catch (EngineError &err) {
         // Cycles accrued before the fault still count; stamp the fault
         // site on the way out (the innermost frame wins).
-        engine.interpreterCycles += cost;
+        engine.flushInterpreterCost(cost);
         cost = 0;
         throw err.withContext(frame.fn->id, pc, engine.totalCycles());
     }
@@ -761,14 +761,14 @@ Interpreter::dispatchLoop(Frame &frame, u32 &pc, u64 &cost)
             for (int i = 0; i < argc; i++)
                 args.push_back(regs[first + i]);
             cost += 12;
-            engine.interpreterCycles += cost;
+            engine.flushInterpreterCost(cost);
             cost = 0;
             acc = engine.invoke(fid, this_v, args);
             break;
           }
 
           case Bc::Return:
-            engine.interpreterCycles += cost + 2;
+            engine.flushInterpreterCost(cost + 2);
             cost = 0;
             return acc;
         }
@@ -776,7 +776,7 @@ Interpreter::dispatchLoop(Frame &frame, u32 &pc, u64 &cost)
         // Flush cost periodically so nested timing stays roughly
         // ordered with simulated cycles.
         if (cost > 4096) {
-            engine.interpreterCycles += cost;
+            engine.flushInterpreterCost(cost);
             cost = 0;
             if (engine.config.maxFuelCycles != 0)
                 engine.checkFuel();

@@ -693,6 +693,7 @@ class GraphBuilder
         for (u32 bc = bc_start; bc < bc_end && !closed && !repConflict;
              bc++) {
             curBc = bc;
+            graph.originBc = bc;
             frameStateCache.erase(bc);  // env may have changed
             closed = processInstr(bc, fn.bytecode[bc], bc_end);
         }

@@ -133,6 +133,9 @@ struct IrNode
     double fval = 0.0;
     BlockId block = kNoBlock;
     u32 frameState = kNoFrameState;
+    /** Bytecode offset this node was built from (vprof source-position
+     *  chain; glue nodes inherit the offset current at append time). */
+    u32 bcOff = 0;
     std::vector<ValueId> inputs;
 
     bool
@@ -209,6 +212,10 @@ class Graph
   public:
     FunctionId function = kInvalidFunction;
 
+    /** Bytecode offset stamped onto nodes by append() (vprof). The
+     *  builder keeps it at the bytecode currently being translated. */
+    u32 originBc = 0;
+
     std::vector<IrNode> nodes;
     std::vector<BasicBlock> blocks;
     std::vector<FrameState> frameStates;
@@ -238,6 +245,7 @@ class Graph
     append(BlockId b, IrNode n)
     {
         n.block = b;
+        n.bcOff = originBc;
         nodes.push_back(std::move(n));
         ValueId id = static_cast<ValueId>(nodes.size()) - 1;
         blocks.at(b).nodes.push_back(id);

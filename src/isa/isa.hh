@@ -191,6 +191,7 @@ struct MInst
     CheckRole checkRole = CheckRole::None;
     bool isDeoptBranch = false;
     u16 deoptIndex = 0;      //!< DeoptExit index for deopt branches/loads
+    u32 bcOff = 0;           //!< originating bytecode offset (vprof)
 
     bool isBranch() const
     {

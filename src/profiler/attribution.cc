@@ -21,42 +21,70 @@ defaultWindowFor(IsaFlavour flavour)
     return flavour == IsaFlavour::X64Like ? 1 : 2;
 }
 
-AttributionResult
-attributeWindowHeuristic(const CodeObject &code,
-                         const std::vector<u64> &hist, int window)
+CodeObjectMeta
+CodeObjectMeta::capture(const CodeObject &code)
 {
-    AttributionResult r;
-    size_t n = std::min(hist.size(), code.code.size());
-    std::vector<u8> owner(n, 0xff);  // group id owning each pc, else 0xff
+    CodeObjectMeta meta;
+    meta.id = code.id;
+    meta.function = code.function;
+    meta.flavour = code.flavour;
+    meta.functionName = code.functionName;
+    meta.numChecks = static_cast<u32>(code.checks.size());
+    meta.insts.resize(code.code.size());
+    for (size_t i = 0; i < code.code.size(); i++) {
+        const MInst &m = code.code[i];
+        InstMeta &im = meta.insts[i];
+        im.checkId = m.checkId;
+        im.role = m.checkRole;
+        if (m.checkId != kNoCheck && m.checkId < code.checks.size())
+            im.group = static_cast<u8>(code.checks[m.checkId].group);
+        im.deoptAnchor = (m.isDeoptBranch && m.op == MOp::Bcond)
+                         || m.isSmiExtensionLoad();
+        im.branch = m.isBranch();
+        im.bcOff = m.bcOff;
+        SrcPos pos = code.posForPc(static_cast<u32>(i));
+        im.line = pos.line;
+        im.col = pos.col;
+    }
+    return meta;
+}
+
+std::vector<u8>
+windowOwnerMap(const CodeObjectMeta &meta, int window)
+{
+    size_t n = meta.insts.size();
+    std::vector<u8> owner(n, kNoGroup);  // group id owning each pc
 
     for (size_t i = 0; i < n; i++) {
-        const MInst &m = code.code[i];
-        bool is_deopt_anchor =
-            (m.isDeoptBranch && m.op == MOp::Bcond)
-            || m.isSmiExtensionLoad();
-        if (!is_deopt_anchor)
+        const CodeObjectMeta::InstMeta &m = meta.insts[i];
+        if (!m.deoptAnchor)
             continue;
-        u8 group = 0xff;
-        if (m.checkId != kNoCheck)
-            group = static_cast<u8>(code.checks[m.checkId].group);
-        else
-            group = static_cast<u8>(CheckGroup::Other);
+        u8 group = m.group != kNoGroup
+            ? m.group : static_cast<u8>(CheckGroup::Other);
         owner[i] = group;
         // The preceding `window` instructions are assumed to compute
         // the condition.
         for (int wdx = 1; wdx <= window && static_cast<int>(i) - wdx >= 0;
              wdx++) {
             size_t j = i - static_cast<size_t>(wdx);
-            const MInst &p = code.code[j];
-            if (p.isBranch())
+            if (meta.insts[j].branch)
                 break;  // don't cross control flow
             owner[j] = group;
         }
     }
+    return owner;
+}
 
+AttributionResult
+attributeWindowHeuristic(const CodeObjectMeta &meta,
+                         const std::vector<u64> &hist, int window)
+{
+    AttributionResult r;
+    std::vector<u8> owner = windowOwnerMap(meta, window);
+    size_t n = std::min(hist.size(), meta.insts.size());
     for (size_t i = 0; i < n; i++) {
         r.totalSamples += hist[i];
-        if (owner[i] != 0xff) {
+        if (owner[i] != kNoGroup) {
             r.checkSamples += hist[i];
             r.samplesPerGroup[owner[i]] += hist[i];
         }
@@ -65,20 +93,33 @@ attributeWindowHeuristic(const CodeObject &code,
 }
 
 AttributionResult
-attributeGroundTruth(const CodeObject &code, const std::vector<u64> &hist)
+attributeGroundTruth(const CodeObjectMeta &meta, const std::vector<u64> &hist)
 {
     AttributionResult r;
-    size_t n = std::min(hist.size(), code.code.size());
+    size_t n = std::min(hist.size(), meta.insts.size());
     for (size_t i = 0; i < n; i++) {
         r.totalSamples += hist[i];
-        const MInst &m = code.code[i];
-        if (m.checkId != kNoCheck) {
+        const CodeObjectMeta::InstMeta &m = meta.insts[i];
+        if (m.checkId != kNoCheck && m.group != kNoGroup) {
             r.checkSamples += hist[i];
-            r.samplesPerGroup[static_cast<size_t>(
-                code.checks[m.checkId].group)] += hist[i];
+            r.samplesPerGroup[m.group] += hist[i];
         }
     }
     return r;
+}
+
+AttributionResult
+attributeWindowHeuristic(const CodeObject &code,
+                         const std::vector<u64> &hist, int window)
+{
+    return attributeWindowHeuristic(CodeObjectMeta::capture(code), hist,
+                                    window);
+}
+
+AttributionResult
+attributeGroundTruth(const CodeObject &code, const std::vector<u64> &hist)
+{
+    return attributeGroundTruth(CodeObjectMeta::capture(code), hist);
 }
 
 double

@@ -10,6 +10,13 @@
  *    annotations, which a real profiler does not have. Comparing the
  *    two quantifies the heuristic's accuracy (an ablation the paper
  *    could not run).
+ *
+ * Both attributions run on a CodeObjectMeta — an immutable snapshot of
+ * the per-instruction annotations and source positions that the
+ * sampler pins at a code object's first sample. End-of-run attribution
+ * therefore never reads a live (possibly discarded or, in principle,
+ * re-used) code object; the CodeObject overloads below are convenience
+ * wrappers that capture a snapshot on the fly.
  */
 
 #ifndef VSPEC_PROFILER_ATTRIBUTION_HH
@@ -23,6 +30,40 @@ namespace vspec
 {
 
 constexpr size_t kNumGroups = static_cast<size_t>(CheckGroup::NumGroups);
+
+/** Group byte meaning "not part of any check" in owner maps. */
+constexpr u8 kNoGroup = 0xff;
+
+/**
+ * Immutable attribution metadata for one code object, captured at its
+ * first sample (vprof satellite: histograms key on `code.id`, but the
+ * object behind an id can be discarded before end-of-run attribution —
+ * the snapshot keeps everything attribution and per-line reporting
+ * need, decoupled from the code object's lifetime).
+ */
+struct CodeObjectMeta
+{
+    u32 id = 0;
+    FunctionId function = kInvalidFunction;
+    IsaFlavour flavour = IsaFlavour::Arm64Like;
+    std::string functionName;
+
+    struct InstMeta
+    {
+        u16 checkId = kNoCheck;
+        CheckRole role = CheckRole::None;
+        u8 group = kNoGroup;      //!< CheckGroup of checkId, if any
+        bool deoptAnchor = false; //!< window-heuristic anchor
+        bool branch = false;      //!< control flow: stops the window
+        u32 bcOff = 0;
+        i32 line = 0;             //!< MiniJS source line (0 = unknown)
+        i32 col = 0;
+    };
+    std::vector<InstMeta> insts;
+    u32 numChecks = 0;
+
+    static CodeObjectMeta capture(const CodeObject &code);
+};
 
 struct AttributionResult
 {
@@ -43,6 +84,19 @@ struct AttributionResult
 /** Default window sizes from the paper. */
 int defaultWindowFor(IsaFlavour flavour);
 
+/** Per-pc owning check group under the window heuristic (kNoGroup =
+ *  not attributed). Shared by the flat attribution and the per-line
+ *  profile reports, so their sums agree by construction. */
+std::vector<u8> windowOwnerMap(const CodeObjectMeta &meta, int window);
+
+AttributionResult attributeWindowHeuristic(const CodeObjectMeta &meta,
+                                           const std::vector<u64> &hist,
+                                           int window);
+
+AttributionResult attributeGroundTruth(const CodeObjectMeta &meta,
+                                       const std::vector<u64> &hist);
+
+// Convenience overloads over a live code object (tests, benches).
 AttributionResult attributeWindowHeuristic(const CodeObject &code,
                                            const std::vector<u64> &hist,
                                            int window);

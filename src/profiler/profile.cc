@@ -1,0 +1,381 @@
+#include "profiler/profile.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace vspec
+{
+
+namespace
+{
+
+std::string
+fmtFraction(double f)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6f", f);
+    return buf;
+}
+
+std::string
+fmtPercent(double f)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%5.2f%%", 100.0 * f);
+    return buf;
+}
+
+void
+appendGroupObject(std::string &out, const std::array<u64, kNumGroups> &g)
+{
+    out += "{";
+    for (size_t i = 0; i < kNumGroups; i++) {
+        if (i)
+            out += ",";
+        out += "\"";
+        out += checkGroupName(static_cast<CheckGroup>(i));
+        out += "\":" + std::to_string(g[i]);
+    }
+    out += "}";
+}
+
+void
+appendAttribution(std::string &out, const AttributionResult &r)
+{
+    out += "{\"totalSamples\":" + std::to_string(r.totalSamples)
+        + ",\"checkSamples\":" + std::to_string(r.checkSamples)
+        + ",\"overheadFraction\":" + fmtFraction(r.overheadFraction())
+        + ",\"groups\":";
+    appendGroupObject(out, r.samplesPerGroup);
+    out += "}";
+}
+
+} // namespace
+
+Profile
+buildProfile(const PcSampler &sampler, const FunctionNamer &namer,
+             const std::string &workload, const std::string &isa,
+             int window)
+{
+    Profile p;
+    p.workload = workload;
+    p.isa = isa;
+    p.period = sampler.period();
+    p.window = window;
+    p.jitSamples = sampler.totalSamples;
+    p.interpSamples = sampler.interpSamples;
+    p.runtimeSamples = sampler.runtimeSamples;
+
+    // Flat attribution and the per-line fold share the owner maps, so
+    // per-line group sums equal the flat group totals exactly.
+    std::map<std::pair<std::string, i32>, ProfileLine> lines;
+    std::map<std::string, ProfileFunction> fns;
+    for (const auto &[id, hist] : sampler.histograms) {
+        const CodeObjectMeta *meta = sampler.metaFor(id);
+        if (!meta)
+            continue;  // unreachable: metadata is pinned at first sample
+        p.windowAttr += attributeWindowHeuristic(*meta, hist, window);
+        p.truthAttr += attributeGroundTruth(*meta, hist);
+
+        std::vector<u8> owner = windowOwnerMap(*meta, window);
+        std::string fname = !meta->functionName.empty()
+            ? meta->functionName
+            : namer(meta->function);
+        size_t n = std::min(hist.size(), meta->insts.size());
+        for (size_t pc = 0; pc < n; pc++) {
+            if (hist[pc] == 0)
+                continue;
+            const CodeObjectMeta::InstMeta &im = meta->insts[pc];
+            ProfileLine &L = lines[{fname, im.line}];
+            L.function = fname;
+            L.line = im.line;
+            L.samples += hist[pc];
+            ProfileFunction &F = fns[fname];
+            F.name = fname;
+            F.samples += hist[pc];
+            if (owner[pc] != kNoGroup) {
+                L.windowPerGroup[owner[pc]] += hist[pc];
+                L.windowCheckSamples += hist[pc];
+                F.windowCheckSamples += hist[pc];
+            }
+            if (im.checkId != kNoCheck && im.group != kNoGroup) {
+                L.truthPerGroup[im.group] += hist[pc];
+                L.truthCheckSamples += hist[pc];
+                F.truthCheckSamples += hist[pc];
+            }
+        }
+    }
+    for (auto &kv : fns)
+        p.functions.push_back(std::move(kv.second));
+    for (auto &kv : lines)
+        p.lines.push_back(std::move(kv.second));
+    auto bySamples = [](const auto &a, const auto &b) {
+        return a.samples > b.samples;
+    };
+    std::stable_sort(p.functions.begin(), p.functions.end(), bySamples);
+    std::stable_sort(p.lines.begin(), p.lines.end(), bySamples);
+
+    if (sampler.profiling()) {
+        p.cct = sampler.nodes();
+        p.cctNames.reserve(p.cct.size());
+        for (const CctNode &n : p.cct) {
+            if (n.kind == ProfFrameKind::Root)
+                p.cctNames.push_back("root");
+            else if (n.function != kInvalidFunction)
+                p.cctNames.push_back(namer(n.function));
+            else
+                p.cctNames.push_back(profFrameKindName(n.kind));
+        }
+    }
+    return p;
+}
+
+std::string
+profileToJson(const Profile &p)
+{
+    std::string out;
+    out.reserve(4096);
+    out += "{\"schema\":\"vspec-profile-v1\"";
+    out += ",\"workload\":\"" + jsonEscape(p.workload) + "\"";
+    out += ",\"isa\":\"" + jsonEscape(p.isa) + "\"";
+    out += ",\"period\":" + std::to_string(p.period);
+    out += ",\"window\":" + std::to_string(p.window);
+    out += ",\"samples\":{\"jit\":" + std::to_string(p.jitSamples)
+        + ",\"interp\":" + std::to_string(p.interpSamples)
+        + ",\"runtime\":" + std::to_string(p.runtimeSamples)
+        + ",\"total\":" + std::to_string(p.totalSamples()) + "}";
+    out += ",\"attribution\":{\"window\":";
+    appendAttribution(out, p.windowAttr);
+    out += ",\"truth\":";
+    appendAttribution(out, p.truthAttr);
+    out += "}";
+
+    out += ",\"functions\":[";
+    for (size_t i = 0; i < p.functions.size(); i++) {
+        const ProfileFunction &f = p.functions[i];
+        if (i)
+            out += ",";
+        out += "{\"name\":\"" + jsonEscape(f.name) + "\""
+            + ",\"samples\":" + std::to_string(f.samples)
+            + ",\"windowCheckSamples\":"
+            + std::to_string(f.windowCheckSamples)
+            + ",\"truthCheckSamples\":"
+            + std::to_string(f.truthCheckSamples) + "}";
+    }
+    out += "]";
+
+    out += ",\"lines\":[";
+    for (size_t i = 0; i < p.lines.size(); i++) {
+        const ProfileLine &l = p.lines[i];
+        if (i)
+            out += ",";
+        out += "{\"function\":\"" + jsonEscape(l.function) + "\""
+            + ",\"line\":" + std::to_string(l.line)
+            + ",\"samples\":" + std::to_string(l.samples)
+            + ",\"windowCheckSamples\":"
+            + std::to_string(l.windowCheckSamples)
+            + ",\"truthCheckSamples\":"
+            + std::to_string(l.truthCheckSamples)
+            + ",\"window\":";
+        appendGroupObject(out, l.windowPerGroup);
+        out += ",\"truth\":";
+        appendGroupObject(out, l.truthPerGroup);
+        out += "}";
+    }
+    out += "]";
+
+    out += ",\"cct\":[";
+    for (size_t i = 0; i < p.cct.size(); i++) {
+        const CctNode &n = p.cct[i];
+        if (i)
+            out += ",";
+        out += "{\"parent\":" + std::to_string(n.parent)
+            + ",\"kind\":\"";
+        out += profFrameKindName(n.kind);
+        out += "\",\"name\":\"" + jsonEscape(p.cctNames[i]) + "\""
+            + ",\"jit\":" + std::to_string(n.jitSamples)
+            + ",\"interp\":" + std::to_string(n.interpSamples)
+            + ",\"runtime\":" + std::to_string(n.runtimeSamples)
+            + ",\"checks\":";
+        appendGroupObject(out, n.checkSamples);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+profileToFolded(const Profile &p)
+{
+    std::string out;
+    for (size_t i = 0; i < p.cct.size(); i++) {
+        u64 self = p.cct[i].totalSamples();
+        if (self == 0)
+            continue;
+        // Build root..node path.
+        std::vector<size_t> path;
+        for (size_t n = i;; n = p.cct[n].parent) {
+            path.push_back(n);
+            if (n == 0)
+                break;
+        }
+        std::string stack;
+        for (size_t j = path.size(); j-- > 0;) {
+            if (!stack.empty())
+                stack += ";";
+            stack += p.cctNames[path[j]];
+            // Annotation suffixes in flamegraph.pl style: interpreter
+            // and builtin frames of a function are distinct contexts.
+            ProfFrameKind k = p.cct[path[j]].kind;
+            if (k == ProfFrameKind::Interp)
+                stack += "_[i]";
+            else if (k == ProfFrameKind::Builtin)
+                stack += "_[b]";
+        }
+        out += stack + " " + std::to_string(self) + "\n";
+    }
+    return out;
+}
+
+std::string
+profileReport(const Profile &p, size_t topN)
+{
+    std::ostringstream os;
+    os << "vprof: " << p.workload << " (" << p.isa << ", period "
+       << p.period << ", window " << p.window << ")\n";
+    os << "samples: " << p.totalSamples() << " total = " << p.jitSamples
+       << " jit + " << p.interpSamples << " interp + "
+       << p.runtimeSamples << " runtime\n";
+    os << "check overhead of jit samples: window "
+       << fmtPercent(p.windowAttr.overheadFraction()) << ", truth "
+       << fmtPercent(p.truthAttr.overheadFraction()) << "\n";
+
+    os << "\ntop functions (jit samples):\n";
+    for (size_t i = 0; i < p.functions.size() && i < topN; i++) {
+        const ProfileFunction &f = p.functions[i];
+        double frac = f.samples
+            ? static_cast<double>(f.truthCheckSamples) / f.samples
+            : 0.0;
+        char buf[160];
+        std::snprintf(buf, sizeof buf, "  %-24s %10" PRIu64
+                      "  check %s\n",
+                      f.name.c_str(), f.samples,
+                      fmtPercent(frac).c_str());
+        os << buf;
+    }
+
+    os << "\ntop source lines (jit samples; check % is ground truth):\n";
+    for (size_t i = 0; i < p.lines.size() && i < topN; i++) {
+        const ProfileLine &l = p.lines[i];
+        double frac = l.samples
+            ? static_cast<double>(l.truthCheckSamples) / l.samples
+            : 0.0;
+        std::string where = l.function + ":"
+            + (l.line > 0 ? std::to_string(l.line) : "?");
+        char buf[160];
+        std::snprintf(buf, sizeof buf, "  %-24s %10" PRIu64
+                      "  check %s\n",
+                      where.c_str(), l.samples, fmtPercent(frac).c_str());
+        os << buf;
+    }
+    return os.str();
+}
+
+std::string
+profileDiffReport(const JsonValue &a, const JsonValue &b,
+                  std::string &error)
+{
+    auto schemaOf = [](const JsonValue &v) -> std::string {
+        const JsonValue *s = v.get("schema");
+        return s && s->isString() ? s->string : "";
+    };
+    if (schemaOf(a) != "vspec-profile-v1"
+        || schemaOf(b) != "vspec-profile-v1") {
+        error = "not a vspec-profile-v1 document";
+        return "";
+    }
+    error.clear();
+
+    u64 period_b = 0;
+    if (const JsonValue *p = b.get("period"))
+        period_b = p->asU64();
+
+    auto collect = [](const JsonValue &v, const char *arr,
+                      bool lineKey) {
+        std::map<std::string, u64> m;
+        const JsonValue *items = v.get(arr);
+        if (!items || !items->isArray())
+            return m;
+        for (const JsonValue &e : items->array) {
+            const JsonValue *name =
+                e.get(lineKey ? "function" : "name");
+            const JsonValue *samples = e.get("samples");
+            if (!name || !samples)
+                continue;
+            std::string key = name->string;
+            if (lineKey) {
+                const JsonValue *line = e.get("line");
+                key += ":" + std::to_string(
+                    line ? static_cast<i64>(line->number) : 0);
+            }
+            m[key] += samples->asU64();
+        }
+        return m;
+    };
+
+    std::ostringstream os;
+    auto wlOf = [](const JsonValue &v) {
+        const JsonValue *w = v.get("workload");
+        return w && w->isString() ? w->string : std::string("?");
+    };
+    os << "profile diff: " << wlOf(a) << " -> " << wlOf(b)
+       << " (samples; ~cycles at period " << period_b << ")\n";
+
+    auto diffSection = [&](const char *title, const char *arr,
+                           bool lineKey) {
+        std::map<std::string, u64> ma = collect(a, arr, lineKey);
+        std::map<std::string, u64> mb = collect(b, arr, lineKey);
+        struct Row { std::string key; i64 delta; u64 va, vb; };
+        std::vector<Row> rows;
+        for (const auto &[k, vb] : mb) {
+            auto it = ma.find(k);
+            u64 va = it == ma.end() ? 0 : it->second;
+            rows.push_back({k, static_cast<i64>(vb)
+                                  - static_cast<i64>(va), va, vb});
+        }
+        for (const auto &[k, va] : ma)
+            if (!mb.count(k))
+                rows.push_back({k, -static_cast<i64>(va), va, 0});
+        std::stable_sort(rows.begin(), rows.end(),
+                         [](const Row &x, const Row &y) {
+                             return std::llabs(x.delta)
+                                    > std::llabs(y.delta);
+                         });
+        os << "\n" << title << ":\n";
+        size_t shown = 0;
+        for (const Row &r : rows) {
+            if (r.delta == 0 || shown >= 20)
+                break;
+            char buf[200];
+            std::snprintf(buf, sizeof buf,
+                          "  %-28s %8" PRIu64 " -> %8" PRIu64
+                          "  (%+" PRId64 " samples, ~%+" PRId64
+                          " cycles)\n",
+                          r.key.c_str(), r.va, r.vb, r.delta,
+                          r.delta * static_cast<i64>(period_b));
+            os << buf;
+            shown++;
+        }
+        if (shown == 0)
+            os << "  (no change)\n";
+    };
+
+    diffSection("per-function", "functions", false);
+    diffSection("per-line", "lines", true);
+    return os.str();
+}
+
+} // namespace vspec

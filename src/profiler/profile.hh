@@ -1,0 +1,113 @@
+/**
+ * @file
+ * vprof profiles: a self-contained summary of one profiled run —
+ * flat check attribution (window heuristic and ground truth), the
+ * calling-context tree with resolved function names, and a per-source-
+ * line breakdown of where check overhead lands (the paper's Fig. 3 at
+ * line granularity).
+ *
+ * Exporters: JSON (schema "vspec-profile-v1", parseable by
+ * support/json), folded stacks (flamegraph.pl compatible), and a
+ * human-readable top-N report. profileDiffReport() compares two
+ * emitted JSON profiles per function and per line.
+ */
+
+#ifndef VSPEC_PROFILER_PROFILE_HH
+#define VSPEC_PROFILER_PROFILE_HH
+
+#include <functional>
+#include <string>
+
+#include "profiler/sampler.hh"
+#include "support/json.hh"
+
+namespace vspec
+{
+
+/** Samples aggregated onto one MiniJS source line of one function.
+ *  Group sums across all lines equal the flat attribution totals by
+ *  construction (both are folds of the same histograms + owner maps). */
+struct ProfileLine
+{
+    std::string function;
+    i32 line = 0;  //!< 0 = unknown source position
+    u64 samples = 0;
+    u64 windowCheckSamples = 0;
+    u64 truthCheckSamples = 0;
+    std::array<u64, kNumGroups> windowPerGroup{};
+    std::array<u64, kNumGroups> truthPerGroup{};
+};
+
+/** Samples aggregated per function (JIT histogram samples only). */
+struct ProfileFunction
+{
+    std::string name;
+    u64 samples = 0;
+    u64 windowCheckSamples = 0;
+    u64 truthCheckSamples = 0;
+};
+
+struct Profile
+{
+    std::string workload;
+    std::string isa;
+    u64 period = 0;
+    int window = 0;
+
+    u64 jitSamples = 0;      //!< histogram total (no padding)
+    u64 interpSamples = 0;   //!< interpreter-clock samples
+    u64 runtimeSamples = 0;  //!< runtime-call samples
+
+    /** Flat attribution over all sampled code objects (unpadded). */
+    AttributionResult windowAttr;
+    AttributionResult truthAttr;
+
+    /** Calling-context tree ([0] = root; empty when profiling was off)
+     *  plus one resolved display name per node. */
+    std::vector<CctNode> cct;
+    std::vector<std::string> cctNames;
+
+    std::vector<ProfileFunction> functions;  //!< sorted by samples desc
+    std::vector<ProfileLine> lines;          //!< sorted by samples desc
+
+    u64
+    totalSamples() const
+    {
+        return jitSamples + interpSamples + runtimeSamples;
+    }
+};
+
+/** Resolve a FunctionId to a display name. */
+using FunctionNamer = std::function<std::string(FunctionId)>;
+
+/**
+ * Build a profile from a sampler's histograms, pinned metadata, and
+ * (when profiling was enabled) its calling-context tree. @p window is
+ * the heuristic window size (see defaultWindowFor).
+ */
+Profile buildProfile(const PcSampler &sampler, const FunctionNamer &namer,
+                     const std::string &workload, const std::string &isa,
+                     int window);
+
+/** JSON document, schema "vspec-profile-v1". */
+std::string profileToJson(const Profile &p);
+
+/** Folded stacks, one per CCT node with self samples:
+ *  `root;main;inner 42`. Feed to flamegraph.pl. */
+std::string profileToFolded(const Profile &p);
+
+/** Human-readable summary: totals, top-N functions, top-N lines. */
+std::string profileReport(const Profile &p, size_t topN = 10);
+
+/**
+ * Per-function and per-line sample deltas between two parsed
+ * "vspec-profile-v1" documents (A = baseline, B = current). Returns a
+ * human-readable report; sets @p error and returns "" on schema
+ * mismatch.
+ */
+std::string profileDiffReport(const JsonValue &a, const JsonValue &b,
+                              std::string &error);
+
+} // namespace vspec
+
+#endif // VSPEC_PROFILER_PROFILE_HH

@@ -1,0 +1,165 @@
+#include "profiler/sampler.hh"
+
+#include "trace/trace.hh"
+
+namespace vspec
+{
+
+const char *
+profFrameKindName(ProfFrameKind k)
+{
+    switch (k) {
+      case ProfFrameKind::Root: return "root";
+      case ProfFrameKind::Interp: return "interp";
+      case ProfFrameKind::Jit: return "jit";
+      case ProfFrameKind::Builtin: return "builtin";
+    }
+    return "?";
+}
+
+void
+PcSampler::setPeriod(u64 p)
+{
+    period_ = p == 0 ? 1 : p;
+    nextAt_ = period_;
+    interpNextAt_ = period_;
+}
+
+void
+PcSampler::reset()
+{
+    histograms.clear();
+    metas.clear();
+    totalSamples = 0;
+    interpSamples = 0;
+    runtimeSamples = 0;
+    nextAt_ = period_;
+    interpNextAt_ = period_;
+    resetTree();
+}
+
+void
+PcSampler::resetTree()
+{
+    cct_.clear();
+    cct_.emplace_back();  // root
+    stack_.assign(1, 0);
+}
+
+void
+PcSampler::enableProfile(bool on)
+{
+    profiling_ = on;
+    resetTree();
+}
+
+u32
+PcSampler::childFor(u32 parent, ProfFrameKind kind, FunctionId fn,
+                    u32 codeId)
+{
+    for (u32 c : cct_[parent].children) {
+        const CctNode &n = cct_[c];
+        if (n.kind == kind && n.function == fn && n.codeId == codeId)
+            return c;
+    }
+    u32 idx = static_cast<u32>(cct_.size());
+    CctNode n;
+    n.parent = parent;
+    n.kind = kind;
+    n.function = fn;
+    n.codeId = codeId;
+    cct_.push_back(std::move(n));
+    cct_[parent].children.push_back(idx);
+    return idx;
+}
+
+void
+PcSampler::pushFrame(ProfFrameKind kind, FunctionId fn, u32 codeId)
+{
+    if (stack_.size() >= kMaxDepth) {
+        // Fold deep recursion onto the node at the cap; the matching
+        // popFrame() still has an entry to pop.
+        stack_.push_back(stack_.back());
+        return;
+    }
+    stack_.push_back(childFor(stack_.back(), kind, fn, codeId));
+}
+
+void
+PcSampler::popFrame()
+{
+    if (stack_.size() > 1)
+        stack_.pop_back();
+}
+
+const CodeObjectMeta &
+PcSampler::pinMeta(const CodeObject &code)
+{
+    auto it = metas.find(code.id);
+    if (it == metas.end())
+        it = metas.emplace(code.id, CodeObjectMeta::capture(code)).first;
+    return it->second;
+}
+
+void
+PcSampler::tick(Cycles now, const CodeObject &code, u32 pc)
+{
+    if (now < nextAt_)
+        return;
+
+    auto &h = histograms[code.id];
+    if (h.size() < code.code.size())
+        h.resize(code.code.size(), 0);
+    const CodeObjectMeta &meta = pinMeta(code);
+
+    while (now >= nextAt_) {
+        h[pc]++;
+        totalSamples++;
+        nextAt_ += period_;
+
+        if (profiling_) {
+            CctNode &node = cct_[stack_.back()];
+            node.jitSamples++;
+            if (pc < meta.insts.size()
+                && meta.insts[pc].group != kNoGroup)
+                node.checkSamples[meta.insts[pc].group]++;
+            if (trace_ && trace_->on(TraceCategory::Sample))
+                trace_->emit(TraceCategory::Sample,
+                             TraceEventKind::Instant, "sample", now,
+                             code.id, pc,
+                             pc < meta.insts.size()
+                                 ? static_cast<u64>(meta.insts[pc].line)
+                                 : 0);
+        }
+    }
+}
+
+void
+PcSampler::skipTo(Cycles now)
+{
+    // Periods that elapsed outside simulated code are not samples of
+    // any JIT pc; runWorkload() accounts them as non-check process time
+    // (like perf samples landing in the runtime). With profiling on
+    // they are still charged to the current calling context.
+    while (now >= nextAt_) {
+        nextAt_ += period_;
+        if (profiling_) {
+            cct_[stack_.back()].runtimeSamples++;
+            runtimeSamples++;
+        }
+    }
+}
+
+void
+PcSampler::tickInterp(u64 interpCyclesNow)
+{
+    if (!profiling_)
+        return;
+    while (interpCyclesNow >= interpNextAt_) {
+        interpNextAt_ += period_;
+        cct_[stack_.back()].interpSamples++;
+        interpSamples++;
+    }
+}
+
+} // namespace vspec

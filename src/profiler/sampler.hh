@@ -5,54 +5,95 @@
  * instruction in optimized code is recorded into a per-code-object
  * histogram. Attribution of samples to checks lives in
  * profiler/attribution.hh.
+ *
+ * vprof additions (all host-side; simulated cycle counts are
+ * untouched):
+ *
+ *  - At a code object's first sample the sampler pins a CodeObjectMeta
+ *    snapshot, so end-of-run attribution never depends on the live
+ *    code object surviving (it may be discarded by deoptimization).
+ *  - With profiling enabled (EngineConfig::profiling) the engine
+ *    maintains a shadow call stack here via pushFrame()/popFrame();
+ *    each sample then also lands on a node of a calling-context tree
+ *    (CCT), weighted by cycles and tagged with its ground-truth check
+ *    group. A second clock driven by tickInterp() samples interpreter
+ *    time, and skipTo() accounts runtime-call time, so the CCT covers
+ *    all three ways the engine spends cycles.
  */
 
 #ifndef VSPEC_PROFILER_SAMPLER_HH
 #define VSPEC_PROFILER_SAMPLER_HH
 
+#include <array>
 #include <map>
 #include <vector>
 
+#include "profiler/attribution.hh"
 #include "sim/machine.hh"
 
 namespace vspec
 {
 
+class Tracer;
+
+/** No optimized code attached (same sentinel as FunctionInfo::codeId). */
+constexpr u32 kNoCodeId = 0xffffffffu;
+
+/** Kind of one frame on the profiler's shadow call stack. */
+enum class ProfFrameKind : u8
+{
+    Root,     //!< synthetic CCT root
+    Interp,   //!< interpreter activation
+    Jit,      //!< optimized-code activation
+    Builtin,  //!< builtin call (host-implemented)
+};
+
+const char *profFrameKindName(ProfFrameKind k);
+
+/** One calling-context-tree node. Children are looked up by linear
+ *  scan — call trees here are shallow and narrow. */
+struct CctNode
+{
+    u32 parent = 0;
+    ProfFrameKind kind = ProfFrameKind::Root;
+    FunctionId function = kInvalidFunction;
+    u32 codeId = kNoCodeId;
+
+    u64 jitSamples = 0;      //!< samples on optimized-code pcs
+    u64 interpSamples = 0;   //!< samples from the interpreter clock
+    u64 runtimeSamples = 0;  //!< samples elapsed inside runtime calls
+    /** Of jitSamples, those on check instructions (ground truth). */
+    std::array<u64, kNumGroups> checkSamples{};
+
+    std::vector<u32> children;
+
+    u64
+    totalSamples() const
+    {
+        return jitSamples + interpSamples + runtimeSamples;
+    }
+};
+
 class PcSampler : public SampleSink
 {
   public:
-    u64 period = 997;  //!< prime, to avoid phase-locking with loops
+    PcSampler() { resetTree(); }
 
-    void
-    tick(Cycles now, const CodeObject &code, u32 pc) override
-    {
-        while (now >= nextAt) {
-            auto &h = histograms[code.id];
-            if (h.size() < code.code.size())
-                h.resize(code.code.size(), 0);
-            h[pc]++;
-            totalSamples++;
-            nextAt += period;
-        }
-    }
+    /** Set the sampling period and re-arm both clocks so the first
+     *  sample lands one full period in — changing the period after
+     *  construction previously left `nextAt` at the old default. */
+    void setPeriod(u64 p);
+    u64 period() const { return period_; }
 
-    void
-    skipTo(Cycles now) override
-    {
-        // Periods that elapsed outside simulated code are not samples
-        // of any JIT pc; runWorkload() accounts them as non-check
-        // process time (like perf samples landing in the runtime).
-        while (now >= nextAt)
-            nextAt += period;
-    }
+    void tick(Cycles now, const CodeObject &code, u32 pc) override;
+    void skipTo(Cycles now) override;
 
-    void
-    reset()
-    {
-        histograms.clear();
-        totalSamples = 0;
-        nextAt = period;
-    }
+    /** Drive the interpreter-side clock (profiling only): @p
+     *  interpCyclesNow is the engine's cumulative interpreterCycles. */
+    void tickInterp(u64 interpCyclesNow);
+
+    /** Clear all samples and re-arm clocks at the configured period. */
+    void reset();
 
     const std::vector<u64> *
     histogramFor(u32 code_id) const
@@ -61,9 +102,53 @@ class PcSampler : public SampleSink
         return it == histograms.end() ? nullptr : &it->second;
     }
 
+    /** Metadata snapshot pinned at @p code_id's first sample. */
+    const CodeObjectMeta *
+    metaFor(u32 code_id) const
+    {
+        auto it = metas.find(code_id);
+        return it == metas.end() ? nullptr : &it->second;
+    }
+
+    // ---- calling-context profiling ----------------------------------
+
+    void enableProfile(bool on);
+    bool profiling() const { return profiling_; }
+
+    void pushFrame(ProfFrameKind kind, FunctionId fn, u32 codeId);
+    void popFrame();
+
+    u32 currentNode() const { return stack_.back(); }
+    size_t stackDepth() const { return stack_.size(); }
+    const std::vector<CctNode> &nodes() const { return cct_; }
+
+    /** Emit an instant trace event per sample (TraceCategory::Sample). */
+    void setTrace(Tracer *t) { trace_ = t; }
+
     std::map<u32, std::vector<u64>> histograms;  //!< codeId -> counts
-    u64 totalSamples = 0;
-    u64 nextAt = 997;
+    std::map<u32, CodeObjectMeta> metas;         //!< first-sample pins
+    u64 totalSamples = 0;    //!< JIT pc samples (histogram total)
+    u64 interpSamples = 0;   //!< profiling only
+    u64 runtimeSamples = 0;  //!< profiling only
+
+  private:
+    /** Shadow stacks deeper than this fold onto the node at the cap,
+     *  keeping push/pop symmetric while bounding the tree. */
+    static constexpr size_t kMaxDepth = 256;
+
+    void resetTree();
+    u32 childFor(u32 parent, ProfFrameKind kind, FunctionId fn,
+                 u32 codeId);
+    const CodeObjectMeta &pinMeta(const CodeObject &code);
+
+    u64 period_ = 997;  //!< prime, to avoid phase-locking with loops
+    u64 nextAt_ = 997;
+    u64 interpNextAt_ = 997;
+    bool profiling_ = false;
+
+    std::vector<CctNode> cct_;  //!< [0] = root
+    std::vector<u32> stack_;    //!< path root..current (node indices)
+    Tracer *trace_ = nullptr;
 };
 
 } // namespace vspec

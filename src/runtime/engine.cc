@@ -59,8 +59,15 @@ Engine::Engine(EngineConfig cfg)
     core->verifyPredecode = cfg.passes.verifyLevel != VerifyLevel::Off;
     if (cfg.maxFuelCycles != 0)
         core->fuelCheck = [this] { checkFuel(); };
-    sampler.period = cfg.samplerPeriodCycles;
-    sampler.nextAt = cfg.samplerPeriodCycles;
+    sampler.setPeriod(cfg.samplerPeriodCycles);
+    if (config.profiling) {
+        // Calling-context profiling implies sampling; the shadow stack
+        // and CCT are host-side only, so simulated cycles are
+        // unaffected.
+        config.samplerEnabled = true;
+        sampler.enableProfile(true);
+        sampler.setTrace(&trace);
+    }
     gc.addRootProvider(this);
     gc.addRootProvider(interpreter.get());
     installBuiltins();
@@ -123,7 +130,7 @@ Engine::chargeCycles(u64 c)
     if (jitDepth > 0)
         timing->advanceExternal(c);
     else
-        interpreterCycles += c;
+        flushInterpreterCost(c);
 }
 
 Value
@@ -259,6 +266,27 @@ struct DepthGuard
     int &depth;
 };
 
+/** vprof: exception-safe shadow-call-stack frame. Only touches the
+ *  sampler when profiling is enabled, so the default path stays
+ *  untouched. */
+struct ProfFrameScope
+{
+    ProfFrameScope(PcSampler &s, bool on, ProfFrameKind kind,
+                   FunctionId fn, u32 code_id)
+        : sampler(s), active(on)
+    {
+        if (active)
+            sampler.pushFrame(kind, fn, code_id);
+    }
+    ~ProfFrameScope()
+    {
+        if (active)
+            sampler.popFrame();
+    }
+    PcSampler &sampler;
+    bool active;
+};
+
 } // namespace
 
 Value
@@ -280,8 +308,11 @@ Engine::invoke(FunctionId id, Value this_value,
         checkFuel();
 
     FunctionInfo &fn = functions.at(id);
-    if (fn.builtin != BuiltinId::None)
+    if (fn.builtin != BuiltinId::None) {
+        ProfFrameScope prof(sampler, config.profiling,
+                            ProfFrameKind::Builtin, id, kNoCodeId);
         return callBuiltin(fn.builtin, this_value, args);
+    }
 
     fn.invocationCount++;
     trace.counters.add(TraceCounter::Invocations);
@@ -314,9 +345,18 @@ Engine::invoke(FunctionId id, Value this_value,
     if (traced)
         trace.emit(TraceCategory::Exec, TraceEventKind::Begin, tier,
                    totalCycles(), id, optimized ? 1 : 0);
-    Value result = optimized
-        ? runOptimized(fn, this_value, args)
-        : interpreter->callFunction(fn, this_value, args);
+    Value result;
+    {
+        // A frame that deopts mid-call keeps its Jit kind: the samples
+        // its interpreter tail collects still belong to this context.
+        ProfFrameScope prof(sampler, config.profiling,
+                            optimized ? ProfFrameKind::Jit
+                                      : ProfFrameKind::Interp,
+                            id, optimized ? fn.codeId : kNoCodeId);
+        result = optimized
+            ? runOptimized(fn, this_value, args)
+            : interpreter->callFunction(fn, this_value, args);
+    }
     if (traced)
         trace.emit(TraceCategory::Exec, TraceEventKind::End, tier,
                    totalCycles(), id, optimized ? 1 : 0);

@@ -54,6 +54,13 @@ struct EngineConfig
     bool samplerEnabled = false;
     u64 samplerPeriodCycles = 997;
 
+    /** vprof: calling-context profiling. Implies samplerEnabled; the
+     *  engine maintains a shadow call stack in the sampler and every
+     *  sample (JIT, interpreter, or runtime) lands on a CCT node. All
+     *  bookkeeping is host-side — simulated cycle counts are
+     *  bit-identical with this on or off. */
+    bool profiling = false;
+
     /** vtrace: structured tracing + metrics (see trace/trace.hh).
      *  Defaults honour VSPEC_TRACE / VSPEC_TRACE_OUT. */
     TraceConfig trace = TraceConfig::fromEnv();
@@ -165,6 +172,17 @@ class Engine : public RootProvider
 
     /** Charge @p c cycles of runtime/builtin work to the active tier. */
     void chargeCycles(u64 c);
+
+    /** Accumulate interpreter cost-model cycles. The interpreter's
+     *  single flush point; with profiling on it also advances the
+     *  sampler's interpreter-side clock. */
+    void
+    flushInterpreterCost(u64 c)
+    {
+        interpreterCycles += c;
+        if (config.profiling)
+            sampler.tickInterp(interpreterCycles);
+    }
 
     /** Dispatch a builtin. Charges its modeled cost. */
     Value callBuiltin(BuiltinId id, Value this_value,

@@ -25,6 +25,7 @@ traceCategoryName(TraceCategory c)
       case TraceCategory::Gc: return "gc";
       case TraceCategory::Exec: return "exec";
       case TraceCategory::Fault: return "fault";
+      case TraceCategory::Sample: return "sample";
       case TraceCategory::NumCategories: break;
     }
     return "?";

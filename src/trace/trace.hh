@@ -59,6 +59,7 @@ enum class TraceCategory : u8
     Gc,       //!< collection cycles
     Exec,     //!< function invocations (both tiers) — high volume
     Fault,    //!< vguard injected faults and raised engine errors
+    Sample,   //!< vprof sampler markers — very high volume
     NumCategories,
 };
 

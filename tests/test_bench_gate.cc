@@ -1,0 +1,309 @@
+/** @file Bench regression gate tests: manifest parsing, tolerance
+ *  comparison semantics, and the directory-level runBenchGate driver. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/bench_gate.hh"
+
+using namespace vspec;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+JsonValue
+parse(const std::string &text)
+{
+    JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, doc, error)) << error;
+    return doc;
+}
+
+GateEntry
+basicEntry()
+{
+    GateEntry e;
+    e.file = "c.json";
+    e.defaultTolerance = 0.05;
+    return e;
+}
+
+/** Scratch directory pair (base/, cur/) for runBenchGate tests. */
+struct GateDirs
+{
+    fs::path root, base, cur;
+
+    explicit GateDirs(const std::string &name)
+    {
+        root = fs::temp_directory_path() / ("vspec-gate-" + name);
+        fs::remove_all(root);
+        base = root / "base";
+        cur = root / "cur";
+        fs::create_directories(base);
+        fs::create_directories(cur);
+    }
+
+    ~GateDirs() { fs::remove_all(root); }
+
+    void write(const fs::path &dir, const std::string &file,
+               const std::string &text) const
+    {
+        std::ofstream out(dir / file, std::ios::trunc);
+        out << text;
+    }
+};
+
+const char *kManifest =
+    R"({"schema": "vspec-bench-gate-v1",
+        "entries": [{"file": "c.json",
+                     "default_tolerance": 0.05,
+                     "tolerances": {},
+                     "required_keys": ["schema"],
+                     "informational": false}]})";
+
+} // namespace
+
+TEST(BenchGate, ManifestParsesEntriesAndTolerances)
+{
+    JsonValue doc = parse(
+        R"({"schema": "vspec-bench-gate-v1",
+            "entries": [
+              {"file": "a.json", "default_tolerance": 0.10,
+               "tolerances": {"w.x.cycles": 0.20},
+               "required_keys": ["schema"], "informational": false},
+              {"file": "b.json", "default_tolerance": null,
+               "informational": true}]})");
+    std::vector<GateEntry> entries;
+    std::string error;
+    ASSERT_TRUE(parseGateManifest(doc, entries, error)) << error;
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].file, "a.json");
+    EXPECT_DOUBLE_EQ(entries[0].defaultTolerance, 0.10);
+    EXPECT_DOUBLE_EQ(entries[0].tolerances.at("w.x.cycles"), 0.20);
+    ASSERT_EQ(entries[0].requiredKeys.size(), 1u);
+    EXPECT_FALSE(entries[0].informational);
+    EXPECT_TRUE(entries[1].informational
+                || entries[1].defaultTolerance < 0.0);
+}
+
+TEST(BenchGate, ManifestRejectsWrongSchema)
+{
+    JsonValue doc = parse(R"({"schema": "other", "entries": []})");
+    std::vector<GateEntry> entries;
+    std::string error;
+    EXPECT_FALSE(parseGateManifest(doc, entries, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchGate, IdenticalDocumentsPass)
+{
+    JsonValue doc = parse(
+        R"({"schema": "s", "workloads": {"r": {"cycles": 1000}}})");
+    GateOutcome outcome;
+    compareGateEntry(basicEntry(), doc, doc, outcome);
+    EXPECT_TRUE(outcome.passed);
+    EXPECT_TRUE(outcome.violations.empty());
+    EXPECT_GT(outcome.keysCompared, 0u);
+}
+
+TEST(BenchGate, SmallDriftPassesLargeDriftFails)
+{
+    JsonValue base = parse(R"({"cycles": 1000})");
+    // 4% drift is inside the 5% tolerance.
+    GateOutcome ok;
+    compareGateEntry(basicEntry(), base, parse(R"({"cycles": 1040})"),
+                     ok);
+    EXPECT_TRUE(ok.passed);
+
+    // 30% drift trips the gate, in either direction.
+    GateOutcome slow;
+    compareGateEntry(basicEntry(), base, parse(R"({"cycles": 1300})"),
+                     slow);
+    EXPECT_FALSE(slow.passed);
+    ASSERT_EQ(slow.violations.size(), 1u);
+    EXPECT_EQ(slow.violations[0].key, "cycles");
+    EXPECT_DOUBLE_EQ(slow.violations[0].baseline, 1000.0);
+    EXPECT_DOUBLE_EQ(slow.violations[0].current, 1300.0);
+
+    GateOutcome fast;
+    compareGateEntry(basicEntry(), base, parse(R"({"cycles": 700})"),
+                     fast);
+    EXPECT_FALSE(fast.passed);
+}
+
+TEST(BenchGate, PerKeyToleranceOverridesDefault)
+{
+    GateEntry e = basicEntry();
+    e.tolerances["w.r.cycles"] = 0.50;  // loose for this one key
+    JsonValue base = parse(
+        R"({"w": {"r": {"cycles": 1000, "deopts": 10}}})");
+    JsonValue cur = parse(
+        R"({"w": {"r": {"cycles": 1300, "deopts": 10}}})");
+    GateOutcome outcome;
+    compareGateEntry(e, base, cur, outcome);
+    EXPECT_TRUE(outcome.passed) << gateReport(outcome);
+
+    // The same drift on a key without the override still fails.
+    JsonValue cur2 = parse(
+        R"({"w": {"r": {"cycles": 1000, "deopts": 13}}})");
+    GateOutcome outcome2;
+    compareGateEntry(e, base, cur2, outcome2);
+    EXPECT_FALSE(outcome2.passed);
+}
+
+TEST(BenchGate, ExactToleranceGuardsIntegerKeys)
+{
+    GateEntry e = basicEntry();
+    e.tolerances["iterations"] = 0.0;
+    JsonValue base = parse(R"({"iterations": 10})");
+    GateOutcome same;
+    compareGateEntry(e, base, parse(R"({"iterations": 10})"), same);
+    EXPECT_TRUE(same.passed);
+    GateOutcome diff;
+    compareGateEntry(e, base, parse(R"({"iterations": 11})"), diff);
+    EXPECT_FALSE(diff.passed);
+}
+
+TEST(BenchGate, ScaleMultipliesTolerances)
+{
+    JsonValue base = parse(R"({"cycles": 1000})");
+    JsonValue cur = parse(R"({"cycles": 1080})");  // 8% drift
+    GateOutcome strict;
+    compareGateEntry(basicEntry(), base, cur, strict, 1.0);
+    EXPECT_FALSE(strict.passed);
+    GateOutcome loose;
+    compareGateEntry(basicEntry(), base, cur, loose, 2.0);  // tol -> 10%
+    EXPECT_TRUE(loose.passed);
+}
+
+TEST(BenchGate, MissingRequiredKeyIsViolationOthersAreNotes)
+{
+    GateEntry e = basicEntry();
+    e.requiredKeys = {"schema"};
+    JsonValue base = parse(R"({"schema": "s", "extra": 5})");
+
+    // Optional key missing: reported as a note, gate still passes.
+    GateOutcome note;
+    compareGateEntry(e, base, parse(R"({"schema": "s"})"), note);
+    EXPECT_TRUE(note.passed);
+    EXPECT_FALSE(note.notes.empty());
+
+    // Required key missing: violation.
+    GateOutcome bad;
+    compareGateEntry(e, base, parse(R"({"extra": 5})"), bad);
+    EXPECT_FALSE(bad.passed);
+}
+
+TEST(BenchGate, TypeMismatchOnNumericBaselineFails)
+{
+    JsonValue base = parse(R"({"cycles": 1000})");
+    JsonValue cur = parse(R"({"cycles": "fast"})");
+    GateOutcome outcome;
+    compareGateEntry(basicEntry(), base, cur, outcome);
+    EXPECT_FALSE(outcome.passed);
+}
+
+TEST(BenchGate, InformationalEntryNeverFails)
+{
+    GateEntry e = basicEntry();
+    e.informational = true;
+    JsonValue base = parse(R"({"throughput": 100.0})");
+    JsonValue cur = parse(R"({"throughput": 5.0})");  // huge deviation
+    GateOutcome outcome;
+    compareGateEntry(e, base, cur, outcome);
+    EXPECT_TRUE(outcome.passed);
+    EXPECT_FALSE(outcome.notes.empty());  // ... but it is reported
+}
+
+TEST(BenchGate, ArraysCompareElementwise)
+{
+    JsonValue base = parse(R"({"hist": [10, 20, 30]})");
+    GateOutcome same;
+    compareGateEntry(basicEntry(), base, parse(R"({"hist": [10, 20, 30]})"),
+                     same);
+    EXPECT_TRUE(same.passed);
+    GateOutcome diff;
+    compareGateEntry(basicEntry(), base, parse(R"({"hist": [10, 90, 30]})"),
+                     diff);
+    EXPECT_FALSE(diff.passed);
+    ASSERT_FALSE(diff.violations.empty());
+    EXPECT_NE(diff.violations[0].key.find("hist"), std::string::npos);
+}
+
+TEST(BenchGate, RunBenchGateComparesDirectories)
+{
+    GateDirs dirs("run");
+    dirs.write(dirs.base, "gate.json", kManifest);
+    dirs.write(dirs.base, "c.json",
+               R"({"schema": "s", "cycles": 1000})");
+    dirs.write(dirs.cur, "c.json",
+               R"({"schema": "s", "cycles": 1010})");
+    GateOutcome outcome = runBenchGate(dirs.base.string(),
+                                       dirs.cur.string());
+    EXPECT_TRUE(outcome.passed) << gateReport(outcome);
+
+    // Now inject a 25% regression and expect a failure.
+    dirs.write(dirs.cur, "c.json",
+               R"({"schema": "s", "cycles": 1250})");
+    GateOutcome regressed = runBenchGate(dirs.base.string(),
+                                         dirs.cur.string());
+    EXPECT_FALSE(regressed.passed);
+    std::string report = gateReport(regressed);
+    EXPECT_NE(report.find("FAIL"), std::string::npos);
+    EXPECT_NE(report.find("cycles"), std::string::npos);
+}
+
+TEST(BenchGate, RunBenchGateMissingCurrentFileFails)
+{
+    GateDirs dirs("missing");
+    dirs.write(dirs.base, "gate.json", kManifest);
+    dirs.write(dirs.base, "c.json", R"({"schema": "s", "cycles": 1})");
+    GateOutcome outcome = runBenchGate(dirs.base.string(),
+                                       dirs.cur.string());
+    EXPECT_FALSE(outcome.passed);
+}
+
+TEST(BenchGate, RunBenchGateInvalidCurrentJsonFails)
+{
+    GateDirs dirs("badjson");
+    dirs.write(dirs.base, "gate.json", kManifest);
+    dirs.write(dirs.base, "c.json", R"({"schema": "s", "cycles": 1})");
+    dirs.write(dirs.cur, "c.json", "{not json");
+    GateOutcome outcome = runBenchGate(dirs.base.string(),
+                                       dirs.cur.string());
+    EXPECT_FALSE(outcome.passed);
+}
+
+TEST(BenchGate, RunBenchGateMissingManifestFails)
+{
+    GateDirs dirs("nomanifest");
+    GateOutcome outcome = runBenchGate(dirs.base.string(),
+                                       dirs.cur.string());
+    EXPECT_FALSE(outcome.passed);
+}
+
+TEST(BenchGate, CommittedBaselinesHaveValidManifest)
+{
+    // The repo's own baselines directory must always parse; CI depends
+    // on it.
+    fs::path dir = fs::path(VSPEC_TEST_SRC_DIR) / ".." / "bench"
+                   / "baselines";
+    std::ifstream in(dir / "gate.json");
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    JsonValue doc = parse(ss.str());
+    std::vector<GateEntry> entries;
+    std::string error;
+    ASSERT_TRUE(parseGateManifest(doc, entries, error)) << error;
+    EXPECT_GE(entries.size(), 1u);
+
+    // A self-compare of the committed baselines must pass the gate.
+    GateOutcome outcome = runBenchGate(dir.string(), dir.string());
+    EXPECT_TRUE(outcome.passed) << gateReport(outcome);
+}

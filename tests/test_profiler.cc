@@ -1,9 +1,13 @@
-/** @file PC sampler and check-attribution tests (§III-A methodology). */
+/** @file PC sampler, check-attribution, and vprof calling-context
+ *  profiler tests (§III-A methodology + source-line attribution). */
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "harness/experiment.hh"
 #include "profiler/attribution.hh"
+#include "profiler/profile.hh"
 #include "profiler/sampler.hh"
 #include "runtime/engine.hh"
 
@@ -42,8 +46,7 @@ makeToyCode()
 TEST(Profiler, SamplerHonorsPeriod)
 {
     PcSampler sampler;
-    sampler.period = 100;
-    sampler.nextAt = 100;
+    sampler.setPeriod(100);
     CodeObject code = makeToyCode();
     code.id = 1;
     // Tick at increasing cycles; one sample per period boundary.
@@ -142,8 +145,7 @@ function bench() {
 TEST(Profiler, SkipToConsumesPeriodsWithoutSamples)
 {
     PcSampler sampler;
-    sampler.period = 100;
-    sampler.nextAt = 100;
+    sampler.setPeriod(100);
     CodeObject code = makeToyCode();
     code.id = 9;
     sampler.tick(150, code, 0);   // 1 sample (at 100)
@@ -166,4 +168,388 @@ TEST(Profiler, BuiltinTimeIsNotAttributedToChecks)
     RunOutcome out = runWorkload(*w, rc, nullptr);
     ASSERT_TRUE(out.completed);
     EXPECT_LT(out.window.overheadFraction(), 0.10);
+}
+
+// ---------------------------------------------------------------------
+// vprof: sampler hardening, metadata snapshots, and the CCT
+// ---------------------------------------------------------------------
+
+TEST(Profiler, SetPeriodReArmsAndResetHonorsPeriod)
+{
+    PcSampler sampler;  // constructed with the default period (997)
+    sampler.setPeriod(10);
+    CodeObject code = makeToyCode();
+    code.id = 2;
+    // With the old stale-nextAt behavior this tick would not sample
+    // (nextAt would still sit at 997).
+    sampler.tick(10, code, 0);
+    EXPECT_EQ(sampler.totalSamples, 1u);
+    EXPECT_EQ(sampler.period(), 10u);
+
+    sampler.reset();
+    EXPECT_EQ(sampler.totalSamples, 0u);
+    EXPECT_EQ(sampler.histogramFor(2), nullptr);
+    // reset() must honor the configured period, not the default.
+    sampler.tick(10, code, 0);
+    EXPECT_EQ(sampler.totalSamples, 1u);
+}
+
+TEST(Profiler, MetaSnapshotSurvivesCodeDiscard)
+{
+    PcSampler sampler;
+    sampler.setPeriod(10);
+    {
+        CodeObject code = makeToyCode();
+        code.id = 7;
+        code.functionName = "toy";
+        sampler.tick(10, code, 1);  // pc 1 = condition of check 0
+    }  // the code object is gone; only the snapshot remains
+    const CodeObjectMeta *meta = sampler.metaFor(7);
+    ASSERT_NE(meta, nullptr);
+    EXPECT_EQ(meta->functionName, "toy");
+    ASSERT_EQ(meta->insts.size(), 5u);
+    const auto *hist = sampler.histogramFor(7);
+    ASSERT_NE(hist, nullptr);
+    auto gt = attributeGroundTruth(*meta, *hist);
+    EXPECT_EQ(gt.checkSamples, 1u);
+    EXPECT_EQ(
+        gt.samplesPerGroup[static_cast<size_t>(CheckGroup::NotASmi)],
+        1u);
+}
+
+TEST(Profiler, MetaAttributionMatchesLiveCodeAttribution)
+{
+    CodeObject code = makeToyCode();
+    std::vector<u64> hist = {10, 20, 5, 7, 0};
+    CodeObjectMeta meta = CodeObjectMeta::capture(code);
+    for (int w = 0; w <= 4; w++) {
+        auto live = attributeWindowHeuristic(code, hist, w);
+        auto snap = attributeWindowHeuristic(meta, hist, w);
+        EXPECT_EQ(live.checkSamples, snap.checkSamples);
+        EXPECT_EQ(live.totalSamples, snap.totalSamples);
+        EXPECT_EQ(live.samplesPerGroup, snap.samplesPerGroup);
+    }
+    auto live = attributeGroundTruth(code, hist);
+    auto snap = attributeGroundTruth(meta, hist);
+    EXPECT_EQ(live.samplesPerGroup, snap.samplesPerGroup);
+}
+
+TEST(Profiler, CctNestedCallsRecursionAndRuntime)
+{
+    PcSampler s;
+    s.setPeriod(10);
+    s.enableProfile(true);
+    CodeObject code = makeToyCode();
+    code.id = 3;
+
+    s.pushFrame(ProfFrameKind::Interp, 0, kNoCodeId);  // main
+    s.pushFrame(ProfFrameKind::Jit, 1, 3);             // f
+    s.tick(10, code, 0);                               // sample on f
+    s.pushFrame(ProfFrameKind::Jit, 1, 3);             // f -> f (recursion)
+    s.tick(20, code, 1);                               // on the check cond
+    s.popFrame();
+    s.popFrame();
+    s.pushFrame(ProfFrameKind::Builtin, 2, kNoCodeId);
+    s.skipTo(30);                                      // runtime period
+    s.popFrame();
+    s.tickInterp(10);                                  // interp clock
+    s.popFrame();
+    EXPECT_EQ(s.stackDepth(), 1u);
+
+    // root + main + f + recursive f + builtin = 5 distinct contexts.
+    const auto &nodes = s.nodes();
+    ASSERT_EQ(nodes.size(), 5u);
+    const CctNode &main_n = nodes[1];
+    const CctNode &f = nodes[2];
+    const CctNode &f_rec = nodes[3];
+    const CctNode &blt = nodes[4];
+    EXPECT_EQ(main_n.kind, ProfFrameKind::Interp);
+    EXPECT_EQ(f.parent, 1u);
+    EXPECT_EQ(f_rec.parent, 2u);  // recursion is a *child* of f
+    EXPECT_EQ(blt.parent, 1u);
+    EXPECT_EQ(f.jitSamples, 1u);
+    EXPECT_EQ(f_rec.jitSamples, 1u);
+    EXPECT_EQ(
+        f_rec.checkSamples[static_cast<size_t>(CheckGroup::NotASmi)],
+        1u);
+    EXPECT_EQ(blt.runtimeSamples, 1u);
+    EXPECT_EQ(main_n.interpSamples, 1u);
+    EXPECT_EQ(s.interpSamples, 1u);
+    EXPECT_EQ(s.runtimeSamples, 1u);
+}
+
+TEST(Profiler, CctDepthCapFoldsAndStaysSymmetric)
+{
+    PcSampler s;
+    s.enableProfile(true);
+    for (int i = 0; i < 400; i++)
+        s.pushFrame(ProfFrameKind::Jit, 1, kNoCodeId);
+    // Bounded: at most the cap's worth of nodes were created.
+    EXPECT_LE(s.nodes().size(), 300u);
+    for (int i = 0; i < 400; i++)
+        s.popFrame();
+    EXPECT_EQ(s.stackDepth(), 1u);
+    EXPECT_EQ(s.currentNode(), 0u);
+    s.popFrame();  // extra pop on the root must be a no-op
+    EXPECT_EQ(s.stackDepth(), 1u);
+}
+
+TEST(Profiler, SourcePositionsRoundTripToCodeObjects)
+{
+    EngineConfig cfg;
+    Engine engine(cfg);
+    engine.loadProgram(
+        "function bench() {\n"              // line 1
+        "  var s = 0;\n"                    // line 2
+        "  for (var i = 0; i < 32; i++) {\n"  // line 3
+        "    s = s + i;\n"                  // line 4
+        "  }\n"
+        "  return s;\n"                     // line 6
+        "}\n");
+    for (int i = 0; i < 50; i++)
+        engine.call("bench");
+    FunctionId id = engine.functions.idOf("bench");
+    ASSERT_NE(id, kInvalidFunction);
+    const FunctionInfo &fn = engine.functions.at(id);
+    ASSERT_TRUE(fn.hasCode());
+    const CodeObject &code = *engine.codeObjects.at(fn.codeId);
+
+    EXPECT_EQ(code.functionName, "bench");
+    EXPECT_EQ(code.bcPositions.size(), fn.bytecode.size());
+    std::set<i32> lines;
+    for (u32 pc = 0; pc < code.code.size(); pc++)
+        lines.insert(code.posForPc(pc).line);
+    // The loop body (the hot path) must be represented, and no
+    // instruction may map outside the function's source range.
+    EXPECT_TRUE(lines.count(3) == 1 || lines.count(4) == 1);
+    for (i32 l : lines)
+        EXPECT_LE(l, 7);
+}
+
+TEST(Profiler, ProfilingIsCycleNeutral)
+{
+    const Workload *w = findWorkload("RICHARDS");
+    ASSERT_NE(w, nullptr);
+    RunConfig off;
+    off.iterations = 8;
+    RunConfig on = off;
+    on.profiling = true;
+    RunConfig no_sampler = off;
+    no_sampler.samplerEnabled = false;
+
+    RunOutcome a = runWorkload(*w, off);
+    RunOutcome b = runWorkload(*w, on);
+    RunOutcome c = runWorkload(*w, no_sampler);
+    ASSERT_TRUE(a.completed);
+    ASSERT_TRUE(b.completed);
+    ASSERT_TRUE(c.completed);
+    // Profiling must be bit-identical in simulated time: same cycles
+    // per iteration, same totals, same results.
+    EXPECT_EQ(a.iterationCycles, b.iterationCycles);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.totalCycles, c.totalCycles);
+    ASSERT_NE(b.profile, nullptr);
+    EXPECT_GT(b.profile->totalSamples(), 0u);
+}
+
+TEST(Profiler, EndToEndCctCoversTiersAndConserves)
+{
+    const Workload *w = findWorkload("RICHARDS");
+    ASSERT_NE(w, nullptr);
+    RunConfig rc;
+    rc.iterations = 12;
+    rc.samplerPeriod = 53;
+    rc.profiling = true;
+    RunOutcome out = runWorkload(*w, rc);
+    ASSERT_TRUE(out.completed);
+    ASSERT_NE(out.profile, nullptr);
+    const Profile &p = *out.profile;
+
+    ASSERT_GT(p.cct.size(), 1u);
+    ASSERT_EQ(p.cct.size(), p.cctNames.size());
+    bool saw_jit = false, saw_interp = false;
+    u64 cct_jit = 0;
+    for (size_t i = 0; i < p.cct.size(); i++) {
+        const CctNode &n = p.cct[i];
+        if (i != 0) {
+            ASSERT_LT(n.parent, p.cct.size());
+        }
+        if (n.kind == ProfFrameKind::Jit && n.jitSamples > 0)
+            saw_jit = true;
+        if (n.kind == ProfFrameKind::Interp && n.interpSamples > 0)
+            saw_interp = true;
+        cct_jit += n.jitSamples;
+    }
+    EXPECT_TRUE(saw_jit);
+    EXPECT_TRUE(saw_interp);
+    // Conservation: every histogram sample landed on exactly one node.
+    EXPECT_EQ(cct_jit, p.jitSamples);
+}
+
+TEST(Profiler, PerLineAttributionSumsMatchFlatTotals)
+{
+    const Workload *w = findWorkload("RICHARDS");
+    ASSERT_NE(w, nullptr);
+    RunConfig rc;
+    rc.iterations = 10;
+    rc.profiling = true;
+    RunOutcome out = runWorkload(*w, rc);
+    ASSERT_TRUE(out.completed);
+    ASSERT_NE(out.profile, nullptr);
+    const Profile &p = *out.profile;
+
+    std::array<u64, kNumGroups> win_sum{}, truth_sum{};
+    u64 samples = 0;
+    for (const ProfileLine &l : p.lines) {
+        samples += l.samples;
+        for (size_t g = 0; g < kNumGroups; g++) {
+            win_sum[g] += l.windowPerGroup[g];
+            truth_sum[g] += l.truthPerGroup[g];
+        }
+    }
+    EXPECT_EQ(samples, p.jitSamples);
+    EXPECT_EQ(win_sum, p.windowAttr.samplesPerGroup);
+    EXPECT_EQ(truth_sum, p.truthAttr.samplesPerGroup);
+    // The harness's flat outcome pads only totalSamples (process
+    // accounting); per-group counts must agree exactly with the
+    // profile's.
+    EXPECT_EQ(p.windowAttr.samplesPerGroup, out.window.samplesPerGroup);
+    EXPECT_EQ(p.truthAttr.samplesPerGroup, out.truth.samplesPerGroup);
+}
+
+// ---------------------------------------------------------------------
+// vprof: exporters
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** A small hand-built profile with a three-node CCT. */
+Profile
+makeSyntheticProfile()
+{
+    Profile p;
+    p.workload = "toy";
+    p.isa = "arm64";
+    p.period = 100;
+    p.window = 2;
+    p.jitSamples = 10;
+    p.interpSamples = 5;
+    p.runtimeSamples = 1;
+    p.windowAttr.totalSamples = 10;
+    p.windowAttr.checkSamples = 4;
+    p.windowAttr.samplesPerGroup[static_cast<size_t>(CheckGroup::Smi)] =
+        4;
+    p.truthAttr.totalSamples = 10;
+    p.truthAttr.checkSamples = 3;
+    p.truthAttr.samplesPerGroup[static_cast<size_t>(CheckGroup::Smi)] =
+        3;
+
+    CctNode root;
+    root.children = {1};
+    CctNode main_n;
+    main_n.parent = 0;
+    main_n.kind = ProfFrameKind::Interp;
+    main_n.function = 0;
+    main_n.interpSamples = 5;
+    main_n.children = {2};
+    CctNode f;
+    f.parent = 1;
+    f.kind = ProfFrameKind::Jit;
+    f.function = 1;
+    f.codeId = 0;
+    f.jitSamples = 10;
+    f.runtimeSamples = 1;
+    p.cct = {root, main_n, f};
+    p.cctNames = {"root", "main", "f"};
+
+    ProfileFunction fun;
+    fun.name = "f";
+    fun.samples = 10;
+    fun.windowCheckSamples = 4;
+    fun.truthCheckSamples = 3;
+    p.functions = {fun};
+
+    ProfileLine line;
+    line.function = "f";
+    line.line = 3;
+    line.samples = 10;
+    line.windowCheckSamples = 4;
+    line.truthCheckSamples = 3;
+    line.windowPerGroup[static_cast<size_t>(CheckGroup::Smi)] = 4;
+    line.truthPerGroup[static_cast<size_t>(CheckGroup::Smi)] = 3;
+    p.lines = {line};
+    return p;
+}
+
+} // namespace
+
+TEST(Profiler, FoldedExportGolden)
+{
+    Profile p = makeSyntheticProfile();
+    EXPECT_EQ(profileToFolded(p),
+              "root;main_[i] 5\n"
+              "root;main_[i];f 11\n");
+}
+
+TEST(Profiler, JsonExportIsValidAndGolden)
+{
+    Profile p = makeSyntheticProfile();
+    std::string json = profileToJson(p);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(json, doc, error)) << error;
+    EXPECT_EQ(doc.get("schema")->string, "vspec-profile-v1");
+    EXPECT_EQ(doc.get("workload")->string, "toy");
+    EXPECT_EQ(doc.at({"samples", "total"})->asU64(), 16u);
+    EXPECT_EQ(doc.at({"samples", "jit"})->asU64(), 10u);
+    EXPECT_EQ(doc.at({"attribution", "window", "checkSamples"})->asU64(),
+              4u);
+    EXPECT_EQ(doc.at({"attribution", "truth", "groups", "SMI"})->asU64(),
+              3u);
+    ASSERT_TRUE(doc.get("cct")->isArray());
+    ASSERT_EQ(doc.get("cct")->array.size(), 3u);
+    EXPECT_EQ(doc.get("cct")->array[2].get("name")->string, "f");
+    EXPECT_EQ(doc.get("cct")->array[2].get("jit")->asU64(), 10u);
+    ASSERT_EQ(doc.get("lines")->array.size(), 1u);
+    EXPECT_EQ(doc.get("lines")->array[0].get("line")->asU64(), 3u);
+
+    // Golden prefix: the emitted header is stable (a schema change must
+    // be deliberate).
+    const std::string prefix =
+        "{\"schema\":\"vspec-profile-v1\",\"workload\":\"toy\","
+        "\"isa\":\"arm64\",\"period\":100,";
+    EXPECT_EQ(json.substr(0, prefix.size()), prefix);
+}
+
+TEST(Profiler, ProfileDiffReportsPerFunctionDeltas)
+{
+    Profile a = makeSyntheticProfile();
+    Profile b = makeSyntheticProfile();
+    b.functions[0].samples = 20;   // f doubled
+    b.lines[0].samples = 20;
+    ProfileFunction extra;
+    extra.name = "g";
+    extra.samples = 7;
+    b.functions.push_back(extra);
+
+    JsonValue ja, jb;
+    std::string error;
+    ASSERT_TRUE(parseJson(profileToJson(a), ja, error)) << error;
+    ASSERT_TRUE(parseJson(profileToJson(b), jb, error)) << error;
+    std::string report = profileDiffReport(ja, jb, error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_NE(report.find("per-function"), std::string::npos);
+    EXPECT_NE(report.find("+10 samples"), std::string::npos);
+    EXPECT_NE(report.find("~+1000 cycles"), std::string::npos);
+    EXPECT_NE(report.find("g"), std::string::npos);
+    EXPECT_NE(report.find("f:3"), std::string::npos);
+
+    // Schema mismatch is a structured error, not a crash.
+    JsonValue bogus;
+    ASSERT_TRUE(parseJson("{\"schema\":\"other\"}", bogus, error));
+    profileDiffReport(ja, bogus, error);
+    EXPECT_FALSE(error.empty());
 }

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * bench_gate: the vprof bench regression gate CLI.
+ *
+ *   bench_gate emit --out=DIR [--iters=N] [--jobs=N]
+ *       Run the workload suite deterministically (arm64 flavour) and
+ *       write bench_cycles.json (schema "vspec-bench-cycles-v1"):
+ *       per-workload simulated cycle totals. Simulated cycles are
+ *       deterministic, so these values are comparable across hosts up
+ *       to libm differences in math-heavy builtins (the default gate
+ *       tolerance absorbs them).
+ *
+ *   bench_gate compare --baselines=DIR --current=DIR [--scale=F]
+ *       Compare current outputs against checked-in baselines per the
+ *       gate.json manifest in DIR. Exit 1 on any violation.
+ *
+ *   bench_gate selftest --baselines=DIR
+ *       Prove the gate trips: copy the baseline cycles file with a 25%
+ *       injected slowdown and assert compare fails on it (and passes
+ *       on an unmodified copy).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/bench_gate.hh"
+#include "harness/experiment.hh"
+#include "harness/parallel.hh"
+#include "workloads/suite.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0, const char *bad)
+{
+    if (bad != nullptr)
+        std::fprintf(stderr, "%s: invalid argument '%s'\n", argv0, bad);
+    std::fprintf(
+        stderr,
+        "usage: %s emit --out=DIR [--iters=N] [--jobs=N]\n"
+        "       %s compare --baselines=DIR --current=DIR [--scale=F]\n"
+        "       %s selftest --baselines=DIR\n",
+        argv0, argv0, argv0);
+    std::exit(2);
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << text;
+    return out.good();
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+struct EmitCell
+{
+    bool ok = false;
+    u64 cycles = 0;
+    u64 deopts = 0;
+    u64 compilations = 0;
+};
+
+/** Deterministic per-workload cycle totals for the gate baseline. */
+std::string
+emitCyclesJson(u32 iters, u32 jobs)
+{
+    std::vector<const Workload *> ws;
+    for (const Workload &w : suite())
+        ws.push_back(&w);
+
+    auto cells = par::mapWorkloads<EmitCell>(jobs, ws,
+                                             [&](const Workload &w) {
+        EmitCell cell;
+        RunConfig rc;
+        rc.isa = IsaFlavour::Arm64Like;
+        rc.iterations = iters;
+        try {
+            RunOutcome out = runWorkload(w, rc);
+            if (out.completed) {
+                cell.ok = true;
+                cell.cycles = out.totalCycles;
+                cell.deopts = out.totalDeopts;
+                cell.compilations = out.compilations;
+            }
+        } catch (const std::exception &) {
+        }
+        return cell;
+    });
+
+    std::string out;
+    out += "{\"schema\":\"vspec-bench-cycles-v1\"";
+    out += ",\"isa\":\"arm64\"";
+    out += ",\"iterations\":" + std::to_string(iters);
+    out += ",\"workloads\":{";
+    bool first = true;
+    for (size_t i = 0; i < ws.size(); i++) {
+        if (!cells[i].ok)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(ws[i]->name) + "\":{"
+            + "\"cycles\":" + std::to_string(cells[i].cycles)
+            + ",\"deopts\":" + std::to_string(cells[i].deopts)
+            + ",\"compilations\":"
+            + std::to_string(cells[i].compilations) + "}";
+    }
+    out += "}}";
+    return out;
+}
+
+u32
+parseU32(const char *argv0, const char *flag, const char *text)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text, &end, 10);
+    if (text[0] == '\0' || end == nullptr || *end != '\0'
+        || v > 1000000000ul)
+        usage(argv0, flag);
+    return static_cast<u32>(v);
+}
+
+int
+cmdCompare(const std::string &baselines, const std::string &current,
+           double scale)
+{
+    GateOutcome outcome = runBenchGate(baselines, current, scale);
+    std::fputs(gateReport(outcome).c_str(), stdout);
+    return outcome.passed ? 0 : 1;
+}
+
+int
+cmdSelftest(const std::string &baselines)
+{
+    namespace fs = std::filesystem;
+    std::string text;
+    if (!readFile(baselines + "/bench_cycles.json", text)) {
+        std::fprintf(stderr,
+                     "bench_gate selftest: cannot read %s/"
+                     "bench_cycles.json\n",
+                     baselines.c_str());
+        return 1;
+    }
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(text, doc, error)) {
+        std::fprintf(stderr, "bench_gate selftest: baseline invalid: "
+                             "%s\n",
+                     error.c_str());
+        return 1;
+    }
+
+    fs::path tmp = fs::path(baselines) / ".." / "gate-selftest-tmp";
+    std::error_code ec;
+    fs::create_directories(tmp, ec);
+
+    // Leg 1: an identical copy must pass.
+    if (!writeFile((tmp / "bench_cycles.json").string(), text)) {
+        std::fprintf(stderr, "bench_gate selftest: cannot write tmp\n");
+        return 1;
+    }
+    GateOutcome same = runBenchGate(baselines, tmp.string());
+    if (!same.passed) {
+        std::fprintf(stderr,
+                     "bench_gate selftest: FAILED — identical copy did "
+                     "not pass:\n%s",
+                     gateReport(same).c_str());
+        return 1;
+    }
+
+    // Leg 2: a 25% slowdown on every cycles key must trip the gate.
+    // Rewrite numbers through the parsed document to keep JSON valid.
+    std::string slow;
+    {
+        std::ostringstream os;
+        os << "{\"schema\":\"vspec-bench-cycles-v1\",\"isa\":\"arm64\","
+           << "\"iterations\":";
+        const JsonValue *it = doc.get("iterations");
+        os << (it ? static_cast<u64>(it->number) : 0);
+        os << ",\"workloads\":{";
+        const JsonValue *wl = doc.get("workloads");
+        bool first = true;
+        if (wl != nullptr) {
+            for (const auto &[name, entry] : wl->object) {
+                if (!first)
+                    os << ",";
+                first = false;
+                const JsonValue *cyc = entry.get("cycles");
+                u64 slowed = cyc
+                    ? static_cast<u64>(cyc->number * 1.25) : 0;
+                const JsonValue *deopts = entry.get("deopts");
+                const JsonValue *comps = entry.get("compilations");
+                os << "\"" << jsonEscape(name) << "\":{\"cycles\":"
+                   << slowed << ",\"deopts\":"
+                   << (deopts ? deopts->asU64() : 0)
+                   << ",\"compilations\":"
+                   << (comps ? comps->asU64() : 0) << "}";
+            }
+        }
+        os << "}}";
+        slow = os.str();
+    }
+    if (!writeFile((tmp / "bench_cycles.json").string(), slow)) {
+        std::fprintf(stderr, "bench_gate selftest: cannot write tmp\n");
+        return 1;
+    }
+    GateOutcome slowed = runBenchGate(baselines, tmp.string());
+    fs::remove_all(tmp, ec);
+    if (slowed.passed) {
+        std::fprintf(stderr,
+                     "bench_gate selftest: FAILED — 25%% slowdown did "
+                     "not trip the gate\n");
+        return 1;
+    }
+    std::printf("bench_gate selftest: PASS (identical copy passes, 25%% "
+                "slowdown trips %zu violations)\n",
+                slowed.violations.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(argv[0], nullptr);
+    std::string cmd = argv[1];
+    std::string out_dir, baselines, current;
+    u32 iters = 10;
+    u32 jobs = sched::defaultJobs();
+    double scale = 1.0;
+
+    for (int i = 2; i < argc; i++) {
+        const char *a = argv[i];
+        auto val = [&](const char *prefix) -> const char * {
+            size_t n = std::strlen(prefix);
+            return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+        };
+        const char *v;
+        if ((v = val("--out="))) {
+            out_dir = v;
+        } else if ((v = val("--baselines="))) {
+            baselines = v;
+        } else if ((v = val("--current="))) {
+            current = v;
+        } else if ((v = val("--iters="))) {
+            iters = parseU32(argv[0], a, v);
+        } else if ((v = val("--jobs="))) {
+            jobs = parseU32(argv[0], a, v);
+        } else if ((v = val("--scale="))) {
+            scale = std::strtod(v, nullptr);
+            if (!(scale > 0.0))
+                usage(argv[0], a);
+        } else {
+            usage(argv[0], a);
+        }
+    }
+
+    if (cmd == "emit") {
+        if (out_dir.empty() || iters == 0)
+            usage(argv[0], nullptr);
+        std::error_code ec;
+        std::filesystem::create_directories(out_dir, ec);
+        std::string json = emitCyclesJson(iters, jobs == 0 ? 1 : jobs);
+        std::string path = out_dir + "/bench_cycles.json";
+        if (!writeFile(path, json)) {
+            std::fprintf(stderr, "bench_gate: cannot write %s\n",
+                         path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", path.c_str());
+        return 0;
+    }
+    if (cmd == "compare") {
+        if (baselines.empty() || current.empty())
+            usage(argv[0], nullptr);
+        return cmdCompare(baselines, current, scale);
+    }
+    if (cmd == "selftest") {
+        if (baselines.empty())
+            usage(argv[0], nullptr);
+        return cmdSelftest(baselines);
+    }
+    usage(argv[0], cmd.c_str());
+}

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * vspec-prof: the vprof command-line harness. Runs one workload with
+ * the calling-context profiler enabled and exports the result as
+ * profile JSON (schema "vspec-profile-v1"), folded stacks for
+ * flamegraph.pl, and/or a human-readable top-N report. Also validates
+ * emitted documents and diffs two profiles per function / per line.
+ *
+ *   vspec-prof --list
+ *   vspec-prof --workload=deltablue --profile --report
+ *   vspec-prof --workload=richards --profile --profile-out=p.json \
+ *              --folded=p.folded
+ *   vspec-prof --profile-diff a.json b.json
+ *   vspec-prof --validate p.json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "harness/experiment.hh"
+#include "profiler/profile.hh"
+#include "workloads/suite.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0, const char *bad)
+{
+    if (bad != nullptr)
+        std::fprintf(stderr, "%s: invalid argument '%s'\n", argv0, bad);
+    std::fprintf(
+        stderr,
+        "usage: %s --workload=NAME [options]\n"
+        "       %s --profile-diff BASELINE.json CURRENT.json\n"
+        "       %s --validate FILE.json\n"
+        "       %s --list\n"
+        "  --workload=NAME    workload name or tag (see --list)\n"
+        "  --iters=N          bench iterations (default 30)\n"
+        "  --size=N           problem size (default: workload default)\n"
+        "  --isa=arm64|x64    backend flavour (default arm64)\n"
+        "  --period=N         sampling period in cycles (default 211)\n"
+        "  --window=N         attribution window (default: per ISA)\n"
+        "  --profile          enable calling-context profiling\n"
+        "  --profile-out=F    write profile JSON to F\n"
+        "  --folded=F         write folded stacks to F\n"
+        "  --report           print the human-readable report\n"
+        "  --top=N            rows in the report (default 10)\n",
+        argv0, argv0, argv0, argv0);
+    std::exit(2);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << text;
+    return out.good();
+}
+
+long
+parseNum(const char *argv0, const char *flag, const char *text)
+{
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (text[0] == '\0' || end == nullptr || *end != '\0' || v < 0)
+        usage(argv0, flag);
+    return v;
+}
+
+int
+runValidate(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "vspec-prof: cannot read %s\n",
+                     path.c_str());
+        return 1;
+    }
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(text, doc, error)) {
+        std::fprintf(stderr, "vspec-prof: %s: invalid JSON: %s\n",
+                     path.c_str(), error.c_str());
+        return 1;
+    }
+    const JsonValue *schema = doc.get("schema");
+    if (!schema || schema->string != "vspec-profile-v1") {
+        std::fprintf(stderr,
+                     "vspec-prof: %s: not a vspec-profile-v1 document\n",
+                     path.c_str());
+        return 1;
+    }
+    for (const char *key : {"workload", "isa", "period", "samples",
+                            "attribution", "functions", "lines", "cct"}) {
+        if (!doc.get(key)) {
+            std::fprintf(stderr, "vspec-prof: %s: missing key '%s'\n",
+                         path.c_str(), key);
+            return 1;
+        }
+    }
+    std::printf("%s: valid vspec-profile-v1\n", path.c_str());
+    return 0;
+}
+
+int
+runDiff(const std::string &path_a, const std::string &path_b)
+{
+    std::string text_a, text_b, error;
+    if (!readFile(path_a, text_a) || !readFile(path_b, text_b)) {
+        std::fprintf(stderr, "vspec-prof: cannot read %s or %s\n",
+                     path_a.c_str(), path_b.c_str());
+        return 1;
+    }
+    JsonValue a, b;
+    if (!parseJson(text_a, a, error)
+        || !parseJson(text_b, b, error)) {
+        std::fprintf(stderr, "vspec-prof: invalid JSON: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    std::string report = profileDiffReport(a, b, error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "vspec-prof: %s\n", error.c_str());
+        return 1;
+    }
+    std::fputs(report.c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload, profile_out, folded_out;
+    u32 iters = 30, size = 0, top = 10;
+    u64 period = 211;
+    int window = -1;
+    IsaFlavour isa = IsaFlavour::Arm64Like;
+    bool profile = false, report = false, list = false;
+
+    for (int i = 1; i < argc; i++) {
+        const char *a = argv[i];
+        auto val = [&](const char *prefix) -> const char * {
+            size_t n = std::strlen(prefix);
+            return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+        };
+        const char *v;
+        if (std::strcmp(a, "--list") == 0) {
+            list = true;
+        } else if (std::strcmp(a, "--profile") == 0) {
+            profile = true;
+        } else if (std::strcmp(a, "--report") == 0) {
+            report = true;
+        } else if (std::strcmp(a, "--validate") == 0) {
+            if (i + 1 >= argc)
+                usage(argv[0], a);
+            return runValidate(argv[i + 1]);
+        } else if (std::strcmp(a, "--profile-diff") == 0) {
+            if (i + 2 >= argc)
+                usage(argv[0], a);
+            return runDiff(argv[i + 1], argv[i + 2]);
+        } else if ((v = val("--workload="))) {
+            workload = v;
+        } else if ((v = val("--profile-out="))) {
+            profile_out = v;
+        } else if ((v = val("--folded="))) {
+            folded_out = v;
+        } else if ((v = val("--iters="))) {
+            iters = static_cast<u32>(parseNum(argv[0], a, v));
+        } else if ((v = val("--size="))) {
+            size = static_cast<u32>(parseNum(argv[0], a, v));
+        } else if ((v = val("--period="))) {
+            period = static_cast<u64>(parseNum(argv[0], a, v));
+        } else if ((v = val("--window="))) {
+            window = static_cast<int>(parseNum(argv[0], a, v));
+        } else if ((v = val("--top="))) {
+            top = static_cast<u32>(parseNum(argv[0], a, v));
+        } else if ((v = val("--isa="))) {
+            if (std::strcmp(v, "arm64") == 0)
+                isa = IsaFlavour::Arm64Like;
+            else if (std::strcmp(v, "x64") == 0)
+                isa = IsaFlavour::X64Like;
+            else
+                usage(argv[0], a);
+        } else {
+            usage(argv[0], a);
+        }
+    }
+
+    if (list) {
+        for (const Workload &w : suite())
+            std::printf("%-16s %-8s %s\n", w.name.c_str(),
+                        w.tag.c_str(), categoryName(w.category));
+        return 0;
+    }
+    if (workload.empty())
+        usage(argv[0], nullptr);
+    const Workload *w = findWorkload(workload);
+    if (w == nullptr) {
+        std::fprintf(stderr, "vspec-prof: unknown workload '%s' "
+                             "(try --list)\n",
+                     workload.c_str());
+        return 1;
+    }
+
+    RunConfig rc;
+    rc.isa = isa;
+    rc.iterations = iters == 0 ? 1 : iters;
+    rc.size = size;
+    rc.samplerPeriod = period == 0 ? 1 : period;
+    rc.profiling = profile;
+    if (window < 0)
+        window = defaultWindowFor(isa);
+
+    RunOutcome out = runWorkload(*w, rc);
+    if (!out.completed) {
+        std::fprintf(stderr, "vspec-prof: run failed: %s\n",
+                     out.error.c_str());
+        return 1;
+    }
+
+    if (!profile) {
+        // Flat sampling only: print the attribution summary.
+        std::printf("%s (%s): %llu cycles, %llu samples, check overhead "
+                    "window %.2f%% / truth %.2f%%\n",
+                    w->name.c_str(), isaFlavourName(isa),
+                    static_cast<unsigned long long>(out.totalCycles),
+                    static_cast<unsigned long long>(
+                        out.window.totalSamples),
+                    100.0 * out.window.overheadFraction(),
+                    100.0 * out.truth.overheadFraction());
+        return 0;
+    }
+
+    if (out.profile == nullptr) {
+        std::fprintf(stderr, "vspec-prof: no profile was built\n");
+        return 1;
+    }
+    const Profile &p = *out.profile;
+
+    int rv = 0;
+    if (!profile_out.empty()) {
+        if (!writeFile(profile_out, profileToJson(p))) {
+            std::fprintf(stderr, "vspec-prof: cannot write %s\n",
+                         profile_out.c_str());
+            rv = 1;
+        }
+    }
+    if (!folded_out.empty()) {
+        if (!writeFile(folded_out, profileToFolded(p))) {
+            std::fprintf(stderr, "vspec-prof: cannot write %s\n",
+                         folded_out.c_str());
+            rv = 1;
+        }
+    }
+    if (report || (profile_out.empty() && folded_out.empty()))
+        std::fputs(profileReport(p, top).c_str(), stdout);
+    return rv;
+}
