@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Fig. 15 (vproof): the cost of speculation, bounded from both sides.
+ * Three-way comparison over the full suite:
+ *
+ *   baseline      — all checks in place,
+ *   speculative   — the paper's §III-B.2 safe-removal set (an unsound
+ *                   upper bound: checks deleted on the *hope* they
+ *                   never fire, validated only by checksum),
+ *   static-elim   — only checks the abstract interpreter *proved*
+ *                   redundant (sound lower bound: results are
+ *                   bit-identical by construction, enforced by the
+ *                   graph verifier's elided-check-proof invariant).
+ *
+ * Reports per-workload steady-state cycles and speedups for both
+ * removal flavours, the per-CheckGroup proven/needed/unknown
+ * classification, and the fraction of the speculative win the sound
+ * analysis recovers.
+ */
+
+#include "bench_common.hh"
+
+using namespace vspec;
+using namespace vspec::bench;
+
+namespace
+{
+
+struct Cell
+{
+    bool ok = false;
+    bool specValid = false;        //!< safe-set run kept the checksum
+    Category category = Category::Math;
+    double baseCycles = 0, specCycles = 0, soundCycles = 0;
+    u32 proven = 0, needed = 0, unknown = 0, elided = 0;
+    std::array<u32, kNumGroups> provenPerGroup{};
+    std::array<u32, kNumGroups> neededPerGroup{};
+    std::array<u32, kNumGroups> unknownPerGroup{};
+};
+
+double
+speedup(double base, double after)
+{
+    return after > 0.0 ? base / after : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv, 30, 1);
+
+    printf("Fig. 15 — sound (proof-based) vs speculative check "
+           "removal\n");
+    hr('=', 100);
+
+    for (IsaFlavour isa : {IsaFlavour::X64Like, IsaFlavour::Arm64Like}) {
+        if (isa == IsaFlavour::Arm64Like && !args.bothIsas)
+            break;
+
+        auto cells = par::mapWorkloads<Cell>(
+            args.jobs, args.selectedSuite(), [&](const Workload &w) {
+                Cell cell;
+                cell.category = w.category;
+                RunConfig base;
+                base.isa = isa;
+                base.iterations = args.iterations;
+                base.samplerEnabled = false;
+
+                RunOutcome def = runWorkload(w, base, nullptr);
+                if (!def.completed)
+                    return cell;
+
+                // Speculative leg: §III-B.2 safe-removal set.
+                RunConfig spec = base;
+                spec.removeChecks = findSafeRemovalSet(w, base);
+                RunOutcome sp =
+                    runWorkload(w, spec, &def.checksum);
+
+                // Sound leg: delete only proven-redundant checks.
+                RunConfig sound = base;
+                sound.staticElim = true;
+                RunOutcome so = runWorkload(w, sound, &def.checksum);
+                if (!sp.completed || !so.completed || !so.valid)
+                    return cell;
+
+                cell.ok = true;
+                cell.specValid = sp.valid;
+                cell.baseCycles = def.steadyStateCycles();
+                cell.specCycles = sp.steadyStateCycles();
+                cell.soundCycles = so.steadyStateCycles();
+                cell.provenPerGroup = so.provenPerGroup;
+                cell.neededPerGroup = so.neededPerGroup;
+                cell.unknownPerGroup = so.unknownPerGroup;
+                cell.elided = so.checksElided;
+                for (size_t i = 0; i < kNumGroups; i++) {
+                    cell.proven += so.provenPerGroup[i];
+                    cell.needed += so.neededPerGroup[i];
+                    cell.unknown += so.unknownPerGroup[i];
+                }
+                return cell;
+            });
+
+        printf("\n=== %s ===\n", isaName(isa));
+        printf("%-16s %12s %9s %9s %8s %8s %8s %7s\n", "workload",
+               "base-cyc", "spec-x", "sound-x", "proven", "needed",
+               "unknown", "prov%");
+        hr('-', 84);
+
+        double spec_sum = 0, sound_sum = 0;
+        u64 proven_total = 0, needed_total = 0, unknown_total = 0,
+            elided_total = 0;
+        std::array<u64, kNumGroups> g_proven{}, g_needed{}, g_unknown{};
+        int n = 0;
+        auto ws = args.selectedSuite();
+        for (size_t i = 0; i < cells.size(); i++) {
+            const Cell &cell = cells[i];
+            if (!cell.ok) {
+                printf("%-16s %12s\n", ws[i]->name.c_str(),
+                       "(failed)");
+                continue;
+            }
+            u32 total = cell.proven + cell.needed + cell.unknown;
+            double spec_x =
+                speedup(cell.baseCycles, cell.specCycles);
+            double sound_x =
+                speedup(cell.baseCycles, cell.soundCycles);
+            printf("%-16s %12.0f %8.3fx%s %8.3fx %8u %8u %8u %6.1f%%\n",
+                   ws[i]->name.c_str(), cell.baseCycles, spec_x,
+                   cell.specValid ? "" : "!", sound_x, cell.proven,
+                   cell.needed, cell.unknown,
+                   total > 0 ? 100.0 * cell.proven / total : 0.0);
+            spec_sum += spec_x;
+            sound_sum += sound_x;
+            proven_total += cell.proven;
+            needed_total += cell.needed;
+            unknown_total += cell.unknown;
+            elided_total += cell.elided;
+            for (size_t g = 0; g < kNumGroups; g++) {
+                g_proven[g] += cell.provenPerGroup[g];
+                g_needed[g] += cell.neededPerGroup[g];
+                g_unknown[g] += cell.unknownPerGroup[g];
+            }
+            n++;
+        }
+        hr('-', 84);
+        if (n > 0) {
+            double spec_mean = spec_sum / n;
+            double sound_mean = sound_sum / n;
+            printf("%-16s %12s %8.3fx %8.3fx  (sound recovers %.1f%% "
+                   "of the speculative win)\n",
+                   "MEAN", "", spec_mean, sound_mean,
+                   spec_mean > 1.0
+                       ? 100.0 * (sound_mean - 1.0) / (spec_mean - 1.0)
+                       : 0.0);
+        }
+
+        u64 classified = proven_total + needed_total + unknown_total;
+        printf("\nper-group classification (static-elim leg, %llu "
+               "checks, %llu elided):\n",
+               static_cast<unsigned long long>(classified),
+               static_cast<unsigned long long>(elided_total));
+        printf("%-12s %8s %8s %8s %7s\n", "group", "proven", "needed",
+               "unknown", "prov%");
+        hr('-', 48);
+        for (size_t g = 0; g < kNumGroups; g++) {
+            u64 gt = g_proven[g] + g_needed[g] + g_unknown[g];
+            if (gt == 0)
+                continue;
+            printf("%-12s %8llu %8llu %8llu %6.1f%%\n",
+                   checkGroupName(static_cast<CheckGroup>(g)),
+                   static_cast<unsigned long long>(g_proven[g]),
+                   static_cast<unsigned long long>(g_needed[g]),
+                   static_cast<unsigned long long>(g_unknown[g]),
+                   100.0 * static_cast<double>(g_proven[g])
+                       / static_cast<double>(gt));
+        }
+        printf("\n'!' marks a speculative run whose checksum diverged "
+               "(excluded from validity, kept for the bound);\n"
+               "the sound leg is checksum-validated on every row by "
+               "construction.\n");
+    }
+
+    printf("\ninterpretation: the gap between spec-x and sound-x is the "
+           "true cost of *speculation* — the checks a sound\n"
+           "analysis cannot discharge because only runtime feedback "
+           "(map stability, smi-ness of inputs) justifies them.\n");
+    return 0;
+}

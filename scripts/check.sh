@@ -74,6 +74,17 @@ done
     --current="$VPAR_CACHE/gate-current"
 ./build/tools/bench_gate selftest --baselines=bench/baselines
 
+echo "== pass 1g: clang-tidy over src/ir and src/verify =="
+# Data-driven by .clang-tidy (bugprone-*, performance-*, selected
+# readability checks). The container image may not ship clang-tidy;
+# CI installs it, local runs skip with a notice.
+if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    clang-tidy -p build --quiet src/ir/*.cc src/verify/*.cc
+else
+    echo "-- clang-tidy not installed; skipping (CI runs it)"
+fi
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo "== skipped sanitizer passes (--fast) =="
     exit 0

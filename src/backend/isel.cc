@@ -1314,6 +1314,10 @@ void
 CodeGenerator::emitNode(BlockId b, ValueId id, const IrNode &n)
 {
     curBcOff = n.bcOff;
+    if (n.isCheck()) {
+        emitCheckNode(id, n);
+        return;
+    }
     switch (n.op) {
       case IrOp::Param:
       case IrOp::Phi:
@@ -1450,10 +1454,7 @@ CodeGenerator::emitNode(BlockId b, ValueId id, const IrNode &n)
         return;
       }
 
-      case IrOp::CheckSmi: case IrOp::CheckHeapObject: case IrOp::CheckMap:
-      case IrOp::CheckBounds: case IrOp::CheckValue:
-        emitCheckNode(id, n);
-        return;
+      // Checks are dispatched through IrNode::isCheck() above.
 
       case IrOp::LoadField: case IrOp::LoadFieldRaw: case IrOp::StoreField:
       case IrOp::StoreFieldRaw: case IrOp::LoadElem32:

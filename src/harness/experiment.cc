@@ -44,6 +44,7 @@ engineConfigFor(const RunConfig &rc)
         : (rc.isa == IsaFlavour::X64Like ? CpuConfig::x64Server()
                                          : CpuConfig::arm64Server());
     cfg.passes.removeGroup = rc.removeChecks;
+    cfg.passes.staticElim = rc.staticElim;
     cfg.passes.verifyLevel = rc.verifyLevel;
     cfg.removeDeoptBranches = rc.removeBranchesOnly;
     cfg.smiLoadExtension = rc.smiExtension;
@@ -100,6 +101,13 @@ runWorkload(const Workload &w, const RunConfig &rc,
         out.interpreterCycles = engine.interpreterCycles;
         out.totalCycles = engine.totalCycles();
         out.compilations = engine.compilations;
+
+        // vproof: classification totals + per-(function, line) audit.
+        out.provenPerGroup = engine.proofStats.proven;
+        out.neededPerGroup = engine.proofStats.needed;
+        out.unknownPerGroup = engine.proofStats.unknown;
+        out.checksElided = engine.proofStats.elided;
+        out.checkAudit = engine.checkAudit;
 
         out.traceTotalDeopts = engine.trace.counters.totalDeopts();
         out.traceCompilations =

@@ -34,6 +34,11 @@ struct RunConfig
     bool removeBranchesOnly = false;
     bool smiExtension = false;
     bool mapCheckExtension = false;  //!< §VII ablation
+
+    /** vproof static-elim: delete only checks the abstract interpreter
+     *  proved redundant. Sound — results are bit-identical to baseline
+     *  (unlike removeChecks, the unsound upper bound). */
+    bool staticElim = false;
     bool samplerEnabled = true;
     bool enableOptimization = true;
     u64 samplerPeriod = 211;       //!< fine-grained: small workloads
@@ -115,6 +120,15 @@ struct RunOutcome
     u64 staticChecks = 0;
     u64 staticInstructions = 0;
     u64 compilations = 0;
+
+    /** vproof: ProveChecks classification totals per CheckGroup
+     *  (summed over every compile) and the per-(function, line)
+     *  audit rows. */
+    std::array<u32, kNumGroups> provenPerGroup{};
+    std::array<u32, kNumGroups> neededPerGroup{};
+    std::array<u32, kNumGroups> unknownPerGroup{};
+    u32 checksElided = 0;
+    std::vector<CheckAuditEntry> checkAudit;
 
     /** vtrace counter snapshot at the end of the run (always filled;
      *  counters are active even with event categories disabled). */

@@ -1,0 +1,884 @@
+#include "ir/absint.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace vspec
+{
+
+// --------------------------------------------------------------------
+// Lattice algebra
+// --------------------------------------------------------------------
+
+TagFact
+joinTag(TagFact a, TagFact b)
+{
+    if (a == TagFact::Bottom)
+        return b;
+    if (b == TagFact::Bottom)
+        return a;
+    return a == b ? a : TagFact::Top;
+}
+
+TagFact
+meetTag(TagFact a, TagFact b)
+{
+    if (a == TagFact::Top)
+        return b;
+    if (b == TagFact::Top)
+        return a;
+    return a == b ? a : TagFact::Bottom;
+}
+
+RangeFact
+joinRange(const RangeFact &a, const RangeFact &b)
+{
+    if (a.isBottom())
+        return b;
+    if (b.isBottom())
+        return a;
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+RangeFact
+meetRange(const RangeFact &a, const RangeFact &b)
+{
+    RangeFact r{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+    return r.isBottom() ? RangeFact::bottom() : r;
+}
+
+RangeFact
+widenRange(const RangeFact &prev, const RangeFact &next)
+{
+    if (prev.isBottom())
+        return next;
+    if (next.isBottom())
+        return prev;
+    RangeFact r;
+    r.lo = next.lo < prev.lo ? RangeFact::kMin : prev.lo;
+    r.hi = next.hi > prev.hi ? RangeFact::kMax : prev.hi;
+    return r;
+}
+
+MapFact
+joinMaps(const MapFact &a, const MapFact &b)
+{
+    if (a.top || b.top)
+        return MapFact::topFact();
+    MapFact r;
+    r.top = false;
+    std::set_union(a.maps.begin(), a.maps.end(), b.maps.begin(),
+                   b.maps.end(), std::back_inserter(r.maps));
+    return r;
+}
+
+MapFact
+meetMaps(const MapFact &a, const MapFact &b)
+{
+    if (a.top)
+        return b;
+    if (b.top)
+        return a;
+    MapFact r;
+    r.top = false;
+    std::set_intersection(a.maps.begin(), a.maps.end(), b.maps.begin(),
+                          b.maps.end(), std::back_inserter(r.maps));
+    return r;
+}
+
+ConstFact
+joinConst(const ConstFact &a, const ConstFact &b)
+{
+    if (a.isBottom())
+        return b;
+    if (b.isBottom())
+        return a;
+    if (a.isKnown() && b.isKnown() && a.bits == b.bits)
+        return a;
+    return ConstFact::top();
+}
+
+ConstFact
+meetConst(const ConstFact &a, const ConstFact &b)
+{
+    if (a.isTop())
+        return b;
+    if (b.isTop())
+        return a;
+    if (a.isKnown() && b.isKnown() && a.bits == b.bits)
+        return a;
+    return ConstFact::bottom();
+}
+
+AbsValue
+joinValue(const AbsValue &a, const AbsValue &b)
+{
+    AbsValue r;
+    r.tag = joinTag(a.tag, b.tag);
+    r.maps = joinMaps(a.maps, b.maps);
+    r.range = joinRange(a.range, b.range);
+    r.cst = joinConst(a.cst, b.cst);
+    return r;
+}
+
+AbsValue
+meetValue(const AbsValue &a, const AbsValue &b)
+{
+    AbsValue r;
+    r.tag = meetTag(a.tag, b.tag);
+    r.maps = meetMaps(a.maps, b.maps);
+    r.range = meetRange(a.range, b.range);
+    r.cst = meetConst(a.cst, b.cst);
+    return r;
+}
+
+AbsValue
+widenValue(const AbsValue &prev, const AbsValue &next)
+{
+    AbsValue r;
+    r.tag = joinTag(prev.tag, next.tag);
+    r.maps = joinMaps(prev.maps, next.maps);
+    r.range = widenRange(prev.range, next.range);
+    r.cst = joinConst(prev.cst, next.cst);
+    return r;
+}
+
+namespace
+{
+
+/** ⊥ for the optimistic structural fixpoint (unvisited values). */
+AbsValue
+bottomValue()
+{
+    AbsValue v;
+    v.tag = TagFact::Bottom;
+    v.maps = MapFact::bottomFact();
+    v.range = RangeFact::bottom();
+    v.cst = ConstFact::bottom();
+    return v;
+}
+
+RangeFact
+addRanges(const RangeFact &a, const RangeFact &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return RangeFact::bottom();
+    return {a.lo + b.lo, a.hi + b.hi};
+}
+
+RangeFact
+subRanges(const RangeFact &a, const RangeFact &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return RangeFact::bottom();
+    return {a.lo - b.hi, a.hi - b.lo};
+}
+
+RangeFact
+mulRanges(const RangeFact &a, const RangeFact &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return RangeFact::bottom();
+    i64 p0 = a.lo * b.lo, p1 = a.lo * b.hi;
+    i64 p2 = a.hi * b.lo, p3 = a.hi * b.hi;
+    return {std::min(std::min(p0, p1), std::min(p2, p3)),
+            std::max(std::max(p0, p1), std::max(p2, p3))};
+}
+
+/** Checked arithmetic deopts instead of producing out-of-SMI results;
+ *  unchecked arithmetic wraps, so an interval that escapes i32 is ⊤. */
+RangeFact
+clampArith(const RangeFact &r, bool checked)
+{
+    if (checked)
+        return meetRange(r, RangeFact::smi());
+    if (r.isBottom() || (r.lo >= RangeFact::kMin && r.hi <= RangeFact::kMax))
+        return r;
+    return RangeFact::top();
+}
+
+Cond
+negateCond(Cond c)
+{
+    switch (c) {
+      case Cond::Eq: return Cond::Ne;
+      case Cond::Ne: return Cond::Eq;
+      case Cond::Lt: return Cond::Ge;
+      case Cond::Ge: return Cond::Lt;
+      case Cond::Le: return Cond::Gt;
+      case Cond::Gt: return Cond::Le;
+      case Cond::Lo: return Cond::Hs;
+      case Cond::Hs: return Cond::Lo;
+      case Cond::Ls: return Cond::Hi;
+      case Cond::Hi: return Cond::Ls;
+      default: return Cond::Al; // no refinement for the rest
+    }
+}
+
+Refinement
+joinRefinement(const Refinement &a, const Refinement &b)
+{
+    Refinement r;
+    if (a.tagOrigin != kNoValue && a.tagOrigin == b.tagOrigin) {
+        r.tag = joinTag(a.tag, b.tag);
+        r.tagOrigin = r.tag == TagFact::Top ? kNoValue : a.tagOrigin;
+        if (r.tagOrigin == kNoValue)
+            r.tag = TagFact::Top;
+    }
+    if (a.mapOrigin != kNoValue && a.mapOrigin == b.mapOrigin) {
+        r.maps = joinMaps(a.maps, b.maps);
+        r.mapOrigin = r.maps.isTop() ? kNoValue : a.mapOrigin;
+        if (r.mapOrigin == kNoValue)
+            r.maps = MapFact::topFact();
+    }
+    if (a.rangeOrigin != kNoValue && a.rangeOrigin == b.rangeOrigin) {
+        r.range = joinRange(a.range, b.range);
+        r.rangeOrigin = r.range.isTop() ? kNoValue : a.rangeOrigin;
+        if (r.rangeOrigin == kNoValue)
+            r.range = RangeFact::top();
+    }
+    if (a.cstOrigin != kNoValue && a.cstOrigin == b.cstOrigin) {
+        r.cst = joinConst(a.cst, b.cst);
+        r.cstOrigin = r.cst.isKnown() ? a.cstOrigin : kNoValue;
+        if (r.cstOrigin == kNoValue)
+            r.cst = ConstFact::top();
+    }
+    if (a.sameAs != kNoValue && a.sameAs == b.sameAs
+        && a.sameOrigin == b.sameOrigin) {
+        r.sameAs = a.sameAs;
+        r.sameOrigin = a.sameOrigin;
+    }
+    return r;
+}
+
+} // namespace
+
+AbsState
+joinState(const AbsState &a, const AbsState &b)
+{
+    AbsState out;
+    for (const auto &[key, ra] : a.refine) {
+        auto it = b.refine.find(key);
+        if (it == b.refine.end())
+            continue;
+        Refinement j = joinRefinement(ra, it->second);
+        if (!j.isTop())
+            out.refine.emplace(key, std::move(j));
+    }
+    for (const auto &[key, check] : a.boundsPassed) {
+        auto it = b.boundsPassed.find(key);
+        if (it != b.boundsPassed.end() && it->second == check)
+            out.boundsPassed.emplace(key, check);
+    }
+    for (const auto &[key, load] : a.availLoads) {
+        auto it = b.availLoads.find(key);
+        if (it != b.availLoads.end() && it->second == load)
+            out.availLoads.emplace(key, load);
+    }
+    return out;
+}
+
+// --------------------------------------------------------------------
+// AbsInterpreter
+// --------------------------------------------------------------------
+
+AbsInterpreter::AbsInterpreter(const Graph &g) : g_(g), dom_(g) {}
+
+void
+AbsInterpreter::run()
+{
+    computeStructural();
+    runFlow();
+}
+
+const AbsState &
+AbsInterpreter::entryState(BlockId b) const
+{
+    if (b < entry_.size() && seeded_[b])
+        return entry_[b];
+    return empty_;
+}
+
+bool
+AbsInterpreter::blockReachable(BlockId b) const
+{
+    return dom_.reachable(b);
+}
+
+ValueId
+AbsInterpreter::underlying(ValueId v) const
+{
+    for (int guard = 0; guard < 64; guard++) {
+        const IrNode &n = g_.node(v);
+        if (n.dead && !n.inputs.empty()) {
+            v = n.inputs[0]; // dead passthrough (short-circuited check)
+            continue;
+        }
+        if (!n.dead && n.isCheck()) {
+            v = n.inputs[0]; // live check: value passthrough
+            continue;
+        }
+        break;
+    }
+    return v;
+}
+
+ValueId
+AbsInterpreter::canon(const AbsState &s, ValueId v) const
+{
+    ValueId u = underlying(v);
+    for (int guard = 0; guard < 16; guard++) {
+        auto it = s.refine.find(u);
+        if (it == s.refine.end() || it->second.sameAs == kNoValue)
+            break;
+        u = underlying(it->second.sameAs);
+    }
+    return u;
+}
+
+// ----- phase 1: structural facts ------------------------------------
+
+AbsValue
+AbsInterpreter::structuralOf(ValueId id) const
+{
+    const IrNode &n = g_.node(id);
+    // Read an input's fact through dead passthroughs (but not through
+    // live checks — a check node's own sval carries its constraint).
+    auto in = [&](size_t i) -> const AbsValue & {
+        ValueId v = n.inputs.at(i);
+        for (int guard = 0; guard < 64; guard++) {
+            const IrNode &d = g_.node(v);
+            if (!d.dead || d.inputs.empty())
+                break;
+            v = d.inputs[0];
+        }
+        return sval_[v];
+    };
+    auto inNode = [&](size_t i) -> const IrNode & {
+        ValueId v = n.inputs.at(i);
+        for (int guard = 0; guard < 64; guard++) {
+            const IrNode &d = g_.node(v);
+            if (!d.dead || d.inputs.empty())
+                break;
+            v = d.inputs[0];
+        }
+        return g_.node(v);
+    };
+
+    AbsValue r;
+    switch (n.op) {
+      case IrOp::ConstI32:
+        r.range = RangeFact::constant(n.imm);
+        break;
+      case IrOp::ConstTagged: {
+        r.cst = ConstFact::known(n.imm);
+        bool smi = (n.imm & 1) == 0;
+        r.tag = smi ? TagFact::Smi : TagFact::Heap;
+        if (smi)
+            r.range = RangeFact::constant(static_cast<i32>(n.imm) >> 1);
+        break;
+      }
+      case IrOp::Phi: {
+        AbsValue acc = bottomValue();
+        for (size_t i = 0; i < n.inputs.size(); i++)
+            acc = joinValue(acc, in(i));
+        r = acc;
+        break;
+      }
+      case IrOp::I32Add:
+        r.range = clampArith(addRanges(in(0).range, in(1).range),
+                             n.checked);
+        break;
+      case IrOp::I32Sub:
+        r.range = clampArith(subRanges(in(0).range, in(1).range),
+                             n.checked);
+        break;
+      case IrOp::I32Mul:
+        r.range = clampArith(mulRanges(in(0).range, in(1).range),
+                             n.checked);
+        break;
+      case IrOp::I32Div:
+      case IrOp::I32Shl:
+        if (n.checked)
+            r.range = RangeFact::smi();
+        break;
+      case IrOp::I32Mod: {
+        const RangeFact &rhs = in(1).range;
+        if (rhs.isConstant() && rhs.lo > 0) {
+            i64 m = rhs.lo - 1;
+            r.range = in(0).range.lo >= 0 ? RangeFact::of(0, m)
+                                          : RangeFact::of(-m, m);
+        }
+        if (n.checked)
+            r.range = meetRange(r.range, RangeFact::smi());
+        break;
+      }
+      case IrOp::I32Neg: {
+        const RangeFact &a = in(0).range;
+        if (!a.isBottom())
+            r.range = clampArith(RangeFact::of(-a.hi, -a.lo), n.checked);
+        else if (n.checked)
+            r.range = RangeFact::smi();
+        break;
+      }
+      case IrOp::I32And: {
+        const RangeFact &a = in(0).range;
+        const RangeFact &b = in(1).range;
+        if (b.isConstant() && b.lo >= 0)
+            r.range = RangeFact::of(0, b.lo);
+        else if (a.isConstant() && a.lo >= 0)
+            r.range = RangeFact::of(0, a.lo);
+        else if (!a.isBottom() && !b.isBottom() && a.lo >= 0 && b.lo >= 0)
+            r.range = RangeFact::of(0, std::min(a.hi, b.hi));
+        break;
+      }
+      case IrOp::I32Sar: {
+        const RangeFact &a = in(0).range;
+        const RangeFact &k = in(1).range;
+        if (!a.isBottom() && a.lo >= 0 && k.isConstant() && k.lo >= 0
+            && k.lo <= 31)
+            r.range = RangeFact::of(a.lo >> k.lo, a.hi >> k.lo);
+        break;
+      }
+      case IrOp::I32Shr: {
+        const RangeFact &k = in(1).range;
+        if (k.isConstant() && k.lo >= 1 && k.lo <= 31)
+            r.range = RangeFact::of(0, 0xffffffffll >> k.lo);
+        break;
+      }
+      case IrOp::I32Compare:
+      case IrOp::F64Compare:
+      case IrOp::TaggedEqual:
+      case IrOp::F64ToBool:
+      case IrOp::I32ToBool:
+      case IrOp::BoolNot:
+      case IrOp::ToBooleanOp:
+        r.range = RangeFact::of(0, 1);
+        break;
+      case IrOp::TagSmi:
+        r.tag = TagFact::Smi;
+        r.range = meetRange(in(0).range, RangeFact::smi());
+        break;
+      case IrOp::UntagSmi:
+        r.range = meetRange(in(0).range, RangeFact::smi());
+        break;
+      case IrOp::LoadFieldSmiUntag:
+      case IrOp::LoadElemSmiUntag:
+        r.range = RangeFact::smi();
+        break;
+      case IrOp::CheckSmi:
+        r = in(0);
+        r.tag = meetTag(r.tag, TagFact::Smi);
+        r.range = meetRange(r.range, RangeFact::smi());
+        r.maps = MapFact::topFact(); // map facts are never structural
+        break;
+      case IrOp::CheckHeapObject:
+      case IrOp::CheckMap:
+        r = in(0);
+        r.tag = meetTag(r.tag, TagFact::Heap);
+        r.maps = MapFact::topFact();
+        break;
+      case IrOp::CheckValue: {
+        r = in(0);
+        r.cst = meetConst(r.cst, ConstFact::known(n.imm));
+        bool smi = (n.imm & 1) == 0;
+        r.tag = meetTag(r.tag, smi ? TagFact::Smi : TagFact::Heap);
+        if (smi)
+            r.range = meetRange(
+                r.range,
+                RangeFact::constant(static_cast<i32>(n.imm) >> 1));
+        r.maps = MapFact::topFact();
+        break;
+      }
+      case IrOp::CheckBounds:
+        r = in(0);
+        r.range = meetRange(r.range, RangeFact::of(0, RangeFact::kMax));
+        r.maps = MapFact::topFact();
+        break;
+      default:
+        (void)inNode;
+        break; // fresh sources and everything else: ⊤
+    }
+    return r;
+}
+
+void
+AbsInterpreter::computeStructural()
+{
+    size_t n = g_.nodes.size();
+    sval_.assign(n, bottomValue());
+    // Optimistic ascending fixpoint; only phi back-edge inputs create
+    // forward references. Widening from round 4 forces induction
+    // variable ranges to stabilize while keeping stable bounds.
+    size_t cap = n + 16;
+    bool changed = true;
+    for (size_t round = 1; changed && round <= cap; round++) {
+        changed = false;
+        for (ValueId id = 0; id < n; id++) {
+            AbsValue next = structuralOf(id);
+            if (g_.node(id).op == IrOp::Phi) {
+                next = joinValue(sval_[id], next);
+                if (round >= 4)
+                    next = widenValue(sval_[id], next);
+            }
+            if (!(next == sval_[id])) {
+                sval_[id] = next;
+                changed = true;
+            }
+        }
+    }
+    if (changed) {
+        // Belt and braces: the cap fired; flatten phis and settle once.
+        for (ValueId id = 0; id < n; id++)
+            if (g_.node(id).op == IrOp::Phi)
+                sval_[id] = AbsValue::top();
+        for (ValueId id = 0; id < n; id++)
+            if (g_.node(id).op != IrOp::Phi)
+                sval_[id] = structuralOf(id);
+    }
+}
+
+// ----- phase 2: flow-sensitive refinements --------------------------
+
+void
+AbsInterpreter::setTag(AbsState &s, ValueId key, TagFact t,
+                       ValueId origin) const
+{
+    Refinement &r = s.refine[key];
+    TagFact nt = meetTag(r.tag, t);
+    if (nt != r.tag) {
+        r.tag = nt;
+        r.tagOrigin = origin;
+    }
+}
+
+void
+AbsInterpreter::meetRangeAt(AbsState &s, ValueId key, const RangeFact &rr,
+                            ValueId origin) const
+{
+    // Only record a refinement when it tightens the effective range —
+    // keeps premises minimal (structural facts need no premise).
+    RangeFact structural =
+        key < sval_.size() ? sval_[key].range : RangeFact::top();
+    auto it = s.refine.find(key);
+    RangeFact current = structural;
+    if (it != s.refine.end())
+        current = meetRange(current, it->second.range);
+    RangeFact target = meetRange(current, rr);
+    if (target == current)
+        return;
+    Refinement &r = s.refine[key];
+    r.range = meetRange(r.range, rr);
+    r.rangeOrigin = origin;
+}
+
+void
+AbsInterpreter::killMapFacts(AbsState &s) const
+{
+    for (auto it = s.refine.begin(); it != s.refine.end();) {
+        if (!it->second.maps.isTop()) {
+            it->second.maps = MapFact::topFact();
+            it->second.mapOrigin = kNoValue;
+        }
+        if (it->second.isTop())
+            it = s.refine.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+AbsInterpreter::transfer(AbsState &s, ValueId id) const
+{
+    const IrNode &n = g_.node(id);
+    if (n.dead)
+        return;
+    switch (n.op) {
+      case IrOp::CheckSmi: {
+        ValueId key = canon(s, n.inputs[0]);
+        setTag(s, key, TagFact::Smi, id);
+        meetRangeAt(s, key, RangeFact::smi(), id);
+        break;
+      }
+      case IrOp::CheckHeapObject:
+        setTag(s, canon(s, n.inputs[0]), TagFact::Heap, id);
+        break;
+      case IrOp::CheckMap: {
+        ValueId key = canon(s, n.inputs[0]);
+        setTag(s, key, TagFact::Heap, id);
+        Refinement &r = s.refine[key];
+        r.maps = MapFact::exactly(static_cast<u32>(n.imm));
+        r.mapOrigin = id;
+        break;
+      }
+      case IrOp::CheckValue: {
+        ValueId key = canon(s, n.inputs[0]);
+        bool smi = (n.imm & 1) == 0;
+        setTag(s, key, smi ? TagFact::Smi : TagFact::Heap, id);
+        Refinement &r = s.refine[key];
+        r.cst = meetConst(r.cst, ConstFact::known(n.imm));
+        r.cstOrigin = id;
+        if (smi)
+            meetRangeAt(
+                s, key,
+                RangeFact::constant(static_cast<i32>(n.imm) >> 1), id);
+        break;
+      }
+      case IrOp::CheckBounds: {
+        ValueId ci = canon(s, n.inputs[0]);
+        ValueId cl = canon(s, n.inputs[1]);
+        s.boundsPassed[{ci, cl}] = id;
+        // 0 <= index < length: refine both sides (value-based facts).
+        RangeFact rl = query(s, cl).fact.range;
+        i64 hi = rl.isBottom() ? RangeFact::kMax - 1 : rl.hi - 1;
+        meetRangeAt(s, ci, RangeFact::of(0, hi), id);
+        RangeFact ri = query(s, ci).fact.range;
+        i64 lo = ri.isBottom() ? 1 : std::max<i64>(ri.lo, 0) + 1;
+        meetRangeAt(s, cl, RangeFact::of(lo, RangeFact::kMax), id);
+        break;
+      }
+      case IrOp::LoadField:
+      case IrOp::LoadFieldRaw:
+      case IrOp::LoadGlobal:
+      case IrOp::LoadElem32:
+      case IrOp::LoadElemF64:
+      case IrOp::LoadFieldSmiUntag:
+      case IrOp::LoadElemSmiUntag: {
+        ValueId in0 =
+            n.inputs.size() > 0 ? canon(s, n.inputs[0]) : kNoValue;
+        ValueId in1 =
+            n.inputs.size() > 1 ? canon(s, n.inputs[1]) : kNoValue;
+        auto key = std::make_tuple(static_cast<u8>(n.op), in0, in1, n.imm);
+        auto it = s.availLoads.find(key);
+        if (it != s.availLoads.end() && it->second != id) {
+            // Same location, no intervening clobber: same value. Once
+            // true on every path here, it is true forever (SSA values
+            // are immutable), so it is safe to use as an equivalence.
+            Refinement &r = s.refine[id];
+            r.sameAs = it->second;
+            r.sameOrigin = id;
+        } else {
+            s.availLoads[key] = id;
+        }
+        break;
+      }
+      case IrOp::StoreField:
+      case IrOp::StoreFieldRaw:
+      case IrOp::StoreElem32:
+      case IrOp::StoreElemF64:
+      case IrOp::StoreGlobal:
+        s.availLoads.clear();
+        killMapFacts(s);
+        break;
+      case IrOp::CallRuntime:
+      case IrOp::CallFunction:
+        // Calls can run arbitrary code: clobber memory facts. Value-
+        // based facts (tag/range/const/bounds pairs) survive.
+        s.availLoads.clear();
+        killMapFacts(s);
+        break;
+      default:
+        break;
+    }
+}
+
+FactQuery
+AbsInterpreter::query(const AbsState &s, ValueId v) const
+{
+    FactQuery q;
+    ValueId u = underlying(v);
+    for (int guard = 0; guard < 16; guard++) {
+        const AbsValue &sv = sval_[u];
+        TagFact nt = meetTag(q.fact.tag, sv.tag);
+        if (nt != q.fact.tag) {
+            q.fact.tag = nt;
+            q.tagPremise = u;
+        }
+        RangeFact nr = meetRange(q.fact.range, sv.range);
+        if (!(nr == q.fact.range)) {
+            q.fact.range = nr;
+            q.rangePremise = u;
+        }
+        ConstFact nc = meetConst(q.fact.cst, sv.cst);
+        if (!(nc == q.fact.cst)) {
+            q.fact.cst = nc;
+            q.cstPremise = u;
+        }
+
+        auto it = s.refine.find(u);
+        if (it == s.refine.end())
+            break;
+        const Refinement &r = it->second;
+        nt = meetTag(q.fact.tag, r.tag);
+        if (nt != q.fact.tag) {
+            q.fact.tag = nt;
+            q.tagPremise = r.tagOrigin;
+        }
+        MapFact nm = meetMaps(q.fact.maps, r.maps);
+        if (!(nm == q.fact.maps)) {
+            q.fact.maps = nm;
+            q.mapPremise = r.mapOrigin;
+        }
+        nr = meetRange(q.fact.range, r.range);
+        if (!(nr == q.fact.range)) {
+            q.fact.range = nr;
+            q.rangePremise = r.rangeOrigin;
+        }
+        nc = meetConst(q.fact.cst, r.cst);
+        if (!(nc == q.fact.cst)) {
+            q.fact.cst = nc;
+            q.cstPremise = r.cstOrigin;
+        }
+        if (r.sameAs == kNoValue)
+            break;
+        q.chainPremises.push_back(r.sameOrigin);
+        u = underlying(r.sameAs);
+    }
+    return q;
+}
+
+void
+AbsInterpreter::applyCompare(AbsState &s, ValueId cmpId, bool holds) const
+{
+    const IrNode &n = g_.node(cmpId);
+    Cond c = holds ? n.cond : negateCond(n.cond);
+    ValueId ca = canon(s, n.inputs[0]);
+    ValueId cb = canon(s, n.inputs[1]);
+    RangeFact ra = query(s, ca).fact.range;
+    RangeFact rb = query(s, cb).fact.range;
+    if (ra.isBottom() || rb.isBottom())
+        return;
+    switch (c) {
+      case Cond::Lt:
+        meetRangeAt(s, ca, RangeFact::of(RangeFact::kMin, rb.hi - 1),
+                    cmpId);
+        meetRangeAt(s, cb, RangeFact::of(ra.lo + 1, RangeFact::kMax),
+                    cmpId);
+        break;
+      case Cond::Le:
+        meetRangeAt(s, ca, RangeFact::of(RangeFact::kMin, rb.hi), cmpId);
+        meetRangeAt(s, cb, RangeFact::of(ra.lo, RangeFact::kMax), cmpId);
+        break;
+      case Cond::Gt:
+        meetRangeAt(s, ca, RangeFact::of(rb.lo + 1, RangeFact::kMax),
+                    cmpId);
+        meetRangeAt(s, cb, RangeFact::of(RangeFact::kMin, ra.hi - 1),
+                    cmpId);
+        break;
+      case Cond::Ge:
+        meetRangeAt(s, ca, RangeFact::of(rb.lo, RangeFact::kMax), cmpId);
+        meetRangeAt(s, cb, RangeFact::of(RangeFact::kMin, ra.hi), cmpId);
+        break;
+      case Cond::Eq:
+        meetRangeAt(s, ca, rb, cmpId);
+        meetRangeAt(s, cb, ra, cmpId);
+        break;
+      case Cond::Lo:
+        // a <u b with b provably non-negative implies 0 <= a < b.
+        if (rb.lo >= 0)
+            meetRangeAt(s, ca, RangeFact::of(0, rb.hi - 1), cmpId);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+AbsInterpreter::refineEdge(AbsState &s, BlockId from, bool takenTrue) const
+{
+    const BasicBlock &blk = g_.block(from);
+    if (blk.nodes.empty())
+        return;
+    const IrNode &term = g_.node(blk.nodes.back());
+    if (term.op != IrOp::Branch || term.inputs.empty())
+        return;
+    ValueId c = term.inputs[0];
+    bool sense = takenTrue;
+    for (int guard = 0; guard < 16; guard++) {
+        const IrNode &cn = g_.node(c);
+        if (cn.dead && !cn.inputs.empty()) {
+            c = cn.inputs[0];
+            continue;
+        }
+        if (!cn.dead && cn.op == IrOp::BoolNot) {
+            sense = !sense;
+            c = cn.inputs[0];
+            continue;
+        }
+        break;
+    }
+    const IrNode &cn = g_.node(c);
+    if (!cn.dead && cn.op == IrOp::I32Compare)
+        applyCompare(s, c, sense);
+}
+
+void
+AbsInterpreter::runFlow()
+{
+    size_t nblocks = g_.blocks.size();
+    entry_.assign(nblocks, AbsState{});
+    seeded_.assign(nblocks, false);
+    if (nblocks == 0)
+        return;
+    seeded_[0] = true;
+
+    std::deque<BlockId> wl;
+    std::vector<bool> queued(nblocks, false);
+    wl.push_back(0);
+    queued[0] = true;
+
+    u64 pops = 0;
+    u64 cap = 64 * static_cast<u64>(nblocks) + 256;
+    while (!wl.empty()) {
+        if (++pops > cap) {
+            converged_ = false;
+            break;
+        }
+        BlockId b = wl.front();
+        wl.pop_front();
+        queued[b] = false;
+
+        AbsState s = entry_[b];
+        const BasicBlock &blk = g_.block(b);
+        for (ValueId id : blk.nodes)
+            transfer(s, id);
+
+        auto flowTo = [&](BlockId succ, const AbsState &es) {
+            if (succ == kNoBlock)
+                return;
+            if (!seeded_[succ]) {
+                seeded_[succ] = true;
+                entry_[succ] = es;
+            } else {
+                AbsState joined = joinState(entry_[succ], es);
+                if (joined == entry_[succ])
+                    return;
+                entry_[succ] = std::move(joined);
+            }
+            if (!queued[succ]) {
+                queued[succ] = true;
+                wl.push_back(succ);
+            }
+        };
+
+        if (blk.succFalse != kNoBlock) {
+            AbsState t = s;
+            refineEdge(t, b, true);
+            flowTo(blk.succTrue, t);
+            AbsState f = std::move(s);
+            refineEdge(f, b, false);
+            flowTo(blk.succFalse, f);
+        } else {
+            flowTo(blk.succTrue, s);
+        }
+    }
+
+    if (!converged_) {
+        // Sound fallback: forget every refinement; structural facts
+        // (which always converge) remain available.
+        for (BlockId b = 0; b < nblocks; b++)
+            entry_[b] = AbsState{};
+    }
+}
+
+} // namespace vspec

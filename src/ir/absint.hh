@@ -1,0 +1,283 @@
+/**
+ * @file
+ * vproof: a flow-sensitive forward abstract interpreter over the IR
+ * graph. The analysis computes, for every SSA value, a product-lattice
+ * fact — tag (Smi / HeapObject / ⊤), map set, integer range, constant —
+ * to a fixpoint over the CFG, with join at merges and widening on loop
+ * headers. ProveChecks (ir/proof.hh) consumes the result to classify
+ * checks as provably redundant.
+ *
+ * Two layers of facts:
+ *
+ *  - Structural facts are flow-invariant per-SSA-value facts derived
+ *    from the defining operation alone (a TagSmi result is a Smi; a
+ *    checked add stays in SMI range). They hold at every use of the
+ *    value, forever.
+ *
+ *  - Flow refinements are per-program-point facts learned from checks
+ *    and branch edges ("after CheckMap v5, v5 has map 3"). Value-based
+ *    refinements (tag, range, constant, bounds pairs) are immutable
+ *    properties of the SSA value and survive calls; memory-based map
+ *    facts are killed at every call and store.
+ *
+ * Soundness of the join: a refinement survives a CFG merge only when
+ * every incoming state carries it with the SAME origin node. By
+ * induction the origin then lies on every path from entry, i.e. the
+ * origin dominates the merge — which is exactly the premise-dominance
+ * invariant the verifier enforces for elided checks. Loop-carried
+ * facts cannot leak across back edges for the same reason: the
+ * preheader state lacks them, so the header join drops them.
+ */
+
+#ifndef VSPEC_IR_ABSINT_HH
+#define VSPEC_IR_ABSINT_HH
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "ir/graph.hh"
+#include "verify/dominators.hh"
+
+namespace vspec
+{
+
+// --------------------------------------------------------------------
+// Lattice domains
+// --------------------------------------------------------------------
+
+/** Pointer-tag domain for Tagged values. */
+enum class TagFact : u8
+{
+    Bottom, //!< unreachable / contradiction
+    Smi,
+    Heap,
+    Top,
+};
+
+TagFact joinTag(TagFact a, TagFact b);
+TagFact meetTag(TagFact a, TagFact b);
+
+/**
+ * Integer range [lo, hi], tracked in i64 so transfer arithmetic cannot
+ * overflow. Top is the full i32 range (every machine value the engine
+ * produces is an i32); bottom is represented as lo > hi. For Tagged
+ * values the range constrains the numeric payload *if* the value is a
+ * Smi — a conditional fact, which is sound because ranges are only
+ * consumed where Smi-ness is separately established.
+ */
+struct RangeFact
+{
+    static constexpr i64 kMin = -2147483648ll;
+    static constexpr i64 kMax = 2147483647ll;
+
+    i64 lo = kMin;
+    i64 hi = kMax;
+
+    static RangeFact top() { return {}; }
+    static RangeFact bottom() { return {1, 0}; }
+    static RangeFact constant(i64 v) { return {v, v}; }
+    static RangeFact of(i64 lo, i64 hi) { return {lo, hi}; }
+    /** SMI payload range: 31-bit signed. */
+    static RangeFact smi() { return {-(1ll << 30), (1ll << 30) - 1}; }
+
+    bool isBottom() const { return lo > hi; }
+    bool isTop() const { return lo <= kMin && hi >= kMax; }
+    bool isConstant() const { return lo == hi; }
+    bool operator==(const RangeFact &o) const = default;
+};
+
+RangeFact joinRange(const RangeFact &a, const RangeFact &b);
+RangeFact meetRange(const RangeFact &a, const RangeFact &b);
+/** Widening: any bound that grew versus @p prev jumps to top. A bound
+ *  that stayed stable keeps its value, so a provable fact like lo >= 0
+ *  survives loop widening. */
+RangeFact widenRange(const RangeFact &prev, const RangeFact &next);
+
+/** Known-maps domain: ⊤, or a small sorted set of possible MapIds
+ *  (empty set = ⊥). */
+struct MapFact
+{
+    bool top = true;
+    std::vector<u32> maps; //!< sorted, unique; meaningful when !top
+
+    static MapFact topFact() { return {}; }
+    static MapFact bottomFact() { return {false, {}}; }
+    static MapFact exactly(u32 m) { return {false, {m}}; }
+
+    bool isTop() const { return top; }
+    bool isBottom() const { return !top && maps.empty(); }
+    /** True when the fact admits exactly @p m and nothing else. */
+    bool isExactly(u32 m) const
+    {
+        return !top && maps.size() == 1 && maps[0] == m;
+    }
+    bool operator==(const MapFact &o) const = default;
+};
+
+MapFact joinMaps(const MapFact &a, const MapFact &b); //!< set union
+MapFact meetMaps(const MapFact &a, const MapFact &b); //!< intersection
+
+/** Constant domain over raw tagged bits (for CheckValue). */
+struct ConstFact
+{
+    enum class Kind : u8 { Top, Known, Bottom };
+    Kind kind = Kind::Top;
+    i64 bits = 0;
+
+    static ConstFact top() { return {}; }
+    static ConstFact bottom() { return {Kind::Bottom, 0}; }
+    static ConstFact known(i64 bits) { return {Kind::Known, bits}; }
+
+    bool isTop() const { return kind == Kind::Top; }
+    bool isBottom() const { return kind == Kind::Bottom; }
+    bool isKnown() const { return kind == Kind::Known; }
+    bool operator==(const ConstFact &o) const = default;
+};
+
+ConstFact joinConst(const ConstFact &a, const ConstFact &b);
+ConstFact meetConst(const ConstFact &a, const ConstFact &b);
+
+/** Product lattice element: everything we know about one value. */
+struct AbsValue
+{
+    TagFact tag = TagFact::Top;
+    MapFact maps;
+    RangeFact range;
+    ConstFact cst;
+
+    static AbsValue top() { return {}; }
+    bool operator==(const AbsValue &o) const = default;
+};
+
+AbsValue joinValue(const AbsValue &a, const AbsValue &b);
+AbsValue meetValue(const AbsValue &a, const AbsValue &b);
+/** Component-wise widening (range widens; finite domains join). */
+AbsValue widenValue(const AbsValue &prev, const AbsValue &next);
+
+// --------------------------------------------------------------------
+// Flow-sensitive state
+// --------------------------------------------------------------------
+
+/**
+ * Per-value refinement carried by the dataflow state. Each non-top
+ * domain records the node that established it (its origin); the
+ * same-origin join rule keys on these. `sameAs` records a discovered
+ * load-load value equivalence (this value equals an earlier one),
+ * with the redundant load as its own origin.
+ */
+struct Refinement
+{
+    TagFact tag = TagFact::Top;
+    ValueId tagOrigin = kNoValue;
+    MapFact maps;
+    ValueId mapOrigin = kNoValue;
+    RangeFact range;
+    ValueId rangeOrigin = kNoValue;
+    ConstFact cst;
+    ValueId cstOrigin = kNoValue;
+    ValueId sameAs = kNoValue;
+    ValueId sameOrigin = kNoValue;
+
+    bool isTop() const
+    {
+        return tag == TagFact::Top && maps.isTop() && range.isTop()
+               && cst.isTop() && sameAs == kNoValue;
+    }
+    bool operator==(const Refinement &o) const = default;
+};
+
+/** Dataflow state at one program point. */
+struct AbsState
+{
+    std::map<ValueId, Refinement> refine;
+    /** CheckBounds instances that passed: (index, length) -> check. */
+    std::map<std::pair<ValueId, ValueId>, ValueId> boundsPassed;
+    /** Available loads: (op, in0, in1, imm) -> first load. Killed at
+     *  stores and calls. */
+    std::map<std::tuple<u8, ValueId, ValueId, i64>, ValueId> availLoads;
+
+    bool operator==(const AbsState &o) const = default;
+};
+
+/** Result of querying a fact, with the premise node per domain (the
+ *  refinement origin, or the defining node for structural facts). */
+struct FactQuery
+{
+    AbsValue fact;
+    ValueId tagPremise = kNoValue;
+    ValueId mapPremise = kNoValue;
+    ValueId rangePremise = kNoValue;
+    ValueId cstPremise = kNoValue;
+    /** sameAs origins traversed while canonicalizing (extra premises). */
+    std::vector<ValueId> chainPremises;
+};
+
+// --------------------------------------------------------------------
+// The interpreter
+// --------------------------------------------------------------------
+
+class AbsInterpreter
+{
+  public:
+    explicit AbsInterpreter(const Graph &g);
+
+    /** Run both fixpoints (structural, then flow-sensitive). */
+    void run();
+
+    /** True if the flow fixpoint converged within its iteration cap.
+     *  On non-convergence all refinements are dropped (structural
+     *  facts remain) — still sound, just less precise. */
+    bool converged() const { return converged_; }
+
+    /** Flow-invariant fact about @p v (phase 1). */
+    const AbsValue &structural(ValueId v) const { return sval_.at(v); }
+
+    /** Entry state of block @p b (empty for unreachable blocks). */
+    const AbsState &entryState(BlockId b) const;
+
+    /** Apply node @p id's transfer function to @p s in place. Exposed
+     *  so ProveChecks can replay a block and query the state just
+     *  before each check. */
+    void transfer(AbsState &s, ValueId id) const;
+
+    /** Everything known about @p v in state @p s: structural facts of
+     *  the whole equivalence chain met with their refinements. */
+    FactQuery query(const AbsState &s, ValueId v) const;
+
+    /** Canonical key for @p v: resolves dead passthroughs, live check
+     *  passthroughs, and sameAs equivalences in @p s. */
+    ValueId canon(const AbsState &s, ValueId v) const;
+
+    bool blockReachable(BlockId b) const;
+    const DominatorTree &dominators() const { return dom_; }
+
+  private:
+    void computeStructural();
+    AbsValue structuralOf(ValueId id) const;
+    void runFlow();
+    /** Refine @p s along the (from -> to) branch edge. */
+    void refineEdge(AbsState &s, BlockId from, bool takenTrue) const;
+    void applyCompare(AbsState &s, ValueId cmpId, bool holds) const;
+    /** Underlying value: chase dead passthroughs and live checks. */
+    ValueId underlying(ValueId v) const;
+    void setTag(AbsState &s, ValueId key, TagFact t, ValueId origin) const;
+    void meetRangeAt(AbsState &s, ValueId key, const RangeFact &r,
+                     ValueId origin) const;
+    void killMapFacts(AbsState &s) const;
+
+    const Graph &g_;
+    DominatorTree dom_;
+    std::vector<AbsValue> sval_;
+    std::vector<AbsState> entry_;
+    std::vector<bool> seeded_;
+    AbsState empty_;
+    bool converged_ = true;
+};
+
+/** Join two states (intersection with the same-origin rule). */
+AbsState joinState(const AbsState &a, const AbsState &b);
+
+} // namespace vspec
+
+#endif // VSPEC_IR_ABSINT_HH

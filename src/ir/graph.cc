@@ -87,6 +87,31 @@ irOpName(IrOp op)
     return "?";
 }
 
+const char *
+checkClassName(CheckClass c)
+{
+    switch (c) {
+      case CheckClass::ProvenRedundant: return "proven";
+      case CheckClass::Needed: return "needed";
+      case CheckClass::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+const char *
+proofRuleName(ProofRule r)
+{
+    switch (r) {
+      case ProofRule::None: return "none";
+      case ProofRule::SubsumedSameCheck: return "subsumed-same-check";
+      case ProofRule::TagFromFact: return "tag-from-fact";
+      case ProofRule::MapStable: return "map-stable";
+      case ProofRule::RangeWithinBounds: return "range-within-bounds";
+      case ProofRule::ConstantValue: return "constant-value";
+    }
+    return "?";
+}
+
 std::vector<u32>
 Graph::liveChecksPerGroup() const
 {
@@ -94,8 +119,13 @@ Graph::liveChecksPerGroup() const
     for (const auto &n : nodes) {
         if (n.dead)
             continue;
+        // Fused SMI loads embed a CheckSmi (reason stamped by the
+        // fusion pass); count them so audit denominators match the
+        // paper's check-frequency accounting (fig01).
         if (n.isCheck() || (n.checked && n.op != IrOp::Deopt)
-            || n.op == IrOp::ToFloat64) {
+            || n.op == IrOp::ToFloat64
+            || n.op == IrOp::LoadFieldSmiUntag
+            || n.op == IrOp::LoadElemSmiUntag) {
             out[static_cast<size_t>(checkGroupOf(n.reason))]++;
         }
     }

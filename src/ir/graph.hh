@@ -129,6 +129,9 @@ struct IrNode
     bool elideMinusZero = false;  //!< all uses truncate: skip -0 check
     bool known31 = false;   //!< Int32 value provably fits a 31-bit SMI
     bool dead = false;
+    /** Dead because the ProveChecks pass proved it redundant; the graph
+     *  must then carry a CheckProof for it (verifier invariant). */
+    bool provenElided = false;
     i64 imm = 0;
     double fval = 0.0;
     BlockId block = kNoBlock;
@@ -198,6 +201,46 @@ struct IrNode
     }
 };
 
+/** ProveChecks verdict for one check instruction. */
+enum class CheckClass : u8
+{
+    ProvenRedundant, //!< facts at the check imply it cannot fail
+    Needed,          //!< the check is the establishing observation
+    Unknown,         //!< analysis imprecision (join, widening, kill)
+};
+
+/** Which proof rule established a ProvenRedundant verdict. */
+enum class ProofRule : u8
+{
+    None,
+    SubsumedSameCheck, //!< dominating identical check on the same value
+    TagFromFact,       //!< tag known from a prior check/untag/constant
+    MapStable,         //!< map known and not clobbered along any path
+    RangeWithinBounds, //!< index range within proven length bounds
+    ConstantValue,     //!< value is a known constant equal to expected
+};
+
+const char *checkClassName(CheckClass c);
+const char *proofRuleName(ProofRule r);
+
+/**
+ * One ProveChecks audit record. For elided checks the premises are the
+ * nodes whose facts imply the check passes; the verifier enforces that
+ * each premise dominates the check's former position.
+ */
+struct CheckProof
+{
+    ValueId check = kNoValue;
+    IrOp op = IrOp::CheckSmi;
+    DeoptReason reason = DeoptReason::Unknown;
+    CheckClass cls = CheckClass::Unknown;
+    ProofRule rule = ProofRule::None;
+    bool elided = false;     //!< static-elim deleted the check
+    BlockId block = kNoBlock;
+    u32 bcOff = 0;
+    std::vector<ValueId> premises;
+};
+
 struct BasicBlock
 {
     std::vector<ValueId> nodes;
@@ -227,6 +270,10 @@ class Graph
     /** Frame state at each loop header's entry (resume point for
      *  checks hoisted out of the loop). */
     std::map<BlockId, u32> headerFrameStates;
+
+    /** ProveChecks audit: one record per live check classified, in
+     *  program order. Filled by proveChecks() (see ir/proof.hh). */
+    std::vector<CheckProof> proofs;
 
     IrNode &node(ValueId id) { return nodes.at(id); }
     const IrNode &node(ValueId id) const { return nodes.at(id); }

@@ -99,8 +99,10 @@ foldConstantChecks(Graph &g)
     for (auto &n : g.nodes) {
         if (n.dead)
             continue;
-        if (n.op != IrOp::CheckSmi && n.op != IrOp::CheckHeapObject
-            && n.op != IrOp::CheckValue)
+        // Every check kind except CheckMap (mutable map word) and
+        // CheckBounds (relational, not a constant property).
+        if (!n.isCheck() || n.op == IrOp::CheckMap
+            || n.op == IrOp::CheckBounds)
             continue;
         const IrNode &in = g.node(n.inputs[0]);
         if (in.op != IrOp::ConstTagged)
@@ -500,8 +502,9 @@ hoistLoopInvariantChecks(Graph &g)
                 IrNode &n = g.nodes[nodes[i]];
                 if (n.dead)
                     continue;
-                if (n.op != IrOp::CheckSmi && n.op != IrOp::CheckHeapObject
-                    && n.op != IrOp::CheckMap && n.op != IrOp::CheckValue)
+                // Every check kind except CheckBounds: its length input
+                // is loop-carried memory, not a hoistable value.
+                if (!n.isCheck() || n.op == IrOp::CheckBounds)
                     continue;
                 if (n.op == IrOp::CheckMap && loop_has_effects)
                     continue;
@@ -617,6 +620,11 @@ runPasses(Graph &g, const PassConfig &cfg)
         "eliminateRedundantChecks", [&] { return eliminateRedundantChecks(g); });
     stats.minusZeroElided = runPass("elideMinusZeroChecks",
                                     [&] { return elideMinusZeroChecks(g); });
+    if (cfg.proveRedundancy)
+        runPass("proveChecks", [&] {
+            stats.proof = proveChecks(g, cfg.staticElim);
+            return stats.proof.elided;
+        });
     if (cfg.smiLoadFusion)
         stats.smiLoadsFused =
             runPass("fuseSmiLoads", [&] { return fuseSmiLoads(g); });

@@ -22,6 +22,7 @@
 #include <array>
 
 #include "ir/graph.hh"
+#include "ir/proof.hh"
 #include "verify/verify.hh"
 
 namespace vspec
@@ -37,6 +38,15 @@ struct PassConfig
 
     /** Fuse SMI load/check/untag chains for the §V ISA extension. */
     bool smiLoadFusion = false;
+
+    /** Run vproof's ProveChecks classification (always sound; fills
+     *  Graph::proofs and PassStats::proof, mutates nothing). */
+    bool proveRedundancy = true;
+
+    /** static-elim experiment mode: delete checks ProveChecks proved
+     *  redundant. No deopt point that could ever fire is removed, so
+     *  program results are bit-identical to baseline by construction. */
+    bool staticElim = false;
 
     /** How much of the vverify suite the pipeline runs (see
      *  verify/verify.hh); defaults to every-pass in debug builds and
@@ -84,6 +94,8 @@ struct PassStats
     u32 nodesKilledByDce = 0;
     u32 smiLoadsFused = 0;
     u32 phisSimplified = 0;
+    /** vproof classification counts (ProveChecks pass). */
+    ProofStats proof;
 };
 
 /** Run the full pipeline in order: short-circuit, phi simplification,

@@ -1,0 +1,301 @@
+#include "ir/proof.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/absint.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+/** Resolve @p v through dead value-passthrough nodes (same idiom as
+ *  the optimization passes). */
+ValueId
+resolve(const Graph &g, ValueId v)
+{
+    while (v != kNoValue && g.node(v).dead && !g.node(v).inputs.empty())
+        v = g.node(v).inputs[0];
+    return v;
+}
+
+void
+remapUses(Graph &g)
+{
+    for (auto &n : g.nodes) {
+        if (n.dead)
+            continue;
+        for (auto &in : n.inputs)
+            in = resolve(g, in);
+    }
+    for (auto &fs : g.frameStates) {
+        for (auto &r : fs.regs)
+            r = resolve(g, r);
+        fs.accumulator = resolve(g, fs.accumulator);
+    }
+}
+
+/** Does the check's subject come straight from a fresh, unconstrained
+ *  source (so the check is the establishing observation)? */
+bool
+isFreshSource(const Graph &g, ValueId v)
+{
+    for (int guard = 0; guard < 16; guard++) {
+        const IrNode &n = g.node(v);
+        if ((n.dead && !n.inputs.empty()) || n.isCheck()
+            || n.op == IrOp::UntagSmi || n.op == IrOp::TagSmi) {
+            v = n.inputs[0];
+            continue;
+        }
+        break;
+    }
+    switch (g.node(v).op) {
+      case IrOp::Param:
+      case IrOp::LoadField:
+      case IrOp::LoadFieldRaw:
+      case IrOp::LoadElem32:
+      case IrOp::LoadElemF64:
+      case IrOp::LoadGlobal:
+      case IrOp::LoadFieldSmiUntag:
+      case IrOp::LoadElemSmiUntag:
+      case IrOp::CallRuntime:
+      case IrOp::CallFunction:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+addPremise(std::vector<ValueId> &premises, ValueId p)
+{
+    if (p == kNoValue)
+        return;
+    if (std::find(premises.begin(), premises.end(), p) == premises.end())
+        premises.push_back(p);
+}
+
+void
+addChain(std::vector<ValueId> &premises, const FactQuery &q)
+{
+    for (ValueId p : q.chainPremises)
+        addPremise(premises, p);
+}
+
+/** Classify one live check against the state just before it. */
+CheckProof
+classify(const Graph &g, const AbsInterpreter &ai, const AbsState &s,
+         ValueId id)
+{
+    const IrNode &n = g.node(id);
+    CheckProof p;
+    p.check = id;
+    p.op = n.op;
+    p.reason = n.reason;
+    p.block = n.block;
+    p.bcOff = n.bcOff;
+
+    auto proven = [&](ProofRule rule) {
+        p.cls = CheckClass::ProvenRedundant;
+        p.rule = rule;
+    };
+    auto settle = [&](ValueId subject, bool anyFact) {
+        p.cls = !anyFact && isFreshSource(g, subject) ? CheckClass::Needed
+                                                      : CheckClass::Unknown;
+    };
+    auto ruleFor = [&](ValueId premise, IrOp sameOp, ProofRule fallback) {
+        return premise != kNoValue && premise < g.nodes.size()
+                       && g.node(premise).op == sameOp
+                   ? ProofRule::SubsumedSameCheck
+                   : fallback;
+    };
+
+    switch (n.op) {
+      case IrOp::CheckSmi: {
+        FactQuery q = ai.query(s, n.inputs[0]);
+        if (q.fact.tag == TagFact::Smi) {
+            proven(ruleFor(q.tagPremise, IrOp::CheckSmi,
+                           ProofRule::TagFromFact));
+            addPremise(p.premises, q.tagPremise);
+            addChain(p.premises, q);
+        } else {
+            settle(n.inputs[0], q.fact.tag != TagFact::Top);
+        }
+        break;
+      }
+      case IrOp::CheckHeapObject: {
+        FactQuery q = ai.query(s, n.inputs[0]);
+        if (q.fact.tag == TagFact::Heap) {
+            proven(ruleFor(q.tagPremise, IrOp::CheckHeapObject,
+                           ProofRule::TagFromFact));
+            addPremise(p.premises, q.tagPremise);
+            addChain(p.premises, q);
+        } else {
+            settle(n.inputs[0], q.fact.tag != TagFact::Top);
+        }
+        break;
+      }
+      case IrOp::CheckMap: {
+        FactQuery q = ai.query(s, n.inputs[0]);
+        if (q.fact.maps.isExactly(static_cast<u32>(n.imm))) {
+            proven(ruleFor(q.mapPremise, IrOp::CheckMap,
+                           ProofRule::MapStable));
+            addPremise(p.premises, q.mapPremise);
+            addChain(p.premises, q);
+        } else {
+            settle(n.inputs[0], !q.fact.maps.isTop());
+        }
+        break;
+      }
+      case IrOp::CheckValue: {
+        FactQuery q = ai.query(s, n.inputs[0]);
+        if (q.fact.cst.isKnown() && q.fact.cst.bits == n.imm) {
+            proven(ruleFor(q.cstPremise, IrOp::CheckValue,
+                           ProofRule::ConstantValue));
+            addPremise(p.premises, q.cstPremise);
+            addChain(p.premises, q);
+        } else {
+            settle(n.inputs[0], !q.fact.cst.isTop());
+        }
+        break;
+      }
+      case IrOp::CheckBounds: {
+        ValueId ci = ai.canon(s, n.inputs[0]);
+        ValueId cl = ai.canon(s, n.inputs[1]);
+        FactQuery qi = ai.query(s, n.inputs[0]);
+        FactQuery ql = ai.query(s, n.inputs[1]);
+        auto pair = s.boundsPassed.find({ci, cl});
+        if (pair != s.boundsPassed.end()) {
+            proven(ProofRule::SubsumedSameCheck);
+            addPremise(p.premises, pair->second);
+            addChain(p.premises, qi);
+            addChain(p.premises, ql);
+        } else if (!qi.fact.range.isBottom() && !ql.fact.range.isBottom()
+                   && qi.fact.range.lo >= 0
+                   && qi.fact.range.hi < ql.fact.range.lo) {
+            proven(ProofRule::RangeWithinBounds);
+            addPremise(p.premises, qi.rangePremise);
+            addPremise(p.premises, ql.rangePremise);
+            addChain(p.premises, qi);
+            addChain(p.premises, ql);
+        } else {
+            settle(n.inputs[0],
+                   qi.fact.range.lo >= 0 || !ql.fact.range.isTop());
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    return p;
+}
+
+} // namespace
+
+ProofStats
+proveChecks(Graph &g, bool eliminate)
+{
+    ProofStats stats;
+    g.proofs.clear();
+
+    AbsInterpreter ai(g);
+    ai.run();
+
+    for (BlockId b : ai.dominators().rpo()) {
+        AbsState s = ai.entryState(b);
+        for (ValueId id : g.block(b).nodes) {
+            const IrNode &n = g.node(id);
+            if (!n.dead && n.isCheck())
+                g.proofs.push_back(classify(g, ai, s, id));
+            ai.transfer(s, id);
+        }
+    }
+
+    std::map<ValueId, size_t> proofOf;
+    for (size_t i = 0; i < g.proofs.size(); i++)
+        proofOf[g.proofs[i].check] = i;
+
+    if (eliminate) {
+        // Delete the proven checks. A premise that is itself an elided
+        // check is replaced by that check's own premises: its fact held
+        // without it, and the substitution grounds every proof in live
+        // nodes (premise positions only move earlier, so dominance of
+        // the former position is preserved).
+        for (CheckProof &p : g.proofs) {
+            if (p.cls != CheckClass::ProvenRedundant)
+                continue;
+            IrNode &n = g.node(p.check);
+            n.dead = true;
+            n.provenElided = true;
+            n.inputs.resize(1); // value passthrough
+            p.elided = true;
+            stats.elided++;
+        }
+        for (CheckProof &p : g.proofs) {
+            if (!p.elided)
+                continue;
+            std::vector<ValueId> grounded;
+            std::vector<ValueId> work = p.premises;
+            for (size_t k = 0; k < work.size() && k < 64; k++) {
+                ValueId prem = work[k];
+                auto it = proofOf.find(prem);
+                if (it != proofOf.end() && g.proofs[it->second].elided
+                    && prem != p.check) {
+                    for (ValueId sub : g.proofs[it->second].premises)
+                        if (std::find(work.begin(), work.end(), sub)
+                            == work.end())
+                            work.push_back(sub);
+                } else {
+                    addPremise(grounded, prem);
+                }
+            }
+            p.premises = std::move(grounded);
+        }
+        remapUses(g);
+    }
+
+    for (const CheckProof &p : g.proofs) {
+        size_t grp = static_cast<size_t>(checkGroupOf(p.reason));
+        switch (p.cls) {
+          case CheckClass::ProvenRedundant: stats.proven[grp]++; break;
+          case CheckClass::Needed: stats.needed[grp]++; break;
+          case CheckClass::Unknown: stats.unknown[grp]++; break;
+        }
+    }
+    return stats;
+}
+
+void
+appendCheckAudit(const Graph &g, const FunctionInfo &fn,
+                 std::vector<CheckAuditEntry> &out)
+{
+    for (const CheckProof &p : g.proofs) {
+        i32 line = 0;
+        if (p.bcOff < fn.bcPositions.size())
+            line = fn.bcPositions[p.bcOff].line;
+        CheckGroup grp = checkGroupOf(p.reason);
+        auto same = [&](const CheckAuditEntry &e) {
+            return e.function == fn.id && e.line == line && e.group == grp
+                   && e.cls == p.cls && e.rule == p.rule
+                   && e.elided == p.elided;
+        };
+        auto it = std::find_if(out.begin(), out.end(), same);
+        if (it != out.end()) {
+            it->count++;
+        } else {
+            CheckAuditEntry e;
+            e.function = fn.id;
+            e.line = line;
+            e.group = grp;
+            e.cls = p.cls;
+            e.rule = p.rule;
+            e.elided = p.elided;
+            e.count = 1;
+            out.push_back(e);
+        }
+    }
+}
+
+} // namespace vspec

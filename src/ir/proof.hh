@@ -1,0 +1,89 @@
+/**
+ * @file
+ * vproof's ProveChecks pass: classify every live check against the
+ * abstract-interpretation facts (ir/absint.hh) as ProvenRedundant /
+ * Needed / Unknown, record a CheckProof per check on the graph, and —
+ * in the `static-elim` experiment mode — delete only the proven ones.
+ *
+ * Deleting a proven check removes no deopt point that could ever fire:
+ * its premises imply the check passes on every execution reaching it,
+ * so semantics are bit-identical by construction. The graph verifier
+ * enforces the structural half of that argument (every elided check
+ * carries a proof whose premises dominate its former position); the
+ * differential and fuzz oracles enforce the behavioral half.
+ */
+
+#ifndef VSPEC_IR_PROOF_HH
+#define VSPEC_IR_PROOF_HH
+
+#include <array>
+
+#include "ir/graph.hh"
+
+namespace vspec
+{
+
+struct FunctionInfo;
+
+/** Per-CheckGroup classification counts from one ProveChecks run. */
+struct ProofStats
+{
+    static constexpr size_t kGroups =
+        static_cast<size_t>(CheckGroup::NumGroups);
+
+    std::array<u32, kGroups> proven{};
+    std::array<u32, kGroups> needed{};
+    std::array<u32, kGroups> unknown{};
+    u32 elided = 0; //!< checks actually deleted (static-elim)
+
+    u32
+    totalProven() const
+    {
+        u32 t = 0;
+        for (u32 v : proven)
+            t += v;
+        return t;
+    }
+    u32
+    totalChecks() const
+    {
+        u32 t = 0;
+        for (size_t i = 0; i < kGroups; i++)
+            t += proven[i] + needed[i] + unknown[i];
+        return t;
+    }
+};
+
+/**
+ * Classify every live check in @p g; fills g.proofs (program order).
+ * With @p eliminate set, proven checks are deleted (marked dead with
+ * `provenElided`, uses remapped through the value passthrough) and
+ * their proof premises are expanded so that no premise is itself an
+ * elided check.
+ */
+ProofStats proveChecks(Graph &g, bool eliminate);
+
+/**
+ * One row of the per-(function, line) audit table surfaced by the
+ * stats layer, tools/vspec-audit and bench/fig15.
+ */
+struct CheckAuditEntry
+{
+    FunctionId function = kInvalidFunction;
+    i32 line = 0;
+    CheckGroup group = CheckGroup::Other;
+    CheckClass cls = CheckClass::Unknown;
+    ProofRule rule = ProofRule::None;
+    bool elided = false;
+    u32 count = 0; //!< static check sites aggregated into this row
+};
+
+/** Aggregate @p g's proofs into per-(function, line) audit rows,
+ *  mapping bytecode offsets to source lines via @p fn.bcPositions.
+ *  Appends to @p out, merging rows with identical keys. */
+void appendCheckAudit(const Graph &g, const FunctionInfo &fn,
+                      std::vector<CheckAuditEntry> &out);
+
+} // namespace vspec
+
+#endif // VSPEC_IR_PROOF_HH

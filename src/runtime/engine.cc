@@ -226,7 +226,16 @@ Engine::compileFunction(FunctionInfo &fn)
     passes.trace = &trace;
     passes.traceTimestamp = totalCycles();
     passes.traceFunction = fn.id;
-    runPasses(*graph, passes);
+    PassStats passStats = runPasses(*graph, passes);
+    if (passes.proveRedundancy) {
+        for (size_t i = 0; i < ProofStats::kGroups; i++) {
+            proofStats.proven[i] += passStats.proof.proven[i];
+            proofStats.needed[i] += passStats.proof.needed[i];
+            proofStats.unknown[i] += passStats.proof.unknown[i];
+        }
+        proofStats.elided += passStats.proof.elided;
+        appendCheckAudit(*graph, fn, checkAudit);
+    }
 
     CodegenConfig cg;
     cg.flavour = config.isa;

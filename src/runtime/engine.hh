@@ -161,6 +161,11 @@ class Engine : public RootProvider
     u64 lazyDeopts = 0;
     std::vector<DeoptRecord> deoptLog;
 
+    /** vproof: ProveChecks classification totals accumulated across
+     *  every compile, and the per-(function, line) audit rows. */
+    ProofStats proofStats;
+    std::vector<CheckAuditEntry> checkAudit;
+
     /** Total modeled time: interpreter cost model + simulated cycles
      *  of optimized code (incl. runtime/builtin work it calls). */
     Cycles totalCycles() const

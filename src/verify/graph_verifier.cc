@@ -177,6 +177,7 @@ class GraphVerifier
         checkSsa();
         checkReps();
         checkDeoptSafety();
+        checkProofs();
         return result;
     }
 
@@ -658,6 +659,91 @@ class GraphVerifier
                     barrier = std::max(barrier, maxResume);
                     barrierActive = true;
                 }
+            }
+        }
+    }
+
+    // ---- vproof elided-check proofs -------------------------------------
+
+    /**
+     * Every check deleted by static-elim must carry a proof whose
+     * premises dominate its former position (and vice versa: every
+     * elided proof names a provenElided check). Check premises must be
+     * live — a check is a DCE root, so a deleted premise would mean
+     * the dynamic guarantee vanished. Non-check premises may die to
+     * DCE afterwards; their dominance is structural and keeps holding.
+     */
+    void
+    checkProofs()
+    {
+        std::vector<u32> pos = positions();
+        std::vector<u32> proofCount(g.nodes.size(), 0);
+
+        for (const CheckProof &p : g.proofs) {
+            if (p.check >= g.nodes.size()) {
+                report("elided-check-proof", kNoBlock, p.check,
+                       "proof names an out-of-range check");
+                continue;
+            }
+            if (!p.elided)
+                continue;
+            proofCount[p.check]++;
+            const IrNode &n = g.node(p.check);
+            if (!n.dead || !n.provenElided) {
+                report("elided-check-proof", n.block, p.check,
+                       "elided proof for a check that is not "
+                       "provenElided-dead");
+                continue;
+            }
+            if (p.cls != CheckClass::ProvenRedundant
+                || p.rule == ProofRule::None) {
+                report("elided-check-proof", n.block, p.check,
+                       "elided check lacks a ProvenRedundant verdict "
+                       "with a rule");
+            }
+            if (p.premises.empty()) {
+                report("elided-check-proof", n.block, p.check,
+                       "elided check has no premises");
+            }
+            if (!dom.reachable(n.block))
+                continue;
+            for (ValueId prem : p.premises) {
+                if (prem >= g.nodes.size()) {
+                    report("elided-check-proof", n.block, p.check,
+                           "premise v" + std::to_string(prem)
+                           + " out of range");
+                    continue;
+                }
+                const IrNode &pn = g.node(prem);
+                if (pn.isCheck() && pn.dead) {
+                    report("elided-check-proof", n.block, p.check,
+                           "premise v" + std::to_string(prem)
+                           + " is a dead check");
+                    continue;
+                }
+                if (!defReachesUse(prem, p.check, pos)) {
+                    report("elided-check-proof", n.block, p.check,
+                           "premise v" + std::to_string(prem) + " ("
+                           + irOpName(pn.op)
+                           + ") does not dominate the check's former "
+                             "position");
+                }
+            }
+        }
+
+        for (ValueId id = 0; id < g.nodes.size(); id++) {
+            const IrNode &n = g.nodes[id];
+            if (!n.provenElided)
+                continue;
+            if (!n.dead || !n.isCheck()) {
+                report("elided-check-proof", n.block, id,
+                       "provenElided on a node that is not a dead check");
+            }
+            if (proofCount[id] != 1) {
+                report("elided-check-proof", n.block, id,
+                       "provenElided check has "
+                       + std::to_string(proofCount[id])
+                       + " elided proofs, expected exactly 1");
             }
         }
     }

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Tests for the vproof abstract interpreter (ir/absint) and the
+ * ProveChecks pass (ir/proof): lattice algebra on every domain,
+ * loop widening that keeps stable bounds, the same-origin join rule,
+ * check classification on real graphs, static elimination, and the
+ * verifier's elided-check-proof invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/absint.hh"
+#include "ir/builder.hh"
+#include "ir/passes.hh"
+#include "ir/proof.hh"
+#include "runtime/engine.hh"
+#include "verify/verify.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+struct Built
+{
+    std::unique_ptr<Engine> engine;
+    std::optional<Graph> graph;
+};
+
+Built
+buildFor(const std::string &src)
+{
+    Built b;
+    EngineConfig cfg;
+    cfg.enableOptimization = false;
+    b.engine = std::make_unique<Engine>(cfg);
+    b.engine->loadProgram(src);
+    for (int i = 0; i < 3; i++)
+        b.engine->call("bench");
+    CompilerEnv env{b.engine->vm, b.engine->globals, b.engine->functions};
+    FunctionInfo &fn =
+        b.engine->functions.at(b.engine->functions.idOf("bench"));
+    b.graph = buildGraph(env, fn);
+    return b;
+}
+
+u32
+liveChecks(const Graph &g)
+{
+    u32 n = 0;
+    for (const auto &node : g.nodes)
+        if (!node.dead && node.isCheck())
+            n++;
+    return n;
+}
+
+/** Same element read twice with a dominating first access: the second
+ *  access's checks sit past a branch merge, out of reach of per-block
+ *  value numbering, but the first access's checks dominate them. */
+const char *kDominatedRereads = R"JS(
+var a = [];
+function setup() { for (var i = 0; i < 16; i++) { a.push(i % 7); } }
+setup();
+function bench() {
+    var s = 0;
+    for (var i = 0; i < 16; i++) {
+        var x = a[i];
+        if (x > 3) { s = s + 1; }
+        s = (s + a[i]) % 1024;
+    }
+    return s;
+}
+)JS";
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Lattice algebra
+// --------------------------------------------------------------------
+
+TEST(AbsintLattice, TagJoinAndMeet)
+{
+    EXPECT_EQ(joinTag(TagFact::Smi, TagFact::Smi), TagFact::Smi);
+    EXPECT_EQ(joinTag(TagFact::Smi, TagFact::Heap), TagFact::Top);
+    EXPECT_EQ(joinTag(TagFact::Bottom, TagFact::Heap), TagFact::Heap);
+    EXPECT_EQ(joinTag(TagFact::Top, TagFact::Smi), TagFact::Top);
+
+    EXPECT_EQ(meetTag(TagFact::Top, TagFact::Smi), TagFact::Smi);
+    EXPECT_EQ(meetTag(TagFact::Smi, TagFact::Heap), TagFact::Bottom);
+    EXPECT_EQ(meetTag(TagFact::Smi, TagFact::Smi), TagFact::Smi);
+    EXPECT_EQ(meetTag(TagFact::Bottom, TagFact::Top), TagFact::Bottom);
+}
+
+TEST(AbsintLattice, RangeJoinAndMeet)
+{
+    RangeFact a = RangeFact::of(0, 5);
+    RangeFact b = RangeFact::of(3, 10);
+    EXPECT_EQ(joinRange(a, b), RangeFact::of(0, 10));
+    EXPECT_EQ(meetRange(a, b), RangeFact::of(3, 5));
+
+    // Disjoint meet is bottom; bottom is absorbing for meet, identity
+    // for join.
+    RangeFact c = RangeFact::of(100, 200);
+    EXPECT_TRUE(meetRange(a, c).isBottom());
+    EXPECT_EQ(joinRange(RangeFact::bottom(), a), a);
+    EXPECT_TRUE(meetRange(RangeFact::bottom(), a).isBottom());
+
+    EXPECT_TRUE(RangeFact::constant(7).isConstant());
+    EXPECT_EQ(joinRange(RangeFact::constant(7), RangeFact::constant(7)),
+              RangeFact::constant(7));
+}
+
+TEST(AbsintLattice, RangeWideningKeepsStableBounds)
+{
+    // Satellite requirement: a growing upper bound widens to top, but
+    // the stable lower bound survives — exactly the "i >= 0 inside the
+    // loop" fact ProveChecks needs for bounds proofs.
+    RangeFact prev = RangeFact::of(0, 5);
+    RangeFact grew = RangeFact::of(0, 9);
+    RangeFact w = widenRange(prev, grew);
+    EXPECT_EQ(w.lo, 0);
+    EXPECT_EQ(w.hi, RangeFact::kMax);
+
+    // Both bounds stable: widening is the identity.
+    EXPECT_EQ(widenRange(prev, prev), prev);
+
+    // A shrinking lower bound widens downwards only.
+    RangeFact sank = RangeFact::of(-3, 5);
+    RangeFact w2 = widenRange(prev, sank);
+    EXPECT_EQ(w2.lo, RangeFact::kMin);
+    EXPECT_EQ(w2.hi, 5);
+}
+
+TEST(AbsintLattice, RangeWideningLoopConverges)
+{
+    // Emulate the loop-header fixpoint for `for (i = 0; ...; i++)`:
+    // each round the body contributes [prev.lo, prev.hi + 1].
+    RangeFact at_header = RangeFact::constant(0);
+    int rounds = 0;
+    for (; rounds < 8; rounds++) {
+        RangeFact body = RangeFact::of(at_header.lo, at_header.hi + 1);
+        RangeFact next = widenRange(at_header, joinRange(at_header, body));
+        if (next == at_header)
+            break;
+        at_header = next;
+    }
+    EXPECT_LT(rounds, 4);               // widening forces fast convergence
+    EXPECT_EQ(at_header.lo, 0);         // the provable fact survived
+    EXPECT_EQ(at_header.hi, RangeFact::kMax);
+}
+
+TEST(AbsintLattice, MapJoinAndMeet)
+{
+    MapFact m3 = MapFact::exactly(3);
+    MapFact m4 = MapFact::exactly(4);
+
+    EXPECT_TRUE(joinMaps(m3, m3).isExactly(3));
+    MapFact u = joinMaps(m3, m4);
+    EXPECT_FALSE(u.isTop());
+    EXPECT_EQ(u.maps, (std::vector<u32>{3, 4}));
+
+    EXPECT_TRUE(meetMaps(u, m3).isExactly(3));
+    EXPECT_TRUE(meetMaps(m3, m4).isBottom());
+    EXPECT_TRUE(joinMaps(MapFact::topFact(), m3).isTop());
+    EXPECT_TRUE(meetMaps(MapFact::topFact(), m3).isExactly(3));
+    EXPECT_TRUE(joinMaps(MapFact::bottomFact(), m3).isExactly(3));
+}
+
+TEST(AbsintLattice, ConstJoinAndMeet)
+{
+    ConstFact k7 = ConstFact::known(7);
+    ConstFact k9 = ConstFact::known(9);
+    EXPECT_EQ(joinConst(k7, k7), k7);
+    EXPECT_TRUE(joinConst(k7, k9).isTop());
+    EXPECT_EQ(meetConst(ConstFact::top(), k7), k7);
+    EXPECT_TRUE(meetConst(k7, k9).isBottom());
+    EXPECT_EQ(joinConst(ConstFact::bottom(), k7), k7);
+}
+
+TEST(AbsintLattice, ProductValueComposition)
+{
+    AbsValue a;
+    a.tag = TagFact::Smi;
+    a.range = RangeFact::of(0, 10);
+    AbsValue b;
+    b.tag = TagFact::Smi;
+    b.range = RangeFact::of(5, 20);
+    b.maps = MapFact::exactly(2);
+
+    AbsValue j = joinValue(a, b);
+    EXPECT_EQ(j.tag, TagFact::Smi);
+    EXPECT_EQ(j.range, RangeFact::of(0, 20));
+    EXPECT_TRUE(j.maps.isTop());        // exactly(2) ∪ ⊤ = ⊤
+
+    AbsValue m = meetValue(a, b);
+    EXPECT_EQ(m.range, RangeFact::of(5, 10));
+    EXPECT_TRUE(m.maps.isExactly(2));
+
+    // Widen: range widens per-bound, finite domains join.
+    AbsValue w = widenValue(a, j);
+    EXPECT_EQ(w.tag, TagFact::Smi);
+    EXPECT_EQ(w.range.lo, 0);
+    EXPECT_EQ(w.range.hi, RangeFact::kMax);
+}
+
+TEST(AbsintLattice, StateJoinRequiresSameOrigin)
+{
+    // Identical fact, identical origin: survives the merge.
+    Refinement r;
+    r.tag = TagFact::Smi;
+    r.tagOrigin = 7;
+    AbsState a, b;
+    a.refine[3] = r;
+    b.refine[3] = r;
+    AbsState j = joinState(a, b);
+    ASSERT_EQ(j.refine.count(3), 1u);
+    EXPECT_EQ(j.refine[3].tag, TagFact::Smi);
+
+    // Identical fact, different origin (a check per branch): dropped —
+    // neither origin dominates the merge.
+    Refinement r2 = r;
+    r2.tagOrigin = 9;
+    b.refine[3] = r2;
+    AbsState j2 = joinState(a, b);
+    EXPECT_TRUE(j2.refine.count(3) == 0 || j2.refine[3].isTop());
+
+    // boundsPassed intersects on the premise check too.
+    a.boundsPassed[{1, 2}] = 5;
+    b.boundsPassed[{1, 2}] = 5;
+    b.boundsPassed[{1, 4}] = 6;
+    AbsState j3 = joinState(a, b);
+    EXPECT_EQ(j3.boundsPassed.count({1, 2}), 1u);
+    EXPECT_EQ(j3.boundsPassed.count({1, 4}), 0u);
+}
+
+// --------------------------------------------------------------------
+// The interpreter on real graphs
+// --------------------------------------------------------------------
+
+TEST(Absint, ConvergesOnLoopGraph)
+{
+    auto b = buildFor(kDominatedRereads);
+    ASSERT_TRUE(b.graph.has_value());
+
+    AbsInterpreter ai(*b.graph);
+    ai.run();
+    EXPECT_TRUE(ai.converged());
+    EXPECT_TRUE(ai.blockReachable(0));
+
+    // Structural facts: every ConstI32 is a constant range; every
+    // TagSmi result is a Smi within SMI payload range.
+    for (ValueId id = 0; id < b.graph->nodes.size(); id++) {
+        const IrNode &n = b.graph->nodes[id];
+        if (n.dead)
+            continue;
+        if (n.op == IrOp::ConstI32) {
+            EXPECT_TRUE(ai.structural(id).range.isConstant())
+                << "ConstI32 v" << id;
+        }
+        if (n.op == IrOp::TagSmi) {
+            EXPECT_EQ(ai.structural(id).tag, TagFact::Smi)
+                << "TagSmi v" << id;
+            EXPECT_GE(ai.structural(id).range.lo, RangeFact::smi().lo);
+            EXPECT_LE(ai.structural(id).range.hi, RangeFact::smi().hi);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// ProveChecks classification and elimination
+// --------------------------------------------------------------------
+
+TEST(ProveChecks, ClassifiesDominatedRereadsAsProven)
+{
+    auto b = buildFor(kDominatedRereads);
+    ASSERT_TRUE(b.graph.has_value());
+
+    ProofStats stats = proveChecks(*b.graph, /*eliminate=*/false);
+    EXPECT_GE(stats.totalChecks(), 4u);
+    // The merged-block re-read's checks are dominated by the first
+    // access's checks — at least one must be proven redundant.
+    EXPECT_GE(stats.totalProven(), 1u);
+    // Checks on fresh loads can never all be proven.
+    EXPECT_LT(stats.totalProven(), stats.totalChecks());
+    // Classification alone never mutates the graph.
+    EXPECT_EQ(stats.elided, 0u);
+    for (const CheckProof &p : b.graph->proofs) {
+        EXPECT_FALSE(p.elided);
+        if (p.cls == CheckClass::ProvenRedundant) {
+            EXPECT_NE(p.rule, ProofRule::None);
+            EXPECT_FALSE(p.premises.empty());
+        }
+    }
+}
+
+TEST(ProveChecks, StaticElimDeletesExactlyTheProvenChecks)
+{
+    auto b = buildFor(kDominatedRereads);
+    ASSERT_TRUE(b.graph.has_value());
+    Graph &g = *b.graph;
+
+    u32 before = liveChecks(g);
+    ProofStats stats = proveChecks(g, /*eliminate=*/true);
+    EXPECT_GE(stats.elided, 1u);
+    EXPECT_EQ(stats.elided, stats.totalProven());
+    EXPECT_EQ(liveChecks(g), before - stats.elided);
+
+    // Every elided check is a dead passthrough with a proof whose
+    // premises are live and dominate it — the verifier's new invariant.
+    VerifyResult r = verifyGraph(g, "after proveChecks(eliminate)");
+    EXPECT_TRUE(r.ok()) << r.str();
+
+    for (const CheckProof &p : g.proofs) {
+        if (!p.elided)
+            continue;
+        const IrNode &n = g.nodes[p.check];
+        EXPECT_TRUE(n.dead);
+        EXPECT_TRUE(n.provenElided);
+        EXPECT_EQ(n.inputs.size(), 1u);
+        for (ValueId prem : p.premises) {
+            const IrNode &pn = g.nodes[prem];
+            EXPECT_TRUE(!pn.isCheck() || !pn.dead)
+                << "premise v" << prem << " is a dead check";
+        }
+    }
+}
+
+TEST(ProveChecks, FullPipelineStaticElimVerifies)
+{
+    auto b = buildFor(kDominatedRereads);
+    ASSERT_TRUE(b.graph.has_value());
+
+    PassConfig cfg;
+    cfg.staticElim = true;
+    cfg.verifyLevel = VerifyLevel::Passes;  // verify between every pass
+    PassStats stats = runPasses(*b.graph, cfg);
+    EXPECT_GE(stats.proof.elided, 1u);
+    VerifyResult r = verifyGraph(*b.graph, "after full pipeline");
+    EXPECT_TRUE(r.ok()) << r.str();
+}
+
+TEST(ProveChecks, VerifierRejectsTamperedProof)
+{
+    auto b = buildFor(kDominatedRereads);
+    ASSERT_TRUE(b.graph.has_value());
+    Graph &g = *b.graph;
+    ProofStats stats = proveChecks(g, /*eliminate=*/true);
+    ASSERT_GE(stats.elided, 1u);
+
+    // Empty out one elided proof's premises: the "deleted because
+    // proven" claim is now unsubstantiated and must not verify.
+    for (CheckProof &p : g.proofs) {
+        if (p.elided) {
+            p.premises.clear();
+            break;
+        }
+    }
+    VerifyResult r = verifyGraph(g, "tampered");
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.has("elided-check-proof")) << r.str();
+}
+
+TEST(ProveChecks, AuditRowsCoverEveryClassifiedCheck)
+{
+    auto b = buildFor(kDominatedRereads);
+    ASSERT_TRUE(b.graph.has_value());
+    ProofStats stats = proveChecks(*b.graph, /*eliminate=*/false);
+
+    const FunctionInfo &fn =
+        b.engine->functions.at(b.engine->functions.idOf("bench"));
+    std::vector<CheckAuditEntry> rows;
+    appendCheckAudit(*b.graph, fn, rows);
+
+    u32 counted = 0;
+    bool has_proven_row = false;
+    for (const CheckAuditEntry &e : rows) {
+        EXPECT_GE(e.line, 1);           // real source positions
+        counted += e.count;
+        if (e.cls == CheckClass::ProvenRedundant)
+            has_proven_row = true;
+    }
+    EXPECT_EQ(counted, stats.totalChecks());
+    EXPECT_TRUE(has_proven_row);
+}

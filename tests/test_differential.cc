@@ -99,6 +99,18 @@ TEST_P(ConfigDifferential, ExperimentConfigsAgreeWithInterpreter)
     RunOutcome fused = runWorkload(w, smi, nullptr);
     ASSERT_TRUE(fused.completed) << fused.error;
     EXPECT_EQ(fused.checksum, interp.checksum) << "SMI extension";
+
+    // (5) vproof static-elim — only checks *proved* redundant are
+    // deleted, so unlike (2) this leg is bit-identical by construction
+    // on every workload, no safe-set probing needed. Fault injection
+    // off: a spurious deopt would fire an elided check's bailout path.
+    RunConfig se = base;
+    se.staticElim = true;
+    se.faults = FaultConfig{};
+    RunOutcome sound = runWorkload(w, se, nullptr);
+    ASSERT_TRUE(sound.completed) << sound.error;
+    EXPECT_EQ(sound.checksum, interp.checksum) << "static-elim";
+    EXPECT_EQ(sound.totalDeopts, jit.totalDeopts) << "static-elim";
 }
 
 TEST_P(ConfigDifferential, InjectedFaultsPreserveResults)

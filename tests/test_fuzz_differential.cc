@@ -23,11 +23,15 @@ struct FuzzResult
 };
 
 FuzzResult
-runProgram(const std::string &source, bool optimize, u32 iterations)
+runProgram(const std::string &source, bool optimize, u32 iterations,
+           bool static_elim = false, bool disable_faults = false)
 {
     EngineConfig cfg;
     cfg.enableOptimization = optimize;
     cfg.samplerEnabled = false;
+    cfg.passes.staticElim = static_elim;
+    if (disable_faults)
+        cfg.faults = FaultConfig{};
     // Generated programs are tiny; a small heap keeps GC in play.
     cfg.heapSize = 8u << 20;
     Engine engine(cfg);
@@ -90,4 +94,39 @@ TEST(FuzzDifferential, InterpAndJitAgreeOver500Programs)
     // deoptimized many times.
     EXPECT_GT(total_compiles, 500u);
     EXPECT_GT(total_deopts, 100u);
+}
+
+TEST(FuzzDifferential, StaticElimIsBitIdenticalOver300Programs)
+{
+    // vproof soundness oracle: deleting only *proven* checks must leave
+    // the result AND the deopt/compile path untouched on arbitrary
+    // generated programs — a stronger claim than checksum agreement
+    // (an elided check could never legitimately change which deopts
+    // fire, since a proven check can never fail). Spurious-deopt fault
+    // sites are disabled on both sides: injected deopts at elided
+    // check sites are the one legitimate divergence.
+    constexpr u64 kPrograms = 300;
+    constexpr u32 kIterations = 6;
+
+    for (u64 seed = 1; seed <= kPrograms; seed++) {
+        std::string source = generateFuzzProgram(seed);
+        FuzzResult jit;
+        FuzzResult sound;
+        ASSERT_NO_THROW({
+            jit = runProgram(source, true, kIterations,
+                             /*static_elim=*/false,
+                             /*disable_faults=*/true);
+        }) << "seed " << seed << "\n" << source;
+        ASSERT_NO_THROW({
+            sound = runProgram(source, true, kIterations,
+                               /*static_elim=*/true,
+                               /*disable_faults=*/true);
+        }) << "seed " << seed << "\n" << source;
+        ASSERT_EQ(sound.checksum, jit.checksum)
+            << "seed " << seed << "\n" << source;
+        ASSERT_EQ(sound.deopts, jit.deopts)
+            << "seed " << seed << "\n" << source;
+        ASSERT_EQ(sound.compiles, jit.compiles)
+            << "seed " << seed << "\n" << source;
+    }
 }

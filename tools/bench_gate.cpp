@@ -130,6 +130,75 @@ emitCyclesJson(u32 iters, u32 jobs)
     return out;
 }
 
+struct StaticElimCell
+{
+    bool ok = false;
+    bool valid = false;
+    u64 cycles = 0;
+    u32 proven = 0, needed = 0, unknown = 0, elided = 0;
+};
+
+/** vproof gate leg: per-workload static-elim cycles + classification
+ *  totals. Classification is deterministic, so the counts double as a
+ *  soundness tripwire: a proven count that *grows* without review is
+ *  as suspicious as a cycle regression. */
+std::string
+emitStaticElimJson(u32 iters, u32 jobs)
+{
+    std::vector<const Workload *> ws;
+    for (const Workload &w : suite())
+        ws.push_back(&w);
+
+    auto cells = par::mapWorkloads<StaticElimCell>(jobs, ws,
+                                                   [&](const Workload &w) {
+        StaticElimCell cell;
+        RunConfig base;
+        base.isa = IsaFlavour::Arm64Like;
+        base.iterations = iters;
+        RunConfig rc = base;
+        rc.staticElim = true;
+        try {
+            RunOutcome def = runWorkload(w, base);
+            RunOutcome out = runWorkload(w, rc, &def.checksum);
+            if (out.completed) {
+                cell.ok = true;
+                cell.valid = out.valid;
+                cell.cycles = out.totalCycles;
+                cell.elided = out.checksElided;
+                for (size_t i = 0; i < kNumGroups; i++) {
+                    cell.proven += out.provenPerGroup[i];
+                    cell.needed += out.neededPerGroup[i];
+                    cell.unknown += out.unknownPerGroup[i];
+                }
+            }
+        } catch (const std::exception &) {
+        }
+        return cell;
+    });
+
+    std::string out;
+    out += "{\"schema\":\"vspec-static-elim-v1\"";
+    out += ",\"isa\":\"arm64\"";
+    out += ",\"iterations\":" + std::to_string(iters);
+    out += ",\"workloads\":{";
+    bool first = true;
+    for (size_t i = 0; i < ws.size(); i++) {
+        if (!cells[i].ok || !cells[i].valid)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(ws[i]->name) + "\":{"
+            + "\"cycles\":" + std::to_string(cells[i].cycles)
+            + ",\"proven\":" + std::to_string(cells[i].proven)
+            + ",\"needed\":" + std::to_string(cells[i].needed)
+            + ",\"unknown\":" + std::to_string(cells[i].unknown)
+            + ",\"elided\":" + std::to_string(cells[i].elided) + "}";
+    }
+    out += "}}";
+    return out;
+}
+
 u32
 parseU32(const char *argv0, const char *flag, const char *text)
 {
@@ -175,8 +244,17 @@ cmdSelftest(const std::string &baselines)
     std::error_code ec;
     fs::create_directories(tmp, ec);
 
+    // The static-elim baseline rides along unmodified in both legs (the
+    // injected slowdown targets bench_cycles.json).
+    std::string static_elim;
+    bool have_static_elim =
+        readFile(baselines + "/static_elim.json", static_elim);
+
     // Leg 1: an identical copy must pass.
-    if (!writeFile((tmp / "bench_cycles.json").string(), text)) {
+    if (!writeFile((tmp / "bench_cycles.json").string(), text)
+        || (have_static_elim
+            && !writeFile((tmp / "static_elim.json").string(),
+                          static_elim))) {
         std::fprintf(stderr, "bench_gate selftest: cannot write tmp\n");
         return 1;
     }
@@ -291,6 +369,14 @@ main(int argc, char **argv)
             return 1;
         }
         std::printf("wrote %s\n", path.c_str());
+        std::string se = emitStaticElimJson(iters, jobs == 0 ? 1 : jobs);
+        std::string se_path = out_dir + "/static_elim.json";
+        if (!writeFile(se_path, se)) {
+            std::fprintf(stderr, "bench_gate: cannot write %s\n",
+                         se_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", se_path.c_str());
         return 0;
     }
     if (cmd == "compare") {

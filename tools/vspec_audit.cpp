@@ -1,0 +1,257 @@
+/**
+ * @file
+ * vspec-audit: the vproof command-line harness. Runs one workload with
+ * the ProveChecks analysis (always on) and prints the per-(function,
+ * line) check audit: which checks the abstract interpreter proved
+ * redundant, which it proved needed, and which stayed unknown — plus
+ * the per-CheckGroup classification totals. With --static-elim the
+ * proven checks are actually deleted and the elided column reflects it.
+ *
+ *   vspec-audit --list
+ *   vspec-audit --workload=deltablue
+ *   vspec-audit --workload=richards --static-elim --json=audit.json
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "support/json.hh"
+#include "workloads/suite.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0, const char *bad)
+{
+    if (bad != nullptr)
+        std::fprintf(stderr, "%s: invalid argument '%s'\n", argv0, bad);
+    std::fprintf(
+        stderr,
+        "usage: %s --workload=NAME [options]\n"
+        "       %s --list\n"
+        "  --workload=NAME    workload name or tag (see --list)\n"
+        "  --iters=N          bench iterations (default 30)\n"
+        "  --size=N           problem size (default: workload default)\n"
+        "  --isa=arm64|x64    backend flavour (default arm64)\n"
+        "  --static-elim      delete proven-redundant checks\n"
+        "  --all              include unknown-class rows in the table\n"
+        "  --json=F           write the audit as JSON to F\n",
+        argv0, argv0);
+    std::exit(2);
+}
+
+long
+parseNum(const char *argv0, const char *flag, const char *text)
+{
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (text[0] == '\0' || end == nullptr || *end != '\0' || v < 0)
+        usage(argv0, flag);
+    return v;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << text;
+    return out.good();
+}
+
+std::string
+auditJson(const Workload &w, const RunConfig &rc, const RunOutcome &out,
+          const std::vector<std::string> &names)
+{
+    std::string j;
+    j += "{\n  \"schema\": \"vspec-audit-v1\",\n";
+    j += "  \"workload\": \"" + jsonEscape(w.name) + "\",\n";
+    j += "  \"static_elim\": ";
+    j += rc.staticElim ? "true" : "false";
+    j += ",\n  \"elided\": " + std::to_string(out.checksElided) + ",\n";
+    j += "  \"groups\": {\n";
+    for (size_t i = 0; i < kNumGroups; i++) {
+        j += "    \"";
+        j += checkGroupName(static_cast<CheckGroup>(i));
+        j += "\": {\"proven\": " + std::to_string(out.provenPerGroup[i])
+             + ", \"needed\": " + std::to_string(out.neededPerGroup[i])
+             + ", \"unknown\": " + std::to_string(out.unknownPerGroup[i])
+             + "}";
+        j += i + 1 < kNumGroups ? ",\n" : "\n";
+    }
+    j += "  },\n  \"rows\": [\n";
+    for (size_t i = 0; i < out.checkAudit.size(); i++) {
+        const CheckAuditEntry &e = out.checkAudit[i];
+        const std::string &fn = e.function < names.size()
+            ? names[e.function]
+            : "fn#" + std::to_string(e.function);
+        j += "    {\"function\": \"" + jsonEscape(fn)
+             + "\", \"line\": " + std::to_string(e.line) + ", \"group\": \""
+             + checkGroupName(e.group) + "\", \"class\": \""
+             + checkClassName(e.cls) + "\", \"rule\": \""
+             + proofRuleName(e.rule) + "\", \"elided\": "
+             + (e.elided ? "true" : "false")
+             + ", \"count\": " + std::to_string(e.count) + "}";
+        j += i + 1 < out.checkAudit.size() ? ",\n" : "\n";
+    }
+    j += "  ]\n}\n";
+    return j;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload, json_out;
+    u32 iters = 30, size = 0;
+    IsaFlavour isa = IsaFlavour::Arm64Like;
+    bool static_elim = false, list = false, show_all = false;
+
+    for (int i = 1; i < argc; i++) {
+        const char *a = argv[i];
+        auto val = [&](const char *prefix) -> const char * {
+            size_t n = std::strlen(prefix);
+            return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+        };
+        const char *v;
+        if (std::strcmp(a, "--list") == 0) {
+            list = true;
+        } else if (std::strcmp(a, "--static-elim") == 0) {
+            static_elim = true;
+        } else if (std::strcmp(a, "--all") == 0) {
+            show_all = true;
+        } else if ((v = val("--workload="))) {
+            workload = v;
+        } else if ((v = val("--json="))) {
+            json_out = v;
+        } else if ((v = val("--iters="))) {
+            iters = static_cast<u32>(parseNum(argv[0], a, v));
+        } else if ((v = val("--size="))) {
+            size = static_cast<u32>(parseNum(argv[0], a, v));
+        } else if ((v = val("--isa="))) {
+            if (std::strcmp(v, "arm64") == 0)
+                isa = IsaFlavour::Arm64Like;
+            else if (std::strcmp(v, "x64") == 0)
+                isa = IsaFlavour::X64Like;
+            else
+                usage(argv[0], a);
+        } else {
+            usage(argv[0], a);
+        }
+    }
+
+    if (list) {
+        for (const Workload &w : suite())
+            std::printf("%-16s %-8s %s\n", w.name.c_str(),
+                        w.tag.c_str(), categoryName(w.category));
+        return 0;
+    }
+    if (workload.empty())
+        usage(argv[0], nullptr);
+    const Workload *w = findWorkload(workload);
+    if (w == nullptr) {
+        std::fprintf(stderr, "vspec-audit: unknown workload '%s' "
+                             "(try --list)\n",
+                     workload.c_str());
+        return 1;
+    }
+
+    RunConfig rc;
+    rc.isa = isa;
+    rc.iterations = iters == 0 ? 1 : iters;
+    rc.size = size;
+    rc.staticElim = static_elim;
+    rc.samplerEnabled = false;
+
+    // Function names for the report: re-create the engine the harness
+    // would build and load the same program (cheap: no iterations).
+    std::vector<std::string> names;
+    {
+        Engine engine(engineConfigFor(rc));
+        engine.loadProgram(
+            instantiate(*w, rc.size != 0 ? rc.size : w->defaultSize));
+        for (FunctionId id = 0; id < engine.functions.count(); id++)
+            names.push_back(engine.functions.at(id).name);
+    }
+
+    RunOutcome out = runWorkload(*w, rc);
+    if (!out.completed) {
+        std::fprintf(stderr, "vspec-audit: run failed: %s\n",
+                     out.error.c_str());
+        return 1;
+    }
+
+    if (!json_out.empty()) {
+        if (!writeFile(json_out, auditJson(*w, rc, out, names))) {
+            std::fprintf(stderr, "vspec-audit: cannot write %s\n",
+                         json_out.c_str());
+            return 1;
+        }
+    }
+
+    u32 proven = 0, needed = 0, unknown = 0;
+    for (size_t i = 0; i < kNumGroups; i++) {
+        proven += out.provenPerGroup[i];
+        needed += out.neededPerGroup[i];
+        unknown += out.unknownPerGroup[i];
+    }
+    u32 total = proven + needed + unknown;
+
+    std::printf("%s (%s)%s: %u checks classified over %llu compiles\n",
+                w->name.c_str(), isaFlavourName(isa),
+                static_elim ? " [static-elim]" : "", total,
+                static_cast<unsigned long long>(out.compilations));
+    std::printf("  proven %u (%.1f%%)  needed %u  unknown %u  elided %u\n",
+                proven,
+                total > 0 ? 100.0 * proven / total : 0.0,
+                needed, unknown, out.checksElided);
+    std::printf("  %-12s %7s %7s %7s\n", "group", "proven", "needed",
+                "unknown");
+    for (size_t i = 0; i < kNumGroups; i++) {
+        if (out.provenPerGroup[i] + out.neededPerGroup[i]
+                + out.unknownPerGroup[i] == 0)
+            continue;
+        std::printf("  %-12s %7u %7u %7u\n",
+                    checkGroupName(static_cast<CheckGroup>(i)),
+                    out.provenPerGroup[i], out.neededPerGroup[i],
+                    out.unknownPerGroup[i]);
+    }
+
+    // Per-(function, line) table, proven rows first.
+    std::vector<CheckAuditEntry> rows = out.checkAudit;
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const CheckAuditEntry &a, const CheckAuditEntry &b) {
+                         if (a.cls != b.cls)
+                             return static_cast<int>(a.cls)
+                                 < static_cast<int>(b.cls);
+                         if (a.function != b.function)
+                             return a.function < b.function;
+                         return a.line < b.line;
+                     });
+    std::printf("  %-20s %5s %-10s %-8s %-20s %-6s %5s\n", "function",
+                "line", "group", "class", "rule", "elided", "count");
+    for (const CheckAuditEntry &e : rows) {
+        if (!show_all && e.cls == CheckClass::Unknown)
+            continue;
+        const std::string &fn = e.function < names.size()
+            ? names[e.function]
+            : "fn#" + std::to_string(e.function);
+        std::printf("  %-20s %5d %-10s %-8s %-20s %-6s %5u\n", fn.c_str(),
+                    e.line, checkGroupName(e.group), checkClassName(e.cls),
+                    proofRuleName(e.rule), e.elided ? "yes" : "no",
+                    e.count);
+    }
+    if (!show_all)
+        std::printf("  (unknown-class rows hidden; pass --all to list)\n");
+    return 0;
+}
