@@ -1,0 +1,237 @@
+/**
+ * @file
+ * vserve soak bench: drives the multi-isolate serving layer through a
+ * deterministic open-loop traffic schedule twice — once with a clean
+ * fleet (baseline) and once with a fault matrix concentrated on one
+ * target isolate — and reports host-side latency/throughput next to
+ * the deterministic serving outcomes (shed/retry/quarantine/
+ * degradation counts, virtual-latency percentiles).
+ *
+ * The host-side numbers (wall seconds, rps, host latency percentiles)
+ * are the measurement; everything else is digest-covered and
+ * byte-identical at any --jobs level, which is what makes the host
+ * numbers comparable across runs: the *work* never varies, only the
+ * scheduling.
+ *
+ * Usage:
+ *   serve_soak [--out=BENCH_host.json] [--isolates=N] [--jobs=N]
+ *              [--requests=N] [--seed=N] [--target-isolate=N]
+ *              [--fault=SPEC] [--no-validate] [--quick]
+ *
+ * --out merges a "serve" section into an existing JSON document
+ * (micro_host's BENCH_host.json) or creates the file if absent.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serve/soak.hh"
+#include "support/json.hh"
+
+using namespace vspec;
+using namespace vspec::serve;
+
+namespace
+{
+
+JsonValue
+num(double v)
+{
+    JsonValue j;
+    j.kind = JsonValue::Kind::Number;
+    j.number = v;
+    return j;
+}
+
+JsonValue
+str(const std::string &s)
+{
+    JsonValue j;
+    j.kind = JsonValue::Kind::String;
+    j.string = s;
+    return j;
+}
+
+std::string
+hexDigest(u64 d)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(d));
+    return buf;
+}
+
+JsonValue
+reportJson(const SoakReport &r)
+{
+    JsonValue j;
+    j.kind = JsonValue::Kind::Object;
+    j.object["submitted"] = num(static_cast<double>(r.stats.submitted));
+    j.object["ok"] = num(static_cast<double>(r.stats.ok()));
+    j.object["errors"] = num(static_cast<double>(r.stats.errors()));
+    j.object["shed"] = num(static_cast<double>(r.stats.shed));
+    j.object["retries"] = num(static_cast<double>(r.stats.retries));
+    j.object["quarantines"] =
+        num(static_cast<double>(r.stats.quarantines));
+    j.object["degradations"] =
+        num(static_cast<double>(r.stats.degradations));
+    j.object["degraded_isolates"] =
+        num(static_cast<double>(r.degradedIsolates));
+    j.object["validation_failures"] =
+        num(static_cast<double>(r.validationFailures));
+    j.object["ticks"] = num(static_cast<double>(r.ticks));
+    j.object["latency_ticks_p50"] = num(r.latencyP50);
+    j.object["latency_ticks_p90"] = num(r.latencyP90);
+    j.object["latency_ticks_p99"] = num(r.latencyP99);
+    j.object["avg_ok_cycles_jit"] = num(r.avgOkCyclesJit);
+    j.object["avg_ok_cycles_degraded"] = num(r.avgOkCyclesDegraded);
+    j.object["digest"] = str(hexDigest(r.digest));
+    // Host-side (the actual measurement; informational in the gate).
+    j.object["wall_seconds"] = num(r.hostWallSeconds);
+    j.object["throughput_rps"] = num(r.throughputRps);
+    j.object["host_p50_micros"] =
+        num(static_cast<double>(r.hostP50Micros));
+    j.object["host_p99_micros"] =
+        num(static_cast<double>(r.hostP99Micros));
+    return j;
+}
+
+void
+printReport(const char *name, const SoakReport &r)
+{
+    std::printf("%-10s %5llu req  ok %-5llu err %-4llu shed %-4llu "
+                "retry %-3llu quar %-2llu degr %-2llu  "
+                "p50/p99 %u/%u ticks  %.0f rps  %.2fs\n",
+                name,
+                static_cast<unsigned long long>(r.stats.submitted),
+                static_cast<unsigned long long>(r.stats.ok()),
+                static_cast<unsigned long long>(r.stats.errors()),
+                static_cast<unsigned long long>(r.stats.shed),
+                static_cast<unsigned long long>(r.stats.retries),
+                static_cast<unsigned long long>(r.stats.quarantines),
+                static_cast<unsigned long long>(r.stats.degradations),
+                r.latencyP50, r.latencyP99, r.throughputRps,
+                r.hostWallSeconds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    SoakOptions so;
+    so.isolates = 4;
+    so.jobs = 0;
+    so.traffic.requests = 300;
+    so.traffic.seed = 1;
+    so.traffic.validate = true;
+    u32 target_isolate = 1;
+    std::string fault_spec = "compile-fail-every=1,alloc-fail-every=900";
+    bool quick = false;
+
+    for (int i = 1; i < argc; i++) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--out=", 6) == 0) {
+            out_path = a + 6;
+        } else if (std::strncmp(a, "--isolates=", 11) == 0) {
+            so.isolates = static_cast<u32>(std::atoi(a + 11));
+        } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+            so.jobs = static_cast<u32>(std::atoi(a + 7));
+        } else if (std::strncmp(a, "--requests=", 11) == 0) {
+            so.traffic.requests =
+                static_cast<u32>(std::atoi(a + 11));
+        } else if (std::strncmp(a, "--seed=", 7) == 0) {
+            so.traffic.seed = static_cast<u64>(std::atoll(a + 7));
+        } else if (std::strncmp(a, "--target-isolate=", 17) == 0) {
+            target_isolate = static_cast<u32>(std::atoi(a + 17));
+        } else if (std::strncmp(a, "--fault=", 8) == 0) {
+            fault_spec = a + 8;
+        } else if (std::strcmp(a, "--no-validate") == 0) {
+            so.traffic.validate = false;
+        } else if (std::strcmp(a, "--quick") == 0) {
+            quick = true;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--out=FILE] [--isolates=N] [--jobs=N]\n"
+                "          [--requests=N] [--seed=N] "
+                "[--target-isolate=N]\n"
+                "          [--fault=SPEC] [--no-validate] [--quick]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+    if (quick)
+        so.traffic.requests = std::min(so.traffic.requests, 120u);
+    if (so.isolates == 0)
+        so.isolates = 1;
+
+    std::printf("serve_soak — %u isolates, %u requests, seed %llu "
+                "(jobs=%u)\n",
+                so.isolates, so.traffic.requests,
+                static_cast<unsigned long long>(so.traffic.seed),
+                so.jobs == 0 ? so.isolates : so.jobs);
+
+    // Baseline: clean fleet, same traffic.
+    SoakOptions base = so;
+    base.targetIsolate = kNoIsolate;
+    SoakReport baseline = runSoak(base);
+    printReport("baseline", baseline);
+
+    // Fault matrix: one bad host in the fleet.
+    SoakOptions faulty = so;
+    faulty.targetIsolate =
+        target_isolate < so.isolates ? target_isolate : 0;
+    faulty.targetFaults = FaultConfig::parse(fault_spec);
+    SoakReport faults = runSoak(faulty);
+    printReport("faults", faults);
+
+    if (baseline.validationFailures != 0
+        || faults.validationFailures != 0) {
+        std::fprintf(stderr,
+                     "FAIL: validation failures (baseline %u, "
+                     "faults %u)\n",
+                     baseline.validationFailures,
+                     faults.validationFailures);
+        return 1;
+    }
+
+    if (!out_path.empty()) {
+        // Merge a "serve" section into the existing document (or
+        // start a fresh one) so micro_host's keys survive.
+        JsonValue doc;
+        doc.kind = JsonValue::Kind::Object;
+        std::ifstream in(out_path);
+        if (in) {
+            std::stringstream ss;
+            ss << in.rdbuf();
+            std::string err;
+            JsonValue parsed;
+            if (parseJson(ss.str(), parsed, err) && parsed.isObject())
+                doc = parsed;
+            else
+                std::fprintf(stderr,
+                             "warning: %s not a JSON object (%s); "
+                             "rewriting\n",
+                             out_path.c_str(), err.c_str());
+        }
+        JsonValue serve;
+        serve.kind = JsonValue::Kind::Object;
+        serve.object["baseline"] = reportJson(baseline);
+        serve.object["faults"] = reportJson(faults);
+        doc.object["serve"] = serve;
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        out << writeJson(doc) << "\n";
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    return 0;
+}

@@ -54,6 +54,10 @@ echo "== pass 1e: host runner/cache meter (build/BENCH_host.json) =="
 VSPEC_CACHE_DIR="$VPAR_CACHE" ./build/bench/micro_host --iters=8 \
     --fig07=./build/bench/fig07_speedup_per_benchmark \
     --out=build/BENCH_host.json
+# vserve soak bench merges its "serve" section into the same document
+# (baseline fleet + one-bad-host fault matrix; exits nonzero on any
+# validation failure).
+./build/bench/serve_soak --quick --out=build/BENCH_host.json
 cat build/BENCH_host.json
 
 echo "== pass 1f: vprof smoke + bench regression gate =="
@@ -68,11 +72,24 @@ for w in RICHARDS SPLAY; do
     test -s "$VPAR_CACHE/prof-$w.folded"
 done
 # The gate against the committed baselines, plus its own selftest
-# (identical copy passes; an injected 25% slowdown must fail).
+# (identical copy passes; an injected 25% slowdown must fail). The
+# pass-1e BENCH_host.json rides along so the gate checks the required
+# "serve" section and reports host-side drift informationally.
 ./build/tools/bench_gate emit --out="$VPAR_CACHE/gate-current" --iters=10
+cp build/BENCH_host.json "$VPAR_CACHE/gate-current/"
 ./build/tools/bench_gate compare --baselines=bench/baselines \
     --current="$VPAR_CACHE/gate-current"
 ./build/tools/bench_gate selftest --baselines=bench/baselines
+
+echo "== pass 1h: vserve fault-containment soak =="
+# A short soak with the full fault matrix concentrated on one isolate:
+# must complete with zero crashes, classify every injected fault into a
+# typed response, quarantine and replace the sick isolate, degrade it
+# to interpreter-only when the JIT keeps failing, and produce an
+# outcome digest byte-identical to a --jobs=1 run.
+./build/tools/vspec-serve --isolates=4 --requests=200 \
+    --target-isolate=1 --fault="compile-fail-every=1,alloc-fail-every=700" \
+    --require-quarantine --require-degradation --verify-determinism
 
 echo "== pass 1g: clang-tidy over src/ir and src/verify =="
 # Data-driven by .clang-tidy (bugprone-*, performance-*, selected
@@ -102,6 +119,13 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
       -DVSPEC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 VSPEC_JOBS=4 ./build-tsan/tests/vspec_tests \
-    --gtest_filter='Sched.*:Parallel.*:PersistentCache.*' --gtest_brief=1
+    --gtest_filter='Sched.*:Parallel.*:PersistentCache.*:Serve.*' \
+    --gtest_brief=1
+# The serve soak's parallel section (one task per isolate per tick)
+# under TSan; validation off to keep the reference runs out of the
+# instrumented hot path.
+./build-tsan/tools/vspec-serve --isolates=4 --jobs=4 --requests=80 \
+    --target-isolate=1 --fault="compile-fail-every=1" \
+    --no-validate --require-quarantine
 
 echo "== all checks passed =="

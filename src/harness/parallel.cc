@@ -276,6 +276,8 @@ harnessCounterName(HarnessCounter c)
       case HarnessCounter::SafeSetCacheHits: return "safe_set_cache_hits";
       case HarnessCounter::SafeSetCacheMisses:
         return "safe_set_cache_misses";
+      case HarnessCounter::TaskErrorsSuppressed:
+        return "task_errors_suppressed";
       case HarnessCounter::NumCounters: break;
     }
     return "?";

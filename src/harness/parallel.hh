@@ -121,6 +121,10 @@ enum class HarnessCounter : u8
     RefCacheMisses,
     SafeSetCacheHits,   //!< §III-B.2 sets served from the cache
     SafeSetCacheMisses,
+    /** Task exceptions the first-error rethrow policy discarded in
+     *  mapCells rounds (sched satellite: multi-failure rounds must
+     *  never be invisible). */
+    TaskErrorsSuppressed,
     NumCounters,
 };
 
@@ -150,7 +154,19 @@ std::vector<R>
 mapCells(u32 jobs, size_t n, Fn fn)
 {
     std::vector<R> results(n);
-    sched::parallelFor(jobs, n, [&](size_t i) { results[i] = fn(i); });
+    u64 suppressed = 0;
+    try {
+        sched::parallelFor(jobs, n,
+                           [&](size_t i) { results[i] = fn(i); },
+                           &suppressed);
+    } catch (...) {
+        // parallelFor rethrows only the lowest-index failure; account
+        // the discarded ones so multi-failure rounds stay visible.
+        if (suppressed != 0)
+            bumpHarnessCounter(HarnessCounter::TaskErrorsSuppressed,
+                               suppressed);
+        throw;
+    }
     bumpHarnessCounter(HarnessCounter::CellsRun, n);
     return results;
 }

@@ -93,6 +93,19 @@ Engine::installBuiltins()
 }
 
 void
+Engine::setFaultConfig(const FaultConfig &fault_config)
+{
+    config.faults = fault_config;
+    faults.config = fault_config;
+    // The constructor skips the hookup when it starts fault-free; wire
+    // it unconditionally here so a late-enabled schedule (or a cleared
+    // one) behaves exactly like a construction-time config. Ordinals
+    // keep counting either way — see the header comment.
+    vm.heap.faults = &faults;
+    faults.setTrace(&trace, [this] { return totalCycles(); });
+}
+
+void
 Engine::loadProgram(const std::string &source)
 {
     ProgramSource prog = parseProgram(source);

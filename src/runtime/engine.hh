@@ -122,6 +122,17 @@ class Engine : public RootProvider
     Value invoke(FunctionId fn, Value this_value,
                  const std::vector<Value> &args);
 
+    /**
+     * Replace this engine's fault schedule post-construction — the
+     * per-engine override path (vserve targets one isolate while its
+     * siblings stay clean, whatever VSPEC_FAULT says process-wide).
+     * Site ordinals are *not* reset: the schedule keys on the engine's
+     * lifetime ordinals, so pass thresholds relative to the current
+     * `faults.allocations` / `faults.compiles` when using the one-shot
+     * `-at` forms. FaultConfig::none() clears an inherited schedule.
+     */
+    void setFaultConfig(const FaultConfig &fault_config);
+
     // ---- components (public: benches and tests inspect them) ----------
 
     EngineConfig config;

@@ -118,10 +118,14 @@ FaultConfig::parse(const std::string &spec)
                      "malformed fault spec '" + tok + "' ignored");
             } else if (key == "alloc-fail-at") {
                 cfg.allocFailAt = n;
+            } else if (key == "alloc-fail-every") {
+                cfg.allocFailEvery = n;
             } else if (key == "gc-every") {
                 cfg.gcEveryNAllocs = n;
             } else if (key == "compile-fail-at") {
                 cfg.compileFailAt = n;
+            } else if (key == "compile-fail-every") {
+                cfg.compileFailEvery = n;
             } else if (key == "spurious-deopt-at") {
                 cfg.spuriousDeoptAt = n;
             } else {
@@ -159,6 +163,11 @@ FaultInjector::onAllocation()
         report("alloc-fail", allocations);
         return AllocFault::Fail;
     }
+    if (config.allocFailEvery != 0
+        && allocations % config.allocFailEvery == 0) {
+        report("alloc-fail", allocations);
+        return AllocFault::Fail;
+    }
     if (config.gcEveryNAllocs != 0
         && allocations % config.gcEveryNAllocs == 0) {
         report("gc-stress", allocations);
@@ -172,6 +181,11 @@ FaultInjector::onCompile()
 {
     compiles++;
     if (config.compileFailAt != 0 && compiles == config.compileFailAt) {
+        report("compile-fail", compiles);
+        return true;
+    }
+    if (config.compileFailEvery != 0
+        && compiles % config.compileFailEvery == 0) {
         report("compile-fail", compiles);
         return true;
     }

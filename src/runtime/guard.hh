@@ -19,15 +19,26 @@
  * the same allocation/compile/code-entry. Environment syntax
  * (VSPEC_FAULT):
  *
- *   alloc-fail-at=N     mortal allocation N raises OutOfMemory
- *   gc-every=N          force a full GC before every Nth allocation
- *   compile-fail-at=N   optimizing compile attempt N bails out
- *   spurious-deopt-at=N optimized-code entry N deopts immediately
+ *   alloc-fail-at=N      mortal allocation N raises OutOfMemory
+ *   alloc-fail-every=N   every Nth mortal allocation raises OutOfMemory
+ *   gc-every=N           force a full GC before every Nth allocation
+ *   compile-fail-at=N    optimizing compile attempt N bails out
+ *   compile-fail-every=N every Nth optimizing compile attempt bails out
+ *   spurious-deopt-at=N  optimized-code entry N deopts immediately
  *
  * e.g. VSPEC_FAULT=gc-every=64,compile-fail-at=1. GC stress, compile
  * failure and spurious deopt must preserve results bit-identically;
- * alloc-fail surfaces a structured OutOfMemory. Injected faults emit
- * `fault` vtrace events and bump the FaultsInjected counter.
+ * alloc-fail surfaces a structured OutOfMemory. The `-every` recurring
+ * schedules exist for sustained-abuse stories (vserve quarantine and
+ * degradation need faults that keep firing, not one-shots). Injected
+ * faults emit `fault` vtrace events and bump the FaultsInjected
+ * counter.
+ *
+ * Precedence: VSPEC_FAULT seeds EngineConfig::faults as the
+ * process-wide default; a caller that assigns `config.faults` before
+ * constructing an Engine, or calls Engine::setFaultConfig() afterwards,
+ * overrides the environment for that engine only (how vserve targets a
+ * single isolate). See docs/ROBUSTNESS.md.
  */
 
 #ifndef VSPEC_RUNTIME_GUARD_HH
@@ -101,21 +112,31 @@ struct FaultConfig
 {
     /** Raise OutOfMemory on the Nth mortal allocation (1-based; 0 off). */
     u64 allocFailAt = 0;
+    /** Raise OutOfMemory on every Nth mortal allocation (recurring). */
+    u64 allocFailEvery = 0;
     /** Force a full GC before every Nth mortal allocation (GC stress). */
     u64 gcEveryNAllocs = 0;
     /** Fail the Nth optimizing compile attempt (interpreter fallback). */
     u64 compileFailAt = 0;
+    /** Fail every Nth optimizing compile attempt (recurring). */
+    u64 compileFailEvery = 0;
     /** Deoptimize at the Nth optimized-code entry (re-enter interpreter). */
     u64 spuriousDeoptAt = 0;
 
     bool any() const
     {
-        return (allocFailAt | gcEveryNAllocs | compileFailAt
-                | spuriousDeoptAt) != 0;
+        return (allocFailAt | allocFailEvery | gcEveryNAllocs
+                | compileFailAt | compileFailEvery | spuriousDeoptAt)
+               != 0;
     }
 
     /** Parse the VSPEC_FAULT environment variable (empty when unset). */
     static FaultConfig fromEnv();
+
+    /** An explicitly empty schedule — the per-engine override that
+     *  *clears* an inherited VSPEC_FAULT (reads better than `{}` at
+     *  call sites). */
+    static FaultConfig none() { return FaultConfig{}; }
 
     /**
      * Parse "key=N,key=N,..." using the keys documented in the file

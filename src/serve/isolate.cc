@@ -1,0 +1,177 @@
+#include "serve/isolate.hh"
+
+#include <chrono>
+
+#include "bytecode/compiler.hh"
+#include "support/logging.hh"
+
+namespace vspec
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Constructed-in fuel budget: effectively infinite, but nonzero so
+ *  the simulated core's periodic fuel poll is armed from birth and
+ *  per-request deadline narrowing takes effect mid-attempt. */
+constexpr u64 kFuelSentinel = ~0ull >> 2;
+
+u64
+nowMicros()
+{
+    using clk = std::chrono::steady_clock;
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            clk::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+const char *
+requestKindName(RequestKind k)
+{
+    switch (k) {
+      case RequestKind::Script: return "script";
+      case RequestKind::Call: return "call";
+      case RequestKind::Warmup: return "warmup";
+    }
+    return "?";
+}
+
+const char *
+responseStatusName(ResponseStatus s)
+{
+    switch (s) {
+      case ResponseStatus::Ok: return "ok";
+      case ResponseStatus::Shed: return "shed";
+      case ResponseStatus::DeadlineExceeded: return "deadline";
+      case ResponseStatus::AppError: return "app_error";
+      case ResponseStatus::TransientError: return "transient_error";
+      case ResponseStatus::NumStatuses: break;
+    }
+    return "?";
+}
+
+Isolate::Isolate(u32 id, const IsolateOptions &options)
+    : id(id),
+      options(options)
+{
+    rebuild();
+}
+
+void
+Isolate::rebuild()
+{
+    EngineConfig cfg;
+    cfg.heapSize = options.heapSize;
+    cfg.maxInvokeDepth = options.maxInvokeDepth;
+    cfg.randomSeed = options.randomSeed;
+    cfg.samplerEnabled = false;
+    cfg.trace = TraceConfig{};  // serve tracing lives on the router
+    cfg.maxFuelCycles = kFuelSentinel;
+    cfg.enableOptimization = !degraded;
+    cfg.faults = options.inheritEnvFaults ? FaultConfig::fromEnv()
+                                          : options.faults;
+    engine = std::make_unique<Engine>(cfg);
+    if (!options.bootProgram.empty()) {
+        try {
+            engine->loadProgram(options.bootProgram);
+        } catch (const std::exception &e) {
+            // A fault schedule nasty enough to kill the boot program
+            // leaves the isolate up with no entry points: Call requests
+            // answer TypeError, which is still a typed response.
+            vlog(LogLevel::Warn, "vserve",
+                 "isolate " + std::to_string(id) + " boot failed: "
+                     + e.what());
+        }
+    }
+}
+
+void
+Isolate::recycle()
+{
+    generation++;
+    consecutiveFaults = 0;
+    served = 0;
+    rebuild();
+}
+
+void
+Isolate::degrade()
+{
+    degraded = true;
+    recycle();
+}
+
+Attempt
+Isolate::execute(const Request &request)
+{
+    Attempt attempt;
+    Engine &eng = *engine;
+    u64 before = eng.totalCycles();
+    u64 host0 = nowMicros();
+    if (request.deadlineCycles != 0)
+        eng.config.maxFuelCycles = before + request.deadlineCycles;
+    try {
+        switch (request.kind) {
+          case RequestKind::Script: {
+            eng.loadProgram(request.program);
+            for (u32 i = 0; i < request.benchCalls; i++)
+                eng.call("bench");
+            attempt.result = eng.vm.display(eng.call("verify"));
+            break;
+          }
+          case RequestKind::Call: {
+            attempt.result = eng.vm.display(eng.call(request.entry));
+            break;
+          }
+          case RequestKind::Warmup: {
+            eng.loadProgram(request.program);
+            // Gather type feedback before the explicit compile, like a
+            // natural tier-up would; a feedback-free graph build is not
+            // a fair JIT-health probe.
+            for (u32 i = 0; i < request.benchCalls; i++)
+                eng.call("bench");
+            if (degraded) {
+                // The trade made explicit: a degraded isolate refuses
+                // to JIT but keeps serving (interpreter tier).
+                attempt.result = "degraded:interpreter-only";
+                break;
+            }
+            FunctionId fn = eng.functions.idOf(request.entry);
+            if (fn == kInvalidFunction)
+                throw EngineError(EngineErrorKind::TypeError,
+                                  "unknown warmup entry '"
+                                      + request.entry + "'");
+            if (!eng.compileFunction(eng.functions.at(fn)))
+                throw EngineError(EngineErrorKind::CompileFailed,
+                                  "warmup compile failed for '"
+                                      + request.entry + "'");
+            attempt.result = "warmed:" + request.entry;
+            break;
+          }
+        }
+    } catch (const EngineError &e) {
+        attempt.errorKind = e.kind;
+        attempt.fault = classifyEngineError(e.kind);
+        attempt.result = e.what();
+    } catch (const std::exception &e) {
+        // Parse/compile errors in the request's own source (MiniJS
+        // CompileError et al.): the request is at fault.
+        attempt.fault = FaultClass::App;
+        attempt.result = e.what();
+    } catch (...) {
+        attempt.fault = FaultClass::Transient;
+        attempt.result = "unclassified engine failure";
+    }
+    eng.config.maxFuelCycles = kFuelSentinel;
+    attempt.simCycles = eng.totalCycles() - before;
+    attempt.hostMicros = nowMicros() - host0;
+    return attempt;
+}
+
+} // namespace serve
+} // namespace vspec

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * vserve isolate: one Engine wrapped in a fault containment boundary.
+ *
+ * An Isolate owns an Engine plus the serving-side state the router's
+ * policies need: a health counter (consecutive transient faults), a
+ * generation number (bumped on every recycle), and the degraded flag
+ * (interpreter-only engine after repeated JIT failure). execute() runs
+ * exactly one attempt of one request and *always* returns — every
+ * EngineError is caught and classified; anything escaping would be an
+ * engine-invariant violation, and a defensive catch-all converts even
+ * that into a transient error response rather than tearing the server
+ * down.
+ *
+ * Deadlines ride on the vguard fuel guard: the engine is constructed
+ * with a huge fuel sentinel so the simulated core's periodic fuel poll
+ * is armed, then each attempt narrows `config.maxFuelCycles` to
+ * `totalCycles() + deadlineCycles` and restores the sentinel after.
+ * FuelExhausted under a request deadline therefore means *this
+ * request* overran, and is reported as DeadlineExceeded.
+ *
+ * The per-isolate FaultConfig override (Engine::setFaultConfig) models
+ * a bad host: it sticks to the isolate slot across recycles, so a
+ * quarantine-and-replace cycle faces the same faulty environment —
+ * which is exactly what makes graceful degradation worth having.
+ */
+
+#ifndef VSPEC_SERVE_ISOLATE_HH
+#define VSPEC_SERVE_ISOLATE_HH
+
+#include <memory>
+#include <string>
+
+#include "runtime/engine.hh"
+#include "serve/request.hh"
+
+namespace vspec
+{
+namespace serve
+{
+
+struct IsolateOptions
+{
+    u32 heapSize = 16u << 20;   //!< per-isolate simulated heap
+    u32 maxInvokeDepth = 64;    //!< recursion bombs die cheap
+    u64 randomSeed = 42;
+    /** Per-isolate fault schedule override; none() = whatever
+     *  VSPEC_FAULT says process-wide is *cleared* for this isolate
+     *  unless inheritEnvFaults is set. */
+    FaultConfig faults = FaultConfig::none();
+    /** Keep the VSPEC_FAULT environment schedule instead of the
+     *  explicit `faults` override. */
+    bool inheritEnvFaults = false;
+    /** Boot program loaded into every fresh engine so Call requests
+     *  always find their entry points ("" = none). */
+    std::string bootProgram;
+};
+
+/** One attempt's outcome, before retry policy is applied. */
+struct Attempt
+{
+    FaultClass fault = FaultClass::None;
+    EngineErrorKind errorKind = EngineErrorKind::NumKinds;
+    std::string result;  //!< display()ed value or error message
+    u64 simCycles = 0;   //!< simulated cycles consumed by the attempt
+    u64 hostMicros = 0;
+};
+
+class Isolate
+{
+  public:
+    Isolate(u32 id, const IsolateOptions &options);
+
+    /** Run one attempt. Never throws. */
+    Attempt execute(const Request &request);
+
+    /** Quarantine replacement: discard the engine, build a fresh one
+     *  (same options, same fault override), bump the generation. */
+    void recycle();
+
+    /** Drop to interpreter-only: rebuild with optimization off. The
+     *  speculation win is traded for availability; the router reports
+     *  the trade through ServeDegradations and the degraded flag on
+     *  every subsequent response. */
+    void degrade();
+
+    /** Total simulated cycles executed by the current engine. */
+    u64 simCycles() const { return engine->totalCycles(); }
+
+    u32 id;
+    u32 generation = 0;
+    bool degraded = false;
+    /** Consecutive transient-fault *responses* (maintained by the
+     *  router; reset on every Ok). */
+    u32 consecutiveFaults = 0;
+    /** Tick until which this isolate is out of rotation (quarantine
+     *  cooldown); 0 = available. */
+    u32 cooldownUntilTick = 0;
+    /** Requests answered Ok by the current engine. */
+    u64 served = 0;
+    /** Quarantine replacements over the slot's lifetime. */
+    u32 quarantines = 0;
+    /** Quarantines whose triggering fault was CompileFailed — the
+     *  flapping-JIT signal that escalates to degradation. */
+    u32 compileQuarantines = 0;
+
+    std::unique_ptr<Engine> engine;
+
+  private:
+    void rebuild();
+
+    IsolateOptions options;
+};
+
+} // namespace serve
+} // namespace vspec
+
+#endif // VSPEC_SERVE_ISOLATE_HH

@@ -1,0 +1,57 @@
+#include "serve/pool.hh"
+
+namespace vspec
+{
+namespace serve
+{
+
+IsolatePool::IsolatePool(const PoolOptions &options)
+    : opts(options),
+      taskPool(options.jobs == 0 ? options.isolates : options.jobs)
+{
+    isolates.reserve(opts.isolates);
+    for (u32 i = 0; i < opts.isolates; i++) {
+        IsolateOptions io = opts.isolate;
+        io.randomSeed = opts.isolate.randomSeed + i;
+        if (i == opts.targetIsolate) {
+            io.faults = opts.targetFaults;
+            io.inheritEnvFaults = false;
+        }
+        isolates.push_back(std::make_unique<Isolate>(i, io));
+    }
+}
+
+IsolatePool::Action
+IsolatePool::recordOutcome(u32 i, FaultClass fault, EngineErrorKind kind,
+                           u32 tick)
+{
+    Isolate &iso = *isolates[i];
+    if (fault == FaultClass::None) {
+        iso.consecutiveFaults = 0;
+        iso.served++;
+        return Action::None;
+    }
+    if (fault != FaultClass::Transient)
+        return Action::None;  // app/deadline: not the isolate's fault
+    iso.consecutiveFaults++;
+    if (iso.consecutiveFaults < opts.quarantineAfter)
+        return Action::None;
+
+    iso.quarantines++;
+    bool degrade = false;
+    if (kind == EngineErrorKind::CompileFailed) {
+        iso.compileQuarantines++;
+        degrade = !iso.degraded
+                  && iso.compileQuarantines
+                         >= opts.degradeAfterCompileQuarantines;
+    }
+    if (degrade)
+        iso.degrade();
+    else
+        iso.recycle();
+    iso.cooldownUntilTick = tick + opts.cooldownTicks;
+    return degrade ? Action::Degraded : Action::Quarantined;
+}
+
+} // namespace serve
+} // namespace vspec

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * vserve isolate pool: N isolates, a shared worker pool, and the
+ * health policy (circuit breaker + degradation escalation).
+ *
+ * Policy, applied by recordOutcome() on every *final* response:
+ *
+ *   - Ok resets the isolate's consecutive-transient-fault streak.
+ *   - A transient-fault response (retries exhausted) extends it.
+ *     Application errors and deadline hits say nothing about the
+ *     isolate and leave the streak untouched.
+ *   - At `quarantineAfter` consecutive transient faults the isolate is
+ *     quarantined: its engine is discarded, a fresh one (same options,
+ *     same per-isolate fault override — the faulty host sticks to the
+ *     slot) is built, and the slot sits out `cooldownTicks` of virtual
+ *     time while its tenants spill over to neighbours.
+ *   - When the triggering fault of a quarantine is CompileFailed for
+ *     the `degradeAfterCompileQuarantines`-th time, the JIT itself is
+ *     judged unhealthy and the isolate is rebuilt interpreter-only
+ *     (graceful degradation): the paper's measured speculation win is
+ *     traded for availability, and every subsequent response carries
+ *     the `degraded` flag so the trade is visible, never silent.
+ *
+ * All policy state transitions run on the router's sequential tick
+ * path — worker threads only execute requests — so outcomes are
+ * byte-identical at any job count.
+ */
+
+#ifndef VSPEC_SERVE_POOL_HH
+#define VSPEC_SERVE_POOL_HH
+
+#include <memory>
+#include <vector>
+
+#include "serve/isolate.hh"
+#include "support/sched.hh"
+
+namespace vspec
+{
+namespace serve
+{
+
+constexpr u32 kNoIsolate = 0xffffffffu;
+
+struct PoolOptions
+{
+    u32 isolates = 4;
+    /** Worker threads for per-tick isolate execution (0 = one per
+     *  isolate). jobs=1 is the deterministic inline baseline. */
+    u32 jobs = 0;
+    /** Template for every isolate; per-isolate randomSeed is derived
+     *  from it (seed + isolate id) so heaps differ deterministically. */
+    IsolateOptions isolate;
+    /** Isolate slot that gets `targetFaults` instead of the template
+     *  schedule (kNoIsolate = none) — the one bad host in the fleet. */
+    u32 targetIsolate = kNoIsolate;
+    FaultConfig targetFaults = FaultConfig::none();
+
+    // Health policy.
+    u32 quarantineAfter = 3;  //!< K consecutive transient faults
+    u32 cooldownTicks = 8;
+    u32 degradeAfterCompileQuarantines = 2;
+};
+
+class IsolatePool
+{
+  public:
+    explicit IsolatePool(const PoolOptions &options);
+
+    u32 size() const { return static_cast<u32>(isolates.size()); }
+    Isolate &at(u32 i) { return *isolates[i]; }
+    const Isolate &at(u32 i) const { return *isolates[i]; }
+
+    /** In rotation at @p tick (not cooling down after quarantine)? */
+    bool available(u32 i, u32 tick) const
+    {
+        return isolates[i]->cooldownUntilTick <= tick;
+    }
+
+    /** Health-policy verdict for one final response. */
+    enum class Action : u8
+    {
+        None,
+        Quarantined,  //!< engine replaced, slot cooling down
+        Degraded,     //!< engine replaced interpreter-only
+    };
+
+    /**
+     * Apply the health policy to a final response on isolate @p i.
+     * Must be called from the sequential router path only.
+     */
+    Action recordOutcome(u32 i, FaultClass fault, EngineErrorKind kind,
+                         u32 tick);
+
+    /** The shared execution workers (one task per isolate per tick). */
+    sched::TaskPool &workers() { return taskPool; }
+
+    const PoolOptions &options() const { return opts; }
+
+  private:
+    PoolOptions opts;
+    std::vector<std::unique_ptr<Isolate>> isolates;
+    sched::TaskPool taskPool;
+};
+
+} // namespace serve
+} // namespace vspec
+
+#endif // VSPEC_SERVE_POOL_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * vserve request/response model.
+ *
+ * A Request is one unit of tenant work against an isolate: load and
+ * run a script, call an already-loaded entry point, or warm up (JIT) a
+ * function ahead of traffic. Every request carries a *deadline* in
+ * simulated cycles, mapped onto `EngineConfig::maxFuelCycles` for the
+ * duration of the attempt, so a runaway loop costs its own budget and
+ * nothing else.
+ *
+ * A Response is always produced — the serving layer's core guarantee
+ * is that no request outcome is a crash. Engine failures arrive as
+ * structured EngineErrors (vguard) and are classified here into three
+ * buckets that drive policy:
+ *
+ *   - application errors (TypeError, RegexBudget, StackOverflow): the
+ *     *request* is at fault; never retried, no health impact.
+ *   - deadline (FuelExhausted under a request deadline): the request
+ *     spent its budget; never retried, no health impact.
+ *   - transient infrastructure faults (OutOfMemory, CompileFailed):
+ *     the *isolate* may be at fault; retried with exponential backoff
+ *     and counted against the isolate's health (quarantine policy).
+ *
+ * Determinism contract: every Response field except `hostMicros` is a
+ * pure function of the request stream and the serve configuration —
+ * byte-identical at any `--jobs` level. `hostMicros` is the one
+ * wall-clock observation and is excluded from digests.
+ */
+
+#ifndef VSPEC_SERVE_REQUEST_HH
+#define VSPEC_SERVE_REQUEST_HH
+
+#include <string>
+
+#include "runtime/guard.hh"
+#include "support/common.hh"
+
+namespace vspec
+{
+namespace serve
+{
+
+enum class RequestKind : u8
+{
+    Script,  //!< loadProgram + N bench() calls + verify() checksum
+    Call,    //!< call one global entry point on the loaded program
+    Warmup,  //!< loadProgram + force-JIT one function (compile or fail)
+};
+
+const char *requestKindName(RequestKind k);
+
+struct Request
+{
+    u64 id = 0;          //!< dense, assigned by the traffic generator
+    u32 tenant = 0;      //!< routing key (tenant % isolates preferred)
+    RequestKind kind = RequestKind::Script;
+    std::string program;  //!< Script/Warmup: MiniJS source
+    std::string entry;    //!< Call: global name; Warmup: function to JIT
+    u32 benchCalls = 0;   //!< Script: bench() invocations after load
+    /** Simulated-cycle budget for the whole attempt (0 = no deadline).
+     *  Exhaustion surfaces as a DeadlineExceeded response. */
+    u64 deadlineCycles = 0;
+    u32 arrivalTick = 0;  //!< virtual arrival time (set by the router)
+    /** Expected verify() checksum ("" = unvalidated). Filled by the
+     *  traffic generator from a clean reference engine. */
+    std::string expect;
+};
+
+enum class ResponseStatus : u8
+{
+    Ok,                //!< result holds the display()ed outcome
+    Shed,              //!< admission control: no queue had room
+    DeadlineExceeded,  //!< attempt exceeded deadlineCycles
+    AppError,          //!< the request's own fault — not retried
+    TransientError,    //!< infrastructure fault persisted through retries
+    NumStatuses,
+};
+
+const char *responseStatusName(ResponseStatus s);
+
+struct Response
+{
+    u64 id = 0;
+    RequestKind kind = RequestKind::Script;
+    ResponseStatus status = ResponseStatus::Ok;
+    /** Valid for DeadlineExceeded/AppError/TransientError. */
+    EngineErrorKind errorKind = EngineErrorKind::NumKinds;
+    std::string result;   //!< Ok: display()ed value; errors: message
+    u32 attempts = 0;     //!< executions performed (0 for Shed)
+    u32 isolate = 0;      //!< serving isolate (meaningless for Shed)
+    u32 generation = 0;   //!< isolate generation that produced this
+    bool degraded = false;  //!< served by an interpreter-only isolate
+    u64 simCycles = 0;    //!< simulated cycles of the final attempt
+    u32 queueTicks = 0;   //!< virtual latency: completion - arrival
+    /** Host wall-clock of the final attempt, microseconds. The only
+     *  nondeterministic field — excluded from digests. */
+    u64 hostMicros = 0;
+};
+
+/** Attempt-level classification driving retry/health policy. */
+enum class FaultClass : u8
+{
+    None,       //!< attempt succeeded
+    App,        //!< request's own fault: fail fast
+    Deadline,   //!< budget exhausted: fail fast
+    Transient,  //!< isolate-side fault: retry, count against health
+};
+
+/** Map a structured engine error to its policy bucket. */
+inline FaultClass
+classifyEngineError(EngineErrorKind kind)
+{
+    switch (kind) {
+      case EngineErrorKind::TypeError:
+      case EngineErrorKind::RegexBudget:
+      case EngineErrorKind::StackOverflow:
+        return FaultClass::App;
+      case EngineErrorKind::FuelExhausted:
+        return FaultClass::Deadline;
+      case EngineErrorKind::OutOfMemory:
+      case EngineErrorKind::CompileFailed:
+        return FaultClass::Transient;
+      case EngineErrorKind::NumKinds:
+        break;
+    }
+    return FaultClass::Transient;  // unknown kinds: be conservative
+}
+
+} // namespace serve
+} // namespace vspec
+
+#endif // VSPEC_SERVE_REQUEST_HH

@@ -1,0 +1,246 @@
+#include "serve/router.hh"
+
+namespace vspec
+{
+namespace serve
+{
+
+u64
+ServeStats::errors() const
+{
+    u64 n = 0;
+    n += byStatus[static_cast<u32>(ResponseStatus::DeadlineExceeded)];
+    n += byStatus[static_cast<u32>(ResponseStatus::AppError)];
+    n += byStatus[static_cast<u32>(ResponseStatus::TransientError)];
+    return n;
+}
+
+RequestRouter::RequestRouter(IsolatePool &pool,
+                             const RouterOptions &options, Tracer *tracer)
+    : pool(pool),
+      opts(options),
+      tracer(tracer),
+      queues(pool.size())
+{
+}
+
+void
+RequestRouter::note(const char *event, u32 isolate, u64 request_id)
+{
+    if (tracer != nullptr && tracer->on(TraceCategory::Serve))
+        tracer->emit(TraceCategory::Serve, TraceEventKind::Instant,
+                     event, tickNow, isolate,
+                     static_cast<u32>(request_id), request_id);
+}
+
+u32
+RequestRouter::routeFor(const Request &request) const
+{
+    u32 n = pool.size();
+    u32 preferred = request.tenant % n;
+    for (u32 k = 0; k < n; k++) {
+        u32 i = (preferred + k) % n;
+        if (pool.available(i, tickNow)
+            && queues[i].size() < opts.queueCapacity)
+            return i;
+    }
+    // Every in-rotation isolate is full (or the whole pool is cooling
+    // down). Queueing on a cooling isolate beats dropping the request —
+    // it just waits out the cooldown; shed only when queues are full.
+    for (u32 k = 0; k < n; k++) {
+        u32 i = (preferred + k) % n;
+        if (queues[i].size() < opts.queueCapacity)
+            return i;
+    }
+    return kNoIsolate;
+}
+
+void
+RequestRouter::submit(Request request)
+{
+    stats.submitted++;
+    request.arrivalTick = tickNow;
+    u32 i = routeFor(request);
+    if (i == kNoIsolate) {
+        // Load shedding: a typed rejection beats an unbounded queue.
+        stats.shed++;
+        if (tracer != nullptr)
+            tracer->counters.add(TraceCounter::ServeShed);
+        note("shed", 0, request.id);
+        Response r;
+        r.id = request.id;
+        r.kind = request.kind;
+        r.status = ResponseStatus::Shed;
+        r.result = "queue saturated";
+        finish(std::move(r));
+        return;
+    }
+    stats.admitted++;
+    if (tracer != nullptr)
+        tracer->counters.add(TraceCounter::ServeRequests);
+    note("admit", i, request.id);
+    queues[i].push_back(Pending{std::move(request), 0, tickNow});
+}
+
+void
+RequestRouter::finish(Response r)
+{
+    stats.byStatus[static_cast<u32>(r.status)]++;
+    if (r.errorKind != EngineErrorKind::NumKinds)
+        stats.byErrorKind[static_cast<u32>(r.errorKind)]++;
+    if (tracer != nullptr) {
+        switch (r.status) {
+          case ResponseStatus::DeadlineExceeded:
+            tracer->counters.add(TraceCounter::ServeDeadlineExceeded);
+            tracer->counters.add(TraceCounter::ServeErrors);
+            break;
+          case ResponseStatus::AppError:
+          case ResponseStatus::TransientError:
+            tracer->counters.add(TraceCounter::ServeErrors);
+            break;
+          case ResponseStatus::Ok:
+          case ResponseStatus::Shed:
+          case ResponseStatus::NumStatuses:
+            break;
+        }
+    }
+    done.push_back(std::move(r));
+}
+
+void
+RequestRouter::tick()
+{
+    u32 n = pool.size();
+
+    // 1. Sequentially fix this round's batches: up to serviceQuantum
+    //    backoff-eligible requests per in-rotation isolate, in queue
+    //    order. Fixed before any execution → jobs-count independent.
+    std::vector<std::vector<Pending>> batches(n);
+    for (u32 i = 0; i < n; i++) {
+        if (!pool.available(i, tickNow))
+            continue;
+        std::deque<Pending> &q = queues[i];
+        std::vector<Pending> &batch = batches[i];
+        for (auto it = q.begin();
+             it != q.end() && batch.size() < opts.serviceQuantum;) {
+            if (it->notBeforeTick <= tickNow) {
+                batch.push_back(std::move(*it));
+                it = q.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    // 2. Parallel section: one task per isolate, each executing its
+    //    own batch in order against its own engine. execute() never
+    //    throws; tasks share nothing.
+    std::vector<std::vector<Attempt>> results(n);
+    sched::TaskPool &workers = pool.workers();
+    for (u32 i = 0; i < n; i++) {
+        if (batches[i].empty())
+            continue;
+        results[i].resize(batches[i].size());
+        workers.submit([this, i, &batches, &results] {
+            Isolate &iso = pool.at(i);
+            for (size_t j = 0; j < batches[i].size(); j++)
+                results[i][j] = iso.execute(batches[i][j].req);
+        });
+    }
+    workers.wait();
+
+    // 3. Sequential policy pass in isolate order: retries, responses,
+    //    health transitions.
+    for (u32 i = 0; i < n; i++) {
+        for (size_t j = 0; j < batches[i].size(); j++) {
+            Pending &p = batches[i][j];
+            Attempt &a = results[i][j];
+            p.attempts++;
+            if (a.fault == FaultClass::Transient
+                && p.attempts < opts.maxAttempts) {
+                stats.retries++;
+                if (tracer != nullptr)
+                    tracer->counters.add(TraceCounter::ServeRetries);
+                note("retry", i, p.req.id);
+                p.notBeforeTick =
+                    tickNow
+                    + (opts.backoffBaseTicks << (p.attempts - 1));
+                queues[i].push_back(std::move(p));
+                continue;
+            }
+
+            const Isolate &iso = pool.at(i);
+            Response r;
+            r.id = p.req.id;
+            r.kind = p.req.kind;
+            r.errorKind = a.errorKind;
+            r.result = a.result;
+            r.attempts = p.attempts;
+            r.isolate = i;
+            r.generation = iso.generation;
+            r.degraded = iso.degraded;
+            r.simCycles = a.simCycles;
+            r.queueTicks = tickNow - p.req.arrivalTick;
+            r.hostMicros = a.hostMicros;
+            switch (a.fault) {
+              case FaultClass::None:
+                r.status = ResponseStatus::Ok;
+                break;
+              case FaultClass::App:
+                r.status = ResponseStatus::AppError;
+                break;
+              case FaultClass::Deadline:
+                r.status = ResponseStatus::DeadlineExceeded;
+                break;
+              case FaultClass::Transient:
+                r.status = ResponseStatus::TransientError;
+                break;
+            }
+            finish(std::move(r));
+
+            switch (pool.recordOutcome(i, a.fault, a.errorKind,
+                                       tickNow)) {
+              case IsolatePool::Action::Quarantined:
+                stats.quarantines++;
+                if (tracer != nullptr)
+                    tracer->counters.add(TraceCounter::ServeQuarantines);
+                note("quarantine", i, p.req.id);
+                break;
+              case IsolatePool::Action::Degraded:
+                stats.degradations++;
+                if (tracer != nullptr)
+                    tracer->counters.add(
+                        TraceCounter::ServeDegradations);
+                note("degrade", i, p.req.id);
+                break;
+              case IsolatePool::Action::None:
+                break;
+            }
+        }
+    }
+
+    tickNow++;
+}
+
+bool
+RequestRouter::idle() const
+{
+    for (const auto &q : queues)
+        if (!q.empty())
+            return false;
+    return true;
+}
+
+u32
+RequestRouter::drain(u32 maxTicks)
+{
+    u32 used = 0;
+    while (!idle() && used < maxTicks) {
+        tick();
+        used++;
+    }
+    return used;
+}
+
+} // namespace serve
+} // namespace vspec

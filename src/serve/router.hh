@@ -1,0 +1,113 @@
+/**
+ * @file
+ * vserve request router: bounded per-isolate queues, admission control
+ * with deterministic spillover, virtual-time retry backoff, and the
+ * tick loop that is the server's only scheduler.
+ *
+ * Time is virtual: one tick() = one scheduling round. Within a round,
+ * every routing/retry/health decision runs sequentially on the caller's
+ * thread; the only parallel section is request *execution* — one task
+ * per isolate, each task walking its own batch in queue order against
+ * its own engine. Because the batch contents are fixed before the
+ * parallel section and no two tasks share state, every Response field
+ * except hostMicros is byte-identical at any `--jobs` level.
+ *
+ * Admission: a request prefers isolate `tenant % N` and spills forward
+ * to the next in-rotation isolate with queue room; if every isolate is
+ * quarantine-cooling, it queues on the preferred one and waits the
+ * cooldown out. Only when no queue has room is the request shed
+ * (typed Shed response, never an exception). Retries: a
+ * transient-fault attempt is requeued on its
+ * own isolate with `backoffBaseTicks << (attempt-1)` ticks of delay
+ * until maxAttempts, then surfaces as TransientError.
+ */
+
+#ifndef VSPEC_SERVE_ROUTER_HH
+#define VSPEC_SERVE_ROUTER_HH
+
+#include <deque>
+#include <vector>
+
+#include "serve/pool.hh"
+#include "serve/request.hh"
+#include "trace/trace.hh"
+
+namespace vspec
+{
+namespace serve
+{
+
+struct RouterOptions
+{
+    u32 queueCapacity = 32;   //!< per-isolate pending limit
+    u32 serviceQuantum = 4;   //!< executions per isolate per tick
+    u32 maxAttempts = 3;      //!< total executions for transient faults
+    u32 backoffBaseTicks = 2; //!< retry delay: base << (attempt-1)
+};
+
+/** Aggregated serving outcomes; every field deterministic. */
+struct ServeStats
+{
+    u64 submitted = 0;
+    u64 admitted = 0;
+    u64 shed = 0;
+    u64 retries = 0;
+    u64 quarantines = 0;
+    u64 degradations = 0;
+    u64 byStatus[static_cast<u32>(ResponseStatus::NumStatuses)] = {};
+    u64 byErrorKind[kNumEngineErrorKinds] = {};
+
+    u64 ok() const
+    {
+        return byStatus[static_cast<u32>(ResponseStatus::Ok)];
+    }
+    u64 errors() const;
+};
+
+class RequestRouter
+{
+  public:
+    RequestRouter(IsolatePool &pool, const RouterOptions &options,
+                  Tracer *tracer = nullptr);
+
+    /** Admit (or shed) one request at the current tick. */
+    void submit(Request request);
+
+    /** Run one virtual-time scheduling round. */
+    void tick();
+
+    /** tick() until idle; @return rounds used (caps at maxTicks). */
+    u32 drain(u32 maxTicks);
+
+    bool idle() const;
+    u32 now() const { return tickNow; }
+
+    /** Responses in completion order (deterministic). */
+    const std::vector<Response> &responses() const { return done; }
+
+    ServeStats stats;
+
+  private:
+    struct Pending
+    {
+        Request req;
+        u32 attempts = 0;       //!< executions already performed
+        u32 notBeforeTick = 0;  //!< retry backoff gate
+    };
+
+    u32 routeFor(const Request &request) const;
+    void finish(Response r);
+    void note(const char *event, u32 isolate, u64 request_id);
+
+    IsolatePool &pool;
+    RouterOptions opts;
+    Tracer *tracer;
+    u32 tickNow = 0;
+    std::vector<std::deque<Pending>> queues;  //!< one per isolate
+    std::vector<Response> done;
+};
+
+} // namespace serve
+} // namespace vspec
+
+#endif // VSPEC_SERVE_ROUTER_HH

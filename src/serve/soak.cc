@@ -1,0 +1,195 @@
+#include "serve/soak.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+namespace vspec
+{
+namespace serve
+{
+
+namespace
+{
+
+constexpr u64 kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr u64 kFnvPrime = 0x100000001b3ULL;
+
+u64
+fnvU64(u64 v, u64 h)
+{
+    for (int i = 0; i < 8; i++) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+u64
+fnvStr(const std::string &s, u64 h)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+template <typename T>
+T
+percentile(std::vector<T> sorted, double p)
+{
+    if (sorted.empty())
+        return T{};
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double
+nowSeconds()
+{
+    using clk = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clk::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+u64
+responseDigest(const std::vector<Response> &responses)
+{
+    u64 h = kFnvOffset;
+    for (const Response &r : responses) {
+        h = fnvU64(r.id, h);
+        h = fnvU64(static_cast<u64>(r.kind), h);
+        h = fnvU64(static_cast<u64>(r.status), h);
+        h = fnvU64(static_cast<u64>(r.errorKind), h);
+        h = fnvU64(r.attempts, h);
+        h = fnvU64(r.isolate, h);
+        h = fnvU64(r.generation, h);
+        h = fnvU64(r.degraded ? 1 : 0, h);
+        h = fnvU64(r.simCycles, h);
+        h = fnvU64(r.queueTicks, h);
+        h = fnvStr(r.result, h);
+    }
+    return h;
+}
+
+SoakReport
+runSoak(const SoakOptions &options)
+{
+    // Traffic first: generation (and reference checksums) must not
+    // overlap the timed serving window.
+    std::vector<std::vector<Request>> schedule =
+        generateTraffic(options.traffic);
+    std::map<u64, std::string> expected;
+    for (const auto &tick_requests : schedule)
+        for (const Request &r : tick_requests)
+            if (!r.expect.empty())
+                expected[r.id] = r.expect;
+
+    PoolOptions po;
+    po.isolates = options.isolates;
+    po.jobs = options.jobs;
+    po.isolate.bootProgram = bootProgram();
+    po.isolate.faults = options.fleetFaults;
+    po.isolate.inheritEnvFaults = options.inheritEnvFaults;
+    po.targetIsolate = options.targetIsolate;
+    po.targetFaults = options.targetFaults;
+    po.quarantineAfter = options.quarantineAfter;
+    po.cooldownTicks = options.cooldownTicks;
+    po.degradeAfterCompileQuarantines =
+        options.degradeAfterCompileQuarantines;
+
+    Tracer tracer(TraceConfig::fromEnv());  // VSPEC_TRACE=serve works
+    IsolatePool pool(po);
+    RequestRouter router(pool, options.router, &tracer);
+
+    double host0 = nowSeconds();
+    for (auto &tick_requests : schedule) {
+        for (Request &r : tick_requests)
+            router.submit(std::move(r));
+        router.tick();
+    }
+    u32 arrival_ticks = router.now();
+    u32 drain_ticks = router.drain(options.maxDrainTicks);
+    double host1 = nowSeconds();
+
+    SoakReport report;
+    report.stats = router.stats;
+    report.responses = router.responses();
+    report.ticks = arrival_ticks + drain_ticks;
+    report.digest = responseDigest(report.responses);
+
+    std::vector<u32> latencies;
+    std::vector<u64> host_micros;
+    u64 ok_jit_cycles = 0, ok_jit_count = 0;
+    u64 ok_deg_cycles = 0, ok_deg_count = 0;
+    for (const Response &r : report.responses) {
+        if (r.status != ResponseStatus::Shed) {
+            latencies.push_back(r.queueTicks);
+            host_micros.push_back(r.hostMicros);
+        }
+        if (r.status == ResponseStatus::Ok) {
+            // The degradation trade is measured over Script requests
+            // only: warmups on a degraded isolate short-circuit to a
+            // near-free typed answer and would skew the average.
+            if (r.kind == RequestKind::Script) {
+                if (r.degraded) {
+                    ok_deg_cycles += r.simCycles;
+                    ok_deg_count++;
+                } else {
+                    ok_jit_cycles += r.simCycles;
+                    ok_jit_count++;
+                }
+            }
+            auto it = expected.find(r.id);
+            if (it != expected.end() && it->second != r.result)
+                report.validationFailures++;
+        }
+    }
+    report.latencyP50 = percentile(latencies, 0.50);
+    report.latencyP90 = percentile(latencies, 0.90);
+    report.latencyP99 = percentile(latencies, 0.99);
+    report.hostP50Micros = percentile(host_micros, 0.50);
+    report.hostP99Micros = percentile(host_micros, 0.99);
+    if (ok_jit_count > 0)
+        report.avgOkCyclesJit =
+            static_cast<double>(ok_jit_cycles)
+            / static_cast<double>(ok_jit_count);
+    if (ok_deg_count > 0)
+        report.avgOkCyclesDegraded =
+            static_cast<double>(ok_deg_cycles)
+            / static_cast<double>(ok_deg_count);
+
+    for (u32 i = 0; i < pool.size(); i++) {
+        report.isolateSimCycles.push_back(pool.at(i).simCycles());
+        report.isolateGenerations.push_back(pool.at(i).generation);
+        if (pool.at(i).degraded)
+            report.degradedIsolates++;
+    }
+    // Fold the deterministic aggregates into the digest too, so a
+    // policy divergence shows even when the response stream agrees.
+    u64 h = report.digest;
+    h = fnvU64(report.stats.submitted, h);
+    h = fnvU64(report.stats.shed, h);
+    h = fnvU64(report.stats.retries, h);
+    h = fnvU64(report.stats.quarantines, h);
+    h = fnvU64(report.stats.degradations, h);
+    for (u64 c : report.isolateSimCycles)
+        h = fnvU64(c, h);
+    for (u32 g : report.isolateGenerations)
+        h = fnvU64(g, h);
+    report.digest = h;
+
+    report.hostWallSeconds = host1 - host0;
+    if (report.hostWallSeconds > 0)
+        report.throughputRps =
+            static_cast<double>(report.responses.size())
+            / report.hostWallSeconds;
+    return report;
+}
+
+} // namespace serve
+} // namespace vspec

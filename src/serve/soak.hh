@@ -1,0 +1,97 @@
+/**
+ * @file
+ * vserve soak harness: one call that builds the pool, routes a whole
+ * deterministic traffic schedule through it, and reduces the outcome
+ * to a report the bench, the CLI, and the tests all share.
+ *
+ * The report splits cleanly along the determinism contract:
+ *
+ *  - Deterministic (digest-covered): every response field except
+ *    hostMicros, the aggregated ServeStats, virtual-latency
+ *    percentiles in ticks, per-isolate simulated cycle totals, and
+ *    the validation verdicts. Byte-identical at any `--jobs` level —
+ *    `verifyDeterminism` in the CLI re-runs at jobs=1 and compares
+ *    digests.
+ *
+ *  - Host-side (informational): wall seconds, throughput, host
+ *    latency percentiles. This is the part the tentpole actually
+ *    measures; it rides in BENCH_host.json as informational entries.
+ */
+
+#ifndef VSPEC_SERVE_SOAK_HH
+#define VSPEC_SERVE_SOAK_HH
+
+#include <vector>
+
+#include "serve/router.hh"
+#include "serve/traffic.hh"
+
+namespace vspec
+{
+namespace serve
+{
+
+struct SoakOptions
+{
+    u32 isolates = 4;
+    u32 jobs = 0;  //!< execution workers (0 = one per isolate)
+    TrafficOptions traffic;
+    RouterOptions router;
+
+    /** Fault schedule for every isolate ("the whole fleet is on a bad
+     *  kernel"); none() = clean unless inheritEnvFaults. */
+    FaultConfig fleetFaults = FaultConfig::none();
+    /** Honour VSPEC_FAULT for the fleet template instead. */
+    bool inheritEnvFaults = false;
+    /** The one bad host: this slot gets targetFaults (kNoIsolate =
+     *  none). Overrides fleetFaults/env for that slot. */
+    u32 targetIsolate = kNoIsolate;
+    FaultConfig targetFaults = FaultConfig::none();
+
+    // Health policy (forwarded to PoolOptions).
+    u32 quarantineAfter = 3;
+    u32 cooldownTicks = 8;
+    u32 degradeAfterCompileQuarantines = 2;
+
+    u32 maxDrainTicks = 100000;  //!< post-arrival drain cap
+};
+
+struct SoakReport
+{
+    ServeStats stats;
+    std::vector<Response> responses;  //!< completion order
+    u32 ticks = 0;          //!< virtual duration (arrivals + drain)
+    u64 digest = 0;         //!< FNV over all deterministic outcome data
+    u32 validationFailures = 0;  //!< Ok results != reference checksum
+
+    // Virtual latency (ticks) over non-shed responses: deterministic.
+    u32 latencyP50 = 0, latencyP90 = 0, latencyP99 = 0;
+
+    // Per-isolate end state: deterministic.
+    std::vector<u64> isolateSimCycles;
+    std::vector<u32> isolateGenerations;
+    u32 degradedIsolates = 0;
+
+    // The speculation-for-availability trade, made explicit: mean
+    // simulated cycles of Ok responses served by JIT-enabled vs
+    // degraded isolates. Deterministic.
+    double avgOkCyclesJit = 0.0;
+    double avgOkCyclesDegraded = 0.0;
+
+    // Host-side, informational: NOT digest-covered.
+    double hostWallSeconds = 0.0;
+    double throughputRps = 0.0;
+    u64 hostP50Micros = 0, hostP99Micros = 0;
+};
+
+/** Deterministic digest of a response stream (hostMicros excluded). */
+u64 responseDigest(const std::vector<Response> &responses);
+
+/** Run the whole soak. Never throws for request-level failures; a
+ *  throw here is a harness bug, not a serving outcome. */
+SoakReport runSoak(const SoakOptions &options);
+
+} // namespace serve
+} // namespace vspec
+
+#endif // VSPEC_SERVE_SOAK_HH

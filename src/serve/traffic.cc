@@ -1,0 +1,175 @@
+#include "serve/traffic.hh"
+
+#include "runtime/engine.hh"
+#include "support/fuzz_gen.hh"
+#include "support/random.hh"
+
+namespace vspec
+{
+namespace serve
+{
+
+namespace
+{
+
+// Adversarial templates. Each is a complete workload-protocol program
+// whose bench() detonates; classification happens in serve/request.hh.
+
+const char *const kFuelBomb = R"(
+var sink = 0;
+function bench() {
+  for (var i = 0; i < 1000000000; i = i + 1) { sink = (sink + i) | 0; }
+  return sink;
+}
+function verify() { return sink; }
+)";
+
+const char *const kRecursionBomb = R"(
+function r(n) { return r(n + 1); }
+function bench() { return r(1); }
+function verify() { return 0; }
+)";
+
+const char *const kTypeBomb = R"(
+var x = 5;
+function bench() { return x(3); }
+function verify() { return 0; }
+)";
+
+const char *const kRegexBomb = R"(
+function bench() {
+  return reTest("(a+)+(a+)+b", "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+}
+function verify() { return 0; }
+)";
+
+const char *const kBootProgram = R"(
+var total = 0;
+function work(n) {
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) { s = (s + i * 3) | 0; }
+  return s;
+}
+function bench() { total = (total + work(200)) | 0; return total; }
+function verify() { return total; }
+)";
+
+/** Clean-engine reference run for a good script's checksum. */
+std::string
+referenceChecksum(const std::string &program, u32 bench_calls)
+{
+    EngineConfig cfg;
+    cfg.heapSize = 16u << 20;
+    cfg.samplerEnabled = false;
+    cfg.faults = FaultConfig::none();
+    cfg.trace = TraceConfig{};
+    Engine engine(cfg);
+    engine.loadProgram(program);
+    for (u32 i = 0; i < bench_calls; i++)
+        engine.call("bench");
+    return engine.vm.display(engine.call("verify"));
+}
+
+} // namespace
+
+const char *
+bootProgram()
+{
+    return kBootProgram;
+}
+
+const char *
+warmupProgram()
+{
+    // The boot program doubles as the warmup target: `work` is a tight
+    // monomorphic SMI loop that any healthy JIT must compile.
+    return kBootProgram;
+}
+
+std::vector<std::vector<Request>>
+generateTraffic(const TrafficOptions &options)
+{
+    std::vector<std::vector<Request>> schedule;
+    Rng rng(options.seed);
+    u32 arrivals =
+        options.arrivalsPerTick == 0 ? 1 : options.arrivalsPerTick;
+    u32 burst_left = 0;
+    u32 burst_tenant = 0;
+
+    for (u64 id = 0; id < options.requests; id++) {
+        u32 tick = static_cast<u32>(id / arrivals);
+        if (schedule.size() <= tick)
+            schedule.resize(tick + 1);
+
+        Request r;
+        r.id = id;
+        if (burst_left > 0) {
+            burst_left--;
+            r.tenant = burst_tenant;
+            r.kind = RequestKind::Warmup;
+            r.program = warmupProgram();
+            r.entry = "work";
+            r.benchCalls = 2;  // feedback before the forced compile
+            r.deadlineCycles = options.scriptDeadlineCycles;
+            schedule[tick].push_back(std::move(r));
+            continue;
+        }
+
+        r.tenant = static_cast<u32>(rng.nextBelow(options.tenants));
+        u32 roll = static_cast<u32>(rng.nextBelow(100));
+        u32 cut_call = options.pctCall;
+        u32 cut_warm = cut_call + options.pctWarmupBurst;
+        u32 cut_fuel = cut_warm + options.pctFuelBomb;
+        u32 cut_rec = cut_fuel + options.pctRecursionBomb;
+        u32 cut_type = cut_rec + options.pctTypeBomb;
+        u32 cut_re = cut_type + options.pctRegexBomb;
+
+        if (roll < cut_call) {
+            r.kind = RequestKind::Call;
+            r.entry = "bench";
+            r.deadlineCycles = options.scriptDeadlineCycles;
+        } else if (roll < cut_warm) {
+            r.kind = RequestKind::Warmup;
+            r.program = warmupProgram();
+            r.entry = "work";
+            r.benchCalls = 2;
+            r.deadlineCycles = options.scriptDeadlineCycles;
+            if (options.warmupBurst > 1) {
+                burst_left = options.warmupBurst - 1;
+                burst_tenant = r.tenant;
+            }
+        } else if (roll < cut_fuel) {
+            r.kind = RequestKind::Script;
+            r.program = kFuelBomb;
+            r.benchCalls = 1;
+            r.deadlineCycles = options.bombDeadlineCycles;
+        } else if (roll < cut_rec) {
+            r.kind = RequestKind::Script;
+            r.program = kRecursionBomb;
+            r.benchCalls = 1;
+            r.deadlineCycles = options.scriptDeadlineCycles;
+        } else if (roll < cut_type) {
+            r.kind = RequestKind::Script;
+            r.program = kTypeBomb;
+            r.benchCalls = 1;
+            r.deadlineCycles = options.scriptDeadlineCycles;
+        } else if (roll < cut_re) {
+            r.kind = RequestKind::Script;
+            r.program = kRegexBomb;
+            r.benchCalls = 1;
+            r.deadlineCycles = options.scriptDeadlineCycles;
+        } else {
+            r.kind = RequestKind::Script;
+            r.program = generateFuzzProgram(options.seed * 1000003u + id);
+            r.benchCalls = 1 + static_cast<u32>(rng.nextBelow(3));
+            r.deadlineCycles = options.scriptDeadlineCycles;
+            if (options.validate)
+                r.expect = referenceChecksum(r.program, r.benchCalls);
+        }
+        schedule[tick].push_back(std::move(r));
+    }
+    return schedule;
+}
+
+} // namespace serve
+} // namespace vspec

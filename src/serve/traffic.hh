@@ -1,0 +1,84 @@
+/**
+ * @file
+ * vserve synthetic traffic: a deterministic open-loop request stream.
+ *
+ * Everything is derived from one seed through support/random, so a
+ * seed identifies the whole soak forever. The mix interleaves good
+ * tenant work (seeded fuzz_gen programs with precomputed reference
+ * checksums), warm calls against each isolate's boot program, and five
+ * adversarial templates that between them exercise every
+ * EngineErrorKind the serving layer must contain:
+ *
+ *   fuel bomb       infinite loop + tight deadline  -> FuelExhausted
+ *   recursion bomb  unbounded self-call             -> StackOverflow
+ *   type bomb       calls a number                  -> TypeError
+ *   regex bomb      catastrophic backtracking       -> RegexBudget
+ *   warmup burst    K+1 forced JIT compiles on one tenant; on a
+ *                   compile-fault-injected isolate -> CompileFailed
+ *                   streak -> quarantine/degradation
+ *
+ * OutOfMemory arrives through the pool's per-isolate fault override
+ * (alloc-fail schedules), not through a program template — matching
+ * production, where OOM is an environment property, not request
+ * content.
+ *
+ * Reference checksums for good scripts are computed at generation time
+ * on a throwaway clean engine (faults cleared, same bench-call count),
+ * so the soak can assert end-to-end that surviving the fault matrix
+ * never corrupted a good result.
+ */
+
+#ifndef VSPEC_SERVE_TRAFFIC_HH
+#define VSPEC_SERVE_TRAFFIC_HH
+
+#include <string>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace vspec
+{
+namespace serve
+{
+
+struct TrafficOptions
+{
+    u32 requests = 300;       //!< total requests to generate
+    u32 tenants = 16;
+    u32 arrivalsPerTick = 4;  //!< open-loop arrival rate
+    u64 seed = 1;
+    /** Compute reference checksums for good scripts (costs one clean
+     *  engine run per script at generation time). */
+    bool validate = true;
+    u64 scriptDeadlineCycles = 20'000'000;  //!< generous: good work fits
+    u64 bombDeadlineCycles = 200'000;       //!< tight: bombs die fast
+    u32 warmupBurst = 4;  //!< consecutive Warmups per burst (> K)
+
+    // Mix weights out of 100 (remainder = good scripts).
+    u32 pctCall = 10;
+    u32 pctWarmupBurst = 8;  //!< chance to *start* a burst
+    u32 pctFuelBomb = 5;
+    u32 pctRecursionBomb = 3;
+    u32 pctTypeBomb = 3;
+    u32 pctRegexBomb = 3;
+};
+
+/** The boot program every fresh isolate engine loads: gives Call
+ *  requests a guaranteed entry point and warms the allocator. */
+const char *bootProgram();
+
+/** The warmup-burst program (must JIT-compile cleanly on a healthy
+ *  engine); entry point for RequestKind::Warmup is "work". */
+const char *warmupProgram();
+
+/**
+ * Generate the whole request schedule up front, grouped by arrival
+ * tick: schedule()[t] holds the requests arriving at virtual tick t.
+ */
+std::vector<std::vector<Request>>
+generateTraffic(const TrafficOptions &options);
+
+} // namespace serve
+} // namespace vspec
+
+#endif // VSPEC_SERVE_TRAFFIC_HH

@@ -351,4 +351,95 @@ jsonIsValid(const std::string &text, std::string *error)
     return ok;
 }
 
+namespace
+{
+
+std::string
+writeNumber(double n)
+{
+    if (!std::isfinite(n))
+        return "null";
+    // Integers (the common case for counters) print exactly; anything
+    // else gets enough digits to round-trip.
+    if (n == std::floor(n) && std::fabs(n) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", n);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", n);
+    return buf;
+}
+
+void
+writeValue(const JsonValue &v, int indent, std::string &out)
+{
+    std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    std::string pad1(static_cast<size_t>(indent + 1) * 2, ' ');
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        break;
+      case JsonValue::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        break;
+      case JsonValue::Kind::Number:
+        out += writeNumber(v.number);
+        break;
+      case JsonValue::Kind::String:
+        out += '"';
+        out += jsonEscape(v.string);
+        out += '"';
+        break;
+      case JsonValue::Kind::Array: {
+        if (v.array.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[\n";
+        for (size_t i = 0; i < v.array.size(); i++) {
+            out += pad1;
+            writeValue(v.array[i], indent + 1, out);
+            if (i + 1 < v.array.size())
+                out += ',';
+            out += '\n';
+        }
+        out += pad;
+        out += ']';
+        break;
+      }
+      case JsonValue::Kind::Object: {
+        if (v.object.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{\n";
+        size_t i = 0;
+        for (const auto &kv : v.object) {
+            out += pad1;
+            out += '"';
+            out += jsonEscape(kv.first);
+            out += "\": ";
+            writeValue(kv.second, indent + 1, out);
+            if (++i < v.object.size())
+                out += ',';
+            out += '\n';
+        }
+        out += pad;
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+writeJson(const JsonValue &value, int indent)
+{
+    std::string out;
+    writeValue(value, indent, out);
+    return out;
+}
+
 } // namespace vspec

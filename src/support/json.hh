@@ -59,6 +59,15 @@ class JsonValue
  */
 bool parseJson(const std::string &text, JsonValue &out, std::string &error);
 
+/**
+ * Serialize @p value back to JSON text. Two-space indentation per
+ * nesting level; object keys in std::map order (sorted). Round-trips
+ * through parseJson: write(parse(t)) is valid JSON with the same
+ * value tree as t. Non-finite numbers are emitted as null (JSON has
+ * no NaN/Inf).
+ */
+std::string writeJson(const JsonValue &value, int indent = 0);
+
 /** Validation-only convenience wrapper. */
 bool jsonIsValid(const std::string &text, std::string *error = nullptr);
 

@@ -76,6 +76,7 @@ TaskPool::runTask(Entry &entry)
         entry.fn();
     } catch (...) {
         std::unique_lock<std::mutex> lock(mu);
+        captured++;
         if (firstError == nullptr || entry.seq < firstErrorSeq) {
             firstError = std::current_exception();
             firstErrorSeq = entry.seq;
@@ -112,9 +113,28 @@ TaskPool::wait()
         std::unique_lock<std::mutex> lock(mu);
         err = firstError;
         firstError = nullptr;
+        if (err != nullptr)
+            rethrown++;
     }
     if (err != nullptr)
         std::rethrow_exception(err);
+}
+
+u64
+TaskPool::suppressedErrors() const
+{
+    std::unique_lock<std::mutex> lock(mu);
+    // Errors still pending rethrow (captured, wait() not yet called)
+    // are not suppressed — only the overwritten/discarded ones are.
+    u64 pending = firstError == nullptr ? 0 : 1;
+    return captured - rethrown - pending;
+}
+
+u64
+TaskPool::capturedErrors() const
+{
+    std::unique_lock<std::mutex> lock(mu);
+    return captured;
 }
 
 void
@@ -144,13 +164,33 @@ TaskPool::workerLoop()
 }
 
 void
-parallelFor(u32 jobs, size_t n, const std::function<void(size_t)> &body)
+parallelFor(u32 jobs, size_t n, const std::function<void(size_t)> &body,
+            u64 *suppressed_errors)
 {
+    if (suppressed_errors != nullptr)
+        *suppressed_errors = 0;
     if (n == 0)
         return;
     if (jobs <= 1 || n == 1) {
-        for (size_t i = 0; i < n; i++)
-            body(i);
+        // Inline baseline: same error contract as the parallel path —
+        // every index runs, the lowest-index (here: first) exception is
+        // rethrown afterwards, later ones are counted as suppressed.
+        std::exception_ptr first_err;
+        u64 errors = 0;
+        for (size_t i = 0; i < n; i++) {
+            try {
+                body(i);
+            } catch (...) {
+                errors++;
+                if (first_err == nullptr)
+                    first_err = std::current_exception();
+            }
+        }
+        if (first_err != nullptr) {
+            if (suppressed_errors != nullptr)
+                *suppressed_errors = errors - 1;
+            std::rethrow_exception(first_err);
+        }
         return;
     }
     // One task per worker pulling indices from a shared dispenser:
@@ -159,6 +199,7 @@ parallelFor(u32 jobs, size_t n, const std::function<void(size_t)> &body)
     std::mutex err_mu;
     std::exception_ptr first_err;
     size_t first_err_index = 0;
+    u64 errors = 0;
     TaskPool pool(std::min<size_t>(jobs, n));
     for (u32 t = 0; t < pool.jobs(); t++) {
         pool.submit([&] {
@@ -170,6 +211,7 @@ parallelFor(u32 jobs, size_t n, const std::function<void(size_t)> &body)
                     body(i);
                 } catch (...) {
                     std::unique_lock<std::mutex> lock(err_mu);
+                    errors++;
                     if (first_err == nullptr || i < first_err_index) {
                         first_err = std::current_exception();
                         first_err_index = i;
@@ -179,8 +221,11 @@ parallelFor(u32 jobs, size_t n, const std::function<void(size_t)> &body)
         });
     }
     pool.wait();
-    if (first_err != nullptr)
+    if (first_err != nullptr) {
+        if (suppressed_errors != nullptr)
+            *suppressed_errors = errors - 1;
         std::rethrow_exception(first_err);
+    }
 }
 
 } // namespace sched

@@ -52,7 +52,11 @@ u32 parseJobs(const std::string &text);
  * deterministic and sanitizer-quiet.
  *
  * Exceptions thrown by tasks are captured; wait() rethrows the first
- * one (by submission order) after the queue drains.
+ * one (by submission order) after the queue drains. Later failures in
+ * the same round are not lost: they are counted as *suppressed* and
+ * surfaced through suppressedErrors(), so a caller that survives the
+ * rethrow (or a server that must never lose a failure signal) can tell
+ * that a multi-failure round happened.
  */
 class TaskPool
 {
@@ -67,6 +71,16 @@ class TaskPool
 
     /** Drain the queue; rethrows the first captured task exception. */
     void wait();
+
+    /**
+     * Task exceptions captured but never rethrown (every captured
+     * error beyond the per-round first that wait() re-raises).
+     * Monotonic over the pool's lifetime.
+     */
+    u64 suppressedErrors() const;
+
+    /** Total task exceptions captured over the pool's lifetime. */
+    u64 capturedErrors() const;
 
     u32 jobs() const { return jobCount; }
 
@@ -84,23 +98,29 @@ class TaskPool
     u64 nextSeq = 0;
     std::vector<std::thread> workers;
     std::deque<Entry> queue;
-    std::mutex mu;
+    mutable std::mutex mu;
     std::condition_variable cvWork;   //!< workers: queue non-empty/stop
     std::condition_variable cvIdle;   //!< wait(): drained and idle
     u32 active = 0;
     bool stopping = false;
     std::exception_ptr firstError;
     u64 firstErrorSeq = 0;
+    u64 captured = 0;   //!< task exceptions captured since construction
+    u64 rethrown = 0;   //!< captured errors re-raised by wait()
 };
 
 /**
  * Run body(0..n-1) on up to `jobs` workers and block until every index
  * completes. Index execution order is unspecified for jobs > 1;
  * callers own result ordering (write into slot i). Rethrows the
- * lowest-index exception after all other indices finish.
+ * lowest-index exception after all other indices finish; when
+ * @p suppressed_errors is non-null it receives the number of *other*
+ * captured exceptions that were discarded by that policy (0 when at
+ * most one index threw), so multi-failure rounds stay visible.
  */
 void parallelFor(u32 jobs, size_t n,
-                 const std::function<void(size_t)> &body);
+                 const std::function<void(size_t)> &body,
+                 u64 *suppressed_errors = nullptr);
 
 } // namespace sched
 } // namespace vspec

@@ -26,6 +26,7 @@ traceCategoryName(TraceCategory c)
       case TraceCategory::Exec: return "exec";
       case TraceCategory::Fault: return "fault";
       case TraceCategory::Sample: return "sample";
+      case TraceCategory::Serve: return "serve";
       case TraceCategory::NumCategories: break;
     }
     return "?";
@@ -182,6 +183,14 @@ traceCounterName(TraceCounter c)
       case TraceCounter::GcBytesFreed: return "gc_bytes_freed";
       case TraceCounter::FaultsInjected: return "faults_injected";
       case TraceCounter::EngineErrors: return "engine_errors";
+      case TraceCounter::ServeRequests: return "serve_requests";
+      case TraceCounter::ServeShed: return "serve_shed";
+      case TraceCounter::ServeRetries: return "serve_retries";
+      case TraceCounter::ServeDeadlineExceeded:
+        return "serve_deadline_exceeded";
+      case TraceCounter::ServeQuarantines: return "serve_quarantines";
+      case TraceCounter::ServeDegradations: return "serve_degradations";
+      case TraceCounter::ServeErrors: return "serve_errors";
       case TraceCounter::NumCounters: break;
     }
     return "?";

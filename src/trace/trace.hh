@@ -60,6 +60,7 @@ enum class TraceCategory : u8
     Exec,     //!< function invocations (both tiers) — high volume
     Fault,    //!< vguard injected faults and raised engine errors
     Sample,   //!< vprof sampler markers — very high volume
+    Serve,    //!< vserve request lifecycle: shed, retry, quarantine…
     NumCategories,
 };
 
@@ -206,6 +207,15 @@ enum class TraceCounter : u16
     GcBytesFreed,
     FaultsInjected,     //!< vguard faults actually delivered
     EngineErrors,       //!< structured EngineErrors raised
+    // vserve request lifecycle (counted on the router's tracer, not a
+    // per-isolate engine tracer):
+    ServeRequests,          //!< requests admitted to an isolate queue
+    ServeShed,              //!< requests rejected by admission control
+    ServeRetries,           //!< re-executions after a transient fault
+    ServeDeadlineExceeded,  //!< requests cut off by their fuel deadline
+    ServeQuarantines,       //!< isolates recycled by the health tracker
+    ServeDegradations,      //!< isolates dropped to interpreter-only
+    ServeErrors,            //!< typed error responses returned
     NumCounters,
 };
 

@@ -120,12 +120,65 @@ TEST(FaultConfigTest, ParsesAllSites)
 {
     FaultConfig c = FaultConfig::parse(
         "alloc-fail-at=5, gc-every=3 ,compile-fail-at=2,"
-        "spurious-deopt-at=7");
+        "spurious-deopt-at=7,alloc-fail-every=900,compile-fail-every=4");
     EXPECT_EQ(c.allocFailAt, 5u);
+    EXPECT_EQ(c.allocFailEvery, 900u);
     EXPECT_EQ(c.gcEveryNAllocs, 3u);
     EXPECT_EQ(c.compileFailAt, 2u);
+    EXPECT_EQ(c.compileFailEvery, 4u);
     EXPECT_EQ(c.spuriousDeoptAt, 7u);
     EXPECT_TRUE(c.any());
+    EXPECT_FALSE(FaultConfig::none().any());
+}
+
+TEST(FaultConfigTest, RecurringSchedulesKeepFiring)
+{
+    FaultConfig cfg;
+    cfg.compileFailEvery = 2;
+    cfg.allocFailEvery = 3;
+    FaultInjector inj(cfg);
+    // Compiles 2, 4, 6 fail; 1, 3, 5 succeed.
+    EXPECT_FALSE(inj.onCompile());
+    EXPECT_TRUE(inj.onCompile());
+    EXPECT_FALSE(inj.onCompile());
+    EXPECT_TRUE(inj.onCompile());
+    EXPECT_FALSE(inj.onCompile());
+    EXPECT_TRUE(inj.onCompile());
+    // Allocations 3 and 6 fail.
+    EXPECT_EQ(inj.onAllocation(), AllocFault::None);
+    EXPECT_EQ(inj.onAllocation(), AllocFault::None);
+    EXPECT_EQ(inj.onAllocation(), AllocFault::Fail);
+    EXPECT_EQ(inj.onAllocation(), AllocFault::None);
+    EXPECT_EQ(inj.onAllocation(), AllocFault::None);
+    EXPECT_EQ(inj.onAllocation(), AllocFault::Fail);
+    EXPECT_EQ(inj.injected, 5u);  // 3 compile faults + 2 alloc faults
+}
+
+TEST(FaultConfigTest, SetFaultConfigOverridesPerEngine)
+{
+    // A clean engine gains a fault schedule post-construction: the
+    // vserve per-isolate override path. Thresholds are relative to the
+    // engine's lifetime ordinals, so read the current counter first.
+    Engine engine(quietConfig());
+    engine.loadProgram(kLoopProgram);
+    engine.call("bench");
+
+    FaultConfig cfg;
+    cfg.allocFailAt = engine.faults.allocations + 1;
+    engine.setFaultConfig(cfg);
+    EXPECT_THROW(engine.loadProgram("var x = [1, 2, 3];"), EngineError);
+    EXPECT_EQ(engine.faults.injected, 1u);
+
+    // Clearing restores normal service on the same engine.
+    engine.setFaultConfig(FaultConfig::none());
+    EXPECT_FALSE(engine.faults.enabled());
+    engine.call("bench");
+    Engine fresh(quietConfig());
+    fresh.loadProgram(kLoopProgram);
+    fresh.call("bench");
+    fresh.call("bench");
+    EXPECT_EQ(engine.vm.display(engine.call("verify")),
+              fresh.vm.display(fresh.call("verify")));
 }
 
 TEST(FaultConfigTest, IgnoresMalformedAndUnknownTokens)

@@ -105,6 +105,52 @@ TEST(Sched, ParallelForRethrowsLowestIndexError)
     }
 }
 
+TEST(Sched, WaitCountsSuppressedErrors)
+{
+    // Two concurrent throwing tasks: wait() rethrows exactly one (the
+    // earliest by submission order) and the other must be visible as a
+    // suppressed error, never silently discarded.
+    for (u32 jobs : {1u, 4u}) {
+        sched::TaskPool pool(jobs);
+        pool.submit([] { throw std::runtime_error("first"); });
+        pool.submit([] { throw std::runtime_error("second"); });
+        try {
+            pool.wait();
+            FAIL() << "expected an exception (jobs=" << jobs << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "first");
+        }
+        EXPECT_EQ(pool.capturedErrors(), 2u);
+        EXPECT_EQ(pool.suppressedErrors(), 1u);
+        // A clean follow-up round adds nothing to either count.
+        pool.submit([] {});
+        pool.wait();
+        EXPECT_EQ(pool.capturedErrors(), 2u);
+        EXPECT_EQ(pool.suppressedErrors(), 1u);
+    }
+}
+
+TEST(Sched, ParallelForReportsSuppressedErrors)
+{
+    for (u32 jobs : {1u, 4u}) {
+        u64 suppressed = 1234;  // must be overwritten even on success
+        sched::parallelFor(jobs, 8, [](size_t) {}, &suppressed);
+        EXPECT_EQ(suppressed, 0u);
+
+        try {
+            sched::parallelFor(jobs, 64, [&](size_t i) {
+                if (i == 7 || i == 23 || i == 41)
+                    throw std::runtime_error("boom "
+                                             + std::to_string(i));
+            }, &suppressed);
+            FAIL() << "expected an exception (jobs=" << jobs << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom 7");
+        }
+        EXPECT_EQ(suppressed, 2u) << "jobs=" << jobs;
+    }
+}
+
 TEST(Sched, TaskPoolStress)
 {
     // Many small racing tasks; the pool must run all of them exactly
@@ -324,6 +370,30 @@ TEST(Parallel, CellCounterTracksRuns)
     EXPECT_EQ(par::harnessCounter(par::HarnessCounter::CellsRun), 10u);
     std::string json = par::harnessCountersJson();
     EXPECT_NE(json.find("cells_run"), std::string::npos);
+}
+
+TEST(Parallel, MapCellsBumpsSuppressedErrorCounter)
+{
+    par::resetHarnessCounters();
+    for (u32 jobs : {1u, 4u}) {
+        try {
+            par::mapCells<int>(jobs, 32, [](size_t i) -> int {
+                if (i == 3 || i == 17)
+                    throw std::runtime_error("cell "
+                                             + std::to_string(i));
+                return static_cast<int>(i);
+            });
+            FAIL() << "expected an exception (jobs=" << jobs << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "cell 3");
+        }
+    }
+    // One suppressed failure per round, both job counts.
+    EXPECT_EQ(par::harnessCounter(
+                  par::HarnessCounter::TaskErrorsSuppressed),
+              2u);
+    std::string json = par::harnessCountersJson();
+    EXPECT_NE(json.find("task_errors_suppressed"), std::string::npos);
 }
 
 TEST(Parallel, StrprintfFormats)

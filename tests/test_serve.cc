@@ -1,0 +1,583 @@
+/**
+ * @file
+ * vserve tests: fault containment (every engine failure becomes a
+ * typed response), deadline mapping onto the fuel guard, retry with
+ * backoff, quarantine-and-replace, graceful degradation to
+ * interpreter-only, admission control, and the two determinism
+ * contracts — soak outcomes byte-identical across job counts, and
+ * good-request cycle counts on an abused engine bit-identical with a
+ * never-faulted engine (satellite: engine reuse under sustained
+ * abuse).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/engine.hh"
+#include "serve/soak.hh"
+#include "support/fuzz_gen.hh"
+
+using namespace vspec;
+using namespace vspec::serve;
+
+namespace
+{
+
+IsolateOptions
+quietIsolate()
+{
+    IsolateOptions io;
+    io.bootProgram = bootProgram();
+    return io;
+}
+
+/** A router wired to a pool the test also holds. */
+struct Rig
+{
+    explicit Rig(PoolOptions po, RouterOptions ro = {})
+        : pool(po),
+          router(pool, ro)
+    {}
+
+    IsolatePool pool;
+    RequestRouter router;
+
+    void run(u32 max_ticks = 10000) { router.drain(max_ticks); }
+};
+
+Request
+scriptRequest(u64 id, const char *program, u32 bench_calls = 1,
+              u64 deadline = 20'000'000)
+{
+    Request r;
+    r.id = id;
+    r.kind = RequestKind::Script;
+    r.program = program;
+    r.benchCalls = bench_calls;
+    r.deadlineCycles = deadline;
+    return r;
+}
+
+const char *const kGoodScript = R"(
+var total = 0;
+function bench() {
+  var s = 0;
+  for (var i = 0; i < 100; i = i + 1) { s = (s + i * 3) | 0; }
+  total = (total + s) | 0;
+  return total;
+}
+function verify() { return total; }
+)";
+
+const char *const kFuelBombScript = R"(
+var sink = 0;
+function bench() {
+  for (var i = 0; i < 1000000000; i = i + 1) { sink = (sink + i) | 0; }
+  return sink;
+}
+function verify() { return sink; }
+)";
+
+const char *const kTypeBombScript = R"(
+var x = 5;
+function bench() { return x(3); }
+function verify() { return 0; }
+)";
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Typed responses, deadlines, retries
+// ---------------------------------------------------------------------
+
+TEST(Serve, NamesAreStable)
+{
+    EXPECT_STREQ(requestKindName(RequestKind::Warmup), "warmup");
+    EXPECT_STREQ(responseStatusName(ResponseStatus::Shed), "shed");
+    EXPECT_EQ(classifyEngineError(EngineErrorKind::TypeError),
+              FaultClass::App);
+    EXPECT_EQ(classifyEngineError(EngineErrorKind::FuelExhausted),
+              FaultClass::Deadline);
+    EXPECT_EQ(classifyEngineError(EngineErrorKind::OutOfMemory),
+              FaultClass::Transient);
+    EXPECT_EQ(classifyEngineError(EngineErrorKind::CompileFailed),
+              FaultClass::Transient);
+}
+
+TEST(Serve, GoodScriptAnswersOk)
+{
+    PoolOptions po;
+    po.isolates = 1;
+    po.jobs = 1;
+    po.isolate = quietIsolate();
+    Rig rig(po);
+    rig.router.submit(scriptRequest(0, kGoodScript, 3));
+    rig.run();
+    ASSERT_EQ(rig.router.responses().size(), 1u);
+    const Response &r = rig.router.responses()[0];
+    EXPECT_EQ(r.status, ResponseStatus::Ok);
+    EXPECT_EQ(r.attempts, 1u);
+    EXPECT_GT(r.simCycles, 0u);
+    EXPECT_FALSE(r.result.empty());
+}
+
+TEST(Serve, DeadlineMapsToFuelGuard)
+{
+    PoolOptions po;
+    po.isolates = 1;
+    po.jobs = 1;
+    po.isolate = quietIsolate();
+    Rig rig(po);
+    rig.router.submit(scriptRequest(0, kFuelBombScript, 1, 200'000));
+    rig.run();
+    ASSERT_EQ(rig.router.responses().size(), 1u);
+    const Response &r = rig.router.responses()[0];
+    EXPECT_EQ(r.status, ResponseStatus::DeadlineExceeded);
+    EXPECT_EQ(r.errorKind, EngineErrorKind::FuelExhausted);
+    EXPECT_EQ(r.attempts, 1u);  // deadlines are never retried
+
+    // The isolate survives and serves the next request normally.
+    rig.router.submit(scriptRequest(1, kGoodScript));
+    rig.run();
+    ASSERT_EQ(rig.router.responses().size(), 2u);
+    EXPECT_EQ(rig.router.responses()[1].status, ResponseStatus::Ok);
+}
+
+TEST(Serve, AppErrorsFailFastWithoutHealthImpact)
+{
+    PoolOptions po;
+    po.isolates = 1;
+    po.jobs = 1;
+    po.isolate = quietIsolate();
+    po.quarantineAfter = 1;  // any health hit would quarantine
+    Rig rig(po);
+    for (u64 i = 0; i < 5; i++)
+        rig.router.submit(scriptRequest(i, kTypeBombScript));
+    rig.run();
+    ASSERT_EQ(rig.router.responses().size(), 5u);
+    for (const Response &r : rig.router.responses()) {
+        EXPECT_EQ(r.status, ResponseStatus::AppError);
+        EXPECT_EQ(r.errorKind, EngineErrorKind::TypeError);
+        EXPECT_EQ(r.attempts, 1u);
+        EXPECT_EQ(r.generation, 0u);  // no quarantine ever triggered
+    }
+    EXPECT_EQ(rig.router.stats.quarantines, 0u);
+    EXPECT_EQ(rig.router.stats.retries, 0u);
+}
+
+TEST(Serve, RetryRecoversTransientFault)
+{
+    PoolOptions po;
+    po.isolates = 1;
+    po.jobs = 1;
+    po.isolate = quietIsolate();
+    RouterOptions ro;
+    ro.maxAttempts = 3;
+    ro.backoffBaseTicks = 2;
+    Rig rig(po, ro);
+
+    // Arm a one-shot allocation fault on the live engine: the first
+    // attempt hits it, the retry sails past (the ordinal is spent).
+    Engine &eng = *rig.pool.at(0).engine;
+    FaultConfig fc;
+    fc.allocFailAt = eng.faults.allocations + 1;
+    eng.setFaultConfig(fc);
+
+    // This script heap-allocates (array literal), so it trips the
+    // armed fault; a pure-SMI loop never would.
+    static const char *const kAllocScript = R"(
+var total = 0;
+function bench() {
+  var a = [1, 2, 3];
+  a.push(4);
+  total = (total + a[0] + a[3]) | 0;
+  return total;
+}
+function verify() { return total; }
+)";
+    rig.router.submit(scriptRequest(0, kAllocScript));
+    rig.run();
+    ASSERT_EQ(rig.router.responses().size(), 1u);
+    const Response &r = rig.router.responses()[0];
+    EXPECT_EQ(r.status, ResponseStatus::Ok);
+    EXPECT_EQ(r.attempts, 2u);
+    EXPECT_EQ(rig.router.stats.retries, 1u);
+    // Backoff kept the retry off the immediate next tick.
+    EXPECT_GE(r.queueTicks, ro.backoffBaseTicks);
+}
+
+TEST(Serve, ShedsWhenSaturatedAndRecovers)
+{
+    PoolOptions po;
+    po.isolates = 1;
+    po.jobs = 1;
+    po.isolate = quietIsolate();
+    RouterOptions ro;
+    ro.queueCapacity = 2;
+    ro.serviceQuantum = 1;
+    Rig rig(po, ro);
+    for (u64 i = 0; i < 6; i++)
+        rig.router.submit(scriptRequest(i, kGoodScript));
+    // 2 admitted, 4 shed — typed rejections, not exceptions.
+    EXPECT_EQ(rig.router.stats.admitted, 2u);
+    EXPECT_EQ(rig.router.stats.shed, 4u);
+    rig.run();
+    ASSERT_EQ(rig.router.responses().size(), 6u);
+    u32 ok = 0, shed = 0;
+    for (const Response &r : rig.router.responses()) {
+        ok += r.status == ResponseStatus::Ok;
+        shed += r.status == ResponseStatus::Shed;
+    }
+    EXPECT_EQ(ok, 2u);
+    EXPECT_EQ(shed, 4u);
+    // Once drained, new work is admitted again.
+    rig.router.submit(scriptRequest(6, kGoodScript));
+    EXPECT_EQ(rig.router.stats.shed, 4u);
+    rig.run();
+    EXPECT_EQ(rig.router.responses().back().status, ResponseStatus::Ok);
+}
+
+// ---------------------------------------------------------------------
+// Quarantine and graceful degradation
+// ---------------------------------------------------------------------
+
+TEST(Serve, QuarantineReplacesFlappingIsolateThenDegrades)
+{
+    PoolOptions po;
+    po.isolates = 1;
+    po.jobs = 1;
+    po.isolate = quietIsolate();
+    po.targetIsolate = 0;
+    po.targetFaults = FaultConfig::parse("compile-fail-every=1");
+    po.quarantineAfter = 3;
+    po.cooldownTicks = 2;
+    po.degradeAfterCompileQuarantines = 2;
+    RouterOptions ro;
+    ro.maxAttempts = 2;
+    ro.queueCapacity = 64;
+    Rig rig(po, ro);
+
+    // A stream of warmups: every forced JIT compile fails on this
+    // isolate, so each request exhausts retries as CompileFailed.
+    // 3 transient responses -> quarantine #1 (replaced, cooled down),
+    // 3 more -> quarantine #2 escalates to interpreter-only.
+    auto warmup = [](u64 id) {
+        Request r;
+        r.id = id;
+        r.kind = RequestKind::Warmup;
+        r.program = warmupProgram();
+        r.entry = "work";
+        r.benchCalls = 2;
+        r.deadlineCycles = 20'000'000;
+        return r;
+    };
+    for (u64 i = 0; i < 6; i++)
+        rig.router.submit(warmup(i));
+    rig.run();
+    ASSERT_EQ(rig.router.responses().size(), 6u);
+    for (const Response &r : rig.router.responses()) {
+        EXPECT_EQ(r.status, ResponseStatus::TransientError);
+        EXPECT_EQ(r.errorKind, EngineErrorKind::CompileFailed);
+        EXPECT_EQ(r.attempts, ro.maxAttempts);
+    }
+    EXPECT_EQ(rig.router.stats.quarantines, 1u);
+    EXPECT_EQ(rig.router.stats.degradations, 1u);
+    const Isolate &iso = rig.pool.at(0);
+    EXPECT_TRUE(iso.degraded);
+    EXPECT_EQ(iso.generation, 2u);
+
+    // The degraded isolate is *serving again*: warmups now answer Ok
+    // and report the trade instead of failing.
+    rig.router.submit(warmup(6));
+    rig.router.submit(warmup(7));
+    rig.run();
+    ASSERT_EQ(rig.router.responses().size(), 8u);
+    u32 degraded_ok = 0;
+    for (const Response &r : rig.router.responses())
+        if (r.status == ResponseStatus::Ok && r.degraded) {
+            degraded_ok++;
+            EXPECT_EQ(r.result, "degraded:interpreter-only");
+        }
+    EXPECT_EQ(degraded_ok, 2u);
+
+    // And it still executes real work (interpreter tier).
+    rig.router.submit(scriptRequest(100, kGoodScript));
+    rig.run();
+    const Response &last = rig.router.responses().back();
+    EXPECT_EQ(last.status, ResponseStatus::Ok);
+    EXPECT_TRUE(last.degraded);
+}
+
+TEST(Serve, SpilloverRoutesAroundQuarantinedIsolate)
+{
+    PoolOptions po;
+    po.isolates = 2;
+    po.jobs = 1;
+    po.isolate = quietIsolate();
+    po.targetIsolate = 0;
+    po.targetFaults = FaultConfig::parse("compile-fail-every=1");
+    po.quarantineAfter = 1;
+    po.cooldownTicks = 1000;  // keep it out of rotation for the test
+    RouterOptions ro;
+    ro.maxAttempts = 1;
+    Rig rig(po, ro);
+
+    Request w;
+    w.id = 0;
+    w.tenant = 0;  // prefers isolate 0
+    w.kind = RequestKind::Warmup;
+    w.program = warmupProgram();
+    w.entry = "work";
+    w.benchCalls = 2;
+    w.deadlineCycles = 20'000'000;
+    rig.router.submit(std::move(w));
+    rig.run();
+    EXPECT_EQ(rig.router.stats.quarantines, 1u);
+
+    // Tenant 0's next request spills over to isolate 1 and succeeds.
+    Request s = scriptRequest(1, kGoodScript);
+    s.tenant = 0;
+    rig.router.submit(std::move(s));
+    rig.run();
+    const Response &r = rig.router.responses().back();
+    EXPECT_EQ(r.status, ResponseStatus::Ok);
+    EXPECT_EQ(r.isolate, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Soak: full harness, fault matrix, cross-jobs determinism
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+SoakOptions
+smallSoak(u32 jobs)
+{
+    SoakOptions so;
+    so.isolates = 4;
+    so.jobs = jobs;
+    so.traffic.requests = 120;
+    so.traffic.seed = 7;
+    so.traffic.validate = true;
+    so.targetIsolate = 1;
+    so.targetFaults =
+        FaultConfig::parse("compile-fail-every=1,alloc-fail-every=900");
+    so.quarantineAfter = 3;
+    so.cooldownTicks = 4;
+    so.degradeAfterCompileQuarantines = 2;
+    return so;
+}
+
+} // namespace
+
+TEST(ServeSoak, FaultMatrixContainedAndDeterministicAcrossJobs)
+{
+    SoakReport seq = runSoak(smallSoak(1));
+    SoakReport par = runSoak(smallSoak(4));
+
+    // Zero crashes by construction; every submitted request got a
+    // typed response.
+    EXPECT_EQ(seq.responses.size(), seq.stats.submitted);
+    EXPECT_EQ(seq.stats.submitted, 120u);
+
+    // Injected faults were classified, retried, and ultimately drove
+    // the circuit breaker on the target isolate.
+    EXPECT_GT(seq.stats.retries, 0u);
+    EXPECT_GT(seq.stats.quarantines + seq.stats.degradations, 0u);
+
+    // Good results survived the whole matrix bit-exactly.
+    EXPECT_EQ(seq.validationFailures, 0u);
+    EXPECT_GT(seq.stats.ok(), 0u);
+
+    // The determinism contract: everything except host timing is
+    // byte-identical between jobs=1 and jobs=4.
+    EXPECT_EQ(seq.digest, par.digest);
+    EXPECT_EQ(seq.isolateSimCycles, par.isolateSimCycles);
+    EXPECT_EQ(seq.isolateGenerations, par.isolateGenerations);
+    EXPECT_EQ(seq.stats.shed, par.stats.shed);
+    EXPECT_EQ(seq.stats.retries, par.stats.retries);
+    EXPECT_EQ(seq.stats.quarantines, par.stats.quarantines);
+    EXPECT_EQ(seq.stats.degradations, par.stats.degradations);
+    ASSERT_EQ(seq.responses.size(), par.responses.size());
+    for (size_t i = 0; i < seq.responses.size(); i++) {
+        EXPECT_EQ(seq.responses[i].id, par.responses[i].id);
+        EXPECT_EQ(seq.responses[i].simCycles,
+                  par.responses[i].simCycles)
+            << "response " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: engine reuse under sustained abuse (one Engine, >= 200
+// alternating good/faulting requests, every EngineError kind, good
+// cycles bit-identical with a never-faulted engine)
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const char *const kAbuseGood = R"(
+var g_total = 0;
+function goodBench() {
+  var s = 0;
+  for (var i = 0; i < 150; i = i + 1) { s = (s + i * 3) | 0; }
+  g_total = (g_total + s) | 0;
+  return g_total;
+}
+function goodVerify() { return g_total; }
+)";
+
+const char *const kAbuseType = R"(
+var tb_x = 5;
+function tbBench() { return tb_x(3); }
+)";
+
+const char *const kAbuseRecursion = R"(
+function rbHelper(n) { return rbHelper(n + 1); }
+function rbBench() { return rbHelper(1); }
+)";
+
+const char *const kAbuseRegex = R"(
+function reBench() {
+  return reTest("(a+)+(a+)+b", "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+}
+)";
+
+const char *const kAbuseFuel = R"(
+var fb_sink = 0;
+function fbBench() {
+  for (var i = 0; i < 1000000000; i = i + 1) { fb_sink = (fb_sink + i) | 0; }
+  return fb_sink;
+}
+)";
+
+const char *const kAbuseAlloc = R"(
+function obBench() {
+  var a = [1, 2, 3];
+  a.push(4);
+  return a[0];
+}
+)";
+
+/** Load @p program and pin every function it added to the interpreter
+ *  tier, so abuse requests never touch the shared simulated
+ *  cache/branch-predictor state that good-request JIT timing uses. */
+void
+loadInterpreterOnly(Engine &eng, const char *program)
+{
+    u32 before = eng.functions.count();
+    eng.loadProgram(program);
+    for (u32 id = before; id < eng.functions.count(); id++)
+        eng.functions.at(id).optimizationDisabled = true;
+}
+
+} // namespace
+
+TEST(ServeSoak, EngineReuseUnderSustainedAbuse)
+{
+    EngineConfig cfg;
+    cfg.samplerEnabled = false;
+    cfg.faults = FaultConfig::none();
+    cfg.maxInvokeDepth = 64;
+
+    Engine abused(cfg);
+    Engine control(cfg);
+    abused.loadProgram(kAbuseGood);
+    control.loadProgram(kAbuseGood);
+    // The abuse programs are loaded once, interpreter-pinned.
+    loadInterpreterOnly(abused, kAbuseType);
+    loadInterpreterOnly(abused, kAbuseRecursion);
+    loadInterpreterOnly(abused, kAbuseRegex);
+    loadInterpreterOnly(abused, kAbuseFuel);
+    loadInterpreterOnly(abused, kAbuseAlloc);
+    loadInterpreterOnly(abused, bootProgram());  // warmup compile target
+
+    u32 seen[kNumEngineErrorKinds] = {};
+    std::vector<u64> abused_good, control_good;
+    constexpr u32 kRequests = 220;
+    for (u32 i = 0; i < kRequests; i++) {
+        if (i % 2 == 0) {
+            // Good request on both engines; record the cycle delta.
+            u64 a0 = abused.totalCycles();
+            abused.call("goodBench");
+            abused_good.push_back(abused.totalCycles() - a0);
+            u64 c0 = control.totalCycles();
+            control.call("goodBench");
+            control_good.push_back(control.totalCycles() - c0);
+            continue;
+        }
+        // Abuse request on the abused engine only, rotating through
+        // every EngineError kind.
+        try {
+            switch ((i / 2) % 6) {
+              case 0:
+                abused.call("tbBench");
+                break;
+              case 1:
+                abused.call("rbBench");
+                break;
+              case 2:
+                abused.call("reBench");
+                break;
+              case 3: {
+                u64 save = abused.config.maxFuelCycles;
+                abused.config.maxFuelCycles =
+                    abused.totalCycles() + 100'000;
+                try {
+                    abused.call("fbBench");
+                } catch (...) {
+                    abused.config.maxFuelCycles = save;
+                    throw;
+                }
+                abused.config.maxFuelCycles = save;
+                break;
+              }
+              case 4: {
+                FaultConfig fc;
+                fc.allocFailAt = abused.faults.allocations + 1;
+                abused.setFaultConfig(fc);
+                try {
+                    abused.call("obBench");
+                } catch (...) {
+                    abused.setFaultConfig(FaultConfig::none());
+                    throw;
+                }
+                abused.setFaultConfig(FaultConfig::none());
+                break;
+              }
+              case 5: {
+                FaultConfig fc;
+                fc.compileFailAt = abused.faults.compiles + 1;
+                abused.setFaultConfig(fc);
+                FunctionId fn = abused.functions.idOf("work");
+                ASSERT_NE(fn, kInvalidFunction);
+                bool compiled =
+                    abused.compileFunction(abused.functions.at(fn));
+                abused.setFaultConfig(FaultConfig::none());
+                if (!compiled)
+                    throw EngineError(EngineErrorKind::CompileFailed,
+                                      "injected warmup failure");
+                break;
+              }
+            }
+            FAIL() << "abuse request " << i << " did not fault";
+        } catch (const EngineError &e) {
+            seen[static_cast<u32>(e.kind)]++;
+        }
+    }
+
+    // Every EngineError kind was exercised and contained.
+    for (u32 k = 0; k < kNumEngineErrorKinds; k++)
+        EXPECT_GT(seen[k], 0u)
+            << engineErrorKindName(static_cast<EngineErrorKind>(k));
+
+    // Results stayed correct: the good accumulator saw only good work.
+    EXPECT_EQ(abused.vm.display(abused.call("goodVerify")),
+              control.vm.display(control.call("goodVerify")));
+
+    // And the headline invariant: per-request good cycles on the
+    // abused engine are bit-identical with the never-faulted control.
+    ASSERT_EQ(abused_good.size(), control_good.size());
+    for (size_t i = 0; i < abused_good.size(); i++)
+        EXPECT_EQ(abused_good[i], control_good[i]) << "good call " << i;
+}

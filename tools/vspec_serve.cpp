@@ -1,0 +1,241 @@
+/**
+ * @file
+ * vspec-serve: command-line front end for the vserve soak harness.
+ * Runs a deterministic open-loop traffic schedule against a
+ * multi-isolate pool with an optional fault matrix, prints the serving
+ * report, and gates on operator-specified invariants:
+ *
+ *   --require-quarantine          at least one isolate was quarantined
+ *   --require-degradation         at least one isolate was degraded
+ *   --require-no-shed             admission control never dropped work
+ *   --verify-determinism          rerun at --jobs=1 and demand an
+ *                                 identical outcome digest
+ *
+ * Validation failures (an Ok response whose checksum differs from the
+ * clean-engine reference) always fail the run: fault containment that
+ * corrupts results is not containment.
+ *
+ * Exit codes: 0 ok, 1 an invariant failed, 2 bad usage.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/soak.hh"
+
+using namespace vspec;
+using namespace vspec::serve;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0, const char *bad = nullptr)
+{
+    if (bad != nullptr)
+        std::fprintf(stderr, "%s: invalid argument '%s'\n", argv0, bad);
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --isolates=N          pool size (default 4)\n"
+        "  --jobs=N              execution workers (default: one per "
+        "isolate)\n"
+        "  --requests=N          traffic volume (default 300)\n"
+        "  --seed=N              traffic seed (default 1)\n"
+        "  --tenants=N           routing-key space (default 16)\n"
+        "  --arrivals=N          requests arriving per tick (default 4)\n"
+        "  --fault=SPEC          fault schedule for the target isolate\n"
+        "  --target-isolate=N    which isolate gets --fault (default 1)\n"
+        "  --fleet-fault=SPEC    fault schedule for every isolate\n"
+        "  --quarantine-after=N  consecutive faults before quarantine\n"
+        "  --cooldown=N          ticks out of rotation after quarantine\n"
+        "  --degrade-after=N     compile-quarantines before interpreter-"
+        "only\n"
+        "  --max-attempts=N      executions per request (default 3)\n"
+        "  --queue-capacity=N    per-isolate queue bound (default 32)\n"
+        "  --no-validate         skip clean-engine reference checksums\n"
+        "  --require-quarantine  fail unless a quarantine happened\n"
+        "  --require-degradation fail unless a degradation happened\n"
+        "  --require-no-shed     fail if any request was shed\n"
+        "  --verify-determinism  rerun at jobs=1, compare digests\n",
+        argv0);
+    std::exit(2);
+}
+
+bool
+flagU32(const char *arg, const char *name, u32 *out)
+{
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0)
+        return false;
+    *out = static_cast<u32>(std::atoi(arg + n));
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SoakOptions so;
+    u32 target_isolate = 1;
+    std::string fault_spec;
+    std::string fleet_spec;
+    bool require_quarantine = false;
+    bool require_degradation = false;
+    bool require_no_shed = false;
+    bool verify_determinism = false;
+    u32 seed = 1;
+
+    for (int i = 1; i < argc; i++) {
+        const char *a = argv[i];
+        if (flagU32(a, "--isolates=", &so.isolates)
+            || flagU32(a, "--jobs=", &so.jobs)
+            || flagU32(a, "--requests=", &so.traffic.requests)
+            || flagU32(a, "--seed=", &seed)
+            || flagU32(a, "--tenants=", &so.traffic.tenants)
+            || flagU32(a, "--arrivals=", &so.traffic.arrivalsPerTick)
+            || flagU32(a, "--target-isolate=", &target_isolate)
+            || flagU32(a, "--quarantine-after=", &so.quarantineAfter)
+            || flagU32(a, "--cooldown=", &so.cooldownTicks)
+            || flagU32(a, "--degrade-after=",
+                       &so.degradeAfterCompileQuarantines)
+            || flagU32(a, "--max-attempts=", &so.router.maxAttempts)
+            || flagU32(a, "--queue-capacity=",
+                       &so.router.queueCapacity)) {
+            continue;
+        } else if (std::strncmp(a, "--fault=", 8) == 0) {
+            fault_spec = a + 8;
+        } else if (std::strncmp(a, "--fleet-fault=", 14) == 0) {
+            fleet_spec = a + 14;
+        } else if (std::strcmp(a, "--no-validate") == 0) {
+            so.traffic.validate = false;
+        } else if (std::strcmp(a, "--require-quarantine") == 0) {
+            require_quarantine = true;
+        } else if (std::strcmp(a, "--require-degradation") == 0) {
+            require_degradation = true;
+        } else if (std::strcmp(a, "--require-no-shed") == 0) {
+            require_no_shed = true;
+        } else if (std::strcmp(a, "--verify-determinism") == 0) {
+            verify_determinism = true;
+        } else {
+            usage(argv[0], a);
+        }
+    }
+    so.traffic.seed = seed;
+    if (so.isolates == 0)
+        so.isolates = 1;
+    if (!fault_spec.empty()) {
+        so.targetIsolate =
+            target_isolate < so.isolates ? target_isolate : 0;
+        so.targetFaults = FaultConfig::parse(fault_spec);
+    }
+    if (!fleet_spec.empty())
+        so.fleetFaults = FaultConfig::parse(fleet_spec);
+
+    std::printf("vspec-serve: %u isolates, %u requests, seed %u, "
+                "jobs=%u%s\n",
+                so.isolates, so.traffic.requests, seed,
+                so.jobs == 0 ? so.isolates : so.jobs,
+                so.targetIsolate != kNoIsolate ? " (fault matrix on)"
+                                               : "");
+    SoakReport r = runSoak(so);
+
+    std::printf("\n  responses   %zu / %llu submitted (%llu ok, %llu "
+                "errors, %llu shed)\n",
+                r.responses.size(),
+                static_cast<unsigned long long>(r.stats.submitted),
+                static_cast<unsigned long long>(r.stats.ok()),
+                static_cast<unsigned long long>(r.stats.errors()),
+                static_cast<unsigned long long>(r.stats.shed));
+    std::printf("  by status   ");
+    for (u32 s = 0;
+         s < static_cast<u32>(ResponseStatus::NumStatuses); s++)
+        std::printf("%s=%llu ",
+                    responseStatusName(static_cast<ResponseStatus>(s)),
+                    static_cast<unsigned long long>(r.stats.byStatus[s]));
+    std::printf("\n  by error    ");
+    for (u32 k = 0; k < kNumEngineErrorKinds; k++)
+        if (r.stats.byErrorKind[k] != 0)
+            std::printf(
+                "%s=%llu ",
+                engineErrorKindName(static_cast<EngineErrorKind>(k)),
+                static_cast<unsigned long long>(r.stats.byErrorKind[k]));
+    std::printf("\n  policy      retries=%llu quarantines=%llu "
+                "degradations=%llu degraded_isolates=%u\n",
+                static_cast<unsigned long long>(r.stats.retries),
+                static_cast<unsigned long long>(r.stats.quarantines),
+                static_cast<unsigned long long>(r.stats.degradations),
+                r.degradedIsolates);
+    std::printf("  latency     p50=%u p90=%u p99=%u ticks (virtual), "
+                "p50=%lluus p99=%lluus (host)\n",
+                r.latencyP50, r.latencyP90, r.latencyP99,
+                static_cast<unsigned long long>(r.hostP50Micros),
+                static_cast<unsigned long long>(r.hostP99Micros));
+    if (r.avgOkCyclesDegraded > 0)
+        std::printf("  degradation trade: ok requests cost %.0f cycles "
+                    "interpreted vs %.0f with JIT (%.2fx)\n",
+                    r.avgOkCyclesDegraded, r.avgOkCyclesJit,
+                    r.avgOkCyclesJit > 0
+                        ? r.avgOkCyclesDegraded / r.avgOkCyclesJit
+                        : 0.0);
+    std::printf("  host        %.2fs wall, %.0f req/s, %u virtual "
+                "ticks\n",
+                r.hostWallSeconds, r.throughputRps, r.ticks);
+    std::printf("  digest      %016llx\n",
+                static_cast<unsigned long long>(r.digest));
+
+    int rc = 0;
+    if (r.responses.size() != r.stats.submitted) {
+        std::fprintf(stderr, "FAIL: %zu responses for %llu requests — "
+                     "a request went unanswered\n",
+                     r.responses.size(),
+                     static_cast<unsigned long long>(r.stats.submitted));
+        rc = 1;
+    }
+    if (r.validationFailures != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %u ok responses differ from the clean-"
+                     "engine reference checksum\n",
+                     r.validationFailures);
+        rc = 1;
+    }
+    if (require_quarantine && r.stats.quarantines == 0) {
+        std::fprintf(stderr, "FAIL: --require-quarantine but no "
+                             "isolate was quarantined\n");
+        rc = 1;
+    }
+    if (require_degradation && r.stats.degradations == 0) {
+        std::fprintf(stderr, "FAIL: --require-degradation but no "
+                             "isolate was degraded\n");
+        rc = 1;
+    }
+    if (require_no_shed && r.stats.shed != 0) {
+        std::fprintf(stderr, "FAIL: --require-no-shed but %llu "
+                     "requests were shed\n",
+                     static_cast<unsigned long long>(r.stats.shed));
+        rc = 1;
+    }
+    if (verify_determinism) {
+        SoakOptions seq = so;
+        seq.jobs = 1;
+        seq.traffic.validate = false;  // expect strings aren't executed
+        SoakReport sr = runSoak(seq);
+        if (sr.digest != r.digest) {
+            std::fprintf(
+                stderr,
+                "FAIL: outcome digest differs at jobs=1: %016llx vs "
+                "%016llx\n",
+                static_cast<unsigned long long>(sr.digest),
+                static_cast<unsigned long long>(r.digest));
+            rc = 1;
+        } else {
+            std::printf("  determinism verified: jobs=1 digest "
+                        "matches\n");
+        }
+    }
+    if (rc == 0)
+        std::printf("OK: all serving invariants held\n");
+    return rc;
+}
