@@ -81,6 +81,20 @@ cp build/BENCH_host.json "$VPAR_CACHE/gate-current/"
     --current="$VPAR_CACHE/gate-current"
 ./build/tools/bench_gate selftest --baselines=bench/baselines
 
+echo "== pass 1i: vregalloc reduced-pool smoke =="
+# The register-pressure suite, then a JIT-heavy slice with the whole
+# engine starved to a handful of registers via the env knob (allocation
+# verifier forced on), then one quick bench leg proving the starved
+# allocator still completes the harness path. The scratch cache dir
+# keeps shrunk-pool cycle numbers out of the user's persistent cache.
+./build/tests/vspec_tests --gtest_filter='Regalloc*' --gtest_brief=1
+VSPEC_MAX_GPRS=3 VSPEC_VERIFY=1 VSPEC_CACHE_DIR="$VPAR_CACHE" \
+    ./build/tests/vspec_tests \
+    --gtest_filter='Backend.*:FuzzDifferential.*' --gtest_brief=1
+VSPEC_MAX_GPRS=4 VSPEC_MAX_FPRS=2 VSPEC_VERIFY=1 \
+    VSPEC_CACHE_DIR="$VPAR_CACHE" \
+    ./build/bench/fig01_check_frequency --quick --jobs=1 >/dev/null
+
 echo "== pass 1h: vserve fault-containment soak =="
 # A short soak with the full fault matrix concentrated on one isolate:
 # must complete with zero crashes, classify every injected fault into a

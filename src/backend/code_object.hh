@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/regalloc.hh"
 #include "bytecode/bytecode.hh"
 #include "ir/deopt_reasons.hh"
 #include "ir/graph.hh"
@@ -78,6 +79,10 @@ class CodeObject
     std::vector<DeoptExitInfo> deoptExits;
     std::vector<CheckInfo> checks;
     u32 spillSlots = 0;
+
+    /** Register-allocation statistics for this compile (vtrace feeds
+     *  them into the regalloc_* counters post-compile). */
+    RegallocStats raStats;
 
     /** Source snapshot taken at codegen (vprof): the function's name
      *  and its per-bytecode source positions. Self-contained so

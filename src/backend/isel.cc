@@ -6,6 +6,7 @@
 
 #include "backend/regalloc.hh"
 #include "trace/trace.hh"
+#include "verify/verify.hh"
 
 namespace vspec
 {
@@ -153,9 +154,30 @@ class CodeGenerator
                 blockOrder.push_back(b);
         }
 
-        ra = allocateRegisters(g, blockOrder);
+        RegallocOptions ropt;
+        ropt.flavour = cfg.flavour;
+        ropt.maxGprs = cfg.maxGprs;
+        ropt.maxFprs = cfg.maxFprs;
+        if (cfg.trace != nullptr && cfg.trace->on(TraceCategory::Compile)) {
+            ropt.trace = cfg.trace;
+            ropt.traceTimestamp = cfg.traceTimestamp;
+            ropt.traceFunction = cfg.traceFunction;
+        }
+        ra = allocateRegisters(g, blockOrder, ropt);
         code->spillSlots = ra.spillSlots;
-        computeUseCounts();
+        code->raStats = ra.stats;
+        if (cfg.verifyAllocation)
+            enforce(verifyAllocation(g, blockOrder, ra),
+                    "register allocation");
+
+        // Emission decisions the allocator already committed to (it
+        // read the affected operands at the consuming position).
+        skippedLenLoads.insert(ra.skippedLenLoads.begin(),
+                               ra.skippedLenLoads.end());
+        isFusedCompare.assign(g.nodes.size(), false);
+        for (ValueId c : ra.fusedCompares)
+            isFusedCompare[c] = true;
+        placeEdgeMoves();
 
         emitPrologue();
         for (size_t i = 0; i < blockOrder.size(); i++) {
@@ -206,19 +228,8 @@ class CodeGenerator
     }
     void endCheck() { curCheckId = kNoCheck; }
 
-    void
-    computeUseCounts()
-    {
-        useCount.assign(g.nodes.size(), 0);
-        for (const auto &n : g.nodes) {
-            if (n.dead)
-                continue;
-            for (ValueId in : n.inputs)
-                useCount[in]++;
-        }
-    }
-
-    const Allocation &allocOf(ValueId v) const { return ra.alloc[v]; }
+    /** Location of @p v at the current emission position. */
+    Allocation allocAt(ValueId v) const { return ra.locationAt(v, curPos); }
 
     bool
     isConst(ValueId v) const
@@ -240,7 +251,7 @@ class CodeGenerator
             emit(make(MOp::MovI, scratch, 0, 0, n.imm));
             return scratch;
         }
-        const Allocation &a = allocOf(v);
+        Allocation a = allocAt(v);
         switch (a.where) {
           case Allocation::Where::Reg:
             return a.reg;
@@ -263,7 +274,7 @@ class CodeGenerator
             emit(m);
             return scratch;
         }
-        const Allocation &a = allocOf(v);
+        Allocation a = allocAt(v);
         switch (a.where) {
           case Allocation::Where::FReg:
             return a.reg;
@@ -280,7 +291,7 @@ class CodeGenerator
     u8
     defGpr(ValueId v)
     {
-        const Allocation &a = allocOf(v);
+        Allocation a = allocAt(v);
         if (a.where == Allocation::Where::Reg)
             return a.reg;
         // Spilled defs land in kScratch1, never in the operand reload
@@ -294,7 +305,7 @@ class CodeGenerator
     u8
     defFpr(ValueId v)
     {
-        const Allocation &a = allocOf(v);
+        Allocation a = allocAt(v);
         if (a.where == Allocation::Where::FReg)
             return a.reg;
         if (a.where == Allocation::Where::Spill)
@@ -305,7 +316,7 @@ class CodeGenerator
     void
     finishDef(ValueId v, u8 reg)
     {
-        const Allocation &a = allocOf(v);
+        Allocation a = allocAt(v);
         if (a.where == Allocation::Where::Spill) {
             bool is_f = g.node(v).rep == Rep::Float64;
             emit(make(is_f ? MOp::StrD : MOp::StrX, reg, kSpReg, 0,
@@ -343,7 +354,7 @@ class CodeGenerator
           default:
             break;
         }
-        const Allocation &a = allocOf(v);
+        Allocation a = allocAt(v);
         switch (a.where) {
           case Allocation::Where::Reg:
             loc.where = DeoptLocation::Where::Reg;
@@ -466,21 +477,9 @@ class CodeGenerator
     };
 
     MoveLoc
-    moveLocOf(ValueId v)
+    allocMoveLoc(const Allocation &a)
     {
         MoveLoc l;
-        const IrNode &n = g.node(v);
-        if (n.op == IrOp::ConstI32 || n.op == IrOp::ConstTagged) {
-            l.kind = MoveLoc::Kind::ImmI;
-            l.imm = n.imm;
-            return l;
-        }
-        if (n.op == IrOp::ConstF64) {
-            l.kind = MoveLoc::Kind::ImmF;
-            l.fimm = n.fval;
-            return l;
-        }
-        const Allocation &a = allocOf(v);
         switch (a.where) {
           case Allocation::Where::Reg:
             l.kind = MoveLoc::Kind::Gpr;
@@ -495,10 +494,32 @@ class CodeGenerator
             l.slot = a.slot;
             break;
           default:
-            vpanic("moveLocOf: unallocated value");
+            vpanic("allocMoveLoc: unallocated value");
         }
         return l;
     }
+
+    /** Move endpoint for @p v at position @p pos (phi destinations are
+     *  read at the successor's entry, everything else at curPos). */
+    MoveLoc
+    moveLocAt(ValueId v, u32 pos)
+    {
+        MoveLoc l;
+        const IrNode &n = g.node(v);
+        if (n.op == IrOp::ConstI32 || n.op == IrOp::ConstTagged) {
+            l.kind = MoveLoc::Kind::ImmI;
+            l.imm = n.imm;
+            return l;
+        }
+        if (n.op == IrOp::ConstF64) {
+            l.kind = MoveLoc::Kind::ImmF;
+            l.fimm = n.fval;
+            return l;
+        }
+        return allocMoveLoc(ra.locationAt(v, pos));
+    }
+
+    MoveLoc moveLocOf(ValueId v) { return moveLocAt(v, curPos); }
 
     void
     emitMove(const MoveLoc &src, const MoveLoc &dst)
@@ -591,16 +612,29 @@ class CodeGenerator
             if (progressed)
                 continue;
             // Cycle: stash the first source in a scratch register.
-            MoveLoc scratch;
-            if (moves[0].first.kind == MoveLoc::Kind::Fpr) {
-                scratch.kind = MoveLoc::Kind::Fpr;
-                scratch.reg = kFpScratch1;
-            } else {
-                scratch.kind = MoveLoc::Kind::Gpr;
-                scratch.reg = kScratch1;
-            }
-            emitMove(moves[0].first, scratch);
+            // The scratch's class follows the stashed *value*, not the
+            // location it happens to occupy: a float sitting in a
+            // spill slot but headed for an FPR (slot<->register swap
+            // cycles the allocator's split moves can produce) must be
+            // staged through an FP scratch — there is no GPR->FPR
+            // move. All moves sourcing one location carry the same
+            // value, so scanning their endpoints decides the class.
+            // kFpScratch0 is free here (kFpScratch1 stages ImmF->slot
+            // inside this same resolution loop).
             MoveLoc old_src = moves[0].first;
+            bool fp_value = false;
+            for (const auto &m : moves) {
+                if (!m.first.sameAs(old_src))
+                    continue;
+                if (m.first.kind == MoveLoc::Kind::Fpr
+                    || m.second.kind == MoveLoc::Kind::Fpr)
+                    fp_value = true;
+            }
+            MoveLoc scratch;
+            scratch.kind = fp_value ? MoveLoc::Kind::Fpr
+                                    : MoveLoc::Kind::Gpr;
+            scratch.reg = fp_value ? kFpScratch0 : kScratch1;
+            emitMove(moves[0].first, scratch);
             moves[0].first = scratch;
             for (size_t j = 1; j < moves.size(); j++) {
                 if (moves[j].first.sameAs(old_src))
@@ -641,12 +675,15 @@ class CodeGenerator
                 const IrNode &n = g.node(id);
                 if (n.dead || n.op != IrOp::Param)
                     continue;
-                if (allocOf(id).where == Allocation::Where::None)
+                if (!ra.isAllocated(id))
                     continue;
                 MoveLoc src;
                 src.kind = MoveLoc::Kind::Gpr;
                 src.reg = static_cast<u8>(n.imm);
-                moves.push_back({src, moveLocOf(id)});
+                // Params are defined at their block's entry (the
+                // allocator starts their interval there), so the
+                // destination is the first segment's location.
+                moves.push_back({src, moveLocAt(id, ra.blockFrom[b])});
             }
         }
         resolveParallelMoves(std::move(moves));
@@ -685,28 +722,23 @@ class CodeGenerator
         blockStart[b] = static_cast<u32>(code->code.size());
         const BasicBlock &blk = g.block(b);
 
-        // Detect compare-into-branch fusion for the terminator.
+        // Edge-resolution moves routed to this block's entry (the
+        // single predecessor branches, so they cannot run there).
+        auto ein = movesAtEntry.find(b);
+        if (ein != movesAtEntry.end())
+            emitEdgeMoves(ein->second);
+
+        // Compare-into-branch fusion, as decided by the allocator (it
+        // read the compare's operands at the branch position).
         fusedCompare = kNoValue;
-        ValueId term = kNoValue;
-        ValueId last_live_before_term = kNoValue;
         for (ValueId id : blk.nodes) {
             const IrNode &n = g.node(id);
             if (n.dead)
                 continue;
             if (n.isTerminator()) {
-                term = id;
+                if (n.op == IrOp::Branch && isFusedCompare[n.inputs[0]])
+                    fusedCompare = n.inputs[0];
                 break;
-            }
-            last_live_before_term = id;
-        }
-        if (term != kNoValue && g.node(term).op == IrOp::Branch) {
-            ValueId c = g.node(term).inputs[0];
-            const IrNode &cn = g.node(c);
-            if ((cn.op == IrOp::I32Compare || cn.op == IrOp::F64Compare
-                 || cn.op == IrOp::TaggedEqual)
-                && c == last_live_before_term && cn.block == b
-                && useCount[c] == 1) {
-                fusedCompare = c;
             }
         }
 
@@ -718,33 +750,111 @@ class CodeGenerator
         }
     }
 
-    /** Emit phi moves for the (single successor) edge b -> succ. */
+    /** Emit phi moves for the (single successor) edge b -> succ, plus
+     *  any edge-resolution moves placed on that edge — one parallel
+     *  set, so a phi move and a resolution move never clobber each
+     *  other's source. */
     void
     emitPhiMoves(BlockId b, BlockId succ)
     {
+        std::vector<std::pair<MoveLoc, MoveLoc>> moves;
         const BasicBlock &sb = g.block(succ);
         int pred_index = -1;
         for (size_t i = 0; i < sb.preds.size(); i++) {
             if (sb.preds[i] == b)
                 pred_index = static_cast<int>(i);
         }
-        if (pred_index < 0)
-            return;
-        std::vector<std::pair<MoveLoc, MoveLoc>> moves;
-        for (ValueId id : sb.nodes) {
-            const IrNode &n = g.node(id);
-            if (n.op != IrOp::Phi)
-                break;
-            if (n.dead)
-                continue;
-            if (static_cast<size_t>(pred_index) >= n.inputs.size())
-                continue;
-            if (allocOf(id).where == Allocation::Where::None)
-                continue;
-            ValueId in = n.inputs[pred_index];
-            moves.push_back({moveLocOf(in), moveLocOf(id)});
+        if (pred_index >= 0) {
+            for (ValueId id : sb.nodes) {
+                const IrNode &n = g.node(id);
+                if (n.op != IrOp::Phi)
+                    break;
+                if (n.dead)
+                    continue;
+                if (static_cast<size_t>(pred_index) >= n.inputs.size())
+                    continue;
+                if (!ra.isAllocated(id))
+                    continue;
+                ValueId in = n.inputs[pred_index];
+                // The phi is defined at the successor's entry; its
+                // input is read where this block ends.
+                moves.push_back({moveLocOf(in),
+                                 moveLocAt(id, ra.blockFrom[succ])});
+            }
+        }
+        auto eg = movesAtGoto.find(b);
+        if (eg != movesAtGoto.end()) {
+            for (const EdgeMove &m : eg->second)
+                moves.push_back({allocMoveLoc(m.from), allocMoveLoc(m.to)});
         }
         resolveParallelMoves(std::move(moves));
+    }
+
+    void
+    emitEdgeMoves(const std::vector<EdgeMove> &em)
+    {
+        std::vector<std::pair<MoveLoc, MoveLoc>> moves;
+        moves.reserve(em.size());
+        for (const EdgeMove &m : em)
+            moves.push_back({allocMoveLoc(m.from), allocMoveLoc(m.to)});
+        resolveParallelMoves(std::move(moves));
+    }
+
+    /** Materialize the allocator's split moves for the gap position
+     *  just before the instruction at curPos (one parallel set per
+     *  gap; gapMoves is sorted by position and emission follows the
+     *  same order, so a cursor suffices). */
+    void
+    emitGapMoves()
+    {
+        if (gapCursor >= ra.gapMoves.size()
+            || ra.gapMoves[gapCursor].pos >= curPos)
+            return;
+        std::vector<std::pair<MoveLoc, MoveLoc>> moves;
+        while (gapCursor < ra.gapMoves.size()
+               && ra.gapMoves[gapCursor].pos < curPos) {
+            const GapMove &m = ra.gapMoves[gapCursor++];
+            moves.push_back({allocMoveLoc(m.from), allocMoveLoc(m.to)});
+        }
+        resolveParallelMoves(std::move(moves));
+    }
+
+    /** Decide where each CFG edge's resolution moves execute: merged
+     *  into the predecessor's phi-move set (it ends in a Goto), at the
+     *  successor's entry (it has no other predecessor), or in a fresh
+     *  block splitting the critical edge. */
+    void
+    placeEdgeMoves()
+    {
+        for (const EdgeResolution &er : ra.edgeMoves) {
+            if (g.block(er.pred).succFalse == kNoBlock) {
+                auto &v = movesAtGoto[er.pred];
+                v.insert(v.end(), er.moves.begin(), er.moves.end());
+            } else if (g.block(er.succ).preds.size() < 2) {
+                auto &v = movesAtEntry[er.succ];
+                v.insert(v.end(), er.moves.begin(), er.moves.end());
+            } else {
+                BlockId t = g.newBlock();
+                IrNode go;
+                go.op = IrOp::Goto;
+                g.append(t, std::move(go));
+                g.block(t).succTrue = er.succ;
+                g.block(t).preds = {er.pred};
+                if (g.block(er.pred).succTrue == er.succ)
+                    g.block(er.pred).succTrue = t;
+                else
+                    g.block(er.pred).succFalse = t;
+                for (auto &p : g.block(er.succ).preds) {
+                    if (p == er.pred) {
+                        p = t;
+                        break;
+                    }
+                }
+                blockOrder.push_back(t);
+                movesAtGoto[t] = er.moves;
+                resolutionBlocks.insert(t);
+            }
+        }
     }
 
     Cond
@@ -792,7 +902,18 @@ class CodeGenerator
     AllocationResult ra;
     std::vector<BlockId> blockOrder;
     size_t curBlockIndex = 0;
-    std::vector<u32> useCount;
+    /** Linear position of the node being emitted; all operand /
+     *  deopt-location queries answer for this position. */
+    u32 curPos = 0;
+    size_t gapCursor = 0;
+    /** Edge-resolution moves keyed by predecessor (merged with its phi
+     *  moves) or successor (emitted at block entry). */
+    std::map<BlockId, std::vector<EdgeMove>> movesAtGoto;
+    std::map<BlockId, std::vector<EdgeMove>> movesAtEntry;
+    /** Blocks created by placeEdgeMoves: no positions, no interrupt
+     *  polls (they are move sequences, not loop back edges). */
+    std::set<BlockId> resolutionBlocks;
+    std::vector<bool> isFusedCompare;
     std::map<BlockId, u32> blockStart;
     std::map<u16, u32> deoptExitInstr;
     std::vector<BlockFixup> blockFixups;
@@ -1078,23 +1199,11 @@ CodeGenerator::emitMemoryNode(ValueId id, const IrNode &n)
     switch (n.op) {
       case IrOp::LoadField:
       case IrOp::LoadFieldRaw: {
-        // x64 bounds fusion: if the immediately following live node is
-        // a CheckBounds consuming this load as its length, skip the
-        // load — the check emits a single cmp-with-memory-operand.
-        if (cfg.flavour == IsaFlavour::X64Like && n.op == IrOp::LoadFieldRaw
-            && useCount[id] == 1) {
-            for (ValueId uid = id + 1; uid < g.nodes.size(); uid++) {
-                const IrNode &u = g.node(uid);
-                if (u.dead)
-                    continue;
-                if (u.op == IrOp::CheckBounds && u.inputs.size() > 1
-                    && u.inputs[1] == id && u.block == n.block) {
-                    skippedLenLoads.insert(id);
-                    return;  // fused into CmpMem
-                }
-                break;
-            }
-        }
+        // x64 bounds fusion, as decided by the allocator: the length
+        // load is skipped and the consuming CheckBounds emits a single
+        // cmp-with-memory-operand (reading the array base there).
+        if (skippedLenLoads.count(id))
+            return;  // fused into CmpMem
         u8 base = gpr(n.inputs[0], 0);
         u8 d = defGpr(id);
         emit(make(MOp::LdrW, d, base, 0, n.imm));
@@ -1302,7 +1411,7 @@ CodeGenerator::emitCallNode(ValueId id, const IrNode &n)
             emit(make(MOp::FMovRR, d, 0));
         finishDef(id, d);
     } else if (n.rep != Rep::None
-               && allocOf(id).where != Allocation::Where::None) {
+               && allocAt(id).where != Allocation::Where::None) {
         u8 d = defGpr(id);
         if (d != 0)
             emit(make(MOp::MovR, d, 0));
@@ -1314,6 +1423,13 @@ void
 CodeGenerator::emitNode(BlockId b, ValueId id, const IrNode &n)
 {
     curBcOff = n.bcOff;
+    if (id < ra.posOf.size()) {
+        // Resolution blocks hold post-allocation Gotos with no
+        // positions; every original node advances the position and
+        // materializes the split moves of the gap before it.
+        curPos = ra.posOf[id];
+        emitGapMoves();
+    }
     if (n.isCheck()) {
         emitCheckNode(id, n);
         return;
@@ -1469,7 +1585,8 @@ CodeGenerator::emitNode(BlockId b, ValueId id, const IrNode &n)
         // Loop back edges poll the interrupt cell, like V8's per-loop
         // stack check: main-line (non-check) instructions that dilute
         // the share of deoptimization checks in hot loops.
-        if (cfg.emitInterruptChecks && succ <= b) {
+        if (cfg.emitInterruptChecks && succ <= b
+            && !resolutionBlocks.count(b)) {
             if (cfg.flavour == IsaFlavour::X64Like) {
                 MInst m = make(MOp::CmpMemI, 0, kAbsBase, 0,
                                env.vm.interruptCell);

@@ -36,6 +36,14 @@ struct CodegenConfig
     /** Poll the interrupt cell on loop back edges (V8's stack check). */
     bool emitInterruptChecks = true;
 
+    /** Artificially shrink the allocatable register pools (testing
+     *  knob, see EngineConfig::maxGprs; 0 = full pool). */
+    u8 maxGprs = 0;
+    u8 maxFprs = 0;
+    /** Run the allocation verifier on the fresh allocation (wired to
+     *  VerifyLevel / VSPEC_VERIFY by the engine). */
+    bool verifyAllocation = false;
+
     /** vtrace hookup (set by the engine per compile): codegen begin/end
      *  `compile` events, stamped with @ref traceTimestamp. */
     Tracer *trace = nullptr;

@@ -1,9 +1,40 @@
+/**
+ * @file
+ * Liveness-driven linear scan with live-range splitting.
+ *
+ * Phases:
+ *   1. Linear positions: live node i -> even position 2*i in
+ *      blockOrder emission order; odd positions are split-move gaps.
+ *   2. Emission-decision detection shared with isel (compares fused
+ *      into branches, x64 length loads folded into CheckBounds).
+ *   3. Per-block gen/def bitsets + backward dataflow to live-in/out.
+ *   4. Interval construction (reverse block walk): ranges with holes,
+ *      use positions with a requires-register preference flag.
+ *   5. Splitting linear scan: free-until / use-pos / block-pos arrays,
+ *      caller-saved registers capped at the first crossed call so
+ *      call-crossing segments end up callee-saved or in memory,
+ *      spill-cost victim selection (use density x loop depth),
+ *      second-chance requeue of split children.
+ *   6. Spill-slot assignment with greedy reuse across disjoint spilled
+ *      families, segment flattening, gap-move materialization and
+ *      CFG-edge resolution.
+ *
+ * Correctness backstop: isel can serve any operand from memory via
+ * spill scratch registers, so "requires register" is a preference and
+ * spilling a whole interval without splitting is always legal. The
+ * scan falls back to that whenever splitting is impossible, which also
+ * guarantees termination.
+ */
+
 #include "backend/regalloc.hh"
 
 #include <algorithm>
-#include <map>
+#include <chrono>
+#include <cstdlib>
+#include <queue>
+#include <tuple>
 
-#include "isa/isa.hh"
+#include "trace/trace.hh"
 
 namespace vspec
 {
@@ -12,7 +43,7 @@ namespace
 {
 
 /** Allocatable register pools. Caller-saved first (cheaper), then
- *  callee-saved for call-crossing intervals. x16/x17 are expansion
+ *  callee-saved for call-crossing segments. x16/x17 are expansion
  *  scratch, x26/x27 spill scratch, x28 the stack pointer; d14/d15 are
  *  FP scratch. */
 const u8 kGprCallerSaved[] = {0, 1, 2, 3, 4, 5, 6, 7,
@@ -21,14 +52,8 @@ const u8 kGprCalleeSaved[] = {19, 20, 21, 22, 23, 24, 25, 18};
 const u8 kFprCallerSaved[] = {0, 1, 2, 3, 4, 5, 6, 7};
 const u8 kFprCalleeSaved[] = {8, 9, 10, 11, 12, 13};
 
-struct Interval
-{
-    ValueId value = kNoValue;
-    u32 start = 0;
-    u32 end = 0;
-    bool isFloat = false;
-    bool crossesCall = false;
-};
+constexpr u32 kInf = 0xffffffffu;
+constexpr u32 kMaxRegs = 32;
 
 bool
 producesValue(const IrNode &n)
@@ -50,233 +75,1115 @@ producesValue(const IrNode &n)
     }
 }
 
-} // namespace
-
-AllocationResult
-allocateRegisters(const Graph &g, const std::vector<BlockId> &blockOrder)
+bool
+isCallNode(IrOp op)
 {
-    // ---- linear positions ------------------------------------------------
-    std::vector<u32> posOf(g.nodes.size(), 0);
-    std::vector<ValueId> order;
-    u32 pos = 0;
-    std::vector<u32> blockEndPos(g.blocks.size(), 0);
-    for (BlockId b : blockOrder) {
-        for (ValueId id : g.block(b).nodes) {
-            if (g.node(id).dead)
-                continue;
-            posOf[id] = pos++;
+    return op == IrOp::CallRuntime || op == IrOp::CallFunction
+           || op == IrOp::F64Mod;
+}
+
+struct Range
+{
+    u32 from;
+    u32 to;  //!< exclusive
+};
+
+struct UseSlot
+{
+    u32 pos;
+    bool requiresReg;
+};
+
+struct Itv
+{
+    ValueId value = kNoValue;
+    u32 family = 0;  //!< index of the root interval (shares spill slot)
+    bool isFloat = false;
+    Allocation loc;
+    std::vector<Range> ranges;  //!< sorted ascending, disjoint
+    std::vector<UseSlot> uses;  //!< sorted ascending
+
+    u32 from() const { return ranges.front().from; }
+    u32 to() const { return ranges.back().to; }
+
+    bool
+    covers(u32 pos) const
+    {
+        for (const Range &r : ranges) {
+            if (r.from > pos)
+                return false;
+            if (pos < r.to)
+                return true;
         }
-        blockEndPos[b] = pos == 0 ? 0 : pos - 1;
+        return false;
     }
 
-    // ---- live intervals ----------------------------------------------------
-    std::map<ValueId, Interval> intervals;
-    auto touch = [&](ValueId v, u32 p) {
-        if (v == kNoValue)
-            return;
-        const IrNode &n = g.node(v);
-        if (n.dead || !producesValue(n))
-            return;
-        auto it = intervals.find(v);
-        if (it == intervals.end()) {
-            Interval iv;
-            iv.value = v;
-            iv.start = posOf[v];
-            iv.end = std::max(posOf[v], p);
-            iv.isFloat = n.rep == Rep::Float64;
-            intervals.emplace(v, iv);
-        } else {
-            it->second.end = std::max(it->second.end, p);
-            it->second.start = std::min(it->second.start, posOf[v]);
-        }
-    };
+    u32
+    nextUseAfter(u32 pos) const
+    {
+        for (const UseSlot &u : uses)
+            if (u.pos >= pos)
+                return u.pos;
+        return kInf;
+    }
 
-    std::vector<u32> callPositions;
-    for (BlockId b : blockOrder) {
-        const BasicBlock &blk = g.block(b);
-        for (ValueId id : blk.nodes) {
-            const IrNode &n = g.node(id);
+    u32
+    nextRequiredUseAfter(u32 pos) const
+    {
+        for (const UseSlot &u : uses)
+            if (u.pos >= pos && u.requiresReg)
+                return u.pos;
+        return kInf;
+    }
+};
+
+/** First position >= startPos where both intervals are live. */
+u32
+firstIntersection(const Itv &a, const Itv &b, u32 startPos)
+{
+    size_t i = 0, j = 0;
+    while (i < a.ranges.size() && j < b.ranges.size()) {
+        const Range &ra = a.ranges[i];
+        const Range &rb = b.ranges[j];
+        if (ra.to <= startPos) {
+            i++;
+            continue;
+        }
+        if (rb.to <= startPos) {
+            j++;
+            continue;
+        }
+        u32 f = std::max(std::max(ra.from, rb.from), startPos);
+        u32 t = std::min(ra.to, rb.to);
+        if (f < t)
+            return f;
+        if (ra.to < rb.to)
+            i++;
+        else
+            j++;
+    }
+    return kInf;
+}
+
+struct Pool
+{
+    u8 regs[24];
+    u32 count = 0;
+};
+
+/** Full pools list caller-saved first (preferred for short values);
+ *  shrunk test pools take callee-saved first so call-crossing values
+ *  stay allocatable down to 3 registers. */
+Pool
+buildPool(bool isFloat, u8 maxRegs)
+{
+    const u8 *caller = isFloat ? kFprCallerSaved : kGprCallerSaved;
+    const u8 *callee = isFloat ? kFprCalleeSaved : kGprCalleeSaved;
+    u32 nCaller = isFloat ? static_cast<u32>(std::size(kFprCallerSaved))
+                          : static_cast<u32>(std::size(kGprCallerSaved));
+    u32 nCallee = isFloat ? static_cast<u32>(std::size(kFprCalleeSaved))
+                          : static_cast<u32>(std::size(kGprCalleeSaved));
+    Pool p;
+    if (maxRegs == 0 || maxRegs >= nCaller + nCallee) {
+        for (u32 i = 0; i < nCaller; i++)
+            p.regs[p.count++] = caller[i];
+        for (u32 i = 0; i < nCallee; i++)
+            p.regs[p.count++] = callee[i];
+    } else {
+        for (u32 i = 0; i < maxRegs; i++)
+            p.regs[p.count++] = i < nCallee ? callee[i] : caller[i - nCallee];
+    }
+    return p;
+}
+
+struct LinearScan
+{
+    const Graph &g;
+    const std::vector<BlockId> &blockOrder;
+    const RegallocOptions &opt;
+    AllocationResult &result;
+
+    std::vector<u32> posOf;
+    std::vector<u32> blockFrom, blockTo;
+    std::vector<u32> useCount;
+    std::vector<bool> excluded;  //!< fused compares + skipped len loads
+    std::vector<ValueId> fusedAtBranch;
+    std::vector<bool> skippedLoad;
+    std::vector<u32> callPositions;  //!< ascending
+
+    // Liveness bitsets, one row of `words` u64s per BlockId.
+    u32 words = 0;
+    std::vector<u64> genBits, defBits, phiGenBits, liveInBits, liveOutBits;
+
+    std::vector<Itv> itv;
+    std::vector<i32> itvOf;  //!< value -> root interval index, -1 = none
+    std::vector<float> costMemo;
+
+    struct LoopRange
+    {
+        u32 from;
+        u32 to;
+    };
+    std::vector<LoopRange> loops;
+
+    bool forceSpill = false;  //!< degenerate backstop: no more splitting
+    u32 maxIntervals = 0;
+
+    using HeapEntry = std::tuple<u32, u32, u32>;  // (from, value, idx)
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>> unhandled;
+    std::vector<u32> activeG, inactiveG, activeF, inactiveF;
+
+    Pool poolG, poolF;
+
+    LinearScan(const Graph &graph, const std::vector<BlockId> &order,
+               const RegallocOptions &options, AllocationResult &res)
+        : g(graph), blockOrder(order), opt(options), result(res)
+    {
+    }
+
+    u64 *row(std::vector<u64> &v, BlockId b) { return v.data() + size_t(b) * words; }
+
+    void
+    setBit(std::vector<u64> &v, BlockId b, ValueId id)
+    {
+        row(v, b)[id >> 6] |= u64(1) << (id & 63);
+    }
+
+    bool
+    testBit(const std::vector<u64> &v, BlockId b, ValueId id) const
+    {
+        return (v[size_t(b) * words + (id >> 6)] >> (id & 63)) & 1;
+    }
+
+    // ---- positions ------------------------------------------------------
+
+    void
+    assignPositions()
+    {
+        posOf.assign(g.nodes.size(), 0);
+        blockFrom.assign(g.blocks.size(), 0);
+        blockTo.assign(g.blocks.size(), 0);
+        u32 pos = 0;
+        for (BlockId b : blockOrder) {
+            blockFrom[b] = pos;
+            for (ValueId id : g.block(b).nodes) {
+                if (g.node(id).dead)
+                    continue;
+                posOf[id] = pos;
+                if (isCallNode(g.node(id).op))
+                    callPositions.push_back(pos);
+                pos += 2;
+            }
+            blockTo[b] = pos;
+        }
+        result.posOf = posOf;
+        result.blockFrom = blockFrom;
+        result.blockTo = blockTo;
+    }
+
+    // ---- emission-decision detection (single source of truth) ----------
+
+    void
+    detectFusions()
+    {
+        useCount.assign(g.nodes.size(), 0);
+        for (const auto &n : g.nodes) {
             if (n.dead)
                 continue;
-            u32 p = posOf[id];
-            touch(id, p);  // definition
             for (ValueId in : n.inputs)
-                touch(in, p);
-            if (n.canDeopt() && n.frameState != kNoFrameState) {
-                const FrameState &fs = g.frameStates[n.frameState];
-                for (ValueId r : fs.regs)
-                    touch(r, p);
-                touch(fs.accumulator, p);
+                useCount[in]++;
+        }
+        excluded.assign(g.nodes.size(), false);
+        fusedAtBranch.assign(g.nodes.size(), kNoValue);
+        skippedLoad.assign(g.nodes.size(), false);
+
+        for (BlockId b : blockOrder) {
+            ValueId term = kNoValue;
+            ValueId lastLive = kNoValue;
+            for (ValueId id : g.block(b).nodes) {
+                const IrNode &n = g.node(id);
+                if (n.dead)
+                    continue;
+                if (n.isTerminator()) {
+                    term = id;
+                    break;
+                }
+                lastLive = id;
             }
-            if (n.op == IrOp::CallRuntime || n.op == IrOp::CallFunction
-                || n.op == IrOp::F64Mod) {
-                callPositions.push_back(p);
+            if (term == kNoValue || g.node(term).op != IrOp::Branch)
+                continue;
+            ValueId c = g.node(term).inputs[0];
+            const IrNode &cn = g.node(c);
+            if ((cn.op == IrOp::I32Compare || cn.op == IrOp::F64Compare
+                 || cn.op == IrOp::TaggedEqual)
+                && c == lastLive && cn.block == b && useCount[c] == 1) {
+                excluded[c] = true;
+                fusedAtBranch[term] = c;
+                result.fusedCompares.push_back(c);
             }
-            // Phi inputs are used by the move at the end of each pred.
-            if (n.op == IrOp::Phi) {
-                const auto &preds = blk.preds;
-                for (size_t i = 0;
-                     i < n.inputs.size() && i < preds.size(); i++) {
-                    touch(n.inputs[i], blockEndPos[preds[i]]);
-                    // The phi itself must be live at every pred end so
-                    // the move target register is reserved there.
-                    touch(id, blockEndPos[preds[i]]);
+        }
+
+        if (opt.flavour != IsaFlavour::X64Like)
+            return;
+        for (BlockId b : blockOrder) {
+            for (ValueId id : g.block(b).nodes) {
+                const IrNode &n = g.node(id);
+                if (n.dead || n.op != IrOp::LoadFieldRaw || useCount[id] != 1)
+                    continue;
+                for (ValueId uid = id + 1; uid < g.nodes.size(); uid++) {
+                    const IrNode &u = g.node(uid);
+                    if (u.dead)
+                        continue;
+                    if (u.op == IrOp::CheckBounds && u.inputs.size() > 1
+                        && u.inputs[1] == id && u.block == n.block) {
+                        excluded[id] = true;
+                        skippedLoad[id] = true;
+                        result.skippedLenLoads.push_back(id);
+                    }
+                    break;
                 }
             }
         }
     }
 
-    // ---- loop extension ---------------------------------------------------
-    // A value defined before a loop and used inside it is live for the
-    // whole loop: its last textual use position understates its live
-    // range, because execution revisits that use on every iteration.
-    struct LoopRange { u32 start; u32 end; };
-    std::vector<LoopRange> loops;
+    /** True if v is a node that gets (and may need) an allocation. */
+    bool
+    allocatable(ValueId v) const
     {
-        std::vector<u32> blockStartPos(g.blocks.size(), 0);
-        u32 p = 0;
-        for (BlockId b : blockOrder) {
-            blockStartPos[b] = p;
-            for (ValueId id : g.block(b).nodes)
-                if (!g.node(id).dead)
-                    p++;
+        if (v == kNoValue)
+            return false;
+        const IrNode &n = g.node(v);
+        return !n.dead && producesValue(n) && !excluded[v];
+    }
+
+    /** Enumerate the operand reads isel will perform for node @p id at
+     *  its own position: fused-compare inputs read at the branch, the
+     *  array base read by a fused CheckBounds CmpMem, call arguments
+     *  and frame-state references readable from memory (preference
+     *  only). f(value, requiresReg, liveThroughCall). */
+    template <typename F>
+    void
+    forEachUse(ValueId id, const IrNode &n, F f) const
+    {
+        if (excluded[id])
+            return;  // no code emitted at this node
+        if (n.op == IrOp::Phi) {
+            // Inputs are read by the move at each predecessor's end.
+        } else if (n.op == IrOp::Branch && fusedAtBranch[id] != kNoValue) {
+            for (ValueId in : g.node(fusedAtBranch[id]).inputs)
+                f(in, true, false);
+        } else if (n.op == IrOp::CheckBounds && n.inputs.size() > 1
+                   && skippedLoad[n.inputs[1]]) {
+            f(n.inputs[0], true, false);
+            // CmpMem re-reads the array base the folded load used.
+            f(g.node(n.inputs[1]).inputs[0], true, false);
+        } else {
+            bool callArgs = isCallNode(n.op);
+            for (ValueId in : n.inputs)
+                f(in, !callArgs, false);
         }
-        for (BlockId b : blockOrder) {
-            BlockId t = g.block(b).succTrue;
-            if (t != kNoBlock && t <= b)
-                loops.push_back({blockStartPos[t], blockEndPos[b]});
+        if (n.canDeopt() && n.frameState != kNoFrameState) {
+            // A deopt at a call materializes after the call clobbers
+            // the argument/result registers: keep references alive
+            // through it so the crossing discipline protects them.
+            bool through = isCallNode(n.op);
+            const FrameState &fs = g.frameStates[n.frameState];
+            for (ValueId r : fs.regs)
+                f(r, false, through);
+            f(fs.accumulator, false, through);
         }
     }
-    bool extended = true;
-    while (extended) {
-        extended = false;
-        for (auto &[v, iv] : intervals) {
-            for (const LoopRange &lr : loops) {
-                if (iv.start < lr.start && iv.end >= lr.start
-                    && iv.end < lr.end) {
-                    iv.end = lr.end;
-                    extended = true;
+
+    // ---- liveness -------------------------------------------------------
+
+    void
+    computeLiveness()
+    {
+        words = (static_cast<u32>(g.nodes.size()) + 63) / 64;
+        size_t total = g.blocks.size() * size_t(words);
+        genBits.assign(total, 0);
+        defBits.assign(total, 0);
+        phiGenBits.assign(total, 0);
+        liveInBits.assign(total, 0);
+        liveOutBits.assign(total, 0);
+
+        for (BlockId b : blockOrder) {
+            const BasicBlock &blk = g.block(b);
+            for (ValueId id : blk.nodes) {
+                const IrNode &n = g.node(id);
+                if (n.dead)
+                    continue;
+                forEachUse(id, n, [&](ValueId v, bool, bool) {
+                    if (allocatable(v) && g.node(v).block != b)
+                        setBit(genBits, b, v);
+                });
+                if (allocatable(id))
+                    setBit(defBits, b, id);
+            }
+            // Phi inputs are used on the incoming edge: they extend the
+            // predecessor's live-out, not the phi block's live-in.
+            BlockId succs[2] = {blk.succTrue, blk.succFalse};
+            for (BlockId s : succs) {
+                if (s == kNoBlock)
+                    continue;
+                const BasicBlock &sb = g.block(s);
+                int predIndex = -1;
+                for (size_t i = 0; i < sb.preds.size(); i++) {
+                    if (sb.preds[i] == b) {
+                        predIndex = static_cast<int>(i);
+                        break;
+                    }
+                }
+                if (predIndex < 0)
+                    continue;
+                for (ValueId pid : sb.nodes) {
+                    const IrNode &pn = g.node(pid);
+                    if (pn.dead || pn.op != IrOp::Phi)
+                        continue;
+                    if (static_cast<size_t>(predIndex) < pn.inputs.size()) {
+                        ValueId v = pn.inputs[predIndex];
+                        if (allocatable(v))
+                            setBit(phiGenBits, b, v);
+                    }
+                }
+            }
+        }
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (auto it = blockOrder.rbegin(); it != blockOrder.rend(); ++it) {
+                BlockId b = *it;
+                const BasicBlock &blk = g.block(b);
+                u64 *out = row(liveOutBits, b);
+                for (u32 w = 0; w < words; w++)
+                    out[w] = phiGenBits[size_t(b) * words + w];
+                BlockId succs[2] = {blk.succTrue, blk.succFalse};
+                for (BlockId s : succs) {
+                    if (s == kNoBlock)
+                        continue;
+                    const u64 *sin = liveInBits.data() + size_t(s) * words;
+                    for (u32 w = 0; w < words; w++)
+                        out[w] |= sin[w];
+                }
+                u64 *in = row(liveInBits, b);
+                for (u32 w = 0; w < words; w++) {
+                    u64 next = genBits[size_t(b) * words + w]
+                               | (out[w] & ~defBits[size_t(b) * words + w]);
+                    if (next != in[w]) {
+                        in[w] = next;
+                        changed = true;
+                    }
                 }
             }
         }
     }
 
-    std::sort(callPositions.begin(), callPositions.end());
-    auto crossesCall = [&](const Interval &iv) {
-        auto it = std::lower_bound(callPositions.begin(),
-                                   callPositions.end(), iv.start);
-        // A call at exactly the interval's end does not clobber the
-        // value after its last use... but the call's own result is
-        // defined at that position, so be conservative: strict inside.
-        return it != callPositions.end() && *it < iv.end;
-    };
-    for (auto &[v, iv] : intervals)
-        iv.crossesCall = crossesCall(iv);
+    // ---- interval construction ------------------------------------------
 
-    // ---- linear scan --------------------------------------------------------
-    std::vector<Interval> sorted;
-    sorted.reserve(intervals.size());
-    for (auto &[v, iv] : intervals)
-        sorted.push_back(iv);
-    std::sort(sorted.begin(), sorted.end(),
-              [](const Interval &a, const Interval &b) {
-                  return a.start < b.start
-                         || (a.start == b.start && a.value < b.value);
-              });
+    Itv &
+    interval(ValueId v)
+    {
+        if (itvOf[v] < 0) {
+            itvOf[v] = static_cast<i32>(itv.size());
+            Itv it;
+            it.value = v;
+            it.family = static_cast<u32>(itv.size());
+            it.isFloat = g.node(v).rep == Rep::Float64;
+            itv.push_back(std::move(it));
+        }
+        return itv[itvOf[v]];
+    }
+
+    /** Ranges/uses are built back-to-front (reverse block walk), kept
+     *  in descending order and reversed afterwards. Touching ranges
+     *  merge. */
+    void
+    addRangeBack(Itv &it, u32 from, u32 to)
+    {
+        if (!it.ranges.empty() && it.ranges.back().from <= to) {
+            Range &r = it.ranges.back();
+            r.from = std::min(r.from, from);
+            r.to = std::max(r.to, to);
+        } else {
+            it.ranges.push_back({from, to});
+        }
+    }
+
+    void
+    buildIntervals()
+    {
+        itvOf.assign(g.nodes.size(), -1);
+        itv.reserve(g.nodes.size() / 2 + 8);
+
+        for (auto bo = blockOrder.rbegin(); bo != blockOrder.rend(); ++bo) {
+            BlockId b = *bo;
+            const BasicBlock &blk = g.block(b);
+            u32 bFrom = blockFrom[b];
+            u32 bTo = blockTo[b];
+            if (bTo == bFrom)
+                continue;
+
+            const u64 *out = liveOutBits.data() + size_t(b) * words;
+            for (u32 w = 0; w < words; w++) {
+                u64 bits = out[w];
+                while (bits) {
+                    u32 bit = static_cast<u32>(__builtin_ctzll(bits));
+                    bits &= bits - 1;
+                    addRangeBack(interval(w * 64 + bit), bFrom, bTo);
+                }
+            }
+            // Phi-input edge uses: served by the edge's parallel move
+            // set, so any location works (requiresReg = false).
+            BlockId succs[2] = {blk.succTrue, blk.succFalse};
+            for (BlockId s : succs) {
+                if (s == kNoBlock)
+                    continue;
+                const BasicBlock &sb = g.block(s);
+                int predIndex = -1;
+                for (size_t i = 0; i < sb.preds.size(); i++) {
+                    if (sb.preds[i] == b) {
+                        predIndex = static_cast<int>(i);
+                        break;
+                    }
+                }
+                if (predIndex < 0)
+                    continue;
+                for (ValueId pid : sb.nodes) {
+                    const IrNode &pn = g.node(pid);
+                    if (pn.dead || pn.op != IrOp::Phi)
+                        continue;
+                    if (static_cast<size_t>(predIndex) >= pn.inputs.size())
+                        continue;
+                    ValueId v = pn.inputs[predIndex];
+                    if (allocatable(v))
+                        interval(v).uses.push_back({bTo - 1, false});
+                }
+            }
+
+            for (auto ni = blk.nodes.rbegin(); ni != blk.nodes.rend(); ++ni) {
+                ValueId id = *ni;
+                const IrNode &n = g.node(id);
+                if (n.dead)
+                    continue;
+                u32 p = posOf[id];
+                if (allocatable(id)) {
+                    Itv &it = interval(id);
+                    // Phi/param values are written by edge/prologue
+                    // moves that execute before the block body: their
+                    // location must be reserved from the block start.
+                    u32 defPos = (n.op == IrOp::Phi || n.op == IrOp::Param)
+                                     ? bFrom
+                                     : p;
+                    if (it.ranges.empty())
+                        addRangeBack(it, defPos, p + 1);
+                    else
+                        it.ranges.back().from = defPos;
+                }
+                forEachUse(id, n, [&](ValueId v, bool req, bool through) {
+                    if (!allocatable(v))
+                        return;
+                    Itv &it = interval(v);
+                    addRangeBack(it, bFrom, through ? p + 2 : p + 1);
+                    it.uses.push_back({p, req});
+                });
+            }
+        }
+
+        for (Itv &it : itv) {
+            std::reverse(it.ranges.begin(), it.ranges.end());
+            std::reverse(it.uses.begin(), it.uses.end());
+        }
+        result.stats.intervals = static_cast<u32>(itv.size());
+        maxIntervals = static_cast<u32>(itv.size()) * 4 + 64;
+        costMemo.assign(itv.size(), -1.0f);
+    }
+
+    // ---- spill cost ------------------------------------------------------
+
+    void
+    findLoops()
+    {
+        // Back edges through either successor (the old allocator only
+        // looked at succTrue; see hoistLoopInvariantChecks for the
+        // same fix on the pass side).
+        for (BlockId b : blockOrder) {
+            const BasicBlock &blk = g.block(b);
+            BlockId succs[2] = {blk.succTrue, blk.succFalse};
+            for (BlockId s : succs) {
+                if (s != kNoBlock && blockFrom[s] <= blockFrom[b]
+                    && blockTo[b] > blockFrom[b])
+                    loops.push_back({blockFrom[s], blockTo[b]});
+            }
+        }
+    }
+
+    u32
+    loopDepthAt(u32 pos) const
+    {
+        u32 d = 0;
+        for (const LoopRange &lr : loops)
+            if (lr.from <= pos && pos < lr.to)
+                d++;
+        return d;
+    }
+
+    /** Use density weighted by loop depth: expensive-to-spill
+     *  intervals have many (required) uses in deep loops packed into a
+     *  short lifetime. */
+    float
+    costOf(u32 idx)
+    {
+        if (idx < costMemo.size() && costMemo[idx] >= 0.0f)
+            return costMemo[idx];
+        static const float kDepthWeight[4] = {1.0f, 10.0f, 100.0f, 1000.0f};
+        const Itv &it = itv[idx];
+        float sum = 0.0f;
+        for (const UseSlot &u : it.uses)
+            sum += (u.requiresReg ? 2.0f : 1.0f)
+                   * kDepthWeight[std::min<u32>(loopDepthAt(u.pos), 3)];
+        u32 len = it.to() > it.from() ? it.to() - it.from() : 1;
+        float c = sum / static_cast<float>(len);
+        if (idx < costMemo.size())
+            costMemo[idx] = c;
+        return c;
+    }
+
+    // ---- scan machinery --------------------------------------------------
+
+    /** First call position strictly inside the interval's live ranges:
+     *  a range [f, t) crosses call c iff f < c and t > c + 1 (a use at
+     *  the call itself, t == c + 1, is an argument read, not a
+     *  crossing). */
+    u32
+    firstCallCrossed(const Itv &it) const
+    {
+        for (const Range &r : it.ranges) {
+            auto lo = std::lower_bound(callPositions.begin(),
+                                       callPositions.end(), r.from + 1);
+            if (lo != callPositions.end() && *lo + 1 < r.to)
+                return *lo;
+        }
+        return kInf;
+    }
+
+    void
+    enqueue(u32 idx)
+    {
+        unhandled.push({itv[idx].from(), itv[idx].value, idx});
+    }
+
+    /** Split @p idx at @p pos (strictly inside), keeping the head in
+     *  place and returning the enqueued tail's index. */
+    u32
+    splitAt(u32 idx, u32 pos)
+    {
+        Itv tail;
+        tail.value = itv[idx].value;
+        tail.family = itv[idx].family;
+        tail.isFloat = itv[idx].isFloat;
+
+        std::vector<Range> &rs = itv[idx].ranges;
+        size_t k = 0;
+        while (k < rs.size() && rs[k].to <= pos)
+            k++;
+        if (k < rs.size() && rs[k].from < pos) {
+            tail.ranges.push_back({pos, rs[k].to});
+            rs[k].to = pos;
+            k++;
+        }
+        for (size_t i = k; i < rs.size(); i++)
+            tail.ranges.push_back(rs[i]);
+        rs.resize(k);
+
+        std::vector<UseSlot> &us = itv[idx].uses;
+        size_t uk = 0;
+        while (uk < us.size() && us[uk].pos < pos)
+            uk++;
+        tail.uses.assign(us.begin() + uk, us.end());
+        us.resize(uk);
+
+        result.stats.splits++;
+        u32 tidx = static_cast<u32>(itv.size());
+        itv.push_back(std::move(tail));
+        costMemo.push_back(-1.0f);
+        enqueue(tidx);
+        return tidx;
+    }
+
+    void
+    assignReg(u32 idx, u8 reg)
+    {
+        itv[idx].loc.where = itv[idx].isFloat ? Allocation::Where::FReg
+                                              : Allocation::Where::Reg;
+        itv[idx].loc.reg = reg;
+    }
+
+    /** Spill @p idx to memory; if it still has a register-preferring
+     *  use, split just before it so the tail gets a second chance at a
+     *  register. Always legal: isel reloads spilled operands through
+     *  scratch registers. */
+    void
+    spillIt(u32 idx, u32 position)
+    {
+        u32 req = itv[idx].nextRequiredUseAfter(position);
+        if (!forceSpill && req != kInf && req > 0) {
+            u32 gap = req - 1;  // uses are even, gaps odd
+            if (gap > itv[idx].from() && gap > position)
+                splitAt(idx, gap);
+        }
+        itv[idx].loc.where = Allocation::Where::Spill;
+        itv[idx].loc.slot = -1;  // family slot assigned after the scan
+    }
+
+    bool
+    tryAllocateFree(u32 idx, u32 position)
+    {
+        const Itv &cur = itv[idx];
+        bool isF = cur.isFloat;
+        const Pool &pool = isF ? poolF : poolG;
+        std::vector<u32> &active = isF ? activeF : activeG;
+        std::vector<u32> &inactive = isF ? inactiveF : inactiveG;
+
+        u32 freeUntil[kMaxRegs];
+        for (u32 i = 0; i < pool.count; i++)
+            freeUntil[pool.regs[i]] = kInf;
+        for (u32 a : active)
+            freeUntil[itv[a].loc.reg] = 0;
+        for (u32 i : inactive) {
+            u32 x = firstIntersection(itv[i], cur, position);
+            if (x != kInf)
+                freeUntil[itv[i].loc.reg] =
+                    std::min(freeUntil[itv[i].loc.reg], x);
+        }
+        u32 cap = firstCallCrossed(cur);
+        if (cap != kInf) {
+            for (u32 i = 0; i < pool.count; i++) {
+                u8 r = pool.regs[i];
+                bool callerSaved = isF ? isCallerSavedFpr(r)
+                                       : isCallerSavedGpr(r);
+                if (callerSaved)
+                    freeUntil[r] = std::min(freeUntil[r], cap);
+            }
+        }
+
+        u8 best = pool.regs[0];
+        for (u32 i = 1; i < pool.count; i++)
+            if (freeUntil[pool.regs[i]] > freeUntil[best])
+                best = pool.regs[i];
+
+        if (freeUntil[best] <= position)
+            return false;
+        if (freeUntil[best] >= cur.to()) {
+            assignReg(idx, best);
+            return true;
+        }
+        if (forceSpill)
+            return false;
+        u32 gap = freeUntil[best] & 1 ? freeUntil[best] : freeUntil[best] - 1;
+        if (gap <= position)
+            return false;
+        splitAt(idx, gap);
+        assignReg(idx, best);
+        return true;
+    }
+
+    void
+    allocateBlocked(u32 idx, u32 position)
+    {
+        bool isF = itv[idx].isFloat;
+        const Pool &pool = isF ? poolF : poolG;
+        std::vector<u32> &active = isF ? activeF : activeG;
+        std::vector<u32> &inactive = isF ? inactiveF : inactiveG;
+
+        u32 firstReq = itv[idx].nextRequiredUseAfter(position);
+        if (forceSpill || firstReq == kInf) {
+            spillIt(idx, position);
+            return;
+        }
+
+        u32 evictGap = position & 1 ? position : position - 1;
+        u32 usePos[kMaxRegs], blockPos[kMaxRegs];
+        for (u32 i = 0; i < pool.count; i++) {
+            usePos[pool.regs[i]] = kInf;
+            blockPos[pool.regs[i]] = kInf;
+        }
+        for (u32 a : active) {
+            u8 r = itv[a].loc.reg;
+            // A victim is only evictable if it can be split at the gap
+            // before the current position.
+            u32 u = (position == 0 || evictGap <= itv[a].from())
+                        ? position
+                        : itv[a].nextUseAfter(position);
+            usePos[r] = std::min(usePos[r], u);
+        }
+        for (u32 i : inactive) {
+            u32 x = firstIntersection(itv[i], itv[idx], position);
+            if (x != kInf) {
+                u8 r = itv[i].loc.reg;
+                blockPos[r] = std::min(blockPos[r], x);
+                usePos[r] = std::min(usePos[r], x);
+            }
+        }
+        u32 cap = firstCallCrossed(itv[idx]);
+        if (cap != kInf) {
+            for (u32 i = 0; i < pool.count; i++) {
+                u8 r = pool.regs[i];
+                bool callerSaved = isF ? isCallerSavedFpr(r)
+                                       : isCallerSavedGpr(r);
+                if (callerSaved) {
+                    usePos[r] = std::min(usePos[r], cap);
+                    blockPos[r] = std::min(blockPos[r], cap);
+                }
+            }
+        }
+
+        u8 best = pool.regs[0];
+        for (u32 i = 1; i < pool.count; i++)
+            if (usePos[pool.regs[i]] > usePos[best])
+                best = pool.regs[i];
+
+        if (usePos[best] <= position || usePos[best] < firstReq
+            || blockPos[best] < position + 2) {
+            spillIt(idx, position);
+            return;
+        }
+
+        // Spill-cost heuristic: if every victim in the best register
+        // is hotter (denser uses, deeper loops) than the current
+        // interval, spill the current one instead.
+        float victimCost = -1.0f;
+        for (u32 a : active) {
+            if (itv[a].loc.reg != best)
+                continue;
+            float c = costOf(a);
+            if (victimCost < 0.0f || c < victimCost)
+                victimCost = c;
+        }
+        if (victimCost >= 0.0f && costOf(idx) < victimCost) {
+            spillIt(idx, position);
+            return;
+        }
+
+        // Evict: split every active interval holding `best` at the gap
+        // before the current position and requeue the tails.
+        for (size_t i = 0; i < active.size();) {
+            u32 a = active[i];
+            if (itv[a].loc.reg == best) {
+                splitAt(a, evictGap);
+                active.erase(active.begin() + i);
+            } else {
+                i++;
+            }
+        }
+        assignReg(idx, best);
+        if (blockPos[best] < itv[idx].to()) {
+            u32 gap = blockPos[best] & 1 ? blockPos[best] : blockPos[best] - 1;
+            splitAt(idx, gap);
+        }
+    }
+
+    void
+    scan()
+    {
+        poolG = buildPool(false, opt.maxGprs);
+        poolF = buildPool(true, opt.maxFprs);
+        for (u32 i = 0; i < itv.size(); i++)
+            enqueue(i);
+
+        while (!unhandled.empty()) {
+            auto [from, value, idx] = unhandled.top();
+            unhandled.pop();
+            (void)value;
+            u32 position = from;
+            if (itv.size() > maxIntervals)
+                forceSpill = true;
+
+            bool isF = itv[idx].isFloat;
+            std::vector<u32> &active = isF ? activeF : activeG;
+            std::vector<u32> &inactive = isF ? inactiveF : inactiveG;
+            for (size_t i = 0; i < active.size();) {
+                u32 a = active[i];
+                if (itv[a].to() <= position) {
+                    active.erase(active.begin() + i);
+                } else if (!itv[a].covers(position)) {
+                    inactive.push_back(a);
+                    active.erase(active.begin() + i);
+                } else {
+                    i++;
+                }
+            }
+            for (size_t i = 0; i < inactive.size();) {
+                u32 a = inactive[i];
+                if (itv[a].to() <= position) {
+                    inactive.erase(inactive.begin() + i);
+                } else if (itv[a].covers(position)) {
+                    active.push_back(a);
+                    inactive.erase(inactive.begin() + i);
+                } else {
+                    i++;
+                }
+            }
+
+            if (!tryAllocateFree(idx, position))
+                allocateBlocked(idx, position);
+            if (itv[idx].loc.where == Allocation::Where::Reg
+                || itv[idx].loc.where == Allocation::Where::FReg)
+                active.push_back(idx);
+        }
+    }
+
+    // ---- slots, segments, moves -----------------------------------------
+
+    void
+    assignSlots()
+    {
+        std::vector<u32> famFrom(itv.size(), kInf), famTo(itv.size(), 0);
+        for (const Itv &it : itv) {
+            if (it.loc.where != Allocation::Where::Spill)
+                continue;
+            famFrom[it.family] = std::min(famFrom[it.family], it.from());
+            famTo[it.family] = std::max(famTo[it.family], it.to());
+        }
+        std::vector<std::pair<u32, u32>> order;  // (from, family)
+        for (u32 f = 0; f < itv.size(); f++)
+            if (famFrom[f] != kInf)
+                order.push_back({famFrom[f], f});
+        std::sort(order.begin(), order.end());
+
+        std::vector<u32> slotBusyUntil;
+        std::vector<i32> famSlot(itv.size(), -1);
+        for (auto [from, f] : order) {
+            i32 s = -1;
+            for (u32 i = 0; i < slotBusyUntil.size(); i++) {
+                if (slotBusyUntil[i] <= from) {
+                    s = static_cast<i32>(i);
+                    break;
+                }
+            }
+            if (s < 0) {
+                s = static_cast<i32>(slotBusyUntil.size());
+                slotBusyUntil.push_back(0);
+            }
+            slotBusyUntil[s] = famTo[f];
+            famSlot[f] = s;
+        }
+        for (Itv &it : itv)
+            if (it.loc.where == Allocation::Where::Spill)
+                it.loc.slot = famSlot[it.family];
+        result.spillSlots = static_cast<u32>(slotBusyUntil.size());
+        result.stats.spillSlots = result.spillSlots;
+        result.stats.spilledIntervals = static_cast<u32>(order.size());
+    }
+
+    void
+    flattenSegments()
+    {
+        std::vector<u32> counts(g.nodes.size() + 1, 0);
+        for (const Itv &it : itv)
+            counts[it.value] += static_cast<u32>(it.ranges.size());
+        result.segIndex.assign(g.nodes.size() + 1, 0);
+        for (size_t v = 0; v < g.nodes.size(); v++)
+            result.segIndex[v + 1] = result.segIndex[v] + counts[v];
+        result.segs.resize(result.segIndex.back());
+        std::vector<u32> cursor(result.segIndex.begin(),
+                                result.segIndex.end() - 1);
+        for (const Itv &it : itv) {
+            for (const Range &r : it.ranges)
+                result.segs[cursor[it.value]++] = {r.from, r.to, it.loc};
+        }
+        for (size_t v = 0; v < g.nodes.size(); v++) {
+            std::sort(result.segs.begin() + result.segIndex[v],
+                      result.segs.begin() + result.segIndex[v + 1],
+                      [](const LiveSegment &a, const LiveSegment &b) {
+                          return a.from < b.from;
+                      });
+        }
+    }
+
+    void
+    buildMoves()
+    {
+        u32 totalPos = blockOrder.empty() ? 0 : blockTo[blockOrder.back()];
+        std::vector<bool> boundaryGap(totalPos + 2, false);
+        for (BlockId b : blockOrder)
+            if (blockTo[b] > blockFrom[b])
+                boundaryGap[blockTo[b] - 1] = true;
+
+        // In-block gap moves: a location change at an odd position that
+        // is not a block boundary (boundaries are edge-resolved).
+        for (size_t v = 0; v < g.nodes.size(); v++) {
+            for (u32 i = result.segIndex[v] + 1; i < result.segIndex[v + 1];
+                 i++) {
+                const LiveSegment &a = result.segs[i - 1];
+                const LiveSegment &b = result.segs[i];
+                if (a.to != b.from || a.loc.sameAs(b.loc))
+                    continue;
+                if ((b.from & 1) && !boundaryGap[b.from]) {
+                    result.gapMoves.push_back(
+                        {b.from, static_cast<ValueId>(v), a.loc, b.loc});
+                }
+            }
+        }
+        std::sort(result.gapMoves.begin(), result.gapMoves.end(),
+                  [](const GapMove &a, const GapMove &b) {
+                      return a.pos < b.pos
+                             || (a.pos == b.pos && a.value < b.value);
+                  });
+
+        // CFG-edge resolution: for every value live into the successor,
+        // reconcile its location at the predecessor's end with its
+        // location at the successor's start.
+        for (BlockId p : blockOrder) {
+            if (blockTo[p] < blockFrom[p] + 2)
+                continue;
+            const BasicBlock &blk = g.block(p);
+            BlockId succs[2] = {blk.succTrue, blk.succFalse};
+            for (BlockId s : succs) {
+                if (s == kNoBlock)
+                    continue;
+                EdgeResolution er;
+                er.pred = p;
+                er.succ = s;
+                const u64 *in = liveInBits.data() + size_t(s) * words;
+                for (u32 w = 0; w < words; w++) {
+                    u64 bits = in[w];
+                    while (bits) {
+                        u32 bit = static_cast<u32>(__builtin_ctzll(bits));
+                        bits &= bits - 1;
+                        ValueId v = w * 64 + bit;
+                        Allocation fromLoc =
+                            result.locationAt(v, blockTo[p] - 2);
+                        Allocation toLoc =
+                            result.locationAt(v, blockFrom[s]);
+                        if (fromLoc.where == Allocation::Where::None
+                            || toLoc.where == Allocation::Where::None)
+                            continue;
+                        if (!fromLoc.sameAs(toLoc))
+                            er.moves.push_back({v, fromLoc, toLoc});
+                    }
+                }
+                if (!er.moves.empty())
+                    result.edgeMoves.push_back(std::move(er));
+            }
+        }
+    }
+
+    void
+    finishStats()
+    {
+        for (const GapMove &m : result.gapMoves) {
+            if (m.to.where == Allocation::Where::Spill)
+                result.stats.spillStores++;
+            else if (m.from.where == Allocation::Where::Spill)
+                result.stats.reloads++;
+        }
+        for (const EdgeResolution &er : result.edgeMoves) {
+            for (const EdgeMove &m : er.moves) {
+                if (m.to.where == Allocation::Where::Spill)
+                    result.stats.spillStores++;
+                else if (m.from.where == Allocation::Where::Spill)
+                    result.stats.reloads++;
+            }
+        }
+        // Root intervals spilled at their definition store via
+        // finishDef rather than a move.
+        for (u32 i = 0; i < itv.size(); i++)
+            if (itv[i].family == i
+                && itv[i].loc.where == Allocation::Where::Spill)
+                result.stats.spillStores++;
+
+        u64 calleeG = 0, calleeF = 0;
+        for (const Itv &it : itv) {
+            if (it.loc.where == Allocation::Where::Reg
+                && !isCallerSavedGpr(it.loc.reg))
+                calleeG |= u64(1) << it.loc.reg;
+            if (it.loc.where == Allocation::Where::FReg
+                && !isCallerSavedFpr(it.loc.reg))
+                calleeF |= u64(1) << it.loc.reg;
+        }
+        result.stats.calleeSavedUsed =
+            static_cast<u32>(__builtin_popcountll(calleeG)
+                             + __builtin_popcountll(calleeF));
+    }
+
+    void
+    run()
+    {
+        assignPositions();
+        detectFusions();
+        computeLiveness();
+        buildIntervals();
+        findLoops();
+        scan();
+        assignSlots();
+        flattenSegments();
+        buildMoves();
+        finishStats();
+    }
+};
+
+} // namespace
+
+bool
+isCallerSavedGpr(u8 reg)
+{
+    return reg <= 15;
+}
+
+u8
+defaultMaxGprs()
+{
+    static u8 v = [] {
+        if (const char *env = std::getenv("VSPEC_MAX_GPRS"))
+            return static_cast<u8>(std::atoi(env));
+        return u8{0};
+    }();
+    return v;
+}
+
+u8
+defaultMaxFprs()
+{
+    static u8 v = [] {
+        if (const char *env = std::getenv("VSPEC_MAX_FPRS"))
+            return static_cast<u8>(std::atoi(env));
+        return u8{0};
+    }();
+    return v;
+}
+
+bool
+isCallerSavedFpr(u8 reg)
+{
+    return reg <= 7;
+}
+
+AllocationResult
+allocateRegisters(const Graph &graph, const std::vector<BlockId> &blockOrder,
+                  const RegallocOptions &options)
+{
+    auto hostBegin = std::chrono::steady_clock::now();
+    if (options.trace) {
+        options.trace->emit(TraceCategory::Compile, TraceEventKind::Begin,
+                            "regalloc", options.traceTimestamp,
+                            options.traceFunction);
+    }
 
     AllocationResult result;
-    result.alloc.resize(g.nodes.size());
+    LinearScan ls(graph, blockOrder, options, result);
+    ls.run();
 
-    struct Active
-    {
-        Interval iv;
-        u8 reg;
-    };
-    std::vector<Active> activeGpr, activeFpr;
-    u32 spillSlots = 0;
-
-    auto regFree = [&](std::vector<Active> &active, u8 r, u32 at) {
-        for (auto &a : active) {
-            if (a.reg == r && a.iv.end >= at)
-                return false;
-        }
-        return true;
-    };
-
-    for (const Interval &iv : sorted) {
-        bool isF = iv.isFloat;
-        auto &active = isF ? activeFpr : activeGpr;
-        // Expire old intervals.
-        std::erase_if(active,
-                      [&](const Active &a) { return a.iv.end < iv.start; });
-
-        // Candidate register order: callee-saved only when crossing a
-        // call; otherwise caller-saved first.
-        std::vector<u8> candidates;
-        if (iv.crossesCall) {
-            const u8 *pool = isF ? kFprCalleeSaved : kGprCalleeSaved;
-            size_t n = isF ? std::size(kFprCalleeSaved)
-                           : std::size(kGprCalleeSaved);
-            candidates.assign(pool, pool + n);
-        } else {
-            const u8 *p1 = isF ? kFprCallerSaved : kGprCallerSaved;
-            size_t n1 = isF ? std::size(kFprCallerSaved)
-                            : std::size(kGprCallerSaved);
-            candidates.assign(p1, p1 + n1);
-            const u8 *p2 = isF ? kFprCalleeSaved : kGprCalleeSaved;
-            size_t n2 = isF ? std::size(kFprCalleeSaved)
-                            : std::size(kGprCalleeSaved);
-            candidates.insert(candidates.end(), p2, p2 + n2);
-        }
-
-        u8 chosen = 0xff;
-        for (u8 r : candidates) {
-            if (regFree(active, r, iv.start)) {
-                chosen = r;
-                break;
-            }
-        }
-
-        Allocation &a = result.alloc[iv.value];
-        if (chosen != 0xff) {
-            a.where = isF ? Allocation::Where::FReg : Allocation::Where::Reg;
-            a.reg = chosen;
-            active.push_back({iv, chosen});
-        } else {
-            // Spill the active interval with the furthest end if that
-            // frees a register usable by this interval; otherwise spill
-            // the new interval itself.
-            auto victim = active.end();
-            for (auto it = active.begin(); it != active.end(); ++it) {
-                bool usable = !iv.crossesCall
-                              || std::find(candidates.begin(),
-                                           candidates.end(), it->reg)
-                                 != candidates.end();
-                if (!usable)
-                    continue;
-                if (victim == active.end()
-                    || it->iv.end > victim->iv.end)
-                    victim = it;
-            }
-            if (victim != active.end() && victim->iv.end > iv.end) {
-                Allocation &va = result.alloc[victim->iv.value];
-                va.where = Allocation::Where::Spill;
-                va.slot = static_cast<i32>(spillSlots++);
-                a.where = isF ? Allocation::Where::FReg
-                              : Allocation::Where::Reg;
-                a.reg = victim->reg;
-                Interval saved = iv;
-                u8 reg = victim->reg;
-                active.erase(victim);
-                active.push_back({saved, reg});
-            } else {
-                a.where = Allocation::Where::Spill;
-                a.slot = static_cast<i32>(spillSlots++);
-            }
-        }
+    if (options.trace) {
+        auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - hostBegin)
+                          .count();
+        options.trace->emit(TraceCategory::Compile, TraceEventKind::End,
+                            "regalloc", options.traceTimestamp,
+                            options.traceFunction, 0,
+                            static_cast<u64>(micros));
     }
-
-    result.spillSlots = spillSlots;
     return result;
 }
 

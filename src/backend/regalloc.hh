@@ -1,10 +1,27 @@
 /**
  * @file
- * Linear-scan register allocation over the IR (no interval splitting:
- * an interval is either in one register for its whole life or spilled
- * to a frame slot). Values live across calls are restricted to
- * callee-saved registers. Constants are rematerialized, never
- * allocated.
+ * Liveness-driven linear-scan register allocation with live-range
+ * splitting (Wimmer-style): per-block use/def and live-in/live-out
+ * sets from backward dataflow, lifetime holes, split intervals so a
+ * value only occupies a callee-saved register (or memory) across the
+ * call sites it actually spans, spill-cost victim selection weighted
+ * by use density and loop depth, second-chance reloads, and
+ * spill-slot reuse across disjoint spilled lifetimes.
+ *
+ * Positions: every live node in emission order gets an even position
+ * 2*i. Odd positions are the *gaps* before the following instruction;
+ * split moves are materialized there by instruction selection. A
+ * value's allocation is therefore a set of half-open [from, to)
+ * live ranges, each with its own location — `locationAt` is the one
+ * query the backend (operand access, deopt frame maps, phi moves,
+ * verifier) is built on.
+ *
+ * Constants are rematerialized, never allocated. Values live across
+ * calls are restricted to callee-saved registers or memory for the
+ * segments that actually cross a call (modeling the ABI the paper's
+ * measured engine pays for; the simulator itself preserves registers
+ * across CallRt, so this discipline is enforced by the allocation
+ * verifier rather than the machine).
  */
 
 #ifndef VSPEC_BACKEND_REGALLOC_HH
@@ -13,9 +30,12 @@
 #include <vector>
 
 #include "ir/graph.hh"
+#include "isa/isa.hh"
 
 namespace vspec
 {
+
+class Tracer;
 
 struct Allocation
 {
@@ -30,13 +50,144 @@ struct Allocation
     Where where = Where::None;
     u8 reg = 0;
     i32 slot = -1;
+
+    bool
+    sameAs(const Allocation &o) const
+    {
+        if (where != o.where)
+            return false;
+        switch (where) {
+          case Where::Reg: case Where::FReg: return reg == o.reg;
+          case Where::Spill: return slot == o.slot;
+          case Where::None: return true;
+        }
+        return false;
+    }
+};
+
+/** One live range of a value with the location holding it there. */
+struct LiveSegment
+{
+    u32 from = 0;  //!< inclusive, even = instruction, odd = gap
+    u32 to = 0;    //!< exclusive
+    Allocation loc;
+};
+
+/** A location change materialized at gap position @p pos (executed
+ *  before the instruction at pos + 1). */
+struct GapMove
+{
+    u32 pos = 0;
+    ValueId value = kNoValue;
+    Allocation from, to;
+};
+
+/** One resolution move on a CFG edge (locations at the end of the
+ *  predecessor and the start of the successor disagree). */
+struct EdgeMove
+{
+    ValueId value = kNoValue;
+    Allocation from, to;
+};
+
+/** All resolution moves for one CFG edge. Instruction selection
+ *  places them: at the predecessor's end (single successor), the
+ *  successor's start (single predecessor), or a freshly split block
+ *  (critical edge). */
+struct EdgeResolution
+{
+    BlockId pred = kNoBlock;
+    BlockId succ = kNoBlock;
+    std::vector<EdgeMove> moves;
+};
+
+struct RegallocStats
+{
+    u32 intervals = 0;         //!< values that needed an allocation
+    u32 splits = 0;            //!< live-range split operations
+    u32 spilledIntervals = 0;  //!< values with at least one memory segment
+    u32 spillStores = 0;       //!< register->memory transitions
+    u32 reloads = 0;           //!< memory->register transitions
+    u32 spillSlots = 0;        //!< frame slots after reuse/coalescing
+    u32 calleeSavedUsed = 0;   //!< distinct callee-saved registers used
+};
+
+struct RegallocOptions
+{
+    IsaFlavour flavour = IsaFlavour::Arm64Like;
+    /** Artificially shrink the allocatable pools (testing knob;
+     *  0 = full pool). Shrunk pools keep callee-saved registers first
+     *  so call-crossing values stay allocatable at tiny sizes. */
+    u8 maxGprs = 0;
+    u8 maxFprs = 0;
+
+    /** vtrace hookup: Begin/End "regalloc" compile-phase events
+     *  carrying host-side allocator time. */
+    Tracer *trace = nullptr;
+    u64 traceTimestamp = 0;
+    u32 traceFunction = 0;
 };
 
 struct AllocationResult
 {
-    std::vector<Allocation> alloc;   //!< indexed by ValueId
+    /** Flattened per-value segments: value v's segments are
+     *  segs[segIndex[v] .. segIndex[v + 1]), sorted by from,
+     *  non-overlapping. */
+    std::vector<u32> segIndex;
+    std::vector<LiveSegment> segs;
+
     u32 spillSlots = 0;
+
+    /** In-block split moves, sorted by pos (odd gap positions). */
+    std::vector<GapMove> gapMoves;
+    /** CFG-edge resolution moves (only edges that need any). */
+    std::vector<EdgeResolution> edgeMoves;
+
+    /** Linear position of each live node (2*i); dead nodes 0. */
+    std::vector<u32> posOf;
+    /** Per-block position ranges over the emission order:
+     *  [blockFrom[b], blockTo[b]) with blockTo = last node pos + 2. */
+    std::vector<u32> blockFrom, blockTo;
+
+    /** Single source of truth shared with instruction selection for
+     *  emission decisions that change where operands are read:
+     *  compares fused into their branch (inputs read at the branch)
+     *  and x64 length loads folded into a CheckBounds CmpMem. */
+    std::vector<ValueId> fusedCompares;
+    std::vector<ValueId> skippedLenLoads;
+
+    RegallocStats stats;
+
+    /** Location of @p v in effect at position @p pos (None if v has
+     *  no allocation or pos falls in a lifetime hole). */
+    Allocation
+    locationAt(ValueId v, u32 pos) const
+    {
+        if (v + 1 >= segIndex.size())
+            return {};
+        for (u32 i = segIndex[v]; i < segIndex[v + 1]; i++) {
+            if (segs[i].from <= pos && pos < segs[i].to)
+                return segs[i].loc;
+        }
+        return {};
+    }
+
+    bool
+    isAllocated(ValueId v) const
+    {
+        return v + 1 < segIndex.size() && segIndex[v] != segIndex[v + 1];
+    }
 };
+
+/** Caller/callee-saved classification of the modeled ABI (exposed for
+ *  the allocation verifier). */
+bool isCallerSavedGpr(u8 reg);
+bool isCallerSavedFpr(u8 reg);
+
+/** EngineConfig defaults for the shrunk-pool testing knob: cached
+ *  VSPEC_MAX_GPRS / VSPEC_MAX_FPRS (0 = full pool). */
+u8 defaultMaxGprs();
+u8 defaultMaxFprs();
 
 /**
  * Allocate registers for all live, value-producing nodes of @p graph.
@@ -47,7 +198,8 @@ struct AllocationResult
  * their pass-through input (the backend's prepareForCodegen step).
  */
 AllocationResult allocateRegisters(const Graph &graph,
-                                   const std::vector<BlockId> &blockOrder);
+                                   const std::vector<BlockId> &blockOrder,
+                                   const RegallocOptions &options = {});
 
 } // namespace vspec
 

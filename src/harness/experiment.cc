@@ -117,6 +117,17 @@ runWorkload(const Workload &w, const RunConfig &rc,
         out.traceGcCycles =
             engine.trace.counters.get(TraceCounter::GcCycles);
 
+        out.regallocSpills =
+            engine.trace.counters.get(TraceCounter::RegallocSpills);
+        out.regallocSplits =
+            engine.trace.counters.get(TraceCounter::RegallocSplits);
+        out.regallocReloads =
+            engine.trace.counters.get(TraceCounter::RegallocReloads);
+        out.regallocSpillSlots =
+            engine.trace.counters.get(TraceCounter::RegallocSpillSlots);
+        out.regallocCalleeSaved =
+            engine.trace.counters.get(TraceCounter::RegallocCalleeSaved);
+
         // Static code metrics over every compiled code object.
         int window = defaultWindowFor(rc.isa);
         for (const auto &code : engine.codeObjects) {

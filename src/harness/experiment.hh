@@ -137,6 +137,15 @@ struct RunOutcome
     u64 traceIcMegamorphic = 0;
     u64 traceGcCycles = 0;
 
+    /** vregalloc counter snapshot (summed over every compile): the
+     *  allocator's behaviour under this workload, exported so the
+     *  bench gate can track spill pressure alongside cycles. */
+    u64 regallocSpills = 0;
+    u64 regallocSplits = 0;
+    u64 regallocReloads = 0;
+    u64 regallocSpillSlots = 0;
+    u64 regallocCalleeSaved = 0;
+
     /** Mean cycles of the last third of iterations (steady state). */
     double steadyStateCycles() const;
     /** Mean cycles across all iterations ("total duration" metric). */

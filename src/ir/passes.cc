@@ -449,13 +449,20 @@ hoistLoopInvariantChecks(Graph &g)
     // would be re-executed on every loop iteration.
     u32 count = 0;
 
-    // Find loops: for every back edge pred -> header.
+    // Find loops: for every back edge pred -> header. A back edge can
+    // run through either successor — a Branch whose *false* target is
+    // the header (e.g. an inverted loop condition) is just as much a
+    // latch as a Goto, so checking succTrue alone under-detects loops.
     struct Loop { BlockId header; BlockId latch; };
     std::vector<Loop> loops;
     for (BlockId b = 0; b < g.blocks.size(); b++) {
-        BlockId t = g.block(b).succTrue;
-        if (t != kNoBlock && t <= b && !g.block(b).nodes.empty())
-            loops.push_back({t, b});
+        if (g.block(b).nodes.empty())
+            continue;
+        BlockId succs[2] = {g.block(b).succTrue, g.block(b).succFalse};
+        for (BlockId t : succs) {
+            if (t != kNoBlock && t <= b)
+                loops.push_back({t, b});
+        }
     }
 
     for (const Loop &loop : loops) {

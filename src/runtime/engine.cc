@@ -255,12 +255,23 @@ Engine::compileFunction(FunctionInfo &fn)
     cg.removeDeoptBranches = config.removeDeoptBranches;
     cg.smiExtension = config.smiLoadExtension;
     cg.mapCheckExtension = config.mapCheckExtension;
+    cg.maxGprs = config.maxGprs;
+    cg.maxFprs = config.maxFprs;
+    cg.verifyAllocation = config.passes.verifyLevel != VerifyLevel::Off;
     cg.trace = &trace;
     cg.traceTimestamp = totalCycles();
     cg.traceFunction = fn.id;
     auto code = generateCode(env, *graph, cg);
     if (config.passes.verifyLevel != VerifyLevel::Off)
         enforce(verifyCodeObject(*code), "code object");
+    trace.counters.add(TraceCounter::RegallocSpills,
+                       code->raStats.spillStores);
+    trace.counters.add(TraceCounter::RegallocSplits, code->raStats.splits);
+    trace.counters.add(TraceCounter::RegallocReloads, code->raStats.reloads);
+    trace.counters.add(TraceCounter::RegallocSpillSlots,
+                       code->raStats.spillSlots);
+    trace.counters.add(TraceCounter::RegallocCalleeSaved,
+                       code->raStats.calleeSavedUsed);
     code->id = static_cast<u32>(codeObjects.size());
     fn.codeId = code->id;
     for (u32 cell : code->dependsOnGlobalCells)

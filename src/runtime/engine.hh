@@ -94,6 +94,14 @@ struct EngineConfig
      *  fetch. Bit-identical cycles either way; honours
      *  VSPEC_PREDECODE=0 for A/B comparisons. */
     bool predecode = defaultPredecodeEnabled();
+
+    /** vregalloc testing knob: artificially shrink the allocatable
+     *  register pools (0 = full pool; shrunk pools keep callee-saved
+     *  registers so call-crossing values stay allocatable down to 3
+     *  GPRs). Defaults honour VSPEC_MAX_GPRS / VSPEC_MAX_FPRS so any
+     *  binary can run under register pressure without a rebuild. */
+    u8 maxGprs = defaultMaxGprs();
+    u8 maxFprs = defaultMaxFprs();
 };
 
 struct DeoptRecord

@@ -191,6 +191,12 @@ traceCounterName(TraceCounter c)
       case TraceCounter::ServeQuarantines: return "serve_quarantines";
       case TraceCounter::ServeDegradations: return "serve_degradations";
       case TraceCounter::ServeErrors: return "serve_errors";
+      case TraceCounter::RegallocSpills: return "regalloc_spills";
+      case TraceCounter::RegallocSplits: return "regalloc_splits";
+      case TraceCounter::RegallocReloads: return "regalloc_reloads";
+      case TraceCounter::RegallocSpillSlots: return "regalloc_spill_slots";
+      case TraceCounter::RegallocCalleeSaved:
+        return "regalloc_callee_saved";
       case TraceCounter::NumCounters: break;
     }
     return "?";

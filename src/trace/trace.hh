@@ -216,6 +216,12 @@ enum class TraceCounter : u16
     ServeQuarantines,       //!< isolates recycled by the health tracker
     ServeDegradations,      //!< isolates dropped to interpreter-only
     ServeErrors,            //!< typed error responses returned
+    // vregalloc allocation quality (summed over successful compiles):
+    RegallocSpills,         //!< register -> memory stores (incl. defs)
+    RegallocSplits,         //!< live-range split operations
+    RegallocReloads,        //!< memory -> register transitions
+    RegallocSpillSlots,     //!< frame slots after reuse/coalescing
+    RegallocCalleeSaved,    //!< distinct callee-saved registers used
     NumCounters,
 };
 

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Allocation verifier: checks a fresh register allocation against the
+ * graph it was computed for, independently of the allocator's own
+ * bookkeeping. The invariants are exactly the contract instruction
+ * selection consumes:
+ *
+ *  - every operand isel reads has a live, class-correct location at
+ *    the position of the reading instruction (frame-state references
+ *    of a call stay live through it — deopt materializes after the
+ *    callee ran);
+ *  - no two values occupy the same register or spill slot at the same
+ *    position;
+ *  - caller-saved registers never span a call site (the modeled ABI:
+ *    call-crossing segments must be callee-saved or in memory);
+ *  - spill slots are within the frame the prologue reserves;
+ *  - every split/resolution move's endpoints agree with the segment
+ *    table, so the moves isel materializes actually connect the
+ *    locations operand access will read.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "backend/regalloc.hh"
+#include "ir/graph.hh"
+#include "verify/verify.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+bool
+valueProducing(const IrNode &n)
+{
+    if (n.rep == Rep::None)
+        return false;
+    switch (n.op) {
+      case IrOp::ConstI32:
+      case IrOp::ConstTagged:
+      case IrOp::ConstF64:
+      case IrOp::Goto:
+      case IrOp::Branch:
+      case IrOp::Return:
+      case IrOp::Deopt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+isCall(IrOp op)
+{
+    return op == IrOp::CallRuntime || op == IrOp::CallFunction
+           || op == IrOp::F64Mod;
+}
+
+bool
+isConstOp(IrOp op)
+{
+    return op == IrOp::ConstI32 || op == IrOp::ConstTagged
+           || op == IrOp::ConstF64;
+}
+
+struct AllocVerifier
+{
+    const Graph &g;
+    const std::vector<u32> &blockOrder;
+    const AllocationResult &ra;
+    VerifyResult res;
+
+    std::vector<bool> fused;    //!< compare fused into its branch
+    std::vector<bool> skipped;  //!< x64 length load folded into CheckBounds
+    std::vector<u32> callPositions;
+
+    AllocVerifier(const Graph &graph, const std::vector<u32> &order,
+                  const AllocationResult &result)
+        : g(graph), blockOrder(order), ra(result)
+    {
+        fused.assign(g.nodes.size(), false);
+        for (ValueId v : ra.fusedCompares)
+            fused[v] = true;
+        skipped.assign(g.nodes.size(), false);
+        for (ValueId v : ra.skippedLenLoads)
+            skipped[v] = true;
+        for (BlockId b : blockOrder) {
+            for (ValueId id : g.block(b).nodes) {
+                const IrNode &n = g.node(id);
+                if (!n.dead && isCall(n.op))
+                    callPositions.push_back(ra.posOf[id]);
+            }
+        }
+        std::sort(callPositions.begin(), callPositions.end());
+    }
+
+    void
+    fail(const std::string &invariant, u32 block, u32 node,
+         std::string message)
+    {
+        Diagnostic d;
+        d.verifier = "regalloc";
+        d.where = "after register allocation";
+        d.invariant = invariant;
+        d.block = block;
+        d.node = node;
+        d.message = std::move(message);
+        res.diagnostics.push_back(std::move(d));
+    }
+
+    /** Does the value's class of location match its representation? */
+    bool
+    classOk(ValueId v, const Allocation &a) const
+    {
+        bool isF = g.node(v).rep == Rep::Float64;
+        switch (a.where) {
+          case Allocation::Where::Reg: return !isF;
+          case Allocation::Where::FReg: return isF;
+          case Allocation::Where::Spill: return true;
+          case Allocation::Where::None: return false;
+        }
+        return false;
+    }
+
+    void
+    checkUse(BlockId b, ValueId user, ValueId v, u32 pos, bool throughCall)
+    {
+        if (v == kNoValue)
+            return;
+        const IrNode &vn = g.node(v);
+        if (isConstOp(vn.op))
+            return;  // rematerialized at the use
+        Allocation a = ra.locationAt(v, pos);
+        if (a.where == Allocation::Where::None) {
+            fail("use-has-live-location", b, user,
+                 "operand v" + std::to_string(v) + " of v"
+                     + std::to_string(user) + " has no location at position "
+                     + std::to_string(pos));
+            return;
+        }
+        if (!classOk(v, a)) {
+            fail("use-location-class", b, user,
+                 "operand v" + std::to_string(v)
+                     + " is in a location of the wrong register class");
+        }
+        if (throughCall) {
+            Allocation after = ra.locationAt(v, pos + 1);
+            if (!a.sameAs(after)) {
+                fail("deopt-ref-live-through-call", b, user,
+                     "frame-state reference v" + std::to_string(v)
+                         + " changes location across the call at position "
+                         + std::to_string(pos));
+            }
+        }
+    }
+
+    void
+    checkUses()
+    {
+        for (BlockId b : blockOrder) {
+            for (ValueId id : g.block(b).nodes) {
+                const IrNode &n = g.node(id);
+                if (n.dead)
+                    continue;
+                u32 pos = ra.posOf[id];
+                bool excluded = id < fused.size()
+                                && (fused[id] || skipped[id]);
+                if (!excluded) {
+                    if (n.op == IrOp::Phi) {
+                        // Inputs are read by the predecessors' edge
+                        // move sets, checked via edge resolution.
+                    } else if (n.op == IrOp::Branch && !n.inputs.empty()
+                               && fused[n.inputs[0]]) {
+                        for (ValueId in : g.node(n.inputs[0]).inputs)
+                            checkUse(b, id, in, pos, false);
+                    } else if (n.op == IrOp::CheckBounds
+                               && n.inputs.size() > 1
+                               && skipped[n.inputs[1]]) {
+                        checkUse(b, id, n.inputs[0], pos, false);
+                        checkUse(b, id, g.node(n.inputs[1]).inputs[0], pos,
+                                 false);
+                    } else {
+                        for (ValueId in : n.inputs)
+                            checkUse(b, id, in, pos, false);
+                    }
+                    if (n.canDeopt() && n.frameState != kNoFrameState) {
+                        bool through = isCall(n.op);
+                        const FrameState &fs = g.frameStates[n.frameState];
+                        for (ValueId r : fs.regs)
+                            checkUse(b, id, r, pos, through);
+                        checkUse(b, id, fs.accumulator, pos, through);
+                    }
+                }
+                // Definition: the value must have a location the
+                // instruction (or the edge/prologue move set writing
+                // phis and params) can target.
+                if (valueProducing(n) && !excluded) {
+                    u32 defPos = (n.op == IrOp::Phi || n.op == IrOp::Param)
+                                     ? ra.blockFrom[b]
+                                     : pos;
+                    Allocation a = ra.locationAt(id, defPos);
+                    bool unused = !ra.isAllocated(id);
+                    if (!unused && a.where == Allocation::Where::None) {
+                        fail("def-has-location", b, id,
+                             "v" + std::to_string(id)
+                                 + " has no location at its definition");
+                    } else if (!unused && !classOk(id, a)) {
+                        fail("def-location-class", b, id,
+                             "v" + std::to_string(id)
+                                 + " is defined into the wrong register "
+                                   "class");
+                    }
+                }
+            }
+        }
+    }
+
+    void
+    checkUniqueAndDiscipline()
+    {
+        // Bucket all segments by concrete location.
+        struct Seg
+        {
+            u32 from, to;
+            ValueId value;
+        };
+        std::vector<std::vector<Seg>> gprSegs(64), fprSegs(64), slotSegs;
+        slotSegs.resize(ra.spillSlots);
+        for (ValueId v = 0; v + 1 < ra.segIndex.size(); v++) {
+            for (u32 i = ra.segIndex[v]; i < ra.segIndex[v + 1]; i++) {
+                const LiveSegment &s = ra.segs[i];
+                switch (s.loc.where) {
+                  case Allocation::Where::Reg:
+                    gprSegs[s.loc.reg].push_back({s.from, s.to, v});
+                    break;
+                  case Allocation::Where::FReg:
+                    fprSegs[s.loc.reg].push_back({s.from, s.to, v});
+                    break;
+                  case Allocation::Where::Spill:
+                    if (s.loc.slot < 0
+                        || static_cast<u32>(s.loc.slot) >= ra.spillSlots) {
+                        fail("spill-slot-in-frame", kNoBlock, v,
+                             "v" + std::to_string(v) + " spilled to slot "
+                                 + std::to_string(s.loc.slot)
+                                 + " outside the frame of "
+                                 + std::to_string(ra.spillSlots) + " slots");
+                    } else {
+                        slotSegs[s.loc.slot].push_back({s.from, s.to, v});
+                    }
+                    break;
+                  case Allocation::Where::None:
+                    fail("segment-has-location", kNoBlock, v,
+                         "v" + std::to_string(v)
+                             + " has a segment with no location");
+                    break;
+                }
+            }
+        }
+
+        auto sweep = [&](std::vector<Seg> &segs, const std::string &what) {
+            std::sort(segs.begin(), segs.end(),
+                      [](const Seg &a, const Seg &b) {
+                          return a.from < b.from;
+                      });
+            for (size_t i = 1; i < segs.size(); i++) {
+                if (segs[i].from < segs[i - 1].to
+                    && segs[i].value != segs[i - 1].value) {
+                    fail("allocation-unique", kNoBlock, segs[i].value,
+                         what + " holds both v"
+                             + std::to_string(segs[i - 1].value) + " and v"
+                             + std::to_string(segs[i].value)
+                             + " at position "
+                             + std::to_string(segs[i].from));
+                }
+            }
+        };
+        auto crossing = [&](const Seg &s) -> i64 {
+            auto lo = std::lower_bound(callPositions.begin(),
+                                       callPositions.end(), s.from + 1);
+            if (lo != callPositions.end() && *lo + 1 < s.to)
+                return static_cast<i64>(*lo);
+            return -1;
+        };
+        for (u32 r = 0; r < 64; r++) {
+            sweep(gprSegs[r], "gpr x" + std::to_string(r));
+            sweep(fprSegs[r], "fpr d" + std::to_string(r));
+            if (isCallerSavedGpr(static_cast<u8>(r))) {
+                for (const Seg &s : gprSegs[r]) {
+                    i64 c = crossing(s);
+                    if (c >= 0) {
+                        fail("caller-saved-call-crossing", kNoBlock, s.value,
+                             "v" + std::to_string(s.value)
+                                 + " spans the call at position "
+                                 + std::to_string(c) + " in caller-saved x"
+                                 + std::to_string(r));
+                    }
+                }
+            }
+            if (isCallerSavedFpr(static_cast<u8>(r))) {
+                for (const Seg &s : fprSegs[r]) {
+                    i64 c = crossing(s);
+                    if (c >= 0) {
+                        fail("caller-saved-call-crossing", kNoBlock, s.value,
+                             "v" + std::to_string(s.value)
+                                 + " spans the call at position "
+                                 + std::to_string(c) + " in caller-saved d"
+                                 + std::to_string(r));
+                    }
+                }
+            }
+        }
+        for (u32 s = 0; s < slotSegs.size(); s++)
+            sweep(slotSegs[s], "spill slot " + std::to_string(s));
+    }
+
+    void
+    checkMoves()
+    {
+        for (const GapMove &m : ra.gapMoves) {
+            if ((m.pos & 1) == 0) {
+                fail("gap-move-at-gap", kNoBlock, m.value,
+                     "gap move at even (instruction) position "
+                         + std::to_string(m.pos));
+                continue;
+            }
+            Allocation src = ra.locationAt(m.value, m.pos - 1);
+            Allocation dst = ra.locationAt(m.value, m.pos);
+            if (!src.sameAs(m.from) || !dst.sameAs(m.to)) {
+                fail("gap-move-endpoints", kNoBlock, m.value,
+                     "gap move for v" + std::to_string(m.value)
+                         + " at position " + std::to_string(m.pos)
+                         + " disagrees with the segment table");
+            }
+        }
+        for (const EdgeResolution &er : ra.edgeMoves) {
+            if (er.pred >= g.blocks.size() || er.succ >= g.blocks.size()) {
+                fail("edge-move-blocks", er.pred, kNoValue,
+                     "edge resolution references an unknown block");
+                continue;
+            }
+            for (const EdgeMove &m : er.moves) {
+                Allocation src =
+                    ra.locationAt(m.value, ra.blockTo[er.pred] - 2);
+                Allocation dst =
+                    ra.locationAt(m.value, ra.blockFrom[er.succ]);
+                if (!src.sameAs(m.from) || !dst.sameAs(m.to)) {
+                    fail("edge-move-endpoints", er.pred, m.value,
+                         "edge move for v" + std::to_string(m.value)
+                             + " on edge b" + std::to_string(er.pred)
+                             + " -> b" + std::to_string(er.succ)
+                             + " disagrees with the segment table");
+                }
+            }
+        }
+    }
+
+    VerifyResult
+    run()
+    {
+        checkUses();
+        checkUniqueAndDiscipline();
+        checkMoves();
+        return std::move(res);
+    }
+};
+
+} // namespace
+
+VerifyResult
+verifyAllocation(const Graph &graph, const std::vector<u32> &blockOrder,
+                 const AllocationResult &ra)
+{
+    AllocVerifier v(graph, blockOrder, ra);
+    return v.run();
+}
+
+} // namespace vspec

@@ -94,6 +94,22 @@ VerifyResult verifyBytecode(const FunctionInfo &fn,
 /** Verify a generated code object's check/deopt metadata. */
 VerifyResult verifyCodeObject(const CodeObject &code);
 
+struct AllocationResult;
+
+/**
+ * Verify a fresh register allocation against the graph it was computed
+ * for (@p blockOrder is the emission order the allocator positioned):
+ * every value's allocation is live and class-correct at every use
+ * position, no two values share a register or spill slot while both
+ * live, caller-saved registers never span a call site, and every
+ * split/resolution move's endpoints agree with the segment table.
+ * Run before instruction selection consumes the allocation (it splits
+ * critical edges for resolution moves, invalidating @p blockOrder).
+ */
+VerifyResult verifyAllocation(const Graph &graph,
+                              const std::vector<u32> &blockOrder,
+                              const AllocationResult &ra);
+
 /**
  * Enforcement point: when @p result holds diagnostics, log each one
  * (support/logging, Error level) and panic with a "vverify:" message

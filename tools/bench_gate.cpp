@@ -3,21 +3,29 @@
  * bench_gate: the vprof bench regression gate CLI.
  *
  *   bench_gate emit --out=DIR [--iters=N] [--jobs=N]
- *       Run the workload suite deterministically (arm64 flavour) and
- *       write bench_cycles.json (schema "vspec-bench-cycles-v1"):
- *       per-workload simulated cycle totals. Simulated cycles are
- *       deterministic, so these values are comparable across hosts up
- *       to libm differences in math-heavy builtins (the default gate
- *       tolerance absorbs them).
+ *       Run the workload suite deterministically and write
+ *       bench_cycles.json (arm64) + bench_cycles_x64.json (x64,
+ *       schema "vspec-bench-cycles-v1"): per-workload simulated cycle
+ *       totals. Simulated cycles are deterministic, so these values
+ *       are comparable across hosts up to libm differences in
+ *       math-heavy builtins (the default gate tolerance absorbs them).
+ *       Also writes regalloc.json (informational): per-workload
+ *       register-allocator counters (spills/splits/reloads/slots).
  *
  *   bench_gate compare --baselines=DIR --current=DIR [--scale=F]
  *       Compare current outputs against checked-in baselines per the
  *       gate.json manifest in DIR. Exit 1 on any violation.
  *
+ *   bench_gate report --baselines=DIR --current=DIR [--out=DIR]
+ *       (alias: --rebaseline-report) Deliberate re-baseline helper:
+ *       write old-vs-new per-workload cycle and spill deltas as
+ *       rebaseline_report.json + rebaseline_report.md so a baseline
+ *       refresh lands with its effect spelled out in review.
+ *
  *   bench_gate selftest --baselines=DIR
- *       Prove the gate trips: copy the baseline cycles file with a 25%
- *       injected slowdown and assert compare fails on it (and passes
- *       on an unmodified copy).
+ *       Prove the gate trips: copy every manifest file verbatim
+ *       (must pass), then inject a 25% slowdown into the arm64
+ *       cycles file and assert compare fails.
  */
 
 #include <cmath>
@@ -46,8 +54,9 @@ usage(const char *argv0, const char *bad)
         stderr,
         "usage: %s emit --out=DIR [--iters=N] [--jobs=N]\n"
         "       %s compare --baselines=DIR --current=DIR [--scale=F]\n"
+        "       %s report --baselines=DIR --current=DIR [--out=DIR]\n"
         "       %s selftest --baselines=DIR\n",
-        argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0);
     std::exit(2);
 }
 
@@ -79,21 +88,21 @@ struct EmitCell
     u64 cycles = 0;
     u64 deopts = 0;
     u64 compilations = 0;
+    u64 spills = 0;
+    u64 splits = 0;
+    u64 reloads = 0;
+    u64 spillSlots = 0;
+    u64 calleeSaved = 0;
 };
 
-/** Deterministic per-workload cycle totals for the gate baseline. */
-std::string
-emitCyclesJson(u32 iters, u32 jobs)
+std::vector<EmitCell>
+runEmitCells(u32 iters, u32 jobs, IsaFlavour isa,
+             const std::vector<const Workload *> &ws)
 {
-    std::vector<const Workload *> ws;
-    for (const Workload &w : suite())
-        ws.push_back(&w);
-
-    auto cells = par::mapWorkloads<EmitCell>(jobs, ws,
-                                             [&](const Workload &w) {
+    return par::mapWorkloads<EmitCell>(jobs, ws, [&](const Workload &w) {
         EmitCell cell;
         RunConfig rc;
-        rc.isa = IsaFlavour::Arm64Like;
+        rc.isa = isa;
         rc.iterations = iters;
         try {
             RunOutcome out = runWorkload(w, rc);
@@ -102,15 +111,26 @@ emitCyclesJson(u32 iters, u32 jobs)
                 cell.cycles = out.totalCycles;
                 cell.deopts = out.totalDeopts;
                 cell.compilations = out.compilations;
+                cell.spills = out.regallocSpills;
+                cell.splits = out.regallocSplits;
+                cell.reloads = out.regallocReloads;
+                cell.spillSlots = out.regallocSpillSlots;
+                cell.calleeSaved = out.regallocCalleeSaved;
             }
         } catch (const std::exception &) {
         }
         return cell;
     });
+}
 
+/** Deterministic per-workload cycle totals for the gate baseline. */
+std::string
+emitCyclesJson(u32 iters, const std::vector<const Workload *> &ws,
+               const std::vector<EmitCell> &cells, const char *isa_name)
+{
     std::string out;
     out += "{\"schema\":\"vspec-bench-cycles-v1\"";
-    out += ",\"isa\":\"arm64\"";
+    out += ",\"isa\":\"" + std::string(isa_name) + "\"";
     out += ",\"iterations\":" + std::to_string(iters);
     out += ",\"workloads\":{";
     bool first = true;
@@ -125,6 +145,37 @@ emitCyclesJson(u32 iters, u32 jobs)
             + ",\"deopts\":" + std::to_string(cells[i].deopts)
             + ",\"compilations\":"
             + std::to_string(cells[i].compilations) + "}";
+    }
+    out += "}}";
+    return out;
+}
+
+/** vregalloc leg: per-workload allocator counters (arm64 flavour).
+ *  Informational in the gate — spill counts are expected to move with
+ *  allocator tuning; the report subcommand surfaces the deltas. */
+std::string
+emitRegallocJson(u32 iters, const std::vector<const Workload *> &ws,
+                 const std::vector<EmitCell> &cells)
+{
+    std::string out;
+    out += "{\"schema\":\"vspec-regalloc-v1\"";
+    out += ",\"isa\":\"arm64\"";
+    out += ",\"iterations\":" + std::to_string(iters);
+    out += ",\"workloads\":{";
+    bool first = true;
+    for (size_t i = 0; i < ws.size(); i++) {
+        if (!cells[i].ok)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(ws[i]->name) + "\":{"
+            + "\"spills\":" + std::to_string(cells[i].spills)
+            + ",\"splits\":" + std::to_string(cells[i].splits)
+            + ",\"reloads\":" + std::to_string(cells[i].reloads)
+            + ",\"spill_slots\":" + std::to_string(cells[i].spillSlots)
+            + ",\"callee_saved\":"
+            + std::to_string(cells[i].calleeSaved) + "}";
     }
     out += "}}";
     return out;
@@ -219,6 +270,149 @@ cmdCompare(const std::string &baselines, const std::string &current,
     return outcome.passed ? 0 : 1;
 }
 
+/** One workload row of the re-baseline report. */
+struct ReportRow
+{
+    std::string name;
+    bool inOld = false, inNew = false;
+    u64 oldCycles = 0, newCycles = 0;
+    u64 oldSpills = 0, newSpills = 0;
+    u64 oldSlots = 0, newSlots = 0;
+};
+
+bool
+loadWorkloadsDoc(const std::string &path, JsonValue &doc)
+{
+    std::string text, error;
+    return readFile(path, text) && parseJson(text, doc, error)
+        && doc.get("workloads") != nullptr;
+}
+
+/**
+ * bench_gate report: old-vs-new per-workload cycle and spill deltas
+ * for a deliberate re-baseline, as JSON + markdown. Reads
+ * bench_cycles.json (+ optional regalloc.json) from both directories.
+ */
+int
+cmdReport(const std::string &baselines, const std::string &current,
+          const std::string &out_dir)
+{
+    JsonValue old_cyc, new_cyc;
+    if (!loadWorkloadsDoc(baselines + "/bench_cycles.json", old_cyc)
+        || !loadWorkloadsDoc(current + "/bench_cycles.json", new_cyc)) {
+        std::fprintf(stderr,
+                     "bench_gate report: need bench_cycles.json in both "
+                     "%s and %s\n",
+                     baselines.c_str(), current.c_str());
+        return 1;
+    }
+    JsonValue old_ra, new_ra;
+    bool have_old_ra = loadWorkloadsDoc(baselines + "/regalloc.json",
+                                        old_ra);
+    bool have_new_ra = loadWorkloadsDoc(current + "/regalloc.json",
+                                        new_ra);
+
+    std::map<std::string, ReportRow> rows;
+    auto u64At = [](const JsonValue &entry, const char *key) -> u64 {
+        const JsonValue *v = entry.get(key);
+        return v != nullptr ? v->asU64() : 0;
+    };
+    for (const auto &[name, entry] : old_cyc.get("workloads")->object) {
+        ReportRow &r = rows[name];
+        r.name = name;
+        r.inOld = true;
+        r.oldCycles = u64At(entry, "cycles");
+    }
+    for (const auto &[name, entry] : new_cyc.get("workloads")->object) {
+        ReportRow &r = rows[name];
+        r.name = name;
+        r.inNew = true;
+        r.newCycles = u64At(entry, "cycles");
+    }
+    auto fold_ra = [&](const JsonValue &doc, bool is_new) {
+        for (const auto &[name, entry] : doc.get("workloads")->object) {
+            auto it = rows.find(name);
+            if (it == rows.end())
+                continue;
+            (is_new ? it->second.newSpills : it->second.oldSpills) =
+                u64At(entry, "spills");
+            (is_new ? it->second.newSlots : it->second.oldSlots) =
+                u64At(entry, "spill_slots");
+        }
+    };
+    if (have_old_ra)
+        fold_ra(old_ra, false);
+    if (have_new_ra)
+        fold_ra(new_ra, true);
+
+    // Geomean of per-workload new/old cycle ratios (shared rows only).
+    double log_sum = 0.0;
+    u32 ratio_count = 0;
+    for (const auto &[name, r] : rows) {
+        if (r.inOld && r.inNew && r.oldCycles > 0 && r.newCycles > 0) {
+            log_sum += std::log(static_cast<double>(r.newCycles)
+                                / static_cast<double>(r.oldCycles));
+            ratio_count++;
+        }
+    }
+    double geomean = ratio_count > 0
+        ? std::exp(log_sum / ratio_count) : 1.0;
+
+    std::ostringstream json;
+    json << "{\"schema\":\"vspec-rebaseline-report-v1\""
+         << ",\"geomean_cycle_ratio\":" << geomean
+         << ",\"workloads\":{";
+    std::ostringstream md;
+    md << "# Bench re-baseline report\n\n"
+       << "Geomean cycle ratio (new/old): " << geomean << "\n\n"
+       << "| workload | old cycles | new cycles | delta | old spills "
+       << "| new spills | old slots | new slots |\n"
+       << "|---|---|---|---|---|---|---|---|\n";
+    bool first = true;
+    for (const auto &[name, r] : rows) {
+        double ratio = (r.oldCycles > 0 && r.newCycles > 0)
+            ? static_cast<double>(r.newCycles)
+                / static_cast<double>(r.oldCycles)
+            : 0.0;
+        if (!first)
+            json << ",";
+        first = false;
+        json << "\"" << jsonEscape(name) << "\":{"
+             << "\"old_cycles\":" << r.oldCycles
+             << ",\"new_cycles\":" << r.newCycles
+             << ",\"cycle_ratio\":" << ratio
+             << ",\"old_spills\":" << r.oldSpills
+             << ",\"new_spills\":" << r.newSpills
+             << ",\"old_spill_slots\":" << r.oldSlots
+             << ",\"new_spill_slots\":" << r.newSlots << "}";
+        char delta[32];
+        std::snprintf(delta, sizeof(delta), "%+.2f%%",
+                      (ratio - 1.0) * 100.0);
+        md << "| " << name << " | " << r.oldCycles << " | "
+           << r.newCycles << " | " << (ratio > 0 ? delta : "n/a")
+           << " | " << r.oldSpills << " | " << r.newSpills << " | "
+           << r.oldSlots << " | " << r.newSlots << " |\n";
+    }
+    json << "}}";
+
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    std::string json_path = out_dir + "/rebaseline_report.json";
+    std::string md_path = out_dir + "/rebaseline_report.md";
+    if (!writeFile(json_path, json.str())
+        || !writeFile(md_path, md.str())) {
+        std::fprintf(stderr, "bench_gate report: cannot write %s\n",
+                     out_dir.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\nwrote %s\n", json_path.c_str(),
+                md_path.c_str());
+    std::printf("geomean cycle ratio (new/old): %.4f over %u "
+                "workloads\n",
+                geomean, ratio_count);
+    return 0;
+}
+
 int
 cmdSelftest(const std::string &baselines)
 {
@@ -244,19 +438,29 @@ cmdSelftest(const std::string &baselines)
     std::error_code ec;
     fs::create_directories(tmp, ec);
 
-    // The static-elim baseline rides along unmodified in both legs (the
-    // injected slowdown targets bench_cycles.json).
-    std::string static_elim;
-    bool have_static_elim =
-        readFile(baselines + "/static_elim.json", static_elim);
-
-    // Leg 1: an identical copy must pass.
-    if (!writeFile((tmp / "bench_cycles.json").string(), text)
-        || (have_static_elim
-            && !writeFile((tmp / "static_elim.json").string(),
-                          static_elim))) {
-        std::fprintf(stderr, "bench_gate selftest: cannot write tmp\n");
+    // Leg 1: identical copies of every manifest file must pass. The
+    // copy set is driven by gate.json so new gate legs (x64 cycles,
+    // regalloc counters) ride along without touching this code.
+    std::string manifest_text;
+    JsonValue manifest;
+    std::vector<GateEntry> entries;
+    if (!readFile(baselines + "/gate.json", manifest_text)
+        || !parseJson(manifest_text, manifest, error)
+        || !parseGateManifest(manifest, entries, error)) {
+        std::fprintf(stderr,
+                     "bench_gate selftest: cannot read manifest: %s\n",
+                     error.c_str());
         return 1;
+    }
+    for (const GateEntry &entry : entries) {
+        std::string body;
+        if (!readFile(baselines + "/" + entry.file, body))
+            continue;  // compare reports missing baselines itself
+        if (!writeFile((tmp / entry.file).string(), body)) {
+            std::fprintf(stderr,
+                         "bench_gate selftest: cannot write tmp\n");
+            return 1;
+        }
     }
     GateOutcome same = runBenchGate(baselines, tmp.string());
     if (!same.passed) {
@@ -361,28 +565,45 @@ main(int argc, char **argv)
             usage(argv[0], nullptr);
         std::error_code ec;
         std::filesystem::create_directories(out_dir, ec);
-        std::string json = emitCyclesJson(iters, jobs == 0 ? 1 : jobs);
-        std::string path = out_dir + "/bench_cycles.json";
-        if (!writeFile(path, json)) {
-            std::fprintf(stderr, "bench_gate: cannot write %s\n",
-                         path.c_str());
+        u32 j = jobs == 0 ? 1 : jobs;
+
+        std::vector<const Workload *> ws;
+        for (const Workload &w : suite())
+            ws.push_back(&w);
+
+        auto emit = [&](const std::string &name,
+                        const std::string &json) {
+            std::string path = out_dir + "/" + name;
+            if (!writeFile(path, json)) {
+                std::fprintf(stderr, "bench_gate: cannot write %s\n",
+                             path.c_str());
+                return false;
+            }
+            std::printf("wrote %s\n", path.c_str());
+            return true;
+        };
+
+        auto arm = runEmitCells(iters, j, IsaFlavour::Arm64Like, ws);
+        auto x64 = runEmitCells(iters, j, IsaFlavour::X64Like, ws);
+        if (!emit("bench_cycles.json",
+                  emitCyclesJson(iters, ws, arm, "arm64"))
+            || !emit("bench_cycles_x64.json",
+                     emitCyclesJson(iters, ws, x64, "x64"))
+            || !emit("regalloc.json", emitRegallocJson(iters, ws, arm))
+            || !emit("static_elim.json", emitStaticElimJson(iters, j)))
             return 1;
-        }
-        std::printf("wrote %s\n", path.c_str());
-        std::string se = emitStaticElimJson(iters, jobs == 0 ? 1 : jobs);
-        std::string se_path = out_dir + "/static_elim.json";
-        if (!writeFile(se_path, se)) {
-            std::fprintf(stderr, "bench_gate: cannot write %s\n",
-                         se_path.c_str());
-            return 1;
-        }
-        std::printf("wrote %s\n", se_path.c_str());
         return 0;
     }
     if (cmd == "compare") {
         if (baselines.empty() || current.empty())
             usage(argv[0], nullptr);
         return cmdCompare(baselines, current, scale);
+    }
+    if (cmd == "report" || cmd == "--rebaseline-report") {
+        if (baselines.empty() || current.empty())
+            usage(argv[0], nullptr);
+        return cmdReport(baselines, current,
+                         out_dir.empty() ? current : out_dir);
     }
     if (cmd == "selftest") {
         if (baselines.empty())
