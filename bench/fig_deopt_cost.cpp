@@ -1,0 +1,299 @@
+/**
+ * @file
+ * vdcost headline table — per-CheckGroup *recoverable overhead*. The
+ * paper prices speculation checks at ~8% of cycles but treats a deopt
+ * as a point event; this figure prices the deopts themselves. Each
+ * episode's cycles (bailout + interpreter replay + recompile +
+ * residual; see runtime/deopt_cost.hh) are attributed to the
+ * CheckGroup of the failing check, giving the empirical upper bound on
+ * what a deoptless/OSR tier (ROADMAP item 1) could win per group: if
+ * bailing out were free, at most this fraction of total cycles comes
+ * back. Extends the paper's Fig. 4/14 cost model with a duration axis.
+ *
+ *   fig_deopt_cost [--iters=N] [--jobs=N] [--only=W] [--quick]
+ *                  [--json=FILE] [--out=BENCH_host.json]
+ *
+ * --json writes the machine-readable table (vspec-deopt-cost-v1);
+ * --out merges a "deopt_cost" section into an existing BENCH_host.json
+ * (micro_host's document) or creates the file if absent.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "bench_common.hh"
+#include "harness/experiment.hh"
+#include "support/json.hh"
+
+using namespace vspec;
+using namespace vspec::bench;
+
+namespace
+{
+
+constexpr size_t kG = static_cast<size_t>(CheckGroup::NumGroups);
+
+struct Cell
+{
+    bool ok = false;
+    u64 totalCycles = 0;
+    i64 attributed = 0;
+    u64 episodes = 0;
+    u64 closedByReentry = 0;
+    u64 stormSites = 0;
+    u64 flipFlops = 0;
+    std::array<u64, kG> groupEpisodes{};
+    std::array<i64, kG> groupCycles{};
+    /** (group, episode cost) pairs for the percentile sweep. */
+    std::vector<std::pair<u32, i64>> costs;
+};
+
+i64
+percentile(std::vector<i64> &sorted, int p)
+{
+    if (sorted.empty())
+        return 0;
+    return sorted[(sorted.size() - 1) * static_cast<size_t>(p) / 100];
+}
+
+std::string
+fr(double v)
+{
+    char buf[32];
+    snprintf(buf, sizeof buf, "%.6f", v);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --json=FILE / --out=FILE are stripped before BenchArgs sees the
+    // argument list (abl_window_size idiom).
+    std::string json_out, merge_out;
+    std::vector<char *> passthrough;
+    for (int i = 0; i < argc; i++) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_out = argv[i] + 7;
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            merge_out = argv[i] + 6;
+        else
+            passthrough.push_back(argv[i]);
+    }
+    BenchArgs args = BenchArgs::parse(static_cast<int>(passthrough.size()),
+                                      passthrough.data(), 30, 1);
+
+    auto ws = args.selectedSuite();
+    auto cells = par::mapWorkloads<Cell>(
+        args.jobs, ws, [&](const Workload &w) {
+            Cell cell;
+            RunConfig rc;
+            rc.isa = IsaFlavour::Arm64Like;
+            rc.iterations = args.iterations;
+            rc.samplerEnabled = false;
+            rc.deoptCost = true;
+            try {
+                RunOutcome out = runWorkload(w, rc);
+                if (!out.completed)
+                    return cell;
+                const DeoptCostSummary &s = out.deoptCost;
+                cell.ok = true;
+                cell.totalCycles = out.totalCycles;
+                cell.attributed = s.attributedCycles;
+                cell.episodes = s.episodes;
+                cell.closedByReentry = s.closedByReentry;
+                cell.stormSites = s.stormSites;
+                cell.flipFlops = s.flipFlops;
+                for (size_t g = 0; g < kG; g++) {
+                    cell.groupEpisodes[g] = s.episodesPerGroup[g];
+                    cell.groupCycles[g] = s.cyclesPerGroup[g];
+                }
+                // Per-site means weighted by episode count approximate
+                // the episode distribution well enough for suite-level
+                // percentiles without re-exporting every episode.
+                for (const DeoptSiteSummary &site : s.sites) {
+                    for (u32 e = 0; e < site.episodes; e++)
+                        cell.costs.emplace_back(
+                            static_cast<u32>(site.group), site.meanCost);
+                }
+            } catch (const std::exception &) {
+            }
+            return cell;
+        });
+
+    // ---- aggregate -----------------------------------------------------
+    u64 suite_cycles = 0, suite_episodes = 0;
+    i64 suite_attributed = 0;
+    std::array<u64, kG> g_eps{};
+    std::array<i64, kG> g_cyc{};
+    std::array<std::vector<i64>, kG> g_costs;
+    for (const Cell &cell : cells) {
+        if (!cell.ok)
+            continue;
+        suite_cycles += cell.totalCycles;
+        suite_attributed += cell.attributed;
+        suite_episodes += cell.episodes;
+        for (size_t g = 0; g < kG; g++) {
+            g_eps[g] += cell.groupEpisodes[g];
+            g_cyc[g] += cell.groupCycles[g];
+        }
+        for (const auto &[g, cost] : cell.costs)
+            g_costs[g].push_back(cost);
+    }
+    for (auto &v : g_costs)
+        std::sort(v.begin(), v.end());
+
+    printf("Deopt episode cost by check group — recoverable overhead "
+           "upper bound\n");
+    hr('=', 92);
+    printf("(what a deoptless/OSR tier could win at most, per failing "
+           "check group; arm64, %u iters)\n\n",
+           args.iterations);
+    printf("%-12s %9s %12s %12s %12s %14s %10s\n", "group", "episodes",
+           "mean", "p50", "p90", "cycles", "% of total");
+    hr('-', 92);
+    for (size_t g = 0; g < kG; g++) {
+        if (g_eps[g] == 0)
+            continue;
+        double pct = suite_cycles > 0
+            ? 100.0 * static_cast<double>(g_cyc[g])
+                  / static_cast<double>(suite_cycles)
+            : 0.0;
+        printf("%-12s %9llu %12lld %12lld %12lld %14lld %9.3f%%\n",
+               checkGroupName(static_cast<CheckGroup>(g)),
+               static_cast<unsigned long long>(g_eps[g]),
+               static_cast<long long>(
+                   g_eps[g] ? g_cyc[g] / static_cast<i64>(g_eps[g]) : 0),
+               static_cast<long long>(percentile(g_costs[g], 50)),
+               static_cast<long long>(percentile(g_costs[g], 90)),
+               static_cast<long long>(g_cyc[g]), pct);
+    }
+    hr('-', 92);
+    double recoverable = suite_cycles > 0 && suite_attributed > 0
+        ? static_cast<double>(suite_attributed)
+              / static_cast<double>(suite_cycles)
+        : 0.0;
+    printf("%-12s %9llu %12s %12s %12s %14lld %9.3f%%\n\n", "total",
+           static_cast<unsigned long long>(suite_episodes), "", "", "",
+           static_cast<long long>(suite_attributed),
+           100.0 * recoverable);
+
+    printf("%-16s %9s %7s %6s %9s %14s %14s %10s\n", "workload",
+           "episodes", "reentry", "storm", "flipflop", "attributed",
+           "cycles", "recover%");
+    hr('-', 92);
+    for (size_t i = 0; i < ws.size(); i++) {
+        const Cell &cell = cells[i];
+        if (!cell.ok)
+            continue;
+        double pct = cell.totalCycles > 0 && cell.attributed > 0
+            ? 100.0 * static_cast<double>(cell.attributed)
+                  / static_cast<double>(cell.totalCycles)
+            : 0.0;
+        printf("%-16s %9llu %7llu %6llu %9llu %14lld %14llu %9.3f%%\n",
+               ws[i]->name.c_str(),
+               static_cast<unsigned long long>(cell.episodes),
+               static_cast<unsigned long long>(cell.closedByReentry),
+               static_cast<unsigned long long>(cell.stormSites),
+               static_cast<unsigned long long>(cell.flipFlops),
+               static_cast<long long>(cell.attributed),
+               static_cast<unsigned long long>(cell.totalCycles), pct);
+    }
+    printf("\nepisode phases and invariants: docs/DEOPT.md; per-site "
+           "detail: tools/vspec-deopt\n");
+
+    // ---- machine-readable export ---------------------------------------
+    if (json_out.empty() && merge_out.empty())
+        return 0;
+
+    std::ostringstream js;
+    js << "{\"schema\":\"vspec-deopt-cost-v1\""
+       << ",\"isa\":\"arm64\""
+       << ",\"iterations\":" << args.iterations
+       << ",\"total_cycles\":" << suite_cycles
+       << ",\"attributed_cycles\":" << suite_attributed
+       << ",\"episodes\":" << suite_episodes
+       << ",\"recoverable_fraction\":" << fr(recoverable)
+       << ",\"groups\":{";
+    bool first = true;
+    for (size_t g = 0; g < kG; g++) {
+        if (!first)
+            js << ",";
+        first = false;
+        js << "\"" << checkGroupName(static_cast<CheckGroup>(g))
+           << "\":{\"episodes\":" << g_eps[g]
+           << ",\"cycles\":" << g_cyc[g]
+           << ",\"mean\":"
+           << (g_eps[g] ? g_cyc[g] / static_cast<i64>(g_eps[g]) : 0)
+           << ",\"p50\":" << percentile(g_costs[g], 50)
+           << ",\"p90\":" << percentile(g_costs[g], 90) << "}";
+    }
+    js << "},\"workloads\":{";
+    first = true;
+    for (size_t i = 0; i < ws.size(); i++) {
+        const Cell &cell = cells[i];
+        if (!cell.ok)
+            continue;
+        if (!first)
+            js << ",";
+        first = false;
+        double rec = cell.totalCycles > 0 && cell.attributed > 0
+            ? static_cast<double>(cell.attributed)
+                  / static_cast<double>(cell.totalCycles)
+            : 0.0;
+        js << "\"" << jsonEscape(ws[i]->name)
+           << "\":{\"cycles\":" << cell.totalCycles
+           << ",\"episodes\":" << cell.episodes
+           << ",\"closed_by_reentry\":" << cell.closedByReentry
+           << ",\"storm_sites\":" << cell.stormSites
+           << ",\"flip_flops\":" << cell.flipFlops
+           << ",\"attributed_cycles\":" << cell.attributed
+           << ",\"recoverable_fraction\":" << fr(rec) << "}";
+    }
+    js << "}}";
+    std::string json = js.str();
+
+    if (!json_out.empty()) {
+        std::ofstream out(json_out, std::ios::binary | std::ios::trunc);
+        out << json;
+        printf("wrote %s\n", json_out.c_str());
+    }
+    if (!merge_out.empty()) {
+        // Merge a "deopt_cost" section into BENCH_host.json (serve_soak
+        // idiom): parse the existing document, replace the section.
+        JsonValue doc;
+        doc.kind = JsonValue::Kind::Object;
+        std::ifstream in(merge_out);
+        if (in) {
+            std::stringstream ss;
+            ss << in.rdbuf();
+            std::string err;
+            JsonValue parsed;
+            if (parseJson(ss.str(), parsed, err) && parsed.isObject())
+                doc = parsed;
+            else
+                fprintf(stderr,
+                        "warning: %s not a JSON object (%s); rewriting\n",
+                        merge_out.c_str(), err.c_str());
+        }
+        JsonValue section;
+        std::string err;
+        if (!parseJson(json, section, err)) {
+            fprintf(stderr, "internal error: emitted JSON invalid: %s\n",
+                    err.c_str());
+            return 1;
+        }
+        doc.object["deopt_cost"] = section;
+        std::ofstream out(merge_out);
+        if (!out) {
+            fprintf(stderr, "cannot write %s\n", merge_out.c_str());
+            return 1;
+        }
+        out << writeJson(doc) << "\n";
+        printf("wrote %s\n", merge_out.c_str());
+    }
+    return 0;
+}

@@ -4,8 +4,14 @@
  * (deopt-eager / deopt-lazy / deopt-soft) and analysis group, plus the
  * dynamic deopt events observed across the whole suite — the paper's
  * claim that eager deopts dominate and that deopt events are rare.
+ *
+ * --json=FILE writes the machine-readable table (schema
+ * "vspec-deopt-taxonomy-v1"), keyed by reason with category/group and
+ * per-category totals.
  */
 
+#include <cstring>
+#include <fstream>
 #include <map>
 
 #include "bench_common.hh"
@@ -27,7 +33,18 @@ struct Cell
 int
 main(int argc, char **argv)
 {
-    BenchArgs args = BenchArgs::parse(argc, argv, 24, 1);
+    // --json=FILE: machine-readable taxonomy (stripped before
+    // BenchArgs sees the argument list, abl_window_size idiom).
+    std::string json_out;
+    std::vector<char *> passthrough;
+    for (int i = 0; i < argc; i++) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_out = argv[i] + 7;
+        else
+            passthrough.push_back(argv[i]);
+    }
+    BenchArgs args = BenchArgs::parse(static_cast<int>(passthrough.size()),
+                                      passthrough.data(), 24, 1);
 
     // Collect dynamic deopt counts across the suite, one engine per
     // workload, then merge the per-workload maps in order.
@@ -87,5 +104,38 @@ main(int argc, char **argv)
            "is by far the most common and the most\n"
            "performance-relevant category; deopt events themselves are "
            "rare and happen early.\n");
+
+    if (!json_out.empty()) {
+        // All 52 reasons, observed or not, so consumers can diff two
+        // exports without key-set churn.
+        std::string json = "{\"schema\":\"vspec-deopt-taxonomy-v1\","
+                           "\"reasons\":{";
+        for (int i = 0; i < kNumDeoptReasons; i++) {
+            auto r = static_cast<DeoptReason>(i);
+            u64 n = observed.count(r) ? observed[r] : 0;
+            if (i != 0)
+                json += ",";
+            json += std::string("\"") + deoptReasonName(r) + "\":{"
+                + "\"category\":\""
+                + deoptCategoryName(deoptCategoryOf(r)) + "\""
+                + ",\"group\":\"" + checkGroupName(checkGroupOf(r)) + "\""
+                + ",\"observed\":" + std::to_string(n) + "}";
+        }
+        json += "},\"categories\":{";
+        for (int c = 0; c < 3; c++) {
+            auto cat = static_cast<DeoptCategory>(c);
+            if (c != 0)
+                json += ",";
+            json += std::string("\"") + deoptCategoryName(cat) + "\":{"
+                + "\"reasons\":"
+                + std::to_string(reasonsInCategory(cat).size())
+                + ",\"observed\":" + std::to_string(by_category[c])
+                + "}";
+        }
+        json += "}}";
+        std::ofstream out(json_out, std::ios::binary | std::ios::trunc);
+        out << json;
+        printf("wrote %s\n", json_out.c_str());
+    }
     return 0;
 }

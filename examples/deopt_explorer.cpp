@@ -83,10 +83,10 @@ main()
            static_cast<unsigned long long>(engine.softDeopts),
            static_cast<unsigned long long>(engine.lazyDeopts));
     for (const DeoptRecord &d : engine.deoptLog) {
-        printf("  @%-10llu %-12s %-28s in %s\n",
+        printf("  @%-10llu %-12s %-28s at %s:%d\n",
                static_cast<unsigned long long>(d.atCycle),
                deoptCategoryName(d.category), deoptReasonName(d.reason),
-               engine.functions.at(d.function).name.c_str());
+               engine.functions.at(d.function).name.c_str(), d.pos.line);
     }
     printf("\n§II-B: eager = failed speculation in optimized code; "
            "lazy = code invalidated from outside,\n"

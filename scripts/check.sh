@@ -81,6 +81,24 @@ cp build/BENCH_host.json "$VPAR_CACHE/gate-current/"
     --current="$VPAR_CACHE/gate-current"
 ./build/tools/bench_gate selftest --baselines=bench/baselines
 
+echo "== pass 1j: vdcost deopt-episode smoke =="
+# One deopting workload end to end through the CLI (export must
+# validate against vspec-deopt-v1 and self-diff cleanly), then the
+# headline bench merging its "deopt_cost" section into a scratch copy
+# of the host document. Episode tracking is proven cycle-neutral by
+# the differential tests in pass 1; this leg proves the surfaces.
+./build/tools/vspec-deopt --workload=GROWING-SUM --iters=20 \
+    --out="$VPAR_CACHE/deopt-gs.json"
+./build/tools/vspec-deopt --validate "$VPAR_CACHE/deopt-gs.json"
+./build/tools/vspec-deopt --diff "$VPAR_CACHE/deopt-gs.json" \
+    "$VPAR_CACHE/deopt-gs.json" >/dev/null
+cp build/BENCH_host.json "$VPAR_CACHE/deopt-host.json"
+VSPEC_CACHE_DIR="$VPAR_CACHE" ./build/bench/fig_deopt_cost --quick \
+    --jobs=4 --json="$VPAR_CACHE/deopt-fig.json" \
+    --out="$VPAR_CACHE/deopt-host.json" >/dev/null
+test -s "$VPAR_CACHE/deopt-fig.json"
+grep -q '"deopt_cost"' "$VPAR_CACHE/deopt-host.json"
+
 echo "== pass 1i: vregalloc reduced-pool smoke =="
 # The register-pressure suite, then a JIT-heavy slice with the whole
 # engine starved to a handful of registers via the env knob (allocation

@@ -53,6 +53,7 @@ engineConfigFor(const RunConfig &rc)
     cfg.samplerEnabled = rc.samplerEnabled;
     cfg.samplerPeriodCycles = rc.samplerPeriod;
     cfg.profiling = rc.profiling;
+    cfg.deoptCost = rc.deoptCost;
     cfg.trace = rc.trace;
     cfg.faults = rc.faults;
     cfg.maxFuelCycles = rc.maxFuelCycles;
@@ -157,6 +158,20 @@ runWorkload(const Workload &w, const RunConfig &rc,
             out.profile = std::make_shared<Profile>(buildProfile(
                 engine.sampler, namer, w.name,
                 isaFlavourName(rc.isa), window));
+        }
+        if (rc.deoptCost) {
+            // vdcost: close episodes still open at run end, then fold
+            // the tracker into the per-site summary.
+            engine.episodes.finish(engine.interpreterCycles,
+                                   engine.totalCycles());
+            out.deoptCost = summarizeEpisodes(
+                engine.episodes,
+                [&engine](FunctionId id) {
+                    return id < engine.functions.count()
+                        ? engine.functions.at(id).name
+                        : "fn#" + std::to_string(id);
+                },
+                out.totalCycles);
         }
         // perf samples the whole process, but the PC sampler only sees
         // simulated (optimized) code. Account the cycles spent in the

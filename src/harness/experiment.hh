@@ -49,6 +49,10 @@ struct RunConfig
      *  bit-identical with this on or off. */
     bool profiling = false;
 
+    /** vdcost: deopt episode tracking. The outcome then carries a
+     *  DeoptCostSummary. Same bit-identity guarantee as profiling. */
+    bool deoptCost = false;
+
     /** vverify level for the engine's compilation pipeline. */
     VerifyLevel verifyLevel = defaultVerifyLevel();
 
@@ -113,6 +117,9 @@ struct RunOutcome
 
     /** vprof: built when RunConfig::profiling was set. */
     std::shared_ptr<Profile> profile;
+
+    /** vdcost: filled when RunConfig::deoptCost was set. */
+    DeoptCostSummary deoptCost;
 
     /** Static code metrics over compiled code objects. */
     double staticCheckFreqPer100 = 0.0;   //!< Fig. 1

@@ -1,0 +1,663 @@
+#include "runtime/deopt_cost.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "support/json.hh"
+#include "trace/trace.hh"
+
+namespace vspec
+{
+
+// ---------------------------------------------------------------------
+// Feedback snapshot
+// ---------------------------------------------------------------------
+
+FeedbackSnapshot
+snapshotFeedback(const FeedbackVector &fv)
+{
+    FeedbackSnapshot s;
+    s.slots = static_cast<u32>(fv.size());
+    for (size_t i = 0; i < fv.size(); i++) {
+        const FeedbackSlot &slot = fv.at(static_cast<int>(i));
+        switch (slot.kind) {
+          case SlotKind::BinaryOp:
+          case SlotKind::CompareOp:
+          case SlotKind::UnaryOp:
+            switch (slot.operands) {
+              case OperandFeedback::Smi: s.smiOps++; break;
+              case OperandFeedback::Number: s.numberOps++; break;
+              case OperandFeedback::String:
+              case OperandFeedback::Any: s.anyOps++; break;
+              case OperandFeedback::None: break;
+            }
+            break;
+          case SlotKind::Property:
+            switch (slot.property.state) {
+              case PropertyFeedback::State::Monomorphic:
+                s.monomorphic++;
+                break;
+              case PropertyFeedback::State::Polymorphic:
+                s.polymorphic++;
+                break;
+              case PropertyFeedback::State::Megamorphic:
+                s.megamorphic++;
+                break;
+              case PropertyFeedback::State::None: break;
+            }
+            if (slot.property.sawGeneric)
+                s.genericSites++;
+            break;
+          case SlotKind::Element:
+            if (slot.element.state == ElementFeedback::State::Typed)
+                s.monomorphic++;
+            else if (slot.element.state
+                     == ElementFeedback::State::Megamorphic)
+                s.megamorphic++;
+            break;
+          case SlotKind::CallSite:
+            if (slot.call.state == CallFeedback::State::Monomorphic)
+                s.monomorphic++;
+            else if (slot.call.state == CallFeedback::State::Megamorphic)
+                s.megamorphic++;
+            break;
+          case SlotKind::Global:
+            break;
+        }
+    }
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// EpisodeTracker
+// ---------------------------------------------------------------------
+
+void
+EpisodeTracker::enable(Tracer *trace)
+{
+    enabled_ = true;
+    trace_ = trace;
+}
+
+void
+EpisodeTracker::flushOwner(u32 idx, u64 interp_cycles)
+{
+    if (ownerDepth_ < 0)
+        return;
+    Frame &owner = stack_[static_cast<size_t>(ownerDepth_)];
+    if (!owner.owner || owner.episodeIdx != idx)
+        return;
+    u64 d = interp_cycles - owner.interpAtOwn;
+    episodes_[idx].phases.replay += d;
+    attributed_ += static_cast<i64>(d);
+    if (trace_ != nullptr)
+        trace_->counters.add(TraceCounter::DeoptReplayCycles, d);
+    owner.owner = false;
+    ownerDepth_ = -1;
+}
+
+void
+EpisodeTracker::closeEpisode(u32 idx, bool by_reentry, u64 interp_cycles,
+                             u64 total_cycles)
+{
+    DeoptEpisode &ep = episodes_[idx];
+    if (ep.closed)
+        return;
+    flushOwner(idx, interp_cycles);
+    ep.closed = true;
+    ep.closedByReentry = by_reentry;
+    ep.closeCycle = total_cycles;
+    FnState &fs = fns_[ep.site.function];
+    fs.openEpisode = -1;
+    if (by_reentry)
+        fs.awaitReopen = true;
+    if (pendingBailout_ == static_cast<i64>(idx))
+        pendingBailout_ = -1;
+    if (trace_ != nullptr && trace_->on(TraceCategory::Deopt))
+        trace_->emit(TraceCategory::Deopt, TraceEventKind::AsyncEnd,
+                     deoptReasonName(ep.site.reason), total_cycles,
+                     ep.site.function, ep.site.bytecodeOffset, ep.id);
+}
+
+void
+EpisodeTracker::openEpisode(const FunctionInfo &fn, DeoptReason reason,
+                            DeoptCategory category, u32 bytecode_offset,
+                            SrcPos pos, u64 total_cycles)
+{
+    DeoptEpisode ep;
+    ep.id = static_cast<u32>(episodes_.size());
+    ep.site.function = fn.id;
+    ep.site.bytecodeOffset = bytecode_offset;
+    ep.site.line = pos.line;
+    ep.site.reason = reason;
+    ep.category = category;
+    ep.openCycle = total_cycles;
+    ep.feedback = snapshotFeedback(fn.feedback);
+
+    FnState &fs = fns_[fn.id];
+    fs.openEpisode = static_cast<i64>(episodes_.size());
+    fs.episodesOpened++;
+    if (fs.awaitReopen) {
+        // The previous episode for this function closed by optimized
+        // re-entry and here it deopts again: one opt<->deopt flip.
+        fs.awaitReopen = false;
+        flipFlops_++;
+        if (trace_ != nullptr)
+            trace_->counters.add(TraceCounter::DeoptFlipFlops);
+    }
+    u64 &site_count = siteEpisodes_[ep.site];
+    site_count++;
+    if (site_count == stormThreshold) {
+        stormSites_.insert(ep.site);
+        if (trace_ != nullptr)
+            trace_->counters.add(TraceCounter::DeoptStormSites);
+    }
+    if (trace_ != nullptr) {
+        trace_->counters.add(TraceCounter::DeoptEpisodes);
+        if (trace_->on(TraceCategory::Deopt))
+            trace_->emit(TraceCategory::Deopt, TraceEventKind::AsyncBegin,
+                         deoptReasonName(reason), total_cycles, fn.id,
+                         bytecode_offset, ep.id);
+    }
+    episodes_.push_back(ep);
+}
+
+void
+EpisodeTracker::onDeopt(const FunctionInfo &fn, DeoptReason reason,
+                        DeoptCategory category, u32 bytecode_offset,
+                        SrcPos pos, u64 interp_cycles, u64 total_cycles)
+{
+    if (!enabled_)
+        return;
+    FnState &fs = fns_[fn.id];
+    // A lazy invalidation (CodeDependencyChange) is followed by a
+    // SharedCodeDeoptimized record when the stale code is discarded at
+    // re-entry: the successor episode carries the cost, the superseded
+    // one closes with what it has. Episodes stay 1:1 with deoptLog.
+    if (fs.openEpisode >= 0)
+        closeEpisode(static_cast<u32>(fs.openEpisode), false,
+                     interp_cycles, total_cycles);
+    openEpisode(fn, reason, category, bytecode_offset, pos, total_cycles);
+    if (category != DeoptCategory::Lazy)
+        pendingBailout_ = static_cast<i64>(episodes_.size()) - 1;
+}
+
+void
+EpisodeTracker::onBailoutAccounted(u64 interp_cycles, u64 total_cycles)
+{
+    if (!enabled_ || pendingBailout_ < 0)
+        return;
+    u32 idx = static_cast<u32>(pendingBailout_);
+    DeoptEpisode &ep = episodes_[idx];
+    u64 d = total_cycles - ep.openCycle;
+    ep.phases.bailout = d;
+    attributed_ += static_cast<i64>(d);
+    if (trace_ != nullptr)
+        trace_->counters.add(TraceCounter::DeoptBailoutCycles, d);
+    // The deopting invoke frame now runs the interpreter tail
+    // (resumeFrame): arm replay attribution on it unless an outer
+    // episode already owns the interpreter clock.
+    if (ownerDepth_ < 0 && !stack_.empty() && !ep.closed
+        && stack_.back().fn == ep.site.function) {
+        Frame &f = stack_.back();
+        f.owner = true;
+        f.episodeIdx = idx;
+        f.interpAtOwn = interp_cycles;
+        ownerDepth_ = static_cast<int>(stack_.size()) - 1;
+    }
+    pendingBailout_ = -1;
+}
+
+void
+EpisodeTracker::onCompile(FunctionId fn, u64 cycles_before,
+                          u64 cycles_after)
+{
+    if (!enabled_)
+        return;
+    auto it = fns_.find(fn);
+    if (it == fns_.end() || it->second.openEpisode < 0)
+        return;
+    DeoptEpisode &ep =
+        episodes_[static_cast<size_t>(it->second.openEpisode)];
+    ep.recompiles++;
+    u64 d = cycles_after - cycles_before;
+    ep.phases.recompile += d;
+    attributed_ += static_cast<i64>(d);
+    if (trace_ != nullptr)
+        trace_->counters.add(TraceCounter::DeoptRecompileCycles, d);
+}
+
+void
+EpisodeTracker::onFrameEnter(FunctionId fn, bool optimized,
+                             u64 interp_cycles, u64 total_cycles)
+{
+    if (!enabled_)
+        return;
+    Frame f;
+    f.fn = fn;
+    f.optimized = optimized;
+    f.totalAtEntry = total_cycles;
+    FnState &fs = fns_[fn];
+    f.episodesAtEnter = fs.episodesOpened;
+    if (optimized) {
+        if (fs.openEpisode >= 0) {
+            // Re-entered optimized code: the episode is over. Keep its
+            // index on this frame to price the residual phase at pop.
+            u32 idx = static_cast<u32>(fs.openEpisode);
+            closeEpisode(idx, true, interp_cycles, total_cycles);
+            f.measuring = true;
+            f.episodeIdx = idx;
+        }
+    } else if (fs.openEpisode >= 0 && ownerDepth_ < 0) {
+        // Interpreter replay of a deoptimized function, and no outer
+        // episode owns the clock: this frame's interpreter cycles are
+        // the episode's replay phase (outermost-owner attribution).
+        f.owner = true;
+        f.episodeIdx = static_cast<u32>(fs.openEpisode);
+        f.interpAtOwn = interp_cycles;
+        ownerDepth_ = static_cast<int>(stack_.size());
+    }
+    stack_.push_back(f);
+}
+
+void
+EpisodeTracker::onFrameLeave(u64 interp_cycles, u64 total_cycles)
+{
+    if (!enabled_ || stack_.empty())
+        return;
+    Frame &f = stack_.back();
+    if (f.optimized) {
+        u64 delta = total_cycles - f.totalAtEntry;
+        FnState &fs = fns_[f.fn];
+        // "Clean" call: no episode opened for this function while the
+        // call ran — the inclusive cycles are a steady-state sample,
+        // not a bailout tail.
+        bool clean = fs.episodesOpened == f.episodesAtEnter;
+        if (f.measuring && clean && fs.optCalls > 0) {
+            DeoptEpisode &ep = episodes_[f.episodeIdx];
+            i64 res = static_cast<i64>(delta)
+                      - static_cast<i64>(fs.optCycleSum / fs.optCalls);
+            ep.phases.residual = res;
+            ep.residualMeasured = true;
+            attributed_ += res;
+        }
+        if (clean) {
+            fs.optCalls++;
+            fs.optCycleSum += delta;
+        }
+    }
+    if (ownerDepth_ == static_cast<int>(stack_.size()) - 1 && f.owner)
+        flushOwner(f.episodeIdx, interp_cycles);
+    stack_.pop_back();
+}
+
+void
+EpisodeTracker::finish(u64 interp_cycles, u64 total_cycles)
+{
+    if (!enabled_)
+        return;
+    for (auto &[fn, fs] : fns_) {
+        (void)fn;
+        if (fs.openEpisode >= 0)
+            closeEpisode(static_cast<u32>(fs.openEpisode), false,
+                         interp_cycles, total_cycles);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Summary
+// ---------------------------------------------------------------------
+
+DeoptCostSummary
+summarizeEpisodes(const EpisodeTracker &tracker,
+                  const std::function<std::string(FunctionId)> &namer,
+                  u64 total_cycles)
+{
+    DeoptCostSummary s;
+    s.enabled = tracker.enabled();
+    s.totalCycles = total_cycles;
+    s.attributedCycles = tracker.attributedCycles();
+    s.stormSites = tracker.stormSiteCount();
+    s.flipFlops = tracker.flipFlopEvents();
+
+    std::map<DeoptSiteKey, DeoptSiteSummary> sites;
+    std::map<DeoptSiteKey, std::vector<i64>> costs;
+    for (const DeoptEpisode &ep : tracker.episodes()) {
+        s.episodes++;
+        if (ep.closedByReentry)
+            s.closedByReentry++;
+        s.bailoutCycles += ep.phases.bailout;
+        s.replayCycles += ep.phases.replay;
+        s.recompileCycles += ep.phases.recompile;
+        s.residualCycles += ep.phases.residual;
+        size_t g = static_cast<size_t>(checkGroupOf(ep.site.reason));
+        s.episodesPerGroup[g]++;
+        s.cyclesPerGroup[g] += ep.phases.total();
+
+        DeoptSiteSummary &row = sites[ep.site];
+        if (row.episodes == 0) {
+            row.functionId = ep.site.function;
+            row.function = namer
+                ? namer(ep.site.function)
+                : "fn#" + std::to_string(ep.site.function);
+            row.bytecodeOffset = ep.site.bytecodeOffset;
+            row.line = ep.site.line;
+            row.reason = ep.site.reason;
+            row.group = checkGroupOf(ep.site.reason);
+            row.category = ep.category;
+            row.feedback = ep.feedback;
+            row.storm = tracker.isStormSite(ep.site);
+        }
+        row.episodes++;
+        row.bailoutCycles += ep.phases.bailout;
+        row.replayCycles += ep.phases.replay;
+        row.recompileCycles += ep.phases.recompile;
+        row.recompiles += ep.recompiles;
+        row.residualCycles += ep.phases.residual;
+        costs[ep.site].push_back(ep.phases.total());
+    }
+
+    for (auto &[key, row] : sites) {
+        std::vector<i64> &v = costs[key];
+        std::sort(v.begin(), v.end());
+        i64 sum = std::accumulate(v.begin(), v.end(), i64{0});
+        row.meanCost = sum / static_cast<i64>(v.size());
+        row.p50Cost = v[(v.size() - 1) * 50 / 100];
+        row.p90Cost = v[(v.size() - 1) * 90 / 100];
+        s.sites.push_back(row);
+    }
+    // Costliest first; full tie-break keeps output byte-stable at any
+    // --jobs (vpar invariant).
+    std::sort(s.sites.begin(), s.sites.end(),
+              [](const DeoptSiteSummary &a, const DeoptSiteSummary &b) {
+                  i64 ca = static_cast<i64>(a.bailoutCycles
+                                            + a.replayCycles
+                                            + a.recompileCycles)
+                           + a.residualCycles;
+                  i64 cb = static_cast<i64>(b.bailoutCycles
+                                            + b.replayCycles
+                                            + b.recompileCycles)
+                           + b.residualCycles;
+                  if (ca != cb)
+                      return ca > cb;
+                  if (a.functionId != b.functionId)
+                      return a.functionId < b.functionId;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.bytecodeOffset != b.bytecodeOffset)
+                      return a.bytecodeOffset < b.bytecodeOffset;
+                  return static_cast<u32>(a.reason)
+                         < static_cast<u32>(b.reason);
+              });
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// JSON export
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+fmtFraction(double f)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", f);
+    return buf;
+}
+
+} // namespace
+
+std::string
+deoptCostJson(const DeoptCostSummary &s, const std::string &workload,
+              const std::string &isa)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"vspec-deopt-v1\""
+       << ",\"workload\":\"" << jsonEscape(workload) << "\""
+       << ",\"isa\":\"" << jsonEscape(isa) << "\""
+       << ",\"total_cycles\":" << s.totalCycles
+       << ",\"attributed_cycles\":" << s.attributedCycles
+       << ",\"recoverable_fraction\":" << fmtFraction(
+              s.recoverableFraction())
+       << ",\"episodes\":" << s.episodes
+       << ",\"closed_by_reentry\":" << s.closedByReentry
+       << ",\"storm_sites\":" << s.stormSites
+       << ",\"flip_flops\":" << s.flipFlops
+       << ",\"phases\":{\"bailout\":" << s.bailoutCycles
+       << ",\"replay\":" << s.replayCycles
+       << ",\"recompile\":" << s.recompileCycles
+       << ",\"residual\":" << s.residualCycles << "}"
+       << ",\"groups\":{";
+    for (size_t g = 0; g < DeoptCostSummary::kGroups; g++) {
+        if (g != 0)
+            os << ",";
+        os << "\"" << checkGroupName(static_cast<CheckGroup>(g))
+           << "\":{\"episodes\":" << s.episodesPerGroup[g]
+           << ",\"cycles\":" << s.cyclesPerGroup[g] << "}";
+    }
+    os << "},\"sites\":[";
+    for (size_t i = 0; i < s.sites.size(); i++) {
+        const DeoptSiteSummary &r = s.sites[i];
+        if (i != 0)
+            os << ",";
+        os << "{\"function\":\"" << jsonEscape(r.function) << "\""
+           << ",\"function_id\":" << r.functionId
+           << ",\"line\":" << r.line
+           << ",\"bytecode_offset\":" << r.bytecodeOffset
+           << ",\"reason\":\"" << jsonEscape(deoptReasonName(r.reason))
+           << "\",\"category\":\""
+           << deoptCategoryName(r.category)
+           << "\",\"group\":\"" << checkGroupName(r.group)
+           << "\",\"episodes\":" << r.episodes
+           << ",\"storm\":" << (r.storm ? "true" : "false")
+           << ",\"bailout\":" << r.bailoutCycles
+           << ",\"replay\":" << r.replayCycles
+           << ",\"recompile\":" << r.recompileCycles
+           << ",\"recompiles\":" << r.recompiles
+           << ",\"residual\":" << r.residualCycles
+           << ",\"mean\":" << r.meanCost
+           << ",\"p50\":" << r.p50Cost
+           << ",\"p90\":" << r.p90Cost
+           << ",\"feedback\":{\"slots\":" << r.feedback.slots
+           << ",\"monomorphic\":" << r.feedback.monomorphic
+           << ",\"polymorphic\":" << r.feedback.polymorphic
+           << ",\"megamorphic\":" << r.feedback.megamorphic
+           << ",\"generic\":" << r.feedback.genericSites
+           << ",\"smi_ops\":" << r.feedback.smiOps
+           << ",\"number_ops\":" << r.feedback.numberOps
+           << ",\"any_ops\":" << r.feedback.anyOps << "}}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Human report
+// ---------------------------------------------------------------------
+
+std::string
+deoptCostReport(const DeoptCostSummary &s, u32 top_n)
+{
+    std::ostringstream os;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "deopt episodes: %llu (%llu closed by re-entry), "
+                  "storm sites: %llu, flip-flops: %llu\n",
+                  static_cast<unsigned long long>(s.episodes),
+                  static_cast<unsigned long long>(s.closedByReentry),
+                  static_cast<unsigned long long>(s.stormSites),
+                  static_cast<unsigned long long>(s.flipFlops));
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "attributed cycles: %lld of %llu total "
+                  "(recoverable upper bound %.2f%%)\n",
+                  static_cast<long long>(s.attributedCycles),
+                  static_cast<unsigned long long>(s.totalCycles),
+                  100.0 * s.recoverableFraction());
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "phases: bailout %llu + replay %llu + recompile %llu "
+                  "+ residual %lld\n\n",
+                  static_cast<unsigned long long>(s.bailoutCycles),
+                  static_cast<unsigned long long>(s.replayCycles),
+                  static_cast<unsigned long long>(s.recompileCycles),
+                  static_cast<long long>(s.residualCycles));
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "%-28s %-22s %-10s %4s %2s %9s %10s %9s %9s %9s\n",
+                  "site (function:line)", "reason", "group", "eps", "st",
+                  "bailout", "replay", "residual", "mean", "p90");
+    os << line;
+    os << std::string(120, '-') << "\n";
+    u32 shown = 0;
+    for (const DeoptSiteSummary &r : s.sites) {
+        if (shown++ >= top_n)
+            break;
+        std::string site = r.function + ":" + std::to_string(r.line);
+        std::snprintf(line, sizeof(line),
+                      "%-28s %-22s %-10s %4u %2s %9llu %10llu %9lld "
+                      "%9lld %9lld\n",
+                      site.c_str(), deoptReasonName(r.reason),
+                      checkGroupName(r.group), r.episodes,
+                      r.storm ? "S" : "",
+                      static_cast<unsigned long long>(r.bailoutCycles),
+                      static_cast<unsigned long long>(r.replayCycles),
+                      static_cast<long long>(r.residualCycles),
+                      static_cast<long long>(r.meanCost),
+                      static_cast<long long>(r.p90Cost));
+        os << line;
+    }
+    if (s.sites.size() > top_n) {
+        std::snprintf(line, sizeof(line), "... %zu more sites\n",
+                      s.sites.size() - top_n);
+        os << line;
+    }
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Diff
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct DiffSite
+{
+    u64 episodes = 0;
+    i64 mean = 0;
+    i64 cost = 0;
+    bool present = false;
+};
+
+bool
+indexSites(const JsonValue &doc, std::map<std::string, DiffSite> &out,
+           std::string &error)
+{
+    const JsonValue *schema = doc.get("schema");
+    if (schema == nullptr || schema->string != "vspec-deopt-v1") {
+        error = "not a vspec-deopt-v1 document";
+        return false;
+    }
+    const JsonValue *sites = doc.get("sites");
+    if (sites == nullptr) {
+        error = "missing 'sites'";
+        return false;
+    }
+    for (const JsonValue &site : sites->array) {
+        const JsonValue *fn = site.get("function");
+        const JsonValue *ln = site.get("line");
+        const JsonValue *reason = site.get("reason");
+        if (fn == nullptr || ln == nullptr || reason == nullptr)
+            continue;
+        std::string key = fn->string + ":"
+                          + std::to_string(static_cast<i64>(ln->number))
+                          + " " + reason->string;
+        DiffSite &d = out[key];
+        d.present = true;
+        if (const JsonValue *v = site.get("episodes"))
+            d.episodes = v->asU64();
+        if (const JsonValue *v = site.get("mean"))
+            d.mean = static_cast<i64>(v->number);
+        i64 cost = 0;
+        for (const char *k : {"bailout", "replay", "recompile"})
+            if (const JsonValue *v = site.get(k))
+                cost += static_cast<i64>(v->number);
+        if (const JsonValue *v = site.get("residual"))
+            cost += static_cast<i64>(v->number);
+        d.cost = cost;
+    }
+    return true;
+}
+
+u64
+topLevelU64(const JsonValue &doc, const char *key)
+{
+    const JsonValue *v = doc.get(key);
+    return v != nullptr ? v->asU64() : 0;
+}
+
+} // namespace
+
+std::string
+deoptCostDiffReport(const JsonValue &baseline, const JsonValue &current,
+                    std::string &error)
+{
+    std::map<std::string, DiffSite> old_sites, new_sites;
+    if (!indexSites(baseline, old_sites, error)
+        || !indexSites(current, new_sites, error))
+        return "";
+
+    std::ostringstream os;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "episodes: %llu -> %llu   attributed cycles: "
+                  "%lld -> %lld   storms: %llu -> %llu\n\n",
+                  static_cast<unsigned long long>(
+                      topLevelU64(baseline, "episodes")),
+                  static_cast<unsigned long long>(
+                      topLevelU64(current, "episodes")),
+                  static_cast<long long>(static_cast<i64>(
+                      baseline.get("attributed_cycles")
+                          ? baseline.get("attributed_cycles")->number
+                          : 0)),
+                  static_cast<long long>(static_cast<i64>(
+                      current.get("attributed_cycles")
+                          ? current.get("attributed_cycles")->number
+                          : 0)),
+                  static_cast<unsigned long long>(
+                      topLevelU64(baseline, "storm_sites")),
+                  static_cast<unsigned long long>(
+                      topLevelU64(current, "storm_sites")));
+    os << line;
+    std::snprintf(line, sizeof(line), "%-44s %10s %10s %12s\n", "site",
+                  "eps (old)", "eps (new)", "cost delta");
+    os << line;
+    os << std::string(80, '-') << "\n";
+
+    std::map<std::string, std::pair<DiffSite, DiffSite>> merged;
+    for (const auto &[key, d] : old_sites)
+        merged[key].first = d;
+    for (const auto &[key, d] : new_sites)
+        merged[key].second = d;
+    for (const auto &[key, pair] : merged) {
+        const DiffSite &a = pair.first;
+        const DiffSite &b = pair.second;
+        i64 delta = b.cost - a.cost;
+        std::string marker = !a.present ? " (new)"
+                             : !b.present ? " (gone)" : "";
+        std::snprintf(line, sizeof(line), "%-44s %10llu %10llu %+12lld%s\n",
+                      key.c_str(),
+                      static_cast<unsigned long long>(a.episodes),
+                      static_cast<unsigned long long>(b.episodes),
+                      static_cast<long long>(delta), marker.c_str());
+        os << line;
+    }
+    return os.str();
+}
+
+} // namespace vspec

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * vdcost: deopt lifecycle observability — the episode model.
+ *
+ * The paper prices the *checks* (~8% of cycles) but treats a
+ * deoptimization as a point event. This module gives every deopt a
+ * *duration*: an episode opens when the engine bails out of optimized
+ * code (eager, soft, or lazy) and closes when execution re-enters
+ * optimized code for that function (or at run end). Each episode is
+ * keyed by its site — (function, deopt pc, source line, DeoptReason,
+ * CheckGroup) — carries a snapshot of the function's feedback/IC state
+ * at bailout, and decomposes its wall-clock (simulated) cycles into
+ * four phases:
+ *
+ *   bailout    fixed bailout-handler + frame-materialization cost
+ *              (the engine's chargeCycles(600) slow path); 0 for lazy
+ *              deopts, which unlink code without a frame conversion.
+ *   replay     interpreter cycles the deoptimized function accumulates
+ *              (inclusive of builtins/runtime work it calls) between
+ *              the bailout and its next optimized entry. Attribution
+ *              is outermost-owner: while one episode's function is
+ *              replaying, nested deopts attribute to the outer episode
+ *              — no cycle is counted twice.
+ *   recompile  simulated cycles spent recompiling the function while
+ *              its episode is open. vspec compiles charge zero
+ *              simulated cycles (the V8-concurrent-compile analog), so
+ *              this phase records the *count* of recompiles and stays
+ *              0 cycles under the default cost model.
+ *   residual   signed steady-state delta: cycles of the first
+ *              optimized call after re-entry minus the mean optimized
+ *              call cost before the deopt — what the deopt cost (or
+ *              won, when wider feedback compiles better code) *after*
+ *              tier recovery.
+ *
+ * The tracker is host-side only: every hook *reads* the engine's cycle
+ * counters and never charges cycles, so simulated results are
+ * bit-identical with tracking on or off (the differential tests prove
+ * it). The invariant the oracle checks: the sum of all episode phase
+ * cycles equals the tracker's independently accumulated
+ * attributedCycles counter, and episode counts reconcile exactly with
+ * Engine::deoptLog and the trace deopt counters.
+ *
+ * Storm/flip-flop detection: a *storm site* is a site with >=
+ * stormThreshold episodes (the same check keeps failing); a *flip-flop*
+ * is an episode opening for a function whose previous episode closed
+ * by optimized re-entry (opt <-> deopt oscillation, the tiering
+ * pathology V8 guards against with its deopt budget).
+ *
+ * See docs/DEOPT.md for the JSON schema (vspec-deopt-v1) and CLI.
+ */
+
+#ifndef VSPEC_RUNTIME_DEOPT_COST_HH
+#define VSPEC_RUNTIME_DEOPT_COST_HH
+
+#include <array>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bytecode/bytecode.hh"
+#include "ir/deopt_reasons.hh"
+#include "support/common.hh"
+
+namespace vspec
+{
+
+class Tracer;
+struct JsonValue;
+
+/** Episode site identity: where (and why) the deopt happened. */
+struct DeoptSiteKey
+{
+    FunctionId function = kInvalidFunction;
+    u32 bytecodeOffset = 0;
+    i32 line = 0;
+    DeoptReason reason = DeoptReason::Smi;
+
+    bool operator<(const DeoptSiteKey &o) const
+    {
+        if (function != o.function)
+            return function < o.function;
+        if (bytecodeOffset != o.bytecodeOffset)
+            return bytecodeOffset < o.bytecodeOffset;
+        if (line != o.line)
+            return line < o.line;
+        return static_cast<u32>(reason) < static_cast<u32>(o.reason);
+    }
+};
+
+/** Compact feedback/IC state snapshot taken at bailout. */
+struct FeedbackSnapshot
+{
+    u32 slots = 0;           //!< total feedback slots
+    u32 monomorphic = 0;     //!< property/call sites seen exactly 1 map
+    u32 polymorphic = 0;     //!< 2..4 maps
+    u32 megamorphic = 0;     //!< gave up on map-based dispatch
+    u32 genericSites = 0;    //!< sites that hit the generic runtime path
+    u32 smiOps = 0;          //!< numeric ops with pure-SMI feedback
+    u32 numberOps = 0;       //!< numeric ops that widened to double
+    u32 anyOps = 0;          //!< ops with mixed/non-numeric feedback
+};
+
+FeedbackSnapshot snapshotFeedback(const FeedbackVector &fv);
+
+/** The four-phase cycle decomposition of one episode. */
+struct EpisodePhases
+{
+    u64 bailout = 0;
+    u64 replay = 0;
+    u64 recompile = 0;
+    i64 residual = 0;   //!< signed: re-optimized code may be *faster*
+
+    i64 total() const
+    {
+        return static_cast<i64>(bailout + replay + recompile) + residual;
+    }
+};
+
+struct DeoptEpisode
+{
+    u32 id = 0;
+    DeoptSiteKey site;
+    DeoptCategory category = DeoptCategory::Eager;
+    u64 openCycle = 0;
+    u64 closeCycle = 0;
+    bool closed = false;
+    bool closedByReentry = false;  //!< false: run end / superseded
+    u32 recompiles = 0;
+    bool residualMeasured = false;
+    FeedbackSnapshot feedback;
+    EpisodePhases phases;
+};
+
+/**
+ * The engine-side episode tracker. All hooks are no-ops until
+ * enable(); the engine calls them from its four deopt sites, its
+ * invoke frame scope, and compileFunction. Cycle-neutral by
+ * construction: hooks only ever read cycle counters.
+ */
+class EpisodeTracker
+{
+  public:
+    /** Site episode count that flags a deopt storm. */
+    u32 stormThreshold = 3;
+
+    void enable(Tracer *trace);
+    bool enabled() const { return enabled_; }
+
+    // ---- engine hooks --------------------------------------------------
+
+    /** A non-builtin invoke entered @p fn on the given tier. */
+    void onFrameEnter(FunctionId fn, bool optimized, u64 interp_cycles,
+                      u64 total_cycles);
+    /** The matching frame left (exception-safe via RAII in invoke). */
+    void onFrameLeave(u64 interp_cycles, u64 total_cycles);
+
+    /** A deopt record was just logged: open an episode. A still-open
+     *  episode for the same function (lazy invalidation followed by
+     *  the re-entry discard) is closed as superseded first, so
+     *  episodes stay 1:1 with Engine::deoptLog. */
+    void onDeopt(const FunctionInfo &fn, DeoptReason reason,
+                 DeoptCategory category, u32 bytecode_offset, SrcPos pos,
+                 u64 interp_cycles, u64 total_cycles);
+
+    /** Called after the fixed bailout charge of an eager/soft deopt:
+     *  prices the bailout phase and arms replay attribution on the
+     *  deopting frame. */
+    void onBailoutAccounted(u64 interp_cycles, u64 total_cycles);
+
+    /** compileFunction completed successfully for @p fn. */
+    void onCompile(FunctionId fn, u64 cycles_before, u64 cycles_after);
+
+    /** Run end: close every open episode and flush replay owners. */
+    void finish(u64 interp_cycles, u64 total_cycles);
+
+    // ---- results -------------------------------------------------------
+
+    const std::vector<DeoptEpisode> &episodes() const { return episodes_; }
+
+    /** Independent accumulator incremented at the same points as the
+     *  per-episode phases — the reconciliation target for the oracle's
+     *  "phases sum exactly" invariant. */
+    i64 attributedCycles() const { return attributed_; }
+
+    u64 stormSiteCount() const { return stormSites_.size(); }
+    u64 flipFlopEvents() const { return flipFlops_; }
+    bool isStormSite(const DeoptSiteKey &k) const
+    {
+        return stormSites_.count(k) != 0;
+    }
+
+  private:
+    struct Frame
+    {
+        FunctionId fn = kInvalidFunction;
+        bool optimized = false;
+        bool owner = false;          //!< replay attribution armed here
+        u32 episodeIdx = 0;          //!< episode owned / being measured
+        bool measuring = false;      //!< residual measurement frame
+        u64 interpAtOwn = 0;
+        u64 totalAtEntry = 0;
+        u64 episodesAtEnter = 0;     //!< per-fn episode count snapshot
+    };
+
+    struct FnState
+    {
+        i64 openEpisode = -1;        //!< index into episodes_, -1 = none
+        u64 episodesOpened = 0;
+        bool awaitReopen = false;    //!< last episode closed by re-entry
+        u64 optCalls = 0;            //!< steady-state optimized calls...
+        u64 optCycleSum = 0;         //!< ...and their inclusive cycles
+    };
+
+    void openEpisode(const FunctionInfo &fn, DeoptReason reason,
+                     DeoptCategory category, u32 bytecode_offset,
+                     SrcPos pos, u64 total_cycles);
+    void closeEpisode(u32 idx, bool by_reentry, u64 interp_cycles,
+                      u64 total_cycles);
+    void flushOwner(u32 idx, u64 interp_cycles);
+
+    bool enabled_ = false;
+    Tracer *trace_ = nullptr;
+    std::vector<Frame> stack_;
+    std::map<FunctionId, FnState> fns_;
+    std::map<DeoptSiteKey, u64> siteEpisodes_;
+    std::set<DeoptSiteKey> stormSites_;
+    std::vector<DeoptEpisode> episodes_;
+    i64 attributed_ = 0;
+    u64 flipFlops_ = 0;
+    int ownerDepth_ = -1;            //!< stack index of the active owner
+    i64 pendingBailout_ = -1;        //!< episode awaiting bailout pricing
+};
+
+// ---------------------------------------------------------------------
+// Summary + export (consumed by RunOutcome, vspec-deopt, benches)
+// ---------------------------------------------------------------------
+
+struct DeoptSiteSummary
+{
+    std::string function;
+    FunctionId functionId = kInvalidFunction;
+    u32 bytecodeOffset = 0;
+    i32 line = 0;
+    DeoptReason reason = DeoptReason::Smi;
+    CheckGroup group = CheckGroup::Other;
+    DeoptCategory category = DeoptCategory::Eager;
+    u32 episodes = 0;
+    bool storm = false;
+    u64 bailoutCycles = 0;
+    u64 replayCycles = 0;
+    u64 recompileCycles = 0;
+    u32 recompiles = 0;
+    i64 residualCycles = 0;
+    i64 meanCost = 0;
+    i64 p50Cost = 0;
+    i64 p90Cost = 0;
+    FeedbackSnapshot feedback;   //!< snapshot of the first episode
+};
+
+struct DeoptCostSummary
+{
+    static constexpr size_t kGroups =
+        static_cast<size_t>(CheckGroup::NumGroups);
+
+    bool enabled = false;
+    u64 episodes = 0;
+    u64 closedByReentry = 0;
+    u64 stormSites = 0;
+    u64 flipFlops = 0;
+    u64 bailoutCycles = 0;
+    u64 replayCycles = 0;
+    u64 recompileCycles = 0;
+    i64 residualCycles = 0;
+    i64 attributedCycles = 0;    //!< tracker's independent accumulator
+    u64 totalCycles = 0;         //!< run total, the recoverable base
+    std::array<u64, kGroups> episodesPerGroup{};
+    std::array<i64, kGroups> cyclesPerGroup{};
+    std::vector<DeoptSiteSummary> sites;   //!< sorted by cost, desc
+
+    /** Empirical upper bound on the fraction of total cycles a
+     *  deoptless/OSR tier could recover (ROADMAP item 1). */
+    double recoverableFraction() const
+    {
+        if (totalCycles == 0 || attributedCycles <= 0)
+            return 0.0;
+        return static_cast<double>(attributedCycles)
+               / static_cast<double>(totalCycles);
+    }
+};
+
+/** Aggregate a finished tracker into the per-site summary. */
+DeoptCostSummary
+summarizeEpisodes(const EpisodeTracker &tracker,
+                  const std::function<std::string(FunctionId)> &namer,
+                  u64 total_cycles);
+
+/** Schema "vspec-deopt-v1" JSON document. */
+std::string deoptCostJson(const DeoptCostSummary &s,
+                          const std::string &workload,
+                          const std::string &isa);
+
+/** Human-readable per-site table (vspec-deopt CLI). */
+std::string deoptCostReport(const DeoptCostSummary &s, u32 top_n);
+
+/** Diff two vspec-deopt-v1 documents, aligning sites by
+ *  (function, line, reason). Sets @p error on malformed input. */
+std::string deoptCostDiffReport(const JsonValue &baseline,
+                                const JsonValue &current,
+                                std::string &error);
+
+} // namespace vspec
+
+#endif // VSPEC_RUNTIME_DEOPT_COST_HH

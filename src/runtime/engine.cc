@@ -60,6 +60,11 @@ Engine::Engine(EngineConfig cfg)
     if (cfg.maxFuelCycles != 0)
         core->fuelCheck = [this] { checkFuel(); };
     sampler.setPeriod(cfg.samplerPeriodCycles);
+    if (config.deoptCost) {
+        // vdcost: episode hooks only read cycle counters — simulated
+        // cycles stay bit-identical with tracking on or off.
+        episodes.enable(&trace);
+    }
     if (config.profiling) {
         // Calling-context profiling implies sampling; the shadow stack
         // and CCT are host-side only, so simulated cycles are
@@ -165,16 +170,28 @@ Engine::storeGlobal(u32 cell, Value v)
         if (code.valid) {
             code.valid = false;
             lazyDeopts++;
+            FunctionInfo &dep_fn = functions.at(code.function);
+            // Invalidation has no single deopt pc; report the
+            // function's first source position.
+            SrcPos dpos = dep_fn.bcPositions.empty()
+                ? SrcPos{} : dep_fn.bcPositions.front();
             deoptLog.push_back({code.function,
                                 DeoptReason::CodeDependencyChange,
-                                DeoptCategory::Lazy, totalCycles()});
+                                DeoptCategory::Lazy, totalCycles(), 0,
+                                dpos});
             trace.counters.add(TraceCounter::DeoptsLazy);
             trace.counters.addDeopt(DeoptReason::CodeDependencyChange);
             if (trace.on(TraceCategory::Deopt))
                 trace.emit(TraceCategory::Deopt, TraceEventKind::Instant,
                            deoptReasonName(
                                DeoptReason::CodeDependencyChange),
-                           totalCycles(), code.function, 0, cell);
+                           totalCycles(), code.function, 0,
+                           (static_cast<u64>(
+                                static_cast<u32>(dpos.line)) << 32)
+                               | cell);
+            episodes.onDeopt(dep_fn, DeoptReason::CodeDependencyChange,
+                             DeoptCategory::Lazy, 0, dpos,
+                             interpreterCycles, totalCycles());
         }
     }
 }
@@ -204,6 +221,7 @@ Engine::maybeOptimize(FunctionInfo &fn)
 bool
 Engine::compileFunction(FunctionInfo &fn)
 {
+    u64 compile_start = totalCycles();
     bool traced = trace.on(TraceCategory::Compile);
     if (traced)
         trace.emit(TraceCategory::Compile, TraceEventKind::Begin,
@@ -283,6 +301,7 @@ Engine::compileFunction(FunctionInfo &fn)
     if (traced)
         trace.emit(TraceCategory::Compile, TraceEventKind::End, "compile",
                    totalCycles(), fn.id, instructions);
+    episodes.onCompile(fn.id, compile_start, totalCycles());
     return true;
 }
 
@@ -320,6 +339,29 @@ struct ProfFrameScope
     bool active;
 };
 
+/** vdcost: exception-safe episode frame bracket around invoke()'s
+ *  tier-dispatched execution. Hooks only read the engine's cycle
+ *  counters, never charge. */
+struct EpisodeFrameScope
+{
+    EpisodeFrameScope(Engine &e, FunctionId fn, bool optimized)
+        : engine(e), active(e.episodes.enabled())
+    {
+        if (active)
+            engine.episodes.onFrameEnter(fn, optimized,
+                                         engine.interpreterCycles,
+                                         engine.totalCycles());
+    }
+    ~EpisodeFrameScope()
+    {
+        if (active)
+            engine.episodes.onFrameLeave(engine.interpreterCycles,
+                                         engine.totalCycles());
+    }
+    Engine &engine;
+    bool active;
+};
+
 } // namespace
 
 Value
@@ -354,15 +396,23 @@ Engine::invoke(FunctionId id, Value this_value,
         if (fn.hasCode() && !codeObjects.at(fn.codeId)->valid) {
             // deopt-lazy: the code was invalidated from outside; it is
             // discarded at this (re-)entry, as in V8's lazy unlinking.
+            SrcPos dpos = fn.bcPositions.empty()
+                ? SrcPos{} : fn.bcPositions.front();
             deoptLog.push_back({id, DeoptReason::SharedCodeDeoptimized,
-                                DeoptCategory::Lazy, totalCycles()});
+                                DeoptCategory::Lazy, totalCycles(), 0,
+                                dpos});
             trace.counters.add(TraceCounter::DeoptsLazy);
             trace.counters.addDeopt(DeoptReason::SharedCodeDeoptimized);
             if (trace.on(TraceCategory::Deopt))
                 trace.emit(TraceCategory::Deopt, TraceEventKind::Instant,
                            deoptReasonName(
                                DeoptReason::SharedCodeDeoptimized),
-                           totalCycles(), id);
+                           totalCycles(), id, 0,
+                           static_cast<u64>(
+                               static_cast<u32>(dpos.line)) << 32);
+            episodes.onDeopt(fn, DeoptReason::SharedCodeDeoptimized,
+                             DeoptCategory::Lazy, 0, dpos,
+                             interpreterCycles, totalCycles());
             fn.codeId = 0xffffffffu;
             fn.invocationCount = 0;
         }
@@ -386,6 +436,7 @@ Engine::invoke(FunctionId id, Value this_value,
                             optimized ? ProfFrameKind::Jit
                                       : ProfFrameKind::Interp,
                             id, optimized ? fn.codeId : kNoCodeId);
+        EpisodeFrameScope episode_frame(*this, id, optimized);
         result = optimized
             ? runOptimized(fn, this_value, args)
             : interpreter->callFunction(fn, this_value, args);
@@ -448,17 +499,26 @@ Engine::runOptimized(FunctionInfo &fn, Value this_value,
         // results stay bit-identical to an uninjected run.
         code.eagerDeopts++;
         eagerDeopts++;
+        SrcPos dpos = fn.bcPositions.empty()
+            ? SrcPos{} : fn.bcPositions.front();
         deoptLog.push_back({fn.id, DeoptReason::DeoptimizeNow,
-                            DeoptCategory::Eager, totalCycles()});
+                            DeoptCategory::Eager, totalCycles(), 0,
+                            dpos});
         trace.counters.add(TraceCounter::DeoptsEager);
         trace.counters.addDeopt(DeoptReason::DeoptimizeNow);
         if (trace.on(TraceCategory::Deopt))
             trace.emit(TraceCategory::Deopt, TraceEventKind::Instant,
                        deoptReasonName(DeoptReason::DeoptimizeNow),
-                       totalCycles(), fn.id);
+                       totalCycles(), fn.id, 0,
+                       static_cast<u64>(
+                           static_cast<u32>(dpos.line)) << 32);
+        episodes.onDeopt(fn, DeoptReason::DeoptimizeNow,
+                         DeoptCategory::Eager, 0, dpos,
+                         interpreterCycles, totalCycles());
         discardCode(fn);
         config.tiering.onDeopt(fn, &trace, totalCycles());
         chargeCycles(600);
+        episodes.onBailoutAccounted(interpreterCycles, totalCycles());
         return interpreter->callFunction(fn, this_value, args);
     }
 
@@ -518,7 +578,11 @@ Engine::runOptimized(FunctionInfo &fn, Value this_value,
             softDeopts++;
         else
             eagerDeopts++;
-        deoptLog.push_back({fn.id, exit.reason, cat, totalCycles()});
+        SrcPos dpos =
+            exit.bytecodeOffset < fn.bcPositions.size()
+                ? fn.bcPositions[exit.bytecodeOffset] : SrcPos{};
+        deoptLog.push_back({fn.id, exit.reason, cat, totalCycles(),
+                            exit.bytecodeOffset, dpos});
         trace.counters.add(cat == DeoptCategory::Soft
                                ? TraceCounter::DeoptsSoft
                                : TraceCounter::DeoptsEager);
@@ -528,7 +592,12 @@ Engine::runOptimized(FunctionInfo &fn, Value this_value,
         if (trace.on(TraceCategory::Deopt))
             trace.emit(TraceCategory::Deopt, TraceEventKind::Instant,
                        deoptReasonName(exit.reason), totalCycles(), fn.id,
-                       exit.bytecodeOffset, exit.checkId);
+                       exit.bytecodeOffset,
+                       (static_cast<u64>(
+                            static_cast<u32>(dpos.line)) << 32)
+                           | exit.checkId);
+        episodes.onDeopt(fn, exit.reason, cat, exit.bytecodeOffset, dpos,
+                         interpreterCycles, totalCycles());
 
         // Reconstruct the interpreter frame from the checkpoint. This
         // runs with `st` still registered: values reachable only from
@@ -553,6 +622,7 @@ Engine::runOptimized(FunctionInfo &fn, Value this_value,
     // The bailout handler's work — frame conversion, code unlinking —
     // happens on the slow path; charge a fixed cost.
     chargeCycles(600);
+    episodes.onBailoutAccounted(interpreterCycles, totalCycles());
 
     return interpreter->resumeFrame(fn, resume_offset, std::move(regs),
                                     acc);

@@ -22,6 +22,7 @@
 #include "interp/interpreter.hh"
 #include "ir/passes.hh"
 #include "profiler/sampler.hh"
+#include "runtime/deopt_cost.hh"
 #include "runtime/guard.hh"
 #include "runtime/tiering.hh"
 #include "sim/machine.hh"
@@ -60,6 +61,10 @@ struct EngineConfig
      *  bookkeeping is host-side — simulated cycle counts are
      *  bit-identical with this on or off. */
     bool profiling = false;
+
+    /** vdcost: deopt episode tracking (see runtime/deopt_cost.hh).
+     *  Host-side only, same bit-identity guarantee as profiling. */
+    bool deoptCost = false;
 
     /** vtrace: structured tracing + metrics (see trace/trace.hh).
      *  Defaults honour VSPEC_TRACE / VSPEC_TRACE_OUT. */
@@ -110,6 +115,8 @@ struct DeoptRecord
     DeoptReason reason;
     DeoptCategory category;
     Cycles atCycle;
+    u32 bytecodeOffset = 0;   //!< deopt pc (bytecode offset of the exit)
+    SrcPos pos;               //!< source position of that bytecode
 };
 
 class Engine : public RootProvider
@@ -179,6 +186,10 @@ class Engine : public RootProvider
     u64 softDeopts = 0;
     u64 lazyDeopts = 0;
     std::vector<DeoptRecord> deoptLog;
+
+    /** vdcost: deopt lifecycle episodes (enabled by config.deoptCost;
+     *  all hooks are no-ops otherwise). */
+    EpisodeTracker episodes;
 
     /** vproof: ProveChecks classification totals accumulated across
      *  every compile, and the per-(function, line) audit rows. */

@@ -197,6 +197,15 @@ traceCounterName(TraceCounter c)
       case TraceCounter::RegallocSpillSlots: return "regalloc_spill_slots";
       case TraceCounter::RegallocCalleeSaved:
         return "regalloc_callee_saved";
+      case TraceCounter::DeoptEpisodes: return "deopt_episodes";
+      case TraceCounter::DeoptStormSites: return "deopt_storm_sites";
+      case TraceCounter::DeoptFlipFlops: return "deopt_flip_flops";
+      case TraceCounter::DeoptBailoutCycles:
+        return "deopt_bailout_cycles";
+      case TraceCounter::DeoptReplayCycles:
+        return "deopt_replay_cycles";
+      case TraceCounter::DeoptRecompileCycles:
+        return "deopt_recompile_cycles";
       case TraceCounter::NumCounters: break;
     }
     return "?";
@@ -257,9 +266,18 @@ chromePhase(TraceEventKind k)
     switch (k) {
       case TraceEventKind::Begin: return "B";
       case TraceEventKind::End: return "E";
+      case TraceEventKind::AsyncBegin: return "b";
+      case TraceEventKind::AsyncEnd: return "e";
       case TraceEventKind::Instant: break;
     }
     return "i";
+}
+
+bool
+isAsync(TraceEventKind k)
+{
+    return k == TraceEventKind::AsyncBegin
+           || k == TraceEventKind::AsyncEnd;
 }
 
 } // namespace
@@ -283,6 +301,10 @@ Tracer::chromeTraceJson() const
            << (static_cast<u32>(e.category) + 1);
         if (e.kind == TraceEventKind::Instant)
             os << ",\"s\":\"t\"";
+        // Async spans match begin/end by (category, id, name); the id
+        // travels in payload `c` (vdcost: the episode id).
+        if (isAsync(e.kind))
+            os << ",\"id\":" << e.c;
         os << ",\"args\":{\"a\":" << e.a << ",\"b\":" << e.b
            << ",\"c\":" << e.c;
         if (functionNamer

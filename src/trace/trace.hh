@@ -122,9 +122,11 @@ struct TraceConfig
 
 enum class TraceEventKind : u8
 {
-    Instant,  //!< point event ("i" in Chrome trace format)
-    Begin,    //!< duration begin ("B")
-    End,      //!< duration end ("E")
+    Instant,     //!< point event ("i" in Chrome trace format)
+    Begin,       //!< duration begin ("B")
+    End,         //!< duration end ("E")
+    AsyncBegin,  //!< async span begin ("b"); payload `c` is the span id
+    AsyncEnd,    //!< async span end ("e"); payload `c` is the span id
 };
 
 /**
@@ -222,6 +224,14 @@ enum class TraceCounter : u16
     RegallocReloads,        //!< memory -> register transitions
     RegallocSpillSlots,     //!< frame slots after reuse/coalescing
     RegallocCalleeSaved,    //!< distinct callee-saved registers used
+    // vdcost episode accounting (only move when EngineConfig::deoptCost
+    // is on; see runtime/deopt_cost.hh):
+    DeoptEpisodes,          //!< episodes opened (1:1 with deoptLog)
+    DeoptStormSites,        //!< sites that reached the storm threshold
+    DeoptFlipFlops,         //!< opt<->deopt oscillation events
+    DeoptBailoutCycles,     //!< cycles attributed to bailout phases
+    DeoptReplayCycles,      //!< cycles attributed to replay phases
+    DeoptRecompileCycles,   //!< cycles attributed to recompile phases
     NumCounters,
 };
 

@@ -1,0 +1,431 @@
+/** @file vdcost episode-tracker tests: synthetic hook-driven unit
+ *  coverage of the phase decomposition, storm/flip-flop detection and
+ *  attribution invariants, plus engine-level reconciliation against
+ *  deoptLog / trace counters and the cycle-neutrality guarantee. The
+ *  suite-wide differential legs live in test_differential.cc and
+ *  test_fuzz_differential.cc. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/deopt_cost.hh"
+#include "runtime/engine.hh"
+#include "support/json.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+FunctionInfo
+makeFn(FunctionId id, i32 line = 11)
+{
+    FunctionInfo fn;
+    fn.id = id;
+    fn.name = "f" + std::to_string(id);
+    fn.bcPositions.push_back(SrcPos{line, 1});
+    return fn;
+}
+
+i64
+phaseSum(const EpisodeTracker &t)
+{
+    i64 sum = 0;
+    for (const DeoptEpisode &ep : t.episodes())
+        sum += ep.phases.total();
+    return sum;
+}
+
+/** A program whose SMI add overflows after tier-up: one eager
+ *  Overflow deopt, then convergence (test_deopt.cc's shape). */
+constexpr const char *kOverflowProgram = R"JS(
+var total = 0;
+function bench() {
+    for (var i = 0; i < 1000; i++) { total = total + 300000; }
+    return total;
+}
+function verify() { return total; }
+)JS";
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Synthetic hook-driven unit tests
+// ---------------------------------------------------------------------
+
+TEST(EpisodeTracker, DisabledHooksAreNoOps)
+{
+    EpisodeTracker t;
+    FunctionInfo fn = makeFn(1);
+    t.onFrameEnter(1, true, 0, 100);
+    t.onDeopt(fn, DeoptReason::Overflow, DeoptCategory::Eager, 5,
+              SrcPos{11, 1}, 10, 150);
+    t.onBailoutAccounted(10, 750);
+    t.onFrameLeave(50, 800);
+    t.finish(50, 800);
+    EXPECT_FALSE(t.enabled());
+    EXPECT_TRUE(t.episodes().empty());
+    EXPECT_EQ(t.attributedCycles(), 0);
+}
+
+TEST(EpisodeTracker, EagerEpisodePhasesDecomposeExactly)
+{
+    EpisodeTracker t;
+    t.enable(nullptr);
+    FunctionInfo fn = makeFn(1);
+
+    // Optimized call deopts mid-flight: the invoke frame then runs the
+    // interpreter tail (resumeFrame), which the episode owns as replay.
+    t.onFrameEnter(1, true, /*interp=*/0, /*total=*/100);
+    t.onDeopt(fn, DeoptReason::Overflow, DeoptCategory::Eager, 5,
+              SrcPos{11, 1}, 10, 150);
+    t.onBailoutAccounted(10, 750);     // bailout = 750 - 150 = 600
+    t.onFrameLeave(50, 800);           // replay  =  50 -  10 =  40
+
+    ASSERT_EQ(t.episodes().size(), 1u);
+    const DeoptEpisode &ep = t.episodes()[0];
+    EXPECT_EQ(ep.site.function, 1u);
+    EXPECT_EQ(ep.site.bytecodeOffset, 5u);
+    EXPECT_EQ(ep.site.line, 11);
+    EXPECT_EQ(ep.site.reason, DeoptReason::Overflow);
+    EXPECT_EQ(ep.phases.bailout, 600u);
+    EXPECT_EQ(ep.phases.replay, 40u);
+    EXPECT_EQ(ep.phases.recompile, 0u);
+    EXPECT_FALSE(ep.closed);
+
+    // Optimized re-entry closes the episode; with no steady-state
+    // baseline (no clean optimized call before the deopt) the residual
+    // stays unmeasured rather than guessing.
+    t.onFrameEnter(1, true, 50, 900);
+    t.onFrameLeave(50, 950);
+    EXPECT_TRUE(t.episodes()[0].closed);
+    EXPECT_TRUE(t.episodes()[0].closedByReentry);
+    EXPECT_FALSE(t.episodes()[0].residualMeasured);
+    EXPECT_EQ(t.episodes()[0].phases.residual, 0);
+
+    EXPECT_EQ(t.attributedCycles(), 640);
+    EXPECT_EQ(phaseSum(t), t.attributedCycles());
+}
+
+TEST(EpisodeTracker, ResidualIsDeltaAgainstPreDeoptSteadyState)
+{
+    EpisodeTracker t;
+    t.enable(nullptr);
+    FunctionInfo fn = makeFn(1);
+
+    // Two clean optimized calls establish the steady state: 100 cycles
+    // per call.
+    t.onFrameEnter(1, true, 0, 1000);
+    t.onFrameLeave(0, 1100);
+    t.onFrameEnter(1, true, 0, 1100);
+    t.onFrameLeave(0, 1200);
+
+    // Deopt, bailout, replay, re-entry.
+    t.onFrameEnter(1, true, 0, 1200);
+    t.onDeopt(fn, DeoptReason::Overflow, DeoptCategory::Eager, 5,
+              SrcPos{11, 1}, 0, 1250);
+    t.onBailoutAccounted(0, 1850);
+    t.onFrameLeave(30, 1900);
+
+    // First optimized call after re-entry runs 130 cycles: residual is
+    // the signed delta against the pre-deopt mean, 130 - 100 = +30.
+    t.onFrameEnter(1, true, 30, 1900);
+    t.onFrameLeave(30, 2030);
+
+    ASSERT_EQ(t.episodes().size(), 1u);
+    const DeoptEpisode &ep = t.episodes()[0];
+    EXPECT_TRUE(ep.residualMeasured);
+    EXPECT_EQ(ep.phases.residual, 30);
+    EXPECT_EQ(ep.phases.bailout, 600u);
+    EXPECT_EQ(ep.phases.replay, 30u);
+    EXPECT_EQ(t.attributedCycles(), 660);
+    EXPECT_EQ(phaseSum(t), t.attributedCycles());
+}
+
+TEST(EpisodeTracker, LazyDeoptHasNoBailoutPhase)
+{
+    EpisodeTracker t;
+    t.enable(nullptr);
+    FunctionInfo fn = makeFn(2, 7);
+
+    // Lazy invalidation happens outside any frame of fn (storeGlobal
+    // flips a dependency cell): no frame conversion, no 600-cycle
+    // charge, so onBailoutAccounted must stay unarmed.
+    t.onDeopt(fn, DeoptReason::CodeDependencyChange, DeoptCategory::Lazy,
+              0, SrcPos{7, 1}, 0, 500);
+    t.onBailoutAccounted(0, 9999);     // must be a no-op
+    t.finish(0, 1000);
+
+    ASSERT_EQ(t.episodes().size(), 1u);
+    EXPECT_EQ(t.episodes()[0].phases.bailout, 0u);
+    EXPECT_EQ(t.episodes()[0].category, DeoptCategory::Lazy);
+    EXPECT_TRUE(t.episodes()[0].closed);
+    EXPECT_FALSE(t.episodes()[0].closedByReentry);
+    EXPECT_EQ(t.attributedCycles(), 0);
+}
+
+TEST(EpisodeTracker, SupersededEpisodesStayOneToOneWithDeoptLog)
+{
+    EpisodeTracker t;
+    t.enable(nullptr);
+    FunctionInfo fn = makeFn(3);
+
+    // A lazy invalidation followed by the re-entry discard logs two
+    // DeoptRecords; the tracker must mirror that 1:1 — the first
+    // episode closes as superseded when the second opens.
+    t.onDeopt(fn, DeoptReason::CodeDependencyChange, DeoptCategory::Lazy,
+              0, SrcPos{11, 1}, 0, 100);
+    t.onDeopt(fn, DeoptReason::SharedCodeDeoptimized,
+              DeoptCategory::Lazy, 0, SrcPos{11, 1}, 0, 200);
+    t.finish(0, 300);
+
+    ASSERT_EQ(t.episodes().size(), 2u);
+    EXPECT_TRUE(t.episodes()[0].closed);
+    EXPECT_FALSE(t.episodes()[0].closedByReentry);
+    EXPECT_EQ(t.episodes()[0].closeCycle, 200u);
+    EXPECT_TRUE(t.episodes()[1].closed);
+}
+
+TEST(EpisodeTracker, StormAndFlipFlopDetection)
+{
+    EpisodeTracker t;
+    t.enable(nullptr);
+    FunctionInfo fn = makeFn(4);
+    u64 interp = 0, total = 0;
+
+    // Three rounds of deopt -> optimized re-entry at the same site: the
+    // 2nd and 3rd opens each follow a close-by-reentry (2 flip-flops),
+    // and the 3rd episode trips the storm threshold (default 3).
+    for (int round = 0; round < 3; round++) {
+        t.onFrameEnter(4, true, interp, total);
+        t.onDeopt(fn, DeoptReason::WrongMap, DeoptCategory::Eager, 9,
+                  SrcPos{11, 1}, interp, total + 10);
+        t.onBailoutAccounted(interp, total + 610);
+        interp += 40;
+        total += 700;
+        t.onFrameLeave(interp, total);
+        t.onFrameEnter(4, true, interp, total);    // closes by re-entry
+        total += 50;
+        t.onFrameLeave(interp, total);
+    }
+
+    EXPECT_EQ(t.episodes().size(), 3u);
+    EXPECT_EQ(t.flipFlopEvents(), 2u);
+    EXPECT_EQ(t.stormSiteCount(), 1u);
+    EXPECT_TRUE(t.isStormSite(t.episodes()[0].site));
+    EXPECT_EQ(phaseSum(t), t.attributedCycles());
+}
+
+TEST(EpisodeTracker, OutermostOwnerCountsReplayOnce)
+{
+    EpisodeTracker t;
+    t.enable(nullptr);
+    FunctionInfo fn = makeFn(5);
+
+    // Episode open for f5, which then recurses in the interpreter:
+    // only the outermost interpreter frame owns the replay clock, so
+    // the nested frame's cycles are not double counted.
+    t.onDeopt(fn, DeoptReason::Overflow, DeoptCategory::Eager, 0,
+              SrcPos{11, 1}, 0, 100);
+    t.onFrameEnter(5, false, /*interp=*/0, 700);    // owner
+    t.onFrameEnter(5, false, 30, 730);              // nested, not owner
+    t.onFrameLeave(80, 780);
+    t.onFrameLeave(100, 800);                       // replay = 100 - 0
+    t.finish(100, 800);
+
+    ASSERT_EQ(t.episodes().size(), 1u);
+    EXPECT_EQ(t.episodes()[0].phases.replay, 100u);
+    EXPECT_EQ(phaseSum(t), t.attributedCycles());
+}
+
+TEST(EpisodeTracker, RecompileWhileOpenAttributesToEpisode)
+{
+    EpisodeTracker t;
+    t.enable(nullptr);
+    FunctionInfo fn = makeFn(6);
+
+    t.onDeopt(fn, DeoptReason::Overflow, DeoptCategory::Eager, 0,
+              SrcPos{11, 1}, 0, 100);
+    t.onCompile(6, 1000, 1025);        // open episode: counted
+    t.onCompile(7, 2000, 2010);        // unrelated function: ignored
+    t.finish(0, 3000);
+    t.onCompile(6, 3000, 3100);        // episode closed: ignored
+
+    ASSERT_EQ(t.episodes().size(), 1u);
+    EXPECT_EQ(t.episodes()[0].recompiles, 1u);
+    EXPECT_EQ(t.episodes()[0].phases.recompile, 25u);
+    EXPECT_EQ(t.attributedCycles(), 25);
+}
+
+TEST(SnapshotFeedback, ClassifiesSlotStates)
+{
+    FeedbackVector fv;
+    int smi = fv.addSlot(SlotKind::BinaryOp);
+    fv.at(smi).operands = OperandFeedback::Smi;
+    int num = fv.addSlot(SlotKind::CompareOp);
+    fv.at(num).operands = OperandFeedback::Number;
+    int any = fv.addSlot(SlotKind::UnaryOp);
+    fv.at(any).operands = OperandFeedback::Any;
+    int mono = fv.addSlot(SlotKind::Property);
+    fv.at(mono).property.state = PropertyFeedback::State::Monomorphic;
+    int poly = fv.addSlot(SlotKind::Property);
+    fv.at(poly).property.state = PropertyFeedback::State::Polymorphic;
+    int mega = fv.addSlot(SlotKind::Property);
+    fv.at(mega).property.state = PropertyFeedback::State::Megamorphic;
+    fv.at(mega).property.sawGeneric = true;
+    int elem = fv.addSlot(SlotKind::Element);
+    fv.at(elem).element.state = ElementFeedback::State::Typed;
+    int call = fv.addSlot(SlotKind::CallSite);
+    fv.at(call).call.state = CallFeedback::State::Megamorphic;
+    fv.addSlot(SlotKind::Global);
+
+    FeedbackSnapshot s = snapshotFeedback(fv);
+    EXPECT_EQ(s.slots, 9u);
+    EXPECT_EQ(s.smiOps, 1u);
+    EXPECT_EQ(s.numberOps, 1u);
+    EXPECT_EQ(s.anyOps, 1u);
+    EXPECT_EQ(s.monomorphic, 2u);   // property mono + typed element
+    EXPECT_EQ(s.polymorphic, 1u);
+    EXPECT_EQ(s.megamorphic, 2u);   // property mega + megamorphic call
+    EXPECT_EQ(s.genericSites, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Engine integration: reconciliation and cycle-neutrality
+// ---------------------------------------------------------------------
+
+TEST(DeoptCostEngine, EpisodesReconcileWithDeoptLogAndCounters)
+{
+    EngineConfig cfg;
+    cfg.samplerEnabled = false;
+    cfg.deoptCost = true;
+    cfg.trace.categories = traceCategoryBit(TraceCategory::Deopt);
+    Engine engine(cfg);
+    engine.loadProgram(kOverflowProgram);
+    for (int i = 0; i < 10; i++)
+        engine.call("bench");
+    engine.episodes.finish(engine.interpreterCycles, engine.totalCycles());
+
+    // 1:1 with the deopt log, and at least the overflow deopt fired.
+    ASSERT_GE(engine.deoptLog.size(), 1u);
+    EXPECT_EQ(engine.episodes.episodes().size(), engine.deoptLog.size());
+    EXPECT_EQ(engine.trace.counters.get(TraceCounter::DeoptEpisodes),
+              engine.deoptLog.size());
+
+    // The oracle invariant: per-episode phases sum exactly to the
+    // tracker's independent accumulator...
+    i64 sum = 0;
+    u64 bailout = 0, replay = 0, recompile = 0;
+    for (const DeoptEpisode &ep : engine.episodes.episodes()) {
+        EXPECT_TRUE(ep.closed);
+        sum += ep.phases.total();
+        bailout += ep.phases.bailout;
+        replay += ep.phases.replay;
+        recompile += ep.phases.recompile;
+    }
+    EXPECT_EQ(sum, engine.episodes.attributedCycles());
+    // ...and the phase totals match the trace counters cycle for cycle.
+    EXPECT_EQ(engine.trace.counters.get(TraceCounter::DeoptBailoutCycles),
+              bailout);
+    EXPECT_EQ(engine.trace.counters.get(TraceCounter::DeoptReplayCycles),
+              replay);
+    EXPECT_EQ(
+        engine.trace.counters.get(TraceCounter::DeoptRecompileCycles),
+        recompile);
+
+    // Satellite: every deopt record carries its source position now.
+    for (const DeoptRecord &d : engine.deoptLog)
+        EXPECT_GT(d.pos.line, 0) << deoptReasonName(d.reason);
+
+    // Episodes appear as async spans in the chrome trace, id-paired.
+    std::string json = engine.trace.chromeTraceJson();
+    std::string err;
+    EXPECT_TRUE(jsonIsValid(json, &err)) << err;
+    EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+}
+
+TEST(DeoptCostEngine, TrackingIsCycleNeutral)
+{
+    auto run = [](bool track) {
+        EngineConfig cfg;
+        cfg.samplerEnabled = false;
+        cfg.deoptCost = track;
+        Engine engine(cfg);
+        engine.loadProgram(kOverflowProgram);
+        for (int i = 0; i < 10; i++)
+            engine.call("bench");
+        return std::tuple<u64, u64, size_t, u64, std::string>{
+            engine.totalCycles(), engine.interpreterCycles,
+            engine.deoptLog.size(), engine.compilations,
+            engine.vm.display(engine.call("verify"))};
+    };
+    auto off = run(false);
+    auto on = run(true);
+    EXPECT_EQ(std::get<0>(on), std::get<0>(off)) << "totalCycles";
+    EXPECT_EQ(std::get<1>(on), std::get<1>(off)) << "interpreterCycles";
+    EXPECT_EQ(std::get<2>(on), std::get<2>(off)) << "deoptLog";
+    EXPECT_EQ(std::get<3>(on), std::get<3>(off)) << "compilations";
+    EXPECT_EQ(std::get<4>(on), std::get<4>(off)) << "checksum";
+}
+
+// ---------------------------------------------------------------------
+// Summary + export round-trip
+// ---------------------------------------------------------------------
+
+TEST(DeoptCostExport, SummaryJsonRoundTripsAndDiffs)
+{
+    EngineConfig cfg;
+    cfg.samplerEnabled = false;
+    cfg.deoptCost = true;
+    Engine engine(cfg);
+    engine.loadProgram(kOverflowProgram);
+    for (int i = 0; i < 10; i++)
+        engine.call("bench");
+    engine.episodes.finish(engine.interpreterCycles, engine.totalCycles());
+
+    DeoptCostSummary s = summarizeEpisodes(
+        engine.episodes, [](FunctionId) { return std::string("bench"); },
+        engine.totalCycles());
+    ASSERT_GE(s.episodes, 1u);
+    EXPECT_EQ(s.episodes, engine.deoptLog.size());
+    EXPECT_EQ(static_cast<i64>(s.bailoutCycles + s.replayCycles
+                               + s.recompileCycles)
+                  + s.residualCycles,
+              s.attributedCycles);
+    ASSERT_FALSE(s.sites.empty());
+    EXPECT_EQ(s.sites[0].function, "bench");
+    EXPECT_GT(s.sites[0].line, 0);
+    EXPECT_GT(s.recoverableFraction(), 0.0);
+    EXPECT_LT(s.recoverableFraction(), 1.0);
+
+    // vspec-deopt-v1 parses back with every top-level key present.
+    std::string json = deoptCostJson(s, "OVERFLOW", "arm64");
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(json, doc, err)) << err;
+    EXPECT_EQ(doc.get("schema")->string, "vspec-deopt-v1");
+    for (const char *key :
+         {"workload", "isa", "total_cycles", "attributed_cycles",
+          "recoverable_fraction", "episodes", "phases", "groups", "sites"})
+        EXPECT_NE(doc.get(key), nullptr) << key;
+    EXPECT_EQ(doc.get("sites")->array.size(), s.sites.size());
+
+    // Human report names the top site; self-diff aligns every site and
+    // reports a zero cost delta.
+    std::string report = deoptCostReport(s, 10);
+    EXPECT_NE(report.find("bench:"), std::string::npos);
+    std::string diff = deoptCostDiffReport(doc, doc, err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_NE(diff.find("+0"), std::string::npos);
+    // Row markers are end-of-line; "eps (new)" in the column header
+    // is not one.
+    EXPECT_EQ(diff.find("(new)\n"), std::string::npos);
+    EXPECT_EQ(diff.find("(gone)\n"), std::string::npos);
+
+    // Malformed input is rejected, not mis-parsed.
+    JsonValue junk;
+    ASSERT_TRUE(parseJson("{\"schema\":\"other\"}", junk, err)) << err;
+    std::string bad_err;
+    deoptCostDiffReport(junk, doc, bad_err);
+    EXPECT_FALSE(bad_err.empty());
+}

@@ -137,6 +137,69 @@ TEST_P(ConfigDifferential, InjectedFaultsPreserveResults)
     }
 }
 
+TEST_P(ConfigDifferential, DeoptCostTrackingIsCycleNeutralEverywhere)
+{
+    // vdcost oracle: episode tracking is host-side observability, so
+    // switching it on must be invisible in every simulated result —
+    // cycles, deopts, compiles, checksum — in each experiment mode,
+    // and its episode accounting must reconcile exactly with the
+    // engine's deopt log (episodes 1:1, phase cycles summing to the
+    // independently accumulated attribution counter).
+    const Workload &w = *GetParam();
+    RunConfig base = baseConfig(w);
+
+    RunConfig interp = base;
+    interp.enableOptimization = false;
+    RunConfig removal = base;
+    removal.removeChecks = findSafeRemovalSet(w, base, kIters);
+    RunConfig branches = base;
+    branches.removeBranchesOnly = true;
+    RunConfig smi = base;
+    smi.smiExtension = true;
+
+    const struct
+    {
+        const char *name;
+        RunConfig rc;
+    } modes[] = {{"interp", interp},
+                 {"jit", base},
+                 {"check-removal", removal},
+                 {"branch-only", branches},
+                 {"smi-extension", smi}};
+
+    for (const auto &mode : modes) {
+        RunConfig off = mode.rc;
+        RunConfig on = mode.rc;
+        on.deoptCost = true;
+        RunOutcome a = runWorkload(w, off, nullptr);
+        RunOutcome b = runWorkload(w, on, nullptr);
+        ASSERT_TRUE(a.completed) << mode.name << ": " << a.error;
+        ASSERT_TRUE(b.completed) << mode.name << ": " << b.error;
+
+        EXPECT_EQ(b.totalCycles, a.totalCycles) << mode.name;
+        EXPECT_EQ(b.interpreterCycles, a.interpreterCycles) << mode.name;
+        EXPECT_EQ(b.checksum, a.checksum) << mode.name;
+        EXPECT_EQ(b.totalDeopts, a.totalDeopts) << mode.name;
+        EXPECT_EQ(b.compilations, a.compilations) << mode.name;
+
+        const DeoptCostSummary &s = b.deoptCost;
+        EXPECT_TRUE(s.enabled) << mode.name;
+        EXPECT_EQ(s.episodes, b.totalDeopts) << mode.name;
+        EXPECT_EQ(static_cast<i64>(s.bailoutCycles + s.replayCycles
+                                   + s.recompileCycles)
+                      + s.residualCycles,
+                  s.attributedCycles)
+            << mode.name;
+        u64 group_eps = 0;
+        for (u64 n : s.episodesPerGroup)
+            group_eps += n;
+        EXPECT_EQ(group_eps, s.episodes) << mode.name;
+        EXPECT_LE(s.closedByReentry, s.episodes) << mode.name;
+        if (!off.enableOptimization)
+            EXPECT_EQ(s.episodes, 0u) << "interpreter tier cannot deopt";
+    }
+}
+
 TEST_P(ConfigDifferential, TraceDeoptStreamMatchesEngineLog)
 {
     const Workload &w = *GetParam();

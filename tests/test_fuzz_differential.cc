@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "runtime/engine.hh"
 #include "support/fuzz_gen.hh"
 
@@ -94,6 +96,77 @@ TEST(FuzzDifferential, InterpAndJitAgreeOver500Programs)
     // deoptimized many times.
     EXPECT_GT(total_compiles, 500u);
     EXPECT_GT(total_deopts, 100u);
+}
+
+TEST(FuzzDifferential, DeoptCostTrackingIsBitIdenticalOver200Programs)
+{
+    // vdcost oracle, fuzz leg: on arbitrary generated programs the
+    // episode tracker must be cycle-neutral (bit-identical cycles,
+    // deopts, compiles, checksum with tracking on vs off) and its
+    // accounting must reconcile — episodes 1:1 with the deopt log and
+    // phase cycles summing exactly to the attribution counter.
+    constexpr u64 kPrograms = 200;
+    constexpr u32 kIterations = 6;
+
+    struct Obs
+    {
+        std::string checksum;
+        u64 cycles = 0, interp = 0, deopts = 0, compiles = 0;
+    };
+    auto run = [](const std::string &source, bool track, Engine **out) {
+        EngineConfig cfg;
+        cfg.samplerEnabled = false;
+        cfg.deoptCost = track;
+        cfg.heapSize = 8u << 20;
+        auto engine = std::make_unique<Engine>(cfg);
+        engine->loadProgram(source);
+        for (u32 i = 0; i < kIterations; i++)
+            engine->call("bench");
+        Obs o;
+        o.checksum = engine->vm.display(engine->call("verify"));
+        o.cycles = engine->totalCycles();
+        o.interp = engine->interpreterCycles;
+        o.deopts = engine->deoptLog.size();
+        o.compiles = engine->compilations;
+        if (out != nullptr)
+            *out = engine.release();
+        return o;
+    };
+
+    u64 total_episodes = 0;
+    for (u64 seed = 1; seed <= kPrograms; seed++) {
+        std::string source = generateFuzzProgram(seed);
+        Obs off;
+        Obs on;
+        Engine *tracked = nullptr;
+        ASSERT_NO_THROW({ off = run(source, false, nullptr); })
+            << "seed " << seed << "\n" << source;
+        ASSERT_NO_THROW({ on = run(source, true, &tracked); })
+            << "seed " << seed << "\n" << source;
+        std::unique_ptr<Engine> owner(tracked);
+
+        ASSERT_EQ(on.checksum, off.checksum) << "seed " << seed;
+        ASSERT_EQ(on.cycles, off.cycles) << "seed " << seed;
+        ASSERT_EQ(on.interp, off.interp) << "seed " << seed;
+        ASSERT_EQ(on.deopts, off.deopts) << "seed " << seed;
+        ASSERT_EQ(on.compiles, off.compiles) << "seed " << seed;
+
+        tracked->episodes.finish(tracked->interpreterCycles,
+                                 tracked->totalCycles());
+        const auto &eps = tracked->episodes.episodes();
+        ASSERT_EQ(eps.size(), tracked->deoptLog.size())
+            << "seed " << seed;
+        i64 sum = 0;
+        for (const DeoptEpisode &ep : eps) {
+            ASSERT_TRUE(ep.closed) << "seed " << seed;
+            sum += ep.phases.total();
+        }
+        ASSERT_EQ(sum, tracked->episodes.attributedCycles())
+            << "seed " << seed;
+        total_episodes += eps.size();
+    }
+    // The corpus must actually exercise the episode machinery.
+    EXPECT_GT(total_episodes, 50u);
 }
 
 TEST(FuzzDifferential, StaticElimIsBitIdenticalOver300Programs)

@@ -10,7 +10,9 @@
  *       are comparable across hosts up to libm differences in
  *       math-heavy builtins (the default gate tolerance absorbs them).
  *       Also writes regalloc.json (informational): per-workload
- *       register-allocator counters (spills/splits/reloads/slots).
+ *       register-allocator counters (spills/splits/reloads/slots),
+ *       and deopt_cost.json (informational): per-workload deopt
+ *       episode counts + attributed cycles (vdcost).
  *
  *   bench_gate compare --baselines=DIR --current=DIR [--scale=F]
  *       Compare current outputs against checked-in baselines per the
@@ -245,6 +247,75 @@ emitStaticElimJson(u32 iters, u32 jobs)
             + ",\"needed\":" + std::to_string(cells[i].needed)
             + ",\"unknown\":" + std::to_string(cells[i].unknown)
             + ",\"elided\":" + std::to_string(cells[i].elided) + "}";
+    }
+    out += "}}";
+    return out;
+}
+
+struct DeoptCostCell
+{
+    bool ok = false;
+    u64 cycles = 0;
+    u64 episodes = 0;
+    u64 stormSites = 0;
+    u64 flipFlops = 0;
+    i64 attributed = 0;
+};
+
+/** vdcost gate leg: per-workload deopt-episode accounting (arm64
+ *  flavour). Informational — episode costs move with tiering and
+ *  compiler tuning; the baseline documents the expected magnitude so
+ *  an order-of-magnitude jump in deopt-attributed cycles gets review
+ *  even though it never fails CI. */
+std::string
+emitDeoptCostJson(u32 iters, u32 jobs)
+{
+    std::vector<const Workload *> ws;
+    for (const Workload &w : suite())
+        ws.push_back(&w);
+
+    auto cells = par::mapWorkloads<DeoptCostCell>(jobs, ws,
+                                                  [&](const Workload &w) {
+        DeoptCostCell cell;
+        RunConfig rc;
+        rc.isa = IsaFlavour::Arm64Like;
+        rc.iterations = iters;
+        rc.samplerEnabled = false;
+        rc.deoptCost = true;
+        try {
+            RunOutcome out = runWorkload(w, rc);
+            if (out.completed) {
+                cell.ok = true;
+                cell.cycles = out.totalCycles;
+                cell.episodes = out.deoptCost.episodes;
+                cell.stormSites = out.deoptCost.stormSites;
+                cell.flipFlops = out.deoptCost.flipFlops;
+                cell.attributed = out.deoptCost.attributedCycles;
+            }
+        } catch (const std::exception &) {
+        }
+        return cell;
+    });
+
+    std::string out;
+    out += "{\"schema\":\"vspec-deopt-cost-gate-v1\"";
+    out += ",\"isa\":\"arm64\"";
+    out += ",\"iterations\":" + std::to_string(iters);
+    out += ",\"workloads\":{";
+    bool first = true;
+    for (size_t i = 0; i < ws.size(); i++) {
+        if (!cells[i].ok)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(ws[i]->name) + "\":{"
+            + "\"cycles\":" + std::to_string(cells[i].cycles)
+            + ",\"episodes\":" + std::to_string(cells[i].episodes)
+            + ",\"storm_sites\":" + std::to_string(cells[i].stormSites)
+            + ",\"flip_flops\":" + std::to_string(cells[i].flipFlops)
+            + ",\"attributed_cycles\":"
+            + std::to_string(cells[i].attributed) + "}";
     }
     out += "}}";
     return out;
@@ -590,7 +661,8 @@ main(int argc, char **argv)
             || !emit("bench_cycles_x64.json",
                      emitCyclesJson(iters, ws, x64, "x64"))
             || !emit("regalloc.json", emitRegallocJson(iters, ws, arm))
-            || !emit("static_elim.json", emitStaticElimJson(iters, j)))
+            || !emit("static_elim.json", emitStaticElimJson(iters, j))
+            || !emit("deopt_cost.json", emitDeoptCostJson(iters, j)))
             return 1;
         return 0;
     }

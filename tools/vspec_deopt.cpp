@@ -1,0 +1,239 @@
+/**
+ * @file
+ * vspec-deopt: the vdcost command-line harness. Runs one workload with
+ * deopt episode tracking enabled and exports the result as episode
+ * JSON (schema "vspec-deopt-v1") and/or a human-readable per-site
+ * table. Also validates emitted documents and diffs two episode
+ * exports per site.
+ *
+ *   vspec-deopt --list
+ *   vspec-deopt --workload=deltablue --report
+ *   vspec-deopt --workload=raytrace --out=d.json
+ *   vspec-deopt --diff baseline.json current.json
+ *   vspec-deopt --validate d.json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "harness/experiment.hh"
+#include "support/json.hh"
+#include "workloads/suite.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0, const char *bad)
+{
+    if (bad != nullptr)
+        std::fprintf(stderr, "%s: invalid argument '%s'\n", argv0, bad);
+    std::fprintf(
+        stderr,
+        "usage: %s --workload=NAME [options]\n"
+        "       %s --diff BASELINE.json CURRENT.json\n"
+        "       %s --validate FILE.json\n"
+        "       %s --list\n"
+        "  --workload=NAME    workload name or tag (see --list)\n"
+        "  --iters=N          bench iterations (default 30)\n"
+        "  --size=N           problem size (default: workload default)\n"
+        "  --isa=arm64|x64    backend flavour (default arm64)\n"
+        "  --out=F            write vspec-deopt-v1 JSON to F\n"
+        "  --report           print the human-readable site table\n"
+        "  --top=N            rows in the report (default 10)\n",
+        argv0, argv0, argv0, argv0);
+    std::exit(2);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << text;
+    return out.good();
+}
+
+long
+parseNum(const char *argv0, const char *flag, const char *text)
+{
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (text[0] == '\0' || end == nullptr || *end != '\0' || v < 0)
+        usage(argv0, flag);
+    return v;
+}
+
+int
+runValidate(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "vspec-deopt: cannot read %s\n",
+                     path.c_str());
+        return 1;
+    }
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(text, doc, error)) {
+        std::fprintf(stderr, "vspec-deopt: %s: invalid JSON: %s\n",
+                     path.c_str(), error.c_str());
+        return 1;
+    }
+    const JsonValue *schema = doc.get("schema");
+    if (!schema || schema->string != "vspec-deopt-v1") {
+        std::fprintf(stderr,
+                     "vspec-deopt: %s: not a vspec-deopt-v1 document\n",
+                     path.c_str());
+        return 1;
+    }
+    for (const char *key : {"workload", "isa", "total_cycles",
+                            "attributed_cycles", "recoverable_fraction",
+                            "episodes", "phases", "groups", "sites"}) {
+        if (!doc.get(key)) {
+            std::fprintf(stderr, "vspec-deopt: %s: missing key '%s'\n",
+                         path.c_str(), key);
+            return 1;
+        }
+    }
+    std::printf("%s: valid vspec-deopt-v1\n", path.c_str());
+    return 0;
+}
+
+int
+runDiff(const std::string &path_a, const std::string &path_b)
+{
+    std::string text_a, text_b, error;
+    if (!readFile(path_a, text_a) || !readFile(path_b, text_b)) {
+        std::fprintf(stderr, "vspec-deopt: cannot read %s or %s\n",
+                     path_a.c_str(), path_b.c_str());
+        return 1;
+    }
+    JsonValue a, b;
+    if (!parseJson(text_a, a, error)
+        || !parseJson(text_b, b, error)) {
+        std::fprintf(stderr, "vspec-deopt: invalid JSON: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    std::string report = deoptCostDiffReport(a, b, error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "vspec-deopt: %s\n", error.c_str());
+        return 1;
+    }
+    std::fputs(report.c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload, json_out;
+    u32 iters = 30, size = 0, top = 10;
+    IsaFlavour isa = IsaFlavour::Arm64Like;
+    bool report = false, list = false;
+
+    for (int i = 1; i < argc; i++) {
+        const char *a = argv[i];
+        auto val = [&](const char *prefix) -> const char * {
+            size_t n = std::strlen(prefix);
+            return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+        };
+        const char *v;
+        if (std::strcmp(a, "--list") == 0) {
+            list = true;
+        } else if (std::strcmp(a, "--report") == 0) {
+            report = true;
+        } else if (std::strcmp(a, "--validate") == 0) {
+            if (i + 1 >= argc)
+                usage(argv[0], a);
+            return runValidate(argv[i + 1]);
+        } else if (std::strcmp(a, "--diff") == 0) {
+            if (i + 2 >= argc)
+                usage(argv[0], a);
+            return runDiff(argv[i + 1], argv[i + 2]);
+        } else if ((v = val("--workload="))) {
+            workload = v;
+        } else if ((v = val("--out="))) {
+            json_out = v;
+        } else if ((v = val("--iters="))) {
+            iters = static_cast<u32>(parseNum(argv[0], a, v));
+        } else if ((v = val("--size="))) {
+            size = static_cast<u32>(parseNum(argv[0], a, v));
+        } else if ((v = val("--top="))) {
+            top = static_cast<u32>(parseNum(argv[0], a, v));
+        } else if ((v = val("--isa="))) {
+            if (std::strcmp(v, "arm64") == 0)
+                isa = IsaFlavour::Arm64Like;
+            else if (std::strcmp(v, "x64") == 0)
+                isa = IsaFlavour::X64Like;
+            else
+                usage(argv[0], a);
+        } else {
+            usage(argv[0], a);
+        }
+    }
+
+    if (list) {
+        for (const Workload &w : suite())
+            std::printf("%-16s %-8s %s\n", w.name.c_str(),
+                        w.tag.c_str(), categoryName(w.category));
+        return 0;
+    }
+    if (workload.empty())
+        usage(argv[0], nullptr);
+    const Workload *w = findWorkload(workload);
+    if (w == nullptr) {
+        std::fprintf(stderr, "vspec-deopt: unknown workload '%s' "
+                             "(try --list)\n",
+                     workload.c_str());
+        return 1;
+    }
+
+    RunConfig rc;
+    rc.isa = isa;
+    rc.iterations = iters == 0 ? 1 : iters;
+    rc.size = size;
+    rc.samplerEnabled = false;
+    rc.deoptCost = true;
+
+    RunOutcome out = runWorkload(*w, rc);
+    if (!out.completed) {
+        std::fprintf(stderr, "vspec-deopt: run failed: %s\n",
+                     out.error.c_str());
+        return 1;
+    }
+
+    int rv = 0;
+    if (!json_out.empty()) {
+        if (!writeFile(json_out,
+                       deoptCostJson(out.deoptCost, w->name,
+                                     isaFlavourName(isa)))) {
+            std::fprintf(stderr, "vspec-deopt: cannot write %s\n",
+                         json_out.c_str());
+            rv = 1;
+        }
+    }
+    if (report || json_out.empty())
+        std::fputs(deoptCostReport(out.deoptCost, top).c_str(), stdout);
+    return rv;
+}
